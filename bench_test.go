@@ -1,0 +1,524 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations DESIGN.md calls out and microbenchmarks
+// of the dynamic translator itself. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches evaluate the full experiment harness and report the
+// headline quantity of the corresponding figure via b.ReportMetric, so a
+// bench run doubles as a regeneration of the paper's results
+// (EXPERIMENTS.md records the mapping and the expected shapes).
+package veal_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"veal/internal/accel"
+	"veal/internal/arch"
+	"veal/internal/cca"
+	"veal/internal/cfg"
+	"veal/internal/dse"
+	"veal/internal/exp"
+	"veal/internal/ir"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/modsched"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+var (
+	modelsOnce sync.Once
+	evalModels []*exp.BenchModel
+	allModels  []*exp.BenchModel
+	modelsErr  error
+)
+
+func models(b *testing.B) ([]*exp.BenchModel, []*exp.BenchModel) {
+	b.Helper()
+	modelsOnce.Do(func() {
+		evalModels, modelsErr = exp.Models(workloads.MediaFP())
+		if modelsErr != nil {
+			return
+		}
+		var ints []*exp.BenchModel
+		ints, modelsErr = exp.Models(workloads.Integer())
+		allModels = append(append([]*exp.BenchModel{}, evalModels...), ints...)
+	})
+	if modelsErr != nil {
+		b.Fatal(modelsErr)
+	}
+	return evalModels, allModels
+}
+
+// BenchmarkFig2Breakdown regenerates the execution-time taxonomy.
+func BenchmarkFig2Breakdown(b *testing.B) {
+	_, all := models(b)
+	var rows []exp.Fig2Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig2(all)
+	}
+	media := 0.0
+	n := 0
+	for _, r := range rows {
+		if r.Suite != "specint" {
+			media += r.Schedulable
+			n++
+		}
+	}
+	b.ReportMetric(100*media/float64(n), "%schedulable-mediafp")
+}
+
+// BenchmarkFig3aFunctionUnits sweeps integer/FP/CCA function units.
+func BenchmarkFig3aFunctionUnits(b *testing.B) {
+	eval, _ := models(b)
+	var series []dse.Series
+	for i := 0; i < b.N; i++ {
+		series = dse.Fig3a(eval)
+	}
+	// Knee check metric: fraction at 2 integer units with a CCA.
+	for _, s := range series {
+		if s.Label == "IEx+CCA" {
+			b.ReportMetric(100*s.Points[1].Fraction, "%inf-speedup@2IEx+CCA")
+		}
+	}
+}
+
+// BenchmarkFig3bRegisters sweeps the register files.
+func BenchmarkFig3bRegisters(b *testing.B) {
+	eval, _ := models(b)
+	var series []dse.Series
+	for i := 0; i < b.N; i++ {
+		series = dse.Fig3b(eval)
+	}
+	for _, s := range series {
+		if s.Label == "IntRegs" {
+			for _, p := range s.Points {
+				if p.Value == 16 {
+					b.ReportMetric(100*p.Fraction, "%inf-speedup@16regs")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4aStreams sweeps load/store stream counts.
+func BenchmarkFig4aStreams(b *testing.B) {
+	eval, _ := models(b)
+	var series []dse.Series
+	for i := 0; i < b.N; i++ {
+		series = dse.Fig4a(eval)
+	}
+	for _, s := range series {
+		if s.Label == "LoadStreams" {
+			for _, p := range s.Points {
+				if p.Value == 16 {
+					b.ReportMetric(100*p.Fraction, "%inf-speedup@16load")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig4bMaxII sweeps the control-store depth.
+func BenchmarkFig4bMaxII(b *testing.B) {
+	eval, _ := models(b)
+	var series []dse.Series
+	for i := 0; i < b.N; i++ {
+		series = dse.Fig4b(eval)
+	}
+	for _, p := range series[0].Points {
+		if p.Value == 16 {
+			b.ReportMetric(100*p.Fraction, "%inf-speedup@maxII16")
+		}
+	}
+}
+
+// BenchmarkFig6OverheadSensitivity sweeps translation overhead x miss rate.
+func BenchmarkFig6OverheadSensitivity(b *testing.B) {
+	eval, _ := models(b)
+	var pts []exp.Fig6Point
+	for i := 0; i < b.N; i++ {
+		pts = exp.Fig6(eval)
+	}
+	for _, p := range pts {
+		if p.OverheadCycles == 100_000 && p.MissRate == 0.01 {
+			b.ReportMetric(p.MeanSpeedup, "speedup@100k,1%miss")
+		}
+	}
+}
+
+// BenchmarkFig7Transforms compares raw and transformed binaries.
+func BenchmarkFig7Transforms(b *testing.B) {
+	eval, _ := models(b)
+	var rows []exp.Fig7Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig7(eval)
+	}
+	var fr []float64
+	for _, r := range rows {
+		fr = append(fr, r.Fraction)
+	}
+	b.ReportMetric(100*(1-exp.Mean(fr)), "%speedup-lost-untransformed")
+}
+
+// BenchmarkFig8TranslationCost measures the dynamic translator phase
+// distribution.
+func BenchmarkFig8TranslationCost(b *testing.B) {
+	eval, _ := models(b)
+	var rows []exp.Fig8Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig8(eval)
+	}
+	avg := exp.Fig8Average(rows)
+	b.ReportMetric(avg.Total, "work-units/loop")
+	b.ReportMetric(100*avg.Phases[vmcost.PhasePriority]/avg.Total, "%priority")
+	b.ReportMetric(100*avg.Phases[vmcost.PhaseCCAMap]/avg.Total, "%cca")
+}
+
+// BenchmarkFig10Tradeoffs evaluates every policy and issue-width system.
+func BenchmarkFig10Tradeoffs(b *testing.B) {
+	eval, _ := models(b)
+	var rows []exp.Fig10Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Fig10(eval)
+	}
+	avg := exp.Fig10Average(rows)
+	b.ReportMetric(avg.NoPenalty, "speedup-no-penalty")
+	b.ReportMetric(avg.FullyDynamic, "speedup-fully-dynamic")
+	b.ReportMetric(avg.HeightPriority, "speedup-height")
+	b.ReportMetric(avg.Hybrid, "speedup-hybrid")
+}
+
+// BenchmarkProposedDesignFraction reproduces the §3.2 83% claim.
+func BenchmarkProposedDesignFraction(b *testing.B) {
+	eval, _ := models(b)
+	var f float64
+	for i := 0; i < b.N; i++ {
+		f = dse.ProposedFraction(eval)
+	}
+	b.ReportMetric(100*f, "%of-infinite-speedup")
+}
+
+// --------------------------------------------------------------------
+// Ablations (DESIGN.md §6).
+// --------------------------------------------------------------------
+
+// BenchmarkAblationCCA compares the proposed design with and without its
+// CCA (Figure 3(a)'s third line, at the design point).
+func BenchmarkAblationCCA(b *testing.B) {
+	eval, _ := models(b)
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		withLA := arch.Proposed()
+		noLA := arch.Proposed()
+		noLA.CCAs = 0
+		sysW := exp.System{Name: "w", CPU: arch.ARM11(), LA: withLA, Policy: vm.NoPenalty, TransPerLoop: -1}
+		sysN := exp.System{Name: "n", CPU: arch.ARM11(), LA: noLA, Policy: vm.NoPenalty, TransPerLoop: -1}
+		var sw, sn []float64
+		for _, bm := range eval {
+			sw = append(sw, bm.Speedup(sysW))
+			sn = append(sn, bm.Speedup(sysN))
+		}
+		with, without = exp.Mean(sw), exp.Mean(sn)
+	}
+	b.ReportMetric(with, "speedup-with-cca")
+	b.ReportMetric(without, "speedup-without-cca")
+}
+
+// BenchmarkAblationPriorityQuality compares achieved IIs under Swing
+// versus height-based ordering across the suite's kernels.
+func BenchmarkAblationPriorityQuality(b *testing.B) {
+	la := arch.Proposed()
+	kernels := uniqueKernels()
+	var swingII, heightII, scheduledBoth int
+	for i := 0; i < b.N; i++ {
+		swingII, heightII, scheduledBoth = 0, 0, 0
+		for _, k := range kernels {
+			l := k.Build()
+			groups := cca.Map(l, la.CCA, nil).Groups
+			g, err := modsched.BuildGraph(l, groups, la.CCA, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw, err1 := modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+			ht, err2 := modsched.ScheduleLoop(g, la, modsched.OrderHeight, nil, nil)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			scheduledBoth++
+			swingII += sw.II
+			heightII += ht.II
+		}
+	}
+	b.ReportMetric(float64(swingII)/float64(scheduledBoth), "mean-II-swing")
+	b.ReportMetric(float64(heightII)/float64(scheduledBoth), "mean-II-height")
+}
+
+// BenchmarkAblationCodeCache sweeps the VM's code-cache size on a program
+// with more hot loops than a small cache holds.
+func BenchmarkAblationCodeCache(b *testing.B) {
+	eval, _ := models(b)
+	// Model: miss rate approximated by the Figure 6 machinery — a small
+	// cache behaves like a retranslation rate; compare 'once' against 10%.
+	var once, often float64
+	for i := 0; i < b.N; i++ {
+		sysOnce := exp.System{Name: "o", CPU: arch.ARM11(), LA: arch.Proposed(), Policy: vm.FullyDynamic, TransPerLoop: -1}
+		sysMiss := sysOnce
+		sysMiss.MissRate = 0.10
+		var so, sm []float64
+		for _, bm := range eval {
+			so = append(so, bm.Speedup(sysOnce))
+			sm = append(sm, bm.Speedup(sysMiss))
+		}
+		once, often = exp.Mean(so), exp.Mean(sm)
+	}
+	b.ReportMetric(once, "speedup-cache-hit")
+	b.ReportMetric(often, "speedup-10%miss")
+}
+
+// BenchmarkAblationRegisterModel compares the paper's one-to-one register
+// rule against lifetime-sensitive MaxLive analysis across the kernels.
+func BenchmarkAblationRegisterModel(b *testing.B) {
+	la := arch.Proposed()
+	kernels := uniqueKernels()
+	var oneToOne, maxLive int
+	for i := 0; i < b.N; i++ {
+		oneToOne, maxLive = 0, 0
+		for _, k := range kernels {
+			l := k.Build()
+			g, err := modsched.BuildGraph(l, nil, la.CCA, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+			if err != nil {
+				continue
+			}
+			need := modsched.Registers(s, nil)
+			maxLive += need.Int + need.Float
+			oneToOne += l.NumParams // proxy: live-in registers
+		}
+	}
+	b.ReportMetric(float64(maxLive), "total-maxlive-regs")
+	b.ReportMetric(float64(oneToOne), "total-livein-regs")
+}
+
+func uniqueKernels() []workloads.Kernel {
+	seen := map[string]bool{}
+	var out []workloads.Kernel
+	for _, bench := range workloads.MediaFP() {
+		for _, s := range bench.Sites {
+			if !seen[s.Kernel.Name] {
+				seen[s.Kernel.Name] = true
+				out = append(out, s.Kernel)
+			}
+		}
+	}
+	return out
+}
+
+// --------------------------------------------------------------------
+// Microbenchmarks: the dynamic translator and the simulators.
+// --------------------------------------------------------------------
+
+func benchTranslate(b *testing.B, policy vm.Policy) {
+	l := workloads.IDCTRow()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := vm.New(vm.Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: policy})
+	region := findRegion(b, res)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Translate(res.Program, region); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateFullyDynamic(b *testing.B) { benchTranslate(b, vm.FullyDynamic) }
+func BenchmarkTranslateHeight(b *testing.B)       { benchTranslate(b, vm.HeightPriority) }
+func BenchmarkTranslateHybrid(b *testing.B)       { benchTranslate(b, vm.Hybrid) }
+
+func findRegion(b *testing.B, res *lower.Result) cfg.Region {
+	b.Helper()
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Head == res.Head {
+			return r
+		}
+	}
+	b.Fatal("no region")
+	return cfg.Region{}
+}
+
+// BenchmarkAcceleratorSimulator measures the cycle-level LA simulator.
+func BenchmarkAcceleratorSimulator(b *testing.B) {
+	l := workloads.FIR(8)
+	la := arch.Proposed()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := vm.New(vm.Config{LA: la, CPU: arch.ARM11(), Policy: vm.Hybrid})
+	tr, err := v.Translate(res.Program, findRegion(b, res))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind, mem := workloads.Prepare(tr.Ext.Loop, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := accel.Execute(la, tr.Schedule, bind, mem.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(256, "iterations/op")
+}
+
+// BenchmarkScalarSimulator measures the in-order pipeline simulator.
+func BenchmarkScalarSimulator(b *testing.B) {
+	l := workloads.FIR(8)
+	res, err := lower.Lower(l, lower.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind, memProto := workloads.Prepare(l, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := scalar.New(arch.ARM11(), memProto.Clone())
+		m.Regs[res.TripReg] = 256
+		for j, r := range res.ParamRegs {
+			m.Regs[r] = bind.Params[j]
+		}
+		if err := m.Run(res.Program, 1_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSwingOrdering measures the priority phase alone on random
+// recurrence-heavy loops.
+func BenchmarkSwingOrdering(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	cfgen := loopgen.Default()
+	cfgen.Ops = 40
+	cfgen.RecurProb = 0.4
+	l := loopgen.Generate(rng, cfgen)
+	g, err := modsched.BuildGraph(l, nil, arch.DefaultCCA(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ii := modsched.RecMII(g, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		modsched.SwingOrder(g, ii, nil)
+	}
+}
+
+// BenchmarkCCAMapping measures greedy subgraph identification.
+func BenchmarkCCAMapping(b *testing.B) {
+	l := workloads.ADPCMEncode()
+	cfg := arch.DefaultCCA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cca.Map(l, cfg, nil)
+	}
+}
+
+// BenchmarkSequentialExecutor measures the reference interpreter.
+func BenchmarkSequentialExecutor(b *testing.B) {
+	l := workloads.FIR(8)
+	bind, memProto := workloads.Prepare(l, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ir.Execute(l, bind, memProto.Clone()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSpeculation measures the while-loop speculation
+// extension (beyond the paper's design point, which rejects loops needing
+// speculation support): a memchr-style scan accelerated via chunked
+// speculative execution versus the scalar fallback the paper's design
+// takes.
+func BenchmarkAblationSpeculation(b *testing.B) {
+	lb := ir.NewBuilder("scan")
+	x := lb.LoadStream("x", 1)
+	key := lb.Param("key")
+	sum := lb.Add(x, x)
+	lb.SetArg(sum, 1, lb.Recur(sum, 1, "sum0"))
+	hit := lb.CmpEQ(x, key)
+	lb.ExitWhen(hit)
+	lb.LiveOut("sum", sum)
+	l, err := lb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const bound, keyAt = 8192, 7000
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < bound+4; i++ {
+			mem.Store(0x1000+i, uint64(i%251)+1000)
+		}
+		mem.Store(0x1000+keyAt, 777)
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = bound
+		params := map[string]uint64{"x": 0x1000, "key": 777, "sum0": 0}
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[l.ParamNames[i]]
+		}
+	}
+	var withSpec, withoutSpec int64
+	for i := 0; i < b.N; i++ {
+		on := vm.DefaultConfig()
+		on.SpeculationSupport = true
+		on.SpecChunk = 256
+		von := vm.New(on)
+		r1, _, err := von.Run(res.Program, mkMem(), seed, 50_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		voff := vm.New(vm.DefaultConfig())
+		r2, _, err := voff.Run(res.Program, mkMem(), seed, 50_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		withSpec, withoutSpec = r1.Cycles, r2.Cycles
+	}
+	b.ReportMetric(float64(withoutSpec)/float64(withSpec), "speculation-speedup")
+}
+
+// BenchmarkAblationFIFODepth quantifies the decoupled-streaming claim: a
+// 100-cycle memory behind 1-deep FIFOs versus 32-deep FIFOs.
+func BenchmarkAblationFIFODepth(b *testing.B) {
+	eval, _ := models(b)
+	var shallow, deep float64
+	for i := 0; i < b.N; i++ {
+		mk := func(depth int) float64 {
+			la := arch.Proposed()
+			la.MemLatency = 100
+			la.FIFODepth = depth
+			sys := exp.System{Name: "fifo", CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: -1}
+			var sp []float64
+			for _, bm := range eval {
+				sp = append(sp, bm.Speedup(sys))
+			}
+			return exp.Mean(sp)
+		}
+		shallow, deep = mk(1), mk(32)
+	}
+	b.ReportMetric(shallow, "speedup-fifo1")
+	b.ReportMetric(deep, "speedup-fifo32")
+}

@@ -1,0 +1,349 @@
+// Command veal regenerates the paper's tables and figures and provides
+// small utilities over the VEAL library.
+//
+// Usage:
+//
+//	veal breakdown          Figure 2: execution-time taxonomy
+//	veal dse [-sweep S]     Figures 3(a,b)/4(a,b) + proposed-design check
+//	veal overhead [-fig N]  Figure 6 (overhead sweep) / Figure 8 (measured)
+//	veal tradeoff [-fig N]  Figure 7 (transforms) / Figure 10 (policies)
+//	veal area               §3.2 die-area comparison
+//	veal run <benchmark>    report one benchmark's sites under the VM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/area"
+	"veal/internal/cfg"
+	"veal/internal/dse"
+	"veal/internal/exp"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "breakdown":
+		err = cmdBreakdown()
+	case "dse":
+		err = cmdDSE(args)
+	case "overhead":
+		err = cmdOverhead(args)
+	case "tradeoff":
+		err = cmdTradeoff(args)
+	case "area":
+		err = cmdArea()
+	case "run":
+		err = cmdRun(args)
+	case "inspect":
+		err = cmdInspect(args)
+	case "speculation":
+		err = cmdSpeculation()
+	case "asm":
+		err = cmdAsm(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veal:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: veal <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|asm> [flags]`)
+}
+
+func evalModels() ([]*exp.BenchModel, error) {
+	return exp.Models(workloads.MediaFP())
+}
+
+func cmdBreakdown() error {
+	csvOut := false
+	if len(os.Args) > 2 && os.Args[2] == "-csv" {
+		csvOut = true
+	}
+	models, err := exp.Models(workloads.All())
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		return exp.WriteFig2CSV(os.Stdout, exp.Fig2(models))
+	}
+	fmt.Print(exp.FormatFig2(exp.Fig2(models)))
+	return nil
+}
+
+func cmdDSE(args []string) error {
+	fs := flag.NewFlagSet("dse", flag.ExitOnError)
+	sweepName := fs.String("sweep", "all", "fu|reg|stream|maxii|fifo|all")
+	proposed := fs.Bool("proposed", true, "print the proposed-design fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := evalModels()
+	if err != nil {
+		return err
+	}
+	show := func(name, title string, f func([]*exp.BenchModel) []dse.Series) {
+		if *sweepName == "all" || *sweepName == name {
+			fmt.Print(dse.Format(title, f(models)))
+			fmt.Println()
+		}
+	}
+	show("fu", "Figure 3(a): function units", dse.Fig3a)
+	show("reg", "Figure 3(b): registers", dse.Fig3b)
+	show("stream", "Figure 4(a): memory streams", dse.Fig4a)
+	show("maxii", "Figure 4(b): maximum II", dse.Fig4b)
+	show("fifo", "Extension: FIFO depth vs memory latency", dse.FIFOSweep)
+	if *proposed {
+		fmt.Printf("proposed design: %.0f%% of infinite-resource speedup (paper: 83%%)\n",
+			100*dse.ProposedFraction(models))
+	}
+	return nil
+}
+
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	fig := fs.Int("fig", 0, "6 or 8 (0 = both)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := evalModels()
+	if err != nil {
+		return err
+	}
+	if *fig == 0 || *fig == 6 {
+		if *csvOut {
+			if err := exp.WriteFig6CSV(os.Stdout, exp.Fig6(models)); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(exp.FormatFig6(exp.Fig6(models)))
+			fmt.Println()
+		}
+	}
+	if *fig == 0 || *fig == 8 {
+		if *csvOut {
+			return exp.WriteFig8CSV(os.Stdout, exp.Fig8(models))
+		}
+		fmt.Print(exp.FormatFig8(exp.Fig8(models)))
+	}
+	return nil
+}
+
+func cmdTradeoff(args []string) error {
+	fs := flag.NewFlagSet("tradeoff", flag.ExitOnError)
+	fig := fs.Int("fig", 0, "7 or 10 (0 = both)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	models, err := evalModels()
+	if err != nil {
+		return err
+	}
+	if *fig == 0 || *fig == 7 {
+		if *csvOut {
+			if err := exp.WriteFig7CSV(os.Stdout, exp.Fig7(models)); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(exp.FormatFig7(exp.Fig7(models)))
+			fmt.Println()
+		}
+	}
+	if *fig == 0 || *fig == 10 {
+		if *csvOut {
+			return exp.WriteFig10CSV(os.Stdout, exp.Fig10(models))
+		}
+		fmt.Print(exp.FormatFig10(exp.Fig10(models)))
+	}
+	return nil
+}
+
+func cmdArea() error {
+	la := arch.Proposed()
+	fmt.Printf("§3.2 die area (90nm):\n")
+	fmt.Printf("  %-28s %6.2f mm^2 (paper: 3.8, FP = 2.38)\n", "proposed loop accelerator", area.LA(la))
+	fmt.Printf("  %-28s %6.2f mm^2\n", "  of which FP units", float64(la.FPUnits)*area.FPUnitMM2)
+	fmt.Printf("  %-28s %6.2f mm^2 (paper: 4.34)\n", "ARM11-class core", arch.ARM11().AreaMM2)
+	fmt.Printf("  %-28s %6.2f mm^2 (paper: ~8.25)\n", "ARM11 + accelerator", area.System(arch.ARM11(), la))
+	fmt.Printf("  %-28s %6.2f mm^2 (paper: 10.2)\n", "Cortex A8-class 2-issue", arch.CortexA8().AreaMM2)
+	fmt.Printf("  %-28s %6.2f mm^2 (paper: 14.0)\n", "hypothetical 4-issue", arch.Quad().AreaMM2)
+	return nil
+}
+
+// cmdAsm converts between the ISA's textual assembly and the binary
+// container format: `veal asm file.s` assembles to file.bin, `veal asm
+// -d file.bin` disassembles to stdout.
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	dis := fs.Bool("d", false, "disassemble a binary container to stdout")
+	out := fs.String("o", "", "output path (default: input with .bin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm: one input file required")
+	}
+	in := fs.Arg(0)
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	if *dis {
+		p, err := isa.Decode(data)
+		if err != nil {
+			return err
+		}
+		fmt.Print(isa.Format(p))
+		return nil
+	}
+	p, err := isa.ParseAsm(string(data))
+	if err != nil {
+		return err
+	}
+	img, err := isa.Encode(p)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".s") + ".bin"
+	}
+	if err := os.WriteFile(dst, img, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d instructions, %d bytes -> %s\n", p.Name, len(p.Code), len(img), dst)
+	return nil
+}
+
+// cmdSpeculation evaluates the while-loop speculation extension over the
+// integer suite (where the speculation-support loops live).
+func cmdSpeculation() error {
+	models, err := exp.Models(workloads.All())
+	if err != nil {
+		return err
+	}
+	fmt.Print(exp.FormatSpeculation(exp.Speculation(models)))
+	return nil
+}
+
+// cmdInspect compiles one workload kernel and shows the whole translation
+// pipeline: the annotated binary, the extracted dataflow loop, the CCA
+// groups, and the modulo reservation table (the paper's Figure 5 view).
+func cmdInspect(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("inspect: kernel name required (e.g. adpcm-encode, idct-row, fig5)")
+	}
+	name := args[0]
+	var loop *ir.Loop
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			if site.Kernel.Name == name || site.Kernel.Build().Name == name {
+				loop = site.Kernel.Build()
+			}
+		}
+	}
+	if loop == nil {
+		var names []string
+		seen := map[string]bool{}
+		for _, bench := range workloads.All() {
+			for _, site := range bench.Sites {
+				n := site.Kernel.Build().Name
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		}
+		sort.Strings(names)
+		return fmt.Errorf("inspect: unknown kernel %q; available: %s", name, strings.Join(names, ", "))
+	}
+
+	res, err := lower.Lower(loop, lower.Options{Annotate: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("=== annotated binary ===")
+	fmt.Print(res.Program.Disassemble())
+
+	var region cfg.Region
+	found := false
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Head == res.Head {
+			region, found = r, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("inspect: no loop region found")
+	}
+	fmt.Printf("\n=== region ===\nhead=%d back=%d kind=%v\n", region.Head, region.BackPC, region.Kind)
+
+	v := vm.New(vm.Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: vm.Hybrid, SpeculationSupport: true})
+	tr, err := v.Translate(res.Program, region)
+	if err != nil {
+		return fmt.Errorf("inspect: translation rejected: %w", err)
+	}
+	fmt.Println("\n=== extracted dataflow loop ===")
+	fmt.Print(tr.Ext.Loop.String())
+	if len(tr.Ext.Groups) > 0 {
+		fmt.Printf("CCA groups: %v\n", tr.Ext.Groups)
+	}
+	fmt.Printf("\n=== modulo schedule (proposed accelerator) ===\n")
+	fmt.Print(tr.Schedule.Render(arch.Proposed()))
+	fmt.Printf("\nregisters: %d int / %d fp   translation: %d work units\n",
+		tr.Regs.Int, tr.Regs.Float, tr.WorkTotal())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: benchmark name required")
+	}
+	b, err := workloads.ByName(args[0])
+	if err != nil {
+		return err
+	}
+	models, err := exp.Models([]*workloads.Benchmark{b})
+	if err != nil {
+		return err
+	}
+	bm := models[0]
+	fmt.Printf("%s (%s): %d loop sites, %d acyclic insts\n",
+		b.Name, b.Suite, len(b.Sites), b.AcyclicInsts)
+	la := arch.Proposed()
+	for _, sm := range bm.Sites {
+		tr := sm.Translate(la, vm.Hybrid, false)
+		status := "scalar: " + tr.Reason
+		if tr.OK {
+			status = fmt.Sprintf("accel: II=%d SC=%d, %d cycles/invoc, translation %d units",
+				tr.II, tr.SC, tr.AccelPerInvoc, tr.WorkTotal())
+		}
+		fmt.Printf("  %-14s trip=%-6d inv=%-6d scalar %.0f cyc/invoc | %s\n",
+			sm.Site.Name, sm.Site.Trip, sm.Site.Invocations,
+			sm.ScalarCycles(arch.ARM11()), status)
+	}
+	for _, sys := range exp.Fig10Systems() {
+		fmt.Printf("  speedup %-14s %.2f\n", sys.Name, bm.Speedup(sys))
+	}
+	return nil
+}

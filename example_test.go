@@ -1,0 +1,87 @@
+package veal_test
+
+import (
+	"fmt"
+
+	"veal"
+)
+
+// ExampleCompile builds a small loop, compiles it, and shows the shape of
+// the resulting annotated binary.
+func ExampleCompile() {
+	b := veal.NewLoop("scale")
+	x := b.LoadStream("x", 1)
+	k := b.Param("k")
+	b.StoreStream("out", 1, b.Mul(x, k))
+	loop, _ := b.Build()
+
+	bin, _ := veal.Compile(loop, veal.CompileOptions{})
+	fmt.Println("loops:", len(bin.Heads))
+	fmt.Println("priority tables:", len(bin.Program.LoopAnnos))
+	// Output:
+	// loops: 1
+	// priority tables: 1
+}
+
+// ExampleSystem_Run executes one binary on a scalar core and on an
+// accelerated system; results are identical and the accelerator wins.
+func ExampleSystem_Run() {
+	b := veal.NewLoop("sum")
+	x := b.LoadStream("x", 1)
+	acc := b.Add(x, x)
+	b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+	b.LiveOut("sum", acc)
+	loop, _ := b.Build()
+	bin, _ := veal.Compile(loop, veal.CompileOptions{})
+
+	seed := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < 1024; i++ {
+			mem.Store(0x100+i, 2)
+		}
+		return mem
+	}
+	params := map[string]uint64{"x": 0x100, "acc0": 0}
+
+	scalar := veal.NewSystem(veal.SystemConfig{CPU: veal.BaselineCPU()})
+	rs, _ := scalar.Run(bin, params, 1024, seed())
+
+	accel := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	ra, _ := accel.Run(bin, params, 1024, seed())
+
+	fmt.Println("sums equal:", rs.LiveOuts["sum"] == ra.LiveOuts["sum"])
+	fmt.Println("sum:", ra.LiveOuts["sum"])
+	fmt.Println("accelerated faster:", ra.Cycles < rs.Cycles)
+	// Output:
+	// sums equal: true
+	// sum: 2048
+	// accelerated faster: true
+}
+
+// ExampleParseAssembly shows the ISA's textual form.
+func ExampleParseAssembly() {
+	p, err := veal.ParseAssembly(`
+.program "tiny"
+    movi r2, #0
+loop:
+    addi r2, r2, #1
+    blt r2, r1, loop
+    halt
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("instructions:", len(p.Code))
+	fmt.Print(veal.FormatProgram(p))
+	// Output:
+	// instructions: 4
+	// .program "tiny"
+	//     movi r2, #0
+	// L0:
+	//     addi r2, r2, #1
+	//     blt r2, r1, L0
+	//     halt
+}

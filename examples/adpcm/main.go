@@ -1,0 +1,97 @@
+// ADPCM: a recurrence-limited kernel. The speech predictor carries two
+// serial recurrences (predicted value and step size) through every
+// iteration, so the initiation interval is bound by RecMII rather than by
+// function units. The demonstration: quadrupling the accelerator's integer
+// units buys essentially nothing, because the bottleneck is the serial
+// dependence chain, not execution bandwidth — the opposite of the
+// stream-parallel IDCT example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veal"
+)
+
+func buildDecoder() (*veal.Loop, error) {
+	b := veal.NewLoop("adpcm-decoder")
+	code := b.LoadStream("in", 1)
+	valpred := b.Add(b.Const(0), b.Const(0))
+	step := b.Add(b.Const(0), b.Const(0))
+	prevStep := b.Recur(step, 1, "step0")
+
+	sign := b.And(code, b.Const(4))
+	delta := b.And(code, b.Const(3))
+	vpDelta := b.Add(b.Mul(delta, prevStep), b.ShrA(prevStep, b.Const(1)))
+	vpNew := b.Select(sign,
+		b.Sub(b.Recur(valpred, 1, "valpred0"), vpDelta),
+		b.Add(b.Recur(valpred, 1, "valpred0"), vpDelta))
+	vpClamped := b.Max(b.Min(vpNew, b.Const(32767)), b.Const(-32768))
+	b.SetArg(valpred, 0, vpClamped)
+	b.SetArg(valpred, 1, b.Const(0))
+
+	stepNew := b.Add(b.ShrA(b.Mul(prevStep, b.Add(delta, b.Const(2))), b.Const(2)), b.Const(1))
+	b.SetArg(step, 0, b.Max(b.Min(stepNew, b.Const(16384)), b.Const(7)))
+	b.SetArg(step, 1, b.Const(0))
+
+	b.StoreStream("out", 1, vpClamped)
+	b.LiveOut("valpred", valpred)
+	b.LiveOut("step", step)
+	return b.Build()
+}
+
+func main() {
+	loop, err := buildDecoder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := veal.Compile(loop, veal.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n, inBase, outBase = 8192, 0x1000, 0x10000
+	params := map[string]uint64{
+		"in": inBase, "out": outBase,
+		"valpred0": 0, "step0": 7,
+	}
+	seedMem := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < n; i++ {
+			mem.Store(inBase+i, uint64((i*37+11)%8))
+		}
+		return mem
+	}
+
+	run := func(name string, accel *veal.Accelerator) *veal.Result {
+		sys := veal.NewSystem(veal.SystemConfig{
+			CPU: veal.BaselineCPU(), Accel: accel, Policy: veal.Hybrid,
+		})
+		mem := seedMem()
+		res, err := sys.Run(bin, params, n, mem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %9d cycles (launches=%d)  valpred=%d step=%d\n",
+			name, res.Cycles, res.Launches,
+			int64(res.LiveOuts["valpred"]), int64(res.LiveOuts["step"]))
+		return res
+	}
+
+	scalar := run("scalar only", nil)
+
+	proposed := run("proposed accelerator", veal.ProposedAccelerator())
+
+	wide := veal.ProposedAccelerator()
+	wide.IntUnits *= 4
+	wide.LoadAGs *= 2
+	wideRes := run("4x integer units", wide)
+
+	fmt.Printf("\nspeedup, proposed:  %.2fx\n", float64(scalar.Cycles)/float64(proposed.Cycles))
+	fmt.Printf("speedup, 4x units:  %.2fx\n", float64(scalar.Cycles)/float64(wideRes.Cycles))
+	fmt.Println("\nThe two accelerators perform almost identically: the predictor")
+	fmt.Println("recurrence fixes RecMII, so the initiation interval — and the")
+	fmt.Println("throughput — cannot improve with more function units. Compare")
+	fmt.Println("examples/idct, where the loop is resource-bound instead.")
+}

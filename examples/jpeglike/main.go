@@ -1,0 +1,147 @@
+// jpeglike: a three-stage mini-encoder built from separate compiled
+// kernels — color conversion, an 8-point transform pass, and quantization
+// — run back to back over one memory, the way a real codec strings its
+// hot loops together. Each stage is its own annotated binary; the VM
+// translates each loop once and reuses the translation for every
+// subsequent block (code-cache hits), and the whole-application speedup
+// lands between the per-kernel peaks and Amdahl's limit set by the scalar
+// glue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veal"
+)
+
+const (
+	pixels  = 4096
+	rBase   = 0x01000
+	gBase   = 0x11000
+	bBase   = 0x21000
+	yBase   = 0x31000
+	cbBase  = 0x41000
+	tBase   = 0x51000
+	qBase   = 0x61000
+	qFactor = 13
+)
+
+func colorStage() *veal.Loop {
+	b := veal.NewLoop("rgb2ycc")
+	r := b.LoadStream("r", 1)
+	g := b.LoadStream("g", 1)
+	bl := b.LoadStream("b", 1)
+	y := b.ShrA(b.Add(b.Add(b.Mul(r, b.Const(19595)), b.Mul(g, b.Const(38470))),
+		b.Mul(bl, b.Const(7471))), b.Const(16))
+	cb := b.Add(b.ShrA(b.Sub(b.Mul(bl, b.Const(32768)),
+		b.Add(b.Mul(r, b.Const(11056)), b.Mul(g, b.Const(21712)))), b.Const(16)), b.Const(128))
+	b.StoreStream("y", 1, y)
+	b.StoreStream("cb", 1, cb)
+	loop, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return loop
+}
+
+func transformStage() *veal.Loop {
+	b := veal.NewLoop("butterfly8")
+	x0 := b.LoadStreamAt("y", 0, 8)
+	x1 := b.LoadStreamAt("y", 1, 8)
+	x2 := b.LoadStreamAt("y", 2, 8)
+	x3 := b.LoadStreamAt("y", 3, 8)
+	s0 := b.Add(x0, x3)
+	s1 := b.Add(x1, x2)
+	d0 := b.Sub(x0, x3)
+	d1 := b.Sub(x1, x2)
+	b.StoreStreamAt("t", 0, 8, b.Add(s0, s1))
+	b.StoreStreamAt("t", 1, 8, b.Sub(s0, s1))
+	b.StoreStreamAt("t", 2, 8, b.Add(b.Mul(d0, b.Const(181)), b.Mul(d1, b.Const(75))))
+	b.StoreStreamAt("t", 3, 8, b.Sub(b.Mul(d0, b.Const(75)), b.Mul(d1, b.Const(181))))
+	loop, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return loop
+}
+
+func quantStage() *veal.Loop {
+	b := veal.NewLoop("quant")
+	t := b.LoadStream("t", 1)
+	q := b.Param("q")
+	v := b.Div(t, q)
+	lo := b.CmpLT(v, b.Const(-1024))
+	hi := b.CmpGT(v, b.Const(1023))
+	v = b.Select(lo, b.Const(-1024), v)
+	v = b.Select(hi, b.Const(1023), v)
+	b.StoreStream("out", 1, v)
+	loop, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return loop
+}
+
+type stage struct {
+	bin    *veal.Binary
+	params map[string]uint64
+	trip   int64
+}
+
+func main() {
+	stages := []stage{
+		{mustCompile(colorStage()),
+			map[string]uint64{"r": rBase, "g": gBase, "b": bBase, "y": yBase, "cb": cbBase},
+			pixels},
+		{mustCompile(transformStage()),
+			map[string]uint64{"y": yBase, "t": tBase},
+			pixels / 8},
+		{mustCompile(quantStage()),
+			map[string]uint64{"t": tBase, "q": qFactor, "out": qBase},
+			pixels / 2},
+	}
+
+	seedMem := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < pixels; i++ {
+			mem.Store(rBase+i, uint64(i*3%256))
+			mem.Store(gBase+i, uint64(i*7%256))
+			mem.Store(bBase+i, uint64(i*11%256))
+		}
+		return mem
+	}
+
+	run := func(name string, accel *veal.Accelerator) int64 {
+		sys := veal.NewSystem(veal.SystemConfig{
+			CPU: veal.BaselineCPU(), Accel: accel, Policy: veal.Hybrid,
+		})
+		mem := seedMem()
+		total := int64(0)
+		for i, st := range stages {
+			res, err := sys.Run(st.bin, st.params, st.trip, mem)
+			if err != nil {
+				log.Fatalf("stage %d: %v", i, err)
+			}
+			total += res.Cycles
+		}
+		fmt.Printf("%-22s %9d cycles   sample q[0..3] = %d %d %d %d\n",
+			name, total,
+			int64(mem.Load(qBase)), int64(mem.Load(qBase+1)),
+			int64(mem.Load(qBase+2)), int64(mem.Load(qBase+3)))
+		return total
+	}
+
+	scalar := run("scalar pipeline", nil)
+	accel := run("accelerated pipeline", veal.ProposedAccelerator())
+	fmt.Printf("\nwhole-application speedup: %.2fx over the scalar core\n",
+		float64(scalar)/float64(accel))
+}
+
+func mustCompile(l *veal.Loop) *veal.Binary {
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return bin
+}

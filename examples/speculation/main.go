@@ -1,0 +1,82 @@
+// Speculation: accelerating while-loops — the extension the paper leaves
+// on the table. Figure 2 shows media/FP applications dominated by counted
+// loops, but a slice of every application (and most of SPECint) lives in
+// while-shaped loops with data-dependent exits, which the paper's design
+// deliberately rejects ("we chose to preclude them from this study").
+//
+// This example builds a memchr-style scan and runs the same binary on:
+//
+//  1. a plain scalar core;
+//  2. the proposed system as published (the loop is classified
+//     "speculation-support" and falls back to the scalar core);
+//  3. the proposed system with the speculation extension enabled: the VM
+//     runs the loop in speculative chunks, stores buffered, scanning the
+//     exit condition and committing the exact prefix.
+//
+// Results are identical in all three; only the third is fast.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"veal"
+)
+
+func buildScan() (*veal.Loop, error) {
+	b := veal.NewLoop("scan")
+	x := b.LoadStream("x", 1)
+	key := b.Param("key")
+	h := b.Xor(b.Mul(x, b.Const(31)), b.ShrL(x, b.Const(4)))
+	sum := b.Add(h, h)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "sum0"))
+	b.ExitWhen(b.CmpEQ(x, key))
+	b.LiveOut("sum", sum)
+	return b.Build()
+}
+
+func main() {
+	loop, err := buildScan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := veal.Compile(loop, veal.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const bound, keyAt, xBase = 16384, 13000, 0x1000
+	params := map[string]uint64{"x": xBase, "key": 999_999, "sum0": 0}
+	seedMem := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < bound; i++ {
+			mem.Store(xBase+i, uint64(i*7%1000))
+		}
+		mem.Store(xBase+keyAt, 999_999)
+		return mem
+	}
+
+	run := func(name string, accel *veal.Accelerator, spec bool) *veal.Result {
+		sys := veal.NewSystem(veal.SystemConfig{
+			CPU: veal.BaselineCPU(), Accel: accel, Policy: veal.Hybrid,
+			SpeculationSupport: spec,
+		})
+		res, err := sys.Run(bin, params, bound, seedMem())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %9d cycles  launches=%d  sum=%#x\n",
+			name, res.Cycles, res.Launches, res.LiveOuts["sum"])
+		return res
+	}
+
+	scalar := run("scalar core", nil, false)
+	run("proposed system (paper design)", veal.ProposedAccelerator(), false)
+	spec := run("proposed system + speculation", veal.ProposedAccelerator(), true)
+
+	fmt.Printf("\nspeculation speedup on the scan: %.2fx\n",
+		float64(scalar.Cycles)/float64(spec.Cycles))
+	fmt.Println("(the key sits at index 13000 of 16384; the VM speculates 128-")
+	fmt.Println("iteration chunks, wastes at most one chunk of overshoot, and")
+	fmt.Println("resumes the scalar core at the break target with exact state)")
+}

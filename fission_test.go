@@ -1,0 +1,198 @@
+package veal_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"veal"
+	"veal/internal/workloads"
+)
+
+// TestCompileFissionedStencil27 is the end-to-end fission story: a
+// 28-load-stream 3D stencil cannot map onto the proposed accelerator, but
+// compiling it with stream limits fissions it into a pipeline of loops
+// (communicating through scratch streams) that the VM accelerates one by
+// one — with results identical to the scalar run of the unfissioned
+// binary.
+func TestCompileFissionedStencil27(t *testing.T) {
+	loop := workloads.Stencil27()
+
+	whole, err := veal.Compile(loop, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slice budget leaves headroom below the accelerator's 16 streams:
+	// a 16-load phase would also need more than the 16 registers the
+	// one-to-one operand mapping has available.
+	fissioned, err := veal.Compile(loop, veal.CompileOptions{
+		MaxLoadStreams:  12,
+		MaxStoreStreams: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fissioned.Heads) < 2 {
+		t.Fatalf("expected multiple loops after fission, got heads %v", fissioned.Heads)
+	}
+
+	const trip = 512
+	params := map[string]uint64{}
+	mem := veal.NewMemory()
+	params["grid"] = 10 << 16
+	for w := int64(-80); w <= trip+80; w++ {
+		mem.Store(int64(params["grid"])+w, math.Float64bits(float64(w%97)/16))
+	}
+	params["rhs"] = 30 << 16
+	for w := int64(0); w <= trip; w++ {
+		mem.Store(int64(params["rhs"])+w, math.Float64bits(float64(w)))
+	}
+	params["out"] = 40 << 16
+	params["norm"] = 41 << 16
+	for i, c := range []float64{-2.0, 0.5, 0.25, 0.125} {
+		params[fmt.Sprintf("a%d", i)] = math.Float64bits(c)
+	}
+
+	// Ground truth: the unfissioned binary on a scalar core.
+	scalarSys := veal.NewSystem(veal.SystemConfig{CPU: veal.BaselineCPU()})
+	refMem := mem.Clone()
+	refRes, err := scalarSys.Run(whole, params, trip, refMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The unfissioned binary cannot be accelerated (28 load streams).
+	accelSys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	m1 := mem.Clone()
+	r1, err := accelSys.Run(whole, params, trip, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Launches != 0 {
+		t.Errorf("28-stream loop was accelerated (launches=%d)", r1.Launches)
+	}
+
+	// The fissioned binary needs scratch buffers for its communication
+	// streams, then accelerates every slice.
+	fparams := map[string]uint64{}
+	for k, v := range params {
+		fparams[k] = v
+	}
+	scratchCount := 0
+	for _, name := range fissioned.ParamNames {
+		if len(name) > 9 && name[:9] == "__fission" {
+			fparams[name] = uint64(0x4000_0000) + uint64(scratchCount)<<16
+			scratchCount++
+		}
+	}
+	if scratchCount == 0 {
+		t.Fatal("fissioned binary has no communication streams")
+	}
+	sys2 := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	m2 := mem.Clone()
+	r2, err := sys2.Run(fissioned, fparams, trip, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r2.Launches) != len(fissioned.Heads) {
+		t.Errorf("launches = %d, want %d (one per slice)", r2.Launches, len(fissioned.Heads))
+	}
+
+	// Outputs must match the reference exactly (scratch regions excluded).
+	for _, outName := range []string{"out", "norm"} {
+		base := int64(params[outName])
+		for w := int64(0); w < trip; w++ {
+			if refMem.Load(base+w) != m2.Load(base+w) {
+				t.Fatalf("%s[%d] differs: %x vs %x",
+					outName, w, m2.Load(base+w), refMem.Load(base+w))
+			}
+		}
+	}
+
+	// And the accelerated fissioned run must beat the scalar run even
+	// with its extra memory traffic.
+	if r2.Cycles >= refRes.Cycles {
+		t.Errorf("fissioned accelerated run (%d cycles) not faster than scalar (%d)",
+			r2.Cycles, refRes.Cycles)
+	}
+}
+
+// TestFissionMixedPlainAndPhasedSlices pins the register-convention bug
+// where a plain slice (no scratch streams, narrow parameter space) ran
+// before phased slices (wider space with scratch bases): the narrow
+// slice's lowering hoisted integer constants into the registers the wide
+// slices use for their scratch parameters, silently corrupting the
+// pipeline. The compiler now widens every slice to one shared space.
+func TestFissionMixedPlainAndPhasedSlices(t *testing.T) {
+	b := veal.NewLoop("mixed")
+	x := b.LoadStream("x", 1)
+	// Store 1: a tiny slice that fits any budget and hoists a constant.
+	b.StoreStream("y", 1, b.Mul(x, b.Const(3)))
+	// Store 2: a wide reduction chain that must split into phases.
+	sum := x
+	for i := 0; i < 7; i++ {
+		sum = b.Add(sum, b.Mul(b.LoadStream(fmt.Sprintf("v%d", i), 1), b.Const(int64(i+2))))
+	}
+	b.StoreStream("z", 1, sum)
+	loop, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin, err := veal.Compile(loop, veal.CompileOptions{
+		MaxLoadStreams: 3, MaxStoreStreams: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.Heads) < 3 {
+		t.Fatalf("heads = %v, want a plain slice plus >=2 phases", bin.Heads)
+	}
+
+	const trip = 40
+	params := map[string]uint64{"x": 0x1_0000, "y": 0x2_0000, "z": 0x3_0000}
+	for i := 0; i < 7; i++ {
+		params[fmt.Sprintf("v%d", i)] = uint64(0x4_0000 + i<<16)
+	}
+	scratch := 0
+	for _, name := range bin.ParamNames {
+		if _, ok := params[name]; !ok {
+			params[name] = uint64(0x4000_0000) + uint64(scratch)<<16
+			scratch++
+		}
+	}
+	if scratch == 0 {
+		t.Fatal("no scratch streams; the phased split did not happen")
+	}
+	mem := veal.NewMemory()
+	for w := int64(0); w <= trip; w++ {
+		mem.Store(0x1_0000+w, uint64(w*5+1))
+		for i := int64(0); i < 7; i++ {
+			mem.Store(0x4_0000+i<<16+w, uint64(w+i*7+2))
+		}
+	}
+
+	sys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	if _, err := sys.Run(bin, params, trip, mem); err != nil {
+		t.Fatal(err)
+	}
+	for w := int64(0); w < trip; w++ {
+		xw := uint64(w*5 + 1)
+		if got, want := mem.Load(0x2_0000+w), xw*3; got != want {
+			t.Fatalf("y[%d] = %d, want %d (constant clobbered a parameter?)", w, got, want)
+		}
+		wantZ := xw
+		for i := int64(0); i < 7; i++ {
+			wantZ += uint64(w+i*7+2) * uint64(i+2)
+		}
+		if got := mem.Load(0x3_0000 + w); got != wantZ {
+			t.Fatalf("z[%d] = %d, want %d", w, got, wantZ)
+		}
+	}
+}

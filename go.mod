@@ -1,0 +1,3 @@
+module veal
+
+go 1.22

@@ -1,0 +1,292 @@
+// Package accel simulates the VEAL loop accelerator executing a modulo
+// schedule: address generators stream operands from memory, function units
+// fire in the kernel rows the scheduler assigned, loop-carried values flow
+// through the register file, and scalar results land in the memory-mapped
+// register file for the host to collect.
+//
+// The simulator is both functional and timed. Functionally it must produce
+// bit-identical memory contents and live-out values to the sequential
+// reference executor (ir.Execute) — the repository-wide correctness
+// invariant. Timing follows the paper's execution model: a fixed
+// bus-latency setup that copies live-ins and control into the accelerator,
+// a software pipeline that starts one iteration every II cycles and spans
+// SC stages, and a drain that copies live-outs back.
+package accel
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/modsched"
+)
+
+// Result summarizes one accelerator invocation.
+type Result struct {
+	// Cycles is the end-to-end cost including bus setup and drain.
+	Cycles int64
+	// ComputeCycles is the pipeline portion only.
+	ComputeCycles int64
+	// LiveOuts holds the scalar results by name.
+	LiveOuts map[string]uint64
+}
+
+// SetupCycles models transferring live-in scalars plus the loop control
+// into the accelerator over the system bus, one word per cycle after the
+// fixed bus latency. Control is sparsely encoded: one descriptor per
+// scheduled unit and per stream plus a header per kernel row, so the cost
+// tracks the loop, not the machine width.
+func SetupCycles(la *arch.LA, l *ir.Loop, s *modsched.Schedule) int64 {
+	ctrl := int64(s.II) + int64(len(s.Graph.Units)) + int64(len(l.Streams))
+	return int64(la.BusLatency) + int64(l.NumParams) + ctrl
+}
+
+// DrainCycles models reading the scalar live-outs back over the bus.
+func DrainCycles(la *arch.LA, l *ir.Loop) int64 {
+	return int64(la.BusLatency) + int64(len(l.LiveOuts))
+}
+
+// PipelineCycles is the analytic software-pipeline length for a trip
+// count: the kernel completes an iteration every effective-II cycles
+// after a prologue of SC-1 stages plus the FIFO fill time, and drains the
+// deepest function unit at the end. The effective II accounts for memory
+// latency the FIFOs cannot hide (arch.LA.StallII): this is the paper's
+// decoupled-streaming story made quantitative.
+func PipelineCycles(la *arch.LA, s *modsched.Schedule, trip int64) int64 {
+	if trip <= 0 {
+		return 0
+	}
+	maxEnd := 0
+	for u := range s.Graph.Units {
+		if e := s.Time[u] + s.Graph.Units[u].Latency; e > maxEnd {
+			maxEnd = e
+		}
+	}
+	ii := int64(s.II)
+	fill := int64(0)
+	if s.Graph.Loop.NumLoadStreams() > 0 {
+		if st := int64(la.StallII()); st > ii {
+			ii = st
+		}
+		fill = int64(la.MemLatency)
+	}
+	return fill + (trip-1)*ii + int64(maxEnd)
+}
+
+// EstimateInvocation is the analytic total for one invocation, used when
+// extrapolating sampled executions to full trip counts.
+func EstimateInvocation(la *arch.LA, l *ir.Loop, s *modsched.Schedule, trip int64) int64 {
+	return SetupCycles(la, l, s) + PipelineCycles(la, s, trip) + DrainCycles(la, l)
+}
+
+// Execute runs the schedule on the accelerator simulator. The caller is
+// responsible for having verified stream disjointness (the VM's launch
+// check); Execute itself faithfully performs loads and stores at their
+// scheduled cycles.
+func Execute(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, mem ir.Memory) (*Result, error) {
+	res, _, err := executeTraced(la, s, b, mem, -1)
+	return res, err
+}
+
+// ExecuteSpeculative runs a chunk of b.Trip iterations while recording the
+// loop's side-exit condition (Loop.Exit), which the hardware evaluates
+// like any other node. It returns the first iteration whose condition
+// fired, or -1. The caller supplies scratch memory (speculative stores are
+// buffered in hardware; here the scratch clone plays that role) and, on an
+// exit, commits by re-running the exact prefix on real memory.
+func ExecuteSpeculative(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, scratch ir.Memory) (*Result, int64, error) {
+	l := s.Graph.Loop
+	if !l.HasExit() {
+		return nil, -1, fmt.Errorf("accel: loop %q has no side-exit condition", l.Name)
+	}
+	res, trace, err := executeTraced(la, s, b, scratch, l.ExitNode())
+	if err != nil {
+		return nil, -1, err
+	}
+	for i, v := range trace {
+		if v != 0 {
+			return res, int64(i), nil
+		}
+	}
+	return res, -1, nil
+}
+
+// executeTraced is the simulator core; track >= 0 records that node's
+// per-iteration values.
+func executeTraced(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, mem ir.Memory, track int) (*Result, []uint64, error) {
+	g := s.Graph
+	l := g.Loop
+	if err := b.Validate(l); err != nil {
+		return nil, nil, err
+	}
+	if err := s.Validate(la); err != nil {
+		return nil, nil, err
+	}
+	var trace []uint64
+	if track >= 0 {
+		trace = make([]uint64, b.Trip)
+	}
+
+	res := &Result{LiveOuts: make(map[string]uint64, len(l.LiveOuts))}
+	if b.Trip == 0 {
+		for _, lo := range l.LiveOuts {
+			res.LiveOuts[lo.Name] = liveOutFallback(l, lo, b, lo.Dist)
+		}
+		res.Cycles = SetupCycles(la, l, s) + DrainCycles(la, l)
+		return res, trace, nil
+	}
+
+	// Value history ring buffers, deep enough that a value version is not
+	// overwritten before its last cross-iteration reader under pipeline
+	// overlap (max distance + stage span + slack).
+	depth := int64(l.MaxDist() + s.SC + 2)
+	vals := make([][]uint64, len(l.Nodes))
+	for i := range vals {
+		vals[i] = make([]uint64, depth)
+	}
+
+	read := func(a ir.Operand, iter int64) uint64 {
+		src := iter - int64(a.Dist)
+		if src < 0 {
+			return b.Params[l.Nodes[a.Node].Init[-src-1]]
+		}
+		n := l.Nodes[a.Node]
+		switch n.Op {
+		case ir.OpConst:
+			return n.Imm
+		case ir.OpParam:
+			return b.Params[n.Param]
+		case ir.OpIndVar:
+			return uint64(src)
+		}
+		return vals[a.Node][src%depth]
+	}
+
+	// Topological order of nodes within each unit (relevant for CCA
+	// groups, whose internal dataflow executes combinationally).
+	topoIdx := make(map[int]int, len(l.Nodes))
+	for i, id := range l.TopoOrder() {
+		topoIdx[id] = i
+	}
+
+	execUnit := func(u int, iter int64) {
+		unit := &g.Units[u]
+		nodes := unit.Nodes
+		if len(nodes) > 1 {
+			// Sort the group's nodes by global topological index once per
+			// firing; groups are tiny (<= CCA MaxOps).
+			nodes = append([]int(nil), unit.Nodes...)
+			for i := 1; i < len(nodes); i++ {
+				for j := i; j > 0 && topoIdx[nodes[j]] < topoIdx[nodes[j-1]]; j-- {
+					nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+				}
+			}
+		}
+		var args [3]uint64
+		for _, id := range nodes {
+			n := l.Nodes[id]
+			var v uint64
+			switch n.Op {
+			case ir.OpLoad:
+				v = mem.Load(l.Streams[n.Stream].AddrAt(b.Params, iter))
+			case ir.OpStore:
+				v = read(n.Args[0], iter)
+				mem.Store(l.Streams[n.Stream].AddrAt(b.Params, iter), v)
+			default:
+				for i, a := range n.Args {
+					args[i] = read(a, iter)
+				}
+				v = ir.Eval(n.Op, args[:len(n.Args)])
+			}
+			vals[id][iter%depth] = v
+			if id == track {
+				trace[iter] = v
+			}
+		}
+	}
+
+	// Event-driven kernel execution: unit u fires for iteration i at
+	// absolute cycle Time[u] + i*II.
+	lastStart := int64(0)
+	for u := range g.Units {
+		if t := int64(s.Time[u]) + (b.Trip-1)*int64(s.II); t > lastStart {
+			lastStart = t
+		}
+	}
+	// Bucket units by kernel row for O(1) per-cycle dispatch.
+	byRow := make([][]int, s.II)
+	for u := range g.Units {
+		byRow[s.Cycle(u)] = append(byRow[s.Cycle(u)], u)
+	}
+	for c := int64(0); c <= lastStart; c++ {
+		for _, u := range byRow[c%int64(s.II)] {
+			iter := (c - int64(s.Time[u])) / int64(s.II)
+			if c < int64(s.Time[u]) || iter >= b.Trip {
+				continue
+			}
+			execUnit(u, iter)
+		}
+	}
+
+	for _, lo := range l.LiveOuts {
+		n := l.Nodes[lo.Node]
+		idx := b.Trip - 1 - int64(lo.Dist)
+		if idx < 0 {
+			res.LiveOuts[lo.Name] = liveOutFallback(l, lo, b, int(-idx-1))
+			continue
+		}
+		switch n.Op {
+		case ir.OpConst:
+			res.LiveOuts[lo.Name] = n.Imm
+		case ir.OpParam:
+			res.LiveOuts[lo.Name] = b.Params[n.Param]
+		case ir.OpIndVar:
+			res.LiveOuts[lo.Name] = uint64(idx)
+		default:
+			res.LiveOuts[lo.Name] = vals[lo.Node][idx%depth]
+		}
+	}
+
+	res.ComputeCycles = PipelineCycles(la, s, b.Trip)
+	res.Cycles = SetupCycles(la, l, s) + res.ComputeCycles + DrainCycles(la, l)
+	return res, trace, nil
+}
+
+// liveOutFallback resolves a live-out read landing before iteration zero:
+// the live-out's own init chain, then the node's, then zero.
+func liveOutFallback(l *ir.Loop, lo ir.LiveOut, b *ir.Bindings, k int) uint64 {
+	if k < len(lo.Init) {
+		return b.Params[lo.Init[k]]
+	}
+	if n := l.Nodes[lo.Node]; k < len(n.Init) {
+		return b.Params[n.Init[k]]
+	}
+	return 0
+}
+
+// CheckEquivalence executes the loop both sequentially and on the
+// accelerator against clones of the given memory and reports any
+// divergence in live-outs or memory contents. It is the correctness oracle
+// used across the test suite.
+func CheckEquivalence(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, mem *ir.PagedMemory) error {
+	l := s.Graph.Loop
+	seqMem := mem.Clone()
+	accMem := mem.Clone()
+	want, err := ir.Execute(l, b, seqMem)
+	if err != nil {
+		return fmt.Errorf("sequential execution: %w", err)
+	}
+	got, err := Execute(la, s, b, accMem)
+	if err != nil {
+		return fmt.Errorf("accelerator execution: %w", err)
+	}
+	for name, w := range want.LiveOuts {
+		if g := got.LiveOuts[name]; g != w {
+			return fmt.Errorf("live-out %q: accelerator %#x, sequential %#x", name, g, w)
+		}
+	}
+	if !seqMem.Equal(accMem) {
+		return fmt.Errorf("memory contents diverge after loop %q", l.Name)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package accel
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/modsched"
+)
+
+// buildScanLoop makes a while-shaped loop whose exit fires when the input
+// equals a key.
+func buildScanLoop(t testing.TB) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("scan")
+	x := b.LoadStream("x", 1)
+	key := b.Param("key")
+	sum := b.Add(x, x)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "s0"))
+	b.ExitWhen(b.CmpEQ(x, key))
+	b.LiveOut("sum", sum)
+	return b.MustBuild()
+}
+
+func scheduleLoop(t testing.TB, l *ir.Loop, la *arch.LA) *modsched.Schedule {
+	t.Helper()
+	g, err := modsched.BuildGraph(l, nil, la.CCA, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestExecuteSpeculativeMatchesReference checks the speculation oracle:
+// the exit iteration the tracked accelerator run reports must equal the
+// reference executor's, across random key positions.
+func TestExecuteSpeculativeMatchesReference(t *testing.T) {
+	l := buildScanLoop(t)
+	la := arch.Proposed()
+	s := scheduleLoop(t, l, la)
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		trip := int64(1 + rng.Intn(60))
+		keyAt := int64(-1)
+		if trial%4 != 0 {
+			keyAt = int64(rng.Intn(int(trip)))
+		}
+		mem := ir.NewPagedMemory()
+		const base, key = 0x100, 424242
+		for i := int64(0); i < trip; i++ {
+			mem.Store(base+i, uint64(i)+7)
+		}
+		if keyAt >= 0 {
+			mem.Store(base+keyAt, key)
+		}
+		params := make([]uint64, l.NumParams)
+		params[0] = base
+		params[1] = key
+		bind := &ir.Bindings{Params: params, Trip: trip}
+
+		ref, err := ir.Execute(l, bind, mem.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, exitIter, err := ExecuteSpeculative(la, s, bind, mem.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Exited {
+			if exitIter != ref.Iterations-1 {
+				t.Fatalf("trial %d: exitIter=%d, reference exited at %d",
+					trial, exitIter, ref.Iterations-1)
+			}
+		} else if exitIter != -1 {
+			t.Fatalf("trial %d: spurious exit at %d", trial, exitIter)
+		}
+
+		// Committing the reported prefix must reproduce the reference
+		// memory and live-outs exactly.
+		commit := trip
+		if exitIter >= 0 {
+			commit = exitIter + 1
+		}
+		cm := mem.Clone()
+		cb := *bind
+		cb.Trip = commit
+		out, err := Execute(la, s, &cb, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refMem := mem.Clone()
+		if _, err := ir.Execute(l, bind, refMem); err != nil {
+			t.Fatal(err)
+		}
+		if !cm.Equal(refMem) {
+			t.Fatalf("trial %d: committed memory diverges", trial)
+		}
+		if out.LiveOuts["sum"] != ref.LiveOuts["sum"] {
+			t.Fatalf("trial %d: sum %d != %d", trial, out.LiveOuts["sum"], ref.LiveOuts["sum"])
+		}
+	}
+}
+
+func TestExecuteSpeculativeRequiresExit(t *testing.T) {
+	b := ir.NewBuilder("plain")
+	x := b.LoadStream("x", 1)
+	b.StoreStream("out", 1, b.Add(x, b.Const(1)))
+	l := b.MustBuild()
+	la := arch.Proposed()
+	s := scheduleLoop(t, l, la)
+	params := make([]uint64, l.NumParams)
+	params[1] = 1 << 20
+	if _, _, err := ExecuteSpeculative(la, s, &ir.Bindings{Params: params, Trip: 4}, ir.NewPagedMemory()); err == nil {
+		t.Fatal("accepted a loop without an exit condition")
+	}
+}

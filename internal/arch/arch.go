@@ -1,0 +1,218 @@
+// Package arch holds the machine descriptions for both sides of a VEAL
+// system: loop-accelerator (LA) configurations following the paper's
+// architecture template, and the in-order scalar processors used as the
+// baseline and as the 2-/4-issue comparison points.
+//
+// All timing in this repository is expressed in cycles of a single shared
+// clock, as in the paper (the accelerator and core communicate over a
+// 10-cycle system bus).
+package arch
+
+import (
+	"fmt"
+
+	"veal/internal/ir"
+)
+
+// CCAConfig describes a configurable compute accelerator: a combinational
+// structure executing a subgraph of simple integer operations atomically
+// (Clark et al., ISCA 2005, as adopted by VEAL §3.1).
+type CCAConfig struct {
+	// Rows is the depth of the array. Odd rows (0-indexed: rows 0 and 2)
+	// execute arithmetic and logical operations; even rows (1 and 3)
+	// execute only bitwise/logical operations.
+	Rows int
+	// Inputs and Outputs bound the live-ins/live-outs of a mapped subgraph.
+	Inputs, Outputs int
+	// MaxOps bounds the subgraph size.
+	MaxOps int
+	// Latency is the cycles a CCA operation occupies (2 in the paper).
+	Latency int
+}
+
+// DefaultCCA is the 4-input, 2-output, 15-op, 4-row, 2-cycle CCA from the
+// paper.
+func DefaultCCA() CCAConfig {
+	return CCAConfig{Rows: 4, Inputs: 4, Outputs: 2, MaxOps: 15, Latency: 2}
+}
+
+// RowArith reports whether the given 0-indexed row supports arithmetic
+// (add/subtract/compare) in addition to bitwise logic. In the paper's CCA
+// the first and third rows do ("the first and third row can execute simple
+// arithmetic ... and the second and fourth rows execute only bitwise ops").
+func (c CCAConfig) RowArith(row int) bool { return row%2 == 0 }
+
+// LA describes a loop-accelerator instance built from the paper's template
+// (Figure 1): function units, a small register file, streaming address
+// generators, and a modulo control store of depth MaxII.
+type LA struct {
+	Name string
+
+	IntUnits int // integer ALUs (also execute shifts and multiplies)
+	FPUnits  int // double-precision floating-point units (fully pipelined)
+	CCAs     int // number of CCA instances (0 = none)
+	CCA      CCAConfig
+
+	IntRegs int // integer registers for live-ins/outs, constants, temporaries
+	FPRegs  int // floating-point registers
+
+	LoadStreams  int // maximum distinct load reference patterns per loop
+	StoreStreams int
+	LoadAGs      int // address generators time-multiplexed across load streams
+	StoreAGs     int
+
+	MaxII int // control-store depth: loops needing a larger II are rejected
+
+	// BusLatency is the core<->LA communication cost in cycles for each
+	// transfer batch (the paper uses a fixed 10-cycle system bus).
+	BusLatency int
+
+	// MemLatency is the cycles from an address generator issuing a load to
+	// the data entering its FIFO. The paper's reason #3 for LA efficiency
+	// is that streaming decouples this latency from the computation: with
+	// deep enough FIFOs it is fully hidden (see FIFODepth).
+	MemLatency int
+	// FIFODepth is the per-stream buffering between the address generators
+	// and the function units. Steady-state latency hiding requires
+	// FIFODepth*II >= MemLatency; shallower FIFOs throttle the kernel to
+	// an effective II of ceil(MemLatency/FIFODepth).
+	FIFODepth int
+}
+
+// Proposed returns the generalized LA design of §3.2: 1 CCA, 2 integer
+// units, 2 FP units, 16 registers, 16 load / 8 store streams on 4 / 2
+// address generators, max II 16.
+func Proposed() *LA {
+	return &LA{
+		Name:     "veal-proposed",
+		IntUnits: 2, FPUnits: 2, CCAs: 1, CCA: DefaultCCA(),
+		IntRegs: 16, FPRegs: 16,
+		LoadStreams: 16, StoreStreams: 8, LoadAGs: 4, StoreAGs: 2,
+		MaxII: 16, BusLatency: 10,
+		MemLatency: 10, FIFODepth: 16,
+	}
+}
+
+// Infinite returns the hypothetical infinite-resource LA used as the
+// design-space-exploration baseline (§3.1).
+func Infinite() *LA {
+	// Large enough that no studied loop is constrained, small enough that
+	// II escalation and reservation tables stay cheap.
+	const big = 1 << 12
+	return &LA{
+		Name:     "infinite",
+		IntUnits: big, FPUnits: big, CCAs: 0, CCA: DefaultCCA(),
+		IntRegs: big, FPRegs: big,
+		LoadStreams: big, StoreStreams: big, LoadAGs: big, StoreAGs: big,
+		MaxII: big, BusLatency: 10,
+		MemLatency: 10, FIFODepth: big,
+	}
+}
+
+// Validate checks that the configuration is physically sensible.
+func (la *LA) Validate() error {
+	if la.IntUnits < 0 || la.FPUnits < 0 || la.CCAs < 0 {
+		return fmt.Errorf("la %q: negative function unit count", la.Name)
+	}
+	if la.IntUnits+la.FPUnits+la.CCAs == 0 {
+		return fmt.Errorf("la %q: no function units", la.Name)
+	}
+	if la.MaxII < 1 {
+		return fmt.Errorf("la %q: max II %d < 1", la.Name, la.MaxII)
+	}
+	if la.LoadStreams > 0 && la.LoadAGs < 1 {
+		return fmt.Errorf("la %q: load streams without load address generators", la.Name)
+	}
+	if la.StoreStreams > 0 && la.StoreAGs < 1 {
+		return fmt.Errorf("la %q: store streams without store address generators", la.Name)
+	}
+	if la.CCAs > 0 && (la.CCA.Rows < 1 || la.CCA.Inputs < 1 || la.CCA.Outputs < 1 || la.CCA.MaxOps < 1 || la.CCA.Latency < 1) {
+		return fmt.Errorf("la %q: CCA present but config degenerate: %+v", la.Name, la.CCA)
+	}
+	if la.MemLatency > 0 && la.FIFODepth < 1 {
+		return fmt.Errorf("la %q: memory latency without FIFO buffering", la.Name)
+	}
+	return nil
+}
+
+// StallII is the lower bound the memory system imposes on the effective
+// initiation interval: a stream consumes one element per kernel iteration,
+// so with FIFODepth elements of buffering the accelerator can tolerate
+// MemLatency <= FIFODepth*II without stalling; beyond that the kernel
+// throttles to ceil(MemLatency/FIFODepth).
+func (la *LA) StallII() int {
+	if la.MemLatency <= 0 || la.FIFODepth <= 0 {
+		return 1
+	}
+	return (la.MemLatency + la.FIFODepth - 1) / la.FIFODepth
+}
+
+// Clone returns a copy (for DSE parameter sweeps).
+func (la *LA) Clone() *LA {
+	c := *la
+	return &c
+}
+
+// CPU describes an in-order scalar processor.
+type CPU struct {
+	Name       string
+	IssueWidth int
+	// BranchPenalty is the cycles lost on a taken branch.
+	BranchPenalty int
+	// LoadLatency is the load-to-use latency (cache hit).
+	LoadLatency int
+	// AreaMM2 is the die area in a 90nm process, for the cost comparisons.
+	AreaMM2 float64
+}
+
+// ARM11 models the paper's baseline: a single-issue embedded core with an
+// 8-stage pipeline, 4.34 mm^2 in 90 nm.
+func ARM11() *CPU {
+	return &CPU{Name: "arm11", IssueWidth: 1, BranchPenalty: 3, LoadLatency: 2, AreaMM2: 4.34}
+}
+
+// CortexA8 models the dual-issue comparison point (13-stage, 10.2 mm^2).
+func CortexA8() *CPU {
+	return &CPU{Name: "cortex-a8", IssueWidth: 2, BranchPenalty: 5, LoadLatency: 2, AreaMM2: 10.2}
+}
+
+// Quad models the hypothetical quad-issue Cortex A8 variant with a larger
+// L2 (14.0 mm^2).
+func Quad() *CPU {
+	return &CPU{Name: "quad-issue", IssueWidth: 4, BranchPenalty: 5, LoadLatency: 2, AreaMM2: 14.0}
+}
+
+// Validate checks CPU sanity.
+func (c *CPU) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("cpu %q: issue width %d", c.Name, c.IssueWidth)
+	}
+	if c.BranchPenalty < 0 || c.LoadLatency < 1 {
+		return fmt.Errorf("cpu %q: bad penalty/latency", c.Name)
+	}
+	return nil
+}
+
+// Latency returns the cycle count of an ir operation on the accelerator's
+// function units. Following Figure 5's conventions: multiplies take 3
+// cycles, everything else integer takes 1; FP operations are pipelined
+// multi-cycle; loads/stores are FIFO accesses (the address generators have
+// already streamed the data).
+func Latency(op ir.Op) int {
+	switch op {
+	case ir.OpMul:
+		return 3
+	case ir.OpDiv, ir.OpRem:
+		return 8
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMin, ir.OpFMax, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpEQ, ir.OpFNeg, ir.OpFAbs, ir.OpIToF, ir.OpFToI:
+		return 4
+	case ir.OpFMul:
+		return 5
+	case ir.OpFDiv, ir.OpFSqrt:
+		return 12
+	case ir.OpLoad, ir.OpStore:
+		return 1
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,146 @@
+package arch
+
+import (
+	"testing"
+
+	"veal/internal/ir"
+)
+
+func TestProposedMatchesPaper(t *testing.T) {
+	la := Proposed()
+	if err := la.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  int
+		want int
+	}{
+		{"CCAs", la.CCAs, 1},
+		{"IntUnits", la.IntUnits, 2},
+		{"FPUnits", la.FPUnits, 2},
+		{"IntRegs", la.IntRegs, 16},
+		{"FPRegs", la.FPRegs, 16},
+		{"LoadStreams", la.LoadStreams, 16},
+		{"StoreStreams", la.StoreStreams, 8},
+		{"LoadAGs", la.LoadAGs, 4},
+		{"StoreAGs", la.StoreAGs, 2},
+		{"MaxII", la.MaxII, 16},
+		{"BusLatency", la.BusLatency, 10},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestDefaultCCAMatchesPaper(t *testing.T) {
+	c := DefaultCCA()
+	if c.Rows != 4 || c.Inputs != 4 || c.Outputs != 2 || c.MaxOps != 15 || c.Latency != 2 {
+		t.Errorf("DefaultCCA = %+v, want 4 rows / 4 in / 2 out / 15 ops / 2 cycles", c)
+	}
+	// First and third rows arithmetic-capable, second and fourth logic-only.
+	for row, want := range []bool{true, false, true, false} {
+		if got := c.RowArith(row); got != want {
+			t.Errorf("RowArith(%d) = %v, want %v", row, got, want)
+		}
+	}
+}
+
+func TestInfiniteValidatesAndDwarfsProposed(t *testing.T) {
+	inf := Infinite()
+	if err := inf.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	p := Proposed()
+	if inf.IntUnits <= p.IntUnits || inf.MaxII <= p.MaxII || inf.LoadStreams <= p.LoadStreams {
+		t.Error("Infinite config does not dominate the proposed config")
+	}
+}
+
+func TestValidateCatchesDegenerateLA(t *testing.T) {
+	cases := []func(*LA){
+		func(la *LA) { la.IntUnits, la.FPUnits, la.CCAs = 0, 0, 0 },
+		func(la *LA) { la.MaxII = 0 },
+		func(la *LA) { la.LoadAGs = 0 },
+		func(la *LA) { la.StoreAGs = 0 },
+		func(la *LA) { la.CCA.Inputs = 0 },
+		func(la *LA) { la.IntUnits = -1 },
+	}
+	for i, mutate := range cases {
+		la := Proposed()
+		mutate(la)
+		if err := la.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted a degenerate LA", i)
+		}
+	}
+}
+
+func TestCPUConfigs(t *testing.T) {
+	for _, c := range []*CPU{ARM11(), CortexA8(), Quad()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+	}
+	if ARM11().IssueWidth != 1 || CortexA8().IssueWidth != 2 || Quad().IssueWidth != 4 {
+		t.Error("issue widths do not match the paper's comparison points")
+	}
+	// Paper §3.2 die areas.
+	if ARM11().AreaMM2 != 4.34 || CortexA8().AreaMM2 != 10.2 || Quad().AreaMM2 != 14.0 {
+		t.Error("CPU areas do not match §3.2")
+	}
+	bad := &CPU{Name: "bad", IssueWidth: 0}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted zero-width CPU")
+	}
+}
+
+func TestLatencyConventions(t *testing.T) {
+	if Latency(ir.OpMul) != 3 {
+		t.Error("multiply should take 3 cycles (Figure 5)")
+	}
+	if Latency(ir.OpAdd) != 1 || Latency(ir.OpXor) != 1 || Latency(ir.OpSelect) != 1 {
+		t.Error("simple integer ops should take 1 cycle")
+	}
+	if Latency(ir.OpFMul) <= Latency(ir.OpAdd) || Latency(ir.OpFDiv) <= Latency(ir.OpFMul) {
+		t.Error("FP latencies should be long and ordered")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	la := Proposed()
+	c := la.Clone()
+	c.IntUnits = 99
+	if la.IntUnits == 99 {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestStallII(t *testing.T) {
+	cases := []struct {
+		lat, depth, want int
+	}{
+		{0, 16, 1},  // no latency modeled
+		{10, 16, 1}, // hidden
+		{10, 4, 3},  // ceil(10/4)
+		{100, 1, 100},
+		{64, 64, 1},
+		{65, 64, 2},
+	}
+	for _, c := range cases {
+		la := Proposed()
+		la.MemLatency, la.FIFODepth = c.lat, c.depth
+		if got := la.StallII(); got != c.want {
+			t.Errorf("StallII(lat=%d, depth=%d) = %d, want %d", c.lat, c.depth, got, c.want)
+		}
+	}
+}
+
+func TestValidateFIFORule(t *testing.T) {
+	la := Proposed()
+	la.MemLatency, la.FIFODepth = 10, 0
+	if err := la.Validate(); err == nil {
+		t.Error("accepted memory latency without FIFOs")
+	}
+}

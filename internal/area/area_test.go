@@ -1,0 +1,62 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"veal/internal/arch"
+)
+
+func TestProposedLAMatchesPaper(t *testing.T) {
+	la := arch.Proposed()
+	got := LA(la)
+	// §3.2: the proposed design consumes 3.8 mm².
+	if math.Abs(got-3.8) > 0.1 {
+		t.Errorf("proposed LA area = %.3f mm^2, want 3.8 +/- 0.1", got)
+	}
+	// The FP units dominate at 2.38 mm².
+	fp := float64(la.FPUnits) * FPUnitMM2
+	if math.Abs(fp-2.38) > 0.01 {
+		t.Errorf("FP area = %.3f, want 2.38", fp)
+	}
+	if fp < got/2 {
+		t.Errorf("FP units (%.2f) should be the majority of the LA (%.2f)", fp, got)
+	}
+}
+
+func TestSystemAreasMatchPaper(t *testing.T) {
+	la := arch.Proposed()
+	sys := System(arch.ARM11(), la)
+	// §4.3: ARM11 + LA ~ 8.25 mm², vs 10.2 (2-issue) and 14.0 (4-issue).
+	if math.Abs(sys-8.25) > 0.25 {
+		t.Errorf("ARM11+LA = %.3f mm^2, want ~8.25", sys)
+	}
+	if sys >= arch.CortexA8().AreaMM2 {
+		t.Errorf("ARM11+LA (%.2f) should be cheaper than the 2-issue core (%.2f)",
+			sys, arch.CortexA8().AreaMM2)
+	}
+	if System(arch.ARM11(), nil) != arch.ARM11().AreaMM2 {
+		t.Error("nil LA should add nothing")
+	}
+}
+
+func TestAreaMonotoneInResources(t *testing.T) {
+	base := arch.Proposed()
+	grow := []func(*arch.LA){
+		func(la *arch.LA) { la.IntUnits *= 2 },
+		func(la *arch.LA) { la.FPUnits *= 2 },
+		func(la *arch.LA) { la.IntRegs *= 2 },
+		func(la *arch.LA) { la.LoadStreams *= 2 },
+		func(la *arch.LA) { la.MaxII *= 2 },
+		func(la *arch.LA) { la.LoadAGs *= 2 },
+		func(la *arch.LA) { la.CCAs++ },
+	}
+	b := LA(base)
+	for i, g := range grow {
+		la := base.Clone()
+		g(la)
+		if LA(la) <= b {
+			t.Errorf("growth case %d did not increase area", i)
+		}
+	}
+}

@@ -1,0 +1,592 @@
+// Package cca maps dataflow subgraphs onto a configurable compute
+// accelerator (CCA): the combinational array of simple integer operations
+// that VEAL's loop accelerator uses to collapse several RISC operations
+// into one two-cycle instruction (§3.1, §4.1 "CCA Mapping").
+//
+// Optimal subgraph mapping is NP-complete, so — like the paper — this
+// package implements the greedy algorithm: seeds are considered in node
+// order, each seed is grown recursively along dataflow edges while the
+// subgraph stays legal, and a grown subgraph becomes one CCA instruction.
+// Legality covers the CCA's input/output/row/size limits, convexity (the
+// subgraph must be executable atomically), and the recurrence rule from
+// the paper's Figure 5 discussion: a grow step that would lengthen a
+// recurrence cycle (raising RecMII) is rejected.
+package cca
+
+import (
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/vmcost"
+)
+
+// Mapping is the result: each group is one CCA instruction executing the
+// listed ir nodes atomically.
+type Mapping struct {
+	Groups [][]int
+}
+
+// Covered returns the total number of nodes mapped onto the CCA.
+func (m *Mapping) Covered() int {
+	n := 0
+	for _, g := range m.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// Supported reports whether the operation can execute inside a CCA:
+// simple arithmetic (add, subtract, comparison) and bitwise logic. Shifts,
+// multiplies, selects, memory and floating point are excluded.
+func Supported(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpNeg, ir.OpAbs,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpCmpLTU:
+		return true
+	}
+	return false
+}
+
+// arith reports whether the op needs an arithmetic-capable row (adders);
+// pure bitwise ops fit any row.
+func arith(op ir.Op) bool {
+	switch op {
+	case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot:
+		return false
+	}
+	return true
+}
+
+// mapper carries the shared analysis state for one loop.
+type mapper struct {
+	l     *ir.Loop
+	cfg   arch.CCAConfig
+	m     *vmcost.Meter
+	succs [][]ir.Operand
+	// group[n] >= 0 when node n is already mapped.
+	group []int
+	// cyclic marks nodes on some dependence cycle; only these can affect
+	// RecMII, so the recurrence-lengthening check is restricted to them.
+	cyclic []bool
+	// baseRecMII is the loop's RecMII before any mapping; grows may not
+	// exceed it.
+	baseRecMII int
+}
+
+// computeCyclic marks the nodes participating in non-trivial strongly
+// connected components of the full (loop-carried-edge-inclusive)
+// dependence graph.
+func (mp *mapper) computeCyclic() {
+	l := mp.l
+	n := len(l.Nodes)
+	mp.cyclic = make([]bool, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	counter := 0
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+				mp.m.Charge(2)
+			}
+			advanced := false
+			for f.ei < len(mp.succs[v]) {
+				w := mp.succs[v][f.ei].Node
+				f.ei++
+				mp.m.Charge(1)
+				if index[w] == -1 {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				if len(comp) > 1 {
+					for _, w := range comp {
+						mp.cyclic[w] = true
+					}
+				} else {
+					// Self-loop (distance-carried self edge).
+					for _, a := range l.Nodes[comp[0]].Args {
+						if a.Node == comp[0] {
+							mp.cyclic[comp[0]] = true
+						}
+					}
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				pv := frames[len(frames)-1].v
+				if low[v] < low[pv] {
+					low[pv] = low[v]
+				}
+			}
+		}
+	}
+}
+
+// touchesCycle reports whether any group member lies on a dependence
+// cycle; groups that do not cannot change RecMII.
+func (mp *mapper) touchesCycle(grp map[int]bool) bool {
+	for n := range grp {
+		if mp.cyclic[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// Map runs the greedy CCA identification over a loop. The returned groups
+// are disjoint, convex, legal subgraphs in deterministic node order.
+func Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
+	meter.Begin(vmcost.PhaseCCAMap)
+	mp := &mapper{
+		l:     l,
+		cfg:   cfg,
+		m:     meter,
+		succs: l.Succs(),
+		group: make([]int, len(l.Nodes)),
+	}
+	for i := range mp.group {
+		mp.group[i] = -1
+	}
+	mp.computeCyclic()
+	res := &Mapping{}
+	mp.baseRecMII = mp.recMII(res.Groups)
+
+	for seed := range l.Nodes {
+		meter.Charge(2)
+		if mp.group[seed] >= 0 || !Supported(l.Nodes[seed].Op) {
+			continue
+		}
+		grp := mp.grow(seed, res.Groups)
+		if len(grp) < 2 {
+			continue // a singleton gains nothing over an integer unit
+		}
+		sort.Ints(grp)
+		gid := len(res.Groups)
+		res.Groups = append(res.Groups, grp)
+		for _, n := range grp {
+			mp.group[n] = gid
+		}
+		// Committed groups may have shortened a recurrence; later groups
+		// must not undo that (the Figure 5 op 7/10 rule is per-recurrence,
+		// which tracking the current best RecMII enforces).
+		mp.baseRecMII = mp.recMII(res.Groups)
+	}
+	return res
+}
+
+// ValidateGroups filters externally supplied groups (statically identified
+// subgraphs read from binary annotations, Figure 9(b)) down to the ones
+// legal on the given CCA. Illegal groups are dropped, not split — their
+// operations then execute individually on the integer units, exactly the
+// paper's compatibility story for static CCA identification.
+func ValidateGroups(l *ir.Loop, groups [][]int, cfg arch.CCAConfig, meter *vmcost.Meter) [][]int {
+	meter.Begin(vmcost.PhaseCCAMap)
+	mp := &mapper{
+		l:     l,
+		cfg:   cfg,
+		m:     meter,
+		succs: l.Succs(),
+		group: make([]int, len(l.Nodes)),
+	}
+	for i := range mp.group {
+		mp.group[i] = -1
+	}
+	mp.computeCyclic()
+	mp.baseRecMII = mp.recMII(nil)
+	var out [][]int
+	for _, g := range groups {
+		meter.Charge(int64(len(g)) * 2)
+		if len(g) < 2 {
+			continue
+		}
+		grp := make(map[int]bool, len(g))
+		ok := true
+		for _, n := range g {
+			if n < 0 || n >= len(l.Nodes) || grp[n] || mp.group[n] >= 0 ||
+				l.Nodes[n].Op.Class() != ir.ClassInt || !Supported(l.Nodes[n].Op) {
+				ok = false
+				break
+			}
+			grp[n] = true
+		}
+		if !ok || !mp.legal(grp, out) {
+			continue
+		}
+		sorted := keys(grp)
+		gid := len(out)
+		out = append(out, sorted)
+		for _, n := range sorted {
+			mp.group[n] = gid
+		}
+		mp.baseRecMII = mp.recMII(out)
+	}
+	return out
+}
+
+// grow expands a seed along dataflow edges, keeping the subgraph legal.
+func (mp *mapper) grow(seed int, existing [][]int) []int {
+	grp := map[int]bool{seed: true}
+	rejected := map[int]bool{}
+
+	for {
+		cand := mp.frontier(grp, rejected)
+		if len(cand) == 0 {
+			break
+		}
+		grew := false
+		for _, c := range cand {
+			mp.m.Charge(3)
+			grp[c] = true
+			if mp.legal(grp, existing) {
+				grew = true
+				break
+			}
+			delete(grp, c)
+			rejected[c] = true
+		}
+		if !grew {
+			break
+		}
+	}
+	out := make([]int, 0, len(grp))
+	for n := range grp {
+		out = append(out, n)
+	}
+	return out
+}
+
+// frontier lists unmapped, supported neighbours of the group reachable
+// over distance-zero edges, in deterministic order.
+func (mp *mapper) frontier(grp map[int]bool, rejected map[int]bool) []int {
+	seen := map[int]bool{}
+	var out []int
+	consider := func(n int) {
+		mp.m.Charge(1)
+		if n < 0 || grp[n] || rejected[n] || seen[n] {
+			return
+		}
+		if mp.group[n] >= 0 || !Supported(mp.l.Nodes[n].Op) {
+			return
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	for g := range grp {
+		for _, a := range mp.l.Nodes[g].Args {
+			if a.Dist == 0 {
+				consider(a.Node)
+			}
+		}
+		for _, s := range mp.succs[g] {
+			if s.Dist == 0 {
+				consider(s.Node)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// legal checks every CCA constraint for the tentative group.
+func (mp *mapper) legal(grp map[int]bool, existing [][]int) bool {
+	mp.m.Charge(5)
+	if len(grp) > mp.cfg.MaxOps {
+		return false
+	}
+	// No loop-carried edges may be internal: the subgraph executes within
+	// one iteration.
+	for n := range grp {
+		for _, a := range mp.l.Nodes[n].Args {
+			mp.m.Charge(1)
+			if a.Dist > 0 && grp[a.Node] {
+				return false
+			}
+		}
+	}
+	if !mp.ioOK(grp) {
+		return false
+	}
+	if !mp.rowsOK(grp) {
+		return false
+	}
+	if !mp.convex(grp) {
+		return false
+	}
+	// Recurrence rule: only groups touching a dependence cycle can change
+	// RecMII; for those, tentatively apply and recompute over the cyclic
+	// region.
+	if mp.touchesCycle(grp) {
+		tentative := append(existing, keys(grp))
+		if mp.recMII(tentative) > mp.baseRecMII {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ioOK checks the input/output port limits.
+func (mp *mapper) ioOK(grp map[int]bool) bool {
+	liveOut := map[int]bool{}
+	for _, lo := range mp.l.LiveOuts {
+		liveOut[lo.Node] = true
+	}
+	inputs := map[int]bool{}
+	outputs := 0
+	for n := range grp {
+		for _, a := range mp.l.Nodes[n].Args {
+			mp.m.Charge(1)
+			if a.Dist > 0 || !grp[a.Node] {
+				inputs[a.Node] = true
+			}
+		}
+		ext := liveOut[n]
+		for _, s := range mp.succs[n] {
+			mp.m.Charge(1)
+			if s.Dist > 0 || !grp[s.Node] {
+				ext = true
+			}
+		}
+		if ext {
+			outputs++
+		}
+	}
+	return len(inputs) <= mp.cfg.Inputs && outputs <= mp.cfg.Outputs
+}
+
+// rowsOK levelizes the subgraph and checks row capabilities: arithmetic
+// ops may only occupy arithmetic-capable rows, and the deepest op must fit
+// within the array.
+func (mp *mapper) rowsOK(grp map[int]bool) bool {
+	nodes := keys(grp)
+	row := make(map[int]int, len(nodes))
+	// Iterate to fixpoint over the small subgraph (it is acyclic at
+	// distance zero, so |grp| passes suffice).
+	for range nodes {
+		for _, n := range nodes {
+			r := 0
+			for _, a := range mp.l.Nodes[n].Args {
+				mp.m.Charge(1)
+				if a.Dist == 0 && grp[a.Node] {
+					if pr := row[a.Node] + 1; pr > r {
+						r = pr
+					}
+				}
+			}
+			if arith(mp.l.Nodes[n].Op) {
+				for !mp.cfg.RowArith(r) {
+					r++
+				}
+			}
+			row[n] = r
+		}
+	}
+	for _, n := range nodes {
+		if row[n] >= mp.cfg.Rows {
+			return false
+		}
+	}
+	return true
+}
+
+// convex verifies no dataflow path leaves the group and re-enters it: an
+// outside node both reachable from the group and reaching the group over
+// distance-zero edges would have to execute in the middle of the atomic
+// CCA operation.
+func (mp *mapper) convex(grp map[int]bool) bool {
+	n := len(mp.l.Nodes)
+	fromGrp := make([]bool, n)
+	toGrp := make([]bool, n)
+
+	// Forward reachability from group outputs through outside nodes.
+	var stack []int
+	for g := range grp {
+		for _, s := range mp.succs[g] {
+			if s.Dist == 0 && !grp[s.Node] && !fromGrp[s.Node] {
+				fromGrp[s.Node] = true
+				stack = append(stack, s.Node)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range mp.succs[u] {
+			mp.m.Charge(1)
+			if s.Dist == 0 && !grp[s.Node] && !fromGrp[s.Node] {
+				fromGrp[s.Node] = true
+				stack = append(stack, s.Node)
+			}
+		}
+	}
+	// Backward reachability into the group through outside nodes.
+	for g := range grp {
+		for _, a := range mp.l.Nodes[g].Args {
+			if a.Dist == 0 && !grp[a.Node] && !toGrp[a.Node] {
+				toGrp[a.Node] = true
+				stack = append(stack, a.Node)
+			}
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range mp.l.Nodes[u].Args {
+			mp.m.Charge(1)
+			if a.Dist == 0 && !grp[a.Node] && !toGrp[a.Node] {
+				toGrp[a.Node] = true
+				stack = append(stack, a.Node)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if fromGrp[u] && toGrp[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// recMII computes the recurrence MII of the loop's node-level dependence
+// graph with the given groups contracted to single CCA vertices. It is the
+// mapper's own compact copy of the scheduler's computation, so the cca and
+// modsched packages stay independent.
+func (mp *mapper) recMII(groups [][]int) int {
+	l := mp.l
+	if mp.cyclic == nil {
+		mp.computeCyclic()
+	}
+	vertex := make([]int, len(l.Nodes)) // node -> contracted vertex
+	lat := make([]int, 0, len(l.Nodes)+len(groups))
+	for i := range vertex {
+		vertex[i] = -1
+	}
+	// Only the cyclic region matters: cycles live entirely within strongly
+	// connected components, and contracting an internally connected group
+	// cannot create a cycle through previously acyclic nodes.
+	for _, g := range groups {
+		touches := false
+		for _, n := range g {
+			if mp.cyclic[n] {
+				touches = true
+				break
+			}
+		}
+		if !touches {
+			continue
+		}
+		v := len(lat)
+		lat = append(lat, mp.cfg.Latency)
+		for _, n := range g {
+			vertex[n] = v
+		}
+	}
+	for _, n := range l.Nodes {
+		if vertex[n.ID] >= 0 || !mp.cyclic[n.ID] {
+			continue
+		}
+		if n.Op.Class() == ir.ClassNone {
+			continue
+		}
+		vertex[n.ID] = len(lat)
+		lat = append(lat, arch.Latency(n.Op))
+	}
+	type edge struct{ from, to, lat, dist int }
+	var edges []edge
+	hi := 1
+	for _, n := range l.Nodes {
+		to := vertex[n.ID]
+		if to < 0 {
+			continue
+		}
+		for _, a := range n.Args {
+			mp.m.Charge(1)
+			from := vertex[a.Node]
+			if from < 0 || (from == to && a.Dist == 0) {
+				continue
+			}
+			edges = append(edges, edge{from, to, lat[from], a.Dist})
+			hi += lat[from]
+		}
+	}
+	dist := make([]int, len(lat))
+	feasible := func(ii int) bool {
+		for i := range dist {
+			dist[i] = 0
+		}
+		for iter := 0; iter < len(lat); iter++ {
+			changed := false
+			for _, e := range edges {
+				mp.m.Charge(vmcost.CostCCAStep)
+				if d := dist[e.from] + e.lat - ii*e.dist; d > dist[e.to] {
+					dist[e.to] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		for _, e := range edges {
+			if dist[e.from]+e.lat-ii*e.dist > dist[e.to] {
+				return false
+			}
+		}
+		return true
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,146 @@
+// Package cfg performs control-flow analysis over baseline-ISA programs:
+// basic-block construction and innermost-loop identification, the first
+// step of the dynamic translation pipeline (§4.1, "Identifying and
+// Transforming Hot Loops"). It also classifies why a loop is not a
+// candidate for the accelerator (side exits needing speculation support,
+// non-inlined calls), the taxonomy behind the paper's Figure 2.
+package cfg
+
+import (
+	"fmt"
+
+	"veal/internal/isa"
+	"veal/internal/vmcost"
+)
+
+// RegionKind classifies an identified loop region.
+type RegionKind int
+
+const (
+	// KindSchedulable means the region is structurally eligible for the
+	// accelerator: single entry, single backward branch, no calls, no side
+	// exits. (Dataflow checks may still reject it later.)
+	KindSchedulable RegionKind = iota
+	// KindSpeculation means the loop has side exits (while-loop shape) and
+	// would need speculation support the accelerator does not provide.
+	KindSpeculation
+	// KindSubroutine means the loop contains a call that is not a marked
+	// CCA function, so it cannot be mapped without inlining.
+	KindSubroutine
+	// KindIrregular covers multiple back edges, entries into the middle of
+	// the region, or other structure the translator does not handle.
+	KindIrregular
+)
+
+// String names the kind using the paper's Figure 2 vocabulary.
+func (k RegionKind) String() string {
+	switch k {
+	case KindSchedulable:
+		return "modulo-schedulable"
+	case KindSpeculation:
+		return "speculation-support"
+	case KindSubroutine:
+		return "subroutine"
+	case KindIrregular:
+		return "irregular"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Region is an innermost loop candidate: the half-open instruction range
+// [Head, BackPC] with the backward branch at BackPC.
+type Region struct {
+	Head   int
+	BackPC int
+	Kind   RegionKind
+}
+
+// Body returns the instruction count of the region including the branch.
+func (r Region) Body() int { return r.BackPC - r.Head + 1 }
+
+// FindInnerLoops scans a program for innermost loop regions: conditional
+// backward branches whose body contains no other backward branch. Loop
+// identification is linear in program size and cheap enough to perform in
+// the VM ("finding strongly connected components of a control flow graph
+// is a simple linear time problem").
+func FindInnerLoops(p *isa.Program, m *vmcost.Meter) []Region {
+	m.Begin(vmcost.PhaseLoopID)
+	var regions []Region
+	for pc, in := range p.Code {
+		m.Charge(2)
+		if !in.Op.IsCondBranch() || int(in.Imm) > pc {
+			continue
+		}
+		head := int(in.Imm)
+		if inner := hasBackwardBranchInside(p, head, pc, m); inner {
+			continue // not innermost
+		}
+		r := Region{Head: head, BackPC: pc}
+		r.Kind = classify(p, r, m)
+		regions = append(regions, r)
+	}
+	return regions
+}
+
+// hasBackwardBranchInside reports whether (head, back) strictly contains
+// another backward branch, which would make this region non-innermost.
+func hasBackwardBranchInside(p *isa.Program, head, back int, m *vmcost.Meter) bool {
+	for pc := head; pc < back; pc++ {
+		m.Charge(1)
+		in := p.Code[pc]
+		if in.Op.IsCondBranch() && int(in.Imm) <= pc && int(in.Imm) >= head {
+			return true
+		}
+	}
+	return false
+}
+
+// classify applies the structural eligibility rules.
+func classify(p *isa.Program, r Region, m *vmcost.Meter) RegionKind {
+	kind := KindSchedulable
+	for pc := r.Head; pc <= r.BackPC; pc++ {
+		m.Charge(2)
+		in := p.Code[pc]
+		switch {
+		case in.Op == isa.Brl:
+			// Calls to marked CCA functions are fine (procedural
+			// abstraction); anything else needs inlining.
+			if _, ok := p.CCAFuncAt(int(in.Imm)); !ok {
+				return KindSubroutine
+			}
+		case in.Op == isa.Ret:
+			return KindIrregular
+		case in.Op == isa.Halt:
+			return KindIrregular
+		case in.Op == isa.Br || in.Op.IsCondBranch():
+			if pc == r.BackPC {
+				continue
+			}
+			tgt := int(in.Imm)
+			if tgt < r.Head || tgt > r.BackPC+1 {
+				// Branch out of the region: a side exit (while-loop shape).
+				kind = KindSpeculation
+			} else if tgt <= pc {
+				return KindIrregular // second back edge
+			} else {
+				// Forward branch within the body: internal control flow the
+				// accelerator handles only via predication; the translator
+				// requires it to have been if-converted statically.
+				kind = KindSpeculation
+			}
+		}
+	}
+	// Entries into the middle of the region from outside make it
+	// irregular.
+	for pc, in := range p.Code {
+		m.Charge(1)
+		if pc >= r.Head && pc <= r.BackPC {
+			continue
+		}
+		if (in.Op.IsCondBranch() || in.Op == isa.Br || in.Op == isa.Brl) &&
+			int(in.Imm) > r.Head && int(in.Imm) <= r.BackPC {
+			return KindIrregular
+		}
+	}
+	return kind
+}

@@ -1,0 +1,184 @@
+package cfg
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/isa"
+)
+
+func TestFindsSimpleLoop(t *testing.T) {
+	a := isa.NewAsm("p")
+	a.Label("loop")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 {
+		t.Fatalf("regions = %v, want 1", rs)
+	}
+	r := rs[0]
+	if r.Head != 0 || r.BackPC != 1 || r.Kind != KindSchedulable {
+		t.Errorf("region = %+v", r)
+	}
+	if r.Body() != 2 {
+		t.Errorf("Body = %d, want 2", r.Body())
+	}
+}
+
+func TestInnermostOnly(t *testing.T) {
+	// Outer loop containing an inner loop: only the inner is innermost.
+	a := isa.NewAsm("nest")
+	a.Label("outer")
+	a.AddI(5, 5, 1)
+	a.Label("inner")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "inner")
+	a.AddI(6, 6, 1)
+	a.Branch(isa.BLT, 6, 7, "outer")
+	a.Halt()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 {
+		t.Fatalf("regions = %+v, want only the inner loop", rs)
+	}
+	if rs[0].Head != 1 {
+		t.Errorf("inner head = %d, want 1", rs[0].Head)
+	}
+}
+
+func TestClassifySubroutine(t *testing.T) {
+	a := isa.NewAsm("call")
+	a.Label("loop")
+	a.Brl("fn")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Halt()
+	a.Label("fn")
+	a.AddI(9, 9, 1)
+	a.Ret()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 || rs[0].Kind != KindSubroutine {
+		t.Fatalf("regions = %+v, want one subroutine-kind region", rs)
+	}
+}
+
+func TestClassifyCCACallIsSchedulable(t *testing.T) {
+	a := isa.NewAsm("cca")
+	a.Label("loop")
+	a.Brl("fn")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Halt()
+	a.Label("fn")
+	start := a.PC()
+	a.Op3(isa.And, 9, 9, 10)
+	a.Ret()
+	a.CCAFunc(start, 2)
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 || rs[0].Kind != KindSchedulable {
+		t.Fatalf("regions = %+v, want one schedulable region", rs)
+	}
+}
+
+func TestClassifySideExit(t *testing.T) {
+	a := isa.NewAsm("while")
+	a.Label("loop")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BEQ, 3, 9, "out") // side exit
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Label("out")
+	a.Halt()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 || rs[0].Kind != KindSpeculation {
+		t.Fatalf("regions = %+v, want one speculation-kind region", rs)
+	}
+}
+
+func TestClassifyInternalForwardBranch(t *testing.T) {
+	a := isa.NewAsm("diamond")
+	a.Label("loop")
+	a.Branch(isa.BEQ, 3, 0, "skip")
+	a.AddI(5, 5, 1)
+	a.Label("skip")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 || rs[0].Kind != KindSpeculation {
+		t.Fatalf("regions = %+v, want speculation (un-if-converted diamond)", rs)
+	}
+}
+
+func TestClassifyIrregularEntry(t *testing.T) {
+	a := isa.NewAsm("entry")
+	a.Br("mid")
+	a.Label("loop")
+	a.AddI(5, 5, 1)
+	a.Label("mid")
+	a.AddI(3, 3, 1)
+	a.Branch(isa.BLT, 3, 4, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	rs := FindInnerLoops(p, nil)
+	if len(rs) != 1 || rs[0].Kind != KindIrregular {
+		t.Fatalf("regions = %+v, want irregular (side entry)", rs)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[RegionKind]string{
+		KindSchedulable: "modulo-schedulable",
+		KindSpeculation: "speculation-support",
+		KindSubroutine:  "subroutine",
+		KindIrregular:   "irregular",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestFindInnerLoopsInvariants(t *testing.T) {
+	// Property over random programs: every region's back branch is a
+	// conditional backward branch, bodies are non-empty, and regions do
+	// not contain further backward branches (innermost).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(30)
+		p := &isa.Program{Name: "rand"}
+		for i := 0; i < n; i++ {
+			var in isa.Inst
+			switch rng.Intn(6) {
+			case 0:
+				in = isa.Inst{Op: isa.BLT, Src1: 1, Src2: 2, Imm: int64(rng.Intn(n))}
+			case 1:
+				in = isa.Inst{Op: isa.Br, Imm: int64(rng.Intn(n))}
+			default:
+				in = isa.Inst{Op: isa.Add, Dst: 3, Src1: 4, Src2: 5}
+			}
+			p.Code = append(p.Code, in)
+		}
+		for _, r := range FindInnerLoops(p, nil) {
+			if r.Head > r.BackPC {
+				t.Fatalf("trial %d: head %d after back %d", trial, r.Head, r.BackPC)
+			}
+			back := p.Code[r.BackPC]
+			if !back.Op.IsCondBranch() || int(back.Imm) != r.Head {
+				t.Fatalf("trial %d: malformed back branch", trial)
+			}
+			for pc := r.Head; pc < r.BackPC; pc++ {
+				in := p.Code[pc]
+				if in.Op.IsCondBranch() && int(in.Imm) <= pc && int(in.Imm) >= r.Head {
+					t.Fatalf("trial %d: region not innermost", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package dse runs the design-space exploration of §3.1: starting from a
+// hypothetical infinite-resource accelerator, each architectural parameter
+// is varied individually and the fraction of infinite-resource speedup
+// still attained is recorded (Figures 3 and 4), plus the §3.2 check that
+// the proposed design attains most of the infinite-resource speedup.
+package dse
+
+import (
+	"fmt"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/exp"
+	"veal/internal/vm"
+)
+
+// Point is one sweep sample: the varied parameter's value and the mean
+// fraction of infinite-resource speedup attained across the suite.
+type Point struct {
+	Value    int
+	Fraction float64
+}
+
+// Series is one labelled sweep line.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// meanSpeedup evaluates the suite's mean speedup with the given LA.
+func meanSpeedup(models []*exp.BenchModel, la *arch.LA) float64 {
+	sys := exp.System{Name: la.Name, CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: -1}
+	var sp []float64
+	for _, bm := range models {
+		sp = append(sp, bm.Speedup(sys))
+	}
+	return exp.Mean(sp)
+}
+
+// sweep runs one parameter sweep, producing the fraction-of-infinite line.
+func sweep(models []*exp.BenchModel, label string, values []int, configure func(*arch.LA, int)) Series {
+	inf := meanSpeedup(models, arch.Infinite())
+	s := Series{Label: label}
+	for _, v := range values {
+		la := arch.Infinite()
+		la.Name = fmt.Sprintf("%s=%d", label, v)
+		configure(la, v)
+		s.Points = append(s.Points, Point{Value: v, Fraction: meanSpeedup(models, la) / inf})
+	}
+	return s
+}
+
+// Fig3a explores function units: integer units alone, FP units alone, and
+// integer units with one CCA attached.
+func Fig3a(models []*exp.BenchModel) []Series {
+	intVals := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	fpVals := []int{1, 2, 3, 4, 6, 8}
+	return []Series{
+		sweep(models, "IEx", intVals, func(la *arch.LA, v int) {
+			la.IntUnits = v
+			la.CCAs = 0
+		}),
+		sweep(models, "FEx", fpVals, func(la *arch.LA, v int) {
+			la.FPUnits = v
+		}),
+		sweep(models, "IEx+CCA", intVals, func(la *arch.LA, v int) {
+			la.IntUnits = v
+			la.CCAs = 1
+		}),
+	}
+}
+
+// Fig3b explores register-file sizes.
+func Fig3b(models []*exp.BenchModel) []Series {
+	vals := []int{1, 2, 4, 8, 12, 16, 24, 32, 48, 64}
+	return []Series{
+		sweep(models, "IntRegs", vals, func(la *arch.LA, v int) { la.IntRegs = v }),
+		sweep(models, "FPRegs", vals, func(la *arch.LA, v int) { la.FPRegs = v }),
+	}
+}
+
+// Fig4a explores load/store stream counts.
+func Fig4a(models []*exp.BenchModel) []Series {
+	loadVals := []int{1, 2, 4, 6, 8, 10, 12, 16, 24, 32}
+	storeVals := []int{1, 2, 3, 4, 6, 8, 12, 16}
+	return []Series{
+		sweep(models, "LoadStreams", loadVals, func(la *arch.LA, v int) { la.LoadStreams = v }),
+		sweep(models, "StoreStreams", storeVals, func(la *arch.LA, v int) { la.StoreStreams = v }),
+	}
+}
+
+// Fig4b explores the maximum supported II (control-store depth).
+func Fig4b(models []*exp.BenchModel) []Series {
+	vals := []int{1, 2, 4, 6, 8, 12, 16, 24, 32, 64}
+	return []Series{
+		sweep(models, "MaxII", vals, func(la *arch.LA, v int) { la.MaxII = v }),
+	}
+}
+
+// FIFOSweep explores the per-stream FIFO depth at several memory
+// latencies — the quantitative version of the paper's claim that
+// decoupled streaming makes memory latency "largely irrelevant". Not a
+// paper figure; an extension series.
+func FIFOSweep(models []*exp.BenchModel) []Series {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	var out []Series
+	for _, lat := range []int{10, 40, 100} {
+		s := sweep(models, fmt.Sprintf("FIFO@lat%d", lat), depths, func(la *arch.LA, v int) {
+			la.MemLatency = lat
+			la.FIFODepth = v
+		})
+		out = append(out, s)
+	}
+	return out
+}
+
+// ProposedFraction reports the fraction of infinite-resource speedup the
+// §3.2 proposed design attains (the paper reports 83%).
+func ProposedFraction(models []*exp.BenchModel) float64 {
+	return meanSpeedup(models, arch.Proposed()) / meanSpeedup(models, arch.Infinite())
+}
+
+// Format renders sweep series as aligned text.
+func Format(title string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: fraction of infinite-resource speedup\n", title)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-14s", s.Label)
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, " %3d:%5.1f%%", p.Value, 100*p.Fraction)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+package dse
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"veal/internal/exp"
+	"veal/internal/workloads"
+)
+
+var (
+	once   sync.Once
+	cached []*exp.BenchModel
+	bErr   error
+)
+
+func testModels(t *testing.T) []*exp.BenchModel {
+	t.Helper()
+	once.Do(func() { cached, bErr = exp.Models(workloads.MediaFP()) })
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	return cached
+}
+
+// checkMonotone verifies a sweep line never decreases as resources grow
+// (within a small numeric tolerance).
+func checkMonotone(t *testing.T, s Series) {
+	t.Helper()
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Fraction < s.Points[i-1].Fraction-0.02 {
+			t.Errorf("%s: fraction fell from %.3f@%d to %.3f@%d",
+				s.Label, s.Points[i-1].Fraction, s.Points[i-1].Value,
+				s.Points[i].Fraction, s.Points[i].Value)
+		}
+	}
+}
+
+func TestProposedFractionNearPaper(t *testing.T) {
+	models := testModels(t)
+	f := ProposedFraction(models)
+	// Paper: 83%. Shape target: clearly below 1, clearly above 0.6.
+	if f < 0.6 || f > 0.98 {
+		t.Errorf("proposed fraction = %.2f, want in [0.6, 0.98] (paper: 0.83)", f)
+	}
+}
+
+func TestFig3aShapes(t *testing.T) {
+	models := testModels(t)
+	series := Fig3a(models)
+	if len(series) != 3 {
+		t.Fatalf("series = %d, want 3", len(series))
+	}
+	var iex, fex, cca Series
+	for _, s := range series {
+		switch s.Label {
+		case "IEx":
+			iex = s
+		case "FEx":
+			fex = s
+		case "IEx+CCA":
+			cca = s
+		}
+		checkMonotone(t, s)
+	}
+	// Few FP units suffice (paper: "very few floating-point units").
+	if fex.Points[1].Fraction < 0.85 {
+		t.Errorf("2 FP units attain only %.2f", fex.Points[1].Fraction)
+	}
+	// Adding a CCA reduces the integer units needed: at 2 IEx the CCA
+	// line must be clearly above the plain line.
+	if cca.Points[1].Fraction <= iex.Points[1].Fraction {
+		t.Errorf("CCA did not help at 2 integer units: %.3f vs %.3f",
+			cca.Points[1].Fraction, iex.Points[1].Fraction)
+	}
+	// Plain integer units saturate slowly (paper: knee near 24).
+	if iex.Points[1].Fraction > 0.95 {
+		t.Errorf("2 plain integer units already attain %.2f; knee too early", iex.Points[1].Fraction)
+	}
+}
+
+func TestFig3bRegisterKnee(t *testing.T) {
+	models := testModels(t)
+	for _, s := range Fig3b(models) {
+		checkMonotone(t, s)
+		at16 := -1.0
+		at1 := s.Points[0].Fraction
+		for _, p := range s.Points {
+			if p.Value == 16 {
+				at16 = p.Fraction
+			}
+		}
+		if at16 < 0.95 {
+			t.Errorf("%s: 16 registers attain only %.2f", s.Label, at16)
+		}
+		if at1 > 0.9 {
+			t.Errorf("%s: a single register already attains %.2f", s.Label, at1)
+		}
+	}
+}
+
+func TestFig4aStreamImportance(t *testing.T) {
+	models := testModels(t)
+	series := Fig4a(models)
+	var loads, stores Series
+	for _, s := range series {
+		checkMonotone(t, s)
+		if s.Label == "LoadStreams" {
+			loads = s
+		} else {
+			stores = s
+		}
+	}
+	// Loads matter more than stores (paper: "loads are more important").
+	if loads.Points[0].Fraction >= stores.Points[0].Fraction {
+		t.Errorf("one load stream (%.2f) should hurt more than one store stream (%.2f)",
+			loads.Points[0].Fraction, stores.Points[0].Fraction)
+	}
+	// 16 load streams recover nearly everything.
+	for _, p := range loads.Points {
+		if p.Value == 16 && p.Fraction < 0.95 {
+			t.Errorf("16 load streams attain only %.2f", p.Fraction)
+		}
+	}
+}
+
+func TestFig4bMaxII(t *testing.T) {
+	models := testModels(t)
+	series := Fig4b(models)
+	if len(series) != 1 {
+		t.Fatalf("series = %d, want 1", len(series))
+	}
+	checkMonotone(t, series[0])
+	for _, p := range series[0].Points {
+		if p.Value == 16 && p.Fraction < 0.9 {
+			t.Errorf("max II 16 attains only %.2f", p.Fraction)
+		}
+		if p.Value == 1 && p.Fraction > 0.95 {
+			t.Errorf("max II 1 already attains %.2f; recurrences not constraining", p.Fraction)
+		}
+	}
+}
+
+func TestFormat(t *testing.T) {
+	models := testModels(t)
+	out := Format("Figure 4(b)", Fig4b(models))
+	for _, w := range []string{"Figure 4(b)", "MaxII", "%"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("Format output missing %q:\n%s", w, out)
+		}
+	}
+}
+
+func TestFIFOSweepShapes(t *testing.T) {
+	models := testModels(t)
+	series := FIFOSweep(models)
+	if len(series) != 3 {
+		t.Fatalf("got %d series, want one per memory latency", len(series))
+	}
+	for _, s := range series {
+		checkMonotone(t, s)
+		first, last := s.Points[0].Fraction, s.Points[len(s.Points)-1].Fraction
+		if last < 1.5*first {
+			t.Errorf("%s: deepening FIFOs only moved %.2f -> %.2f; decoupling broken", s.Label, first, last)
+		}
+	}
+	// At 10-cycle latency a depth-16+ FIFO fully hides memory; deeper
+	// sweeps at 100 cycles legitimately stop short (depth 32 < latency).
+	if last := series[0].Points[len(series[0].Points)-1].Fraction; last < 0.9 {
+		t.Errorf("lat10 deep-FIFO fraction = %.2f, want >= 0.9", last)
+	}
+	// Shallow FIFOs must hurt more as memory latency grows: the depth-1
+	// point of the 100-cycle series sits below the 10-cycle series'.
+	lo, hi := series[0].Points[0].Fraction, series[2].Points[0].Fraction
+	if hi >= lo {
+		t.Errorf("depth-1 fraction at lat100 (%.3f) not below lat10 (%.3f)", hi, lo)
+	}
+}

@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"veal/internal/vmcost"
+)
+
+// CSV emitters: one per figure, so the regenerated data can be plotted
+// with any external tool. Columns are stable and documented per function.
+
+// WriteFig2CSV emits benchmark,suite,schedulable,speculation,subroutine,
+// acyclic (fractions in [0,1]).
+func WriteFig2CSV(w io.Writer, rows []Fig2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "suite", "schedulable", "speculation", "subroutine", "acyclic"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Bench, r.Suite,
+			f(r.Schedulable), f(r.Speculation), f(r.Subroutine), f(r.Acyclic),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV emits overhead_cycles,miss_rate,mean_speedup.
+func WriteFig6CSV(w io.Writer, pts []Fig6Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"overhead_cycles", "miss_rate", "mean_speedup"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		rec := []string{
+			strconv.FormatInt(p.OverheadCycles, 10),
+			f(p.MissRate),
+			f(p.MeanSpeedup),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV emits benchmark,transformed_speedup,raw_speedup,fraction.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "transformed_speedup", "raw_speedup", "fraction"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Bench, f(r.Transformed), f(r.Raw), f(r.Fraction)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV emits benchmark plus one column per translation phase and a
+// total, in work units.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark"}
+	for p := vmcost.Phase(0); p < vmcost.NumPhases; p++ {
+		header = append(header, p.String())
+	}
+	header = append(header, "total")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range append(append([]Fig8Row{}, rows...), Fig8Average(rows)) {
+		rec := []string{r.Bench}
+		for _, v := range r.Phases {
+			rec = append(rec, f(v))
+		}
+		rec = append(rec, f(r.Total))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV emits benchmark plus the six configuration speedups.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"benchmark", "no_penalty", "fully_dynamic", "height_priority",
+		"hybrid", "two_issue", "four_issue",
+	}); err != nil {
+		return err
+	}
+	for _, r := range append(append([]Fig10Row{}, rows...), Fig10Average(rows)) {
+		rec := []string{
+			r.Bench, f(r.NoPenalty), f(r.FullyDynamic), f(r.HeightPriority),
+			f(r.Hybrid), f(r.TwoIssue), f(r.FourIssue),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4f", v) }

@@ -1,0 +1,298 @@
+package exp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/vm"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+var (
+	once   sync.Once
+	cached []*BenchModel
+	allBM  []*BenchModel
+	bErr   error
+)
+
+func testModels(t *testing.T) ([]*BenchModel, []*BenchModel) {
+	t.Helper()
+	once.Do(func() {
+		cached, bErr = Models(workloads.MediaFP())
+		if bErr != nil {
+			return
+		}
+		var ints []*BenchModel
+		ints, bErr = Models(workloads.Integer())
+		allBM = append(append([]*BenchModel{}, cached...), ints...)
+	})
+	if bErr != nil {
+		t.Fatal(bErr)
+	}
+	return cached, allBM
+}
+
+func TestModelsBuildForWholeSuite(t *testing.T) {
+	eval, all := testModels(t)
+	if len(eval) < 15 || len(all) <= len(eval) {
+		t.Fatalf("models: eval=%d all=%d", len(eval), len(all))
+	}
+	for _, bm := range eval {
+		for _, sm := range bm.Sites {
+			if sm.ScalarCycles(arch.ARM11()) <= 0 {
+				t.Errorf("%s/%s: nonpositive scalar cycles", bm.Bench.Name, sm.Site.Name)
+			}
+			// Wider cores are usually faster; small serial branchy loops may
+			// regress a little on the deeper 13-stage pipeline (its taken-
+			// branch penalty is 5 vs the ARM11's 3), so allow bounded slack.
+			if sm.ScalarCycles(arch.Quad()) > sm.ScalarCycles(arch.ARM11())*1.25 {
+				t.Errorf("%s/%s: 4-issue much slower than 1-issue", bm.Bench.Name, sm.Site.Name)
+			}
+		}
+	}
+}
+
+func TestSpeedupBaselineIsOne(t *testing.T) {
+	eval, _ := testModels(t)
+	for _, bm := range eval {
+		if s := bm.Speedup(Baseline()); s != 1 {
+			t.Errorf("%s: baseline speedup = %v", bm.Bench.Name, s)
+		}
+	}
+}
+
+func TestFig10Ordering(t *testing.T) {
+	// The paper's qualitative result: no-penalty >= hybrid >= height >=
+	// fully-dynamic on suite average, and the accelerator beats wider
+	// issue everywhere.
+	eval, _ := testModels(t)
+	avg := Fig10Average(Fig10(eval))
+	if !(avg.NoPenalty >= avg.Hybrid && avg.Hybrid >= avg.HeightPriority && avg.HeightPriority >= avg.FullyDynamic) {
+		t.Errorf("policy ordering violated: np=%.2f hy=%.2f ht=%.2f fd=%.2f",
+			avg.NoPenalty, avg.Hybrid, avg.HeightPriority, avg.FullyDynamic)
+	}
+	if avg.Hybrid < 2 {
+		t.Errorf("hybrid average speedup %.2f too low", avg.Hybrid)
+	}
+	if avg.FourIssue >= avg.Hybrid {
+		t.Errorf("4-issue (%.2f) should not beat the accelerator (%.2f)", avg.FourIssue, avg.Hybrid)
+	}
+	// Hybrid recovers most of the no-penalty speedup (paper: 2.66 of 2.76).
+	if avg.Hybrid/avg.NoPenalty < 0.9 {
+		t.Errorf("hybrid recovers only %.0f%% of native speedup", 100*avg.Hybrid/avg.NoPenalty)
+	}
+}
+
+func TestFig8PriorityDominates(t *testing.T) {
+	eval, _ := testModels(t)
+	avg := Fig8Average(Fig8(eval))
+	prio := avg.Phases[vmcost.PhasePriority] / avg.Total
+	ccam := avg.Phases[vmcost.PhaseCCAMap] / avg.Total
+	if prio < 0.5 {
+		t.Errorf("priority share %.0f%%, want the dominant phase (paper: 69%%)", 100*prio)
+	}
+	if ccam > prio {
+		t.Errorf("CCA share %.0f%% exceeds priority %.0f%%", 100*ccam, 100*prio)
+	}
+	rest := 1 - prio - ccam
+	if rest > 0.25 {
+		t.Errorf("remaining phases %.0f%%, want small (paper: ~11%%)", 100*rest)
+	}
+}
+
+func TestFig6Monotonicity(t *testing.T) {
+	eval, _ := testModels(t)
+	pts := Fig6(eval)
+	// For a fixed miss rate, speedup decreases as overhead grows; for a
+	// fixed overhead > 0, higher miss rates never help.
+	byRate := map[float64][]Fig6Point{}
+	for _, p := range pts {
+		byRate[p.MissRate] = append(byRate[p.MissRate], p)
+	}
+	for rate, series := range byRate {
+		for i := 1; i < len(series); i++ {
+			if series[i].MeanSpeedup > series[i-1].MeanSpeedup+1e-9 {
+				t.Errorf("rate %v: speedup rose with overhead (%.3f -> %.3f)",
+					rate, series[i-1].MeanSpeedup, series[i].MeanSpeedup)
+			}
+		}
+	}
+	// Zero overhead, any rate: equals the no-penalty speedup.
+	for _, p := range pts {
+		if p.OverheadCycles == 0 && byRate[0][0].MeanSpeedup != p.MeanSpeedup {
+			t.Errorf("zero-overhead speedups differ across rates")
+		}
+	}
+}
+
+func TestFig7TransformsMatter(t *testing.T) {
+	eval, _ := testModels(t)
+	rows := Fig7(eval)
+	var fr []float64
+	zeros := 0
+	for _, r := range rows {
+		if r.Fraction < 0 || r.Fraction > 1 {
+			t.Errorf("%s: fraction %v out of range", r.Bench, r.Fraction)
+		}
+		if r.Fraction < 0.05 {
+			zeros++
+		}
+		fr = append(fr, r.Fraction)
+	}
+	mean := Mean(fr)
+	// Paper: ~75% average loss, with many benchmarks at zero.
+	if mean > 0.5 {
+		t.Errorf("mean fraction %.2f: static transforms should matter much more", mean)
+	}
+	if zeros < 3 {
+		t.Errorf("only %d benchmarks lost (almost) everything; paper shows many zeros", zeros)
+	}
+}
+
+func TestFig2SuiteContrast(t *testing.T) {
+	_, all := testModels(t)
+	rows := Fig2(all)
+	var media, ints []Fig2Row
+	for _, r := range rows {
+		total := r.Schedulable + r.Speculation + r.Subroutine + r.Acyclic
+		if total < 0.999 || total > 1.001 {
+			t.Errorf("%s: fractions sum to %v", r.Bench, total)
+		}
+		if r.Suite == "specint" {
+			ints = append(ints, r)
+		} else {
+			media = append(media, r)
+		}
+	}
+	mAvg, iAvg := 0.0, 0.0
+	for _, r := range media {
+		mAvg += r.Schedulable / float64(len(media))
+	}
+	for _, r := range ints {
+		iAvg += r.Schedulable / float64(len(ints))
+	}
+	if mAvg < 0.5 {
+		t.Errorf("media/fp schedulable fraction %.2f too low", mAvg)
+	}
+	if iAvg > 0.35 {
+		t.Errorf("specint schedulable fraction %.2f too high", iAvg)
+	}
+	if mAvg < iAvg*2 {
+		t.Errorf("suite contrast too weak: media %.2f vs int %.2f", mAvg, iAvg)
+	}
+}
+
+func TestFormattersMentionKeyContent(t *testing.T) {
+	eval, all := testModels(t)
+	checks := []struct {
+		out  string
+		want []string
+	}{
+		{FormatFig2(Fig2(all)), []string{"Figure 2", "rawcaudio", "specint"}},
+		{FormatFig6(Fig6(eval)), []string{"Figure 6", "once", "10.0% misses"}},
+		{FormatFig7(Fig7(eval)), []string{"Figure 7", "mean fraction"}},
+		{FormatFig8(Fig8(eval)), []string{"Figure 8", "priority", "average"}},
+		{FormatFig10(Fig10(eval)), []string{"Figure 10", "average", "2-issue"}},
+	}
+	for i, c := range checks {
+		for _, w := range c.want {
+			if !strings.Contains(c.out, w) {
+				t.Errorf("check %d: output missing %q", i, w)
+			}
+		}
+	}
+}
+
+func TestSystemOverrides(t *testing.T) {
+	eval, _ := testModels(t)
+	bm := eval[0]
+	la := arch.Proposed()
+	free := System{Name: "f", CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: 0}
+	costly := free
+	costly.TransPerLoop = 1 << 20
+	if bm.Time(costly) <= bm.Time(free) {
+		t.Error("translation overhead override had no effect")
+	}
+	missy := costly
+	missy.MissRate = 0.5
+	if bm.Time(missy) <= bm.Time(costly) {
+		t.Error("miss rate override had no effect")
+	}
+}
+
+func TestTranslateRejectsNonSchedulableSite(t *testing.T) {
+	_, all := testModels(t)
+	for _, bm := range all {
+		for _, sm := range bm.Sites {
+			tr := sm.Translate(arch.Proposed(), vm.Hybrid, false)
+			if sm.Site.Kind.String() != "modulo-schedulable" && tr.OK {
+				t.Errorf("%s/%s: non-schedulable site translated", bm.Bench.Name, sm.Site.Name)
+			}
+		}
+	}
+}
+
+func TestSpeculationUpliftTargetsIntegerSuite(t *testing.T) {
+	_, all := testModels(t)
+	rows := Speculation(all)
+	for _, r := range rows {
+		if r.Suite != "specint" {
+			if r.Uplift < 0.999 || r.Uplift > 1.001 {
+				t.Errorf("%s: speculation changed a media/fp benchmark (%.3f)", r.Bench, r.Uplift)
+			}
+			continue
+		}
+		// Overshoot may cost a little, but never more than a few percent.
+		if r.Uplift < 0.95 {
+			t.Errorf("%s: speculation regressed %.2fx", r.Bench, r.Uplift)
+		}
+	}
+	// At least some integer benchmarks must benefit.
+	helped := 0
+	for _, r := range rows {
+		if r.Suite == "specint" && r.Uplift > 1.02 {
+			helped++
+		}
+	}
+	if helped < 2 {
+		t.Errorf("speculation helped only %d integer benchmarks", helped)
+	}
+	out := FormatSpeculation(rows)
+	if !strings.Contains(out, "mean uplift") {
+		t.Error("FormatSpeculation missing summary")
+	}
+}
+
+func TestCSVEmitters(t *testing.T) {
+	eval, all := testModels(t)
+	var b strings.Builder
+	if err := WriteFig2CSV(&b, Fig2(all)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "benchmark,suite,schedulable") {
+		t.Error("fig2 csv header missing")
+	}
+	lines := strings.Count(b.String(), "\n")
+	if lines != len(all)+1 {
+		t.Errorf("fig2 csv rows = %d, want %d", lines, len(all)+1)
+	}
+
+	checks := []func(*strings.Builder) error{
+		func(w *strings.Builder) error { return WriteFig6CSV(w, Fig6(eval)) },
+		func(w *strings.Builder) error { return WriteFig7CSV(w, Fig7(eval)) },
+		func(w *strings.Builder) error { return WriteFig8CSV(w, Fig8(eval)) },
+		func(w *strings.Builder) error { return WriteFig10CSV(w, Fig10(eval)) },
+	}
+	for i, fn := range checks {
+		var out strings.Builder
+		if err := fn(&out); err != nil {
+			t.Errorf("csv %d: %v", i, err)
+		}
+		if strings.Count(out.String(), "\n") < 3 {
+			t.Errorf("csv %d suspiciously short:\n%s", i, out.String())
+		}
+	}
+}

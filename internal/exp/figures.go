@@ -1,0 +1,371 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/vm"
+	"veal/internal/vmcost"
+)
+
+// ---------------------------------------------------------------------
+// Figure 2: percent of execution time in each code category.
+// ---------------------------------------------------------------------
+
+// Fig2Row is one benchmark's execution-time breakdown on the baseline.
+type Fig2Row struct {
+	Bench       string
+	Suite       string
+	Schedulable float64
+	Speculation float64
+	Subroutine  float64
+	Acyclic     float64
+}
+
+// Fig2 computes the breakdown for every model.
+func Fig2(models []*BenchModel) []Fig2Row {
+	cpu := arch.ARM11()
+	rows := make([]Fig2Row, 0, len(models))
+	for _, bm := range models {
+		var sched, spec, sub float64
+		for _, sm := range bm.Sites {
+			t := sm.ScalarCycles(cpu) * float64(sm.Site.Invocations)
+			switch sm.Site.Kind {
+			case cfg.KindSchedulable:
+				sched += t
+			case cfg.KindSpeculation:
+				spec += t
+			case cfg.KindSubroutine:
+				sub += t
+			default:
+				// Irregular loops are indistinguishable from straight-line
+				// code to the accelerator.
+			}
+		}
+		acy := float64(bm.Bench.AcyclicInsts) * acyclicCPI(cpu)
+		total := sched + spec + sub + acy
+		rows = append(rows, Fig2Row{
+			Bench:       bm.Bench.Name,
+			Suite:       bm.Bench.Suite.String(),
+			Schedulable: sched / total,
+			Speculation: spec / total,
+			Subroutine:  sub / total,
+			Acyclic:     acy / total,
+		})
+	}
+	return rows
+}
+
+// FormatFig2 renders the rows as the paper's stacked-bar data.
+func FormatFig2(rows []Fig2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: percent of execution time by code category\n")
+	fmt.Fprintf(&b, "%-14s %-10s %12s %12s %12s %9s\n",
+		"benchmark", "suite", "schedulable", "speculation", "subroutine", "acyclic")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %11.1f%% %11.1f%% %11.1f%% %8.1f%%\n",
+			r.Bench, r.Suite, 100*r.Schedulable, 100*r.Speculation, 100*r.Subroutine, 100*r.Acyclic)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: speedup vs translation overhead for several retranslation
+// rates.
+// ---------------------------------------------------------------------
+
+// Fig6Point is one (overhead, missRate) evaluation.
+type Fig6Point struct {
+	OverheadCycles int64
+	MissRate       float64 // 0 = translate once
+	MeanSpeedup    float64
+}
+
+// Fig6 sweeps translation overhead 0..500k cycles for the paper's four
+// retranslation rates, on the proposed LA with best-quality schedules.
+func Fig6(models []*BenchModel) []Fig6Point {
+	overheads := []int64{0, 10_000, 20_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
+	rates := []float64{0, 0.001, 0.01, 0.1}
+	var out []Fig6Point
+	for _, rate := range rates {
+		for _, ov := range overheads {
+			sys := System{
+				Name: "sweep", CPU: arch.ARM11(), LA: arch.Proposed(),
+				Policy: vm.NoPenalty, TransPerLoop: ov, MissRate: rate,
+			}
+			var sp []float64
+			for _, bm := range models {
+				sp = append(sp, bm.Speedup(sys))
+			}
+			out = append(out, Fig6Point{OverheadCycles: ov, MissRate: rate, MeanSpeedup: Mean(sp)})
+		}
+	}
+	return out
+}
+
+// FormatFig6 renders the sweep as one series per retranslation rate.
+func FormatFig6(points []Fig6Point) string {
+	byRate := map[float64][]Fig6Point{}
+	var rates []float64
+	for _, p := range points {
+		if _, ok := byRate[p.MissRate]; !ok {
+			rates = append(rates, p.MissRate)
+		}
+		byRate[p.MissRate] = append(byRate[p.MissRate], p)
+	}
+	sort.Float64s(rates)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: mean speedup vs translation overhead per loop\n")
+	fmt.Fprintf(&b, "%-16s", "overhead")
+	for _, p := range byRate[rates[0]] {
+		fmt.Fprintf(&b, "%9s", compact(p.OverheadCycles))
+	}
+	b.WriteString("\n")
+	for _, r := range rates {
+		label := "once"
+		if r > 0 {
+			label = fmt.Sprintf("%.1f%% misses", 100*r)
+		}
+		fmt.Fprintf(&b, "%-16s", label)
+		for _, p := range byRate[r] {
+			fmt.Fprintf(&b, "%9.2f", p.MeanSpeedup)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func compact(v int64) string {
+	if v >= 1000 {
+		return fmt.Sprintf("%dk", v/1000)
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: fraction of speedup attained without static transformations.
+// ---------------------------------------------------------------------
+
+// Fig7Row compares raw-binary speedup against transformed-binary speedup.
+type Fig7Row struct {
+	Bench       string
+	Transformed float64
+	Raw         float64
+	Fraction    float64 // (Raw-1)/(Transformed-1), clamped to [0,1]
+}
+
+// Fig7 evaluates both binary flavors on the proposed system.
+func Fig7(models []*BenchModel) []Fig7Row {
+	la := arch.Proposed()
+	rows := make([]Fig7Row, 0, len(models))
+	for _, bm := range models {
+		base := bm.Time(Baseline())
+		timed := func(raw bool) float64 {
+			total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(arch.ARM11())
+			for _, sm := range bm.Sites {
+				scalarTime := sm.ScalarCycles(arch.ARM11()) * float64(sm.Site.Invocations)
+				tr := sm.Translate(la, vm.Hybrid, raw)
+				if !tr.OK {
+					total += scalarTime
+					continue
+				}
+				total += float64(tr.AccelPerInvoc)*float64(sm.Site.Invocations) + float64(tr.WorkTotal())
+			}
+			return total
+		}
+		tSpeed := base / timed(false)
+		rSpeed := base / timed(true)
+		frac := 0.0
+		if tSpeed > 1 {
+			frac = (rSpeed - 1) / (tSpeed - 1)
+		}
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		rows = append(rows, Fig7Row{Bench: bm.Bench.Name, Transformed: tSpeed, Raw: rSpeed, Fraction: frac})
+	}
+	return rows
+}
+
+// FormatFig7 renders per-benchmark fractions plus the mean loss.
+func FormatFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: fraction of LA speedup attained without static loop transformations\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %10s\n", "benchmark", "transformed", "raw binary", "fraction")
+	var fr []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %11.2fx %11.2fx %9.1f%%\n", r.Bench, r.Transformed, r.Raw, 100*r.Fraction)
+		fr = append(fr, r.Fraction)
+	}
+	fmt.Fprintf(&b, "mean fraction: %.1f%% (speedup reduction %.0f%%)\n",
+		100*Mean(fr), 100*(1-Mean(fr)))
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: translation penalty per loop, by phase.
+// ---------------------------------------------------------------------
+
+// Fig8Row is one benchmark's average translation cost split by phase.
+type Fig8Row struct {
+	Bench  string
+	Phases [vmcost.NumPhases]float64
+	Total  float64
+}
+
+// Fig8 measures the fully-dynamic translator on every schedulable site.
+func Fig8(models []*BenchModel) []Fig8Row {
+	la := arch.Proposed()
+	rows := make([]Fig8Row, 0, len(models))
+	for _, bm := range models {
+		var row Fig8Row
+		row.Bench = bm.Bench.Name
+		n := 0
+		for _, sm := range bm.Sites {
+			tr := sm.Translate(la, vm.FullyDynamic, false)
+			if !tr.OK {
+				continue
+			}
+			n++
+			for p, w := range tr.Work {
+				row.Phases[p] += float64(w)
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		for p := range row.Phases {
+			row.Phases[p] /= float64(n)
+			row.Total += row.Phases[p]
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig8Average aggregates the per-benchmark rows into the suite average.
+func Fig8Average(rows []Fig8Row) Fig8Row {
+	var avg Fig8Row
+	avg.Bench = "average"
+	for _, r := range rows {
+		for p := range r.Phases {
+			avg.Phases[p] += r.Phases[p]
+		}
+	}
+	for p := range avg.Phases {
+		avg.Phases[p] /= float64(len(rows))
+		avg.Total += avg.Phases[p]
+	}
+	return avg
+}
+
+// FormatFig8 renders the stacked translation-cost table.
+func FormatFig8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: translation work per loop (work units), by phase\n")
+	fmt.Fprintf(&b, "%-14s", "benchmark")
+	for p := vmcost.Phase(0); p < vmcost.NumPhases; p++ {
+		fmt.Fprintf(&b, "%11s", p.String())
+	}
+	fmt.Fprintf(&b, "%11s\n", "total")
+	all := append(append([]Fig8Row{}, rows...), Fig8Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s", r.Bench)
+		for _, w := range r.Phases {
+			fmt.Fprintf(&b, "%11.0f", w)
+		}
+		fmt.Fprintf(&b, "%11.0f\n", r.Total)
+	}
+	avg := Fig8Average(rows)
+	prio := avg.Phases[vmcost.PhasePriority] / avg.Total
+	ccam := avg.Phases[vmcost.PhaseCCAMap] / avg.Total
+	fmt.Fprintf(&b, "priority share: %.0f%%  cca share: %.0f%%\n", 100*prio, 100*ccam)
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 10: static/dynamic tradeoffs and issue-width comparison.
+// ---------------------------------------------------------------------
+
+// Fig10Row is one benchmark's speedups across the six configurations.
+type Fig10Row struct {
+	Bench                                           string
+	NoPenalty, FullyDynamic, HeightPriority, Hybrid float64
+	TwoIssue, FourIssue                             float64
+}
+
+// Fig10Systems lists the evaluated configurations.
+func Fig10Systems() []System {
+	la := arch.Proposed()
+	return []System{
+		{Name: "no-penalty", CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: -1},
+		{Name: "fully-dynamic", CPU: arch.ARM11(), LA: la, Policy: vm.FullyDynamic, TransPerLoop: -1},
+		{Name: "height", CPU: arch.ARM11(), LA: la, Policy: vm.HeightPriority, TransPerLoop: -1},
+		{Name: "hybrid", CPU: arch.ARM11(), LA: la, Policy: vm.Hybrid, TransPerLoop: -1},
+		{Name: "2-issue", CPU: arch.CortexA8(), TransPerLoop: -1},
+		{Name: "4-issue", CPU: arch.Quad(), TransPerLoop: -1},
+	}
+}
+
+// Fig10 evaluates every benchmark on every configuration.
+func Fig10(models []*BenchModel) []Fig10Row {
+	systems := Fig10Systems()
+	rows := make([]Fig10Row, 0, len(models))
+	for _, bm := range models {
+		r := Fig10Row{Bench: bm.Bench.Name}
+		for _, sys := range systems {
+			s := bm.Speedup(sys)
+			switch sys.Name {
+			case "no-penalty":
+				r.NoPenalty = s
+			case "fully-dynamic":
+				r.FullyDynamic = s
+			case "height":
+				r.HeightPriority = s
+			case "hybrid":
+				r.Hybrid = s
+			case "2-issue":
+				r.TwoIssue = s
+			case "4-issue":
+				r.FourIssue = s
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// Fig10Average returns the suite-mean row.
+func Fig10Average(rows []Fig10Row) Fig10Row {
+	avg := Fig10Row{Bench: "average"}
+	n := float64(len(rows))
+	for _, r := range rows {
+		avg.NoPenalty += r.NoPenalty / n
+		avg.FullyDynamic += r.FullyDynamic / n
+		avg.HeightPriority += r.HeightPriority / n
+		avg.Hybrid += r.Hybrid / n
+		avg.TwoIssue += r.TwoIssue / n
+		avg.FourIssue += r.FourIssue / n
+	}
+	return avg
+}
+
+// FormatFig10 renders the tradeoff table.
+func FormatFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: whole-application speedup over the 1-issue baseline\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %10s %9s %9s\n",
+		"benchmark", "no-penalty", "full-dyn", "height", "hybrid", "2-issue", "4-issue")
+	all := append(append([]Fig10Row{}, rows...), Fig10Average(rows))
+	for _, r := range all {
+		fmt.Fprintf(&b, "%-14s %10.2f %10.2f %10.2f %10.2f %9.2f %9.2f\n",
+			r.Bench, r.NoPenalty, r.FullyDynamic, r.HeightPriority, r.Hybrid, r.TwoIssue, r.FourIssue)
+	}
+	return b.String()
+}

@@ -1,0 +1,321 @@
+// Package exp builds per-benchmark cost models and regenerates every
+// table and figure of the paper's evaluation (see DESIGN.md's experiment
+// index). The models combine measured quantities (scalar cycles per
+// invocation from the pipeline simulator, translation work from the VM's
+// meters, accelerator invocation costs from the schedule) with each
+// benchmark's invocation profile, so whole-application numbers follow the
+// paper's methodology: entire applications, including synchronization
+// overheads, over a 10-cycle system bus.
+package exp
+
+import (
+	"fmt"
+
+	"veal/internal/accel"
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+// acyclicCPI is the cycles-per-instruction of non-loop code on each issue
+// width: acyclic code has modest ILP, so wider machines gain
+// sub-linearly (the basis for Figure 10's 2-/4-issue bars).
+func acyclicCPI(cpu *arch.CPU) float64 {
+	switch {
+	case cpu.IssueWidth >= 4:
+		return 0.62
+	case cpu.IssueWidth >= 2:
+		return 0.78
+	default:
+		return 1.25
+	}
+}
+
+// SiteModel is one loop site prepared for evaluation.
+type SiteModel struct {
+	Site   workloads.LoopSite
+	Loop   *ir.Loop
+	Binary *lower.Result // annotated binary
+	Raw    *lower.Result // deoptimized binary (Figure 7)
+	Region cfg.Region    // region in Binary (valid when schedulable)
+
+	// scalarFit maps CPU name to (fixed, perIter) cycles for one
+	// invocation on that core, fitted from two measured trip counts.
+	scalarFit map[string][2]float64
+	// transCache memoizes Translate results across sweep evaluations.
+	transCache map[string]*Translation
+}
+
+// laKey fingerprints an LA configuration for the translation cache.
+func laKey(la *arch.LA) string {
+	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%+v",
+		la.IntUnits, la.FPUnits, la.CCAs, la.IntRegs, la.FPRegs,
+		la.LoadStreams, la.StoreStreams, la.LoadAGs, la.StoreAGs, la.MaxII,
+		la.MemLatency, la.FIFODepth, la.CCA)
+}
+
+// ScalarCycles returns the cycles one invocation takes on the CPU.
+func (s *SiteModel) ScalarCycles(cpu *arch.CPU) float64 {
+	fit := s.scalarFit[cpu.Name]
+	return fit[0] + fit[1]*float64(s.Site.Trip)
+}
+
+// BenchModel is a benchmark prepared for evaluation.
+type BenchModel struct {
+	Bench *workloads.Benchmark
+	Sites []*SiteModel
+}
+
+// BuildModel compiles and measures one benchmark.
+func BuildModel(b *workloads.Benchmark, cpus []*arch.CPU) (*BenchModel, error) {
+	bm := &BenchModel{Bench: b}
+	for _, site := range b.Sites {
+		sm, err := buildSite(site, cpus)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, site.Name, err)
+		}
+		bm.Sites = append(bm.Sites, sm)
+	}
+	return bm, nil
+}
+
+func buildSite(site workloads.LoopSite, cpus []*arch.CPU) (*SiteModel, error) {
+	l := site.Kernel.Build()
+	sm := &SiteModel{
+		Site: site, Loop: l,
+		scalarFit:  make(map[string][2]float64),
+		transCache: make(map[string]*Translation),
+	}
+
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		return nil, err
+	}
+	sm.Binary = res
+	raw, err := lower.Lower(l, lower.Options{Raw: true})
+	if err != nil {
+		return nil, err
+	}
+	sm.Raw = raw
+
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Head == res.Head {
+			sm.Region = r
+		}
+	}
+	if sm.Region.BackPC == 0 {
+		return nil, fmt.Errorf("no region found at head %d", res.Head)
+	}
+
+	// Two-point scalar measurement per CPU: cycles(t) = a + b*t.
+	t1, t2 := int64(24), int64(72)
+	if site.Trip < t2 {
+		t2 = site.Trip
+		t1 = (site.Trip + 1) / 2
+	}
+	if t1 == t2 {
+		t1 = t2 / 2
+	}
+	if t1 < 1 {
+		t1 = 1
+	}
+	for _, cpu := range cpus {
+		c1, err := measureScalar(sm, cpu, t1)
+		if err != nil {
+			return nil, err
+		}
+		c2, err := measureScalar(sm, cpu, t2)
+		if err != nil {
+			return nil, err
+		}
+		b := float64(c2-c1) / float64(t2-t1)
+		a := float64(c1) - b*float64(t1)
+		if a < 0 {
+			a = 0
+		}
+		sm.scalarFit[cpu.Name] = [2]float64{a, b}
+	}
+	return sm, nil
+}
+
+// measureScalar runs the site's binary for one invocation at the given
+// trip on a fresh machine and returns the cycle count.
+func measureScalar(sm *SiteModel, cpu *arch.CPU, trip int64) (int64, error) {
+	bind, mem := workloads.Prepare(sm.Loop, trip, 7)
+	m := scalar.New(cpu, mem)
+	m.Regs[sm.Binary.TripReg] = uint64(trip)
+	for i, r := range sm.Binary.ParamRegs {
+		m.Regs[r] = bind.Params[i]
+	}
+	if err := m.Run(sm.Binary.Program, 50_000_000); err != nil {
+		return 0, err
+	}
+	return m.Stats().Cycles, nil
+}
+
+// Translation is a per-site translation outcome on a given system/policy.
+type Translation struct {
+	OK            bool
+	Reason        string
+	Work          [vmcost.NumPhases]int64
+	AccelPerInvoc int64 // accelerator cycles for one invocation at Site.Trip
+	II, SC        int
+}
+
+// WorkTotal sums the phase work.
+func (t *Translation) WorkTotal() int64 {
+	var s int64
+	for _, w := range t.Work {
+		s += w
+	}
+	return s
+}
+
+// Translate runs the VM translation pipeline for a site on the given
+// system and policy, using the annotated binary (or the raw one when
+// raw=true).
+func (sm *SiteModel) Translate(la *arch.LA, policy vm.Policy, raw bool) *Translation {
+	return sm.TranslateWith(la, policy, raw, false)
+}
+
+// TranslateWith additionally controls the speculation extension: when spec
+// is set, while-shaped (speculation-support) sites translate too, and
+// their invocation estimate charges a full speculative chunk of overshoot.
+func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
+	if sm.Site.Kind == cfg.KindSubroutine || sm.Site.Kind == cfg.KindIrregular ||
+		(sm.Site.Kind == cfg.KindSpeculation && !spec) {
+		return &Translation{Reason: sm.Site.Kind.String()}
+	}
+	key := fmt.Sprintf("%s|%d|%v|%v", laKey(la), policy, raw, spec)
+	if t, ok := sm.transCache[key]; ok {
+		return t
+	}
+	t := sm.translate(la, policy, raw, spec)
+	sm.transCache[key] = t
+	return t
+}
+
+func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
+	binary := sm.Binary
+	region := sm.Region
+	if raw {
+		binary = sm.Raw
+		found := false
+		for _, r := range cfg.FindInnerLoops(binary.Program, nil) {
+			if r.Kind == cfg.KindSchedulable && r.Head <= binary.Head && binary.Head <= r.BackPC {
+				region, found = r, true
+			}
+		}
+		if !found {
+			return &Translation{Reason: "not schedulable without static transformation"}
+		}
+	}
+	v := vm.New(vm.Config{LA: la, CPU: arch.ARM11(), Policy: policy, SpeculationSupport: spec})
+	tr, err := v.Translate(binary.Program, region)
+	if err != nil {
+		return &Translation{Reason: err.Error()}
+	}
+	// Launch-time disambiguation with representative operands: sites whose
+	// streams alias would bounce back to the scalar core every invocation.
+	bind, _ := workloads.Prepare(tr.Ext.Loop, sm.Site.Trip, 7)
+	if !vm.StreamsDisjoint(tr.Ext.Loop, bind) {
+		return &Translation{Reason: "streams alias at runtime"}
+	}
+	// While-shaped loops pay for their speculated overshoot: model the
+	// whole bound plus one speculative chunk.
+	trip := sm.Site.Trip
+	if tr.Ext.Loop.HasExit() {
+		trip += int64(v.Cfg.SpecChunk)
+	}
+	return &Translation{
+		OK:            true,
+		Work:          tr.Work,
+		AccelPerInvoc: accel.EstimateInvocation(la, tr.Ext.Loop, tr.Schedule, trip),
+		II:            tr.Schedule.II,
+		SC:            tr.Schedule.SC,
+	}
+}
+
+// System describes one evaluated machine configuration.
+type System struct {
+	Name   string
+	CPU    *arch.CPU
+	LA     *arch.LA  // nil: scalar only
+	Policy vm.Policy // meaningful when LA != nil
+	// TransPerLoop overrides the measured translation cost when >= 0
+	// (Figure 6's parametric overhead); -1 uses the measured work.
+	TransPerLoop int64
+	// MissRate is the fraction of invocations that must retranslate
+	// (Figure 6's lines); 0 means translate once per site.
+	MissRate float64
+	// Speculation enables the while-loop extension (see vm.Config).
+	Speculation bool
+}
+
+// Baseline is the 1-issue reference machine every speedup is relative to.
+func Baseline() System { return System{Name: "arm11", CPU: arch.ARM11(), TransPerLoop: -1} }
+
+// Time evaluates the benchmark's total cycles on a system.
+func (bm *BenchModel) Time(sys System) float64 {
+	total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(sys.CPU)
+	for _, sm := range bm.Sites {
+		total += bm.siteTime(sm, sys)
+	}
+	return total
+}
+
+func (bm *BenchModel) siteTime(sm *SiteModel, sys System) float64 {
+	scalarTime := sm.ScalarCycles(sys.CPU) * float64(sm.Site.Invocations)
+	if sys.LA == nil {
+		return scalarTime
+	}
+	tr := sm.TranslateWith(sys.LA, sys.Policy, false, sys.Speculation)
+	if !tr.OK {
+		return scalarTime
+	}
+	accelTime := float64(tr.AccelPerInvoc) * float64(sm.Site.Invocations)
+	work := float64(tr.WorkTotal())
+	if sys.TransPerLoop >= 0 {
+		work = float64(sys.TransPerLoop)
+	}
+	// Expected translation count: one cold miss plus the expected
+	// retranslations from capacity misses (Figure 6's rate lines).
+	translations := 1.0 + float64(sm.Site.Invocations)*sys.MissRate
+	return accelTime + work*translations
+}
+
+// Speedup is baseline time / system time for one benchmark.
+func (bm *BenchModel) Speedup(sys System) float64 {
+	return bm.Time(Baseline()) / bm.Time(sys)
+}
+
+// Models builds every benchmark in the list.
+func Models(benches []*workloads.Benchmark) ([]*BenchModel, error) {
+	cpus := []*arch.CPU{arch.ARM11(), arch.CortexA8(), arch.Quad()}
+	out := make([]*BenchModel, 0, len(benches))
+	for _, b := range benches {
+		m, err := BuildModel(b, cpus)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Mean returns the arithmetic mean of a slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

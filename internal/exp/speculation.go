@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/vm"
+)
+
+// SpecRow compares a benchmark's speedup on the proposed system with and
+// without the while-loop speculation extension — the experiment the paper
+// motivates but does not run ("lack of support for loops requiring
+// speculation will limit the utility of the LA for some applications").
+type SpecRow struct {
+	Bench       string
+	Suite       string
+	PaperDesign float64 // speedup, speculation off (the published design)
+	WithSpec    float64 // speedup, speculation on
+	Uplift      float64 // WithSpec / PaperDesign
+}
+
+// Speculation evaluates the extension across the given models.
+func Speculation(models []*BenchModel) []SpecRow {
+	la := arch.Proposed()
+	base := System{Name: "paper", CPU: arch.ARM11(), LA: la, Policy: vm.Hybrid, TransPerLoop: -1}
+	spec := base
+	spec.Name = "spec"
+	spec.Speculation = true
+	rows := make([]SpecRow, 0, len(models))
+	for _, bm := range models {
+		p := bm.Speedup(base)
+		w := bm.Speedup(spec)
+		rows = append(rows, SpecRow{
+			Bench:       bm.Bench.Name,
+			Suite:       bm.Bench.Suite.String(),
+			PaperDesign: p,
+			WithSpec:    w,
+			Uplift:      w / p,
+		})
+	}
+	return rows
+}
+
+// FormatSpeculation renders the extension table.
+func FormatSpeculation(rows []SpecRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension: while-loop speculation support (beyond the paper's design)\n")
+	fmt.Fprintf(&b, "%-14s %-10s %12s %12s %8s\n", "benchmark", "suite", "paper design", "with spec", "uplift")
+	var ups []float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-10s %11.2fx %11.2fx %7.2fx\n",
+			r.Bench, r.Suite, r.PaperDesign, r.WithSpec, r.Uplift)
+		ups = append(ups, r.Uplift)
+	}
+	fmt.Fprintf(&b, "mean uplift: %.2fx\n", Mean(ups))
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package ir
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAllBuilderOpsExecute builds one loop touching every builder wrapper
+// and checks each result against direct Go arithmetic for a couple of
+// iterations.
+func TestAllBuilderOpsExecute(t *testing.T) {
+	b := NewBuilder("allops")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	fx := b.LoadStream("fx", 1)
+	fy := b.LoadStream("fy", 1)
+
+	intOuts := map[string]func(a, c int64) int64{
+		"add":    func(a, c int64) int64 { return a + c },
+		"sub":    func(a, c int64) int64 { return a - c },
+		"mul":    func(a, c int64) int64 { return a * c },
+		"div":    func(a, c int64) int64 { return a / c },
+		"shl":    func(a, c int64) int64 { return a << (uint64(c) & 63) },
+		"shra":   func(a, c int64) int64 { return a >> (uint64(c) & 63) },
+		"shrl":   func(a, c int64) int64 { return int64(uint64(a) >> (uint64(c) & 63)) },
+		"and":    func(a, c int64) int64 { return a & c },
+		"or":     func(a, c int64) int64 { return a | c },
+		"xor":    func(a, c int64) int64 { return a ^ c },
+		"not":    func(a, c int64) int64 { return ^a },
+		"neg":    func(a, c int64) int64 { return -a },
+		"abs":    func(a, c int64) int64 { return int64(math.Abs(float64(a))) },
+		"min":    func(a, c int64) int64 { return min64(a, c) },
+		"max":    func(a, c int64) int64 { return max64(a, c) },
+		"cmpeq":  func(a, c int64) int64 { return b2i(a == c) },
+		"cmpne":  func(a, c int64) int64 { return b2i(a != c) },
+		"cmplt":  func(a, c int64) int64 { return b2i(a < c) },
+		"cmple":  func(a, c int64) int64 { return b2i(a <= c) },
+		"cmpgt":  func(a, c int64) int64 { return b2i(a > c) },
+		"cmpge":  func(a, c int64) int64 { return b2i(a >= c) },
+		"select": func(a, c int64) int64 { return selectGo(a < c, a, c) },
+	}
+	b.LiveOut("add", b.Add(x, y))
+	b.LiveOut("sub", b.Sub(x, y))
+	b.LiveOut("mul", b.Mul(x, y))
+	b.LiveOut("div", b.Div(x, y))
+	b.LiveOut("shl", b.Shl(x, y))
+	b.LiveOut("shra", b.ShrA(x, y))
+	b.LiveOut("shrl", b.ShrL(x, y))
+	b.LiveOut("and", b.And(x, y))
+	b.LiveOut("or", b.Or(x, y))
+	b.LiveOut("xor", b.Xor(x, y))
+	b.LiveOut("not", b.Not(x))
+	b.LiveOut("neg", b.Neg(x))
+	b.LiveOut("abs", b.Abs(x))
+	b.LiveOut("min", b.Min(x, y))
+	b.LiveOut("max", b.Max(x, y))
+	b.LiveOut("cmpeq", b.CmpEQ(x, y))
+	b.LiveOut("cmpne", b.CmpNE(x, y))
+	b.LiveOut("cmplt", b.CmpLT(x, y))
+	b.LiveOut("cmple", b.CmpLE(x, y))
+	b.LiveOut("cmpgt", b.CmpGT(x, y))
+	b.LiveOut("cmpge", b.CmpGE(x, y))
+	b.LiveOut("select", b.Select(b.CmpLT(x, y), x, y))
+
+	fpOuts := map[string]func(a, c float64) float64{
+		"fadd":  func(a, c float64) float64 { return a + c },
+		"fsub":  func(a, c float64) float64 { return a - c },
+		"fmul":  func(a, c float64) float64 { return a * c },
+		"fdiv":  func(a, c float64) float64 { return a / c },
+		"fneg":  func(a, c float64) float64 { return -a },
+		"fabs":  func(a, c float64) float64 { return math.Abs(a) },
+		"fmin":  math.Min,
+		"fmax":  math.Max,
+		"fsqrt": func(a, c float64) float64 { return math.Sqrt(a) },
+	}
+	b.LiveOut("fadd", b.FAdd(fx, fy))
+	b.LiveOut("fsub", b.FSub(fx, fy))
+	b.LiveOut("fmul", b.FMul(fx, fy))
+	b.LiveOut("fdiv", b.FDiv(fx, fy))
+	b.LiveOut("fneg", b.FNeg(fx))
+	b.LiveOut("fabs", b.FAbs(fx))
+	b.LiveOut("fmin", b.FMin(fx, fy))
+	b.LiveOut("fmax", b.FMax(fx, fy))
+	b.LiveOut("fsqrt", b.FSqrt(fx))
+	b.LiveOut("itof", b.IToF(x))
+	b.LiveOut("ftoi", b.FToI(fx))
+	b.LiveOut("constf", b.ConstF(2.5))
+
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var xv, yv int64 = -7, 3
+	var fxv, fyv = 2.25, -0.5
+	mem := NewPagedMemory()
+	mem.Store(0x10, uint64(xv))
+	mem.Store(0x20, uint64(yv))
+	mem.Store(0x30, math.Float64bits(fxv))
+	mem.Store(0x40, math.Float64bits(fyv))
+	params := make([]uint64, l.NumParams)
+	params[0], params[1], params[2], params[3] = 0x10, 0x20, 0x30, 0x40
+	res, err := Execute(l, &Bindings{Params: params, Trip: 1}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, f := range intOuts {
+		want := uint64(f(xv, yv))
+		if got := res.LiveOuts[name]; got != want {
+			t.Errorf("%s = %#x, want %#x", name, got, want)
+		}
+	}
+	for name, f := range fpOuts {
+		want := math.Float64bits(f(fxv, fyv))
+		if got := res.LiveOuts[name]; got != want {
+			t.Errorf("%s = %g, want %g", name,
+				math.Float64frombits(got), math.Float64frombits(want))
+		}
+	}
+	if got := res.LiveOuts["itof"]; got != math.Float64bits(float64(xv)) {
+		t.Errorf("itof = %#x", got)
+	}
+	if got := res.LiveOuts["ftoi"]; got != uint64(int64(fxv-0.25)) {
+		t.Errorf("ftoi = %#x, want 2", got)
+	}
+	if got := res.LiveOuts["constf"]; got != math.Float64bits(2.5) {
+		t.Errorf("constf = %#x", got)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+func selectGo(p bool, a, b int64) int64 {
+	if p {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+package ir
+
+import "fmt"
+
+// Builder constructs loops programmatically with value-handle ergonomics.
+// It is the authoring surface used by the workload suite, the examples,
+// and the random loop generator.
+//
+//	b := ir.NewBuilder("saxpy")
+//	x := b.LoadStream("x", 1)
+//	y := b.LoadStream("y", 1)
+//	a := b.Param("a")
+//	b.StoreStream("out", 1, b.FAdd(b.FMul(a, x), y))
+//	loop, err := b.Build()
+type Builder struct {
+	loop       *Loop
+	paramNames map[string]int
+	consts     map[uint64]Value
+	err        error
+}
+
+// Value is a handle to a node produced by a Builder. A Value obtained from
+// Recur additionally carries a loop-carried distance: using it as an
+// operand reads the producer's value from previous iterations.
+type Value struct {
+	id   int
+	dist int
+}
+
+// NewBuilder returns a Builder for a loop with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		loop:       &Loop{Name: name},
+		paramNames: make(map[string]int),
+		consts:     make(map[uint64]Value),
+	}
+}
+
+func (b *Builder) add(n *Node) Value {
+	n.ID = len(b.loop.Nodes)
+	b.loop.Nodes = append(b.loop.Nodes, n)
+	return Value{id: n.ID}
+}
+
+// Const introduces a constant. Equal constants are interned to one node.
+func (b *Builder) Const(v int64) Value {
+	return b.constBits(uint64(v))
+}
+
+// ConstF introduces a floating-point constant.
+func (b *Builder) ConstF(f float64) Value {
+	return b.constBits(bits(f))
+}
+
+func (b *Builder) constBits(imm uint64) Value {
+	if v, ok := b.consts[imm]; ok {
+		return v
+	}
+	v := b.add(&Node{Op: OpConst, Imm: imm})
+	b.consts[imm] = v
+	return v
+}
+
+// Param introduces (or reuses) a named scalar live-in and returns a node
+// reading it.
+func (b *Builder) Param(name string) Value {
+	return b.add(&Node{Op: OpParam, Param: b.paramIndex(name)})
+}
+
+func (b *Builder) paramIndex(name string) int {
+	if i, ok := b.paramNames[name]; ok {
+		return i
+	}
+	i := b.loop.NumParams
+	b.paramNames[name] = i
+	b.loop.NumParams++
+	return i
+}
+
+// ParamIndex reports the index assigned to a named parameter, creating it
+// if needed. Useful when preparing Bindings.
+func (b *Builder) ParamIndex(name string) int { return b.paramIndex(name) }
+
+// IndVar returns the iteration counter.
+func (b *Builder) IndVar() Value {
+	return b.add(&Node{Op: OpIndVar})
+}
+
+// LoadStream declares a load stream whose base address is the named
+// parameter and returns the per-iteration loaded value.
+func (b *Builder) LoadStream(baseParam string, stride int64) Value {
+	return b.LoadStreamAt(baseParam, 0, stride)
+}
+
+// LoadStreamAt declares a load stream at a constant word offset from the
+// named base parameter — many streams can share one base (the stencil
+// idiom: neighbours of a single array).
+func (b *Builder) LoadStreamAt(baseParam string, offset, stride int64) Value {
+	s := len(b.loop.Streams)
+	b.loop.Streams = append(b.loop.Streams, Stream{
+		Kind:      LoadStream,
+		BaseParam: b.paramIndex(baseParam),
+		Offset:    offset,
+		Stride:    stride,
+	})
+	return b.add(&Node{Op: OpLoad, Stream: s})
+}
+
+// StoreStream declares a store stream writing v each iteration.
+func (b *Builder) StoreStream(baseParam string, stride int64, v Value) Value {
+	return b.StoreStreamAt(baseParam, 0, stride, v)
+}
+
+// StoreStreamAt is StoreStream with a constant word offset from the base.
+func (b *Builder) StoreStreamAt(baseParam string, offset, stride int64, v Value) Value {
+	s := len(b.loop.Streams)
+	b.loop.Streams = append(b.loop.Streams, Stream{
+		Kind:      StoreStream,
+		BaseParam: b.paramIndex(baseParam),
+		Offset:    offset,
+		Stride:    stride,
+	})
+	return b.add(&Node{Op: OpStore, Stream: s, Args: []Operand{{Node: v.id, Dist: v.dist}}})
+}
+
+// Op appends a generic operation.
+func (b *Builder) Op(op Op, args ...Value) Value {
+	if op.NumArgs() != len(args) {
+		b.fail("op %v given %d args, wants %d", op, len(args), op.NumArgs())
+		return Value{}
+	}
+	ops := make([]Operand, len(args))
+	for i, a := range args {
+		ops[i] = Operand{Node: a.id, Dist: a.dist}
+	}
+	return b.add(&Node{Op: op, Args: ops})
+}
+
+// Convenience wrappers for common operations.
+
+func (b *Builder) Add(x, y Value) Value       { return b.Op(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Value) Value       { return b.Op(OpSub, x, y) }
+func (b *Builder) Mul(x, y Value) Value       { return b.Op(OpMul, x, y) }
+func (b *Builder) Div(x, y Value) Value       { return b.Op(OpDiv, x, y) }
+func (b *Builder) Shl(x, y Value) Value       { return b.Op(OpShl, x, y) }
+func (b *Builder) ShrA(x, y Value) Value      { return b.Op(OpShrA, x, y) }
+func (b *Builder) ShrL(x, y Value) Value      { return b.Op(OpShrL, x, y) }
+func (b *Builder) And(x, y Value) Value       { return b.Op(OpAnd, x, y) }
+func (b *Builder) Or(x, y Value) Value        { return b.Op(OpOr, x, y) }
+func (b *Builder) Xor(x, y Value) Value       { return b.Op(OpXor, x, y) }
+func (b *Builder) Not(x Value) Value          { return b.Op(OpNot, x) }
+func (b *Builder) Neg(x Value) Value          { return b.Op(OpNeg, x) }
+func (b *Builder) Abs(x Value) Value          { return b.Op(OpAbs, x) }
+func (b *Builder) Min(x, y Value) Value       { return b.Op(OpMin, x, y) }
+func (b *Builder) Max(x, y Value) Value       { return b.Op(OpMax, x, y) }
+func (b *Builder) CmpEQ(x, y Value) Value     { return b.Op(OpCmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y Value) Value     { return b.Op(OpCmpNE, x, y) }
+func (b *Builder) CmpLT(x, y Value) Value     { return b.Op(OpCmpLT, x, y) }
+func (b *Builder) CmpLE(x, y Value) Value     { return b.Op(OpCmpLE, x, y) }
+func (b *Builder) CmpGT(x, y Value) Value     { return b.Op(OpCmpGT, x, y) }
+func (b *Builder) CmpGE(x, y Value) Value     { return b.Op(OpCmpGE, x, y) }
+func (b *Builder) Select(p, t, f Value) Value { return b.Op(OpSelect, p, t, f) }
+func (b *Builder) FAdd(x, y Value) Value      { return b.Op(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Value) Value      { return b.Op(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Value) Value      { return b.Op(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Value) Value      { return b.Op(OpFDiv, x, y) }
+func (b *Builder) FMin(x, y Value) Value      { return b.Op(OpFMin, x, y) }
+func (b *Builder) FMax(x, y Value) Value      { return b.Op(OpFMax, x, y) }
+func (b *Builder) FNeg(x Value) Value         { return b.Op(OpFNeg, x) }
+func (b *Builder) FAbs(x Value) Value         { return b.Op(OpFAbs, x) }
+func (b *Builder) FSqrt(x Value) Value        { return b.Op(OpFSqrt, x) }
+func (b *Builder) IToF(x Value) Value         { return b.Op(OpIToF, x) }
+func (b *Builder) FToI(x Value) Value         { return b.Op(OpFToI, x) }
+
+// Recur returns a reference to producer's value dist iterations back. The
+// named parameters supply the values read before the first iteration:
+// inits[k] covers iteration -(k+1). Calling Recur twice on one producer is
+// fine; init parameters are only appended up to the largest distance.
+func (b *Builder) Recur(producer Value, dist int, inits ...string) Value {
+	if producer.dist != 0 {
+		b.fail("Recur applied to a value that already has distance %d", producer.dist)
+		return Value{}
+	}
+	if dist <= 0 {
+		b.fail("Recur distance must be positive, got %d", dist)
+		return Value{}
+	}
+	n := b.loop.Nodes[producer.id]
+	if len(n.Init) < dist && len(inits) < dist {
+		b.fail("Recur at distance %d on node %d needs %d init params, got %d",
+			dist, producer.id, dist, len(inits))
+		return Value{}
+	}
+	for len(n.Init) < dist {
+		n.Init = append(n.Init, b.paramIndex(inits[len(n.Init)]))
+	}
+	return Value{id: producer.id, dist: dist}
+}
+
+// ID returns the underlying node ID of the value, for callers that need
+// to correlate builder handles with the finished loop's nodes.
+func (v Value) ID() int { return v.id }
+
+// SetArg rewires operand k of v's producing node to read src. Combined
+// with Recur this closes genuine recurrences:
+//
+//	acc := b.Add(x, x)                       // placeholder second operand
+//	b.SetArg(acc, 1, b.Recur(acc, 1, "a0"))  // acc = x + acc@1
+func (b *Builder) SetArg(v Value, k int, src Value) {
+	if v.id < 0 || v.id >= len(b.loop.Nodes) {
+		b.fail("SetArg on invalid value")
+		return
+	}
+	n := b.loop.Nodes[v.id]
+	if k < 0 || k >= len(n.Args) {
+		b.fail("SetArg index %d out of range for %v", k, n.Op)
+		return
+	}
+	n.Args[k] = Operand{Node: src.id, Dist: src.dist}
+}
+
+// ExitWhen marks v as the loop's side-exit condition: the loop ends after
+// the first iteration in which v is non-zero (a while-loop's break).
+func (b *Builder) ExitWhen(v Value) {
+	if v.dist != 0 {
+		b.fail("ExitWhen on a loop-carried reference")
+		return
+	}
+	b.loop.SetExit(v.id)
+}
+
+// LiveOut names a scalar result.
+func (b *Builder) LiveOut(name string, v Value) {
+	b.loop.LiveOuts = append(b.loop.LiveOuts, LiveOut{Name: name, Node: v.id})
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("builder %q: %s", b.loop.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build finalizes and validates the loop.
+func (b *Builder) Build() (*Loop, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.loop.ParamNames = make([]string, b.loop.NumParams)
+	for name, idx := range b.paramNames {
+		b.loop.ParamNames[idx] = name
+	}
+	if err := b.loop.Validate(); err != nil {
+		return nil, err
+	}
+	return b.loop, nil
+}
+
+// MustBuild is Build for static workload definitions, panicking on error.
+func (b *Builder) MustBuild() *Loop {
+	l, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return l
+}

@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// Builder misuse must surface as a Build error (the first one recorded),
+// never as a panic or a silently wrong loop.
+func TestBuilderRejectsWrongArity(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.LoadStream("x", 1)
+	b.Op(OpAdd, x) // Add wants 2 args
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "wants") {
+		t.Fatalf("Build() = %v, want arity error", err)
+	}
+}
+
+func TestBuilderRejectsRecurMisuse(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}{
+		{"recur-on-carried", func(b *Builder) {
+			x := b.LoadStream("x", 1)
+			s := b.Add(x, x)
+			prev := b.Recur(s, 1, "s0")
+			b.Recur(prev, 1, "s1") // already distance 1
+		}, "already has distance"},
+		{"nonpositive-dist", func(b *Builder) {
+			x := b.LoadStream("x", 1)
+			s := b.Add(x, x)
+			b.Recur(s, 0)
+		}, "must be positive"},
+		{"missing-inits", func(b *Builder) {
+			x := b.LoadStream("x", 1)
+			s := b.Add(x, x)
+			b.Recur(s, 3, "s0") // needs 3 init params
+		}, "init params"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewBuilder(tc.name)
+			tc.build(b)
+			_, err := b.Build()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Build() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuilderRecurReusesExistingInits(t *testing.T) {
+	// A second Recur at the same or smaller distance must not append new
+	// init params: the node already carries them.
+	b := NewBuilder("reuse")
+	x := b.LoadStream("x", 1)
+	s := b.Add(x, x)
+	b.SetArg(s, 1, b.Recur(s, 1, "s0"))
+	before := b.loop.NumParams
+	b.StoreStream("out", 1, b.Add(b.Recur(s, 1), x)) // no init names needed
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.NumParams; got != before+1 { // +1 for the "out" stream base
+		t.Errorf("second Recur grew params from %d to %d", before, got)
+	}
+}
+
+func TestBuilderRejectsSetArgMisuse(t *testing.T) {
+	t.Run("bad-value", func(t *testing.T) {
+		b := NewBuilder("badval")
+		x := b.LoadStream("x", 1)
+		b.SetArg(Value{id: 99}, 0, x)
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "invalid value") {
+			t.Fatalf("Build() = %v, want invalid-value error", err)
+		}
+	})
+	t.Run("bad-index", func(t *testing.T) {
+		b := NewBuilder("badidx")
+		x := b.LoadStream("x", 1)
+		s := b.Not(x)
+		b.SetArg(s, 1, x) // Not has a single operand
+		if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "out of range") {
+			t.Fatalf("Build() = %v, want index error", err)
+		}
+	})
+}
+
+func TestBuilderRejectsCarriedExitPredicate(t *testing.T) {
+	b := NewBuilder("badexit")
+	x := b.LoadStream("x", 1)
+	s := b.Add(x, x)
+	prev := b.Recur(s, 1, "s0")
+	b.SetArg(s, 1, prev)
+	b.ExitWhen(prev)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "loop-carried") {
+		t.Fatalf("Build() = %v, want loop-carried exit error", err)
+	}
+}
+
+func TestBuilderKeepsFirstError(t *testing.T) {
+	b := NewBuilder("first")
+	x := b.LoadStream("x", 1)
+	b.Op(OpAdd, x)       // first error: arity
+	b.Recur(Value{}, -1) // would be a different error
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "wants") {
+		t.Fatalf("Build() = %v, want the first (arity) error preserved", err)
+	}
+}
+
+func TestMemoryWordSliceHelpers(t *testing.T) {
+	m := NewPagedMemory()
+	words := []uint64{7, 0, 1 << 60, 42}
+	m.WriteWords(-3, words) // spans the page boundary below zero
+	got := m.ReadWords(-3, len(words))
+	for i, w := range words {
+		if got[i] != w {
+			t.Errorf("word %d = %d, want %d", i, got[i], w)
+		}
+	}
+	if extra := m.ReadWords(100, 2); extra[0] != 0 || extra[1] != 0 {
+		t.Errorf("untouched words read back %v, want zeros", extra)
+	}
+}
+
+func TestSuccsMirrorsArgs(t *testing.T) {
+	b := NewBuilder("succs")
+	x := b.LoadStream("x", 1)
+	s := b.Add(x, x)
+	b.SetArg(s, 1, b.Recur(s, 1, "s0"))
+	b.StoreStream("out", 1, s)
+	l := b.MustBuild()
+
+	succ := l.Succs()
+	// Every arg edge must appear exactly once in the producer's list.
+	count := 0
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			found := false
+			for _, e := range succ[a.Node] {
+				if e.Node == n.ID && e.Dist == a.Dist {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge n%d --(%d)--> n%d missing from Succs", a.Node, a.Dist, n.ID)
+			}
+			count++
+		}
+	}
+	total := 0
+	for _, es := range succ {
+		total += len(es)
+	}
+	if total != count {
+		t.Errorf("Succs has %d edges, loop has %d arg edges", total, count)
+	}
+	// The self-recurrence must show up as a distance-1 self edge.
+	selfEdge := false
+	for _, e := range succ[s.ID()] {
+		if e.Node == s.ID() && e.Dist == 1 {
+			selfEdge = true
+		}
+	}
+	if !selfEdge {
+		t.Error("loop-carried self edge missing from Succs")
+	}
+}
+
+func TestOpAndClassStrings(t *testing.T) {
+	if got := Op(-1).String(); got != "op(-1)" {
+		t.Errorf("invalid op String = %q", got)
+	}
+	if got := Op(10000).String(); got != "op(10000)" {
+		t.Errorf("out-of-range op String = %q", got)
+	}
+	want := map[Class]string{
+		ClassNone: "none", ClassInt: "int", ClassFloat: "float",
+		ClassMemLoad: "load", ClassMemStore: "store",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if got := Class(99).String(); got != "class(99)" {
+		t.Errorf("invalid class String = %q", got)
+	}
+}

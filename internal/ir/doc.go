@@ -1,0 +1,19 @@
+// Package ir defines the loop dataflow intermediate representation used
+// throughout VEAL.
+//
+// A Loop describes one iteration of an innermost loop body as a dataflow
+// graph. Nodes are RISC-equivalent operations; operand edges carry an
+// iteration distance, so loop-carried dependences (recurrences) are
+// first-class. Memory accesses are expressed as affine streams — a base
+// address plus a constant per-iteration stride — mirroring the
+// address-generator/FIFO decoupling of the VEAL loop accelerator template:
+// loads have no address operands (the stream determines the address for
+// every iteration) and stores consume only the value they write.
+//
+// The package also provides the reference sequential executor, which gives
+// every Loop a precise meaning: iterations execute one after another, and
+// within an iteration nodes execute in dataflow order. All other execution
+// engines in this repository (the scalar pipeline simulator running the
+// original binary, and the loop-accelerator simulator running a modulo
+// schedule) are required to produce results bit-identical to this executor.
+package ir

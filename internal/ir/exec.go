@@ -1,0 +1,153 @@
+package ir
+
+import "fmt"
+
+// Bindings supplies the runtime quantities of one loop invocation: the
+// scalar live-in values (indexed by parameter number) and the trip count.
+type Bindings struct {
+	Params []uint64
+	Trip   int64
+}
+
+// Validate checks the bindings against the loop's interface.
+func (b *Bindings) Validate(l *Loop) error {
+	if len(b.Params) != l.NumParams {
+		return fmt.Errorf("loop %q: %d param values for %d params", l.Name, len(b.Params), l.NumParams)
+	}
+	if b.Trip < 0 {
+		return fmt.Errorf("loop %q: negative trip count %d", l.Name, b.Trip)
+	}
+	return nil
+}
+
+// Result holds the outcome of executing a loop: the scalar live-out values
+// by name plus how the loop ended. Memory side effects land in the Memory
+// passed to Execute.
+type Result struct {
+	LiveOuts map[string]uint64
+	// Iterations is the number of iterations that actually executed (the
+	// trip count, or fewer when a side exit fired).
+	Iterations int64
+	// Exited reports whether the side-exit condition ended the loop.
+	Exited bool
+}
+
+// Execute runs the loop sequentially — the reference semantics every other
+// execution engine must match. Iterations run one at a time; within an
+// iteration nodes evaluate in topological order of the distance-zero
+// dependence graph, loads before the stores that consume them.
+func Execute(l *Loop, b *Bindings, mem Memory) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if err := b.Validate(l); err != nil {
+		return nil, err
+	}
+	order := l.TopoOrder()
+	if len(order) != len(l.Nodes) {
+		return nil, fmt.Errorf("loop %q: cyclic at distance zero", l.Name)
+	}
+
+	// history[n] is a ring buffer of the last (maxDist+1) values of node n.
+	depth := l.MaxDist() + 1
+	history := make([][]uint64, len(l.Nodes))
+	for i := range history {
+		history[i] = make([]uint64, depth)
+	}
+	read := func(a Operand, iter int64) uint64 {
+		src := iter - int64(a.Dist)
+		if src >= 0 {
+			return history[a.Node][src%int64(depth)]
+		}
+		// Before the first iteration: initial value from the params.
+		init := l.Nodes[a.Node].Init
+		return b.Params[init[-src-1]]
+	}
+
+	exited := false
+	iterations := b.Trip
+	var args [3]uint64
+	for iter := int64(0); iter < b.Trip; iter++ {
+		for _, id := range order {
+			n := l.Nodes[id]
+			var v uint64
+			switch n.Op {
+			case OpConst:
+				v = n.Imm
+			case OpParam:
+				v = b.Params[n.Param]
+			case OpIndVar:
+				v = uint64(iter)
+			case OpLoad:
+				v = mem.Load(l.Streams[n.Stream].AddrAt(b.Params, iter))
+			case OpStore:
+				v = read(n.Args[0], iter)
+				mem.Store(l.Streams[n.Stream].AddrAt(b.Params, iter), v)
+			default:
+				for i, a := range n.Args {
+					args[i] = read(a, iter)
+				}
+				v = Eval(n.Op, args[:len(n.Args)])
+			}
+			history[id][iter%int64(depth)] = v
+		}
+		if l.HasExit() && history[l.ExitNode()][iter%int64(depth)] != 0 {
+			exited = true
+			iterations = iter + 1
+			break
+		}
+	}
+
+	// Live-outs read relative to the last iteration that ran.
+	effective := *b
+	effective.Trip = iterations
+	res := &Result{
+		LiveOuts:   make(map[string]uint64, len(l.LiveOuts)),
+		Iterations: iterations,
+		Exited:     exited,
+	}
+	for _, lo := range l.LiveOuts {
+		res.LiveOuts[lo.Name] = liveOutValue(l, lo, &effective, func(iter int64) uint64 {
+			return history[lo.Node][iter%int64(depth)]
+		})
+	}
+	return res, nil
+}
+
+// liveOutValue resolves a live-out: the value of its node Dist iterations
+// before the last, falling back to the initial-value parameters (and then
+// zero) when the read lands before iteration zero.
+func liveOutValue(l *Loop, lo LiveOut, b *Bindings, hist func(iter int64) uint64) uint64 {
+	idx := b.Trip - 1 - int64(lo.Dist)
+	if idx >= 0 {
+		return hist(idx)
+	}
+	k := int(-idx - 1)
+	if k < len(lo.Init) {
+		return b.Params[lo.Init[k]]
+	}
+	if n := l.Nodes[lo.Node]; k < len(n.Init) {
+		return b.Params[n.Init[k]]
+	}
+	return 0
+}
+
+// DynamicOps returns the number of dynamic RISC-equivalent operations one
+// sequential execution of the loop performs, counting the two control
+// operations (induction increment and compare/branch) the accelerator
+// subsumes. Used by the scalar timing model and experiment bookkeeping.
+func DynamicOps(l *Loop, trip int64) int64 {
+	perIter := int64(0)
+	for _, n := range l.Nodes {
+		if n.Op.Class() != ClassNone {
+			perIter++
+		}
+		// Loads and stores also perform their address update on a scalar
+		// machine; streams fold that in on the accelerator.
+		if n.Op == OpLoad || n.Op == OpStore {
+			perIter++
+		}
+	}
+	const controlOps = 2
+	return (perIter + controlOps) * trip
+}

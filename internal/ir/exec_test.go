@@ -1,0 +1,394 @@
+package ir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExecuteFIR(t *testing.T) {
+	// out[i] = 2*x[i] + 3*x[i+1]
+	b := NewBuilder("fir2")
+	x0 := b.LoadStream("x0", 1)
+	x1 := b.LoadStream("x1", 1)
+	sum := b.Add(b.Mul(x0, b.Const(2)), b.Mul(x1, b.Const(3)))
+	b.StoreStream("out", 1, sum)
+	b.LiveOut("last", sum)
+	l := b.MustBuild()
+
+	mem := NewPagedMemory()
+	const xBase, outBase, n = 100, 500, 8
+	for i := int64(0); i < n+1; i++ {
+		mem.Store(xBase+i, uint64(i+1))
+	}
+	res, err := Execute(l, &Bindings{
+		Params: []uint64{xBase, xBase + 1, outBase},
+		Trip:   n,
+	}, mem)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for i := int64(0); i < n; i++ {
+		want := uint64(2*(i+1) + 3*(i+2))
+		if got := mem.Load(outBase + i); got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	wantLast := uint64(2*n + 3*(n+1))
+	if got := res.LiveOuts["last"]; got != wantLast {
+		t.Errorf("live-out last = %d, want %d", got, wantLast)
+	}
+}
+
+func TestExecuteRecurrenceAccumulator(t *testing.T) {
+	// sum = sum@1 + x[i], classic reduction with init from a param.
+	b := NewBuilder("reduce")
+	x := b.LoadStream("x", 1)
+	sum := b.Add(x, x) // operand 1 rewired to self@1
+	l := b.loop
+	l.Nodes[sum.id].Args[1] = Operand{Node: sum.id, Dist: 1}
+	l.Nodes[sum.id].Init = []int{b.ParamIndex("sum0")}
+	b.LiveOut("sum", sum)
+	loop := b.MustBuild()
+
+	mem := NewPagedMemory()
+	const base, n = 1000, 10
+	total := uint64(7) // initial value
+	for i := int64(0); i < n; i++ {
+		mem.Store(base+i, uint64(i))
+		total += uint64(i)
+	}
+	res, err := Execute(loop, &Bindings{Params: []uint64{base, 7}, Trip: n}, mem)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := res.LiveOuts["sum"]; got != total {
+		t.Errorf("sum = %d, want %d", got, total)
+	}
+}
+
+func TestExecuteDeepRecurrence(t *testing.T) {
+	// fib-style: f = f@1 + f@2 with inits f(-1)=1, f(-2)=0.
+	b := NewBuilder("fib")
+	f := b.Add(b.Const(0), b.Const(0))
+	l := b.loop
+	l.Nodes[f.id].Args[0] = Operand{Node: f.id, Dist: 1}
+	l.Nodes[f.id].Args[1] = Operand{Node: f.id, Dist: 2}
+	l.Nodes[f.id].Init = []int{b.ParamIndex("fm1"), b.ParamIndex("fm2")}
+	b.LiveOut("f", f)
+	loop := b.MustBuild()
+
+	// params: fm1 = f(-1) = 1, fm2 = f(-2) = 0
+	res, err := Execute(loop, &Bindings{Params: []uint64{1, 0}, Trip: 10}, NewPagedMemory())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// f(0)=1, f(1)=2, f(2)=3, f(3)=5 ... f(9) = fib(11) = 89
+	if got := res.LiveOuts["f"]; got != 89 {
+		t.Errorf("f = %d, want 89", got)
+	}
+}
+
+func TestExecuteIndVarAndSelect(t *testing.T) {
+	// out[i] = i < 5 ? i : -i
+	b := NewBuilder("sel")
+	i := b.IndVar()
+	p := b.CmpLT(i, b.Const(5))
+	v := b.Select(p, i, b.Neg(i))
+	b.StoreStream("out", 1, v)
+	loop := b.MustBuild()
+
+	mem := NewPagedMemory()
+	_, err := Execute(loop, &Bindings{Params: []uint64{0}, Trip: 8}, mem)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for i := int64(0); i < 8; i++ {
+		want := i
+		if i >= 5 {
+			want = -i
+		}
+		if got := int64(mem.Load(i)); got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestExecuteFloat(t *testing.T) {
+	// y[i] = a*x[i] + y[i] (saxpy, in place on distinct streams)
+	b := NewBuilder("saxpy")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	b.StoreStream("out", 1, b.FAdd(b.FMul(a, x), y))
+	loop := b.MustBuild()
+
+	mem := NewPagedMemory()
+	const xb, yb, ob, n = 0, 100, 200, 16
+	for i := int64(0); i < n; i++ {
+		mem.Store(xb+i, math.Float64bits(float64(i)))
+		mem.Store(yb+i, math.Float64bits(float64(2*i)))
+	}
+	_, err := Execute(loop, &Bindings{
+		Params: []uint64{xb, yb, math.Float64bits(1.5), ob},
+		Trip:   n,
+	}, mem)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for i := int64(0); i < n; i++ {
+		want := 1.5*float64(i) + float64(2*i)
+		if got := math.Float64frombits(mem.Load(ob + i)); got != want {
+			t.Errorf("out[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestExecuteZeroTrip(t *testing.T) {
+	b := NewBuilder("zt")
+	x := b.LoadStream("x", 1)
+	s := b.Add(x, b.Const(1))
+	b.StoreStream("out", 1, s)
+	b.LiveOut("v", s)
+	loop := b.MustBuild()
+	mem := NewPagedMemory()
+	res, err := Execute(loop, &Bindings{Params: []uint64{0, 100}, Trip: 0}, mem)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.LiveOuts["v"] != 0 {
+		t.Errorf("zero-trip live-out = %d, want 0", res.LiveOuts["v"])
+	}
+	if mem.Load(100) != 0 {
+		t.Error("zero-trip loop wrote memory")
+	}
+}
+
+func TestExecuteRejectsBadBindings(t *testing.T) {
+	l := &Loop{Name: "x", Nodes: []*Node{{ID: 0, Op: OpConst}}}
+	if _, err := Execute(l, &Bindings{Params: []uint64{1}, Trip: 1}, NewPagedMemory()); err == nil {
+		t.Error("Execute accepted wrong param count")
+	}
+	if _, err := Execute(l, &Bindings{Trip: -1}, NewPagedMemory()); err == nil {
+		t.Error("Execute accepted negative trip")
+	}
+}
+
+func TestDynamicOps(t *testing.T) {
+	b := NewBuilder("d")
+	x := b.LoadStream("x", 1)
+	b.StoreStream("out", 1, b.Add(x, b.Const(1)))
+	l := b.MustBuild()
+	// per iter: load(+addr)=2, add=1, store(+addr)=2, control=2 → 7
+	if got := DynamicOps(l, 10); got != 70 {
+		t.Errorf("DynamicOps = %d, want 70", got)
+	}
+}
+
+func TestEvalPropertiesAgainstGoSemantics(t *testing.T) {
+	f := func(x, y int64) bool {
+		sh := uint64(y) & 63
+		checks := []struct {
+			op   Op
+			want uint64
+		}{
+			{OpAdd, uint64(x + y)},
+			{OpSub, uint64(x - y)},
+			{OpMul, uint64(x * y)},
+			{OpAnd, uint64(x) & uint64(y)},
+			{OpOr, uint64(x) | uint64(y)},
+			{OpXor, uint64(x) ^ uint64(y)},
+			{OpShl, uint64(x) << sh},
+			{OpShrL, uint64(x) >> sh},
+			{OpShrA, uint64(x >> sh)},
+		}
+		for _, c := range checks {
+			if Eval(c.op, []uint64{uint64(x), uint64(y)}) != c.want {
+				return false
+			}
+		}
+		if y != 0 && !(x == math.MinInt64 && y == -1) {
+			if Eval(OpDiv, []uint64{uint64(x), uint64(y)}) != uint64(x/y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalDivisionEdgeCases(t *testing.T) {
+	if Eval(OpDiv, []uint64{5, 0}) != 0 {
+		t.Error("div by zero should yield 0")
+	}
+	if Eval(OpRem, []uint64{5, 0}) != 0 {
+		t.Error("rem by zero should yield 0")
+	}
+	minI := uint64(1) << 63
+	if got := Eval(OpDiv, []uint64{minI, uint64(^uint64(0))}); got != minI {
+		t.Errorf("MinInt64 / -1 = %#x, want %#x (saturate)", got, minI)
+	}
+	if got := Eval(OpRem, []uint64{minI, uint64(^uint64(0))}); got != 0 {
+		t.Errorf("MinInt64 %% -1 = %#x, want 0", got)
+	}
+}
+
+func TestMemoryRoundTripAndEqual(t *testing.T) {
+	m := NewPagedMemory()
+	m.Store(0, 1)
+	m.Store(pageWords-1, 2)
+	m.Store(pageWords, 3)
+	m.Store(1<<40, 4)
+	for _, c := range []struct {
+		addr int64
+		want uint64
+	}{{0, 1}, {pageWords - 1, 2}, {pageWords, 3}, {1 << 40, 4}, {17, 0}} {
+		if got := m.Load(c.addr); got != c.want {
+			t.Errorf("Load(%d) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Error("clone not Equal to original")
+	}
+	c.Store(5, 9)
+	if m.Equal(c) {
+		t.Error("Equal missed a difference")
+	}
+	if m.Load(5) != 0 {
+		t.Error("Clone shares pages with original")
+	}
+	// A page of explicit zeros equals absence.
+	z := NewPagedMemory()
+	z.Store(123, 0)
+	if !z.Equal(NewPagedMemory()) {
+		t.Error("explicit zero page should equal empty memory")
+	}
+}
+
+func TestMemoryZeroValueUsable(t *testing.T) {
+	var m PagedMemory
+	if m.Load(10) != 0 {
+		t.Error("zero-value Load != 0")
+	}
+	m.Store(10, 42)
+	if m.Load(10) != 42 {
+		t.Error("zero-value Store/Load failed")
+	}
+}
+
+func TestExecutePropertyHistoryDepth(t *testing.T) {
+	// Property: a delay line out[i] = x[i-d] (implemented as a recurrence
+	// chain) matches direct indexing, for random d and trip.
+	f := func(dRaw, tripRaw uint8) bool {
+		d := int(dRaw%4) + 1
+		trip := int64(tripRaw%32) + int64(d) + 1
+		b := NewBuilder("delay")
+		x := b.LoadStream("x", 1)
+		// v_k = value of x k iterations ago, built as nested distance-1 refs.
+		v := x
+		for k := 0; k < d; k++ {
+			name := "init" + string(rune('0'+k))
+			prev := b.Recur(v, 1, name)
+			v = b.Or(prev, b.Const(0)) // move through an ALU op each level
+		}
+		b.StoreStream("out", 1, v)
+		loop, err := b.Build()
+		if err != nil {
+			return false
+		}
+		mem := NewPagedMemory()
+		const xb, ob = 0, 1 << 20
+		for i := int64(0); i < trip; i++ {
+			mem.Store(xb+i, uint64(i)*3+1)
+		}
+		params := make([]uint64, loop.NumParams)
+		// x base, then out base, inits all zero.
+		// Builder assigned params in first-use order: x, init0..initd-1, out.
+		params[0] = xb
+		outIdx := loop.Streams[1].BaseParam
+		params[outIdx] = ob
+		if _, err := Execute(loop, &Bindings{Params: params, Trip: trip}, mem); err != nil {
+			return false
+		}
+		for i := int64(0); i < trip; i++ {
+			want := uint64(0)
+			if i >= int64(d) {
+				want = uint64(i-int64(d))*3 + 1
+			}
+			if mem.Load(ob+i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecuteSideExit(t *testing.T) {
+	// Scan until x[i] == 42, summing along the way.
+	b := NewBuilder("scan")
+	x := b.LoadStream("x", 1)
+	sum := b.Add(x, x)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "s0"))
+	hit := b.CmpEQ(x, b.Const(42))
+	b.ExitWhen(hit)
+	b.LiveOut("sum", sum)
+	b.LiveOut("hit", hit)
+	l := b.MustBuild()
+
+	mem := NewPagedMemory()
+	for i := int64(0); i < 20; i++ {
+		mem.Store(100+i, uint64(i+1))
+	}
+	mem.Store(105, 42) // exit at iteration 5
+
+	params := make([]uint64, l.NumParams)
+	params[0] = 100
+	res, err := Execute(l, &Bindings{Params: params, Trip: 20}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exited || res.Iterations != 6 {
+		t.Fatalf("Exited=%v Iterations=%d, want true/6", res.Exited, res.Iterations)
+	}
+	// sum = 1+2+3+4+5+42 = 57 (iteration 5 completes).
+	if res.LiveOuts["sum"] != 57 {
+		t.Errorf("sum = %d, want 57", res.LiveOuts["sum"])
+	}
+	if res.LiveOuts["hit"] != 1 {
+		t.Errorf("hit = %d, want 1", res.LiveOuts["hit"])
+	}
+
+	// Without the key the loop runs to the bound.
+	mem2 := NewPagedMemory()
+	for i := int64(0); i < 20; i++ {
+		mem2.Store(100+i, uint64(i+1))
+	}
+	res2, err := Execute(l, &Bindings{Params: params, Trip: 20}, mem2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Exited || res2.Iterations != 20 {
+		t.Fatalf("Exited=%v Iterations=%d, want false/20", res2.Exited, res2.Iterations)
+	}
+}
+
+func TestValidateExitNode(t *testing.T) {
+	b := NewBuilder("bad")
+	x := b.LoadStream("x", 1)
+	st := b.StoreStream("out", 1, x)
+	l := b.MustBuild()
+	l.SetExit(st.ID())
+	if err := l.Validate(); err == nil {
+		t.Error("accepted a store as the exit node")
+	}
+	l.Exit = 1000
+	if err := l.Validate(); err == nil {
+		t.Error("accepted an out-of-range exit node")
+	}
+}

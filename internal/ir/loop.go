@@ -1,0 +1,448 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Operand is a dataflow edge: the value of Node, Dist iterations ago.
+// Dist 0 is an ordinary intra-iteration dependence; Dist > 0 is a
+// loop-carried dependence (part of a recurrence if it closes a cycle).
+type Operand struct {
+	Node int
+	Dist int
+}
+
+// Node is one operation in a loop body.
+type Node struct {
+	ID int
+	Op Op
+
+	// Args are the operand edges; len(Args) == Op.NumArgs().
+	Args []Operand
+
+	// Imm holds the value of an OpConst node.
+	Imm uint64
+
+	// Param selects the live-in scalar for OpParam nodes.
+	Param int
+
+	// Stream selects the memory stream for OpLoad/OpStore nodes.
+	Stream int
+
+	// Init supplies values for loop-carried reads that reach before the
+	// first iteration: a consumer reading this node at distance d during
+	// iteration i < d observes params[Init[d-1-i]]. Loops derived from
+	// binaries always have these, because the recurrence is carried by a
+	// register whose pre-loop value is a live-in.
+	Init []int
+}
+
+// StreamKind distinguishes load streams from store streams.
+type StreamKind int
+
+const (
+	// LoadStream streams data from memory into the accelerator.
+	LoadStream StreamKind = iota
+	// StoreStream streams results from the accelerator back to memory.
+	StoreStream
+)
+
+// String returns "load" or "store".
+func (k StreamKind) String() string {
+	if k == LoadStream {
+		return "load"
+	}
+	return "store"
+}
+
+// Stream is an affine memory reference pattern: during iteration i it
+// touches word address params[BaseParam] + Offset + i*Stride. This matches
+// the paper's definition of a stream ("a base address and a linear
+// function that modifies that address each loop iteration") and is exactly
+// what a time-multiplexed address generator can produce. Offset lets many
+// streams share one base parameter (stencil neighbours of a single array).
+type Stream struct {
+	Kind      StreamKind
+	BaseParam int   // index into the loop's live-in parameters
+	Offset    int64 // constant word offset from the base parameter
+	Stride    int64 // words per iteration
+}
+
+// AddrAt returns the stream's word address at the given iteration.
+func (s Stream) AddrAt(params []uint64, iter int64) int64 {
+	return int64(params[s.BaseParam]) + s.Offset + iter*s.Stride
+}
+
+// LiveOut names a scalar result of the loop: the value of Node as of Dist
+// iterations before the final one (Dist is usually 0), read from the
+// accelerator's memory-mapped register file on completion. Non-zero Dist
+// arises when a loop's final architectural register value is a delayed
+// copy of another value.
+type LiveOut struct {
+	Name string
+	Node int
+	Dist int
+	// Init optionally supplies the live-out's value when the read lands
+	// before iteration zero (trip counts smaller than Dist+1): depth k
+	// (the value at iteration -(k+1) relative to iteration Dist-...) is
+	// params[Init[k]]. When absent, the node's own Init chain and then
+	// zero are the fallbacks.
+	Init []int
+}
+
+// Loop is one iteration of an innermost loop body as a dataflow graph,
+// together with its memory streams and scalar interface. The trip count is
+// a runtime quantity and lives in Bindings, not here.
+type Loop struct {
+	Name string
+
+	// Nodes in ID order; Nodes[i].ID == i.
+	Nodes []*Node
+
+	// NumParams is the number of scalar live-ins. OpParam nodes, stream
+	// bases, and recurrence initial values all index this space.
+	NumParams int
+
+	// ParamNames optionally names the parameters (len NumParams when set);
+	// the Builder fills it so callers can bind parameters by name.
+	ParamNames []string
+
+	// Streams are the loop's affine memory reference patterns.
+	Streams []Stream
+
+	// LiveOuts are the scalar results.
+	LiveOuts []LiveOut
+
+	// Exit encodes an optional side-exit condition as node index + 1
+	// (0 = none): when the named node produces a non-zero value, the loop
+	// ends after that iteration (a while-loop's break). Counted execution
+	// still bounds the trip; the loop simply may finish earlier. Use
+	// SetExit/HasExit/ExitNode rather than the raw encoding.
+	Exit int
+}
+
+// SetExit marks node as the loop's side-exit condition.
+func (l *Loop) SetExit(node int) { l.Exit = node + 1 }
+
+// HasExit reports whether the loop carries a side-exit condition.
+func (l *Loop) HasExit() bool { return l.Exit != 0 }
+
+// ExitNode returns the side-exit node (only meaningful when HasExit).
+func (l *Loop) ExitNode() int { return l.Exit - 1 }
+
+// NumLoadStreams counts the load streams.
+func (l *Loop) NumLoadStreams() int { return l.countStreams(LoadStream) }
+
+// NumStoreStreams counts the store streams.
+func (l *Loop) NumStoreStreams() int { return l.countStreams(StoreStream) }
+
+func (l *Loop) countStreams(k StreamKind) int {
+	n := 0
+	for _, s := range l.Streams {
+		if s.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// OpCount returns the number of nodes in each resource class.
+func (l *Loop) OpCount() map[Class]int {
+	m := make(map[Class]int)
+	for _, n := range l.Nodes {
+		m[n.Op.Class()]++
+	}
+	return m
+}
+
+// MaxDist returns the largest operand or live-out distance in the loop (0
+// for a loop with no recurrences).
+func (l *Loop) MaxDist() int {
+	max := 0
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist > max {
+				max = a.Dist
+			}
+		}
+	}
+	for _, lo := range l.LiveOuts {
+		if lo.Dist > max {
+			max = lo.Dist
+		}
+	}
+	return max
+}
+
+// Validate checks structural invariants: consistent IDs, well-formed
+// operand edges, acyclicity at distance zero, stream and parameter
+// references in range, and initial values present wherever a loop-carried
+// read can reach before iteration zero.
+func (l *Loop) Validate() error {
+	if len(l.Nodes) == 0 {
+		return fmt.Errorf("loop %q: no nodes", l.Name)
+	}
+	for i, n := range l.Nodes {
+		if n == nil {
+			return fmt.Errorf("loop %q: node %d is nil", l.Name, i)
+		}
+		if n.ID != i {
+			return fmt.Errorf("loop %q: node at index %d has ID %d", l.Name, i, n.ID)
+		}
+		if !n.Op.Valid() {
+			return fmt.Errorf("loop %q: node %d has invalid op %d", l.Name, i, int(n.Op))
+		}
+		if len(n.Args) != n.Op.NumArgs() {
+			return fmt.Errorf("loop %q: node %d (%v) has %d args, want %d",
+				l.Name, i, n.Op, len(n.Args), n.Op.NumArgs())
+		}
+		for j, a := range n.Args {
+			if a.Node < 0 || a.Node >= len(l.Nodes) {
+				return fmt.Errorf("loop %q: node %d arg %d references node %d (out of range)",
+					l.Name, i, j, a.Node)
+			}
+			if a.Dist < 0 {
+				return fmt.Errorf("loop %q: node %d arg %d has negative distance %d",
+					l.Name, i, j, a.Dist)
+			}
+		}
+		switch n.Op {
+		case OpParam:
+			if n.Param < 0 || n.Param >= l.NumParams {
+				return fmt.Errorf("loop %q: node %d references param %d of %d",
+					l.Name, i, n.Param, l.NumParams)
+			}
+		case OpLoad:
+			if err := l.checkStream(n, LoadStream); err != nil {
+				return err
+			}
+		case OpStore:
+			if err := l.checkStream(n, StoreStream); err != nil {
+				return err
+			}
+		}
+		for k, p := range n.Init {
+			if p < 0 || p >= l.NumParams {
+				return fmt.Errorf("loop %q: node %d init %d references param %d of %d",
+					l.Name, i, k, p, l.NumParams)
+			}
+		}
+	}
+	// Loop-carried reads that can reach before iteration zero need initial
+	// values on the producer.
+	maxDistOf := make([]int, len(l.Nodes))
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist > maxDistOf[a.Node] {
+				maxDistOf[a.Node] = a.Dist
+			}
+		}
+	}
+	for i, d := range maxDistOf {
+		if d > 0 && len(l.Nodes[i].Init) < d {
+			return fmt.Errorf("loop %q: node %d is read at distance %d but has %d initial values",
+				l.Name, i, d, len(l.Nodes[i].Init))
+		}
+	}
+	for _, s := range l.Streams {
+		if s.BaseParam < 0 || s.BaseParam >= l.NumParams {
+			return fmt.Errorf("loop %q: stream base param %d of %d", l.Name, s.BaseParam, l.NumParams)
+		}
+	}
+	for _, lo := range l.LiveOuts {
+		if lo.Node < 0 || lo.Node >= len(l.Nodes) {
+			return fmt.Errorf("loop %q: live-out %q references node %d (out of range)",
+				l.Name, lo.Name, lo.Node)
+		}
+		if lo.Dist < 0 {
+			return fmt.Errorf("loop %q: live-out %q has negative distance", l.Name, lo.Name)
+		}
+		for _, p := range lo.Init {
+			if p < 0 || p >= l.NumParams {
+				return fmt.Errorf("loop %q: live-out %q init references param %d of %d",
+					l.Name, lo.Name, p, l.NumParams)
+			}
+		}
+	}
+	if l.ParamNames != nil && len(l.ParamNames) != l.NumParams {
+		return fmt.Errorf("loop %q: %d param names for %d params", l.Name, len(l.ParamNames), l.NumParams)
+	}
+	if l.HasExit() {
+		n := l.ExitNode()
+		if n < 0 || n >= len(l.Nodes) {
+			return fmt.Errorf("loop %q: exit node %d out of range", l.Name, n)
+		}
+		if cl := l.Nodes[n].Op.Class(); cl == ClassMemStore {
+			return fmt.Errorf("loop %q: exit node %d is a store", l.Name, n)
+		}
+	}
+	if cyc := l.zeroDistCycle(); cyc != nil {
+		return fmt.Errorf("loop %q: zero-distance dependence cycle through nodes %v", l.Name, cyc)
+	}
+	return nil
+}
+
+func (l *Loop) checkStream(n *Node, want StreamKind) error {
+	if n.Stream < 0 || n.Stream >= len(l.Streams) {
+		return fmt.Errorf("loop %q: node %d references stream %d of %d",
+			l.Name, n.ID, n.Stream, len(l.Streams))
+	}
+	if got := l.Streams[n.Stream].Kind; got != want {
+		return fmt.Errorf("loop %q: node %d (%v) uses %v stream %d",
+			l.Name, n.ID, n.Op, got, n.Stream)
+	}
+	return nil
+}
+
+// zeroDistCycle returns a cycle of node IDs connected by distance-zero
+// edges, or nil if the distance-zero subgraph is a DAG.
+func (l *Loop) zeroDistCycle() []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(l.Nodes))
+	var stack []int
+	var cycle []int
+	var visit func(u int) bool
+	visit = func(u int) bool {
+		color[u] = gray
+		stack = append(stack, u)
+		for _, a := range l.Nodes[u].Args {
+			if a.Dist != 0 {
+				continue
+			}
+			switch color[a.Node] {
+			case gray:
+				// Extract the cycle from the stack.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == a.Node {
+						break
+					}
+				}
+				return true
+			case white:
+				if visit(a.Node) {
+					return true
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[u] = black
+		return false
+	}
+	for u := range l.Nodes {
+		if color[u] == white && visit(u) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// TopoOrder returns the node IDs in a topological order of the
+// distance-zero dependence subgraph. Validate must have succeeded.
+func (l *Loop) TopoOrder() []int {
+	indeg := make([]int, len(l.Nodes))
+	succ := make([][]int, len(l.Nodes))
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist == 0 {
+				indeg[n.ID]++
+				succ[a.Node] = append(succ[a.Node], n.ID)
+			}
+		}
+	}
+	order := make([]int, 0, len(l.Nodes))
+	queue := make([]int, 0, len(l.Nodes))
+	for id, d := range indeg {
+		if d == 0 {
+			queue = append(queue, id)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// Succs builds the successor adjacency (including loop-carried edges):
+// for each node, the list of (consumer, distance) pairs reading it.
+func (l *Loop) Succs() [][]Operand {
+	succ := make([][]Operand, len(l.Nodes))
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			succ[a.Node] = append(succ[a.Node], Operand{Node: n.ID, Dist: a.Dist})
+		}
+	}
+	return succ
+}
+
+// String renders the loop in a compact single-line-per-node text form,
+// useful in test failures and the disassembler-style tooling.
+func (l *Loop) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %q (params=%d, streams=%d)\n", l.Name, l.NumParams, len(l.Streams))
+	for i, s := range l.Streams {
+		fmt.Fprintf(&b, "  stream %d: %v base=p%d stride=%d\n", i, s.Kind, s.BaseParam, s.Stride)
+	}
+	for _, n := range l.Nodes {
+		fmt.Fprintf(&b, "  n%d = %v", n.ID, n.Op)
+		switch n.Op {
+		case OpConst:
+			fmt.Fprintf(&b, " #%d", int64(n.Imm))
+		case OpParam:
+			fmt.Fprintf(&b, " p%d", n.Param)
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, " s%d", n.Stream)
+		}
+		for _, a := range n.Args {
+			if a.Dist == 0 {
+				fmt.Fprintf(&b, " n%d", a.Node)
+			} else {
+				fmt.Fprintf(&b, " n%d@%d", a.Node, a.Dist)
+			}
+		}
+		if len(n.Init) > 0 {
+			fmt.Fprintf(&b, " init=%v", n.Init)
+		}
+		b.WriteByte('\n')
+	}
+	for _, lo := range l.LiveOuts {
+		fmt.Fprintf(&b, "  out %s = n%d\n", lo.Name, lo.Node)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the loop.
+func (l *Loop) Clone() *Loop {
+	c := &Loop{
+		Name:      l.Name,
+		Nodes:     make([]*Node, len(l.Nodes)),
+		NumParams: l.NumParams,
+		Streams:   append([]Stream(nil), l.Streams...),
+		LiveOuts:  append([]LiveOut(nil), l.LiveOuts...),
+		Exit:      l.Exit,
+	}
+	c.ParamNames = append([]string(nil), l.ParamNames...)
+	for i := range c.LiveOuts {
+		c.LiveOuts[i].Init = append([]int(nil), l.LiveOuts[i].Init...)
+	}
+	for i, n := range l.Nodes {
+		nn := *n
+		nn.Args = append([]Operand(nil), n.Args...)
+		nn.Init = append([]int(nil), n.Init...)
+		c.Nodes[i] = &nn
+	}
+	return c
+}

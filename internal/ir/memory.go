@@ -1,0 +1,99 @@
+package ir
+
+// Memory is the word-addressed memory abstraction shared by the scalar
+// interpreter and the loop-accelerator simulator. Addresses are in 64-bit
+// words; the physical-addressing assumption of the paper's accelerators
+// means no translation layer is modelled.
+type Memory interface {
+	Load(addr int64) uint64
+	Store(addr int64, v uint64)
+}
+
+const pageWords = 1 << 12 // 4096 words per page
+
+// PagedMemory is a sparse word-addressed memory. The zero value is ready
+// to use; unwritten words read as zero.
+type PagedMemory struct {
+	pages map[int64]*[pageWords]uint64
+}
+
+// NewPagedMemory returns an empty memory.
+func NewPagedMemory() *PagedMemory {
+	return &PagedMemory{pages: make(map[int64]*[pageWords]uint64)}
+}
+
+// Load reads the word at addr; unwritten words are zero.
+func (m *PagedMemory) Load(addr int64) uint64 {
+	if m.pages == nil {
+		return 0
+	}
+	p, ok := m.pages[addr>>12]
+	if !ok {
+		return 0
+	}
+	return p[addr&(pageWords-1)]
+}
+
+// Store writes the word at addr.
+func (m *PagedMemory) Store(addr int64, v uint64) {
+	if m.pages == nil {
+		m.pages = make(map[int64]*[pageWords]uint64)
+	}
+	key := addr >> 12
+	p, ok := m.pages[key]
+	if !ok {
+		p = new([pageWords]uint64)
+		m.pages[key] = p
+	}
+	p[addr&(pageWords-1)] = v
+}
+
+// Clone returns an independent copy of the memory contents.
+func (m *PagedMemory) Clone() *PagedMemory {
+	c := NewPagedMemory()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Equal reports whether two memories hold identical contents. Pages that
+// exist in one but read as all-zero are treated as equal to absence.
+func (m *PagedMemory) Equal(o *PagedMemory) bool {
+	return m.coveredBy(o) && o.coveredBy(m)
+}
+
+func (m *PagedMemory) coveredBy(o *PagedMemory) bool {
+	for k, p := range m.pages {
+		op, ok := o.pages[k]
+		if !ok {
+			for _, v := range p {
+				if v != 0 {
+					return false
+				}
+			}
+			continue
+		}
+		if *p != *op {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteWords stores a slice of words starting at base.
+func (m *PagedMemory) WriteWords(base int64, words []uint64) {
+	for i, w := range words {
+		m.Store(base+int64(i), w)
+	}
+}
+
+// ReadWords loads n words starting at base.
+func (m *PagedMemory) ReadWords(base int64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = m.Load(base + int64(i))
+	}
+	return out
+}

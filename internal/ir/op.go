@@ -1,0 +1,323 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op identifies the operation a Node performs. The set mirrors the
+// RISC-equivalent operations of the paper's baseline ISA, plus the value
+// sources (constants, scalar live-ins, the canonical induction variable)
+// that the loop accelerator provides outside its function units.
+type Op int
+
+const (
+	// Value sources (no function unit required).
+
+	// OpConst produces the immediate in Node.Imm every iteration.
+	OpConst Op = iota
+	// OpParam produces the scalar live-in selected by Node.Param.
+	OpParam
+	// OpIndVar produces the iteration counter i (0, 1, 2, ...). The loop
+	// accelerator's control unit maintains this counter, so it consumes no
+	// function-unit slot.
+	OpIndVar
+
+	// Integer operations.
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed; division by zero yields 0 (hardware saturating rule)
+	OpRem // signed; modulo by zero yields 0
+	OpShl
+	OpShrA // arithmetic shift right
+	OpShrL // logical shift right
+	OpAnd
+	OpOr
+	OpXor
+	OpNot // one operand
+	OpNeg // one operand
+	OpAbs // one operand
+	OpMin
+	OpMax
+
+	// Comparisons (produce 0 or 1).
+
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpCmpLTU // unsigned less-than
+
+	// OpSelect chooses arg1 if arg0 != 0, else arg2 (predication support).
+	OpSelect
+
+	// Double-precision floating point (operands/results are float64 bits).
+
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFNeg // one operand
+	OpFAbs // one operand
+	OpFMin
+	OpFMax
+	OpFCmpLT // produces integer 0/1
+	OpFCmpLE
+	OpFCmpEQ
+	OpIToF // one operand: int64 -> float64 bits
+	OpFToI // one operand: float64 bits -> int64 (truncating)
+	OpFSqrt
+
+	// Memory (stream-based).
+
+	// OpLoad reads element i of load stream Node.Stream.
+	OpLoad
+	// OpStore writes arg0 to element i of store stream Node.Stream.
+	OpStore
+
+	opMax // sentinel
+)
+
+// Class partitions operations by the kind of loop-accelerator resource
+// that executes them.
+type Class int
+
+const (
+	// ClassNone operations (constants, parameters, the induction variable)
+	// are provided by the register file or control unit and occupy no
+	// function-unit slot.
+	ClassNone Class = iota
+	// ClassInt operations execute on an integer unit.
+	ClassInt
+	// ClassFloat operations execute on a double-precision FP unit.
+	ClassFloat
+	// ClassMemLoad operations are serviced by load address generators.
+	ClassMemLoad
+	// ClassMemStore operations are serviced by store address generators.
+	ClassMemStore
+)
+
+var opInfo = [opMax]struct {
+	name  string
+	nargs int
+	class Class
+}{
+	OpConst:  {"const", 0, ClassNone},
+	OpParam:  {"param", 0, ClassNone},
+	OpIndVar: {"indvar", 0, ClassNone},
+	OpAdd:    {"add", 2, ClassInt},
+	OpSub:    {"sub", 2, ClassInt},
+	OpMul:    {"mul", 2, ClassInt},
+	OpDiv:    {"div", 2, ClassInt},
+	OpRem:    {"rem", 2, ClassInt},
+	OpShl:    {"shl", 2, ClassInt},
+	OpShrA:   {"shra", 2, ClassInt},
+	OpShrL:   {"shrl", 2, ClassInt},
+	OpAnd:    {"and", 2, ClassInt},
+	OpOr:     {"or", 2, ClassInt},
+	OpXor:    {"xor", 2, ClassInt},
+	OpNot:    {"not", 1, ClassInt},
+	OpNeg:    {"neg", 1, ClassInt},
+	OpAbs:    {"abs", 1, ClassInt},
+	OpMin:    {"min", 2, ClassInt},
+	OpMax:    {"max", 2, ClassInt},
+	OpCmpEQ:  {"cmpeq", 2, ClassInt},
+	OpCmpNE:  {"cmpne", 2, ClassInt},
+	OpCmpLT:  {"cmplt", 2, ClassInt},
+	OpCmpLE:  {"cmple", 2, ClassInt},
+	OpCmpGT:  {"cmpgt", 2, ClassInt},
+	OpCmpGE:  {"cmpge", 2, ClassInt},
+	OpCmpLTU: {"cmpltu", 2, ClassInt},
+	OpSelect: {"select", 3, ClassInt},
+	OpFAdd:   {"fadd", 2, ClassFloat},
+	OpFSub:   {"fsub", 2, ClassFloat},
+	OpFMul:   {"fmul", 2, ClassFloat},
+	OpFDiv:   {"fdiv", 2, ClassFloat},
+	OpFNeg:   {"fneg", 1, ClassFloat},
+	OpFAbs:   {"fabs", 1, ClassFloat},
+	OpFMin:   {"fmin", 2, ClassFloat},
+	OpFMax:   {"fmax", 2, ClassFloat},
+	OpFCmpLT: {"fcmplt", 2, ClassFloat},
+	OpFCmpLE: {"fcmple", 2, ClassFloat},
+	OpFCmpEQ: {"fcmpeq", 2, ClassFloat},
+	OpIToF:   {"itof", 1, ClassFloat},
+	OpFToI:   {"ftoi", 1, ClassFloat},
+	OpFSqrt:  {"fsqrt", 1, ClassFloat},
+	OpLoad:   {"load", 0, ClassMemLoad},
+	OpStore:  {"store", 1, ClassMemStore},
+}
+
+// String returns the mnemonic for the operation.
+func (o Op) String() string {
+	if o < 0 || o >= opMax {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opInfo[o].name
+}
+
+// NumArgs reports how many operand edges the operation requires.
+func (o Op) NumArgs() int { return opInfo[o].nargs }
+
+// Class reports the resource class that executes the operation.
+func (o Op) Class() Class { return opInfo[o].class }
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o >= 0 && o < opMax }
+
+// String returns a short name for the resource class.
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return "none"
+	case ClassInt:
+		return "int"
+	case ClassFloat:
+		return "float"
+	case ClassMemLoad:
+		return "load"
+	case ClassMemStore:
+		return "store"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// f64 reinterprets raw bits as a float64.
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+
+// bits reinterprets a float64 as raw bits.
+func bits(f float64) uint64 { return math.Float64bits(f) }
+
+// boolBits converts a predicate to its integer encoding.
+func boolBits(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Eval computes the pure result of an arithmetic/logic operation on raw
+// 64-bit operand values. It must not be called for value sources or memory
+// operations, which are handled by the executor.
+func Eval(op Op, args []uint64) uint64 {
+	a := func(i int) int64 { return int64(args[i]) }
+	switch op {
+	case OpAdd:
+		return uint64(a(0) + a(1))
+	case OpSub:
+		return uint64(a(0) - a(1))
+	case OpMul:
+		return uint64(a(0) * a(1))
+	case OpDiv:
+		if a(1) == 0 {
+			return 0
+		}
+		if a(0) == math.MinInt64 && a(1) == -1 {
+			v := int64(math.MinInt64)
+			return uint64(v)
+		}
+		return uint64(a(0) / a(1))
+	case OpRem:
+		if a(1) == 0 {
+			return 0
+		}
+		if a(0) == math.MinInt64 && a(1) == -1 {
+			return 0
+		}
+		return uint64(a(0) % a(1))
+	case OpShl:
+		return args[0] << (args[1] & 63)
+	case OpShrA:
+		return uint64(a(0) >> (args[1] & 63))
+	case OpShrL:
+		return args[0] >> (args[1] & 63)
+	case OpAnd:
+		return args[0] & args[1]
+	case OpOr:
+		return args[0] | args[1]
+	case OpXor:
+		return args[0] ^ args[1]
+	case OpNot:
+		return ^args[0]
+	case OpNeg:
+		return uint64(-a(0))
+	case OpAbs:
+		if a(0) < 0 {
+			return uint64(-a(0))
+		}
+		return args[0]
+	case OpMin:
+		if a(0) < a(1) {
+			return args[0]
+		}
+		return args[1]
+	case OpMax:
+		if a(0) > a(1) {
+			return args[0]
+		}
+		return args[1]
+	case OpCmpEQ:
+		return boolBits(args[0] == args[1])
+	case OpCmpNE:
+		return boolBits(args[0] != args[1])
+	case OpCmpLT:
+		return boolBits(a(0) < a(1))
+	case OpCmpLE:
+		return boolBits(a(0) <= a(1))
+	case OpCmpGT:
+		return boolBits(a(0) > a(1))
+	case OpCmpGE:
+		return boolBits(a(0) >= a(1))
+	case OpCmpLTU:
+		return boolBits(args[0] < args[1])
+	case OpSelect:
+		if args[0] != 0 {
+			return args[1]
+		}
+		return args[2]
+	case OpFAdd:
+		return bits(f64(args[0]) + f64(args[1]))
+	case OpFSub:
+		return bits(f64(args[0]) - f64(args[1]))
+	case OpFMul:
+		return bits(f64(args[0]) * f64(args[1]))
+	case OpFDiv:
+		return bits(f64(args[0]) / f64(args[1]))
+	case OpFNeg:
+		return bits(-f64(args[0]))
+	case OpFAbs:
+		return bits(math.Abs(f64(args[0])))
+	case OpFMin:
+		return bits(math.Min(f64(args[0]), f64(args[1])))
+	case OpFMax:
+		return bits(math.Max(f64(args[0]), f64(args[1])))
+	case OpFCmpLT:
+		return boolBits(f64(args[0]) < f64(args[1]))
+	case OpFCmpLE:
+		return boolBits(f64(args[0]) <= f64(args[1]))
+	case OpFCmpEQ:
+		return boolBits(f64(args[0]) == f64(args[1]))
+	case OpIToF:
+		return bits(float64(a(0)))
+	case OpFToI:
+		f := f64(args[0])
+		if math.IsNaN(f) {
+			return 0
+		}
+		if f >= math.MaxInt64 {
+			v := int64(math.MaxInt64)
+			return uint64(v)
+		}
+		if f <= math.MinInt64 {
+			v := int64(math.MinInt64)
+			return uint64(v)
+		}
+		return uint64(int64(f))
+	case OpFSqrt:
+		return bits(math.Sqrt(f64(args[0])))
+	}
+	panic(fmt.Sprintf("ir.Eval: op %v is not a pure ALU operation", op))
+}

@@ -1,0 +1,168 @@
+package isa
+
+import "fmt"
+
+// Asm is a tiny assembler: it accumulates instructions, resolves symbolic
+// labels to instruction indexes, and produces a Program. It is the
+// authoring surface for hand-written kernels in tests and for the code
+// generator in internal/lower.
+type Asm struct {
+	name    string
+	code    []Inst
+	labels  map[string]int
+	fixups  []fixup
+	ccaFns  []CCAFunc
+	annos   []LoopAnno
+	pending []pendingAnno
+	err     error
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+type pendingAnno struct {
+	label string
+	prio  []int32
+}
+
+// NewAsm returns an assembler for a program with the given name.
+func NewAsm(name string) *Asm {
+	return &Asm{name: name, labels: make(map[string]int)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (a *Asm) PC() int { return len(a.code) }
+
+// Label binds a name to the current PC.
+func (a *Asm) Label(name string) {
+	if _, dup := a.labels[name]; dup {
+		a.fail("duplicate label %q", name)
+		return
+	}
+	a.labels[name] = len(a.code)
+}
+
+// Emit appends a raw instruction and returns its PC.
+func (a *Asm) Emit(in Inst) int {
+	a.code = append(a.code, in)
+	return len(a.code) - 1
+}
+
+// Op3 emits a three-register ALU instruction.
+func (a *Asm) Op3(op Opcode, dst, src1, src2 uint8) int {
+	return a.Emit(Inst{Op: op, Dst: dst, Src1: src1, Src2: src2})
+}
+
+// Op2 emits a two-register (unary) ALU instruction.
+func (a *Asm) Op2(op Opcode, dst, src uint8) int {
+	return a.Emit(Inst{Op: op, Dst: dst, Src1: src})
+}
+
+// MovI emits dst = imm.
+func (a *Asm) MovI(dst uint8, imm int64) int {
+	return a.Emit(Inst{Op: MovI, Dst: dst, Imm: imm})
+}
+
+// Mov emits dst = src.
+func (a *Asm) Mov(dst, src uint8) int {
+	return a.Emit(Inst{Op: Mov, Dst: dst, Src1: src})
+}
+
+// AddI emits dst = src + imm.
+func (a *Asm) AddI(dst, src uint8, imm int64) int {
+	return a.Emit(Inst{Op: AddI, Dst: dst, Src1: src, Imm: imm})
+}
+
+// Load emits dst = mem[base+off].
+func (a *Asm) Load(dst, base uint8, off int64) int {
+	return a.Emit(Inst{Op: Load, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits mem[base+off] = val.
+func (a *Asm) Store(val, base uint8, off int64) int {
+	return a.Emit(Inst{Op: Store, Src1: base, Src2: val, Imm: off})
+}
+
+// Select emits dst = pred != 0 ? t : f.
+func (a *Asm) Select(dst, pred, t, f uint8) int {
+	return a.Emit(Inst{Op: Select, Dst: dst, Src1: pred, Src2: t, Src3: f})
+}
+
+// Branch emits a branch to a label (resolved at Build time).
+func (a *Asm) Branch(op Opcode, src1, src2 uint8, label string) int {
+	if !op.IsBranch() || op == Ret {
+		a.fail("Branch called with %v", op)
+		return -1
+	}
+	pc := a.Emit(Inst{Op: op, Src1: src1, Src2: src2})
+	a.fixups = append(a.fixups, fixup{pc: pc, label: label})
+	return pc
+}
+
+// Br emits an unconditional branch to label.
+func (a *Asm) Br(label string) int { return a.Branch(Br, 0, 0, label) }
+
+// Brl emits a branch-and-link to label.
+func (a *Asm) Brl(label string) int { return a.Branch(Brl, 0, 0, label) }
+
+// Ret emits a return.
+func (a *Asm) Ret() int { return a.Emit(Inst{Op: Ret}) }
+
+// Halt emits a halt.
+func (a *Asm) Halt() int { return a.Emit(Inst{Op: Halt}) }
+
+// CCAFunc records that the instructions from label (inclusive) through the
+// following Ret form an outlined CCA candidate. Call after emitting them.
+func (a *Asm) CCAFunc(start, length int) {
+	a.ccaFns = append(a.ccaFns, CCAFunc{Start: start, Len: length})
+}
+
+// AnnotateLoop attaches a priority table to the loop whose head carries the
+// given label.
+func (a *Asm) AnnotateLoop(label string, prio []int32) {
+	a.pending = append(a.pending, pendingAnno{label: label, prio: prio})
+}
+
+func (a *Asm) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("asm %q: %s", a.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build resolves labels and returns the validated program.
+func (a *Asm) Build() (*Program, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	for _, f := range a.fixups {
+		target, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm %q: undefined label %q", a.name, f.label)
+		}
+		a.code[f.pc].Imm = int64(target)
+	}
+	annos := append([]LoopAnno(nil), a.annos...)
+	for _, pa := range a.pending {
+		target, ok := a.labels[pa.label]
+		if !ok {
+			return nil, fmt.Errorf("asm %q: undefined annotation label %q", a.name, pa.label)
+		}
+		annos = append(annos, LoopAnno{HeadPC: target, Priorities: pa.prio})
+	}
+	p := &Program{Name: a.name, Code: a.code, CCAFuncs: a.ccaFns, LoopAnnos: annos}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build, panicking on error; for static test fixtures.
+func (a *Asm) MustBuild() *Program {
+	p, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

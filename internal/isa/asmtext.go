@@ -1,0 +1,415 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a program as parseable assembly text: branch targets
+// become labels, CCA functions and loop annotations become directives.
+// ParseAsm(Format(p)) reproduces p exactly (see the round-trip tests).
+//
+//	    movi r1, #100
+//	L0:
+//	    ld r10, [r4+0]
+//	    add r11, r10, r5
+//	    blt r2, r1, L0
+//	    halt
+//	.ccafunc L1 2
+//	.anno L0 0 -1 1
+func Format(p *Program) string {
+	labels := map[int]string{}
+	ensure := func(pc int) string {
+		if name, ok := labels[pc]; ok {
+			return name
+		}
+		name := fmt.Sprintf("L%d", len(labels))
+		labels[pc] = name
+		return name
+	}
+	for _, in := range p.Code {
+		if in.Op.IsBranch() && in.Op != Ret {
+			ensure(int(in.Imm))
+		}
+	}
+	for _, f := range p.CCAFuncs {
+		ensure(f.Start)
+	}
+	for _, a := range p.LoopAnnos {
+		ensure(a.HeadPC)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, ".program %s\n", quoteName(p.Name))
+	for pc, in := range p.Code {
+		if name, ok := labels[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		if in.Op.IsBranch() && in.Op != Ret {
+			// Re-render with a symbolic target.
+			text := in.String()
+			idx := strings.LastIndexByte(text, ' ')
+			fmt.Fprintf(&b, "    %s %s\n", text[:idx], labels[int(in.Imm)])
+			continue
+		}
+		fmt.Fprintf(&b, "    %s\n", in)
+	}
+	if name, ok := labels[len(p.Code)]; ok {
+		fmt.Fprintf(&b, "%s:\n", name)
+	}
+	for _, f := range p.CCAFuncs {
+		fmt.Fprintf(&b, ".ccafunc %s %d\n", labels[f.Start], f.Len)
+	}
+	for _, a := range p.LoopAnnos {
+		fmt.Fprintf(&b, ".anno %s", labels[a.HeadPC])
+		for _, pr := range a.Priorities {
+			fmt.Fprintf(&b, " %d", pr)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func quoteName(name string) string { return strconv.Quote(name) }
+
+// ParseAsm assembles the textual form produced by Format (or written by
+// hand). Lines hold one instruction, label definition ("name:"), or
+// directive (".program", ".ccafunc", ".anno"); "';'" and "#!"-free "//"
+// comments run to end of line.
+func ParseAsm(text string) (*Program, error) {
+	a := NewAsm("asm")
+	type pendingDirective struct {
+		kind  string
+		label string
+		args  []string
+		line  int
+	}
+	var directives []pendingDirective
+	name := "asm"
+
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			fields := strings.Fields(line)
+			switch fields[0] {
+			case ".program":
+				if len(fields) != 2 {
+					return nil, fmt.Errorf("line %d: .program wants one name", ln+1)
+				}
+				n, err := strconv.Unquote(fields[1])
+				if err != nil {
+					n = fields[1]
+				}
+				name = n
+			case ".ccafunc", ".anno":
+				if len(fields) < 2 {
+					return nil, fmt.Errorf("line %d: %s wants a label", ln+1, fields[0])
+				}
+				directives = append(directives, pendingDirective{
+					kind: fields[0], label: fields[1], args: fields[2:], line: ln + 1,
+				})
+			default:
+				return nil, fmt.Errorf("line %d: unknown directive %s", ln+1, fields[0])
+			}
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			a.Label(strings.TrimSuffix(line, ":"))
+			continue
+		}
+		if err := parseInst(a, line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+
+	p, err := a.Build()
+	if err != nil {
+		return nil, err
+	}
+	p.Name = name
+
+	// Resolve directives against the built label table (re-parse labels by
+	// assembling against pcs: Asm consumed them, so recover via a second
+	// scan of the text for label positions).
+	labelPC, err := labelPositions(text)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range directives {
+		pc, ok := labelPC[d.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", d.line, d.label)
+		}
+		switch d.kind {
+		case ".ccafunc":
+			if len(d.args) != 1 {
+				return nil, fmt.Errorf("line %d: .ccafunc wants a length", d.line)
+			}
+			n, err := strconv.Atoi(d.args[0])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad length %q", d.line, d.args[0])
+			}
+			p.CCAFuncs = append(p.CCAFuncs, CCAFunc{Start: pc, Len: n})
+		case ".anno":
+			prio := make([]int32, len(d.args))
+			for i, s := range d.args {
+				v, err := strconv.Atoi(s)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad priority %q", d.line, s)
+				}
+				prio[i] = int32(v)
+			}
+			p.LoopAnnos = append(p.LoopAnnos, LoopAnno{HeadPC: pc, Priorities: prio})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// labelPositions computes label -> pc by a light-weight scan.
+func labelPositions(text string) (map[string]int, error) {
+	out := map[string]int{}
+	pc := 0
+	for _, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "" || strings.HasPrefix(line, "."):
+		case strings.HasSuffix(line, ":"):
+			out[strings.TrimSuffix(line, ":")] = pc
+		default:
+			pc++
+		}
+	}
+	return out, nil
+}
+
+// mnemonics maps text names back to opcodes.
+var mnemonics = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(opcodeMax))
+	for op := Opcode(0); op < opcodeMax; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+// parseInst assembles a single instruction line.
+func parseInst(a *Asm, line string) error {
+	fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+	if len(fields) == 0 {
+		return fmt.Errorf("empty instruction")
+	}
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	args := fields[1:]
+
+	reg := func(s string) (uint8, error) {
+		if !strings.HasPrefix(s, "r") {
+			return 0, fmt.Errorf("expected register, got %q", s)
+		}
+		v, err := strconv.Atoi(s[1:])
+		if err != nil || v < 0 || v >= NumRegs {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return uint8(v), nil
+	}
+	imm := func(s string) (int64, error) {
+		s = strings.TrimPrefix(s, "#")
+		return strconv.ParseInt(s, 10, 64)
+	}
+	memOperand := func(s string) (uint8, int64, error) {
+		// [rN+off]
+		if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+			return 0, 0, fmt.Errorf("expected [rN+off], got %q", s)
+		}
+		inner := s[1 : len(s)-1]
+		plus := strings.IndexAny(inner, "+-")
+		if plus < 0 {
+			r, err := reg(inner)
+			return r, 0, err
+		}
+		r, err := reg(inner[:plus])
+		if err != nil {
+			return 0, 0, err
+		}
+		off, err := strconv.ParseInt(inner[plus:], 10, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+		return r, off, nil
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	switch op {
+	case Nop, Halt, Ret:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.Emit(Inst{Op: op})
+	case MovI:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return err
+		}
+		a.MovI(d, v)
+	case Mov:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.Mov(d, s)
+	case AddI, MulI, ShlI, AndI:
+		if err := need(3); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		s, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return err
+		}
+		a.Emit(Inst{Op: op, Dst: d, Src1: s, Imm: v})
+	case Load:
+		if err := need(2); err != nil {
+			return err
+		}
+		d, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		a.Load(d, base, off)
+	case Store:
+		if err := need(2); err != nil {
+			return err
+		}
+		v, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := memOperand(args[1])
+		if err != nil {
+			return err
+		}
+		a.Store(v, base, off)
+	case Br, Brl:
+		if err := need(1); err != nil {
+			return err
+		}
+		a.Branch(op, 0, 0, args[0])
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		if err := need(3); err != nil {
+			return err
+		}
+		s1, err := reg(args[0])
+		if err != nil {
+			return err
+		}
+		s2, err := reg(args[1])
+		if err != nil {
+			return err
+		}
+		a.Branch(op, s1, s2, args[2])
+	case Select:
+		if err := need(4); err != nil {
+			return err
+		}
+		var rs [4]uint8
+		for i, s := range args {
+			r, err := reg(s)
+			if err != nil {
+				return err
+			}
+			rs[i] = r
+		}
+		a.Select(rs[0], rs[1], rs[2], rs[3])
+	default:
+		irOp, ok := op.IROp()
+		if !ok {
+			return fmt.Errorf("cannot assemble %q", op)
+		}
+		switch irOp.NumArgs() {
+		case 1:
+			if err := need(2); err != nil {
+				return err
+			}
+			d, err := reg(args[0])
+			if err != nil {
+				return err
+			}
+			s, err := reg(args[1])
+			if err != nil {
+				return err
+			}
+			a.Op2(op, d, s)
+		case 2:
+			if err := need(3); err != nil {
+				return err
+			}
+			d, err := reg(args[0])
+			if err != nil {
+				return err
+			}
+			s1, err := reg(args[1])
+			if err != nil {
+				return err
+			}
+			s2, err := reg(args[2])
+			if err != nil {
+				return err
+			}
+			a.Op3(op, d, s1, s2)
+		}
+	}
+	return nil
+}

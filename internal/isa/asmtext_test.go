@@ -1,0 +1,213 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	p := vecAddProgram(t)
+	p.LoopAnnos = []LoopAnno{{HeadPC: 0, Priorities: []int32{0, 1, 2, -1, 3, 4, 5, 6, -1}}}
+	text := Format(p)
+	q, err := ParseAsm(text)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v\n%s", err, text)
+	}
+	if q.Name != p.Name || len(q.Code) != len(p.Code) {
+		t.Fatalf("shape changed: %q/%d vs %q/%d", q.Name, len(q.Code), p.Name, len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("inst %d: %v != %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if len(q.LoopAnnos) != 1 || q.LoopAnnos[0].HeadPC != 0 {
+		t.Fatalf("annotations lost: %+v", q.LoopAnnos)
+	}
+	for i, v := range p.LoopAnnos[0].Priorities {
+		if q.LoopAnnos[0].Priorities[i] != v {
+			t.Errorf("priority %d differs", i)
+		}
+	}
+}
+
+func TestFormatParseRoundTripWithCCA(t *testing.T) {
+	a := NewAsm("cca")
+	a.Label("loop")
+	a.Brl("fn")
+	a.AddI(2, 2, 1)
+	a.Branch(BLT, 2, 1, "loop")
+	a.Halt()
+	a.Label("fn")
+	start := a.PC()
+	a.Op3(And, 9, 9, 10)
+	a.Op3(Xor, 11, 9, 12)
+	a.Ret()
+	a.CCAFunc(start, 3)
+	p := a.MustBuild()
+
+	text := Format(p)
+	q, err := ParseAsm(text)
+	if err != nil {
+		t.Fatalf("ParseAsm: %v\n%s", err, text)
+	}
+	if len(q.CCAFuncs) != 1 || q.CCAFuncs[0].Start != start || q.CCAFuncs[0].Len != 3 {
+		t.Fatalf("cca funcs = %+v", q.CCAFuncs)
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("inst %d: %v != %v", i, q.Code[i], p.Code[i])
+		}
+	}
+}
+
+func TestParseAsmHandWritten(t *testing.T) {
+	text := `
+.program "hand"
+    movi r0, #0        ; zero register
+    movi r2, #0
+loop:
+    ld r10, [r4+2]     // offset load
+    select r11, r10, r5, r6
+    st r11, [r7+0]
+    addi r4, r4, #1
+    addi r7, r7, #1
+    addi r2, r2, #1
+    blt r2, r1, loop
+    halt
+`
+	p, err := ParseAsm(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "hand" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if p.Code[2].Op != Load || p.Code[2].Imm != 2 {
+		t.Errorf("load not parsed: %v", p.Code[2])
+	}
+	if p.Code[3].Op != Select || p.Code[3].Src3 != 6 {
+		t.Errorf("select not parsed: %v", p.Code[3])
+	}
+	if p.Code[8].Op != BLT || p.Code[8].Imm != 2 {
+		t.Errorf("branch target not resolved: %v", p.Code[8])
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []string{
+		"bogus r1, r2",
+		"add r1, r2",          // arity
+		"movi r99, #1",        // bad register
+		"ld r1, r2",           // not a memory operand
+		"blt r1, r2, nowhere", // unresolved label
+		".ccafunc missing 2",  // unknown label in directive
+		".weird 1 2",
+	}
+	for _, c := range cases {
+		if _, err := ParseAsm(c + "\nhalt\n"); err == nil {
+			t.Errorf("ParseAsm(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestFormatIsStable(t *testing.T) {
+	p := vecAddProgram(t)
+	a := Format(p)
+	b := Format(p)
+	if a != b {
+		t.Error("Format not deterministic")
+	}
+	if !strings.Contains(a, ".program") || !strings.Contains(a, "L0:") {
+		t.Errorf("Format output unexpected:\n%s", a)
+	}
+}
+
+func TestFormatParsePropertyOverRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(30)
+		p := &Program{Name: "rand"}
+		for i := 0; i < n; i++ {
+			op := Opcode(rng.Intn(int(opcodeMax)))
+			in := Inst{Op: op}
+			switch {
+			case op == Nop || op == Halt || op == Ret:
+			case op == MovI:
+				in.Dst = uint8(rng.Intn(NumRegs))
+				in.Imm = rng.Int63() - rng.Int63()
+			case op == Mov:
+				in.Dst, in.Src1 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+			case op == AddI || op == MulI || op == ShlI || op == AndI:
+				in.Dst, in.Src1 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				in.Imm = int64(rng.Intn(1 << 16))
+			case op == Load:
+				in.Dst, in.Src1 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				in.Imm = int64(rng.Intn(64)) - 16
+			case op == Store:
+				in.Src1, in.Src2 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				in.Imm = int64(rng.Intn(64)) - 16
+			case op == Br || op == Brl:
+				in.Imm = int64(rng.Intn(n))
+			case op.IsCondBranch():
+				in.Src1, in.Src2 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				in.Imm = int64(rng.Intn(n))
+			case op == Select:
+				in.Dst, in.Src1 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				in.Src2, in.Src3 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+			default:
+				irOp, _ := op.IROp()
+				in.Dst, in.Src1 = uint8(rng.Intn(NumRegs)), uint8(rng.Intn(NumRegs))
+				if irOp.NumArgs() >= 2 {
+					in.Src2 = uint8(rng.Intn(NumRegs))
+				}
+			}
+			p.Code = append(p.Code, in)
+		}
+		text := Format(p)
+		q, err := ParseAsm(text)
+		if err != nil {
+			t.Fatalf("trial %d: ParseAsm: %v\n%s", trial, err, text)
+		}
+		if len(q.Code) != len(p.Code) {
+			t.Fatalf("trial %d: length changed", trial)
+		}
+		for i := range p.Code {
+			if normalizeInst(p.Code[i]) != normalizeInst(q.Code[i]) {
+				t.Fatalf("trial %d inst %d: %v != %v\n%s", trial, i, q.Code[i], p.Code[i], text)
+			}
+		}
+	}
+}
+
+// normalizeInst zeroes fields an opcode does not use (Format does not
+// print them, so they cannot round-trip).
+func normalizeInst(in Inst) Inst {
+	out := Inst{Op: in.Op}
+	switch in.Op {
+	case Nop, Halt, Ret:
+	case MovI:
+		out.Dst, out.Imm = in.Dst, in.Imm
+	case Mov:
+		out.Dst, out.Src1 = in.Dst, in.Src1
+	case AddI, MulI, ShlI, AndI:
+		out.Dst, out.Src1, out.Imm = in.Dst, in.Src1, in.Imm
+	case Load:
+		out.Dst, out.Src1, out.Imm = in.Dst, in.Src1, in.Imm
+	case Store:
+		out.Src1, out.Src2, out.Imm = in.Src1, in.Src2, in.Imm
+	case Br, Brl:
+		out.Imm = in.Imm
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		out.Src1, out.Src2, out.Imm = in.Src1, in.Src2, in.Imm
+	case Select:
+		out.Dst, out.Src1, out.Src2, out.Src3 = in.Dst, in.Src1, in.Src2, in.Src3
+	default:
+		out.Dst, out.Src1 = in.Dst, in.Src1
+		if irOp, ok := in.Op.IROp(); ok && irOp.NumArgs() >= 2 {
+			out.Src2 = in.Src2
+		}
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package isa defines the baseline scalar instruction set in which VEAL
+// applications are expressed, together with a binary container format.
+//
+// The virtualization contract of the paper is that loops to be accelerated
+// are encoded entirely in this baseline ISA — a processor with no
+// accelerator simply executes the instructions — while two kinds of
+// advisory, binary-compatible metadata ride alongside (Figure 9 of the
+// paper):
+//
+//   - CCA procedural abstraction: statically identified CCA subgraphs are
+//     outlined into tiny leaf functions invoked with Brl; a VM maps each
+//     such function onto whatever CCA exists, or the scalar core just
+//     calls it.
+//   - Priority tables: per-loop scheduling priorities placed in a data
+//     section, letting the VM skip the expensive Swing ordering phase.
+//
+// The machine has 64 general 64-bit registers (floating-point values are
+// carried as raw float64 bits); register 63 is the link register used by
+// Brl/Ret. Memory is word-addressed (see ir.Memory).
+package isa
+
+// NumRegs is the architectural register count.
+const NumRegs = 64
+
+// LinkReg receives the return address of a Brl instruction.
+const LinkReg = 63

@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary container layout (all integers little-endian):
+//
+//	magic   [4]byte  "VEAL"
+//	version uint16   (currently 1)
+//	nameLen uint16, name bytes
+//	nInst   uint32, then nInst records of 16 bytes:
+//	        op(1) dst(1) src1(1) src2(1) src3(1) pad(3) imm(int64)
+//	nCCA    uint32, then (start uint32, len uint32) pairs
+//	nAnno   uint32, then (headPC uint32, nPrio uint32, prio int32...) records
+
+var magic = [4]byte{'V', 'E', 'A', 'L'}
+
+// FormatVersion is the binary container version this package reads/writes.
+const FormatVersion = 1
+
+// Encode serializes the program to its binary container form.
+func Encode(p *Program) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("encode: %w", err)
+	}
+	var b bytes.Buffer
+	b.Write(magic[:])
+	writeU16 := func(v uint16) { binary.Write(&b, binary.LittleEndian, v) }
+	writeU32 := func(v uint32) { binary.Write(&b, binary.LittleEndian, v) }
+	writeU16(FormatVersion)
+	if len(p.Name) > 0xffff {
+		return nil, fmt.Errorf("encode: name too long (%d bytes)", len(p.Name))
+	}
+	writeU16(uint16(len(p.Name)))
+	b.WriteString(p.Name)
+
+	writeU32(uint32(len(p.Code)))
+	for _, in := range p.Code {
+		b.WriteByte(byte(in.Op))
+		b.WriteByte(in.Dst)
+		b.WriteByte(in.Src1)
+		b.WriteByte(in.Src2)
+		b.WriteByte(in.Src3)
+		b.Write([]byte{0, 0, 0})
+		binary.Write(&b, binary.LittleEndian, in.Imm)
+	}
+
+	writeU32(uint32(len(p.CCAFuncs)))
+	for _, f := range p.CCAFuncs {
+		writeU32(uint32(f.Start))
+		writeU32(uint32(f.Len))
+	}
+
+	writeU32(uint32(len(p.LoopAnnos)))
+	for _, a := range p.LoopAnnos {
+		writeU32(uint32(a.HeadPC))
+		writeU32(uint32(len(a.Priorities)))
+		for _, pr := range a.Priorities {
+			binary.Write(&b, binary.LittleEndian, pr)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses a binary container produced by Encode.
+func Decode(data []byte) (*Program, error) {
+	r := bytes.NewReader(data)
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return nil, fmt.Errorf("decode: short magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("decode: bad magic %q", m[:])
+	}
+	readU16 := func() (uint16, error) {
+		var v uint16
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(r, binary.LittleEndian, &v)
+		return v, err
+	}
+	ver, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("decode: version: %w", err)
+	}
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("decode: unsupported version %d", ver)
+	}
+	nameLen, err := readU16()
+	if err != nil {
+		return nil, fmt.Errorf("decode: name length: %w", err)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return nil, fmt.Errorf("decode: name: %w", err)
+	}
+
+	p := &Program{Name: string(name)}
+	nInst, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("decode: inst count: %w", err)
+	}
+	if int64(nInst)*16 > int64(r.Len()) {
+		return nil, fmt.Errorf("decode: inst count %d exceeds remaining data", nInst)
+	}
+	p.Code = make([]Inst, nInst)
+	for i := range p.Code {
+		var rec [8]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("decode: inst %d: %w", i, err)
+		}
+		var imm int64
+		if err := binary.Read(r, binary.LittleEndian, &imm); err != nil {
+			return nil, fmt.Errorf("decode: inst %d imm: %w", i, err)
+		}
+		p.Code[i] = Inst{
+			Op: Opcode(rec[0]), Dst: rec[1],
+			Src1: rec[2], Src2: rec[3], Src3: rec[4],
+			Imm: imm,
+		}
+	}
+
+	nCCA, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("decode: cca count: %w", err)
+	}
+	if int64(nCCA)*8 > int64(r.Len()) {
+		return nil, fmt.Errorf("decode: cca count %d exceeds remaining data", nCCA)
+	}
+	p.CCAFuncs = make([]CCAFunc, nCCA)
+	for i := range p.CCAFuncs {
+		s, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("decode: cca %d: %w", i, err)
+		}
+		l, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("decode: cca %d: %w", i, err)
+		}
+		p.CCAFuncs[i] = CCAFunc{Start: int(s), Len: int(l)}
+	}
+
+	nAnno, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("decode: anno count: %w", err)
+	}
+	for i := 0; i < int(nAnno); i++ {
+		head, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("decode: anno %d: %w", i, err)
+		}
+		n, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("decode: anno %d: %w", i, err)
+		}
+		if int64(n)*4 > int64(r.Len()) {
+			return nil, fmt.Errorf("decode: anno %d priority count %d exceeds remaining data", i, n)
+		}
+		prio := make([]int32, n)
+		for j := range prio {
+			if err := binary.Read(r, binary.LittleEndian, &prio[j]); err != nil {
+				return nil, fmt.Errorf("decode: anno %d prio %d: %w", i, j, err)
+			}
+		}
+		p.LoopAnnos = append(p.LoopAnnos, LoopAnno{HeadPC: int(head), Priorities: prio})
+	}
+
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("decode: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,337 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"veal/internal/ir"
+)
+
+// Opcode enumerates the baseline instruction set. ALU opcodes correspond
+// one-to-one with ir operations (see IROp); the remainder are the moves,
+// memory and control-flow instructions a linear ISA needs.
+type Opcode uint8
+
+const (
+	Nop Opcode = iota
+
+	// ALU (dst, src1[, src2[, src3]]).
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	Shl
+	ShrA
+	ShrL
+	And
+	Or
+	Xor
+	Not
+	Neg
+	Abs
+	Min
+	Max
+	CmpEQ
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpLTU
+	Select // dst = src1 != 0 ? src2 : src3
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+	FAbs
+	FMin
+	FMax
+	FCmpLT
+	FCmpLE
+	FCmpEQ
+	IToF
+	FToI
+	FSqrt
+
+	// Immediate and move forms.
+	MovI // dst = imm (64-bit)
+	Mov  // dst = src1
+	AddI // dst = src1 + imm
+	MulI // dst = src1 * imm
+	ShlI // dst = src1 << imm
+	AndI // dst = src1 & imm
+
+	// Memory: word-addressed, register base plus immediate offset.
+	Load  // dst = mem[src1 + imm]
+	Store // mem[src1 + imm] = src2
+
+	// Control flow. Branch targets are absolute instruction indexes in Imm.
+	Br   // unconditional
+	BEQ  // if src1 == src2
+	BNE  // if src1 != src2
+	BLT  // if src1 <  src2 (signed)
+	BLE  // if src1 <= src2 (signed)
+	BGT  // if src1 >  src2 (signed)
+	BGE  // if src1 >= src2 (signed)
+	Brl  // branch and link: LinkReg = pc+1; pc = Imm
+	Ret  // pc = LinkReg
+	Halt // stop the machine
+
+	opcodeMax
+)
+
+var opcodeNames = [opcodeMax]string{
+	Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div", Rem: "rem",
+	Shl: "shl", ShrA: "shra", ShrL: "shrl", And: "and", Or: "or", Xor: "xor",
+	Not: "not", Neg: "neg", Abs: "abs", Min: "min", Max: "max",
+	CmpEQ: "cmpeq", CmpNE: "cmpne", CmpLT: "cmplt", CmpLE: "cmple",
+	CmpGT: "cmpgt", CmpGE: "cmpge", CmpLTU: "cmpltu", Select: "select",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FNeg: "fneg",
+	FAbs: "fabs", FMin: "fmin", FMax: "fmax", FCmpLT: "fcmplt",
+	FCmpLE: "fcmple", FCmpEQ: "fcmpeq", IToF: "itof", FToI: "ftoi",
+	FSqrt: "fsqrt", MovI: "movi", Mov: "mov", AddI: "addi", MulI: "muli",
+	ShlI: "shli", AndI: "andi", Load: "ld", Store: "st", Br: "br",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BLE: "ble", BGT: "bgt", BGE: "bge",
+	Brl: "brl", Ret: "ret", Halt: "halt",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if o >= opcodeMax {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opcodeNames[o]
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o < opcodeMax }
+
+// aluIR maps pure ALU opcodes to their ir operation; entries for
+// non-ALU opcodes are -1.
+var aluIR = func() [opcodeMax]ir.Op {
+	var m [opcodeMax]ir.Op
+	for i := range m {
+		m[i] = -1
+	}
+	m[Add] = ir.OpAdd
+	m[Sub] = ir.OpSub
+	m[Mul] = ir.OpMul
+	m[Div] = ir.OpDiv
+	m[Rem] = ir.OpRem
+	m[Shl] = ir.OpShl
+	m[ShrA] = ir.OpShrA
+	m[ShrL] = ir.OpShrL
+	m[And] = ir.OpAnd
+	m[Or] = ir.OpOr
+	m[Xor] = ir.OpXor
+	m[Not] = ir.OpNot
+	m[Neg] = ir.OpNeg
+	m[Abs] = ir.OpAbs
+	m[Min] = ir.OpMin
+	m[Max] = ir.OpMax
+	m[CmpEQ] = ir.OpCmpEQ
+	m[CmpNE] = ir.OpCmpNE
+	m[CmpLT] = ir.OpCmpLT
+	m[CmpLE] = ir.OpCmpLE
+	m[CmpGT] = ir.OpCmpGT
+	m[CmpGE] = ir.OpCmpGE
+	m[CmpLTU] = ir.OpCmpLTU
+	m[Select] = ir.OpSelect
+	m[FAdd] = ir.OpFAdd
+	m[FSub] = ir.OpFSub
+	m[FMul] = ir.OpFMul
+	m[FDiv] = ir.OpFDiv
+	m[FNeg] = ir.OpFNeg
+	m[FAbs] = ir.OpFAbs
+	m[FMin] = ir.OpFMin
+	m[FMax] = ir.OpFMax
+	m[FCmpLT] = ir.OpFCmpLT
+	m[FCmpLE] = ir.OpFCmpLE
+	m[FCmpEQ] = ir.OpFCmpEQ
+	m[IToF] = ir.OpIToF
+	m[FToI] = ir.OpFToI
+	m[FSqrt] = ir.OpFSqrt
+	return m
+}()
+
+// IROp returns the equivalent ir operation for a pure register-to-register
+// ALU opcode, and ok=false for moves, immediates, memory and control flow.
+func (o Opcode) IROp() (op ir.Op, ok bool) {
+	if !o.Valid() || aluIR[o] < 0 {
+		return 0, false
+	}
+	return aluIR[o], true
+}
+
+// IsBranch reports whether the opcode transfers control (excluding Halt).
+func (o Opcode) IsBranch() bool {
+	switch o {
+	case Br, BEQ, BNE, BLT, BLE, BGT, BGE, Brl, Ret:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Opcode) IsCondBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		return true
+	}
+	return false
+}
+
+// Inst is one fixed-format instruction.
+type Inst struct {
+	Op               Opcode
+	Dst              uint8
+	Src1, Src2, Src3 uint8
+	Imm              int64
+}
+
+// String renders the instruction in assembly-like syntax.
+func (in Inst) String() string {
+	r := func(x uint8) string { return fmt.Sprintf("r%d", x) }
+	switch in.Op {
+	case Nop, Halt, Ret:
+		return in.Op.String()
+	case MovI:
+		return fmt.Sprintf("movi %s, #%d", r(in.Dst), in.Imm)
+	case Mov:
+		return fmt.Sprintf("mov %s, %s", r(in.Dst), r(in.Src1))
+	case AddI, MulI, ShlI, AndI:
+		return fmt.Sprintf("%s %s, %s, #%d", in.Op, r(in.Dst), r(in.Src1), in.Imm)
+	case Load:
+		return fmt.Sprintf("ld %s, [%s%+d]", r(in.Dst), r(in.Src1), in.Imm)
+	case Store:
+		return fmt.Sprintf("st %s, [%s%+d]", r(in.Src2), r(in.Src1), in.Imm)
+	case Br, Brl:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Src1), r(in.Src2), in.Imm)
+	case Select:
+		return fmt.Sprintf("select %s, %s, %s, %s", r(in.Dst), r(in.Src1), r(in.Src2), r(in.Src3))
+	default:
+		if irOp, ok := in.Op.IROp(); ok {
+			switch irOp.NumArgs() {
+			case 1:
+				return fmt.Sprintf("%s %s, %s", in.Op, r(in.Dst), r(in.Src1))
+			case 2:
+				return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Dst), r(in.Src1), r(in.Src2))
+			}
+		}
+		return fmt.Sprintf("%s ?", in.Op)
+	}
+}
+
+// CCAFunc marks an outlined CCA candidate subgraph: the instructions in
+// [Start, Start+Len) form a leaf function (ending in Ret) that a VM may map
+// onto a CCA as a single unit.
+type CCAFunc struct {
+	Start int
+	Len   int
+}
+
+// LoopAnno is the advisory per-loop metadata a static compiler may attach.
+// HeadPC identifies the loop by the instruction index of its first body
+// instruction. Priorities holds one value per loop-body instruction, in
+// program order — exactly the "single number for each operation in a data
+// section before the loop" of Figure 9(c).
+type LoopAnno struct {
+	HeadPC     int
+	Priorities []int32
+}
+
+// Program is a complete binary: code plus the advisory annotation sections.
+type Program struct {
+	Name string
+	Code []Inst
+
+	// CCAFuncs is the .ccafn section (Figure 9(b)).
+	CCAFuncs []CCAFunc
+
+	// LoopAnnos is the .anno section (Figure 9(c)), sorted by HeadPC.
+	LoopAnnos []LoopAnno
+}
+
+// Validate checks instruction well-formedness and branch-target sanity.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("program %q: empty", p.Name)
+	}
+	for pc, in := range p.Code {
+		if !in.Op.Valid() {
+			return fmt.Errorf("program %q: pc %d: invalid opcode %d", p.Name, pc, int(in.Op))
+		}
+		if int(in.Dst) >= NumRegs || int(in.Src1) >= NumRegs ||
+			int(in.Src2) >= NumRegs || int(in.Src3) >= NumRegs {
+			return fmt.Errorf("program %q: pc %d: register out of range", p.Name, pc)
+		}
+		if in.Op.IsBranch() && in.Op != Ret {
+			if in.Imm < 0 || in.Imm >= int64(len(p.Code)) {
+				return fmt.Errorf("program %q: pc %d: branch target %d out of range", p.Name, pc, in.Imm)
+			}
+		}
+	}
+	for _, f := range p.CCAFuncs {
+		if f.Start < 0 || f.Len <= 0 || f.Start+f.Len > len(p.Code) {
+			return fmt.Errorf("program %q: ccafn [%d,+%d) out of range", p.Name, f.Start, f.Len)
+		}
+		if p.Code[f.Start+f.Len-1].Op != Ret {
+			return fmt.Errorf("program %q: ccafn at %d does not end in ret", p.Name, f.Start)
+		}
+	}
+	for _, a := range p.LoopAnnos {
+		if a.HeadPC < 0 || a.HeadPC >= len(p.Code) {
+			return fmt.Errorf("program %q: loop annotation at pc %d out of range", p.Name, a.HeadPC)
+		}
+	}
+	return nil
+}
+
+// CCAFuncAt returns the CCA function starting exactly at pc, if any.
+func (p *Program) CCAFuncAt(pc int) (CCAFunc, bool) {
+	for _, f := range p.CCAFuncs {
+		if f.Start == pc {
+			return f, true
+		}
+	}
+	return CCAFunc{}, false
+}
+
+// AnnoAt returns the loop annotation for a loop headed at pc, if any.
+func (p *Program) AnnoAt(pc int) (LoopAnno, bool) {
+	for _, a := range p.LoopAnnos {
+		if a.HeadPC == pc {
+			return a, true
+		}
+	}
+	return LoopAnno{}, false
+}
+
+// Disassemble renders the whole program with pc labels and annotations.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %q: %d insts, %d cca funcs, %d loop annos\n",
+		p.Name, len(p.Code), len(p.CCAFuncs), len(p.LoopAnnos))
+	ccaStart := make(map[int]bool)
+	for _, f := range p.CCAFuncs {
+		ccaStart[f.Start] = true
+	}
+	annoAt := make(map[int]bool)
+	for _, a := range p.LoopAnnos {
+		annoAt[a.HeadPC] = true
+	}
+	for pc, in := range p.Code {
+		if ccaStart[pc] {
+			fmt.Fprintf(&b, "; cca function\n")
+		}
+		if annoAt[pc] {
+			fmt.Fprintf(&b, "; loop head (annotated)\n")
+		}
+		fmt.Fprintf(&b, "%4d: %s\n", pc, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"veal/internal/ir"
+)
+
+// vecAddProgram is a simple canonical loop used across tests:
+//
+//	for i in 0..n: c[i] = a[i] + b[i]
+//
+// r1=aPtr r2=bPtr r3=cPtr r4=i r5=n.
+func vecAddProgram(t testing.TB) *Program {
+	a := NewAsm("vecadd")
+	a.Label("loop")
+	a.Load(10, 1, 0)       // r10 = [a]
+	a.Load(11, 2, 0)       // r11 = [b]
+	a.Op3(Add, 12, 10, 11) // r12 = r10+r11
+	a.Store(12, 3, 0)      // [c] = r12
+	a.AddI(1, 1, 1)        // a++
+	a.AddI(2, 2, 1)        // b++
+	a.AddI(3, 3, 1)        // c++
+	a.AddI(4, 4, 1)        // i++
+	a.Branch(BLT, 4, 5, "loop")
+	a.Halt()
+	p, err := a.Build()
+	if err != nil {
+		t.Fatalf("vecadd build: %v", err)
+	}
+	return p
+}
+
+func TestAsmResolvesLabels(t *testing.T) {
+	p := vecAddProgram(t)
+	br := p.Code[8]
+	if br.Op != BLT || br.Imm != 0 {
+		t.Fatalf("back branch = %v, want blt to pc 0", br)
+	}
+}
+
+func TestAsmRejectsUndefinedLabel(t *testing.T) {
+	a := NewAsm("bad")
+	a.Br("nowhere")
+	a.Halt()
+	if _, err := a.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("Build = %v, want undefined-label error", err)
+	}
+}
+
+func TestAsmRejectsDuplicateLabel(t *testing.T) {
+	a := NewAsm("dup")
+	a.Label("x")
+	a.Halt()
+	a.Label("x")
+	if _, err := a.Build(); err == nil {
+		t.Fatal("Build accepted duplicate label")
+	}
+}
+
+func TestValidateRejectsBadBranchTarget(t *testing.T) {
+	p := &Program{Name: "b", Code: []Inst{{Op: Br, Imm: 99}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range branch")
+	}
+}
+
+func TestValidateRejectsCCAWithoutRet(t *testing.T) {
+	p := &Program{
+		Name:     "c",
+		Code:     []Inst{{Op: Add}, {Op: Halt}},
+		CCAFuncs: []CCAFunc{{Start: 0, Len: 2}},
+	}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "ret") {
+		t.Fatalf("Validate = %v, want missing-ret error", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := vecAddProgram(t)
+	p.LoopAnnos = []LoopAnno{{HeadPC: 0, Priorities: []int32{0, 0, 1, 0, 2, 2, 2, 3, 3}}}
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if q.Name != p.Name || len(q.Code) != len(p.Code) {
+		t.Fatalf("round trip changed shape: %q/%d vs %q/%d", q.Name, len(q.Code), p.Name, len(p.Code))
+	}
+	for i := range p.Code {
+		if p.Code[i] != q.Code[i] {
+			t.Errorf("inst %d: %v != %v", i, p.Code[i], q.Code[i])
+		}
+	}
+	if len(q.LoopAnnos) != 1 || q.LoopAnnos[0].HeadPC != 0 {
+		t.Fatalf("annotations lost: %+v", q.LoopAnnos)
+	}
+	for i, v := range p.LoopAnnos[0].Priorities {
+		if q.LoopAnnos[0].Priorities[i] != v {
+			t.Errorf("priority %d: %d != %d", i, q.LoopAnnos[0].Priorities[i], v)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		p := &Program{Name: "rand"}
+		for i := 0; i < n; i++ {
+			op := Opcode(rng.Intn(int(opcodeMax)))
+			in := Inst{
+				Op:   op,
+				Dst:  uint8(rng.Intn(NumRegs)),
+				Src1: uint8(rng.Intn(NumRegs)),
+				Src2: uint8(rng.Intn(NumRegs)),
+				Src3: uint8(rng.Intn(NumRegs)),
+				Imm:  rng.Int63() - rng.Int63(),
+			}
+			if in.Op.IsBranch() && in.Op != Ret {
+				in.Imm = int64(rng.Intn(n))
+			}
+			p.Code = append(p.Code, in)
+		}
+		data, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		q, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		if len(q.Code) != len(p.Code) {
+			return false
+		}
+		for i := range p.Code {
+			if p.Code[i] != q.Code[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	p := vecAddProgram(t)
+	data, err := Encode(p)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("NOPE"), data[4:]...),
+		"truncated":   data[:len(data)/2],
+		"bad version": append(append([]byte{}, data[:4]...), append([]byte{99, 0}, data[6:]...)...),
+	}
+	for name, d := range cases {
+		if _, err := Decode(d); err == nil {
+			t.Errorf("Decode(%s) succeeded, want error", name)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeCounts(t *testing.T) {
+	// A tiny input claiming 2^31 instructions must not allocate wildly.
+	d := append([]byte{}, magic[:]...)
+	d = append(d, 1, 0)                   // version
+	d = append(d, 0, 0)                   // name len
+	d = append(d, 0xff, 0xff, 0xff, 0x7f) // inst count
+	if _, err := Decode(d); err == nil {
+		t.Fatal("Decode accepted absurd instruction count")
+	}
+}
+
+func TestIROpMapping(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		want ir.Op
+	}{
+		{Add, ir.OpAdd}, {FMul, ir.OpFMul}, {Select, ir.OpSelect}, {CmpLTU, ir.OpCmpLTU},
+	}
+	for _, c := range cases {
+		got, ok := c.op.IROp()
+		if !ok || got != c.want {
+			t.Errorf("IROp(%v) = %v,%v; want %v,true", c.op, got, ok, c.want)
+		}
+	}
+	for _, op := range []Opcode{Nop, MovI, Load, Store, Br, BLT, Brl, Ret, Halt, AddI} {
+		if _, ok := op.IROp(); ok {
+			t.Errorf("IROp(%v) should not map to an ir op", op)
+		}
+	}
+}
+
+func TestInstStringForms(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: Add, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+		{Inst{Op: Not, Dst: 1, Src1: 2}, "not r1, r2"},
+		{Inst{Op: MovI, Dst: 4, Imm: -7}, "movi r4, #-7"},
+		{Inst{Op: Load, Dst: 5, Src1: 6, Imm: 2}, "ld r5, [r6+2]"},
+		{Inst{Op: Store, Src1: 6, Src2: 7, Imm: 0}, "st r7, [r6+0]"},
+		{Inst{Op: BLT, Src1: 1, Src2: 2, Imm: 10}, "blt r1, r2, 10"},
+		{Inst{Op: Select, Dst: 1, Src1: 2, Src2: 3, Src3: 4}, "select r1, r2, r3, r4"},
+		{Inst{Op: Halt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDisassembleMentionsSections(t *testing.T) {
+	a := NewAsm("d")
+	a.Label("loop")
+	a.AddI(1, 1, 1)
+	a.Branch(BLT, 1, 2, "loop")
+	a.Halt()
+	start := a.PC()
+	a.Op3(And, 3, 4, 5)
+	a.Ret()
+	a.CCAFunc(start, 2)
+	a.AnnotateLoop("loop", []int32{0, 1})
+	p := a.MustBuild()
+	d := p.Disassemble()
+	for _, want := range []string{"cca function", "loop head", "addi"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Disassemble missing %q:\n%s", want, d)
+		}
+	}
+	if _, ok := p.CCAFuncAt(start); !ok {
+		t.Error("CCAFuncAt missed the function")
+	}
+	if _, ok := p.AnnoAt(0); !ok {
+		t.Error("AnnoAt missed the loop annotation")
+	}
+}
+
+func TestDecodeFuzzNeverPanics(t *testing.T) {
+	// Random byte strings must either decode into a valid program or
+	// return an error — never panic or hang.
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64, nRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 2048)
+		data := make([]byte, n)
+		r.Read(data)
+		p, err := Decode(data)
+		if err == nil {
+			// Anything that decodes must re-validate and re-encode.
+			if p.Validate() != nil {
+				return false
+			}
+			if _, err := Encode(p); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	// And mutated valid images: flip bytes of a real encoding.
+	valid, err := Encode(vecAddProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		if p, err := Decode(data); err == nil {
+			if p.Validate() != nil {
+				t.Fatal("Decode returned an invalid program")
+			}
+		}
+	}
+}

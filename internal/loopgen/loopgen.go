@@ -1,0 +1,151 @@
+// Package loopgen generates pseudo-random but well-formed loops for
+// property-based testing and design-space exploration. Generated loops
+// always validate, always have at least one side effect (a store or a
+// live-out), and can be asked for recurrences of bounded depth so that
+// scheduler and simulator invariants are exercised on cyclic dependence
+// graphs, not just DAGs.
+package loopgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"veal/internal/ir"
+)
+
+// Config bounds the generated loop's shape.
+type Config struct {
+	// Ops is the number of compute operations to generate (>=1).
+	Ops int
+	// LoadStreams and StoreStreams bound the memory interface.
+	LoadStreams, StoreStreams int
+	// FloatFrac in [0,1] is the probability a compute op is floating point.
+	FloatFrac float64
+	// RecurProb in [0,1] is the probability a generated op closes a
+	// loop-carried recurrence on itself (distance 1..MaxDist).
+	RecurProb float64
+	// MaxDist bounds recurrence distances (default 1).
+	MaxDist int
+}
+
+// Default returns a medium-size integer-heavy configuration.
+func Default() Config {
+	return Config{Ops: 12, LoadStreams: 2, StoreStreams: 1, FloatFrac: 0, RecurProb: 0.2, MaxDist: 2}
+}
+
+var intOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpShrA, ir.OpShrL,
+	ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpMin, ir.OpMax, ir.OpCmpLT, ir.OpCmpEQ,
+}
+
+var floatOps = []ir.Op{ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFMin, ir.OpFMax}
+
+// Generate builds a random loop. The same rng state yields the same loop.
+func Generate(rng *rand.Rand, cfg Config) *ir.Loop {
+	if cfg.Ops < 1 {
+		cfg.Ops = 1
+	}
+	if cfg.MaxDist < 1 {
+		cfg.MaxDist = 1
+	}
+	b := ir.NewBuilder(fmt.Sprintf("rand-%d", rng.Int63()))
+
+	intVals := []ir.Value{b.Const(int64(rng.Intn(64) + 1))}
+	var floatVals []ir.Value
+	for i := 0; i < cfg.LoadStreams; i++ {
+		v := b.LoadStream(fmt.Sprintf("in%d", i), int64(rng.Intn(3))+1)
+		if rng.Float64() < cfg.FloatFrac {
+			floatVals = append(floatVals, v)
+		} else {
+			intVals = append(intVals, v)
+		}
+	}
+	if len(intVals) == 0 {
+		intVals = append(intVals, b.Const(7))
+	}
+
+	pickInt := func() ir.Value { return intVals[rng.Intn(len(intVals))] }
+	pickFloat := func() ir.Value {
+		if len(floatVals) == 0 {
+			floatVals = append(floatVals, b.ConstF(1.25))
+		}
+		return floatVals[rng.Intn(len(floatVals))]
+	}
+
+	for i := 0; i < cfg.Ops; i++ {
+		useFloat := rng.Float64() < cfg.FloatFrac
+		var v ir.Value
+		if useFloat {
+			op := floatOps[rng.Intn(len(floatOps))]
+			v = b.Op(op, pickFloat(), pickFloat())
+			floatVals = append(floatVals, v)
+		} else {
+			op := intOps[rng.Intn(len(intOps))]
+			v = b.Op(op, pickInt(), pickInt())
+			intVals = append(intVals, v)
+		}
+		if !useFloat && rng.Float64() < cfg.RecurProb {
+			// Close a recurrence: feed v back into a fresh op at distance d.
+			d := rng.Intn(cfg.MaxDist) + 1
+			inits := make([]string, d)
+			for k := range inits {
+				inits[k] = fmt.Sprintf("init_%d_%d", i, k)
+			}
+			prev := b.Recur(v, d, inits...)
+			w := b.Add(prev, pickInt())
+			// Rewire: make the recurrence genuine by feeding w into v's
+			// producer is not possible post-hoc, so instead extend the
+			// chain: future ops can consume w, and w itself recurs onto v's
+			// chain keeping a cycle only when v consumes w next round.
+			intVals = append(intVals, w)
+		}
+	}
+
+	// Genuine self-recurrence: accumulator over one value, guaranteeing at
+	// least one cycle when requested.
+	if cfg.RecurProb > 0 {
+		acc := b.Add(pickInt(), pickInt())
+		d := rng.Intn(cfg.MaxDist) + 1
+		inits := make([]string, d)
+		for k := range inits {
+			inits[k] = fmt.Sprintf("acc_init_%d", k)
+		}
+		b.SetArg(acc, 1, b.Recur(acc, d, inits...))
+		intVals = append(intVals, acc)
+		b.LiveOut("acc", acc)
+	}
+
+	for i := 0; i < cfg.StoreStreams; i++ {
+		var v ir.Value
+		if len(floatVals) > 0 && rng.Float64() < cfg.FloatFrac {
+			v = pickFloat()
+		} else {
+			v = pickInt()
+		}
+		b.StoreStream(fmt.Sprintf("out%d", i), int64(rng.Intn(3))+1, v)
+	}
+	if cfg.StoreStreams == 0 {
+		b.LiveOut("result", pickInt())
+	}
+
+	l, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("loopgen: generated invalid loop: %v", err))
+	}
+	return l
+}
+
+// Bindings produces deterministic pseudo-random bindings for a generated
+// loop: distinct, widely separated stream bases so ranges never alias, and
+// small values for scalar parameters.
+func Bindings(rng *rand.Rand, l *ir.Loop, trip int64) *ir.Bindings {
+	params := make([]uint64, l.NumParams)
+	for i := range params {
+		params[i] = uint64(rng.Intn(97))
+	}
+	// Stream bases: spread 1<<20 words apart.
+	for i, s := range l.Streams {
+		params[s.BaseParam] = uint64((i + 1)) << 20
+	}
+	return &ir.Bindings{Params: params, Trip: trip}
+}

@@ -1,0 +1,102 @@
+package loopgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"veal/internal/ir"
+)
+
+func TestGenerateAlwaysValidates(t *testing.T) {
+	f := func(seed int64, opsRaw, loadRaw, storeRaw uint8, fl, rec float64) bool {
+		cfg := Config{
+			Ops:          int(opsRaw%40) + 1,
+			LoadStreams:  int(loadRaw % 5),
+			StoreStreams: int(storeRaw % 4),
+			FloatFrac:    clamp01(fl),
+			RecurProb:    clamp01(rec),
+			MaxDist:      1 + int(opsRaw%3),
+		}
+		l := Generate(rand.New(rand.NewSource(seed)), cfg)
+		return l.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x != x || x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	a := Generate(rand.New(rand.NewSource(123)), cfg)
+	b := Generate(rand.New(rand.NewSource(123)), cfg)
+	if a.String() != b.String() {
+		t.Error("same seed produced different loops")
+	}
+	c := Generate(rand.New(rand.NewSource(124)), cfg)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical loops")
+	}
+}
+
+func TestGenerateHasSideEffects(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := Default()
+		cfg.StoreStreams = int(seed % 3)
+		l := Generate(rand.New(rand.NewSource(seed)), cfg)
+		if l.NumStoreStreams() == 0 && len(l.LiveOuts) == 0 {
+			t.Fatalf("seed %d: loop with no observable effects", seed)
+		}
+	}
+}
+
+func TestGenerateRecurrencesAppear(t *testing.T) {
+	cfg := Default()
+	cfg.RecurProb = 1
+	l := Generate(rand.New(rand.NewSource(5)), cfg)
+	if l.MaxDist() == 0 {
+		t.Error("RecurProb=1 produced no loop-carried dependences")
+	}
+}
+
+func TestGenerateExecutes(t *testing.T) {
+	// Generated loops must run under the reference executor with
+	// Bindings-produced parameters.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		cfg := Default()
+		cfg.Ops = 2 + rng.Intn(20)
+		cfg.FloatFrac = float64(trial%2) * 0.4
+		l := Generate(rng, cfg)
+		bind := Bindings(rng, l, 20)
+		if _, err := ir.Execute(l, bind, ir.NewPagedMemory()); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, l)
+		}
+	}
+}
+
+func TestBindingsSeparatesStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := Default()
+	cfg.LoadStreams, cfg.StoreStreams = 4, 3
+	l := Generate(rng, cfg)
+	bind := Bindings(rng, l, 100)
+	seen := map[uint64]bool{}
+	for _, s := range l.Streams {
+		base := bind.Params[s.BaseParam]
+		if seen[base] {
+			t.Errorf("stream bases collide at %#x", base)
+		}
+		seen[base] = true
+	}
+}

@@ -1,0 +1,923 @@
+// Package loopx extracts dataflow loops from baseline-ISA binaries — the
+// "separating control and memory streams" step of §4.1. Given an innermost
+// loop region it:
+//
+//   - recognizes the induction pattern (a register stepped by a constant,
+//     compared against a loop-invariant bound by the back branch) and
+//     derives the runtime trip-count formula;
+//   - recognizes affine address registers (stepped only by constant adds)
+//     and turns each load/store through them into a memory stream;
+//   - symbolically executes the body to build the compute dataflow graph,
+//     turning registers read before they are written into loop-carried
+//     dependences with initial values taken from the registers at entry;
+//   - inlines Brl calls to marked CCA functions, remembering the group so
+//     the scheduler can map it onto whatever CCA the hardware has
+//     (Figure 9(b));
+//   - records how to restore every architectural register the loop body
+//     writes, so the VM can hand execution back to the scalar core with
+//     exact state.
+//
+// Loops whose address or control patterns exceed what the accelerator's
+// address generators and control unit support are rejected with a
+// descriptive error; the VM then runs them on the scalar core.
+package loopx
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/vmcost"
+)
+
+// ParamSpec says how to compute one loop parameter from the architectural
+// registers at loop entry: params[i] = regs[Reg] + Offset.
+type ParamSpec struct {
+	Reg    uint8
+	Offset int64
+}
+
+// TripSpec is the runtime trip-count formula recognized from the back
+// branch and the induction register.
+type TripSpec struct {
+	IndReg   uint8
+	BoundReg uint8
+	Step     int64
+	Branch   isa.Opcode
+}
+
+// Trip evaluates the formula for concrete entry values. A non-positive
+// result means the loop body would not execute.
+func (t TripSpec) Trip(ind, bound int64) (int64, error) {
+	switch t.Branch {
+	case isa.BLT:
+		if t.Step <= 0 {
+			return 0, fmt.Errorf("loopx: blt loop with step %d", t.Step)
+		}
+		if bound <= ind {
+			return 0, nil
+		}
+		return (bound - ind + t.Step - 1) / t.Step, nil
+	case isa.BLE:
+		if t.Step <= 0 {
+			return 0, fmt.Errorf("loopx: ble loop with step %d", t.Step)
+		}
+		if bound < ind {
+			return 0, nil
+		}
+		return (bound-ind)/t.Step + 1, nil
+	case isa.BGT:
+		if t.Step >= 0 {
+			return 0, fmt.Errorf("loopx: bgt loop with step %d", t.Step)
+		}
+		if bound >= ind {
+			return 0, nil
+		}
+		return (ind - bound - t.Step - 1) / -t.Step, nil
+	case isa.BGE:
+		if t.Step >= 0 {
+			return 0, fmt.Errorf("loopx: bge loop with step %d", t.Step)
+		}
+		if bound > ind {
+			return 0, nil
+		}
+		return (ind-bound)/-t.Step + 1, nil
+	case isa.BNE:
+		if t.Step == 0 {
+			return 0, fmt.Errorf("loopx: bne loop with zero step")
+		}
+		d := bound - ind
+		if d%t.Step != 0 || d/t.Step < 0 {
+			return 0, fmt.Errorf("loopx: bne loop does not terminate cleanly")
+		}
+		return d / t.Step, nil
+	}
+	return 0, fmt.Errorf("loopx: unsupported back branch %v", t.Branch)
+}
+
+// AffineFinal records an address/induction register's exit value:
+// regs[Reg] after the loop = entry value + trip*Step.
+type AffineFinal struct {
+	Reg  uint8
+	Step int64
+}
+
+// Extraction is a fully analyzed loop, ready for CCA mapping and modulo
+// scheduling.
+type Extraction struct {
+	Loop   *ir.Loop
+	Region cfg.Region
+	Params []ParamSpec
+	Trip   TripSpec
+	// Groups are statically identified CCA subgraphs (node IDs), from
+	// inlined marked Brl functions.
+	Groups [][]int
+	// NodeSrc maps each node to the body pc it came from (-1 for
+	// synthesized nodes); used to look up static priorities.
+	NodeSrc []int
+	// AffineFinals restore address and induction registers on exit.
+	AffineFinals []AffineFinal
+	// LinkRegFinal, when >= 0, is the value LinkReg holds after the loop
+	// (set when the body contains CCA calls and the trip count is > 0).
+	LinkRegFinal int64
+
+	// ExitTarget is the pc control resumes at when the loop's side exit
+	// fires (-1 for counted loops without one). The extracted Loop's Exit
+	// marks the predicate node.
+	ExitTarget int
+
+	// IntArchRegs and FPArchRegs count the baseline-ISA registers the loop
+	// body touches, excluding address/induction registers (which map to
+	// the address generators and control unit) and propagated constants
+	// (control-store literals). The paper's register assignment is a
+	// one-to-one mapping from these onto the accelerator register files
+	// (§4.1), so these counts are the accelerator's requirement.
+	IntArchRegs int
+	FPArchRegs  int
+}
+
+// Bindings evaluates the parameter specs and trip formula against concrete
+// entry registers.
+func (e *Extraction) Bindings(regs *[isa.NumRegs]uint64) (*ir.Bindings, error) {
+	params := make([]uint64, len(e.Params))
+	for i, ps := range e.Params {
+		params[i] = uint64(int64(regs[ps.Reg]) + ps.Offset)
+	}
+	trip, err := e.Trip.Trip(int64(regs[e.Trip.IndReg]), int64(regs[e.Trip.BoundReg]))
+	if err != nil {
+		return nil, err
+	}
+	return &ir.Bindings{Params: params, Trip: trip}, nil
+}
+
+// symbolic value kinds.
+const (
+	symNode    = iota // a concrete node at a distance
+	symPending        // the not-yet-written-this-iteration value of a register
+)
+
+type sym struct {
+	kind int
+	node int
+	dist int
+	reg  uint8
+}
+
+type streamKey struct {
+	reg  uint8
+	off  int64
+	kind ir.StreamKind
+}
+
+type extractor struct {
+	p   *isa.Program
+	r   cfg.Region
+	m   *vmcost.Meter
+	eff []effInst
+
+	// exitBranch is the side-exit instruction (speculative extraction
+	// only); exitTarget its resume pc.
+	exitBranch *isa.Inst
+	exitTarget int
+
+	defs   [isa.NumRegs]int
+	affine [isa.NumRegs]bool
+	step   [isa.NumRegs]int64
+	accum  [isa.NumRegs]int64
+	// constVal/constKnown mark registers that provably hold a literal for
+	// the program's whole execution (a single MovI definition program-wide,
+	// outside the region). The VM's cheap constant propagation recovers
+	// these so compiler-hoisted literals become control-store constants
+	// instead of register-file live-ins.
+	constVal   [isa.NumRegs]int64
+	constKnown [isa.NumRegs]bool
+
+	loop    *ir.Loop
+	nodeSrc []int
+	groups  [][]int
+
+	state     map[uint8]sym
+	params    map[ParamSpec]int
+	paramNode map[int]int
+	constNode map[uint64]int
+	indVarN   int
+	streams   map[streamKey]int
+	loadNode  map[int]int
+
+	fixups []fixup
+	inits  map[int][]int // node -> init param indexes (sparse, -1 unset)
+}
+
+type fixup struct {
+	node, arg int
+	reg       uint8
+}
+
+type effInst struct {
+	in    isa.Inst
+	src   int // original pc for priority lookup
+	group int // CCA group id, -1 if none
+}
+
+// Extract analyzes one schedulable region of a program.
+func Extract(p *isa.Program, r cfg.Region, m *vmcost.Meter) (*Extraction, error) {
+	if r.Kind != cfg.KindSchedulable {
+		return nil, fmt.Errorf("loopx: region at %d is %v", r.Head, r.Kind)
+	}
+	return extract(p, r, m, nil)
+}
+
+// ExtractSpeculative analyzes a while-shaped region: a loop whose single
+// irregularity is one conditional side-exit branch immediately before the
+// back branch (the canonical while-with-break form). The extracted loop
+// carries the exit predicate as its Exit node, enabling the VM's
+// speculative chunked execution.
+func ExtractSpeculative(p *isa.Program, r cfg.Region, m *vmcost.Meter) (*Extraction, error) {
+	if r.Kind != cfg.KindSpeculation {
+		return nil, fmt.Errorf("loopx: region at %d is %v, want speculation-support", r.Head, r.Kind)
+	}
+	if r.BackPC-1 <= r.Head {
+		return nil, fmt.Errorf("loopx: region too small for a side exit")
+	}
+	br := p.Code[r.BackPC-1]
+	if !br.Op.IsCondBranch() {
+		return nil, fmt.Errorf("loopx: no side-exit branch before the back branch")
+	}
+	tgt := int(br.Imm)
+	if tgt >= r.Head && tgt <= r.BackPC {
+		return nil, fmt.Errorf("loopx: side branch at %d stays inside the region", r.BackPC-1)
+	}
+	// Any other branch in the body makes the shape unsupported.
+	for pc := r.Head; pc < r.BackPC-1; pc++ {
+		in := p.Code[pc]
+		if in.Op == isa.Br || in.Op.IsCondBranch() || in.Op == isa.Ret || in.Op == isa.Halt {
+			return nil, fmt.Errorf("loopx: extra control flow at %d", pc)
+		}
+	}
+	return extract(p, r, m, &br)
+}
+
+// extract is the shared implementation; exitBranch, when non-nil, is a
+// side-exit to fold into the dataflow as the loop's Exit predicate.
+func extract(p *isa.Program, r cfg.Region, m *vmcost.Meter, exitBranch *isa.Inst) (*Extraction, error) {
+	m.Begin(vmcost.PhaseStreamSep)
+	e := &extractor{
+		p: p, r: r, m: m,
+		exitBranch: exitBranch,
+		exitTarget: -1,
+		loop:       &ir.Loop{Name: fmt.Sprintf("%s@%d", p.Name, r.Head)},
+		state:      make(map[uint8]sym),
+		params:     make(map[ParamSpec]int),
+		paramNode:  make(map[int]int),
+		constNode:  make(map[uint64]int),
+		indVarN:    -1,
+		streams:    make(map[streamKey]int),
+		loadNode:   make(map[int]int),
+		inits:      make(map[int][]int),
+	}
+	if err := e.splice(); err != nil {
+		return nil, err
+	}
+	if err := e.classifyRegs(); err != nil {
+		return nil, err
+	}
+	trip, err := e.recognizeControl()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.execute(); err != nil {
+		return nil, err
+	}
+	if e.exitBranch != nil {
+		if err := e.buildExitPredicate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.resolveFixups(); err != nil {
+		return nil, err
+	}
+	if err := e.buildLiveOuts(); err != nil {
+		return nil, err
+	}
+	e.commitInits()
+	if err := e.loop.Validate(); err != nil {
+		return nil, fmt.Errorf("loopx: extracted loop invalid: %w", err)
+	}
+
+	ext := &Extraction{
+		Loop:         e.loop,
+		Region:       r,
+		Trip:         trip,
+		Groups:       e.groups,
+		NodeSrc:      e.nodeSrc,
+		LinkRegFinal: -1,
+		ExitTarget:   e.exitTarget,
+	}
+	// Parameter specs in index order.
+	ext.Params = make([]ParamSpec, len(e.params))
+	for ps, idx := range e.params {
+		ext.Params[idx] = ps
+	}
+	// Affine register exit values (including the induction register).
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		if e.affine[reg] && e.defs[reg] > 0 {
+			ext.AffineFinals = append(ext.AffineFinals, AffineFinal{Reg: uint8(reg), Step: e.step[reg]})
+		}
+	}
+	// LinkReg restoration if CCA calls were inlined.
+	for pc := r.Head; pc <= r.BackPC; pc++ {
+		if p.Code[pc].Op == isa.Brl {
+			ext.LinkRegFinal = int64(pc + 1)
+		}
+	}
+	ext.IntArchRegs, ext.FPArchRegs = e.archRegs()
+	return ext, nil
+}
+
+// archRegs counts the registers needing one-to-one accelerator slots,
+// split by the type of the values they carry.
+func (e *extractor) archRegs() (intRegs, fpRegs int) {
+	e.m.Begin(vmcost.PhaseRegAssign)
+	var used, isFP [isa.NumRegs]bool
+	mark := func(r uint8, fp bool) {
+		if int(r) == isa.LinkReg {
+			return
+		}
+		if e.affine[r] && e.defs[r] > 0 {
+			return // address generators / control unit
+		}
+		if e.defs[r] == 0 && e.constKnown[r] {
+			return // control-store literal
+		}
+		used[r] = true
+		if fp {
+			isFP[r] = true
+		}
+	}
+	for _, ei := range e.eff {
+		e.m.Charge(2)
+		in := ei.in
+		fp := false
+		if op, ok := in.Op.IROp(); ok && op.Class() == ir.ClassFloat {
+			fp = true
+		}
+		switch in.Op {
+		case isa.Nop:
+		case isa.MovI:
+			mark(in.Dst, false)
+		case isa.Mov:
+			mark(in.Dst, false)
+			mark(in.Src1, false)
+		case isa.AddI, isa.MulI, isa.ShlI, isa.AndI:
+			mark(in.Dst, false)
+			mark(in.Src1, false)
+		case isa.Load:
+			mark(in.Dst, false)
+		case isa.Store:
+			mark(in.Src2, false)
+		case isa.Select:
+			mark(in.Dst, false)
+			mark(in.Src1, false)
+			mark(in.Src2, false)
+			mark(in.Src3, false)
+		default:
+			if op, ok := in.Op.IROp(); ok {
+				mark(in.Dst, fp)
+				mark(in.Src1, fp)
+				if op.NumArgs() >= 2 {
+					mark(in.Src2, fp)
+				}
+			}
+		}
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if !used[r] {
+			continue
+		}
+		if isFP[r] {
+			fpRegs++
+		} else {
+			intRegs++
+		}
+	}
+	return
+}
+
+// splice builds the effective instruction list with marked CCA functions
+// inlined, the back branch dropped, and (in speculative mode) the side
+// exit set aside for predicate synthesis.
+func (e *extractor) splice() error {
+	for pc := e.r.Head; pc < e.r.BackPC; pc++ {
+		in := e.p.Code[pc]
+		if e.exitBranch != nil && pc == e.r.BackPC-1 {
+			e.exitTarget = int(in.Imm)
+			continue
+		}
+		e.m.Charge(2)
+		if in.Op == isa.Brl {
+			fn, ok := e.p.CCAFuncAt(int(in.Imm))
+			if !ok {
+				return fmt.Errorf("loopx: unmarked call at %d in schedulable region", pc)
+			}
+			gid := len(e.groups)
+			e.groups = append(e.groups, nil)
+			for fpc := fn.Start; fpc < fn.Start+fn.Len-1; fpc++ { // exclude Ret
+				fin := e.p.Code[fpc]
+				if fin.Op.IsBranch() || fin.Op == isa.Load || fin.Op == isa.Store || fin.Op == isa.Halt {
+					return fmt.Errorf("loopx: CCA function at %d contains non-ALU op %v", fn.Start, fin.Op)
+				}
+				e.eff = append(e.eff, effInst{in: fin, src: pc, group: gid})
+			}
+			continue
+		}
+		e.eff = append(e.eff, effInst{in: in, src: pc, group: -1})
+	}
+	return nil
+}
+
+// classifyRegs counts definitions and finds affine registers: those whose
+// only body definitions are constant self-increments.
+func (e *extractor) classifyRegs() error {
+	addSteps := make(map[uint8]int64)
+	written := make(map[uint8]bool)
+	var onlyAddI [isa.NumRegs]bool
+	for i := range onlyAddI {
+		onlyAddI[i] = true
+	}
+	for _, ei := range e.eff {
+		e.m.Charge(2)
+		in := ei.in
+		dst, writes := destOf(in)
+		if !writes {
+			continue
+		}
+		e.defs[dst]++
+		written[dst] = true
+		if in.Op == isa.AddI && in.Src1 == dst {
+			addSteps[dst] += in.Imm
+		} else {
+			onlyAddI[dst] = false
+		}
+	}
+	for reg := range written {
+		if onlyAddI[reg] {
+			e.affine[reg] = true
+			e.step[reg] = addSteps[reg]
+		}
+	}
+	// Program-wide constant registers: exactly one write anywhere, and it
+	// is a MovI. Their reads inside the loop become literals.
+	var progDefs [isa.NumRegs]int
+	var movi [isa.NumRegs]bool
+	var val [isa.NumRegs]int64
+	for _, in := range e.p.Code {
+		e.m.Charge(1)
+		dst, writes := destOf(in)
+		if !writes {
+			continue
+		}
+		progDefs[dst]++
+		if in.Op == isa.MovI {
+			movi[dst] = true
+			val[dst] = in.Imm
+		}
+	}
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		if progDefs[reg] == 1 && movi[reg] {
+			e.constKnown[reg] = true
+			e.constVal[reg] = val[reg]
+		}
+	}
+	return nil
+}
+
+// recognizeControl identifies the induction register and trip formula.
+func (e *extractor) recognizeControl() (TripSpec, error) {
+	back := e.p.Code[e.r.BackPC]
+	e.m.Charge(8)
+	candidates := []struct {
+		ind, bound uint8
+		op         isa.Opcode
+	}{
+		{back.Src1, back.Src2, back.Op},
+		{back.Src2, back.Src1, swapCmp(back.Op)},
+	}
+	for _, c := range candidates {
+		if e.affine[c.ind] && e.defs[c.ind] > 0 && e.defs[c.bound] == 0 && e.step[c.ind] != 0 {
+			okSign := false
+			switch c.op {
+			case isa.BLT, isa.BLE:
+				okSign = e.step[c.ind] > 0
+			case isa.BGT, isa.BGE:
+				okSign = e.step[c.ind] < 0
+			case isa.BNE:
+				okSign = true
+			}
+			if okSign {
+				return TripSpec{IndReg: c.ind, BoundReg: c.bound, Step: e.step[c.ind], Branch: c.op}, nil
+			}
+		}
+	}
+	return TripSpec{}, fmt.Errorf("loopx: no supported induction pattern at back branch %v", back)
+}
+
+// swapCmp mirrors a comparison when its operands swap.
+func swapCmp(op isa.Opcode) isa.Opcode {
+	switch op {
+	case isa.BLT:
+		return isa.BGT
+	case isa.BLE:
+		return isa.BGE
+	case isa.BGT:
+		return isa.BLT
+	case isa.BGE:
+		return isa.BLE
+	}
+	return op
+}
+
+// destOf reports the register an instruction writes, if any.
+func destOf(in isa.Inst) (uint8, bool) {
+	switch in.Op {
+	case isa.Store, isa.Nop, isa.Halt, isa.Br, isa.BEQ, isa.BNE, isa.BLT,
+		isa.BLE, isa.BGT, isa.BGE, isa.Ret:
+		return 0, false
+	case isa.Brl:
+		return isa.LinkReg, true
+	}
+	return in.Dst, true
+}
+
+func (e *extractor) newNode(op ir.Op, src, group int) *ir.Node {
+	n := &ir.Node{ID: len(e.loop.Nodes), Op: op}
+	e.loop.Nodes = append(e.loop.Nodes, n)
+	e.nodeSrc = append(e.nodeSrc, src)
+	if group >= 0 {
+		e.groups[group] = append(e.groups[group], n.ID)
+	}
+	e.m.Charge(3)
+	return n
+}
+
+// paramIndex interns a parameter spec.
+func (e *extractor) paramIndex(ps ParamSpec) int {
+	if idx, ok := e.params[ps]; ok {
+		return idx
+	}
+	idx := e.loop.NumParams
+	e.params[ps] = idx
+	e.loop.NumParams++
+	return idx
+}
+
+// paramValue returns a node reading the given parameter.
+func (e *extractor) paramValue(ps ParamSpec) sym {
+	idx := e.paramIndex(ps)
+	if n, ok := e.paramNode[idx]; ok {
+		return sym{kind: symNode, node: n}
+	}
+	n := e.newNode(ir.OpParam, -1, -1)
+	n.Param = idx
+	e.paramNode[idx] = n.ID
+	return sym{kind: symNode, node: n.ID}
+}
+
+func (e *extractor) constValue(v uint64) sym {
+	if n, ok := e.constNode[v]; ok {
+		return sym{kind: symNode, node: n}
+	}
+	n := e.newNode(ir.OpConst, -1, -1)
+	n.Imm = v
+	e.constNode[v] = n.ID
+	return sym{kind: symNode, node: n.ID}
+}
+
+// affineValue synthesizes entry + accum + iter*step for an affine register
+// read as data.
+func (e *extractor) affineValue(reg uint8) sym {
+	if e.indVarN < 0 {
+		e.indVarN = e.newNode(ir.OpIndVar, -1, -1).ID
+	}
+	v := sym{kind: symNode, node: e.indVarN}
+	if e.step[reg] != 1 {
+		mul := e.newNode(ir.OpMul, -1, -1)
+		c := e.constValue(uint64(e.step[reg]))
+		mul.Args = []ir.Operand{{Node: v.node}, {Node: c.node}}
+		v = sym{kind: symNode, node: mul.ID}
+	}
+	base := e.paramValue(ParamSpec{Reg: reg, Offset: e.accum[reg]})
+	add := e.newNode(ir.OpAdd, -1, -1)
+	add.Args = []ir.Operand{{Node: v.node}, {Node: base.node}}
+	return sym{kind: symNode, node: add.ID}
+}
+
+// read resolves a register to a symbolic value.
+func (e *extractor) read(reg uint8) sym {
+	e.m.Charge(2)
+	if e.affine[reg] && e.defs[reg] > 0 {
+		return e.affineValue(reg)
+	}
+	if e.defs[reg] == 0 {
+		if e.constKnown[reg] {
+			return e.constValue(uint64(e.constVal[reg]))
+		}
+		return e.paramValue(ParamSpec{Reg: reg})
+	}
+	if s, ok := e.state[reg]; ok {
+		return s
+	}
+	return sym{kind: symPending, reg: reg}
+}
+
+// argOperand converts a symbolic value into an operand, recording a fixup
+// for pending registers.
+func (e *extractor) argOperand(s sym, node, arg int) ir.Operand {
+	if s.kind == symNode {
+		return ir.Operand{Node: s.node, Dist: s.dist}
+	}
+	e.fixups = append(e.fixups, fixup{node: node, arg: arg, reg: s.reg})
+	return ir.Operand{}
+}
+
+// streamIndex interns an affine memory reference pattern.
+func (e *extractor) streamIndex(reg uint8, off int64, kind ir.StreamKind) int {
+	stride := int64(0)
+	if e.affine[reg] && e.defs[reg] > 0 {
+		stride = e.step[reg]
+		off += e.accum[reg]
+	}
+	key := streamKey{reg: reg, off: off, kind: kind}
+	if idx, ok := e.streams[key]; ok {
+		return idx
+	}
+	base := e.paramIndex(ParamSpec{Reg: reg})
+	idx := len(e.loop.Streams)
+	e.loop.Streams = append(e.loop.Streams, ir.Stream{Kind: kind, BaseParam: base, Offset: off, Stride: stride})
+	e.streams[key] = idx
+	return idx
+}
+
+// execute performs the symbolic pass over the effective body.
+func (e *extractor) execute() error {
+	for _, ei := range e.eff {
+		in := ei.in
+		e.m.Charge(4)
+		switch in.Op {
+		case isa.Nop:
+		case isa.MovI:
+			e.state[in.Dst] = e.constValue(uint64(in.Imm))
+		case isa.Mov:
+			e.state[in.Dst] = e.read(in.Src1)
+		case isa.AddI:
+			if e.affine[in.Dst] && in.Src1 == in.Dst {
+				e.accum[in.Dst] += in.Imm
+				continue
+			}
+			e.emitBin(ir.OpAdd, in.Dst, e.read(in.Src1), e.constValue(uint64(in.Imm)), ei)
+		case isa.MulI:
+			e.emitBin(ir.OpMul, in.Dst, e.read(in.Src1), e.constValue(uint64(in.Imm)), ei)
+		case isa.ShlI:
+			e.emitBin(ir.OpShl, in.Dst, e.read(in.Src1), e.constValue(uint64(in.Imm)), ei)
+		case isa.AndI:
+			e.emitBin(ir.OpAnd, in.Dst, e.read(in.Src1), e.constValue(uint64(in.Imm)), ei)
+		case isa.Load:
+			if !(e.affine[in.Src1] && e.defs[in.Src1] > 0) && e.defs[in.Src1] != 0 {
+				return fmt.Errorf("loopx: load at %d through non-affine address register r%d", ei.src, in.Src1)
+			}
+			idx := e.streamIndex(in.Src1, in.Imm, ir.LoadStream)
+			if n, ok := e.loadNode[idx]; ok {
+				e.state[in.Dst] = sym{kind: symNode, node: n}
+				continue
+			}
+			n := e.newNode(ir.OpLoad, ei.src, -1)
+			n.Stream = idx
+			e.loadNode[idx] = n.ID
+			e.state[in.Dst] = sym{kind: symNode, node: n.ID}
+		case isa.Store:
+			if !(e.affine[in.Src1] && e.defs[in.Src1] > 0) && e.defs[in.Src1] != 0 {
+				return fmt.Errorf("loopx: store at %d through non-affine address register r%d", ei.src, in.Src1)
+			}
+			idx := e.streamIndex(in.Src1, in.Imm, ir.StoreStream)
+			val := e.read(in.Src2)
+			n := e.newNode(ir.OpStore, ei.src, -1)
+			n.Stream = idx
+			n.Args = []ir.Operand{e.argOperand(val, n.ID, 0)}
+		case isa.Select:
+			p := e.read(in.Src1)
+			t := e.read(in.Src2)
+			f := e.read(in.Src3)
+			n := e.newNode(ir.OpSelect, ei.src, ei.group)
+			n.Args = []ir.Operand{
+				e.argOperand(p, n.ID, 0),
+				e.argOperand(t, n.ID, 1),
+				e.argOperand(f, n.ID, 2),
+			}
+			e.state[in.Dst] = sym{kind: symNode, node: n.ID}
+		default:
+			irOp, ok := in.Op.IROp()
+			if !ok {
+				return fmt.Errorf("loopx: unsupported opcode %v at %d", in.Op, ei.src)
+			}
+			switch irOp.NumArgs() {
+			case 1:
+				s := e.read(in.Src1)
+				n := e.newNode(irOp, ei.src, ei.group)
+				n.Args = []ir.Operand{e.argOperand(s, n.ID, 0)}
+				e.state[in.Dst] = sym{kind: symNode, node: n.ID}
+			case 2:
+				e.emitBinGroup(irOp, in.Dst, e.read(in.Src1), e.read(in.Src2), ei)
+			default:
+				return fmt.Errorf("loopx: unexpected arity for %v", irOp)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *extractor) emitBin(op ir.Op, dst uint8, a, b sym, ei effInst) {
+	e.emitBinGroup(op, dst, a, b, effInst{in: ei.in, src: ei.src, group: -1})
+}
+
+func (e *extractor) emitBinGroup(op ir.Op, dst uint8, a, b sym, ei effInst) {
+	n := e.newNode(op, ei.src, ei.group)
+	n.Args = []ir.Operand{
+		e.argOperand(a, n.ID, 0),
+		e.argOperand(b, n.ID, 1),
+	}
+	e.state[dst] = sym{kind: symNode, node: n.ID}
+}
+
+// buildExitPredicate folds the side-exit branch into the dataflow: the
+// loop exits after any iteration in which cmp(a, b) holds.
+func (e *extractor) buildExitPredicate() error {
+	op, ok := exitCmpOp(e.exitBranch.Op)
+	if !ok {
+		return fmt.Errorf("loopx: unsupported side-exit branch %v", e.exitBranch.Op)
+	}
+	a := e.read(e.exitBranch.Src1)
+	b := e.read(e.exitBranch.Src2)
+	n := e.newNode(op, e.r.BackPC-1, -1)
+	n.Args = []ir.Operand{
+		e.argOperand(a, n.ID, 0),
+		e.argOperand(b, n.ID, 1),
+	}
+	e.loop.SetExit(n.ID)
+	return nil
+}
+
+// exitCmpOp maps a conditional branch to the comparison that fires it.
+func exitCmpOp(op isa.Opcode) (ir.Op, bool) {
+	switch op {
+	case isa.BEQ:
+		return ir.OpCmpEQ, true
+	case isa.BNE:
+		return ir.OpCmpNE, true
+	case isa.BLT:
+		return ir.OpCmpLT, true
+	case isa.BLE:
+		return ir.OpCmpLE, true
+	case isa.BGT:
+		return ir.OpCmpGT, true
+	case isa.BGE:
+		return ir.OpCmpGE, true
+	}
+	return 0, false
+}
+
+// resolveEnd follows the end-of-body symbolic value of a register through
+// pending chains, returning the concrete node, the extra iteration
+// distance accumulated, and the chain of registers traversed (the register
+// itself first).
+func (e *extractor) resolveEnd(reg uint8, visiting map[uint8]bool) (node, dist int, chain []uint8, err error) {
+	if visiting[reg] {
+		return 0, 0, nil, fmt.Errorf("loopx: register r%d carries itself with no definition (swap cycle)", reg)
+	}
+	visiting[reg] = true
+	defer delete(visiting, reg)
+	s, ok := e.state[reg]
+	if !ok {
+		return 0, 0, nil, fmt.Errorf("loopx: register r%d has no end-of-body value", reg)
+	}
+	if s.kind == symNode {
+		return s.node, s.dist, []uint8{reg}, nil
+	}
+	n, d, ch, err := e.resolveEnd(s.reg, visiting)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return n, d + 1, append([]uint8{reg}, ch...), nil
+}
+
+// setInit records that params[param] supplies node's value at iteration
+// -(k+1); conflicting requirements reject the loop.
+func (e *extractor) setInit(node, k, param int) error {
+	ini := e.inits[node]
+	for len(ini) <= k {
+		ini = append(ini, -1)
+	}
+	if ini[k] >= 0 && ini[k] != param {
+		return fmt.Errorf("loopx: node %d needs two different init values at depth %d", node, k)
+	}
+	ini[k] = param
+	e.inits[node] = ini
+	return nil
+}
+
+// applyChain wires initial values for a resolution chain: full[i]'s entry
+// value covers iteration -(L-i) where L = len(full).
+func (e *extractor) applyChain(node int, full []uint8) error {
+	l := len(full)
+	for i, reg := range full {
+		p := e.paramIndex(ParamSpec{Reg: reg})
+		if err := e.setInit(node, l-1-i, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveFixups rewrites pending operands into loop-carried edges.
+func (e *extractor) resolveFixups() error {
+	for _, f := range e.fixups {
+		e.m.Charge(5)
+		n, d, ch, err := e.resolveEnd(f.reg, map[uint8]bool{})
+		if err != nil {
+			return err
+		}
+		full := append([]uint8{}, ch...) // ch already starts with f.reg
+		e.loop.Nodes[f.node].Args[f.arg] = ir.Operand{Node: n, Dist: d + 1}
+		if err := e.applyChain(n, full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildLiveOuts records the exit value of every non-affine register the
+// body writes, named "r<k>", so the VM can restore architectural state.
+func (e *extractor) buildLiveOuts() error {
+	var regs []int
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		if e.defs[reg] > 0 && !e.affine[reg] && reg != isa.LinkReg {
+			regs = append(regs, reg)
+		}
+	}
+	sort.Ints(regs)
+	for _, reg := range regs {
+		e.m.Charge(4)
+		n, d, ch, err := e.resolveEnd(uint8(reg), map[uint8]bool{})
+		if err != nil {
+			return err
+		}
+		// The restore chain becomes the live-out's own fallback inits:
+		// ch[i]'s entry value covers depth len(ch)-1-i, so a trip count of
+		// t < len(ch) restores exactly what the scalar core would hold.
+		inits := make([]int, len(ch))
+		for i, r := range ch {
+			inits[len(ch)-1-i] = e.paramIndex(ParamSpec{Reg: r})
+		}
+		e.loop.LiveOuts = append(e.loop.LiveOuts, ir.LiveOut{
+			Name: fmt.Sprintf("r%d", reg),
+			Node: n,
+			Dist: d,
+			Init: inits,
+		})
+	}
+	return nil
+}
+
+// commitInits copies the sparse init tables onto the nodes, filling any
+// never-observed depth with the node's own chain head when present. Unset
+// slots default to parameter 0 only if required by validation; we instead
+// grow chains exactly, so unset slots mean "no consumer can reach there".
+func (e *extractor) commitInits() {
+	for node, ini := range e.inits {
+		out := make([]int, len(ini))
+		for k, p := range ini {
+			if p < 0 {
+				// No reader observes this depth (it can only be reached by
+				// live-out fallback on tiny trip counts); reuse the deepest
+				// known entry register to stay well-defined.
+				p = e.deepestKnown(ini, k)
+			}
+			out[k] = p
+		}
+		e.loop.Nodes[node].Init = out
+	}
+}
+
+func (e *extractor) deepestKnown(ini []int, k int) int {
+	for i := k; i >= 0; i-- {
+		if ini[i] >= 0 {
+			return ini[i]
+		}
+	}
+	for i := k + 1; i < len(ini); i++ {
+		if ini[i] >= 0 {
+			return ini[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,317 @@
+package loopx
+
+import (
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/scalar"
+)
+
+// extractAt runs Extract on the program's first schedulable region.
+func extractAt(t *testing.T, p *isa.Program) (*Extraction, error) {
+	t.Helper()
+	for _, r := range cfg.FindInnerLoops(p, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			return Extract(p, r, nil)
+		}
+	}
+	t.Fatal("no schedulable region in fixture")
+	return nil, nil
+}
+
+func TestRejectNonAffineLoad(t *testing.T) {
+	// The load address comes from a multiply — not an address generator
+	// pattern.
+	a := isa.NewAsm("indirect")
+	a.Label("loop")
+	a.Op3(isa.Mul, 10, 2, 5) // r10 = i * stride (computed address)
+	a.Load(11, 10, 0)
+	a.Store(11, 6, 0)
+	a.AddI(6, 6, 1)
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	_, err := extractAt(t, p)
+	if err == nil || !strings.Contains(err.Error(), "non-affine") {
+		t.Fatalf("err = %v, want non-affine rejection", err)
+	}
+}
+
+func TestRejectDataDependentStoreAddress(t *testing.T) {
+	// Store address derived from loaded data (histogram/hash shape).
+	a := isa.NewAsm("hash")
+	a.Label("loop")
+	a.Load(10, 4, 0)
+	a.Op3(isa.And, 11, 10, 7) // bucket index from data
+	a.Store(10, 11, 0)
+	a.AddI(4, 4, 1)
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	if _, err := extractAt(t, p); err == nil {
+		t.Fatal("accepted a data-dependent store address")
+	}
+}
+
+func TestRejectUnsupportedInduction(t *testing.T) {
+	// The back-branch registers are both written in the body (no
+	// loop-invariant bound).
+	a := isa.NewAsm("bound")
+	a.Label("loop")
+	a.AddI(1, 1, 2) // "bound" also moves
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	if _, err := extractAt(t, p); err == nil {
+		t.Fatal("accepted a moving loop bound")
+	}
+}
+
+func TestRejectMultiplicativeInduction(t *testing.T) {
+	// i *= 2 is not an affine induction.
+	a := isa.NewAsm("geo")
+	a.Label("loop")
+	a.Emit(isa.Inst{Op: isa.MulI, Dst: 2, Src1: 2, Imm: 2})
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	if _, err := extractAt(t, p); err == nil {
+		t.Fatal("accepted a geometric induction variable")
+	}
+}
+
+func TestRejectSwapCycle(t *testing.T) {
+	// Two registers swapped through a temp every iteration: their final
+	// values depend on the trip parity through a pure register cycle the
+	// extractor cannot express.
+	a := isa.NewAsm("swap")
+	a.Label("loop")
+	a.Mov(10, 4)
+	a.Mov(4, 5)
+	a.Mov(5, 10)
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	if _, err := extractAt(t, p); err == nil {
+		t.Fatal("accepted a register swap cycle")
+	}
+}
+
+// runISAAgainstExtraction executes a hand-written schedulable loop on the
+// scalar core and through extraction+replay, comparing all state.
+func runISAAgainstExtraction(t *testing.T, p *isa.Program, seed func(*scalar.Machine), mem *ir.PagedMemory) {
+	t.Helper()
+	ref := scalar.New(arch.ARM11(), mem.Clone())
+	seed(ref)
+	if err := ref.Run(p, 5_000_000); err != nil {
+		t.Fatalf("scalar: %v", err)
+	}
+
+	var region cfg.Region
+	found := false
+	for _, r := range cfg.FindInnerLoops(p, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			region, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("no schedulable region:\n%s", p.Disassemble())
+	}
+	ext, err := Extract(p, region, nil)
+	if err != nil {
+		t.Fatalf("Extract: %v\n%s", err, p.Disassemble())
+	}
+
+	m := scalar.New(arch.ARM11(), mem.Clone())
+	seed(m)
+	for m.PC != region.Head && !m.Halted {
+		if err := m.Step(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bind, err := ext.Bindings(&m.Regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ir.Execute(ext.Loop, bind, m.Mem.(*ir.PagedMemory))
+	if err != nil {
+		t.Fatalf("Execute: %v\n%s", err, ext.Loop)
+	}
+	regs := m.Regs
+	for _, af := range ext.AffineFinals {
+		regs[af.Reg] = uint64(int64(regs[af.Reg]) + bind.Trip*af.Step)
+	}
+	for _, lo := range ext.Loop.LiveOuts {
+		var reg int
+		for i := 1; i < len(lo.Name); i++ {
+			reg = reg*10 + int(lo.Name[i]-'0')
+		}
+		regs[reg] = out.LiveOuts[lo.Name]
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != ref.Regs[r] {
+			t.Fatalf("r%d = %#x, scalar %#x\n%s\n%s", r, regs[r], ref.Regs[r],
+				ext.Loop, p.Disassemble())
+		}
+	}
+	if !m.Mem.(*ir.PagedMemory).Equal(ref.Mem.(*ir.PagedMemory)) {
+		t.Fatal("memory diverges")
+	}
+}
+
+func TestExtractImmediateALUForms(t *testing.T) {
+	// addi/muli/shli/andi on non-affine values become const-operand nodes.
+	a := isa.NewAsm("imm")
+	a.Label("loop")
+	a.Load(10, 4, 0)
+	a.AddI(11, 10, 7)
+	a.Emit(isa.Inst{Op: isa.MulI, Dst: 12, Src1: 11, Imm: 3})
+	a.Emit(isa.Inst{Op: isa.ShlI, Dst: 13, Src1: 12, Imm: 2})
+	a.Emit(isa.Inst{Op: isa.AndI, Dst: 14, Src1: 13, Imm: 0xff})
+	a.Store(14, 6, 0)
+	a.AddI(4, 4, 1)
+	a.AddI(6, 6, 1)
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(0x100+i, uint64(i*5))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[1] = 32
+		m.Regs[4] = 0x100
+		m.Regs[6] = 0x900
+	}
+	runISAAgainstExtraction(t, p, seed, mem)
+}
+
+func TestExtractDownCountingLoop(t *testing.T) {
+	// i starts high and decrements; back branch is BGT.
+	a := isa.NewAsm("down")
+	a.Label("loop")
+	a.Load(10, 4, 0)
+	a.Op3(isa.Add, 11, 11, 10)
+	a.AddI(4, 4, 1)
+	a.AddI(2, 2, -1)
+	a.Branch(isa.BGT, 2, 1, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(0x200+i, uint64(i+1))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[1] = 0  // bound
+		m.Regs[2] = 20 // i counts 20..1
+		m.Regs[4] = 0x200
+	}
+	runISAAgainstExtraction(t, p, seed, mem)
+}
+
+func TestExtractSwappedBranchOperands(t *testing.T) {
+	// The back branch is written bound-first: blt r1, r2 with r2 the
+	// (descending) induction register; recognition must mirror to BGT.
+	a := isa.NewAsm("swapped")
+	a.Label("loop")
+	a.Load(10, 4, 0)
+	a.Op3(isa.Xor, 11, 11, 10)
+	a.AddI(4, 4, 1)
+	a.AddI(2, 2, -1)
+	a.Branch(isa.BLT, 1, 2, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 20; i++ {
+		mem.Store(0x300+i, uint64(i*9+1))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[1] = 2  // bound
+		m.Regs[2] = 12 // induction, descending
+		m.Regs[4] = 0x300
+	}
+	runISAAgainstExtraction(t, p, seed, mem)
+}
+
+func TestExtractSpeculativeExitBranchVariants(t *testing.T) {
+	// Each conditional branch opcode maps to its comparison in the exit
+	// predicate.
+	for _, op := range []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE} {
+		a := isa.NewAsm("exit-" + op.String())
+		a.Label("loop")
+		a.Load(10, 4, 0)
+		a.AddI(4, 4, 1)
+		a.AddI(2, 2, 1)
+		a.Branch(op, 10, 5, "out")
+		a.Branch(isa.BLT, 2, 1, "loop")
+		a.Label("out")
+		a.Halt()
+		p := a.MustBuild()
+		var region cfg.Region
+		found := false
+		for _, r := range cfg.FindInnerLoops(p, nil) {
+			if r.Kind == cfg.KindSpeculation {
+				region, found = r, true
+			}
+		}
+		if !found {
+			t.Fatalf("%v: no speculation region", op)
+		}
+		ext, err := ExtractSpeculative(p, region, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if !ext.Loop.HasExit() {
+			t.Fatalf("%v: no exit node", op)
+		}
+	}
+}
+
+func TestExtractSwappedBranchOperandsAllMirrors(t *testing.T) {
+	// Every comparison the mirror table handles, written bound-first.
+	cases := []struct {
+		name     string
+		op       isa.Opcode
+		ind, bnd uint64
+		step     int64
+	}{
+		// ble r1, r2: continue while bound <= ind (descending induction).
+		{"ble-desc", isa.BLE, 12, 2, -1},
+		// bge r1, r2: continue while bound >= ind (ascending induction).
+		{"bge-asc", isa.BGE, 2, 12, 1},
+		// bgt r1, r2: continue while bound > ind (ascending induction).
+		{"bgt-asc", isa.BGT, 2, 12, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := isa.NewAsm("swapped-" + tc.name)
+			a.Label("loop")
+			a.Load(10, 4, 0)
+			a.Op3(isa.Xor, 11, 11, 10)
+			a.AddI(4, 4, 1)
+			a.AddI(2, 2, tc.step)
+			a.Branch(tc.op, 1, 2, "loop")
+			a.Halt()
+			p := a.MustBuild()
+			mem := ir.NewPagedMemory()
+			for i := int64(0); i < 20; i++ {
+				mem.Store(0x300+i, uint64(i*9+1))
+			}
+			seed := func(m *scalar.Machine) {
+				m.Regs[1] = tc.bnd
+				m.Regs[2] = tc.ind
+				m.Regs[4] = 0x300
+			}
+			runISAAgainstExtraction(t, p, seed, mem)
+		})
+	}
+}

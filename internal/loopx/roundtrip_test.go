@@ -1,0 +1,479 @@
+package loopx
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+)
+
+// runRoundTrip lowers a loop, runs the binary on the scalar core, then
+// extracts the loop from the binary and replays it through the reference
+// executor — verifying memory and every architectural register agree.
+// It returns the extraction for further inspection.
+func runRoundTrip(t *testing.T, l *ir.Loop, opt lower.Options, params []uint64, trip int64, mem *ir.PagedMemory) *Extraction {
+	t.Helper()
+	res, err := lower.Lower(l, opt)
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(trip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+	}
+
+	// Ground truth: the whole binary on the scalar core.
+	scalarMem := mem.Clone()
+	ms := scalar.New(arch.ARM11(), scalarMem)
+	seed(ms)
+	if err := ms.Run(res.Program, 10_000_000); err != nil {
+		t.Fatalf("scalar Run: %v\n%s", err, res.Program.Disassemble())
+	}
+
+	// VM path: run to the loop head, snapshot, extract, replay, restore.
+	vmMem := mem.Clone()
+	mv := scalar.New(arch.ARM11(), vmMem)
+	seed(mv)
+	for mv.PC != res.Head && !mv.Halted {
+		if err := mv.Step(res.Program); err != nil {
+			t.Fatalf("step to head: %v", err)
+		}
+	}
+	if mv.Halted {
+		// Zero-trip guard skipped the loop entirely; trivially consistent.
+		if !scalarMem.Equal(vmMem) {
+			t.Fatal("guarded-out loop changed memory")
+		}
+		return nil
+	}
+
+	regions := cfg.FindInnerLoops(res.Program, nil)
+	var region *cfg.Region
+	for i := range regions {
+		if regions[i].Head == res.Head {
+			region = &regions[i]
+		}
+	}
+	if region == nil {
+		t.Fatalf("no region found at head %d:\n%s", res.Head, res.Program.Disassemble())
+	}
+	if region.Kind != cfg.KindSchedulable {
+		t.Fatalf("region kind = %v, want schedulable", region.Kind)
+	}
+
+	ext, err := Extract(res.Program, *region, nil)
+	if err != nil {
+		t.Fatalf("Extract: %v\n%s", err, res.Program.Disassemble())
+	}
+	bind, err := ext.Bindings(&mv.Regs)
+	if err != nil {
+		t.Fatalf("Bindings: %v", err)
+	}
+	if bind.Trip != trip {
+		t.Fatalf("extracted trip = %d, want %d", bind.Trip, trip)
+	}
+	out, err := ir.Execute(ext.Loop, bind, vmMem)
+	if err != nil {
+		t.Fatalf("Execute extracted loop: %v\n%s", err, ext.Loop)
+	}
+
+	// Restore architectural registers the way the VM would.
+	regs := mv.Regs
+	for _, af := range ext.AffineFinals {
+		regs[af.Reg] = uint64(int64(regs[af.Reg]) + trip*af.Step)
+	}
+	for name, v := range out.LiveOuts {
+		var reg int
+		if _, err := fmtSscanf(name, &reg); err != nil {
+			t.Fatalf("unparseable live-out name %q", name)
+		}
+		regs[reg] = v
+	}
+	if ext.LinkRegFinal >= 0 && trip > 0 {
+		regs[isa.LinkReg] = uint64(ext.LinkRegFinal)
+	}
+
+	if !scalarMem.Equal(vmMem) {
+		t.Fatalf("memory diverges after extraction replay of %s", l.Name)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if regs[r] != ms.Regs[r] {
+			t.Fatalf("register r%d = %#x after replay, scalar has %#x\nloop:\n%s\nprog:\n%s",
+				r, regs[r], ms.Regs[r], ext.Loop, res.Program.Disassemble())
+		}
+	}
+	return ext
+}
+
+// fmtSscanf parses "r<k>".
+func fmtSscanf(name string, reg *int) (int, error) {
+	var n int
+	for i := 1; i < len(name); i++ {
+		n = n*10 + int(name[i]-'0')
+	}
+	*reg = n
+	return 1, nil
+}
+
+func firLoop(t testing.TB) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("fir")
+	acc := b.Const(0)
+	for k := 0; k < 3; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	b.LiveOut("acc", acc)
+	return b.MustBuild()
+}
+
+func TestRoundTripFIR(t *testing.T) {
+	l := firLoop(t)
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i*3+1))
+	}
+	params := []uint64{100, 2, 101, 3, 102, 5, 8000}
+	ext := runRoundTrip(t, l, lower.Options{}, params, 32, mem)
+	if got := ext.Loop.NumLoadStreams(); got != 3 {
+		t.Errorf("extracted %d load streams, want 3", got)
+	}
+	if got := ext.Loop.NumStoreStreams(); got != 1 {
+		t.Errorf("extracted %d store streams, want 1", got)
+	}
+}
+
+func TestRoundTripRecurrences(t *testing.T) {
+	b := ir.NewBuilder("rec")
+	x := b.LoadStream("x", 1)
+	acc := b.Add(x, x)
+	b.SetArg(acc, 1, b.Recur(acc, 1, "a0"))
+	y := b.Xor(x, x)
+	b.SetArg(y, 1, b.Recur(y, 2, "y0", "y1"))
+	b.StoreStream("out", 1, y)
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 30; i++ {
+		mem.Store(500+i, uint64(7*i+2))
+	}
+	params := make([]uint64, l.NumParams)
+	params[0] = 500 // x
+	params[1] = 9   // a0
+	params[2] = 3   // y0
+	params[3] = 4   // y1
+	params[l.Streams[1].BaseParam] = 9000
+	ext := runRoundTrip(t, l, lower.Options{}, params, 25, mem)
+	if ext.Loop.MaxDist() < 2 {
+		t.Errorf("extracted MaxDist = %d, want >= 2 (distance-2 recurrence)", ext.Loop.MaxDist())
+	}
+}
+
+func TestRoundTripOffsetStreams(t *testing.T) {
+	// Two loads off one base register at different offsets become two
+	// streams with shifted bases (x[i] and x[i+1]).
+	b := ir.NewBuilder("off")
+	x0 := b.LoadStream("x", 1)
+	x1 := b.LoadStream("x1", 1) // will be seeded as x+1
+	b.StoreStream("out", 1, b.Sub(x1, x0))
+	l := b.MustBuild()
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 30; i++ {
+		mem.Store(700+i, uint64(i*i))
+	}
+	params := []uint64{700, 701, 3000}
+	runRoundTrip(t, l, lower.Options{}, params, 20, mem)
+}
+
+func TestRoundTripSelectAndIndVar(t *testing.T) {
+	b := ir.NewBuilder("sel")
+	i := b.IndVar()
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(50))
+	v := b.Select(p, b.Add(x, i), b.Sub(x, i))
+	b.StoreStream("out", 1, v)
+	b.LiveOut("v", v)
+	l := b.MustBuild()
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i*13%101))
+	}
+	runRoundTrip(t, l, lower.Options{}, []uint64{100, 6000}, 30, mem)
+}
+
+func TestRoundTripZeroTrip(t *testing.T) {
+	l := firLoop(t)
+	mem := ir.NewPagedMemory()
+	params := []uint64{100, 2, 101, 3, 102, 5, 8000}
+	runRoundTrip(t, l, lower.Options{}, params, 0, mem)
+}
+
+func TestRoundTripAnnotated(t *testing.T) {
+	// Annotated binaries (CCA functions outlined, priorities present) must
+	// extract with groups and identical semantics.
+	b := ir.NewBuilder("annot")
+	x := b.LoadStream("in", 1)
+	shl := b.Shl(x, b.Const(2))
+	mpy := b.Mul(x, b.Const(5))
+	and := b.And(shl, x)
+	sub := b.Sub(and, b.Const(3))
+	or := b.Or(mpy, b.Const(5))
+	xor := b.Xor(sub, shl)
+	shr := b.ShrA(xor, b.Const(1))
+	add := b.Add(or, shr)
+	b.StoreStream("out", 1, add)
+	b.SetArg(shl, 0, b.Recur(shr, 1, "shr0"))
+	b.SetArg(mpy, 0, b.Recur(or, 1, "or0"))
+	l := b.MustBuild()
+
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(300+i, uint64(11*i+7))
+	}
+	params := make([]uint64, l.NumParams)
+	params[0] = 300
+	params[l.Streams[1].BaseParam] = 7000
+	ext := runRoundTrip(t, l, lower.Options{Annotate: true}, params, 30, mem)
+	if len(ext.Groups) != 1 {
+		t.Fatalf("extracted %d CCA groups, want 1", len(ext.Groups))
+	}
+	if len(ext.Groups[0]) != 3 {
+		t.Errorf("group size %d, want 3 ({and,sub,xor})", len(ext.Groups[0]))
+	}
+	if ext.LinkRegFinal < 0 {
+		t.Error("LinkRegFinal not recorded despite CCA call")
+	}
+}
+
+func TestRawBinaryIsRejected(t *testing.T) {
+	// Raw binaries (branch diamonds, un-inlined helper) must classify as
+	// not schedulable — the Figure 7 phenomenon.
+	b := ir.NewBuilder("raw")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(10))
+	v := b.Select(p, b.Add(x, b.Const(1)), b.Sub(x, b.Const(1)))
+	v = b.Xor(b.Or(v, x), b.And(v, x))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+
+	res, err := lower.Lower(l, lower.Options{Raw: true})
+	if err != nil {
+		t.Fatalf("Lower raw: %v", err)
+	}
+	regions := cfg.FindInnerLoops(res.Program, nil)
+	found := false
+	for _, r := range regions {
+		if r.Head == res.Head {
+			found = true
+			if r.Kind == cfg.KindSchedulable {
+				t.Errorf("raw binary loop classified schedulable:\n%s", res.Program.Disassemble())
+			}
+		}
+	}
+	if !found {
+		// The diamond's internal back-... forward branches may shift the
+		// detected head; any region overlapping is fine as long as none is
+		// schedulable.
+		for _, r := range regions {
+			if r.Kind == cfg.KindSchedulable {
+				t.Errorf("raw binary has schedulable region at %d", r.Head)
+			}
+		}
+	}
+}
+
+func TestRawBinaryStillComputesCorrectly(t *testing.T) {
+	b := ir.NewBuilder("rawsem")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(10))
+	v := b.Select(p, b.Add(x, b.Const(1)), b.Sub(x, b.Const(1)))
+	v = b.Xor(b.Or(v, x), b.And(v, x))
+	b.StoreStream("out", 1, v)
+	b.LiveOut("v", v)
+	l := b.MustBuild()
+
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 30; i++ {
+		mem.Store(50+i, uint64(i))
+	}
+	params := []uint64{50, 4000}
+	trip := int64(25)
+
+	for _, opt := range []lower.Options{{}, {Raw: true}} {
+		res, err := lower.Lower(l, opt)
+		if err != nil {
+			t.Fatalf("Lower(%+v): %v", opt, err)
+		}
+		m := scalar.New(arch.ARM11(), mem.Clone())
+		m.Regs[res.TripReg] = uint64(trip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+		if err := m.Run(res.Program, 1_000_000); err != nil {
+			t.Fatalf("Run(%+v): %v", opt, err)
+		}
+		// Reference.
+		ref := mem.Clone()
+		_, err = ir.Execute(l, &ir.Bindings{Params: params, Trip: trip}, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := m.Mem.(*ir.PagedMemory), ref
+		if !got.Equal(want) {
+			t.Fatalf("raw=%v binary memory diverges from IR semantics", opt.Raw)
+		}
+	}
+}
+
+func TestRoundTripRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		cfgen := loopgen.Default()
+		cfgen.Ops = 3 + rng.Intn(15)
+		cfgen.RecurProb = float64(trial%3) * 0.3
+		cfgen.FloatFrac = float64(trial%2) * 0.25
+		l := loopgen.Generate(rng, cfgen)
+		if l.NumParams > 24 {
+			continue
+		}
+		trip := int64(1 + rng.Intn(30))
+		bind := loopgen.Bindings(rng, l, trip)
+		mem := ir.NewPagedMemory()
+		for _, st := range l.Streams {
+			if st.Kind == ir.LoadStream {
+				base := int64(bind.Params[st.BaseParam])
+				for i := int64(0); i <= trip*maxI64(1, st.Stride); i++ {
+					mem.Store(base+i, uint64(rng.Int63()))
+				}
+			}
+		}
+		opt := lower.Options{}
+		if trial%2 == 0 {
+			opt.Annotate = true
+		}
+		runRoundTrip(t, l, opt, bind.Params, trip, mem)
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTripFormulas(t *testing.T) {
+	cases := []struct {
+		spec        TripSpec
+		ind, bound  int64
+		want        int64
+		expectError bool
+	}{
+		{TripSpec{Step: 1, Branch: isa.BLT}, 0, 10, 10, false},
+		{TripSpec{Step: 1, Branch: isa.BLT}, 10, 10, 0, false},
+		{TripSpec{Step: 3, Branch: isa.BLT}, 0, 10, 4, false},
+		{TripSpec{Step: 1, Branch: isa.BLE}, 0, 10, 11, false},
+		{TripSpec{Step: -1, Branch: isa.BGT}, 10, 0, 10, false},
+		{TripSpec{Step: -2, Branch: isa.BGE}, 10, 0, 6, false},
+		{TripSpec{Step: 1, Branch: isa.BNE}, 0, 7, 7, false},
+		{TripSpec{Step: 2, Branch: isa.BNE}, 0, 7, 0, true},
+		{TripSpec{Step: 0, Branch: isa.BLT}, 0, 7, 0, true},
+	}
+	for i, c := range cases {
+		got, err := c.spec.Trip(c.ind, c.bound)
+		if c.expectError {
+			if err == nil {
+				t.Errorf("case %d: expected error", i)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("case %d: Trip = %d,%v; want %d", i, got, err, c.want)
+		}
+	}
+}
+
+func TestExtractSpeculativePattern(t *testing.T) {
+	// Lowered while-loops must extract with the predicate as Exit and the
+	// resume target recorded.
+	b := ir.NewBuilder("scan")
+	x := b.LoadStream("x", 1)
+	key := b.Param("key")
+	sum := b.Add(x, x)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "s0"))
+	b.ExitWhen(b.CmpEQ(x, key))
+	b.LiveOut("sum", sum)
+	l := b.MustBuild()
+
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var region cfg.Region
+	found := false
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Head == res.Head {
+			region, found = r, true
+		}
+	}
+	if !found {
+		t.Fatalf("no region found:\n%s", res.Program.Disassemble())
+	}
+	if region.Kind != cfg.KindSpeculation {
+		t.Fatalf("region kind = %v, want speculation-support", region.Kind)
+	}
+	if _, err := Extract(res.Program, region, nil); err == nil {
+		t.Error("plain Extract accepted a speculation region")
+	}
+	ext, err := ExtractSpeculative(res.Program, region, nil)
+	if err != nil {
+		t.Fatalf("ExtractSpeculative: %v\n%s", err, res.Program.Disassemble())
+	}
+	if !ext.Loop.HasExit() {
+		t.Fatal("extracted loop has no exit condition")
+	}
+	if ext.ExitTarget != region.BackPC+1 {
+		t.Errorf("exit target = %d, want %d", ext.ExitTarget, region.BackPC+1)
+	}
+	// The exit node must be an integer comparison.
+	exit := ext.Loop.Nodes[ext.Loop.ExitNode()]
+	if exit.Op != ir.OpCmpNE && exit.Op != ir.OpCmpEQ {
+		t.Errorf("exit node op = %v", exit.Op)
+	}
+}
+
+func TestExtractSpeculativeRejectsBadShapes(t *testing.T) {
+	// A while-loop with TWO side exits is not the supported shape.
+	a := isa.NewAsm("two-exits")
+	a.MovI(0, 0)
+	a.Label("loop")
+	a.Load(10, 4, 0)
+	a.AddI(4, 4, 1)
+	a.Branch(isa.BNE, 10, 5, "out") // early side exit (not penultimate)
+	a.AddI(6, 6, 1)
+	a.Branch(isa.BNE, 10, 7, "out")
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "loop")
+	a.Label("out")
+	a.Halt()
+	p := a.MustBuild()
+	for _, r := range cfg.FindInnerLoops(p, nil) {
+		if r.Kind == cfg.KindSpeculation {
+			if _, err := ExtractSpeculative(p, r, nil); err == nil {
+				t.Error("accepted a loop with two side exits")
+			}
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package lower
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/isa"
+	"veal/internal/modsched"
+)
+
+// annotatePriorities computes the Swing scheduling order for the loop on
+// the compiler's assumed accelerator and stores it as the per-instruction
+// priority table of Figure 9(c): priority[pc-head] = rank in the order,
+// -1 for instructions that are not scheduling units (address updates,
+// control, moves).
+func (lw *lowerer) annotatePriorities(res *Result) error {
+	g, err := modsched.BuildGraph(lw.l, lw.groups, lw.la.CCA, nil)
+	if err != nil {
+		return err
+	}
+	mii := modsched.MII(g, lw.la, nil)
+	order := modsched.SwingOrder(g, mii, nil)
+
+	head := res.Head
+	back := lw.backPC(res)
+	if back < 0 {
+		return fmt.Errorf("lower: cannot find back branch for annotation")
+	}
+	prio := make([]int32, back-head+1)
+	for i := range prio {
+		prio[i] = -1
+	}
+	for rank, u := range order {
+		node := g.Units[u].Nodes[0]
+		pc, ok := lw.nodePC[node]
+		if !ok || pc < head || pc > back {
+			return fmt.Errorf("lower: unit %d (node %d) has no body pc", u, node)
+		}
+		prio[pc-head] = int32(rank)
+	}
+	res.Program.LoopAnnos = append(res.Program.LoopAnnos, isa.LoopAnno{
+		HeadPC:     head,
+		Priorities: prio,
+	})
+	return nil
+}
+
+// backPC locates the loop's backward branch.
+func (lw *lowerer) backPC(res *Result) int {
+	for pc := len(res.Program.Code) - 1; pc >= 0; pc-- {
+		in := res.Program.Code[pc]
+		if in.Op == isa.BLT && int(in.Imm) == res.Head && in.Src1 == regInd && in.Src2 == regTrip {
+			return pc
+		}
+	}
+	return -1
+}
+
+// deoptimize rewrites the program into its "compiled normally" shape:
+// every Select in the loop body becomes a branch diamond, and a run of
+// pure ALU instructions is outlined into an unmarked helper function. The
+// result computes identical values but defeats the dynamic translator —
+// which is precisely the point of Figure 7.
+func (lw *lowerer) deoptimize(res *Result) error {
+	p := res.Program
+	head, back := res.Head, lw.backPC(res)
+	if back < 0 {
+		return fmt.Errorf("lower: cannot find back branch to deoptimize")
+	}
+
+	// Pass 1: pick an outline range — the longest run of pure ALU
+	// instructions in the body, if it is at least 3 long.
+	bestStart, bestLen := -1, 0
+	run := 0
+	for pc := head; pc <= back; pc++ {
+		if isPureALU(p.Code[pc]) {
+			run++
+			if run > bestLen {
+				bestLen = run
+				bestStart = pc - run + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	// Only large bodies get the un-inlined helper: they are the loops that
+	// would have needed aggressive inlining in the first place (§3.1 links
+	// large loops to inlining). Small select-free loops therefore remain
+	// schedulable even without static transformation, giving Figure 7 its
+	// per-benchmark spread.
+	outline := bestLen >= 8
+
+	// Pass 2: rebuild the instruction list with select diamonds expanded,
+	// tracking old->new pc mapping.
+	newPC := make([]int, len(p.Code)+1)
+	var out []isa.Inst
+	var helper []isa.Inst
+	helperCallAt := -1
+	for pc, in := range p.Code {
+		newPC[pc] = len(out)
+		switch {
+		case outline && pc == bestStart:
+			helperCallAt = len(out)
+			out = append(out, isa.Inst{Op: isa.Brl}) // target patched later
+			helper = append(helper, in)
+		case outline && pc > bestStart && pc < bestStart+bestLen:
+			newPC[pc] = helperCallAt // anything targeting inside maps to the call
+			helper = append(helper, in)
+		case in.Op == isa.Select && pc >= head && pc <= back:
+			// BEQ p, zero, Lfalse; Mov dst, t; Br Lend; Lfalse: Mov dst, f.
+			out = append(out,
+				isa.Inst{Op: isa.BEQ, Src1: in.Src1, Src2: regZero, Imm: -3}, // patched
+				isa.Inst{Op: isa.Mov, Dst: in.Dst, Src1: in.Src2},
+				isa.Inst{Op: isa.Br, Imm: -4}, // patched
+				isa.Inst{Op: isa.Mov, Dst: in.Dst, Src1: in.Src3},
+			)
+			base := newPC[pc]
+			out[base].Imm = int64(base + 3)   // Lfalse
+			out[base+2].Imm = int64(base + 4) // Lend
+		default:
+			out = append(out, in)
+		}
+	}
+	newPC[len(p.Code)] = len(out)
+
+	// Patch branch targets through the mapping (skip the diamond-internal
+	// branches, which already hold new-space targets).
+	diamond := make(map[int]bool)
+	for pc, in := range p.Code {
+		if in.Op == isa.Select && pc >= head && pc <= back {
+			diamond[newPC[pc]] = true
+			diamond[newPC[pc]+2] = true
+		}
+	}
+	for i := range out {
+		in := &out[i]
+		if diamond[i] || (!in.Op.IsBranch()) || in.Op == isa.Ret {
+			continue
+		}
+		if i == helperCallAt && outline {
+			continue // patched below
+		}
+		in.Imm = int64(newPC[in.Imm])
+	}
+	if outline {
+		out[helperCallAt].Imm = int64(len(out))
+		out = append(out, helper...)
+		out = append(out, isa.Inst{Op: isa.Ret})
+	}
+
+	res.Head = newPC[head]
+	p.Code = out
+	p.CCAFuncs = nil
+	p.LoopAnnos = nil
+	return nil
+}
+
+// isPureALU reports whether the instruction is a register-to-register ALU
+// operation safe to outline into a helper (no memory, no control, and not
+// a move that the extractor relies on for shadow rotation).
+func isPureALU(in isa.Inst) bool {
+	if _, ok := in.Op.IROp(); ok && in.Op != isa.Select {
+		return true
+	}
+	return false
+}
+
+// sortedKeys returns map keys in ascending order (determinism helper).
+func sortedKeys(m map[int][]uint8) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedIntKeys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

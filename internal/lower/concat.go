@@ -1,0 +1,102 @@
+package lower
+
+import (
+	"fmt"
+
+	"veal/internal/isa"
+)
+
+// MultiResult is a program containing several lowered loops executed in
+// sequence — the product of compiling a fissioned loop nest (§3.1: "break
+// the large loops up into smaller loops using a technique such as loop
+// fissioning").
+type MultiResult struct {
+	Program *isa.Program
+	// Heads are the loop head pcs in execution order.
+	Heads []int
+	// TripReg/ParamRegs follow the single-loop convention and are shared
+	// by every slice (fission preserves the parameter space).
+	TripReg   uint8
+	ParamRegs []uint8
+	// LiveOutRegs come from the final slice (fission routes live-outs
+	// there).
+	LiveOutRegs map[string]uint8
+}
+
+// Concat splices independently lowered loops into one program: each
+// slice's mid-program Halt becomes a branch to the next slice, branch
+// targets and annotation sections are rebased, and the last slice keeps
+// its Halt. Slices must share the parameter convention (they do, when
+// they come from xform.Fission on one loop).
+func Concat(parts []*Result) (*MultiResult, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("lower: Concat of zero parts")
+	}
+	out := &MultiResult{
+		TripReg:     parts[0].TripReg,
+		ParamRegs:   parts[0].ParamRegs,
+		LiveOutRegs: parts[len(parts)-1].LiveOutRegs,
+	}
+	// Every slice must use the identical parameter convention. A narrower
+	// slice is not merely inconvenient — its lowering hands the registers
+	// just above its own parameters to hoisted constants, which would
+	// clobber a wider sibling's parameter before that slice runs.
+	// xform.Fission widens all slices to one shared space; reject anything
+	// else.
+	for pi, part := range parts {
+		if part.TripReg != out.TripReg || len(part.ParamRegs) != len(out.ParamRegs) {
+			return nil, fmt.Errorf("lower: slice %d parameter convention differs (trip r%d, %d params vs trip r%d, %d params)",
+				pi, part.TripReg, len(part.ParamRegs), out.TripReg, len(out.ParamRegs))
+		}
+		for i, r := range part.ParamRegs {
+			if r != out.ParamRegs[i] {
+				return nil, fmt.Errorf("lower: slice %d binds param %d to r%d, slice 0 to r%d",
+					pi, i, r, out.ParamRegs[i])
+			}
+		}
+	}
+	prog := &isa.Program{Name: parts[0].Program.Name + "+fissioned"}
+	offset := 0
+	for pi, part := range parts {
+		p := part.Program
+		// Locate this slice's Halt (the loop exit; CCA functions follow it).
+		haltPC := -1
+		for pc, in := range p.Code {
+			if in.Op == isa.Halt {
+				haltPC = pc
+				break
+			}
+		}
+		if haltPC < 0 {
+			return nil, fmt.Errorf("lower: slice %d has no halt", pi)
+		}
+		for pc, in := range p.Code {
+			ni := in
+			if in.Op.IsBranch() && in.Op != isa.Ret {
+				ni.Imm = in.Imm + int64(offset)
+			}
+			if in.Op == isa.Halt && pc == haltPC && pi < len(parts)-1 {
+				// Continue into the next slice, which starts after this
+				// whole slice (including its CCA functions).
+				ni = isa.Inst{Op: isa.Br, Imm: int64(offset + len(p.Code))}
+			}
+			prog.Code = append(prog.Code, ni)
+		}
+		for _, f := range p.CCAFuncs {
+			prog.CCAFuncs = append(prog.CCAFuncs, isa.CCAFunc{Start: f.Start + offset, Len: f.Len})
+		}
+		for _, a := range p.LoopAnnos {
+			prog.LoopAnnos = append(prog.LoopAnnos, isa.LoopAnno{
+				HeadPC:     a.HeadPC + offset,
+				Priorities: a.Priorities,
+			})
+		}
+		out.Heads = append(out.Heads, part.Head+offset)
+		offset += len(p.Code)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: Concat produced invalid program: %w", err)
+	}
+	out.Program = prog
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package lower
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/scalar"
+)
+
+// concatParts builds two slices over one shared parameter space, the way
+// xform.Fission hands them to the compiler: slice 1 writes a mid stream,
+// slice 2 reads it back and produces the final output and live-out.
+func concatParts(t *testing.T, annotate bool) []*Result {
+	t.Helper()
+	a := ir.NewBuilder("slice0")
+	x := a.LoadStream("x", 1)
+	a.StoreStream("mid", 1, a.Mul(x, a.Const(3)))
+	a.ParamIndex("out") // slices share one uniform parameter space
+	loopA := a.MustBuild()
+
+	b := ir.NewBuilder("slice1")
+	b.ParamIndex("x") // pin "x" to param 0 so the spaces line up
+	mid := b.LoadStream("mid", 1)
+	v := b.Add(mid, b.Const(7))
+	b.StoreStream("out", 1, v)
+	b.LiveOut("last", v)
+	loopB := b.MustBuild()
+
+	var parts []*Result
+	for _, l := range []*ir.Loop{loopA, loopB} {
+		res, err := Lower(l, Options{Annotate: annotate})
+		if err != nil {
+			t.Fatalf("Lower(%s): %v", l.Name, err)
+		}
+		parts = append(parts, res)
+	}
+	return parts
+}
+
+func TestConcatRunsSlicesInSequence(t *testing.T) {
+	parts := concatParts(t, false)
+	multi, err := Concat(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Heads) != 2 || multi.Heads[1] <= multi.Heads[0] {
+		t.Fatalf("Heads = %v, want two increasing head pcs", multi.Heads)
+	}
+	if len(multi.ParamRegs) != 3 {
+		t.Fatalf("ParamRegs = %v, want the 3-param convention", multi.ParamRegs)
+	}
+
+	const trip = 24
+	const xBase, midBase, outBase = 0x100, 0x500, 0x900
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < trip; i++ {
+		mem.Store(xBase+i, uint64(i*5+2))
+	}
+	m := scalar.New(arch.ARM11(), mem)
+	m.Regs[multi.TripReg] = trip
+	for i, v := range []uint64{xBase, midBase, outBase} {
+		m.Regs[multi.ParamRegs[i]] = v
+	}
+	if err := m.Run(multi.Program, 1_000_000); err != nil {
+		t.Fatalf("Run: %v\n%s", err, multi.Program.Disassemble())
+	}
+	for i := int64(0); i < trip; i++ {
+		want := (uint64(i*5+2))*3 + 7
+		if got := mem.Load(outBase + i); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Live-outs come from the final slice.
+	wantLast := (uint64((trip-1)*5+2))*3 + 7
+	reg, ok := multi.LiveOutRegs["last"]
+	if !ok {
+		t.Fatal("live-out register for \"last\" missing")
+	}
+	if got := m.Regs[reg]; got != wantLast {
+		t.Errorf("live-out last = %d, want %d", got, wantLast)
+	}
+}
+
+func TestConcatRebasesAnnotations(t *testing.T) {
+	parts := concatParts(t, true)
+	multi, err := Concat(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.Program.LoopAnnos) != 2 {
+		t.Fatalf("LoopAnnos = %d, want one per slice", len(multi.Program.LoopAnnos))
+	}
+	for i, a := range multi.Program.LoopAnnos {
+		if a.HeadPC != multi.Heads[i] {
+			t.Errorf("anno %d head pc %d, want %d", i, a.HeadPC, multi.Heads[i])
+		}
+	}
+}
+
+func TestConcatRejectsEmpty(t *testing.T) {
+	if _, err := Concat(nil); err == nil {
+		t.Fatal("Concat(nil) succeeded")
+	}
+}
+
+func TestConcatRejectsMismatchedParamSpaces(t *testing.T) {
+	// A slice lowered with a narrower parameter space hoists constants
+	// into the registers a wider sibling uses for parameters; Concat must
+	// refuse the combination rather than emit a clobbering binary.
+	a := ir.NewBuilder("narrow")
+	x := a.LoadStream("x", 1)
+	a.StoreStream("mid", 1, a.Mul(x, a.Const(3)))
+	narrow, err := Lower(a.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := concatParts(t, false)[1]
+	if _, err := Concat([]*Result{narrow, wide}); err == nil {
+		t.Fatal("Concat accepted slices with different parameter conventions")
+	}
+}

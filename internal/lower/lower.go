@@ -1,0 +1,607 @@
+// Package lower is the static compiler backend: it turns a loop in the
+// dataflow IR into a baseline-ISA program, optionally carrying the
+// binary-compatible annotations of Figure 9 (outlined CCA functions and a
+// static priority table), and optionally in a deliberately "raw" shape —
+// no if-conversion, a helper call left un-inlined — standing in for a
+// binary compiled without the proactive loop transformations of §4.2
+// (Figure 7's comparison point).
+//
+// Calling convention of the emitted program:
+//
+//	r0           zero
+//	r1           trip bound (loop runs while i < r1)
+//	r2           induction variable i, starts at 0
+//	r4..         one register per IR parameter (Result.ParamRegs)
+//	remaining    stream address registers, loop-carried shadows, temps
+//
+// The caller seeds r1 and the parameter registers, then runs the program;
+// it halts after the loop with live-outs in Result.LiveOutRegs.
+package lower
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/cca"
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// Options selects the compilation flavor.
+type Options struct {
+	// Raw disables the static loop transformations: selects are emitted as
+	// branch diamonds and, when the body is big enough, a slice of it is
+	// outlined into a plain (unmarked) helper call. Raw programs compute
+	// the same results but are rejected by the dynamic translator.
+	Raw bool
+	// Annotate emits the hybrid static/dynamic metadata: CCA groups
+	// outlined as marked Brl functions plus the static priority table.
+	Annotate bool
+	// LA is the accelerator the static compiler assumes when computing
+	// priorities and CCA groups (default: arch.Proposed()).
+	LA *arch.LA
+}
+
+// Result is a lowered loop.
+type Result struct {
+	Program *isa.Program
+	// Head is the loop's first body instruction.
+	Head int
+	// ParamRegs[i] is the register the caller must seed with parameter i.
+	ParamRegs []uint8
+	// TripReg is the register holding the trip bound (always 1).
+	TripReg uint8
+	// LiveOutRegs maps live-out names to the registers holding them after
+	// the loop completes.
+	LiveOutRegs map[string]uint8
+}
+
+const (
+	regZero = 0
+	regTrip = 1
+	regInd  = 2
+	// regParam0 is where parameter registers begin.
+	regParam0 = 4
+)
+
+// Lower compiles the loop.
+func Lower(l *ir.Loop, opt Options) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	la := opt.LA
+	if la == nil {
+		la = arch.Proposed()
+	}
+	if opt.Raw && opt.Annotate {
+		return nil, fmt.Errorf("lower: Raw and Annotate are mutually exclusive")
+	}
+
+	var groups [][]int
+	if opt.Annotate {
+		groups = cca.Map(l, la.CCA, nil).Groups
+	}
+
+	lw := &lowerer{l: l, opt: opt, la: la, groups: groups}
+	return lw.run()
+}
+
+type lowerer struct {
+	l      *ir.Loop
+	opt    Options
+	la     *arch.LA
+	groups [][]int
+
+	asm      *isa.Asm
+	nodeReg  map[int]uint8 // current register of each node's value
+	prevReg  map[int][]uint8
+	nextReg  uint8
+	free     []uint8
+	lastUse  map[int]int // node -> emission index of last distance-0 use
+	persist  map[int]bool
+	nodePC   map[int]int // node -> defining pc (group nodes -> Brl pc)
+	addrRegs []uint8     // per-stream address registers (shared per base+stride)
+
+	ccaFns []pendingCCAFn
+}
+
+type pendingCCAFn struct {
+	label string
+	insts []isa.Inst
+}
+
+func (lw *lowerer) alloc() (uint8, error) {
+	if n := len(lw.free); n > 0 {
+		r := lw.free[n-1]
+		lw.free = lw.free[:n-1]
+		return r, nil
+	}
+	if int(lw.nextReg) >= isa.NumRegs-1 { // keep LinkReg free
+		return 0, fmt.Errorf("lower: loop %q exceeds the register budget", lw.l.Name)
+	}
+	r := lw.nextReg
+	lw.nextReg++
+	return r, nil
+}
+
+func (lw *lowerer) release(r uint8) { lw.free = append(lw.free, r) }
+
+// emissionOrder is a topological order of the distance-zero graph with
+// each CCA group contiguous: contract groups, topo-sort, expand.
+func (lw *lowerer) emissionOrder() ([]int, error) {
+	l := lw.l
+	groupOf := make([]int, len(l.Nodes))
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for gi, g := range lw.groups {
+		for _, n := range g {
+			groupOf[n] = gi
+		}
+	}
+	// Vertices: groups then singleton nodes. Group members expand in the
+	// loop's global topological order so intra-group dataflow is emitted
+	// producer-first.
+	topoIdx := make([]int, len(l.Nodes))
+	for i, id := range l.TopoOrder() {
+		topoIdx[id] = i
+	}
+	type vert struct{ nodes []int }
+	var verts []vert
+	vertOf := make([]int, len(l.Nodes))
+	for gi, g := range lw.groups {
+		sorted := append([]int(nil), g...)
+		sort.Slice(sorted, func(i, j int) bool { return topoIdx[sorted[i]] < topoIdx[sorted[j]] })
+		verts = append(verts, vert{nodes: sorted})
+		for _, n := range g {
+			vertOf[n] = gi
+		}
+	}
+	for _, n := range l.Nodes {
+		if groupOf[n.ID] < 0 {
+			vertOf[n.ID] = len(verts)
+			verts = append(verts, vert{nodes: []int{n.ID}})
+		}
+	}
+	indeg := make([]int, len(verts))
+	succ := make([][]int, len(verts))
+	seen := make(map[[2]int]bool)
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist != 0 {
+				continue
+			}
+			f, t := vertOf[a.Node], vertOf[n.ID]
+			if f == t || seen[[2]int{f, t}] {
+				continue
+			}
+			seen[[2]int{f, t}] = true
+			succ[f] = append(succ[f], t)
+			indeg[t]++
+		}
+	}
+	var queue []int
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, verts[v].nodes...)
+		var next []int
+		for _, s := range succ[v] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				next = append(next, s)
+			}
+		}
+		sort.Ints(next)
+		queue = append(queue, next...)
+	}
+	if len(order) != len(l.Nodes) {
+		return nil, fmt.Errorf("lower: loop %q: CCA grouping makes the graph cyclic", l.Name)
+	}
+	return order, nil
+}
+
+func (lw *lowerer) run() (*Result, error) {
+	l := lw.l
+	lw.asm = isa.NewAsm(l.Name)
+	lw.nodeReg = make(map[int]uint8)
+	lw.prevReg = make(map[int][]uint8)
+	lw.lastUse = make(map[int]int)
+	lw.persist = make(map[int]bool)
+	lw.nodePC = make(map[int]int)
+	lw.nextReg = uint8(regParam0 + l.NumParams)
+	if l.NumParams > 24 {
+		return nil, fmt.Errorf("lower: loop %q has %d parameters (max 24)", l.Name, l.NumParams)
+	}
+
+	order, err := lw.emissionOrder()
+	if err != nil {
+		return nil, err
+	}
+	orderIdx := make(map[int]int, len(order))
+	for i, n := range order {
+		orderIdx[n] = i
+	}
+	// Last distance-0 use per node, in emission order; loop-carried
+	// producers and live-outs persist.
+	maxDistOf := make(map[int]int)
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist == 0 {
+				if orderIdx[n.ID] > lw.lastUse[a.Node] {
+					lw.lastUse[a.Node] = orderIdx[n.ID]
+				}
+			} else if a.Dist > maxDistOf[a.Node] {
+				maxDistOf[a.Node] = a.Dist
+			}
+		}
+	}
+	for _, lo := range l.LiveOuts {
+		lw.persist[lo.Node] = true
+	}
+	if l.HasExit() {
+		lw.persist[l.ExitNode()] = true
+	}
+	for n, d := range maxDistOf {
+		if d > 0 {
+			lw.persist[n] = true
+		}
+	}
+
+	asm := lw.asm
+	// Preamble: zero register, induction, address registers, shadows.
+	asm.MovI(regZero, 0)
+	asm.MovI(regInd, 0)
+
+	// Value sources get persistent registers up front.
+	for _, n := range l.Nodes {
+		switch n.Op {
+		case ir.OpConst:
+			r, err := lw.alloc()
+			if err != nil {
+				return nil, err
+			}
+			asm.MovI(r, int64(n.Imm))
+			lw.nodeReg[n.ID] = r
+			lw.persist[n.ID] = true
+		case ir.OpParam:
+			lw.nodeReg[n.ID] = uint8(regParam0 + n.Param)
+			lw.persist[n.ID] = true
+		case ir.OpIndVar:
+			lw.nodeReg[n.ID] = regInd
+			lw.persist[n.ID] = true
+		}
+	}
+
+	// Address registers: streams sharing a base parameter and stride share
+	// one register (the stencil idiom — neighbours differ only in their
+	// constant offset, which rides in the load/store immediate).
+	lw.addrRegs = make([]uint8, len(l.Streams))
+	addrKey := map[[2]int64]uint8{}
+	for i, s := range l.Streams {
+		key := [2]int64{int64(s.BaseParam), s.Stride}
+		if r, ok := addrKey[key]; ok {
+			lw.addrRegs[i] = r
+			continue
+		}
+		r, err := lw.alloc()
+		if err != nil {
+			return nil, err
+		}
+		asm.Mov(r, uint8(regParam0+s.BaseParam))
+		addrKey[key] = r
+		lw.addrRegs[i] = r
+	}
+
+	// Shadow registers for loop-carried values, preloaded with inits.
+	for _, n := range sortedIntKeys(maxDistOf) {
+		d := maxDistOf[n]
+		if d == 0 {
+			continue
+		}
+		regs := make([]uint8, d)
+		for k := 0; k < d; k++ {
+			r, err := lw.alloc()
+			if err != nil {
+				return nil, err
+			}
+			asm.Mov(r, uint8(regParam0+l.Nodes[n].Init[k]))
+			regs[k] = r
+		}
+		lw.prevReg[n] = regs
+		// The producer's own register must also persist across iterations.
+		if _, ok := lw.nodeReg[n]; !ok {
+			r, err := lw.alloc()
+			if err != nil {
+				return nil, err
+			}
+			// Seed it so a live-out read of a zero-trip loop is defined.
+			asm.Mov(r, uint8(regParam0+l.Nodes[n].Init[0]))
+			lw.nodeReg[n] = r
+		}
+	}
+
+	// Guard: skip the loop entirely when the trip bound is not positive.
+	asm.Branch(isa.BGE, regInd, regTrip, "exit")
+	asm.Label("loop")
+
+	groupOf := make(map[int]int)
+	for gi, g := range lw.groups {
+		for _, n := range g {
+			groupOf[n] = gi
+		}
+	}
+
+	// Emit the body.
+	emitted := make(map[int]bool)
+	for idx := 0; idx < len(order); idx++ {
+		id := order[idx]
+		if emitted[id] {
+			continue
+		}
+		if gi, ok := groupOf[id]; ok && lw.opt.Annotate {
+			// Emit the whole group as an outlined CCA function call.
+			if err := lw.emitGroupCall(gi, order, orderIdx, emitted, idx); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := lw.emitNode(id, idx); err != nil {
+			return nil, err
+		}
+		emitted[id] = true
+	}
+
+	// Address increments, shadow rotation, induction, back branch.
+	incremented := map[uint8]bool{}
+	for i, s := range l.Streams {
+		r := lw.addrRegs[i]
+		if !incremented[r] {
+			incremented[r] = true
+			asm.AddI(r, r, s.Stride)
+		}
+	}
+	for _, n := range sortedKeys(lw.prevReg) {
+		regs := lw.prevReg[n]
+		for k := len(regs) - 1; k >= 1; k-- {
+			asm.Mov(regs[k], regs[k-1])
+		}
+		asm.Mov(regs[0], lw.nodeReg[n])
+	}
+	asm.AddI(regInd, regInd, 1)
+	if l.HasExit() {
+		// The side exit tests the full iteration's condition after every
+		// register update, immediately before the back branch — the
+		// canonical while-with-break shape the VM's speculation support
+		// recognizes.
+		exitReg, ok := lw.nodeReg[l.ExitNode()]
+		if !ok {
+			return nil, fmt.Errorf("lower: exit node %d has no register", l.ExitNode())
+		}
+		asm.Branch(isa.BNE, exitReg, regZero, "exit")
+	}
+	asm.Branch(isa.BLT, regInd, regTrip, "loop")
+	asm.Label("exit")
+	asm.Halt()
+
+	// Outlined CCA functions.
+	for _, fn := range lw.ccaFns {
+		asm.Label(fn.label)
+		start := asm.PC()
+		for _, in := range fn.insts {
+			asm.Emit(in)
+		}
+		asm.Ret()
+		asm.CCAFunc(start, asm.PC()-start)
+	}
+
+	p, err := asm.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Program:     p,
+		TripReg:     regTrip,
+		LiveOutRegs: make(map[string]uint8, len(l.LiveOuts)),
+	}
+	res.ParamRegs = make([]uint8, l.NumParams)
+	for i := range res.ParamRegs {
+		res.ParamRegs[i] = uint8(regParam0 + i)
+	}
+	for _, lo := range l.LiveOuts {
+		res.LiveOutRegs[lo.Name] = lw.nodeReg[lo.Node]
+	}
+	// The loop label position.
+	for pc, in := range p.Code {
+		if in.Op == isa.BLT && int(in.Imm) <= pc && in.Src1 == regInd && in.Src2 == regTrip {
+			res.Head = int(in.Imm)
+		}
+	}
+
+	if lw.opt.Raw {
+		if err := lw.deoptimize(res); err != nil {
+			return nil, err
+		}
+	} else if lw.opt.Annotate {
+		if err := lw.annotatePriorities(res); err != nil {
+			return nil, err
+		}
+	}
+	if err := res.Program.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: produced invalid program: %w", err)
+	}
+	return res, nil
+}
+
+// argReg returns the register holding an operand at emission time.
+func (lw *lowerer) argReg(a ir.Operand) (uint8, error) {
+	if a.Dist == 0 {
+		r, ok := lw.nodeReg[a.Node]
+		if !ok {
+			return 0, fmt.Errorf("lower: operand node %d not yet emitted", a.Node)
+		}
+		return r, nil
+	}
+	regs := lw.prevReg[a.Node]
+	if a.Dist > len(regs) {
+		return 0, fmt.Errorf("lower: node %d read at distance %d with %d shadows", a.Node, a.Dist, len(regs))
+	}
+	return regs[a.Dist-1], nil
+}
+
+// emitNode lowers one node (non-group path).
+func (lw *lowerer) emitNode(id, orderIdx int) error {
+	l := lw.l
+	n := l.Nodes[id]
+	asm := lw.asm
+	switch n.Op {
+	case ir.OpConst, ir.OpParam, ir.OpIndVar:
+		lw.nodePC[id] = -1
+		return nil // preallocated
+	case ir.OpLoad:
+		dst, err := lw.destReg(id)
+		if err != nil {
+			return err
+		}
+		lw.nodePC[id] = asm.Load(dst, lw.streamReg(n.Stream), l.Streams[n.Stream].Offset)
+		return nil
+	case ir.OpStore:
+		src, err := lw.argReg(n.Args[0])
+		if err != nil {
+			return err
+		}
+		lw.nodePC[id] = asm.Store(src, lw.streamReg(n.Stream), l.Streams[n.Stream].Offset)
+		lw.releaseDeadArgs(n, orderIdx)
+		return nil
+	}
+
+	var regs [3]uint8
+	for i, a := range n.Args {
+		r, err := lw.argReg(a)
+		if err != nil {
+			return err
+		}
+		regs[i] = r
+	}
+	lw.releaseDeadArgs(n, orderIdx)
+	dst, err := lw.destReg(id)
+	if err != nil {
+		return err
+	}
+	op, ok := aluOpcode(n.Op)
+	if !ok {
+		return fmt.Errorf("lower: no ISA opcode for %v", n.Op)
+	}
+	switch n.Op.NumArgs() {
+	case 1:
+		lw.nodePC[id] = asm.Op2(op, dst, regs[0])
+	case 2:
+		lw.nodePC[id] = asm.Op3(op, dst, regs[0], regs[1])
+	case 3:
+		lw.nodePC[id] = asm.Select(dst, regs[0], regs[1], regs[2])
+	}
+	return nil
+}
+
+// emitGroupCall emits a Brl to an outlined CCA function containing the
+// group's operations, consuming the group's slots in the order walk.
+func (lw *lowerer) emitGroupCall(gi int, order []int, orderIdx map[int]int, emitted map[int]bool, at int) error {
+	l := lw.l
+	group := lw.groups[gi]
+	// Group nodes appear contiguously in order starting at 'at'.
+	sorted := make([]int, 0, len(group))
+	for i := at; i < at+len(group) && i < len(order); i++ {
+		sorted = append(sorted, order[i])
+	}
+	if len(sorted) != len(group) {
+		return fmt.Errorf("lower: group %d not contiguous in emission order", gi)
+	}
+
+	// Pre-assign destination registers, then generate the function body
+	// instructions against them.
+	var insts []isa.Inst
+	for _, id := range sorted {
+		n := l.Nodes[id]
+		var regs [3]uint8
+		for i, a := range n.Args {
+			r, err := lw.argReg(a)
+			if err != nil {
+				return err
+			}
+			regs[i] = r
+		}
+		lw.releaseDeadArgs(n, orderIdx[id])
+		dst, err := lw.destReg(id)
+		if err != nil {
+			return err
+		}
+		op, ok := aluOpcode(n.Op)
+		if !ok {
+			return fmt.Errorf("lower: group op %v has no ISA opcode", n.Op)
+		}
+		in := isa.Inst{Op: op, Dst: dst, Src1: regs[0]}
+		if n.Op.NumArgs() >= 2 {
+			in.Src2 = regs[1]
+		}
+		insts = append(insts, in)
+	}
+	label := fmt.Sprintf("cca_%d", gi)
+	brlPC := lw.asm.Brl(label)
+	lw.ccaFns = append(lw.ccaFns, pendingCCAFn{label: label, insts: insts})
+	for _, id := range sorted {
+		lw.nodePC[id] = brlPC
+		emitted[id] = true
+	}
+	return nil
+}
+
+func (lw *lowerer) streamReg(stream int) uint8 { return lw.addrRegs[stream] }
+
+func (lw *lowerer) destReg(id int) (uint8, error) {
+	if r, ok := lw.nodeReg[id]; ok {
+		return r, nil
+	}
+	r, err := lw.alloc()
+	if err != nil {
+		return 0, err
+	}
+	lw.nodeReg[id] = r
+	return r, nil
+}
+
+// releaseDeadArgs frees temp registers whose last use was this node.
+func (lw *lowerer) releaseDeadArgs(n *ir.Node, orderIdx int) {
+	for _, a := range n.Args {
+		if a.Dist != 0 || lw.persist[a.Node] {
+			continue
+		}
+		if lw.lastUse[a.Node] == orderIdx {
+			if r, ok := lw.nodeReg[a.Node]; ok {
+				lw.release(r)
+				delete(lw.nodeReg, a.Node)
+			}
+		}
+	}
+}
+
+// aluOpcode maps ir ops to ISA opcodes.
+func aluOpcode(op ir.Op) (isa.Opcode, bool) {
+	for o := isa.Opcode(0); o < 64; o++ {
+		if !o.Valid() {
+			break
+		}
+		if irOp, ok := o.IROp(); ok && irOp == op {
+			return o, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,274 @@
+package lower
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/scalar"
+	"veal/internal/workloads"
+)
+
+func firLoop(t testing.TB) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("fir")
+	acc := b.Const(0)
+	for k := 0; k < 3; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	b.LiveOut("acc", acc)
+	return b.MustBuild()
+}
+
+// runLowered executes a lowered loop and returns the machine.
+func runLowered(t testing.TB, res *Result, params []uint64, trip int64, mem *ir.PagedMemory) *scalar.Machine {
+	t.Helper()
+	m := scalar.New(arch.ARM11(), mem)
+	m.Regs[res.TripReg] = uint64(trip)
+	for i, r := range res.ParamRegs {
+		m.Regs[r] = params[i]
+	}
+	if err := m.Run(res.Program, 10_000_000); err != nil {
+		t.Fatalf("Run: %v\n%s", err, res.Program.Disassemble())
+	}
+	return m
+}
+
+func TestLowerMatchesReferenceSemantics(t *testing.T) {
+	l := firLoop(t)
+	res, err := Lower(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i*3+1))
+	}
+	params := []uint64{100, 2, 101, 3, 102, 5, 9000}
+	m := runLowered(t, res, params, 32, mem.Clone())
+
+	ref := mem.Clone()
+	out, err := ir.Execute(l, &ir.Bindings{Params: params, Trip: 32}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mem.(*ir.PagedMemory).Equal(ref) {
+		t.Fatal("lowered memory diverges from reference")
+	}
+	if got := m.Regs[res.LiveOutRegs["acc"]]; got != out.LiveOuts["acc"] {
+		t.Errorf("live-out acc = %d, want %d", got, out.LiveOuts["acc"])
+	}
+}
+
+func TestLowerZeroTripGuard(t *testing.T) {
+	l := firLoop(t)
+	res, err := Lower(l, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	params := []uint64{100, 2, 101, 3, 102, 5, 9000}
+	m := runLowered(t, res, params, 0, mem)
+	if m.Mem.(*ir.PagedMemory).Load(9000) != 0 {
+		t.Error("zero-trip loop wrote memory")
+	}
+}
+
+func TestLowerAnnotationsPresent(t *testing.T) {
+	// The Figure 5 style loop must produce both annotation kinds.
+	b := ir.NewBuilder("annot")
+	x := b.LoadStream("in", 1)
+	v := b.Xor(b.And(x, b.Const(255)), b.Add(x, b.Const(7)))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := Lower(l, Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.CCAFuncs) == 0 {
+		t.Error("no CCA functions emitted")
+	}
+	if len(res.Program.LoopAnnos) != 1 {
+		t.Fatalf("loop annotations = %d, want 1", len(res.Program.LoopAnnos))
+	}
+	anno := res.Program.LoopAnnos[0]
+	if anno.HeadPC != res.Head {
+		t.Errorf("annotation head %d != loop head %d", anno.HeadPC, res.Head)
+	}
+	// Priorities must be a permutation prefix: every scheduled unit rank
+	// exactly once, -1 elsewhere.
+	seen := map[int32]bool{}
+	for _, p := range anno.Priorities {
+		if p < 0 {
+			continue
+		}
+		if seen[p] {
+			t.Errorf("duplicate priority rank %d", p)
+		}
+		seen[p] = true
+	}
+	for r := int32(0); r < int32(len(seen)); r++ {
+		if !seen[r] {
+			t.Errorf("missing priority rank %d", r)
+		}
+	}
+}
+
+func TestLowerRejectsRawPlusAnnotate(t *testing.T) {
+	l := firLoop(t)
+	if _, err := Lower(l, Options{Raw: true, Annotate: true}); err == nil {
+		t.Fatal("Raw+Annotate accepted")
+	}
+}
+
+func TestLowerRejectsTooManyParams(t *testing.T) {
+	b := ir.NewBuilder("wide")
+	acc := b.Param("p0")
+	for i := 1; i < 30; i++ {
+		acc = b.Add(acc, b.Param(strings.Repeat("p", i+1)))
+	}
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+	if _, err := Lower(l, Options{}); err == nil {
+		t.Fatal("accepted 30-parameter loop")
+	}
+}
+
+func TestLowerRegisterReuse(t *testing.T) {
+	// A long chain of adds must reuse temp registers rather than exhaust
+	// the file.
+	b := ir.NewBuilder("chain")
+	v := b.LoadStream("x", 1)
+	for i := 0; i < 40; i++ {
+		v = b.Add(v, b.Const(1))
+	}
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := Lower(l, Options{})
+	if err != nil {
+		t.Fatalf("long chain failed to lower: %v", err)
+	}
+	maxReg := uint8(0)
+	for _, in := range res.Program.Code {
+		for _, r := range []uint8{in.Dst, in.Src1, in.Src2, in.Src3} {
+			if r > maxReg && r != isa.LinkReg {
+				maxReg = r
+			}
+		}
+	}
+	if maxReg > 20 {
+		t.Errorf("40-op chain used registers up to r%d; reuse is broken", maxReg)
+	}
+}
+
+func TestRawDeoptHasDiamondAndHelper(t *testing.T) {
+	b := ir.NewBuilder("raw")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(5))
+	v := b.Select(p, b.Add(x, b.Const(1)), b.Sub(x, b.Const(1)))
+	// Enough pure ALU ops to trigger helper outlining (>= 8).
+	for i := 0; i < 9; i++ {
+		v = b.Xor(b.Add(v, b.Const(int64(i))), x)
+	}
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := Lower(l, Options{Raw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBrl, hasBEQ := false, false
+	for _, in := range res.Program.Code {
+		if in.Op == isa.Brl {
+			hasBrl = true
+		}
+		if in.Op == isa.BEQ {
+			hasBEQ = true
+		}
+	}
+	if !hasBrl {
+		t.Error("raw binary has no outlined helper call")
+	}
+	if !hasBEQ {
+		t.Error("raw binary has no branch diamond")
+	}
+	if len(res.Program.CCAFuncs) != 0 || len(res.Program.LoopAnnos) != 0 {
+		t.Error("raw binary carries annotations")
+	}
+}
+
+func TestLowerDeterministic(t *testing.T) {
+	for trial := 0; trial < 3; trial++ {
+		l := workloads.ADPCMEncode()
+		r1, err := Lower(l, Options{Annotate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l2 := workloads.ADPCMEncode()
+		r2, err := Lower(l2, Options{Annotate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Program.Code) != len(r2.Program.Code) {
+			t.Fatal("nondeterministic code length")
+		}
+		for i := range r1.Program.Code {
+			if r1.Program.Code[i] != r2.Program.Code[i] {
+				t.Fatalf("nondeterministic instruction at %d: %v vs %v",
+					i, r1.Program.Code[i], r2.Program.Code[i])
+			}
+		}
+	}
+}
+
+func TestLowerAllWorkloadKernels(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bench := range workloads.All() {
+		for _, s := range bench.Sites {
+			if seen[s.Kernel.Name] {
+				continue
+			}
+			seen[s.Kernel.Name] = true
+			l := s.Kernel.Build()
+			for _, opt := range []Options{{}, {Annotate: true}, {Raw: true}} {
+				if _, err := Lower(l, opt); err != nil {
+					t.Errorf("%s %+v: %v", s.Kernel.Name, opt, err)
+				}
+			}
+		}
+	}
+}
+
+func TestLoweredLoopIsCanonicalRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		cfgen := loopgen.Default()
+		cfgen.Ops = 3 + rng.Intn(12)
+		cfgen.RecurProb = 0.3
+		l := loopgen.Generate(rng, cfgen)
+		if l.NumParams > 24 {
+			continue
+		}
+		res, err := Lower(l, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		found := false
+		for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+			if r.Head == res.Head && r.Kind == cfg.KindSchedulable {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: lowered loop is not a schedulable region:\n%s",
+				trial, res.Program.Disassemble())
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package modsched implements modulo scheduling for loop accelerators: the
+// dependence graph, resource- and recurrence-constrained minimum II
+// calculations, the Swing modulo scheduling priority/ordering algorithm
+// (Llosa et al., PACT 1996) and the simpler height-based priority of
+// iterative modulo scheduling (Rau, MICRO 1994), the modulo reservation
+// table list scheduler, and the register-requirement post-pass.
+//
+// Every algorithm charges its work to a vmcost.Meter so the dynamic
+// translation experiments (Figures 6, 8 and 10 of the paper) can account
+// for where translation time goes.
+package modsched
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/vmcost"
+)
+
+// UnitClass is the accelerator resource a scheduling unit occupies.
+type UnitClass int
+
+const (
+	// UnitInt executes on an integer unit.
+	UnitInt UnitClass = iota
+	// UnitFloat executes on a floating-point unit.
+	UnitFloat
+	// UnitCCA executes on a CCA (a whole collapsed subgraph).
+	UnitCCA
+	// UnitLoad occupies a load address generator slot.
+	UnitLoad
+	// UnitStore occupies a store address generator slot.
+	UnitStore
+
+	numUnitClasses
+)
+
+// String returns the class name.
+func (c UnitClass) String() string {
+	switch c {
+	case UnitInt:
+		return "int"
+	case UnitFloat:
+		return "float"
+	case UnitCCA:
+		return "cca"
+	case UnitLoad:
+		return "load"
+	case UnitStore:
+		return "store"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Unit is one schedulable operation: either a single ir node or a CCA
+// group of nodes that executes atomically.
+type Unit struct {
+	ID      int
+	Nodes   []int // ir node IDs; len > 1 means a CCA group
+	Class   UnitClass
+	Latency int
+}
+
+// Edge is a dependence between units: To may start no earlier than
+// Latency cycles after From, offset by Dist iterations.
+type Edge struct {
+	From, To int
+	Latency  int
+	Dist     int
+}
+
+// Graph is the scheduling dependence graph for one loop.
+type Graph struct {
+	Loop  *ir.Loop
+	Units []Unit
+	Edges []Edge
+
+	// unitOf maps ir node ID -> unit ID (-1 for unscheduled value sources).
+	unitOf []int
+
+	succ, pred [][]int // edge indexes by unit
+}
+
+// UnitOf returns the unit executing the given ir node, or -1 if the node
+// is a value source handled outside the function units.
+func (g *Graph) UnitOf(node int) int { return g.unitOf[node] }
+
+// SuccEdges returns the indexes into Edges leaving unit u.
+func (g *Graph) SuccEdges(u int) []int { return g.succ[u] }
+
+// PredEdges returns the indexes into Edges entering unit u.
+func (g *Graph) PredEdges(u int) []int { return g.pred[u] }
+
+// classOf maps an ir op to its unit class; ok=false for value sources.
+func classOf(op ir.Op) (UnitClass, bool) {
+	switch op.Class() {
+	case ir.ClassInt:
+		return UnitInt, true
+	case ir.ClassFloat:
+		return UnitFloat, true
+	case ir.ClassMemLoad:
+		return UnitLoad, true
+	case ir.ClassMemStore:
+		return UnitStore, true
+	default:
+		return 0, false
+	}
+}
+
+// BuildGraph constructs the scheduling graph for a loop. groups lists the
+// CCA subgraphs (possibly nil): each group of ir node IDs becomes a single
+// UnitCCA unit with the CCA's latency; edges internal to a group vanish.
+// The meter, if non-nil, is charged to the stream-separation phase since
+// graph construction corresponds to the paper's "separating control and
+// memory streams" bookkeeping.
+func BuildGraph(l *ir.Loop, groups [][]int, cca arch.CCAConfig, m *vmcost.Meter) (*Graph, error) {
+	m.Begin(vmcost.PhaseStreamSep)
+	g := &Graph{Loop: l, unitOf: make([]int, len(l.Nodes))}
+	for i := range g.unitOf {
+		g.unitOf[i] = -1
+	}
+
+	inGroup := make([]bool, len(l.Nodes))
+	for _, grp := range groups {
+		if len(grp) == 0 {
+			return nil, fmt.Errorf("modsched: empty CCA group")
+		}
+		u := Unit{ID: len(g.Units), Nodes: append([]int(nil), grp...), Class: UnitCCA, Latency: cca.Latency}
+		for _, n := range grp {
+			if n < 0 || n >= len(l.Nodes) {
+				return nil, fmt.Errorf("modsched: CCA group node %d out of range", n)
+			}
+			if inGroup[n] {
+				return nil, fmt.Errorf("modsched: node %d in two CCA groups", n)
+			}
+			if g.Loop.Nodes[n].Op.Class() != ir.ClassInt {
+				return nil, fmt.Errorf("modsched: node %d (%v) cannot run on a CCA", n, g.Loop.Nodes[n].Op)
+			}
+			inGroup[n] = true
+			g.unitOf[n] = u.ID
+		}
+		g.Units = append(g.Units, u)
+		m.Charge(int64(len(grp)) * 2)
+	}
+
+	for _, n := range l.Nodes {
+		if inGroup[n.ID] {
+			continue
+		}
+		class, ok := classOf(n.Op)
+		if !ok {
+			continue // constants, params, indvar: register/control resident
+		}
+		u := Unit{ID: len(g.Units), Nodes: []int{n.ID}, Class: class, Latency: arch.Latency(n.Op)}
+		g.unitOf[n.ID] = u.ID
+		g.Units = append(g.Units, u)
+		m.Charge(2)
+	}
+
+	// Dependence edges between distinct units.
+	for _, n := range l.Nodes {
+		to := g.unitOf[n.ID]
+		if to < 0 {
+			continue
+		}
+		for _, a := range n.Args {
+			from := g.unitOf[a.Node]
+			if from < 0 || from == to {
+				continue
+			}
+			g.Edges = append(g.Edges, Edge{
+				From:    from,
+				To:      to,
+				Latency: g.Units[from].Latency,
+				Dist:    a.Dist,
+			})
+			m.Charge(3)
+		}
+	}
+
+	g.succ = make([][]int, len(g.Units))
+	g.pred = make([][]int, len(g.Units))
+	for i, e := range g.Edges {
+		g.succ[e.From] = append(g.succ[e.From], i)
+		g.pred[e.To] = append(g.pred[e.To], i)
+	}
+	return g, nil
+}
+
+// countClass returns the number of units in each class.
+func (g *Graph) countClass() [numUnitClasses]int {
+	var c [numUnitClasses]int
+	for _, u := range g.Units {
+		c[u.Class]++
+	}
+	return c
+}
+
+// String renders units and edges for debugging.
+func (g *Graph) String() string {
+	s := fmt.Sprintf("graph of %q: %d units, %d edges\n", g.Loop.Name, len(g.Units), len(g.Edges))
+	for _, u := range g.Units {
+		s += fmt.Sprintf("  u%d %v lat=%d nodes=%v\n", u.ID, u.Class, u.Latency, u.Nodes)
+	}
+	for _, e := range g.Edges {
+		s += fmt.Sprintf("  u%d -> u%d lat=%d dist=%d\n", e.From, e.To, e.Latency, e.Dist)
+	}
+	return s
+}

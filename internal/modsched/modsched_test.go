@@ -1,0 +1,552 @@
+package modsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/loopgen"
+	"veal/internal/vmcost"
+)
+
+// buildFIR returns a recurrence-free 8-op integer loop.
+func buildFIR(t testing.TB) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("fir4")
+	acc := b.Const(0)
+	for k := 0; k < 4; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return l
+}
+
+// buildFig5 reproduces the example loop of Figure 5 (compute portion: the
+// control ops 13-15 and address ops 1, 11 are subsumed by streams). Node
+// numbering in comments follows the paper's op numbers.
+//
+// Recurrences: shl -> {and,sub,xor} -> shr -> shl@1   (4 cycles with CCA)
+//
+//	mpy -> or -> mpy@1                      (4 cycles)
+func buildFig5(t testing.TB) (*ir.Loop, [][]int) {
+	t.Helper()
+	b := ir.NewBuilder("fig5")
+	x := b.LoadStream("in", 1) // op 2
+	c1 := b.Const(3)
+	c2 := b.Const(5)
+	c3 := b.Const(2)
+	c4 := b.Const(1)
+
+	shl := b.Shl(x, c3)          // op 3 (second operand rewired below)
+	mpy := b.Mul(x, c2)          // op 4 (first operand rewired below)
+	and := b.And(shl, x)         // op 5
+	sub := b.Sub(and, c1)        // op 6
+	or := b.Or(mpy, c2)          // op 7
+	xor := b.Xor(sub, shl)       // op 8
+	shr := b.ShrA(xor, c4)       // op 9
+	add := b.Add(or, shr)        // op 10
+	b.StoreStream("out", 1, add) // op 12
+
+	b.SetArg(shl, 0, b.Recur(shr, 1, "shr0")) // close recurrence 3-16-9
+	b.SetArg(mpy, 0, b.Recur(or, 1, "or0"))   // close recurrence 4-7
+
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("fig5 build: %v", err)
+	}
+	groups := [][]int{{and.ID(), sub.ID(), xor.ID()}} // op 16 = {5,6,8}
+	return l, groups
+}
+
+func mustGraph(t testing.TB, l *ir.Loop, groups [][]int) *Graph {
+	t.Helper()
+	g, err := BuildGraph(l, groups, arch.DefaultCCA(), nil)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	return g
+}
+
+func TestBuildGraphClassesAndEdges(t *testing.T) {
+	l := buildFIR(t)
+	g := mustGraph(t, l, nil)
+	c := g.countClass()
+	if c[UnitInt] != 8 || c[UnitLoad] != 4 || c[UnitStore] != 1 {
+		t.Errorf("class counts = %v", c)
+	}
+	// Constants and params must not appear as units.
+	for _, u := range g.Units {
+		for _, n := range u.Nodes {
+			if cl := l.Nodes[n].Op.Class(); cl == ir.ClassNone {
+				t.Errorf("value source node %d became a unit", n)
+			}
+		}
+	}
+}
+
+func TestBuildGraphCCAGroups(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	c := g.countClass()
+	if c[UnitCCA] != 1 {
+		t.Fatalf("CCA units = %d, want 1", c[UnitCCA])
+	}
+	// Int units: shl, mpy, or, shr, add = 5 (and/sub/xor are in the CCA).
+	if c[UnitInt] != 5 {
+		t.Errorf("int units = %d, want 5", c[UnitInt])
+	}
+	// No edge should be internal to the group.
+	for _, e := range g.Edges {
+		if e.From == e.To {
+			t.Errorf("self edge on unit %d", e.From)
+		}
+	}
+}
+
+func TestBuildGraphRejectsBadGroups(t *testing.T) {
+	l, _ := buildFig5(t)
+	if _, err := BuildGraph(l, [][]int{{}}, arch.DefaultCCA(), nil); err == nil {
+		t.Error("accepted empty group")
+	}
+	if _, err := BuildGraph(l, [][]int{{2, 2}}, arch.DefaultCCA(), nil); err == nil {
+		t.Error("accepted duplicate node in groups")
+	}
+	if _, err := BuildGraph(l, [][]int{{0}}, arch.DefaultCCA(), nil); err == nil {
+		t.Error("accepted load node in CCA group")
+	}
+}
+
+func TestResMIIMatchesHandCount(t *testing.T) {
+	l := buildFIR(t) // 8 int ops, 4 load streams, 1 store
+	g := mustGraph(t, l, nil)
+	la := arch.Proposed() // 2 int units, 4 load AGs, 2 store AGs
+	// ceil(8/2) = 4 dominates ceil(4/4)=1 and ceil(1/2)=1.
+	if got := ResMII(g, la, nil); got != 4 {
+		t.Errorf("ResMII = %d, want 4", got)
+	}
+	la2 := la.Clone()
+	la2.IntUnits = 8
+	// Now loads dominate: ceil(4/4) = 1; int ceil(8/8)=1 -> 1.
+	if got := ResMII(g, la2, nil); got != 1 {
+		t.Errorf("ResMII = %d, want 1", got)
+	}
+	la3 := la.Clone()
+	la3.IntUnits = 8
+	la3.LoadAGs = 1
+	if got := ResMII(g, la3, nil); got != 4 {
+		t.Errorf("ResMII with 1 load AG = %d, want 4", got)
+	}
+}
+
+func TestRecMIIRecurrenceFree(t *testing.T) {
+	l := buildFIR(t)
+	g := mustGraph(t, l, nil)
+	if got := RecMII(g, nil); got != 1 {
+		t.Errorf("RecMII = %d, want 1 for DAG", got)
+	}
+}
+
+func TestRecMIIFig5(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	// Both recurrences are 4 cycles at distance 1.
+	if got := RecMII(g, nil); got != 4 {
+		t.Errorf("RecMII = %d, want 4", got)
+	}
+	// Without the CCA the shl->and->sub->xor->shr chain is 1+1+1+1+1 = 5.
+	g2 := mustGraph(t, l, nil)
+	if got := RecMII(g2, nil); got != 5 {
+		t.Errorf("RecMII without CCA = %d, want 5", got)
+	}
+}
+
+func TestFig5ScheduleMatchesPaper(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	la := arch.Proposed()
+	// Paper: ResMII = ceil(5 int ops / 2 units) = 3, RecMII = 4, II = 4.
+	if got := ResMII(g, la, nil); got != 3 {
+		t.Errorf("ResMII = %d, want 3", got)
+	}
+	if got := MII(g, la, nil); got != 4 {
+		t.Errorf("MII = %d, want 4", got)
+	}
+	s, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatalf("ScheduleLoop: %v", err)
+	}
+	if s.II != 4 {
+		t.Errorf("II = %d, want 4 (as in Figure 5)", s.II)
+	}
+	if err := s.Validate(la); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The paper's schedule needs 2 stages (op 10 lands in stage 1).
+	if s.SC < 2 {
+		t.Errorf("SC = %d, want >= 2", s.SC)
+	}
+}
+
+func TestScheduleLoopBothOrdersValid(t *testing.T) {
+	la := arch.Proposed()
+	for _, kind := range []OrderKind{OrderSwing, OrderHeight} {
+		l := buildFIR(t)
+		g := mustGraph(t, l, nil)
+		s, err := ScheduleLoop(g, la, kind, nil, nil)
+		if err != nil {
+			t.Fatalf("kind %d: %v", kind, err)
+		}
+		if err := s.Validate(la); err != nil {
+			t.Errorf("kind %d: %v", kind, err)
+		}
+		if s.II != 4 { // ResMII-bound
+			t.Errorf("kind %d: II = %d, want 4", kind, s.II)
+		}
+	}
+}
+
+func TestStaticOrderReproducesSwingSchedule(t *testing.T) {
+	la := arch.Proposed()
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	order := SwingOrder(g, MII(g, la, nil), nil)
+	s1, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ScheduleLoop(g, la, OrderStatic, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.II != s2.II {
+		t.Errorf("static-order II %d != swing II %d", s2.II, s1.II)
+	}
+}
+
+func TestStaticOrderWrongLengthRejected(t *testing.T) {
+	la := arch.Proposed()
+	l := buildFIR(t)
+	g := mustGraph(t, l, nil)
+	if _, err := ScheduleLoop(g, la, OrderStatic, []int{0, 1}, nil); err == nil {
+		t.Error("accepted short static order")
+	}
+}
+
+func TestMaxIIRejection(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	la := arch.Proposed()
+	la.MaxII = 3 // below the RecMII of 4
+	if _, err := ScheduleLoop(g, la, OrderSwing, nil, nil); err == nil {
+		t.Error("accepted loop with MII above MaxII")
+	}
+}
+
+func TestSupportedRejections(t *testing.T) {
+	l := buildFIR(t) // 4 load streams, 1 store stream, int ops
+	g := mustGraph(t, l, nil)
+	cases := []func(*arch.LA){
+		func(la *arch.LA) { la.LoadStreams = 3 },
+		func(la *arch.LA) { la.StoreStreams = 0 },
+		func(la *arch.LA) { la.IntUnits = 0 },
+	}
+	for i, mutate := range cases {
+		la := arch.Proposed()
+		mutate(la)
+		if err := Supported(g, la); err == nil {
+			t.Errorf("case %d: Supported accepted an inadequate LA", i)
+		}
+	}
+	if err := Supported(g, arch.Proposed()); err != nil {
+		t.Errorf("Supported rejected the proposed LA: %v", err)
+	}
+}
+
+func TestSwingOrderCoversAllUnitsOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 4 + rng.Intn(25)
+		cfg.RecurProb = 0.3
+		l := loopgen.Generate(rng, cfg)
+		g := mustGraph(t, l, nil)
+		ii := RecMII(g, nil)
+		order := SwingOrder(g, ii, nil)
+		if len(order) != len(g.Units) {
+			t.Fatalf("trial %d: order covers %d of %d units", trial, len(order), len(g.Units))
+		}
+		seen := make(map[int]bool)
+		for _, u := range order {
+			if seen[u] {
+				t.Fatalf("trial %d: unit %d ordered twice", trial, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestSchedulePropertyRandomLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	la := arch.Proposed()
+	la.MaxII = 64 // generous so most random loops schedule
+	scheduled := 0
+	for trial := 0; trial < 120; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 3 + rng.Intn(30)
+		cfg.RecurProb = float64(trial%3) * 0.25
+		cfg.FloatFrac = float64(trial%2) * 0.3
+		l := loopgen.Generate(rng, cfg)
+		g := mustGraph(t, l, nil)
+		kind := OrderSwing
+		if trial%2 == 1 {
+			kind = OrderHeight
+		}
+		s, err := ScheduleLoop(g, la, kind, nil, nil)
+		if err != nil {
+			continue
+		}
+		scheduled++
+		if err := s.Validate(la); err != nil {
+			t.Fatalf("trial %d (%s): invalid schedule: %v\n%s", trial, l.Name, err, g.String())
+		}
+		if s.II < MII(g, la, nil) {
+			t.Fatalf("trial %d: II %d below MII", trial, s.II)
+		}
+	}
+	if scheduled < 60 {
+		t.Errorf("only %d/120 random loops scheduled; generator or scheduler too weak", scheduled)
+	}
+}
+
+func TestSwingAchievesMIIOnRandomDAGs(t *testing.T) {
+	// On recurrence-free loops with enough resources, Swing should almost
+	// always achieve II == MII.
+	rng := rand.New(rand.NewSource(99))
+	la := arch.Proposed()
+	la.MaxII = 64
+	atMII := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 5 + rng.Intn(20)
+		cfg.RecurProb = 0
+		l := loopgen.Generate(rng, cfg)
+		g := mustGraph(t, l, nil)
+		s, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.II == MII(g, la, nil) {
+			atMII++
+		}
+	}
+	if atMII < trials*9/10 {
+		t.Errorf("Swing hit MII on only %d/%d DAG loops", atMII, trials)
+	}
+}
+
+func TestComputeBoundsWindows(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	b := ComputeBounds(g, 4, nil)
+	for u := range g.Units {
+		if b.Mobility(u) < 0 {
+			t.Errorf("unit %d has negative mobility %d (E=%d L=%d)",
+				u, b.Mobility(u), b.EStart[u], b.LStart[u])
+		}
+	}
+	// Units on the critical recurrences have zero mobility at II=RecMII.
+	zero := 0
+	for u := range g.Units {
+		if b.Mobility(u) == 0 {
+			zero++
+		}
+	}
+	if zero == 0 {
+		t.Error("no zero-mobility unit on a recurrence-critical loop")
+	}
+}
+
+func TestCostMeterDistribution(t *testing.T) {
+	// The Swing priority phase must dominate MII and scheduling costs —
+	// the central measurement of Figure 8.
+	l, groups := buildFig5(t)
+	var m vmcost.Meter
+	g, err := BuildGraph(l, groups, arch.DefaultCCA(), &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := arch.Proposed()
+	if _, err := ScheduleLoop(g, la, OrderSwing, nil, &m); err != nil {
+		t.Fatal(err)
+	}
+	prio := m.Count(vmcost.PhasePriority)
+	mii := m.Count(vmcost.PhaseResMII) + m.Count(vmcost.PhaseRecMII)
+	sched := m.Count(vmcost.PhaseSchedule)
+	if prio <= sched || prio <= mii {
+		t.Errorf("priority cost %d should dominate mii %d and schedule %d", prio, mii, sched)
+	}
+}
+
+func TestHeightOrderCheaperThanSwing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := loopgen.Default()
+	cfg.Ops = 25
+	cfg.RecurProb = 0.4
+	l := loopgen.Generate(rng, cfg)
+	g := mustGraph(t, l, nil)
+	ii := RecMII(g, nil)
+
+	var ms, mh vmcost.Meter
+	SwingOrder(g, ii, &ms)
+	HeightOrder(g, ii, &mh)
+	if mh.Total() >= ms.Total() {
+		t.Errorf("height priority (%d units) not cheaper than swing (%d units)",
+			mh.Total(), ms.Total())
+	}
+}
+
+func TestRegistersSimpleChain(t *testing.T) {
+	// x -> add -> store: the add result goes straight to the store FIFO;
+	// only whole-execution residents (const) should need registers.
+	b := ir.NewBuilder("chain")
+	x := b.LoadStream("x", 1)
+	s := b.Add(x, b.Const(1))
+	b.StoreStream("out", 1, s)
+	l := b.MustBuild()
+	g := mustGraph(t, l, nil)
+	la := arch.Proposed()
+	sched, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := Registers(sched, nil)
+	if need.Int > 2 {
+		t.Errorf("chain loop needs %d int regs, want <= 2 (const only)", need.Int)
+	}
+	if need.Float != 0 {
+		t.Errorf("integer loop needs %d fp regs", need.Float)
+	}
+}
+
+func TestRegistersLongLivedValue(t *testing.T) {
+	// A value consumed much later (after a long mul chain) must occupy
+	// registers; compare against a variant where it is consumed at once.
+	build := func(extraChain int) RegisterNeeds {
+		b := ir.NewBuilder("lived")
+		x := b.LoadStream("x", 1)
+		y := x
+		for i := 0; i < extraChain; i++ {
+			y = b.Mul(y, b.Const(3))
+		}
+		z := b.Add(y, x) // x read again here, long after production
+		b.StoreStream("out", 1, z)
+		l := b.MustBuild()
+		g := mustGraph(t, l, nil)
+		la := arch.Proposed()
+		la.IntUnits = 8
+		s, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Registers(s, nil)
+	}
+	short := build(0)
+	long := build(4)
+	if long.Int <= short.Int {
+		t.Errorf("long-lived value did not increase pressure: short=%d long=%d", short.Int, long.Int)
+	}
+}
+
+func TestRegistersFloatClassified(t *testing.T) {
+	b := ir.NewBuilder("fp")
+	x := b.LoadStream("x", 1)
+	a := b.Param("a")
+	y := b.FMul(x, a)
+	z := b.FAdd(y, b.ConstF(2.0))
+	b.StoreStream("out", 1, z)
+	b.LiveOut("z", z)
+	l := b.MustBuild()
+	g := mustGraph(t, l, nil)
+	s, err := ScheduleLoop(g, arch.Proposed(), OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := Registers(s, nil)
+	if need.Float == 0 {
+		t.Error("FP loop reported zero FP registers")
+	}
+}
+
+func TestFitsRegisters(t *testing.T) {
+	if !FitsRegisters(RegisterNeeds{Int: 4, Float: 2}, 16, 16) {
+		t.Error("fit rejected")
+	}
+	if FitsRegisters(RegisterNeeds{Int: 17, Float: 2}, 16, 16) {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestBoundsPropertyRandomLoops(t *testing.T) {
+	// At a recurrence-feasible II, every unit's window is non-empty
+	// (mobility >= 0) and the windows are consistent with every edge:
+	// E(to) >= E(from) + lat - II*dist and L(from) <= L(to) - lat + II*dist.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 4 + rng.Intn(24)
+		cfg.RecurProb = float64(trial%4) * 0.25
+		l := loopgen.Generate(rng, cfg)
+		g := mustGraph(t, l, nil)
+		ii := RecMII(g, nil)
+		b := ComputeBounds(g, ii, nil)
+		for u := range g.Units {
+			if b.Mobility(u) < 0 {
+				t.Fatalf("trial %d: unit %d mobility %d at II=%d", trial, u, b.Mobility(u), ii)
+			}
+		}
+		for _, e := range g.Edges {
+			w := e.Latency - ii*e.Dist
+			if b.EStart[e.To] < b.EStart[e.From]+w {
+				t.Fatalf("trial %d: EStart inconsistent on u%d->u%d", trial, e.From, e.To)
+			}
+			if b.LStart[e.From] > b.LStart[e.To]-w {
+				t.Fatalf("trial %d: LStart inconsistent on u%d->u%d", trial, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestRecMIIIsTightLowerBound(t *testing.T) {
+	// Property: no valid schedule can exist below RecMII. Verify by
+	// checking that TrySchedule at RecMII-1 either fails or, if it
+	// "succeeds", its validation must fail (it never should succeed).
+	rng := rand.New(rand.NewSource(33))
+	la := arch.Proposed()
+	la.IntUnits, la.FPUnits = 64, 64 // isolate the recurrence constraint
+	la.LoadAGs, la.StoreAGs = 64, 64
+	for trial := 0; trial < 40; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 4 + rng.Intn(16)
+		cfg.RecurProb = 0.6
+		l := loopgen.Generate(rng, cfg)
+		g := mustGraph(t, l, nil)
+		rec := RecMII(g, nil)
+		if rec <= 1 {
+			continue
+		}
+		order := SwingOrder(g, rec, nil)
+		if s := TrySchedule(g, la, rec-1, order, nil); s != nil {
+			if err := s.Validate(la); err == nil {
+				t.Fatalf("trial %d: schedule exists below RecMII %d", trial, rec)
+			}
+		}
+	}
+}

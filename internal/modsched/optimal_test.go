@@ -1,0 +1,147 @@
+package modsched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/loopgen"
+)
+
+// optimalII finds, by exhaustive search over start times, the smallest II
+// at which a legal modulo schedule exists for a small graph. Start times
+// range over [0, span) where span covers the longest possible dependence
+// chain (the sum of all latencies) plus one kernel.
+func optimalII(g *Graph, la *arch.LA, maxII int) int {
+	n := len(g.Units)
+	latSum := 0
+	for _, u := range g.Units {
+		latSum += u.Latency
+	}
+	for ii := 1; ii <= maxII; ii++ {
+		span := latSum + ii
+		times := make([]int, n)
+		var rows [numUnitClasses][]int
+		limit := [numUnitClasses]int{
+			UnitInt:   la.IntUnits,
+			UnitFloat: la.FPUnits,
+			UnitCCA:   la.CCAs,
+			UnitLoad:  la.LoadAGs,
+			UnitStore: la.StoreAGs,
+		}
+		for c := range rows {
+			rows[c] = make([]int, ii)
+		}
+		var place func(u int) bool
+		place = func(u int) bool {
+			if u == n {
+				return true
+			}
+			class := g.Units[u].Class
+			for t := 0; t < span; t++ {
+				// Dependence feasibility against already-placed units (all
+				// units with index < u are placed).
+				ok := true
+				for _, ei := range g.pred[u] {
+					e := g.Edges[ei]
+					if e.From < u && times[e.From]+e.Latency-ii*e.Dist > t {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					for _, ei := range g.succ[u] {
+						e := g.Edges[ei]
+						if e.To < u && t+e.Latency-ii*e.Dist > times[e.To] {
+							ok = false
+							break
+						}
+					}
+				}
+				if !ok || rows[class][t%ii] >= limit[class] {
+					continue
+				}
+				times[u] = t
+				rows[class][t%ii]++
+				if place(u + 1) {
+					return true
+				}
+				rows[class][t%ii]--
+			}
+			return false
+		}
+		if place(0) {
+			return ii
+		}
+	}
+	return maxII + 1
+}
+
+// TestSwingNearOptimalOnTinyGraphs checks the list scheduler against the
+// brute-force optimum: the achieved II can never be below it, and on tiny
+// graphs it should be within one cycle of it almost always.
+func TestSwingNearOptimalOnTinyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	la := arch.Proposed()
+	la.MaxII = 32
+	total, within1 := 0, 0
+	for trial := 0; trial < 60; trial++ {
+		cfg := loopgen.Default()
+		cfg.Ops = 2 + rng.Intn(4) // tiny graphs for the exhaustive search
+		cfg.LoadStreams = 1
+		cfg.RecurProb = float64(trial%3) * 0.3
+		l := loopgen.Generate(rng, cfg)
+		g, err := BuildGraph(l, nil, la.CCA, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Units) > 7 {
+			continue
+		}
+		opt := optimalII(g, la, 16)
+		if opt > 16 {
+			continue
+		}
+		s, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.II < opt {
+			t.Fatalf("trial %d: achieved II %d below brute-force optimum %d — scheduler unsound",
+				trial, s.II, opt)
+		}
+		total++
+		if s.II <= opt+1 {
+			within1++
+		}
+	}
+	if total < 30 {
+		t.Fatalf("only %d graphs evaluated", total)
+	}
+	if within1*10 < total*9 {
+		t.Errorf("Swing within optimum+1 on only %d/%d tiny graphs", within1, total)
+	}
+}
+
+func TestRenderShowsReservationTable(t *testing.T) {
+	l, groups := buildFig5(t)
+	g := mustGraph(t, l, groups)
+	la := arch.Proposed()
+	s, err := ScheduleLoop(g, la, OrderSwing, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render(la)
+	for _, want := range []string{"II=4", "cycle", "CCA", "Int1", "Int2", "cca{"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	// Every kernel row appears.
+	for _, row := range []string{"\n    0", "\n    1", "\n    2", "\n    3"} {
+		if !strings.Contains(out, row) {
+			t.Errorf("Render missing row %q", row)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package modsched
+
+import (
+	"veal/internal/ir"
+	"veal/internal/vmcost"
+)
+
+// RegisterNeeds is the accelerator register-file requirement of a
+// scheduled loop (§4.1 "Register Assignment" / Figure 3(b)).
+type RegisterNeeds struct {
+	Int   int
+	Float int
+}
+
+// valueIsFloat classifies a produced value for register-file purposes: a
+// value is a floating-point register candidate if its producer is an FP
+// operation, or if it is only ever consumed by FP operations (covers
+// constants, parameters and loads feeding FP pipelines).
+func valueIsFloat(l *ir.Loop, node int, succs [][]ir.Operand) bool {
+	n := l.Nodes[node]
+	if n.Op.Class() == ir.ClassFloat && n.Op != ir.OpFToI && n.Op != ir.OpFCmpLT && n.Op != ir.OpFCmpLE && n.Op != ir.OpFCmpEQ {
+		return true
+	}
+	if n.Op.Class() == ir.ClassFloat {
+		return false // comparisons / conversions to int produce int values
+	}
+	if len(succs[node]) == 0 {
+		return false
+	}
+	for _, s := range succs[node] {
+		c := l.Nodes[s.Node]
+		if c.Op.Class() != ir.ClassFloat || c.Op == ir.OpIToF {
+			return false
+		}
+	}
+	return true
+}
+
+// Registers computes the register-file pressure of a schedule using
+// modulo lifetime analysis:
+//
+//   - Constants and scalar live-ins occupy a register for the whole
+//     execution (the memory-mapped register file is initialized before
+//     launch).
+//   - A computed value needs registers only if some consumer reads it
+//     after the cycle it emerges from its function unit; values consumed
+//     the cycle they are produced travel on the interconnect (§3.1).
+//   - With iterations overlapped, a value whose lifetime exceeds II is
+//     live for multiple iterations simultaneously; pressure at kernel row
+//     c is the number of (value, iteration) pairs live there, and the
+//     requirement is the maximum over rows.
+//
+// Live-out values additionally stay live to the end of their iteration's
+// final read, which their register-file slot already covers.
+func Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
+	m.Begin(vmcost.PhaseRegAssign)
+	g := s.Graph
+	l := g.Loop
+	succs := l.Succs()
+
+	isLiveOut := make(map[int]bool)
+	for _, lo := range l.LiveOuts {
+		isLiveOut[lo.Node] = true
+	}
+
+	var need RegisterNeeds
+	// Whole-execution residents: parameters that are actually read by some
+	// node, plus loop-carried initial values (those are parameters, and
+	// parameters are counted once each). Constants do not occupy register
+	// slots: like the configuration-programmed accelerators the template
+	// generalizes (RSVP, OptimoDE), literals are encoded in the modulo
+	// control store's operand fields.
+	paramUsed := make(map[int]bool)
+	for _, n := range l.Nodes {
+		m.Charge(2)
+		if n.Op == ir.OpParam {
+			paramUsed[n.Param] = true
+		}
+		for _, p := range n.Init {
+			paramUsed[p] = true
+		}
+	}
+	// Stream base addresses live in the address generators, not the
+	// register file, so they are deliberately not marked used here; an
+	// OpParam reading the same parameter for compute purposes still counts.
+	// Each used parameter holds one register slot. Infer its type from the
+	// OpParam nodes reading it (if any); default integer.
+	paramFloat := make(map[int]bool)
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam && valueIsFloat(l, n.ID, succs) {
+			paramFloat[n.Param] = true
+		}
+	}
+	for p := range paramUsed {
+		m.Charge(1)
+		if paramFloat[p] {
+			need.Float++
+		} else {
+			need.Int++
+		}
+	}
+
+	// Modulo lifetimes of computed values.
+	ii := s.II
+	intRows := make([]int, ii)
+	fpRows := make([]int, ii)
+	// A value is identified by its producing ir node; for CCA groups, each
+	// node consumed outside the group is a distinct output value.
+	for _, n := range l.Nodes {
+		u := g.UnitOf(n.ID)
+		if u < 0 {
+			continue // constants/params handled above; indvar is free
+		}
+		avail := s.Time[u] + g.Units[u].Latency
+		last := avail
+		external := false
+		for _, sc := range succs[n.ID] {
+			m.Charge(3)
+			cu := g.UnitOf(sc.Node)
+			if cu < 0 {
+				continue
+			}
+			if cu == u {
+				continue // internal to a CCA group (or self-recurrence slot)
+			}
+			external = true
+			if t := s.Time[cu] + ii*sc.Dist; t > last {
+				last = t
+			}
+		}
+		if isLiveOut[n.ID] {
+			// Needs a register slot to be read after completion.
+			external = true
+			if last < avail+1 {
+				last = avail + 1
+			}
+		}
+		if !external || last <= avail {
+			continue // consumed straight off the interconnect
+		}
+		isF := valueIsFloat(l, n.ID, succs)
+		// The value occupies a register during [avail, last): it is written
+		// at the end of cycle avail-1 and its final consumer reads it at
+		// the start of cycle last. With the kernel repeating every II
+		// cycles, row c holds one instance per iteration whose window
+		// covers c (mod II).
+		for t := avail; t < last; t++ {
+			m.Charge(1)
+			row := ((t % ii) + ii) % ii
+			if isF {
+				fpRows[row]++
+			} else {
+				intRows[row]++
+			}
+		}
+	}
+	maxRow := func(rows []int) int {
+		mx := 0
+		for _, v := range rows {
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+	need.Int += maxRow(intRows)
+	need.Float += maxRow(fpRows)
+	return need
+}
+
+// FitsRegisters reports whether the schedule's register needs fit the
+// accelerator's register files.
+func FitsRegisters(need RegisterNeeds, intRegs, fpRegs int) bool {
+	return need.Int <= intRegs && need.Float <= fpRegs
+}

@@ -1,0 +1,102 @@
+package modsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+)
+
+// Render draws the modulo reservation table the way the paper's Figure 5
+// does: one row per kernel cycle, one column per function-unit instance,
+// each cell naming the operation (its ir node IDs) placed there with its
+// pipeline stage in brackets when past stage 0.
+func (s *Schedule) Render(la *arch.LA) string {
+	type column struct {
+		class UnitClass
+		inst  int
+		title string
+	}
+	var cols []column
+	addCols := func(class UnitClass, n int, label string) {
+		for i := 0; i < n; i++ {
+			title := label
+			if n > 1 {
+				title = fmt.Sprintf("%s%d", label, i+1)
+			}
+			cols = append(cols, column{class: class, inst: i, title: title})
+		}
+	}
+	// Only render columns that exist and are used by this loop.
+	c := s.Graph.countClass()
+	if c[UnitCCA] > 0 {
+		addCols(UnitCCA, la.CCAs, "CCA")
+	}
+	if c[UnitInt] > 0 {
+		addCols(UnitInt, la.IntUnits, "Int")
+	}
+	if c[UnitFloat] > 0 {
+		addCols(UnitFloat, la.FPUnits, "FP")
+	}
+	if c[UnitLoad] > 0 {
+		addCols(UnitLoad, la.LoadAGs, "LdAG")
+	}
+	if c[UnitStore] > 0 {
+		addCols(UnitStore, la.StoreAGs, "StAG")
+	}
+
+	cell := make(map[[2]int]string) // (row, col) -> text
+	colIdx := func(class UnitClass, inst int) int {
+		for i, col := range cols {
+			if col.class == class && col.inst == inst {
+				return i
+			}
+		}
+		return -1
+	}
+	for u := range s.Graph.Units {
+		unit := s.Graph.Units[u]
+		ci := colIdx(unit.Class, s.FU[u])
+		if ci < 0 {
+			continue
+		}
+		name := unitName(s.Graph.Loop, unit)
+		if st := s.Stage(u); st > 0 {
+			name = fmt.Sprintf("%s[%d]", name, st)
+		}
+		cell[[2]int{s.Cycle(u), ci}] = name
+	}
+
+	width := 12
+	var b strings.Builder
+	fmt.Fprintf(&b, "II=%d  SC=%d\n", s.II, s.SC)
+	fmt.Fprintf(&b, "%5s", "cycle")
+	for _, col := range cols {
+		fmt.Fprintf(&b, " %-*s", width, col.title)
+	}
+	b.WriteByte('\n')
+	for row := 0; row < s.II; row++ {
+		fmt.Fprintf(&b, "%5d", row)
+		for ci := range cols {
+			fmt.Fprintf(&b, " %-*s", width, cell[[2]int{row, ci}])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// unitName renders a unit as its operation mnemonic(s) and node IDs.
+func unitName(l *ir.Loop, u Unit) string {
+	if len(u.Nodes) == 1 {
+		return fmt.Sprintf("%v.n%d", l.Nodes[u.Nodes[0]].Op, u.Nodes[0])
+	}
+	ids := append([]int(nil), u.Nodes...)
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, n := range ids {
+		parts[i] = fmt.Sprintf("n%d", n)
+	}
+	return "cca{" + strings.Join(parts, ",") + "}"
+}

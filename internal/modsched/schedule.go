@@ -1,0 +1,289 @@
+package modsched
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/vmcost"
+)
+
+// Schedule is a modulo schedule: each unit has an absolute start time; the
+// kernel repeats every II cycles and one iteration spans SC stages.
+type Schedule struct {
+	Graph *Graph
+	II    int
+	SC    int
+	// Time is the absolute schedule time of each unit (>= 0 after
+	// normalization). The modulo cycle is Time[u] % II and the stage is
+	// Time[u] / II.
+	Time []int
+	// FU is the function-unit instance within the unit's class that the
+	// scheduler assigned (0-based), for the accelerator simulator's
+	// reservation bookkeeping.
+	FU []int
+}
+
+// Cycle returns the kernel row of unit u.
+func (s *Schedule) Cycle(u int) int { return s.Time[u] % s.II }
+
+// Stage returns the pipeline stage of unit u.
+func (s *Schedule) Stage(u int) int { return s.Time[u] / s.II }
+
+// mrt is the modulo reservation table: per class, per row, the FU
+// instances in use.
+type mrt struct {
+	ii    int
+	limit [numUnitClasses]int
+	rows  [numUnitClasses][][]int // rows[class][row] = unit IDs placed
+}
+
+func newMRT(ii int, la *arch.LA) *mrt {
+	t := &mrt{ii: ii}
+	t.limit[UnitInt] = la.IntUnits
+	t.limit[UnitFloat] = la.FPUnits
+	t.limit[UnitCCA] = la.CCAs
+	t.limit[UnitLoad] = la.LoadAGs
+	t.limit[UnitStore] = la.StoreAGs
+	for c := range t.rows {
+		t.rows[c] = make([][]int, ii)
+	}
+	return t
+}
+
+func (t *mrt) row(time int) int { return ((time % t.ii) + t.ii) % t.ii }
+
+// fits reports whether a unit of the given class can be placed at time.
+func (t *mrt) fits(class UnitClass, time int) bool {
+	return len(t.rows[class][t.row(time)]) < t.limit[class]
+}
+
+// place reserves a slot and returns the FU instance index.
+func (t *mrt) place(class UnitClass, time, unit int) int {
+	r := t.row(time)
+	t.rows[class][r] = append(t.rows[class][r], unit)
+	return len(t.rows[class][r]) - 1
+}
+
+// TrySchedule attempts to build a modulo schedule at the given II placing
+// units in the given priority order (Swing's modified list scheduling,
+// §4.1 "Scheduling"). It returns nil if some unit cannot be placed, in
+// which case the caller should retry with a larger II.
+func TrySchedule(g *Graph, la *arch.LA, ii int, order []int, m *vmcost.Meter) *Schedule {
+	m.Begin(vmcost.PhaseSchedule)
+	if len(order) != len(g.Units) {
+		return nil
+	}
+	const unplaced = 1 << 30
+	times := make([]int, len(g.Units))
+	fus := make([]int, len(g.Units))
+	for i := range times {
+		times[i] = unplaced
+	}
+	table := newMRT(ii, la)
+
+	for _, u := range order {
+		m.Charge(4)
+		// Window from already-scheduled neighbours.
+		estart, lstart := -(1 << 30), 1<<30
+		hasPred, hasSucc := false, false
+		for _, ei := range g.pred[u] {
+			e := g.Edges[ei]
+			m.Charge(3)
+			if times[e.From] == unplaced || e.From == u {
+				continue
+			}
+			hasPred = true
+			if t := times[e.From] + e.Latency - ii*e.Dist; t > estart {
+				estart = t
+			}
+		}
+		for _, ei := range g.succ[u] {
+			e := g.Edges[ei]
+			m.Charge(3)
+			if times[e.To] == unplaced || e.To == u {
+				continue
+			}
+			hasSucc = true
+			if t := times[e.To] - e.Latency + ii*e.Dist; t < lstart {
+				lstart = t
+			}
+		}
+		// Self-loop (a unit depending on itself across iterations) is
+		// already guaranteed by II >= RecMII.
+
+		class := g.Units[u].Class
+		placed := false
+		try := func(t int) bool {
+			m.Charge(2)
+			if table.fits(class, t) {
+				times[u] = t
+				fus[u] = table.place(class, t, u)
+				return true
+			}
+			return false
+		}
+		switch {
+		case hasPred && hasSucc:
+			hi := lstart
+			if e := estart + ii - 1; e < hi {
+				hi = e
+			}
+			for t := estart; t <= hi; t++ {
+				if try(t) {
+					placed = true
+					break
+				}
+			}
+		case hasPred:
+			for t := estart; t < estart+ii; t++ {
+				if try(t) {
+					placed = true
+					break
+				}
+			}
+		case hasSucc:
+			for t := lstart; t > lstart-ii; t-- {
+				if try(t) {
+					placed = true
+					break
+				}
+			}
+		default:
+			for t := 0; t < ii; t++ {
+				if try(t) {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return nil
+		}
+	}
+
+	// Normalize times to start at 0.
+	min := times[0]
+	for _, t := range times {
+		if t < min {
+			min = t
+		}
+	}
+	// Keep modulo rows stable: shift by a multiple of II.
+	shift := 0
+	if min < 0 {
+		shift = ((-min + ii - 1) / ii) * ii
+	} else {
+		shift = -(min / ii) * ii
+	}
+	maxT := 0
+	for i := range times {
+		times[i] += shift
+		if times[i] > maxT {
+			maxT = times[i]
+		}
+		m.Charge(1)
+	}
+	return &Schedule{
+		Graph: g,
+		II:    ii,
+		SC:    maxT/ii + 1,
+		Time:  times,
+		FU:    fus,
+	}
+}
+
+// OrderKind selects how the scheduling priority order is obtained.
+type OrderKind int
+
+const (
+	// OrderSwing computes the full Swing ordering dynamically.
+	OrderSwing OrderKind = iota
+	// OrderHeight computes the cheap height-based priority dynamically.
+	OrderHeight
+	// OrderStatic consumes a precomputed order (from binary annotations);
+	// no priority-phase cost is charged beyond reading it.
+	OrderStatic
+)
+
+// ScheduleLoop runs the full scheduling pipeline: MII, priority order,
+// then II escalation up to the accelerator's control-store depth. For
+// OrderStatic the caller supplies staticOrder (unit IDs). It returns an
+// error when the loop cannot be scheduled within MaxII.
+func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *vmcost.Meter) (*Schedule, error) {
+	if err := Supported(g, la); err != nil {
+		return nil, err
+	}
+	mii := MII(g, la, m)
+	if mii > la.MaxII {
+		return nil, fmt.Errorf("loop %q: MII %d exceeds accelerator max II %d", g.Loop.Name, mii, la.MaxII)
+	}
+
+	var order []int
+	switch kind {
+	case OrderSwing:
+		order = SwingOrder(g, mii, m)
+	case OrderHeight:
+		order = HeightOrder(g, mii, m)
+	case OrderStatic:
+		if len(staticOrder) != len(g.Units) {
+			return nil, fmt.Errorf("loop %q: static order covers %d of %d units",
+				g.Loop.Name, len(staticOrder), len(g.Units))
+		}
+		order = staticOrder
+		// Reading the priorities is a single pass over the loop (§4.2).
+		m.Begin(vmcost.PhasePriority)
+		m.Charge(int64(len(order)) * 2)
+	default:
+		return nil, fmt.Errorf("unknown order kind %d", kind)
+	}
+
+	// Escalation is bounded: a loop that cannot be scheduled with 256
+	// cycles of slack beyond its MII will not become schedulable later
+	// (every window is II-periodic), so give up rather than walk a huge
+	// control store row by row.
+	hi := la.MaxII
+	if cap := mii + 256; cap < hi {
+		hi = cap
+	}
+	for ii := mii; ii <= hi; ii++ {
+		if s := TrySchedule(g, la, ii, order, m); s != nil {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("loop %q: unschedulable within max II %d (MII %d)",
+		g.Loop.Name, hi, mii)
+}
+
+// Validate checks that a schedule satisfies every dependence constraint
+// and never oversubscribes a resource row — the core safety property.
+func (s *Schedule) Validate(la *arch.LA) error {
+	g := s.Graph
+	if s.II < 1 {
+		return fmt.Errorf("schedule: II %d", s.II)
+	}
+	for _, e := range g.Edges {
+		lhs := s.Time[e.To]
+		rhs := s.Time[e.From] + e.Latency - s.II*e.Dist
+		if lhs < rhs {
+			return fmt.Errorf("schedule: edge u%d->u%d violated: t(to)=%d < t(from)+lat-II*dist=%d",
+				e.From, e.To, lhs, rhs)
+		}
+	}
+	table := newMRT(s.II, la)
+	for u := range g.Units {
+		if s.Time[u] < 0 {
+			return fmt.Errorf("schedule: unit %d at negative time %d", u, s.Time[u])
+		}
+		if !table.fits(g.Units[u].Class, s.Time[u]) {
+			return fmt.Errorf("schedule: row %d oversubscribed for class %v",
+				s.Cycle(u), g.Units[u].Class)
+		}
+		table.place(g.Units[u].Class, s.Time[u], u)
+	}
+	for u := range g.Units {
+		if got := s.Stage(u); got >= s.SC {
+			return fmt.Errorf("schedule: unit %d stage %d >= SC %d", u, got, s.SC)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,495 @@
+package modsched
+
+import (
+	"sort"
+
+	"veal/internal/vmcost"
+)
+
+// Bounds holds the per-unit scheduling windows at a given II: EStart is
+// the earliest feasible start (longest dependence path from any source),
+// LStart the latest start that still permits the critical path to finish,
+// Height the longest path to any sink and Depth the longest path from any
+// source. These are the quantities Swing modulo scheduling's priority
+// function is built from.
+type Bounds struct {
+	II     int
+	EStart []int
+	LStart []int
+	Height []int
+	Depth  []int
+}
+
+// Mobility is the slack of unit u: LStart - EStart. Units on the critical
+// recurrence have zero mobility at II = RecMII.
+func (b *Bounds) Mobility(u int) int { return b.LStart[u] - b.EStart[u] }
+
+// ComputeBounds derives the scheduling windows for the given II, which
+// must be recurrence-feasible. Work is charged to the priority phase: in
+// Swing modulo scheduling these longest-path fixpoints are the bulk of the
+// priority computation the paper measured at ~69% of translation time.
+func ComputeBounds(g *Graph, ii int, m *vmcost.Meter) *Bounds {
+	m.Begin(vmcost.PhasePriority)
+	n := len(g.Units)
+	b := &Bounds{
+		II:     ii,
+		EStart: make([]int, n),
+		LStart: make([]int, n),
+		Height: make([]int, n),
+		Depth:  make([]int, n),
+	}
+
+	// Forward longest paths (EStart), then reverse longest paths (Height:
+	// the longest path from u through its successors, counting u's own
+	// latency). The canonical Swing implementation runs the full
+	// Bellman-Ford iteration count rather than detecting convergence, and
+	// these fixpoints over the whole graph — twice — are a large part of
+	// why priority computation dominates translation time.
+	for iter := 0; iter < n; iter++ {
+		for _, e := range g.Edges {
+			m.Charge(vmcost.CostRelaxSwing)
+			if d := b.EStart[e.From] + e.Latency - ii*e.Dist; d > b.EStart[e.To] {
+				b.EStart[e.To] = d
+			}
+		}
+	}
+	for u := range g.Units {
+		b.Height[u] = g.Units[u].Latency
+		m.Charge(1)
+	}
+	for iter := 0; iter < n; iter++ {
+		for _, e := range g.Edges {
+			m.Charge(vmcost.CostRelaxSwing)
+			if h := b.Height[e.To] + e.Latency - ii*e.Dist; h > b.Height[e.From] {
+				b.Height[e.From] = h
+			}
+		}
+	}
+
+	// Schedule length bound and LStart.
+	tmax := 0
+	for u := range g.Units {
+		if t := b.EStart[u] + b.Height[u]; t > tmax {
+			tmax = t
+		}
+		b.Depth[u] = b.EStart[u]
+		m.Charge(2)
+	}
+	for u := range g.Units {
+		b.LStart[u] = tmax - b.Height[u]
+		m.Charge(1)
+	}
+	return b
+}
+
+// tarjanSCC returns the strongly connected components of the unit graph.
+func tarjanSCC(g *Graph, m *vmcost.Meter) [][]int {
+	n := len(g.Units)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	counter := 0
+
+	// Iterative Tarjan to avoid deep recursion on big loops.
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+				m.Charge(4)
+			}
+			advanced := false
+			for f.ei < len(g.succ[v]) {
+				e := g.Edges[g.succ[v][f.ei]]
+				f.ei++
+				w := e.To
+				m.Charge(3)
+				if index[w] == -1 {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}
+
+// componentEdges buckets the graph's edges by the SCC they are internal
+// to, in one pass. Cross-component edges belong to no bucket.
+func componentEdges(g *Graph, sccs [][]int, m *vmcost.Meter) [][]Edge {
+	id := make([]int, len(g.Units))
+	for ci, comp := range sccs {
+		for _, u := range comp {
+			id[u] = ci
+			m.Charge(1)
+		}
+	}
+	out := make([][]Edge, len(sccs))
+	for _, e := range g.Edges {
+		m.Charge(1)
+		if id[e.From] == id[e.To] {
+			out[id[e.From]] = append(out[id[e.From]], e)
+		}
+	}
+	return out
+}
+
+// sccRecMII computes the recurrence MII of one component using only its
+// internal edges. Per-recurrence analysis like this is the expensive part
+// of Swing priority computation ("the algorithm used in the priority
+// calculation takes significantly more time if there are many
+// recurrences").
+func sccRecMII(comp []int, edges []Edge, m *vmcost.Meter) int {
+	if len(edges) == 0 {
+		return 0
+	}
+	// Binary search the smallest feasible II for this sub-recurrence.
+	lo, hi := 1, 1
+	for _, e := range edges {
+		hi += e.Latency
+	}
+	dist := make(map[int]int, len(comp))
+	feasible := func(ii int) bool {
+		for _, u := range comp {
+			dist[u] = 0
+		}
+		for iter := 0; iter < len(comp); iter++ {
+			changed := false
+			for _, e := range edges {
+				m.Charge(vmcost.CostRelaxPlain)
+				if d := dist[e.From] + e.Latency - ii*e.Dist; d > dist[e.To] {
+					dist[e.To] = d
+					changed = true
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		for _, e := range edges {
+			m.Charge(vmcost.CostRelaxPlain)
+			if dist[e.From]+e.Latency-ii*e.Dist > dist[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// SwingOrder computes the Swing modulo scheduling node ordering at the
+// given II: recurrences first (most critical first), every subsequent node
+// adjacent to the already-ordered partial list where possible, sweeping
+// alternately bottom-up and top-down (Llosa et al.).
+func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
+	b := ComputeBounds(g, ii, m)
+	m.Begin(vmcost.PhasePriority)
+
+	sccs := tarjanSCC(g, m)
+	compEdges := componentEdges(g, sccs, m)
+	type set struct {
+		nodes  []int
+		prio   int
+		minIdx int
+	}
+	var sets []set
+	inRecurrence := make([]bool, len(g.Units))
+	for ci, comp := range sccs {
+		rm := sccRecMII(comp, compEdges[ci], m)
+		if rm == 0 {
+			continue // trivial SCC: grouped into connected components below
+		}
+		sort.Ints(comp)
+		sets = append(sets, set{nodes: comp, prio: rm, minIdx: comp[0]})
+		for _, u := range comp {
+			inRecurrence[u] = true
+		}
+	}
+	// Most critical recurrences first; deterministic tie-breaking.
+	sort.Slice(sets, func(i, j int) bool {
+		if sets[i].prio != sets[j].prio {
+			return sets[i].prio > sets[j].prio
+		}
+		if len(sets[i].nodes) != len(sets[j].nodes) {
+			return len(sets[i].nodes) > len(sets[j].nodes)
+		}
+		return sets[i].minIdx < sets[j].minIdx
+	})
+	// Remaining nodes: one set per weakly connected component of the whole
+	// graph, so the bidirectional sweep always extends adjacently (SMS
+	// orders "nodes not included in recurrences" as connected groups).
+	parent := make([]int, len(g.Units))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range g.Edges {
+		m.Charge(2)
+		a, b2 := find(e.From), find(e.To)
+		if a != b2 {
+			parent[a] = b2
+		}
+	}
+	comps := make(map[int][]int)
+	for u := range g.Units {
+		if !inRecurrence[u] {
+			comps[find(u)] = append(comps[find(u)], u)
+		}
+	}
+	var roots []int
+	for r := range comps {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		return comps[roots[i]][0] < comps[roots[j]][0]
+	})
+	for _, r := range roots {
+		nodes := comps[r]
+		sort.Ints(nodes)
+		sets = append(sets, set{nodes: nodes, prio: -1, minIdx: nodes[0]})
+	}
+
+	n := len(g.Units)
+	ordered := make([]bool, n)
+	order := make([]int, 0, n)
+
+	adj := func(u int) (preds, succs []int) {
+		for _, ei := range g.pred[u] {
+			preds = append(preds, g.Edges[ei].From)
+		}
+		for _, ei := range g.succ[u] {
+			succs = append(succs, g.Edges[ei].To)
+		}
+		return
+	}
+
+	for _, s := range sets {
+		inSet := make(map[int]bool, len(s.nodes))
+		remaining := 0
+		for _, u := range s.nodes {
+			if !ordered[u] {
+				inSet[u] = true
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			continue
+		}
+
+		// Seed the working set R from nodes adjacent to the current order.
+		var r []int
+		dirBottomUp := false
+		for _, u := range order {
+			preds, succs := adj(u)
+			for _, p := range preds {
+				m.Charge(vmcost.CostOrderExtend)
+				if inSet[p] && !ordered[p] {
+					r = append(r, p)
+					dirBottomUp = true
+				}
+			}
+			if len(r) == 0 {
+				for _, q := range succs {
+					m.Charge(vmcost.CostOrderExtend)
+					if inSet[q] && !ordered[q] {
+						r = append(r, q)
+					}
+				}
+			}
+		}
+		if len(r) == 0 {
+			// Fresh component: start from the node with the minimum LStart
+			// (the most constrained from the top), top-down.
+			best := -1
+			for u := range inSet {
+				m.Charge(2)
+				if best == -1 || b.LStart[u] < b.LStart[best] || (b.LStart[u] == b.LStart[best] && u < best) {
+					best = u
+				}
+			}
+			r = []int{best}
+		}
+
+		for remaining > 0 {
+			if len(r) == 0 {
+				// Switch direction: gather unordered set nodes adjacent to
+				// anything ordered; if none, take any remaining node.
+				dirBottomUp = !dirBottomUp
+				seen := map[int]bool{}
+				for _, u := range order {
+					preds, succs := adj(u)
+					cands := succs
+					if dirBottomUp {
+						cands = preds
+					}
+					for _, c := range cands {
+						m.Charge(vmcost.CostOrderExtend)
+						if inSet[c] && !ordered[c] && !seen[c] {
+							seen[c] = true
+							r = append(r, c)
+						}
+					}
+				}
+				if len(r) == 0 {
+					for u := range inSet {
+						if !ordered[u] {
+							r = append(r, u)
+						}
+					}
+					sort.Ints(r)
+					r = r[:1]
+				}
+			}
+			// Pick the next node from R by the Swing criteria.
+			best, bestIdx := -1, -1
+			for i, u := range r {
+				m.Charge(vmcost.CostOrderScan)
+				if ordered[u] {
+					continue
+				}
+				if best == -1 {
+					best, bestIdx = u, i
+					continue
+				}
+				if dirBottomUp {
+					// Bottom-up: maximum EStart first (deepest), ties by
+					// minimum mobility, then ID.
+					if b.EStart[u] > b.EStart[best] ||
+						(b.EStart[u] == b.EStart[best] && b.Mobility(u) < b.Mobility(best)) ||
+						(b.EStart[u] == b.EStart[best] && b.Mobility(u) == b.Mobility(best) && u < best) {
+						best, bestIdx = u, i
+					}
+				} else {
+					// Top-down: minimum LStart first (most urgent), ties by
+					// minimum mobility, then ID.
+					if b.LStart[u] < b.LStart[best] ||
+						(b.LStart[u] == b.LStart[best] && b.Mobility(u) < b.Mobility(best)) ||
+						(b.LStart[u] == b.LStart[best] && b.Mobility(u) == b.Mobility(best) && u < best) {
+						best, bestIdx = u, i
+					}
+				}
+			}
+			if best == -1 {
+				r = r[:0]
+				continue
+			}
+			r = append(r[:bestIdx], r[bestIdx+1:]...)
+			ordered[best] = true
+			order = append(order, best)
+			remaining--
+			// Extend R along the current direction within the set.
+			preds, succs := adj(best)
+			ext := succs
+			if dirBottomUp {
+				ext = preds
+			}
+			for _, c := range ext {
+				m.Charge(vmcost.CostOrderExtend)
+				if inSet[c] && !ordered[c] {
+					r = append(r, c)
+				}
+			}
+		}
+	}
+	return order
+}
+
+// HeightOrder computes the height-based priority of iterative modulo
+// scheduling (Rau): a single reverse longest-path pass, then order by
+// decreasing height. Much cheaper than SwingOrder — and measurably worse
+// with a single-pass list scheduler on recurrence-heavy loops, which is
+// exactly the tradeoff Figure 10's "Fully Dynamic Height Priority" bar
+// explores.
+func HeightOrder(g *Graph, ii int, m *vmcost.Meter) []int {
+	m.Begin(vmcost.PhasePriority)
+	n := len(g.Units)
+	h := make([]int, n)
+	for u := range g.Units {
+		h[u] = g.Units[u].Latency
+		m.Charge(1)
+	}
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			m.Charge(vmcost.CostRelaxPlain)
+			if v := h[e.To] + e.Latency - ii*e.Dist; v > h[e.From] {
+				h[e.From] = v
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if h[order[i]] != h[order[j]] {
+			return h[order[i]] > h[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	m.Charge(int64(n) * 2)
+	return order
+}

@@ -1,0 +1,223 @@
+// Package scalar implements the baseline general-purpose processor: a
+// functional interpreter for the isa package's programs coupled with an
+// in-order, multi-issue timing model.
+//
+// The timing model is a classic scoreboarded in-order pipeline: up to
+// IssueWidth instructions issue per cycle, an instruction waits until its
+// source registers' producing latencies have elapsed, taken branches pay
+// the configured redirect penalty, and loads have a load-to-use latency.
+// This is deliberately the same level of fidelity as the processor models
+// used in the paper's Trimaran-based evaluation — accurate enough that
+// relative speedups are meaningful, cheap enough to run whole workloads.
+package scalar
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// Stats summarizes one execution.
+type Stats struct {
+	Cycles int64
+	Insts  int64
+}
+
+// Machine is a scalar processor instance. Create with New, run with Run or
+// Step; Regs and Mem may be inspected or preloaded between runs.
+type Machine struct {
+	CPU  *arch.CPU
+	Regs [isa.NumRegs]uint64
+	Mem  ir.Memory
+
+	PC     int
+	Halted bool
+
+	cycles int64
+	insts  int64
+	slot   int                // instructions issued in the current cycle
+	ready  [isa.NumRegs]int64 // cycle at which each register's value is available
+}
+
+// New returns a machine with zeroed registers.
+func New(cpu *arch.CPU, mem ir.Memory) *Machine {
+	return &Machine{CPU: cpu, Mem: mem}
+}
+
+// Stats returns the cycle and instruction counts so far.
+func (m *Machine) Stats() Stats { return Stats{Cycles: m.cycles, Insts: m.insts} }
+
+// ResetTiming clears the timing state but keeps architectural state,
+// useful when measuring a region in isolation.
+func (m *Machine) ResetTiming() {
+	m.cycles, m.insts, m.slot = 0, 0, 0
+	m.ready = [isa.NumRegs]int64{}
+}
+
+// latency returns the producing latency of an instruction's result.
+func (m *Machine) latency(op isa.Opcode) int64 {
+	if irOp, ok := op.IROp(); ok {
+		return int64(arch.Latency(irOp))
+	}
+	switch op {
+	case isa.Load:
+		return int64(m.CPU.LoadLatency)
+	case isa.MulI:
+		return int64(arch.Latency(ir.OpMul))
+	default:
+		return 1
+	}
+}
+
+// Step executes one instruction, updating architectural and timing state.
+func (m *Machine) Step(p *isa.Program) error {
+	if m.Halted {
+		return fmt.Errorf("scalar: machine is halted")
+	}
+	if m.PC < 0 || m.PC >= len(p.Code) {
+		return fmt.Errorf("scalar: pc %d out of range [0,%d)", m.PC, len(p.Code))
+	}
+	in := p.Code[m.PC]
+	m.insts++
+
+	// Timing: wait for sources, find an issue slot.
+	issueAt := m.cycles
+	waitSrc := func(r uint8) {
+		if m.ready[r] > issueAt {
+			issueAt = m.ready[r]
+		}
+	}
+	switch in.Op {
+	case isa.MovI, isa.Br, isa.Brl, isa.Nop, isa.Halt:
+		// no register sources
+	case isa.Ret:
+		waitSrc(isa.LinkReg)
+	case isa.Mov, isa.AddI, isa.MulI, isa.ShlI, isa.AndI, isa.Load:
+		waitSrc(in.Src1)
+	case isa.Store, isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		waitSrc(in.Src1)
+		waitSrc(in.Src2)
+	case isa.Select:
+		waitSrc(in.Src1)
+		waitSrc(in.Src2)
+		waitSrc(in.Src3)
+	default:
+		waitSrc(in.Src1)
+		if op, ok := in.Op.IROp(); ok && op.NumArgs() >= 2 {
+			waitSrc(in.Src2)
+		}
+	}
+	if issueAt > m.cycles {
+		m.cycles = issueAt
+		m.slot = 0
+	}
+	if m.slot >= m.CPU.IssueWidth {
+		m.cycles++
+		m.slot = 0
+	}
+	m.slot++
+	doneAt := m.cycles + m.latency(in.Op)
+
+	taken := false
+	next := m.PC + 1
+
+	// Architectural execution.
+	switch in.Op {
+	case isa.Nop:
+	case isa.Halt:
+		m.Halted = true
+	case isa.MovI:
+		m.set(in.Dst, uint64(in.Imm), doneAt)
+	case isa.Mov:
+		m.set(in.Dst, m.Regs[in.Src1], doneAt)
+	case isa.AddI:
+		m.set(in.Dst, uint64(int64(m.Regs[in.Src1])+in.Imm), doneAt)
+	case isa.MulI:
+		m.set(in.Dst, uint64(int64(m.Regs[in.Src1])*in.Imm), doneAt)
+	case isa.ShlI:
+		m.set(in.Dst, m.Regs[in.Src1]<<(uint64(in.Imm)&63), doneAt)
+	case isa.AndI:
+		m.set(in.Dst, m.Regs[in.Src1]&uint64(in.Imm), doneAt)
+	case isa.Load:
+		addr := int64(m.Regs[in.Src1]) + in.Imm
+		m.set(in.Dst, m.Mem.Load(addr), doneAt)
+	case isa.Store:
+		addr := int64(m.Regs[in.Src1]) + in.Imm
+		m.Mem.Store(addr, m.Regs[in.Src2])
+	case isa.Br:
+		next, taken = int(in.Imm), true
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		a, b := int64(m.Regs[in.Src1]), int64(m.Regs[in.Src2])
+		var cond bool
+		switch in.Op {
+		case isa.BEQ:
+			cond = a == b
+		case isa.BNE:
+			cond = a != b
+		case isa.BLT:
+			cond = a < b
+		case isa.BLE:
+			cond = a <= b
+		case isa.BGT:
+			cond = a > b
+		case isa.BGE:
+			cond = a >= b
+		}
+		if cond {
+			next, taken = int(in.Imm), true
+		}
+	case isa.Brl:
+		m.set(isa.LinkReg, uint64(m.PC+1), doneAt)
+		next, taken = int(in.Imm), true
+	case isa.Ret:
+		next, taken = int(m.Regs[isa.LinkReg]), true
+	case isa.Select:
+		v := m.Regs[in.Src3]
+		if m.Regs[in.Src1] != 0 {
+			v = m.Regs[in.Src2]
+		}
+		m.set(in.Dst, v, doneAt)
+	default:
+		irOp, ok := in.Op.IROp()
+		if !ok {
+			return fmt.Errorf("scalar: pc %d: unimplemented opcode %v", m.PC, in.Op)
+		}
+		var args [3]uint64
+		args[0] = m.Regs[in.Src1]
+		if irOp.NumArgs() >= 2 {
+			args[1] = m.Regs[in.Src2]
+		}
+		m.set(in.Dst, ir.Eval(irOp, args[:irOp.NumArgs()]), doneAt)
+	}
+
+	if taken {
+		m.cycles += 1 + int64(m.CPU.BranchPenalty)
+		m.slot = 0
+	}
+	m.PC = next
+	return nil
+}
+
+func (m *Machine) set(r uint8, v uint64, readyAt int64) {
+	m.Regs[r] = v
+	m.ready[r] = readyAt
+}
+
+// Run executes until Halt or until maxInsts instructions have retired.
+// It returns an error if the limit is hit, signalling a runaway program.
+func (m *Machine) Run(p *isa.Program, maxInsts int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for !m.Halted {
+		if m.insts >= maxInsts {
+			return fmt.Errorf("scalar: instruction limit %d reached at pc %d", maxInsts, m.PC)
+		}
+		if err := m.Step(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

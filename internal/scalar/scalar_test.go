@@ -1,0 +1,206 @@
+package scalar
+
+import (
+	"math"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// runVecAdd executes c[i] = a[i] + b[i] for n elements on the given CPU and
+// returns the machine.
+func runVecAdd(t *testing.T, cpu *arch.CPU, n int64) *Machine {
+	t.Helper()
+	a := isa.NewAsm("vecadd")
+	a.Label("loop")
+	a.Load(10, 1, 0)
+	a.Load(11, 2, 0)
+	a.Op3(isa.Add, 12, 10, 11)
+	a.Store(12, 3, 0)
+	a.AddI(1, 1, 1)
+	a.AddI(2, 2, 1)
+	a.AddI(3, 3, 1)
+	a.AddI(4, 4, 1)
+	a.Branch(isa.BLT, 4, 5, "loop")
+	a.Halt()
+	p := a.MustBuild()
+
+	mem := ir.NewPagedMemory()
+	const aBase, bBase, cBase = 0, 1000, 2000
+	for i := int64(0); i < n; i++ {
+		mem.Store(aBase+i, uint64(i))
+		mem.Store(bBase+i, uint64(10*i))
+	}
+	m := New(cpu, mem)
+	m.Regs[1], m.Regs[2], m.Regs[3] = aBase, bBase, cBase
+	m.Regs[4], m.Regs[5] = 0, uint64(n)
+	if err := m.Run(p, 1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := int64(0); i < n; i++ {
+		if got := mem.Load(cBase + i); got != uint64(11*i) {
+			t.Fatalf("c[%d] = %d, want %d", i, got, 11*i)
+		}
+	}
+	return m
+}
+
+func TestVecAddFunctional(t *testing.T) {
+	m := runVecAdd(t, arch.ARM11(), 50)
+	if m.Stats().Insts != 50*9+1 {
+		t.Errorf("insts = %d, want %d", m.Stats().Insts, 50*9+1)
+	}
+}
+
+func TestWiderIssueIsFaster(t *testing.T) {
+	c1 := runVecAdd(t, arch.ARM11(), 200).Stats().Cycles
+	c2 := runVecAdd(t, arch.CortexA8(), 200).Stats().Cycles
+	c4 := runVecAdd(t, arch.Quad(), 200).Stats().Cycles
+	if !(c1 > c2 && c2 >= c4) {
+		t.Errorf("cycles not monotone with width: 1-issue=%d 2-issue=%d 4-issue=%d", c1, c2, c4)
+	}
+	// A single-issue machine cannot beat 1 cycle per instruction plus
+	// branch penalties.
+	m := runVecAdd(t, arch.ARM11(), 200)
+	if m.Stats().Cycles < m.Stats().Insts {
+		t.Errorf("1-issue CPI < 1: %d cycles for %d insts", m.Stats().Cycles, m.Stats().Insts)
+	}
+}
+
+func TestBranchPenaltyCharged(t *testing.T) {
+	// A tight counted loop: cycles should reflect the taken-branch penalty.
+	a := isa.NewAsm("spin")
+	a.Label("loop")
+	a.AddI(1, 1, 1)
+	a.Branch(isa.BLT, 1, 2, "loop")
+	a.Halt()
+	p := a.MustBuild()
+	cpu := arch.ARM11()
+	m := New(cpu, ir.NewPagedMemory())
+	m.Regs[2] = 100
+	if err := m.Run(p, 10_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	perIter := int64(1 + cpu.BranchPenalty) // redirect cost alone
+	if m.Stats().Cycles < 100*perIter {
+		t.Errorf("cycles = %d, want >= %d (branch penalty not charged?)", m.Stats().Cycles, 100*perIter)
+	}
+}
+
+func TestRAWHazardStalls(t *testing.T) {
+	// mul (3 cycles) feeding an add must stall the add.
+	asm := isa.NewAsm("raw")
+	asm.MovI(1, 6)
+	asm.MovI(2, 7)
+	asm.Op3(isa.Mul, 3, 1, 2)
+	asm.Op3(isa.Add, 4, 3, 3)
+	asm.Halt()
+	p := asm.MustBuild()
+	m := New(arch.Quad(), ir.NewPagedMemory()) // wide issue isolates the stall
+	if err := m.Run(p, 100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Regs[4] != 84 {
+		t.Errorf("r4 = %d, want 84", m.Regs[4])
+	}
+	if m.Stats().Cycles < int64(arch.Latency(ir.OpMul)) {
+		t.Errorf("cycles = %d, want >= mul latency %d", m.Stats().Cycles, arch.Latency(ir.OpMul))
+	}
+}
+
+func TestBrlRetCallingSequence(t *testing.T) {
+	a := isa.NewAsm("call")
+	a.MovI(1, 5)
+	a.Brl("fn")
+	a.Op3(isa.Add, 3, 2, 2) // r3 = 2*r2 after return
+	a.Halt()
+	a.Label("fn")
+	a.AddI(2, 1, 10) // r2 = r1 + 10
+	a.Ret()
+	p := a.MustBuild()
+	m := New(arch.ARM11(), ir.NewPagedMemory())
+	if err := m.Run(p, 100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Regs[3] != 30 {
+		t.Errorf("r3 = %d, want 30", m.Regs[3])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	a := isa.NewAsm("fp")
+	a.MovI(1, int64(math.Float64bits(1.5)))
+	a.MovI(2, int64(math.Float64bits(2.5)))
+	a.Op3(isa.FMul, 3, 1, 2)
+	a.Op3(isa.FAdd, 4, 3, 1)
+	a.Op2(isa.FSqrt, 5, 2)
+	a.Halt()
+	p := a.MustBuild()
+	m := New(arch.ARM11(), ir.NewPagedMemory())
+	if err := m.Run(p, 100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := math.Float64frombits(m.Regs[4]); got != 1.5*2.5+1.5 {
+		t.Errorf("fadd result = %g", got)
+	}
+	if got := math.Float64frombits(m.Regs[5]); got != math.Sqrt(2.5) {
+		t.Errorf("fsqrt result = %g", got)
+	}
+}
+
+func TestSelectAndPredication(t *testing.T) {
+	a := isa.NewAsm("sel")
+	a.MovI(1, 0)
+	a.MovI(2, 111)
+	a.MovI(3, 222)
+	a.Select(4, 1, 2, 3)
+	a.MovI(1, 9)
+	a.Select(5, 1, 2, 3)
+	a.Halt()
+	p := a.MustBuild()
+	m := New(arch.ARM11(), ir.NewPagedMemory())
+	if err := m.Run(p, 100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if m.Regs[4] != 222 || m.Regs[5] != 111 {
+		t.Errorf("select results = %d,%d; want 222,111", m.Regs[4], m.Regs[5])
+	}
+}
+
+func TestRunawayProgramCaught(t *testing.T) {
+	a := isa.NewAsm("inf")
+	a.Label("x")
+	a.Br("x")
+	p := a.MustBuild()
+	m := New(arch.ARM11(), ir.NewPagedMemory())
+	if err := m.Run(p, 1000); err == nil {
+		t.Fatal("Run did not catch infinite loop")
+	}
+}
+
+func TestStepAfterHaltErrors(t *testing.T) {
+	a := isa.NewAsm("h")
+	a.Halt()
+	p := a.MustBuild()
+	m := New(arch.ARM11(), ir.NewPagedMemory())
+	if err := m.Run(p, 10); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := m.Step(p); err == nil {
+		t.Fatal("Step after halt should error")
+	}
+}
+
+func TestResetTimingKeepsArchState(t *testing.T) {
+	m := runVecAdd(t, arch.ARM11(), 10)
+	regs := m.Regs
+	m.ResetTiming()
+	if m.Stats().Cycles != 0 || m.Stats().Insts != 0 {
+		t.Error("ResetTiming left counters")
+	}
+	if m.Regs != regs {
+		t.Error("ResetTiming touched architectural state")
+	}
+}

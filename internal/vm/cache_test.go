@@ -1,0 +1,96 @@
+package vm
+
+import (
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/workloads"
+)
+
+// manyLoopProgram concatenates n copies of the FIR kernel into one binary:
+// n distinct loop sites sharing one calling convention — the shape of an
+// application with more hot loops than the code cache holds.
+func manyLoopProgram(t testing.TB, n int) (*lower.MultiResult, *ir.Loop) {
+	t.Helper()
+	l := workloads.FIR(3)
+	parts := make([]*lower.Result, n)
+	for i := range parts {
+		res, err := lower.Lower(l, lower.Options{Annotate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = res
+	}
+	multi, err := lower.Concat(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return multi, l
+}
+
+// TestCodeCacheThrashing reproduces the phenomenon behind Figure 6's
+// retranslation-rate lines with the real LRU cache: a program with more
+// hot loops than cache entries retranslates on every pass, while a large
+// enough cache translates each loop exactly once.
+func TestCodeCacheThrashing(t *testing.T) {
+	const nLoops, passes = 20, 3
+	multi, l := manyLoopProgram(t, nLoops)
+
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 80; i++ {
+			mem.Store(0x100+i, uint64(i*3+1))
+		}
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[multi.TripReg] = 32
+		params := map[string]uint64{
+			"x0": 0x100, "x1": 0x101, "x2": 0x102,
+			"c0": 2, "c1": 3, "c2": 5, "out": 0x9000,
+		}
+		for i, r := range multi.ParamRegs {
+			m.Regs[r] = params[l.ParamNames[i]]
+		}
+	}
+
+	run := func(cacheSize int) *VM {
+		cfg := DefaultConfig()
+		cfg.CodeCacheSize = cacheSize
+		v := New(cfg)
+		for p := 0; p < passes; p++ {
+			if _, _, err := v.Run(multi.Program, mkMem(), seed, 100_000_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return v
+	}
+
+	big := run(32)
+	if big.Stats.Translations != nLoops {
+		t.Errorf("32-entry cache: translations = %d, want %d (cold only)",
+			big.Stats.Translations, nLoops)
+	}
+	if big.Stats.CacheHits != int64(nLoops*(passes-1)) {
+		t.Errorf("32-entry cache: hits = %d, want %d",
+			big.Stats.CacheHits, nLoops*(passes-1))
+	}
+
+	small := run(8)
+	// Sequential access over 20 loops through an 8-entry LRU evicts every
+	// entry before reuse: every pass retranslates everything.
+	if small.Stats.Translations != int64(nLoops*passes) {
+		t.Errorf("8-entry cache: translations = %d, want %d (full thrash)",
+			small.Stats.Translations, nLoops*passes)
+	}
+
+	// The paper's configuration: 16 entries. 20 loops still thrash under
+	// LRU with a cyclic access pattern.
+	paper := run(16)
+	if paper.Stats.Translations <= nLoops {
+		t.Errorf("16-entry cache with 20 loops should retranslate (got %d)",
+			paper.Stats.Translations)
+	}
+}

@@ -1,0 +1,86 @@
+package vm
+
+import (
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/scalar"
+)
+
+// nestedProgram builds a two-level loop nest by hand: the outer loop runs
+// on the scalar core and re-invokes the inner (accelerable) loop each
+// iteration with fresh operands — the realistic shape of a media codec
+// processing one block per outer iteration.
+//
+//	for k = 0..outer-1:
+//	    for i = 0..inner-1:            (inner: c[i] = a[i]*w + b[i])
+//	        ...
+//	    total += c[k]                  (outer consumes inner results)
+//
+// Registers: r1 inner bound, r2 inner i, r4 aPtr, r5 bPtr, r6 cPtr, r7 w,
+// r8 k, r9 outer bound, r10 total, r20.. temps. The inner pointers advance
+// across outer iterations, so each invocation covers a different block.
+func nestedProgram(t testing.TB) *isa.Program {
+	t.Helper()
+	a := isa.NewAsm("nested")
+	a.MovI(0, 0)  // zero reg
+	a.MovI(8, 0)  // k
+	a.MovI(10, 0) // total
+	a.Label("outer")
+	a.MovI(2, 0) // inner i
+	a.Label("inner")
+	a.Load(20, 4, 0) // a[i]
+	a.Load(21, 5, 0) // b[i]
+	a.Op3(isa.Mul, 22, 20, 7)
+	a.Op3(isa.Add, 23, 22, 21)
+	a.Store(23, 6, 0) // c[i]
+	a.AddI(4, 4, 1)
+	a.AddI(5, 5, 1)
+	a.AddI(6, 6, 1)
+	a.AddI(2, 2, 1)
+	a.Branch(isa.BLT, 2, 1, "inner")
+	// Outer body: total += c-block checksum (last stored value).
+	a.Op3(isa.Add, 10, 10, 23)
+	a.AddI(8, 8, 1)
+	a.Branch(isa.BLT, 8, 9, "outer")
+	a.Halt()
+	return a.MustBuild()
+}
+
+func TestNestedLoopAcceleration(t *testing.T) {
+	p := nestedProgram(t)
+	const inner, outer = 64, 25
+	const aBase, bBase, cBase = 0x1000, 0x8000, 0x20000
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < inner*outer+8; i++ {
+			mem.Store(aBase+i, uint64(i%97))
+			mem.Store(bBase+i, uint64(i%53)*3)
+		}
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[1] = inner
+		m.Regs[4], m.Regs[5], m.Regs[6] = aBase, bBase, cBase
+		m.Regs[7] = 5
+		m.Regs[9] = outer
+	}
+
+	cfg := DefaultConfig()
+	r := compareVMToScalar(t, cfg, p, mkMem(), seed)
+	if r.Launches != outer {
+		t.Errorf("launches = %d, want %d (one per outer iteration)", r.Launches, outer)
+	}
+
+	v := New(cfg)
+	if _, _, err := v.Run(p, mkMem(), seed, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats.Translations != 1 {
+		t.Errorf("translations = %d, want 1 (code cache reuse across invocations)", v.Stats.Translations)
+	}
+	if v.Stats.CacheHits != outer-1 {
+		t.Errorf("cache hits = %d, want %d", v.Stats.CacheHits, outer-1)
+	}
+}

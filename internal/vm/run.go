@@ -1,0 +1,300 @@
+package vm
+
+import (
+	"fmt"
+
+	"veal/internal/accel"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopx"
+	"veal/internal/scalar"
+)
+
+// cacheKey identifies a loop by its program image and head pc — one VM
+// may run several different binaries, and identical pcs across binaries
+// must not collide.
+type cacheKey struct {
+	prog *isa.Program
+	pc   int
+}
+
+// codeCache is the LRU cache of translated loops.
+type codeCache struct {
+	cap   int
+	order []cacheKey // most recent last
+	byPC  map[cacheKey]*Translation
+}
+
+func newCodeCache(capacity int) *codeCache {
+	return &codeCache{cap: capacity, byPC: make(map[cacheKey]*Translation)}
+}
+
+func (c *codeCache) get(k cacheKey) (*Translation, bool) {
+	t, ok := c.byPC[k]
+	if ok {
+		c.touch(k)
+	}
+	return t, ok
+}
+
+func (c *codeCache) touch(k cacheKey) {
+	for i, p := range c.order {
+		if p == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, k)
+}
+
+func (c *codeCache) put(k cacheKey, t *Translation) {
+	if _, ok := c.byPC[k]; !ok && len(c.byPC) >= c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.byPC, victim)
+	}
+	c.byPC[k] = t
+	c.touch(k)
+}
+
+// RunResult reports a whole-program execution under the VM.
+type RunResult struct {
+	// Cycles is the total: scalar execution + accelerator invocations +
+	// translation overhead (translation work units count as host cycles on
+	// the scalar core).
+	Cycles            int64
+	ScalarCycles      int64
+	AccelCycles       int64
+	TranslationCycles int64
+	// Launches counts accelerator invocations; Translations counts cache
+	// misses that ran the translator.
+	Launches     int64
+	Translations int64
+}
+
+// Run executes the program to completion on the VM-managed system: scalar
+// core plus accelerator. The seed callback initializes registers
+// (arguments) before execution. maxInsts bounds scalar execution to catch
+// runaway programs.
+func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine), maxInsts int64) (*RunResult, *scalar.Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Loop identification happens once per program image, as in region-
+	// forming dynamic optimizers.
+	regions := cfg.FindInnerLoops(p, nil)
+	regionAt := make(map[int]cfg.Region, len(regions))
+	for _, r := range regions {
+		switch {
+		case r.Kind == cfg.KindSchedulable:
+			regionAt[r.Head] = r
+		case r.Kind == cfg.KindSpeculation && v.Cfg.SpeculationSupport:
+			regionAt[r.Head] = r
+		default:
+			v.rejected[cacheKey{p, r.Head}] = r.Kind.String()
+		}
+	}
+
+	m := scalar.New(v.Cfg.CPU, mem)
+	if seed != nil {
+		seed(m)
+	}
+	res := &RunResult{}
+
+	// While the scalar core executes a loop the VM declined to accelerate,
+	// interception at its head is suppressed until control leaves the
+	// region.
+	skipHead, skipBack := -1, -1
+
+	for !m.Halted {
+		if m.Stats().Insts >= maxInsts {
+			return nil, nil, fmt.Errorf("vm: instruction limit %d reached at pc %d", maxInsts, m.PC)
+		}
+		// A schedulable region's only exit is the back branch falling
+		// through, so that is the single point where the skip lifts. (The
+		// body may legitimately leave [head, back] mid-iteration to run an
+		// outlined CCA function.)
+		if skipHead >= 0 && m.PC == skipBack+1 {
+			skipHead, skipBack = -1, -1
+		}
+		if region, isHead := regionAt[m.PC]; isHead && skipHead != m.PC {
+			handled := false
+			if _, bad := v.rejected[cacheKey{p, m.PC}]; !bad {
+				var err error
+				handled, err = v.dispatch(p, region, m, res)
+				if err != nil {
+					return nil, nil, err
+				}
+			}
+			if handled {
+				continue
+			}
+			// Fall back: the scalar core runs this loop invocation.
+			skipHead, skipBack = region.Head, region.BackPC
+		}
+		if err := m.Step(p); err != nil {
+			return nil, nil, err
+		}
+	}
+	res.ScalarCycles = m.Stats().Cycles
+	res.Cycles = res.ScalarCycles + res.AccelCycles + res.TranslationCycles
+	return res, m, nil
+}
+
+// dispatch attempts to run one loop invocation on the accelerator.
+// It returns handled=false when the loop must run on the scalar core.
+func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, error) {
+	key := cacheKey{p, region.Head}
+	// Hot-loop monitor: let the scalar core run the first invocations.
+	v.invokes[key]++
+	if v.invokes[key] < v.Cfg.HotThreshold {
+		return false, nil
+	}
+
+	t, hit := v.cache.get(key)
+	if !hit {
+		v.Stats.CacheMisses++
+		var err error
+		t, err = v.Translate(p, region)
+		if err != nil {
+			v.reject(key, err)
+			return false, nil
+		}
+		v.Stats.Translations++
+		res.Translations++
+		res.TranslationCycles += t.WorkTotal()
+		v.cache.put(key, t)
+	} else {
+		v.Stats.CacheHits++
+	}
+
+	bind, err := t.Ext.Bindings(&m.Regs)
+	if err != nil || bind.Trip <= 0 {
+		// Dynamic trip failure (or nothing to do): scalar path.
+		return false, nil
+	}
+	if !StreamsDisjoint(t.Ext.Loop, bind) {
+		// Launch-time memory disambiguation failed for these operands.
+		v.Stats.ScalarFallback++
+		return false, nil
+	}
+
+	if t.Ext.Loop.HasExit() {
+		return v.dispatchSpeculative(t, region, m, res, bind)
+	}
+
+	out, err := accel.Execute(v.Cfg.LA, t.Schedule, bind, m.Mem)
+	if err != nil {
+		return false, fmt.Errorf("vm: accelerator execution: %w", err)
+	}
+	v.Stats.AccelLaunches++
+	res.Launches++
+	res.AccelCycles += out.Cycles
+
+	// Restore architectural state and resume after the loop.
+	applyExit(t.Ext, bind, out, &m.Regs)
+	m.PC = region.BackPC + 1
+	return true, nil
+}
+
+// dispatchSpeculative accelerates a while-shaped loop by chunked
+// speculation: each chunk runs on buffered (scratch) memory while the exit
+// condition is recorded; the committed prefix is then retired against real
+// memory and architectural registers advance exactly as if the scalar core
+// had run those iterations.
+func (v *VM) dispatchSpeculative(t *Translation, region cfg.Region, m *scalar.Machine, res *RunResult, bind *ir.Bindings) (bool, error) {
+	paged, ok := m.Mem.(*ir.PagedMemory)
+	if !ok {
+		return false, nil // speculation needs snapshot-able memory
+	}
+	curRegs := m.Regs
+	remaining := bind.Trip
+	launched := false
+	// bail hands the remaining iterations to the scalar core, keeping the
+	// register state of every chunk already committed.
+	bail := func() (bool, error) {
+		if launched {
+			m.Regs = curRegs
+		} else {
+			v.Stats.ScalarFallback++
+		}
+		return false, nil
+	}
+	for remaining > 0 {
+		chunk := int64(v.Cfg.SpecChunk)
+		if chunk > remaining {
+			chunk = remaining
+		}
+		cb, err := t.Ext.Bindings(&curRegs)
+		if err != nil {
+			return bail()
+		}
+		cb.Trip = chunk
+		if !StreamsDisjoint(t.Ext.Loop, cb) {
+			return bail()
+		}
+		// Speculate the whole chunk against buffered memory.
+		_, exitIter, err := accel.ExecuteSpeculative(v.Cfg.LA, t.Schedule, cb, paged.Clone())
+		if err != nil {
+			return false, fmt.Errorf("vm: speculative execution: %w", err)
+		}
+		// The hardware cost covers every speculated iteration, including
+		// the overshoot past the exit.
+		res.AccelCycles += accel.EstimateInvocation(v.Cfg.LA, t.Ext.Loop, t.Schedule, chunk)
+		launched = true
+
+		commit := chunk
+		if exitIter >= 0 {
+			commit = exitIter + 1
+		}
+		commitBind := *cb
+		commitBind.Trip = commit
+		out, err := accel.Execute(v.Cfg.LA, t.Schedule, &commitBind, paged)
+		if err != nil {
+			return false, fmt.Errorf("vm: speculative commit: %w", err)
+		}
+		applyExit(t.Ext, &commitBind, out, &curRegs)
+
+		if exitIter >= 0 {
+			v.Stats.AccelLaunches++
+			res.Launches++
+			m.Regs = curRegs
+			m.PC = t.Ext.ExitTarget
+			return true, nil
+		}
+		remaining -= chunk
+	}
+	if !launched {
+		return bail()
+	}
+	// Counted bound exhausted without the exit firing.
+	v.Stats.AccelLaunches++
+	res.Launches++
+	m.Regs = curRegs
+	m.PC = region.BackPC + 1
+	return true, nil
+}
+
+// applyExit restores the registers the loop body would have written.
+func applyExit(ext *loopx.Extraction, bind *ir.Bindings, out *accel.Result, regs *[isa.NumRegs]uint64) {
+	for _, af := range ext.AffineFinals {
+		regs[af.Reg] = uint64(int64(regs[af.Reg]) + bind.Trip*af.Step)
+	}
+	for _, lo := range ext.Loop.LiveOuts {
+		var reg int
+		fmt.Sscanf(lo.Name, "r%d", &reg)
+		regs[reg] = out.LiveOuts[lo.Name]
+	}
+	if ext.LinkRegFinal >= 0 && bind.Trip > 0 {
+		regs[isa.LinkReg] = uint64(ext.LinkRegFinal)
+	}
+}
+
+func (v *VM) reject(key cacheKey, err error) {
+	if v.Stats.Rejections == nil {
+		v.Stats.Rejections = make(map[string]int64)
+	}
+	v.Stats.Rejections[err.Error()]++
+	v.rejected[key] = err.Error()
+}

@@ -1,0 +1,177 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+)
+
+// scanLoop builds a memchr-style while loop: scan x[i], accumulating a
+// checksum, until x[i] == key (then break) or i reaches the bound.
+func scanLoop(t testing.TB) *ir.Loop {
+	t.Helper()
+	b := ir.NewBuilder("scan")
+	x := b.LoadStream("x", 1)
+	key := b.Param("key")
+	sum := b.Add(x, x)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "sum0"))
+	hit := b.CmpEQ(x, key)
+	b.ExitWhen(hit)
+	b.LiveOut("sum", sum)
+	b.LiveOut("hit", hit)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// runSpec compiles the scan loop and runs it under the VM (with
+// speculation) and on a plain scalar core, comparing every register and
+// memory word. keyAt places the key at that index (-1: never found).
+func runSpec(t *testing.T, keyAt int64, bound int64, chunk int, policy Policy) (*RunResult, int64) {
+	t.Helper()
+	l := scanLoop(t)
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const xBase = 0x1000
+	const key = 777
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < bound+4; i++ {
+			mem.Store(xBase+i, uint64(i%251)+1000)
+		}
+		if keyAt >= 0 {
+			mem.Store(xBase+keyAt, key)
+		}
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(bound)
+		params := map[string]uint64{"x": xBase, "key": key, "sum0": 5}
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[l.ParamNames[i]]
+		}
+	}
+
+	ref := scalar.New(arch.ARM11(), mkMem())
+	seed(ref)
+	if err := ref.Run(res.Program, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.SpeculationSupport = true
+	cfg.SpecChunk = chunk
+	cfg.Policy = policy
+	v := New(cfg)
+	vmMem := mkMem()
+	rr, m, err := v.Run(res.Program, vmMem, seed, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vmMem.Equal(ref.Mem.(*ir.PagedMemory)) {
+		t.Fatalf("memory diverges (keyAt=%d chunk=%d)", keyAt, chunk)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if m.Regs[r] != ref.Regs[r] {
+			t.Fatalf("r%d = %#x, scalar %#x (keyAt=%d bound=%d chunk=%d)\n%s",
+				r, m.Regs[r], ref.Regs[r], keyAt, bound, chunk, res.Program.Disassemble())
+		}
+	}
+	return rr, ref.Stats().Cycles
+}
+
+func TestSpeculationExitPositions(t *testing.T) {
+	for _, keyAt := range []int64{0, 1, 7, 99, 127, 128, 129, 255, 256, 900} {
+		t.Run(fmt.Sprintf("keyAt=%d", keyAt), func(t *testing.T) {
+			rr, _ := runSpec(t, keyAt, 1000, 128, Hybrid)
+			if rr.Launches == 0 {
+				t.Fatal("while loop was not accelerated")
+			}
+		})
+	}
+}
+
+func TestSpeculationNeverFires(t *testing.T) {
+	rr, _ := runSpec(t, -1, 500, 128, Hybrid)
+	if rr.Launches == 0 {
+		t.Fatal("bounded while loop without a hit was not accelerated")
+	}
+}
+
+func TestSpeculationTinyChunks(t *testing.T) {
+	for _, chunk := range []int{1, 2, 3} {
+		rr, _ := runSpec(t, 10, 64, chunk, Hybrid)
+		if rr.Launches == 0 {
+			t.Fatalf("chunk=%d: not accelerated", chunk)
+		}
+	}
+}
+
+func TestSpeculationSpeedsUpLongScans(t *testing.T) {
+	rr, scalarCycles := runSpec(t, 7000, 8192, 256, NoPenalty)
+	if rr.Cycles >= scalarCycles {
+		t.Errorf("speculative run %d cycles, scalar %d — expected a win on a long scan",
+			rr.Cycles, scalarCycles)
+	}
+}
+
+func TestSpeculationChargesOvershoot(t *testing.T) {
+	// An exit on iteration 0 still pays for a whole speculative chunk.
+	rr, _ := runSpec(t, 0, 1000, 128, NoPenalty)
+	l := scanLoop(t)
+	_ = l
+	if rr.AccelCycles < 128 {
+		t.Errorf("accel cycles %d do not cover the speculated chunk", rr.AccelCycles)
+	}
+}
+
+func TestSpeculationDisabledFallsBack(t *testing.T) {
+	l := scanLoop(t)
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 100; i++ {
+		mem.Store(0x1000+i, uint64(i+1))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 64
+		params := map[string]uint64{"x": 0x1000, "key": 7, "sum0": 0}
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[l.ParamNames[i]]
+		}
+	}
+	cfg := DefaultConfig() // SpeculationSupport off: the paper's design point
+	v := New(cfg)
+	rr, _, err := v.Run(res.Program, mem, seed, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Launches != 0 {
+		t.Error("speculation-needing loop accelerated with support disabled")
+	}
+	if v.Stats.Rejections != nil {
+		t.Logf("rejections: %v", v.Stats.Rejections)
+	}
+}
+
+func TestSpeculativeLoopStillWorksWithPlainCountedLoops(t *testing.T) {
+	// Enabling speculation must not disturb counted-loop acceleration.
+	res, _ := firProgram(t, true)
+	cfg := DefaultConfig()
+	cfg.SpeculationSupport = true
+	r := compareVMToScalar(t, cfg, res.Program, firMem(), firSeed(res, 64))
+	if r.Launches == 0 {
+		t.Error("counted loop not accelerated with speculation enabled")
+	}
+}

@@ -1,0 +1,344 @@
+// Package vm implements the co-designed virtual machine of §4.2: it
+// monitors a program executing on the scalar core, identifies innermost
+// loops, translates them onto the attached loop accelerator, caches
+// translations in a small LRU code cache, and transparently dispatches
+// loop invocations to the accelerator — falling back to the scalar core
+// whenever a loop is unsupported or a runtime check fails.
+//
+// The static/dynamic tradeoff of the paper is a Policy: how much of the
+// translation pipeline runs dynamically (and is charged translation
+// cycles) versus being read from binary annotations.
+//
+// A VM instance models one machine and is not safe for concurrent use;
+// create one VM per goroutine (they share nothing).
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/cca"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+	"veal/internal/vmcost"
+)
+
+// Policy selects the static/dynamic split of the translation pipeline
+// (the bars of Figure 10).
+type Policy int
+
+const (
+	// NoPenalty models a statically compiled binary: best translation
+	// quality, zero translation cost.
+	NoPenalty Policy = iota
+	// FullyDynamic performs CCA mapping and Swing priority at runtime.
+	FullyDynamic
+	// HeightPriority performs CCA mapping dynamically but uses the cheap
+	// height-based priority function instead of Swing ordering.
+	HeightPriority
+	// Hybrid reads CCA groups and scheduling priority from the binary's
+	// annotations ("Static CCA/Priority"); only MII, scheduling and
+	// register assignment run dynamically.
+	Hybrid
+)
+
+// String names the policy as in Figure 10.
+func (p Policy) String() string {
+	switch p {
+	case NoPenalty:
+		return "no-penalty"
+	case FullyDynamic:
+		return "fully-dynamic"
+	case HeightPriority:
+		return "fully-dynamic-height"
+	case Hybrid:
+		return "static-cca-priority"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config describes the virtual machine's system.
+type Config struct {
+	LA     *arch.LA
+	CPU    *arch.CPU
+	Policy Policy
+	// CodeCacheSize is the number of translated loops retained (LRU);
+	// the paper uses 16 (~48KB of control storage).
+	CodeCacheSize int
+
+	// SpeculationSupport enables accelerating while-shaped loops (a single
+	// side exit before the back branch) by speculative chunked execution:
+	// the accelerator runs SpecChunk iterations at a time with stores
+	// buffered, the exit condition is scanned, and the committed prefix is
+	// retired. The paper's design point leaves this OFF (§2.2 excludes
+	// loops needing speculation support); it is the natural extension the
+	// paper sketches via [21, 24].
+	SpeculationSupport bool
+	// SpecChunk is the speculative window in iterations (default 128).
+	SpecChunk int
+
+	// HotThreshold is the number of times a loop must be invoked before
+	// the VM translates it (the profiling phase of a co-designed VM's
+	// monitor). The default 1 translates on first encounter, matching the
+	// paper's evaluation; higher values trade early scalar iterations for
+	// never translating cold loops.
+	HotThreshold int
+}
+
+// DefaultConfig is the paper's evaluation system: ARM11-class core,
+// proposed LA, hybrid policy, 16-entry code cache.
+func DefaultConfig() Config {
+	return Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: Hybrid, CodeCacheSize: 16}
+}
+
+// Translation is a loop successfully mapped onto the accelerator.
+type Translation struct {
+	Ext      *loopx.Extraction
+	Schedule *modsched.Schedule
+	Regs     modsched.RegisterNeeds
+	// Work is the translation cost breakdown in work units ("dynamic
+	// instructions" in the paper's Figure 8 sense).
+	Work [vmcost.NumPhases]int64
+}
+
+// WorkTotal is the total translation cost in work units.
+func (t *Translation) WorkTotal() int64 {
+	var s int64
+	for _, w := range t.Work {
+		s += w
+	}
+	return s
+}
+
+// Stats aggregates VM activity.
+type Stats struct {
+	Translations   int64
+	CacheHits      int64
+	CacheMisses    int64
+	Rejections     map[string]int64
+	AccelLaunches  int64
+	ScalarFallback int64
+}
+
+// VM is a co-designed virtual machine instance.
+type VM struct {
+	Cfg   Config
+	Stats Stats
+
+	cache    *codeCache
+	rejected map[cacheKey]string // loop -> rejection reason
+	invokes  map[cacheKey]int    // loop -> invocation count (hot monitor)
+}
+
+// New creates a VM.
+func New(cfg Config) *VM {
+	if cfg.CodeCacheSize <= 0 {
+		cfg.CodeCacheSize = 16
+	}
+	if cfg.SpecChunk <= 0 {
+		cfg.SpecChunk = 128
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 1
+	}
+	return &VM{
+		Cfg:      cfg,
+		cache:    newCodeCache(cfg.CodeCacheSize),
+		rejected: make(map[cacheKey]string),
+		invokes:  make(map[cacheKey]int),
+	}
+}
+
+// Translate runs the translation pipeline on one region, honoring the
+// policy's static/dynamic split. The returned Translation carries the
+// dynamic work actually charged.
+func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) {
+	var meter vmcost.Meter
+	charged := &meter
+	if v.Cfg.Policy == NoPenalty {
+		charged = nil // quality of the best pipeline, none of the cost
+	}
+
+	var ext *loopx.Extraction
+	var err error
+	if region.Kind == cfg.KindSpeculation {
+		if !v.Cfg.SpeculationSupport {
+			return nil, fmt.Errorf("vm: loop needs speculation support")
+		}
+		ext, err = loopx.ExtractSpeculative(p, region, charged)
+	} else {
+		ext, err = loopx.Extract(p, region, charged)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// CCA mapping: static groups validated, or dynamic greedy mapping.
+	var groups [][]int
+	if v.Cfg.LA.CCAs > 0 {
+		switch v.Cfg.Policy {
+		case Hybrid:
+			groups = cca.ValidateGroups(ext.Loop, ext.Groups, v.Cfg.LA.CCA, charged)
+		default:
+			// Dynamic mapping ignores annotations but may rediscover the
+			// same subgraphs (the binary's outlined ops were inlined into
+			// the dataflow graph by extraction).
+			groups = cca.Map(ext.Loop, v.Cfg.LA.CCA, charged).Groups
+		}
+	}
+
+	g, err := modsched.BuildGraph(ext.Loop, groups, v.Cfg.LA.CCA, charged)
+	if err != nil {
+		return nil, err
+	}
+
+	kind := modsched.OrderSwing
+	var staticOrder []int
+	switch v.Cfg.Policy {
+	case HeightPriority:
+		kind = modsched.OrderHeight
+	case Hybrid:
+		if anno, ok := p.AnnoAt(region.Head); ok {
+			staticOrder = staticUnitOrder(g, ext, anno, region)
+			kind = modsched.OrderStatic
+		}
+		// Without annotations the hybrid VM degrades to fully dynamic.
+	}
+
+	sched, err := modsched.ScheduleLoop(g, v.Cfg.LA, kind, staticOrder, charged)
+	if err != nil {
+		return nil, err
+	}
+	// Register assignment: the paper's one-to-one mapping from baseline-ISA
+	// registers to the accelerator register files (§4.1). Address and
+	// induction registers map to the address generators/control unit and
+	// constants to control-store literals, so only the remaining operand
+	// registers need slots. The reading pass is charged above the mapping
+	// itself, which is a table fill.
+	charged.Begin(vmcost.PhaseRegAssign)
+	charged.Charge(int64(ext.IntArchRegs+ext.FPArchRegs) * 3)
+	if ext.IntArchRegs > v.Cfg.LA.IntRegs || ext.FPArchRegs > v.Cfg.LA.FPRegs {
+		return nil, fmt.Errorf("vm: loop needs %d int / %d fp registers, LA has %d/%d",
+			ext.IntArchRegs, ext.FPArchRegs, v.Cfg.LA.IntRegs, v.Cfg.LA.FPRegs)
+	}
+	need := modsched.RegisterNeeds{Int: ext.IntArchRegs, Float: ext.FPArchRegs}
+
+	return &Translation{Ext: ext, Schedule: sched, Regs: need, Work: meter.Breakdown()}, nil
+}
+
+// staticUnitOrder converts a per-instruction priority table into a unit
+// scheduling order: each unit takes the priority annotated on its source
+// instruction; unannotated (synthesized) units go last.
+func staticUnitOrder(g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno, region cfg.Region) []int {
+	type up struct {
+		unit, prio int
+	}
+	ups := make([]up, len(g.Units))
+	for u := range g.Units {
+		node := g.Units[u].Nodes[0]
+		prio := 1 << 30
+		if src := ext.NodeSrc[node]; src >= region.Head && src-region.Head < len(anno.Priorities) {
+			if v := anno.Priorities[src-region.Head]; v >= 0 {
+				prio = int(v)
+			}
+		}
+		ups[u] = up{unit: u, prio: prio}
+	}
+	sort.SliceStable(ups, func(i, j int) bool { return ups[i].prio < ups[j].prio })
+	order := make([]int, len(ups))
+	for i, x := range ups {
+		order[i] = x.unit
+	}
+	return order
+}
+
+// StreamsDisjoint performs the launch-time memory disambiguation: every
+// store stream's address range must be disjoint from every other stream's
+// range, except for a load stream with the identical reference pattern
+// that feeds the store through same-iteration dataflow (the read-modify-
+// write idiom, which dependence edges order correctly).
+func StreamsDisjoint(l *ir.Loop, b *ir.Bindings) bool {
+	if b.Trip == 0 {
+		return true
+	}
+	type ival struct {
+		lo, hi int64 // inclusive word range
+		kind   ir.StreamKind
+		base   int64
+		stride int64
+		idx    int
+	}
+	ivals := make([]ival, len(l.Streams))
+	for i, s := range l.Streams {
+		base := s.AddrAt(b.Params, 0)
+		last := base + (b.Trip-1)*s.Stride
+		lo, hi := base, last
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ivals[i] = ival{lo: lo, hi: hi, kind: s.Kind, base: base, stride: s.Stride, idx: i}
+	}
+	for i := range ivals {
+		if ivals[i].kind != ir.StoreStream {
+			continue
+		}
+		for j := range ivals {
+			if i == j {
+				continue
+			}
+			a, c := ivals[i], ivals[j]
+			if a.hi < c.lo || c.hi < a.lo {
+				continue // disjoint ranges
+			}
+			if a.stride == c.stride && a.stride != 0 {
+				d := a.base - c.base
+				if d%a.stride != 0 {
+					continue // equal strides, different phases: never alias
+				}
+				if c.kind == ir.LoadStream && d == 0 && loadFeedsStore(l, c.idx, a.idx) {
+					continue // paired read-modify-write, ordered by dataflow
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// loadFeedsStore reports whether the load stream's node reaches the store
+// stream's node through same-iteration dataflow.
+func loadFeedsStore(l *ir.Loop, loadStream, storeStream int) bool {
+	var loadNode, storeNode = -1, -1
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpLoad && n.Stream == loadStream {
+			loadNode = n.ID
+		}
+		if n.Op == ir.OpStore && n.Stream == storeStream {
+			storeNode = n.ID
+		}
+	}
+	if loadNode < 0 || storeNode < 0 {
+		return false
+	}
+	succs := l.Succs()
+	seen := map[int]bool{loadNode: true}
+	stack := []int{loadNode}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == storeNode {
+			return true
+		}
+		for _, s := range succs[u] {
+			if s.Dist == 0 && !seen[s.Node] {
+				seen[s.Node] = true
+				stack = append(stack, s.Node)
+			}
+		}
+	}
+	return false
+}

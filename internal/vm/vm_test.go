@@ -1,0 +1,626 @@
+package vm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/modsched"
+	"veal/internal/scalar"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+// compareVMToScalar runs the program twice — pure scalar, and under the VM
+// — and requires identical memory and architectural registers.
+func compareVMToScalar(t *testing.T, cfg Config, p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)) *RunResult {
+	t.Helper()
+	ref := scalar.New(cfg.CPU, mem.Clone())
+	seed(ref)
+	if err := ref.Run(p, 50_000_000); err != nil {
+		t.Fatalf("scalar Run: %v", err)
+	}
+
+	v := New(cfg)
+	vmMem := mem.Clone()
+	res, m, err := v.Run(p, vmMem, seed, 50_000_000)
+	if err != nil {
+		t.Fatalf("vm Run: %v", err)
+	}
+	if !vmMem.Equal(ref.Mem.(*ir.PagedMemory)) {
+		t.Fatalf("memory diverges under VM (policy %v)", cfg.Policy)
+	}
+	for r := 0; r < isa.NumRegs; r++ {
+		if m.Regs[r] != ref.Regs[r] {
+			t.Fatalf("register r%d = %#x under VM, %#x scalar (policy %v)\n%s",
+				r, m.Regs[r], ref.Regs[r], cfg.Policy, p.Disassemble())
+		}
+	}
+	return res
+}
+
+func firProgram(t testing.TB, annotate bool) (*lower.Result, *ir.Loop) {
+	t.Helper()
+	b := ir.NewBuilder("fir")
+	acc := b.Const(0)
+	for k := 0; k < 3; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: annotate})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return res, l
+}
+
+func firSeed(res *lower.Result, trip int64) func(*scalar.Machine) {
+	return func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(trip)
+		params := []uint64{100, 2, 101, 3, 102, 5, 8000}
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+	}
+}
+
+func firMem() *ir.PagedMemory {
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 80; i++ {
+		mem.Store(100+i, uint64(i*7+1))
+	}
+	return mem
+}
+
+func TestVMMatchesScalarAllPolicies(t *testing.T) {
+	for _, pol := range []Policy{NoPenalty, FullyDynamic, HeightPriority, Hybrid} {
+		annotate := pol == Hybrid
+		res, _ := firProgram(t, annotate)
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		r := compareVMToScalar(t, cfg, res.Program, firMem(), firSeed(res, 64))
+		if r.Launches == 0 {
+			t.Errorf("policy %v: loop never launched on the accelerator", pol)
+		}
+		if pol == NoPenalty && r.TranslationCycles != 0 {
+			t.Errorf("no-penalty policy charged %d translation cycles", r.TranslationCycles)
+		}
+		if pol != NoPenalty && r.TranslationCycles == 0 {
+			t.Errorf("policy %v charged no translation cycles", pol)
+		}
+	}
+}
+
+func TestHybridCheaperThanFullyDynamic(t *testing.T) {
+	res, _ := firProgram(t, true)
+	costs := map[Policy]int64{}
+	for _, pol := range []Policy{FullyDynamic, HeightPriority, Hybrid} {
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		v := New(cfg)
+		r, _, err := v.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[pol] = r.TranslationCycles
+	}
+	if !(costs[Hybrid] < costs[HeightPriority] && costs[HeightPriority] < costs[FullyDynamic]) {
+		t.Errorf("translation cost ordering wrong: hybrid=%d height=%d full=%d",
+			costs[Hybrid], costs[HeightPriority], costs[FullyDynamic])
+	}
+}
+
+func TestTranslationWorkDominatedByPriority(t *testing.T) {
+	// Figure 8's headline: with everything dynamic, priority is the
+	// biggest phase and CCA mapping second.
+	res, _ := firProgram(t, false)
+	cfg := DefaultConfig()
+	cfg.Policy = FullyDynamic
+	v := New(cfg)
+	regionsDone := false
+	_, _, err := v.Run(res.Program, firMem(), firSeed(res, 16), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range v.cache.byPC {
+		regionsDone = true
+		prio := tr.Work[vmcost.PhasePriority]
+		sched := tr.Work[vmcost.PhaseSchedule]
+		mii := tr.Work[vmcost.PhaseResMII] + tr.Work[vmcost.PhaseRecMII]
+		if prio <= sched || prio <= mii {
+			t.Errorf("priority %d not dominant (sched %d, mii %d)", prio, sched, mii)
+		}
+	}
+	if !regionsDone {
+		t.Fatal("no translation cached")
+	}
+}
+
+func TestCodeCacheLRUEviction(t *testing.T) {
+	c := newCodeCache(2)
+	t1, t2, t3 := &Translation{}, &Translation{}, &Translation{}
+	prog := &isa.Program{Name: "p"}
+	k := func(pc int) cacheKey { return cacheKey{prog, pc} }
+	c.put(k(10), t1)
+	c.put(k(20), t2)
+	if _, ok := c.get(k(10)); !ok {
+		t.Fatal("entry 10 missing")
+	}
+	c.put(k(30), t3) // evicts 20 (10 was touched)
+	if _, ok := c.get(k(20)); ok {
+		t.Error("LRU did not evict entry 20")
+	}
+	if _, ok := c.get(k(10)); !ok {
+		t.Error("entry 10 wrongly evicted")
+	}
+	if _, ok := c.get(k(30)); !ok {
+		t.Error("entry 30 missing")
+	}
+	// Same pc in a different program is a different loop.
+	other := &isa.Program{Name: "q"}
+	if _, ok := c.get(cacheKey{other, 10}); ok {
+		t.Error("cache collided across program images")
+	}
+}
+
+// TestNoCrossBinaryCacheCollision is the regression test for the bug the
+// jpeglike example exposed: two different binaries whose loops share head
+// pcs must not reuse each other's translations.
+func TestNoCrossBinaryCacheCollision(t *testing.T) {
+	mk := func(mulBy int64) (*lower.Result, *ir.Loop) {
+		b := ir.NewBuilder("k")
+		x := b.LoadStream("x", 1)
+		b.StoreStream("out", 1, b.Mul(x, b.Const(mulBy)))
+		l := b.MustBuild()
+		res, err := lower.Lower(l, lower.Options{Annotate: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, l
+	}
+	res2, _ := mk(2)
+	res3, _ := mk(3)
+	if res2.Head != res3.Head {
+		t.Fatalf("fixture: heads differ (%d vs %d)", res2.Head, res3.Head)
+	}
+
+	v := New(DefaultConfig())
+	run := func(res *lower.Result) uint64 {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 16; i++ {
+			mem.Store(0x100+i, uint64(i+1))
+		}
+		seed := func(m *scalar.Machine) {
+			m.Regs[res.TripReg] = 8
+			m.Regs[res.ParamRegs[0]] = 0x100
+			m.Regs[res.ParamRegs[1]] = 0x900
+		}
+		if _, _, err := v.Run(res.Program, mem, seed, 1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return mem.Load(0x900 + 3)
+	}
+	if got := run(res2); got != 8 {
+		t.Errorf("first binary: out[3] = %d, want 8", got)
+	}
+	if got := run(res3); got != 12 {
+		t.Errorf("second binary: out[3] = %d, want 12 (stale translation reused?)", got)
+	}
+	if v.Stats.Translations != 2 {
+		t.Errorf("translations = %d, want 2", v.Stats.Translations)
+	}
+}
+
+func TestCacheHitsAcrossInvocations(t *testing.T) {
+	// A driver program that invokes the same loop several times: the
+	// first invocation translates, subsequent ones hit the cache.
+	res, _ := firProgram(t, true)
+	// Wrap the loop in an outer rerun: run VM over same program 5 times
+	// with the same VM instance.
+	cfg := DefaultConfig()
+	v := New(cfg)
+	for i := 0; i < 5; i++ {
+		_, _, err := v.Run(res.Program, firMem(), firSeed(res, 32), 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Stats.Translations != 1 {
+		t.Errorf("translations = %d, want 1", v.Stats.Translations)
+	}
+	if v.Stats.CacheHits != 4 {
+		t.Errorf("cache hits = %d, want 4", v.Stats.CacheHits)
+	}
+}
+
+func TestVMFasterThanScalarOnStreamingLoop(t *testing.T) {
+	res, _ := firProgram(t, true)
+	trip := int64(4000)
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < trip+8; i++ {
+		mem.Store(100+i, uint64(i))
+	}
+	ref := scalar.New(arch.ARM11(), mem.Clone())
+	firSeed(res, trip)(ref)
+	if err := ref.Run(res.Program, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	v := New(DefaultConfig())
+	r, _, err := v.Run(res.Program, mem.Clone(), firSeed(res, trip), 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cycles >= ref.Stats().Cycles {
+		t.Errorf("VM %d cycles, scalar %d — accelerator should win on a %d-iteration FIR",
+			r.Cycles, ref.Stats().Cycles, trip)
+	}
+}
+
+func TestRawBinaryRunsScalarOnly(t *testing.T) {
+	b := ir.NewBuilder("raw")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(40))
+	v := b.Select(p, b.Add(x, b.Const(1)), b.Sub(x, b.Const(1)))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Raw: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(10+i, uint64(i*3))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 30
+		m.Regs[res.ParamRegs[0]] = 10
+		m.Regs[res.ParamRegs[1]] = 5000
+	}
+	cfg := DefaultConfig()
+	r := compareVMToScalar(t, cfg, res.Program, mem, seed)
+	if r.Launches != 0 {
+		t.Errorf("raw binary launched the accelerator %d times", r.Launches)
+	}
+}
+
+func TestOverlappingStreamsFallBack(t *testing.T) {
+	// out range overlaps input range: launch-time disambiguation must
+	// reject and the scalar core must produce correct results.
+	res, _ := firProgram(t, true)
+	mem := firMem()
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 32
+		params := []uint64{100, 2, 101, 3, 102, 5, 110} // out overlaps x
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+	}
+	cfg := DefaultConfig()
+	r := compareVMToScalar(t, cfg, res.Program, mem, seed)
+	if r.Launches != 0 {
+		t.Error("overlapping streams were launched on the accelerator")
+	}
+}
+
+func TestReadModifyWriteIsAccelerated(t *testing.T) {
+	// a[i] = a[i]*3+1: identical load/store pattern with same-iteration
+	// dataflow must pass disambiguation.
+	b := ir.NewBuilder("rmw")
+	x := b.LoadStream("a", 1)
+	v := b.Add(b.Mul(x, b.Const(3)), b.Const(1))
+	b.StoreStream("a2", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 32
+		m.Regs[res.ParamRegs[0]] = 100
+		m.Regs[res.ParamRegs[1]] = 100 // same base: in-place update
+	}
+	cfg := DefaultConfig()
+	r := compareVMToScalar(t, cfg, res.Program, mem, seed)
+	if r.Launches == 0 {
+		t.Error("read-modify-write loop was not accelerated")
+	}
+}
+
+func TestStreamsDisjointDirect(t *testing.T) {
+	b := ir.NewBuilder("d")
+	x := b.LoadStream("in", 1)
+	b.StoreStream("out", 1, b.Add(x, b.Const(1)))
+	l := b.MustBuild()
+	mk := func(in, out uint64, trip int64) *ir.Bindings {
+		return &ir.Bindings{Params: []uint64{in, out}, Trip: trip}
+	}
+	if !StreamsDisjoint(l, mk(0, 1000, 100)) {
+		t.Error("disjoint ranges rejected")
+	}
+	if StreamsDisjoint(l, mk(0, 50, 100)) {
+		t.Error("overlapping ranges accepted")
+	}
+	if !StreamsDisjoint(l, mk(0, 50, 10)) {
+		t.Error("short trip no longer overlapping, but rejected")
+	}
+	if !StreamsDisjoint(l, mk(0, 50, 0)) {
+		t.Error("zero trip rejected")
+	}
+	// Identical pattern with dataflow: accepted.
+	if !StreamsDisjoint(l, mk(0, 0, 100)) {
+		t.Error("read-modify-write pattern rejected")
+	}
+}
+
+func TestNoCCAHardwareIgnoresAnnotations(t *testing.T) {
+	// A binary with CCA annotations must still run (ops individually) on
+	// an LA without a CCA — the compatibility core of Figure 9.
+	b := ir.NewBuilder("annot")
+	x := b.LoadStream("in", 1)
+	v := b.Xor(b.And(x, b.Const(255)), b.Add(x, b.Const(7)))
+	v = b.Or(v, b.Sub(x, b.Const(1)))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.CCAFuncs) == 0 {
+		t.Skip("mapper found no group; nothing to test")
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i*31))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 32
+		m.Regs[res.ParamRegs[0]] = 100
+		m.Regs[res.ParamRegs[1]] = 6000
+	}
+	cfg := DefaultConfig()
+	cfg.LA = arch.Proposed()
+	cfg.LA.CCAs = 0
+	cfg.LA.IntUnits = 4 // compensate
+	r := compareVMToScalar(t, cfg, res.Program, mem, seed)
+	if r.Launches == 0 {
+		t.Error("annotated binary not accelerated on CCA-less hardware")
+	}
+}
+
+func TestSmallerCCAStillRuns(t *testing.T) {
+	// Same binary, but the hardware CCA is smaller than the compiler
+	// assumed: groups that no longer fit are dropped, the loop still runs.
+	b := ir.NewBuilder("annot2")
+	x := b.LoadStream("in", 1)
+	v := b.Xor(b.And(x, b.Const(255)), b.Add(x, b.Const(7)))
+	v = b.Or(v, b.Sub(x, b.Const(1)))
+	v = b.And(v, b.Const(1023))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := ir.NewPagedMemory()
+	for i := int64(0); i < 40; i++ {
+		mem.Store(100+i, uint64(i*13))
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 32
+		m.Regs[res.ParamRegs[0]] = 100
+		m.Regs[res.ParamRegs[1]] = 6000
+	}
+	cfg := DefaultConfig()
+	cfg.LA = arch.Proposed()
+	cfg.LA.CCA.MaxOps = 2
+	cfg.LA.CCA.Inputs = 2
+	compareVMToScalar(t, cfg, res.Program, mem, seed)
+}
+
+func TestVMPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		NoPenalty: "no-penalty", FullyDynamic: "fully-dynamic",
+		HeightPriority: "fully-dynamic-height", Hybrid: "static-cca-priority",
+	} {
+		if p.String() != want {
+			t.Errorf("policy %d = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Error("unknown policy should include its number")
+	}
+}
+
+func TestVMRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	accelerated := 0
+	for trial := 0; trial < 40; trial++ {
+		cfgen := loopgen.Default()
+		cfgen.Ops = 3 + rng.Intn(14)
+		cfgen.RecurProb = float64(trial%3) * 0.25
+		cfgen.FloatFrac = float64(trial%2) * 0.25
+		l := loopgen.Generate(rng, cfgen)
+		if l.NumParams > 24 {
+			continue
+		}
+		annotate := trial%2 == 0
+		res, err := lower.Lower(l, lower.Options{Annotate: annotate})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		trip := int64(1 + rng.Intn(40))
+		bind := loopgen.Bindings(rng, l, trip)
+		mem := ir.NewPagedMemory()
+		for _, st := range l.Streams {
+			if st.Kind == ir.LoadStream {
+				base := int64(bind.Params[st.BaseParam])
+				for i := int64(0); i <= trip*4; i++ {
+					mem.Store(base+i, uint64(rng.Int63()))
+				}
+			}
+		}
+		seed := func(m *scalar.Machine) {
+			m.Regs[res.TripReg] = uint64(trip)
+			for i, r := range res.ParamRegs {
+				m.Regs[r] = bind.Params[i]
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Policy = Policy(trial % 4)
+		r := compareVMToScalar(t, cfg, res.Program, mem, seed)
+		if r.Launches > 0 {
+			accelerated++
+		}
+	}
+	if accelerated < 15 {
+		t.Errorf("only %d/40 random programs were accelerated", accelerated)
+	}
+}
+
+func TestHotThresholdDefersTranslation(t *testing.T) {
+	res, _ := firProgram(t, true)
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 3
+	v := New(cfg)
+	for i := 0; i < 5; i++ {
+		mem := firMem()
+		r, _, err := v.Run(res.Program, mem, firSeed(res, 32), 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 && r.Launches != 0 {
+			t.Errorf("invocation %d accelerated before the hot threshold", i+1)
+		}
+		if i >= 2 && r.Launches == 0 {
+			t.Errorf("invocation %d not accelerated after the hot threshold", i+1)
+		}
+		// Results identical either way.
+		ref := firMem()
+		rm := scalarRunRef(t, cfg, res.Program, ref, firSeed(res, 32))
+		if !mem.Equal(rm) {
+			t.Fatalf("invocation %d: results diverge", i+1)
+		}
+	}
+	if v.Stats.Translations != 1 {
+		t.Errorf("translations = %d, want 1", v.Stats.Translations)
+	}
+}
+
+// scalarRunRef executes the program on a plain scalar core and returns
+// its final memory.
+func scalarRunRef(t *testing.T, cfg Config, p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)) *ir.PagedMemory {
+	t.Helper()
+	m := scalar.New(cfg.CPU, mem)
+	seed(m)
+	if err := m.Run(p, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m.Mem.(*ir.PagedMemory)
+}
+
+// TestStaticOrderQualityAcrossKernels verifies the paper's central hybrid
+// claim at translation granularity: for every workload kernel, scheduling
+// with the binary's static priority table achieves the same II as the
+// full dynamic Swing computation.
+func TestStaticOrderQualityAcrossKernels(t *testing.T) {
+	la := arch.Proposed()
+	seen := map[string]bool{}
+	checked := 0
+	for _, bench := range workloads.MediaFP() {
+		for _, site := range bench.Sites {
+			if seen[site.Kernel.Name] {
+				continue
+			}
+			seen[site.Kernel.Name] = true
+			l := site.Kernel.Build()
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				t.Fatalf("%s: %v", site.Kernel.Name, err)
+			}
+			var region cfg.Region
+			ok := false
+			for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+				if r.Head == res.Head {
+					region, ok = r, true
+				}
+			}
+			if !ok || region.Kind != cfg.KindSchedulable {
+				continue
+			}
+			hybrid := New(Config{LA: la, CPU: arch.ARM11(), Policy: Hybrid})
+			th, errH := hybrid.Translate(res.Program, region)
+			dynamic := New(Config{LA: la, CPU: arch.ARM11(), Policy: FullyDynamic})
+			td, errD := dynamic.Translate(res.Program, region)
+			if (errH == nil) != (errD == nil) {
+				t.Errorf("%s: hybrid err=%v dynamic err=%v", site.Kernel.Name, errH, errD)
+				continue
+			}
+			if errH != nil {
+				continue
+			}
+			checked++
+			if th.Schedule.II != td.Schedule.II {
+				t.Errorf("%s: static-priority II %d != dynamic II %d",
+					site.Kernel.Name, th.Schedule.II, td.Schedule.II)
+			}
+			if th.WorkTotal() >= td.WorkTotal() {
+				t.Errorf("%s: hybrid translation (%d units) not cheaper than dynamic (%d)",
+					site.Kernel.Name, th.WorkTotal(), td.WorkTotal())
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d kernels checked", checked)
+	}
+}
+
+// TestBigLoopTranslationIsFast guards against algorithmic blowups: a
+// 200-operation loop must build, order and schedule on a large
+// accelerator without superlinear surprises.
+func TestBigLoopTranslationIsFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfgen := loopgen.Default()
+	cfgen.Ops = 200
+	cfgen.LoadStreams = 8
+	cfgen.StoreStreams = 4
+	cfgen.RecurProb = 0.15
+	l := loopgen.Generate(rng, cfgen)
+	la := arch.Infinite()
+	g, err := modschedBuild(l, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Units) < 150 {
+		t.Fatalf("generator produced only %d units", len(g.Units))
+	}
+	s, err := modschedSchedule(g, la)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(la); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// modschedBuild/modschedSchedule keep the big-loop test readable.
+func modschedBuild(l *ir.Loop, la *arch.LA) (*modsched.Graph, error) {
+	return modsched.BuildGraph(l, nil, la.CCA, nil)
+}
+
+func modschedSchedule(g *modsched.Graph, la *arch.LA) (*modsched.Schedule, error) {
+	return modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+}

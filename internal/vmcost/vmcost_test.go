@@ -1,0 +1,95 @@
+package vmcost
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeterAccumulatesPerPhase(t *testing.T) {
+	var m Meter
+	m.Begin(PhasePriority)
+	m.Charge(10)
+	m.Charge(5)
+	m.Begin(PhaseCCAMap)
+	m.Charge(7)
+	m.ChargePhase(PhaseRecMII, 3)
+	if got := m.Count(PhasePriority); got != 15 {
+		t.Errorf("priority = %d, want 15", got)
+	}
+	if got := m.Count(PhaseCCAMap); got != 7 {
+		t.Errorf("cca = %d, want 7", got)
+	}
+	if got := m.Count(PhaseRecMII); got != 3 {
+		t.Errorf("recmii = %d, want 3", got)
+	}
+	if got := m.Total(); got != 25 {
+		t.Errorf("total = %d, want 25", got)
+	}
+}
+
+func TestNilMeterIsSafe(t *testing.T) {
+	var m *Meter
+	m.Begin(PhaseSchedule)
+	m.Charge(100)
+	m.ChargePhase(PhaseLoopID, 1)
+	m.Add(&Meter{})
+	m.Reset()
+	if m.Total() != 0 || m.Count(PhaseSchedule) != 0 {
+		t.Error("nil meter recorded something")
+	}
+	if m.String() != "meter(nil)" {
+		t.Errorf("nil String = %q", m.String())
+	}
+	if m.Breakdown() != [NumPhases]int64{} {
+		t.Error("nil Breakdown not zero")
+	}
+}
+
+func TestAddMergesAndResetClears(t *testing.T) {
+	var a, b Meter
+	a.ChargePhase(PhasePriority, 4)
+	b.ChargePhase(PhasePriority, 6)
+	b.ChargePhase(PhaseRegAssign, 1)
+	a.Add(&b)
+	if a.Count(PhasePriority) != 10 || a.Count(PhaseRegAssign) != 1 {
+		t.Errorf("Add produced %v", a.String())
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseLoopID:    "loop-id",
+		PhaseStreamSep: "stream-sep",
+		PhaseCCAMap:    "cca-map",
+		PhaseResMII:    "resmii",
+		PhaseRecMII:    "recmii",
+		PhasePriority:  "priority",
+		PhaseSchedule:  "schedule",
+		PhaseRegAssign: "reg-assign",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), name)
+		}
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Error("out-of-range phase String should include the number")
+	}
+}
+
+func TestStringListsNonZeroPhases(t *testing.T) {
+	var m Meter
+	m.ChargePhase(PhaseCCAMap, 2)
+	m.ChargePhase(PhaseSchedule, 3)
+	s := m.String()
+	if !strings.Contains(s, "total=5") || !strings.Contains(s, "cca-map=2") || !strings.Contains(s, "schedule=3") {
+		t.Errorf("String = %q", s)
+	}
+	if strings.Contains(s, "priority") {
+		t.Errorf("String lists zero phase: %q", s)
+	}
+}

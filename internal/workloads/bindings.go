@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"math"
+	"math/rand"
+
+	"veal/internal/ir"
+)
+
+// Prepare builds deterministic bindings and a seeded memory for one
+// invocation of a loop: stream bases spread far apart (so independent
+// streams never alias), floating-point parameters and input data where the
+// consumers are FP operations, small integers elsewhere.
+func Prepare(l *ir.Loop, trip int64, seed int64) (*ir.Bindings, *ir.PagedMemory) {
+	rng := rand.New(rand.NewSource(seed))
+	params := make([]uint64, l.NumParams)
+	fpParam := floatParams(l)
+	for i := range params {
+		if fpParam[i] {
+			params[i] = math.Float64bits(0.25 + float64(rng.Intn(31))/8)
+		} else {
+			params[i] = uint64(rng.Intn(13) + 1)
+		}
+	}
+	for i, s := range l.Streams {
+		params[s.BaseParam] = uint64(i+1) << 22
+	}
+
+	mem := ir.NewPagedMemory()
+	for _, s := range l.Streams {
+		if s.Kind != ir.LoadStream {
+			continue
+		}
+		base := s.AddrAt(params, 0)
+		span := trip * abs(s.Stride)
+		fp := loadIsFloat(l, s)
+		for w := int64(0); w <= span; w++ {
+			if fp {
+				mem.Store(base+w, math.Float64bits(float64(rng.Intn(255))/16-8))
+			} else {
+				mem.Store(base+w, uint64(rng.Intn(1<<12)))
+			}
+		}
+	}
+	return &ir.Bindings{Params: params, Trip: trip}, mem
+}
+
+func abs(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// floatParams marks parameters consumed as floating-point values: read by
+// an OpParam node feeding FP operations, or used as the initial value of
+// an FP recurrence.
+func floatParams(l *ir.Loop) []bool {
+	succs := l.Succs()
+	out := make([]bool, l.NumParams)
+	isFPValue := func(node int) bool {
+		for _, s := range succs[node] {
+			if l.Nodes[s.Node].Op.Class() == ir.ClassFloat && l.Nodes[s.Node].Op != ir.OpIToF {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam && isFPValue(n.ID) {
+			out[n.Param] = true
+		}
+		if n.Op.Class() == ir.ClassFloat && n.Op != ir.OpFToI && n.Op != ir.OpFCmpLT &&
+			n.Op != ir.OpFCmpLE && n.Op != ir.OpFCmpEQ {
+			for _, p := range n.Init {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// loadIsFloat reports whether a load stream feeds FP operations.
+func loadIsFloat(l *ir.Loop, s ir.Stream) bool {
+	succs := l.Succs()
+	for _, n := range l.Nodes {
+		if n.Op != ir.OpLoad || &l.Streams[n.Stream] == nil {
+			continue
+		}
+		if l.Streams[n.Stream] != s {
+			continue
+		}
+		for _, sc := range succs[n.ID] {
+			if l.Nodes[sc.Node].Op.Class() == ir.ClassFloat {
+				return true
+			}
+		}
+	}
+	return false
+}

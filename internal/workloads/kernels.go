@@ -1,0 +1,621 @@
+// Package workloads defines the benchmark suite the experiments run on:
+// MediaBench-class media kernels, SPECfp-class floating-point kernels, and
+// SPECint-class applications, each modelled as a set of innermost-loop
+// sites with invocation counts plus an acyclic instruction budget.
+//
+// The paper evaluated real MediaBench/SPEC binaries compiled with
+// Trimaran; those binaries and that toolchain do not exist here, so each
+// application is represented by hand-built kernels reproducing the
+// *structural* properties the experiments are sensitive to: operation mix
+// (integer vs floating point vs CCA-coverable bitwise work), recurrence
+// shape and length, stream counts, loop body size and trip counts. See
+// DESIGN.md ("Substitutions") for the fidelity argument.
+package workloads
+
+import (
+	"fmt"
+
+	"veal/internal/ir"
+)
+
+// Kernel is a named loop-body generator.
+type Kernel struct {
+	Name  string
+	Build func() *ir.Loop
+}
+
+// ADPCMEncode models the rawcaudio inner loop: a short integer loop
+// dominated by a serial predictor/step-size recurrence with
+// compare/select/bitwise work the CCA can swallow.
+func ADPCMEncode() *ir.Loop {
+	b := ir.NewBuilder("adpcm-encode")
+	x := b.LoadStream("in", 1)
+
+	// Predictor recurrence: valpred = clamp(valpred@1 + delta-ish).
+	valpred := b.Add(b.Const(0), b.Const(0)) // operands rewired below
+	step := b.Add(b.Const(0), b.Const(0))    // step-size recurrence
+
+	diff := b.Sub(x, b.Recur(valpred, 1, "valpred0"))
+	sign := b.CmpLT(diff, b.Const(0))
+	mag := b.Abs(diff)
+	prevStep := b.Recur(step, 1, "step0")
+	d0 := b.CmpGE(mag, prevStep)
+	rem := b.Sub(mag, b.Select(d0, prevStep, b.Const(0)))
+	half := b.ShrA(prevStep, b.Const(1))
+	d1 := b.CmpGE(rem, half)
+	code := b.Or(b.Shl(d0, b.Const(1)), d1)
+	code = b.Or(code, b.Shl(sign, b.Const(2)))
+
+	vpDelta := b.Add(b.Mul(code, prevStep), half)
+	vpNew := b.Select(sign,
+		b.Sub(b.Recur(valpred, 1, "valpred0"), vpDelta),
+		b.Add(b.Recur(valpred, 1, "valpred0"), vpDelta))
+	vpClamped := b.Max(b.Min(vpNew, b.Const(32767)), b.Const(-32768))
+	b.SetArg(valpred, 0, vpClamped)
+	b.SetArg(valpred, 1, b.Const(0))
+
+	stepNew := b.Add(b.ShrA(b.Mul(prevStep, b.Add(code, b.Const(2))), b.Const(2)), b.Const(1))
+	stepClamped := b.Max(b.Min(stepNew, b.Const(16384)), b.Const(7))
+	b.SetArg(step, 0, stepClamped)
+	b.SetArg(step, 1, b.Const(0))
+
+	b.StoreStream("out", 1, code)
+	b.LiveOut("valpred", valpred)
+	b.LiveOut("step", step)
+	return b.MustBuild()
+}
+
+// ADPCMDecode models rawdaudio: the same predictor recurrence driven by
+// the code stream.
+func ADPCMDecode() *ir.Loop {
+	b := ir.NewBuilder("adpcm-decode")
+	code := b.LoadStream("in", 1)
+	valpred := b.Add(b.Const(0), b.Const(0))
+	step := b.Add(b.Const(0), b.Const(0))
+	prevStep := b.Recur(step, 1, "step0")
+
+	sign := b.And(code, b.Const(4))
+	delta := b.And(code, b.Const(3))
+	vpDelta := b.Add(b.Mul(delta, prevStep), b.ShrA(prevStep, b.Const(1)))
+	vpNew := b.Select(sign,
+		b.Sub(b.Recur(valpred, 1, "valpred0"), vpDelta),
+		b.Add(b.Recur(valpred, 1, "valpred0"), vpDelta))
+	vpClamped := b.Max(b.Min(vpNew, b.Const(32767)), b.Const(-32768))
+	b.SetArg(valpred, 0, vpClamped)
+	b.SetArg(valpred, 1, b.Const(0))
+
+	stepNew := b.Add(b.ShrA(b.Mul(prevStep, b.Add(delta, b.Const(2))), b.Const(2)), b.Const(1))
+	b.SetArg(step, 0, b.Max(b.Min(stepNew, b.Const(16384)), b.Const(7)))
+	b.SetArg(step, 1, b.Const(0))
+
+	b.StoreStream("out", 1, vpClamped)
+	b.LiveOut("valpred", valpred)
+	b.LiveOut("step", step)
+	return b.MustBuild()
+}
+
+// G721Predict models the g721 adaptive predictor: a 6-tap integer
+// multiply-accumulate over delayed samples with a scale recurrence.
+func G721Predict() *ir.Loop {
+	b := ir.NewBuilder("g721-predict")
+	acc := b.Const(0)
+	for t := 0; t < 6; t++ {
+		d := b.LoadStream(fmt.Sprintf("dq%d", t), 1)
+		w := b.Param(fmt.Sprintf("w%d", t))
+		acc = b.Add(acc, b.ShrA(b.Mul(d, w), b.Const(14)))
+	}
+	scale := b.Add(b.Const(0), b.Const(0))
+	sc := b.Add(b.ShrA(b.Recur(scale, 1, "scale0"), b.Const(5)), acc)
+	b.SetArg(scale, 0, sc)
+	b.SetArg(scale, 1, b.Const(0))
+	b.StoreStream("out", 1, sc)
+	b.LiveOut("scale", scale)
+	return b.MustBuild()
+}
+
+// FIR builds an n-tap integer FIR filter: ILP-rich, load-stream heavy.
+func FIR(taps int) *ir.Loop {
+	b := ir.NewBuilder(fmt.Sprintf("fir%d", taps))
+	acc := b.Const(0)
+	for t := 0; t < taps; t++ {
+		x := b.LoadStream(fmt.Sprintf("x%d", t), 1)
+		c := b.Param(fmt.Sprintf("c%d", t))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, b.ShrA(acc, b.Const(15)))
+	return b.MustBuild()
+}
+
+// IDCTRow models one row pass of the mpeg2 8x8 inverse DCT: wide integer
+// butterflies of multiplies, shifts and adds over 8 input streams.
+func IDCTRow() *ir.Loop {
+	b := ir.NewBuilder("idct-row")
+	var x [8]ir.Value
+	for i := range x {
+		x[i] = b.LoadStream(fmt.Sprintf("blk%d", i), 8)
+	}
+	w := func(i int) ir.Value { return b.Param(fmt.Sprintf("w%d", i)) }
+	sh := b.Const(11)
+	// Even part.
+	t0 := b.Add(b.Shl(x[0], sh), b.Const(128))
+	t1 := b.Shl(x[4], sh)
+	e0 := b.Add(t0, t1)
+	e1 := b.Sub(t0, t1)
+	m2 := b.Mul(x[2], w(0))
+	m6 := b.Mul(x[6], w(1))
+	e2 := b.Add(m2, m6)
+	e3 := b.Sub(m2, m6)
+	// Odd part.
+	o0 := b.Add(b.Mul(x[1], w(2)), b.Mul(x[7], w(3)))
+	o1 := b.Sub(b.Mul(x[5], w(4)), b.Mul(x[3], w(5)))
+	s0 := b.Add(e0, e2)
+	s1 := b.Add(e1, e3)
+	r0 := b.ShrA(b.Add(s0, o0), b.Const(8))
+	r1 := b.ShrA(b.Add(s1, o1), b.Const(8))
+	r2 := b.ShrA(b.Sub(s1, o1), b.Const(8))
+	r3 := b.ShrA(b.Sub(s0, o0), b.Const(8))
+	b.StoreStream("out0", 8, r0)
+	b.StoreStream("out1", 8, r1)
+	b.StoreStream("out2", 8, r2)
+	b.StoreStream("out3", 8, r3)
+	return b.MustBuild()
+}
+
+// QuantClip models the mpeg2 quantization clip: bitwise-and-compare work
+// the CCA covers almost entirely.
+func QuantClip() *ir.Loop {
+	b := ir.NewBuilder("quant-clip")
+	x := b.LoadStream("in", 1)
+	q := b.Param("quant")
+	v := b.Mul(x, q)
+	v = b.ShrA(v, b.Const(4))
+	lo := b.CmpLT(v, b.Const(-2048))
+	hi := b.CmpGT(v, b.Const(2047))
+	v = b.Select(lo, b.Const(-2048), v)
+	v = b.Select(hi, b.Const(2047), v)
+	odd := b.And(v, b.Const(1))
+	v = b.Or(b.And(v, b.Not(b.Const(1))), odd)
+	b.StoreStream("out", 1, v)
+	return b.MustBuild()
+}
+
+// SAD16 models motion-estimation sum-of-absolute-differences: abs/add
+// reduction over two pixel streams.
+func SAD16() *ir.Loop {
+	b := ir.NewBuilder("sad16")
+	p := b.LoadStream("cur", 1)
+	q := b.LoadStream("ref", 1)
+	d := b.Abs(b.Sub(p, q))
+	acc := b.Add(d, d) // second operand rewired to self@1
+	b.SetArg(acc, 1, b.Recur(acc, 1, "sad0"))
+	b.LiveOut("sad", acc)
+	return b.MustBuild()
+}
+
+// ColorConv models RGB-to-YCbCr conversion: three MAC chains sharing
+// loads, shifts, rounding adds.
+func ColorConv() *ir.Loop {
+	b := ir.NewBuilder("color-conv")
+	r := b.LoadStream("r", 1)
+	g := b.LoadStream("g", 1)
+	bl := b.LoadStream("b", 1)
+	coef := func(n string) ir.Value { return b.Param(n) }
+	y := b.ShrA(b.Add(b.Add(b.Mul(r, coef("cyr")), b.Mul(g, coef("cyg"))), b.Mul(bl, coef("cyb"))), b.Const(16))
+	cb := b.ShrA(b.Sub(b.Mul(bl, coef("cbb")), b.Add(b.Mul(r, coef("cbr")), b.Mul(g, coef("cbg")))), b.Const(16))
+	b.StoreStream("outy", 1, y)
+	b.StoreStream("outcb", 1, b.Add(cb, b.Const(128)))
+	return b.MustBuild()
+}
+
+// ViterbiACS models the add-compare-select butterfly of Viterbi decoding
+// (pegwit/gsm class): CCA-friendly integer work with a path-metric
+// recurrence.
+func ViterbiACS() *ir.Loop {
+	b := ir.NewBuilder("viterbi-acs")
+	m0 := b.LoadStream("metric0", 1)
+	m1 := b.LoadStream("metric1", 1)
+	br0 := b.LoadStream("branch0", 1)
+	br1 := b.LoadStream("branch1", 1)
+	a0 := b.Add(m0, br0)
+	a1 := b.Add(m1, br1)
+	sel := b.CmpLT(a1, a0)
+	best := b.Select(sel, a1, a0)
+	norm := b.Add(b.Const(0), b.Const(0))
+	nb := b.Min(b.Recur(norm, 1, "norm0"), best)
+	b.SetArg(norm, 0, nb)
+	b.SetArg(norm, 1, b.Const(0))
+	b.StoreStream("outm", 1, b.Sub(best, nb))
+	b.StoreStream("outd", 1, sel)
+	b.LiveOut("norm", norm)
+	return b.MustBuild()
+}
+
+// BitPack models entropy-coder bit packing: shift/or accumulation with a
+// serial bit-position recurrence (huffman emission inner loop).
+func BitPack() *ir.Loop {
+	b := ir.NewBuilder("bitpack")
+	sym := b.LoadStream("sym", 1)
+	lenS := b.LoadStream("len", 1)
+	accum := b.Add(b.Const(0), b.Const(0))
+	word := b.Shl(b.Recur(accum, 1, "acc0"), b.And(lenS, b.Const(31)))
+	merged := b.Or(word, sym)
+	b.SetArg(accum, 0, merged)
+	b.SetArg(accum, 1, b.Const(0))
+	b.StoreStream("out", 1, merged)
+	b.LiveOut("accum", accum)
+	return b.MustBuild()
+}
+
+// GSMLongTerm models the gsm long-term predictor: integer MAC with a
+// running max (argmax-style serial dependence).
+func GSMLongTerm() *ir.Loop {
+	b := ir.NewBuilder("gsm-ltp")
+	d := b.LoadStream("d", 1)
+	w := b.LoadStream("wt", 1)
+	prod := b.Mul(d, w)
+	sh := b.ShrA(prod, b.Const(6))
+	best := b.Add(b.Const(0), b.Const(0))
+	nb := b.Max(b.Recur(best, 1, "best0"), sh)
+	b.SetArg(best, 0, nb)
+	b.SetArg(best, 1, b.Const(0))
+	b.StoreStream("out", 1, sh)
+	b.LiveOut("best", best)
+	return b.MustBuild()
+}
+
+// Saxpy is the canonical fp stream kernel: z[i] = a*x[i] + y[i].
+func Saxpy() *ir.Loop {
+	b := ir.NewBuilder("saxpy")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	b.StoreStream("z", 1, b.FAdd(b.FMul(a, x), y))
+	return b.MustBuild()
+}
+
+// DotProduct is the fp reduction kernel (alvinn/nasa7 class): a serial
+// FAdd recurrence fed by a pipelined FMul.
+func DotProduct() *ir.Loop {
+	b := ir.NewBuilder("dotprod")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	p := b.FMul(x, y)
+	acc := b.FAdd(p, p) // rewired
+	b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+	b.LiveOut("dot", acc)
+	return b.MustBuild()
+}
+
+// Stencil3 is a 3-point fp stencil (hydro/swim class).
+func Stencil3() *ir.Loop {
+	b := ir.NewBuilder("stencil3")
+	xm := b.LoadStream("xm", 1)
+	x0 := b.LoadStream("x0", 1)
+	xp := b.LoadStream("xp", 1)
+	c0 := b.Param("c0")
+	c1 := b.Param("c1")
+	v := b.FAdd(b.FMul(c0, x0), b.FMul(c1, b.FAdd(xm, xp)))
+	b.StoreStream("out", 1, v)
+	return b.MustBuild()
+}
+
+// SwimStencil models swim's shallow-water update: a 2D 5-point stencil
+// over strided streams with several coefficient multiplies.
+func SwimStencil() *ir.Loop {
+	b := ir.NewBuilder("swim-stencil")
+	u := b.LoadStream("u", 1)
+	un := b.LoadStream("un", 1)
+	us := b.LoadStream("us", 1)
+	ue := b.LoadStream("ue", 1)
+	uw := b.LoadStream("uw", 1)
+	h := b.LoadStream("h", 1)
+	dt := b.Param("dt")
+	lap := b.FAdd(b.FAdd(un, us), b.FAdd(ue, uw))
+	v := b.FAdd(u, b.FMul(dt, b.FSub(lap, b.FMul(b.Param("c4"), u))))
+	b.StoreStream("out", 1, b.FAdd(v, b.FMul(dt, h)))
+	return b.MustBuild()
+}
+
+// MgridResid models mgrid's residual: a 3D stencil needing many streams
+// (the paper's example of stream-hungry loops from aggressive inlining).
+func MgridResid() *ir.Loop {
+	b := ir.NewBuilder("mgrid-resid")
+	var n [9]ir.Value
+	names := []string{"c", "n", "s", "e", "w", "u", "d", "ne", "sw"}
+	for i := range n {
+		n[i] = b.LoadStream(names[i], 1)
+	}
+	rhs := b.LoadStream("rhs", 1)
+	a0 := b.Param("a0")
+	a1 := b.Param("a1")
+	a2 := b.Param("a2")
+	face := b.FAdd(b.FAdd(n[1], n[2]), b.FAdd(n[3], n[4]))
+	face = b.FAdd(face, b.FAdd(n[5], n[6]))
+	edge := b.FAdd(n[7], n[8])
+	v := b.FSub(rhs, b.FAdd(b.FMul(a0, n[0]), b.FAdd(b.FMul(a1, face), b.FMul(a2, edge))))
+	b.StoreStream("out", 1, v)
+	return b.MustBuild()
+}
+
+// TomcatvKernel models tomcatv's mesh-generation inner loop: fp heavy
+// with both x and y streams and a pair of outputs.
+func TomcatvKernel() *ir.Loop {
+	b := ir.NewBuilder("tomcatv")
+	xe := b.LoadStream("xe", 1)
+	xw := b.LoadStream("xw", 1)
+	yn := b.LoadStream("yn", 1)
+	ys := b.LoadStream("ys", 1)
+	xc := b.LoadStream("xc", 1)
+	yc := b.LoadStream("yc", 1)
+	dx := b.FSub(xe, xw)
+	dy := b.FSub(yn, ys)
+	a := b.FAdd(b.FMul(dx, dx), b.FMul(dy, dy))
+	rx := b.FSub(b.FMul(a, xc), b.FMul(dx, dy))
+	ry := b.FSub(b.FMul(a, yc), b.FMul(dy, dx))
+	b.StoreStream("outx", 1, rx)
+	b.StoreStream("outy", 1, ry)
+	return b.MustBuild()
+}
+
+// EarFilter models ear's cochlear filter cascade: a second-order fp IIR
+// (long recurrence through FMul+FAdd).
+func EarFilter() *ir.Loop {
+	b := ir.NewBuilder("ear-filter")
+	x := b.LoadStream("x", 1)
+	a1 := b.Param("a1")
+	a2 := b.Param("a2")
+	y := b.FAdd(x, x) // rewired below
+	fb1 := b.FMul(a1, b.Recur(y, 1, "y1"))
+	fb2 := b.FMul(a2, b.Recur(y, 2, "y1", "y2"))
+	b.SetArg(y, 1, b.FAdd(fb1, fb2))
+	b.StoreStream("out", 1, y)
+	b.LiveOut("y", y)
+	return b.MustBuild()
+}
+
+// ArtMatch models art's F1 layer: fp min/compare reduction with two
+// streams.
+func ArtMatch() *ir.Loop {
+	b := ir.NewBuilder("art-match")
+	p := b.LoadStream("p", 1)
+	w := b.LoadStream("w", 1)
+	m := b.FMin(p, w)
+	acc := b.FAdd(m, m)
+	b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+	norm := b.FAdd(p, p)
+	b.SetArg(norm, 1, b.Recur(norm, 1, "norm0"))
+	b.LiveOut("match", acc)
+	b.LiveOut("norm", norm)
+	return b.MustBuild()
+}
+
+// EpicWavelet models epic's wavelet filter: symmetric 5-tap integer
+// filter with shifts.
+func EpicWavelet() *ir.Loop {
+	b := ir.NewBuilder("epic-wavelet")
+	x0 := b.LoadStream("x0", 1)
+	x1 := b.LoadStream("x1", 1)
+	x2 := b.LoadStream("x2", 1)
+	x3 := b.LoadStream("x3", 1)
+	x4 := b.LoadStream("x4", 1)
+	t0 := b.Add(x0, x4)
+	t1 := b.Add(x1, x3)
+	v := b.Add(b.Sub(b.Shl(x2, b.Const(2)), t1), b.ShrA(t0, b.Const(1)))
+	b.StoreStream("out", 1, b.ShrA(v, b.Const(2)))
+	return b.MustBuild()
+}
+
+// MatmulInner is the blocked matrix-multiply inner loop (nasa7 class).
+func MatmulInner() *ir.Loop {
+	b := ir.NewBuilder("matmul-inner")
+	a := b.LoadStream("a", 1)
+	bb := b.LoadStream("b", 8)
+	p := b.FMul(a, bb)
+	acc := b.FAdd(p, p)
+	b.SetArg(acc, 1, b.Recur(acc, 1, "c0"))
+	b.LiveOut("c", acc)
+	return b.MustBuild()
+}
+
+// Stencil27Offsets are the 27 neighbour offsets of a 3D point in a grid
+// with plane stride 64 and row stride 8 (center, 6 faces, 12 edges, 8
+// corners) — all relative to one array base, the way mgrid's resid loop
+// really addresses memory.
+var Stencil27Offsets = func() []int64 {
+	var out []int64
+	for dz := int64(-1); dz <= 1; dz++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dx := int64(-1); dx <= 1; dx++ {
+				out = append(out, dz*64+dy*8+dx)
+			}
+		}
+	}
+	return out
+}()
+
+// Stencil27 models a full 27-point 3D stencil, the shape of mgrid's resid
+// loop before fission: 27 load streams off one array base plus the
+// right-hand side — far beyond the proposed accelerator's 16 load
+// streams, so it only maps after the static compiler fissions it (§3.1).
+func Stencil27() *ir.Loop {
+	b := ir.NewBuilder("stencil27")
+	pts := make([]ir.Value, 27)
+	for i, off := range Stencil27Offsets {
+		pts[i] = b.LoadStreamAt("grid", off, 1)
+	}
+	rhs := b.LoadStream("rhs", 1)
+	a0 := b.Param("a0")
+	a1 := b.Param("a1")
+	a2 := b.Param("a2")
+	a3 := b.Param("a3")
+	center := pts[13] // dz=dy=dx=0
+	// Classify by Manhattan shell: 6 faces, 12 edges, 8 corners.
+	var faceVals, edgeVals, cornerVals []ir.Value
+	for i, off := range Stencil27Offsets {
+		if off == 0 {
+			continue
+		}
+		n := 0
+		for _, d := range decompose(off) {
+			if d != 0 {
+				n++
+			}
+		}
+		switch n {
+		case 1:
+			faceVals = append(faceVals, pts[i])
+		case 2:
+			edgeVals = append(edgeVals, pts[i])
+		default:
+			cornerVals = append(cornerVals, pts[i])
+		}
+	}
+	sumOf := func(vs []ir.Value) ir.Value {
+		acc := vs[0]
+		for _, v := range vs[1:] {
+			acc = b.FAdd(acc, v)
+		}
+		return acc
+	}
+	faces := sumOf(faceVals)
+	edges := sumOf(edgeVals)
+	corners := sumOf(cornerVals)
+	sum := b.FAdd(b.FMul(a0, center),
+		b.FAdd(b.FMul(a1, faces), b.FAdd(b.FMul(a2, edges), b.FMul(a3, corners))))
+	b.StoreStream("out", 1, b.FSub(rhs, sum))
+	// A second independent output forces fission to find a cut.
+	b.StoreStream("norm", 1, b.FMul(faces, a1))
+	return b.MustBuild()
+}
+
+// decompose splits a stencil offset back into its (dz, dy, dx) components
+// by searching the 3x3x3 neighbourhood.
+func decompose(off int64) [3]int64 {
+	for dz := int64(-1); dz <= 1; dz++ {
+		for dy := int64(-1); dy <= 1; dy++ {
+			for dx := int64(-1); dx <= 1; dx++ {
+				if dz*64+dy*8+dx == off {
+					return [3]int64{dz, dy, dx}
+				}
+			}
+		}
+	}
+	return [3]int64{}
+}
+
+// StrScan models the while-shaped search loops of the integer suite
+// (compress's hash probe, parser's token scan): stream data until a
+// sentinel matches, with a checksum recurrence. Loops of this shape are
+// classified "speculation support" by the translator — the paper's design
+// rejects them; the repository's speculation extension (vm.Config.
+// SpeculationSupport) accelerates them by chunked speculative execution.
+func StrScan() *ir.Loop {
+	b := ir.NewBuilder("str-scan")
+	x := b.LoadStream("in", 1)
+	key := b.Param("key")
+	h := b.Xor(b.Mul(x, b.Const(31)), b.ShrL(x, b.Const(4)))
+	sum := b.Add(h, h)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "sum0"))
+	b.ExitWhen(b.CmpEQ(x, key))
+	b.LiveOut("sum", sum)
+	return b.MustBuild()
+}
+
+// HistogramHash models an integer hash/update loop (compress class). Its
+// store address depends on loaded data, which the translator must reject:
+// the loop stands in for the "speculation support"/irregular class.
+func HistogramHash() *ir.Loop {
+	// Built only for op-count bookkeeping; never lowered to a schedulable
+	// binary (the site is marked unschedulable in the suite tables).
+	b := ir.NewBuilder("histogram-hash")
+	x := b.LoadStream("in", 1)
+	h := b.Xor(b.Mul(x, b.Const(2654435761)), b.ShrL(x, b.Const(15)))
+	b.StoreStream("out", 1, h)
+	return b.MustBuild()
+}
+
+// AutoCorr models gsm's autocorrelation: an integer MAC of a signal
+// against a lagged copy of itself — two streams over one base register at
+// different offsets.
+func AutoCorr(lag int64) func() *ir.Loop {
+	return func() *ir.Loop {
+		b := ir.NewBuilder(fmt.Sprintf("autocorr%d", lag))
+		x := b.LoadStreamAt("s", 0, 1)
+		xl := b.LoadStreamAt("s", lag, 1)
+		p := b.ShrA(b.Mul(x, xl), b.Const(3))
+		acc := b.Add(p, p)
+		b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+		b.LiveOut("acc", acc)
+		return b.MustBuild()
+	}
+}
+
+// Bilinear models mpeg2's half-pel motion compensation: the rounded
+// average of four neighbouring pixels, all offsets of one reference base.
+func Bilinear() *ir.Loop {
+	b := ir.NewBuilder("bilinear")
+	p00 := b.LoadStreamAt("ref", 0, 1)
+	p01 := b.LoadStreamAt("ref", 1, 1)
+	p10 := b.LoadStreamAt("ref", 16, 1) // next row, stride-16 frame
+	p11 := b.LoadStreamAt("ref", 17, 1)
+	sum := b.Add(b.Add(p00, p01), b.Add(p10, p11))
+	b.StoreStream("out", 1, b.ShrA(b.Add(sum, b.Const(2)), b.Const(2)))
+	return b.MustBuild()
+}
+
+// Sobel models an image-gradient pass: a 3x3 convolution with the Sobel-X
+// kernel over a row-major frame (row stride 64), producing |Gx| clamped.
+func Sobel() *ir.Loop {
+	b := ir.NewBuilder("sobel")
+	at := func(dy, dx int64) ir.Value { return b.LoadStreamAt("img", dy*64+dx, 1) }
+	gx := b.Sub(at(-1, 1), at(-1, -1))
+	gx = b.Add(gx, b.Shl(b.Sub(at(0, 1), at(0, -1)), b.Const(1)))
+	gx = b.Add(gx, b.Sub(at(1, 1), at(1, -1)))
+	mag := b.Abs(gx)
+	b.StoreStream("out", 1, b.Min(mag, b.Const(255)))
+	return b.MustBuild()
+}
+
+// AlphaBlend models compositing: out = (a*x + (256-a)*y) >> 8 with a
+// per-pixel alpha stream.
+func AlphaBlend() *ir.Loop {
+	b := ir.NewBuilder("alpha-blend")
+	x := b.LoadStream("fg", 1)
+	y := b.LoadStream("bg", 1)
+	a := b.LoadStream("alpha", 1)
+	inv := b.Sub(b.Const(256), a)
+	v := b.ShrA(b.Add(b.Mul(a, x), b.Mul(inv, y)), b.Const(8))
+	b.StoreStream("out", 1, v)
+	return b.MustBuild()
+}
+
+// GFMixColumns models the bitwise field arithmetic of block ciphers
+// (pegwit class): xor/shift/mask chains the CCA collapses well.
+func GFMixColumns() *ir.Loop {
+	b := ir.NewBuilder("gf-mixcolumns")
+	s0 := b.LoadStream("c0", 1)
+	s1 := b.LoadStream("c1", 1)
+	xt := func(v ir.Value) ir.Value {
+		hi := b.And(b.ShrL(v, b.Const(7)), b.Const(1))
+		red := b.Mul(hi, b.Const(0x1b))
+		return b.And(b.Xor(b.Shl(v, b.Const(1)), red), b.Const(255))
+	}
+	t := b.Xor(s0, s1)
+	v := b.Xor(b.Xor(xt(t), s1), b.Xor(s0, b.Const(0)))
+	b.StoreStream("out", 1, b.And(v, b.Const(255)))
+	return b.MustBuild()
+}
+
+// TexGen models mesa's texture-coordinate generation: fp normalize with a
+// square root on the critical path (exercising the long-latency FP units).
+func TexGen() *ir.Loop {
+	b := ir.NewBuilder("texgen")
+	nx := b.LoadStream("nx", 1)
+	ny := b.LoadStream("ny", 1)
+	nz := b.LoadStream("nz", 1)
+	len2 := b.FAdd(b.FAdd(b.FMul(nx, nx), b.FMul(ny, ny)), b.FMul(nz, nz))
+	inv := b.FDiv(b.ConstF(1.0), b.FSqrt(len2))
+	b.StoreStream("outs", 1, b.FMul(nx, inv))
+	b.StoreStream("outt", 1, b.FMul(ny, inv))
+	return b.MustBuild()
+}

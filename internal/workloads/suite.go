@@ -1,0 +1,390 @@
+package workloads
+
+import (
+	"fmt"
+
+	"veal/internal/cfg"
+	"veal/internal/ir"
+)
+
+// Suite labels the benchmark's origin class.
+type Suite int
+
+const (
+	// MediaBench-class media processing applications.
+	MediaBench Suite = iota
+	// SPECfp-class floating-point applications.
+	SPECfp
+	// SPECint-class integer applications (Figure 2's right portion; not
+	// part of the accelerator evaluation suite).
+	SPECint
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	switch s {
+	case MediaBench:
+		return "mediabench"
+	case SPECfp:
+		return "specfp"
+	case SPECint:
+		return "specint"
+	}
+	return fmt.Sprintf("suite(%d)", int(s))
+}
+
+// LoopSite is one innermost loop of a benchmark: a kernel instance with
+// its runtime profile. Kind records why a site is not modulo-schedulable
+// (while-loop shape, non-inlinable call, irregular control); such sites
+// always execute on the scalar core and exist for Figure 2's taxonomy.
+type LoopSite struct {
+	Name        string
+	Kernel      Kernel
+	Trip        int64
+	Invocations int64
+	Kind        cfg.RegionKind
+}
+
+// DynamicOps returns the site's sequential operation count for one run.
+func (s LoopSite) DynamicOps() int64 {
+	return ir.DynamicOps(s.Kernel.Build(), s.Trip) * s.Invocations
+}
+
+// Benchmark models one application.
+type Benchmark struct {
+	Name  string
+	Suite Suite
+	Sites []LoopSite
+	// AcyclicInsts is the dynamic instruction count outside all loops.
+	AcyclicInsts int64
+}
+
+// site is a table-entry helper.
+func site(name string, build func() *ir.Loop, trip, inv int64, kind cfg.RegionKind) LoopSite {
+	return LoopSite{
+		Name:        name,
+		Kernel:      Kernel{Name: name, Build: build},
+		Trip:        trip,
+		Invocations: inv,
+		Kind:        kind,
+	}
+}
+
+func sched(name string, build func() *ir.Loop, trip, inv int64) LoopSite {
+	return site(name, build, trip, inv, cfg.KindSchedulable)
+}
+
+// MediaFP returns the evaluation suite: the left portion of Figure 2, the
+// applications the accelerator design targets.
+func MediaFP() []*Benchmark {
+	taps8 := func() *ir.Loop { return FIR(8) }
+	taps4 := func() *ir.Loop { return FIR(4) }
+	return []*Benchmark{
+		{
+			Name: "rawcaudio", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("encode", ADPCMEncode, 2048, 160),
+			},
+			AcyclicInsts: 600_000,
+		},
+		{
+			Name: "rawdaudio", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("decode", ADPCMDecode, 2048, 20),
+			},
+			AcyclicInsts: 62_000,
+		},
+		{
+			Name: "g721enc", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("predict", G721Predict, 256, 30),
+				sched("quantize", QuantClip, 256, 30),
+				sched("pack", BitPack, 128, 10),
+			},
+			AcyclicInsts: 75_000,
+		},
+		{
+			Name: "g721dec", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("predict", G721Predict, 256, 34),
+				sched("unpack", BitPack, 128, 12),
+			},
+			AcyclicInsts: 80_000,
+		},
+		{
+			Name: "epic", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("wavelet-h", EpicWavelet, 1024, 13),
+				sched("wavelet-v", EpicWavelet, 1024, 13),
+				sched("quant", QuantClip, 2048, 5),
+			},
+			AcyclicInsts: 150_000,
+		},
+		{
+			Name: "unepic", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("unwavelet", EpicWavelet, 1024, 15),
+				sched("dequant", QuantClip, 2048, 4),
+			},
+			AcyclicInsts: 110_000,
+		},
+		{
+			Name: "mpeg2dec", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("idct-row0", IDCTRow, 64, 5),
+				sched("idct-row1", IDCTRow, 64, 5),
+				sched("idct-col0", IDCTRow, 64, 5),
+				sched("idct-col1", IDCTRow, 64, 5),
+				sched("dequant-intra", QuantClip, 64, 7),
+				sched("dequant-inter", QuantClip, 64, 7),
+				sched("mc-avg", Bilinear, 256, 5),
+				sched("mc-copy", taps4, 256, 5),
+				sched("conv420", ColorConv, 256, 4),
+				sched("conv422", ColorConv, 256, 4),
+				sched("addblock", taps4, 64, 7),
+				sched("saturate", QuantClip, 64, 5),
+			},
+			AcyclicInsts: 180_000,
+		},
+		{
+			Name: "mpeg2enc", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("sad-full", SAD16, 256, 45),
+				sched("sad-half", SAD16, 256, 34),
+				sched("fdct0", IDCTRow, 64, 7),
+				sched("fdct1", IDCTRow, 64, 7),
+				sched("quant", QuantClip, 64, 11),
+				sched("pred", taps4, 256, 6),
+			},
+			AcyclicInsts: 220_000,
+		},
+		{
+			Name: "pegwitenc", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("gfmul0", taps8, 64, 4),
+				sched("gfmul1", taps8, 64, 4),
+				sched("gfadd", taps4, 64, 4),
+				sched("sqr", taps8, 64, 3),
+				sched("hash", BitPack, 128, 4),
+				sched("sbox", GFMixColumns, 64, 3),
+			},
+			AcyclicInsts: 110_000,
+		},
+		{
+			Name: "pegwitdec", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("gfmul0", taps8, 64, 4),
+				sched("gfmul1", taps8, 64, 4),
+				sched("sqr", taps8, 64, 3),
+				sched("hash", BitPack, 128, 4),
+			},
+			AcyclicInsts: 90_000,
+		},
+		{
+			Name: "gsmencode", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("ltp", GSMLongTerm, 160, 33),
+				sched("weighting", taps8, 160, 26),
+				sched("acs", ViterbiACS, 128, 20),
+			},
+			AcyclicInsts: 140_000,
+		},
+		{
+			Name: "gsmdecode", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("synthesis", taps8, 160, 26),
+				sched("postproc", QuantClip, 160, 20),
+			},
+			AcyclicInsts: 80_000,
+		},
+		{
+			Name: "cjpeg", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("rgb2ycc", ColorConv, 512, 10),
+				sched("fdct", IDCTRow, 64, 14),
+				sched("quant", QuantClip, 64, 14),
+				sched("encode", BitPack, 128, 10),
+			},
+			AcyclicInsts: 240_000,
+		},
+		{
+			Name: "djpeg", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("idct", IDCTRow, 64, 13),
+				sched("ycc2rgb", ColorConv, 512, 9),
+				sched("upsample", taps4, 512, 6),
+			},
+			AcyclicInsts: 160_000,
+		},
+		{
+			Name: "rasta", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("iir-bank", EarFilter, 256, 40),
+				sched("autocorr", AutoCorr(8), 256, 30),
+				sched("window", Saxpy, 256, 30),
+			},
+			AcyclicInsts: 120_000,
+		},
+		{
+			Name: "mesa-texgen", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("texgen", TexGen, 512, 25),
+				sched("blend", AlphaBlend, 512, 25),
+				sched("edge", Sobel, 512, 15),
+			},
+			AcyclicInsts: 150_000,
+		},
+		{
+			Name: "052.alvinn", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("forward", DotProduct, 1024, 18),
+				sched("backward", Saxpy, 1024, 15),
+				sched("weights", Saxpy, 1024, 8),
+			},
+			AcyclicInsts: 90_000,
+		},
+		{
+			Name: "056.ear", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("cochlea0", EarFilter, 256, 52),
+				sched("cochlea1", EarFilter, 256, 52),
+				sched("agc", Saxpy, 256, 25),
+			},
+			AcyclicInsts: 110_000,
+		},
+		{
+			Name: "093.nasa7", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("mxm", MatmulInner, 128, 62),
+				sched("vpenta", Stencil3, 256, 25),
+				sched("gmtry", DotProduct, 256, 19),
+			},
+			AcyclicInsts: 125_000,
+		},
+		{
+			Name: "101.tomcatv", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("mesh", TomcatvKernel, 512, 19),
+				sched("residual", Stencil3, 512, 19),
+				sched("smooth", Stencil3, 512, 13),
+			},
+			AcyclicInsts: 100_000,
+		},
+		{
+			Name: "171.swim", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("calc1", SwimStencil, 512, 15),
+				sched("calc2", SwimStencil, 512, 15),
+				sched("calc3", SwimStencil, 512, 13),
+			},
+			AcyclicInsts: 75_000,
+		},
+		{
+			Name: "172.mgrid", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("resid", MgridResid, 128, 2),
+				sched("psinv", MgridResid, 128, 2),
+				sched("interp", Stencil3, 256, 3),
+			},
+			AcyclicInsts: 18_000,
+		},
+		{
+			Name: "179.art", Suite: SPECfp,
+			Sites: []LoopSite{
+				sched("match", ArtMatch, 1024, 25),
+				sched("train", Saxpy, 1024, 15),
+			},
+			AcyclicInsts: 110_000,
+		},
+	}
+}
+
+// Integer returns the SPECint-class applications: dominated by acyclic
+// code, while-loops and calls — the right portion of Figure 2.
+func Integer() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "129.compress", Suite: SPECint,
+			Sites: []LoopSite{
+				site("hash-probe", StrScan, 64, 900, cfg.KindSpeculation),
+				site("output", BitPack, 64, 300, cfg.KindSpeculation),
+				sched("reset", FIR4Alias, 256, 40),
+			},
+			AcyclicInsts: 4_500_000,
+		},
+		{
+			Name: "130.li", Suite: SPECint,
+			Sites: []LoopSite{
+				site("gc-mark", StrScan, 32, 700, cfg.KindSpeculation),
+				site("eval", HistogramHash, 16, 900, cfg.KindSubroutine),
+			},
+			AcyclicInsts: 6_000_000,
+		},
+		{
+			Name: "124.m88ksim", Suite: SPECint,
+			Sites: []LoopSite{
+				site("decode", HistogramHash, 32, 800, cfg.KindSubroutine),
+				sched("memcpy", FIR4Alias, 512, 60),
+			},
+			AcyclicInsts: 5_000_000,
+		},
+		{
+			Name: "132.ijpeg", Suite: SPECint,
+			Sites: []LoopSite{
+				sched("fdct", IDCTRow, 64, 120),
+				sched("quant", QuantClip, 64, 120),
+				site("huff", BitPack, 64, 300, cfg.KindSpeculation),
+			},
+			AcyclicInsts: 3_000_000,
+		},
+		{
+			Name: "134.perl", Suite: SPECint,
+			Sites: []LoopSite{
+				site("regmatch", StrScan, 24, 900, cfg.KindSpeculation),
+				site("eval", HistogramHash, 16, 700, cfg.KindSubroutine),
+			},
+			AcyclicInsts: 7_000_000,
+		},
+		{
+			Name: "147.vortex", Suite: SPECint,
+			Sites: []LoopSite{
+				site("mem-probe", HistogramHash, 24, 800, cfg.KindSubroutine),
+			},
+			AcyclicInsts: 8_000_000,
+		},
+		{
+			Name: "176.gcc", Suite: SPECint,
+			Sites: []LoopSite{
+				site("rtl-walk", HistogramHash, 16, 1000, cfg.KindSubroutine),
+				site("bitmap", BitPack, 64, 250, cfg.KindSpeculation),
+				sched("clear", FIR4Alias, 256, 50),
+			},
+			AcyclicInsts: 9_000_000,
+		},
+		{
+			Name: "181.mcf", Suite: SPECint,
+			Sites: []LoopSite{
+				site("arc-scan", StrScan, 64, 800, cfg.KindSpeculation),
+			},
+			AcyclicInsts: 5_500_000,
+		},
+	}
+}
+
+// FIR4Alias adapts FIR(4) to the Kernel build signature.
+func FIR4Alias() *ir.Loop { return FIR(4) }
+
+// All returns every benchmark (Figure 2's full population).
+func All() []*Benchmark {
+	return append(MediaFP(), Integer()...)
+}
+
+// ByName finds a benchmark in the full population.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+}

@@ -1,0 +1,204 @@
+package workloads
+
+import (
+	"testing"
+
+	"veal/internal/accel"
+	"veal/internal/arch"
+	"veal/internal/cca"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/modsched"
+	"veal/internal/vm"
+)
+
+func TestAllKernelsValidate(t *testing.T) {
+	for _, b := range All() {
+		for _, s := range b.Sites {
+			l := s.Kernel.Build()
+			if err := l.Validate(); err != nil {
+				t.Errorf("%s/%s: %v", b.Name, s.Name, err)
+			}
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	media := MediaFP()
+	if len(media) < 15 {
+		t.Errorf("evaluation suite has %d benchmarks, want >= 15", len(media))
+	}
+	ints := Integer()
+	if len(ints) < 6 {
+		t.Errorf("integer suite has %d benchmarks, want >= 6", len(ints))
+	}
+	for _, b := range media {
+		hasSched := false
+		for _, s := range b.Sites {
+			if s.Kind == cfg.KindSchedulable {
+				hasSched = true
+			}
+			if s.Trip <= 0 || s.Invocations <= 0 {
+				t.Errorf("%s/%s: nonpositive profile", b.Name, s.Name)
+			}
+		}
+		if !hasSched {
+			t.Errorf("%s: evaluation benchmark with no schedulable site", b.Name)
+		}
+	}
+	if _, err := ByName("rawcaudio"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+// TestSchedulableKernelsEndToEnd is the suite's acceptance test: every
+// schedulable kernel must compile, extract, schedule on the proposed LA,
+// and produce accelerator results bit-identical to sequential execution.
+func TestSchedulableKernelsEndToEnd(t *testing.T) {
+	la := arch.Proposed()
+	seen := map[string]bool{}
+	for _, b := range All() {
+		for _, s := range b.Sites {
+			if s.Kind != cfg.KindSchedulable || seen[s.Kernel.Name] {
+				continue
+			}
+			seen[s.Kernel.Name] = true
+			l := s.Kernel.Build()
+
+			// Static compile with annotations must succeed.
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				t.Errorf("%s: lower: %v", s.Kernel.Name, err)
+				continue
+			}
+			regions := cfg.FindInnerLoops(res.Program, nil)
+			var region *cfg.Region
+			for i := range regions {
+				if regions[i].Head == res.Head && regions[i].Kind == cfg.KindSchedulable {
+					region = &regions[i]
+				}
+			}
+			if region == nil {
+				t.Errorf("%s: no schedulable region in compiled binary", s.Kernel.Name)
+				continue
+			}
+
+			// Translate through the VM pipeline (hybrid policy).
+			v := vm.New(vm.Config{LA: la, CPU: arch.ARM11(), Policy: vm.Hybrid})
+			tr, err := v.Translate(res.Program, *region)
+			if err != nil {
+				t.Errorf("%s: translate: %v", s.Kernel.Name, err)
+				continue
+			}
+			if tr.Schedule.II > la.MaxII {
+				t.Errorf("%s: II %d exceeds max", s.Kernel.Name, tr.Schedule.II)
+			}
+
+			// Accelerator vs sequential equivalence on the extracted loop.
+			trip := s.Trip
+			if trip > 96 {
+				trip = 96
+			}
+			bind, mem := Prepare(tr.Ext.Loop, trip, 42)
+			if !vm.StreamsDisjoint(tr.Ext.Loop, bind) {
+				t.Errorf("%s: Prepare produced aliasing streams", s.Kernel.Name)
+				continue
+			}
+			if err := accel.CheckEquivalence(la, tr.Schedule, bind, mem); err != nil {
+				t.Errorf("%s: %v", s.Kernel.Name, err)
+			}
+		}
+	}
+}
+
+// TestKernelsAcceleratorProfitable checks the headline premise: on the
+// proposed LA, modulo-scheduled kernels sustain much higher throughput
+// than a 1-issue scalar core (II well below the scalar cycles/iteration).
+func TestKernelsAcceleratorProfitable(t *testing.T) {
+	la := arch.Proposed()
+	profitable := 0
+	total := 0
+	seen := map[string]bool{}
+	for _, b := range MediaFP() {
+		for _, s := range b.Sites {
+			if s.Kind != cfg.KindSchedulable || seen[s.Kernel.Name] {
+				continue
+			}
+			seen[s.Kernel.Name] = true
+			total++
+			l := s.Kernel.Build()
+			groups := cca.Map(l, la.CCA, nil).Groups
+			g, err := modsched.BuildGraph(l, groups, la.CCA, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Kernel.Name, err)
+			}
+			sched, err := modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+			if err != nil {
+				t.Errorf("%s: %v", s.Kernel.Name, err)
+				continue
+			}
+			// Scalar lower bound: one op per cycle on a 1-issue core.
+			opsPerIter := ir.DynamicOps(l, 1)
+			if int64(sched.II) < opsPerIter {
+				profitable++
+			}
+		}
+	}
+	if profitable*4 < total*3 {
+		t.Errorf("only %d/%d kernels beat the 1-issue op bound", profitable, total)
+	}
+}
+
+func TestCCACoverageOnIntegerKernels(t *testing.T) {
+	// The design rationale: CCA-friendly kernels (quant-clip, viterbi,
+	// adpcm) must actually yield CCA groups.
+	cfg := arch.DefaultCCA()
+	for _, k := range []Kernel{
+		{Name: "quant", Build: QuantClip},
+		{Name: "acs", Build: ViterbiACS},
+		{Name: "adpcm", Build: ADPCMEncode},
+	} {
+		m := cca.Map(k.Build(), cfg, nil)
+		if m.Covered() < 2 {
+			t.Errorf("%s: CCA covered only %d ops", k.Name, m.Covered())
+		}
+	}
+}
+
+func TestPrepareFloatClassification(t *testing.T) {
+	l := Saxpy()
+	bind, mem := Prepare(l, 16, 1)
+	// The 'a' parameter must be a float bit pattern (exponent set).
+	var aIdx = -1
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam {
+			aIdx = n.Param
+		}
+	}
+	if aIdx < 0 {
+		t.Fatal("no scalar param in saxpy")
+	}
+	f := bind.Params[aIdx]
+	if f>>52 == 0 {
+		t.Errorf("fp param looks like a small integer: %#x", f)
+	}
+	// Streams must not alias.
+	if !vm.StreamsDisjoint(l, bind) {
+		t.Error("Prepare produced aliasing streams")
+	}
+	_ = mem
+}
+
+func TestDynamicOpsPositive(t *testing.T) {
+	for _, b := range All() {
+		for _, s := range b.Sites {
+			if s.DynamicOps() <= 0 {
+				t.Errorf("%s/%s: nonpositive dynamic ops", b.Name, s.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/ir"
+)
+
+// Fission splits a loop whose stream count exceeds an accelerator's
+// limits into several smaller loops, each containing the backward slice
+// of a subset of the side effects (store streams and live-outs). Nodes
+// needed by several slices are duplicated — fission trades recomputation
+// and extra memory traffic for per-loop stream counts, exactly the
+// tradeoff §3.1 describes for large inlined loops.
+//
+// Preconditions for a semantics-preserving split (checked, with an error
+// otherwise):
+//
+//   - slices may not share store streams;
+//   - a load stream with the same pattern as a store stream (in-place
+//     update) must land in the store's slice;
+//
+// Loop-carried recurrences are duplicated into every slice that reads
+// them, which is always safe because slices never write overlapping
+// state.
+func Fission(l *ir.Loop, maxLoad, maxStore int) ([]*ir.Loop, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.NumLoadStreams() <= maxLoad && l.NumStoreStreams() <= maxStore {
+		return []*ir.Loop{l}, nil
+	}
+	if maxLoad < 1 || maxStore < 1 {
+		return nil, fmt.Errorf("xform: cannot fission %q to %d load / %d store streams", l.Name, maxLoad, maxStore)
+	}
+
+	// One "effect" per store stream; live-outs ride with the final slice.
+	type effect struct {
+		storeNode int
+	}
+	var effects []effect
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpStore {
+			effects = append(effects, effect{storeNode: n.ID})
+		}
+	}
+	if len(effects) == 0 {
+		return nil, fmt.Errorf("xform: loop %q exceeds stream limits but has no stores to split", l.Name)
+	}
+
+	// Greedy bin packing: add effects to the current slice while its
+	// backward-slice stream counts stay within limits. A single store whose
+	// own backward slice exceeds the budget is split into a pipeline of
+	// phases communicating through scratch streams.
+	var slices [][]int // store node IDs per slice
+	var cur []int
+	for _, ef := range effects {
+		tentative := append(append([]int(nil), cur...), ef.storeNode)
+		if lo, st := sliceStreamCounts(l, tentative); lo > maxLoad || st > maxStore {
+			if len(cur) > 0 {
+				slices = append(slices, cur)
+			}
+			cur = []int{ef.storeNode}
+			continue
+		}
+		cur = tentative
+	}
+	if len(cur) > 0 {
+		slices = append(slices, cur)
+	}
+
+	out := make([]*ir.Loop, 0, len(slices))
+	for i, roots := range slices {
+		liveOuts := i == len(slices)-1 // live-outs ride the last slice
+		sub, err := extractSlice(l, roots, liveOuts, fmt.Sprintf("%s.f%d", l.Name, i))
+		if err != nil {
+			return nil, err
+		}
+		if lo, st := sub.NumLoadStreams(), sub.NumStoreStreams(); lo > maxLoad || st > maxStore {
+			phases, err := splitForStreams(sub, maxLoad, maxStore)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, phases...)
+			continue
+		}
+		out = append(out, sub)
+	}
+	unifyParamSpace(out)
+	return out, nil
+}
+
+// unifyParamSpace widens every slice to the largest slice's parameter
+// space. Slices share parameter indices by construction (original params
+// keep their position, scratch streams append after them), but a narrower
+// slice compiled on its own would let the lowerer hand out the tail
+// registers to constants — clobbering a wider sibling's parameter when
+// the slices are concatenated into one binary.
+func unifyParamSpace(parts []*ir.Loop) {
+	widest := 0
+	for i, p := range parts {
+		if p.NumParams > parts[widest].NumParams {
+			widest = i
+		}
+	}
+	names := parts[widest].ParamNames
+	max := parts[widest].NumParams
+	for _, p := range parts {
+		if p.NumParams < max {
+			p.NumParams = max
+			p.ParamNames = names
+		}
+	}
+}
+
+// sliceStreamCounts computes the load/store stream footprint of the
+// backward slice rooted at the given store nodes.
+func sliceStreamCounts(l *ir.Loop, roots []int) (loads, stores int) {
+	nodes := backwardSlice(l, roots, false)
+	seen := map[int]bool{}
+	for id := range nodes {
+		n := l.Nodes[id]
+		if (n.Op == ir.OpLoad || n.Op == ir.OpStore) && !seen[n.Stream] {
+			seen[n.Stream] = true
+			if n.Op == ir.OpLoad {
+				loads++
+			} else {
+				stores++
+			}
+		}
+	}
+	return
+}
+
+// backwardSlice collects every node reachable backwards from the roots
+// (through loop-carried edges too). withLiveOuts adds the live-out nodes
+// as roots.
+func backwardSlice(l *ir.Loop, roots []int, withLiveOuts bool) map[int]bool {
+	seen := map[int]bool{}
+	stack := append([]int(nil), roots...)
+	if withLiveOuts {
+		for _, lo := range l.LiveOuts {
+			stack = append(stack, lo.Node)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, a := range l.Nodes[u].Args {
+			if !seen[a.Node] {
+				stack = append(stack, a.Node)
+			}
+		}
+	}
+	return seen
+}
+
+// extractSlice builds a standalone loop from the backward slice of the
+// given store roots (plus live-outs when requested).
+func extractSlice(l *ir.Loop, roots []int, withLiveOuts bool, name string) (*ir.Loop, error) {
+	keep := backwardSlice(l, roots, withLiveOuts)
+	ids := make([]int, 0, len(keep))
+	for id := range keep {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	sub := &ir.Loop{
+		Name:       name,
+		NumParams:  l.NumParams,
+		ParamNames: append([]string(nil), l.ParamNames...),
+	}
+	remap := make(map[int]int, len(ids))
+	streamMap := make(map[int]int)
+	keepStore := map[int]bool{}
+	for _, r := range roots {
+		keepStore[r] = true
+	}
+	// Two passes: loop-carried operands may reference higher node IDs, so
+	// create every node before wiring edges.
+	for _, id := range ids {
+		n := l.Nodes[id]
+		if n.Op == ir.OpStore && !keepStore[id] {
+			// A store pulled in only as a dependency of another slice's
+			// backward slice cannot happen (stores have no consumers), but
+			// guard anyway.
+			continue
+		}
+		nn := &ir.Node{ID: len(sub.Nodes), Op: n.Op, Imm: n.Imm, Param: n.Param}
+		nn.Init = append([]int(nil), n.Init...)
+		if n.Op == ir.OpLoad || n.Op == ir.OpStore {
+			si, ok := streamMap[n.Stream]
+			if !ok {
+				si = len(sub.Streams)
+				sub.Streams = append(sub.Streams, l.Streams[n.Stream])
+				streamMap[n.Stream] = si
+			}
+			nn.Stream = si
+		}
+		remap[id] = nn.ID
+		sub.Nodes = append(sub.Nodes, nn)
+	}
+	for _, id := range ids {
+		if _, ok := remap[id]; !ok {
+			continue
+		}
+		n := l.Nodes[id]
+		nn := sub.Nodes[remap[id]]
+		for _, a := range n.Args {
+			na, ok := remap[a.Node]
+			if !ok {
+				return nil, fmt.Errorf("xform: slice of %q references node %d outside the slice", l.Name, a.Node)
+			}
+			nn.Args = append(nn.Args, ir.Operand{Node: na, Dist: a.Dist})
+		}
+	}
+	if withLiveOuts {
+		for _, lo := range l.LiveOuts {
+			sub.LiveOuts = append(sub.LiveOuts, ir.LiveOut{
+				Name: lo.Name, Node: remap[lo.Node], Dist: lo.Dist,
+				Init: append([]int(nil), lo.Init...),
+			})
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("xform: fission slice invalid: %w", err)
+	}
+	return sub, nil
+}

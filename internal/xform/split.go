@@ -1,0 +1,507 @@
+package xform
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/ir"
+)
+
+// splitForStreams splits one loop whose backward slice exceeds the
+// load-stream budget into a pipeline of loops that communicate through
+// scratch streams — the paper's observation that fission "typically
+// creates communication streams between the smaller loops" and trades
+// memory traffic for per-loop stream counts.
+//
+// Nodes bound together by recurrences or by any loop-carried edge form
+// atomic units (a cross-phase loop-carried value cannot ride a scratch
+// stream: iteration i-d of a later phase would read before the producer's
+// first elements exist). Units are placed into phases greedily in
+// topological order; a phase closes when admitting the next unit would
+// exceed the load budget, counting one scratch load per cut value
+// arriving from earlier phases. Cut values leaving a phase become scratch
+// store streams (bounded by the store budget) whose base addresses are
+// fresh parameters named "__fission_scratch<k>".
+func splitForStreams(l *ir.Loop, maxLoad, maxStore int) ([]*ir.Loop, error) {
+	if l.NumLoadStreams() <= maxLoad && l.NumStoreStreams() <= maxStore {
+		return []*ir.Loop{l}, nil
+	}
+	for _, lo := range l.LiveOuts {
+		if lo.Dist > 0 {
+			return nil, fmt.Errorf("xform: cannot split %q: live-out %q reads at distance %d", l.Name, lo.Name, lo.Dist)
+		}
+	}
+
+	units, unitOf := atomicUnits(l)
+
+	// Evaluation order: DFS postorder from the sinks (Sethi-Ullman style),
+	// so each subtree completes before the next begins — the number of
+	// live partial values at any point, and therefore the communication
+	// streams crossing a phase boundary, stays bounded by the dataflow
+	// depth instead of the dataflow width.
+	order := postorderUnits(l, units, unitOf)
+
+	phaseOf := make([]int, len(units))
+	for i := range phaseOf {
+		phaseOf[i] = -1
+	}
+	phase := 0
+	phaseLoads := map[int]bool{} // stream indexes used by current phase
+	phaseCuts := map[int]bool{}  // producer nodes cut INTO current phase
+
+	// unitCost computes (newLoads, need, cutIn) of admitting unit u now.
+	unitCost := func(u int) (int, map[int]bool, map[int]bool) {
+		need := map[int]bool{}
+		cutIn := map[int]bool{}
+		for _, n := range units[u] {
+			node := l.Nodes[n]
+			if node.Op == ir.OpLoad {
+				need[node.Stream] = true
+			}
+			for _, a := range node.Args {
+				p := unitOf[a.Node]
+				if phaseOf[p] < 0 || phaseOf[p] >= phase {
+					continue
+				}
+				an := l.Nodes[a.Node]
+				if an.Op == ir.OpLoad && reloadable(l, a.Node) {
+					need[an.Stream] = true // re-load the original stream
+					continue
+				}
+				if valueNode(l, a.Node) {
+					cutIn[a.Node] = true
+				}
+			}
+		}
+		newLoads := 0
+		for s := range need {
+			if !phaseLoads[s] {
+				newLoads++
+			}
+		}
+		for c := range cutIn {
+			if !phaseCuts[c] {
+				newLoads++
+			}
+		}
+		return newLoads, need, cutIn
+	}
+
+	for _, u := range order {
+		cost, need, cutIn := unitCost(u)
+		if len(phaseLoads)+len(phaseCuts)+cost > maxLoad {
+			if len(phaseLoads) == 0 && len(phaseCuts) == 0 {
+				return nil, fmt.Errorf("xform: %q has an atomic unit needing %d load streams (budget %d)",
+					l.Name, cost, maxLoad)
+			}
+			phase++
+			phaseLoads = map[int]bool{}
+			phaseCuts = map[int]bool{}
+			// Stream needs and cut-ins change with the phase boundary.
+			_, need, cutIn = unitCost(u)
+		}
+		for st := range need {
+			phaseLoads[st] = true
+		}
+		for c := range cutIn {
+			phaseCuts[c] = true
+		}
+		phaseOf[u] = phase
+	}
+	numPhases := phase + 1
+	if numPhases == 1 {
+		return nil, fmt.Errorf("xform: %q exceeds stream budget but cannot be split", l.Name)
+	}
+
+	return assemblePhases(l, units, unitOf, phaseOf, numPhases, maxLoad, maxStore)
+}
+
+// valueNode reports whether a node produces a value a later phase would
+// have to receive through a scratch stream. Value sources re-materialize
+// for free, and loads whose stream cannot alias any store stream simply
+// re-load the original data in the consuming phase.
+func valueNode(l *ir.Loop, n int) bool {
+	switch l.Nodes[n].Op {
+	case ir.OpStore:
+		return false
+	case ir.OpConst, ir.OpParam, ir.OpIndVar:
+		return false // re-materialized in every phase instead of spilled
+	case ir.OpLoad:
+		return !reloadable(l, n)
+	}
+	return true
+}
+
+// reloadable reports whether a load can safely be repeated in a later
+// phase: no store stream in the loop shares its base parameter, so under
+// the stream mutual-exclusion contract the data is unchanged between
+// phases.
+func reloadable(l *ir.Loop, n int) bool {
+	base := l.Streams[l.Nodes[n].Stream].BaseParam
+	for _, st := range l.Streams {
+		if st.Kind == ir.StoreStream && st.BaseParam == base {
+			return false
+		}
+	}
+	return true
+}
+
+// atomicUnits groups nodes bound by recurrences or loop-carried edges
+// using union-find.
+func atomicUnits(l *ir.Loop) (units [][]int, unitOf []int) {
+	parent := make([]int, len(l.Nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Dist > 0 {
+				union(n.ID, a.Node)
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := range l.Nodes {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	var roots []int
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	unitOf = make([]int, len(l.Nodes))
+	for _, r := range roots {
+		id := len(units)
+		nodes := groups[r]
+		sort.Ints(nodes)
+		units = append(units, nodes)
+		for _, n := range nodes {
+			unitOf[n] = id
+		}
+	}
+	return units, unitOf
+}
+
+// postorderUnits returns a DFS postorder of the unit graph rooted at its
+// sinks: every unit's operand units appear before it, and subtrees
+// complete before siblings begin.
+func postorderUnits(l *ir.Loop, units [][]int, unitOf []int) []int {
+	preds := make([][]int, len(units))
+	hasSucc := make([]bool, len(units))
+	seen := map[[2]int]bool{}
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			f, t := unitOf[a.Node], unitOf[n.ID]
+			if f == t || seen[[2]int{f, t}] {
+				continue
+			}
+			seen[[2]int{f, t}] = true
+			preds[t] = append(preds[t], f)
+			hasSucc[f] = true
+		}
+	}
+	for _, ps := range preds {
+		sort.Ints(ps)
+	}
+	visited := make([]bool, len(units))
+	var order []int
+	var visit func(u int)
+	visit = func(u int) {
+		if visited[u] {
+			return
+		}
+		visited[u] = true
+		for _, p := range preds[u] {
+			visit(p)
+		}
+		order = append(order, u)
+	}
+	for u := range units {
+		if !hasSucc[u] {
+			visit(u)
+		}
+	}
+	for u := range units {
+		visit(u) // disconnected leftovers
+	}
+	return order
+}
+
+func unitLoadCount(l *ir.Loop, nodes []int) int {
+	seen := map[int]bool{}
+	for _, n := range nodes {
+		if l.Nodes[n].Op == ir.OpLoad {
+			seen[l.Nodes[n].Stream] = true
+		}
+	}
+	return len(seen)
+}
+
+// assemblePhases materializes each phase as a standalone loop.
+func assemblePhases(l *ir.Loop, units [][]int, unitOf, phaseOf []int, numPhases, maxLoad, maxStore int) ([]*ir.Loop, error) {
+	nodePhase := make([]int, len(l.Nodes))
+	for u, nodes := range units {
+		for _, n := range nodes {
+			nodePhase[n] = phaseOf[u]
+		}
+	}
+	// Cut values: produced in phase p, consumed in a later phase (or
+	// holding a live-out read in the final phase).
+	cutOf := map[int]cutVal{}
+	nextScratch := 0
+	markCut := func(n int) {
+		if _, ok := cutOf[n]; !ok {
+			cutOf[n] = cutVal{node: n, stream: fmt.Sprintf("__fission_scratch%d", nextScratch)}
+			nextScratch++
+		}
+	}
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if valueNode(l, a.Node) && nodePhase[a.Node] < nodePhase[n.ID] {
+				markCut(a.Node)
+			}
+		}
+	}
+	for _, lo := range l.LiveOuts {
+		if valueNode(l, lo.Node) && nodePhase[lo.Node] != numPhases-1 {
+			markCut(lo.Node)
+		}
+	}
+
+	scratchParams := make(map[string]int) // scratch stream name -> param index
+	names := append([]string(nil), l.ParamNames...)
+	for len(names) < l.NumParams {
+		names = append(names, fmt.Sprintf("p%d", len(names)))
+	}
+	numParams := l.NumParams
+	var cutsSorted []int
+	for n := range cutOf {
+		cutsSorted = append(cutsSorted, n)
+	}
+	sort.Ints(cutsSorted)
+	for _, n := range cutsSorted {
+		c := cutOf[n]
+		scratchParams[c.stream] = numParams
+		names = append(names, c.stream)
+		numParams++
+	}
+
+	out := make([]*ir.Loop, 0, numPhases)
+	for p := 0; p < numPhases; p++ {
+		sub, err := buildPhase(l, nodePhase, p, numPhases, cutOf, scratchParams, numParams, names)
+		if err != nil {
+			return nil, err
+		}
+		if sub.NumStoreStreams() > maxStore {
+			return nil, fmt.Errorf("xform: phase %d of %q needs %d store streams (budget %d)",
+				p, l.Name, sub.NumStoreStreams(), maxStore)
+		}
+		if sub.NumLoadStreams() > maxLoad {
+			// Live-out restores in the final phase can add scratch loads
+			// beyond what the greedy assignment accounted for; reject
+			// rather than emit an over-budget slice.
+			return nil, fmt.Errorf("xform: phase %d of %q needs %d load streams (budget %d)",
+				p, l.Name, sub.NumLoadStreams(), maxLoad)
+		}
+		out = append(out, sub)
+	}
+	return out, nil
+}
+
+// buildPhase constructs one phase loop: the phase's nodes, scratch loads
+// for earlier-phase values, scratch stores for this phase's cut values,
+// and — in the final phase — the loop's live-outs.
+func buildPhase(l *ir.Loop, nodePhase []int, p, numPhases int, cutOf map[int]cutVal, scratchParams map[string]int, numParams int, names []string) (*ir.Loop, error) {
+	sub := &ir.Loop{
+		Name:       fmt.Sprintf("%s.phase%d", l.Name, p),
+		NumParams:  numParams,
+		ParamNames: names,
+	}
+	remap := map[int]int{}
+	streamMap := map[int]int{}
+	scratchLoad := map[int]int{} // original node -> scratch load node in sub
+
+	addNode := func(op ir.Op) *ir.Node {
+		n := &ir.Node{ID: len(sub.Nodes), Op: op}
+		sub.Nodes = append(sub.Nodes, n)
+		return n
+	}
+
+	// Value sources are re-materialized wherever referenced.
+	materializeSource := func(orig int) int {
+		if id, ok := remap[orig]; ok {
+			return id
+		}
+		on := l.Nodes[orig]
+		n := addNode(on.Op)
+		n.Imm, n.Param = on.Imm, on.Param
+		remap[orig] = n.ID
+		return n.ID
+	}
+	// Scratch load for a value cut in an earlier phase; reloadable loads
+	// re-read their original stream instead.
+	loadCut := func(orig int) int {
+		if id, ok := scratchLoad[orig]; ok {
+			return id
+		}
+		on := l.Nodes[orig]
+		var stream ir.Stream
+		if on.Op == ir.OpLoad && reloadable(l, orig) {
+			stream = l.Streams[on.Stream]
+		} else {
+			c := cutOf[orig]
+			stream = ir.Stream{Kind: ir.LoadStream, BaseParam: scratchParams[c.stream], Stride: 1}
+		}
+		si := len(sub.Streams)
+		sub.Streams = append(sub.Streams, stream)
+		n := addNode(ir.OpLoad)
+		n.Stream = si
+		scratchLoad[orig] = n.ID
+		return n.ID
+	}
+
+	// First pass: create this phase's nodes (sources lazily, in reference
+	// order) following the original node order so distance-zero operands
+	// precede their consumers.
+	var phaseNodes []int
+	for _, n := range l.Nodes {
+		if nodePhase[n.ID] == p {
+			phaseNodes = append(phaseNodes, n.ID)
+		}
+	}
+	for _, id := range phaseNodes {
+		on := l.Nodes[id]
+		switch on.Op {
+		case ir.OpConst, ir.OpParam, ir.OpIndVar:
+			materializeSource(id)
+			continue
+		}
+		n := addNode(on.Op)
+		n.Imm, n.Param = on.Imm, on.Param
+		n.Init = append([]int(nil), on.Init...)
+		if on.Op == ir.OpLoad || on.Op == ir.OpStore {
+			si, ok := streamMap[on.Stream]
+			if !ok {
+				si = len(sub.Streams)
+				sub.Streams = append(sub.Streams, l.Streams[on.Stream])
+				streamMap[on.Stream] = si
+			}
+			n.Stream = si
+		}
+		remap[id] = n.ID
+	}
+	// Second pass: wire operands.
+	for _, id := range phaseNodes {
+		on := l.Nodes[id]
+		switch on.Op {
+		case ir.OpConst, ir.OpParam, ir.OpIndVar:
+			continue
+		}
+		nn := sub.Nodes[remap[id]]
+		for _, a := range on.Args {
+			var src int
+			an := l.Nodes[a.Node]
+			crossReload := nodePhase[a.Node] != p && an.Op == ir.OpLoad && reloadable(l, a.Node)
+			switch {
+			case crossReload:
+				if a.Dist != 0 {
+					return nil, fmt.Errorf("xform: cross-phase loop-carried edge survived unit merging")
+				}
+				src = loadCut(a.Node)
+			case nodePhase[a.Node] == p || sourceLike(an.Op):
+				// Same phase, or a value source referenced across phases.
+				if _, ok := remap[a.Node]; !ok {
+					if sourceLike(an.Op) {
+						materializeSource(a.Node)
+					} else {
+						return nil, fmt.Errorf("xform: phase %d: operand node %d missing", p, a.Node)
+					}
+				}
+				src = remap[a.Node]
+			case nodePhase[a.Node] < p:
+				if a.Dist != 0 {
+					return nil, fmt.Errorf("xform: cross-phase loop-carried edge survived unit merging")
+				}
+				src = loadCut(a.Node)
+			default:
+				return nil, fmt.Errorf("xform: phase %d consumes a later phase's value", p)
+			}
+			nn.Args = append(nn.Args, ir.Operand{Node: src, Dist: a.Dist})
+		}
+	}
+	// Scratch stores for values cut out of this phase.
+	var cutsHere []int
+	for orig := range cutOf {
+		if nodePhase[orig] == p {
+			cutsHere = append(cutsHere, orig)
+		}
+	}
+	sort.Ints(cutsHere)
+	for _, orig := range cutsHere {
+		c := cutOf[orig]
+		si := len(sub.Streams)
+		sub.Streams = append(sub.Streams, ir.Stream{
+			Kind: ir.StoreStream, BaseParam: scratchParams[c.stream], Stride: 1,
+		})
+		st := addNode(ir.OpStore)
+		st.Stream = si
+		st.Args = []ir.Operand{{Node: remap[orig]}}
+	}
+	// Live-outs ride the final phase, reading scratch loads when the
+	// producing node lives earlier.
+	if p == numPhases-1 {
+		for _, lo := range l.LiveOuts {
+			node := -1
+			ln := l.Nodes[lo.Node]
+			switch {
+			case nodePhase[lo.Node] == p:
+				node = remap[lo.Node]
+			case sourceLike(ln.Op):
+				node = materializeSource(lo.Node)
+			default:
+				node = loadCut(lo.Node)
+			}
+			sub.LiveOuts = append(sub.LiveOuts, ir.LiveOut{
+				Name: lo.Name, Node: node, Dist: lo.Dist,
+				Init: append([]int(nil), lo.Init...),
+			})
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, fmt.Errorf("xform: phase %d invalid: %w", p, err)
+	}
+	return sub, nil
+}
+
+// sourceLike reports whether an op is a value source that re-materializes
+// freely in any phase.
+func sourceLike(op ir.Op) bool {
+	return op == ir.OpConst || op == ir.OpParam || op == ir.OpIndVar
+}
+
+// cutVal identifies a value spilled between phases and the scratch stream
+// carrying it.
+type cutVal struct {
+	node   int
+	stream string
+}
+
+// storeRootsOf lists the loop's store nodes.
+func storeRootsOf(l *ir.Loop) []int {
+	var roots []int
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpStore {
+			roots = append(roots, n.ID)
+		}
+	}
+	return roots
+}

@@ -1,0 +1,228 @@
+// Package xform implements the static ("proactive") loop transformations
+// of §4.2: function inlining, if-conversion (aggressive predication), and
+// loop fission. The paper shows these are too expensive to perform in the
+// dynamic translator but essential to accelerator utilization — binaries
+// compiled without them lose 75% of the accelerator's benefit on average
+// (Figure 7). Inline and IfConvert operate on baseline-ISA programs (the
+// compiled form); Fission operates on the dataflow IR (before lowering).
+package xform
+
+import (
+	"fmt"
+
+	"veal/internal/isa"
+)
+
+// rewrite rebuilds a program replacing instruction pc with repl[pc] (nil
+// means keep; empty slice means delete), remapping all branch targets.
+// Replacement instructions must not themselves contain branches.
+func rewrite(p *isa.Program, repl map[int][]isa.Inst) (*isa.Program, map[int]int, error) {
+	newPC := make([]int, len(p.Code)+1)
+	var out []isa.Inst
+	for pc, in := range p.Code {
+		newPC[pc] = len(out)
+		if r, ok := repl[pc]; ok {
+			for _, ri := range r {
+				if ri.Op.IsBranch() {
+					return nil, nil, fmt.Errorf("xform: replacement at %d contains a branch", pc)
+				}
+			}
+			out = append(out, r...)
+			continue
+		}
+		out = append(out, in)
+	}
+	newPC[len(p.Code)] = len(out)
+	for i := range out {
+		in := &out[i]
+		if in.Op.IsBranch() && in.Op != isa.Ret {
+			in.Imm = int64(newPC[in.Imm])
+		}
+	}
+	q := &isa.Program{Name: p.Name, Code: out}
+	for _, f := range p.CCAFuncs {
+		q.CCAFuncs = append(q.CCAFuncs, isa.CCAFunc{Start: newPC[f.Start], Len: f.Len})
+	}
+	for _, a := range p.LoopAnnos {
+		q.LoopAnnos = append(q.LoopAnnos, isa.LoopAnno{HeadPC: newPC[a.HeadPC], Priorities: a.Priorities})
+	}
+	mapping := make(map[int]int, len(p.Code))
+	for pc := range p.Code {
+		mapping[pc] = newPC[pc]
+	}
+	if err := q.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("xform: rewrite produced invalid program: %w", err)
+	}
+	return q, mapping, nil
+}
+
+// Inline replaces every Brl to a leaf helper function (one with no
+// branches other than its final Ret, and not already a marked CCA
+// function) with the helper's body. This is the static inlining that
+// removes KindSubroutine rejections.
+func Inline(p *isa.Program) (*isa.Program, error) {
+	repl := make(map[int][]isa.Inst)
+	changed := false
+	for pc, in := range p.Code {
+		if in.Op != isa.Brl {
+			continue
+		}
+		if _, marked := p.CCAFuncAt(int(in.Imm)); marked {
+			continue // CCA procedural abstraction stays outlined
+		}
+		body, ok := leafBody(p, int(in.Imm))
+		if !ok {
+			continue
+		}
+		repl[pc] = body
+		changed = true
+	}
+	if !changed {
+		return p, nil
+	}
+	q, _, err := rewrite(p, repl)
+	return q, err
+}
+
+// leafBody returns the instructions of a leaf function starting at pc,
+// excluding the final Ret; ok=false when the function is not a leaf.
+func leafBody(p *isa.Program, start int) ([]isa.Inst, bool) {
+	var body []isa.Inst
+	for pc := start; pc < len(p.Code); pc++ {
+		in := p.Code[pc]
+		if in.Op == isa.Ret {
+			return body, true
+		}
+		if in.Op.IsBranch() || in.Op == isa.Halt {
+			return nil, false
+		}
+		body = append(body, in)
+	}
+	return nil, false
+}
+
+// IfConvert replaces simple branch diamonds and triangles with Select
+// instructions (aggressive predication). Recognized shapes, where rz is a
+// register provably zero (a single `movi rz, #0` and no other writes):
+//
+//	diamond:  beq p, rz, F;  mov d, t;  br E;  F: mov d, f;  E: ...
+//	triangle: beq p, rz, E;  mov d, t;  E: ...
+func IfConvert(p *isa.Program) (*isa.Program, error) {
+	zero := zeroRegs(p)
+	repl := make(map[int][]isa.Inst)
+	changed := false
+	for pc := 0; pc+1 < len(p.Code); pc++ {
+		in := p.Code[pc]
+		if in.Op != isa.BEQ || !zero[in.Src2] {
+			continue
+		}
+		// Diamond.
+		if pc+4 <= len(p.Code) &&
+			int(in.Imm) == pc+3 &&
+			p.Code[pc+1].Op == isa.Mov &&
+			p.Code[pc+2].Op == isa.Br && int(p.Code[pc+2].Imm) == pc+4 &&
+			pc+3 < len(p.Code) && p.Code[pc+3].Op == isa.Mov &&
+			p.Code[pc+1].Dst == p.Code[pc+3].Dst &&
+			!targeted(p, pc+1, pc+3, pc, pc+2) {
+			d := p.Code[pc+1].Dst
+			repl[pc] = []isa.Inst{{
+				Op: isa.Select, Dst: d,
+				Src1: in.Src1, Src2: p.Code[pc+1].Src1, Src3: p.Code[pc+3].Src1,
+			}}
+			repl[pc+1] = nil
+			repl[pc+2] = nil
+			repl[pc+3] = nil
+			changed = true
+			pc += 3
+			continue
+		}
+		// Triangle.
+		if int(in.Imm) == pc+2 && p.Code[pc+1].Op == isa.Mov && !targeted(p, pc+1, pc+1, pc) {
+			d := p.Code[pc+1].Dst
+			repl[pc] = []isa.Inst{{
+				Op: isa.Select, Dst: d,
+				Src1: in.Src1, Src2: p.Code[pc+1].Src1, Src3: d,
+			}}
+			repl[pc+1] = nil
+			changed = true
+			pc++
+		}
+	}
+	if !changed {
+		return p, nil
+	}
+	for pc, r := range repl {
+		if r == nil {
+			repl[pc] = []isa.Inst{}
+		}
+	}
+	q, _, err := rewrite(p, repl)
+	return q, err
+}
+
+// zeroRegs finds registers that provably hold zero for the whole program.
+func zeroRegs(p *isa.Program) [isa.NumRegs]bool {
+	var writes [isa.NumRegs]int
+	var zeroInit [isa.NumRegs]bool
+	for _, in := range p.Code {
+		switch in.Op {
+		case isa.Store, isa.Nop, isa.Halt, isa.Br, isa.BEQ, isa.BNE,
+			isa.BLT, isa.BLE, isa.BGT, isa.BGE, isa.Ret:
+		case isa.Brl:
+			writes[isa.LinkReg]++
+		default:
+			writes[in.Dst]++
+			if in.Op == isa.MovI && in.Imm == 0 {
+				zeroInit[in.Dst] = true
+			}
+		}
+	}
+	var out [isa.NumRegs]bool
+	for r := 0; r < isa.NumRegs; r++ {
+		out[r] = zeroInit[r] && writes[r] == 1
+	}
+	return out
+}
+
+// targeted reports whether any branch in the program lands inside
+// [lo, hi], which would make deleting those instructions unsafe. Branches
+// at the excluded pcs (the candidate diamond's own control flow) are
+// ignored.
+func targeted(p *isa.Program, lo, hi int, exclude ...int) bool {
+	excl := make(map[int]bool, len(exclude))
+	for _, pc := range exclude {
+		excl[pc] = true
+	}
+	for pc, in := range p.Code {
+		if excl[pc] {
+			continue
+		}
+		if in.Op.IsBranch() && in.Op != isa.Ret {
+			if t := int(in.Imm); t >= lo && t <= hi {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Transform applies the full static pipeline: inlining then if-conversion,
+// iterating to a fixpoint (inlining can expose new diamonds). Each pass
+// returns its input pointer unchanged when it has nothing to do.
+func Transform(p *isa.Program) (*isa.Program, error) {
+	for i := 0; i < 8; i++ {
+		q, err := Inline(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := IfConvert(q)
+		if err != nil {
+			return nil, err
+		}
+		if r == q && q == p {
+			return p, nil
+		}
+		p = r
+	}
+	return p, nil
+}

@@ -1,0 +1,355 @@
+package xform
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+)
+
+// rawSelectLoop builds a loop whose Raw lowering contains both a branch
+// diamond and an outlined helper call.
+func rawSelectLoop(t testing.TB) (*ir.Loop, *lower.Result) {
+	t.Helper()
+	b := ir.NewBuilder("raw")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(40))
+	v := b.Select(p, b.Add(x, b.Const(1)), b.Sub(x, b.Const(1)))
+	v = b.Xor(b.Or(v, x), b.And(v, x))
+	v = b.Add(v, b.Const(2))
+	b.StoreStream("out", 1, v)
+	b.LiveOut("v", v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Raw: true})
+	if err != nil {
+		t.Fatalf("Lower raw: %v", err)
+	}
+	return l, res
+}
+
+// runProgram executes a program and returns the machine.
+func runProgram(t testing.TB, p *isa.Program, seed func(*scalar.Machine), mem *ir.PagedMemory) *scalar.Machine {
+	t.Helper()
+	m := scalar.New(arch.ARM11(), mem)
+	seed(m)
+	if err := m.Run(p, 10_000_000); err != nil {
+		t.Fatalf("Run: %v\n%s", err, p.Disassemble())
+	}
+	return m
+}
+
+func TestTransformRecoversSchedulability(t *testing.T) {
+	_, res := rawSelectLoop(t)
+
+	// Raw: no schedulable regions.
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			t.Fatalf("raw program already schedulable at %d", r.Head)
+		}
+	}
+
+	q, err := Transform(res.Program)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if q == res.Program {
+		t.Fatal("Transform changed nothing")
+	}
+	sched := 0
+	for _, r := range cfg.FindInnerLoops(q, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			sched++
+		}
+	}
+	if sched != 1 {
+		t.Fatalf("transformed program has %d schedulable regions, want 1:\n%s", sched, q.Disassemble())
+	}
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	_, res := rawSelectLoop(t)
+	q, err := Transform(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 60; i++ {
+			mem.Store(100+i, uint64(i*7%93))
+		}
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = 50
+		m.Regs[res.ParamRegs[0]] = 100
+		m.Regs[res.ParamRegs[1]] = 5000
+	}
+	m1 := runProgram(t, res.Program, seed, mkMem())
+	m2 := runProgram(t, q, seed, mkMem())
+	if !m1.Mem.(*ir.PagedMemory).Equal(m2.Mem.(*ir.PagedMemory)) {
+		t.Fatal("transform changed memory results")
+	}
+	// Transformed code runs fewer instructions (no call/branch overhead).
+	if m2.Stats().Insts >= m1.Stats().Insts {
+		t.Errorf("transformed insts %d >= raw %d", m2.Stats().Insts, m1.Stats().Insts)
+	}
+}
+
+func TestInlineSkipsCCAFunctions(t *testing.T) {
+	b := ir.NewBuilder("cca")
+	x := b.LoadStream("in", 1)
+	v := b.Xor(b.And(x, b.Const(255)), b.Add(x, b.Const(7)))
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program.CCAFuncs) == 0 {
+		t.Skip("no CCA function emitted")
+	}
+	q, err := Inline(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != res.Program {
+		t.Error("Inline touched a program whose only calls are CCA functions")
+	}
+}
+
+func TestIfConvertTriangle(t *testing.T) {
+	a := isa.NewAsm("tri")
+	a.MovI(0, 0)
+	a.MovI(5, 7)
+	a.MovI(6, 9)
+	a.Branch(isa.BEQ, 3, 0, "end")
+	a.Mov(5, 6)
+	a.Label("end")
+	a.Halt()
+	p := a.MustBuild()
+	q, err := IfConvert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q == p {
+		t.Fatal("triangle not converted")
+	}
+	// Semantics: r3 == 0 keeps r5=7; r3 != 0 moves r6 into r5.
+	for _, r3 := range []uint64{0, 5} {
+		m := scalar.New(arch.ARM11(), ir.NewPagedMemory())
+		m.Regs[3] = r3
+		if err := m.Run(q, 100); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(7)
+		if r3 != 0 {
+			want = 9
+		}
+		if m.Regs[5] != want {
+			t.Errorf("r3=%d: r5 = %d, want %d\n%s", r3, m.Regs[5], want, q.Disassemble())
+		}
+	}
+}
+
+func TestIfConvertRequiresProvenZero(t *testing.T) {
+	// Same shape, but the "zero" register is written twice: no conversion.
+	a := isa.NewAsm("notzero")
+	a.MovI(0, 0)
+	a.MovI(0, 0) // second write
+	a.MovI(5, 7)
+	a.Branch(isa.BEQ, 3, 0, "end")
+	a.Mov(5, 6)
+	a.Label("end")
+	a.Halt()
+	p := a.MustBuild()
+	q, err := IfConvert(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Error("converted a diamond keyed on an unproven zero register")
+	}
+}
+
+func TestFissionSplitsStreams(t *testing.T) {
+	// Loop with 6 load streams and 3 store streams; limit 2 loads/1 store.
+	b := ir.NewBuilder("wide")
+	for s := 0; s < 3; s++ {
+		x := b.LoadStream("a"+string(rune('0'+s)), 1)
+		y := b.LoadStream("b"+string(rune('0'+s)), 1)
+		b.StoreStream("o"+string(rune('0'+s)), 1, b.Add(x, y))
+	}
+	l := b.MustBuild()
+	parts, err := Fission(l, 2, 1)
+	if err != nil {
+		t.Fatalf("Fission: %v", err)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d, want 3", len(parts))
+	}
+	for _, p := range parts {
+		if p.NumLoadStreams() > 2 || p.NumStoreStreams() > 1 {
+			t.Errorf("slice %q exceeds limits: %d loads, %d stores",
+				p.Name, p.NumLoadStreams(), p.NumStoreStreams())
+		}
+	}
+}
+
+func TestFissionPreservesSemantics(t *testing.T) {
+	b := ir.NewBuilder("sem")
+	acc := b.Const(0)
+	for s := 0; s < 3; s++ {
+		x := b.LoadStream("a"+string(rune('0'+s)), 1)
+		y := b.LoadStream("b"+string(rune('0'+s)), 1)
+		sum := b.Add(x, y)
+		b.StoreStream("o"+string(rune('0'+s)), 1, sum)
+		acc = b.Add(acc, sum)
+	}
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+
+	// The acc live-out's backward slice spans all six loads, so the last
+	// slice needs communication-stream splitting; 4 loads / 3 stores gives
+	// it room for the original store plus two spilled cut values per phase.
+	parts, err := Fission(l, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) < 2 {
+		t.Fatal("no split happened")
+	}
+	for _, p := range parts {
+		if p.NumLoadStreams() > 4 || p.NumStoreStreams() > 3 {
+			t.Fatalf("%s exceeds budget: %d/%d", p.Name, p.NumLoadStreams(), p.NumStoreStreams())
+		}
+	}
+	mem := ir.NewPagedMemory()
+	params := make([]uint64, l.NumParams)
+	for i := 0; i < l.NumParams; i++ {
+		params[i] = uint64((i + 1) * 1000)
+	}
+	for i := int64(0); i < 6*1000+40; i++ {
+		mem.Store(1000+i, uint64(i%251))
+	}
+	const trip = 16
+
+	ref := mem.Clone()
+	want, err := ir.Execute(l, &ir.Bindings{Params: params, Trip: trip}, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := mem.Clone()
+	lastOuts := runPipeline(t, parts, params, trip, got)
+	// Original output streams (scratch regions aside) and live-outs match.
+	for _, s := range l.Streams {
+		if s.Kind != ir.StoreStream {
+			continue
+		}
+		base := s.AddrAt(params, 0)
+		for w := int64(0); w < trip; w++ {
+			if ref.Load(base+w) != got.Load(base+w) {
+				t.Fatalf("output diverges at %d", w)
+			}
+		}
+	}
+	if lastOuts["acc"] != want.LiveOuts["acc"] {
+		t.Errorf("acc = %d, want %d", lastOuts["acc"], want.LiveOuts["acc"])
+	}
+}
+
+func TestFissionNoopWhenWithinLimits(t *testing.T) {
+	b := ir.NewBuilder("small")
+	x := b.LoadStream("x", 1)
+	b.StoreStream("o", 1, b.Add(x, b.Const(1)))
+	l := b.MustBuild()
+	parts, err := Fission(l, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0] != l {
+		t.Error("within-limits loop should pass through unchanged")
+	}
+}
+
+func TestFissionSplitsDenseSliceViaScratch(t *testing.T) {
+	// One store depending on 4 loads cannot fit 2 load streams by store
+	// partitioning alone; the split path introduces communication streams.
+	b := ir.NewBuilder("dense")
+	v := b.LoadStream("a", 1)
+	for s := 1; s < 4; s++ {
+		v = b.Add(v, b.LoadStream("x"+string(rune('0'+s)), 1))
+	}
+	b.StoreStream("o", 1, v)
+	b.StoreStream("o2", 1, v)
+	l := b.MustBuild()
+	parts, err := Fission(l, 2, 2)
+	if err != nil {
+		t.Fatalf("Fission: %v", err)
+	}
+	if len(parts) < 2 {
+		t.Fatal("dense slice was not split")
+	}
+	for _, p := range parts {
+		if p.NumLoadStreams() > 2 || p.NumStoreStreams() > 2 {
+			t.Errorf("%s exceeds budget: %d/%d", p.Name, p.NumLoadStreams(), p.NumStoreStreams())
+		}
+	}
+	// Semantics check.
+	const trip = 12
+	baseParams := make([]uint64, l.NumParams)
+	mem := ir.NewPagedMemory()
+	for i, s := range l.Streams {
+		baseParams[s.BaseParam] = uint64(i+1) << 16
+		if s.Kind == ir.LoadStream {
+			base := int64(baseParams[s.BaseParam])
+			for w := int64(0); w <= trip; w++ {
+				mem.Store(base+w, uint64(base*7+w))
+			}
+		}
+	}
+	ref := mem.Clone()
+	if _, err := ir.Execute(l, &ir.Bindings{Params: baseParams, Trip: trip}, ref); err != nil {
+		t.Fatal(err)
+	}
+	got := mem.Clone()
+	runPipeline(t, parts, baseParams, trip, got)
+	for _, s := range l.Streams {
+		if s.Kind != ir.StoreStream {
+			continue
+		}
+		base := int64(baseParams[s.BaseParam])
+		for w := int64(0); w < trip; w++ {
+			if ref.Load(base+w) != got.Load(base+w) {
+				t.Fatalf("output differs at %d", w)
+			}
+		}
+	}
+}
+
+func TestFissionImpossibleAtomicUnit(t *testing.T) {
+	// A recurrence whose body touches 3 load streams is one atomic unit;
+	// it cannot fit a 2-load budget no matter how phases are cut.
+	b := ir.NewBuilder("atomic")
+	x0 := b.LoadStream("x0", 1)
+	x1 := b.LoadStream("x1", 1)
+	x2 := b.LoadStream("x2", 1)
+	acc := b.Add(b.Const(0), b.Const(0))
+	sum := b.Add(b.Add(x0, x1), b.Add(x2, b.Recur(acc, 1, "a0")))
+	b.SetArg(acc, 0, sum)
+	b.SetArg(acc, 1, b.Const(0))
+	// Tie the loads into the recurrence unit through loop-carried reads.
+	d0 := b.Sub(x0, x0)
+	b.SetArg(d0, 1, b.Recur(sum, 1, "s0"))
+	b.StoreStream("o", 1, d0)
+	// Widen beyond the budget so fission is attempted at all.
+	b.StoreStream("o2", 1, b.Add(b.LoadStream("x3", 1), b.LoadStream("x4", 1)))
+	l := b.MustBuild()
+	if _, err := Fission(l, 2, 2); err == nil {
+		t.Error("expected failure: the recurrence unit needs 3 load streams")
+	}
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full repository check: format, vet, tests, benchmarks, examples, figures.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+test -z "$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== examples =="
+for ex in quickstart adpcm idct fig5 virtualization speculation; do
+    echo "-- $ex"
+    go run ./examples/$ex > /dev/null
+done
+
+echo "== figures (smoke) =="
+go run ./cmd/veal area > /dev/null
+go run ./cmd/veal tradeoff -fig 10 > /dev/null
+
+echo "== benchmarks (1x) =="
+go test -run xxx -bench . -benchtime 1x . > /dev/null
+
+echo "ALL CHECKS PASSED"

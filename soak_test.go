@@ -1,0 +1,106 @@
+package veal_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+)
+
+// TestSoakFullPipeline is a long randomized soak of the whole system:
+// random loops -> static compiler -> whole-binary execution under the VM
+// versus the plain scalar core, across policies, annotations and
+// speculation settings. Guarded by -short for regular runs.
+func TestSoakFullPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test; run without -short")
+	}
+	rng := rand.New(rand.NewSource(20260705))
+	trials := 1500
+	accelerated := 0
+	for trial := 0; trial < trials; trial++ {
+		cfgen := loopgen.Default()
+		cfgen.Ops = 2 + rng.Intn(22)
+		cfgen.LoadStreams = rng.Intn(5)
+		cfgen.StoreStreams = rng.Intn(3)
+		cfgen.RecurProb = float64(rng.Intn(4)) * 0.2
+		cfgen.FloatFrac = float64(rng.Intn(3)) * 0.2
+		cfgen.MaxDist = 1 + rng.Intn(3)
+		l := loopgen.Generate(rng, cfgen)
+		if l.NumParams > 24 {
+			continue
+		}
+		opt := lower.Options{}
+		switch trial % 3 {
+		case 0:
+			opt.Annotate = true
+		case 1:
+			opt.Raw = true
+		}
+		res, err := lower.Lower(l, opt)
+		if err != nil {
+			// Register-budget overflows are a legitimate compiler rejection
+			// for very wide random loops; skip them.
+			continue
+		}
+		trip := int64(rng.Intn(60))
+		bind := loopgen.Bindings(rng, l, trip)
+		mem := ir.NewPagedMemory()
+		for _, st := range l.Streams {
+			if st.Kind == ir.LoadStream {
+				base := st.AddrAt(bind.Params, 0)
+				for i := int64(-4); i <= trip*4+4; i++ {
+					mem.Store(base+i, uint64(rng.Int63()))
+				}
+			}
+		}
+		seed := func(m *scalar.Machine) {
+			m.Regs[res.TripReg] = uint64(trip)
+			for i, r := range res.ParamRegs {
+				m.Regs[r] = bind.Params[i]
+			}
+		}
+
+		ref := scalar.New(arch.ARM11(), mem.Clone())
+		seed(ref)
+		if err := ref.Run(res.Program, 50_000_000); err != nil {
+			t.Fatalf("trial %d: scalar: %v", trial, err)
+		}
+
+		cfg := vm.DefaultConfig()
+		cfg.Policy = vm.Policy(trial % 4)
+		cfg.SpeculationSupport = trial%2 == 0
+		cfg.SpecChunk = 1 + rng.Intn(64)
+		cfg.CodeCacheSize = 1 + rng.Intn(4)
+		v := vm.New(cfg)
+		vmMem := mem.Clone()
+		r, m, err := v.Run(res.Program, vmMem, seed, 50_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: vm: %v", trial, err)
+		}
+		if !vmMem.Equal(ref.Mem.(*ir.PagedMemory)) {
+			t.Fatalf("trial %d: memory diverges (policy %v)\n%s",
+				trial, cfg.Policy, res.Program.Disassemble())
+		}
+		for reg := 0; reg < isa.NumRegs; reg++ {
+			if m.Regs[reg] != ref.Regs[reg] {
+				t.Fatalf("trial %d: r%d = %#x vs %#x (policy %v)\n%s",
+					trial, reg, m.Regs[reg], ref.Regs[reg], cfg.Policy,
+					res.Program.Disassemble())
+			}
+		}
+		if r.Launches > 0 {
+			accelerated++
+		}
+	}
+	t.Logf("soak: %d trials, %d accelerated", trials, accelerated)
+	if accelerated < trials/4 {
+		t.Errorf("only %d/%d trials accelerated", accelerated, trials)
+	}
+}

@@ -1,0 +1,337 @@
+// Package veal is a library-level reproduction of "VEAL: Virtualized
+// Execution Accelerator for Loops" (Clark, Hormati, Mahlke — ISCA 2008):
+// a generalized loop accelerator plus the co-designed virtual machine that
+// dynamically retargets baseline-ISA binaries onto it.
+//
+// The workflow mirrors the paper's system (Figure 1, right):
+//
+//  1. Author an innermost loop as a dataflow graph with NewLoop (or start
+//     from baseline-ISA assembly directly).
+//  2. Compile it statically: the compiler applies the loop transformations
+//     of §4.2, lowers to the baseline scalar ISA, and (optionally) embeds
+//     the binary-compatible annotations of Figure 9 — outlined CCA
+//     subgraphs and the scheduling-priority table.
+//  3. Run the binary on a System: a scalar core, optionally coupled with a
+//     loop accelerator managed by the virtual machine. The VM identifies
+//     loops, modulo-schedules them onto whatever accelerator is present,
+//     caches translations, and falls back to the scalar core whenever a
+//     loop is unsupported — the same binary runs everywhere.
+//
+// The architectural models (accelerator template, CPU cores), the
+// scheduling algorithms (Swing modulo scheduling, height priority, CCA
+// subgraph mapping), the experiment harness regenerating the paper's
+// figures, and the MediaBench/SPEC-class workload suite live in the
+// internal packages; this package is the stable surface tying them
+// together.
+package veal
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/xform"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the
+// single source of truth while making the public API self-contained.
+type (
+	// Loop is an innermost loop body as a dataflow graph.
+	Loop = ir.Loop
+	// LoopBuilder constructs loops; see NewLoop.
+	LoopBuilder = ir.Builder
+	// Value is a dataflow value handle produced by a LoopBuilder.
+	Value = ir.Value
+	// Memory is the word-addressed memory shared by all engines.
+	Memory = ir.PagedMemory
+	// Accelerator describes a loop-accelerator configuration.
+	Accelerator = arch.LA
+	// CPU describes an in-order scalar core.
+	CPU = arch.CPU
+	// Policy selects the VM's static/dynamic translation split.
+	Policy = vm.Policy
+	// Program is a baseline-ISA program image.
+	Program = isa.Program
+)
+
+// Translation policies (Figure 10's configurations).
+const (
+	// NoPenalty models statically compiled binaries (no translation cost).
+	NoPenalty = vm.NoPenalty
+	// FullyDynamic runs the whole translation pipeline at runtime.
+	FullyDynamic = vm.FullyDynamic
+	// HeightPriority uses the cheap height-based priority function.
+	HeightPriority = vm.HeightPriority
+	// Hybrid reads CCA groups and priorities from binary annotations.
+	Hybrid = vm.Hybrid
+)
+
+// NewLoop starts building a loop with the given name.
+func NewLoop(name string) *LoopBuilder { return ir.NewBuilder(name) }
+
+// NewMemory returns an empty word-addressed memory.
+func NewMemory() *Memory { return ir.NewPagedMemory() }
+
+// ProposedAccelerator returns the paper's §3.2 design: 1 CCA, 2 integer
+// units, 2 FP units, 16+16 registers, 16 load / 8 store streams, max II 16.
+func ProposedAccelerator() *Accelerator { return arch.Proposed() }
+
+// BaselineCPU returns the ARM11-class single-issue core.
+func BaselineCPU() *CPU { return arch.ARM11() }
+
+// CompileOptions selects the static compiler's behavior.
+type CompileOptions struct {
+	// MaxLoadStreams/MaxStoreStreams, when positive, make the compiler
+	// fission loops whose stream footprint exceeds the limits into a
+	// sequence of smaller loops (§3.1's answer to stream-hungry inlined
+	// loops). Each slice is compiled and annotated independently and the
+	// VM accelerates them one by one.
+	MaxLoadStreams  int
+	MaxStoreStreams int
+	// Unoptimized disables the static loop transformations (if-conversion,
+	// inlining): the resulting binary computes the same values but cannot
+	// be retargeted by the VM — the paper's Figure 7 scenario.
+	Unoptimized bool
+	// NoAnnotations omits the Figure 9 metadata (CCA functions, priority
+	// table); a Hybrid-policy VM then degrades to fully dynamic
+	// translation for this binary.
+	NoAnnotations bool
+	// Target is the accelerator the compiler assumes when computing
+	// annotations (default: ProposedAccelerator). The binary still runs
+	// on any system — annotations are advisory.
+	Target *Accelerator
+}
+
+// Binary is a compiled loop: the program image plus its calling
+// convention.
+type Binary struct {
+	Program *Program
+	// Head is the (first) loop's first body instruction.
+	Head int
+	// Heads lists every loop head when the binary holds a fissioned loop
+	// nest (see Compile with stream limits); len(Heads) == 1 otherwise.
+	Heads []int
+	// TripReg receives the iteration count.
+	TripReg uint8
+	// ParamRegs receives the loop parameters, in loop parameter order.
+	ParamRegs []uint8
+	// ParamNames names the parameters (from the LoopBuilder).
+	ParamNames []string
+	// LiveOutRegs maps live-out names to their registers after the loop.
+	LiveOutRegs map[string]uint8
+}
+
+// Compile statically compiles a loop to an annotated baseline-ISA binary,
+// fissioning it first when it exceeds the configured stream limits.
+func Compile(l *Loop, opt CompileOptions) (*Binary, error) {
+	lopt := lower.Options{
+		Raw:      opt.Unoptimized,
+		Annotate: !opt.Unoptimized && !opt.NoAnnotations,
+		LA:       opt.Target,
+	}
+
+	slices := []*Loop{l}
+	if opt.MaxLoadStreams > 0 && opt.MaxStoreStreams > 0 {
+		var err error
+		slices, err = xform.Fission(l, opt.MaxLoadStreams, opt.MaxStoreStreams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(slices) == 1 {
+		res, err := lower.Lower(slices[0], lopt)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{
+			Program:     res.Program,
+			Head:        res.Head,
+			Heads:       []int{res.Head},
+			TripReg:     res.TripReg,
+			ParamRegs:   res.ParamRegs,
+			ParamNames:  append([]string(nil), l.ParamNames...),
+			LiveOutRegs: res.LiveOutRegs,
+		}, nil
+	}
+
+	parts := make([]*lower.Result, 0, len(slices))
+	for _, sl := range slices {
+		res, err := lower.Lower(sl, lopt)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, res)
+	}
+	multi, err := lower.Concat(parts)
+	if err != nil {
+		return nil, err
+	}
+	names := l.ParamNames
+	for _, sl := range slices {
+		if len(sl.ParamNames) > len(names) {
+			names = sl.ParamNames
+		}
+	}
+	return &Binary{
+		Program:     multi.Program,
+		Head:        multi.Heads[0],
+		Heads:       multi.Heads,
+		TripReg:     multi.TripReg,
+		ParamRegs:   multi.ParamRegs,
+		ParamNames:  append([]string(nil), names...),
+		LiveOutRegs: multi.LiveOutRegs,
+	}, nil
+}
+
+// EncodeProgram serializes the program image (code plus annotation
+// sections) to the binary container format.
+func EncodeProgram(p *Program) ([]byte, error) { return isa.Encode(p) }
+
+// DecodeProgram parses a binary container.
+func DecodeProgram(data []byte) (*Program, error) { return isa.Decode(data) }
+
+// FormatProgram renders a program as assembly text (labels, directives);
+// ParseAssembly reverses it.
+func FormatProgram(p *Program) string { return isa.Format(p) }
+
+// ParseAssembly assembles the textual form produced by FormatProgram or
+// written by hand.
+func ParseAssembly(text string) (*Program, error) { return isa.ParseAsm(text) }
+
+// SystemConfig assembles a machine.
+type SystemConfig struct {
+	CPU *CPU
+	// Accel, when non-nil, attaches a loop accelerator managed by the VM.
+	Accel  *Accelerator
+	Policy Policy
+	// CodeCacheEntries bounds the VM's translation cache (default 16).
+	CodeCacheEntries int
+	// SpeculationSupport enables accelerating while-shaped loops via
+	// chunked speculative execution — the extension beyond the paper's
+	// design point (§2.2 excludes such loops). See examples/speculation.
+	SpeculationSupport bool
+	// SpecChunk is the speculative window in iterations (default 128).
+	SpecChunk int
+}
+
+// System is a runnable machine: scalar core plus optional accelerator.
+type System struct {
+	cfg SystemConfig
+	vm  *vm.VM
+}
+
+// NewSystem builds a system. A nil CPU defaults to the baseline core.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.CPU == nil {
+		cfg.CPU = arch.ARM11()
+	}
+	s := &System{cfg: cfg}
+	if cfg.Accel != nil {
+		s.vm = vm.New(vm.Config{
+			LA:                 cfg.Accel,
+			CPU:                cfg.CPU,
+			Policy:             cfg.Policy,
+			CodeCacheSize:      cfg.CodeCacheEntries,
+			SpeculationSupport: cfg.SpeculationSupport,
+			SpecChunk:          cfg.SpecChunk,
+		})
+	}
+	return s
+}
+
+// Result reports one binary execution.
+type Result struct {
+	// Cycles is the total cost: scalar + accelerator + translation.
+	Cycles int64
+	// ScalarCycles, AccelCycles and TranslationCycles break the total down.
+	ScalarCycles, AccelCycles, TranslationCycles int64
+	// Launches counts accelerator invocations (0 = ran entirely scalar).
+	Launches int64
+	// LiveOuts holds the binary's named results.
+	LiveOuts map[string]uint64
+}
+
+// Run executes a compiled loop binary on the system: params bound by
+// name, trip iterations, against the given memory (modified in place).
+func (s *System) Run(b *Binary, params map[string]uint64, trip int64, mem *Memory) (*Result, error) {
+	seed := func(m *scalar.Machine) {
+		m.Regs[b.TripReg] = uint64(trip)
+		for i, reg := range b.ParamRegs {
+			name := fmt.Sprintf("p%d", i)
+			if i < len(b.ParamNames) && b.ParamNames[i] != "" {
+				name = b.ParamNames[i]
+			}
+			v, ok := params[name]
+			if !ok {
+				continue
+			}
+			m.Regs[reg] = v
+		}
+	}
+	for name := range params {
+		if !b.hasParam(name) {
+			return nil, fmt.Errorf("veal: binary %q has no parameter %q", b.Program.Name, name)
+		}
+	}
+
+	const maxInsts = 500_000_000
+	if s.vm == nil {
+		m := scalar.New(s.cfg.CPU, mem)
+		seed(m)
+		if err := m.Run(b.Program, maxInsts); err != nil {
+			return nil, err
+		}
+		res := &Result{
+			Cycles:       m.Stats().Cycles,
+			ScalarCycles: m.Stats().Cycles,
+			LiveOuts:     b.readLiveOuts(&m.Regs),
+		}
+		return res, nil
+	}
+	r, m, err := s.vm.Run(b.Program, mem, seed, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cycles:            r.Cycles,
+		ScalarCycles:      r.ScalarCycles,
+		AccelCycles:       r.AccelCycles,
+		TranslationCycles: r.TranslationCycles,
+		Launches:          r.Launches,
+		LiveOuts:          b.readLiveOuts(&m.Regs),
+	}, nil
+}
+
+func (b *Binary) hasParam(name string) bool {
+	for i := range b.ParamRegs {
+		n := fmt.Sprintf("p%d", i)
+		if i < len(b.ParamNames) && b.ParamNames[i] != "" {
+			n = b.ParamNames[i]
+		}
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (b *Binary) readLiveOuts(regs *[isa.NumRegs]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(b.LiveOutRegs))
+	for name, reg := range b.LiveOutRegs {
+		out[name] = regs[reg]
+	}
+	return out
+}
+
+// Stats exposes the VM's activity counters (nil-safe for scalar-only
+// systems).
+func (s *System) Stats() vm.Stats {
+	if s.vm == nil {
+		return vm.Stats{}
+	}
+	return s.vm.Stats
+}

@@ -1,0 +1,258 @@
+package veal_test
+
+import (
+	"math"
+	"testing"
+
+	"veal"
+)
+
+// buildSaxpy makes a small mixed loop through the public API.
+func buildSaxpy(t testing.TB) *veal.Loop {
+	t.Helper()
+	b := veal.NewLoop("saxpy")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	v := b.FAdd(b.FMul(a, x), y)
+	b.StoreStream("z", 1, v)
+	b.LiveOut("last", v)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func seedSaxpyMem(n int64) *veal.Memory {
+	mem := veal.NewMemory()
+	for i := int64(0); i < n; i++ {
+		mem.Store(0x1000+i, math.Float64bits(float64(i)))
+		mem.Store(0x4000+i, math.Float64bits(float64(2*i)))
+	}
+	return mem
+}
+
+func saxpyParams() map[string]uint64 {
+	return map[string]uint64{
+		"x": 0x1000, "y": 0x4000, "z": 0x8000, "a": math.Float64bits(1.5),
+	}
+}
+
+func TestPublicAPIScalarVsAccel(t *testing.T) {
+	l := buildSaxpy(t)
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+
+	scalarSys := veal.NewSystem(veal.SystemConfig{CPU: veal.BaselineCPU()})
+	m1 := seedSaxpyMem(n + 1)
+	r1, err := scalarSys.Run(bin, saxpyParams(), n, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Launches != 0 || r1.AccelCycles != 0 {
+		t.Error("scalar system reported accelerator activity")
+	}
+
+	accelSys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	m2 := seedSaxpyMem(n + 1)
+	r2, err := accelSys.Run(bin, saxpyParams(), n, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Launches == 0 {
+		t.Fatal("accelerated system never launched the accelerator")
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("accelerated run (%d) not faster than scalar (%d)", r2.Cycles, r1.Cycles)
+	}
+	if !m1.Equal(m2) {
+		t.Fatal("memory diverges between systems")
+	}
+	if r1.LiveOuts["last"] != r2.LiveOuts["last"] {
+		t.Fatal("live-outs diverge between systems")
+	}
+	stats := accelSys.Stats()
+	if stats.Translations != 1 {
+		t.Errorf("translations = %d, want 1", stats.Translations)
+	}
+}
+
+func TestPublicAPIAllPoliciesAgree(t *testing.T) {
+	l := buildSaxpy(t)
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 128
+	var want uint64
+	for i, policy := range []veal.Policy{veal.NoPenalty, veal.FullyDynamic, veal.HeightPriority, veal.Hybrid} {
+		sys := veal.NewSystem(veal.SystemConfig{
+			CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: policy,
+		})
+		res, err := sys.Run(bin, saxpyParams(), n, seedSaxpyMem(n+1))
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if i == 0 {
+			want = res.LiveOuts["last"]
+		} else if res.LiveOuts["last"] != want {
+			t.Errorf("policy %v result differs", policy)
+		}
+		if policy == veal.NoPenalty && res.TranslationCycles != 0 {
+			t.Error("no-penalty charged translation cycles")
+		}
+	}
+}
+
+func TestPublicAPIUnknownParamRejected(t *testing.T) {
+	l := buildSaxpy(t)
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := veal.NewSystem(veal.SystemConfig{CPU: veal.BaselineCPU()})
+	params := saxpyParams()
+	params["bogus"] = 1
+	if _, err := sys.Run(bin, params, 4, seedSaxpyMem(8)); err == nil {
+		t.Fatal("unknown parameter accepted")
+	}
+}
+
+func TestPublicAPIUnoptimizedBinary(t *testing.T) {
+	// An Unoptimized (raw) binary still computes correctly on every
+	// system; it just never accelerates when it contains control flow.
+	b := veal.NewLoop("sel")
+	x := b.LoadStream("x", 1)
+	p := b.CmpLT(x, b.Const(100))
+	b.StoreStream("z", 1, b.Select(p, b.Add(x, b.Const(1)), x))
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := veal.Compile(l, veal.CompileOptions{Unoptimized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	const n = 64
+	params := map[string]uint64{"x": 0x100, "z": 0x900}
+	mkMem := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < n; i++ {
+			mem.Store(0x100+i, uint64(i*3))
+		}
+		return mem
+	}
+	mr := mkMem()
+	rr, err := sys.Run(raw, params, n, mr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mo := mkMem()
+	ro, err := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	}).Run(opt, params, n, mo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mr.Equal(mo) {
+		t.Fatal("raw and optimized binaries compute different results")
+	}
+	if rr.Launches != 0 {
+		t.Error("raw binary with a branch diamond was accelerated")
+	}
+	if ro.Launches == 0 {
+		t.Error("optimized binary was not accelerated")
+	}
+}
+
+func TestPublicAPIEncodeDecode(t *testing.T) {
+	l := buildSaxpy(t)
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := veal.EncodeProgram(bin.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := veal.DecodeProgram(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin.Program = dec
+	sys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(), Policy: veal.Hybrid,
+	})
+	res, err := sys.Run(bin, saxpyParams(), 64, seedSaxpyMem(70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Launches == 0 {
+		t.Error("decoded binary was not accelerated (annotations lost?)")
+	}
+}
+
+func TestPublicAPISpeculation(t *testing.T) {
+	b := veal.NewLoop("scan")
+	x := b.LoadStream("x", 1)
+	key := b.Param("key")
+	sum := b.Add(x, x)
+	b.SetArg(sum, 1, b.Recur(sum, 1, "sum0"))
+	b.ExitWhen(b.CmpEQ(x, key))
+	b.LiveOut("sum", sum)
+	l, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := veal.Compile(l, veal.CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound, keyAt = 2048, 1500
+	mkMem := func() *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < bound; i++ {
+			mem.Store(0x100+i, uint64(i+2))
+		}
+		mem.Store(0x100+keyAt, 1)
+		return mem
+	}
+	params := map[string]uint64{"x": 0x100, "key": 1, "sum0": 0}
+
+	scalarSys := veal.NewSystem(veal.SystemConfig{CPU: veal.BaselineCPU()})
+	rs, err := scalarSys.Run(bin, params, bound, mkMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specSys := veal.NewSystem(veal.SystemConfig{
+		CPU: veal.BaselineCPU(), Accel: veal.ProposedAccelerator(),
+		Policy: veal.Hybrid, SpeculationSupport: true, SpecChunk: 64,
+	})
+	ra, err := specSys.Run(bin, params, bound, mkMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Launches == 0 {
+		t.Fatal("while loop not accelerated with speculation enabled")
+	}
+	if ra.LiveOuts["sum"] != rs.LiveOuts["sum"] {
+		t.Fatalf("sum = %d, want %d", ra.LiveOuts["sum"], rs.LiveOuts["sum"])
+	}
+	if ra.Cycles >= rs.Cycles {
+		t.Errorf("speculative run (%d) not faster than scalar (%d)", ra.Cycles, rs.Cycles)
+	}
+}
