@@ -9,6 +9,10 @@
 //	veal tradeoff [-fig N]  Figure 7 (transforms) / Figure 10 (policies)
 //	veal area               §3.2 die-area comparison
 //	veal run <benchmark>    report one benchmark's sites under the VM
+//
+// The global -j N flag (before the subcommand) caps the evaluation
+// worker pool; -j 1 forces serial evaluation. The VEAL_WORKERS
+// environment variable sets the default (otherwise GOMAXPROCS).
 package main
 
 import (
@@ -26,20 +30,30 @@ import (
 	"veal/internal/ir"
 	"veal/internal/isa"
 	"veal/internal/lower"
+	"veal/internal/par"
 	"veal/internal/vm"
 	"veal/internal/workloads"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("veal", flag.ExitOnError)
+	global.Usage = usageExit
+	jobs := global.Int("j", 0, "evaluation workers (0 = VEAL_WORKERS or GOMAXPROCS; 1 = serial)")
+	if err := global.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *jobs > 0 {
+		par.SetWorkers(*jobs)
+	}
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
 	var err error
 	switch cmd {
 	case "breakdown":
-		err = cmdBreakdown()
+		err = cmdBreakdown(args)
 	case "dse":
 		err = cmdDSE(args)
 	case "overhead":
@@ -67,23 +81,29 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|asm> [flags]`)
+}
+
+func usageExit() {
+	usage()
+	os.Exit(2)
 }
 
 func evalModels() ([]*exp.BenchModel, error) {
 	return exp.Models(workloads.MediaFP())
 }
 
-func cmdBreakdown() error {
-	csvOut := false
-	if len(os.Args) > 2 && os.Args[2] == "-csv" {
-		csvOut = true
+func cmdBreakdown(args []string) error {
+	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 	models, err := exp.Models(workloads.All())
 	if err != nil {
 		return err
 	}
-	if csvOut {
+	if *csvOut {
 		return exp.WriteFig2CSV(os.Stdout, exp.Fig2(models))
 	}
 	fmt.Print(exp.FormatFig2(exp.Fig2(models)))

@@ -73,6 +73,68 @@ type mapper struct {
 	// baseRecMII is the loop's RecMII before any mapping; grows may not
 	// exceed it.
 	baseRecMII int
+
+	// liveOut marks loop live-out nodes, precomputed once: ioOK consults
+	// it on every legality probe of every grow step.
+	liveOut      []bool
+	scratchReady bool
+	// Scratch buffers reused across the mapper's per-probe analyses
+	// (legality is checked for every candidate of every grow step, so
+	// these are the mapper's hottest allocations). Each user leaves its
+	// buffer zeroed/reset for the next.
+	fromGrp, toGrp []bool // convex reachability marks
+	inMark         []bool // ioOK distinct-input marks
+	inList         []int  // ...and the nodes marked, for cheap clearing
+	rowBuf         []int  // rowsOK levelization, indexed by node
+	stackBuf       []int  // convex DFS worklist
+	frontBuf       []int  // frontier output
+	frontSeen      []bool // frontier dedup marks
+	vertex         []int  // recMII node -> contracted vertex
+	latBuf         []int  // recMII vertex latencies
+	distBuf        []int  // recMII longest-path distances
+	edgeBuf        []ccaEdge
+}
+
+// ccaEdge is one contracted-graph edge in the mapper's RecMII check.
+type ccaEdge struct{ from, to, lat, dist int }
+
+// newMapper builds the shared analysis state for one loop.
+func newMapper(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *mapper {
+	n := len(l.Nodes)
+	mp := &mapper{
+		l:     l,
+		cfg:   cfg,
+		m:     meter,
+		succs: l.Succs(),
+		group: make([]int, n),
+	}
+	for i := range mp.group {
+		mp.group[i] = -1
+	}
+	mp.computeCyclic()
+	mp.ensureScratch()
+	return mp
+}
+
+// ensureScratch sizes the scratch buffers for the loop. newMapper calls
+// it eagerly; the analysis entry points call it lazily so a zero mapper
+// (as the package's tests construct) still works.
+func (mp *mapper) ensureScratch() {
+	if mp.scratchReady {
+		return
+	}
+	n := len(mp.l.Nodes)
+	mp.liveOut = make([]bool, n)
+	for _, lo := range mp.l.LiveOuts {
+		mp.liveOut[lo.Node] = true
+	}
+	mp.fromGrp = make([]bool, n)
+	mp.toGrp = make([]bool, n)
+	mp.inMark = make([]bool, n)
+	mp.rowBuf = make([]int, n)
+	mp.frontSeen = make([]bool, n)
+	mp.vertex = make([]int, n)
+	mp.scratchReady = true
 }
 
 // computeCyclic marks the nodes participating in non-trivial strongly
@@ -174,17 +236,7 @@ func (mp *mapper) touchesCycle(grp map[int]bool) bool {
 // are disjoint, convex, legal subgraphs in deterministic node order.
 func Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
 	meter.Begin(vmcost.PhaseCCAMap)
-	mp := &mapper{
-		l:     l,
-		cfg:   cfg,
-		m:     meter,
-		succs: l.Succs(),
-		group: make([]int, len(l.Nodes)),
-	}
-	for i := range mp.group {
-		mp.group[i] = -1
-	}
-	mp.computeCyclic()
+	mp := newMapper(l, cfg, meter)
 	res := &Mapping{}
 	mp.baseRecMII = mp.recMII(res.Groups)
 
@@ -218,17 +270,7 @@ func Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
 // paper's compatibility story for static CCA identification.
 func ValidateGroups(l *ir.Loop, groups [][]int, cfg arch.CCAConfig, meter *vmcost.Meter) [][]int {
 	meter.Begin(vmcost.PhaseCCAMap)
-	mp := &mapper{
-		l:     l,
-		cfg:   cfg,
-		m:     meter,
-		succs: l.Succs(),
-		group: make([]int, len(l.Nodes)),
-	}
-	for i := range mp.group {
-		mp.group[i] = -1
-	}
-	mp.computeCyclic()
+	mp := newMapper(l, cfg, meter)
 	mp.baseRecMII = mp.recMII(nil)
 	var out [][]int
 	for _, g := range groups {
@@ -293,10 +335,12 @@ func (mp *mapper) grow(seed int, existing [][]int) []int {
 }
 
 // frontier lists unmapped, supported neighbours of the group reachable
-// over distance-zero edges, in deterministic order.
+// over distance-zero edges, in deterministic order. The returned slice
+// is the mapper's shared buffer, valid until the next frontier call.
 func (mp *mapper) frontier(grp map[int]bool, rejected map[int]bool) []int {
-	seen := map[int]bool{}
-	var out []int
+	mp.ensureScratch()
+	seen := mp.frontSeen
+	out := mp.frontBuf[:0]
 	consider := func(n int) {
 		mp.m.Charge(1)
 		if n < 0 || grp[n] || rejected[n] || seen[n] {
@@ -320,12 +364,17 @@ func (mp *mapper) frontier(grp map[int]bool, rejected map[int]bool) []int {
 			}
 		}
 	}
+	for _, n := range out {
+		seen[n] = false
+	}
 	sort.Ints(out)
+	mp.frontBuf = out
 	return out
 }
 
 // legal checks every CCA constraint for the tentative group.
 func (mp *mapper) legal(grp map[int]bool, existing [][]int) bool {
+	mp.ensureScratch()
 	mp.m.Charge(5)
 	if len(grp) > mp.cfg.MaxOps {
 		return false
@@ -372,20 +421,19 @@ func keys(m map[int]bool) []int {
 
 // ioOK checks the input/output port limits.
 func (mp *mapper) ioOK(grp map[int]bool) bool {
-	liveOut := map[int]bool{}
-	for _, lo := range mp.l.LiveOuts {
-		liveOut[lo.Node] = true
-	}
-	inputs := map[int]bool{}
+	inputs := 0
 	outputs := 0
+	marked := mp.inList[:0]
 	for n := range grp {
 		for _, a := range mp.l.Nodes[n].Args {
 			mp.m.Charge(1)
-			if a.Dist > 0 || !grp[a.Node] {
-				inputs[a.Node] = true
+			if (a.Dist > 0 || !grp[a.Node]) && a.Node >= 0 && !mp.inMark[a.Node] {
+				mp.inMark[a.Node] = true
+				marked = append(marked, a.Node)
+				inputs++
 			}
 		}
-		ext := liveOut[n]
+		ext := mp.liveOut[n]
 		for _, s := range mp.succs[n] {
 			mp.m.Charge(1)
 			if s.Dist > 0 || !grp[s.Node] {
@@ -396,7 +444,11 @@ func (mp *mapper) ioOK(grp map[int]bool) bool {
 			outputs++
 		}
 	}
-	return len(inputs) <= mp.cfg.Inputs && outputs <= mp.cfg.Outputs
+	for _, n := range marked {
+		mp.inMark[n] = false
+	}
+	mp.inList = marked[:0]
+	return inputs <= mp.cfg.Inputs && outputs <= mp.cfg.Outputs
 }
 
 // rowsOK levelizes the subgraph and checks row capabilities: arithmetic
@@ -404,7 +456,10 @@ func (mp *mapper) ioOK(grp map[int]bool) bool {
 // within the array.
 func (mp *mapper) rowsOK(grp map[int]bool) bool {
 	nodes := keys(grp)
-	row := make(map[int]int, len(nodes))
+	row := mp.rowBuf
+	for _, n := range nodes {
+		row[n] = 0
+	}
 	// Iterate to fixpoint over the small subgraph (it is acyclic at
 	// distance zero, so |grp| passes suffice).
 	for range nodes {
@@ -440,11 +495,15 @@ func (mp *mapper) rowsOK(grp map[int]bool) bool {
 // CCA operation.
 func (mp *mapper) convex(grp map[int]bool) bool {
 	n := len(mp.l.Nodes)
-	fromGrp := make([]bool, n)
-	toGrp := make([]bool, n)
+	fromGrp := mp.fromGrp
+	toGrp := mp.toGrp
+	for i := 0; i < n; i++ {
+		fromGrp[i] = false
+		toGrp[i] = false
+	}
 
 	// Forward reachability from group outputs through outside nodes.
-	var stack []int
+	stack := mp.stackBuf[:0]
 	for g := range grp {
 		for _, s := range mp.succs[g] {
 			if s.Dist == 0 && !grp[s.Node] && !fromGrp[s.Node] {
@@ -484,6 +543,7 @@ func (mp *mapper) convex(grp map[int]bool) bool {
 			}
 		}
 	}
+	mp.stackBuf = stack[:0]
 	for u := 0; u < n; u++ {
 		if fromGrp[u] && toGrp[u] {
 			return false
@@ -501,8 +561,11 @@ func (mp *mapper) recMII(groups [][]int) int {
 	if mp.cyclic == nil {
 		mp.computeCyclic()
 	}
-	vertex := make([]int, len(l.Nodes)) // node -> contracted vertex
-	lat := make([]int, 0, len(l.Nodes)+len(groups))
+	if len(mp.vertex) < len(l.Nodes) {
+		mp.vertex = make([]int, len(l.Nodes))
+	}
+	vertex := mp.vertex // node -> contracted vertex
+	lat := mp.latBuf[:0]
 	for i := range vertex {
 		vertex[i] = -1
 	}
@@ -536,8 +599,7 @@ func (mp *mapper) recMII(groups [][]int) int {
 		vertex[n.ID] = len(lat)
 		lat = append(lat, arch.Latency(n.Op))
 	}
-	type edge struct{ from, to, lat, dist int }
-	var edges []edge
+	edges := mp.edgeBuf[:0]
 	hi := 1
 	for _, n := range l.Nodes {
 		to := vertex[n.ID]
@@ -550,11 +612,14 @@ func (mp *mapper) recMII(groups [][]int) int {
 			if from < 0 || (from == to && a.Dist == 0) {
 				continue
 			}
-			edges = append(edges, edge{from, to, lat[from], a.Dist})
+			edges = append(edges, ccaEdge{from, to, lat[from], a.Dist})
 			hi += lat[from]
 		}
 	}
-	dist := make([]int, len(lat))
+	if cap(mp.distBuf) < len(lat) {
+		mp.distBuf = make([]int, len(lat))
+	}
+	dist := mp.distBuf[:len(lat)]
 	feasible := func(ii int) bool {
 		for i := range dist {
 			dist[i] = 0
@@ -588,5 +653,7 @@ func (mp *mapper) recMII(groups [][]int) int {
 			lo = mid + 1
 		}
 	}
+	mp.latBuf = lat[:0]
+	mp.edgeBuf = edges[:0]
 	return lo
 }

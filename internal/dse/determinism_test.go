@@ -1,0 +1,43 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+
+	"veal/internal/exp"
+	"veal/internal/par"
+)
+
+// renderCSV evaluates the given figure at the given pool width and
+// returns its CSV bytes.
+func renderCSV(t *testing.T, models []*exp.BenchModel, workers int, fig func([]*exp.BenchModel) []Series) []byte {
+	t.Helper()
+	defer par.SetWorkers(par.SetWorkers(workers))
+	var b bytes.Buffer
+	if err := WriteCSV(&b, fig(models)); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
+// TestSweepParallelMatchesSerial checks the parallel sweeps emit CSV
+// byte-identical to a serial run — the determinism contract of the
+// worker-pool fan-out (results collected in input order, floats reduced
+// serially).
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	models := testModels(t)
+	for _, tc := range []struct {
+		name string
+		fig  func([]*exp.BenchModel) []Series
+	}{
+		{"Fig3a", Fig3a},
+		{"Fig3b", Fig3b},
+	} {
+		serial := renderCSV(t, models, 1, tc.fig)
+		parallel := renderCSV(t, models, 8, tc.fig)
+		if !bytes.Equal(serial, parallel) {
+			t.Errorf("%s: CSV differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s",
+				tc.name, serial, parallel)
+		}
+	}
+}

@@ -6,11 +6,15 @@
 package dse
 
 import (
+	"encoding/csv"
 	"fmt"
+	"io"
+	"strconv"
 	"strings"
 
 	"veal/internal/arch"
 	"veal/internal/exp"
+	"veal/internal/par"
 	"veal/internal/vm"
 )
 
@@ -27,27 +31,31 @@ type Series struct {
 	Points []Point
 }
 
-// meanSpeedup evaluates the suite's mean speedup with the given LA.
+// meanSpeedup evaluates the suite's mean speedup with the given LA,
+// fanning the per-benchmark evaluations across the worker pool. Results
+// are collected in model order, so the mean is bit-identical to the
+// serial reduction.
 func meanSpeedup(models []*exp.BenchModel, la *arch.LA) float64 {
 	sys := exp.System{Name: la.Name, CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: -1}
-	var sp []float64
-	for _, bm := range models {
-		sp = append(sp, bm.Speedup(sys))
-	}
+	sp := par.Map(len(models), func(i int) float64 {
+		return models[i].Speedup(sys)
+	})
 	return exp.Mean(sp)
 }
 
-// sweep runs one parameter sweep, producing the fraction-of-infinite line.
+// sweep runs one parameter sweep, producing the fraction-of-infinite
+// line. Design points evaluate in parallel; each point builds its own
+// arch.LA, and the translations it triggers land in the sites' shared
+// caches keyed by configuration, so repeated points across sweeps (the
+// infinite-resource reference, overlapping values) translate once.
 func sweep(models []*exp.BenchModel, label string, values []int, configure func(*arch.LA, int)) Series {
 	inf := meanSpeedup(models, arch.Infinite())
-	s := Series{Label: label}
-	for _, v := range values {
+	return Series{Label: label, Points: par.Map(len(values), func(i int) Point {
 		la := arch.Infinite()
-		la.Name = fmt.Sprintf("%s=%d", label, v)
-		configure(la, v)
-		s.Points = append(s.Points, Point{Value: v, Fraction: meanSpeedup(models, la) / inf})
-	}
-	return s
+		la.Name = fmt.Sprintf("%s=%d", label, values[i])
+		configure(la, values[i])
+		return Point{Value: values[i], Fraction: meanSpeedup(models, la) / inf}
+	})}
 }
 
 // Fig3a explores function units: integer units alone, FP units alone, and
@@ -118,6 +126,25 @@ func FIFOSweep(models []*exp.BenchModel) []Series {
 // §3.2 proposed design attains (the paper reports 83%).
 func ProposedFraction(models []*exp.BenchModel) float64 {
 	return meanSpeedup(models, arch.Proposed()) / meanSpeedup(models, arch.Infinite())
+}
+
+// WriteCSV emits sweep series as label,value,fraction rows (fractions in
+// [0,1]), matching the figure CSV emitters in internal/exp.
+func WriteCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"label", "value", "fraction"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := []string{s.Label, strconv.Itoa(p.Value), fmt.Sprintf("%.4f", p.Fraction)}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // Format renders sweep series as aligned text.

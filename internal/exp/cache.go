@@ -1,0 +1,126 @@
+package exp
+
+import (
+	"sync"
+
+	"veal/internal/arch"
+	"veal/internal/vm"
+)
+
+// transKey fingerprints one translation request: every architectural
+// parameter the translation pipeline reads, plus the policy and the
+// binary flavor. arch.LA's Name is deliberately excluded — sweep points
+// rename the same configuration — and the key is a comparable struct so
+// lookups allocate nothing.
+type transKey struct {
+	intUnits, fpUnits, ccas      int
+	intRegs, fpRegs              int
+	loadStreams, storeStreams    int
+	loadAGs, storeAGs            int
+	maxII, memLatency, fifoDepth int
+	cca                          arch.CCAConfig
+	policy                       vm.Policy
+	raw, spec                    bool
+}
+
+func keyFor(la *arch.LA, policy vm.Policy, raw, spec bool) transKey {
+	return transKey{
+		intUnits: la.IntUnits, fpUnits: la.FPUnits, ccas: la.CCAs,
+		intRegs: la.IntRegs, fpRegs: la.FPRegs,
+		loadStreams: la.LoadStreams, storeStreams: la.StoreStreams,
+		loadAGs: la.LoadAGs, storeAGs: la.StoreAGs,
+		maxII: la.MaxII, memLatency: la.MemLatency, fifoDepth: la.FIFODepth,
+		cca:    la.CCA,
+		policy: policy, raw: raw, spec: spec,
+	}
+}
+
+// shard hashes the key (FNV-style mix over every field) onto a shard.
+func (k transKey) shard() uint32 {
+	h := uint32(2166136261)
+	mix := func(v int) {
+		h ^= uint32(v)
+		h *= 16777619
+	}
+	mix(k.intUnits)
+	mix(k.fpUnits)
+	mix(k.ccas)
+	mix(k.intRegs)
+	mix(k.fpRegs)
+	mix(k.loadStreams)
+	mix(k.storeStreams)
+	mix(k.loadAGs)
+	mix(k.storeAGs)
+	mix(k.maxII)
+	mix(k.memLatency)
+	mix(k.fifoDepth)
+	mix(k.cca.Rows)
+	mix(k.cca.Inputs)
+	mix(k.cca.Outputs)
+	mix(k.cca.MaxOps)
+	mix(k.cca.Latency)
+	mix(int(k.policy))
+	b := 0
+	if k.raw {
+		b |= 1
+	}
+	if k.spec {
+		b |= 2
+	}
+	mix(b)
+	return h % transShards
+}
+
+// transShards spreads the cache's lock across independent mutexes so
+// concurrent sweep workers probing different design points rarely
+// contend. 16 shards is ample for the pool widths the harness uses.
+const transShards = 16
+
+// transCache memoizes Translate results across sweep evaluations. It is
+// safe for concurrent use: each key's entry is created under its shard
+// lock and filled exactly once (sync.Once) outside it, so concurrent
+// misses on the same design point share one translation instead of
+// recomputing it, and misses on different points never serialize on the
+// translation itself.
+type transCache struct {
+	shards [transShards]transShard
+}
+
+type transShard struct {
+	mu sync.Mutex
+	m  map[transKey]*transEntry
+}
+
+type transEntry struct {
+	once sync.Once
+	t    *Translation
+}
+
+// load returns the cached translation for k, computing and caching it
+// via compute on first use.
+func (c *transCache) load(k transKey, compute func() *Translation) *Translation {
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	e, ok := s.m[k]
+	if !ok {
+		if s.m == nil {
+			s.m = make(map[transKey]*transEntry)
+		}
+		e = &transEntry{}
+		s.m[k] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.t = compute() })
+	return e.t
+}
+
+// len reports the number of cached entries (for tests).
+func (c *transCache) len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/vm"
+)
+
+// schedulableSite returns a site the translation pipeline accepts on the
+// proposed design, so cache tests exercise the real translate path.
+func schedulableSite(t *testing.T) *SiteModel {
+	t.Helper()
+	eval, _ := testModels(t)
+	for _, bm := range eval {
+		for _, sm := range bm.Sites {
+			if sm.Site.Kind != cfg.KindSchedulable {
+				continue
+			}
+			if tr := sm.Translate(arch.Proposed(), vm.NoPenalty, false); tr.OK {
+				return sm
+			}
+		}
+	}
+	t.Fatal("no schedulable site in the eval suite")
+	return nil
+}
+
+// TestTransKeyDistinguishesFields checks every architectural parameter
+// the translation pipeline reads lands in the cache key — a missed field
+// would silently serve one design point's translation for another.
+func TestTransKeyDistinguishesFields(t *testing.T) {
+	base := keyFor(arch.Proposed(), vm.NoPenalty, false, false)
+	muts := []struct {
+		name string
+		f    func(*arch.LA)
+	}{
+		{"IntUnits", func(la *arch.LA) { la.IntUnits++ }},
+		{"FPUnits", func(la *arch.LA) { la.FPUnits++ }},
+		{"CCAs", func(la *arch.LA) { la.CCAs++ }},
+		{"IntRegs", func(la *arch.LA) { la.IntRegs++ }},
+		{"FPRegs", func(la *arch.LA) { la.FPRegs++ }},
+		{"LoadStreams", func(la *arch.LA) { la.LoadStreams++ }},
+		{"StoreStreams", func(la *arch.LA) { la.StoreStreams++ }},
+		{"LoadAGs", func(la *arch.LA) { la.LoadAGs++ }},
+		{"StoreAGs", func(la *arch.LA) { la.StoreAGs++ }},
+		{"MaxII", func(la *arch.LA) { la.MaxII++ }},
+		{"MemLatency", func(la *arch.LA) { la.MemLatency++ }},
+		{"FIFODepth", func(la *arch.LA) { la.FIFODepth++ }},
+		{"CCA.Rows", func(la *arch.LA) { la.CCA.Rows++ }},
+		{"CCA.Inputs", func(la *arch.LA) { la.CCA.Inputs++ }},
+		{"CCA.Outputs", func(la *arch.LA) { la.CCA.Outputs++ }},
+		{"CCA.MaxOps", func(la *arch.LA) { la.CCA.MaxOps++ }},
+		{"CCA.Latency", func(la *arch.LA) { la.CCA.Latency++ }},
+	}
+	for _, m := range muts {
+		la := arch.Proposed()
+		m.f(la)
+		if keyFor(la, vm.NoPenalty, false, false) == base {
+			t.Errorf("changing %s does not change the cache key", m.name)
+		}
+	}
+	if keyFor(arch.Proposed(), vm.Hybrid, false, false) == base {
+		t.Error("policy does not change the cache key")
+	}
+	if keyFor(arch.Proposed(), vm.NoPenalty, true, false) == base {
+		t.Error("raw flag does not change the cache key")
+	}
+	if keyFor(arch.Proposed(), vm.NoPenalty, false, true) == base {
+		t.Error("spec flag does not change the cache key")
+	}
+	// Name is presentation only: sweep points rename the same config and
+	// must share a cache entry.
+	named := arch.Proposed()
+	named.Name = "renamed-sweep-point"
+	if keyFor(named, vm.NoPenalty, false, false) != base {
+		t.Error("LA.Name leaks into the cache key")
+	}
+}
+
+// TestTransCacheSingleFlight checks concurrent misses on one key run the
+// compute function exactly once and every caller gets the same result.
+func TestTransCacheSingleFlight(t *testing.T) {
+	var c transCache
+	var computes atomic.Int32
+	k := keyFor(arch.Proposed(), vm.Hybrid, false, false)
+	const goroutines = 32
+	results := make([]*Translation, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.load(k, func() *Translation {
+				computes.Add(1)
+				return &Translation{OK: true, II: 7}
+			})
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for i, r := range results {
+		if r != results[0] {
+			t.Fatalf("goroutine %d got a different *Translation", i)
+		}
+	}
+	if c.len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.len())
+	}
+}
+
+// TestTransCacheConcurrentMixedKeys hammers the cache with interleaved
+// hits and misses across distinct design points and checks no key ever
+// serves another key's translation.
+func TestTransCacheConcurrentMixedKeys(t *testing.T) {
+	var c transCache
+	const configs = 24
+	keys := make([]transKey, configs)
+	for i := range keys {
+		la := arch.Infinite()
+		la.IntUnits = i + 1
+		la.MaxII = 2*i + 1
+		keys[i] = keyFor(la, vm.FullyDynamic, false, false)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				i := (g*13 + rep*7) % configs
+				got := c.load(keys[i], func() *Translation {
+					return &Translation{OK: true, II: i}
+				})
+				if got.II != i {
+					errs <- fmt.Errorf("key %d served translation for II=%d", i, got.II)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if c.len() != configs {
+		t.Errorf("cache holds %d entries, want %d", c.len(), configs)
+	}
+}
+
+// TestCachedMatchesUncached checks a cached TranslateWith result is
+// identical to running the translation pipeline directly, and a repeat
+// call is a hit (same pointer).
+func TestCachedMatchesUncached(t *testing.T) {
+	sm := schedulableSite(t)
+	for _, policy := range []vm.Policy{vm.NoPenalty, vm.FullyDynamic, vm.HeightPriority, vm.Hybrid} {
+		cached := sm.TranslateWith(arch.Proposed(), policy, false, false)
+		direct := sm.translate(arch.Proposed(), policy, false, false)
+		if !reflect.DeepEqual(cached, direct) {
+			t.Errorf("policy %v: cached %+v != direct %+v", policy, cached, direct)
+		}
+		if again := sm.TranslateWith(arch.Proposed(), policy, false, false); again != cached {
+			t.Errorf("policy %v: repeat lookup recomputed instead of hitting", policy)
+		}
+	}
+}
+
+// TestTranslateWithConcurrent drives the real per-site cache from many
+// goroutines mixing configurations and checks every caller observes the
+// translation its configuration deserves.
+func TestTranslateWithConcurrent(t *testing.T) {
+	sm := schedulableSite(t)
+	las := []*arch.LA{arch.Proposed(), arch.Infinite()}
+	small := arch.Proposed()
+	small.IntUnits = 1
+	small.CCAs = 0
+	las = append(las, small)
+	type want struct {
+		la     *arch.LA
+		policy vm.Policy
+		tr     *Translation
+	}
+	var wants []want
+	for _, la := range las {
+		for _, p := range []vm.Policy{vm.NoPenalty, vm.Hybrid} {
+			wants = append(wants, want{la, p, sm.translate(la, p, false, false)})
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 128)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				w := wants[(g+rep)%len(wants)]
+				got := sm.TranslateWith(w.la, w.policy, false, false)
+				if !reflect.DeepEqual(got, w.tr) {
+					errs <- fmt.Errorf("%s/%v: concurrent result diverged", w.la.Name, w.policy)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

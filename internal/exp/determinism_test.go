@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"bytes"
+	"testing"
+
+	"veal/internal/par"
+)
+
+// TestFig10ParallelMatchesSerial checks the parallel figure pipeline is
+// bit-identical to serial evaluation: same rows, same order, same floats.
+func TestFig10ParallelMatchesSerial(t *testing.T) {
+	eval, _ := testModels(t)
+	render := func(workers int) []byte {
+		defer par.SetWorkers(par.SetWorkers(workers))
+		var b bytes.Buffer
+		if err := WriteFig10CSV(&b, Fig10(eval)); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("Fig10 CSV differs between serial and parallel runs:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial, parallel)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"veal/internal/arch"
 	"veal/internal/cfg"
+	"veal/internal/par"
 	"veal/internal/vm"
 	"veal/internal/vmcost"
 )
@@ -25,11 +26,11 @@ type Fig2Row struct {
 	Acyclic     float64
 }
 
-// Fig2 computes the breakdown for every model.
+// Fig2 computes the breakdown for every model, one worker per benchmark.
 func Fig2(models []*BenchModel) []Fig2Row {
 	cpu := arch.ARM11()
-	rows := make([]Fig2Row, 0, len(models))
-	for _, bm := range models {
+	return par.Map(len(models), func(i int) Fig2Row {
+		bm := models[i]
 		var sched, spec, sub float64
 		for _, sm := range bm.Sites {
 			t := sm.ScalarCycles(cpu) * float64(sm.Site.Invocations)
@@ -47,16 +48,15 @@ func Fig2(models []*BenchModel) []Fig2Row {
 		}
 		acy := float64(bm.Bench.AcyclicInsts) * acyclicCPI(cpu)
 		total := sched + spec + sub + acy
-		rows = append(rows, Fig2Row{
+		return Fig2Row{
 			Bench:       bm.Bench.Name,
 			Suite:       bm.Bench.Suite.String(),
 			Schedulable: sched / total,
 			Speculation: spec / total,
 			Subroutine:  sub / total,
 			Acyclic:     acy / total,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatFig2 renders the rows as the paper's stacked-bar data.
@@ -89,21 +89,21 @@ type Fig6Point struct {
 func Fig6(models []*BenchModel) []Fig6Point {
 	overheads := []int64{0, 10_000, 20_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
 	rates := []float64{0, 0.001, 0.01, 0.1}
-	var out []Fig6Point
-	for _, rate := range rates {
-		for _, ov := range overheads {
-			sys := System{
-				Name: "sweep", CPU: arch.ARM11(), LA: arch.Proposed(),
-				Policy: vm.NoPenalty, TransPerLoop: ov, MissRate: rate,
-			}
-			var sp []float64
-			for _, bm := range models {
-				sp = append(sp, bm.Speedup(sys))
-			}
-			out = append(out, Fig6Point{OverheadCycles: ov, MissRate: rate, MeanSpeedup: Mean(sp)})
+	// The (rate, overhead) grid is flattened rate-major so the parallel
+	// fan-out returns points in the exact order the serial loops produced.
+	return par.Map(len(rates)*len(overheads), func(k int) Fig6Point {
+		rate := rates[k/len(overheads)]
+		ov := overheads[k%len(overheads)]
+		sys := System{
+			Name: "sweep", CPU: arch.ARM11(), LA: arch.Proposed(),
+			Policy: vm.NoPenalty, TransPerLoop: ov, MissRate: rate,
 		}
-	}
-	return out
+		var sp []float64
+		for _, bm := range models {
+			sp = append(sp, bm.Speedup(sys))
+		}
+		return Fig6Point{OverheadCycles: ov, MissRate: rate, MeanSpeedup: Mean(sp)}
+	})
 }
 
 // FormatFig6 renders the sweep as one series per retranslation rate.
@@ -157,11 +157,12 @@ type Fig7Row struct {
 	Fraction    float64 // (Raw-1)/(Transformed-1), clamped to [0,1]
 }
 
-// Fig7 evaluates both binary flavors on the proposed system.
+// Fig7 evaluates both binary flavors on the proposed system, one worker
+// per benchmark.
 func Fig7(models []*BenchModel) []Fig7Row {
 	la := arch.Proposed()
-	rows := make([]Fig7Row, 0, len(models))
-	for _, bm := range models {
+	return par.Map(len(models), func(i int) Fig7Row {
+		bm := models[i]
 		base := bm.Time(Baseline())
 		timed := func(raw bool) float64 {
 			total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(arch.ARM11())
@@ -188,9 +189,8 @@ func Fig7(models []*BenchModel) []Fig7Row {
 		if frac > 1 {
 			frac = 1
 		}
-		rows = append(rows, Fig7Row{Bench: bm.Bench.Name, Transformed: tSpeed, Raw: rSpeed, Fraction: frac})
-	}
-	return rows
+		return Fig7Row{Bench: bm.Bench.Name, Transformed: tSpeed, Raw: rSpeed, Fraction: frac}
+	})
 }
 
 // FormatFig7 renders per-benchmark fractions plus the mean loss.
@@ -219,12 +219,13 @@ type Fig8Row struct {
 	Total  float64
 }
 
-// Fig8 measures the fully-dynamic translator on every schedulable site.
+// Fig8 measures the fully-dynamic translator on every schedulable site,
+// one worker per benchmark. Benchmarks with no accelerated site are
+// dropped after the fan-out, preserving the serial row order.
 func Fig8(models []*BenchModel) []Fig8Row {
 	la := arch.Proposed()
-	rows := make([]Fig8Row, 0, len(models))
-	for _, bm := range models {
-		var row Fig8Row
+	all := par.Map(len(models), func(i int) (row Fig8Row) {
+		bm := models[i]
 		row.Bench = bm.Bench.Name
 		n := 0
 		for _, sm := range bm.Sites {
@@ -238,13 +239,20 @@ func Fig8(models []*BenchModel) []Fig8Row {
 			}
 		}
 		if n == 0 {
-			continue
+			row.Bench = ""
+			return row
 		}
 		for p := range row.Phases {
 			row.Phases[p] /= float64(n)
 			row.Total += row.Phases[p]
 		}
-		rows = append(rows, row)
+		return row
+	})
+	rows := make([]Fig8Row, 0, len(all))
+	for _, r := range all {
+		if r.Bench != "" {
+			rows = append(rows, r)
+		}
 	}
 	return rows
 }
@@ -313,11 +321,12 @@ func Fig10Systems() []System {
 	}
 }
 
-// Fig10 evaluates every benchmark on every configuration.
+// Fig10 evaluates every benchmark on every configuration, one worker per
+// benchmark.
 func Fig10(models []*BenchModel) []Fig10Row {
 	systems := Fig10Systems()
-	rows := make([]Fig10Row, 0, len(models))
-	for _, bm := range models {
+	return par.Map(len(models), func(i int) Fig10Row {
+		bm := models[i]
 		r := Fig10Row{Bench: bm.Bench.Name}
 		for _, sys := range systems {
 			s := bm.Speedup(sys)
@@ -336,9 +345,8 @@ func Fig10(models []*BenchModel) []Fig10Row {
 				r.FourIssue = s
 			}
 		}
-		rows = append(rows, r)
-	}
-	return rows
+		return r
+	})
 }
 
 // Fig10Average returns the suite-mean row.

@@ -16,6 +16,7 @@ import (
 	"veal/internal/cfg"
 	"veal/internal/ir"
 	"veal/internal/lower"
+	"veal/internal/par"
 	"veal/internal/scalar"
 	"veal/internal/vm"
 	"veal/internal/vmcost"
@@ -47,16 +48,9 @@ type SiteModel struct {
 	// scalarFit maps CPU name to (fixed, perIter) cycles for one
 	// invocation on that core, fitted from two measured trip counts.
 	scalarFit map[string][2]float64
-	// transCache memoizes Translate results across sweep evaluations.
-	transCache map[string]*Translation
-}
-
-// laKey fingerprints an LA configuration for the translation cache.
-func laKey(la *arch.LA) string {
-	return fmt.Sprintf("%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%d.%+v",
-		la.IntUnits, la.FPUnits, la.CCAs, la.IntRegs, la.FPRegs,
-		la.LoadStreams, la.StoreStreams, la.LoadAGs, la.StoreAGs, la.MaxII,
-		la.MemLatency, la.FIFODepth, la.CCA)
+	// cache memoizes Translate results across sweep evaluations; it is
+	// sharded and safe for concurrent workers (see cache.go).
+	cache transCache
 }
 
 // ScalarCycles returns the cycles one invocation takes on the CPU.
@@ -71,25 +65,27 @@ type BenchModel struct {
 	Sites []*SiteModel
 }
 
-// BuildModel compiles and measures one benchmark.
+// BuildModel compiles and measures one benchmark, fanning the per-site
+// compilation and scalar measurement across the worker pool.
 func BuildModel(b *workloads.Benchmark, cpus []*arch.CPU) (*BenchModel, error) {
-	bm := &BenchModel{Bench: b}
-	for _, site := range b.Sites {
-		sm, err := buildSite(site, cpus)
+	sites, err := par.MapErr(len(b.Sites), func(i int) (*SiteModel, error) {
+		sm, err := buildSite(b.Sites[i], cpus)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", b.Name, site.Name, err)
+			return nil, fmt.Errorf("%s/%s: %w", b.Name, b.Sites[i].Name, err)
 		}
-		bm.Sites = append(bm.Sites, sm)
+		return sm, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return bm, nil
+	return &BenchModel{Bench: b, Sites: sites}, nil
 }
 
 func buildSite(site workloads.LoopSite, cpus []*arch.CPU) (*SiteModel, error) {
 	l := site.Kernel.Build()
 	sm := &SiteModel{
 		Site: site, Loop: l,
-		scalarFit:  make(map[string][2]float64),
-		transCache: make(map[string]*Translation),
+		scalarFit: make(map[string][2]float64),
 	}
 
 	res, err := lower.Lower(l, lower.Options{Annotate: true})
@@ -186,18 +182,18 @@ func (sm *SiteModel) Translate(la *arch.LA, policy vm.Policy, raw bool) *Transla
 // TranslateWith additionally controls the speculation extension: when spec
 // is set, while-shaped (speculation-support) sites translate too, and
 // their invocation estimate charges a full speculative chunk of overshoot.
+// It is safe for concurrent callers: results are shared through the
+// site's sharded translation cache, and each cache miss runs the pipeline
+// in a fresh vm.VM, so only immutable state (the binary, the region, the
+// LA under test) is shared between workers.
 func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
 	if sm.Site.Kind == cfg.KindSubroutine || sm.Site.Kind == cfg.KindIrregular ||
 		(sm.Site.Kind == cfg.KindSpeculation && !spec) {
 		return &Translation{Reason: sm.Site.Kind.String()}
 	}
-	key := fmt.Sprintf("%s|%d|%v|%v", laKey(la), policy, raw, spec)
-	if t, ok := sm.transCache[key]; ok {
-		return t
-	}
-	t := sm.translate(la, policy, raw, spec)
-	sm.transCache[key] = t
-	return t
+	return sm.cache.load(keyFor(la, policy, raw, spec), func() *Translation {
+		return sm.translate(la, policy, raw, spec)
+	})
 }
 
 func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
@@ -260,11 +256,16 @@ type System struct {
 // Baseline is the 1-issue reference machine every speedup is relative to.
 func Baseline() System { return System{Name: "arm11", CPU: arch.ARM11(), TransPerLoop: -1} }
 
-// Time evaluates the benchmark's total cycles on a system.
+// Time evaluates the benchmark's total cycles on a system. Site
+// evaluations fan out across the worker pool; the per-site times are
+// collected in site order and summed serially, so the floating-point
+// result is bit-identical to the serial path.
 func (bm *BenchModel) Time(sys System) float64 {
 	total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(sys.CPU)
-	for _, sm := range bm.Sites {
-		total += bm.siteTime(sm, sys)
+	for _, t := range par.Map(len(bm.Sites), func(i int) float64 {
+		return bm.siteTime(bm.Sites[i], sys)
+	}) {
+		total += t
 	}
 	return total
 }
@@ -294,18 +295,13 @@ func (bm *BenchModel) Speedup(sys System) float64 {
 	return bm.Time(Baseline()) / bm.Time(sys)
 }
 
-// Models builds every benchmark in the list.
+// Models builds every benchmark in the list, in parallel across the
+// worker pool. The returned slice is in input order.
 func Models(benches []*workloads.Benchmark) ([]*BenchModel, error) {
 	cpus := []*arch.CPU{arch.ARM11(), arch.CortexA8(), arch.Quad()}
-	out := make([]*BenchModel, 0, len(benches))
-	for _, b := range benches {
-		m, err := BuildModel(b, cpus)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
-	}
-	return out, nil
+	return par.MapErr(len(benches), func(i int) (*BenchModel, error) {
+		return BuildModel(benches[i], cpus)
+	})
 }
 
 // Mean returns the arithmetic mean of a slice.

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"veal/internal/arch"
+	"veal/internal/par"
 	"veal/internal/vm"
 )
 
@@ -20,26 +21,26 @@ type SpecRow struct {
 	Uplift      float64 // WithSpec / PaperDesign
 }
 
-// Speculation evaluates the extension across the given models.
+// Speculation evaluates the extension across the given models, one
+// worker per benchmark.
 func Speculation(models []*BenchModel) []SpecRow {
 	la := arch.Proposed()
 	base := System{Name: "paper", CPU: arch.ARM11(), LA: la, Policy: vm.Hybrid, TransPerLoop: -1}
 	spec := base
 	spec.Name = "spec"
 	spec.Speculation = true
-	rows := make([]SpecRow, 0, len(models))
-	for _, bm := range models {
+	return par.Map(len(models), func(i int) SpecRow {
+		bm := models[i]
 		p := bm.Speedup(base)
 		w := bm.Speedup(spec)
-		rows = append(rows, SpecRow{
+		return SpecRow{
 			Bench:       bm.Bench.Name,
 			Suite:       bm.Bench.Suite.String(),
 			PaperDesign: p,
 			WithSpec:    w,
 			Uplift:      w / p,
-		})
-	}
-	return rows
+		}
+	})
 }
 
 // FormatSpeculation renders the extension table.

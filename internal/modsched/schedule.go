@@ -38,16 +38,30 @@ type mrt struct {
 }
 
 func newMRT(ii int, la *arch.LA) *mrt {
-	t := &mrt{ii: ii}
+	t := &mrt{}
+	t.reset(ii, la)
+	return t
+}
+
+// reset reinitializes the table for a new II, reusing the row backing
+// arrays from earlier attempts so the II-escalation loop does not
+// reallocate the table on every retry.
+func (t *mrt) reset(ii int, la *arch.LA) {
+	t.ii = ii
 	t.limit[UnitInt] = la.IntUnits
 	t.limit[UnitFloat] = la.FPUnits
 	t.limit[UnitCCA] = la.CCAs
 	t.limit[UnitLoad] = la.LoadAGs
 	t.limit[UnitStore] = la.StoreAGs
 	for c := range t.rows {
-		t.rows[c] = make([][]int, ii)
+		if cap(t.rows[c]) < ii {
+			t.rows[c] = make([][]int, ii)
+		}
+		t.rows[c] = t.rows[c][:ii]
+		for r := range t.rows[c] {
+			t.rows[c][r] = t.rows[c][r][:0]
+		}
 	}
-	return t
 }
 
 func (t *mrt) row(time int) int { return ((time % t.ii) + t.ii) % t.ii }
@@ -69,17 +83,35 @@ func (t *mrt) place(class UnitClass, time, unit int) int {
 // §4.1 "Scheduling"). It returns nil if some unit cannot be placed, in
 // which case the caller should retry with a larger II.
 func TrySchedule(g *Graph, la *arch.LA, ii int, order []int, m *vmcost.Meter) *Schedule {
+	return trySchedule(g, la, ii, order, m, &schedScratch{table: &mrt{}})
+}
+
+// schedScratch holds the placement buffers one II-escalation loop reuses
+// across retries. The time/FU slices are handed over to the Schedule on
+// success (the loop returns immediately), so only failed attempts reuse
+// them.
+type schedScratch struct {
+	times, fus []int
+	table      *mrt
+}
+
+func trySchedule(g *Graph, la *arch.LA, ii int, order []int, m *vmcost.Meter, sc *schedScratch) *Schedule {
 	m.Begin(vmcost.PhaseSchedule)
 	if len(order) != len(g.Units) {
 		return nil
 	}
 	const unplaced = 1 << 30
-	times := make([]int, len(g.Units))
-	fus := make([]int, len(g.Units))
+	if cap(sc.times) < len(g.Units) {
+		sc.times = make([]int, len(g.Units))
+		sc.fus = make([]int, len(g.Units))
+	}
+	times := sc.times[:len(g.Units)]
+	fus := sc.fus[:len(g.Units)]
 	for i := range times {
 		times[i] = unplaced
 	}
-	table := newMRT(ii, la)
+	table := sc.table
+	table.reset(ii, la)
 
 	for _, u := range order {
 		m.Charge(4)
@@ -183,6 +215,9 @@ func TrySchedule(g *Graph, la *arch.LA, ii int, order []int, m *vmcost.Meter) *S
 		}
 		m.Charge(1)
 	}
+	// The buffers escape into the Schedule: detach them so a further
+	// (mis)use of the scratch cannot alias the returned schedule.
+	sc.times, sc.fus = nil, nil
 	return &Schedule{
 		Graph: g,
 		II:    ii,
@@ -245,8 +280,9 @@ func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *v
 	if cap := mii + 256; cap < hi {
 		hi = cap
 	}
+	scratch := &schedScratch{table: &mrt{}}
 	for ii := mii; ii <= hi; ii++ {
-		if s := TrySchedule(g, la, ii, order, m); s != nil {
+		if s := trySchedule(g, la, ii, order, m, scratch); s != nil {
 			return s, nil
 		}
 	}

@@ -31,12 +31,15 @@ func (b *Bounds) Mobility(u int) int { return b.LStart[u] - b.EStart[u] }
 func ComputeBounds(g *Graph, ii int, m *vmcost.Meter) *Bounds {
 	m.Begin(vmcost.PhasePriority)
 	n := len(g.Units)
+	// One backing array for the four windows: a single allocation on a
+	// path the sweep harness hits for every (loop, design point) pair.
+	buf := make([]int, 4*n)
 	b := &Bounds{
 		II:     ii,
-		EStart: make([]int, n),
-		LStart: make([]int, n),
-		Height: make([]int, n),
-		Depth:  make([]int, n),
+		EStart: buf[0*n : 1*n],
+		LStart: buf[1*n : 2*n],
+		Height: buf[2*n : 3*n],
+		Depth:  buf[3*n : 4*n],
 	}
 
 	// Forward longest paths (EStart), then reverse longest paths (Height:
@@ -312,18 +315,15 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 	ordered := make([]bool, n)
 	order := make([]int, 0, n)
 
-	adj := func(u int) (preds, succs []int) {
-		for _, ei := range g.pred[u] {
-			preds = append(preds, g.Edges[ei].From)
-		}
-		for _, ei := range g.succ[u] {
-			succs = append(succs, g.Edges[ei].To)
-		}
-		return
-	}
+	// Scratch reused across sets: membership and dedup marks as flat
+	// bool slices and one shared candidate buffer, instead of per-set
+	// maps and per-step pred/succ slices (this ordering sweep is the
+	// hottest part of the dominant priority phase).
+	inSet := make([]bool, n)
+	seen := make([]bool, n)
+	r := make([]int, 0, n)
 
 	for _, s := range sets {
-		inSet := make(map[int]bool, len(s.nodes))
 		remaining := 0
 		for _, u := range s.nodes {
 			if !ordered[u] {
@@ -336,11 +336,11 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 		}
 
 		// Seed the working set R from nodes adjacent to the current order.
-		var r []int
+		r = r[:0]
 		dirBottomUp := false
 		for _, u := range order {
-			preds, succs := adj(u)
-			for _, p := range preds {
+			for _, ei := range g.pred[u] {
+				p := g.Edges[ei].From
 				m.Charge(vmcost.CostOrderExtend)
 				if inSet[p] && !ordered[p] {
 					r = append(r, p)
@@ -348,7 +348,8 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 				}
 			}
 			if len(r) == 0 {
-				for _, q := range succs {
+				for _, ei := range g.succ[u] {
+					q := g.Edges[ei].To
 					m.Charge(vmcost.CostOrderExtend)
 					if inSet[q] && !ordered[q] {
 						r = append(r, q)
@@ -360,13 +361,16 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 			// Fresh component: start from the node with the minimum LStart
 			// (the most constrained from the top), top-down.
 			best := -1
-			for u := range inSet {
+			for _, u := range s.nodes {
+				if !inSet[u] {
+					continue
+				}
 				m.Charge(2)
 				if best == -1 || b.LStart[u] < b.LStart[best] || (b.LStart[u] == b.LStart[best] && u < best) {
 					best = u
 				}
 			}
-			r = []int{best}
+			r = append(r[:0], best)
 		}
 
 		for remaining > 0 {
@@ -374,14 +378,16 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 				// Switch direction: gather unordered set nodes adjacent to
 				// anything ordered; if none, take any remaining node.
 				dirBottomUp = !dirBottomUp
-				seen := map[int]bool{}
 				for _, u := range order {
-					preds, succs := adj(u)
-					cands := succs
+					edges := g.succ[u]
 					if dirBottomUp {
-						cands = preds
+						edges = g.pred[u]
 					}
-					for _, c := range cands {
+					for _, ei := range edges {
+						c := g.Edges[ei].To
+						if dirBottomUp {
+							c = g.Edges[ei].From
+						}
 						m.Charge(vmcost.CostOrderExtend)
 						if inSet[c] && !ordered[c] && !seen[c] {
 							seen[c] = true
@@ -389,9 +395,12 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 						}
 					}
 				}
+				for _, c := range r {
+					seen[c] = false
+				}
 				if len(r) == 0 {
-					for u := range inSet {
-						if !ordered[u] {
+					for _, u := range s.nodes {
+						if inSet[u] && !ordered[u] {
 							r = append(r, u)
 						}
 					}
@@ -437,17 +446,23 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 			order = append(order, best)
 			remaining--
 			// Extend R along the current direction within the set.
-			preds, succs := adj(best)
-			ext := succs
+			edges := g.succ[best]
 			if dirBottomUp {
-				ext = preds
+				edges = g.pred[best]
 			}
-			for _, c := range ext {
+			for _, ei := range edges {
+				c := g.Edges[ei].To
+				if dirBottomUp {
+					c = g.Edges[ei].From
+				}
 				m.Charge(vmcost.CostOrderExtend)
 				if inSet[c] && !ordered[c] {
 					r = append(r, c)
 				}
 			}
+		}
+		for _, u := range s.nodes {
+			inSet[u] = false
 		}
 	}
 	return order

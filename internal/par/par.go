@@ -1,0 +1,125 @@
+// Package par provides the bounded worker pool behind VEAL's parallel
+// evaluation layer. Design-space sweeps, figure generation and per-site
+// model evaluation are embarrassingly parallel — every sample is a pure
+// function of immutable inputs (the ir.Program, the arch.LA under test)
+// — so the harness fans them out across a fixed number of workers and
+// collects results strictly in input order, which keeps every figure
+// bit-identical to the serial path.
+//
+// The pool width defaults to GOMAXPROCS and can be overridden with the
+// VEAL_WORKERS environment variable or SetWorkers (the CLI's -j flag).
+// Width 1 short-circuits to plain loops on the caller's goroutine — the
+// exact serial path, with no goroutines and no synchronization.
+package par
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+var pool atomic.Int32
+
+func init() { pool.Store(int32(defaultWorkers())) }
+
+// defaultWorkers is $VEAL_WORKERS when set and positive, else GOMAXPROCS.
+func defaultWorkers() int {
+	if s := os.Getenv("VEAL_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 1 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Workers reports the pool width used by ForEach and Map.
+func Workers() int { return int(pool.Load()) }
+
+// SetWorkers sets the pool width and returns the previous one so callers
+// (tests, the CLI's -j flag) can restore it. n < 1 restores the default.
+func SetWorkers(n int) int {
+	prev := Workers()
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	pool.Store(int32(n))
+	return prev
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanned across
+// min(Workers(), n) goroutines, and returns once all calls finish.
+// Indices are handed out in order from a shared cursor, so with one
+// worker the calls run serially in index order on the caller's
+// goroutine. A panic in any call is re-raised on the caller's goroutine
+// after the remaining workers drain.
+//
+// ForEach may be nested (a parallel sweep evaluating parallel models):
+// each level spawns at most Workers() goroutines, and the scheduler caps
+// actual parallelism at GOMAXPROCS.
+func ForEach(n int, fn func(i int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor    atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Map invokes fn(i) for every i in [0, n) across the pool and returns
+// the results indexed by input position, regardless of completion order.
+// Callers that reduce the results (sums, means) therefore see the exact
+// float-summation order of the serial path.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible functions. Every index runs to completion;
+// the error reported is the one from the lowest failing index, so the
+// outcome does not depend on completion order.
+func MapErr[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

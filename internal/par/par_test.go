@@ -1,0 +1,120 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(prev) })
+}
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		withWorkers(t, w)
+		got := Map(100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	withWorkers(t, 8)
+	counts := make([]atomic.Int32, 500)
+	ForEach(len(counts), func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	ran := false
+	ForEach(0, func(int) { ran = true })
+	ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for empty range")
+	}
+}
+
+func TestMapErrReportsLowestFailingIndex(t *testing.T) {
+	withWorkers(t, 8)
+	errAt := func(bad map[int]bool) error {
+		_, err := MapErr(50, func(i int) (int, error) {
+			if bad[i] {
+				return 0, fmt.Errorf("fail@%d", i)
+			}
+			return i, nil
+		})
+		return err
+	}
+	if err := errAt(map[int]bool{41: true, 7: true, 23: true}); err == nil || err.Error() != "fail@7" {
+		t.Fatalf("err = %v, want fail@7", err)
+	}
+	if err := errAt(nil); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestMapErrRunsEveryIndexDespiteFailure(t *testing.T) {
+	withWorkers(t, 4)
+	var ran atomic.Int32
+	_, err := MapErr(64, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("ran %d of 64 indices", got)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	withWorkers(t, 4)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	ForEach(16, func(i int) {
+		if i == 5 {
+			panic("worker exploded")
+		}
+	})
+}
+
+func TestSetWorkersRestoresDefault(t *testing.T) {
+	prev := SetWorkers(3)
+	defer SetWorkers(prev)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset, want >= 1", Workers())
+	}
+}
+
+func TestNestedForEach(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int32
+	ForEach(8, func(int) {
+		ForEach(8, func(int) { total.Add(1) })
+	})
+	if total.Load() != 64 {
+		t.Fatalf("nested total = %d, want 64", total.Load())
+	}
+}

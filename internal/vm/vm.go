@@ -9,8 +9,11 @@
 // translation pipeline runs dynamically (and is charged translation
 // cycles) versus being read from binary annotations.
 //
-// A VM instance models one machine and is not safe for concurrent use;
-// create one VM per goroutine (they share nothing).
+// A VM instance models one machine and is not safe for concurrent use:
+// Translate mutates the code cache and the cost meter. Callers that fan
+// out (internal/exp, internal/dse) create one VM per translation; the
+// inputs a VM reads — isa.Program, arch.LA, ir loops — are immutable
+// after construction and safe to share across goroutines.
 package vm
 
 import (

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the figure-regeneration and translator benchmarks with -benchmem,
+# records the parsed results as BENCH_<date>.json at the repo root, and
+# prints a before/after comparison against the most recent earlier
+# snapshot. Usage: scripts/bench.sh [extra go-test args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date +%Y%m%d).json"
+prev="$(ls -t BENCH_*.json 2>/dev/null | grep -vx "$out" | head -1 || true)"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
+	-benchmem -count 1 "$@" . | tee "$raw"
+
+if [ -n "$prev" ]; then
+	go run ./scripts/benchcmp -prev "$prev" -o "$out" <"$raw"
+else
+	go run ./scripts/benchcmp -o "$out" <"$raw"
+fi
+echo "wrote $out"

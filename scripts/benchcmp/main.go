@@ -1,0 +1,144 @@
+// Command benchcmp parses `go test -bench` output from stdin into a JSON
+// snapshot and, given a previous snapshot, prints a per-benchmark
+// comparison. scripts/bench.sh drives it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is one bench.sh run.
+type Snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches the fixed prefix of a benchmark result line; B/op
+// and allocs/op are matched separately because custom b.ReportMetric
+// fields (the figure benches emit several) sit between them and ns/op.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesOp   = regexp.MustCompile(`\s(\d+) B/op`)
+	allocsOp  = regexp.MustCompile(`\s(\d+) allocs/op`)
+)
+
+func parse(r *bufio.Scanner) ([]Result, error) {
+	var out []Result
+	for r.Scan() {
+		line := r.Text()
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		res := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		if b := bytesOp.FindStringSubmatch(line); b != nil {
+			res.BPerOp, _ = strconv.ParseInt(b[1], 10, 64)
+		}
+		if a := allocsOp.FindStringSubmatch(line); a != nil {
+			res.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out, r.Err()
+}
+
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	prevPath := flag.String("prev", "", "previous BENCH_*.json to compare against")
+	outPath := flag.String("o", "", "write the parsed snapshot to this JSON file")
+	flag.Parse()
+
+	results, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	snap := Snapshot{
+		Date:       time.Now().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	if *outPath != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *prevPath == "" {
+		fmt.Printf("%-36s %12s %10s %8s\n", "benchmark", "ns/op", "B/op", "allocs")
+		for _, r := range results {
+			fmt.Printf("%-36s %12s %10d %8d\n", r.Name, human(r.NsPerOp), r.BPerOp, r.AllocsPerOp)
+		}
+		return
+	}
+
+	data, err := os.ReadFile(*prevPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	var prev Snapshot
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %s: %v\n", *prevPath, err)
+		os.Exit(1)
+	}
+	prevBy := map[string]Result{}
+	for _, r := range prev.Benchmarks {
+		prevBy[r.Name] = r
+	}
+	fmt.Printf("comparing against %s (%s)\n", *prevPath, prev.Date)
+	fmt.Printf("%-36s %12s %12s %8s\n", "benchmark", "before", "after", "delta")
+	for _, r := range results {
+		p, ok := prevBy[r.Name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12s %8s\n", r.Name, "-", human(r.NsPerOp), "new")
+			continue
+		}
+		delta := 100 * (r.NsPerOp - p.NsPerOp) / p.NsPerOp
+		fmt.Printf("%-36s %12s %12s %+7.1f%%\n", r.Name, human(p.NsPerOp), human(r.NsPerOp), delta)
+	}
+}
