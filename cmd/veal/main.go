@@ -9,6 +9,9 @@
 //	veal tradeoff [-fig N]  Figure 7 (transforms) / Figure 10 (policies)
 //	veal area               §3.2 die-area comparison
 //	veal run <benchmark>    report one benchmark's sites under the VM
+//	veal vmstats [-kernel K] JIT pipeline observability: run a kernel
+//	                        under the VM and report lifecycle metrics,
+//	                        or -overlap for the stall-vs-overlap table
 //
 // The global -j N flag (before the subcommand) caps the evaluation
 // worker pool; -j 1 forces serial evaluation. The VEAL_WORKERS
@@ -31,6 +34,7 @@ import (
 	"veal/internal/isa"
 	"veal/internal/lower"
 	"veal/internal/par"
+	"veal/internal/scalar"
 	"veal/internal/vm"
 	"veal/internal/workloads"
 )
@@ -68,6 +72,8 @@ func main() {
 		err = cmdInspect(args)
 	case "speculation":
 		err = cmdSpeculation()
+	case "vmstats":
+		err = cmdVMStats(args)
 	case "asm":
 		err = cmdAsm(args)
 	default:
@@ -81,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|asm> [flags]`)
 }
 
 func usageExit() {
@@ -267,14 +273,8 @@ func cmdSpeculation() error {
 	return nil
 }
 
-// cmdInspect compiles one workload kernel and shows the whole translation
-// pipeline: the annotated binary, the extracted dataflow loop, the CCA
-// groups, and the modulo reservation table (the paper's Figure 5 view).
-func cmdInspect(args []string) error {
-	if len(args) < 1 {
-		return fmt.Errorf("inspect: kernel name required (e.g. adpcm-encode, idct-row, fig5)")
-	}
-	name := args[0]
+// findKernel resolves a workload kernel by its registered or built name.
+func findKernel(name string) (*ir.Loop, error) {
 	var loop *ir.Loop
 	for _, bench := range workloads.All() {
 		for _, site := range bench.Sites {
@@ -296,7 +296,109 @@ func cmdInspect(args []string) error {
 			}
 		}
 		sort.Strings(names)
-		return fmt.Errorf("inspect: unknown kernel %q; available: %s", name, strings.Join(names, ", "))
+		return nil, fmt.Errorf("unknown kernel %q; available: %s", name, strings.Join(names, ", "))
+	}
+	return loop, nil
+}
+
+// cmdVMStats is the JIT observability surface: it executes one kernel
+// under the VM-managed system and reports the translation pipeline's
+// lifecycle counters, histograms, per-loop states, and (with -trace) a
+// JSONL event log; -overlap instead prints the stall-vs-overlap
+// experiment across the DSE design points.
+func cmdVMStats(args []string) error {
+	fs := flag.NewFlagSet("vmstats", flag.ExitOnError)
+	kernel := fs.String("kernel", "saxpy", "workload kernel to run (see `veal inspect` for names)")
+	workers := fs.Int("workers", 2, "background translator workers (0 = stall on translate)")
+	trip := fs.Int64("trip", 4096, "iterations per loop invocation")
+	repeat := fs.Int("repeat", 3, "number of runs (later runs exercise the code cache)")
+	cache := fs.Int("cache", 16, "code cache entries")
+	threshold := fs.Int("threshold", 1, "hot-loop invocation threshold")
+	tracePath := fs.String("trace", "", "write a JSONL lifecycle event trace to this file")
+	overlap := fs.Bool("overlap", false, "run the stall-vs-overlap experiment instead")
+	csvOut := fs.Bool("csv", false, "emit CSV (with -overlap)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *overlap {
+		rows, err := exp.Overlap(exp.OverlapOptions{Trip: *trip, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return exp.WriteOverlapCSV(os.Stdout, rows)
+		}
+		fmt.Print(exp.FormatOverlap(rows))
+		return nil
+	}
+
+	loop, err := findKernel(*kernel)
+	if err != nil {
+		return fmt.Errorf("vmstats: %w", err)
+	}
+	res, err := lower.Lower(loop, lower.Options{Annotate: true})
+	if err != nil {
+		return err
+	}
+	bind, mem := workloads.Prepare(loop, *trip, 1)
+
+	cfg := vm.DefaultConfig()
+	cfg.TranslateWorkers = *workers
+	cfg.CodeCacheSize = *cache
+	cfg.HotThreshold = *threshold
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+	v := vm.New(cfg)
+
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(*trip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = bind.Params[i]
+		}
+	}
+	fmt.Printf("%s: trip=%d workers=%d cache=%d threshold=%d\n\n",
+		loop.Name, *trip, *workers, *cache, *threshold)
+	for run := 0; run < *repeat; run++ {
+		r, _, err := v.Run(res.Program, mem.Clone(), seed, 500_000_000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run %d: cycles=%-10d scalar=%-10d accel=%-8d trans=%d (stalled=%d hidden=%d) launches=%d\n",
+			run+1, r.Cycles, r.ScalarCycles, r.AccelCycles,
+			r.TranslationCycles, r.StalledTranslationCycles, r.HiddenTranslationCycles, r.Launches)
+	}
+
+	fmt.Printf("\n%s\nloop states:\n", v.Metrics().Format())
+	for _, s := range v.LoopStates() {
+		line := fmt.Sprintf("  %-16s %-11s invocations=%d installs=%d", s.Name, s.State, s.Invocations, s.Installs)
+		if s.Reason != "" {
+			line += " reason=" + s.Reason
+		}
+		fmt.Println(line)
+	}
+	if *tracePath != "" {
+		fmt.Printf("\ntrace written to %s\n", *tracePath)
+	}
+	return nil
+}
+
+// cmdInspect compiles one workload kernel and shows the whole translation
+// pipeline: the annotated binary, the extracted dataflow loop, the CCA
+// groups, and the modulo reservation table (the paper's Figure 5 view).
+func cmdInspect(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("inspect: kernel name required (e.g. adpcm-encode, idct-row, fig5)")
+	}
+	loop, err := findKernel(args[0])
+	if err != nil {
+		return fmt.Errorf("inspect: %w", err)
 	}
 
 	res, err := lower.Lower(loop, lower.Options{Annotate: true})

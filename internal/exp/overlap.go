@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/par"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+// OverlapOptions configures the stall-vs-overlap experiment: it executes
+// real programs under the VM twice per design point and policy — once
+// with synchronous (stall-on-translate) translation, once with a
+// background translator pool — and reports how much of the paper's
+// Figure 8/9 translation overhead the asynchronous pipeline recovers.
+type OverlapOptions struct {
+	// Kernels are workload kernel names (as listed by `veal inspect`);
+	// empty selects a small representative set.
+	Kernels []string
+	// Designs are the accelerator design points; empty selects the
+	// proposed design plus register- and FU-constrained variants from
+	// the DSE ladder.
+	Designs []*arch.LA
+	// Policies to evaluate; empty selects the three dynamic policies of
+	// Figure 10 (NoPenalty has no translation cost to hide).
+	Policies []vm.Policy
+	// Trip is the iteration count per loop invocation (default 4096 —
+	// long enough that a translation installs mid-invocation).
+	Trip int64
+	// Workers is the background translator pool width in overlap mode
+	// (default 2; fixed, so the figure is machine-independent).
+	Workers int
+}
+
+// OverlapRow is one design-point/policy measurement, summed over kernels.
+type OverlapRow struct {
+	Design string
+	Policy vm.Policy
+	// StallCycles and OverlapCycles are total execution cycles with
+	// synchronous translation and with the background pipeline.
+	StallCycles   int64
+	OverlapCycles int64
+	// TransWork is the total translation work; HiddenCycles is the part
+	// the pipeline moved off the critical path.
+	TransWork    int64
+	HiddenCycles int64
+	// Recovered is the fraction of the stall-mode translation overhead
+	// eliminated by overlap: (stall - overlap) / transWork.
+	Recovered float64
+}
+
+// defaultOverlapDesigns is the proposed design plus two constrained
+// points from the DSE sweeps, where translation cost and loop quality
+// interact differently.
+func defaultOverlapDesigns() []*arch.LA {
+	regs := arch.Proposed().Clone()
+	regs.Name = "regs-8"
+	regs.IntRegs, regs.FPRegs = 8, 8
+	fu := arch.Proposed().Clone()
+	fu.Name = "1-int-1-fp"
+	fu.IntUnits, fu.FPUnits = 1, 1
+	return []*arch.LA{arch.Proposed(), regs, fu}
+}
+
+type overlapKernel struct {
+	name string
+	res  *lower.Result
+	bind *ir.Bindings
+	mem  *ir.PagedMemory
+}
+
+// resolveKernels lowers each named kernel once and prepares deterministic
+// operands shared by every design point.
+func resolveKernels(names []string, trip int64) ([]overlapKernel, error) {
+	loops := map[string]*ir.Loop{}
+	var available []string
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			l := site.Kernel.Build()
+			if _, ok := loops[l.Name]; !ok {
+				loops[l.Name] = l
+				available = append(available, l.Name)
+			}
+		}
+	}
+	out := make([]overlapKernel, 0, len(names))
+	for _, name := range names {
+		l, ok := loops[name]
+		if !ok {
+			return nil, fmt.Errorf("overlap: unknown kernel %q; available: %s",
+				name, strings.Join(available, ", "))
+		}
+		res, err := lower.Lower(l, lower.Options{Annotate: true})
+		if err != nil {
+			return nil, fmt.Errorf("overlap: lowering %s: %w", name, err)
+		}
+		bind, mem := workloads.Prepare(l, trip, 1)
+		out = append(out, overlapKernel{name: name, res: res, bind: bind, mem: mem})
+	}
+	return out, nil
+}
+
+// Overlap runs the experiment. Rows are evaluated on the par worker
+// pool; each row's VMs are private, so results are deterministic and
+// identical to serial evaluation.
+func Overlap(opt OverlapOptions) ([]OverlapRow, error) {
+	if len(opt.Kernels) == 0 {
+		opt.Kernels = []string{"saxpy", "dotprod", "idct-row"}
+	}
+	if len(opt.Designs) == 0 {
+		opt.Designs = defaultOverlapDesigns()
+	}
+	if len(opt.Policies) == 0 {
+		opt.Policies = []vm.Policy{vm.FullyDynamic, vm.HeightPriority, vm.Hybrid}
+	}
+	if opt.Trip <= 0 {
+		opt.Trip = 4096
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 2
+	}
+	kernels, err := resolveKernels(opt.Kernels, opt.Trip)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		design *arch.LA
+		policy vm.Policy
+	}
+	cells := make([]cell, 0, len(opt.Designs)*len(opt.Policies))
+	for _, d := range opt.Designs {
+		for _, pol := range opt.Policies {
+			cells = append(cells, cell{d, pol})
+		}
+	}
+
+	return par.MapErr(len(cells), func(i int) (OverlapRow, error) {
+		c := cells[i]
+		row := OverlapRow{Design: c.design.Name, Policy: c.policy}
+		for _, k := range kernels {
+			stall, err := runOverlapKernel(k, c.design, c.policy, 0, opt.Trip)
+			if err != nil {
+				return row, err
+			}
+			over, err := runOverlapKernel(k, c.design, c.policy, opt.Workers, opt.Trip)
+			if err != nil {
+				return row, err
+			}
+			row.StallCycles += stall.Cycles
+			row.OverlapCycles += over.Cycles
+			row.TransWork += stall.TranslationCycles
+			row.HiddenCycles += over.HiddenTranslationCycles
+		}
+		if row.TransWork > 0 {
+			row.Recovered = float64(row.StallCycles-row.OverlapCycles) / float64(row.TransWork)
+		}
+		return row, nil
+	})
+}
+
+// runOverlapKernel executes one kernel under a fresh VM.
+func runOverlapKernel(k overlapKernel, la *arch.LA, policy vm.Policy, workers int, trip int64) (*vm.RunResult, error) {
+	v := vm.New(vm.Config{
+		LA: la, CPU: arch.ARM11(), Policy: policy,
+		CodeCacheSize:    16,
+		TranslateWorkers: workers,
+	})
+	seed := func(m *scalar.Machine) {
+		m.Regs[k.res.TripReg] = uint64(trip)
+		for i, r := range k.res.ParamRegs {
+			m.Regs[r] = k.bind.Params[i]
+		}
+	}
+	res, _, err := v.Run(k.res.Program, k.mem.Clone(), seed, 500_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("overlap: %s on %s/%v: %w", k.name, la.Name, policy, err)
+	}
+	return res, nil
+}
+
+// FormatOverlap renders the experiment as an aligned table.
+func FormatOverlap(rows []OverlapRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Translation overlap: stall-on-translate vs background pipeline\n")
+	fmt.Fprintf(&b, "%-12s %-22s %14s %14s %12s %12s %10s\n",
+		"design", "policy", "stall cycles", "overlap cycles", "trans work", "hidden", "recovered")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-22s %14d %14d %12d %12d %9.0f%%\n",
+			r.Design, r.Policy, r.StallCycles, r.OverlapCycles,
+			r.TransWork, r.HiddenCycles, 100*r.Recovered)
+	}
+	return b.String()
+}
+
+// WriteOverlapCSV emits the rows as CSV.
+func WriteOverlapCSV(w io.Writer, rows []OverlapRow) error {
+	if _, err := fmt.Fprintln(w, "design,policy,stall_cycles,overlap_cycles,trans_work,hidden_cycles,recovered"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%s\n",
+			r.Design, r.Policy, r.StallCycles, r.OverlapCycles,
+			r.TransWork, r.HiddenCycles, f(r.Recovered)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"veal/internal/par"
+	"veal/internal/vm"
+)
+
+func smallOverlapOptions() OverlapOptions {
+	return OverlapOptions{
+		Kernels:  []string{"saxpy", "dotprod"},
+		Policies: []vm.Policy{vm.FullyDynamic, vm.Hybrid},
+		Trip:     2048,
+		Workers:  2,
+	}
+}
+
+func TestOverlapExperiment(t *testing.T) {
+	rows, err := Overlap(smallOverlapOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*2 {
+		t.Fatalf("got %d rows, want 6 (3 designs x 2 policies)", len(rows))
+	}
+	anyHidden := false
+	for _, r := range rows {
+		if r.OverlapCycles > r.StallCycles {
+			t.Errorf("%s/%v: overlap %d slower than stall %d",
+				r.Design, r.Policy, r.OverlapCycles, r.StallCycles)
+		}
+		if r.HiddenCycles > 0 {
+			anyHidden = true
+		}
+		if r.TransWork == 0 {
+			t.Errorf("%s/%v: no translation work recorded", r.Design, r.Policy)
+		}
+	}
+	if !anyHidden {
+		t.Error("no row hid any translation cycles")
+	}
+}
+
+func TestOverlapDeterministicAcrossPool(t *testing.T) {
+	opt := smallOverlapOptions()
+	serial := par.SetWorkers(1)
+	rowsSerial, err := Overlap(opt)
+	par.SetWorkers(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsPar, err := Overlap(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rowsSerial {
+		if rowsSerial[i] != rowsPar[i] {
+			t.Fatalf("row %d differs between serial and parallel evaluation:\n%+v\n%+v",
+				i, rowsSerial[i], rowsPar[i])
+		}
+	}
+}
+
+func TestOverlapUnknownKernel(t *testing.T) {
+	_, err := Overlap(OverlapOptions{Kernels: []string{"no-such-kernel"}})
+	if err == nil || !strings.Contains(err.Error(), "unknown kernel") {
+		t.Fatalf("err = %v, want unknown-kernel error", err)
+	}
+}
+
+func TestOverlapOutputFormats(t *testing.T) {
+	rows := []OverlapRow{{
+		Design: "veal-proposed", Policy: vm.Hybrid,
+		StallCycles: 1000, OverlapCycles: 900,
+		TransWork: 120, HiddenCycles: 120, Recovered: 0.83,
+	}}
+	if s := FormatOverlap(rows); !strings.Contains(s, "veal-proposed") {
+		t.Errorf("FormatOverlap missing design name:\n%s", s)
+	}
+	var buf bytes.Buffer
+	if err := WriteOverlapCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 row:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "veal-proposed,static-cca-priority,1000,900,120,120,") {
+		t.Errorf("CSV row malformed: %s", lines[1])
+	}
+}

@@ -1,0 +1,57 @@
+package jit
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkJITHitPath measures the steady-state cost of a Request that
+// hits the code cache — the per-loop-invocation overhead the VM pays
+// once a loop is installed.
+func BenchmarkJITHitPath(b *testing.B) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 16}, nil)
+	p.Request(1, 0, constTranslate("t", 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := p.Request(1, int64(i+1), nil)
+		if pr.Outcome != OutcomeHit {
+			b.Fatalf("outcome %v", pr.Outcome)
+		}
+	}
+}
+
+// BenchmarkJITLRUTouch measures a get on a full cache (the O(1) path
+// that replaced the O(n) order-slice scan).
+func BenchmarkJITLRUTouch(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("size%d", size), func(b *testing.B) {
+			c := newLRU[int, int](size, nil)
+			for i := 0; i < size; i++ {
+				c.put(i, i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.get(i % size)
+			}
+		})
+	}
+}
+
+// BenchmarkJITPipelineOverlap measures a full lifecycle (enqueue, poll,
+// install, hit) per distinct loop with background workers on.
+func BenchmarkJITPipelineOverlap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := New[int, string](Config{Workers: 2, QueueDepth: 4, CacheSize: 16}, nil)
+		p.BeginRun()
+		now := int64(0)
+		for k := 0; k < 8; k++ {
+			p.Request(k, now, constTranslate("t", 40))
+			now += 10
+		}
+		for k := 0; k < 8; k++ {
+			p.Request(k, now+1000, nil)
+		}
+		p.Drain(now + 2000)
+	}
+}

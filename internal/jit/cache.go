@@ -1,0 +1,82 @@
+package jit
+
+import "container/list"
+
+// lru is the translation code cache: a fixed-capacity LRU with O(1)
+// touch, insert and eviction (the previous implementation kept a slice
+// in recency order, making every touch O(entries)). The eviction order
+// is identical to the slice version: entries are touched on both get
+// and put, and the victim is always the least recently touched entry.
+type lru[K comparable, V any] struct {
+	cap     int
+	ll      *list.List // front = next victim, back = most recently used
+	items   map[K]*list.Element
+	onEvict func(K, V) // called for capacity evictions, not for reset
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
+	return &lru[K, V]{
+		cap:     capacity,
+		ll:      list.New(),
+		items:   make(map[K]*list.Element, capacity),
+		onEvict: onEvict,
+	}
+}
+
+func (c *lru[K, V]) get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToBack(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) put(k K, v V) {
+	if el, ok := c.items[k]; ok {
+		el.Value.(*lruEntry[K, V]).val = v
+		c.ll.MoveToBack(el)
+		return
+	}
+	if len(c.items) >= c.cap {
+		victim := c.ll.Front()
+		ve := victim.Value.(*lruEntry[K, V])
+		c.ll.Remove(victim)
+		delete(c.items, ve.key)
+		if c.onEvict != nil {
+			c.onEvict(ve.key, ve.val)
+		}
+	}
+	c.items[k] = c.ll.PushBack(&lruEntry[K, V]{key: k, val: v})
+}
+
+// peek reads without touching recency — for observability probes.
+func (c *lru[K, V]) peek(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+func (c *lru[K, V]) len() int { return len(c.items) }
+
+// values returns the cached values in recency order (victim first).
+func (c *lru[K, V]) values() []V {
+	out := make([]V, 0, len(c.items))
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*lruEntry[K, V]).val)
+	}
+	return out
+}
+
+// reset drops every entry without running eviction callbacks.
+func (c *lru[K, V]) reset() {
+	c.ll.Init()
+	c.items = make(map[K]*list.Element, c.cap)
+}

@@ -1,0 +1,645 @@
+// Package jit is the co-designed VM's background translation pipeline.
+// It turns translation from a synchronous call on the virtual scalar
+// core into a managed subsystem with three cooperating parts:
+//
+//   - A per-loop lifecycle state machine (cold -> profiling -> queued ->
+//     translating -> installed / rejected) with bounded bookkeeping: the
+//     monitor table is capped and reclaimed by a deterministic
+//     second-chance clock sweep, so programs with many cold loops cannot
+//     grow VM state without limit.
+//
+//   - A bounded translator worker pool. Translations run on real
+//     background goroutines (at most Workers at a time), but their
+//     *architectural* effect is governed by a deterministic virtual-time
+//     model: each virtual translator core serves its queue in FIFO
+//     order, a job enqueued at virtual cycle E on a worker free at cycle
+//     F completes at max(E, F) + work, and the translation becomes
+//     visible to the scalar core at the first poll whose virtual time
+//     has passed that completion point. Because installs are decided
+//     purely by virtual-cycle comparisons — never by wall-clock races —
+//     results are bit-reproducible for a fixed worker count, regardless
+//     of host scheduling. (The first poll after an enqueue joins the
+//     background job to learn its measured work; the join costs host
+//     time only, no virtual cycles.)
+//
+//   - A concurrency-safe code cache: an O(1) LRU with atomic
+//     install/publish semantics (a translation is visible if and only if
+//     it is complete) and negative-result caching, so a loop that failed
+//     translation is not retried every invocation.
+//
+// With Workers == 0 the pipeline degrades to exactly the paper's
+// stall-on-translate accounting: the translation runs synchronously at
+// the poll and its whole cost is charged as stalled cycles. With
+// Workers > 0 the scalar core keeps interpreting the loop while the
+// translation is in flight and the cost is recorded as hidden cycles
+// instead — the split the Figure 8/9-style overlap experiments measure.
+//
+// A Pipeline is owned by one VM and, like the VM, is not safe for
+// concurrent use; the background workers are internal and only write
+// job-private state handed back through a channel.
+package jit
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"veal/internal/par"
+)
+
+// State is a loop's position in the translation lifecycle.
+type State int
+
+const (
+	// Cold: seen, never profiled.
+	Cold State = iota
+	// Profiling: under the hot threshold, executing on the scalar core.
+	Profiling
+	// Queued: hot, waiting for a virtual translator worker.
+	Queued
+	// Translating: a virtual translator worker has started the job.
+	Translating
+	// Installed: translation published in the code cache.
+	Installed
+	// Rejected: translation failed; the failure is negative-cached.
+	Rejected
+)
+
+var stateNames = [...]string{"cold", "profiling", "queued", "translating", "installed", "rejected"}
+
+// String names the state.
+func (s State) String() string {
+	if s < 0 || int(s) >= len(stateNames) {
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+	return stateNames[s]
+}
+
+// DefaultMonitorCap bounds the lifecycle table when Config.MonitorCap is
+// unset: generous enough that no real workload sheds state, small enough
+// that a pathological loop-per-pc program stays bounded.
+const DefaultMonitorCap = 4096
+
+// Config sizes the pipeline.
+type Config struct {
+	// Workers is the number of translator cores the virtual-time model
+	// provides (and the cap on concurrently running background
+	// translation goroutines; real concurrency is additionally bounded by
+	// the par pool's -j/VEAL_WORKERS setting, which never affects the
+	// virtual-time results). 0 — the default — disables the background
+	// pipeline: every translation stalls the scalar core, reproducing
+	// the paper's accounting exactly.
+	Workers int
+	// QueueDepth bounds in-flight background translations; when the
+	// queue is full a hot loop translates synchronously (a stall),
+	// modelling a VM whose translation request buffer overflowed.
+	// Defaults to 2*Workers.
+	QueueDepth int
+	// CacheSize is the number of translations the code cache retains
+	// (LRU; the paper uses 16).
+	CacheSize int
+	// HotThreshold is the number of invocations before a loop is queued
+	// for translation (default 1: translate on first encounter).
+	HotThreshold int
+	// MonitorCap bounds the per-loop lifecycle table (default
+	// DefaultMonitorCap). In-flight loops are never reclaimed.
+	MonitorCap int
+	// Metrics, when non-nil, is the counter sink; otherwise the pipeline
+	// allocates a private one (see Pipeline.Metrics).
+	Metrics *Metrics
+	// Trace, when non-nil, receives a JSONL event stream (see Event).
+	Trace TraceWriter
+}
+
+// TraceWriter is the subset of io.Writer the tracer needs; declared
+// locally so callers without a trace don't import io.
+type TraceWriter interface {
+	Write(p []byte) (int, error)
+}
+
+// TranslateFunc produces a translation, its cost in work units, and an
+// error for unsupportable loops. It must be safe to run on a background
+// goroutine: pure over immutable inputs.
+type TranslateFunc[V any] func() (V, int64, error)
+
+// Outcome classifies one Request.
+type Outcome int
+
+const (
+	// OutcomeCold: below the hot threshold; run on the scalar core.
+	OutcomeCold Outcome = iota
+	// OutcomeHit: an installed translation was found in the code cache.
+	OutcomeHit
+	// OutcomeInstalled: a translation was installed at this event
+	// (synchronously, or an in-flight one whose virtual completion
+	// passed).
+	OutcomeInstalled
+	// OutcomeQueued: the loop was handed to the background pool at this
+	// event; keep executing on the scalar core and keep polling.
+	OutcomeQueued
+	// OutcomePending: the translation is still in flight; keep
+	// executing on the scalar core and keep polling.
+	OutcomePending
+	// OutcomeRejected: translation failed, now or earlier.
+	OutcomeRejected
+)
+
+// Poll is the result of one Request.
+type Poll[V any] struct {
+	Outcome Outcome
+	// Value is the translation (Hit and Installed outcomes).
+	Value V
+	// Work is the measured translation cost (Installed outcomes).
+	Work int64
+	// Stalled is the translation work charged synchronously to the
+	// caller at this event; Hidden is work that overlapped continued
+	// execution. At most one is non-zero.
+	Stalled int64
+	Hidden  int64
+	// Reason explains a rejection.
+	Reason string
+	// Sync reports that this event ran the translator synchronously on
+	// the caller (workers disabled, or the queue was full).
+	Sync bool
+	// Fresh reports that this event concluded a translation attempt
+	// (as opposed to returning a cached outcome).
+	Fresh bool
+	// Retranslation reports that this attempt replaces a translation
+	// the code cache evicted.
+	Retranslation bool
+}
+
+// Drained is one in-flight translation completed by Drain.
+type Drained[K comparable] struct {
+	Key    K
+	Work   int64
+	OK     bool
+	Reason string
+}
+
+type job[V any] struct {
+	done chan struct{}
+	val  V
+	work int64
+	err  error
+}
+
+type entry[K comparable, V any] struct {
+	key         K
+	state       State
+	invocations int64
+	installs    int64
+	reason      string
+
+	// Virtual-time model state (Queued/Translating).
+	worker     int
+	enqueuedAt int64
+	startAt    int64
+	doneAt     int64
+	resolved   bool
+	j          *job[V]
+
+	elem *list.Element // position in the monitor clock ring
+	ref  bool          // second-chance bit
+}
+
+type vworker[K comparable, V any] struct {
+	free  int64          // virtual cycle the worker next comes free (resolved prefix)
+	queue []*entry[K, V] // in-flight jobs in enqueue order
+}
+
+// Pipeline is the background JIT for one VM. Create with New.
+type Pipeline[K comparable, V any] struct {
+	cfg     Config
+	metrics *Metrics
+	trace   *tracer
+	keyName func(K) string
+
+	cache *lru[K, V]
+	loops map[K]*entry[K, V]
+	ring  *list.List // monitor clock ring of *entry, insertion order
+	hand  *list.Element
+
+	workers  []vworker[K, V]
+	inflight int
+	sem      chan struct{}
+	wg       sync.WaitGroup
+
+	now int64 // virtual time of the current Request/Drain, for traces
+}
+
+// New builds a pipeline. keyName, when non-nil, names loops in traces
+// and snapshots; otherwise keys print with %v.
+func New[K comparable, V any](cfg Config, keyName func(K) string) *Pipeline[K, V] {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 16
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 1
+	}
+	if cfg.MonitorCap <= 0 {
+		cfg.MonitorCap = DefaultMonitorCap
+	}
+	if cfg.Workers < 0 {
+		cfg.Workers = 0
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+		if cfg.QueueDepth < 1 {
+			cfg.QueueDepth = 1
+		}
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = &Metrics{}
+	}
+	if keyName == nil {
+		keyName = func(k K) string { return fmt.Sprint(k) }
+	}
+	p := &Pipeline[K, V]{
+		cfg:     cfg,
+		metrics: m,
+		trace:   newTracer(cfg.Trace),
+		keyName: keyName,
+		loops:   make(map[K]*entry[K, V]),
+		ring:    list.New(),
+		workers: make([]vworker[K, V], cfg.Workers),
+	}
+	if cfg.Workers > 0 {
+		// Virtual workers set the timing model; the machine-level worker
+		// pool (-j/VEAL_WORKERS) additionally bounds how many translation
+		// goroutines actually run at once. Install points are decided in
+		// virtual time, so this cap changes wall-clock only.
+		real := cfg.Workers
+		if w := par.Workers(); w < real {
+			real = w
+		}
+		if real < 1 {
+			real = 1
+		}
+		p.sem = make(chan struct{}, real)
+	}
+	p.cache = newLRU[K, V](cfg.CacheSize, func(k K, _ V) {
+		m.Evictions++
+		p.trace.emit(Event{T: p.now, Loop: p.keyName(k), Event: "evict"})
+	})
+	return p
+}
+
+// Metrics returns the pipeline's counter sink.
+func (p *Pipeline[K, V]) Metrics() *Metrics { return p.metrics }
+
+// Request advances the lifecycle of key at virtual time now. translate
+// is invoked synchronously (workers disabled, queue full) or on a
+// background goroutine (async enqueue); it is not called at all on
+// cache hits, cold loops, or cached rejections.
+func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) Poll[V] {
+	p.now = now
+	e := p.loops[key]
+	if e == nil {
+		e = p.admit(key)
+	}
+	e.ref = true
+	switch e.state {
+	case Rejected:
+		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason}
+
+	case Installed:
+		if v, ok := p.cache.get(key); ok {
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: v}
+		}
+		// Evicted since install: translate again.
+		p.metrics.CacheMisses++
+		p.metrics.Retranslations++
+		pr := p.start(e, now, translate)
+		pr.Retranslation = true
+		return pr
+
+	case Queued, Translating:
+		p.resolve(e)
+		if e.doneAt <= now {
+			return p.finish(e, now)
+		}
+		if e.state == Queued && e.startAt <= now {
+			e.state = Translating
+			p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "state", State: "translating"})
+		}
+		p.metrics.PendingPolls++
+		return Poll[V]{Outcome: OutcomePending}
+
+	default: // Cold, Profiling
+		e.invocations++
+		if e.invocations < int64(p.cfg.HotThreshold) {
+			e.state = Profiling
+			return Poll[V]{Outcome: OutcomeCold}
+		}
+		if v, ok := p.cache.get(key); ok {
+			// The monitor entry was swept while its translation stayed
+			// cached; reattach.
+			e.state = Installed
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: v}
+		}
+		p.metrics.CacheMisses++
+		return p.start(e, now, translate)
+	}
+}
+
+// start launches a translation for a hot loop: synchronously when the
+// background pool is disabled or full, otherwise on a background worker.
+func (p *Pipeline[K, V]) start(e *entry[K, V], now int64, translate TranslateFunc[V]) Poll[V] {
+	if p.cfg.Workers <= 0 || p.inflight >= p.cfg.QueueDepth {
+		if p.cfg.Workers > 0 {
+			p.metrics.QueueFullStalls++
+		}
+		p.metrics.SyncTranslations++
+		v, work, err := translate()
+		if err != nil {
+			p.rejectEntry(e, now, err.Error())
+			return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Sync: true, Fresh: true}
+		}
+		e.enqueuedAt, e.startAt, e.doneAt = now, now, now+work
+		p.metrics.StalledCycles += work
+		p.install(e, v, work)
+		return Poll[V]{Outcome: OutcomeInstalled, Value: v, Work: work, Stalled: work, Sync: true, Fresh: true}
+	}
+
+	e.state = Queued
+	e.enqueuedAt = now
+	e.resolved = false
+	e.worker = p.pickWorker()
+	j := &job[V]{done: make(chan struct{})}
+	e.j = j
+	w := &p.workers[e.worker]
+	w.queue = append(w.queue, e)
+	p.inflight++
+	if int64(p.inflight) > p.metrics.InFlightPeak {
+		p.metrics.InFlightPeak = int64(p.inflight)
+	}
+	p.metrics.Enqueued++
+	p.metrics.QueueDepth.Observe(int64(p.inflight))
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		j.val, j.work, j.err = translate()
+		close(j.done)
+	}()
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "queue"})
+	return Poll[V]{Outcome: OutcomeQueued}
+}
+
+// pickWorker chooses the virtual translator with the shortest queue
+// (ties: earliest known free time, then lowest index) — deterministic,
+// since queue lengths and resolved free times depend only on virtual
+// events.
+func (p *Pipeline[K, V]) pickWorker() int {
+	best := 0
+	for i := 1; i < len(p.workers); i++ {
+		a, b := &p.workers[i], &p.workers[best]
+		if len(a.queue) < len(b.queue) ||
+			(len(a.queue) == len(b.queue) && a.free < b.free) {
+			best = i
+		}
+	}
+	return best
+}
+
+// resolve computes e's virtual start/completion times. Jobs on one
+// virtual worker complete in FIFO order, so the whole unresolved prefix
+// ahead of e is resolved first; each resolution joins the real
+// background job to learn its measured work (host-time only — virtual
+// time is untouched by the wait).
+func (p *Pipeline[K, V]) resolve(e *entry[K, V]) {
+	if e.resolved {
+		return
+	}
+	w := &p.workers[e.worker]
+	for _, h := range w.queue {
+		if h.resolved {
+			continue
+		}
+		<-h.j.done
+		h.startAt = h.enqueuedAt
+		if w.free > h.startAt {
+			h.startAt = w.free
+		}
+		dur := h.j.work
+		if dur < 1 {
+			dur = 1
+		}
+		h.doneAt = h.startAt + dur
+		w.free = h.doneAt
+		h.resolved = true
+		if h == e {
+			return
+		}
+	}
+}
+
+// finish retires a resolved in-flight translation whose virtual
+// completion has passed: install on success, negative-cache on failure.
+func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
+	w := &p.workers[e.worker]
+	for i, h := range w.queue {
+		if h == e {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			break
+		}
+	}
+	p.inflight--
+	j := e.j
+	e.j = nil
+	if j.err != nil {
+		p.rejectEntry(e, now, j.err.Error())
+		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Fresh: true}
+	}
+	p.metrics.HiddenCycles += j.work
+	p.metrics.QueuedTime.Observe(e.startAt - e.enqueuedAt)
+	p.metrics.TranslateTime.Observe(e.doneAt - e.startAt)
+	p.install(e, j.val, j.work)
+	return Poll[V]{Outcome: OutcomeInstalled, Value: j.val, Work: j.work, Hidden: j.work, Fresh: true}
+}
+
+// install publishes a completed translation: the cache insert and the
+// state flip happen at one virtual instant, so a reader either sees the
+// whole translation or none of it.
+func (p *Pipeline[K, V]) install(e *entry[K, V], v V, work int64) {
+	p.cache.put(e.key, v)
+	e.state = Installed
+	e.installs++
+	p.metrics.Installed++
+	p.metrics.InstallLatency.Observe(e.doneAt - e.enqueuedAt)
+	p.trace.emit(Event{
+		T: p.now, Loop: p.keyName(e.key), Event: "install",
+		Work: work, Latency: e.doneAt - e.enqueuedAt,
+	})
+}
+
+func (p *Pipeline[K, V]) rejectEntry(e *entry[K, V], now int64, reason string) {
+	e.state = Rejected
+	e.reason = reason
+	p.metrics.Rejected++
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "reject", Reason: reason})
+}
+
+// PreReject negative-caches a loop the VM declined before translation
+// (unsupported region kind). Idempotent.
+func (p *Pipeline[K, V]) PreReject(key K, reason string) {
+	e := p.loops[key]
+	if e == nil {
+		e = p.admit(key)
+	}
+	if e.state == Rejected {
+		return
+	}
+	e.state = Rejected
+	e.reason = reason
+	p.metrics.PreRejected++
+	p.trace.emit(Event{T: p.now, Loop: p.keyName(key), Event: "pre-reject", Reason: reason})
+}
+
+// RejectionFor reports a negative-cached outcome for key.
+func (p *Pipeline[K, V]) RejectionFor(key K) (string, bool) {
+	if e := p.loops[key]; e != nil && e.state == Rejected {
+		return e.reason, true
+	}
+	return "", false
+}
+
+// BeginRun resets the virtual translator clocks for a new execution
+// (virtual time restarts at zero each run). The previous run must have
+// been drained.
+func (p *Pipeline[K, V]) BeginRun() {
+	for i := range p.workers {
+		p.workers[i].free = 0
+	}
+}
+
+// Drain retires every in-flight translation: the background jobs are
+// joined, successes are installed into the code cache (their work
+// counts as hidden — it ran concurrently — even though this run never
+// used the result), failures are negative-cached. Deterministic order:
+// workers by index, each queue FIFO. Idempotent; returns nil when
+// nothing was in flight.
+func (p *Pipeline[K, V]) Drain(now int64) []Drained[K] {
+	p.now = now
+	var out []Drained[K]
+	for wi := range p.workers {
+		for len(p.workers[wi].queue) > 0 {
+			e := p.workers[wi].queue[0]
+			p.resolve(e)
+			pr := p.finish(e, now)
+			d := Drained[K]{Key: e.key, Work: pr.Work, OK: pr.Outcome == OutcomeInstalled, Reason: pr.Reason}
+			if d.OK {
+				p.metrics.DrainedInstalls++
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Flush empties the code cache, the negative-result cache and the
+// hot-loop monitor — the reset a VM performs when its configuration
+// (accelerator, policy, cache geometry) changes so stale translations
+// and rejections cannot be replayed. In-flight background jobs are
+// joined and discarded.
+func (p *Pipeline[K, V]) Flush() {
+	p.wg.Wait()
+	for i := range p.workers {
+		p.workers[i].queue = nil
+		p.workers[i].free = 0
+	}
+	p.inflight = 0
+	p.cache.reset()
+	p.loops = make(map[K]*entry[K, V])
+	p.ring.Init()
+	p.hand = nil
+	p.metrics.Flushes++
+	p.trace.emit(Event{T: p.now, Event: "flush"})
+}
+
+// admit creates a lifecycle entry, reclaiming one via the clock sweep
+// when the monitor table is at capacity.
+func (p *Pipeline[K, V]) admit(key K) *entry[K, V] {
+	if len(p.loops) >= p.cfg.MonitorCap {
+		p.sweep()
+	}
+	e := &entry[K, V]{key: key, state: Cold}
+	e.elem = p.ring.PushBack(e)
+	p.loops[key] = e
+	return e
+}
+
+// sweep runs the second-chance clock over the monitor ring: referenced
+// entries lose their bit and survive one revolution; in-flight entries
+// are never reclaimed. The hand position persists across sweeps, so the
+// policy is a true clock, and the scan order (insertion order) makes
+// eviction deterministic.
+func (p *Pipeline[K, V]) sweep() {
+	limit := 2 * p.ring.Len()
+	for i := 0; i < limit && p.ring.Len() > 0; i++ {
+		if p.hand == nil {
+			p.hand = p.ring.Front()
+		}
+		e := p.hand.Value.(*entry[K, V])
+		next := p.hand.Next()
+		if e.state == Queued || e.state == Translating {
+			p.hand = next
+			continue
+		}
+		if e.ref {
+			e.ref = false
+			p.hand = next
+			continue
+		}
+		p.ring.Remove(p.hand)
+		delete(p.loops, e.key)
+		p.hand = next
+		p.metrics.MonitorEvictions++
+		p.trace.emit(Event{T: p.now, Loop: p.keyName(e.key), Event: "monitor-evict", State: e.state.String()})
+		return
+	}
+}
+
+// LoopInfo is one monitor entry in a Snapshot.
+type LoopInfo struct {
+	Name        string
+	State       State
+	Invocations int64
+	Installs    int64
+	Reason      string
+}
+
+// Snapshot lists the monitor table in admission order.
+func (p *Pipeline[K, V]) Snapshot() []LoopInfo {
+	out := make([]LoopInfo, 0, p.ring.Len())
+	for el := p.ring.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		out = append(out, LoopInfo{
+			Name:        p.keyName(e.key),
+			State:       e.state,
+			Invocations: e.invocations,
+			Installs:    e.installs,
+			Reason:      e.reason,
+		})
+	}
+	return out
+}
+
+// Cached returns the code cache contents in recency order (next victim
+// first).
+func (p *Pipeline[K, V]) Cached() []V { return p.cache.values() }
+
+// Peek reads the code cache without touching recency or lifecycle state
+// — an observability probe, not a lookup.
+func (p *Pipeline[K, V]) Peek(key K) (V, bool) { return p.cache.peek(key) }
+
+// CacheLen reports the number of cached translations.
+func (p *Pipeline[K, V]) CacheLen() int { return p.cache.len() }
+
+// InFlight reports the number of queued or translating loops.
+func (p *Pipeline[K, V]) InFlight() int { return p.inflight }

@@ -1,0 +1,501 @@
+package jit
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// sliceLRU is the previous codeCache recency policy (an order slice with
+// O(n) touch), kept here as the reference oracle for the container/list
+// implementation: the victim sequences must be identical.
+type sliceLRU struct {
+	cap     int
+	order   []int
+	items   map[int]string
+	victims []int
+}
+
+func (c *sliceLRU) touch(k int) {
+	for i, o := range c.order {
+		if o == k {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, k)
+}
+
+func (c *sliceLRU) get(k int) (string, bool) {
+	v, ok := c.items[k]
+	if ok {
+		c.touch(k)
+	}
+	return v, ok
+}
+
+func (c *sliceLRU) put(k int, v string) {
+	if _, ok := c.items[k]; ok {
+		c.items[k] = v
+		c.touch(k)
+		return
+	}
+	if len(c.items) >= c.cap {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, victim)
+		c.victims = append(c.victims, victim)
+	}
+	c.items[k] = v
+	c.order = append(c.order, k)
+}
+
+// TestLRUMatchesSliceReference drives both LRU implementations through a
+// deterministic mixed get/put workload and requires the identical victim
+// sequence (satellite: O(1) LRU must keep the old eviction order).
+func TestLRUMatchesSliceReference(t *testing.T) {
+	ref := &sliceLRU{cap: 4, items: map[int]string{}}
+	var victims []int
+	c := newLRU[int, string](4, func(k int, _ string) { victims = append(victims, k) })
+
+	// xorshift keeps the sequence deterministic without math/rand.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	for i := 0; i < 2000; i++ {
+		k := next(12)
+		if next(3) == 0 {
+			gv, gok := c.get(k)
+			rv, rok := ref.get(k)
+			if gok != rok || gv != rv {
+				t.Fatalf("step %d: get(%d) = (%q,%v), reference (%q,%v)", i, k, gv, gok, rv, rok)
+			}
+			continue
+		}
+		v := fmt.Sprintf("v%d-%d", k, i)
+		c.put(k, v)
+		ref.put(k, v)
+	}
+	if len(victims) == 0 {
+		t.Fatal("workload produced no evictions; test is vacuous")
+	}
+	if len(victims) != len(ref.victims) {
+		t.Fatalf("victim counts differ: list=%d slice=%d", len(victims), len(ref.victims))
+	}
+	for i := range victims {
+		if victims[i] != ref.victims[i] {
+			t.Fatalf("victim %d differs: list evicted %d, slice reference evicted %d", i, victims[i], ref.victims[i])
+		}
+	}
+}
+
+func constTranslate(v string, work int64) TranslateFunc[string] {
+	return func() (string, int64, error) { return v, work, nil }
+}
+
+func failTranslate(msg string) TranslateFunc[string] {
+	return func() (string, int64, error) { return "", 0, errors.New(msg) }
+}
+
+// TestSyncLifecycle covers the workers=0 path: profiling below the hot
+// threshold, a stalled synchronous translation at the threshold, then
+// cache hits.
+func TestSyncLifecycle(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, HotThreshold: 3, CacheSize: 4}, nil)
+	for i := 0; i < 2; i++ {
+		if pr := p.Request(1, int64(i), constTranslate("t1", 100)); pr.Outcome != OutcomeCold {
+			t.Fatalf("invocation %d: outcome %v, want OutcomeCold", i, pr.Outcome)
+		}
+	}
+	pr := p.Request(1, 2, constTranslate("t1", 100))
+	if pr.Outcome != OutcomeInstalled || !pr.Sync || pr.Stalled != 100 || pr.Hidden != 0 || pr.Value != "t1" {
+		t.Fatalf("hot invocation: %+v, want sync install with 100 stalled cycles", pr)
+	}
+	pr = p.Request(1, 3, constTranslate("t1", 100))
+	if pr.Outcome != OutcomeHit || pr.Value != "t1" {
+		t.Fatalf("post-install: %+v, want cache hit", pr)
+	}
+	m := p.Metrics()
+	if m.SyncTranslations != 1 || m.StalledCycles != 100 || m.HiddenCycles != 0 || m.Installed != 1 || m.CacheHits != 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestSyncRejectionNegativeCached: a failed translation is recorded once
+// and replayed from the negative cache without rerunning the translator.
+func TestSyncRejectionNegativeCached(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4}, nil)
+	pr := p.Request(7, 0, failTranslate("no CCA mapping"))
+	if pr.Outcome != OutcomeRejected || pr.Reason != "no CCA mapping" || !pr.Fresh {
+		t.Fatalf("first attempt: %+v", pr)
+	}
+	calls := 0
+	pr = p.Request(7, 1, func() (string, int64, error) { calls++; return "", 0, errors.New("x") })
+	if pr.Outcome != OutcomeRejected || pr.Fresh || calls != 0 {
+		t.Fatalf("negative cache should answer without translating: %+v calls=%d", pr, calls)
+	}
+	if r, ok := p.RejectionFor(7); !ok || r != "no CCA mapping" {
+		t.Fatalf("RejectionFor = %q,%v", r, ok)
+	}
+}
+
+// TestOverlapVirtualTime checks the async virtual-time model end to end:
+// enqueue at t, pending while t < doneAt, installed at the first poll
+// past doneAt, with the work counted as hidden cycles.
+func TestOverlapVirtualTime(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, CacheSize: 4}, nil)
+	p.BeginRun()
+	if pr := p.Request(1, 10, constTranslate("t1", 50)); pr.Outcome != OutcomeQueued {
+		t.Fatalf("enqueue: %+v", pr)
+	}
+	// doneAt = 10 + 50 = 60; polls before that are pending.
+	if pr := p.Request(1, 30, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("poll at 30: %+v", pr)
+	}
+	if pr := p.Request(1, 59, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("poll at 59: %+v", pr)
+	}
+	pr := p.Request(1, 60, nil)
+	if pr.Outcome != OutcomeInstalled || pr.Hidden != 50 || pr.Stalled != 0 || pr.Sync {
+		t.Fatalf("poll at 60: %+v, want async install with 50 hidden cycles", pr)
+	}
+	if pr := p.Request(1, 61, nil); pr.Outcome != OutcomeHit {
+		t.Fatalf("poll at 61: %+v", pr)
+	}
+	m := p.Metrics()
+	if m.HiddenCycles != 50 || m.StalledCycles != 0 || m.PendingPolls != 2 {
+		t.Fatalf("metrics: hidden=%d stalled=%d pending=%d", m.HiddenCycles, m.StalledCycles, m.PendingPolls)
+	}
+}
+
+// TestWorkerSerialization: two jobs on one virtual worker complete in
+// FIFO order with the second queued behind the first, regardless of
+// which background goroutine finishes first on the host.
+func TestWorkerSerialization(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, QueueDepth: 4, CacheSize: 4}, nil)
+	p.BeginRun()
+	p.Request(1, 0, constTranslate("a", 100)) // doneAt 100
+	p.Request(2, 10, constTranslate("b", 5))  // starts at 100, doneAt 105
+	if pr := p.Request(2, 99, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("loop 2 at t=99: %+v, want pending (worker busy with loop 1)", pr)
+	}
+	if pr := p.Request(1, 100, nil); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("loop 1 at t=100: %+v", pr)
+	}
+	if pr := p.Request(2, 104, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("loop 2 at t=104: %+v, want pending until 105", pr)
+	}
+	if pr := p.Request(2, 105, nil); pr.Outcome != OutcomeInstalled || pr.Hidden != 5 {
+		t.Fatalf("loop 2 at t=105: %+v", pr)
+	}
+}
+
+// TestTwoWorkersOverlap: with two virtual workers the second job does
+// not queue behind the first.
+func TestTwoWorkersOverlap(t *testing.T) {
+	p := New[int, string](Config{Workers: 2, QueueDepth: 4, CacheSize: 4}, nil)
+	p.BeginRun()
+	p.Request(1, 0, constTranslate("a", 100))
+	p.Request(2, 10, constTranslate("b", 5))
+	if pr := p.Request(2, 15, nil); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("loop 2 at t=15: %+v, want installed on the second worker", pr)
+	}
+}
+
+// TestQueueOverflowStallsSynchronously: when the in-flight queue is
+// full, a hot loop translates synchronously and the stall is counted.
+func TestQueueOverflowStallsSynchronously(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, QueueDepth: 1, CacheSize: 8}, nil)
+	p.BeginRun()
+	p.Request(1, 0, constTranslate("a", 1000))
+	pr := p.Request(2, 1, constTranslate("b", 40))
+	if pr.Outcome != OutcomeInstalled || !pr.Sync || pr.Stalled != 40 {
+		t.Fatalf("overflow translation: %+v, want synchronous stall", pr)
+	}
+	m := p.Metrics()
+	if m.QueueFullStalls != 1 || m.StalledCycles != 40 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+// TestDrainInstallsInFlight: jobs still in flight at end of run are
+// completed and installed so the next run hits the cache.
+func TestDrainInstallsInFlight(t *testing.T) {
+	p := New[int, string](Config{Workers: 2, QueueDepth: 4, CacheSize: 8}, nil)
+	p.BeginRun()
+	p.Request(1, 0, constTranslate("a", 1000))
+	p.Request(2, 5, failTranslate("bad loop"))
+	drained := p.Drain(50)
+	if len(drained) != 2 {
+		t.Fatalf("drained %d jobs, want 2", len(drained))
+	}
+	byKey := map[int]Drained[int]{}
+	for _, d := range drained {
+		byKey[d.Key] = d
+	}
+	if d := byKey[1]; !d.OK || d.Work != 1000 {
+		t.Fatalf("drained loop 1: %+v", d)
+	}
+	if d := byKey[2]; d.OK || d.Reason != "bad loop" {
+		t.Fatalf("drained loop 2: %+v", d)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("in-flight after drain: %d", p.InFlight())
+	}
+	if again := p.Drain(60); again != nil {
+		t.Fatalf("second drain not idempotent: %+v", again)
+	}
+	// Next run: loop 1 hits the cache, loop 2 replays the rejection.
+	p.BeginRun()
+	if pr := p.Request(1, 0, nil); pr.Outcome != OutcomeHit || pr.Value != "a" {
+		t.Fatalf("post-drain hit: %+v", pr)
+	}
+	if pr := p.Request(2, 0, nil); pr.Outcome != OutcomeRejected {
+		t.Fatalf("post-drain rejection: %+v", pr)
+	}
+	if p.Metrics().DrainedInstalls != 1 {
+		t.Fatalf("DrainedInstalls = %d", p.Metrics().DrainedInstalls)
+	}
+}
+
+// TestEvictionWhileInFlight: the cache evicting other entries while a
+// translation is in flight must not disturb the pending job, and the
+// evicted loop retranslates (counted) when it returns.
+func TestEvictionWhileInFlight(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, QueueDepth: 2, CacheSize: 2}, nil)
+	p.BeginRun()
+	p.Request(100, 0, constTranslate("pending", 10_000)) // stays in flight throughout
+	// Churn the 2-entry cache with three sync-installed loops (queue full
+	// after the pending job? depth 2 — fill with sync translations by
+	// overflowing).
+	p.Request(101, 1, constTranslate("x1", 500_000)) // async, fills queue
+	for i, k := range []int{102, 103, 104} {
+		pr := p.Request(k, int64(2+i), constTranslate(fmt.Sprintf("s%d", k), 1))
+		if pr.Outcome != OutcomeInstalled || !pr.Sync {
+			t.Fatalf("churn loop %d: %+v", k, pr)
+		}
+	}
+	if p.Metrics().Evictions == 0 {
+		t.Fatal("cache churn produced no evictions; test is vacuous")
+	}
+	// The in-flight job is untouched and still completes on schedule.
+	pr := p.Request(100, 10_000, nil)
+	if pr.Outcome != OutcomeInstalled || pr.Value != "pending" || pr.Hidden != 10_000 {
+		t.Fatalf("in-flight job after churn: %+v", pr)
+	}
+	// 102 was evicted by later installs; returning to it is a
+	// retranslation (queued again, since the pool now has room).
+	pr = p.Request(102, 10_001, constTranslate("s102-again", 1))
+	if !pr.Retranslation {
+		t.Fatalf("evicted loop return: %+v, want retranslation", pr)
+	}
+	if p.Metrics().Retranslations == 0 {
+		t.Fatal("retranslation not counted")
+	}
+	p.Drain(20_000)
+}
+
+// TestFlushClearsNegativeCache: after Flush (config change) a rejected
+// loop is re-attempted instead of replaying the stale rejection.
+func TestFlushClearsNegativeCache(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4}, nil)
+	if pr := p.Request(1, 0, failTranslate("too many registers")); pr.Outcome != OutcomeRejected {
+		t.Fatalf("first attempt: %+v", pr)
+	}
+	p.Flush()
+	pr := p.Request(1, 0, constTranslate("now fits", 10))
+	if pr.Outcome != OutcomeInstalled || pr.Value != "now fits" {
+		t.Fatalf("post-flush attempt: %+v, want fresh translation", pr)
+	}
+	if p.Metrics().Flushes != 1 {
+		t.Fatalf("Flushes = %d", p.Metrics().Flushes)
+	}
+}
+
+// TestMonitorCapSweep: the lifecycle table stays bounded under a stream
+// of distinct cold loops, and in-flight entries survive the sweep.
+func TestMonitorCapSweep(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, QueueDepth: 2, MonitorCap: 8, CacheSize: 4}, nil)
+	p.BeginRun()
+	p.Request(9999, 0, constTranslate("inflight", 1_000_000))
+	for i := 0; i < 100; i++ {
+		p.Request(i, int64(i+1), constTranslate("cold", 1))
+	}
+	if n := len(p.loops); n > 8 {
+		t.Fatalf("monitor table grew to %d entries, cap 8", n)
+	}
+	if p.Metrics().MonitorEvictions == 0 {
+		t.Fatal("no monitor evictions recorded")
+	}
+	// The in-flight entry must still be tracked and must complete.
+	pr := p.Request(9999, 2_000_000, nil)
+	if pr.Outcome != OutcomeInstalled || pr.Value != "inflight" {
+		t.Fatalf("in-flight entry after sweep: %+v", pr)
+	}
+	p.Drain(3_000_000)
+}
+
+// TestMonitorSweepKeepsCachedTranslation: sweeping an Installed monitor
+// entry must not lose the cached translation — the loop reattaches on
+// its next invocation as a cache hit, not a retranslation.
+func TestMonitorSweepKeepsCachedTranslation(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, MonitorCap: 4, CacheSize: 64}, nil)
+	if pr := p.Request(1, 0, constTranslate("keep", 10)); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("install: %+v", pr)
+	}
+	for i := 10; i < 30; i++ { // force sweeps past entry 1
+		p.Request(i, int64(i), constTranslate("x", 1))
+	}
+	if _, ok := p.loops[1]; ok {
+		t.Skip("entry 1 survived the sweep; cannot exercise reattach path")
+	}
+	pr := p.Request(1, 100, failTranslate("must not be called"))
+	if pr.Outcome != OutcomeHit || pr.Value != "keep" {
+		t.Fatalf("reattach: %+v, want cache hit without retranslation", pr)
+	}
+}
+
+// TestAsyncDeterminism: the full metrics state after an interleaved
+// workload is identical across repeated executions for a fixed worker
+// count, despite real goroutines racing underneath.
+func TestAsyncDeterminism(t *testing.T) {
+	run := func() Metrics {
+		p := New[int, string](Config{Workers: 2, QueueDepth: 4, CacheSize: 4}, nil)
+		p.BeginRun()
+		now := int64(0)
+		for i := 0; i < 200; i++ {
+			k := i % 7
+			pr := p.Request(k, now, constTranslate(fmt.Sprintf("t%d", k), int64(20+10*k)))
+			now += 13
+			if pr.Outcome == OutcomeInstalled {
+				now += pr.Stalled
+			}
+		}
+		p.Drain(now)
+		return *p.Metrics()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("execution %d diverged:\n got %+v\nwant %+v", i, got, first)
+		}
+	}
+	if first.HiddenCycles == 0 {
+		t.Fatal("workload hid no translation cycles; test is vacuous")
+	}
+}
+
+// TestTraceJSONL: every trace line is valid JSON with the expected event
+// vocabulary, and the trace is byte-identical across executions.
+func TestTraceJSONL(t *testing.T) {
+	run := func() []byte {
+		var buf bytes.Buffer
+		p := New[int, string](Config{Workers: 1, QueueDepth: 2, CacheSize: 2, Trace: &buf}, nil)
+		p.BeginRun()
+		p.Request(1, 0, constTranslate("a", 30))
+		p.Request(2, 5, failTranslate("bad"))
+		p.Request(1, 40, nil) // install
+		p.Request(2, 45, nil) // reject
+		p.Request(3, 50, constTranslate("c", 10))
+		p.Request(4, 51, constTranslate("d", 10))
+		p.Drain(100)
+		p.Flush()
+		return buf.Bytes()
+	}
+	out := run()
+	known := map[string]bool{
+		"queue": true, "install": true, "reject": true, "pre-reject": true,
+		"evict": true, "monitor-evict": true, "state": true, "flush": true,
+	}
+	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("trace too short: %d lines\n%s", len(lines), out)
+	}
+	for i, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal(ln, &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, ln)
+		}
+		if !known[ev.Event] {
+			t.Fatalf("line %d has unknown event %q", i, ev.Event)
+		}
+	}
+	if again := run(); !bytes.Equal(out, again) {
+		t.Fatalf("trace not reproducible:\nfirst:\n%s\nsecond:\n%s", out, again)
+	}
+}
+
+// TestPreReject: kind-level rejections are negative-cached without a
+// translation attempt and are idempotent.
+func TestPreReject(t *testing.T) {
+	p := New[int, string](Config{}, nil)
+	p.PreReject(5, "region kind while")
+	p.PreReject(5, "region kind while")
+	if r, ok := p.RejectionFor(5); !ok || r != "region kind while" {
+		t.Fatalf("RejectionFor = %q,%v", r, ok)
+	}
+	if pr := p.Request(5, 0, failTranslate("must not run")); pr.Outcome != OutcomeRejected {
+		t.Fatalf("request after pre-reject: %+v", pr)
+	}
+	if p.Metrics().PreRejected != 1 {
+		t.Fatalf("PreRejected = %d, want 1 (idempotent)", p.Metrics().PreRejected)
+	}
+}
+
+// TestHistogram checks bucketing, quantiles and the mean.
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000, -5} {
+		h.Observe(v)
+	}
+	if h.Count != 7 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	if h.Max != 1000 {
+		t.Fatalf("Max = %d", h.Max)
+	}
+	if h.Sum != 0+1+2+3+100+1000+0 {
+		t.Fatalf("Sum = %d", h.Sum)
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 8 {
+		t.Fatalf("p50 bound = %d, want within [1,8]", q)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Fatalf("p100 bound = %d, want >= max", q)
+	}
+	if got := h.String(); got == "" || got == "n=0" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestSnapshotStates: Snapshot reports each loop's current state.
+func TestSnapshotStates(t *testing.T) {
+	p := New[int, string](Config{Workers: 1, QueueDepth: 4, CacheSize: 4, HotThreshold: 2}, func(k int) string {
+		return fmt.Sprintf("loop%d", k)
+	})
+	p.BeginRun()
+	p.Request(1, 0, nil)                     // profiling
+	p.Request(2, 1, constTranslate("b", 10)) // first invocation: profiling
+	p.Request(2, 2, constTranslate("b", 10)) // hot: queued
+	p.Request(3, 3, constTranslate("c", 10)) // profiling
+	p.Request(3, 4, constTranslate("c", 10)) // queued behind loop 2
+	p.PreReject(4, "nope")
+	want := map[string]State{"loop1": Profiling, "loop2": Queued, "loop3": Queued, "loop4": Rejected}
+	for _, info := range p.Snapshot() {
+		if w, ok := want[info.Name]; ok && info.State != w {
+			t.Fatalf("%s state = %v, want %v", info.Name, info.State, w)
+		}
+	}
+	p.Drain(1000)
+	for _, info := range p.Snapshot() {
+		if info.Name == "loop2" && info.State != Installed {
+			t.Fatalf("loop2 after drain: %v", info.State)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package jit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// histBuckets bounds the power-of-two histogram range: bucket i counts
+// samples in [2^i, 2^(i+1)) (bucket 0 holds 0 and 1), which covers
+// virtual-cycle quantities up to 2^40 — far beyond any simulated run.
+const histBuckets = 40
+
+// Histogram is a fixed-size power-of-two-bucketed histogram of
+// non-negative int64 samples. All state is plain integers, so histograms
+// are exactly reproducible across runs and platforms. The zero value is
+// ready to use.
+type Histogram struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [histBuckets]int64
+}
+
+// Observe records one sample; negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	b := 0
+	for v > 1 && b < histBuckets-1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+// Mean returns the arithmetic mean of the observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1): the
+// exclusive upper edge of the bucket where the cumulative count crosses
+// q, which is within 2x of the true value.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 1
+			}
+			return int64(1) << (i + 1)
+		}
+	}
+	return h.Max
+}
+
+// String summarizes the histogram on one line.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50<%d p90<%d max=%d",
+		h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Max)
+}
+
+// Metrics is the JIT pipeline's observability surface: event counters
+// and virtual-time histograms. A Metrics value may be shared across
+// pipelines (cmd/veal aggregates per-benchmark VMs into one); it is not
+// safe for concurrent mutation, matching the pipeline's single-caller
+// contract. All quantities are deterministic for a fixed configuration.
+type Metrics struct {
+	// Lifecycle counters.
+	Enqueued       int64 // translations handed to the background pool
+	Installed      int64 // successful installs into the code cache
+	Rejected       int64 // failed translations (negative-cached)
+	PreRejected    int64 // loops rejected by region kind before translation
+	Retranslations int64 // re-queued after their translation was evicted
+
+	// Code cache.
+	CacheHits   int64
+	CacheMisses int64
+	Evictions   int64
+
+	// Hot-loop monitor (lifecycle table).
+	MonitorEvictions int64 // entries reclaimed by the clock sweep
+
+	// Pipeline behaviour.
+	SyncTranslations int64 // stall-on-translate events (workers=0 or queue full)
+	QueueFullStalls  int64 // sync translations forced by a full queue
+	PendingPolls     int64 // head arrivals that found a translation in flight
+	DrainedInstalls  int64 // translations completed at end-of-run drain
+	Flushes          int64
+	InFlightPeak     int64
+
+	// Virtual-cycle accounting. StalledCycles were charged to the scalar
+	// core; HiddenCycles overlapped continued scalar execution.
+	StalledCycles int64
+	HiddenCycles  int64
+
+	// Histograms over virtual cycles (and queue occupancy).
+	QueueDepth     Histogram // in-flight translations, sampled at enqueue
+	InstallLatency Histogram // enqueue -> install, virtual cycles
+	QueuedTime     Histogram // time waiting for a translator worker
+	TranslateTime  Histogram // time on the translator worker
+}
+
+// Format renders the metrics as an aligned report.
+func (m *Metrics) Format() string {
+	var b strings.Builder
+	row := func(name string, v int64) { fmt.Fprintf(&b, "  %-22s %12d\n", name, v) }
+	b.WriteString("jit counters:\n")
+	row("enqueued", m.Enqueued)
+	row("installed", m.Installed)
+	row("rejected", m.Rejected)
+	row("pre-rejected", m.PreRejected)
+	row("retranslations", m.Retranslations)
+	row("cache hits", m.CacheHits)
+	row("cache misses", m.CacheMisses)
+	row("cache evictions", m.Evictions)
+	row("monitor evictions", m.MonitorEvictions)
+	row("sync translations", m.SyncTranslations)
+	row("queue-full stalls", m.QueueFullStalls)
+	row("pending polls", m.PendingPolls)
+	row("drained installs", m.DrainedInstalls)
+	row("in-flight peak", m.InFlightPeak)
+	row("stalled cycles", m.StalledCycles)
+	row("hidden cycles", m.HiddenCycles)
+	b.WriteString("jit histograms (virtual cycles):\n")
+	fmt.Fprintf(&b, "  %-22s %s\n", "queue depth", m.QueueDepth.String())
+	fmt.Fprintf(&b, "  %-22s %s\n", "install latency", m.InstallLatency.String())
+	fmt.Fprintf(&b, "  %-22s %s\n", "time queued", m.QueuedTime.String())
+	fmt.Fprintf(&b, "  %-22s %s\n", "time translating", m.TranslateTime.String())
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package jit
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Event is one JSONL trace record. T is the virtual cycle at which the
+// event was observed by the pipeline, so a trace is exactly reproducible
+// for a fixed configuration and worker count.
+type Event struct {
+	T     int64  `json:"t"`
+	Loop  string `json:"loop"`
+	Event string `json:"event"`
+	State string `json:"state,omitempty"`
+	// Work is the translation cost in work units, Latency the virtual
+	// enqueue-to-install time; both only on install/reject/drain events.
+	Work    int64  `json:"work,omitempty"`
+	Latency int64  `json:"latency,omitempty"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// tracer serializes pipeline events as one JSON object per line. A nil
+// tracer is valid and records nothing; write errors disable the tracer
+// rather than failing the run (observability must not change execution).
+type tracer struct {
+	w    io.Writer
+	dead bool
+}
+
+func newTracer(w io.Writer) *tracer {
+	if w == nil {
+		return nil
+	}
+	return &tracer{w: w}
+}
+
+func (t *tracer) emit(ev Event) {
+	if t == nil || t.dead {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.dead = true
+		return
+	}
+	line = append(line, '\n')
+	if _, err := t.w.Write(line); err != nil {
+		t.dead = true
+	}
+}

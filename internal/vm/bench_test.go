@@ -1,0 +1,50 @@
+package vm
+
+import "testing"
+
+// BenchmarkVMRunSync measures a whole-program VM run with synchronous
+// (stall-on-translate) translation on the nested workload.
+func BenchmarkVMRunSync(b *testing.B) {
+	prog := nestedProgram(b)
+	mkMem, seed := nestedSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := New(DefaultConfig())
+		if _, _, err := v.Run(prog, mkMem(), seed, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMRunOverlap measures the same run with two background
+// translator workers (spin-dispatch polling plus the async pipeline).
+func BenchmarkVMRunOverlap(b *testing.B) {
+	prog := nestedProgram(b)
+	mkMem, seed := nestedSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.TranslateWorkers = 2
+		v := New(cfg)
+		if _, _, err := v.Run(prog, mkMem(), seed, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVMSteadyState measures runs that hit the code cache on every
+// loop — the VM's long-run dispatch overhead.
+func BenchmarkVMSteadyState(b *testing.B) {
+	prog := nestedProgram(b)
+	mkMem, seed := nestedSetup()
+	v := New(DefaultConfig())
+	if _, _, err := v.Run(prog, mkMem(), seed, 50_000_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := v.Run(prog, mkMem(), seed, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

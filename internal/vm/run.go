@@ -7,6 +7,7 @@ import (
 	"veal/internal/cfg"
 	"veal/internal/ir"
 	"veal/internal/isa"
+	"veal/internal/jit"
 	"veal/internal/loopx"
 	"veal/internal/scalar"
 )
@@ -19,54 +20,21 @@ type cacheKey struct {
 	pc   int
 }
 
-// codeCache is the LRU cache of translated loops.
-type codeCache struct {
-	cap   int
-	order []cacheKey // most recent last
-	byPC  map[cacheKey]*Translation
-}
-
-func newCodeCache(capacity int) *codeCache {
-	return &codeCache{cap: capacity, byPC: make(map[cacheKey]*Translation)}
-}
-
-func (c *codeCache) get(k cacheKey) (*Translation, bool) {
-	t, ok := c.byPC[k]
-	if ok {
-		c.touch(k)
-	}
-	return t, ok
-}
-
-func (c *codeCache) touch(k cacheKey) {
-	for i, p := range c.order {
-		if p == k {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
-	}
-	c.order = append(c.order, k)
-}
-
-func (c *codeCache) put(k cacheKey, t *Translation) {
-	if _, ok := c.byPC[k]; !ok && len(c.byPC) >= c.cap {
-		victim := c.order[0]
-		c.order = c.order[1:]
-		delete(c.byPC, victim)
-	}
-	c.byPC[k] = t
-	c.touch(k)
-}
-
 // RunResult reports a whole-program execution under the VM.
 type RunResult struct {
-	// Cycles is the total: scalar execution + accelerator invocations +
-	// translation overhead (translation work units count as host cycles on
-	// the scalar core).
-	Cycles            int64
-	ScalarCycles      int64
-	AccelCycles       int64
-	TranslationCycles int64
+	// Cycles is the total critical-path time: scalar execution +
+	// accelerator invocations + translation cycles that stalled the
+	// scalar core. Hidden translation cycles overlapped execution and do
+	// not appear in the total.
+	Cycles       int64
+	ScalarCycles int64
+	AccelCycles  int64
+	// TranslationCycles is the total translation work performed
+	// (stalled + hidden). With TranslateWorkers == 0 it is all stalled,
+	// reproducing the paper's accounting.
+	TranslationCycles        int64
+	StalledTranslationCycles int64
+	HiddenTranslationCycles  int64
 	// Launches counts accelerator invocations; Translations counts cache
 	// misses that ran the translator.
 	Launches     int64
@@ -92,7 +60,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 		case r.Kind == cfg.KindSpeculation && v.Cfg.SpeculationSupport:
 			regionAt[r.Head] = r
 		default:
-			v.rejected[cacheKey{p, r.Head}] = r.Kind.String()
+			v.pipe.PreReject(cacheKey{p, r.Head}, r.Kind.String())
 		}
 	}
 
@@ -102,9 +70,19 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	}
 	res := &RunResult{}
 
+	// Each run restarts virtual time; the safety-net drain joins any
+	// background translation goroutines on error paths (it is idempotent,
+	// so the accounted drain below makes it a no-op on success).
+	v.pipe.BeginRun()
+	defer v.pipe.Drain(0)
+
 	// While the scalar core executes a loop the VM declined to accelerate,
 	// interception at its head is suppressed until control leaves the
-	// region.
+	// region. A loop whose translation is merely in flight is NOT
+	// suppressed: the scalar core keeps interpreting it one iteration at
+	// a time, polling the pipeline at every head arrival so the
+	// accelerator can take over mid-invocation the moment the
+	// translation installs.
 	skipHead, skipBack := -1, -1
 
 	for !m.Halted {
@@ -119,10 +97,10 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			skipHead, skipBack = -1, -1
 		}
 		if region, isHead := regionAt[m.PC]; isHead && skipHead != m.PC {
-			handled := false
-			if _, bad := v.rejected[cacheKey{p, m.PC}]; !bad {
+			handled, spin := false, false
+			if _, bad := v.pipe.RejectionFor(cacheKey{p, m.PC}); !bad {
 				var err error
-				handled, err = v.dispatch(p, region, m, res)
+				handled, spin, err = v.dispatch(p, region, m, res)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -130,72 +108,121 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			if handled {
 				continue
 			}
-			// Fall back: the scalar core runs this loop invocation.
-			skipHead, skipBack = region.Head, region.BackPC
+			if !spin {
+				// Fall back: the scalar core runs this loop invocation.
+				skipHead, skipBack = region.Head, region.BackPC
+			}
 		}
 		if err := m.Step(p); err != nil {
 			return nil, nil, err
 		}
 	}
 	res.ScalarCycles = m.Stats().Cycles
-	res.Cycles = res.ScalarCycles + res.AccelCycles + res.TranslationCycles
+
+	// Translations still in flight at program exit complete off the
+	// critical path: they are installed for future runs and their work is
+	// hidden (it overlapped scalar execution), never stalled.
+	now := res.ScalarCycles + res.AccelCycles + res.StalledTranslationCycles
+	for _, d := range v.pipe.Drain(now) {
+		if d.OK {
+			v.Stats.Translations++
+			res.Translations++
+			res.TranslationCycles += d.Work
+			res.HiddenTranslationCycles += d.Work
+		} else {
+			v.recordRejection(d.Reason)
+		}
+	}
+
+	res.Cycles = res.ScalarCycles + res.AccelCycles + res.StalledTranslationCycles
 	return res, m, nil
 }
 
-// dispatch attempts to run one loop invocation on the accelerator.
-// It returns handled=false when the loop must run on the scalar core.
-func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, error) {
+// dispatch attempts to run one loop invocation on the accelerator. It
+// returns handled=false when this head arrival must execute on the
+// scalar core; spin=true additionally tells Run not to suppress the
+// loop head — a translation is in flight, so the scalar core should run
+// a single iteration and poll again.
+func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, bool, error) {
 	key := cacheKey{p, region.Head}
-	// Hot-loop monitor: let the scalar core run the first invocations.
-	v.invokes[key]++
-	if v.invokes[key] < v.Cfg.HotThreshold {
-		return false, nil
-	}
-
-	t, hit := v.cache.get(key)
-	if !hit {
-		v.Stats.CacheMisses++
-		var err error
-		t, err = v.Translate(p, region)
+	// Virtual time of this head arrival: scalar cycles retired plus
+	// accelerator and stall cycles already charged to the run.
+	now := m.Stats().Cycles + res.AccelCycles + res.StalledTranslationCycles
+	pr := v.pipe.Request(key, now, func() (*Translation, int64, error) {
+		t, err := v.Translate(p, region)
 		if err != nil {
-			v.reject(key, err)
-			return false, nil
+			return nil, 0, err
+		}
+		return t, t.WorkTotal(), nil
+	})
+
+	var t *Translation
+	switch pr.Outcome {
+	case jit.OutcomeCold:
+		// Hot-loop monitor: the scalar core runs the first invocations.
+		return false, false, nil
+	case jit.OutcomeQueued:
+		v.Stats.CacheMisses++
+		return false, true, nil
+	case jit.OutcomePending:
+		return false, true, nil
+	case jit.OutcomeRejected:
+		if pr.Sync {
+			v.Stats.CacheMisses++
+		}
+		if pr.Fresh {
+			v.recordRejection(pr.Reason)
+		}
+		return false, false, nil
+	case jit.OutcomeHit:
+		v.Stats.CacheHits++
+		t = pr.Value
+	case jit.OutcomeInstalled:
+		if pr.Sync {
+			// The request missed the cache and translated on the spot;
+			// async installs counted their miss at enqueue time.
+			v.Stats.CacheMisses++
 		}
 		v.Stats.Translations++
 		res.Translations++
-		res.TranslationCycles += t.WorkTotal()
-		v.cache.put(key, t)
-	} else {
-		v.Stats.CacheHits++
+		res.TranslationCycles += pr.Work
+		res.StalledTranslationCycles += pr.Stalled
+		res.HiddenTranslationCycles += pr.Hidden
+		t = pr.Value
 	}
 
 	bind, err := t.Ext.Bindings(&m.Regs)
 	if err != nil || bind.Trip <= 0 {
 		// Dynamic trip failure (or nothing to do): scalar path.
-		return false, nil
+		return false, false, nil
 	}
 	if !StreamsDisjoint(t.Ext.Loop, bind) {
 		// Launch-time memory disambiguation failed for these operands.
 		v.Stats.ScalarFallback++
-		return false, nil
+		return false, false, nil
 	}
 
 	if t.Ext.Loop.HasExit() {
-		return v.dispatchSpeculative(t, region, m, res, bind)
+		handled, err := v.dispatchSpeculative(t, region, m, res, bind)
+		return handled, false, err
 	}
 
 	out, err := accel.Execute(v.Cfg.LA, t.Schedule, bind, m.Mem)
 	if err != nil {
-		return false, fmt.Errorf("vm: accelerator execution: %w", err)
+		return false, false, fmt.Errorf("vm: accelerator execution: %w", err)
 	}
 	v.Stats.AccelLaunches++
 	res.Launches++
 	res.AccelCycles += out.Cycles
 
-	// Restore architectural state and resume after the loop.
+	// Restore architectural state and resume after the loop. When the
+	// install landed mid-invocation (spin mode), Bindings computed the
+	// remaining trip from the live induction registers, so the
+	// accelerator finishes exactly the iterations the scalar core had
+	// left.
 	applyExit(t.Ext, bind, out, &m.Regs)
 	m.PC = region.BackPC + 1
-	return true, nil
+	return true, false, nil
 }
 
 // dispatchSpeculative accelerates a while-shaped loop by chunked
@@ -291,10 +318,11 @@ func applyExit(ext *loopx.Extraction, bind *ir.Bindings, out *accel.Result, regs
 	}
 }
 
-func (v *VM) reject(key cacheKey, err error) {
+// recordRejection tallies a translation failure; the negative-result
+// caching itself lives in the jit pipeline.
+func (v *VM) recordRejection(reason string) {
 	if v.Stats.Rejections == nil {
 		v.Stats.Rejections = make(map[string]int64)
 	}
-	v.Stats.Rejections[err.Error()]++
-	v.rejected[key] = err.Error()
+	v.Stats.Rejections[reason]++
 }

@@ -9,15 +9,23 @@
 // translation pipeline runs dynamically (and is charged translation
 // cycles) versus being read from binary annotations.
 //
-// A VM instance models one machine and is not safe for concurrent use:
-// Translate mutates the code cache and the cost meter. Callers that fan
-// out (internal/exp, internal/dse) create one VM per translation; the
-// inputs a VM reads — isa.Program, arch.LA, ir loops — are immutable
-// after construction and safe to share across goroutines.
+// Translation is managed by the internal/jit pipeline: with
+// TranslateWorkers == 0 every translation stalls the virtual scalar
+// core (the paper's accounting); with workers the scalar core keeps
+// interpreting a loop while its translation is in flight and the cost
+// is recorded as hidden rather than stalled cycles (see RunResult).
+//
+// A VM instance models one machine and is not safe for concurrent use.
+// Callers that fan out (internal/exp, internal/dse) create one VM per
+// translation; the inputs a VM reads — isa.Program, arch.LA, ir loops —
+// are immutable after construction and safe to share across goroutines,
+// which is also what makes Translate safe to run on the pipeline's
+// background workers.
 package vm
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"veal/internal/arch"
@@ -25,6 +33,7 @@ import (
 	"veal/internal/cfg"
 	"veal/internal/ir"
 	"veal/internal/isa"
+	"veal/internal/jit"
 	"veal/internal/loopx"
 	"veal/internal/modsched"
 	"veal/internal/vmcost"
@@ -90,6 +99,29 @@ type Config struct {
 	// paper's evaluation; higher values trade early scalar iterations for
 	// never translating cold loops.
 	HotThreshold int
+
+	// TranslateWorkers is the number of background translator workers in
+	// the JIT pipeline. 0 (the default) keeps translation synchronous:
+	// the scalar core stalls for every translation, reproducing the
+	// paper's Figure 8/9 accounting bit-for-bit. With N > 0 workers the
+	// scalar core keeps interpreting a loop until its translation is
+	// installed; results are deterministic for a fixed N.
+	TranslateWorkers int
+	// TranslateQueue bounds in-flight background translations (default
+	// 2*TranslateWorkers); a hot loop arriving at a full queue
+	// translates synchronously (a stall).
+	TranslateQueue int
+	// MonitorCap bounds the hot-loop monitor's per-loop lifecycle table
+	// (default jit.DefaultMonitorCap); programs with more cold loops than
+	// the cap shed the least recently seen bookkeeping via a clock sweep.
+	MonitorCap int
+
+	// Metrics, when non-nil, receives the JIT pipeline's counters and
+	// histograms (shareable across VMs for aggregation).
+	Metrics *jit.Metrics
+	// Trace, when non-nil, receives a JSONL stream of JIT lifecycle
+	// events (queue/install/reject/evict) stamped with virtual cycles.
+	Trace io.Writer
 }
 
 // DefaultConfig is the paper's evaluation system: ARM11-class core,
@@ -132,9 +164,9 @@ type VM struct {
 	Cfg   Config
 	Stats Stats
 
-	cache    *codeCache
-	rejected map[cacheKey]string // loop -> rejection reason
-	invokes  map[cacheKey]int    // loop -> invocation count (hot monitor)
+	// pipe is the JIT subsystem: hot-loop monitor, translator worker
+	// pool, code cache and negative-result cache.
+	pipe *jit.Pipeline[cacheKey, *Translation]
 }
 
 // New creates a VM.
@@ -148,13 +180,37 @@ func New(cfg Config) *VM {
 	if cfg.HotThreshold <= 0 {
 		cfg.HotThreshold = 1
 	}
-	return &VM{
-		Cfg:      cfg,
-		cache:    newCodeCache(cfg.CodeCacheSize),
-		rejected: make(map[cacheKey]string),
-		invokes:  make(map[cacheKey]int),
-	}
+	pipe := jit.New[cacheKey, *Translation](jit.Config{
+		Workers:      cfg.TranslateWorkers,
+		QueueDepth:   cfg.TranslateQueue,
+		CacheSize:    cfg.CodeCacheSize,
+		HotThreshold: cfg.HotThreshold,
+		MonitorCap:   cfg.MonitorCap,
+		Metrics:      cfg.Metrics,
+		Trace:        cfg.Trace,
+	}, func(k cacheKey) string {
+		if k.prog != nil && k.prog.Name != "" {
+			return fmt.Sprintf("%s@%d", k.prog.Name, k.pc)
+		}
+		return fmt.Sprintf("pc%d", k.pc)
+	})
+	return &VM{Cfg: cfg, pipe: pipe}
 }
+
+// Metrics exposes the JIT pipeline's counters and histograms.
+func (v *VM) Metrics() *jit.Metrics { return v.pipe.Metrics() }
+
+// LoopStates snapshots the per-loop lifecycle table (monitor order).
+func (v *VM) LoopStates() []jit.LoopInfo { return v.pipe.Snapshot() }
+
+// Cached returns the code cache contents in recency order (next victim
+// first).
+func (v *VM) Cached() []*Translation { return v.pipe.Cached() }
+
+// Flush empties the code cache, the negative-result cache and the
+// hot-loop monitor. Call it after changing accelerator or policy
+// configuration so stale translations and rejections are re-derived.
+func (v *VM) Flush() { v.pipe.Flush() }
 
 // Translate runs the translation pipeline on one region, honoring the
 // policy's static/dynamic split. The returned Translation carries the

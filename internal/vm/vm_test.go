@@ -9,6 +9,7 @@ import (
 	"veal/internal/cfg"
 	"veal/internal/ir"
 	"veal/internal/isa"
+	"veal/internal/jit"
 	"veal/internal/loopgen"
 	"veal/internal/lower"
 	"veal/internal/modsched"
@@ -132,7 +133,7 @@ func TestTranslationWorkDominatedByPriority(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tr := range v.cache.byPC {
+	for _, tr := range v.Cached() {
 		regionsDone = true
 		prio := tr.Work[vmcost.PhasePriority]
 		sched := tr.Work[vmcost.PhaseSchedule]
@@ -146,30 +147,36 @@ func TestTranslationWorkDominatedByPriority(t *testing.T) {
 	}
 }
 
+// TestCodeCacheLRUEviction drives the pipeline-backed code cache
+// through the same put/touch sequence the old slice LRU test used and
+// checks the identical victim choice through the pipeline API.
 func TestCodeCacheLRUEviction(t *testing.T) {
-	c := newCodeCache(2)
+	pipe := jit.New[int, *Translation](jit.Config{CacheSize: 2}, nil)
 	t1, t2, t3 := &Translation{}, &Translation{}, &Translation{}
-	prog := &isa.Program{Name: "p"}
-	k := func(pc int) cacheKey { return cacheKey{prog, pc} }
-	c.put(k(10), t1)
-	c.put(k(20), t2)
-	if _, ok := c.get(k(10)); !ok {
+	install := func(k int, tr *Translation) {
+		pr := pipe.Request(k, 0, func() (*Translation, int64, error) { return tr, 1, nil })
+		if pr.Outcome != jit.OutcomeInstalled && pr.Outcome != jit.OutcomeHit {
+			t.Fatalf("install %d: outcome %v", k, pr.Outcome)
+		}
+	}
+	install(10, t1)
+	install(20, t2)
+	// Touch entry 10 through the real lookup path so its recency moves.
+	if pr := pipe.Request(10, 0, nil); pr.Outcome != jit.OutcomeHit {
 		t.Fatal("entry 10 missing")
 	}
-	c.put(k(30), t3) // evicts 20 (10 was touched)
-	if _, ok := c.get(k(20)); ok {
+	install(30, t3) // evicts 20 (10 was touched)
+	if _, ok := pipe.Peek(20); ok {
 		t.Error("LRU did not evict entry 20")
 	}
-	if _, ok := c.get(k(10)); !ok {
+	if _, ok := pipe.Peek(10); !ok {
 		t.Error("entry 10 wrongly evicted")
 	}
-	if _, ok := c.get(k(30)); !ok {
+	if _, ok := pipe.Peek(30); !ok {
 		t.Error("entry 30 missing")
 	}
-	// Same pc in a different program is a different loop.
-	other := &isa.Program{Name: "q"}
-	if _, ok := c.get(cacheKey{other, 10}); ok {
-		t.Error("cache collided across program images")
+	if pipe.Metrics().Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", pipe.Metrics().Evictions)
 	}
 }
 

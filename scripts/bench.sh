@@ -13,6 +13,8 @@ raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 1 "$@" . | tee "$raw"
+go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT)' \
+	-benchmem -count 1 "$@" ./internal/vm ./internal/jit | tee -a "$raw"
 
 if [ -n "$prev" ]; then
 	go run ./scripts/benchcmp -prev "$prev" -o "$out" <"$raw"

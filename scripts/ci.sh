@@ -1,0 +1,20 @@
+#!/bin/sh
+# Continuous-integration gate: build, vet, tests, and the race detector
+# (the JIT pipeline runs real background goroutines, so -race is part of
+# the definition of done, not an optional extra).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI PASSED"

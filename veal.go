@@ -210,6 +210,11 @@ type SystemConfig struct {
 	Policy Policy
 	// CodeCacheEntries bounds the VM's translation cache (default 16).
 	CodeCacheEntries int
+	// TranslateWorkers, when positive, lets the VM translate loops on a
+	// background pool while the scalar core keeps executing iterations —
+	// translation cycles overlap scalar execution instead of stalling it.
+	// Zero keeps the paper's stall-on-translate accounting.
+	TranslateWorkers int
 	// SpeculationSupport enables accelerating while-shaped loops via
 	// chunked speculative execution — the extension beyond the paper's
 	// design point (§2.2 excludes such loops). See examples/speculation.
@@ -236,6 +241,7 @@ func NewSystem(cfg SystemConfig) *System {
 			CPU:                cfg.CPU,
 			Policy:             cfg.Policy,
 			CodeCacheSize:      cfg.CodeCacheEntries,
+			TranslateWorkers:   cfg.TranslateWorkers,
 			SpeculationSupport: cfg.SpeculationSupport,
 			SpecChunk:          cfg.SpecChunk,
 		})
@@ -245,10 +251,16 @@ func NewSystem(cfg SystemConfig) *System {
 
 // Result reports one binary execution.
 type Result struct {
-	// Cycles is the total cost: scalar + accelerator + translation.
+	// Cycles is the total cost: scalar + accelerator + stalled translation
+	// (hidden translation cycles ran off the critical path).
 	Cycles int64
 	// ScalarCycles, AccelCycles and TranslationCycles break the total down.
 	ScalarCycles, AccelCycles, TranslationCycles int64
+	// StalledTranslationCycles is translation work on the critical path
+	// (counted in Cycles); HiddenTranslationCycles was overlapped with
+	// scalar execution by background workers (not in Cycles). They sum to
+	// TranslationCycles.
+	StalledTranslationCycles, HiddenTranslationCycles int64
 	// Launches counts accelerator invocations (0 = ran entirely scalar).
 	Launches int64
 	// LiveOuts holds the binary's named results.
@@ -297,12 +309,14 @@ func (s *System) Run(b *Binary, params map[string]uint64, trip int64, mem *Memor
 		return nil, err
 	}
 	return &Result{
-		Cycles:            r.Cycles,
-		ScalarCycles:      r.ScalarCycles,
-		AccelCycles:       r.AccelCycles,
-		TranslationCycles: r.TranslationCycles,
-		Launches:          r.Launches,
-		LiveOuts:          b.readLiveOuts(&m.Regs),
+		Cycles:                   r.Cycles,
+		ScalarCycles:             r.ScalarCycles,
+		AccelCycles:              r.AccelCycles,
+		TranslationCycles:        r.TranslationCycles,
+		StalledTranslationCycles: r.StalledTranslationCycles,
+		HiddenTranslationCycles:  r.HiddenTranslationCycles,
+		Launches:                 r.Launches,
+		LiveOuts:                 b.readLiveOuts(&m.Regs),
 	}, nil
 }
 
