@@ -304,8 +304,11 @@ func findKernel(name string) (*ir.Loop, error) {
 // cmdVMStats is the JIT observability surface: it executes one kernel
 // under the VM-managed system and reports the translation pipeline's
 // lifecycle counters, histograms, per-loop states, and (with -trace) a
-// JSONL event log; -overlap instead prints the stall-vs-overlap
-// experiment across the DSE design points.
+// JSONL event log including per-pass translation events. -phases adds
+// the per-phase translation work histograms (the runtime Figure 8);
+// -overlap instead prints the stall-vs-overlap experiment across the DSE
+// design points; -rejects instead prints rejection counts by typed
+// reason code across the workload suite.
 func cmdVMStats(args []string) error {
 	fs := flag.NewFlagSet("vmstats", flag.ExitOnError)
 	kernel := fs.String("kernel", "saxpy", "workload kernel to run (see `veal inspect` for names)")
@@ -316,9 +319,24 @@ func cmdVMStats(args []string) error {
 	threshold := fs.Int("threshold", 1, "hot-loop invocation threshold")
 	tracePath := fs.String("trace", "", "write a JSONL lifecycle event trace to this file")
 	overlap := fs.Bool("overlap", false, "run the stall-vs-overlap experiment instead")
-	csvOut := fs.Bool("csv", false, "emit CSV (with -overlap)")
+	phases := fs.Bool("phases", false, "also print the per-phase translation work histograms (runtime Figure 8)")
+	rejects := fs.Bool("rejects", false, "print rejection counts by reason code across the workload suite instead")
+	csvOut := fs.Bool("csv", false, "emit CSV (with -overlap or -rejects)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *rejects {
+		models, err := exp.Models(workloads.All())
+		if err != nil {
+			return err
+		}
+		rows := exp.Rejects(models)
+		if *csvOut {
+			return exp.WriteRejectsCSV(os.Stdout, rows)
+		}
+		fmt.Print(exp.FormatRejects(rows))
+		return nil
 	}
 
 	if *overlap {
@@ -375,7 +393,11 @@ func cmdVMStats(args []string) error {
 			r.TranslationCycles, r.StalledTranslationCycles, r.HiddenTranslationCycles, r.Launches)
 	}
 
-	fmt.Printf("\n%s\nloop states:\n", v.Metrics().Format())
+	fmt.Printf("\n%s", v.Metrics().Format())
+	if *phases {
+		fmt.Printf("\n%s", v.Metrics().FormatPhases())
+	}
+	fmt.Printf("\nloop states:\n")
 	for _, s := range v.LoopStates() {
 		line := fmt.Sprintf("  %-16s %-11s invocations=%d installs=%d", s.Name, s.State, s.Invocations, s.Installs)
 		if s.Reason != "" {

@@ -11,6 +11,10 @@
 // subgraph must be executable atomically), and the recurrence rule from
 // the paper's Figure 5 discussion: a grow step that would lengthen a
 // recurrence cycle (raising RecMII) is rejected.
+//
+// Mapping (dynamic policies) and validation (the hybrid policy) run as
+// the second pass of the internal/translate pipelines; callers should
+// go through translate.Pipeline.Run rather than calling Map directly.
 package cca
 
 import (
@@ -380,8 +384,9 @@ func (mp *mapper) legal(grp map[int]bool, existing [][]int) bool {
 		return false
 	}
 	// No loop-carried edges may be internal: the subgraph executes within
-	// one iteration.
-	for n := range grp {
+	// one iteration. Scan in node order: the early exit must charge the
+	// same work on every run, and map iteration order is not stable.
+	for _, n := range keys(grp) {
 		for _, a := range mp.l.Nodes[n].Args {
 			mp.m.Charge(1)
 			if a.Dist > 0 && grp[a.Node] {

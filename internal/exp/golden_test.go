@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/vm"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the translation golden file")
+
+// goldenEntry is one site x policy translation outcome. The golden file
+// was captured from the pre-pipeline translator (vm.VM.Translate driven
+// directly by exp.SiteModel), so this test pins the pass-based pipeline
+// to the exact per-phase vmcost breakdown, II, SC and invocation estimate
+// of the original hardcoded glue.
+type goldenEntry struct {
+	Bench  string                  `json:"bench"`
+	Site   string                  `json:"site"`
+	Policy string                  `json:"policy"`
+	OK     bool                    `json:"ok"`
+	Work   [vmcost.NumPhases]int64 `json:"work"`
+	II     int                     `json:"ii"`
+	SC     int                     `json:"sc"`
+	Accel  int64                   `json:"accel_per_invoc"`
+}
+
+func goldenPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join("testdata", "translate_golden.json")
+}
+
+func captureGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	models, err := Models(workloads.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := arch.Proposed()
+	policies := []vm.Policy{vm.FullyDynamic, vm.HeightPriority, vm.Hybrid}
+	var out []goldenEntry
+	for _, bm := range models {
+		for _, sm := range bm.Sites {
+			for _, pol := range policies {
+				tr := sm.Translate(la, pol, false)
+				e := goldenEntry{
+					Bench: bm.Bench.Name, Site: sm.Site.Name, Policy: pol.String(),
+					OK: tr.OK,
+				}
+				if tr.OK {
+					e.Work = tr.Work
+					e.II, e.SC = tr.II, tr.SC
+					e.Accel = tr.AccelPerInvoc
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// TestTranslationGolden is the differential test for the pass-based
+// translation pipeline: every workload-suite site under each dynamic
+// policy must reproduce the pre-refactor path's vmcost breakdown, II/SC
+// and accelerator invocation estimate bit for bit.
+func TestTranslationGolden(t *testing.T) {
+	got := captureGolden(t)
+	path := goldenPath(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d entries to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update to capture): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("entry count %d, golden has %d", len(got), len(want))
+	}
+	mismatches := 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s/%s %s:\n got %+v\nwant %+v",
+				want[i].Bench, want[i].Site, want[i].Policy, got[i], want[i])
+			mismatches++
+			if mismatches > 10 {
+				t.Fatal("too many mismatches")
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"veal/internal/lower"
 	"veal/internal/par"
 	"veal/internal/scalar"
+	"veal/internal/translate"
 	"veal/internal/vm"
 	"veal/internal/vmcost"
 	"veal/internal/workloads"
@@ -156,8 +157,11 @@ func measureScalar(sm *SiteModel, cpu *arch.CPU, trip int64) (int64, error) {
 
 // Translation is a per-site translation outcome on a given system/policy.
 type Translation struct {
-	OK            bool
-	Reason        string
+	OK     bool
+	Reason string
+	// Code is the machine-readable rejection reason (meaningful when
+	// !OK); the rows of `veal vmstats -rejects`.
+	Code          translate.Code
 	Work          [vmcost.NumPhases]int64
 	AccelPerInvoc int64 // accelerator cycles for one invocation at Site.Trip
 	II, SC        int
@@ -183,13 +187,12 @@ func (sm *SiteModel) Translate(la *arch.LA, policy vm.Policy, raw bool) *Transla
 // is set, while-shaped (speculation-support) sites translate too, and
 // their invocation estimate charges a full speculative chunk of overshoot.
 // It is safe for concurrent callers: results are shared through the
-// site's sharded translation cache, and each cache miss runs the pipeline
-// in a fresh vm.VM, so only immutable state (the binary, the region, the
-// LA under test) is shared between workers.
+// site's sharded translation cache, and each cache miss runs the shared
+// translate pipeline for the policy directly, so only immutable state
+// (the binary, the region, the LA under test) is shared between workers.
 func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
-	if sm.Site.Kind == cfg.KindSubroutine || sm.Site.Kind == cfg.KindIrregular ||
-		(sm.Site.Kind == cfg.KindSpeculation && !spec) {
-		return &Translation{Reason: sm.Site.Kind.String()}
+	if code, declined := translate.CodeForRegion(sm.Site.Kind, spec); declined {
+		return &Translation{Reason: sm.Site.Kind.String(), Code: code}
 	}
 	return sm.cache.load(keyFor(la, policy, raw, spec), func() *Translation {
 		return sm.translate(la, policy, raw, spec)
@@ -208,25 +211,34 @@ func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *T
 			}
 		}
 		if !found {
-			return &Translation{Reason: "not schedulable without static transformation"}
+			return &Translation{
+				Reason: "not schedulable without static transformation",
+				Code:   translate.CodeRawBinary,
+			}
 		}
 	}
-	v := vm.New(vm.Config{LA: la, CPU: arch.ARM11(), Policy: policy, SpeculationSupport: spec})
-	tr, err := v.Translate(binary.Program, region)
+	tr, err := translate.For(policy).Run(translate.Request{
+		Prog:        binary.Program,
+		Region:      region,
+		LA:          la,
+		Speculation: spec,
+	})
 	if err != nil {
-		return &Translation{Reason: err.Error()}
+		// Work stays zero on rejections: the model charges translation
+		// cycles only for loops the system actually accelerates.
+		return &Translation{Reason: err.Error(), Code: translate.CodeOf(err)}
 	}
 	// Launch-time disambiguation with representative operands: sites whose
 	// streams alias would bounce back to the scalar core every invocation.
 	bind, _ := workloads.Prepare(tr.Ext.Loop, sm.Site.Trip, 7)
-	if !vm.StreamsDisjoint(tr.Ext.Loop, bind) {
-		return &Translation{Reason: "streams alias at runtime"}
+	if !translate.StreamsDisjoint(tr.Ext.Loop, bind) {
+		return &Translation{Reason: "streams alias at runtime", Code: translate.CodeAlias}
 	}
 	// While-shaped loops pay for their speculated overshoot: model the
 	// whole bound plus one speculative chunk.
 	trip := sm.Site.Trip
 	if tr.Ext.Loop.HasExit() {
-		trip += int64(v.Cfg.SpecChunk)
+		trip += int64(vm.DefaultSpecChunk)
 	}
 	return &Translation{
 		OK:            true,

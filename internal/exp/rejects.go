@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/par"
+	"veal/internal/translate"
+	"veal/internal/vm"
+)
+
+// RejectRow is one rejection reason's count per translation policy across
+// the workload suite's loop sites (the `veal vmstats -rejects` table).
+// Counts are site-level: each (site, policy) pair contributes at most one.
+type RejectRow struct {
+	Code   translate.Code
+	Counts [translate.NumPolicies]int64
+}
+
+// rejectPolicies are the dynamic policies the breakdown evaluates (the
+// NoPenalty pipeline never differs from FullyDynamic in outcome, only in
+// charged cost).
+var rejectPolicies = []vm.Policy{vm.FullyDynamic, vm.HeightPriority, vm.Hybrid}
+
+// Rejects classifies every loop site of every model under each dynamic
+// policy on the proposed accelerator and tallies the typed rejection
+// codes. Rows come back in code order with zero-count rows elided; sites
+// fan out across the worker pool.
+func Rejects(models []*BenchModel) []RejectRow {
+	type siteCount struct {
+		counts [translate.NumCodes][translate.NumPolicies]int64
+	}
+	la := arch.Proposed()
+	var sites []*SiteModel
+	for _, bm := range models {
+		sites = append(sites, bm.Sites...)
+	}
+	per := par.Map(len(sites), func(i int) (sc siteCount) {
+		for _, pol := range rejectPolicies {
+			tr := sites[i].Translate(la, pol, false)
+			if tr.OK {
+				continue
+			}
+			sc.counts[tr.Code][pol]++
+		}
+		return sc
+	})
+	var total [translate.NumCodes][translate.NumPolicies]int64
+	for _, sc := range per {
+		for c := range total {
+			for p := range total[c] {
+				total[c][p] += sc.counts[c][p]
+			}
+		}
+	}
+	var rows []RejectRow
+	for c := range total {
+		row := RejectRow{Code: translate.Code(c), Counts: total[c]}
+		nonzero := false
+		for _, n := range row.Counts {
+			nonzero = nonzero || n > 0
+		}
+		if nonzero {
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatRejects renders the rejection breakdown as an aligned table.
+func FormatRejects(rows []RejectRow) string {
+	var b strings.Builder
+	b.WriteString("translation rejections by reason code (loop sites):\n")
+	fmt.Fprintf(&b, "  %-18s", "code")
+	for _, pol := range rejectPolicies {
+		fmt.Fprintf(&b, " %20s", pol.String())
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-18s", r.Code.String())
+		for _, pol := range rejectPolicies {
+			fmt.Fprintf(&b, " %20d", r.Counts[pol])
+		}
+		b.WriteString("\n")
+	}
+	if len(rows) == 0 {
+		b.WriteString("  (none)\n")
+	}
+	return b.String()
+}
+
+// WriteRejectsCSV emits code,<one column per policy> with raw counts.
+func WriteRejectsCSV(w io.Writer, rows []RejectRow) error {
+	cw := csv.NewWriter(w)
+	header := []string{"code"}
+	for _, pol := range rejectPolicies {
+		header = append(header, pol.String())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{r.Code.String()}
+		for _, pol := range rejectPolicies {
+			rec = append(rec, strconv.FormatInt(r.Counts[pol], 10))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -156,8 +156,12 @@ type Poll[V any] struct {
 	// execution. At most one is non-zero.
 	Stalled int64
 	Hidden  int64
-	// Reason explains a rejection.
+	// Reason explains a rejection; Err is the underlying translation
+	// error (typed — e.g. a *translate.Reject — so callers can branch on
+	// machine-readable codes). Err is retained by the negative cache and
+	// returned on every subsequent rejected poll, not just the fresh one.
 	Reason string
+	Err    error
 	// Sync reports that this event ran the translator synchronously on
 	// the caller (workers disabled, or the queue was full).
 	Sync bool
@@ -175,6 +179,7 @@ type Drained[K comparable] struct {
 	Work   int64
 	OK     bool
 	Reason string
+	Err    error
 }
 
 type job[V any] struct {
@@ -190,6 +195,7 @@ type entry[K comparable, V any] struct {
 	invocations int64
 	installs    int64
 	reason      string
+	err         error
 
 	// Virtual-time model state (Queued/Translating).
 	worker     int
@@ -302,7 +308,7 @@ func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) P
 	e.ref = true
 	switch e.state {
 	case Rejected:
-		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason}
+		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: e.err}
 
 	case Installed:
 		if v, ok := p.cache.get(key); ok {
@@ -356,8 +362,8 @@ func (p *Pipeline[K, V]) start(e *entry[K, V], now int64, translate TranslateFun
 		p.metrics.SyncTranslations++
 		v, work, err := translate()
 		if err != nil {
-			p.rejectEntry(e, now, err.Error())
-			return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Sync: true, Fresh: true}
+			p.rejectEntry(e, now, err)
+			return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: err, Sync: true, Fresh: true}
 		}
 		e.enqueuedAt, e.startAt, e.doneAt = now, now, now+work
 		p.metrics.StalledCycles += work
@@ -453,8 +459,8 @@ func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
 	j := e.j
 	e.j = nil
 	if j.err != nil {
-		p.rejectEntry(e, now, j.err.Error())
-		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Fresh: true}
+		p.rejectEntry(e, now, j.err)
+		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: j.err, Fresh: true}
 	}
 	p.metrics.HiddenCycles += j.work
 	p.metrics.QueuedTime.Observe(e.startAt - e.enqueuedAt)
@@ -478,27 +484,38 @@ func (p *Pipeline[K, V]) install(e *entry[K, V], v V, work int64) {
 	})
 }
 
-func (p *Pipeline[K, V]) rejectEntry(e *entry[K, V], now int64, reason string) {
+func (p *Pipeline[K, V]) rejectEntry(e *entry[K, V], now int64, err error) {
 	e.state = Rejected
-	e.reason = reason
+	e.reason = err.Error()
+	e.err = err
 	p.metrics.Rejected++
-	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "reject", Reason: reason})
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "reject", Reason: e.reason})
 }
 
 // PreReject negative-caches a loop the VM declined before translation
-// (unsupported region kind). Idempotent.
-func (p *Pipeline[K, V]) PreReject(key K, reason string) {
+// (unsupported region kind). Idempotent; reports whether this call newly
+// rejected the loop (so callers tally each loop once).
+func (p *Pipeline[K, V]) PreReject(key K, reason string) bool {
 	e := p.loops[key]
 	if e == nil {
 		e = p.admit(key)
 	}
 	if e.state == Rejected {
-		return
+		return false
 	}
 	e.state = Rejected
 	e.reason = reason
 	p.metrics.PreRejected++
 	p.trace.emit(Event{T: p.now, Loop: p.keyName(key), Event: "pre-reject", Reason: reason})
+	return true
+}
+
+// Emit writes a caller-supplied event to the trace, stamped with the
+// pipeline's current virtual time. The VM uses it for translation-pass
+// events, which only the caller can attribute.
+func (p *Pipeline[K, V]) Emit(ev Event) {
+	ev.T = p.now
+	p.trace.emit(ev)
 }
 
 // RejectionFor reports a negative-cached outcome for key.
@@ -532,7 +549,7 @@ func (p *Pipeline[K, V]) Drain(now int64) []Drained[K] {
 			e := p.workers[wi].queue[0]
 			p.resolve(e)
 			pr := p.finish(e, now)
-			d := Drained[K]{Key: e.key, Work: pr.Work, OK: pr.Outcome == OutcomeInstalled, Reason: pr.Reason}
+			d := Drained[K]{Key: e.key, Work: pr.Work, OK: pr.Outcome == OutcomeInstalled, Reason: pr.Reason, Err: pr.Err}
 			if d.OK {
 				p.metrics.DrainedInstalls++
 			}

@@ -3,6 +3,8 @@ package jit
 import (
 	"fmt"
 	"strings"
+
+	"veal/internal/vmcost"
 )
 
 // histBuckets bounds the power-of-two histogram range: bucket i counts
@@ -123,6 +125,27 @@ type Metrics struct {
 	InstallLatency Histogram // enqueue -> install, virtual cycles
 	QueuedTime     Histogram // time waiting for a translator worker
 	TranslateTime  Histogram // time on the translator worker
+
+	// PhaseWork histograms the per-translation work charged to each
+	// translation phase (one sample per concluded translation attempt) —
+	// the runtime analogue of the paper's Figure 8 breakdown, rendered by
+	// `veal vmstats -phases`. RejectedWork tallies work spent on attempts
+	// that were ultimately rejected (charged but bought nothing).
+	PhaseWork    [vmcost.NumPhases]Histogram
+	RejectedWork int64
+}
+
+// ObservePhaseWork records one concluded translation attempt's per-phase
+// work breakdown; rejected attempts additionally accumulate RejectedWork.
+func (m *Metrics) ObservePhaseWork(work [vmcost.NumPhases]int64, rejected bool) {
+	var total int64
+	for p, w := range work {
+		m.PhaseWork[p].Observe(w)
+		total += w
+	}
+	if rejected {
+		m.RejectedWork += total
+	}
 }
 
 // Format renders the metrics as an aligned report.
@@ -146,10 +169,40 @@ func (m *Metrics) Format() string {
 	row("in-flight peak", m.InFlightPeak)
 	row("stalled cycles", m.StalledCycles)
 	row("hidden cycles", m.HiddenCycles)
+	row("rejected work", m.RejectedWork)
 	b.WriteString("jit histograms (virtual cycles):\n")
 	fmt.Fprintf(&b, "  %-22s %s\n", "queue depth", m.QueueDepth.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "install latency", m.InstallLatency.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "time queued", m.QueuedTime.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "time translating", m.TranslateTime.String())
+	return b.String()
+}
+
+// FormatPhases renders the per-phase translation work histograms as an
+// aligned table (phase, attempts observed, total/mean/max work units and
+// each phase's share of the total) — the runtime Figure 8.
+func (m *Metrics) FormatPhases() string {
+	var grand int64
+	for p := range m.PhaseWork {
+		grand += m.PhaseWork[p].Sum
+	}
+	var b strings.Builder
+	b.WriteString("translation work by phase (work units):\n")
+	fmt.Fprintf(&b, "  %-12s %8s %14s %12s %12s %7s\n",
+		"phase", "n", "total", "mean", "max", "share")
+	for p := range m.PhaseWork {
+		h := &m.PhaseWork[p]
+		share := 0.0
+		if grand > 0 {
+			share = 100 * float64(h.Sum) / float64(grand)
+		}
+		fmt.Fprintf(&b, "  %-12s %8d %14d %12.1f %12d %6.1f%%\n",
+			vmcost.Phase(p).String(), h.Count, h.Sum, h.Mean(), h.Max, share)
+	}
+	fmt.Fprintf(&b, "  %-12s %8s %14d\n", "total", "", grand)
+	if m.RejectedWork > 0 {
+		fmt.Fprintf(&b, "  rejected-attempt work: %d (%.1f%% of total)\n",
+			m.RejectedWork, 100*float64(m.RejectedWork)/float64(grand))
+	}
 	return b.String()
 }

@@ -1,0 +1,81 @@
+package jit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"veal/internal/vmcost"
+)
+
+// TestObservePhaseWork: phase histograms accumulate one sample per
+// attempt, and rejected attempts tally RejectedWork.
+func TestObservePhaseWork(t *testing.T) {
+	var m Metrics
+	var w [vmcost.NumPhases]int64
+	w[vmcost.PhasePriority] = 40
+	w[vmcost.PhaseSchedule] = 10
+	m.ObservePhaseWork(w, false)
+	m.ObservePhaseWork(w, true)
+	if got := m.PhaseWork[vmcost.PhasePriority]; got.Count != 2 || got.Sum != 80 || got.Max != 40 {
+		t.Fatalf("priority histogram: %+v", got)
+	}
+	if m.PhaseWork[vmcost.PhaseLoopID].Count != 2 {
+		t.Fatalf("every phase gets a sample per attempt, got %d", m.PhaseWork[vmcost.PhaseLoopID].Count)
+	}
+	if m.RejectedWork != 50 {
+		t.Fatalf("RejectedWork = %d, want 50 (the rejected attempt only)", m.RejectedWork)
+	}
+	out := m.FormatPhases()
+	for _, want := range []string{"priority", "schedule", "rejected-attempt work: 50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPhases missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPreRejectReportsFirst: only the first PreReject of a key reports
+// true, so callers can tally per-loop counts exactly once.
+func TestPreRejectReportsFirst(t *testing.T) {
+	p := New[int, string](Config{CacheSize: 4}, nil)
+	if !p.PreReject(3, "subroutine") {
+		t.Fatal("first PreReject should report a new rejection")
+	}
+	if p.PreReject(3, "subroutine") {
+		t.Fatal("repeated PreReject should report false")
+	}
+	if p.Metrics().PreRejected != 1 {
+		t.Fatalf("PreRejected = %d, want 1", p.Metrics().PreRejected)
+	}
+}
+
+// TestPollCarriesTypedError: the rejection error is preserved on the
+// fresh poll and replayed from the negative cache.
+func TestPollCarriesTypedError(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4}, nil)
+	sentinel := errors.New("no CCA mapping")
+	pr := p.Request(7, 0, func() (string, int64, error) { return "", 0, sentinel })
+	if pr.Outcome != OutcomeRejected || !errors.Is(pr.Err, sentinel) {
+		t.Fatalf("fresh rejection: %+v", pr)
+	}
+	pr = p.Request(7, 1, func() (string, int64, error) { t.Fatal("retranslated"); return "", 0, nil })
+	if !errors.Is(pr.Err, sentinel) {
+		t.Fatalf("cached rejection lost the typed error: %+v", pr)
+	}
+}
+
+// TestEmitStampsVirtualTime: caller events land in the trace at the
+// pipeline's current virtual time.
+func TestEmitStampsVirtualTime(t *testing.T) {
+	var buf strings.Builder
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, Trace: &buf}, nil)
+	p.Request(1, 42, constTranslate("t1", 10))
+	p.Emit(Event{Loop: "l", Event: "pass", Pass: "extract", Phase: "stream-sep", T: 999})
+	out := buf.String()
+	if !strings.Contains(out, `"t":42,"loop":"l","event":"pass"`) {
+		t.Fatalf("emit did not restamp T with virtual time:\n%s", out)
+	}
+	if !strings.Contains(out, `"pass":"extract"`) || !strings.Contains(out, `"phase":"stream-sep"`) {
+		t.Fatalf("pass/phase fields missing:\n%s", out)
+	}
+}

@@ -18,6 +18,11 @@ type Event struct {
 	Work    int64  `json:"work,omitempty"`
 	Latency int64  `json:"latency,omitempty"`
 	Reason  string `json:"reason,omitempty"`
+	// Pass and Phase identify a translation-pipeline pass on "pass"
+	// events (emitted by the VM after a translation concludes, stamped
+	// with the concluding poll's virtual time).
+	Pass  string `json:"pass,omitempty"`
+	Phase string `json:"phase,omitempty"`
 }
 
 // tracer serializes pipeline events as one JSON object per line. A nil

@@ -20,6 +20,10 @@
 // Loops whose address or control patterns exceed what the accelerator's
 // address generators and control unit support are rejected with a
 // descriptive error; the VM then runs them on the scalar core.
+//
+// Extraction runs as the first pass of every internal/translate
+// pipeline; callers should go through translate.Pipeline.Run rather
+// than invoking Extract directly.
 package loopx
 
 import (

@@ -244,6 +244,11 @@ const (
 // then II escalation up to the accelerator's control-store depth. For
 // OrderStatic the caller supplies staticOrder (unit IDs). It returns an
 // error when the loop cannot be scheduled within MaxII.
+//
+// The pass-based translation pipeline (internal/translate) drives the
+// pieces — MII, ComputeOrder, ScheduleWithOrder — individually so each
+// stage is a first-class pass; ScheduleLoop remains the one-call form
+// for direct users (DSE, tests).
 func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *vmcost.Meter) (*Schedule, error) {
 	if err := Supported(g, la); err != nil {
 		return nil, err
@@ -252,30 +257,42 @@ func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *v
 	if mii > la.MaxII {
 		return nil, fmt.Errorf("loop %q: MII %d exceeds accelerator max II %d", g.Loop.Name, mii, la.MaxII)
 	}
+	order, err := ComputeOrder(g, kind, mii, staticOrder, m)
+	if err != nil {
+		return nil, err
+	}
+	return ScheduleWithOrder(g, la, mii, order, m)
+}
 
-	var order []int
+// ComputeOrder computes the unit scheduling order for one priority
+// scheme at the given MII. For OrderStatic the caller supplies the order
+// (unit IDs covering every unit); reading it is charged as a single pass
+// over the loop (§4.2).
+func ComputeOrder(g *Graph, kind OrderKind, mii int, staticOrder []int, m *vmcost.Meter) ([]int, error) {
 	switch kind {
 	case OrderSwing:
-		order = SwingOrder(g, mii, m)
+		return SwingOrder(g, mii, m), nil
 	case OrderHeight:
-		order = HeightOrder(g, mii, m)
+		return HeightOrder(g, mii, m), nil
 	case OrderStatic:
 		if len(staticOrder) != len(g.Units) {
 			return nil, fmt.Errorf("loop %q: static order covers %d of %d units",
 				g.Loop.Name, len(staticOrder), len(g.Units))
 		}
-		order = staticOrder
 		// Reading the priorities is a single pass over the loop (§4.2).
 		m.Begin(vmcost.PhasePriority)
-		m.Charge(int64(len(order)) * 2)
-	default:
-		return nil, fmt.Errorf("unknown order kind %d", kind)
+		m.Charge(int64(len(staticOrder)) * 2)
+		return staticOrder, nil
 	}
+	return nil, fmt.Errorf("unknown order kind %d", kind)
+}
 
-	// Escalation is bounded: a loop that cannot be scheduled with 256
-	// cycles of slack beyond its MII will not become schedulable later
-	// (every window is II-periodic), so give up rather than walk a huge
-	// control store row by row.
+// ScheduleWithOrder places units in the given priority order, escalating
+// the II from mii upward. Escalation is bounded: a loop that cannot be
+// scheduled with 256 cycles of slack beyond its MII will not become
+// schedulable later (every window is II-periodic), so give up rather
+// than walk a huge control store row by row.
+func ScheduleWithOrder(g *Graph, la *arch.LA, mii int, order []int, m *vmcost.Meter) (*Schedule, error) {
 	hi := la.MaxII
 	if cap := mii + 256; cap < hi {
 		hi = cap

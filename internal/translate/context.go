@@ -1,0 +1,74 @@
+package translate
+
+import (
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+	"veal/internal/vmcost"
+)
+
+// Context threads the translation state between passes. Inputs (program,
+// region, accelerator, policy) are set by Pipeline.Run and treated as
+// immutable; products are written by the pass that computes them and
+// read by every later pass.
+type Context struct {
+	// Inputs.
+	Prog        *isa.Program
+	Region      cfg.Region
+	LA          *arch.LA
+	Policy      Policy
+	Speculation bool
+
+	// Meter receives the per-phase work charges. It is nil under the
+	// NoPenalty policy (best pipeline quality, none of the cost) — the
+	// vmcost.Meter API is nil-safe, so passes charge unconditionally.
+	Meter *vmcost.Meter
+
+	// Products, in pipeline order.
+
+	// Ext is the extracted dataflow loop (extract pass).
+	Ext *loopx.Extraction
+	// Groups are the CCA subgraphs to honor, either greedily discovered
+	// or validated from annotations (cca-map / cca-validate pass).
+	Groups [][]int
+	// Graph is the unit dependence graph (graph-build pass).
+	Graph *modsched.Graph
+	// MII is the minimum initiation interval (mii pass).
+	MII int
+	// OrderKind and Order are the scheduling priority scheme and the
+	// resulting unit order (priority pass).
+	OrderKind modsched.OrderKind
+	Order     []int
+	// Schedule is the modulo schedule (schedule pass).
+	Schedule *modsched.Schedule
+	// Regs is the accelerator register-file requirement (reg-assign pass).
+	Regs modsched.RegisterNeeds
+
+	// meter is the backing store Meter points at (when metered).
+	meter vmcost.Meter
+}
+
+// Result is a loop successfully translated onto the accelerator.
+type Result struct {
+	Ext      *loopx.Extraction
+	Groups   [][]int
+	Graph    *modsched.Graph
+	Schedule *modsched.Schedule
+	Regs     modsched.RegisterNeeds
+	// Work is the translation cost breakdown in work units ("dynamic
+	// instructions" in the paper's Figure 8 sense).
+	Work [vmcost.NumPhases]int64
+	// Passes records the executed pass chain with per-pass work.
+	Passes []PassStat
+}
+
+// WorkTotal is the total translation cost in work units.
+func (r *Result) WorkTotal() int64 {
+	var s int64
+	for _, w := range r.Work {
+		s += w
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package translate
+
+import "veal/internal/ir"
+
+// StreamsDisjoint performs the launch-time memory disambiguation: every
+// store stream's address range must be disjoint from every other stream's
+// range, except for a load stream with the identical reference pattern
+// that feeds the store through same-iteration dataflow (the read-modify-
+// write idiom, which dependence edges order correctly). It is the runtime
+// check both the VM's dispatcher and the evaluation harness run against
+// concrete operands; a failure maps to CodeAlias.
+func StreamsDisjoint(l *ir.Loop, b *ir.Bindings) bool {
+	if b.Trip == 0 {
+		return true
+	}
+	type ival struct {
+		lo, hi int64 // inclusive word range
+		kind   ir.StreamKind
+		base   int64
+		stride int64
+		idx    int
+	}
+	ivals := make([]ival, len(l.Streams))
+	for i, s := range l.Streams {
+		base := s.AddrAt(b.Params, 0)
+		last := base + (b.Trip-1)*s.Stride
+		lo, hi := base, last
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ivals[i] = ival{lo: lo, hi: hi, kind: s.Kind, base: base, stride: s.Stride, idx: i}
+	}
+	for i := range ivals {
+		if ivals[i].kind != ir.StoreStream {
+			continue
+		}
+		for j := range ivals {
+			if i == j {
+				continue
+			}
+			a, c := ivals[i], ivals[j]
+			if a.hi < c.lo || c.hi < a.lo {
+				continue // disjoint ranges
+			}
+			if a.stride == c.stride && a.stride != 0 {
+				d := a.base - c.base
+				if d%a.stride != 0 {
+					continue // equal strides, different phases: never alias
+				}
+				if c.kind == ir.LoadStream && d == 0 && loadFeedsStore(l, c.idx, a.idx) {
+					continue // paired read-modify-write, ordered by dataflow
+				}
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// loadFeedsStore reports whether the load stream's node reaches the store
+// stream's node through same-iteration dataflow.
+func loadFeedsStore(l *ir.Loop, loadStream, storeStream int) bool {
+	var loadNode, storeNode = -1, -1
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpLoad && n.Stream == loadStream {
+			loadNode = n.ID
+		}
+		if n.Op == ir.OpStore && n.Stream == storeStream {
+			storeNode = n.ID
+		}
+	}
+	if loadNode < 0 || storeNode < 0 {
+		return false
+	}
+	succs := l.Succs()
+	seen := map[int]bool{loadNode: true}
+	stack := []int{loadNode}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if u == storeNode {
+			return true
+		}
+		for _, s := range succs[u] {
+			if s.Dist == 0 && !seen[s.Node] {
+				seen[s.Node] = true
+				stack = append(stack, s.Node)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,212 @@
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/cca"
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+	"veal/internal/vmcost"
+)
+
+// extractPass lifts the region's instructions into a dataflow loop
+// (loopx), choosing the speculative extractor for while-shaped regions.
+type extractPass struct{}
+
+func (extractPass) Name() string        { return "extract" }
+func (extractPass) Phase() vmcost.Phase { return vmcost.PhaseStreamSep }
+
+func (extractPass) Run(ctx *Context) *Reject {
+	var err error
+	if ctx.Region.Kind == cfg.KindSpeculation {
+		if !ctx.Speculation {
+			return reject(CodeNeedsSpeculation, vmcost.PhaseLoopID,
+				fmt.Errorf("loop needs speculation support"))
+		}
+		ctx.Ext, err = loopx.ExtractSpeculative(ctx.Prog, ctx.Region, ctx.Meter)
+	} else {
+		ctx.Ext, err = loopx.Extract(ctx.Prog, ctx.Region, ctx.Meter)
+	}
+	if err != nil {
+		return reject(CodeExtract, vmcost.PhaseStreamSep, err)
+	}
+	return nil
+}
+
+// ccaMapPass greedily discovers CCA subgraphs at runtime (the
+// fully-dynamic policies). Annotations are ignored, but extraction
+// inlined the binary's outlined ops into the dataflow graph, so the
+// mapper may rediscover the same subgraphs.
+type ccaMapPass struct{}
+
+func (ccaMapPass) Name() string        { return "cca-map" }
+func (ccaMapPass) Phase() vmcost.Phase { return vmcost.PhaseCCAMap }
+
+func (ccaMapPass) Run(ctx *Context) *Reject {
+	if ctx.LA.CCAs > 0 {
+		ctx.Groups = cca.Map(ctx.Ext.Loop, ctx.LA.CCA, ctx.Meter).Groups
+	}
+	return nil
+}
+
+// ccaValidatePass checks the binary's statically annotated CCA groups
+// against the attached CCA's geometry (the hybrid policy's cheap path).
+type ccaValidatePass struct{}
+
+func (ccaValidatePass) Name() string        { return "cca-validate" }
+func (ccaValidatePass) Phase() vmcost.Phase { return vmcost.PhaseCCAMap }
+
+func (ccaValidatePass) Run(ctx *Context) *Reject {
+	if ctx.LA.CCAs > 0 {
+		ctx.Groups = cca.ValidateGroups(ctx.Ext.Loop, ctx.Ext.Groups, ctx.LA.CCA, ctx.Meter)
+	}
+	return nil
+}
+
+// graphPass builds the unit dependence graph, collapsing each CCA group
+// into one unit.
+type graphPass struct{}
+
+func (graphPass) Name() string        { return "graph-build" }
+func (graphPass) Phase() vmcost.Phase { return vmcost.PhaseStreamSep }
+
+func (graphPass) Run(ctx *Context) *Reject {
+	g, err := modsched.BuildGraph(ctx.Ext.Loop, ctx.Groups, ctx.LA.CCA, ctx.Meter)
+	if err != nil {
+		return reject(CodeGraph, vmcost.PhaseStreamSep, err)
+	}
+	ctx.Graph = g
+	return nil
+}
+
+// legalityPass checks the accelerator provides every resource class the
+// loop needs (units, streams, address generators, a CCA for grouped ops).
+type legalityPass struct{}
+
+func (legalityPass) Name() string        { return "legality" }
+func (legalityPass) Phase() vmcost.Phase { return vmcost.PhaseResMII }
+
+func (legalityPass) Run(ctx *Context) *Reject {
+	if err := modsched.Supported(ctx.Graph, ctx.LA); err != nil {
+		return reject(CodeResources, vmcost.PhaseResMII, err)
+	}
+	return nil
+}
+
+// miiPass computes the resource- and recurrence-constrained minimum II
+// and rejects loops beyond the control-store depth.
+type miiPass struct{}
+
+func (miiPass) Name() string        { return "mii" }
+func (miiPass) Phase() vmcost.Phase { return vmcost.PhaseResMII }
+
+func (miiPass) Run(ctx *Context) *Reject {
+	ctx.MII = modsched.MII(ctx.Graph, ctx.LA, ctx.Meter)
+	if ctx.MII > ctx.LA.MaxII {
+		return reject(CodeMaxII, vmcost.PhaseRecMII,
+			fmt.Errorf("loop %q: MII %d exceeds accelerator max II %d",
+				ctx.Graph.Loop.Name, ctx.MII, ctx.LA.MaxII))
+	}
+	return nil
+}
+
+// priorityPass computes the unit scheduling order for the policy's
+// priority scheme: Swing ordering (fully dynamic / no penalty), height
+// priority, or the binary's static priority table (hybrid). A hybrid
+// translation of an unannotated binary degrades to fully dynamic.
+type priorityPass struct{}
+
+func (priorityPass) Name() string        { return "priority" }
+func (priorityPass) Phase() vmcost.Phase { return vmcost.PhasePriority }
+
+func (priorityPass) Run(ctx *Context) *Reject {
+	ctx.OrderKind = modsched.OrderSwing
+	var staticOrder []int
+	switch ctx.Policy {
+	case HeightPriority:
+		ctx.OrderKind = modsched.OrderHeight
+	case Hybrid:
+		if anno, ok := ctx.Prog.AnnoAt(ctx.Region.Head); ok {
+			staticOrder = staticUnitOrder(ctx.Graph, ctx.Ext, anno, ctx.Region)
+			ctx.OrderKind = modsched.OrderStatic
+		}
+	}
+	order, err := modsched.ComputeOrder(ctx.Graph, ctx.OrderKind, ctx.MII, staticOrder, ctx.Meter)
+	if err != nil {
+		return reject(CodeStaticOrder, vmcost.PhasePriority, err)
+	}
+	ctx.Order = order
+	return nil
+}
+
+// staticUnitOrder converts a per-instruction priority table into a unit
+// scheduling order: each unit takes the priority annotated on its source
+// instruction; unannotated (synthesized) units go last.
+func staticUnitOrder(g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno, region cfg.Region) []int {
+	type up struct {
+		unit, prio int
+	}
+	ups := make([]up, len(g.Units))
+	for u := range g.Units {
+		node := g.Units[u].Nodes[0]
+		prio := 1 << 30
+		if src := ext.NodeSrc[node]; src >= region.Head && src-region.Head < len(anno.Priorities) {
+			if v := anno.Priorities[src-region.Head]; v >= 0 {
+				prio = int(v)
+			}
+		}
+		ups[u] = up{unit: u, prio: prio}
+	}
+	sort.SliceStable(ups, func(i, j int) bool { return ups[i].prio < ups[j].prio })
+	order := make([]int, len(ups))
+	for i, x := range ups {
+		order[i] = x.unit
+	}
+	return order
+}
+
+// schedulePass places units on the modulo reservation table, escalating
+// the II from MII up to the bounded window.
+type schedulePass struct{}
+
+func (schedulePass) Name() string        { return "schedule" }
+func (schedulePass) Phase() vmcost.Phase { return vmcost.PhaseSchedule }
+
+func (schedulePass) Run(ctx *Context) *Reject {
+	s, err := modsched.ScheduleWithOrder(ctx.Graph, ctx.LA, ctx.MII, ctx.Order, ctx.Meter)
+	if err != nil {
+		return reject(CodeUnschedulable, vmcost.PhaseSchedule, err)
+	}
+	ctx.Schedule = s
+	return nil
+}
+
+// regAssignPass is the paper's one-to-one mapping from baseline-ISA
+// registers to the accelerator register files (§4.1). Address and
+// induction registers map to the address generators/control unit and
+// constants to control-store literals, so only the remaining operand
+// registers need slots. The capacity check runs BEFORE the register-read
+// charge so a rejected loop's meter never includes work the paper
+// attributes to successful translations.
+type regAssignPass struct{}
+
+func (regAssignPass) Name() string        { return "reg-assign" }
+func (regAssignPass) Phase() vmcost.Phase { return vmcost.PhaseRegAssign }
+
+func (regAssignPass) Run(ctx *Context) *Reject {
+	ext := ctx.Ext
+	ctx.Meter.Begin(vmcost.PhaseRegAssign)
+	if ext.IntArchRegs > ctx.LA.IntRegs || ext.FPArchRegs > ctx.LA.FPRegs {
+		return reject(CodeRegisters, vmcost.PhaseRegAssign,
+			fmt.Errorf("loop needs %d int / %d fp registers, LA has %d/%d",
+				ext.IntArchRegs, ext.FPArchRegs, ctx.LA.IntRegs, ctx.LA.FPRegs))
+	}
+	// The reading pass is charged above the mapping itself, which is a
+	// table fill.
+	ctx.Meter.Charge(int64(ext.IntArchRegs+ext.FPArchRegs) * 3)
+	ctx.Regs = modsched.RegisterNeeds{Int: ext.IntArchRegs, Float: ext.FPArchRegs}
+	return nil
+}

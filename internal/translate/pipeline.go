@@ -1,0 +1,217 @@
+// Package translate is the loop-to-accelerator translation pipeline of
+// §4.1 as a first-class pass chain. Each stage of the paper's pipeline —
+// dataflow extraction, CCA subgraph mapping/validation, dependence-graph
+// construction, legality, minimum-II calculation, scheduling priority,
+// modulo scheduling, register assignment — is a Pass over a shared
+// Context, and a Pipeline is the pass list a translation Policy selects
+// (the static/dynamic splits of Figure 10 become pipeline configurations
+// instead of switches scattered through the VM).
+//
+// The package is consumed by both runtime clients: internal/vm translates
+// on the JIT pipeline's background workers, and internal/exp drives the
+// same passes from the evaluation harness. A Pipeline is immutable and
+// safe for concurrent Run calls — all per-translation state lives in the
+// Context, so one shared Pipeline serves every VM and every sweep worker.
+//
+// Failures are typed: every error returned by Run is a *Reject carrying a
+// machine-readable reason Code, the failing pass and phase, and the work
+// charged before the rejection — the raw material for rejection-breakdown
+// tables (`veal vmstats -rejects`), per-phase observability
+// (`veal vmstats -phases`) and the JIT trace's pass events.
+package translate
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/vmcost"
+)
+
+// Policy selects the static/dynamic split of the translation pipeline
+// (the bars of Figure 10). It lives here because the policy *is* the
+// pipeline configuration; internal/vm aliases it for its public surface.
+type Policy int
+
+const (
+	// NoPenalty models a statically compiled binary: best translation
+	// quality, zero translation cost.
+	NoPenalty Policy = iota
+	// FullyDynamic performs CCA mapping and Swing priority at runtime.
+	FullyDynamic
+	// HeightPriority performs CCA mapping dynamically but uses the cheap
+	// height-based priority function instead of Swing ordering.
+	HeightPriority
+	// Hybrid reads CCA groups and scheduling priority from the binary's
+	// annotations ("Static CCA/Priority"); only MII, scheduling and
+	// register assignment run dynamically.
+	Hybrid
+
+	// NumPolicies is the number of translation policies.
+	NumPolicies
+)
+
+// String names the policy as in Figure 10.
+func (p Policy) String() string {
+	switch p {
+	case NoPenalty:
+		return "no-penalty"
+	case FullyDynamic:
+		return "fully-dynamic"
+	case HeightPriority:
+		return "fully-dynamic-height"
+	case Hybrid:
+		return "static-cca-priority"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Request is one translation: a loop region of a program image, the
+// accelerator to target, and the runtime capabilities in effect.
+type Request struct {
+	Prog   *isa.Program
+	Region cfg.Region
+	LA     *arch.LA
+	// Speculation permits while-shaped (side-exit) regions, translated
+	// with the speculative extraction (the extension beyond the paper's
+	// design point).
+	Speculation bool
+	// Observer, when non-nil, receives pass enter/exit callbacks on the
+	// Run caller's goroutine. Observation must not change results.
+	Observer Observer
+}
+
+// Pass is one stage of the translation pipeline.
+type Pass interface {
+	// Name is the stable pass identifier used in traces and docs.
+	Name() string
+	// Phase is the vmcost phase the pass predominantly charges; a pass
+	// may charge several phases (Run meters the exact split).
+	Phase() vmcost.Phase
+	// Run advances the Context; a non-nil error must be a *Reject.
+	Run(*Context) *Reject
+}
+
+// PassStat describes one executed pass: the work-unit cost it charged
+// (across all phases) and whether it rejected the loop.
+type PassStat struct {
+	Name  string
+	Phase vmcost.Phase
+	// Work is the total work units the pass charged to the meter.
+	Work int64
+	// Rejected marks the pass that terminated the pipeline.
+	Rejected bool
+}
+
+// Observer receives pass lifecycle callbacks during Run. Implementations
+// are called on the Run caller's goroutine only.
+type Observer interface {
+	PassEnter(name string, phase vmcost.Phase)
+	PassExit(stat PassStat)
+}
+
+// Pipeline is an immutable, concurrency-safe pass chain for one policy.
+type Pipeline struct {
+	policy Policy
+	passes []Pass
+}
+
+// pipelines holds the four policy configurations, assembled once. The
+// dynamic policies differ only in the CCA pass (greedy mapping vs static
+// validation) and the priority scheme; NoPenalty runs the best-quality
+// chain with a nil meter (quality of the full pipeline, none of the
+// cost).
+var pipelines = func() [NumPolicies]*Pipeline {
+	var ps [NumPolicies]*Pipeline
+	for pol := Policy(0); pol < NumPolicies; pol++ {
+		chain := []Pass{extractPass{}}
+		if pol == Hybrid {
+			chain = append(chain, ccaValidatePass{})
+		} else {
+			chain = append(chain, ccaMapPass{})
+		}
+		chain = append(chain,
+			graphPass{},
+			legalityPass{},
+			miiPass{},
+			priorityPass{},
+			schedulePass{},
+			regAssignPass{},
+		)
+		ps[pol] = &Pipeline{policy: pol, passes: chain}
+	}
+	return ps
+}()
+
+// For returns the shared pipeline for a policy. The returned Pipeline is
+// immutable; Run may be called concurrently from any goroutine.
+func For(p Policy) *Pipeline {
+	if p < 0 || p >= NumPolicies {
+		p = FullyDynamic
+	}
+	return pipelines[p]
+}
+
+// Policy reports the policy the pipeline was assembled from.
+func (pl *Pipeline) Policy() Policy { return pl.policy }
+
+// Passes lists the pass names in execution order (for docs and
+// observability surfaces).
+func (pl *Pipeline) Passes() []string {
+	names := make([]string, len(pl.passes))
+	for i, p := range pl.passes {
+		names[i] = p.Name()
+	}
+	return names
+}
+
+// Run executes the pass chain on one request. On success the Result
+// carries every pipeline product plus the per-phase work breakdown; on
+// failure the error is a *Reject with the work charged up to the failing
+// pass. Run never mutates the request's program or region.
+func (pl *Pipeline) Run(req Request) (*Result, error) {
+	ctx := &Context{
+		Prog:        req.Prog,
+		Region:      req.Region,
+		LA:          req.LA,
+		Policy:      pl.policy,
+		Speculation: req.Speculation,
+	}
+	if pl.policy != NoPenalty {
+		ctx.Meter = &ctx.meter
+	}
+	passes := make([]PassStat, 0, len(pl.passes))
+	for _, pass := range pl.passes {
+		if req.Observer != nil {
+			req.Observer.PassEnter(pass.Name(), pass.Phase())
+		}
+		before := ctx.Meter.Total()
+		rej := pass.Run(ctx)
+		stat := PassStat{
+			Name:     pass.Name(),
+			Phase:    pass.Phase(),
+			Work:     ctx.Meter.Total() - before,
+			Rejected: rej != nil,
+		}
+		passes = append(passes, stat)
+		if req.Observer != nil {
+			req.Observer.PassExit(stat)
+		}
+		if rej != nil {
+			rej.Pass = pass.Name()
+			rej.Work = ctx.meter.Breakdown()
+			rej.Passes = passes
+			return nil, rej
+		}
+	}
+	return &Result{
+		Ext:      ctx.Ext,
+		Groups:   ctx.Groups,
+		Graph:    ctx.Graph,
+		Schedule: ctx.Schedule,
+		Regs:     ctx.Regs,
+		Work:     ctx.meter.Breakdown(),
+		Passes:   passes,
+	}, nil
+}

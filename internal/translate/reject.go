@@ -1,0 +1,155 @@
+package translate
+
+import (
+	"errors"
+	"fmt"
+
+	"veal/internal/cfg"
+	"veal/internal/vmcost"
+)
+
+// Code is a machine-readable translation rejection reason. Codes are
+// enumerable (0..NumCodes) so figures, `veal vmstats -rejects` and the
+// JIT trace can break rejections down without string matching.
+type Code int
+
+const (
+	// CodeRegionKind: the loop region's shape is unsupported (contains an
+	// unmarked call, multiple back edges, irregular control flow).
+	CodeRegionKind Code = iota
+	// CodeNeedsSpeculation: a while-shaped loop (single side exit) on a
+	// system without speculation support (the paper's design point).
+	CodeNeedsSpeculation
+	// CodeExtract: dataflow extraction failed (unsupported opcode,
+	// non-affine address, unrecognized induction pattern, ...).
+	CodeExtract
+	// CodeGraph: the dependence graph could not be built, typically
+	// because annotated CCA groups are malformed for this binary.
+	CodeGraph
+	// CodeResources: the accelerator lacks a required resource class
+	// (function units, memory streams, address generators, a CCA).
+	CodeResources
+	// CodeMaxII: the loop's minimum II exceeds the control-store depth.
+	CodeMaxII
+	// CodeStaticOrder: the binary's static priority annotation does not
+	// cover the loop's units.
+	CodeStaticOrder
+	// CodeUnschedulable: no feasible II within the escalation bound.
+	CodeUnschedulable
+	// CodeRegisters: the loop needs more operand registers than the
+	// accelerator register files provide.
+	CodeRegisters
+	// CodeAlias: launch-time memory disambiguation failed — the loop's
+	// store streams alias another stream for these operands.
+	CodeAlias
+	// CodeRawBinary: the deoptimized (untransformed) binary exposes no
+	// schedulable region at the loop site (the Figure 7 scenario).
+	CodeRawBinary
+
+	// NumCodes is the number of rejection codes.
+	NumCodes
+)
+
+var codeNames = [NumCodes]string{
+	"region-kind", "needs-speculation", "extract", "graph", "resources",
+	"max-ii", "static-order", "unschedulable", "registers", "alias",
+	"raw-binary",
+}
+
+// String returns the code's stable kebab-case name.
+func (c Code) String() string {
+	if c < 0 || c >= NumCodes {
+		return fmt.Sprintf("code(%d)", int(c))
+	}
+	return codeNames[c]
+}
+
+// Codes enumerates every rejection code in order.
+func Codes() []Code {
+	out := make([]Code, NumCodes)
+	for i := range out {
+		out[i] = Code(i)
+	}
+	return out
+}
+
+// CodeForRegion classifies a region the VM declines before running the
+// pipeline at all: while-shaped regions need speculation support, and
+// subroutine/irregular regions are structurally unsupported.
+func CodeForRegion(kind cfg.RegionKind, speculation bool) (Code, bool) {
+	switch kind {
+	case cfg.KindSchedulable:
+		return 0, false
+	case cfg.KindSpeculation:
+		if speculation {
+			return 0, false
+		}
+		return CodeNeedsSpeculation, true
+	default:
+		return CodeRegionKind, true
+	}
+}
+
+// Reject is a typed translation failure: the machine-readable reason, the
+// pass and vmcost phase that rejected the loop, and the work charged
+// before the rejection (tagged here precisely so it is never mistaken for
+// the cost of a successful translation).
+type Reject struct {
+	Code  Code
+	Phase vmcost.Phase
+	Pass  string
+	// Detail is the underlying error from the rejecting algorithm.
+	Detail error
+	// Work is the per-phase work charged before the rejection.
+	Work [vmcost.NumPhases]int64
+	// Passes records the pass chain up to and including the rejecting
+	// pass.
+	Passes []PassStat
+}
+
+// Error formats the rejection as "<code>: <detail>" — stable enough for
+// logs and negative caches while staying enumerable through Code.
+func (r *Reject) Error() string {
+	if r.Detail == nil {
+		return r.Code.String()
+	}
+	return r.Code.String() + ": " + r.Detail.Error()
+}
+
+// Unwrap exposes the underlying error.
+func (r *Reject) Unwrap() error { return r.Detail }
+
+// WorkTotal is the total work charged before the rejection.
+func (r *Reject) WorkTotal() int64 {
+	var s int64
+	for _, w := range r.Work {
+		s += w
+	}
+	return s
+}
+
+// AsReject extracts the *Reject from an error chain; ok is false when the
+// error carries no typed rejection.
+func AsReject(err error) (*Reject, bool) {
+	var r *Reject
+	if errors.As(err, &r) {
+		return r, true
+	}
+	return nil, false
+}
+
+// CodeOf returns the rejection code of an error, or CodeExtract-agnostic
+// fallback: errors without a typed rejection report NumCodes (callers
+// can render them as "other").
+func CodeOf(err error) Code {
+	if r, ok := AsReject(err); ok {
+		return r.Code
+	}
+	return NumCodes
+}
+
+// reject builds a typed rejection; the pipeline fills Pass, Work and
+// Passes when it unwinds.
+func reject(code Code, phase vmcost.Phase, detail error) *Reject {
+	return &Reject{Code: code, Phase: phase, Detail: detail}
+}

@@ -1,0 +1,232 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/lower"
+	"veal/internal/vmcost"
+	"veal/internal/workloads"
+)
+
+// compileKernel lowers the named workload kernel and returns its
+// schedulable region.
+func compileKernel(t *testing.T, name string) (req Request) {
+	t.Helper()
+	for _, b := range workloads.All() {
+		for _, s := range b.Sites {
+			l := s.Kernel.Build()
+			if s.Kernel.Name != name && l.Name != name {
+				continue
+			}
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				t.Fatalf("lower %s: %v", name, err)
+			}
+			for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+				if r.Head == res.Head && r.Kind == cfg.KindSchedulable {
+					return Request{Prog: res.Program, Region: r, LA: arch.Proposed()}
+				}
+			}
+			t.Fatalf("%s: no schedulable region", name)
+		}
+	}
+	t.Fatalf("kernel %q not in workload suite", name)
+	return
+}
+
+func TestPipelinePassLists(t *testing.T) {
+	for pol := Policy(0); pol < NumPolicies; pol++ {
+		pl := For(pol)
+		if pl.Policy() != pol {
+			t.Errorf("For(%v).Policy() = %v", pol, pl.Policy())
+		}
+		names := pl.Passes()
+		if names[0] != "extract" || names[len(names)-1] != "reg-assign" {
+			t.Errorf("%v: pass chain %v must run extract first, reg-assign last", pol, names)
+		}
+		wantCCA := "cca-map"
+		if pol == Hybrid {
+			wantCCA = "cca-validate"
+		}
+		if names[1] != wantCCA {
+			t.Errorf("%v: second pass = %q, want %q", pol, names[1], wantCCA)
+		}
+	}
+}
+
+func TestNoPenaltyChargesNothing(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	res, err := For(NoPenalty).Run(req)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	if res.WorkTotal() != 0 {
+		t.Errorf("no-penalty charged %d work units, want 0", res.WorkTotal())
+	}
+	if res.Schedule == nil || res.Schedule.II < 1 {
+		t.Errorf("no-penalty produced no schedule")
+	}
+}
+
+// TestRegisterRejectChargesNoRegAssignWork pins the reg-assign ordering:
+// the capacity check runs before the register-read charge, so the
+// reg-assign pass itself must charge nothing on a rejected loop
+// (previously the charge landed first and tainted the rejection's
+// breakdown). Extraction's register *counting* still accrues to the
+// reg-assign phase — only the pass's table-fill charge must vanish.
+func TestRegisterRejectChargesNoRegAssignWork(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	ok, err := For(FullyDynamic).Run(req)
+	if err != nil {
+		t.Fatalf("baseline translate: %v", err)
+	}
+	la := *req.LA
+	la.IntRegs, la.FPRegs = 0, 0
+	req.LA = &la
+
+	_, err = For(FullyDynamic).Run(req)
+	if err == nil {
+		t.Fatal("translation succeeded with a 0-register accelerator")
+	}
+	rej, isRej := AsReject(err)
+	if !isRej {
+		t.Fatalf("error %v is not a *Reject", err)
+	}
+	if rej.Code != CodeRegisters {
+		t.Errorf("code = %v, want %v", rej.Code, CodeRegisters)
+	}
+	if rej.Phase != vmcost.PhaseRegAssign {
+		t.Errorf("phase = %v, want %v", rej.Phase, vmcost.PhaseRegAssign)
+	}
+	if rej.Pass != "reg-assign" {
+		t.Errorf("pass = %q, want reg-assign", rej.Pass)
+	}
+	last := rej.Passes[len(rej.Passes)-1]
+	if last.Name != "reg-assign" || !last.Rejected {
+		t.Fatalf("last pass stat = %+v, want rejected reg-assign", last)
+	}
+	if last.Work != 0 {
+		t.Errorf("rejecting reg-assign pass charged %d work units, want 0", last.Work)
+	}
+	// The successful baseline charges exactly the table fill the rejected
+	// attempt skips: 3 units per mapped register.
+	fill := int64(ok.Regs.Int+ok.Regs.Float) * 3
+	if fill == 0 {
+		t.Fatal("baseline maps no registers; test kernel cannot pin the charge")
+	}
+	if got, want := rej.Work[vmcost.PhaseRegAssign], ok.Work[vmcost.PhaseRegAssign]-fill; got != want {
+		t.Errorf("rejected reg-assign phase work = %d, want %d (baseline %d minus fill %d)",
+			got, want, ok.Work[vmcost.PhaseRegAssign], fill)
+	}
+	if rej.WorkTotal() == 0 {
+		t.Error("rejection carries no work at all; earlier phases should have charged")
+	}
+}
+
+func TestRejectTyping(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	la := *req.LA
+	la.IntRegs, la.FPRegs = 0, 0
+	req.LA = &la
+	_, err := For(FullyDynamic).Run(req)
+	if err == nil {
+		t.Fatal("expected rejection")
+	}
+	if CodeOf(err) != CodeRegisters {
+		t.Errorf("CodeOf = %v, want %v", CodeOf(err), CodeRegisters)
+	}
+	if !strings.HasPrefix(err.Error(), "registers: ") {
+		t.Errorf("Error() = %q, want \"registers: ...\" prefix", err.Error())
+	}
+	if CodeOf(errUntyped{}) != NumCodes {
+		t.Errorf("untyped errors must report NumCodes")
+	}
+	for _, c := range Codes() {
+		if c.String() == "" || strings.HasPrefix(c.String(), "code(") {
+			t.Errorf("code %d has no stable name", int(c))
+		}
+	}
+}
+
+type errUntyped struct{}
+
+func (errUntyped) Error() string { return "untyped" }
+
+func TestCodeForRegion(t *testing.T) {
+	cases := []struct {
+		kind     cfg.RegionKind
+		spec     bool
+		want     Code
+		declined bool
+	}{
+		{cfg.KindSchedulable, false, 0, false},
+		{cfg.KindSpeculation, true, 0, false},
+		{cfg.KindSpeculation, false, CodeNeedsSpeculation, true},
+		{cfg.KindSubroutine, false, CodeRegionKind, true},
+		{cfg.KindIrregular, true, CodeRegionKind, true},
+	}
+	for _, c := range cases {
+		code, declined := CodeForRegion(c.kind, c.spec)
+		if declined != c.declined || (declined && code != c.want) {
+			t.Errorf("CodeForRegion(%v, %v) = (%v, %v), want (%v, %v)",
+				c.kind, c.spec, code, declined, c.want, c.declined)
+		}
+	}
+}
+
+type recorder struct {
+	enters []string
+	exits  []PassStat
+}
+
+func (r *recorder) PassEnter(name string, _ vmcost.Phase) { r.enters = append(r.enters, name) }
+func (r *recorder) PassExit(stat PassStat)                { r.exits = append(r.exits, stat) }
+
+func TestObserverSeesEveryPass(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	rec := &recorder{}
+	req.Observer = rec
+	res, err := For(FullyDynamic).Run(req)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	want := For(FullyDynamic).Passes()
+	if len(rec.enters) != len(want) || len(rec.exits) != len(want) {
+		t.Fatalf("observer saw %d/%d events, want %d", len(rec.enters), len(rec.exits), len(want))
+	}
+	var observed int64
+	for i, name := range want {
+		if rec.enters[i] != name || rec.exits[i].Name != name {
+			t.Errorf("event %d: enter=%q exit=%q, want %q", i, rec.enters[i], rec.exits[i].Name, name)
+		}
+		if rec.exits[i].Rejected {
+			t.Errorf("pass %q reported rejected on a successful run", name)
+		}
+		observed += rec.exits[i].Work
+	}
+	if observed != res.WorkTotal() {
+		t.Errorf("per-pass work sums to %d, result total is %d", observed, res.WorkTotal())
+	}
+	if len(res.Passes) != len(want) {
+		t.Errorf("result records %d passes, want %d", len(res.Passes), len(want))
+	}
+}
+
+func TestObserverSeesRejection(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	la := *req.LA
+	la.IntRegs, la.FPRegs = 0, 0
+	req.LA = &la
+	rec := &recorder{}
+	req.Observer = rec
+	if _, err := For(FullyDynamic).Run(req); err == nil {
+		t.Fatal("expected rejection")
+	}
+	last := rec.exits[len(rec.exits)-1]
+	if last.Name != "reg-assign" || !last.Rejected {
+		t.Errorf("last exit = %+v, want rejected reg-assign", last)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"veal/internal/jit"
 	"veal/internal/loopx"
 	"veal/internal/scalar"
+	"veal/internal/translate"
+	"veal/internal/vmcost"
 )
 
 // cacheKey identifies a loop by its program image and head pc — one VM
@@ -54,13 +56,13 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	regions := cfg.FindInnerLoops(p, nil)
 	regionAt := make(map[int]cfg.Region, len(regions))
 	for _, r := range regions {
-		switch {
-		case r.Kind == cfg.KindSchedulable:
+		code, declined := translate.CodeForRegion(r.Kind, v.Cfg.SpeculationSupport)
+		if !declined {
 			regionAt[r.Head] = r
-		case r.Kind == cfg.KindSpeculation && v.Cfg.SpeculationSupport:
-			regionAt[r.Head] = r
-		default:
-			v.pipe.PreReject(cacheKey{p, r.Head}, r.Kind.String())
+			continue
+		}
+		if v.pipe.PreReject(cacheKey{p, r.Head}, r.Kind.String()) {
+			v.Stats.RejectCodes[code]++
 		}
 	}
 
@@ -129,8 +131,14 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			res.Translations++
 			res.TranslationCycles += d.Work
 			res.HiddenTranslationCycles += d.Work
+			if t, ok := v.pipe.Peek(d.Key); ok {
+				v.observeTranslation(d.Key, t.Work, t.Passes, false)
+			}
 		} else {
-			v.recordRejection(d.Reason)
+			v.recordRejection(d.Err, d.Reason)
+			if rej, ok := translate.AsReject(d.Err); ok {
+				v.observeTranslation(d.Key, rej.Work, rej.Passes, true)
+			}
 		}
 	}
 
@@ -171,7 +179,10 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 			v.Stats.CacheMisses++
 		}
 		if pr.Fresh {
-			v.recordRejection(pr.Reason)
+			v.recordRejection(pr.Err, pr.Reason)
+			if rej, ok := translate.AsReject(pr.Err); ok {
+				v.observeTranslation(key, rej.Work, rej.Passes, true)
+			}
 		}
 		return false, false, nil
 	case jit.OutcomeHit:
@@ -189,6 +200,7 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 		res.StalledTranslationCycles += pr.Stalled
 		res.HiddenTranslationCycles += pr.Hidden
 		t = pr.Value
+		v.observeTranslation(key, t.Work, t.Passes, false)
 	}
 
 	bind, err := t.Ext.Bindings(&m.Regs)
@@ -319,10 +331,31 @@ func applyExit(ext *loopx.Extraction, bind *ir.Bindings, out *accel.Result, regs
 }
 
 // recordRejection tallies a translation failure; the negative-result
-// caching itself lives in the jit pipeline.
-func (v *VM) recordRejection(reason string) {
+// caching itself lives in the jit pipeline. Typed rejections additionally
+// count toward the per-code breakdown (`veal vmstats -rejects`).
+func (v *VM) recordRejection(err error, reason string) {
 	if v.Stats.Rejections == nil {
 		v.Stats.Rejections = make(map[string]int64)
 	}
 	v.Stats.Rejections[reason]++
+	if code := translate.CodeOf(err); code < translate.NumCodes {
+		v.Stats.RejectCodes[code]++
+	}
+}
+
+// observeTranslation records a concluded translation attempt: the
+// per-phase work breakdown feeds the jit metrics' PhaseWork histograms,
+// and each executed pass is emitted into the trace stamped with the
+// concluding poll's virtual time. Runs on the VM's goroutine only (the
+// jit metrics and tracer are not concurrency-safe).
+func (v *VM) observeTranslation(key cacheKey, work [vmcost.NumPhases]int64, passes []translate.PassStat, rejected bool) {
+	v.pipe.Metrics().ObservePhaseWork(work, rejected)
+	name := keyName(key)
+	for _, ps := range passes {
+		ev := jit.Event{Loop: name, Event: "pass", Pass: ps.Name, Phase: ps.Phase.String(), Work: ps.Work}
+		if ps.Rejected {
+			ev.State = "rejected"
+		}
+		v.pipe.Emit(ev)
+	}
 }

@@ -7,7 +7,10 @@
 //
 // The static/dynamic tradeoff of the paper is a Policy: how much of the
 // translation pipeline runs dynamically (and is charged translation
-// cycles) versus being read from binary annotations.
+// cycles) versus being read from binary annotations. The pipeline itself
+// lives in internal/translate as a policy-configured pass chain; the VM
+// runs the shared, immutable pipeline for its policy and layers the
+// runtime machinery (monitoring, caching, dispatch) on top.
 //
 // Translation is managed by the internal/jit pipeline: with
 // TranslateWorkers == 0 every translation stalls the virtual scalar
@@ -16,62 +19,50 @@
 // is recorded as hidden rather than stalled cycles (see RunResult).
 //
 // A VM instance models one machine and is not safe for concurrent use.
-// Callers that fan out (internal/exp, internal/dse) create one VM per
-// translation; the inputs a VM reads — isa.Program, arch.LA, ir loops —
-// are immutable after construction and safe to share across goroutines,
-// which is also what makes Translate safe to run on the pipeline's
-// background workers.
+// Callers that fan out (internal/exp, internal/dse) share the translate
+// pipelines directly; the inputs a translation reads — isa.Program,
+// arch.LA, ir loops — are immutable after construction and safe to share
+// across goroutines, which is also what makes Translate safe to run on
+// the JIT pipeline's background workers.
 package vm
 
 import (
 	"fmt"
 	"io"
-	"sort"
 
 	"veal/internal/arch"
-	"veal/internal/cca"
 	"veal/internal/cfg"
 	"veal/internal/ir"
 	"veal/internal/isa"
 	"veal/internal/jit"
-	"veal/internal/loopx"
-	"veal/internal/modsched"
+	"veal/internal/translate"
 	"veal/internal/vmcost"
 )
 
 // Policy selects the static/dynamic split of the translation pipeline
-// (the bars of Figure 10).
-type Policy int
+// (the bars of Figure 10). It aliases the translate package's policy:
+// the policy is the pipeline configuration.
+type Policy = translate.Policy
 
 const (
 	// NoPenalty models a statically compiled binary: best translation
 	// quality, zero translation cost.
-	NoPenalty Policy = iota
+	NoPenalty = translate.NoPenalty
 	// FullyDynamic performs CCA mapping and Swing priority at runtime.
-	FullyDynamic
+	FullyDynamic = translate.FullyDynamic
 	// HeightPriority performs CCA mapping dynamically but uses the cheap
 	// height-based priority function instead of Swing ordering.
-	HeightPriority
+	HeightPriority = translate.HeightPriority
 	// Hybrid reads CCA groups and scheduling priority from the binary's
 	// annotations ("Static CCA/Priority"); only MII, scheduling and
 	// register assignment run dynamically.
-	Hybrid
+	Hybrid = translate.Hybrid
 )
 
-// String names the policy as in Figure 10.
-func (p Policy) String() string {
-	switch p {
-	case NoPenalty:
-		return "no-penalty"
-	case FullyDynamic:
-		return "fully-dynamic"
-	case HeightPriority:
-		return "fully-dynamic-height"
-	case Hybrid:
-		return "static-cca-priority"
-	}
-	return fmt.Sprintf("policy(%d)", int(p))
-}
+// DefaultSpecChunk is the speculative window (iterations) used when
+// Config.SpecChunk is unset; the evaluation harness models the same
+// overshoot.
+const DefaultSpecChunk = 128
 
 // Config describes the virtual machine's system.
 type Config struct {
@@ -90,7 +81,8 @@ type Config struct {
 	// loops needing speculation support); it is the natural extension the
 	// paper sketches via [21, 24].
 	SpeculationSupport bool
-	// SpecChunk is the speculative window in iterations (default 128).
+	// SpecChunk is the speculative window in iterations (default
+	// DefaultSpecChunk).
 	SpecChunk int
 
 	// HotThreshold is the number of times a loop must be invoked before
@@ -120,7 +112,8 @@ type Config struct {
 	// histograms (shareable across VMs for aggregation).
 	Metrics *jit.Metrics
 	// Trace, when non-nil, receives a JSONL stream of JIT lifecycle
-	// events (queue/install/reject/evict) stamped with virtual cycles.
+	// events (queue/install/reject/evict) plus per-pass translation
+	// events, stamped with virtual cycles.
 	Trace io.Writer
 }
 
@@ -130,31 +123,21 @@ func DefaultConfig() Config {
 	return Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: Hybrid, CodeCacheSize: 16}
 }
 
-// Translation is a loop successfully mapped onto the accelerator.
-type Translation struct {
-	Ext      *loopx.Extraction
-	Schedule *modsched.Schedule
-	Regs     modsched.RegisterNeeds
-	// Work is the translation cost breakdown in work units ("dynamic
-	// instructions" in the paper's Figure 8 sense).
-	Work [vmcost.NumPhases]int64
-}
-
-// WorkTotal is the total translation cost in work units.
-func (t *Translation) WorkTotal() int64 {
-	var s int64
-	for _, w := range t.Work {
-		s += w
-	}
-	return s
-}
+// Translation is a loop successfully mapped onto the accelerator — the
+// translate pipeline's Result, carrying the schedule, register needs and
+// the per-phase work actually charged.
+type Translation = translate.Result
 
 // Stats aggregates VM activity.
 type Stats struct {
-	Translations   int64
-	CacheHits      int64
-	CacheMisses    int64
+	Translations int64
+	CacheHits    int64
+	CacheMisses  int64
+	// Rejections counts fresh translation failures by their full reason
+	// string; RejectCodes is the machine-readable breakdown by
+	// translate.Code (the rows of `veal vmstats -rejects`).
 	Rejections     map[string]int64
+	RejectCodes    [translate.NumCodes]int64
 	AccelLaunches  int64
 	ScalarFallback int64
 }
@@ -175,7 +158,7 @@ func New(cfg Config) *VM {
 		cfg.CodeCacheSize = 16
 	}
 	if cfg.SpecChunk <= 0 {
-		cfg.SpecChunk = 128
+		cfg.SpecChunk = DefaultSpecChunk
 	}
 	if cfg.HotThreshold <= 0 {
 		cfg.HotThreshold = 1
@@ -188,13 +171,16 @@ func New(cfg Config) *VM {
 		MonitorCap:   cfg.MonitorCap,
 		Metrics:      cfg.Metrics,
 		Trace:        cfg.Trace,
-	}, func(k cacheKey) string {
-		if k.prog != nil && k.prog.Name != "" {
-			return fmt.Sprintf("%s@%d", k.prog.Name, k.pc)
-		}
-		return fmt.Sprintf("pc%d", k.pc)
-	})
+	}, keyName)
 	return &VM{Cfg: cfg, pipe: pipe}
+}
+
+// keyName names a loop for traces and snapshots.
+func keyName(k cacheKey) string {
+	if k.prog != nil && k.prog.Name != "" {
+		return fmt.Sprintf("%s@%d", k.prog.Name, k.pc)
+	}
+	return fmt.Sprintf("pc%d", k.pc)
 }
 
 // Metrics exposes the JIT pipeline's counters and histograms.
@@ -212,192 +198,33 @@ func (v *VM) Cached() []*Translation { return v.pipe.Cached() }
 // configuration so stale translations and rejections are re-derived.
 func (v *VM) Flush() { v.pipe.Flush() }
 
-// Translate runs the translation pipeline on one region, honoring the
-// policy's static/dynamic split. The returned Translation carries the
-// dynamic work actually charged.
+// Pipeline returns the shared translate pipeline for the VM's policy.
+func (v *VM) Pipeline() *translate.Pipeline { return translate.For(v.Cfg.Policy) }
+
+// Translate runs the policy's translation pass pipeline on one region.
+// The returned Translation carries the dynamic work actually charged;
+// the error, when non-nil, is a *translate.Reject with a typed reason
+// code and the failing pass/phase.
 func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) {
-	var meter vmcost.Meter
-	charged := &meter
-	if v.Cfg.Policy == NoPenalty {
-		charged = nil // quality of the best pipeline, none of the cost
-	}
-
-	var ext *loopx.Extraction
-	var err error
-	if region.Kind == cfg.KindSpeculation {
-		if !v.Cfg.SpeculationSupport {
-			return nil, fmt.Errorf("vm: loop needs speculation support")
-		}
-		ext, err = loopx.ExtractSpeculative(p, region, charged)
-	} else {
-		ext, err = loopx.Extract(p, region, charged)
-	}
+	res, err := translate.For(v.Cfg.Policy).Run(translate.Request{
+		Prog:        p,
+		Region:      region,
+		LA:          v.Cfg.LA,
+		Speculation: v.Cfg.SpeculationSupport,
+	})
 	if err != nil {
 		return nil, err
 	}
-
-	// CCA mapping: static groups validated, or dynamic greedy mapping.
-	var groups [][]int
-	if v.Cfg.LA.CCAs > 0 {
-		switch v.Cfg.Policy {
-		case Hybrid:
-			groups = cca.ValidateGroups(ext.Loop, ext.Groups, v.Cfg.LA.CCA, charged)
-		default:
-			// Dynamic mapping ignores annotations but may rediscover the
-			// same subgraphs (the binary's outlined ops were inlined into
-			// the dataflow graph by extraction).
-			groups = cca.Map(ext.Loop, v.Cfg.LA.CCA, charged).Groups
-		}
-	}
-
-	g, err := modsched.BuildGraph(ext.Loop, groups, v.Cfg.LA.CCA, charged)
-	if err != nil {
-		return nil, err
-	}
-
-	kind := modsched.OrderSwing
-	var staticOrder []int
-	switch v.Cfg.Policy {
-	case HeightPriority:
-		kind = modsched.OrderHeight
-	case Hybrid:
-		if anno, ok := p.AnnoAt(region.Head); ok {
-			staticOrder = staticUnitOrder(g, ext, anno, region)
-			kind = modsched.OrderStatic
-		}
-		// Without annotations the hybrid VM degrades to fully dynamic.
-	}
-
-	sched, err := modsched.ScheduleLoop(g, v.Cfg.LA, kind, staticOrder, charged)
-	if err != nil {
-		return nil, err
-	}
-	// Register assignment: the paper's one-to-one mapping from baseline-ISA
-	// registers to the accelerator register files (§4.1). Address and
-	// induction registers map to the address generators/control unit and
-	// constants to control-store literals, so only the remaining operand
-	// registers need slots. The reading pass is charged above the mapping
-	// itself, which is a table fill.
-	charged.Begin(vmcost.PhaseRegAssign)
-	charged.Charge(int64(ext.IntArchRegs+ext.FPArchRegs) * 3)
-	if ext.IntArchRegs > v.Cfg.LA.IntRegs || ext.FPArchRegs > v.Cfg.LA.FPRegs {
-		return nil, fmt.Errorf("vm: loop needs %d int / %d fp registers, LA has %d/%d",
-			ext.IntArchRegs, ext.FPArchRegs, v.Cfg.LA.IntRegs, v.Cfg.LA.FPRegs)
-	}
-	need := modsched.RegisterNeeds{Int: ext.IntArchRegs, Float: ext.FPArchRegs}
-
-	return &Translation{Ext: ext, Schedule: sched, Regs: need, Work: meter.Breakdown()}, nil
+	return res, nil
 }
 
-// staticUnitOrder converts a per-instruction priority table into a unit
-// scheduling order: each unit takes the priority annotated on its source
-// instruction; unannotated (synthesized) units go last.
-func staticUnitOrder(g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno, region cfg.Region) []int {
-	type up struct {
-		unit, prio int
-	}
-	ups := make([]up, len(g.Units))
-	for u := range g.Units {
-		node := g.Units[u].Nodes[0]
-		prio := 1 << 30
-		if src := ext.NodeSrc[node]; src >= region.Head && src-region.Head < len(anno.Priorities) {
-			if v := anno.Priorities[src-region.Head]; v >= 0 {
-				prio = int(v)
-			}
-		}
-		ups[u] = up{unit: u, prio: prio}
-	}
-	sort.SliceStable(ups, func(i, j int) bool { return ups[i].prio < ups[j].prio })
-	order := make([]int, len(ups))
-	for i, x := range ups {
-		order[i] = x.unit
-	}
-	return order
-}
-
-// StreamsDisjoint performs the launch-time memory disambiguation: every
-// store stream's address range must be disjoint from every other stream's
-// range, except for a load stream with the identical reference pattern
-// that feeds the store through same-iteration dataflow (the read-modify-
-// write idiom, which dependence edges order correctly).
+// StreamsDisjoint performs the launch-time memory disambiguation; it
+// forwards to translate.StreamsDisjoint (kept here for the VM's public
+// surface and its callers).
 func StreamsDisjoint(l *ir.Loop, b *ir.Bindings) bool {
-	if b.Trip == 0 {
-		return true
-	}
-	type ival struct {
-		lo, hi int64 // inclusive word range
-		kind   ir.StreamKind
-		base   int64
-		stride int64
-		idx    int
-	}
-	ivals := make([]ival, len(l.Streams))
-	for i, s := range l.Streams {
-		base := s.AddrAt(b.Params, 0)
-		last := base + (b.Trip-1)*s.Stride
-		lo, hi := base, last
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		ivals[i] = ival{lo: lo, hi: hi, kind: s.Kind, base: base, stride: s.Stride, idx: i}
-	}
-	for i := range ivals {
-		if ivals[i].kind != ir.StoreStream {
-			continue
-		}
-		for j := range ivals {
-			if i == j {
-				continue
-			}
-			a, c := ivals[i], ivals[j]
-			if a.hi < c.lo || c.hi < a.lo {
-				continue // disjoint ranges
-			}
-			if a.stride == c.stride && a.stride != 0 {
-				d := a.base - c.base
-				if d%a.stride != 0 {
-					continue // equal strides, different phases: never alias
-				}
-				if c.kind == ir.LoadStream && d == 0 && loadFeedsStore(l, c.idx, a.idx) {
-					continue // paired read-modify-write, ordered by dataflow
-				}
-			}
-			return false
-		}
-	}
-	return true
+	return translate.StreamsDisjoint(l, b)
 }
 
-// loadFeedsStore reports whether the load stream's node reaches the store
-// stream's node through same-iteration dataflow.
-func loadFeedsStore(l *ir.Loop, loadStream, storeStream int) bool {
-	var loadNode, storeNode = -1, -1
-	for _, n := range l.Nodes {
-		if n.Op == ir.OpLoad && n.Stream == loadStream {
-			loadNode = n.ID
-		}
-		if n.Op == ir.OpStore && n.Stream == storeStream {
-			storeNode = n.ID
-		}
-	}
-	if loadNode < 0 || storeNode < 0 {
-		return false
-	}
-	succs := l.Succs()
-	seen := map[int]bool{loadNode: true}
-	stack := []int{loadNode}
-	for len(stack) > 0 {
-		u := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if u == storeNode {
-			return true
-		}
-		for _, s := range succs[u] {
-			if s.Dist == 0 && !seen[s.Node] {
-				seen[s.Node] = true
-				stack = append(stack, s.Node)
-			}
-		}
-	}
-	return false
-}
+// PhaseWorkOf re-exports the phase count for observability callers that
+// only import vm.
+const NumPhases = vmcost.NumPhases

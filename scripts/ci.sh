@@ -5,6 +5,14 @@
 set -e
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal scripts examples 2>/dev/null || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go build =="
 go build ./...
 
