@@ -97,47 +97,47 @@ type mapper struct {
 	latBuf         []int  // recMII vertex latencies
 	distBuf        []int  // recMII longest-path distances
 	edgeBuf        []ccaEdge
+
+	// Reused across translations when the mapper is owned by a Scratch:
+	// computeCyclic traversal state, grow's working sets, and the key /
+	// tentative-group buffers the legality probes sort into.
+	cycIndex, cycLow      []int
+	cycOnStack            []bool
+	cycStack, compBuf     []int
+	cycFrames             []ccaFrame
+	growGrp, growRejected map[int]bool
+	keyBuf                []int
+	tentBuf               [][]int
 }
+
+// ccaFrame is one DFS frame of computeCyclic's iterative Tarjan.
+type ccaFrame struct{ v, ei int }
 
 // ccaEdge is one contracted-graph edge in the mapper's RecMII check.
 type ccaEdge struct{ from, to, lat, dist int }
 
-// newMapper builds the shared analysis state for one loop.
-func newMapper(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *mapper {
-	n := len(l.Nodes)
-	mp := &mapper{
-		l:     l,
-		cfg:   cfg,
-		m:     meter,
-		succs: l.Succs(),
-		group: make([]int, n),
-	}
-	for i := range mp.group {
-		mp.group[i] = -1
-	}
-	mp.computeCyclic()
-	mp.ensureScratch()
-	return mp
-}
-
-// ensureScratch sizes the scratch buffers for the loop. newMapper calls
-// it eagerly; the analysis entry points call it lazily so a zero mapper
-// (as the package's tests construct) still works.
+// ensureScratch sizes the scratch buffers for the loop. Scratch.reinit
+// calls it eagerly (after clearing scratchReady for the new loop); the
+// analysis entry points call it lazily so a zero mapper (as the package's
+// tests construct) still works. Buffers are grown in place, so a mapper
+// reused across loops keeps its capacity.
 func (mp *mapper) ensureScratch() {
 	if mp.scratchReady {
 		return
 	}
 	n := len(mp.l.Nodes)
-	mp.liveOut = make([]bool, n)
+	mp.liveOut = growBools(&mp.liveOut, n)
 	for _, lo := range mp.l.LiveOuts {
-		mp.liveOut[lo.Node] = true
+		if lo.Node >= 0 && lo.Node < n {
+			mp.liveOut[lo.Node] = true
+		}
 	}
-	mp.fromGrp = make([]bool, n)
-	mp.toGrp = make([]bool, n)
-	mp.inMark = make([]bool, n)
-	mp.rowBuf = make([]int, n)
-	mp.frontSeen = make([]bool, n)
-	mp.vertex = make([]int, n)
+	mp.fromGrp = growBools(&mp.fromGrp, n)
+	mp.toGrp = growBools(&mp.toGrp, n)
+	mp.inMark = growBools(&mp.inMark, n)
+	mp.rowBuf = growInts(&mp.rowBuf, n)
+	mp.frontSeen = growBools(&mp.frontSeen, n)
+	mp.vertex = growInts(&mp.vertex, n)
 	mp.scratchReady = true
 }
 
@@ -147,21 +147,21 @@ func (mp *mapper) ensureScratch() {
 func (mp *mapper) computeCyclic() {
 	l := mp.l
 	n := len(l.Nodes)
-	mp.cyclic = make([]bool, n)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
+	mp.cyclic = growBools(&mp.cyclic, n)
+	index := growInts(&mp.cycIndex, n)
+	low := growInts(&mp.cycLow, n)
+	onStack := growBools(&mp.cycOnStack, n)
 	for i := range index {
 		index[i] = -1
+		low[i] = 0
 	}
-	var stack []int
+	stack := mp.cycStack[:0]
 	counter := 0
-	type frame struct{ v, ei int }
 	for root := 0; root < n; root++ {
 		if index[root] != -1 {
 			continue
 		}
-		frames := []frame{{v: root}}
+		frames := append(mp.cycFrames[:0], ccaFrame{v: root})
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			v := f.v
@@ -179,7 +179,7 @@ func (mp *mapper) computeCyclic() {
 				f.ei++
 				mp.m.Charge(1)
 				if index[w] == -1 {
-					frames = append(frames, frame{v: w})
+					frames = append(frames, ccaFrame{v: w})
 					advanced = true
 					break
 				}
@@ -191,7 +191,7 @@ func (mp *mapper) computeCyclic() {
 				continue
 			}
 			if low[v] == index[v] {
-				var comp []int
+				comp := mp.compBuf[:0]
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
@@ -213,6 +213,7 @@ func (mp *mapper) computeCyclic() {
 						}
 					}
 				}
+				mp.compBuf = comp[:0]
 			}
 			frames = frames[:len(frames)-1]
 			if len(frames) > 0 {
@@ -222,7 +223,9 @@ func (mp *mapper) computeCyclic() {
 				}
 			}
 		}
+		mp.cycFrames = frames
 	}
+	mp.cycStack = stack[:0]
 }
 
 // touchesCycle reports whether any group member lies on a dependence
@@ -239,32 +242,7 @@ func (mp *mapper) touchesCycle(grp map[int]bool) bool {
 // Map runs the greedy CCA identification over a loop. The returned groups
 // are disjoint, convex, legal subgraphs in deterministic node order.
 func Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
-	meter.Begin(vmcost.PhaseCCAMap)
-	mp := newMapper(l, cfg, meter)
-	res := &Mapping{}
-	mp.baseRecMII = mp.recMII(res.Groups)
-
-	for seed := range l.Nodes {
-		meter.Charge(2)
-		if mp.group[seed] >= 0 || !Supported(l.Nodes[seed].Op) {
-			continue
-		}
-		grp := mp.grow(seed, res.Groups)
-		if len(grp) < 2 {
-			continue // a singleton gains nothing over an integer unit
-		}
-		sort.Ints(grp)
-		gid := len(res.Groups)
-		res.Groups = append(res.Groups, grp)
-		for _, n := range grp {
-			mp.group[n] = gid
-		}
-		// Committed groups may have shortened a recurrence; later groups
-		// must not undo that (the Figure 5 op 7/10 rule is per-recurrence,
-		// which tracking the current best RecMII enforces).
-		mp.baseRecMII = mp.recMII(res.Groups)
-	}
-	return res
+	return new(Scratch).Map(l, cfg, meter)
 }
 
 // ValidateGroups filters externally supplied groups (statically identified
@@ -273,43 +251,21 @@ func Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
 // operations then execute individually on the integer units, exactly the
 // paper's compatibility story for static CCA identification.
 func ValidateGroups(l *ir.Loop, groups [][]int, cfg arch.CCAConfig, meter *vmcost.Meter) [][]int {
-	meter.Begin(vmcost.PhaseCCAMap)
-	mp := newMapper(l, cfg, meter)
-	mp.baseRecMII = mp.recMII(nil)
-	var out [][]int
-	for _, g := range groups {
-		meter.Charge(int64(len(g)) * 2)
-		if len(g) < 2 {
-			continue
-		}
-		grp := make(map[int]bool, len(g))
-		ok := true
-		for _, n := range g {
-			if n < 0 || n >= len(l.Nodes) || grp[n] || mp.group[n] >= 0 ||
-				l.Nodes[n].Op.Class() != ir.ClassInt || !Supported(l.Nodes[n].Op) {
-				ok = false
-				break
-			}
-			grp[n] = true
-		}
-		if !ok || !mp.legal(grp, out) {
-			continue
-		}
-		sorted := keys(grp)
-		gid := len(out)
-		out = append(out, sorted)
-		for _, n := range sorted {
-			mp.group[n] = gid
-		}
-		mp.baseRecMII = mp.recMII(out)
-	}
-	return out
+	return new(Scratch).ValidateGroups(l, groups, cfg, meter)
 }
 
 // grow expands a seed along dataflow edges, keeping the subgraph legal.
+// The returned slice is freshly allocated (it escapes into the Mapping);
+// the working sets are the mapper's reused maps.
 func (mp *mapper) grow(seed int, existing [][]int) []int {
-	grp := map[int]bool{seed: true}
-	rejected := map[int]bool{}
+	if mp.growGrp == nil {
+		mp.growGrp = make(map[int]bool)
+		mp.growRejected = make(map[int]bool)
+	}
+	grp, rejected := mp.growGrp, mp.growRejected
+	clear(grp)
+	clear(rejected)
+	grp[seed] = true
 
 	for {
 		cand := mp.frontier(grp, rejected)
@@ -386,7 +342,7 @@ func (mp *mapper) legal(grp map[int]bool, existing [][]int) bool {
 	// No loop-carried edges may be internal: the subgraph executes within
 	// one iteration. Scan in node order: the early exit must charge the
 	// same work on every run, and map iteration order is not stable.
-	for _, n := range keys(grp) {
+	for _, n := range mp.keysInto(grp) {
 		for _, a := range mp.l.Nodes[n].Args {
 			mp.m.Charge(1)
 			if a.Dist > 0 && grp[a.Node] {
@@ -407,8 +363,11 @@ func (mp *mapper) legal(grp map[int]bool, existing [][]int) bool {
 	// RecMII; for those, tentatively apply and recompute over the cyclic
 	// region.
 	if mp.touchesCycle(grp) {
-		tentative := append(existing, keys(grp))
-		if mp.recMII(tentative) > mp.baseRecMII {
+		tent := append(mp.tentBuf[:0], existing...)
+		tent = append(tent, mp.keysInto(grp))
+		ok := mp.recMII(tent) <= mp.baseRecMII
+		mp.tentBuf = tent[:0]
+		if !ok {
 			return false
 		}
 	}
@@ -421,6 +380,18 @@ func keys(m map[int]bool) []int {
 		out = append(out, k)
 	}
 	sort.Ints(out)
+	return out
+}
+
+// keysInto is keys on the mapper's shared buffer; the result is valid
+// until the next keysInto call. The legality probes' uses never overlap.
+func (mp *mapper) keysInto(m map[int]bool) []int {
+	out := mp.keyBuf[:0]
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	mp.keyBuf = out
 	return out
 }
 
@@ -460,7 +431,7 @@ func (mp *mapper) ioOK(grp map[int]bool) bool {
 // ops may only occupy arithmetic-capable rows, and the deepest op must fit
 // within the array.
 func (mp *mapper) rowsOK(grp map[int]bool) bool {
-	nodes := keys(grp)
+	nodes := mp.keysInto(grp)
 	row := mp.rowBuf
 	for _, n := range nodes {
 		row[n] = 0

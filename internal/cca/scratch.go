@@ -1,0 +1,191 @@
+package cca
+
+import (
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/vmcost"
+)
+
+// Scratch owns a reusable mapper plus the successor-adjacency storage, so
+// repeated CCA mapping across translations allocates only what escapes
+// into the returned Mapping (the group slices themselves).
+//
+// Ownership rules match modsched.Scratch (see DESIGN.md "Memory
+// discipline in the translator"): at most one translation uses a Scratch
+// at a time, every entry point re-initializes the state it reads, and
+// returned groups never alias scratch storage. The zero value is ready to
+// use.
+type Scratch struct {
+	mp mapper
+	// CSR replica of ir.Loop.Succs.
+	succCount []int
+	succBack  []ir.Operand
+	succHeads [][]ir.Operand
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset drops the loop-object references a parked Scratch would pin;
+// buffer capacity is retained.
+func (sc *Scratch) Reset() {
+	sc.mp.l = nil
+	sc.mp.m = nil
+	sc.mp.succs = nil
+	sc.succBack = sc.succBack[:0]
+	sc.mp.tentBuf = sc.mp.tentBuf[:0]
+	clear(sc.mp.growGrp)
+	clear(sc.mp.growRejected)
+}
+
+// Map is the greedy CCA identification drawing all per-loop analysis
+// state from the scratch.
+func (sc *Scratch) Map(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *Mapping {
+	meter.Begin(vmcost.PhaseCCAMap)
+	mp := sc.reinit(l, cfg, meter)
+	res := &Mapping{}
+	mp.baseRecMII = mp.recMII(res.Groups)
+
+	for seed := range l.Nodes {
+		meter.Charge(2)
+		if mp.group[seed] >= 0 || !Supported(l.Nodes[seed].Op) {
+			continue
+		}
+		grp := mp.grow(seed, res.Groups)
+		if len(grp) < 2 {
+			continue // a singleton gains nothing over an integer unit
+		}
+		sort.Ints(grp)
+		gid := len(res.Groups)
+		res.Groups = append(res.Groups, grp)
+		for _, n := range grp {
+			mp.group[n] = gid
+		}
+		// Committed groups may have shortened a recurrence; later groups
+		// must not undo that (the Figure 5 op 7/10 rule is per-recurrence,
+		// which tracking the current best RecMII enforces).
+		mp.baseRecMII = mp.recMII(res.Groups)
+	}
+	return res
+}
+
+// ValidateGroups filters externally supplied groups down to the ones
+// legal on the given CCA, on scratch storage. The returned groups are
+// freshly allocated.
+func (sc *Scratch) ValidateGroups(l *ir.Loop, groups [][]int, cfg arch.CCAConfig, meter *vmcost.Meter) [][]int {
+	meter.Begin(vmcost.PhaseCCAMap)
+	mp := sc.reinit(l, cfg, meter)
+	mp.baseRecMII = mp.recMII(nil)
+	var out [][]int
+	for _, g := range groups {
+		meter.Charge(int64(len(g)) * 2)
+		if len(g) < 2 {
+			continue
+		}
+		grp := mp.growGrp
+		clear(grp)
+		ok := true
+		for _, n := range g {
+			if n < 0 || n >= len(l.Nodes) || grp[n] || mp.group[n] >= 0 ||
+				l.Nodes[n].Op.Class() != ir.ClassInt || !Supported(l.Nodes[n].Op) {
+				ok = false
+				break
+			}
+			grp[n] = true
+		}
+		if !ok || !mp.legal(grp, out) {
+			continue
+		}
+		sorted := keys(grp) // escapes into the result: fresh allocation
+		gid := len(out)
+		out = append(out, sorted)
+		for _, n := range sorted {
+			mp.group[n] = gid
+		}
+		mp.baseRecMII = mp.recMII(out)
+	}
+	return out
+}
+
+// reinit points the scratch's mapper at a new loop, re-deriving every
+// per-loop analysis (successors, cyclic marks, group assignment, live-out
+// marks) in place.
+func (sc *Scratch) reinit(l *ir.Loop, cfg arch.CCAConfig, meter *vmcost.Meter) *mapper {
+	mp := &sc.mp
+	mp.l, mp.cfg, mp.m = l, cfg, meter
+	mp.succs = sc.succsOf(l)
+	mp.group = growInts(&mp.group, len(l.Nodes))
+	for i := range mp.group {
+		mp.group[i] = -1
+	}
+	if mp.growGrp == nil {
+		mp.growGrp = make(map[int]bool)
+		mp.growRejected = make(map[int]bool)
+	}
+	mp.computeCyclic()
+	mp.scratchReady = false
+	mp.ensureScratch()
+	return mp
+}
+
+// succsOf builds the successor adjacency of ir.Loop.Succs into the
+// scratch's CSR storage: identical per-node successor order, three
+// amortized-free buffers instead of one allocation per node.
+func (sc *Scratch) succsOf(l *ir.Loop) [][]ir.Operand {
+	n := len(l.Nodes)
+	counts := growInts(&sc.succCount, n)
+	for i := range counts {
+		counts[i] = 0
+	}
+	total := 0
+	for _, nd := range l.Nodes {
+		for _, a := range nd.Args {
+			counts[a.Node]++
+			total++
+		}
+	}
+	if cap(sc.succBack) < total {
+		sc.succBack = make([]ir.Operand, total)
+	}
+	back := sc.succBack[:total]
+	if cap(sc.succHeads) < n {
+		sc.succHeads = make([][]ir.Operand, n)
+	}
+	heads := sc.succHeads[:n]
+	off := 0
+	for i := 0; i < n; i++ {
+		heads[i] = back[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for _, nd := range l.Nodes {
+		for _, a := range nd.Args {
+			heads[a.Node] = append(heads[a.Node], ir.Operand{Node: nd.ID, Dist: a.Dist})
+		}
+	}
+	return heads
+}
+
+// growInts returns buf resized to n without clearing; every caller
+// initializes the region it reads.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBools returns buf resized to n with every entry cleared.
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = false
+	}
+	*buf = b
+	return b
+}

@@ -31,16 +31,24 @@ type Series struct {
 	Points []Point
 }
 
+// arm11 is the shared host CPU descriptor for every sweep system. The
+// model layer only reads it (name lookups, issue width), so one instance
+// serves every design point instead of one allocation per evaluation.
+var arm11 = arch.ARM11()
+
 // meanSpeedup evaluates the suite's mean speedup with the given LA,
 // fanning the per-benchmark evaluations across the worker pool. Results
-// are collected in model order, so the mean is bit-identical to the
-// serial reduction.
+// are reduced in model order, so the mean is bit-identical to the serial
+// reduction.
 func meanSpeedup(models []*exp.BenchModel, la *arch.LA) float64 {
-	sys := exp.System{Name: la.Name, CPU: arch.ARM11(), LA: la, Policy: vm.NoPenalty, TransPerLoop: -1}
-	sp := par.Map(len(models), func(i int) float64 {
+	if len(models) == 0 {
+		return 0
+	}
+	sys := exp.System{Name: la.Name, CPU: arm11, LA: la, Policy: vm.NoPenalty, TransPerLoop: -1}
+	sum := par.SumOrdered(0, len(models), func(i int) float64 {
 		return models[i].Speedup(sys)
 	})
-	return exp.Mean(sp)
+	return sum / float64(len(models))
 }
 
 // sweep runs one parameter sweep, producing the fraction-of-infinite

@@ -89,20 +89,26 @@ type Fig6Point struct {
 func Fig6(models []*BenchModel) []Fig6Point {
 	overheads := []int64{0, 10_000, 20_000, 50_000, 100_000, 200_000, 300_000, 400_000, 500_000}
 	rates := []float64{0, 0.001, 0.01, 0.1}
+	// One CPU/LA pair serves the whole grid: the model layer only reads
+	// them, and every point targets the same proposed design.
+	cpu, la := arch.ARM11(), arch.Proposed()
 	// The (rate, overhead) grid is flattened rate-major so the parallel
 	// fan-out returns points in the exact order the serial loops produced.
 	return par.Map(len(rates)*len(overheads), func(k int) Fig6Point {
 		rate := rates[k/len(overheads)]
 		ov := overheads[k%len(overheads)]
 		sys := System{
-			Name: "sweep", CPU: arch.ARM11(), LA: arch.Proposed(),
+			Name: "sweep", CPU: cpu, LA: la,
 			Policy: vm.NoPenalty, TransPerLoop: ov, MissRate: rate,
 		}
-		var sp []float64
+		mean := 0.0
 		for _, bm := range models {
-			sp = append(sp, bm.Speedup(sys))
+			mean += bm.Speedup(sys)
 		}
-		return Fig6Point{OverheadCycles: ov, MissRate: rate, MeanSpeedup: Mean(sp)}
+		if len(models) > 0 {
+			mean /= float64(len(models))
+		}
+		return Fig6Point{OverheadCycles: ov, MissRate: rate, MeanSpeedup: mean}
 	})
 }
 
@@ -161,13 +167,14 @@ type Fig7Row struct {
 // per benchmark.
 func Fig7(models []*BenchModel) []Fig7Row {
 	la := arch.Proposed()
+	cpu := arch.ARM11()
 	return par.Map(len(models), func(i int) Fig7Row {
 		bm := models[i]
 		base := bm.Time(Baseline())
 		timed := func(raw bool) float64 {
-			total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(arch.ARM11())
+			total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(cpu)
 			for _, sm := range bm.Sites {
-				scalarTime := sm.ScalarCycles(arch.ARM11()) * float64(sm.Site.Invocations)
+				scalarTime := sm.ScalarCycles(cpu) * float64(sm.Site.Invocations)
 				tr := sm.Translate(la, vm.Hybrid, raw)
 				if !tr.OK {
 					total += scalarTime

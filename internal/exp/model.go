@@ -10,6 +10,7 @@ package exp
 
 import (
 	"fmt"
+	"sync"
 
 	"veal/internal/accel"
 	"veal/internal/arch"
@@ -60,10 +61,16 @@ func (s *SiteModel) ScalarCycles(cpu *arch.CPU) float64 {
 	return fit[0] + fit[1]*float64(s.Site.Trip)
 }
 
-// BenchModel is a benchmark prepared for evaluation.
+// BenchModel is a benchmark prepared for evaluation. Always used by
+// pointer (it carries a sync.Once).
 type BenchModel struct {
 	Bench *workloads.Benchmark
 	Sites []*SiteModel
+
+	// baseOnce/baseTime memoize Time(Baseline()): every Speedup call
+	// divides by it, and it never changes for a built model.
+	baseOnce sync.Once
+	baseTime float64
 }
 
 // BuildModel compiles and measures one benchmark, fanning the per-site
@@ -273,13 +280,11 @@ func Baseline() System { return System{Name: "arm11", CPU: arch.ARM11(), TransPe
 // collected in site order and summed serially, so the floating-point
 // result is bit-identical to the serial path.
 func (bm *BenchModel) Time(sys System) float64 {
-	total := float64(bm.Bench.AcyclicInsts) * acyclicCPI(sys.CPU)
-	for _, t := range par.Map(len(bm.Sites), func(i int) float64 {
-		return bm.siteTime(bm.Sites[i], sys)
-	}) {
-		total += t
-	}
-	return total
+	return par.SumOrdered(
+		float64(bm.Bench.AcyclicInsts)*acyclicCPI(sys.CPU),
+		len(bm.Sites),
+		func(i int) float64 { return bm.siteTime(bm.Sites[i], sys) },
+	)
 }
 
 func (bm *BenchModel) siteTime(sm *SiteModel, sys System) float64 {
@@ -302,9 +307,12 @@ func (bm *BenchModel) siteTime(sm *SiteModel, sys System) float64 {
 	return accelTime + work*translations
 }
 
-// Speedup is baseline time / system time for one benchmark.
+// Speedup is baseline time / system time for one benchmark. The baseline
+// time is memoized: it is a pure function of the built model, and every
+// sweep point divides by it.
 func (bm *BenchModel) Speedup(sys System) float64 {
-	return bm.Time(Baseline()) / bm.Time(sys)
+	bm.baseOnce.Do(func() { bm.baseTime = bm.Time(Baseline()) })
+	return bm.baseTime / bm.Time(sys)
 }
 
 // Models builds every benchmark in the list, in parallel across the

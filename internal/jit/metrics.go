@@ -3,6 +3,7 @@ package jit
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"veal/internal/vmcost"
 )
@@ -126,6 +127,16 @@ type Metrics struct {
 	QueuedTime     Histogram // time waiting for a translator worker
 	TranslateTime  Histogram // time on the translator worker
 
+	// ScratchReuses counts translations that ran on a recycled translator
+	// scratch arena instead of a freshly allocated one (the VM's
+	// per-worker free-list). It is incremented with atomic ops because
+	// background translation goroutines run concurrently, and — uniquely
+	// among these counters — it depends on host goroutine scheduling, not
+	// virtual time: with concurrent workers, whether a scratch has been
+	// returned to the free-list when the next translation starts is a
+	// wall-clock race. Deterministic-metrics comparisons must ignore it.
+	ScratchReuses int64
+
 	// PhaseWork histograms the per-translation work charged to each
 	// translation phase (one sample per concluded translation attempt) —
 	// the runtime analogue of the paper's Figure 8 breakdown, rendered by
@@ -169,6 +180,7 @@ func (m *Metrics) Format() string {
 	row("in-flight peak", m.InFlightPeak)
 	row("stalled cycles", m.StalledCycles)
 	row("hidden cycles", m.HiddenCycles)
+	row("scratch reuses", atomic.LoadInt64(&m.ScratchReuses))
 	row("rejected work", m.RejectedWork)
 	b.WriteString("jit histograms (virtual cycles):\n")
 	fmt.Fprintf(&b, "  %-22s %s\n", "queue depth", m.QueueDepth.String())

@@ -1,0 +1,83 @@
+package modsched
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+)
+
+// TestWarmScratchAllocBudget pins the steady-state allocation count of
+// the modulo-scheduling hot path: graph build, MII, Swing ordering and
+// placement on one warm Scratch. The only allocations allowed are the
+// retained artifacts — the Graph's unit/edge/adjacency storage and the
+// Schedule with its detached time/FU tables (measured: 14/run) — so the
+// budget is a regression tripwire for reintroduced per-call temporaries
+// (the reservation tables, priority sets and SCC maps the Scratch now
+// owns), with headroom only for small layout shifts.
+func TestWarmScratchAllocBudget(t *testing.T) {
+	l, groups := buildFig5(t)
+	cca := arch.DefaultCCA()
+	la := arch.Proposed()
+	sc := NewScratch()
+	run := func() {
+		g, err := sc.BuildGraph(l, groups, cca, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mii := sc.MII(g, la, nil)
+		order, err := sc.ComputeOrder(g, OrderSwing, mii, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.ScheduleWithOrder(g, la, mii, order, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		run() // grow the scratch to steady state
+	}
+	const budget = 20
+	if n := testing.AllocsPerRun(50, run); n > budget {
+		t.Errorf("warm modulo-scheduling chain allocates %.0f/run, budget %d", n, budget)
+	}
+}
+
+// TestScratchReuseMatchesFresh verifies a reused Scratch produces the
+// same schedule as a fresh one — the invariant the arena relies on: no
+// state carries over between runs except buffer capacity.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	l, groups := buildFig5(t)
+	cca := arch.DefaultCCA()
+	la := arch.Proposed()
+	schedule := func(sc *Scratch) *Schedule {
+		g, err := sc.BuildGraph(l, groups, cca, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mii := sc.MII(g, la, nil)
+		order, err := sc.ComputeOrder(g, OrderSwing, mii, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sc.ScheduleWithOrder(g, la, mii, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	want := schedule(NewScratch())
+	sc := NewScratch()
+	for i := 0; i < 4; i++ {
+		got := schedule(sc)
+		if got.II != want.II || got.SC != want.SC {
+			t.Fatalf("run %d on reused scratch: II/SC = %d/%d, want %d/%d",
+				i, got.II, got.SC, want.II, want.SC)
+		}
+		for u := range want.Time {
+			if got.Time[u] != want.Time[u] || got.FU[u] != want.FU[u] {
+				t.Fatalf("run %d unit %d: time/fu = %d/%d, want %d/%d",
+					i, u, got.Time[u], got.FU[u], want.Time[u], want.FU[u])
+			}
+		}
+	}
+}

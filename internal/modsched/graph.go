@@ -115,18 +115,34 @@ func classOf(op ir.Op) (UnitClass, bool) {
 // graph construction corresponds to the paper's "separating control and
 // memory streams" bookkeeping.
 func BuildGraph(l *ir.Loop, groups [][]int, cca arch.CCAConfig, m *vmcost.Meter) (*Graph, error) {
+	return new(Scratch).BuildGraph(l, groups, cca, m)
+}
+
+// BuildGraph constructs the scheduling graph with the scratch supplying
+// the build-time marks and counts. The returned *Graph owns every slice
+// it exposes — a counting pre-pass sizes the unit, edge, node-backing and
+// adjacency storage exactly, so building a Graph costs a handful of
+// allocations regardless of loop size and nothing in it aliases the
+// scratch. Work charged to the meter is identical to the historical
+// append-as-you-go construction (the sizing passes are uncharged
+// bookkeeping, not modeled translation work).
+func (sc *Scratch) BuildGraph(l *ir.Loop, groups [][]int, cca arch.CCAConfig, m *vmcost.Meter) (*Graph, error) {
 	m.Begin(vmcost.PhaseStreamSep)
 	g := &Graph{Loop: l, unitOf: make([]int, len(l.Nodes))}
 	for i := range g.unitOf {
 		g.unitOf[i] = -1
 	}
 
-	inGroup := make([]bool, len(l.Nodes))
+	// Sizing pass: validate the CCA groups (same checks, same order as the
+	// build loop below used to perform them) and assign unit IDs, so the
+	// exact unit/edge/node counts are known before anything is allocated.
+	inGroup := growBools(&sc.inGroup, len(l.Nodes))
+	numUnits := len(groups)
+	numNodes := 0
 	for _, grp := range groups {
 		if len(grp) == 0 {
 			return nil, fmt.Errorf("modsched: empty CCA group")
 		}
-		u := Unit{ID: len(g.Units), Nodes: append([]int(nil), grp...), Class: UnitCCA, Latency: cca.Latency}
 		for _, n := range grp {
 			if n < 0 || n >= len(l.Nodes) {
 				return nil, fmt.Errorf("modsched: CCA group node %d out of range", n)
@@ -138,23 +154,67 @@ func BuildGraph(l *ir.Loop, groups [][]int, cca arch.CCAConfig, m *vmcost.Meter)
 				return nil, fmt.Errorf("modsched: node %d (%v) cannot run on a CCA", n, g.Loop.Nodes[n].Op)
 			}
 			inGroup[n] = true
-			g.unitOf[n] = u.ID
 		}
-		g.Units = append(g.Units, u)
-		m.Charge(int64(len(grp)) * 2)
+		numNodes += len(grp)
 	}
-
+	for gi, grp := range groups {
+		for _, n := range grp {
+			g.unitOf[n] = gi
+		}
+	}
 	for _, n := range l.Nodes {
 		if inGroup[n.ID] {
 			continue
 		}
-		class, ok := classOf(n.Op)
-		if !ok {
+		if _, ok := classOf(n.Op); !ok {
 			continue // constants, params, indvar: register/control resident
 		}
-		u := Unit{ID: len(g.Units), Nodes: []int{n.ID}, Class: class, Latency: arch.Latency(n.Op)}
-		g.unitOf[n.ID] = u.ID
-		g.Units = append(g.Units, u)
+		g.unitOf[n.ID] = numUnits
+		numUnits++
+		numNodes++
+	}
+	numEdges := 0
+	for _, n := range l.Nodes {
+		to := g.unitOf[n.ID]
+		if to < 0 {
+			continue
+		}
+		for _, a := range n.Args {
+			if from := g.unitOf[a.Node]; from >= 0 && from != to {
+				numEdges++
+			}
+		}
+	}
+
+	// Build pass: exact-capacity storage, charges identical to the
+	// historical construction (2 per grouped node, 2 per singleton unit,
+	// 3 per edge).
+	g.Units = make([]Unit, 0, numUnits)
+	g.Edges = make([]Edge, 0, numEdges)
+	nodeBacking := make([]int, 0, numNodes)
+	for _, grp := range groups {
+		off := len(nodeBacking)
+		nodeBacking = append(nodeBacking, grp...)
+		g.Units = append(g.Units, Unit{
+			ID:      len(g.Units),
+			Nodes:   nodeBacking[off:len(nodeBacking):len(nodeBacking)],
+			Class:   UnitCCA,
+			Latency: cca.Latency,
+		})
+		m.Charge(int64(len(grp)) * 2)
+	}
+	for _, n := range l.Nodes {
+		if inGroup[n.ID] || g.unitOf[n.ID] < 0 {
+			continue
+		}
+		off := len(nodeBacking)
+		nodeBacking = append(nodeBacking, n.ID)
+		g.Units = append(g.Units, Unit{
+			ID:      len(g.Units),
+			Nodes:   nodeBacking[off:len(nodeBacking):len(nodeBacking)],
+			Class:   mustClassOf(n.Op),
+			Latency: arch.Latency(n.Op),
+		})
 		m.Charge(2)
 	}
 
@@ -179,13 +239,38 @@ func BuildGraph(l *ir.Loop, groups [][]int, cca arch.CCAConfig, m *vmcost.Meter)
 		}
 	}
 
-	g.succ = make([][]int, len(g.Units))
-	g.pred = make([][]int, len(g.Units))
+	// Adjacency as CSR: per-unit degree counts, one shared index backing.
+	deg := growInts(&sc.degBuf, 2*numUnits)
+	for i := range deg {
+		deg[i] = 0
+	}
+	sdeg, pdeg := deg[:numUnits], deg[numUnits:]
+	for _, e := range g.Edges {
+		sdeg[e.From]++
+		pdeg[e.To]++
+	}
+	idxBacking := make([]int, 0, 2*numEdges)
+	g.succ = make([][]int, numUnits)
+	g.pred = make([][]int, numUnits)
+	for u := 0; u < numUnits; u++ {
+		off := len(idxBacking)
+		idxBacking = idxBacking[:off+sdeg[u]]
+		g.succ[u] = idxBacking[off : off : off+sdeg[u]]
+		off = len(idxBacking)
+		idxBacking = idxBacking[:off+pdeg[u]]
+		g.pred[u] = idxBacking[off : off : off+pdeg[u]]
+	}
 	for i, e := range g.Edges {
 		g.succ[e.From] = append(g.succ[e.From], i)
 		g.pred[e.To] = append(g.pred[e.To], i)
 	}
 	return g, nil
+}
+
+// mustClassOf is classOf for ops already validated to be schedulable.
+func mustClassOf(op ir.Op) UnitClass {
+	c, _ := classOf(op)
+	return c
 }
 
 // countClass returns the number of units in each class.

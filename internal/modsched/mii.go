@@ -58,12 +58,18 @@ func ResMII(g *Graph, la *arch.LA, m *vmcost.Meter) int {
 // cheap (the paper measures ResMII+RecMII together at ~1% of translation
 // time) while remaining exact.
 func RecMII(g *Graph, m *vmcost.Meter) int {
+	return new(Scratch).RecMII(g, m)
+}
+
+// RecMII is the recurrence MII drawing its SCC and longest-path state
+// from the scratch.
+func (sc *Scratch) RecMII(g *Graph, m *vmcost.Meter) int {
 	m.Begin(vmcost.PhaseRecMII)
 	rec := 1
-	sccs := tarjanSCC(g, m)
-	edges := componentEdges(g, sccs, m)
-	for ci, comp := range sccs {
-		if v := sccRecMII(comp, edges[ci], m); v > rec {
+	sccs := sc.tarjanSCC(g, m)
+	edges := sc.componentEdges(g, sccs, m)
+	for ci := 0; ci < sccs.count(); ci++ {
+		if v := sc.sccRecMII(g, sccs.comp(ci), edges.comp(ci), m); v > rec {
 			rec = v
 		}
 	}
@@ -72,8 +78,13 @@ func RecMII(g *Graph, m *vmcost.Meter) int {
 
 // MII returns max(ResMII, RecMII), the starting II for scheduling.
 func MII(g *Graph, la *arch.LA, m *vmcost.Meter) int {
+	return new(Scratch).MII(g, la, m)
+}
+
+// MII is the combined minimum II on scratch storage.
+func (sc *Scratch) MII(g *Graph, la *arch.LA, m *vmcost.Meter) int {
 	res := ResMII(g, la, m)
-	rec := RecMII(g, m)
+	rec := sc.RecMII(g, m)
 	if rec > res {
 		return rec
 	}

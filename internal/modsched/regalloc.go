@@ -53,14 +53,23 @@ func valueIsFloat(l *ir.Loop, node int, succs [][]ir.Operand) bool {
 // Live-out values additionally stay live to the end of their iteration's
 // final read, which their register-file slot already covers.
 func Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
+	return new(Scratch).Registers(s, m)
+}
+
+// Registers computes register pressure with the lifetime tables, liveness
+// marks and successor adjacency drawn from the scratch. The returned
+// RegisterNeeds is a value, so nothing escapes.
+func (sc0 *Scratch) Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
 	m.Begin(vmcost.PhaseRegAssign)
 	g := s.Graph
 	l := g.Loop
-	succs := l.Succs()
+	succs := sc0.succsOf(l)
 
-	isLiveOut := make(map[int]bool)
+	isLiveOut := growBools(&sc0.regLiveOut, len(l.Nodes))
 	for _, lo := range l.LiveOuts {
-		isLiveOut[lo.Node] = true
+		if lo.Node >= 0 && lo.Node < len(l.Nodes) {
+			isLiveOut[lo.Node] = true
+		}
 	}
 
 	var need RegisterNeeds
@@ -69,8 +78,20 @@ func Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
 	// parameters are counted once each). Constants do not occupy register
 	// slots: like the configuration-programmed accelerators the template
 	// generalizes (RSVP, OptimoDE), literals are encoded in the modulo
-	// control store's operand fields.
-	paramUsed := make(map[int]bool)
+	// control store's operand fields. Param indexes are validated against
+	// NumParams by ir.Loop.Validate, but size defensively anyway.
+	np := l.NumParams
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam && n.Param >= np {
+			np = n.Param + 1
+		}
+		for _, p := range n.Init {
+			if p >= np {
+				np = p + 1
+			}
+		}
+	}
+	paramUsed := growBools(&sc0.regParamUsed, np)
 	for _, n := range l.Nodes {
 		m.Charge(2)
 		if n.Op == ir.OpParam {
@@ -85,13 +106,16 @@ func Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
 	// OpParam reading the same parameter for compute purposes still counts.
 	// Each used parameter holds one register slot. Infer its type from the
 	// OpParam nodes reading it (if any); default integer.
-	paramFloat := make(map[int]bool)
+	paramFloat := growBools(&sc0.regParamFloat, np)
 	for _, n := range l.Nodes {
 		if n.Op == ir.OpParam && valueIsFloat(l, n.ID, succs) {
 			paramFloat[n.Param] = true
 		}
 	}
-	for p := range paramUsed {
+	for p := 0; p < np; p++ {
+		if !paramUsed[p] {
+			continue
+		}
 		m.Charge(1)
 		if paramFloat[p] {
 			need.Float++
@@ -102,8 +126,12 @@ func Registers(s *Schedule, m *vmcost.Meter) RegisterNeeds {
 
 	// Modulo lifetimes of computed values.
 	ii := s.II
-	intRows := make([]int, ii)
-	fpRows := make([]int, ii)
+	rows := growInts(&sc0.regRows, 2*ii)
+	for i := range rows {
+		rows[i] = 0
+	}
+	intRows := rows[:ii]
+	fpRows := rows[ii:]
 	// A value is identified by its producing ir node; for CCA groups, each
 	// node consumed outside the group is a distinct output value.
 	for _, n := range l.Nodes {

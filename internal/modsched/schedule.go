@@ -86,6 +86,15 @@ func TrySchedule(g *Graph, la *arch.LA, ii int, order []int, m *vmcost.Meter) *S
 	return trySchedule(g, la, ii, order, m, &schedScratch{table: &mrt{}})
 }
 
+// placement returns the scratch's placement buffers with the reservation
+// table wired up (the zero Scratch has a nil table pointer).
+func (sc *Scratch) placement() *schedScratch {
+	if sc.sched.table == nil {
+		sc.sched.table = &sc.table
+	}
+	return &sc.sched
+}
+
 // schedScratch holds the placement buffers one II-escalation loop reuses
 // across retries. The time/FU slices are handed over to the Schedule on
 // success (the loop returns immediately), so only failed attempts reuse
@@ -250,18 +259,23 @@ const (
 // stage is a first-class pass; ScheduleLoop remains the one-call form
 // for direct users (DSE, tests).
 func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *vmcost.Meter) (*Schedule, error) {
+	return new(Scratch).ScheduleLoop(g, la, kind, staticOrder, m)
+}
+
+// ScheduleLoop is the one-call scheduling pipeline on scratch storage.
+func (sc *Scratch) ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *vmcost.Meter) (*Schedule, error) {
 	if err := Supported(g, la); err != nil {
 		return nil, err
 	}
-	mii := MII(g, la, m)
+	mii := sc.MII(g, la, m)
 	if mii > la.MaxII {
 		return nil, fmt.Errorf("loop %q: MII %d exceeds accelerator max II %d", g.Loop.Name, mii, la.MaxII)
 	}
-	order, err := ComputeOrder(g, kind, mii, staticOrder, m)
+	order, err := sc.ComputeOrder(g, kind, mii, staticOrder, m)
 	if err != nil {
 		return nil, err
 	}
-	return ScheduleWithOrder(g, la, mii, order, m)
+	return sc.ScheduleWithOrder(g, la, mii, order, m)
 }
 
 // ComputeOrder computes the unit scheduling order for one priority
@@ -269,11 +283,18 @@ func ScheduleLoop(g *Graph, la *arch.LA, kind OrderKind, staticOrder []int, m *v
 // (unit IDs covering every unit); reading it is charged as a single pass
 // over the loop (§4.2).
 func ComputeOrder(g *Graph, kind OrderKind, mii int, staticOrder []int, m *vmcost.Meter) ([]int, error) {
+	return new(Scratch).ComputeOrder(g, kind, mii, staticOrder, m)
+}
+
+// ComputeOrder computes the scheduling order on scratch storage. For
+// OrderSwing/OrderHeight the returned slice aliases the scratch and is
+// valid only until its next ordering call.
+func (sc *Scratch) ComputeOrder(g *Graph, kind OrderKind, mii int, staticOrder []int, m *vmcost.Meter) ([]int, error) {
 	switch kind {
 	case OrderSwing:
-		return SwingOrder(g, mii, m), nil
+		return sc.swingOrder(g, mii, m), nil
 	case OrderHeight:
-		return HeightOrder(g, mii, m), nil
+		return sc.heightOrder(g, mii, m), nil
 	case OrderStatic:
 		if len(staticOrder) != len(g.Units) {
 			return nil, fmt.Errorf("loop %q: static order covers %d of %d units",
@@ -293,11 +314,19 @@ func ComputeOrder(g *Graph, kind OrderKind, mii int, staticOrder []int, m *vmcos
 // schedulable later (every window is II-periodic), so give up rather
 // than walk a huge control store row by row.
 func ScheduleWithOrder(g *Graph, la *arch.LA, mii int, order []int, m *vmcost.Meter) (*Schedule, error) {
+	return new(Scratch).ScheduleWithOrder(g, la, mii, order, m)
+}
+
+// ScheduleWithOrder is the II-escalation loop reusing the scratch's
+// reservation table and placement buffers across retries. The returned
+// Schedule owns its Time/FU storage (detached from the scratch on
+// success), so it stays valid across further scratch reuse.
+func (sc *Scratch) ScheduleWithOrder(g *Graph, la *arch.LA, mii int, order []int, m *vmcost.Meter) (*Schedule, error) {
 	hi := la.MaxII
 	if cap := mii + 256; cap < hi {
 		hi = cap
 	}
-	scratch := &schedScratch{table: &mrt{}}
+	scratch := sc.placement()
 	for ii := mii; ii <= hi; ii++ {
 		if s := trySchedule(g, la, ii, order, m, scratch); s != nil {
 			return s, nil

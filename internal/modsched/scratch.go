@@ -1,0 +1,170 @@
+package modsched
+
+import "veal/internal/ir"
+
+// Scratch holds the growable temporary buffers the scheduling algorithms
+// otherwise allocate fresh on every call: Tarjan's SCC state, the
+// component CSR storage, Bellman-Ford distance tables, the Swing ordering
+// work sets, the modulo reservation table, and the graph-build marks.
+//
+// Ownership rules (see DESIGN.md "Memory discipline in the translator"):
+// a Scratch may be used by at most one translation at a time; the methods
+// re-initialize every buffer they read, so no Reset call is needed
+// between uses. Everything a method *returns* (a *Graph, a *Schedule, a
+// RegisterNeeds) is freshly allocated or detached storage that never
+// aliases the scratch — with one documented exception: order slices
+// returned by ComputeOrder/SwingOrder/HeightOrder on a Scratch are valid
+// only until the Scratch's next ordering call. The zero value is ready to
+// use.
+type Scratch struct {
+	// Tarjan SCC traversal state (tarjanSCC).
+	tjIndex, tjLow []int
+	tjOnStack      []bool
+	tjStack        []int
+	tjFrames       []sccFrame
+	// Component storage: nodes of all SCCs back to back (CSR).
+	sccNodes, sccOff []int
+	// componentEdges CSR buckets.
+	ceID, ceCount, ceOff []int
+	ceEdges              []Edge
+	// sccRecMII longest-path distances, indexed by unit.
+	dist []int
+	// ComputeBounds backing array (4n ints).
+	boundsBuf []int
+	bounds    Bounds
+	// Swing ordering: priority sets, union-find, work sets.
+	sets        []orderSet
+	inRec       []bool
+	parent      []int
+	compIdx     []int
+	compCount   []int
+	compOffBuf  []int
+	compNodes   []int
+	ordered     []bool
+	inSet, seen []bool
+	rBuf        []int
+	orderBuf    []int
+	hBuf        []int
+	// Modulo reservation table and placement buffers (ScheduleWithOrder).
+	sched schedScratch
+	table mrt
+	// Graph-build node marks and degree counts.
+	inGroup []bool
+	degBuf  []int
+	// Register-assignment tables.
+	regLiveOut, regParamUsed, regParamFloat []bool
+	regRows                                 []int
+	succHeads                               [][]ir.Operand
+	succBack                                []ir.Operand
+	succCount                               []int
+}
+
+// NewScratch returns an empty Scratch. The zero value works too; the
+// constructor exists for symmetry with Reset at pool boundaries.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Reset drops the references a parked Scratch would otherwise pin — the
+// buffers keep their capacity (that is the point of a scratch), but
+// nothing inside them is treated as live data: every method
+// re-initializes the region it reads. Callers returning a Scratch to a
+// shared pool should Reset it so stale slices cannot be misread as
+// results.
+func (sc *Scratch) Reset() {
+	sc.sccNodes = sc.sccNodes[:0]
+	sc.sccOff = sc.sccOff[:0]
+	sc.ceEdges = sc.ceEdges[:0]
+	sc.sets = sc.sets[:0]
+	sc.rBuf = sc.rBuf[:0]
+	sc.orderBuf = sc.orderBuf[:0]
+	sc.tjStack = sc.tjStack[:0]
+	sc.tjFrames = sc.tjFrames[:0]
+	sc.sched.times = sc.sched.times[:0]
+	sc.sched.fus = sc.sched.fus[:0]
+	sc.succBack = sc.succBack[:0]
+}
+
+// sccFrame is one Tarjan DFS frame.
+type sccFrame struct{ v, ei int }
+
+// orderSet is one Swing ordering priority set: a recurrence (prio =
+// RecMII) or a weakly connected component of the remaining nodes
+// (prio = -1).
+type orderSet struct {
+	nodes  []int
+	prio   int
+	minIdx int
+}
+
+// sccSet is a CSR view of strongly connected components.
+type sccSet struct{ nodes, off []int }
+
+func (s sccSet) count() int       { return len(s.off) - 1 }
+func (s sccSet) comp(i int) []int { return s.nodes[s.off[i]:s.off[i+1]] }
+
+// edgeSet is a CSR view of per-component edge buckets.
+type edgeSet struct {
+	edges []Edge
+	off   []int
+}
+
+func (s edgeSet) comp(i int) []Edge { return s.edges[s.off[i]:s.off[i+1]] }
+
+// growInts returns buf resized to n without clearing; the contents are
+// unspecified and every caller initializes the region it reads.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growBools returns buf resized to n with every entry cleared.
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	b := (*buf)[:n]
+	for i := range b {
+		b[i] = false
+	}
+	*buf = b
+	return b
+}
+
+// succsOf builds the successor adjacency of ir.Loop.Succs into the
+// scratch's CSR storage: identical per-node successor order, three
+// amortized-free buffers instead of one allocation per node.
+func (sc *Scratch) succsOf(l *ir.Loop) [][]ir.Operand {
+	n := len(l.Nodes)
+	counts := growInts(&sc.succCount, n)
+	for i := range counts {
+		counts[i] = 0
+	}
+	total := 0
+	for _, nd := range l.Nodes {
+		for _, a := range nd.Args {
+			counts[a.Node]++
+			total++
+		}
+	}
+	if cap(sc.succBack) < total {
+		sc.succBack = make([]ir.Operand, total)
+	}
+	back := sc.succBack[:total]
+	if cap(sc.succHeads) < n {
+		sc.succHeads = make([][]ir.Operand, n)
+	}
+	heads := sc.succHeads[:n]
+	off := 0
+	for i := 0; i < n; i++ {
+		heads[i] = back[off : off : off+counts[i]]
+		off += counts[i]
+	}
+	for _, nd := range l.Nodes {
+		for _, a := range nd.Args {
+			heads[a.Node] = append(heads[a.Node], ir.Operand{Node: nd.ID, Dist: a.Dist})
+		}
+	}
+	return heads
+}

@@ -29,12 +29,24 @@ func (b *Bounds) Mobility(u int) int { return b.LStart[u] - b.EStart[u] }
 // Swing modulo scheduling these longest-path fixpoints are the bulk of the
 // priority computation the paper measured at ~69% of translation time.
 func ComputeBounds(g *Graph, ii int, m *vmcost.Meter) *Bounds {
+	return new(Scratch).computeBounds(g, ii, m)
+}
+
+// computeBounds is ComputeBounds drawing the four windows from one
+// scratch backing array. The returned Bounds aliases the scratch and is
+// valid until the next bounds computation on it.
+func (sc *Scratch) computeBounds(g *Graph, ii int, m *vmcost.Meter) *Bounds {
 	m.Begin(vmcost.PhasePriority)
 	n := len(g.Units)
 	// One backing array for the four windows: a single allocation on a
-	// path the sweep harness hits for every (loop, design point) pair.
-	buf := make([]int, 4*n)
-	b := &Bounds{
+	// path the sweep harness hits for every (loop, design point) pair —
+	// and none at all once the scratch has warmed up.
+	buf := growInts(&sc.boundsBuf, 4*n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	b := &sc.bounds
+	*b = Bounds{
 		II:     ii,
 		EStart: buf[0*n : 1*n],
 		LStart: buf[1*n : 2*n],
@@ -85,28 +97,29 @@ func ComputeBounds(g *Graph, ii int, m *vmcost.Meter) *Bounds {
 	return b
 }
 
-// tarjanSCC returns the strongly connected components of the unit graph.
-func tarjanSCC(g *Graph, m *vmcost.Meter) [][]int {
+// tarjanSCC returns the strongly connected components of the unit graph
+// as a CSR view over the scratch's component storage (valid until the
+// next tarjanSCC call on the same scratch).
+func (sc *Scratch) tarjanSCC(g *Graph, m *vmcost.Meter) sccSet {
 	n := len(g.Units)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
+	index := growInts(&sc.tjIndex, n)
+	low := growInts(&sc.tjLow, n)
+	onStack := growBools(&sc.tjOnStack, n)
 	for i := range index {
 		index[i] = -1
+		low[i] = 0
 	}
-	var stack []int
-	var sccs [][]int
+	stack := sc.tjStack[:0]
+	nodes := sc.sccNodes[:0]
+	off := append(sc.sccOff[:0], 0)
 	counter := 0
 
 	// Iterative Tarjan to avoid deep recursion on big loops.
-	type frame struct {
-		v, ei int
-	}
 	for root := 0; root < n; root++ {
 		if index[root] != -1 {
 			continue
 		}
-		frames := []frame{{v: root}}
+		frames := append(sc.tjFrames[:0], sccFrame{v: root})
 		for len(frames) > 0 {
 			f := &frames[len(frames)-1]
 			v := f.v
@@ -125,7 +138,7 @@ func tarjanSCC(g *Graph, m *vmcost.Meter) [][]int {
 				w := e.To
 				m.Charge(3)
 				if index[w] == -1 {
-					frames = append(frames, frame{v: w})
+					frames = append(frames, sccFrame{v: w})
 					advanced = true
 					break
 				}
@@ -137,17 +150,16 @@ func tarjanSCC(g *Graph, m *vmcost.Meter) [][]int {
 				continue
 			}
 			if low[v] == index[v] {
-				var comp []int
 				for {
 					w := stack[len(stack)-1]
 					stack = stack[:len(stack)-1]
 					onStack[w] = false
-					comp = append(comp, w)
+					nodes = append(nodes, w)
 					if w == v {
 						break
 					}
 				}
-				sccs = append(sccs, comp)
+				off = append(off, len(nodes))
 			}
 			frames = frames[:len(frames)-1]
 			if len(frames) > 0 {
@@ -157,28 +169,55 @@ func tarjanSCC(g *Graph, m *vmcost.Meter) [][]int {
 				}
 			}
 		}
+		sc.tjFrames = frames
 	}
-	return sccs
+	sc.tjStack = stack[:0]
+	sc.sccNodes = nodes
+	sc.sccOff = off
+	return sccSet{nodes: nodes, off: off}
 }
 
 // componentEdges buckets the graph's edges by the SCC they are internal
-// to, in one pass. Cross-component edges belong to no bucket.
-func componentEdges(g *Graph, sccs [][]int, m *vmcost.Meter) [][]Edge {
-	id := make([]int, len(g.Units))
-	for ci, comp := range sccs {
-		for _, u := range comp {
+// to. Cross-component edges belong to no bucket. The result is a CSR
+// view over scratch storage.
+func (sc *Scratch) componentEdges(g *Graph, sccs sccSet, m *vmcost.Meter) edgeSet {
+	id := growInts(&sc.ceID, len(g.Units))
+	for ci := 0; ci < sccs.count(); ci++ {
+		for _, u := range sccs.comp(ci) {
 			id[u] = ci
 			m.Charge(1)
 		}
 	}
-	out := make([][]Edge, len(sccs))
+	count := growInts(&sc.ceCount, sccs.count())
+	for i := range count {
+		count[i] = 0
+	}
+	for _, e := range g.Edges {
+		if id[e.From] == id[e.To] {
+			count[id[e.From]]++
+		}
+	}
+	off := growInts(&sc.ceOff, sccs.count()+1)
+	off[0] = 0
+	for i, c := range count {
+		off[i+1] = off[i] + c
+	}
+	if cap(sc.ceEdges) < off[sccs.count()] {
+		sc.ceEdges = make([]Edge, off[sccs.count()])
+	}
+	edges := sc.ceEdges[:off[sccs.count()]]
+	for i := range count {
+		count[i] = 0
+	}
 	for _, e := range g.Edges {
 		m.Charge(1)
 		if id[e.From] == id[e.To] {
-			out[id[e.From]] = append(out[id[e.From]], e)
+			ci := id[e.From]
+			edges[off[ci]+count[ci]] = e
+			count[ci]++
 		}
 	}
-	return out
+	return edgeSet{edges: edges, off: off}
 }
 
 // sccRecMII computes the recurrence MII of one component using only its
@@ -186,7 +225,7 @@ func componentEdges(g *Graph, sccs [][]int, m *vmcost.Meter) [][]Edge {
 // of Swing priority computation ("the algorithm used in the priority
 // calculation takes significantly more time if there are many
 // recurrences").
-func sccRecMII(comp []int, edges []Edge, m *vmcost.Meter) int {
+func (sc *Scratch) sccRecMII(g *Graph, comp []int, edges []Edge, m *vmcost.Meter) int {
 	if len(edges) == 0 {
 		return 0
 	}
@@ -195,7 +234,9 @@ func sccRecMII(comp []int, edges []Edge, m *vmcost.Meter) int {
 	for _, e := range edges {
 		hi += e.Latency
 	}
-	dist := make(map[int]int, len(comp))
+	// Longest-path distances, indexed by unit (edges are internal to the
+	// component, so only comp entries are ever read or written).
+	dist := growInts(&sc.dist, len(g.Units))
 	feasible := func(ii int) bool {
 		for _, u := range comp {
 			dist[u] = 0
@@ -237,25 +278,28 @@ func sccRecMII(comp []int, edges []Edge, m *vmcost.Meter) int {
 // adjacent to the already-ordered partial list where possible, sweeping
 // alternately bottom-up and top-down (Llosa et al.).
 func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
-	b := ComputeBounds(g, ii, m)
+	return new(Scratch).swingOrder(g, ii, m)
+}
+
+// swingOrder is SwingOrder on scratch storage. The returned order aliases
+// the scratch and is valid until its next ordering call.
+func (sc *Scratch) swingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
+	b := sc.computeBounds(g, ii, m)
 	m.Begin(vmcost.PhasePriority)
 
-	sccs := tarjanSCC(g, m)
-	compEdges := componentEdges(g, sccs, m)
-	type set struct {
-		nodes  []int
-		prio   int
-		minIdx int
-	}
-	var sets []set
-	inRecurrence := make([]bool, len(g.Units))
-	for ci, comp := range sccs {
-		rm := sccRecMII(comp, compEdges[ci], m)
+	sccs := sc.tarjanSCC(g, m)
+	compEdges := sc.componentEdges(g, sccs, m)
+	n := len(g.Units)
+	sets := sc.sets[:0]
+	inRecurrence := growBools(&sc.inRec, n)
+	for ci := 0; ci < sccs.count(); ci++ {
+		comp := sccs.comp(ci)
+		rm := sc.sccRecMII(g, comp, compEdges.comp(ci), m)
 		if rm == 0 {
 			continue // trivial SCC: grouped into connected components below
 		}
 		sort.Ints(comp)
-		sets = append(sets, set{nodes: comp, prio: rm, minIdx: comp[0]})
+		sets = append(sets, orderSet{nodes: comp, prio: rm, minIdx: comp[0]})
 		for _, u := range comp {
 			inRecurrence[u] = true
 		}
@@ -273,7 +317,7 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 	// Remaining nodes: one set per weakly connected component of the whole
 	// graph, so the bidirectional sweep always extends adjacently (SMS
 	// orders "nodes not included in recurrences" as connected groups).
-	parent := make([]int, len(g.Units))
+	parent := growInts(&sc.parent, n)
 	for i := range parent {
 		parent[i] = i
 	}
@@ -292,36 +336,59 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 			parent[a] = b2
 		}
 	}
-	comps := make(map[int][]int)
-	for u := range g.Units {
-		if !inRecurrence[u] {
-			comps[find(u)] = append(comps[find(u)], u)
+	// Components in first-occurrence order of an ascending node scan —
+	// identical to ordering by minimum member, since the first
+	// non-recurrence node that names a root is that root's minimum.
+	compIdx := growInts(&sc.compIdx, n)
+	for i := range compIdx {
+		compIdx[i] = -1
+	}
+	count := sc.compCount[:0]
+	for u := 0; u < n; u++ {
+		if inRecurrence[u] {
+			continue
 		}
+		r := find(u)
+		if compIdx[r] < 0 {
+			compIdx[r] = len(count)
+			count = append(count, 0)
+		}
+		count[compIdx[r]]++
 	}
-	var roots []int
-	for r := range comps {
-		roots = append(roots, r)
+	sc.compCount = count
+	off := growInts(&sc.compOffBuf, len(count)+1)
+	off[0] = 0
+	for i, c := range count {
+		off[i+1] = off[i] + c
 	}
-	sort.Slice(roots, func(i, j int) bool {
-		return comps[roots[i]][0] < comps[roots[j]][0]
-	})
-	for _, r := range roots {
-		nodes := comps[r]
-		sort.Ints(nodes)
-		sets = append(sets, set{nodes: nodes, prio: -1, minIdx: nodes[0]})
+	compNodes := growInts(&sc.compNodes, off[len(count)])
+	for i := range count {
+		count[i] = 0
 	}
+	for u := 0; u < n; u++ {
+		if inRecurrence[u] {
+			continue
+		}
+		ci := compIdx[find(u)]
+		compNodes[off[ci]+count[ci]] = u
+		count[ci]++
+	}
+	for ci := range count {
+		nodes := compNodes[off[ci]:off[ci+1]] // ascending by construction
+		sets = append(sets, orderSet{nodes: nodes, prio: -1, minIdx: nodes[0]})
+	}
+	sc.sets = sets
 
-	n := len(g.Units)
-	ordered := make([]bool, n)
-	order := make([]int, 0, n)
+	ordered := growBools(&sc.ordered, n)
+	order := sc.orderBuf[:0]
 
 	// Scratch reused across sets: membership and dedup marks as flat
 	// bool slices and one shared candidate buffer, instead of per-set
 	// maps and per-step pred/succ slices (this ordering sweep is the
 	// hottest part of the dominant priority phase).
-	inSet := make([]bool, n)
-	seen := make([]bool, n)
-	r := make([]int, 0, n)
+	inSet := growBools(&sc.inSet, n)
+	seen := growBools(&sc.seen, n)
+	r := sc.rBuf[:0]
 
 	for _, s := range sets {
 		remaining := 0
@@ -465,6 +532,8 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 			inSet[u] = false
 		}
 	}
+	sc.rBuf = r[:0]
+	sc.orderBuf = order
 	return order
 }
 
@@ -475,9 +544,15 @@ func SwingOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 // exactly the tradeoff Figure 10's "Fully Dynamic Height Priority" bar
 // explores.
 func HeightOrder(g *Graph, ii int, m *vmcost.Meter) []int {
+	return new(Scratch).heightOrder(g, ii, m)
+}
+
+// heightOrder is HeightOrder on scratch storage; the returned order is
+// valid until the scratch's next ordering call.
+func (sc *Scratch) heightOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 	m.Begin(vmcost.PhasePriority)
 	n := len(g.Units)
-	h := make([]int, n)
+	h := growInts(&sc.hBuf, n)
 	for u := range g.Units {
 		h[u] = g.Units[u].Latency
 		m.Charge(1)
@@ -495,7 +570,7 @@ func HeightOrder(g *Graph, ii int, m *vmcost.Meter) []int {
 			break
 		}
 	}
-	order := make([]int, n)
+	order := growInts(&sc.orderBuf, n)
 	for i := range order {
 		order[i] = i
 	}

@@ -109,6 +109,25 @@ func Map[T any](n int, fn func(i int) T) []T {
 	return out
 }
 
+// SumOrdered returns init + fn(0) + fn(1) + ... + fn(n-1) with the
+// additions applied in index order, so the floating-point result is
+// bit-identical regardless of pool width. With one worker the calls run
+// serially on the caller's goroutine with no intermediate slice — the
+// evaluation layer's reductions are hot enough that Map's per-call result
+// allocation shows up in the figure benchmarks.
+func SumOrdered(init float64, n int, fn func(i int) float64) float64 {
+	if Workers() <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			init += fn(i)
+		}
+		return init
+	}
+	for _, v := range Map(n, fn) {
+		init += v
+	}
+	return init
+}
+
 // MapErr is Map for fallible functions. Every index runs to completion;
 // the error reported is the one from the lowest failing index, so the
 // outcome does not depend on completion order.

@@ -1,0 +1,60 @@
+package translate
+
+import "testing"
+
+// TestWarmScratchAllocBudget pins the steady-state allocation count of a
+// full translation on a warm Scratch, for the two policies the VM runs
+// hot. A translation can never be allocation-free — the Result retains a
+// freshly extracted loop, the unit graph and the Schedule, none of which
+// may alias the scratch — but everything transient (reservation tables,
+// ordering sets, CCA candidate maps, register tables) lives in the
+// Scratch, and this budget trips if a pass starts making them again
+// (measured: 74–75/run; pre-arena the same path was several hundred).
+func TestWarmScratchAllocBudget(t *testing.T) {
+	for _, tc := range []struct {
+		policy Policy
+		kernel string
+	}{
+		{FullyDynamic, "saxpy"},
+		{Hybrid, "saxpy"},
+	} {
+		req := compileKernel(t, tc.kernel)
+		req.Scratch = NewScratch()
+		run := func() {
+			if _, err := For(tc.policy).Run(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			run() // grow the scratch to steady state
+		}
+		const budget = 100
+		if n := testing.AllocsPerRun(20, run); n > budget {
+			t.Errorf("%v: warm translation allocates %.0f/run, budget %d", tc.policy, n, budget)
+		}
+	}
+}
+
+// TestPoolScratchRoundTrip exercises the sync.Pool fallback path (a nil
+// Request.Scratch) repeatedly and checks results stay consistent — the
+// path every caller without a worker-owned scratch takes.
+func TestPoolScratchRoundTrip(t *testing.T) {
+	req := compileKernel(t, "saxpy")
+	want, err := For(FullyDynamic).Run(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := For(FullyDynamic).Run(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Schedule.II != want.Schedule.II || got.Schedule.SC != want.Schedule.SC {
+			t.Fatalf("run %d: II/SC = %d/%d, want %d/%d",
+				i, got.Schedule.II, got.Schedule.SC, want.Schedule.II, want.Schedule.SC)
+		}
+		if got.Work != want.Work {
+			t.Fatalf("run %d: work %v, want %v", i, got.Work, want.Work)
+		}
+	}
+}

@@ -26,6 +26,13 @@ type Context struct {
 	// vmcost.Meter API is nil-safe, so passes charge unconditionally.
 	Meter *vmcost.Meter
 
+	// Scratch supplies the reusable arenas the passes draw temporary
+	// storage from (always non-nil during Run). Passes must not store
+	// scratch-backed slices into Result-reachable products; Order is the
+	// one sanctioned exception (it is consumed by the schedule pass and
+	// not retained).
+	Scratch *Scratch
+
 	// Products, in pipeline order.
 
 	// Ext is the extracted dataflow loop (extract pass).

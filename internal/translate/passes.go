@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"veal/internal/cca"
 	"veal/internal/cfg"
 	"veal/internal/isa"
 	"veal/internal/loopx"
@@ -47,7 +46,7 @@ func (ccaMapPass) Phase() vmcost.Phase { return vmcost.PhaseCCAMap }
 
 func (ccaMapPass) Run(ctx *Context) *Reject {
 	if ctx.LA.CCAs > 0 {
-		ctx.Groups = cca.Map(ctx.Ext.Loop, ctx.LA.CCA, ctx.Meter).Groups
+		ctx.Groups = ctx.Scratch.CCA.Map(ctx.Ext.Loop, ctx.LA.CCA, ctx.Meter).Groups
 	}
 	return nil
 }
@@ -61,7 +60,7 @@ func (ccaValidatePass) Phase() vmcost.Phase { return vmcost.PhaseCCAMap }
 
 func (ccaValidatePass) Run(ctx *Context) *Reject {
 	if ctx.LA.CCAs > 0 {
-		ctx.Groups = cca.ValidateGroups(ctx.Ext.Loop, ctx.Ext.Groups, ctx.LA.CCA, ctx.Meter)
+		ctx.Groups = ctx.Scratch.CCA.ValidateGroups(ctx.Ext.Loop, ctx.Ext.Groups, ctx.LA.CCA, ctx.Meter)
 	}
 	return nil
 }
@@ -74,7 +73,7 @@ func (graphPass) Name() string        { return "graph-build" }
 func (graphPass) Phase() vmcost.Phase { return vmcost.PhaseStreamSep }
 
 func (graphPass) Run(ctx *Context) *Reject {
-	g, err := modsched.BuildGraph(ctx.Ext.Loop, ctx.Groups, ctx.LA.CCA, ctx.Meter)
+	g, err := ctx.Scratch.Mod.BuildGraph(ctx.Ext.Loop, ctx.Groups, ctx.LA.CCA, ctx.Meter)
 	if err != nil {
 		return reject(CodeGraph, vmcost.PhaseStreamSep, err)
 	}
@@ -104,7 +103,7 @@ func (miiPass) Name() string        { return "mii" }
 func (miiPass) Phase() vmcost.Phase { return vmcost.PhaseResMII }
 
 func (miiPass) Run(ctx *Context) *Reject {
-	ctx.MII = modsched.MII(ctx.Graph, ctx.LA, ctx.Meter)
+	ctx.MII = ctx.Scratch.Mod.MII(ctx.Graph, ctx.LA, ctx.Meter)
 	if ctx.MII > ctx.LA.MaxII {
 		return reject(CodeMaxII, vmcost.PhaseRecMII,
 			fmt.Errorf("loop %q: MII %d exceeds accelerator max II %d",
@@ -130,11 +129,11 @@ func (priorityPass) Run(ctx *Context) *Reject {
 		ctx.OrderKind = modsched.OrderHeight
 	case Hybrid:
 		if anno, ok := ctx.Prog.AnnoAt(ctx.Region.Head); ok {
-			staticOrder = staticUnitOrder(ctx.Graph, ctx.Ext, anno, ctx.Region)
+			staticOrder = staticUnitOrder(ctx.Scratch, ctx.Graph, ctx.Ext, anno, ctx.Region)
 			ctx.OrderKind = modsched.OrderStatic
 		}
 	}
-	order, err := modsched.ComputeOrder(ctx.Graph, ctx.OrderKind, ctx.MII, staticOrder, ctx.Meter)
+	order, err := ctx.Scratch.Mod.ComputeOrder(ctx.Graph, ctx.OrderKind, ctx.MII, staticOrder, ctx.Meter)
 	if err != nil {
 		return reject(CodeStaticOrder, vmcost.PhasePriority, err)
 	}
@@ -144,12 +143,15 @@ func (priorityPass) Run(ctx *Context) *Reject {
 
 // staticUnitOrder converts a per-instruction priority table into a unit
 // scheduling order: each unit takes the priority annotated on its source
-// instruction; unannotated (synthesized) units go last.
-func staticUnitOrder(g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno, region cfg.Region) []int {
-	type up struct {
-		unit, prio int
+// instruction; unannotated (synthesized) units go last. The returned
+// order lives in the scratch (it is consumed by the schedule pass, not
+// retained).
+func staticUnitOrder(sc *Scratch, g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno, region cfg.Region) []int {
+	n := len(g.Units)
+	if cap(sc.ups) < n {
+		sc.ups = make([]unitPrio, n)
 	}
-	ups := make([]up, len(g.Units))
+	ups := sc.ups[:n]
 	for u := range g.Units {
 		node := g.Units[u].Nodes[0]
 		prio := 1 << 30
@@ -158,10 +160,13 @@ func staticUnitOrder(g *modsched.Graph, ext *loopx.Extraction, anno isa.LoopAnno
 				prio = int(v)
 			}
 		}
-		ups[u] = up{unit: u, prio: prio}
+		ups[u] = unitPrio{unit: u, prio: prio}
 	}
 	sort.SliceStable(ups, func(i, j int) bool { return ups[i].prio < ups[j].prio })
-	order := make([]int, len(ups))
+	if cap(sc.orderBuf) < n {
+		sc.orderBuf = make([]int, n)
+	}
+	order := sc.orderBuf[:n]
 	for i, x := range ups {
 		order[i] = x.unit
 	}
@@ -176,7 +181,7 @@ func (schedulePass) Name() string        { return "schedule" }
 func (schedulePass) Phase() vmcost.Phase { return vmcost.PhaseSchedule }
 
 func (schedulePass) Run(ctx *Context) *Reject {
-	s, err := modsched.ScheduleWithOrder(ctx.Graph, ctx.LA, ctx.MII, ctx.Order, ctx.Meter)
+	s, err := ctx.Scratch.Mod.ScheduleWithOrder(ctx.Graph, ctx.LA, ctx.MII, ctx.Order, ctx.Meter)
 	if err != nil {
 		return reject(CodeUnschedulable, vmcost.PhaseSchedule, err)
 	}

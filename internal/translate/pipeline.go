@@ -80,6 +80,11 @@ type Request struct {
 	// Observer, when non-nil, receives pass enter/exit callbacks on the
 	// Run caller's goroutine. Observation must not change results.
 	Observer Observer
+	// Scratch, when non-nil, supplies the reusable translation arenas.
+	// Callers with a long-lived worker should own one Scratch and pass it
+	// on every request; when nil, Run borrows one from a shared pool for
+	// the duration of the call. Results never alias scratch storage.
+	Scratch *Scratch
 }
 
 // Pass is one stage of the translation pipeline.
@@ -171,12 +176,20 @@ func (pl *Pipeline) Passes() []string {
 // failure the error is a *Reject with the work charged up to the failing
 // pass. Run never mutates the request's program or region.
 func (pl *Pipeline) Run(req Request) (*Result, error) {
+	sc := req.Scratch
+	if sc == nil {
+		sc = GetScratch()
+		defer PutScratch(sc)
+	} else {
+		sc.init()
+	}
 	ctx := &Context{
 		Prog:        req.Prog,
 		Region:      req.Region,
 		LA:          req.LA,
 		Policy:      pl.policy,
 		Speculation: req.Speculation,
+		Scratch:     sc,
 	}
 	if pl.policy != NoPenalty {
 		ctx.Meter = &ctx.meter

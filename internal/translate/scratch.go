@@ -1,0 +1,83 @@
+package translate
+
+import (
+	"sync"
+
+	"veal/internal/cca"
+	"veal/internal/modsched"
+)
+
+// Scratch bundles the reusable translation arenas: the scheduler's
+// (modsched) and the CCA mapper's growable buffers, plus this package's
+// own static-priority buffers. A warm Scratch makes the steady-state
+// translation path nearly allocation-free — only the artifacts that
+// escape into the Result (extraction, groups, graph, schedule) are
+// allocated fresh.
+//
+// Ownership rules (see DESIGN.md "Memory discipline in the translator"):
+// a Scratch serves at most one Pipeline.Run at a time. Callers with a
+// long-lived worker (a JIT worker goroutine, a DSE sweep worker) should
+// own one Scratch and pass it on every Request; everyone else may leave
+// Request.Scratch nil and Run borrows one from an internal sync.Pool.
+// Nothing reachable from a returned Result aliases scratch storage.
+type Scratch struct {
+	// Mod holds the modulo scheduler's arenas (SCC state, bounds, ordering
+	// work sets, reservation table, graph-build marks).
+	Mod *modsched.Scratch
+	// CCA holds the subgraph mapper's arenas (legality probes, cyclic
+	// marks, candidate sets).
+	CCA *cca.Scratch
+
+	// staticUnitOrder buffers (hybrid policy).
+	ups      []unitPrio
+	orderBuf []int
+}
+
+// unitPrio pairs a unit with its annotated scheduling priority.
+type unitPrio struct{ unit, prio int }
+
+// NewScratch returns a ready-to-use Scratch.
+func NewScratch() *Scratch {
+	return &Scratch{Mod: modsched.NewScratch(), CCA: cca.NewScratch()}
+}
+
+// init fills in nil sub-scratches so a zero Scratch literal works.
+func (sc *Scratch) init() {
+	if sc.Mod == nil {
+		sc.Mod = modsched.NewScratch()
+	}
+	if sc.CCA == nil {
+		sc.CCA = cca.NewScratch()
+	}
+}
+
+// Reset drops data references held by the arenas while keeping their
+// capacity. Call it before parking a Scratch in a shared pool; between
+// back-to-back translations on one owner it is not required (every pass
+// re-initializes the state it reads).
+func (sc *Scratch) Reset() {
+	if sc.Mod != nil {
+		sc.Mod.Reset()
+	}
+	if sc.CCA != nil {
+		sc.CCA.Reset()
+	}
+	sc.ups = sc.ups[:0]
+	sc.orderBuf = sc.orderBuf[:0]
+}
+
+// scratchPool backs Run's fallback for requests without an owned scratch.
+var scratchPool = sync.Pool{New: func() any { return NewScratch() }}
+
+// GetScratch borrows a Scratch from the shared pool. Pair with
+// PutScratch. Callers that translate repeatedly on one goroutine should
+// hold a Scratch for the goroutine's lifetime instead of round-tripping
+// the pool per translation.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch resets sc and returns it to the shared pool. The caller
+// must not use sc afterwards.
+func PutScratch(sc *Scratch) {
+	sc.Reset()
+	scratchPool.Put(sc)
+}

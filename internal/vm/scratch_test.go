@@ -1,0 +1,57 @@
+package vm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/scalar"
+)
+
+// TestScratchReuseCounterIncrements drives a VM through enough
+// translations that its scratch free-list must be hit: a thrashing code
+// cache retranslates loops every pass, and every translation after the
+// first can take the parked scratch (sync translations run one at a
+// time on the caller). The counter is the observable proof that the
+// arena is actually recycled, not silently reallocated.
+func TestScratchReuseCounterIncrements(t *testing.T) {
+	const nLoops, passes = 6, 3
+	multi, l := manyLoopProgram(t, nLoops)
+
+	mkMem := func() *ir.PagedMemory {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 80; i++ {
+			mem.Store(0x100+i, uint64(i*3+1))
+		}
+		return mem
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[multi.TripReg] = 32
+		params := map[string]uint64{
+			"x0": 0x100, "x1": 0x101, "x2": 0x102,
+			"c0": 2, "c1": 3, "c2": 5, "out": 0x9000,
+		}
+		for i, r := range multi.ParamRegs {
+			m.Regs[r] = params[l.ParamNames[i]]
+		}
+	}
+
+	cfg := DefaultConfig()
+	cfg.CodeCacheSize = 2 // thrash: force retranslations every pass
+	v := New(cfg)
+	for p := 0; p < passes; p++ {
+		if _, _, err := v.Run(multi.Program, mkMem(), seed, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	installs := v.Metrics().Installed
+	if installs <= int64(nLoops) {
+		t.Fatalf("cache did not thrash: %d installs for %d loops", installs, nLoops)
+	}
+	reuses := atomic.LoadInt64(&v.Metrics().ScratchReuses)
+	// All translations are synchronous here (TranslateWorkers 0), so
+	// every one after the first finds the parked scratch.
+	if want := installs - 1; reuses != want {
+		t.Fatalf("ScratchReuses = %d, want %d (installs %d)", reuses, want, installs)
+	}
+}

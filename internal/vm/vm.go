@@ -29,6 +29,7 @@ package vm
 import (
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"veal/internal/arch"
 	"veal/internal/cfg"
@@ -150,6 +151,13 @@ type VM struct {
 	// pipe is the JIT subsystem: hot-loop monitor, translator worker
 	// pool, code cache and negative-result cache.
 	pipe *jit.Pipeline[cacheKey, *Translation]
+
+	// scratches is a bounded free-list of translator scratch arenas:
+	// each translation borrows one and parks it back, so a long-running
+	// VM reaches a steady state where the translation hot path allocates
+	// (almost) nothing. Sized to the background worker cap so concurrent
+	// translator goroutines never block on it.
+	scratches chan *translate.Scratch
 }
 
 // New creates a VM.
@@ -172,7 +180,11 @@ func New(cfg Config) *VM {
 		Metrics:      cfg.Metrics,
 		Trace:        cfg.Trace,
 	}, keyName)
-	return &VM{Cfg: cfg, pipe: pipe}
+	slots := cfg.TranslateWorkers
+	if slots < 1 {
+		slots = 1
+	}
+	return &VM{Cfg: cfg, pipe: pipe, scratches: make(chan *translate.Scratch, slots)}
 }
 
 // keyName names a loop for traces and snapshots.
@@ -206,16 +218,44 @@ func (v *VM) Pipeline() *translate.Pipeline { return translate.For(v.Cfg.Policy)
 // the error, when non-nil, is a *translate.Reject with a typed reason
 // code and the failing pass/phase.
 func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) {
+	sc := v.acquireScratch()
+	defer v.releaseScratch(sc)
 	res, err := translate.For(v.Cfg.Policy).Run(translate.Request{
 		Prog:        p,
 		Region:      region,
 		LA:          v.Cfg.LA,
 		Speculation: v.Cfg.SpeculationSupport,
+		Scratch:     sc,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// acquireScratch takes a scratch arena off the VM's free-list, falling
+// back to a fresh allocation when every slot is in use (or on the first
+// translations, before any scratch has been parked). Translate runs on
+// background translator goroutines, so the free-list is a channel and
+// the reuse counter is atomic.
+func (v *VM) acquireScratch() *translate.Scratch {
+	select {
+	case sc := <-v.scratches:
+		atomic.AddInt64(&v.pipe.Metrics().ScratchReuses, 1)
+		return sc
+	default:
+		return translate.NewScratch()
+	}
+}
+
+// releaseScratch parks a scratch back on the free-list, dropping it when
+// the list is full (more concurrent translations than worker slots).
+func (v *VM) releaseScratch(sc *translate.Scratch) {
+	sc.Reset()
+	select {
+	case v.scratches <- sc:
+	default:
+	}
 }
 
 // StreamsDisjoint performs the launch-time memory disambiguation; it

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # Runs the figure-regeneration and translator benchmarks with -benchmem,
-# records the parsed results as BENCH_<date>.json at the repo root, and
-# prints a before/after comparison against the most recent earlier
-# snapshot. Usage: scripts/bench.sh [extra go-test args...]
+# records the parsed results as BENCH_<date>.json at the repo root
+# (override the name with BENCH_OUT=...), and prints a before/after
+# comparison against the most recent earlier snapshot. The root-package
+# figure benches run twice: once at the inherited GOMAXPROCS and once at
+# GOMAXPROCS=2, so the snapshot also captures the parallel evaluation
+# path (benchcmp keys results by name and width).
+# Usage: scripts/bench.sh [extra go-test args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="BENCH_$(date +%Y%m%d).json"
+out="${BENCH_OUT:-BENCH_$(date +%Y%m%d).json}"
 prev="$(ls -t BENCH_*.json 2>/dev/null | grep -vx "$out" | head -1 || true)"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 1 "$@" . | tee "$raw"
+GOMAXPROCS=2 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
+	-benchmem -count 1 "$@" . | tee -a "$raw"
 go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT)' \
 	-benchmem -count 1 "$@" ./internal/vm ./internal/jit | tee -a "$raw"
 

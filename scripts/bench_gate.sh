@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: reruns the figure-regeneration and
+# translator benchmarks and fails when any of them regresses against the
+# committed baseline — more than 10% on allocs/op (the arena discipline;
+# allocation counts are deterministic, so the threshold is tight) or 25%
+# on ns/op (loose enough for shared CI runners). CI runs this after the
+# test gate; refresh the baseline with
+#
+#	BENCH_OUT=BENCH_baseline.json scripts/bench.sh
+#
+# when a PR intentionally changes translator performance.
+# Usage: scripts/bench_gate.sh [baseline.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:-BENCH_baseline.json}"
+if [ ! -f "$baseline" ]; then
+	echo "bench_gate: baseline $baseline not found" >&2
+	exit 1
+fi
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+# -count 3: benchcmp gates on the fastest repetition, so transient host
+# load cannot fail the ns/op check (allocs/op is deterministic).
+go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
+	-benchmem -count 3 . >"$raw"
+go run ./scripts/benchcmp -prev "$baseline" -gate <"$raw"

@@ -25,4 +25,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench gate =="
+# Benchmark regression gate vs the committed baseline (see
+# scripts/bench_gate.sh). BENCH_GATE=0 skips it for quick local loops.
+if [ "${BENCH_GATE:-1}" = "1" ] && [ -f BENCH_baseline.json ]; then
+    ./scripts/bench_gate.sh
+else
+    echo "skipped (BENCH_GATE=0 or no BENCH_baseline.json)"
+fi
+
 echo "CI PASSED"
