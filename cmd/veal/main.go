@@ -30,6 +30,7 @@ import (
 	"veal/internal/cfg"
 	"veal/internal/dse"
 	"veal/internal/exp"
+	"veal/internal/faultinject"
 	"veal/internal/ir"
 	"veal/internal/isa"
 	"veal/internal/lower"
@@ -322,6 +323,9 @@ func cmdVMStats(args []string) error {
 	phases := fs.Bool("phases", false, "also print the per-phase translation work histograms (runtime Figure 8)")
 	rejects := fs.Bool("rejects", false, "print rejection counts by reason code across the workload suite instead")
 	csvOut := fs.Bool("csv", false, "emit CSV (with -overlap or -rejects)")
+	verifyFlag := fs.Bool("verify", false, "independently re-verify every installed translation (quarantine failures)")
+	faultSeed := fs.Uint64("fault-seed", 0, "run under the deterministic chaos fault plan with this seed (0 = off)")
+	faults := fs.Bool("faults", false, "print the fault-injection and graceful-degradation report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -365,6 +369,10 @@ func cmdVMStats(args []string) error {
 	cfg.TranslateWorkers = *workers
 	cfg.CodeCacheSize = *cache
 	cfg.HotThreshold = *threshold
+	cfg.Verify = *verifyFlag
+	if *faultSeed != 0 {
+		cfg.Faults = faultinject.Chaos(*faultSeed)
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -396,6 +404,18 @@ func cmdVMStats(args []string) error {
 	fmt.Printf("\n%s", v.Metrics().Format())
 	if *phases {
 		fmt.Printf("\n%s", v.Metrics().FormatPhases())
+	}
+	if *faults {
+		m := v.Metrics()
+		fmt.Printf("\nfault injection / graceful degradation:\n")
+		fmt.Printf("  worker crashes       %d\n", m.WorkerCrashes)
+		fmt.Printf("  injected latency     %d\n", m.InjectedLatency)
+		fmt.Printf("  injected evictions   %d\n", m.InjectedEvictions)
+		fmt.Printf("  quarantined          %d\n", m.Quarantined)
+		fmt.Printf("  quarantine retries   %d\n", m.QuarantineRetries)
+		fmt.Printf("  revoked installs     %d\n", m.Revoked)
+		fmt.Printf("  verify passes        %d\n", v.Stats.VerifyPasses)
+		fmt.Printf("  verify failures      %d\n", v.Stats.VerifyFailures)
 	}
 	fmt.Printf("\nloop states:\n")
 	for _, s := range v.LoopStates() {

@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/translate"
+	"veal/internal/verify"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+// TestGoldenSitesVerify runs the independent legality checker over the
+// exact site x policy matrix the golden differential test pins (285
+// entries): every translation the pipeline accepts must pass
+// verify.Translation, and the accept count — after the same launch-time
+// alias filtering the site model applies — must equal the golden file's
+// OK count, so the verifier is exercised by every schedule the golden
+// file certifies.
+func TestGoldenSitesVerify(t *testing.T) {
+	models, err := Models(workloads.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := arch.Proposed()
+	policies := []vm.Policy{vm.FullyDynamic, vm.HeightPriority, vm.Hybrid}
+	const wantTotal, wantOK = 285, 248
+	total, okLikeGolden, verified := 0, 0, 0
+	for _, bm := range models {
+		for _, sm := range bm.Sites {
+			for _, pol := range policies {
+				total++
+				if _, declined := translate.CodeForRegion(sm.Site.Kind, false); declined {
+					continue
+				}
+				res, err := translate.For(pol).Run(translate.Request{
+					Prog:   sm.Binary.Program,
+					Region: sm.Region,
+					LA:     la,
+				})
+				if err != nil {
+					if _, ok := translate.AsReject(err); !ok {
+						t.Errorf("%s/%s %s: untyped rejection %v", bm.Bench.Name, sm.Site.Name, pol, err)
+					}
+					continue
+				}
+				if verr := verify.Translation(la, res); verr != nil {
+					t.Errorf("%s/%s %s: installed translation fails verification: %v",
+						bm.Bench.Name, sm.Site.Name, pol, verr)
+				} else {
+					verified++
+				}
+				// The golden file's OK flag additionally reflects the
+				// launch-time memory disambiguation; mirror it so the
+				// accept count cross-checks against the golden capture.
+				bind, _ := workloads.Prepare(res.Ext.Loop, sm.Site.Trip, 7)
+				if translate.StreamsDisjoint(res.Ext.Loop, bind) {
+					okLikeGolden++
+				}
+			}
+		}
+	}
+	if total != wantTotal {
+		t.Errorf("visited %d site x policy entries, golden has %d", total, wantTotal)
+	}
+	if okLikeGolden != wantOK {
+		t.Errorf("%d accepted translations after alias filtering, golden has %d OK", okLikeGolden, wantOK)
+	}
+	if verified < wantOK {
+		t.Errorf("only %d translations verified (want >= %d)", verified, wantOK)
+	}
+	t.Logf("verified %d/%d accepted translations across %d entries", verified, total, total)
+}

@@ -1,0 +1,169 @@
+// Package faultinject is the deterministic fault plan for the VM/JIT:
+// a single seed drives every injected fault — forced typed rejections
+// and schedule corruption inside the translation pipeline (threaded
+// through translate.Request.Inject), and timing faults at the JIT layer
+// (worker crashes, added latency, code-cache eviction storms, via
+// jit.Faulter). Decisions are pure functions of (seed, site, attempt,
+// channel), so a run is replayable from its seed alone and the injector
+// is stateless and concurrency-safe.
+//
+// Faults never change what a translation computes when it lands — a
+// corrupted schedule is always caught by internal/verify, a rejection
+// or crash falls back to the scalar core — so a faulted run's committed
+// architectural results are bit-identical to a fault-free run's. That
+// invariant is what the chaos-soak test checks.
+package faultinject
+
+import (
+	"veal/internal/jit"
+	"veal/internal/translate"
+)
+
+// Plan is a seed-driven fault-injection configuration. The zero value
+// injects nothing; probabilities are per translation attempt.
+type Plan struct {
+	// Seed selects the deterministic fault stream. Two runs with the
+	// same plan see identical faults at identical (site, attempt)
+	// points, regardless of host scheduling.
+	Seed uint64
+
+	// RejectProb forces a CodeInjected rejection at a seed-chosen pass
+	// of the translation pipeline.
+	RejectProb float64
+	// CorruptProb corrupts the produced schedule (copy-on-inject); a VM
+	// under a corrupting plan force-enables independent verification,
+	// which must catch every corruption.
+	CorruptProb float64
+	// CrashProb kills the translator worker mid-attempt
+	// (jit.ErrWorkerCrash).
+	CrashProb float64
+	// LatencyProb adds 1..MaxLatency virtual cycles to the attempt.
+	LatencyProb float64
+	MaxLatency  int64
+	// EvictProb sheds 1..EvictBurst code-cache entries when the attempt
+	// concludes (an eviction storm).
+	EvictProb  float64
+	EvictBurst int
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.RejectProb > 0 || p.CorruptProb > 0 || p.CrashProb > 0 ||
+		p.LatencyProb > 0 || p.EvictProb > 0
+}
+
+// Chaos is the hostile plan the chaos-soak test and `veal vmstats
+// -fault-seed` use: every fault class enabled at rates high enough that
+// a few hundred attempts exercise them all.
+func Chaos(seed uint64) *Plan {
+	return &Plan{
+		Seed:        seed,
+		RejectProb:  0.15,
+		CorruptProb: 0.10,
+		CrashProb:   0.15,
+		LatencyProb: 0.3,
+		MaxLatency:  2000,
+		EvictProb:   0.1,
+		EvictBurst:  4,
+	}
+}
+
+// Injector draws deterministic fault decisions from a plan. It is
+// stateless (safe for concurrent use from background translator
+// goroutines); a nil *Injector injects nothing.
+type Injector struct {
+	plan Plan
+}
+
+// NewInjector builds an injector, or nil when the plan injects nothing
+// (so callers can store and consult it unconditionally).
+func NewInjector(p *Plan) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	return &Injector{plan: *p}
+}
+
+// Decision channels: each independent random draw for one (site,
+// attempt) mixes in its own tag so the draws are uncorrelated.
+const (
+	chReject = iota + 1
+	chRejectPass
+	chCorrupt
+	chCorruptSalt
+	chCrash
+	chLatency
+	chLatencyAmt
+	chEvict
+	chEvictBurst
+)
+
+// rand is the deterministic stream: FNV-1a over the site name, mixed
+// with the seed, attempt and channel tag through splitmix64 finalizers.
+func (in *Injector) rand(site string, attempt int64, channel uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	x := splitmix64(h ^ in.plan.Seed)
+	x = splitmix64(x ^ uint64(attempt))
+	return splitmix64(x ^ channel)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// prob maps a draw onto [0, 1).
+func prob(x uint64) float64 { return float64(x>>11) / (1 << 53) }
+
+// Injection returns the translation-layer fault for one attempt, or nil
+// when this attempt translates cleanly.
+func (in *Injector) Injection(site string, attempt int64) *translate.Injection {
+	if in == nil {
+		return nil
+	}
+	p := &in.plan
+	var inj translate.Injection
+	if p.RejectProb > 0 && prob(in.rand(site, attempt, chReject)) < p.RejectProb {
+		inj.Reject = true
+		inj.RejectAtPass = int(in.rand(site, attempt, chRejectPass) % 64)
+	}
+	if p.CorruptProb > 0 && prob(in.rand(site, attempt, chCorrupt)) < p.CorruptProb {
+		inj.Corrupt = true
+		inj.CorruptSalt = in.rand(site, attempt, chCorruptSalt)
+	}
+	if !inj.Reject && !inj.Corrupt {
+		return nil
+	}
+	return &inj
+}
+
+// Fault returns the JIT-layer timing fault for one attempt (the
+// jit.Faulter implementation).
+func (in *Injector) Fault(site string, attempt int64) jit.Fault {
+	if in == nil {
+		return jit.Fault{}
+	}
+	p := &in.plan
+	var f jit.Fault
+	if p.CrashProb > 0 && prob(in.rand(site, attempt, chCrash)) < p.CrashProb {
+		f.Crash = true
+	}
+	if p.LatencyProb > 0 && p.MaxLatency > 0 &&
+		prob(in.rand(site, attempt, chLatency)) < p.LatencyProb {
+		f.Latency = 1 + int64(in.rand(site, attempt, chLatencyAmt)%uint64(p.MaxLatency))
+	}
+	if p.EvictProb > 0 && p.EvictBurst > 0 &&
+		prob(in.rand(site, attempt, chEvict)) < p.EvictProb {
+		f.Evictions = 1 + int(in.rand(site, attempt, chEvictBurst)%uint64(p.EvictBurst))
+	}
+	return f
+}

@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+
+	"veal/internal/jit"
+	"veal/internal/translate"
+)
+
+// TestReplayDeterminism: two injectors built from the same plan make
+// identical decisions at every (site, attempt) — the property that makes
+// a whole faulted run replayable from its seed.
+func TestReplayDeterminism(t *testing.T) {
+	a := NewInjector(Chaos(42))
+	b := NewInjector(Chaos(42))
+	for s := 0; s < 20; s++ {
+		site := fmt.Sprintf("prog@%d", 100+s*7)
+		for attempt := int64(1); attempt <= 10; attempt++ {
+			ia, ib := a.Injection(site, attempt), b.Injection(site, attempt)
+			if (ia == nil) != (ib == nil) || (ia != nil && *ia != *ib) {
+				t.Fatalf("%s attempt %d: injections diverge: %+v vs %+v", site, attempt, ia, ib)
+			}
+			if fa, fb := a.Fault(site, attempt), b.Fault(site, attempt); fa != fb {
+				t.Fatalf("%s attempt %d: faults diverge: %+v vs %+v", site, attempt, fa, fb)
+			}
+		}
+	}
+}
+
+// TestSeedsDecorrelate: different seeds produce different fault streams
+// (a stuck hash would make every "seeded" run identical).
+func TestSeedsDecorrelate(t *testing.T) {
+	a := NewInjector(Chaos(1))
+	b := NewInjector(Chaos(2))
+	diff := 0
+	for s := 0; s < 50; s++ {
+		site := fmt.Sprintf("site%d", s)
+		for attempt := int64(1); attempt <= 4; attempt++ {
+			ia, ib := a.Injection(site, attempt), b.Injection(site, attempt)
+			if (ia == nil) != (ib == nil) {
+				diff++
+			}
+			if a.Fault(site, attempt) != b.Fault(site, attempt) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 1 and 2 produced identical fault streams")
+	}
+}
+
+// TestChaosCoversEveryFaultClass: the chaos plan must actually fire each
+// fault class at its configured rates over a few hundred draws, and
+// every drawn quantity must respect the plan's bounds.
+func TestChaosCoversEveryFaultClass(t *testing.T) {
+	plan := Chaos(7)
+	in := NewInjector(plan)
+	var rejects, corrupts, crashes, latencies, evicts int
+	for s := 0; s < 100; s++ {
+		site := fmt.Sprintf("bench/loop%d", s)
+		for attempt := int64(1); attempt <= 5; attempt++ {
+			if inj := in.Injection(site, attempt); inj != nil {
+				if inj.Reject {
+					rejects++
+				}
+				if inj.Corrupt {
+					corrupts++
+				}
+			}
+			f := in.Fault(site, attempt)
+			if f.Crash {
+				crashes++
+			}
+			if f.Latency > 0 {
+				latencies++
+				if f.Latency > plan.MaxLatency {
+					t.Fatalf("latency %d exceeds MaxLatency %d", f.Latency, plan.MaxLatency)
+				}
+			}
+			if f.Evictions > 0 {
+				evicts++
+				if f.Evictions > plan.EvictBurst {
+					t.Fatalf("evictions %d exceed EvictBurst %d", f.Evictions, plan.EvictBurst)
+				}
+			}
+		}
+	}
+	for name, n := range map[string]int{
+		"rejects": rejects, "corrupts": corrupts, "crashes": crashes,
+		"latencies": latencies, "evictions": evicts,
+	} {
+		if n == 0 {
+			t.Errorf("chaos plan never fired %s over 500 draws", name)
+		}
+	}
+}
+
+// TestDisabledPlanInjectsNothing: a nil or zero plan yields a nil
+// injector, and a nil injector is inert (callers store it
+// unconditionally).
+func TestDisabledPlanInjectsNothing(t *testing.T) {
+	if NewInjector(nil) != nil {
+		t.Fatal("nil plan built an injector")
+	}
+	if NewInjector(&Plan{Seed: 5}) != nil {
+		t.Fatal("zero-probability plan built an injector")
+	}
+	var in *Injector
+	if inj := in.Injection("x", 1); inj != nil {
+		t.Fatalf("nil injector injected %+v", inj)
+	}
+	if f := in.Fault("x", 1); f != (jit.Fault{}) {
+		t.Fatalf("nil injector faulted %+v", f)
+	}
+	var _ jit.Faulter = NewInjector(Chaos(1)) // compile-time conformance
+	var _ *translate.Injection = in.Injection("y", 2)
+}

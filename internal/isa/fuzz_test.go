@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzSeedProgram is a small but representative binary: ALU mix, loads,
+// stores, a loop branch, a CCA function and a priority annotation.
+func fuzzSeedProgram() *Program {
+	a := NewAsm("fuzz-seed")
+	a.MovI(2, 0)
+	a.Label("loop")
+	a.Load(5, 3, 0)
+	a.Op3(Add, 6, 5, 4)
+	a.Op3(Mul, 6, 6, 5)
+	a.Store(6, 3, 8)
+	a.AddI(3, 3, 8)
+	a.AddI(2, 2, 1)
+	a.Branch(BLT, 2, 1, "loop")
+	a.Halt()
+	fn := a.PC()
+	a.Op3(Add, 7, 5, 6)
+	a.Op3(Xor, 7, 7, 5)
+	a.Ret()
+	a.CCAFunc(fn, 3)
+	a.AnnotateLoop("loop", []int32{3, 1, 2, 0})
+	return a.MustBuild()
+}
+
+// FuzzDecode feeds arbitrary bytes to the binary-container decoder: it
+// must never panic, and any program it accepts must re-encode and
+// re-decode to a byte-identical fixpoint (otherwise the container format
+// is ambiguous).
+func FuzzDecode(f *testing.F) {
+	enc, err := Encode(fuzzSeedProgram())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add(enc[:4])
+	f.Add([]byte("VEAL"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		re, err := Encode(p)
+		if err != nil {
+			t.Fatalf("accepted program failed to re-encode: %v", err)
+		}
+		p2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded bytes failed to decode: %v", err)
+		}
+		re2, err := Encode(p2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode/decode is not a fixpoint:\nfirst:  %x\nsecond: %x", re, re2)
+		}
+	})
+}

@@ -55,6 +55,36 @@ func (c *lru[K, V]) put(k K, v V) {
 	c.items[k] = c.ll.PushBack(&lruEntry[K, V]{key: k, val: v})
 }
 
+// remove deletes an entry without running the eviction callback (the
+// caller is revoking the translation deliberately, not shedding
+// capacity); reports whether the key was cached.
+func (c *lru[K, V]) remove(k K) bool {
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, el.Value.(*lruEntry[K, V]).key)
+	return true
+}
+
+// evictOldest sheds the current victim through the eviction callback —
+// the primitive fault-injected eviction storms are built from. Reports
+// whether an entry was evicted (false on an empty cache).
+func (c *lru[K, V]) evictOldest() bool {
+	victim := c.ll.Front()
+	if victim == nil {
+		return false
+	}
+	ve := victim.Value.(*lruEntry[K, V])
+	c.ll.Remove(victim)
+	delete(c.items, ve.key)
+	if c.onEvict != nil {
+		c.onEvict(ve.key, ve.val)
+	}
+	return true
+}
+
 // peek reads without touching recency — for observability probes.
 func (c *lru[K, V]) peek(k K) (V, bool) {
 	if el, ok := c.items[k]; ok {

@@ -1,0 +1,136 @@
+package jit
+
+import "errors"
+
+// ErrWorkerCrash is the error a translation attempt concludes with when
+// a fault plan kills its worker mid-flight. The crash is negative-cached
+// like any rejection, but the retry budget re-queues the loop later, so
+// a crashed worker degrades throughput without permanently losing the
+// site.
+var ErrWorkerCrash = errors.New("translator worker crashed (injected)")
+
+// Fault is the deterministic timing fault riding one translation
+// attempt. The zero value is no fault. Faults perturb *when* and
+// *whether* a translation lands — never what it computes — so a faulted
+// run's committed architectural results stay bit-identical to a
+// fault-free run's (the chaos-soak invariant).
+type Fault struct {
+	// Crash kills the attempt: the translation result is discarded and
+	// the attempt concludes with ErrWorkerCrash.
+	Crash bool
+	// Latency adds virtual cycles to the attempt's measured work,
+	// delaying its completion under the virtual-time model.
+	Latency int64
+	// Evictions sheds up to this many LRU victims from the code cache
+	// when the attempt concludes (an eviction storm).
+	Evictions int
+}
+
+// Faulter decides the fault for a translation attempt. Implementations
+// must be pure over (loop, attempt) and concurrency-safe — the pipeline
+// consults them at enqueue time on its own goroutine, and replays must
+// reproduce the same faults. internal/faultinject provides the
+// seed-driven implementation.
+type Faulter interface {
+	Fault(loop string, attempt int64) Fault
+}
+
+// Default retry-budget shape: generous enough that production runs
+// (where rejections are structural and deterministic) essentially never
+// retry, while fault-injection configs dial RetryBase down to exercise
+// recovery.
+const (
+	DefaultRetryBase = 1 << 20
+	DefaultRetryCap  = 1 << 26
+)
+
+// setNow stamps the pipeline's virtual clock for traces and tracks the
+// run's high-water mark for the cross-run epoch (see BeginRun).
+func (p *Pipeline[K, V]) setNow(now int64) {
+	p.now = now
+	if now > p.maxNow {
+		p.maxNow = now
+	}
+}
+
+// abs converts a run-local virtual time to the monotonic absolute clock
+// the retry budget is kept in.
+func (p *Pipeline[K, V]) abs(now int64) int64 { return p.epoch + now }
+
+// backoff is the retry budget's decay: each consecutive failure doubles
+// the wait before the next attempt, capped at RetryCap.
+func (p *Pipeline[K, V]) backoff(failures int64) int64 {
+	sh := failures - 1
+	if sh < 0 {
+		sh = 0
+	}
+	if sh > 30 {
+		sh = 30
+	}
+	d := p.cfg.RetryBase << sh
+	if d <= 0 || d > p.cfg.RetryCap {
+		d = p.cfg.RetryCap
+	}
+	return d
+}
+
+// quarantineEntry moves an entry to Rejected with a decaying retry
+// budget. It is the shared state transition under both attempt
+// rejections (rejectEntry) and explicit quarantines (Quarantine);
+// counters and traces belong to those callers.
+func (p *Pipeline[K, V]) quarantineEntry(e *entry[K, V], now int64, err error) {
+	e.state = Rejected
+	e.reason = err.Error()
+	e.err = err
+	e.failures++
+	e.retryAt = p.abs(now) + p.backoff(e.failures)
+}
+
+// Quarantine revokes a loop's translation and demotes the loop to the
+// negative cache with a decaying retry budget — the VM calls it when an
+// installed translation fails independent verification. The cached code
+// is removed without an eviction event (it is being revoked, not shed).
+// Reports false without acting when the loop has a translation in
+// flight (the in-flight attempt will conclude through the normal path;
+// the caller re-checks on install).
+func (p *Pipeline[K, V]) Quarantine(key K, now int64, err error) bool {
+	p.setNow(now)
+	e := p.loops[key]
+	if e == nil {
+		e = p.admit(key)
+	}
+	if e.state == Queued || e.state == Translating {
+		return false
+	}
+	if p.cache.remove(key) {
+		p.metrics.Revoked++
+	}
+	p.quarantineEntry(e, now, err)
+	p.metrics.Quarantined++
+	p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "quarantine", Reason: e.reason})
+	return true
+}
+
+// faultFor consults the fault plan for the entry's current attempt.
+func (p *Pipeline[K, V]) faultFor(e *entry[K, V]) Fault {
+	if p.cfg.Faults == nil {
+		return Fault{}
+	}
+	f := p.cfg.Faults.Fault(p.keyName(e.key), e.attempts)
+	if f != (Fault{}) {
+		p.trace.emit(Event{T: p.now, Loop: p.keyName(e.key), Event: "fault", Latency: f.Latency})
+	}
+	return f
+}
+
+// evictStorm applies a fault's eviction storm: up to f.Evictions LRU
+// victims are shed through the normal eviction path (so Retranslations
+// and the trace see them) once the faulted attempt concludes.
+func (p *Pipeline[K, V]) evictStorm(f Fault) {
+	for i := 0; i < f.Evictions; i++ {
+		if !p.cache.evictOldest() {
+			break
+		}
+		p.metrics.InjectedEvictions++
+	}
+}

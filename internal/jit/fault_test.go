@@ -1,0 +1,261 @@
+package jit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// stubFaulter replays a scripted fault per (loop, attempt).
+type stubFaulter struct {
+	faults map[string]Fault // key: "loop/attempt"
+}
+
+func (s *stubFaulter) Fault(loop string, attempt int64) Fault {
+	return s.faults[fmt.Sprintf("%s/%d", loop, attempt)]
+}
+
+// TestRetryBudgetReopensNegativeCache pins the graceful-degradation fix:
+// a rejected loop used to stay rejected forever; now the negative cache
+// decays, and once the budget reopens the loop is retranslated (and can
+// succeed). Before the budget reopens the cached rejection still answers
+// without running the translator.
+func TestRetryBudgetReopensNegativeCache(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, RetryBase: 100, RetryCap: 400}, nil)
+	attempts := 0
+	flaky := func(int64) (string, int64, error) {
+		attempts++
+		if attempts < 3 {
+			return "", 0, errors.New("transient")
+		}
+		return "ok", 10, nil
+	}
+
+	if pr := p.Request(1, 0, flaky); pr.Outcome != OutcomeRejected || !pr.Fresh {
+		t.Fatalf("attempt 1: %+v", pr)
+	}
+	// Inside the budget (retryAt = 0 + 100): the negative cache answers.
+	if pr := p.Request(1, 99, flaky); pr.Outcome != OutcomeRejected || pr.Fresh {
+		t.Fatalf("poll at 99: %+v, want cached rejection", pr)
+	}
+	if attempts != 1 {
+		t.Fatalf("translator ran %d times inside the budget, want 1", attempts)
+	}
+	// Budget reopens at 100: second attempt fails, backoff doubles.
+	if pr := p.Request(1, 100, flaky); pr.Outcome != OutcomeRejected || !pr.Fresh {
+		t.Fatalf("retry at 100: %+v", pr)
+	}
+	// retryAt = 100 + 200; still cached at 299.
+	if pr := p.Request(1, 299, flaky); pr.Fresh {
+		t.Fatalf("poll at 299: %+v, want cached rejection", pr)
+	}
+	pr := p.Request(1, 300, flaky)
+	if pr.Outcome != OutcomeInstalled || pr.Value != "ok" {
+		t.Fatalf("retry at 300: %+v, want install", pr)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	m := p.Metrics()
+	if m.QuarantineRetries != 2 || m.Rejected != 2 || m.Installed != 1 {
+		t.Fatalf("metrics: retries=%d rejected=%d installed=%d",
+			m.QuarantineRetries, m.Rejected, m.Installed)
+	}
+	// The install reset the failure streak: a later quarantine starts the
+	// backoff over at RetryBase.
+	p.Quarantine(1, 1000, errors.New("verify failed"))
+	if pr := p.Request(1, 1099, flaky); pr.Fresh {
+		t.Fatalf("post-quarantine poll at 1099: %+v", pr)
+	}
+	if pr := p.Request(1, 1100, flaky); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("post-quarantine retry at 1100: %+v", pr)
+	}
+}
+
+// TestPreRejectIsPermanent: structural rejections (unsupported region
+// kinds) never retry, no matter how far virtual time advances.
+func TestPreRejectIsPermanent(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, RetryBase: 1}, nil)
+	p.PreReject(9, "region kind while")
+	pr := p.Request(9, 1<<40, failTranslate("must not run"))
+	if pr.Outcome != OutcomeRejected || pr.Fresh {
+		t.Fatalf("pre-rejected loop retried: %+v", pr)
+	}
+	if p.Metrics().QuarantineRetries != 0 {
+		t.Fatalf("QuarantineRetries = %d, want 0", p.Metrics().QuarantineRetries)
+	}
+}
+
+// TestRetryBudgetSpansRuns: BeginRun restarts virtual time at zero, but
+// the retry deadline must not reopen early because of it — the epoch
+// folds the previous run's high-water mark into the absolute clock.
+func TestRetryBudgetSpansRuns(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, RetryBase: 1000, RetryCap: 1000}, nil)
+	p.BeginRun()
+	if pr := p.Request(1, 500, failTranslate("no")); pr.Outcome != OutcomeRejected {
+		t.Fatalf("reject: %+v", pr)
+	}
+	// retryAt (absolute) = 500 + 1000 = 1500; run high-water mark 500.
+	p.Drain(600)
+	p.BeginRun() // epoch = 600
+	if pr := p.Request(1, 100, failTranslate("x")); pr.Fresh {
+		t.Fatalf("run 2 poll at abs 700: %+v, want cached rejection", pr)
+	}
+	if pr := p.Request(1, 900, failTranslate("x")); !pr.Fresh {
+		t.Fatalf("run 2 poll at abs 1500: %+v, want retry", pr)
+	}
+}
+
+// TestInjectedCrash: a crash fault discards a successful translation and
+// concludes the attempt with ErrWorkerCrash; the retry budget later
+// recovers the site (graceful degradation, not permanent loss).
+func TestInjectedCrash(t *testing.T) {
+	faults := &stubFaulter{faults: map[string]Fault{"1/1": {Crash: true}}}
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, Faults: faults, RetryBase: 50}, nil)
+	pr := p.Request(1, 0, constTranslate("v", 10))
+	if pr.Outcome != OutcomeRejected || !errors.Is(pr.Err, ErrWorkerCrash) {
+		t.Fatalf("crashed attempt: %+v", pr)
+	}
+	if p.Metrics().WorkerCrashes != 1 {
+		t.Fatalf("WorkerCrashes = %d", p.Metrics().WorkerCrashes)
+	}
+	// Attempt 2 has no scripted fault: the site recovers.
+	pr = p.Request(1, 50, constTranslate("v", 10))
+	if pr.Outcome != OutcomeInstalled || pr.Value != "v" {
+		t.Fatalf("recovery attempt: %+v", pr)
+	}
+}
+
+// TestInjectedCrashAsync: the crash is applied to the background job as
+// pure data and surfaces at the virtual completion time.
+func TestInjectedCrashAsync(t *testing.T) {
+	faults := &stubFaulter{faults: map[string]Fault{"1/1": {Crash: true}}}
+	p := New[int, string](Config{Workers: 1, CacheSize: 4, Faults: faults, RetryBase: 1 << 30}, nil)
+	p.BeginRun()
+	if pr := p.Request(1, 0, constTranslate("v", 50)); pr.Outcome != OutcomeQueued {
+		t.Fatalf("enqueue: %+v", pr)
+	}
+	if pr := p.Request(1, 49, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("poll at 49: %+v", pr)
+	}
+	pr := p.Request(1, 50, nil)
+	if pr.Outcome != OutcomeRejected || !errors.Is(pr.Err, ErrWorkerCrash) {
+		t.Fatalf("poll at 50: %+v, want crash rejection", pr)
+	}
+	if p.Metrics().WorkerCrashes != 1 {
+		t.Fatalf("WorkerCrashes = %d", p.Metrics().WorkerCrashes)
+	}
+}
+
+// TestInjectedLatencyDelaysInstall: added latency moves the virtual
+// completion point and is tallied separately from real work.
+func TestInjectedLatencyDelaysInstall(t *testing.T) {
+	faults := &stubFaulter{faults: map[string]Fault{"1/1": {Latency: 30}}}
+	p := New[int, string](Config{Workers: 1, CacheSize: 4, Faults: faults}, nil)
+	p.BeginRun()
+	p.Request(1, 0, constTranslate("v", 50))
+	if pr := p.Request(1, 79, nil); pr.Outcome != OutcomePending {
+		t.Fatalf("poll at 79: %+v, want pending (50 work + 30 injected)", pr)
+	}
+	pr := p.Request(1, 80, nil)
+	if pr.Outcome != OutcomeInstalled || pr.Hidden != 80 {
+		t.Fatalf("poll at 80: %+v", pr)
+	}
+	if p.Metrics().InjectedLatency != 30 {
+		t.Fatalf("InjectedLatency = %d", p.Metrics().InjectedLatency)
+	}
+}
+
+// TestInjectedEvictionStorm: an eviction storm sheds LRU victims through
+// the normal eviction path when the faulted attempt concludes.
+func TestInjectedEvictionStorm(t *testing.T) {
+	faults := &stubFaulter{faults: map[string]Fault{"9/1": {Evictions: 2}}}
+	p := New[int, string](Config{Workers: 0, CacheSize: 8, Faults: faults}, nil)
+	for k := 1; k <= 3; k++ {
+		p.Request(k, int64(k), constTranslate("x", 1))
+	}
+	if pr := p.Request(9, 10, constTranslate("y", 1)); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("faulted install: %+v", pr)
+	}
+	m := p.Metrics()
+	if m.InjectedEvictions != 2 || m.Evictions != 2 {
+		t.Fatalf("evictions: injected=%d total=%d, want 2/2", m.InjectedEvictions, m.Evictions)
+	}
+	// Victims were 1 and 2 (LRU order); 3 and 9 remain.
+	if p.CacheLen() != 2 {
+		t.Fatalf("cache len = %d, want 2", p.CacheLen())
+	}
+	if _, ok := p.Peek(3); !ok {
+		t.Fatal("loop 3 evicted, want retained")
+	}
+	if _, ok := p.Peek(1); ok {
+		t.Fatal("loop 1 retained, want evicted")
+	}
+}
+
+// TestQuarantineRevokesInstall: Quarantine removes the cached
+// translation without an eviction event, demotes the loop to Rejected,
+// and refuses to act while a translation is in flight.
+func TestQuarantineRevokesInstall(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, CacheSize: 4, RetryBase: 1 << 30}, nil)
+	p.Request(1, 0, constTranslate("v", 10))
+	if !p.Quarantine(1, 20, errors.New("verification failed")) {
+		t.Fatal("quarantine refused on an installed loop")
+	}
+	if _, ok := p.Peek(1); ok {
+		t.Fatal("translation still cached after quarantine")
+	}
+	pr := p.Request(1, 21, failTranslate("must not run"))
+	if pr.Outcome != OutcomeRejected || pr.Reason != "verification failed" {
+		t.Fatalf("post-quarantine poll: %+v", pr)
+	}
+	m := p.Metrics()
+	if m.Quarantined != 1 || m.Revoked != 1 || m.Evictions != 0 {
+		t.Fatalf("metrics: quarantined=%d revoked=%d evictions=%d", m.Quarantined, m.Revoked, m.Evictions)
+	}
+
+	// In-flight translations cannot be quarantined mid-attempt.
+	p2 := New[int, string](Config{Workers: 1, CacheSize: 4}, nil)
+	p2.BeginRun()
+	p2.Request(5, 0, constTranslate("w", 100))
+	if p2.Quarantine(5, 10, errors.New("x")) {
+		t.Fatal("quarantine acted on an in-flight translation")
+	}
+	p2.Drain(1000)
+}
+
+// TestFaultDeterminism: the same scripted faults produce identical
+// metrics across executions (faults ride the virtual-time model, so
+// host scheduling cannot perturb them).
+func TestFaultDeterminism(t *testing.T) {
+	run := func() Metrics {
+		faults := &stubFaulter{faults: map[string]Fault{
+			"2/1": {Crash: true},
+			"3/1": {Latency: 40},
+			"4/1": {Evictions: 1},
+			"2/2": {Latency: 7},
+		}}
+		p := New[int, string](Config{Workers: 2, QueueDepth: 4, CacheSize: 4, Faults: faults, RetryBase: 64}, nil)
+		p.BeginRun()
+		now := int64(0)
+		for i := 0; i < 120; i++ {
+			k := i % 6
+			pr := p.Request(k, now, constTranslate(fmt.Sprintf("t%d", k), int64(15+5*k)))
+			now += 11
+			if pr.Outcome == OutcomeInstalled {
+				now += pr.Stalled
+			}
+		}
+		p.Drain(now)
+		return *p.Metrics()
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); got != first {
+			t.Fatalf("execution %d diverged:\n got %+v\nwant %+v", i, got, first)
+		}
+	}
+	if first.WorkerCrashes == 0 || first.InjectedLatency == 0 || first.QuarantineRetries == 0 {
+		t.Fatalf("workload exercised no faults: %+v", first)
+	}
+}

@@ -109,6 +109,18 @@ type Config struct {
 	Metrics *Metrics
 	// Trace, when non-nil, receives a JSONL event stream (see Event).
 	Trace TraceWriter
+	// Faults, when non-nil, injects deterministic timing faults (worker
+	// crashes, added latency, eviction storms) into translation attempts;
+	// see Faulter. Production configurations leave it nil.
+	Faults Faulter
+	// RetryBase and RetryCap shape the negative-result retry budget: a
+	// rejected loop becomes eligible for retranslation after
+	// RetryBase << (failures-1) virtual cycles, capped at RetryCap (the
+	// budget decays exponentially with consecutive failures). Defaults
+	// DefaultRetryBase / DefaultRetryCap. Pre-rejections (structurally
+	// unsupported regions) never retry.
+	RetryBase int64
+	RetryCap  int64
 }
 
 // TraceWriter is the subset of io.Writer the tracer needs; declared
@@ -119,8 +131,11 @@ type TraceWriter interface {
 
 // TranslateFunc produces a translation, its cost in work units, and an
 // error for unsupportable loops. It must be safe to run on a background
-// goroutine: pure over immutable inputs.
-type TranslateFunc[V any] func() (V, int64, error)
+// goroutine: pure over immutable inputs. attempt is the 1-based count of
+// translation attempts the pipeline has launched for this loop — fault
+// plans key injected faults off it so a retried attempt can behave
+// differently from the first (and a replay reproduces both).
+type TranslateFunc[V any] func(attempt int64) (V, int64, error)
 
 // Outcome classifies one Request.
 type Outcome int
@@ -205,6 +220,13 @@ type entry[K comparable, V any] struct {
 	resolved   bool
 	j          *job[V]
 
+	// Graceful-degradation state.
+	attempts  int64 // translation attempts launched (1-based in faults)
+	failures  int64 // consecutive failed attempts; reset on install
+	retryAt   int64 // absolute virtual cycle the retry budget reopens
+	permanent bool  // structurally rejected; never retried
+	fault     Fault // injected fault riding the in-flight attempt
+
 	elem *list.Element // position in the monitor clock ring
 	ref  bool          // second-chance bit
 }
@@ -232,6 +254,13 @@ type Pipeline[K comparable, V any] struct {
 	wg       sync.WaitGroup
 
 	now int64 // virtual time of the current Request/Drain, for traces
+
+	// Runs restart virtual time at zero, but the retry budget must span
+	// runs (a quarantined loop's budget should not reopen just because a
+	// new run began). epoch accumulates the high-water mark of each
+	// finished run, so epoch+now is a monotonic absolute clock.
+	epoch  int64
+	maxNow int64
 }
 
 // New builds a pipeline. keyName, when non-nil, names loops in traces
@@ -248,6 +277,12 @@ func New[K comparable, V any](cfg Config, keyName func(K) string) *Pipeline[K, V
 	}
 	if cfg.Workers < 0 {
 		cfg.Workers = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = DefaultRetryCap
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
@@ -300,7 +335,7 @@ func (p *Pipeline[K, V]) Metrics() *Metrics { return p.metrics }
 // background goroutine (async enqueue); it is not called at all on
 // cache hits, cold loops, or cached rejections.
 func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) Poll[V] {
-	p.now = now
+	p.setNow(now)
 	e := p.loops[key]
 	if e == nil {
 		e = p.admit(key)
@@ -308,6 +343,16 @@ func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) P
 	e.ref = true
 	switch e.state {
 	case Rejected:
+		// Negative results decay: once the retry budget reopens, the loop
+		// gets another translation attempt instead of staying rejected
+		// forever (pre-rejections are structural and stay permanent).
+		if !e.permanent && translate != nil && p.abs(now) >= e.retryAt {
+			p.metrics.QuarantineRetries++
+			p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "retry", Reason: e.reason})
+			e.reason, e.err = "", nil
+			p.metrics.CacheMisses++
+			return p.start(e, now, translate)
+		}
 		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: e.err}
 
 	case Installed:
@@ -355,25 +400,39 @@ func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) P
 // start launches a translation for a hot loop: synchronously when the
 // background pool is disabled or full, otherwise on a background worker.
 func (p *Pipeline[K, V]) start(e *entry[K, V], now int64, translate TranslateFunc[V]) Poll[V] {
+	e.attempts++
+	f := p.faultFor(e)
 	if p.cfg.Workers <= 0 || p.inflight >= p.cfg.QueueDepth {
 		if p.cfg.Workers > 0 {
 			p.metrics.QueueFullStalls++
 		}
 		p.metrics.SyncTranslations++
-		v, work, err := translate()
+		v, work, err := translate(e.attempts)
+		work += f.Latency
+		p.metrics.InjectedLatency += f.Latency
+		if f.Crash && err == nil {
+			var zero V
+			v, err = zero, ErrWorkerCrash
+		}
+		if err == ErrWorkerCrash {
+			p.metrics.WorkerCrashes++
+		}
 		if err != nil {
 			p.rejectEntry(e, now, err)
+			p.evictStorm(f)
 			return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: err, Sync: true, Fresh: true}
 		}
 		e.enqueuedAt, e.startAt, e.doneAt = now, now, now+work
 		p.metrics.StalledCycles += work
 		p.install(e, v, work)
+		p.evictStorm(f)
 		return Poll[V]{Outcome: OutcomeInstalled, Value: v, Work: work, Stalled: work, Sync: true, Fresh: true}
 	}
 
 	e.state = Queued
 	e.enqueuedAt = now
 	e.resolved = false
+	e.fault = f
 	e.worker = p.pickWorker()
 	j := &job[V]{done: make(chan struct{})}
 	e.j = j
@@ -386,11 +445,20 @@ func (p *Pipeline[K, V]) start(e *entry[K, V], now int64, translate TranslateFun
 	p.metrics.Enqueued++
 	p.metrics.QueueDepth.Observe(int64(p.inflight))
 	p.wg.Add(1)
+	attempt := e.attempts
 	go func() {
 		defer p.wg.Done()
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
-		j.val, j.work, j.err = translate()
+		j.val, j.work, j.err = translate(attempt)
+		// The fault is applied as pure data on the job's private state;
+		// its architectural effect (longer doneAt, a crash rejection) is
+		// still decided by virtual-cycle comparisons on the caller.
+		j.work += f.Latency
+		if f.Crash && j.err == nil {
+			var zero V
+			j.val, j.err = zero, ErrWorkerCrash
+		}
 		close(j.done)
 	}()
 	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "queue"})
@@ -458,14 +526,22 @@ func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
 	p.inflight--
 	j := e.j
 	e.j = nil
+	f := e.fault
+	e.fault = Fault{}
+	p.metrics.InjectedLatency += f.Latency
+	if j.err == ErrWorkerCrash {
+		p.metrics.WorkerCrashes++
+	}
 	if j.err != nil {
 		p.rejectEntry(e, now, j.err)
+		p.evictStorm(f)
 		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: j.err, Fresh: true}
 	}
 	p.metrics.HiddenCycles += j.work
 	p.metrics.QueuedTime.Observe(e.startAt - e.enqueuedAt)
 	p.metrics.TranslateTime.Observe(e.doneAt - e.startAt)
 	p.install(e, j.val, j.work)
+	p.evictStorm(f)
 	return Poll[V]{Outcome: OutcomeInstalled, Value: j.val, Work: j.work, Hidden: j.work, Fresh: true}
 }
 
@@ -476,6 +552,8 @@ func (p *Pipeline[K, V]) install(e *entry[K, V], v V, work int64) {
 	p.cache.put(e.key, v)
 	e.state = Installed
 	e.installs++
+	e.failures = 0
+	e.retryAt = 0
 	p.metrics.Installed++
 	p.metrics.InstallLatency.Observe(e.doneAt - e.enqueuedAt)
 	p.trace.emit(Event{
@@ -485,9 +563,7 @@ func (p *Pipeline[K, V]) install(e *entry[K, V], v V, work int64) {
 }
 
 func (p *Pipeline[K, V]) rejectEntry(e *entry[K, V], now int64, err error) {
-	e.state = Rejected
-	e.reason = err.Error()
-	e.err = err
+	p.quarantineEntry(e, now, err)
 	p.metrics.Rejected++
 	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "reject", Reason: e.reason})
 }
@@ -505,6 +581,7 @@ func (p *Pipeline[K, V]) PreReject(key K, reason string) bool {
 	}
 	e.state = Rejected
 	e.reason = reason
+	e.permanent = true
 	p.metrics.PreRejected++
 	p.trace.emit(Event{T: p.now, Loop: p.keyName(key), Event: "pre-reject", Reason: reason})
 	return true
@@ -528,11 +605,15 @@ func (p *Pipeline[K, V]) RejectionFor(key K) (string, bool) {
 
 // BeginRun resets the virtual translator clocks for a new execution
 // (virtual time restarts at zero each run). The previous run must have
-// been drained.
+// been drained. The retry-budget clock does not restart: the previous
+// run's high-water mark folds into the epoch so quarantine deadlines
+// stay monotonic across runs.
 func (p *Pipeline[K, V]) BeginRun() {
 	for i := range p.workers {
 		p.workers[i].free = 0
 	}
+	p.epoch += p.maxNow
+	p.maxNow = 0
 }
 
 // Drain retires every in-flight translation: the background jobs are
@@ -542,7 +623,7 @@ func (p *Pipeline[K, V]) BeginRun() {
 // workers by index, each queue FIFO. Idempotent; returns nil when
 // nothing was in flight.
 func (p *Pipeline[K, V]) Drain(now int64) []Drained[K] {
-	p.now = now
+	p.setNow(now)
 	var out []Drained[K]
 	for wi := range p.workers {
 		for len(p.workers[wi].queue) > 0 {
@@ -575,6 +656,7 @@ func (p *Pipeline[K, V]) Flush() {
 	p.loops = make(map[K]*entry[K, V])
 	p.ring.Init()
 	p.hand = nil
+	p.epoch, p.maxNow = 0, 0
 	p.metrics.Flushes++
 	p.trace.emit(Event{T: p.now, Event: "flush"})
 }

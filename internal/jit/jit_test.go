@@ -96,11 +96,11 @@ func TestLRUMatchesSliceReference(t *testing.T) {
 }
 
 func constTranslate(v string, work int64) TranslateFunc[string] {
-	return func() (string, int64, error) { return v, work, nil }
+	return func(int64) (string, int64, error) { return v, work, nil }
 }
 
 func failTranslate(msg string) TranslateFunc[string] {
-	return func() (string, int64, error) { return "", 0, errors.New(msg) }
+	return func(int64) (string, int64, error) { return "", 0, errors.New(msg) }
 }
 
 // TestSyncLifecycle covers the workers=0 path: profiling below the hot
@@ -136,7 +136,7 @@ func TestSyncRejectionNegativeCached(t *testing.T) {
 		t.Fatalf("first attempt: %+v", pr)
 	}
 	calls := 0
-	pr = p.Request(7, 1, func() (string, int64, error) { calls++; return "", 0, errors.New("x") })
+	pr = p.Request(7, 1, func(int64) (string, int64, error) { calls++; return "", 0, errors.New("x") })
 	if pr.Outcome != OutcomeRejected || pr.Fresh || calls != 0 {
 		t.Fatalf("negative cache should answer without translating: %+v calls=%d", pr, calls)
 	}
@@ -412,6 +412,7 @@ func TestTraceJSONL(t *testing.T) {
 	known := map[string]bool{
 		"queue": true, "install": true, "reject": true, "pre-reject": true,
 		"evict": true, "monitor-evict": true, "state": true, "flush": true,
+		"retry": true, "fault": true, "quarantine": true,
 	}
 	lines := bytes.Split(bytes.TrimSpace(out), []byte("\n"))
 	if len(lines) < 5 {

@@ -144,6 +144,16 @@ type Metrics struct {
 	// that were ultimately rejected (charged but bought nothing).
 	PhaseWork    [vmcost.NumPhases]Histogram
 	RejectedWork int64
+
+	// Fault injection and graceful degradation (internal/faultinject).
+	// All are deterministic under the virtual-time model: injected faults
+	// are functions of (loop, attempt) only.
+	WorkerCrashes     int64 // background translations killed mid-flight
+	InjectedLatency   int64 // extra virtual cycles added to translations
+	InjectedEvictions int64 // cache entries shed by injected eviction storms
+	Quarantined       int64 // installs revoked to scalar by the verifier
+	QuarantineRetries int64 // quarantined sites whose retry budget re-queued them
+	Revoked           int64 // cached translations removed on quarantine
 }
 
 // ObservePhaseWork records one concluded translation attempt's per-phase
@@ -182,6 +192,16 @@ func (m *Metrics) Format() string {
 	row("hidden cycles", m.HiddenCycles)
 	row("scratch reuses", atomic.LoadInt64(&m.ScratchReuses))
 	row("rejected work", m.RejectedWork)
+	if m.WorkerCrashes+m.InjectedLatency+m.InjectedEvictions+
+		m.Quarantined+m.QuarantineRetries+m.Revoked > 0 {
+		b.WriteString("fault injection:\n")
+		row("worker crashes", m.WorkerCrashes)
+		row("injected latency", m.InjectedLatency)
+		row("injected evictions", m.InjectedEvictions)
+		row("quarantined", m.Quarantined)
+		row("quarantine retries", m.QuarantineRetries)
+		row("revoked", m.Revoked)
+	}
 	b.WriteString("jit histograms (virtual cycles):\n")
 	fmt.Fprintf(&b, "  %-22s %s\n", "queue depth", m.QueueDepth.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "install latency", m.InstallLatency.String())

@@ -54,11 +54,11 @@ func TestPreRejectReportsFirst(t *testing.T) {
 func TestPollCarriesTypedError(t *testing.T) {
 	p := New[int, string](Config{Workers: 0, CacheSize: 4}, nil)
 	sentinel := errors.New("no CCA mapping")
-	pr := p.Request(7, 0, func() (string, int64, error) { return "", 0, sentinel })
+	pr := p.Request(7, 0, func(int64) (string, int64, error) { return "", 0, sentinel })
 	if pr.Outcome != OutcomeRejected || !errors.Is(pr.Err, sentinel) {
 		t.Fatalf("fresh rejection: %+v", pr)
 	}
-	pr = p.Request(7, 1, func() (string, int64, error) { t.Fatal("retranslated"); return "", 0, nil })
+	pr = p.Request(7, 1, func(int64) (string, int64, error) { t.Fatal("retranslated"); return "", 0, nil })
 	if !errors.Is(pr.Err, sentinel) {
 		t.Fatalf("cached rejection lost the typed error: %+v", pr)
 	}

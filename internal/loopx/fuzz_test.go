@@ -1,0 +1,90 @@
+package loopx
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+)
+
+// FuzzLoopExtract throws mutated compiler output at the dataflow
+// extractor: a random generated loop is lowered to a binary, one
+// instruction field is perturbed, and every inner-loop region of any
+// still-valid program is extracted. Extraction may reject (that is its
+// job) but must never panic, and any accepted extraction must carry a
+// well-formed loop.
+func FuzzLoopExtract(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), int64(0))
+	f.Add(uint64(7), uint8(3), uint8(1), int64(5))
+	f.Add(uint64(42), uint8(9), uint8(2), int64(-1))
+	f.Add(uint64(1234567), uint8(200), uint8(5), int64(1<<40))
+	f.Fuzz(func(t *testing.T, seed uint64, mutPos, mutField uint8, mutVal int64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		gen := loopgen.Default()
+		gen.Ops = 2 + int(seed%14)
+		gen.LoadStreams = int(seed % 4)
+		gen.StoreStreams = int((seed >> 2) % 3)
+		gen.RecurProb = float64(seed%5) * 0.2
+		gen.FloatFrac = float64((seed>>3)%3) * 0.25
+		l := loopgen.Generate(rng, gen)
+		if l.NumParams > 24 {
+			t.Skip("register budget")
+		}
+		res, err := lower.Lower(l, lower.Options{
+			Annotate: seed%2 == 0,
+			Raw:      seed%5 == 0,
+		})
+		if err != nil {
+			t.Skip("compiler rejection")
+		}
+		p := res.Program
+
+		// One bounded mutation: the extractor must survive any binary
+		// that still passes program validation.
+		if len(p.Code) > 0 {
+			in := &p.Code[int(mutPos)%len(p.Code)]
+			switch mutField % 6 {
+			case 0:
+				in.Op = isa.Opcode(uint8(mutVal))
+			case 1:
+				in.Dst = uint8(mutVal) % isa.NumRegs
+			case 2:
+				in.Src1 = uint8(mutVal) % isa.NumRegs
+			case 3:
+				in.Src2 = uint8(mutVal) % isa.NumRegs
+			case 4:
+				in.Src3 = uint8(mutVal) % isa.NumRegs
+			case 5:
+				in.Imm = mutVal
+			}
+		}
+		if p.Validate() != nil {
+			t.Skip("mutation produced an invalid program")
+		}
+
+		for _, r := range cfg.FindInnerLoops(p, nil) {
+			var ext *Extraction
+			var xerr error
+			switch r.Kind {
+			case cfg.KindSchedulable:
+				ext, xerr = Extract(p, r, nil)
+			case cfg.KindSpeculation:
+				ext, xerr = ExtractSpeculative(p, r, nil)
+			default:
+				continue
+			}
+			if xerr != nil {
+				continue
+			}
+			if ext == nil || ext.Loop == nil {
+				t.Fatalf("seed %d: extraction accepted with nil loop", seed)
+			}
+			if verr := ext.Loop.Validate(); verr != nil {
+				t.Fatalf("seed %d: accepted extraction carries invalid loop: %v", seed, verr)
+			}
+		}
+	})
+}

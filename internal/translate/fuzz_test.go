@@ -1,0 +1,67 @@
+package translate_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/translate"
+	"veal/internal/verify"
+)
+
+// FuzzTranslate drives the whole translation pipeline end to end on
+// random generated programs across every policy: translation must never
+// panic, every failure must be a typed *translate.Reject, and every
+// acceptance must pass the independent legality checker — the same
+// invariant the golden-site suite pins, extended to the open input
+// space.
+func FuzzTranslate(f *testing.F) {
+	f.Add(uint64(1), uint8(0), false)
+	f.Add(uint64(20260805), uint8(1), true)
+	f.Add(uint64(99), uint8(2), false)
+	f.Add(uint64(7777), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed uint64, polByte uint8, spec bool) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		gen := loopgen.Default()
+		gen.Ops = 2 + int(seed%18)
+		gen.LoadStreams = int(seed % 5)
+		gen.StoreStreams = int((seed >> 3) % 3)
+		gen.RecurProb = float64(seed%5) * 0.2
+		gen.FloatFrac = float64((seed>>5)%3) * 0.25
+		gen.MaxDist = 1 + int((seed>>7)%3)
+		l := loopgen.Generate(rng, gen)
+		if l.NumParams > 24 {
+			t.Skip("register budget")
+		}
+		pol := translate.Policy(polByte) % translate.NumPolicies
+		res, err := lower.Lower(l, lower.Options{Annotate: pol == translate.Hybrid})
+		if err != nil {
+			t.Skip("compiler rejection")
+		}
+		la := arch.Proposed()
+		for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+			if _, declined := translate.CodeForRegion(r.Kind, spec); declined {
+				continue
+			}
+			tr, err := translate.For(pol).Run(translate.Request{
+				Prog:        res.Program,
+				Region:      r,
+				LA:          la,
+				Speculation: spec,
+			})
+			if err != nil {
+				if _, ok := translate.AsReject(err); !ok {
+					t.Fatalf("seed %d policy %v: untyped translation error: %v", seed, pol, err)
+				}
+				continue
+			}
+			if verr := verify.Translation(la, tr); verr != nil {
+				t.Fatalf("seed %d policy %v: accepted translation fails independent verification: %v\n(loop %s)",
+					seed, pol, verr, l.Name)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package translate
+
+import (
+	"fmt"
+
+	"veal/internal/modsched"
+)
+
+// Injection is a per-request fault plan for the translation pipeline,
+// set by internal/faultinject and threaded through Request.Inject. Each
+// fault is deterministic given the request: forcing a typed rejection at
+// a chosen pass, or corrupting the produced schedule copy-on-inject so
+// downstream verification layers can prove they catch it. Timing faults
+// (latency, worker crashes, eviction storms) live at the JIT layer —
+// this type only covers what the pipeline itself produces.
+type Injection struct {
+	// Reject forces a CodeInjected rejection before pass RejectAtPass
+	// runs (the index is reduced modulo the pipeline length, so any
+	// value selects a valid pass).
+	Reject       bool
+	RejectAtPass int
+	// Corrupt replaces the result's schedule with a corrupted copy: one
+	// unit's time is pushed past the stage count, which an independent
+	// verifier must always detect. The original schedule is never
+	// mutated (copy-on-inject), so shared caches stay pristine.
+	Corrupt     bool
+	CorruptSalt uint64
+}
+
+// rejectAt returns the normalized pass index the injection rejects at.
+func (inj *Injection) rejectAt(passes int) int {
+	at := inj.RejectAtPass % passes
+	if at < 0 {
+		at += passes
+	}
+	return at
+}
+
+// corruptedCopy clones the schedule and pushes one salt-selected unit's
+// time beyond the stage count. The corruption is guaranteed detectable:
+// time + II*SC lands in stage >= SC, which verify.Schedule rejects.
+func corruptedCopy(s *modsched.Schedule, salt uint64) *modsched.Schedule {
+	if s == nil || len(s.Time) == 0 {
+		return s
+	}
+	c := *s
+	c.Time = append([]int(nil), s.Time...)
+	c.FU = append([]int(nil), s.FU...)
+	u := int(salt % uint64(len(c.Time)))
+	c.Time[u] += c.II * c.SC
+	return &c
+}
+
+// injectError is the detail error carried by injected rejections.
+func injectError(pass string) error {
+	return fmt.Errorf("fault injection forced rejection at pass %q", pass)
+}

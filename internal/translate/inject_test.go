@@ -1,0 +1,84 @@
+package translate
+
+import (
+	"testing"
+)
+
+// TestInjectedRejectionAtEveryPass forces a CodeInjected rejection before
+// each pass of each policy's chain and checks the typed rejection names
+// that pass; clearing the injection restores a clean translation.
+func TestInjectedRejectionAtEveryPass(t *testing.T) {
+	base := compileKernel(t, "saxpy")
+	for pol := Policy(0); pol < NumPolicies; pol++ {
+		pl := For(pol)
+		names := pl.Passes()
+		for i := range names {
+			req := base
+			req.Inject = &Injection{Reject: true, RejectAtPass: i}
+			_, err := pl.Run(req)
+			rej, ok := AsReject(err)
+			if !ok {
+				t.Fatalf("%v pass %d: err = %v, want *Reject", pol, i, err)
+			}
+			if rej.Code != CodeInjected {
+				t.Errorf("%v pass %d: code %v, want %v", pol, i, rej.Code, CodeInjected)
+			}
+			if rej.Pass != names[i] {
+				t.Errorf("%v pass %d: rejecting pass %q, want %q", pol, i, rej.Pass, names[i])
+			}
+		}
+		// Negative indexes normalize onto the chain instead of panicking.
+		req := base
+		req.Inject = &Injection{Reject: true, RejectAtPass: -1}
+		if _, err := pl.Run(req); err == nil {
+			t.Errorf("%v: negative pass index did not reject", pol)
+		}
+		if _, err := pl.Run(base); err != nil {
+			t.Errorf("%v: clean request rejected after injections: %v", pol, err)
+		}
+	}
+}
+
+// TestCorruptionIsCopyOnInject checks the schedule corruption contract:
+// the corrupted result differs from a clean translation by exactly one
+// unit pushed past the stage count, and the clean translation's schedule
+// is never touched.
+func TestCorruptionIsCopyOnInject(t *testing.T) {
+	base := compileKernel(t, "saxpy")
+	clean, err := For(FullyDynamic).Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := append([]int(nil), clean.Schedule.Time...)
+
+	for salt := uint64(0); salt < 5; salt++ {
+		req := base
+		req.Inject = &Injection{Corrupt: true, CorruptSalt: salt}
+		res, err := For(FullyDynamic).Run(req)
+		if err != nil {
+			t.Fatalf("salt %d: %v", salt, err)
+		}
+		diff := 0
+		bad := -1
+		for u := range res.Schedule.Time {
+			if res.Schedule.Time[u] != ref[u] {
+				diff++
+				bad = u
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("salt %d: corruption touched %d units, want 1", salt, diff)
+		}
+		if stage := res.Schedule.Time[bad] / res.Schedule.II; stage < res.Schedule.SC {
+			t.Errorf("salt %d: corrupted unit %d in stage %d < SC %d (undetectable)",
+				salt, bad, stage, res.Schedule.SC)
+		}
+	}
+
+	// The clean result was never mutated by the corrupting runs.
+	for u, want := range ref {
+		if clean.Schedule.Time[u] != want {
+			t.Fatalf("clean schedule mutated at unit %d", u)
+		}
+	}
+}

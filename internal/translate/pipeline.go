@@ -85,6 +85,9 @@ type Request struct {
 	// on every request; when nil, Run borrows one from a shared pool for
 	// the duration of the call. Results never alias scratch storage.
 	Scratch *Scratch
+	// Inject, when non-nil, applies a deterministic fault to this request
+	// (see Injection); production paths leave it nil.
+	Inject *Injection
 }
 
 // Pass is one stage of the translation pipeline.
@@ -194,8 +197,21 @@ func (pl *Pipeline) Run(req Request) (*Result, error) {
 	if pl.policy != NoPenalty {
 		ctx.Meter = &ctx.meter
 	}
+	rejectAt := -1
+	if req.Inject != nil && req.Inject.Reject {
+		rejectAt = req.Inject.rejectAt(len(pl.passes))
+	}
 	passes := make([]PassStat, 0, len(pl.passes))
-	for _, pass := range pl.passes {
+	for i, pass := range pl.passes {
+		if i == rejectAt {
+			rej := reject(CodeInjected, pass.Phase(), injectError(pass.Name()))
+			rej.Pass = pass.Name()
+			rej.Work = ctx.meter.Breakdown()
+			rej.Passes = append(passes, PassStat{
+				Name: pass.Name(), Phase: pass.Phase(), Rejected: true,
+			})
+			return nil, rej
+		}
 		if req.Observer != nil {
 			req.Observer.PassEnter(pass.Name(), pass.Phase())
 		}
@@ -218,7 +234,7 @@ func (pl *Pipeline) Run(req Request) (*Result, error) {
 			return nil, rej
 		}
 	}
-	return &Result{
+	res := &Result{
 		Ext:      ctx.Ext,
 		Groups:   ctx.Groups,
 		Graph:    ctx.Graph,
@@ -226,5 +242,9 @@ func (pl *Pipeline) Run(req Request) (*Result, error) {
 		Regs:     ctx.Regs,
 		Work:     ctx.meter.Breakdown(),
 		Passes:   passes,
-	}, nil
+	}
+	if req.Inject != nil && req.Inject.Corrupt {
+		res.Schedule = corruptedCopy(res.Schedule, req.Inject.CorruptSalt)
+	}
+	return res, nil
 }

@@ -45,6 +45,9 @@ const (
 	// CodeRawBinary: the deoptimized (untransformed) binary exposes no
 	// schedulable region at the loop site (the Figure 7 scenario).
 	CodeRawBinary
+	// CodeInjected: the rejection was forced by a fault-injection plan
+	// (internal/faultinject); never produced by real translation.
+	CodeInjected
 
 	// NumCodes is the number of rejection codes.
 	NumCodes
@@ -53,7 +56,7 @@ const (
 var codeNames = [NumCodes]string{
 	"region-kind", "needs-speculation", "extract", "graph", "resources",
 	"max-ii", "static-order", "unschedulable", "registers", "alias",
-	"raw-binary",
+	"raw-binary", "injected",
 }
 
 // String returns the code's stable kebab-case name.

@@ -1,0 +1,615 @@
+// Package verify independently re-validates installed translations: it
+// re-derives every legality condition a modulo schedule, a register
+// assignment and a set of CCA groups must satisfy directly from the ir
+// loop and the architecture tables, without calling into the scheduler or
+// the CCA mapper. The point is defense in depth for the runtime (§4.2's
+// "always fall back to scalar" guarantee): a translation the engine
+// mis-produced — or one corrupted between translation and installation —
+// is caught here before the accelerator ever executes it, and the VM
+// quarantines the site back to scalar execution.
+//
+// The checks deliberately duplicate logic. Sharing the scheduler's
+// Validate method (or its reservation table, or the mapper's legality
+// probes) would let a single bug produce and then "verify" an illegal
+// schedule; everything below is recomputed from the primitive inputs:
+// node classes from ir.Op.Class, latencies from arch.Latency and the CCA
+// config, dependences from the loop's operand edges, and resource limits
+// from the arch.LA descriptor.
+package verify
+
+import (
+	"fmt"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/modsched"
+	"veal/internal/translate"
+)
+
+// unitClass is the verifier's own resource taxonomy (mirrors the
+// accelerator template: integer ALUs, FP units, CCAs, load/store address
+// generators).
+type unitClass int
+
+const (
+	clsInt unitClass = iota
+	clsFloat
+	clsLoad
+	clsStore
+	clsCCA
+	numClasses
+)
+
+func (c unitClass) String() string {
+	switch c {
+	case clsInt:
+		return "int"
+	case clsFloat:
+		return "float"
+	case clsLoad:
+		return "load"
+	case clsStore:
+		return "store"
+	case clsCCA:
+		return "cca"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// classLimit returns how many function units of a class the LA has.
+func classLimit(la *arch.LA, c unitClass) int {
+	switch c {
+	case clsInt:
+		return la.IntUnits
+	case clsFloat:
+		return la.FPUnits
+	case clsCCA:
+		return la.CCAs
+	case clsLoad:
+		return la.LoadAGs
+	case clsStore:
+		return la.StoreAGs
+	}
+	return 0
+}
+
+// classOf maps an ir op to the verifier's unit class; ok=false for value
+// sources (constants, params, the induction variable) that never occupy
+// a function unit.
+func classOf(op ir.Op) (unitClass, bool) {
+	switch op.Class() {
+	case ir.ClassInt:
+		return clsInt, true
+	case ir.ClassFloat:
+		return clsFloat, true
+	case ir.ClassMemLoad:
+		return clsLoad, true
+	case ir.ClassMemStore:
+		return clsStore, true
+	}
+	return 0, false
+}
+
+// unit is one schedulable operation as the verifier re-derives it.
+type unit struct {
+	class   unitClass
+	latency int
+}
+
+// buildUnits re-derives the scheduling-unit numbering contract from the
+// loop and the CCA groups: group i becomes unit i, then every ungrouped
+// schedulable node becomes a unit in node-ID order. It returns the units
+// and the node→unit map (-1 for value sources). The numbering must be
+// reproduced exactly — the schedule's Time/FU arrays are indexed by it.
+func buildUnits(l *ir.Loop, groups [][]int, cca arch.CCAConfig) ([]unit, []int, error) {
+	unitOf := make([]int, len(l.Nodes))
+	for i := range unitOf {
+		unitOf[i] = -1
+	}
+	units := make([]unit, 0, len(groups))
+	for gi, grp := range groups {
+		if len(grp) == 0 {
+			return nil, nil, fmt.Errorf("verify: group %d is empty", gi)
+		}
+		for _, n := range grp {
+			if n < 0 || n >= len(l.Nodes) {
+				return nil, nil, fmt.Errorf("verify: group %d node %d out of range [0,%d)", gi, n, len(l.Nodes))
+			}
+			if unitOf[n] >= 0 {
+				return nil, nil, fmt.Errorf("verify: node %d appears in groups %d and %d", n, unitOf[n], gi)
+			}
+			if l.Nodes[n].Op.Class() != ir.ClassInt {
+				return nil, nil, fmt.Errorf("verify: group %d node %d (%v) is not an integer op", gi, n, l.Nodes[n].Op)
+			}
+			unitOf[n] = gi
+		}
+		units = append(units, unit{class: clsCCA, latency: cca.Latency})
+	}
+	for _, n := range l.Nodes {
+		if unitOf[n.ID] >= 0 {
+			continue
+		}
+		c, ok := classOf(n.Op)
+		if !ok {
+			continue
+		}
+		unitOf[n.ID] = len(units)
+		units = append(units, unit{class: c, latency: arch.Latency(n.Op)})
+	}
+	return units, unitOf, nil
+}
+
+// Schedule checks a modulo schedule against the loop it claims to
+// implement: II within the control store, every unit placed at a
+// non-negative time within SC stages, every dependence separated by at
+// least the producer's latency (offset II cycles per carried iteration),
+// and no reservation conflicts — at most classLimit units of a class per
+// kernel row, each on a distinct in-range function-unit instance.
+func Schedule(la *arch.LA, l *ir.Loop, groups [][]int, s *modsched.Schedule) error {
+	if s == nil {
+		return fmt.Errorf("verify: nil schedule")
+	}
+	if s.II < 1 || s.II > la.MaxII {
+		return fmt.Errorf("verify: II %d outside [1,%d]", s.II, la.MaxII)
+	}
+	if s.SC < 1 {
+		return fmt.Errorf("verify: SC %d < 1", s.SC)
+	}
+	units, unitOf, err := buildUnits(l, groups, la.CCA)
+	if err != nil {
+		return err
+	}
+	if len(s.Time) != len(units) || len(s.FU) != len(units) {
+		return fmt.Errorf("verify: schedule covers %d/%d units, loop has %d", len(s.Time), len(s.FU), len(units))
+	}
+	// Cross-check the schedule's own node→unit map against the re-derived
+	// numbering: a corrupted or mismatched graph would silently index the
+	// wrong Time slots.
+	if s.Graph != nil {
+		for _, n := range l.Nodes {
+			if got := s.Graph.UnitOf(n.ID); got != unitOf[n.ID] {
+				return fmt.Errorf("verify: node %d mapped to unit %d, re-derivation says %d", n.ID, got, unitOf[n.ID])
+			}
+		}
+	}
+	for u := range units {
+		if s.Time[u] < 0 {
+			return fmt.Errorf("verify: unit %d scheduled at negative time %d", u, s.Time[u])
+		}
+		if stage := s.Time[u] / s.II; stage >= s.SC {
+			return fmt.Errorf("verify: unit %d at time %d is in stage %d of %d", u, s.Time[u], stage, s.SC)
+		}
+	}
+	// Dependences, re-derived from the loop's operand edges (not the
+	// graph's edge list, which is part of what is being checked).
+	for _, n := range l.Nodes {
+		to := unitOf[n.ID]
+		if to < 0 {
+			continue
+		}
+		for _, a := range n.Args {
+			if a.Node < 0 {
+				continue
+			}
+			from := unitOf[a.Node]
+			if from < 0 || from == to {
+				// Self-recurrences and edges internal to a CCA group are
+				// resolved inside the unit (the accelerator forwards the
+				// prior iteration's value through the register file), so
+				// they impose no cross-unit separation.
+				continue
+			}
+			if s.Time[to] < s.Time[from]+units[from].latency-s.II*a.Dist {
+				return fmt.Errorf("verify: dependence n%d(u%d)→n%d(u%d) violated: %d < %d+%d-%d*%d",
+					a.Node, from, n.ID, to, s.Time[to], s.Time[from], units[from].latency, s.II, a.Dist)
+			}
+		}
+	}
+	// Reservation table: per (class, kernel row), occupancy within the
+	// LA's unit count and function-unit instances distinct and in range.
+	type slot struct {
+		class unitClass
+		row   int
+		fu    int
+	}
+	taken := make(map[slot]int, len(units))
+	occupancy := make(map[[2]int]int, len(units))
+	for u, un := range units {
+		limit := classLimit(la, un.class)
+		row := s.Time[u] % s.II
+		if s.FU[u] < 0 || s.FU[u] >= limit {
+			return fmt.Errorf("verify: unit %d assigned %v FU %d of %d", u, un.class, s.FU[u], limit)
+		}
+		if prev, dup := taken[slot{un.class, row, s.FU[u]}]; dup {
+			return fmt.Errorf("verify: units %d and %d share %v FU %d in row %d", prev, u, un.class, s.FU[u], row)
+		}
+		taken[slot{un.class, row, s.FU[u]}] = u
+		occupancy[[2]int{int(un.class), row}]++
+		if occupancy[[2]int{int(un.class), row}] > limit {
+			return fmt.Errorf("verify: row %d holds %d %v units, LA has %d", row, occupancy[[2]int{int(un.class), row}], un.class, limit)
+		}
+	}
+	return nil
+}
+
+// isFloatValue classifies a produced value for register-file purposes —
+// the verifier's own copy of the semantic rule: FP producers yield FP
+// values except int-producing conversions/comparisons; non-FP producers
+// yield FP values only when every consumer is an FP op (excluding IToF,
+// which reads an integer).
+func isFloatValue(l *ir.Loop, node int, succs [][]ir.Operand) bool {
+	n := l.Nodes[node]
+	if n.Op.Class() == ir.ClassFloat {
+		switch n.Op {
+		case ir.OpFToI, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpEQ:
+			return false
+		}
+		return true
+	}
+	if len(succs[node]) == 0 {
+		return false
+	}
+	for _, s := range succs[node] {
+		c := l.Nodes[s.Node]
+		if c.Op.Class() != ir.ClassFloat || c.Op == ir.OpIToF {
+			return false
+		}
+	}
+	return true
+}
+
+// succsOf mirrors the loop's operand edges into successor lists.
+func succsOf(l *ir.Loop) [][]ir.Operand {
+	succs := make([][]ir.Operand, len(l.Nodes))
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Node >= 0 && a.Node < len(l.Nodes) {
+				succs[a.Node] = append(succs[a.Node], ir.Operand{Node: n.ID, Dist: a.Dist})
+			}
+		}
+	}
+	return succs
+}
+
+// RegisterAssignment checks the recorded register needs (the paper's
+// one-to-one architectural-register mapping, §4.1) against the LA's
+// register files: non-negative and within both file capacities.
+func RegisterAssignment(la *arch.LA, regs modsched.RegisterNeeds) error {
+	if regs.Int < 0 || regs.Float < 0 {
+		return fmt.Errorf("verify: negative register needs %+v", regs)
+	}
+	if regs.Int > la.IntRegs || regs.Float > la.FPRegs {
+		return fmt.Errorf("verify: needs %d int / %d fp registers, LA has %d / %d",
+			regs.Int, regs.Float, la.IntRegs, la.FPRegs)
+	}
+	return nil
+}
+
+// Pressure computes the register pressure a schedule actually induces,
+// by an independent modulo lifetime analysis: a value written at the end
+// of cycle avail-1 and last read at cycle `last` occupies one slot per
+// overlapped iteration in every kernel row of [avail, last), plus one
+// whole-execution slot per live-in parameter. Note this is a diagnostic,
+// not a legality gate: the engine's register model is the one-to-one
+// architectural mapping (see RegisterAssignment), and golden-suite
+// schedules exist whose lifetime pressure exceeds the file while their
+// architectural needs fit.
+func Pressure(la *arch.LA, l *ir.Loop, groups [][]int, s *modsched.Schedule) (modsched.RegisterNeeds, error) {
+	var need modsched.RegisterNeeds
+	units, unitOf, err := buildUnits(l, groups, la.CCA)
+	if err != nil {
+		return need, err
+	}
+	succs := succsOf(l)
+	isLiveOut := make([]bool, len(l.Nodes))
+	for _, lo := range l.LiveOuts {
+		if lo.Node >= 0 && lo.Node < len(l.Nodes) {
+			isLiveOut[lo.Node] = true
+		}
+	}
+
+	// Whole-execution residents: parameters actually read by compute
+	// nodes or recurrence initial values (stream bases live in the
+	// address generators and are not counted).
+	np := l.NumParams
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam && n.Param >= np {
+			np = n.Param + 1
+		}
+		for _, p := range n.Init {
+			if p >= np {
+				np = p + 1
+			}
+		}
+	}
+	paramUsed := make([]bool, np)
+	paramFloat := make([]bool, np)
+	for _, n := range l.Nodes {
+		if n.Op == ir.OpParam {
+			paramUsed[n.Param] = true
+			if isFloatValue(l, n.ID, succs) {
+				paramFloat[n.Param] = true
+			}
+		}
+		for _, p := range n.Init {
+			paramUsed[p] = true
+		}
+	}
+	for p := 0; p < np; p++ {
+		if !paramUsed[p] {
+			continue
+		}
+		if paramFloat[p] {
+			need.Float++
+		} else {
+			need.Int++
+		}
+	}
+
+	// Modulo lifetimes: a value written at the end of cycle avail-1 and
+	// last read at cycle `last` occupies one register slot per overlapped
+	// iteration in every kernel row of [avail, last).
+	ii := s.II
+	intRows := make([]int, ii)
+	fpRows := make([]int, ii)
+	for _, n := range l.Nodes {
+		u := unitOf[n.ID]
+		if u < 0 {
+			continue
+		}
+		avail := s.Time[u] + units[u].latency
+		last := avail
+		external := false
+		for _, sc := range succs[n.ID] {
+			cu := unitOf[sc.Node]
+			if cu < 0 || cu == u {
+				continue
+			}
+			external = true
+			if t := s.Time[cu] + ii*sc.Dist; t > last {
+				last = t
+			}
+		}
+		if isLiveOut[n.ID] {
+			external = true
+			if last < avail+1 {
+				last = avail + 1
+			}
+		}
+		if !external || last <= avail {
+			continue
+		}
+		rows := intRows
+		if isFloatValue(l, n.ID, succs) {
+			rows = fpRows
+		}
+		for t := avail; t < last; t++ {
+			rows[((t%ii)+ii)%ii]++
+		}
+	}
+	maxRow := func(rows []int) int {
+		mx := 0
+		for _, v := range rows {
+			if v > mx {
+				mx = v
+			}
+		}
+		return mx
+	}
+	need.Int += maxRow(intRows)
+	need.Float += maxRow(fpRows)
+	return need, nil
+}
+
+// ccaSupported is the verifier's own copy of the CCA opcode whitelist:
+// simple arithmetic, comparisons and bitwise logic — no shifts,
+// multiplies, selects, memory or floating point.
+func ccaSupported(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpNeg, ir.OpAbs,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE, ir.OpCmpLTU:
+		return true
+	}
+	return false
+}
+
+// ccaArith reports whether the op needs an arithmetic-capable row.
+func ccaArith(op ir.Op) bool {
+	switch op {
+	case ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot:
+		return false
+	}
+	return true
+}
+
+// Groups checks every structural CCA legality condition for the mapped
+// subgraphs: size, opcode support, no internal loop-carried edges,
+// input/output port limits, row levelization within the array depth with
+// arithmetic ops on arithmetic-capable rows, and convexity (no dataflow
+// path leaving the group and re-entering it). The mapper's
+// recurrence-growth rule is a schedule-quality property, not a legality
+// one, and is deliberately not re-checked.
+func Groups(l *ir.Loop, groups [][]int, cfg arch.CCAConfig) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	succs := succsOf(l)
+	isLiveOut := make([]bool, len(l.Nodes))
+	for _, lo := range l.LiveOuts {
+		if lo.Node >= 0 && lo.Node < len(l.Nodes) {
+			isLiveOut[lo.Node] = true
+		}
+	}
+	inAny := make([]int, len(l.Nodes))
+	for i := range inAny {
+		inAny[i] = -1
+	}
+	for gi, grp := range groups {
+		if len(grp) == 0 {
+			return fmt.Errorf("verify: group %d is empty", gi)
+		}
+		if len(grp) > cfg.MaxOps {
+			return fmt.Errorf("verify: group %d has %d ops, CCA fits %d", gi, len(grp), cfg.MaxOps)
+		}
+		for _, n := range grp {
+			if n < 0 || n >= len(l.Nodes) {
+				return fmt.Errorf("verify: group %d node %d out of range [0,%d)", gi, n, len(l.Nodes))
+			}
+			if inAny[n] >= 0 {
+				return fmt.Errorf("verify: node %d appears in groups %d and %d", n, inAny[n], gi)
+			}
+			inAny[n] = gi
+			if !ccaSupported(l.Nodes[n].Op) {
+				return fmt.Errorf("verify: group %d node %d op %v cannot execute on a CCA", gi, n, l.Nodes[n].Op)
+			}
+		}
+	}
+	for gi, grp := range groups {
+		inGrp := make(map[int]bool, len(grp))
+		for _, n := range grp {
+			inGrp[n] = true
+		}
+		// No internal loop-carried edges: the subgraph executes within
+		// one iteration.
+		for _, n := range grp {
+			for _, a := range l.Nodes[n].Args {
+				if a.Dist > 0 && inGrp[a.Node] {
+					return fmt.Errorf("verify: group %d carries edge n%d→n%d across iterations", gi, a.Node, n)
+				}
+			}
+		}
+		// Port limits.
+		inputs := map[int]bool{}
+		outputs := 0
+		for _, n := range grp {
+			for _, a := range l.Nodes[n].Args {
+				if (a.Dist > 0 || !inGrp[a.Node]) && a.Node >= 0 {
+					inputs[a.Node] = true
+				}
+			}
+			ext := isLiveOut[n]
+			for _, s := range succs[n] {
+				if s.Dist > 0 || !inGrp[s.Node] {
+					ext = true
+				}
+			}
+			if ext {
+				outputs++
+			}
+		}
+		if len(inputs) > cfg.Inputs {
+			return fmt.Errorf("verify: group %d needs %d inputs, CCA has %d", gi, len(inputs), cfg.Inputs)
+		}
+		if outputs > cfg.Outputs {
+			return fmt.Errorf("verify: group %d needs %d outputs, CCA has %d", gi, outputs, cfg.Outputs)
+		}
+		// Row levelization: fixpoint over the (distance-zero acyclic)
+		// subgraph, bumping arithmetic ops to arithmetic-capable rows.
+		row := make(map[int]int, len(grp))
+		for range grp {
+			for _, n := range grp {
+				r := 0
+				for _, a := range l.Nodes[n].Args {
+					if a.Dist == 0 && inGrp[a.Node] {
+						if pr := row[a.Node] + 1; pr > r {
+							r = pr
+						}
+					}
+				}
+				if ccaArith(l.Nodes[n].Op) {
+					for !cfg.RowArith(r) {
+						r++
+					}
+				}
+				row[n] = r
+			}
+		}
+		for _, n := range grp {
+			if row[n] >= cfg.Rows {
+				return fmt.Errorf("verify: group %d node %d needs row %d, CCA has %d rows", gi, n, row[n], cfg.Rows)
+			}
+		}
+		// Convexity: no outside node both reachable from the group and
+		// reaching it over distance-zero edges.
+		fromGrp := make([]bool, len(l.Nodes))
+		toGrp := make([]bool, len(l.Nodes))
+		var stack []int
+		for _, g := range grp {
+			for _, s := range succs[g] {
+				if s.Dist == 0 && !inGrp[s.Node] && !fromGrp[s.Node] {
+					fromGrp[s.Node] = true
+					stack = append(stack, s.Node)
+				}
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, s := range succs[u] {
+				if s.Dist == 0 && !inGrp[s.Node] && !fromGrp[s.Node] {
+					fromGrp[s.Node] = true
+					stack = append(stack, s.Node)
+				}
+			}
+		}
+		for _, g := range grp {
+			for _, a := range l.Nodes[g].Args {
+				if a.Node >= 0 && a.Dist == 0 && !inGrp[a.Node] && !toGrp[a.Node] {
+					toGrp[a.Node] = true
+					stack = append(stack, a.Node)
+				}
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, a := range l.Nodes[u].Args {
+				if a.Node >= 0 && a.Dist == 0 && !inGrp[a.Node] && !toGrp[a.Node] {
+					toGrp[a.Node] = true
+					stack = append(stack, a.Node)
+				}
+			}
+		}
+		for u := range l.Nodes {
+			if fromGrp[u] && toGrp[u] {
+				return fmt.Errorf("verify: group %d is not convex: node %d executes in the middle of it", gi, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Translation re-validates a complete translation result: the CCA groups
+// are structurally legal, the modulo schedule respects every dependence
+// and resource limit, and the register assignment matches an independent
+// lifetime analysis and fits the register files. It is the entry point
+// the VM's -verify mode and the test suite use.
+func Translation(la *arch.LA, tr *translate.Result) error {
+	if la == nil {
+		return fmt.Errorf("verify: nil LA")
+	}
+	if tr == nil || tr.Ext == nil || tr.Ext.Loop == nil {
+		return fmt.Errorf("verify: incomplete translation (no extracted loop)")
+	}
+	if tr.Schedule == nil {
+		return fmt.Errorf("verify: incomplete translation (no schedule)")
+	}
+	if len(tr.Groups) > 0 && la.CCAs < 1 {
+		return fmt.Errorf("verify: %d CCA groups on an LA with no CCA", len(tr.Groups))
+	}
+	// The recorded needs are the extraction's architectural register
+	// counts (one register-file slot per baseline register, §4.1); a
+	// result whose Regs drifted from its own extraction is corrupt.
+	if want := (modsched.RegisterNeeds{Int: tr.Ext.IntArchRegs, Float: tr.Ext.FPArchRegs}); tr.Regs != want {
+		return fmt.Errorf("verify: recorded register needs %+v, extraction uses %+v", tr.Regs, want)
+	}
+	l := tr.Ext.Loop
+	if err := Groups(l, tr.Groups, la.CCA); err != nil {
+		return err
+	}
+	if err := Schedule(la, l, tr.Groups, tr.Schedule); err != nil {
+		return err
+	}
+	return RegisterAssignment(la, tr.Regs)
+}

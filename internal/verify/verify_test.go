@@ -1,0 +1,334 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+	"veal/internal/translate"
+	"veal/internal/verify"
+)
+
+// buildKernel is a small integer kernel with a CCA-friendly subgraph and
+// two recurrences (the paper's Figure 5 shape): enough structure to
+// exercise dependence, reservation, row and convexity checks.
+func buildKernel(t testing.TB) (*ir.Loop, [][]int) {
+	t.Helper()
+	b := ir.NewBuilder("verify-kernel")
+	x := b.LoadStream("in", 1)
+	c1 := b.Const(3)
+	c2 := b.Const(5)
+	c3 := b.Const(2)
+	c4 := b.Const(1)
+
+	shl := b.Shl(x, c3)
+	mpy := b.Mul(x, c2)
+	and := b.And(shl, x)
+	sub := b.Sub(and, c1)
+	or := b.Or(mpy, c2)
+	xor := b.Xor(sub, shl)
+	shr := b.ShrA(xor, c4)
+	add := b.Add(or, shr)
+	b.StoreStream("out", 1, add)
+
+	b.SetArg(shl, 0, b.Recur(shr, 1, "shr0"))
+	b.SetArg(mpy, 0, b.Recur(or, 1, "or0"))
+
+	l, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return l, [][]int{{and.ID(), sub.ID(), xor.ID()}}
+}
+
+// mustSchedule runs the real scheduler (the verifier's checks must agree
+// with what the engine produces before they can catch what it doesn't).
+func mustSchedule(t testing.TB, l *ir.Loop, groups [][]int, la *arch.LA) *modsched.Schedule {
+	t.Helper()
+	g, err := modsched.BuildGraph(l, groups, la.CCA, nil)
+	if err != nil {
+		t.Fatalf("BuildGraph: %v", err)
+	}
+	mii := modsched.MII(g, la, nil)
+	order, err := modsched.ComputeOrder(g, modsched.OrderSwing, mii, nil, nil)
+	if err != nil {
+		t.Fatalf("ComputeOrder: %v", err)
+	}
+	s, err := modsched.ScheduleWithOrder(g, la, mii, order, nil)
+	if err != nil {
+		t.Fatalf("ScheduleWithOrder: %v", err)
+	}
+	return s
+}
+
+// cloneSched deep-copies the mutable parts so corruptions don't leak
+// between subtests.
+func cloneSched(s *modsched.Schedule) *modsched.Schedule {
+	c := *s
+	c.Time = append([]int(nil), s.Time...)
+	c.FU = append([]int(nil), s.FU...)
+	return &c
+}
+
+func TestScheduleAcceptsEngineOutput(t *testing.T) {
+	l, groups := buildKernel(t)
+	la := arch.Proposed()
+	s := mustSchedule(t, l, groups, la)
+	if err := verify.Schedule(la, l, groups, s); err != nil {
+		t.Fatalf("engine schedule rejected: %v", err)
+	}
+	if err := verify.Groups(l, groups, la.CCA); err != nil {
+		t.Fatalf("engine groups rejected: %v", err)
+	}
+}
+
+func TestScheduleCatchesCorruption(t *testing.T) {
+	l, groups := buildKernel(t)
+	la := arch.Proposed()
+	s := mustSchedule(t, l, groups, la)
+
+	check := func(name string, corrupt func(*modsched.Schedule), want string) {
+		t.Helper()
+		c := cloneSched(s)
+		corrupt(c)
+		err := verify.Schedule(la, l, groups, c)
+		if err == nil {
+			t.Errorf("%s: corruption not caught", name)
+		} else if !strings.Contains(err.Error(), want) {
+			t.Errorf("%s: error %q does not mention %q", name, err, want)
+		}
+	}
+
+	check("stage overflow", func(c *modsched.Schedule) {
+		c.Time[0] += c.II * c.SC
+	}, "stage")
+	check("negative time", func(c *modsched.Schedule) {
+		c.Time[len(c.Time)-1] = -1
+	}, "negative")
+	check("ii overflow", func(c *modsched.Schedule) {
+		c.II = la.MaxII + 1
+	}, "II")
+	check("fu out of range", func(c *modsched.Schedule) {
+		c.FU[0] = 1 << 20
+	}, "FU")
+
+	// Dependence violation: pull a consumer to its producer's issue
+	// cycle across some cross-unit same-iteration edge.
+	g := s.Graph
+	corrupted := false
+	for _, n := range l.Nodes {
+		to := g.UnitOf(n.ID)
+		if to < 0 || corrupted {
+			continue
+		}
+		for _, a := range n.Args {
+			if a.Node < 0 || a.Dist != 0 {
+				continue
+			}
+			from := g.UnitOf(a.Node)
+			if from < 0 || from == to {
+				continue
+			}
+			check("dependence violation", func(c *modsched.Schedule) {
+				c.Time[to] = c.Time[from]
+			}, "dependence")
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("kernel has no cross-unit same-iteration edge to corrupt")
+	}
+
+	// Reservation conflict: two same-class units forced onto the same
+	// function unit in the same kernel row.
+	pair := false
+	for u := 0; u < len(s.Time) && !pair; u++ {
+		for v := u + 1; v < len(s.Time); v++ {
+			if g.Units[u].Class == g.Units[v].Class {
+				check("reservation conflict", func(c *modsched.Schedule) {
+					c.Time[v] = c.Time[u]
+					c.FU[v] = c.FU[u]
+				}, "share")
+				pair = true
+				break
+			}
+		}
+	}
+	if !pair {
+		t.Fatal("kernel has no same-class unit pair to collide")
+	}
+}
+
+func TestGroupsCatchIllegalSubgraphs(t *testing.T) {
+	la := arch.Proposed()
+
+	t.Run("unsupported op", func(t *testing.T) {
+		l, _ := buildKernel(t)
+		var mul int = -1
+		for _, n := range l.Nodes {
+			if n.Op == ir.OpMul {
+				mul = n.ID
+			}
+		}
+		if err := verify.Groups(l, [][]int{{mul}}, la.CCA); err == nil ||
+			!strings.Contains(err.Error(), "cannot execute") {
+			t.Errorf("multiply in a CCA group not caught: %v", err)
+		}
+	})
+
+	t.Run("non-convex", func(t *testing.T) {
+		l, _ := buildKernel(t)
+		var shl, xor int = -1, -1
+		for _, n := range l.Nodes {
+			switch n.Op {
+			case ir.OpShl:
+				shl = n.ID
+			case ir.OpXor:
+				xor = n.ID
+			}
+		}
+		// shl reaches xor only through the outside and/sub nodes.
+		if err := verify.Groups(l, [][]int{{xor}}, la.CCA); err != nil {
+			t.Fatalf("single-node group should be legal: %v", err)
+		}
+		_ = shl
+		b := ir.NewBuilder("nonconvex")
+		x := b.Param("x")
+		a := b.Add(x, b.Const(1))
+		m := b.Mul(a, a) // outside the group: shifts the path out and back in
+		z := b.Sub(m, a)
+		b.LiveOut("z", z)
+		nl, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Groups(nl, [][]int{{a.ID(), z.ID()}}, la.CCA); err == nil ||
+			!strings.Contains(err.Error(), "convex") {
+			t.Errorf("non-convex group not caught: %v", err)
+		}
+	})
+
+	t.Run("internal carried edge", func(t *testing.T) {
+		b := ir.NewBuilder("selfrec")
+		x := b.Param("x")
+		acc := b.Add(x, x) // arg rewired to its own previous value below
+		b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+		b.LiveOut("acc", acc)
+		l, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Groups(l, [][]int{{acc.ID()}}, la.CCA); err == nil ||
+			!strings.Contains(err.Error(), "across iterations") {
+			t.Errorf("internal loop-carried edge not caught: %v", err)
+		}
+	})
+
+	t.Run("too deep", func(t *testing.T) {
+		b := ir.NewBuilder("deep")
+		v := b.Param("x")
+		ids := []int{}
+		for i := 0; i < 3; i++ {
+			v = b.Add(v, b.Const(int64(i+1)))
+			ids = append(ids, v.ID())
+		}
+		b.LiveOut("v", v)
+		l, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Arithmetic ops only fit rows 0 and 2 of the 4-row CCA, so a
+		// 3-add chain needs row 4.
+		if err := verify.Groups(l, [][]int{ids}, la.CCA); err == nil ||
+			!strings.Contains(err.Error(), "row") {
+			t.Errorf("over-deep group not caught: %v", err)
+		}
+	})
+
+	t.Run("too many outputs", func(t *testing.T) {
+		b := ir.NewBuilder("outs")
+		x, y := b.Param("x"), b.Param("y")
+		a1, a2, a3 := b.Add(x, y), b.Sub(x, y), b.CmpLT(x, y)
+		b.LiveOut("a1", a1)
+		b.LiveOut("a2", a2)
+		b.LiveOut("a3", a3)
+		l, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := verify.Groups(l, [][]int{{a1.ID(), a2.ID(), a3.ID()}}, la.CCA); err == nil ||
+			!strings.Contains(err.Error(), "outputs") {
+			t.Errorf("3-output group not caught: %v", err)
+		}
+	})
+}
+
+func TestRegisterAssignmentCapacity(t *testing.T) {
+	la := arch.Proposed()
+	if err := verify.RegisterAssignment(la, modsched.RegisterNeeds{Int: la.IntRegs, Float: la.FPRegs}); err != nil {
+		t.Errorf("exact-fit needs rejected: %v", err)
+	}
+	if err := verify.RegisterAssignment(la, modsched.RegisterNeeds{Int: la.IntRegs + 1}); err == nil {
+		t.Error("int overflow not caught")
+	}
+	if err := verify.RegisterAssignment(la, modsched.RegisterNeeds{Float: la.FPRegs + 1}); err == nil {
+		t.Error("fp overflow not caught")
+	}
+	if err := verify.RegisterAssignment(la, modsched.RegisterNeeds{Int: -1}); err == nil {
+		t.Error("negative needs not caught")
+	}
+}
+
+// TestPressureMatchesEngine cross-validates the verifier's independent
+// modulo lifetime analysis against the scheduler's own: both implement
+// the same semantic rule from disjoint code, so disagreement means one
+// of them regressed.
+func TestPressureMatchesEngine(t *testing.T) {
+	l, groups := buildKernel(t)
+	la := arch.Proposed()
+	s := mustSchedule(t, l, groups, la)
+	got, err := verify.Pressure(la, l, groups, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := modsched.Registers(s, nil)
+	if got != want {
+		t.Errorf("independent pressure %+v, engine computes %+v", got, want)
+	}
+}
+
+func TestTranslationCrossChecks(t *testing.T) {
+	l, groups := buildKernel(t)
+	la := arch.Proposed()
+	s := mustSchedule(t, l, groups, la)
+	res := &translate.Result{
+		Ext:      &loopx.Extraction{Loop: l, IntArchRegs: 4, FPArchRegs: 0},
+		Groups:   groups,
+		Graph:    s.Graph,
+		Schedule: s,
+		Regs:     modsched.RegisterNeeds{Int: 4, Float: 0},
+	}
+	if err := verify.Translation(la, res); err != nil {
+		t.Fatalf("consistent translation rejected: %v", err)
+	}
+	bad := *res
+	bad.Regs = modsched.RegisterNeeds{Int: 5, Float: 0}
+	if err := verify.Translation(la, &bad); err == nil {
+		t.Error("register-needs drift from extraction not caught")
+	}
+	if err := verify.Translation(la, &translate.Result{Ext: res.Ext}); err == nil {
+		t.Error("missing schedule not caught")
+	}
+	if err := verify.Translation(la, nil); err == nil {
+		t.Error("nil translation not caught")
+	}
+	scalar := *la
+	scalar.CCAs = 0
+	if err := verify.Translation(&scalar, res); err == nil {
+		t.Error("CCA groups on a CCA-less LA not caught")
+	}
+}

@@ -1,0 +1,191 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/faultinject"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/jit"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+)
+
+// chaosProg is one randomly generated benchmark with its scalar-core
+// reference results (computed once, fault-free).
+type chaosProg struct {
+	res     *lower.Result
+	mem     *ir.PagedMemory
+	seed    func(*scalar.Machine)
+	refMem  *ir.PagedMemory
+	refRegs [isa.NumRegs]uint64
+}
+
+func buildChaosProgs(t *testing.T, count int) []chaosProg {
+	t.Helper()
+	rng := rand.New(rand.NewSource(20260805))
+	var progs []chaosProg
+	for len(progs) < count {
+		cfgen := loopgen.Default()
+		cfgen.Ops = 2 + rng.Intn(12)
+		cfgen.LoadStreams = rng.Intn(4)
+		cfgen.StoreStreams = 1 + rng.Intn(2)
+		cfgen.RecurProb = 0.2
+		cfgen.MaxDist = 1 + rng.Intn(2)
+		l := loopgen.Generate(rng, cfgen)
+		if l.NumParams > 24 {
+			continue
+		}
+		res, err := lower.Lower(l, lower.Options{Annotate: true})
+		if err != nil {
+			continue
+		}
+		trip := int64(20 + rng.Intn(40))
+		bind := loopgen.Bindings(rng, l, trip)
+		mem := ir.NewPagedMemory()
+		for _, st := range l.Streams {
+			if st.Kind == ir.LoadStream {
+				base := st.AddrAt(bind.Params, 0)
+				for i := int64(-4); i <= trip*4+4; i++ {
+					mem.Store(base+i, uint64(rng.Int63()))
+				}
+			}
+		}
+		r := res
+		params := append([]uint64(nil), bind.Params...)
+		seed := func(m *scalar.Machine) {
+			m.Regs[r.TripReg] = uint64(trip)
+			for i, reg := range r.ParamRegs {
+				m.Regs[reg] = params[i]
+			}
+		}
+		ref := scalar.New(DefaultConfig().CPU, mem.Clone())
+		seed(ref)
+		if err := ref.Run(res.Program, 50_000_000); err != nil {
+			continue
+		}
+		// Keep only programs the fault-free VM accelerates, so "no site
+		// permanently lost" below tests degradation recovery, not
+		// structural rejections (register pressure etc.).
+		ffCfg := chaosConfig()
+		ffCfg.Faults = nil
+		ff := New(ffCfg)
+		ffRes, _, err := ff.Run(res.Program, mem.Clone(), seed, 50_000_000)
+		if err != nil || ffRes.Launches == 0 {
+			continue
+		}
+		progs = append(progs, chaosProg{
+			res: res, mem: mem, seed: seed,
+			refMem:  ref.Mem.(*ir.PagedMemory),
+			refRegs: ref.Regs,
+		})
+	}
+	return progs
+}
+
+func chaosConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Policy = Hybrid
+	cfg.TranslateWorkers = 2
+	cfg.CodeCacheSize = 4
+	cfg.Faults = faultinject.Chaos(99)
+	// A tight retry budget so quarantines expire well within the soak:
+	// no site may be permanently lost to an injected fault.
+	cfg.RetryBase = 256
+	cfg.RetryCap = 4096
+	return cfg
+}
+
+// runChaosSoak drives one VM through epochs of every program under the
+// hostile fault plan, checking each epoch's committed results against
+// the fault-free scalar reference.
+func runChaosSoak(t *testing.T, progs []chaosProg, epochs int) *VM {
+	t.Helper()
+	v := New(chaosConfig())
+	for epoch := 0; epoch < epochs; epoch++ {
+		for pi := range progs {
+			pg := &progs[pi]
+			mem := pg.mem.Clone()
+			_, m, err := v.Run(pg.res.Program, mem, pg.seed, 50_000_000)
+			if err != nil {
+				t.Fatalf("epoch %d prog %d: %v", epoch, pi, err)
+			}
+			if !mem.Equal(pg.refMem) {
+				t.Fatalf("epoch %d prog %d: memory diverges from fault-free reference\n%s",
+					epoch, pi, pg.res.Program.Disassemble())
+			}
+			for reg := 0; reg < isa.NumRegs; reg++ {
+				if m.Regs[reg] != pg.refRegs[reg] {
+					t.Fatalf("epoch %d prog %d: r%d = %#x, fault-free %#x",
+						epoch, pi, reg, m.Regs[reg], pg.refRegs[reg])
+				}
+			}
+		}
+	}
+	return v
+}
+
+// TestChaosSoak is the graceful-degradation soak: a VM under the
+// hostile fault plan (injected rejections, schedule corruption, worker
+// crashes, latency, eviction storms) must commit results bit-identical
+// to the fault-free reference in every epoch, must actually exercise
+// every fault class, and must not permanently lose any acceleratable
+// site — quarantines always expire through the retry budget.
+func TestChaosSoak(t *testing.T) {
+	progs := buildChaosProgs(t, 6)
+	v := runChaosSoak(t, progs, 8)
+
+	m := v.Metrics()
+	if m.WorkerCrashes == 0 || m.InjectedLatency == 0 || m.InjectedEvictions == 0 {
+		t.Errorf("timing faults not exercised: crashes=%d latency=%d evictions=%d",
+			m.WorkerCrashes, m.InjectedLatency, m.InjectedEvictions)
+	}
+	if m.Quarantined == 0 || m.Revoked == 0 {
+		t.Errorf("no corrupted install was quarantined: quarantined=%d revoked=%d",
+			m.Quarantined, m.Revoked)
+	}
+	if m.QuarantineRetries == 0 {
+		t.Errorf("retry budget never reopened a rejected site")
+	}
+	if v.Stats.VerifyFailures == 0 || v.Stats.VerifyPasses == 0 {
+		t.Errorf("verification not exercised: passes=%d failures=%d",
+			v.Stats.VerifyPasses, v.Stats.VerifyFailures)
+	}
+	if v.Stats.RejectCodes[translate.CodeInjected] == 0 {
+		t.Errorf("no injected pipeline rejection surfaced in Stats.RejectCodes")
+	}
+
+	// No site permanently lost: every monitored loop installed a
+	// translation at some point despite the faults (the fault-free VM
+	// accelerates all of these programs).
+	for _, info := range v.LoopStates() {
+		if info.Installs == 0 {
+			t.Errorf("site %s never installed a translation (state %v, reason %q)",
+				info.Name, info.State, info.Reason)
+		}
+	}
+	if v.Stats.AccelLaunches == 0 {
+		t.Error("chaos soak never launched the accelerator")
+	}
+}
+
+// TestChaosSoakReplaysFromSeed: the whole faulted run is deterministic —
+// identical metrics across executions for a fixed plan seed. Only
+// ScratchReuses is excluded: it counts wall-clock scratch-arena reuse
+// races, the one documented nondeterministic counter.
+func TestChaosSoakReplaysFromSeed(t *testing.T) {
+	progs := buildChaosProgs(t, 4)
+	run := func() jit.Metrics {
+		v := runChaosSoak(t, progs, 4)
+		m := *v.Metrics()
+		m.ScratchReuses = 0
+		return m
+	}
+	first := run()
+	if again := run(); again != first {
+		t.Fatalf("chaos soak diverged across executions:\n got %+v\nwant %+v", again, first)
+	}
+}

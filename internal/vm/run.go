@@ -99,13 +99,12 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			skipHead, skipBack = -1, -1
 		}
 		if region, isHead := regionAt[m.PC]; isHead && skipHead != m.PC {
-			handled, spin := false, false
-			if _, bad := v.pipe.RejectionFor(cacheKey{p, m.PC}); !bad {
-				var err error
-				handled, spin, err = v.dispatch(p, region, m, res)
-				if err != nil {
-					return nil, nil, err
-				}
+			// Rejected loops go through dispatch too: the negative cache
+			// answers cheaply, and a loop whose retry budget has reopened
+			// gets its retranslation started here.
+			handled, spin, err := v.dispatch(p, region, m, res)
+			if err != nil {
+				return nil, nil, err
 			}
 			if handled {
 				continue
@@ -133,6 +132,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			res.HiddenTranslationCycles += d.Work
 			if t, ok := v.pipe.Peek(d.Key); ok {
 				v.observeTranslation(d.Key, t.Work, t.Passes, false)
+				v.verifyInstall(d.Key, now, t)
 			}
 		} else {
 			v.recordRejection(d.Err, d.Reason)
@@ -153,11 +153,12 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 // a single iteration and poll again.
 func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, bool, error) {
 	key := cacheKey{p, region.Head}
+	name := keyName(key)
 	// Virtual time of this head arrival: scalar cycles retired plus
 	// accelerator and stall cycles already charged to the run.
 	now := m.Stats().Cycles + res.AccelCycles + res.StalledTranslationCycles
-	pr := v.pipe.Request(key, now, func() (*Translation, int64, error) {
-		t, err := v.Translate(p, region)
+	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
+		t, err := v.translateWith(p, region, v.inj.Injection(name, attempt))
 		if err != nil {
 			return nil, 0, err
 		}
@@ -201,6 +202,10 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 		res.HiddenTranslationCycles += pr.Hidden
 		t = pr.Value
 		v.observeTranslation(key, t.Work, t.Passes, false)
+		if !v.verifyInstall(key, now, t) {
+			// Quarantined: the scalar core runs this invocation.
+			return false, false, nil
+		}
 	}
 
 	bind, err := t.Ext.Bindings(&m.Regs)

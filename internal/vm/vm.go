@@ -33,10 +33,12 @@ import (
 
 	"veal/internal/arch"
 	"veal/internal/cfg"
+	"veal/internal/faultinject"
 	"veal/internal/ir"
 	"veal/internal/isa"
 	"veal/internal/jit"
 	"veal/internal/translate"
+	"veal/internal/verify"
 	"veal/internal/vmcost"
 )
 
@@ -109,6 +111,26 @@ type Config struct {
 	// the cap shed the least recently seen bookkeeping via a clock sweep.
 	MonitorCap int
 
+	// Verify re-validates every installed translation with the
+	// independent legality checker (internal/verify) before the VM ever
+	// dispatches to it; a translation that fails verification is
+	// quarantined — revoked from the code cache and demoted to scalar
+	// execution with a decaying retry budget. Forced on whenever the
+	// fault plan can corrupt schedules.
+	Verify bool
+	// Faults, when non-nil and enabled, injects deterministic
+	// seed-driven faults into translation attempts (see
+	// internal/faultinject): forced rejections, schedule corruption,
+	// worker crashes, added latency and eviction storms. Production
+	// configurations leave it nil.
+	Faults *faultinject.Plan
+	// RetryBase and RetryCap shape the JIT's negative-result retry
+	// budget (defaults jit.DefaultRetryBase / jit.DefaultRetryCap): a
+	// rejected or quarantined loop is retranslated once the budget
+	// reopens instead of staying rejected forever.
+	RetryBase int64
+	RetryCap  int64
+
 	// Metrics, when non-nil, receives the JIT pipeline's counters and
 	// histograms (shareable across VMs for aggregation).
 	Metrics *jit.Metrics
@@ -141,6 +163,10 @@ type Stats struct {
 	RejectCodes    [translate.NumCodes]int64
 	AccelLaunches  int64
 	ScalarFallback int64
+	// Independent verification (Config.Verify): installed translations
+	// re-validated, and those revoked to scalar for failing.
+	VerifyPasses   int64
+	VerifyFailures int64
 }
 
 // VM is a co-designed virtual machine instance.
@@ -158,6 +184,12 @@ type VM struct {
 	// (almost) nothing. Sized to the background worker cap so concurrent
 	// translator goroutines never block on it.
 	scratches chan *translate.Scratch
+
+	// inj draws deterministic fault decisions (nil when Config.Faults is
+	// absent or disabled); verify gates the independent re-validation of
+	// installed translations.
+	inj    *faultinject.Injector
+	verify bool
 }
 
 // New creates a VM.
@@ -171,7 +203,14 @@ func New(cfg Config) *VM {
 	if cfg.HotThreshold <= 0 {
 		cfg.HotThreshold = 1
 	}
-	pipe := jit.New[cacheKey, *Translation](jit.Config{
+	inj := faultinject.NewInjector(cfg.Faults)
+	verifyOn := cfg.Verify
+	if cfg.Faults != nil && cfg.Faults.CorruptProb > 0 {
+		// Corruption without verification would execute wrong schedules;
+		// the plan only makes sense with the checker in the loop.
+		verifyOn = true
+	}
+	jcfg := jit.Config{
 		Workers:      cfg.TranslateWorkers,
 		QueueDepth:   cfg.TranslateQueue,
 		CacheSize:    cfg.CodeCacheSize,
@@ -179,12 +218,22 @@ func New(cfg Config) *VM {
 		MonitorCap:   cfg.MonitorCap,
 		Metrics:      cfg.Metrics,
 		Trace:        cfg.Trace,
-	}, keyName)
+		RetryBase:    cfg.RetryBase,
+		RetryCap:     cfg.RetryCap,
+	}
+	if inj != nil {
+		jcfg.Faults = inj
+	}
+	pipe := jit.New[cacheKey, *Translation](jcfg, keyName)
 	slots := cfg.TranslateWorkers
 	if slots < 1 {
 		slots = 1
 	}
-	return &VM{Cfg: cfg, pipe: pipe, scratches: make(chan *translate.Scratch, slots)}
+	return &VM{
+		Cfg: cfg, pipe: pipe,
+		scratches: make(chan *translate.Scratch, slots),
+		inj:       inj, verify: verifyOn,
+	}
 }
 
 // keyName names a loop for traces and snapshots.
@@ -218,6 +267,12 @@ func (v *VM) Pipeline() *translate.Pipeline { return translate.For(v.Cfg.Policy)
 // the error, when non-nil, is a *translate.Reject with a typed reason
 // code and the failing pass/phase.
 func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) {
+	return v.translateWith(p, region, nil)
+}
+
+// translateWith is Translate with an optional per-attempt fault; the
+// JIT dispatch path threads the injector's decision through here.
+func (v *VM) translateWith(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, error) {
 	sc := v.acquireScratch()
 	defer v.releaseScratch(sc)
 	res, err := translate.For(v.Cfg.Policy).Run(translate.Request{
@@ -226,11 +281,29 @@ func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) 
 		LA:          v.Cfg.LA,
 		Speculation: v.Cfg.SpeculationSupport,
 		Scratch:     sc,
+		Inject:      inj,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// verifyInstall re-validates a freshly installed translation with the
+// independent checker; on failure the loop is quarantined (translation
+// revoked, scalar fallback, decaying retry budget). Reports whether the
+// translation may be dispatched.
+func (v *VM) verifyInstall(key cacheKey, now int64, t *Translation) bool {
+	if !v.verify {
+		return true
+	}
+	if err := verify.Translation(v.Cfg.LA, t); err != nil {
+		v.Stats.VerifyFailures++
+		v.pipe.Quarantine(key, now, fmt.Errorf("verification failed: %w", err))
+		return false
+	}
+	v.Stats.VerifyPasses++
+	return true
 }
 
 // acquireScratch takes a scratch arena off the VM's free-list, falling

@@ -154,7 +154,7 @@ func TestCodeCacheLRUEviction(t *testing.T) {
 	pipe := jit.New[int, *Translation](jit.Config{CacheSize: 2}, nil)
 	t1, t2, t3 := &Translation{}, &Translation{}, &Translation{}
 	install := func(k int, tr *Translation) {
-		pr := pipe.Request(k, 0, func() (*Translation, int64, error) { return tr, 1, nil })
+		pr := pipe.Request(k, 0, func(int64) (*Translation, int64, error) { return tr, 1, nil })
 		if pr.Outcome != jit.OutcomeInstalled && pr.Outcome != jit.OutcomeHit {
 			t.Fatalf("install %d: outcome %v", k, pr.Outcome)
 		}

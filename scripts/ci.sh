@@ -25,6 +25,25 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== golden-site verification (race) =="
+# Every accepted golden-site translation must pass the independent
+# legality checker, under the race detector (the verifier shares no code
+# with the scheduler, so this is a true cross-check).
+go test -race -run TestGoldenSitesVerify ./internal/exp
+
+echo "== fuzz smoke =="
+# Short coverage-guided runs of each fuzz target; beyond the checked-in
+# seed corpora this shakes out fresh panics on every CI run.
+# FUZZ_SMOKE=0 skips for quick local loops; FUZZTIME tunes the budget.
+if [ "${FUZZ_SMOKE:-1}" = "1" ]; then
+    FUZZTIME="${FUZZTIME:-30s}"
+    go test -fuzz FuzzDecode -fuzztime "$FUZZTIME" ./internal/isa
+    go test -fuzz FuzzLoopExtract -fuzztime "$FUZZTIME" ./internal/loopx
+    go test -fuzz FuzzTranslate -fuzztime "$FUZZTIME" ./internal/translate
+else
+    echo "skipped (FUZZ_SMOKE=0)"
+fi
+
 echo "== bench gate =="
 # Benchmark regression gate vs the committed baseline (see
 # scripts/bench_gate.sh). BENCH_GATE=0 skips it for quick local loops.
