@@ -12,6 +12,8 @@
 //	veal vmstats [-kernel K] JIT pipeline observability: run a kernel
 //	                        under the VM and report lifecycle metrics,
 //	                        or -overlap for the stall-vs-overlap table
+//	veal bench [-batch B]   host-throughput sweep: batched lockstep
+//	                        execution vs serial runs (guest-insts/sec)
 //
 // The global -j N flag (before the subcommand) caps the evaluation
 // worker pool; -j 1 forces serial evaluation. The VEAL_WORKERS
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"veal/internal/arch"
@@ -75,6 +78,8 @@ func main() {
 		err = cmdSpeculation()
 	case "vmstats":
 		err = cmdVMStats(args)
+	case "bench":
+		err = cmdBench(args)
 	case "asm":
 		err = cmdAsm(args)
 	default:
@@ -88,7 +93,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|asm> [flags]`)
 }
 
 func usageExit() {
@@ -326,6 +331,7 @@ func cmdVMStats(args []string) error {
 	verifyFlag := fs.Bool("verify", false, "independently re-verify every installed translation (quarantine failures)")
 	faultSeed := fs.Uint64("fault-seed", 0, "run under the deterministic chaos fault plan with this seed (0 = off)")
 	faults := fs.Bool("faults", false, "print the fault-injection and graceful-degradation report")
+	batch := fs.Int("batch", 0, "run this many guests in lockstep per run via RunBatch (0 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -389,12 +395,30 @@ func cmdVMStats(args []string) error {
 			m.Regs[r] = bind.Params[i]
 		}
 	}
-	fmt.Printf("%s: trip=%d workers=%d cache=%d threshold=%d\n\n",
-		loop.Name, *trip, *workers, *cache, *threshold)
+	fmt.Printf("%s: trip=%d workers=%d cache=%d threshold=%d batch=%d\n\n",
+		loop.Name, *trip, *workers, *cache, *threshold, *batch)
 	for run := 0; run < *repeat; run++ {
-		r, _, err := v.Run(res.Program, mem.Clone(), seed, 500_000_000)
-		if err != nil {
-			return err
+		var r *vm.RunResult
+		if *batch > 0 {
+			mems := make([]*ir.PagedMemory, *batch)
+			seeds := make([]func(*scalar.Machine), *batch)
+			for lane := range mems {
+				mems[lane] = mem.Clone()
+				seeds[lane] = seed
+			}
+			br, _, err := v.RunBatch(res.Program, mems, seeds, 500_000_000)
+			if err != nil {
+				return err
+			}
+			r = &br.Total
+			fmt.Printf("run %d: lanes=%d decoded=%d applied=%d splits=%d\n",
+				run+1, r.Lanes, r.DecodedInsts, r.LaneInsts, r.DivergenceSplits)
+		} else {
+			var err error
+			r, _, err = v.Run(res.Program, mem.Clone(), seed, 500_000_000)
+			if err != nil {
+				return err
+			}
 		}
 		fmt.Printf("run %d: cycles=%-10d scalar=%-10d accel=%-8d trans=%d (stalled=%d hidden=%d) launches=%d\n",
 			run+1, r.Cycles, r.ScalarCycles, r.AccelCycles,
@@ -428,6 +452,55 @@ func cmdVMStats(args []string) error {
 	if *tracePath != "" {
 		fmt.Printf("\ntrace written to %s\n", *tracePath)
 	}
+	return nil
+}
+
+// cmdBench measures host throughput (guest instructions and guest
+// programs per wall-clock second) across batch widths: batch 1 is the
+// serial Run path, wider batches share one decode, one translation, and
+// one schedule walk across all lanes via RunBatch.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	batches := fs.String("batch", "1,8,64", "comma-separated batch widths to sweep")
+	kernels := fs.String("kernel", "", "comma-separated kernel names (default: a divergence-free trio)")
+	trip := fs.Int64("trip", 32, "iterations per loop invocation")
+	policy := fs.String("policy", "hybrid", "translation policy: dynamic|height|hybrid")
+	repeats := fs.Int("repeats", 10, "repetitions per point (fastest wins)")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := exp.ThroughputOptions{Trip: *trip, Repeats: *repeats}
+	for _, b := range strings.Split(*batches, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(b))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bench: bad batch width %q", b)
+		}
+		opt.Batches = append(opt.Batches, n)
+	}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			opt.Kernels = append(opt.Kernels, strings.TrimSpace(k))
+		}
+	}
+	switch *policy {
+	case "dynamic":
+		opt.Policy = vm.FullyDynamic
+	case "height":
+		opt.Policy = vm.HeightPriority
+	case "hybrid":
+		opt.Policy = vm.Hybrid
+	default:
+		return fmt.Errorf("bench: unknown policy %q", *policy)
+	}
+	rows, err := exp.Throughput(opt)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return exp.WriteThroughputCSV(os.Stdout, rows)
+	}
+	fmt.Print(exp.FormatThroughput(rows))
 	return nil
 }
 

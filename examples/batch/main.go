@@ -1,0 +1,112 @@
+// Batch: run many guests of one binary in lockstep. A multi-tenant host
+// executes the same kernel (here a saxpy) for M tenants on different
+// data; RunBatch fetches and decodes each instruction once per lane
+// group, translates the loop once, and walks the modulo schedule once
+// per launch — then verifies the batched results are bit-identical to M
+// serial Run calls. Compare wall-clock host throughput with:
+//
+//	veal bench -batch 1,8,64
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"veal"
+)
+
+const (
+	lanes = 64
+	trip  = 32
+	xBase = 0x1000
+	yBase = 0x8000
+)
+
+func main() {
+	// y[i] += a * x[i]
+	b := veal.NewLoop("saxpy")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	sum := b.Add(y, b.Mul(a, x))
+	b.StoreStream("yout", 1, sum)
+	b.LiveOut("last", sum)
+	loop, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	bin, err := veal.Compile(loop, veal.CompileOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each tenant gets its own scale factor and input vectors.
+	laneParams := func(tenant int) map[string]uint64 {
+		return map[string]uint64{
+			"x": xBase, "y": yBase, "yout": yBase,
+			"a": uint64(tenant%7 + 2),
+		}
+	}
+	laneMem := func(tenant int) *veal.Memory {
+		mem := veal.NewMemory()
+		for i := int64(0); i < trip; i++ {
+			mem.Store(xBase+i, uint64(tenant)*1000+uint64(i))
+			mem.Store(yBase+i, uint64(i*i))
+		}
+		return mem
+	}
+	newSystem := func() *veal.System {
+		return veal.NewSystem(veal.SystemConfig{
+			CPU:    veal.BaselineCPU(),
+			Accel:  veal.ProposedAccelerator(),
+			Policy: veal.Hybrid,
+		})
+	}
+
+	// Serial baseline: M independent tenants, each paying fetch/decode,
+	// translation, and schedule bookkeeping on its own.
+	serial := make([]*veal.Result, lanes)
+	serialMems := make([]*veal.Memory, lanes)
+	serialStart := time.Now()
+	for t := 0; t < lanes; t++ {
+		serialMems[t] = laneMem(t)
+		serial[t], err = newSystem().Run(bin, laneParams(t), trip, serialMems[t])
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	serialWall := time.Since(serialStart)
+
+	// Batched: the same M tenants through one lockstep pass.
+	batch := make([]veal.BatchLane, lanes)
+	for t := range batch {
+		batch[t] = veal.BatchLane{Params: laneParams(t), Trip: trip, Mem: laneMem(t)}
+	}
+	batchStart := time.Now()
+	bres, err := newSystem().RunBatch(bin, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	batchWall := time.Since(batchStart)
+
+	for t := 0; t < lanes; t++ {
+		if bres.Lanes[t].LiveOuts["last"] != serial[t].LiveOuts["last"] {
+			log.Fatalf("BUG: lane %d live-out diverges from serial run", t)
+		}
+		if !batch[t].Mem.Equal(serialMems[t]) {
+			log.Fatalf("BUG: lane %d memory diverges from serial run", t)
+		}
+	}
+
+	fmt.Printf("%d tenants × %d iterations of %q\n", lanes, trip, loop.Name)
+	fmt.Printf("  serial:  %v host wall clock\n", serialWall)
+	fmt.Printf("  batched: %v host wall clock (%.1fx)\n",
+		batchWall, float64(serialWall)/float64(batchWall))
+	fmt.Printf("  decode amortization: %d applied / %d decoded = %.1f lanes per decode\n",
+		bres.AppliedInsts, bres.DecodedInsts,
+		float64(bres.AppliedInsts)/float64(bres.DecodedInsts))
+	fmt.Printf("  divergence splits: %d, accelerator launches (total): %d\n",
+		bres.Splits, bres.Total.Launches)
+	fmt.Printf("  all %d lanes bit-identical to serial runs\n", lanes)
+}

@@ -1,0 +1,330 @@
+package accel
+
+import (
+	"fmt"
+	"sync"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/modsched"
+)
+
+// valsPool recycles the flat SoA backing array across batched launches:
+// steady-state kernels launch repeatedly with the same shape, and a
+// fresh multi-hundred-KB allocation per launch costs page faults that
+// dwarf the clear of a warm buffer.
+var valsPool sync.Pool
+
+func getVals(n int) []uint64 {
+	if p, _ := valsPool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		buf := (*p)[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	return make([]uint64, n)
+}
+
+func putVals(buf []uint64) { valsPool.Put(&buf) }
+
+// BatchStats summarizes the amortization a batched invocation achieved:
+// the schedule was walked UnitFirings times while LaneFirings lane-level
+// node evaluations were performed, so LaneFirings/UnitFirings approaches
+// the lane count on divergence-free (equal-trip) batches.
+type BatchStats struct {
+	Lanes       int
+	UnitFirings int64
+	LaneFirings int64
+}
+
+// ExecuteBatch runs one installed schedule across len(binds) independent
+// lanes: each lane has its own parameter bindings (including trip count)
+// and its own memory, but the schedule walk — event-loop bookkeeping,
+// kernel-row bucketing, per-unit topological ordering, node decode — is
+// performed once and applied to every live lane. Lanes whose trip count
+// is exhausted retire out of the firing mask; lanes with Trip == 0 take
+// the same setup+drain-only path as the serial simulator.
+//
+// Results are bit-identical to calling Execute once per lane: the value
+// ring buffers are per-lane slices of one structure-of-arrays allocation,
+// and every per-lane read/evaluate/commit step mirrors executeTraced.
+func ExecuteBatch(la *arch.LA, s *modsched.Schedule, binds []*ir.Bindings, mems []ir.Memory) ([]*Result, BatchStats, error) {
+	g := s.Graph
+	l := g.Loop
+	L := len(binds)
+	stats := BatchStats{Lanes: L}
+	if L == 0 {
+		return nil, stats, nil
+	}
+	if len(mems) != L {
+		return nil, stats, fmt.Errorf("accel: %d bindings but %d memories", L, len(mems))
+	}
+	for lane, b := range binds {
+		if err := b.Validate(l); err != nil {
+			return nil, stats, fmt.Errorf("accel: lane %d: %w", lane, err)
+		}
+	}
+	if err := s.Validate(la); err != nil {
+		return nil, stats, err
+	}
+
+	results := make([]*Result, L)
+	setup := SetupCycles(la, l, s)
+	drain := DrainCycles(la, l)
+	maxTrip := int64(0)
+	for lane, b := range binds {
+		results[lane] = &Result{LiveOuts: make(map[string]uint64, len(l.LiveOuts))}
+		if b.Trip > maxTrip {
+			maxTrip = b.Trip
+		}
+		if b.Trip == 0 {
+			for _, lo := range l.LiveOuts {
+				results[lane].LiveOuts[lo.Name] = liveOutFallback(l, lo, b, lo.Dist)
+			}
+			results[lane].Cycles = setup + drain
+		}
+	}
+	if maxTrip == 0 {
+		return results, stats, nil
+	}
+
+	// Structure-of-arrays value history: one flat pooled allocation,
+	// subsliced per node into depth ring slots × L lanes and indexed
+	// [(src%depth)*L + lane].
+	depth := int64(l.MaxDist() + s.SC + 2)
+	stride := int(depth) * L
+	backing := getVals(len(l.Nodes) * stride)
+	defer putVals(backing)
+	vals := make([][]uint64, len(l.Nodes))
+	for i := range vals {
+		vals[i] = backing[i*stride : (i+1)*stride]
+	}
+
+	// Devirtualize guest memory when every lane is a *PagedMemory (the
+	// common case): the direct call lets the page-cache fast path inline
+	// into the firing loop, where loads and stores dominate.
+	paged := make([]*ir.PagedMemory, L)
+	for lane, mem := range mems {
+		pm, ok := mem.(*ir.PagedMemory)
+		if !ok {
+			paged = nil
+			break
+		}
+		paged[lane] = pm
+	}
+
+	// Per-lane trip and parameter tables, hoisted so the firing loop never
+	// chases the bindings pointer.
+	trips := make([]int64, L)
+	params := make([][]uint64, L)
+	for lane, b := range binds {
+		trips[lane] = b.Trip
+		params[lane] = b.Params
+	}
+
+	// argSrc is one decoded operand of a firing: exactly one of row
+	// (per-lane ring slice), param (index into the lane's Params), or
+	// imm (lane-invariant value) is active.
+	type argSrc struct {
+		row   []uint64
+		param int
+		imm   uint64
+	}
+	// decodeArg resolves operand a at iteration iter once per firing;
+	// the per-lane loop then reads the decoded form.
+	decodeArg := func(a ir.Operand, iter int64) argSrc {
+		src := iter - int64(a.Dist)
+		if src < 0 {
+			return argSrc{param: l.Nodes[a.Node].Init[-src-1], row: nil}
+		}
+		n := l.Nodes[a.Node]
+		switch n.Op {
+		case ir.OpConst:
+			return argSrc{param: -1, imm: n.Imm}
+		case ir.OpParam:
+			return argSrc{param: n.Param}
+		case ir.OpIndVar:
+			return argSrc{param: -1, imm: uint64(src)}
+		}
+		return argSrc{param: -1, row: vals[a.Node][(src%depth)*int64(L):]}
+	}
+
+	// Per-unit topological node order, computed once per launch instead of
+	// once per firing as the serial simulator does.
+	topoIdx := make(map[int]int, len(l.Nodes))
+	for i, id := range l.TopoOrder() {
+		topoIdx[id] = i
+	}
+	sorted := make([][]int, len(g.Units))
+	for u := range g.Units {
+		nodes := g.Units[u].Nodes
+		if len(nodes) > 1 {
+			nodes = append([]int(nil), nodes...)
+			for i := 1; i < len(nodes); i++ {
+				for j := i; j > 0 && topoIdx[nodes[j]] < topoIdx[nodes[j-1]]; j-- {
+					nodes[j], nodes[j-1] = nodes[j-1], nodes[j]
+				}
+			}
+		}
+		sorted[u] = nodes
+	}
+
+	// One event loop for the whole batch. A unit firing for iteration i
+	// evaluates its nodes across every lane still live at i (lane
+	// retirement mask: iter >= binds[lane].Trip).
+	lastStart := int64(0)
+	for u := range g.Units {
+		if t := int64(s.Time[u]) + (maxTrip-1)*int64(s.II); t > lastStart {
+			lastStart = t
+		}
+	}
+	byRow := make([][]int, s.II)
+	for u := range g.Units {
+		byRow[s.Cycle(u)] = append(byRow[s.Cycle(u)], u)
+	}
+	// minTrip bounds the dense region: for iter < minTrip every lane is
+	// live, so the lane loops skip the retirement check entirely.
+	minTrip := trips[0]
+	for _, t := range trips[1:] {
+		if t < minTrip {
+			minTrip = t
+		}
+	}
+
+	var args [3]uint64
+	var srcs [3]argSrc
+	for c := int64(0); c <= lastStart; c++ {
+		for _, u := range byRow[c%int64(s.II)] {
+			iter := (c - int64(s.Time[u])) / int64(s.II)
+			if c < int64(s.Time[u]) || iter >= maxTrip {
+				continue
+			}
+			stats.UnitFirings++
+			dense := iter < minTrip
+			for _, id := range sorted[u] {
+				n := l.Nodes[id]
+				row := vals[id][(iter%depth)*int64(L) : (iter%depth+1)*int64(L)]
+				var fired int64
+				switch n.Op {
+				case ir.OpLoad:
+					st := &l.Streams[n.Stream]
+					switch {
+					case dense && paged != nil:
+						for lane := range row {
+							row[lane] = paged[lane].Load(st.AddrAt(params[lane], iter))
+						}
+						fired = int64(L)
+					case paged != nil:
+						for lane := 0; lane < L; lane++ {
+							if iter >= trips[lane] {
+								continue
+							}
+							fired++
+							row[lane] = paged[lane].Load(st.AddrAt(params[lane], iter))
+						}
+					default:
+						for lane := 0; lane < L; lane++ {
+							if iter >= trips[lane] {
+								continue
+							}
+							fired++
+							row[lane] = mems[lane].Load(st.AddrAt(params[lane], iter))
+						}
+					}
+				case ir.OpStore:
+					st := &l.Streams[n.Stream]
+					src := decodeArg(n.Args[0], iter)
+					if dense && paged != nil && src.row != nil {
+						for lane := range row {
+							v := src.row[lane]
+							paged[lane].Store(st.AddrAt(params[lane], iter), v)
+							row[lane] = v
+						}
+						fired = int64(L)
+						break
+					}
+					for lane := 0; lane < L; lane++ {
+						if !dense && iter >= trips[lane] {
+							continue
+						}
+						fired++
+						v := src.imm
+						if src.row != nil {
+							v = src.row[lane]
+						} else if src.param >= 0 {
+							v = params[lane][src.param]
+						}
+						if paged != nil {
+							paged[lane].Store(st.AddrAt(params[lane], iter), v)
+						} else {
+							mems[lane].Store(st.AddrAt(params[lane], iter), v)
+						}
+						row[lane] = v
+					}
+				default:
+					na := len(n.Args)
+					for i := 0; i < na; i++ {
+						srcs[i] = decodeArg(n.Args[i], iter)
+						args[i] = srcs[i].imm
+					}
+					if dense && na == 2 && srcs[0].row != nil && srcs[1].row != nil {
+						// Hottest shape: a two-operand node whose inputs both
+						// come from value rings in lockstep.
+						r0, r1 := srcs[0].row[:L], srcs[1].row[:L]
+						op := n.Op
+						for lane := range row {
+							args[0], args[1] = r0[lane], r1[lane]
+							row[lane] = ir.Eval(op, args[:2])
+						}
+						fired = int64(L)
+						break
+					}
+					for lane := 0; lane < L; lane++ {
+						if !dense && iter >= trips[lane] {
+							continue
+						}
+						fired++
+						for i := 0; i < na; i++ {
+							if srcs[i].row != nil {
+								args[i] = srcs[i].row[lane]
+							} else if srcs[i].param >= 0 {
+								args[i] = params[lane][srcs[i].param]
+							}
+						}
+						row[lane] = ir.Eval(n.Op, args[:na])
+					}
+				}
+				stats.LaneFirings += fired
+			}
+		}
+	}
+
+	for lane, b := range binds {
+		if b.Trip == 0 {
+			continue
+		}
+		res := results[lane]
+		for _, lo := range l.LiveOuts {
+			n := l.Nodes[lo.Node]
+			idx := b.Trip - 1 - int64(lo.Dist)
+			if idx < 0 {
+				res.LiveOuts[lo.Name] = liveOutFallback(l, lo, b, int(-idx-1))
+				continue
+			}
+			switch n.Op {
+			case ir.OpConst:
+				res.LiveOuts[lo.Name] = n.Imm
+			case ir.OpParam:
+				res.LiveOuts[lo.Name] = b.Params[n.Param]
+			case ir.OpIndVar:
+				res.LiveOuts[lo.Name] = uint64(idx)
+			default:
+				res.LiveOuts[lo.Name] = vals[lo.Node][(idx%depth)*int64(L)+int64(lane)]
+			}
+		}
+		res.ComputeCycles = PipelineCycles(la, s, b.Trip)
+		res.Cycles = setup + res.ComputeCycles + drain
+	}
+	return results, stats, nil
+}

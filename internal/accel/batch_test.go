@@ -1,0 +1,173 @@
+package accel
+
+import (
+	"fmt"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/modsched"
+	"veal/internal/workloads"
+)
+
+// trySchedule returns a schedule for the loop or nil when the kernel is
+// not modulo-schedulable on the given machine (e.g. while-shaped sites).
+func trySchedule(l *ir.Loop, la *arch.LA) *modsched.Schedule {
+	g, err := modsched.BuildGraph(l, nil, la.CCA, nil)
+	if err != nil {
+		return nil
+	}
+	s, err := modsched.ScheduleLoop(g, la, modsched.OrderSwing, nil, nil)
+	if err != nil {
+		return nil
+	}
+	return s
+}
+
+// TestExecuteBatchMatchesSerial proves the batched simulator bit-identical
+// to per-lane serial Execute calls across the workload suite, including
+// lane retirement (unequal trips) and zero-trip lanes.
+func TestExecuteBatchMatchesSerial(t *testing.T) {
+	la := arch.Proposed()
+	seen := map[string]bool{}
+	tested := 0
+	for _, bm := range workloads.MediaFP() {
+		for _, site := range bm.Sites {
+			if seen[site.Kernel.Name] {
+				continue
+			}
+			seen[site.Kernel.Name] = true
+			l := site.Kernel.Build()
+			s := trySchedule(l, la)
+			if s == nil {
+				continue
+			}
+			tested++
+			t.Run(site.Kernel.Name, func(t *testing.T) {
+				const lanes = 7
+				trips := []int64{site.Trip, 0, 1, 3, site.Trip + 5, 2, site.Trip / 2}
+				binds := make([]*ir.Bindings, lanes)
+				batchMems := make([]ir.Memory, lanes)
+				serialMems := make([]*ir.PagedMemory, lanes)
+				serialRes := make([]*Result, lanes)
+				for lane := 0; lane < lanes; lane++ {
+					b, mem := workloads.Prepare(l, trips[lane], int64(1000*lane+7))
+					binds[lane] = b
+					batchMems[lane] = mem.Clone()
+					serialMems[lane] = mem
+					res, err := Execute(la, s, b, serialMems[lane])
+					if err != nil {
+						t.Fatalf("lane %d serial Execute: %v", lane, err)
+					}
+					serialRes[lane] = res
+				}
+				got, stats, err := ExecuteBatch(la, s, binds, batchMems)
+				if err != nil {
+					t.Fatalf("ExecuteBatch: %v", err)
+				}
+				for lane := 0; lane < lanes; lane++ {
+					w, g := serialRes[lane], got[lane]
+					if g.Cycles != w.Cycles || g.ComputeCycles != w.ComputeCycles {
+						t.Errorf("lane %d: cycles (%d,%d), serial (%d,%d)",
+							lane, g.Cycles, g.ComputeCycles, w.Cycles, w.ComputeCycles)
+					}
+					if len(g.LiveOuts) != len(w.LiveOuts) {
+						t.Errorf("lane %d: %d live-outs, serial %d", lane, len(g.LiveOuts), len(w.LiveOuts))
+					}
+					for name, wv := range w.LiveOuts {
+						if gv := g.LiveOuts[name]; gv != wv {
+							t.Errorf("lane %d: live-out %q = %#x, serial %#x", lane, name, gv, wv)
+						}
+					}
+					if !batchMems[lane].(*ir.PagedMemory).Equal(serialMems[lane]) {
+						t.Errorf("lane %d: memory diverges from serial", lane)
+					}
+				}
+				if stats.Lanes != lanes {
+					t.Errorf("stats.Lanes = %d, want %d", stats.Lanes, lanes)
+				}
+			})
+		}
+	}
+	if tested < 3 {
+		t.Fatalf("only %d schedulable kernels exercised", tested)
+	}
+}
+
+// TestExecuteBatchAmortization checks that equal-trip batches walk the
+// schedule once for the whole batch: unit firings stay constant as lanes
+// scale while lane-level work scales linearly.
+func TestExecuteBatchAmortization(t *testing.T) {
+	la := arch.Proposed()
+	var l *ir.Loop
+	var s *modsched.Schedule
+	for _, bm := range workloads.MediaFP() {
+		for _, site := range bm.Sites {
+			cand := site.Kernel.Build()
+			if sc := trySchedule(cand, la); sc != nil {
+				l, s = cand, sc
+				break
+			}
+		}
+		if l != nil {
+			break
+		}
+	}
+	if l == nil {
+		t.Fatal("no schedulable kernel in suite")
+	}
+
+	run := func(lanes int) BatchStats {
+		binds := make([]*ir.Bindings, lanes)
+		mems := make([]ir.Memory, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			b, mem := workloads.Prepare(l, 32, int64(lane))
+			binds[lane], mems[lane] = b, mem
+		}
+		_, stats, err := ExecuteBatch(la, s, binds, mems)
+		if err != nil {
+			t.Fatalf("ExecuteBatch(%d lanes): %v", lanes, err)
+		}
+		return stats
+	}
+	one := run(1)
+	many := run(8)
+	if many.UnitFirings != one.UnitFirings {
+		t.Errorf("unit firings scale with lanes: 1 lane %d, 8 lanes %d", one.UnitFirings, many.UnitFirings)
+	}
+	if want := 8 * one.LaneFirings; many.LaneFirings != want {
+		t.Errorf("lane firings = %d, want %d", many.LaneFirings, want)
+	}
+}
+
+// TestExecuteBatchBindingErrors checks per-lane validation failures carry
+// the lane index.
+func TestExecuteBatchBindingErrors(t *testing.T) {
+	la := arch.Proposed()
+	b := ir.NewBuilder("v")
+	x := b.LoadStream("x", 1)
+	b.StoreStream("out", 1, x)
+	l := b.MustBuild()
+	s := trySchedule(l, la)
+	if s == nil {
+		t.Fatal("trivial copy loop failed to schedule")
+	}
+	good, mem := workloads.Prepare(l, 4, 1)
+	bad := &ir.Bindings{Params: nil, Trip: 4}
+	_, _, err := ExecuteBatch(la, s, []*ir.Bindings{good, bad}, []ir.Memory{mem, ir.NewPagedMemory()})
+	if err == nil {
+		t.Fatal("expected validation error for lane 1")
+	}
+	if want := fmt.Sprintf("lane %d", 1); !contains(err.Error(), want) {
+		t.Errorf("error %q does not name the offending lane", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+
+	"veal/internal/ir"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+// ThroughputOptions configures the batch-size sweep: each kernel is
+// executed at every batch width on a fresh VM — batch 1 through the
+// serial Run path, larger widths through RunBatch — and the host
+// wall-clock throughput is reported. A fresh VM per measured run keeps
+// the comparison honest about what batching amortizes: M serial tenants
+// each pay translation, decode and schedule-walk bookkeeping; one
+// batched run pays them once.
+type ThroughputOptions struct {
+	// Kernels are workload kernel names (empty selects a representative
+	// divergence-free trio).
+	Kernels []string
+	// Batches are the lane counts to sweep (default 1, 8, 64).
+	Batches []int
+	// Trip is the per-invocation iteration count (default 32 — the
+	// short-trip regime where per-guest translation, decode, and
+	// schedule-walk overheads dominate, which is exactly what lockstep
+	// batching amortizes).
+	Trip int64
+	// Policy is the VM translation policy (default Hybrid).
+	Policy vm.Policy
+	// Repeats per measurement; the fastest repetition is reported
+	// (default 3).
+	Repeats int
+}
+
+// ThroughputRow is one (kernel, batch-width) measurement.
+type ThroughputRow struct {
+	Kernel string
+	Batch  int
+	// Seconds is the best wall-clock time to execute Batch programs.
+	Seconds float64
+	// GuestInsts is the logical guest work performed: Batch programs ×
+	// the kernel's sequential dynamic operation count at the trip.
+	GuestInsts       int64
+	GuestInstsPerSec float64
+	ProgramsPerSec   float64
+	// Speedup is GuestInstsPerSec relative to the same kernel's batch=1
+	// row (1.0 for the serial baseline itself).
+	Speedup float64
+	// Amortization is the interpreter's decode amortization ratio
+	// (applied lane-instructions per decoded instruction; 1.0 serial).
+	Amortization float64
+	// Splits counts divergence splits (0 on these lockstep-friendly
+	// kernels).
+	Splits int64
+}
+
+func defaultThroughputKernels() []string { return []string{"saxpy", "dotprod", "idct-row"} }
+
+// Throughput runs the batch-size sweep.
+func Throughput(opt ThroughputOptions) ([]ThroughputRow, error) {
+	if len(opt.Kernels) == 0 {
+		opt.Kernels = defaultThroughputKernels()
+	}
+	if len(opt.Batches) == 0 {
+		opt.Batches = []int{1, 8, 64}
+	}
+	if opt.Trip <= 0 {
+		opt.Trip = 32
+	}
+	if opt.Repeats <= 0 {
+		opt.Repeats = 3
+	}
+	kernels, err := resolveKernels(opt.Kernels, opt.Trip)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := vm.DefaultConfig()
+	cfg.Policy = opt.Policy
+
+	// Measure with the collector paused: setup clones batch guest
+	// memories per repeat, and GC assists triggered by that garbage
+	// would otherwise land inside the timed region. Explicit collections
+	// between repeats keep the heap bounded.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+
+	var rows []ThroughputRow
+	for _, k := range kernels {
+		loop := kernelLoop(k)
+		guestPerProgram := ir.DynamicOps(loop, opt.Trip)
+		seed := func(m *scalar.Machine) {
+			m.Regs[k.res.TripReg] = uint64(opt.Trip)
+			for i, r := range k.res.ParamRegs {
+				m.Regs[r] = k.bind.Params[i]
+			}
+		}
+		var base float64
+		for _, batch := range opt.Batches {
+			row := ThroughputRow{
+				Kernel:     k.name,
+				Batch:      batch,
+				GuestInsts: int64(batch) * guestPerProgram,
+			}
+			best := time.Duration(0)
+			for rep := 0; rep < opt.Repeats; rep++ {
+				mems := make([]*ir.PagedMemory, batch)
+				seeds := make([]func(*scalar.Machine), batch)
+				for lane := 0; lane < batch; lane++ {
+					mems[lane] = k.mem.Clone()
+					seeds[lane] = seed
+				}
+				v := vm.New(cfg)
+				runtime.GC()
+				start := time.Now()
+				if batch == 1 {
+					if _, _, err := v.Run(k.res.Program, mems[0], seed, 500_000_000); err != nil {
+						return nil, fmt.Errorf("throughput: %s serial: %w", k.name, err)
+					}
+					row.Amortization = 1
+				} else {
+					br, _, err := v.RunBatch(k.res.Program, mems, seeds, 500_000_000)
+					if err != nil {
+						return nil, fmt.Errorf("throughput: %s batch %d: %w", k.name, batch, err)
+					}
+					if br.Total.DecodedInsts > 0 {
+						row.Amortization = float64(br.Total.LaneInsts) / float64(br.Total.DecodedInsts)
+					}
+					row.Splits = br.Total.DivergenceSplits
+				}
+				if d := time.Since(start); best == 0 || d < best {
+					best = d
+				}
+			}
+			row.Seconds = best.Seconds()
+			if row.Seconds > 0 {
+				row.GuestInstsPerSec = float64(row.GuestInsts) / row.Seconds
+				row.ProgramsPerSec = float64(batch) / row.Seconds
+			}
+			if batch == 1 {
+				base = row.GuestInstsPerSec
+			}
+			if base > 0 {
+				row.Speedup = row.GuestInstsPerSec / base
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// kernelLoop rebuilds the kernel's loop for operation counting (the
+// resolved kernel keeps only the lowered form).
+func kernelLoop(k overlapKernel) *ir.Loop {
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			if l := site.Kernel.Build(); l.Name == k.name {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// FormatThroughput renders the sweep as an aligned table.
+func FormatThroughput(rows []ThroughputRow) string {
+	var b strings.Builder
+	b.WriteString("batched lockstep throughput (host wall clock):\n")
+	fmt.Fprintf(&b, "  %-12s %6s %14s %14s %12s %8s %7s %7s\n",
+		"kernel", "batch", "guest-insts/s", "programs/s", "wall", "speedup", "amort", "splits")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-12s %6d %14s %14.1f %12s %7.2fx %7.1f %7d\n",
+			r.Kernel, r.Batch, humanRate(r.GuestInstsPerSec), r.ProgramsPerSec,
+			time.Duration(r.Seconds*1e9).Round(time.Microsecond).String(),
+			r.Speedup, r.Amortization, r.Splits)
+	}
+	return b.String()
+}
+
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// WriteThroughputCSV emits kernel,batch,seconds,guest_insts,
+// guest_insts_per_sec,programs_per_sec,speedup,amortization,splits.
+func WriteThroughputCSV(w io.Writer, rows []ThroughputRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "batch", "seconds", "guest_insts",
+		"guest_insts_per_sec", "programs_per_sec", "speedup", "amortization", "splits"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Kernel,
+			strconv.Itoa(r.Batch),
+			strconv.FormatFloat(r.Seconds, 'g', 8, 64),
+			strconv.FormatInt(r.GuestInsts, 10),
+			strconv.FormatFloat(r.GuestInstsPerSec, 'g', 8, 64),
+			strconv.FormatFloat(r.ProgramsPerSec, 'g', 8, 64),
+			strconv.FormatFloat(r.Speedup, 'g', 6, 64),
+			strconv.FormatFloat(r.Amortization, 'g', 6, 64),
+			strconv.FormatInt(r.Splits, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

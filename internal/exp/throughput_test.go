@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"veal/internal/vm"
+)
+
+func TestThroughputSweep(t *testing.T) {
+	rows, err := Throughput(ThroughputOptions{
+		Kernels: []string{"saxpy", "dotprod"},
+		Batches: []int{1, 4},
+		Trip:    64,
+		Policy:  vm.Hybrid,
+		Repeats: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.GuestInsts <= 0 || r.Seconds <= 0 || r.GuestInstsPerSec <= 0 {
+			t.Errorf("%s batch %d: non-positive measurement: %+v", r.Kernel, r.Batch, r)
+		}
+		if r.Batch == 1 && r.Speedup != 1 {
+			t.Errorf("%s: serial speedup = %v, want 1", r.Kernel, r.Speedup)
+		}
+		if r.Batch == 4 && r.Splits != 0 {
+			t.Errorf("%s: divergence-free kernel split %d times", r.Kernel, r.Splits)
+		}
+		if r.Batch == 4 && r.Amortization <= 1 {
+			t.Errorf("%s batch 4: amortization %v, want > 1", r.Kernel, r.Amortization)
+		}
+	}
+	// Guest work must scale exactly with the batch width.
+	if rows[1].GuestInsts != 4*rows[0].GuestInsts {
+		t.Errorf("guest insts: batch 4 = %d, serial = %d", rows[1].GuestInsts, rows[0].GuestInsts)
+	}
+
+	out := FormatThroughput(rows)
+	if !strings.Contains(out, "saxpy") || !strings.Contains(out, "guest-insts/s") {
+		t.Errorf("format missing fields:\n%s", out)
+	}
+	var csvb strings.Builder
+	if err := WriteThroughputCSV(&csvb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csvb.String(), "\n"); lines != 5 {
+		t.Errorf("csv lines = %d, want 5\n%s", lines, csvb.String())
+	}
+}
+
+func TestThroughputUnknownKernel(t *testing.T) {
+	if _, err := Throughput(ThroughputOptions{Kernels: []string{"nope"}}); err == nil {
+		t.Fatal("want error for unknown kernel")
+	}
+}

@@ -11,10 +11,22 @@ type Memory interface {
 
 const pageWords = 1 << 12 // 4096 words per page
 
+// cacheWays sizes the direct-mapped page cache: kernels walk up to a
+// dozen streams (stream-hungry loops from aggressive inlining), and the
+// cache must hold one page per stream for steady-state accesses to skip
+// the page map.
+const cacheWays = 16
+
 // PagedMemory is a sparse word-addressed memory. The zero value is ready
-// to use; unwritten words read as zero.
+// to use; unwritten words read as zero. A small direct-mapped page cache
+// serves the sequential stream accesses that dominate kernel execution
+// without touching the page map.
 type PagedMemory struct {
 	pages map[int64]*[pageWords]uint64
+	// ckey/cpage form a direct-mapped cache of resident pages, indexed
+	// by the low page-key bits; a nil cpage slot is empty.
+	ckey  [cacheWays]int64
+	cpage [cacheWays]*[pageWords]uint64
 }
 
 // NewPagedMemory returns an empty memory.
@@ -22,29 +34,49 @@ func NewPagedMemory() *PagedMemory {
 	return &PagedMemory{pages: make(map[int64]*[pageWords]uint64)}
 }
 
+// cacheSlot hashes a page key to its direct-mapped slot. Stream bases
+// are widely spaced and highly aligned, so the low key bits alone would
+// collide every stream into one slot; the Fibonacci multiplier spreads
+// aligned keys across the ways.
+func cacheSlot(key int64) int64 {
+	return int64((uint64(key) * 0x9E3779B97F4A7C15) >> (64 - 4))
+}
+
 // Load reads the word at addr; unwritten words are zero.
 func (m *PagedMemory) Load(addr int64) uint64 {
+	key := addr >> 12
+	w := cacheSlot(key)
+	if p := m.cpage[w]; p != nil && m.ckey[w] == key {
+		return p[addr&(pageWords-1)]
+	}
 	if m.pages == nil {
 		return 0
 	}
-	p, ok := m.pages[addr>>12]
+	p, ok := m.pages[key]
 	if !ok {
 		return 0
 	}
+	m.ckey[w], m.cpage[w] = key, p
 	return p[addr&(pageWords-1)]
 }
 
 // Store writes the word at addr.
 func (m *PagedMemory) Store(addr int64, v uint64) {
+	key := addr >> 12
+	w := cacheSlot(key)
+	if p := m.cpage[w]; p != nil && m.ckey[w] == key {
+		p[addr&(pageWords-1)] = v
+		return
+	}
 	if m.pages == nil {
 		m.pages = make(map[int64]*[pageWords]uint64)
 	}
-	key := addr >> 12
 	p, ok := m.pages[key]
 	if !ok {
 		p = new([pageWords]uint64)
 		m.pages[key] = p
 	}
+	m.ckey[w], m.cpage[w] = key, p
 	p[addr&(pageWords-1)] = v
 }
 

@@ -145,6 +145,19 @@ type Metrics struct {
 	PhaseWork    [vmcost.NumPhases]Histogram
 	RejectedWork int64
 
+	// Batched lockstep execution (vm.RunBatch). BatchLanes counts guest
+	// instances across all batched runs; BatchLaunches counts accelerator
+	// invocations that served a whole lockstep group at once.
+	// BatchLaneInsts/BatchDecodedInsts is the decode amortization ratio
+	// the interpreter achieved (up to lanes-per-run when divergence-free).
+	BatchRuns         int64
+	BatchLanes        int64
+	BatchSplits       int64
+	BatchMerges       int64
+	BatchDecodedInsts int64
+	BatchLaneInsts    int64
+	BatchLaunches     int64
+
 	// Fault injection and graceful degradation (internal/faultinject).
 	// All are deterministic under the virtual-time model: injected faults
 	// are functions of (loop, attempt) only.
@@ -192,6 +205,20 @@ func (m *Metrics) Format() string {
 	row("hidden cycles", m.HiddenCycles)
 	row("scratch reuses", atomic.LoadInt64(&m.ScratchReuses))
 	row("rejected work", m.RejectedWork)
+	if m.BatchRuns > 0 {
+		b.WriteString("batched execution:\n")
+		row("batch runs", m.BatchRuns)
+		row("lanes executed", m.BatchLanes)
+		row("divergence splits", m.BatchSplits)
+		row("group re-merges", m.BatchMerges)
+		row("decoded insts", m.BatchDecodedInsts)
+		row("lane insts", m.BatchLaneInsts)
+		row("batched launches", m.BatchLaunches)
+		if m.BatchDecodedInsts > 0 {
+			fmt.Fprintf(&b, "  %-22s %12.2f\n", "decode amortization",
+				float64(m.BatchLaneInsts)/float64(m.BatchDecodedInsts))
+		}
+	}
 	if m.WorkerCrashes+m.InjectedLatency+m.InjectedEvictions+
 		m.Quarantined+m.QuarantineRetries+m.Revoked > 0 {
 		b.WriteString("fault injection:\n")

@@ -23,6 +23,13 @@ type Event struct {
 	// with the concluding poll's virtual time).
 	Pass  string `json:"pass,omitempty"`
 	Phase string `json:"phase,omitempty"`
+	// Batched-execution fields, set on "batch" events (one per RunBatch):
+	// lane count, divergence splits, and the decoded vs applied (per-lane)
+	// instruction counts whose ratio is the decode amortization achieved.
+	Lanes   int   `json:"lanes,omitempty"`
+	Splits  int64 `json:"splits,omitempty"`
+	Decoded int64 `json:"decoded,omitempty"`
+	Applied int64 `json:"applied,omitempty"`
 }
 
 // tracer serializes pipeline events as one JSON object per line. A nil

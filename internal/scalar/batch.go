@@ -1,0 +1,436 @@
+package scalar
+
+import (
+	"fmt"
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// BatchStats summarizes the lockstep engine's amortization behaviour:
+// DecodedInsts counts instructions fetched and decoded once per lane
+// group, LaneInsts the per-lane instructions that decode was applied to,
+// so LaneInsts/DecodedInsts is the decode amortization ratio (equal to
+// the lane count on divergence-free programs). Splits counts branches
+// whose lanes disagreed on the next pc; Merges counts groups re-merged
+// after reconverging on one pc (region exits).
+type BatchStats struct {
+	DecodedInsts int64
+	LaneInsts    int64
+	Splits       int64
+	Merges       int64
+}
+
+// laneGroup is a set of lanes sharing one pc, kept sorted by lane index
+// so execution order — and therefore every per-lane architectural and
+// timing result — is deterministic regardless of map iteration order.
+type laneGroup struct {
+	pc    int
+	lanes []int
+}
+
+// BatchMachine executes M guest instances of one program in lockstep:
+// guest state is laid out structure-of-arrays (Regs[r][lane]), each
+// instruction is fetched and decoded once per lane group and applied
+// across all of the group's lanes, and lanes that diverge on a branch are
+// split into per-pc groups that re-merge as soon as their pcs coincide
+// again. Per-lane architectural and timing state evolves exactly as in M
+// independent Machines — lanes share nothing but the decode — so batched
+// execution is bit-identical to M serial runs.
+type BatchMachine struct {
+	CPU   *arch.CPU
+	Lanes int
+	// Regs[r][lane] is lane's register r (structure-of-arrays).
+	Regs [isa.NumRegs][]uint64
+	// Mems[lane] is the lane's private memory.
+	Mems []ir.Memory
+	// PCs and Halted are per-lane control state.
+	PCs    []int
+	Halted []bool
+
+	cycles []int64
+	insts  []int64
+	slots  []int
+	ready  [isa.NumRegs][]int64
+
+	stats  BatchStats
+	groups map[int]*laneGroup
+
+	// scratch buffers reused across steps so the steady-state group loop
+	// allocates nothing.
+	nextPCs   []int
+	targets   []int
+	moveBuf   []int
+	freeLanes [][]int
+}
+
+// NewBatch returns a batch machine with lanes zeroed lanes, all at pc 0.
+// Attach per-lane memories via Mems and seed registers with SetLaneRegs
+// before running.
+func NewBatch(cpu *arch.CPU, lanes int) *BatchMachine {
+	b := &BatchMachine{
+		CPU:     cpu,
+		Lanes:   lanes,
+		Mems:    make([]ir.Memory, lanes),
+		PCs:     make([]int, lanes),
+		Halted:  make([]bool, lanes),
+		cycles:  make([]int64, lanes),
+		insts:   make([]int64, lanes),
+		slots:   make([]int, lanes),
+		groups:  make(map[int]*laneGroup, 4),
+		nextPCs: make([]int, lanes),
+		moveBuf: make([]int, 0, lanes),
+	}
+	for r := range b.Regs {
+		b.Regs[r] = make([]uint64, lanes)
+	}
+	for r := range b.ready {
+		b.ready[r] = make([]int64, lanes)
+	}
+	all := make([]int, lanes)
+	for i := range all {
+		all[i] = i
+	}
+	b.groups[0] = &laneGroup{pc: 0, lanes: all}
+	return b
+}
+
+// Stats returns the engine's amortization counters.
+func (b *BatchMachine) Stats() BatchStats { return b.stats }
+
+// LaneStats returns one lane's cycle and instruction counts, matching
+// what a serial Machine would report for the same execution.
+func (b *BatchMachine) LaneStats(lane int) Stats {
+	return Stats{Cycles: b.cycles[lane], Insts: b.insts[lane]}
+}
+
+// LaneRegs copies one lane's registers out of the SoA layout.
+func (b *BatchMachine) LaneRegs(lane int) [isa.NumRegs]uint64 {
+	var out [isa.NumRegs]uint64
+	for r := range b.Regs {
+		out[r] = b.Regs[r][lane]
+	}
+	return out
+}
+
+// SetLaneRegs copies registers into one lane of the SoA layout.
+func (b *BatchMachine) SetLaneRegs(lane int, regs *[isa.NumRegs]uint64) {
+	for r := range b.Regs {
+		b.Regs[r][lane] = regs[r]
+	}
+}
+
+// Lane materializes one lane as a standalone serial Machine snapshot:
+// registers, memory, pc, halt flag and the full timing state. Mutating
+// the returned machine's registers does not write back; use SetLaneRegs.
+func (b *BatchMachine) Lane(lane int) *Machine {
+	m := &Machine{
+		CPU:    b.CPU,
+		Mem:    b.Mems[lane],
+		PC:     b.PCs[lane],
+		Halted: b.Halted[lane],
+		cycles: b.cycles[lane],
+		insts:  b.insts[lane],
+		slot:   b.slots[lane],
+	}
+	for r := range b.Regs {
+		m.Regs[r] = b.Regs[r][lane]
+		m.ready[r] = b.ready[r][lane]
+	}
+	return m
+}
+
+// Next picks the group to run: the one with the most lanes, ties broken
+// by the lowest pc (a total order, so selection is deterministic even
+// though groups live in a map). Running the majority first keeps the
+// amortization ratio high under divergence; minority groups idle until
+// they win, then typically re-merge at the region exit. ok is false when
+// every lane has halted.
+func (b *BatchMachine) Next() (pc int, lanes []int, ok bool) {
+	best := (*laneGroup)(nil)
+	for _, g := range b.groups {
+		if best == nil || len(g.lanes) > len(best.lanes) ||
+			(len(g.lanes) == len(best.lanes) && g.pc < best.pc) {
+			best = g
+		}
+	}
+	if best == nil {
+		return 0, nil, false
+	}
+	return best.pc, best.lanes, true
+}
+
+// LanesAt returns the lanes currently grouped at pc (sorted by lane
+// index), or nil. The slice aliases internal state; do not retain it
+// across StepGroup or Jump.
+func (b *BatchMachine) LanesAt(pc int) []int {
+	if g := b.groups[pc]; g != nil {
+		return g.lanes
+	}
+	return nil
+}
+
+// Jump moves the given lanes (currently grouped at from) to pc to — the
+// VM's dispatch uses it when the accelerator completes a loop invocation
+// and the lanes resume after the back branch.
+func (b *BatchMachine) Jump(lanes []int, from, to int) {
+	g := b.groups[from]
+	if g == nil {
+		return
+	}
+	// Both lists are sorted by lane index: a two-pointer walk filters the
+	// moved lanes out without allocating.
+	kept := g.lanes[:0]
+	j := 0
+	for _, l := range g.lanes {
+		for j < len(lanes) && lanes[j] < l {
+			j++
+		}
+		if j < len(lanes) && lanes[j] == l {
+			b.PCs[l] = to
+			continue
+		}
+		kept = append(kept, l)
+	}
+	g.lanes = kept
+	if len(g.lanes) == 0 {
+		b.dropGroup(from)
+	}
+	b.placeLanes(lanes, to)
+}
+
+// placeLanes inserts lanes (sorted) at pc, merging with any existing
+// group there.
+func (b *BatchMachine) placeLanes(lanes []int, pc int) {
+	if len(lanes) == 0 {
+		return
+	}
+	if g, ok := b.groups[pc]; ok {
+		b.stats.Merges++
+		g.lanes = append(g.lanes, lanes...)
+		sort.Ints(g.lanes)
+		return
+	}
+	g := &laneGroup{pc: pc}
+	if n := len(b.freeLanes); n > 0 {
+		g.lanes = append(b.freeLanes[n-1][:0], lanes...)
+		b.freeLanes = b.freeLanes[:n-1]
+	} else {
+		g.lanes = append([]int(nil), lanes...)
+	}
+	b.groups[pc] = g
+}
+
+// dropGroup removes an empty group and recycles its lane slice.
+func (b *BatchMachine) dropGroup(pc int) {
+	if g, ok := b.groups[pc]; ok {
+		b.freeLanes = append(b.freeLanes, g.lanes[:0])
+		delete(b.groups, pc)
+	}
+}
+
+// StepGroup executes one instruction for every lane of the group at pc:
+// the instruction is fetched and decoded once, timing and architectural
+// effects are applied per lane, and lanes that disagree on the next pc
+// are split into new groups (re-merging with any group already at that
+// pc). It mirrors Machine.Step exactly per lane.
+func (b *BatchMachine) StepGroup(p *isa.Program, pc int) error {
+	g := b.groups[pc]
+	if g == nil || len(g.lanes) == 0 {
+		return fmt.Errorf("scalar: no lane group at pc %d", pc)
+	}
+	if pc < 0 || pc >= len(p.Code) {
+		return fmt.Errorf("scalar: pc %d out of range [0,%d)", pc, len(p.Code))
+	}
+	in := p.Code[pc]
+	lanes := g.lanes
+
+	// Decode once: source-wait set, latency, and (below) the op dispatch
+	// are shared by every lane.
+	srcs, nsrc := srcRegs(in)
+	lat := opLatency(b.CPU, in.Op)
+	b.stats.DecodedInsts++
+	b.stats.LaneInsts += int64(len(lanes))
+
+	next := b.nextPCs[:len(lanes)]
+	width := int64(b.CPU.IssueWidth)
+	for i, lane := range lanes {
+		b.insts[lane]++
+		// Timing: wait for sources, find an issue slot (per lane).
+		issueAt := b.cycles[lane]
+		for _, r := range srcs[:nsrc] {
+			if v := b.ready[r][lane]; v > issueAt {
+				issueAt = v
+			}
+		}
+		if issueAt > b.cycles[lane] {
+			b.cycles[lane] = issueAt
+			b.slots[lane] = 0
+		}
+		if int64(b.slots[lane]) >= width {
+			b.cycles[lane]++
+			b.slots[lane] = 0
+		}
+		b.slots[lane]++
+		doneAt := b.cycles[lane] + lat
+
+		taken := false
+		nx := pc + 1
+
+		// Architectural execution. The opcode switch runs once per lane
+		// here rather than once per group to keep every case in exact
+		// lockstep with Machine.Step; the shared decode above is where
+		// the batch amortization comes from.
+		switch in.Op {
+		case isa.Nop:
+		case isa.Halt:
+			b.Halted[lane] = true
+		case isa.MovI:
+			b.set(lane, in.Dst, uint64(in.Imm), doneAt)
+		case isa.Mov:
+			b.set(lane, in.Dst, b.Regs[in.Src1][lane], doneAt)
+		case isa.AddI:
+			b.set(lane, in.Dst, uint64(int64(b.Regs[in.Src1][lane])+in.Imm), doneAt)
+		case isa.MulI:
+			b.set(lane, in.Dst, uint64(int64(b.Regs[in.Src1][lane])*in.Imm), doneAt)
+		case isa.ShlI:
+			b.set(lane, in.Dst, b.Regs[in.Src1][lane]<<(uint64(in.Imm)&63), doneAt)
+		case isa.AndI:
+			b.set(lane, in.Dst, b.Regs[in.Src1][lane]&uint64(in.Imm), doneAt)
+		case isa.Load:
+			addr := int64(b.Regs[in.Src1][lane]) + in.Imm
+			b.set(lane, in.Dst, b.Mems[lane].Load(addr), doneAt)
+		case isa.Store:
+			addr := int64(b.Regs[in.Src1][lane]) + in.Imm
+			b.Mems[lane].Store(addr, b.Regs[in.Src2][lane])
+		case isa.Br:
+			nx, taken = int(in.Imm), true
+		case isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+			a, c := int64(b.Regs[in.Src1][lane]), int64(b.Regs[in.Src2][lane])
+			var cond bool
+			switch in.Op {
+			case isa.BEQ:
+				cond = a == c
+			case isa.BNE:
+				cond = a != c
+			case isa.BLT:
+				cond = a < c
+			case isa.BLE:
+				cond = a <= c
+			case isa.BGT:
+				cond = a > c
+			case isa.BGE:
+				cond = a >= c
+			}
+			if cond {
+				nx, taken = int(in.Imm), true
+			}
+		case isa.Brl:
+			b.set(lane, isa.LinkReg, uint64(pc+1), doneAt)
+			nx, taken = int(in.Imm), true
+		case isa.Ret:
+			nx, taken = int(b.Regs[isa.LinkReg][lane]), true
+		case isa.Select:
+			v := b.Regs[in.Src3][lane]
+			if b.Regs[in.Src1][lane] != 0 {
+				v = b.Regs[in.Src2][lane]
+			}
+			b.set(lane, in.Dst, v, doneAt)
+		default:
+			irOp, ok := in.Op.IROp()
+			if !ok {
+				return fmt.Errorf("scalar: pc %d: unimplemented opcode %v", pc, in.Op)
+			}
+			var args [3]uint64
+			args[0] = b.Regs[in.Src1][lane]
+			if irOp.NumArgs() >= 2 {
+				args[1] = b.Regs[in.Src2][lane]
+			}
+			b.set(lane, in.Dst, ir.Eval(irOp, args[:irOp.NumArgs()]), doneAt)
+		}
+
+		if taken {
+			b.cycles[lane] += 1 + int64(b.CPU.BranchPenalty)
+			b.slots[lane] = 0
+		}
+		b.PCs[lane] = nx
+		next[i] = nx
+	}
+
+	b.regroup(g, next, in.Op.IsCondBranch() || in.Op == isa.Ret)
+	return nil
+}
+
+// regroup rebuckets the just-stepped group's lanes by their next pc,
+// dropping halted lanes and counting divergence splits and re-merges.
+func (b *BatchMachine) regroup(g *laneGroup, next []int, divergeable bool) {
+	lanes := g.lanes
+	delete(b.groups, g.pc)
+	// lanes is still read below, so its backing array is recycled into
+	// the free list only after the rebucketing loop.
+	defer func() { b.freeLanes = append(b.freeLanes, lanes[:0]) }()
+
+	// Distinct next pcs among surviving lanes (tiny: 1 for straight-line
+	// code, 2 for a diverged branch, more only for Ret fan-out).
+	targets := b.targets[:0]
+	for i, lane := range lanes {
+		if b.Halted[lane] {
+			continue
+		}
+		seen := false
+		for _, t := range targets {
+			if t == next[i] {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			targets = append(targets, next[i])
+		}
+	}
+	b.targets = targets
+	if divergeable && len(targets) > 1 {
+		b.stats.Splits += int64(len(targets) - 1)
+	}
+	for _, t := range targets {
+		// Collect this target's lanes in lane order (lanes is sorted, so
+		// the bucket is too). placeLanes copies, so the scratch can be
+		// reused for the next target.
+		moved := b.moveBuf[:0]
+		for i, lane := range lanes {
+			if !b.Halted[lane] && next[i] == t {
+				moved = append(moved, lane)
+			}
+		}
+		b.placeLanes(moved, t)
+	}
+}
+
+func (b *BatchMachine) set(lane int, r uint8, v uint64, readyAt int64) {
+	b.Regs[r][lane] = v
+	b.ready[r][lane] = readyAt
+}
+
+// Run executes every lane to Halt, or errors when any lane exceeds
+// maxInsts retired instructions (a runaway guest).
+func (b *BatchMachine) Run(p *isa.Program, maxInsts int64) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for {
+		pc, lanes, ok := b.Next()
+		if !ok {
+			return nil
+		}
+		for _, lane := range lanes {
+			if b.insts[lane] >= maxInsts {
+				return fmt.Errorf("scalar: instruction limit %d reached at pc %d (lane %d)", maxInsts, pc, lane)
+			}
+		}
+		if err := b.StepGroup(p, pc); err != nil {
+			return err
+		}
+	}
+}

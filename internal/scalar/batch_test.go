@@ -1,0 +1,144 @@
+package scalar
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// branchyProgram computes, per lane, a data-dependent walk: r4 iterations;
+// each iteration loads a word, branches on its parity, and accumulates
+// differently on each side — so lanes diverge and reconverge every
+// iteration. Lanes halt after their own trip count (r4), which also
+// differs, exercising lane retirement.
+func branchyProgram(t testing.TB) *isa.Program {
+	t.Helper()
+	asm := isa.NewAsm("branchy")
+	// r2 = i, r4 = trip, r5 = base, r6 = acc, r7..r9 temps
+	asm.MovI(2, 0)
+	asm.MovI(6, 0)
+	asm.Label("loop")
+	asm.Op3(isa.Add, 7, 5, 2)                                 // addr = base + i
+	asm.Load(8, 7, 0)                                         // v = mem[addr]
+	asm.Emit(isa.Inst{Op: isa.AndI, Dst: 9, Src1: 8, Imm: 1}) // parity
+	asm.Branch(isa.BNE, 9, 0, "odd")
+	asm.Op3(isa.Add, 6, 6, 8) // even: acc += v
+	asm.Br("join")
+	asm.Label("odd")
+	asm.Op3(isa.Sub, 6, 6, 8) // odd: acc -= v
+	asm.Label("join")
+	asm.AddI(2, 2, 1)
+	asm.Branch(isa.BLT, 2, 4, "loop")
+	asm.Halt()
+	p, err := asm.Build()
+	if err != nil {
+		t.Fatalf("assembling branchy program: %v", err)
+	}
+	return p
+}
+
+func runSerialLane(t *testing.T, p *isa.Program, mem ir.Memory, seed func(*Machine)) *Machine {
+	t.Helper()
+	m := New(arch.ARM11(), mem)
+	seed(m)
+	if err := m.Run(p, 1_000_000); err != nil {
+		t.Fatalf("serial Run: %v", err)
+	}
+	return m
+}
+
+// TestBatchMatchesSerialDivergent runs a data-dependent branchy program
+// over many lanes with different data and trips, and requires every
+// lane's architectural and timing state to be bit-identical to a serial
+// Machine run.
+func TestBatchMatchesSerialDivergent(t *testing.T) {
+	p := branchyProgram(t)
+	const lanes = 33
+	b := NewBatch(arch.ARM11(), lanes)
+	serial := make([]*Machine, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 64; i++ {
+			mem.Store(1000+i, uint64(i*7+int64(lane)*13)%97)
+		}
+		seed := func(m *Machine) {
+			m.Regs[4] = uint64(8 + lane%17) // per-lane trip
+			m.Regs[5] = 1000
+		}
+		serial[lane] = runSerialLane(t, p, mem.Clone(), seed)
+		b.Mems[lane] = mem
+		var tmp Machine
+		seed(&tmp)
+		b.SetLaneRegs(lane, &tmp.Regs)
+	}
+	if err := b.Run(p, 1_000_000); err != nil {
+		t.Fatalf("batch Run: %v", err)
+	}
+	for lane := 0; lane < lanes; lane++ {
+		ref := serial[lane]
+		got := b.Lane(lane)
+		if got.Regs != ref.Regs {
+			t.Fatalf("lane %d: registers diverge\nbatch  %v\nserial %v", lane, got.Regs, ref.Regs)
+		}
+		if !got.Mem.(*ir.PagedMemory).Equal(ref.Mem.(*ir.PagedMemory)) {
+			t.Fatalf("lane %d: memory diverges", lane)
+		}
+		if bs, ss := b.LaneStats(lane), ref.Stats(); bs != ss {
+			t.Fatalf("lane %d: timing diverges: batch %+v serial %+v", lane, bs, ss)
+		}
+		if got.PC != ref.PC || got.Halted != ref.Halted {
+			t.Fatalf("lane %d: control state diverges: batch pc=%d halted=%v, serial pc=%d halted=%v",
+				lane, got.PC, got.Halted, ref.PC, ref.Halted)
+		}
+	}
+
+	st := b.Stats()
+	if st.Splits == 0 {
+		t.Error("data-dependent branches produced no divergence splits")
+	}
+	if st.Merges == 0 {
+		t.Error("diverged lanes never re-merged")
+	}
+	if st.DecodedInsts >= st.LaneInsts {
+		t.Errorf("no decode amortization: decoded %d, lane insts %d", st.DecodedInsts, st.LaneInsts)
+	}
+	var totalInsts int64
+	for lane := 0; lane < lanes; lane++ {
+		totalInsts += b.LaneStats(lane).Insts
+	}
+	if st.LaneInsts != totalInsts {
+		t.Errorf("LaneInsts %d != sum of per-lane insts %d", st.LaneInsts, totalInsts)
+	}
+}
+
+// TestBatchLockstepAmortization checks that a divergence-free program
+// decodes each instruction exactly once for the whole batch.
+func TestBatchLockstepAmortization(t *testing.T) {
+	p := branchyProgram(t)
+	const lanes = 16
+	b := NewBatch(arch.ARM11(), lanes)
+	for lane := 0; lane < lanes; lane++ {
+		mem := ir.NewPagedMemory()
+		for i := int64(0); i < 16; i++ {
+			mem.Store(1000+i, uint64(i)*2) // all even: no divergence
+		}
+		b.Mems[lane] = mem
+		var tmp Machine
+		tmp.Regs[4] = 8
+		tmp.Regs[5] = 1000
+		b.SetLaneRegs(lane, &tmp.Regs)
+	}
+	if err := b.Run(p, 1_000_000); err != nil {
+		t.Fatalf("batch Run: %v", err)
+	}
+	st := b.Stats()
+	if st.Splits != 0 {
+		t.Errorf("divergence-free program split %d times", st.Splits)
+	}
+	if st.LaneInsts != int64(lanes)*st.DecodedInsts {
+		t.Errorf("imperfect amortization: decoded %d, lane insts %d (want %d)",
+			st.DecodedInsts, st.LaneInsts, int64(lanes)*st.DecodedInsts)
+	}
+}

@@ -56,19 +56,50 @@ func (m *Machine) ResetTiming() {
 	m.ready = [isa.NumRegs]int64{}
 }
 
-// latency returns the producing latency of an instruction's result.
-func (m *Machine) latency(op isa.Opcode) int64 {
+// opLatency returns the producing latency of an instruction's result. It
+// depends only on the opcode and the CPU model, so the batched engine
+// computes it once per decoded instruction and applies it to every lane.
+func opLatency(cpu *arch.CPU, op isa.Opcode) int64 {
 	if irOp, ok := op.IROp(); ok {
 		return int64(arch.Latency(irOp))
 	}
 	switch op {
 	case isa.Load:
-		return int64(m.CPU.LoadLatency)
+		return int64(cpu.LoadLatency)
 	case isa.MulI:
 		return int64(arch.Latency(ir.OpMul))
 	default:
 		return 1
 	}
+}
+
+// latency returns the producing latency of an instruction's result.
+func (m *Machine) latency(op isa.Opcode) int64 {
+	return opLatency(m.CPU, op)
+}
+
+// srcRegs returns the registers an instruction's issue must wait on.
+// Classification depends only on the opcode, so it too is decoded once
+// per batch group.
+func srcRegs(in isa.Inst) (srcs [3]uint8, n int) {
+	switch in.Op {
+	case isa.MovI, isa.Br, isa.Brl, isa.Nop, isa.Halt:
+		// no register sources
+	case isa.Ret:
+		srcs[0], n = isa.LinkReg, 1
+	case isa.Mov, isa.AddI, isa.MulI, isa.ShlI, isa.AndI, isa.Load:
+		srcs[0], n = in.Src1, 1
+	case isa.Store, isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
+		srcs[0], srcs[1], n = in.Src1, in.Src2, 2
+	case isa.Select:
+		srcs[0], srcs[1], srcs[2], n = in.Src1, in.Src2, in.Src3, 3
+	default:
+		srcs[0], n = in.Src1, 1
+		if op, ok := in.Op.IROp(); ok && op.NumArgs() >= 2 {
+			srcs[1], n = in.Src2, 2
+		}
+	}
+	return srcs, n
 }
 
 // Step executes one instruction, updating architectural and timing state.
@@ -84,29 +115,10 @@ func (m *Machine) Step(p *isa.Program) error {
 
 	// Timing: wait for sources, find an issue slot.
 	issueAt := m.cycles
-	waitSrc := func(r uint8) {
+	srcs, nsrc := srcRegs(in)
+	for _, r := range srcs[:nsrc] {
 		if m.ready[r] > issueAt {
 			issueAt = m.ready[r]
-		}
-	}
-	switch in.Op {
-	case isa.MovI, isa.Br, isa.Brl, isa.Nop, isa.Halt:
-		// no register sources
-	case isa.Ret:
-		waitSrc(isa.LinkReg)
-	case isa.Mov, isa.AddI, isa.MulI, isa.ShlI, isa.AndI, isa.Load:
-		waitSrc(in.Src1)
-	case isa.Store, isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE:
-		waitSrc(in.Src1)
-		waitSrc(in.Src2)
-	case isa.Select:
-		waitSrc(in.Src1)
-		waitSrc(in.Src2)
-		waitSrc(in.Src3)
-	default:
-		waitSrc(in.Src1)
-		if op, ok := in.Op.IROp(); ok && op.NumArgs() >= 2 {
-			waitSrc(in.Src2)
 		}
 	}
 	if issueAt > m.cycles {

@@ -1,0 +1,346 @@
+package vm
+
+import (
+	"fmt"
+
+	"veal/internal/accel"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/jit"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+)
+
+// BatchResult reports a batched execution: Total carries the amortized
+// whole-batch accounting (one translation, one JIT lookup and one
+// accelerator launch per lockstep group, scalar time as the slowest
+// lane's critical path), while Lanes[i] reproduces exactly what a serial
+// Run of lane i would have reported for its own scalar and accelerator
+// cycles — translation cost is shared and therefore appears only in
+// Total.
+type BatchResult struct {
+	Total RunResult
+	Lanes []*RunResult
+}
+
+// RunBatch executes M instances of one program in lockstep on the
+// VM-managed system: the scalar.BatchMachine interprets all lanes with
+// one fetch/decode per lane group, loop heads are intercepted per group
+// with a single JIT lookup, one Translation is shared by every lane of a
+// site, and schedulable invocations dispatch to the batched accelerator
+// simulator which walks the installed schedule once for the whole group.
+// Architectural results are bit-identical to M serial Run calls; with
+// TranslateWorkers == 0 the per-lane timing in Lanes[i] matches serial
+// runs bit-for-bit as well.
+//
+// mems[i] and seeds[i] (either may hold nil entries) give each lane its
+// private memory and register seed; maxInsts bounds each lane's retired
+// instructions.
+func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scalar.Machine), maxInsts int64) (*BatchResult, *scalar.BatchMachine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	lanes := len(mems)
+	if lanes == 0 {
+		return nil, nil, fmt.Errorf("vm: RunBatch with zero lanes")
+	}
+	if len(seeds) != lanes {
+		return nil, nil, fmt.Errorf("vm: %d memories but %d seeds", lanes, len(seeds))
+	}
+
+	regionAt := v.scanRegions(p)
+
+	b := scalar.NewBatch(v.Cfg.CPU, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		mem := mems[lane]
+		if mem == nil {
+			mem = ir.NewPagedMemory()
+		}
+		b.Mems[lane] = mem
+		if seeds[lane] != nil {
+			var tmp scalar.Machine
+			tmp.Mem = mem
+			seeds[lane](&tmp)
+			b.SetLaneRegs(lane, &tmp.Regs)
+		}
+	}
+
+	res := &BatchResult{Total: RunResult{Lanes: lanes}, Lanes: make([]*RunResult, lanes)}
+	for lane := range res.Lanes {
+		res.Lanes[lane] = &RunResult{Lanes: 1}
+	}
+
+	v.pipe.BeginRun()
+	defer v.pipe.Drain(0)
+
+	// Per-lane head suppression, exactly as in serial Run: a lane running
+	// a declined invocation on the scalar core is not re-intercepted until
+	// control passes the back branch.
+	skipHead := make([]int, lanes)
+	skipBack := make([]int, lanes)
+	for lane := range skipHead {
+		skipHead[lane], skipBack[lane] = -1, -1
+	}
+	eligible := make([]int, 0, lanes)
+
+	for {
+		pc, group, ok := b.Next()
+		if !ok {
+			break
+		}
+		for _, lane := range group {
+			if b.LaneStats(lane).Insts >= maxInsts {
+				return nil, nil, fmt.Errorf("vm: instruction limit %d reached at pc %d (lane %d)", maxInsts, pc, lane)
+			}
+			if skipHead[lane] >= 0 && pc == skipBack[lane]+1 {
+				skipHead[lane], skipBack[lane] = -1, -1
+			}
+		}
+		if region, isHead := regionAt[pc]; isHead {
+			eligible = eligible[:0]
+			for _, lane := range group {
+				if skipHead[lane] != pc {
+					eligible = append(eligible, lane)
+				}
+			}
+			if len(eligible) > 0 {
+				if err := v.dispatchBatch(p, region, b, eligible, res, skipHead, skipBack); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		// Lanes the dispatch accelerated were moved past the loop; any
+		// remaining lanes (suppressed, fallen back, or spinning) execute
+		// this instruction on the lockstep interpreter.
+		if len(b.LanesAt(pc)) > 0 {
+			if err := b.StepGroup(p, pc); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	// Batch accounting: the lockstep engine's wall-clock is the slowest
+	// lane's scalar critical path; accelerator and stall cycles were
+	// accumulated amortized as they occurred.
+	total := &res.Total
+	for lane := 0; lane < lanes; lane++ {
+		ls := b.LaneStats(lane)
+		lr := res.Lanes[lane]
+		lr.ScalarCycles = ls.Cycles
+		lr.Cycles = lr.ScalarCycles + lr.AccelCycles
+		lr.DecodedInsts = ls.Insts
+		lr.LaneInsts = ls.Insts
+		if ls.Cycles > total.ScalarCycles {
+			total.ScalarCycles = ls.Cycles
+		}
+	}
+	bs := b.Stats()
+	total.DivergenceSplits = bs.Splits
+	total.DecodedInsts = bs.DecodedInsts
+	total.LaneInsts = bs.LaneInsts
+
+	now := total.ScalarCycles + total.AccelCycles + total.StalledTranslationCycles
+	for _, d := range v.pipe.Drain(now) {
+		if d.OK {
+			v.Stats.Translations++
+			total.Translations++
+			total.TranslationCycles += d.Work
+			total.HiddenTranslationCycles += d.Work
+			if t, ok := v.pipe.Peek(d.Key); ok {
+				v.observeTranslation(d.Key, t.Work, t.Passes, false)
+				v.verifyInstall(d.Key, now, t)
+			}
+		} else {
+			v.recordRejection(d.Err, d.Reason)
+			if rej, ok := translate.AsReject(d.Err); ok {
+				v.observeTranslation(d.Key, rej.Work, rej.Passes, true)
+			}
+		}
+	}
+	total.Cycles = total.ScalarCycles + total.AccelCycles + total.StalledTranslationCycles
+
+	mt := v.pipe.Metrics()
+	mt.BatchRuns++
+	mt.BatchLanes += int64(lanes)
+	mt.BatchSplits += bs.Splits
+	mt.BatchMerges += bs.Merges
+	mt.BatchDecodedInsts += bs.DecodedInsts
+	mt.BatchLaneInsts += bs.LaneInsts
+	v.pipe.Emit(jit.Event{
+		T: total.Cycles, Loop: p.Name, Event: "batch",
+		Lanes: lanes, Splits: bs.Splits, Decoded: bs.DecodedInsts, Applied: bs.LaneInsts,
+	})
+
+	return res, b, nil
+}
+
+// dispatchBatch attempts one accelerated invocation for every eligible
+// lane of the lockstep group at region.Head. One JIT lookup serves the
+// whole group; lanes whose invocation the VM declines fall back to the
+// scalar core (their head suppression is set), and accelerated lanes are
+// moved past the back branch with their exit state applied.
+func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int) error {
+	total := &res.Total
+	key := cacheKey{p, region.Head}
+	name := keyName(key)
+	// Virtual time of this group arrival: the batch clock is the slowest
+	// lane's scalar time plus the amortized accelerator and stall cycles
+	// already charged — monotonic because per-lane cycles only grow.
+	var maxScalar int64
+	for lane := 0; lane < b.Lanes; lane++ {
+		if c := b.LaneStats(lane).Cycles; c > maxScalar {
+			maxScalar = c
+		}
+	}
+	now := maxScalar + total.AccelCycles + total.StalledTranslationCycles
+
+	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
+		t, err := v.translateWith(p, region, v.inj.Injection(name, attempt))
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, t.WorkTotal(), nil
+	})
+
+	fallback := func(lns []int) {
+		for _, lane := range lns {
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+		}
+	}
+
+	var t *Translation
+	switch pr.Outcome {
+	case jit.OutcomeCold:
+		fallback(lanes)
+		return nil
+	case jit.OutcomeQueued:
+		v.Stats.CacheMisses++
+		return nil // spin: lanes interpret one iteration and re-poll
+	case jit.OutcomePending:
+		return nil // spin
+	case jit.OutcomeRejected:
+		if pr.Sync {
+			v.Stats.CacheMisses++
+		}
+		if pr.Fresh {
+			v.recordRejection(pr.Err, pr.Reason)
+			if rej, ok := translate.AsReject(pr.Err); ok {
+				v.observeTranslation(key, rej.Work, rej.Passes, true)
+			}
+		}
+		fallback(lanes)
+		return nil
+	case jit.OutcomeHit:
+		v.Stats.CacheHits++
+		t = pr.Value
+	case jit.OutcomeInstalled:
+		if pr.Sync {
+			v.Stats.CacheMisses++
+		}
+		v.Stats.Translations++
+		total.Translations++
+		total.TranslationCycles += pr.Work
+		total.StalledTranslationCycles += pr.Stalled
+		total.HiddenTranslationCycles += pr.Hidden
+		t = pr.Value
+		v.observeTranslation(key, t.Work, t.Passes, false)
+		if !v.verifyInstall(key, now, t) {
+			fallback(lanes)
+			return nil
+		}
+	}
+
+	if t.Ext.Loop.HasExit() {
+		// While-shaped loops speculate per lane: chunked execution against
+		// buffered memory is inherently per-lane state machinery.
+		return v.dispatchBatchSpeculative(t, region, b, lanes, res, skipHead, skipBack)
+	}
+
+	// Collect the lanes this translation can actually launch.
+	accLanes := make([]int, 0, len(lanes))
+	binds := make([]*ir.Bindings, 0, len(lanes))
+	laneMems := make([]ir.Memory, 0, len(lanes))
+	for _, lane := range lanes {
+		regs := b.LaneRegs(lane)
+		bind, err := t.Ext.Bindings(&regs)
+		if err != nil || bind.Trip <= 0 {
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+			continue
+		}
+		if !StreamsDisjoint(t.Ext.Loop, bind) {
+			v.Stats.ScalarFallback++
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+			continue
+		}
+		accLanes = append(accLanes, lane)
+		binds = append(binds, bind)
+		laneMems = append(laneMems, b.Mems[lane])
+	}
+	if len(accLanes) == 0 {
+		return nil
+	}
+
+	out, _, err := accel.ExecuteBatch(v.Cfg.LA, t.Schedule, binds, laneMems)
+	if err != nil {
+		return fmt.Errorf("vm: batched accelerator execution: %w", err)
+	}
+	v.Stats.AccelLaunches++
+	total.Launches++
+	v.pipe.Metrics().BatchLaunches++
+	var slowest int64
+	for i, lane := range accLanes {
+		lr := res.Lanes[lane]
+		lr.Launches++
+		lr.AccelCycles += out[i].Cycles
+		if out[i].Cycles > slowest {
+			slowest = out[i].Cycles
+		}
+		regs := b.LaneRegs(lane)
+		applyExit(t.Ext, binds[i], out[i], &regs)
+		b.SetLaneRegs(lane, &regs)
+	}
+	// The batched launch's amortized cost: one setup/drain and the
+	// deepest lane's pipeline.
+	total.AccelCycles += slowest
+	b.Jump(accLanes, region.Head, region.BackPC+1)
+	return nil
+}
+
+// dispatchBatchSpeculative runs the chunked-speculation path for each
+// eligible lane of a while-shaped loop by materializing the lane as a
+// serial machine; the translation lookup was still shared by the group.
+func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int) error {
+	total := &res.Total
+	moved := make([]int, 1)
+	for _, lane := range lanes {
+		m := b.Lane(lane)
+		bind, err := t.Ext.Bindings(&m.Regs)
+		if err != nil || bind.Trip <= 0 {
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+			continue
+		}
+		if !StreamsDisjoint(t.Ext.Loop, bind) {
+			v.Stats.ScalarFallback++
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+			continue
+		}
+		lr := res.Lanes[lane]
+		before := lr.AccelCycles
+		handled, err := v.dispatchSpeculative(t, region, m, lr, bind)
+		if err != nil {
+			return err
+		}
+		total.AccelCycles += lr.AccelCycles - before
+		if !handled {
+			b.SetLaneRegs(lane, &m.Regs) // keep committed chunk state
+			skipHead[lane], skipBack[lane] = region.Head, region.BackPC
+			continue
+		}
+		total.Launches++
+		b.SetLaneRegs(lane, &m.Regs)
+		moved[0] = lane
+		b.Jump(moved, region.Head, m.PC)
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package vm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/workloads"
+)
+
+// batchLaneSeed builds the register seed for one lane of a lowered
+// kernel from workload-style deterministic bindings.
+func batchLaneSeed(res *lower.Result, params []uint64, trip int64) func(*scalar.Machine) {
+	ps := append([]uint64(nil), params...)
+	return func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(trip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = ps[i]
+		}
+	}
+}
+
+// TestRunBatchMatchesSerialSuite is the tentpole differential test:
+// across every unique workload kernel and both the FullyDynamic and
+// Hybrid policies, RunBatch must be bit-identical to per-lane serial Run
+// calls — architectural registers and memory always, and (because
+// TranslateWorkers is 0) the per-lane scalar cycles, accelerator cycles
+// and launch counts as well. It also checks the amortization contract:
+// the batch translates a site at most once where the serial runs paid
+// for it per lane.
+func TestRunBatchMatchesSerialSuite(t *testing.T) {
+	const lanes = 4
+	seen := map[string]bool{}
+	accelerated := map[Policy]int{}
+	for _, bench := range workloads.MediaFP() {
+		for _, site := range bench.Sites {
+			if seen[site.Kernel.Name] {
+				continue
+			}
+			seen[site.Kernel.Name] = true
+			l := site.Kernel.Build()
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				continue
+			}
+			baseTrip := site.Trip
+			if baseTrip > 48 {
+				baseTrip = 48
+			}
+			if baseTrip < 2 {
+				baseTrip = 2
+			}
+			trips := [lanes]int64{baseTrip, 1, baseTrip/2 + 1, baseTrip + 3}
+			for _, pol := range []Policy{FullyDynamic, Hybrid} {
+				vcfg := DefaultConfig()
+				vcfg.Policy = pol
+				vcfg.SpeculationSupport = true
+
+				mems := make([]*ir.PagedMemory, lanes)
+				seeds := make([]func(*scalar.Machine), lanes)
+				serialRes := make([]*RunResult, lanes)
+				serialM := make([]*scalar.Machine, lanes)
+				var serialTranslations int64
+				for lane := 0; lane < lanes; lane++ {
+					bind, mem := workloads.Prepare(l, trips[lane], int64(31*lane+5))
+					mems[lane] = mem
+					seeds[lane] = batchLaneSeed(res, bind.Params, trips[lane])
+					sv := New(vcfg)
+					r, m, err := sv.Run(res.Program, mem.Clone(), seeds[lane], 50_000_000)
+					if err != nil {
+						t.Fatalf("%s/%v lane %d serial: %v", site.Kernel.Name, pol, lane, err)
+					}
+					serialRes[lane], serialM[lane] = r, m
+					serialTranslations += r.Translations
+				}
+
+				bv := New(vcfg)
+				batchMems := make([]*ir.PagedMemory, lanes)
+				for lane := range mems {
+					batchMems[lane] = mems[lane].Clone()
+				}
+				br, bm, err := bv.RunBatch(res.Program, batchMems, seeds, 50_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v RunBatch: %v", site.Kernel.Name, pol, err)
+				}
+				for lane := 0; lane < lanes; lane++ {
+					got := bm.Lane(lane)
+					ref := serialM[lane]
+					if got.Regs != ref.Regs {
+						t.Fatalf("%s/%v lane %d: registers diverge\nbatch  %v\nserial %v",
+							site.Kernel.Name, pol, lane, got.Regs, ref.Regs)
+					}
+					if !batchMems[lane].Equal(ref.Mem.(*ir.PagedMemory)) {
+						t.Fatalf("%s/%v lane %d: memory diverges", site.Kernel.Name, pol, lane)
+					}
+					lr, sr := br.Lanes[lane], serialRes[lane]
+					if lr.ScalarCycles != sr.ScalarCycles || lr.AccelCycles != sr.AccelCycles ||
+						lr.Launches != sr.Launches {
+						t.Fatalf("%s/%v lane %d: timing diverges: batch {scalar %d accel %d launches %d}, serial {scalar %d accel %d launches %d}",
+							site.Kernel.Name, pol, lane,
+							lr.ScalarCycles, lr.AccelCycles, lr.Launches,
+							sr.ScalarCycles, sr.AccelCycles, sr.Launches)
+					}
+				}
+				if br.Total.Launches > 0 {
+					accelerated[pol]++
+					// Amortization: one shared translation where the serial
+					// lanes each paid for their own.
+					if serialTranslations > 0 && br.Total.Translations >= serialTranslations {
+						t.Errorf("%s/%v: batch ran %d translations, serial lanes %d — nothing amortized",
+							site.Kernel.Name, pol, br.Total.Translations, serialTranslations)
+					}
+				}
+				if br.Total.Lanes != lanes {
+					t.Errorf("%s/%v: Total.Lanes = %d", site.Kernel.Name, pol, br.Total.Lanes)
+				}
+				if br.Total.LaneInsts <= br.Total.DecodedInsts {
+					t.Errorf("%s/%v: no decode amortization (decoded %d, applied %d)",
+						site.Kernel.Name, pol, br.Total.DecodedInsts, br.Total.LaneInsts)
+				}
+			}
+		}
+	}
+	for _, pol := range []Policy{FullyDynamic, Hybrid} {
+		if accelerated[pol] < 3 {
+			t.Errorf("policy %v: only %d kernels accelerated under batching", pol, accelerated[pol])
+		}
+	}
+}
+
+// TestRunBatchWorkersArchitectural covers the background-translation
+// mode: with workers the batch's poll timing differs from serial runs,
+// so only architectural state (registers and memory) must match.
+func TestRunBatchWorkersArchitectural(t *testing.T) {
+	res, l := firProgram(t, true)
+	vcfg := DefaultConfig()
+	vcfg.TranslateWorkers = 2
+	const lanes = 6
+	mems := make([]*ir.PagedMemory, lanes)
+	seeds := make([]func(*scalar.Machine), lanes)
+	refs := make([]*scalar.Machine, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		trip := int64(16 + 8*lane)
+		bind, mem := workloads.Prepare(l, trip, int64(lane+1))
+		mems[lane] = mem
+		seeds[lane] = batchLaneSeed(res, bind.Params, trip)
+		ref := scalar.New(vcfg.CPU, mem.Clone())
+		seeds[lane](ref)
+		if err := ref.Run(res.Program, 50_000_000); err != nil {
+			t.Fatalf("lane %d scalar reference: %v", lane, err)
+		}
+		refs[lane] = ref
+	}
+	batchMems := make([]*ir.PagedMemory, lanes)
+	for lane := range mems {
+		batchMems[lane] = mems[lane].Clone()
+	}
+	v := New(vcfg)
+	_, bm, err := v.RunBatch(res.Program, batchMems, seeds, 50_000_000)
+	if err != nil {
+		t.Fatalf("RunBatch: %v", err)
+	}
+	for lane := 0; lane < lanes; lane++ {
+		if got := bm.Lane(lane); got.Regs != refs[lane].Regs {
+			t.Fatalf("lane %d: registers diverge from scalar reference", lane)
+		}
+		if !batchMems[lane].Equal(refs[lane].Mem.(*ir.PagedMemory)) {
+			t.Fatalf("lane %d: memory diverges from scalar reference", lane)
+		}
+	}
+}
+
+// randBranchyProgram generates a loop whose body contains 1-3 branch
+// diamonds conditioned on loaded data, so lanes running on different
+// memories diverge and reconverge constantly. r2 = induction, r4 = trip,
+// r5 = data base; the accumulator and a data-dependent walker feed
+// stores so every path difference is architecturally visible.
+func randBranchyProgram(rng *rand.Rand) *isa.Program {
+	asm := isa.NewAsm(fmt.Sprintf("branchy%d", rng.Int63n(1<<30)))
+	alu := []isa.Opcode{isa.Add, isa.Sub, isa.Xor, isa.Or, isa.And, isa.Min, isa.Max}
+	cond := []isa.Opcode{isa.BEQ, isa.BNE, isa.BLT, isa.BLE, isa.BGT, isa.BGE}
+	asm.MovI(2, 0)
+	asm.MovI(6, int64(rng.Intn(64)))
+	asm.Label("loop")
+	asm.Op3(isa.Add, 7, 5, 2)
+	asm.Load(8, 7, 0)
+	diamonds := 1 + rng.Intn(3)
+	for d := 0; d < diamonds; d++ {
+		asm.MovI(9, int64(rng.Intn(64)))
+		then := fmt.Sprintf("then%d", d)
+		join := fmt.Sprintf("join%d", d)
+		asm.Branch(cond[rng.Intn(len(cond))], 8, 9, then)
+		asm.Op3(alu[rng.Intn(len(alu))], 6, 6, 8)
+		asm.Br(join)
+		asm.Label(then)
+		asm.Op3(alu[rng.Intn(len(alu))], 6, 6, 9)
+		asm.Label(join)
+		asm.Emit(isa.Inst{Op: isa.AndI, Dst: 8, Src1: 8, Imm: 63})
+	}
+	asm.Store(6, 7, 1<<14)
+	asm.AddI(2, 2, 1)
+	asm.Branch(isa.BLT, 2, 4, "loop")
+	asm.Halt()
+	return asm.MustBuild()
+}
+
+// TestRunBatchDivergenceProperty is the property-based divergence test:
+// 200 random data-dependent-branch programs, each run over lanes holding
+// different data and trip counts, must commit bit-identical state —
+// registers, memory, and (workers=0) per-lane cycle counts — to serial
+// per-lane Run calls.
+func TestRunBatchDivergenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260807))
+	const lanes = 4
+	split := int64(0)
+	for trial := 0; trial < 200; trial++ {
+		p := randBranchyProgram(rng)
+		vcfg := DefaultConfig()
+		mems := make([]*ir.PagedMemory, lanes)
+		seeds := make([]func(*scalar.Machine), lanes)
+		serialM := make([]*scalar.Machine, lanes)
+		serialRes := make([]*RunResult, lanes)
+		for lane := 0; lane < lanes; lane++ {
+			mem := ir.NewPagedMemory()
+			base := int64(1000)
+			for i := int64(0); i < 64; i++ {
+				mem.Store(base+i, uint64(rng.Intn(64)))
+			}
+			trip := int64(3 + rng.Intn(14))
+			mems[lane] = mem
+			seeds[lane] = func(m *scalar.Machine) {
+				m.Regs[4] = uint64(trip)
+				m.Regs[5] = uint64(base)
+			}
+			sv := New(vcfg)
+			r, m, err := sv.Run(p, mem.Clone(), seeds[lane], 1_000_000)
+			if err != nil {
+				t.Fatalf("trial %d lane %d serial: %v", trial, lane, err)
+			}
+			serialM[lane], serialRes[lane] = m, r
+		}
+		batchMems := make([]*ir.PagedMemory, lanes)
+		for lane := range mems {
+			batchMems[lane] = mems[lane].Clone()
+		}
+		bv := New(vcfg)
+		br, bm, err := bv.RunBatch(p, batchMems, seeds, 1_000_000)
+		if err != nil {
+			t.Fatalf("trial %d RunBatch: %v", trial, err)
+		}
+		for lane := 0; lane < lanes; lane++ {
+			got, ref := bm.Lane(lane), serialM[lane]
+			if got.Regs != ref.Regs {
+				t.Fatalf("trial %d lane %d: registers diverge\n%s", trial, lane, p.Disassemble())
+			}
+			if !batchMems[lane].Equal(ref.Mem.(*ir.PagedMemory)) {
+				t.Fatalf("trial %d lane %d: memory diverges\n%s", trial, lane, p.Disassemble())
+			}
+			if lr, sr := br.Lanes[lane], serialRes[lane]; lr.ScalarCycles != sr.ScalarCycles {
+				t.Fatalf("trial %d lane %d: scalar cycles %d, serial %d\n%s",
+					trial, lane, lr.ScalarCycles, sr.ScalarCycles, p.Disassemble())
+			}
+		}
+		split += br.Total.DivergenceSplits
+	}
+	if split == 0 {
+		t.Error("200 branchy trials produced no divergence splits")
+	}
+}
+
+// TestBatchChaosSoak runs batched execution under the hostile fault plan
+// (crashes, corruption with verification, eviction storms, latency):
+// every lane of every epoch must still commit the fault-free reference
+// state. Run under -race this also exercises batched dispatch against
+// concurrent background translators.
+func TestBatchChaosSoak(t *testing.T) {
+	progs := buildChaosProgs(t, 4)
+	const lanes = 4
+	v := New(chaosConfig())
+	for epoch := 0; epoch < 6; epoch++ {
+		for pi := range progs {
+			pg := &progs[pi]
+			mems := make([]*ir.PagedMemory, lanes)
+			seeds := make([]func(*scalar.Machine), lanes)
+			for lane := 0; lane < lanes; lane++ {
+				mems[lane] = pg.mem.Clone()
+				seeds[lane] = pg.seed
+			}
+			_, bm, err := v.RunBatch(pg.res.Program, mems, seeds, 50_000_000)
+			if err != nil {
+				t.Fatalf("epoch %d prog %d: %v", epoch, pi, err)
+			}
+			for lane := 0; lane < lanes; lane++ {
+				if got := bm.Lane(lane); got.Regs != pg.refRegs {
+					t.Fatalf("epoch %d prog %d lane %d: registers diverge from fault-free reference",
+						epoch, pi, lane)
+				}
+				if !mems[lane].Equal(pg.refMem) {
+					t.Fatalf("epoch %d prog %d lane %d: memory diverges from fault-free reference",
+						epoch, pi, lane)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchDispatchAllocBudget pins the batched hot path to O(1)
+// allocations per kernel iteration: doubling the trip count must not
+// grow the per-run allocation count, and the absolute budget bounds the
+// per-lane setup work.
+func TestBatchDispatchAllocBudget(t *testing.T) {
+	res, l := firProgram(t, true)
+	vcfg := DefaultConfig()
+	const lanes = 8
+	runBatch := func(v *VM, trip int64) {
+		mems := make([]*ir.PagedMemory, lanes)
+		seeds := make([]func(*scalar.Machine), lanes)
+		for lane := 0; lane < lanes; lane++ {
+			bind, mem := workloads.Prepare(l, trip, int64(lane+1))
+			mems[lane] = mem
+			seeds[lane] = batchLaneSeed(res, bind.Params, trip)
+		}
+		if _, _, err := v.RunBatch(res.Program, mems, seeds, 50_000_000); err != nil {
+			t.Fatalf("RunBatch: %v", err)
+		}
+	}
+	v := New(vcfg)
+	runBatch(v, 16) // warm: translation installed, scratch parked
+	short := testing.AllocsPerRun(5, func() { runBatch(v, 16) })
+	long := testing.AllocsPerRun(5, func() { runBatch(v, 128) })
+	if long > short*1.25+16 {
+		t.Errorf("allocations scale with trip count: %.0f at trip 16, %.0f at trip 128", short, long)
+	}
+	// Absolute ceiling: lane setup (memories, bindings, exit state) plus
+	// one batched launch. Generous headroom over the measured ~3.4k for
+	// 8 lanes; the point is catching accidental per-iteration allocation.
+	if short > 8000 {
+		t.Errorf("batched run allocates %.0f objects for %d lanes", short, lanes)
+	}
+}

@@ -1,6 +1,12 @@
 package vm
 
-import "testing"
+import (
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+)
 
 // BenchmarkVMRunSync measures a whole-program VM run with synchronous
 // (stall-on-translate) translation on the nested workload.
@@ -30,6 +36,69 @@ func BenchmarkVMRunOverlap(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// The batched-throughput pair: one benchmark op serves the same
+// multi-tenant demand — benchBatchLanes guests each running
+// benchBatchTrip iterations of the FIR kernel — either as independent
+// serial runs on fresh VMs (every tenant pays translation, decode, and
+// schedule bookkeeping) or as one lockstep RunBatch. Both report host
+// throughput in guest work so the snapshot and the bench gate track
+// what batching buys, not just ns/op.
+const (
+	benchBatchLanes = 64
+	benchBatchTrip  = 32
+)
+
+// batchBenchLanes builds the lowered FIR kernel, per-lane memories and
+// seeds, and the guest-instruction count one lane represents.
+func batchBenchLanes(b *testing.B) (*lower.Result, []*ir.PagedMemory, []func(*scalar.Machine), int64) {
+	res, l := firProgram(b, true)
+	mems := make([]*ir.PagedMemory, benchBatchLanes)
+	seeds := make([]func(*scalar.Machine), benchBatchLanes)
+	for lane := range mems {
+		mems[lane] = firMem()
+		seeds[lane] = firSeed(res, benchBatchTrip)
+	}
+	return res, mems, seeds, ir.DynamicOps(l, benchBatchTrip)
+}
+
+func reportBatchThroughput(b *testing.B, guestPerLane int64) {
+	sec := b.Elapsed().Seconds()
+	if sec <= 0 {
+		return
+	}
+	programs := float64(b.N) * benchBatchLanes
+	b.ReportMetric(programs*float64(guestPerLane)/sec, "guest-insts/sec")
+	b.ReportMetric(programs/sec, "programs/sec")
+}
+
+// BenchmarkVMBatch1 is the serial multi-tenant baseline.
+func BenchmarkVMBatch1(b *testing.B) {
+	res, mems, seeds, guestPerLane := batchBenchLanes(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lane := 0; lane < benchBatchLanes; lane++ {
+			v := New(DefaultConfig())
+			if _, _, err := v.Run(res.Program, mems[lane], seeds[lane], 50_000_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportBatchThroughput(b, guestPerLane)
+}
+
+// BenchmarkVMBatch64 runs the same demand through the lockstep engine.
+func BenchmarkVMBatch64(b *testing.B) {
+	res, mems, seeds, guestPerLane := batchBenchLanes(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := New(DefaultConfig())
+		if _, _, err := v.RunBatch(res.Program, mems, seeds, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportBatchThroughput(b, guestPerLane)
 }
 
 // BenchmarkVMSteadyState measures runs that hit the code cache on every

@@ -41,18 +41,25 @@ type RunResult struct {
 	// misses that ran the translator.
 	Launches     int64
 	Translations int64
+
+	// Batched execution accounting. Lanes is the number of guest instances
+	// this result covers (1 for serial Run). DecodedInsts counts
+	// instructions fetched and decoded; LaneInsts counts the per-lane
+	// instructions that decode was applied to, so LaneInsts/DecodedInsts
+	// is the decode amortization ratio (1.0 for serial execution, up to
+	// the lane count for divergence-free batches). DivergenceSplits counts
+	// branches where a lockstep group's lanes disagreed on the next pc.
+	Lanes            int
+	DivergenceSplits int64
+	DecodedInsts     int64
+	LaneInsts        int64
 }
 
-// Run executes the program to completion on the VM-managed system: scalar
-// core plus accelerator. The seed callback initializes registers
-// (arguments) before execution. maxInsts bounds scalar execution to catch
-// runaway programs.
-func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine), maxInsts int64) (*RunResult, *scalar.Machine, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
-	}
-	// Loop identification happens once per program image, as in region-
-	// forming dynamic optimizers.
+// scanRegions identifies the program's innermost loops once per image and
+// pre-rejects region kinds the translator always declines, so later head
+// arrivals answer from the negative cache instead of re-deriving the
+// shape. Shared by Run and RunBatch.
+func (v *VM) scanRegions(p *isa.Program) map[int]cfg.Region {
 	regions := cfg.FindInnerLoops(p, nil)
 	regionAt := make(map[int]cfg.Region, len(regions))
 	for _, r := range regions {
@@ -65,6 +72,20 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			v.Stats.RejectCodes[code]++
 		}
 	}
+	return regionAt
+}
+
+// Run executes the program to completion on the VM-managed system: scalar
+// core plus accelerator. The seed callback initializes registers
+// (arguments) before execution. maxInsts bounds scalar execution to catch
+// runaway programs.
+func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine), maxInsts int64) (*RunResult, *scalar.Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	// Loop identification happens once per program image, as in region-
+	// forming dynamic optimizers.
+	regionAt := v.scanRegions(p)
 
 	m := scalar.New(v.Cfg.CPU, mem)
 	if seed != nil {
@@ -143,6 +164,9 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	}
 
 	res.Cycles = res.ScalarCycles + res.AccelCycles + res.StalledTranslationCycles
+	res.Lanes = 1
+	res.DecodedInsts = m.Stats().Insts
+	res.LaneInsts = m.Stats().Insts
 	return res, m, nil
 }
 
@@ -326,13 +350,25 @@ func applyExit(ext *loopx.Extraction, bind *ir.Bindings, out *accel.Result, regs
 		regs[af.Reg] = uint64(int64(regs[af.Reg]) + bind.Trip*af.Step)
 	}
 	for _, lo := range ext.Loop.LiveOuts {
-		var reg int
-		fmt.Sscanf(lo.Name, "r%d", &reg)
-		regs[reg] = out.LiveOuts[lo.Name]
+		regs[liveOutReg(lo.Name)] = out.LiveOuts[lo.Name]
 	}
 	if ext.LinkRegFinal >= 0 && bind.Trip > 0 {
 		regs[isa.LinkReg] = uint64(ext.LinkRegFinal)
 	}
+}
+
+// liveOutReg decodes the "r<N>" live-out names the extractor synthesizes
+// (a hand-rolled fmt.Sscanf, which showed up hot on batched exits).
+func liveOutReg(name string) int {
+	reg := 0
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		reg = reg*10 + int(c-'0')
+	}
+	return reg
 }
 
 // recordRejection tallies a translation failure; the negative-result

@@ -28,11 +28,16 @@ func Prepare(l *ir.Loop, trip int64, seed int64) (*ir.Bindings, *ir.PagedMemory)
 
 	mem := ir.NewPagedMemory()
 	for _, s := range l.Streams {
-		if s.Kind != ir.LoadStream {
-			continue
-		}
 		base := s.AddrAt(params, 0)
 		span := trip * abs(s.Stride)
+		if s.Kind != ir.LoadStream {
+			// Output buffers exist in a real guest: make their pages
+			// resident so execution never page-faults mid-kernel.
+			for w := int64(0); w <= span; w++ {
+				mem.Store(base+w, 0)
+			}
+			continue
+		}
 		fp := loadIsFloat(l, s)
 		for w := int64(0); w <= span; w++ {
 			if fp {

@@ -2,7 +2,10 @@
 # Runs the figure-regeneration and translator benchmarks with -benchmem,
 # records the parsed results as BENCH_<date>.json at the repo root
 # (override the name with BENCH_OUT=...), and prints a before/after
-# comparison against the most recent earlier snapshot. The root-package
+# comparison against the most recent earlier snapshot. The VM pass
+# includes the batched lockstep pair (BenchmarkVMBatch1/64), whose
+# guest-insts/sec and programs/sec throughput metrics are captured in
+# the snapshot alongside ns/op. The root-package
 # figure benches run twice: once at the inherited GOMAXPROCS and once at
 # GOMAXPROCS=2, so the snapshot also captures the parallel evaluation
 # path (benchcmp keys results by name and width).

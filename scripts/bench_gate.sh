@@ -25,4 +25,8 @@ trap 'rm -f "$raw"' EXIT
 # load cannot fail the ns/op check (allocs/op is deterministic).
 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 3 . >"$raw"
+# The batched-execution hot path: the serial/lockstep pair gates both
+# allocation discipline and guest-insts/sec host throughput.
+go test -run '^$' -bench '^BenchmarkVMBatch' \
+	-benchmem -count 3 ./internal/vm >>"$raw"
 go run ./scripts/benchcmp -prev "$baseline" -gate <"$raw"

@@ -29,6 +29,10 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      int64   `json:"b_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Host-throughput metrics reported by the batched-execution benches
+	// via b.ReportMetric; zero when a benchmark does not emit them.
+	GuestInstsPerSec float64 `json:"guest_insts_per_sec,omitempty"`
+	ProgramsPerSec   float64 `json:"programs_per_sec,omitempty"`
 }
 
 // key identifies a result across snapshots: same benchmark, same width.
@@ -63,9 +67,11 @@ type Snapshot struct {
 // and allocs/op are matched separately because custom b.ReportMetric
 // fields (the figure benches emit several) sit between them and ns/op.
 var (
-	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op`)
-	bytesOp   = regexp.MustCompile(`\s(\d+) B/op`)
-	allocsOp  = regexp.MustCompile(`\s(\d+) allocs/op`)
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op`)
+	bytesOp    = regexp.MustCompile(`\s(\d+) B/op`)
+	allocsOp   = regexp.MustCompile(`\s(\d+) allocs/op`)
+	guestRate  = regexp.MustCompile(`\s([\d.e+]+) guest-insts/sec`)
+	programSec = regexp.MustCompile(`\s([\d.e+]+) programs/sec`)
 )
 
 func parse(r *bufio.Scanner) ([]Result, error) {
@@ -88,6 +94,12 @@ func parse(r *bufio.Scanner) ([]Result, error) {
 		}
 		if a := allocsOp.FindStringSubmatch(line); a != nil {
 			res.AllocsPerOp, _ = strconv.ParseInt(a[1], 10, 64)
+		}
+		if g := guestRate.FindStringSubmatch(line); g != nil {
+			res.GuestInstsPerSec, _ = strconv.ParseFloat(g[1], 64)
+		}
+		if p := programSec.FindStringSubmatch(line); p != nil {
+			res.ProgramsPerSec, _ = strconv.ParseFloat(p[1], 64)
 		}
 		out = append(out, res)
 	}
@@ -121,8 +133,28 @@ func aggregate(in []Result) []Result {
 		if r.AllocsPerOp < out[i].AllocsPerOp {
 			out[i].AllocsPerOp = r.AllocsPerOp
 		}
+		// Throughput metrics: higher is better, so keep the maximum.
+		if r.GuestInstsPerSec > out[i].GuestInstsPerSec {
+			out[i].GuestInstsPerSec = r.GuestInstsPerSec
+		}
+		if r.ProgramsPerSec > out[i].ProgramsPerSec {
+			out[i].ProgramsPerSec = r.ProgramsPerSec
+		}
 	}
 	return out
+}
+
+func humanRate(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
 }
 
 func human(ns float64) string {
@@ -178,9 +210,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchcmp: -gate requires -prev")
 			os.Exit(1)
 		}
-		fmt.Printf("%-36s %12s %10s %8s\n", "benchmark", "ns/op", "B/op", "allocs")
+		fmt.Printf("%-36s %12s %10s %8s %14s\n", "benchmark", "ns/op", "B/op", "allocs", "guest-insts/s")
 		for _, r := range results {
-			fmt.Printf("%-36s %12s %10d %8d\n", r.label(), human(r.NsPerOp), r.BPerOp, r.AllocsPerOp)
+			rate := "-"
+			if r.GuestInstsPerSec > 0 {
+				rate = humanRate(r.GuestInstsPerSec)
+			}
+			fmt.Printf("%-36s %12s %10d %8d %14s\n",
+				r.label(), human(r.NsPerOp), r.BPerOp, r.AllocsPerOp, rate)
 		}
 		return
 	}
@@ -225,6 +262,16 @@ func main() {
 			if p.AllocsPerOp > 0 && aDelta > *maxAllocs {
 				failures = append(failures, fmt.Sprintf(
 					"%s: allocs/op regressed %+.0f%% (limit %.0f%%)", r.label(), aDelta, *maxAllocs))
+			}
+			// Throughput benches gate on guest work per second too: a
+			// drop past the ns/op threshold fails even if ns/op itself
+			// moved less (the metrics can diverge when lane counts or
+			// trip defaults change).
+			if p.GuestInstsPerSec > 0 && r.GuestInstsPerSec > 0 {
+				if drop := 100 * (p.GuestInstsPerSec - r.GuestInstsPerSec) / p.GuestInstsPerSec; drop > *maxNs {
+					failures = append(failures, fmt.Sprintf(
+						"%s: guest-insts/sec dropped %.1f%% (limit %.0f%%)", r.label(), drop, *maxNs))
+				}
 			}
 		}
 	}

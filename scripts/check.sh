@@ -13,7 +13,7 @@ echo "== go test =="
 go test ./...
 
 echo "== examples =="
-for ex in quickstart adpcm idct fig5 virtualization speculation jit; do
+for ex in quickstart adpcm idct fig5 virtualization speculation jit batch; do
     echo "-- $ex"
     go run ./examples/$ex > /dev/null
 done

@@ -25,6 +25,13 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== batched lockstep execution (race) =="
+# The batched engine shares one translation and one schedule walk across
+# lanes while the JIT pipeline may be translating on background workers;
+# the divergence property test and the batched chaos soak must hold
+# under the race detector.
+go test -race -run 'Batch' ./internal/scalar ./internal/accel ./internal/vm
+
 echo "== golden-site verification (race) =="
 # Every accepted golden-site translation must pass the independent
 # legality checker, under the race detector (the verifier shares no code

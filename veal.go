@@ -320,6 +320,133 @@ func (s *System) Run(b *Binary, params map[string]uint64, trip int64, mem *Memor
 	}, nil
 }
 
+// BatchLane describes one guest of a batched execution: its parameter
+// bindings, trip count, and private memory (nil gets a fresh memory).
+type BatchLane struct {
+	Params map[string]uint64
+	Trip   int64
+	Mem    *Memory
+}
+
+// BatchResult reports a batched lockstep execution.
+type BatchResult struct {
+	// Total is the amortized whole-batch accounting: scalar time is the
+	// slowest lane's critical path, and translation was paid once for the
+	// group rather than once per lane.
+	Total Result
+	// Lanes holds what a serial Run of each lane would have reported.
+	Lanes []*Result
+	// DecodedInsts and AppliedInsts measure decode amortization: each
+	// instruction is fetched and decoded once per lane group and applied
+	// to every live lane, so Applied/Decoded approaches the batch width
+	// on divergence-free programs.
+	DecodedInsts, AppliedInsts int64
+	// Splits counts lockstep groups divided by divergent branches.
+	Splits int64
+}
+
+// RunBatch executes one binary across many guests in lockstep: one
+// fetch/decode per lane group on the interpreter, one translation and
+// one schedule walk per accelerated loop. Results are bit-identical to
+// running each lane through Run serially.
+func (s *System) RunBatch(b *Binary, lanes []BatchLane) (*BatchResult, error) {
+	if len(lanes) == 0 {
+		return nil, fmt.Errorf("veal: RunBatch with zero lanes")
+	}
+	mems := make([]*ir.PagedMemory, len(lanes))
+	seeds := make([]func(*scalar.Machine), len(lanes))
+	for i, ln := range lanes {
+		for name := range ln.Params {
+			if !b.hasParam(name) {
+				return nil, fmt.Errorf("veal: binary %q has no parameter %q", b.Program.Name, name)
+			}
+		}
+		mem := ln.Mem
+		if mem == nil {
+			mem = ir.NewPagedMemory()
+		}
+		mems[i] = mem
+		params, trip := ln.Params, ln.Trip
+		seeds[i] = func(m *scalar.Machine) {
+			m.Regs[b.TripReg] = uint64(trip)
+			for j, reg := range b.ParamRegs {
+				name := fmt.Sprintf("p%d", j)
+				if j < len(b.ParamNames) && b.ParamNames[j] != "" {
+					name = b.ParamNames[j]
+				}
+				if v, ok := params[name]; ok {
+					m.Regs[reg] = v
+				}
+			}
+		}
+	}
+
+	const maxInsts = 500_000_000
+	if s.vm == nil {
+		// Scalar-only system: the lockstep interpreter still amortizes
+		// fetch/decode across the batch.
+		bm := scalar.NewBatch(s.cfg.CPU, len(lanes))
+		for i := range lanes {
+			bm.Mems[i] = mems[i]
+			var tmp scalar.Machine
+			tmp.Mem = mems[i]
+			seeds[i](&tmp)
+			bm.SetLaneRegs(i, &tmp.Regs)
+		}
+		if err := bm.Run(b.Program, maxInsts); err != nil {
+			return nil, err
+		}
+		out := &BatchResult{Lanes: make([]*Result, len(lanes))}
+		for i := range lanes {
+			regs := bm.LaneRegs(i)
+			st := bm.LaneStats(i)
+			out.Lanes[i] = &Result{
+				Cycles:       st.Cycles,
+				ScalarCycles: st.Cycles,
+				LiveOuts:     b.readLiveOuts(&regs),
+			}
+			if st.Cycles > out.Total.Cycles {
+				out.Total.Cycles = st.Cycles
+				out.Total.ScalarCycles = st.Cycles
+			}
+		}
+		bs := bm.Stats()
+		out.DecodedInsts, out.AppliedInsts, out.Splits = bs.DecodedInsts, bs.LaneInsts, bs.Splits
+		return out, nil
+	}
+
+	br, bm, err := s.vm.RunBatch(b.Program, mems, seeds, maxInsts)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResult{
+		Total: Result{
+			Cycles:                   br.Total.Cycles,
+			ScalarCycles:             br.Total.ScalarCycles,
+			AccelCycles:              br.Total.AccelCycles,
+			TranslationCycles:        br.Total.TranslationCycles,
+			StalledTranslationCycles: br.Total.StalledTranslationCycles,
+			HiddenTranslationCycles:  br.Total.HiddenTranslationCycles,
+			Launches:                 br.Total.Launches,
+		},
+		Lanes:        make([]*Result, len(lanes)),
+		DecodedInsts: br.Total.DecodedInsts,
+		AppliedInsts: br.Total.LaneInsts,
+		Splits:       br.Total.DivergenceSplits,
+	}
+	for i, lr := range br.Lanes {
+		regs := bm.LaneRegs(i)
+		out.Lanes[i] = &Result{
+			Cycles:       lr.Cycles,
+			ScalarCycles: lr.ScalarCycles,
+			AccelCycles:  lr.AccelCycles,
+			Launches:     lr.Launches,
+			LiveOuts:     b.readLiveOuts(&regs),
+		}
+	}
+	return out, nil
+}
+
 func (b *Binary) hasParam(name string) bool {
 	for i := range b.ParamRegs {
 		n := fmt.Sprintf("p%d", i)
