@@ -14,6 +14,9 @@
 //	                        or -overlap for the stall-vs-overlap table
 //	veal bench [-batch B]   host-throughput sweep: batched lockstep
 //	                        execution vs serial runs (guest-insts/sec)
+//	veal serve [-addr A]    multi-tenant VM server: submit and run
+//	                        programs over HTTP against a shared
+//	                        content-addressed translation store
 //
 // The global -j N flag (before the subcommand) caps the evaluation
 // worker pool; -j 1 forces serial evaluation. The VEAL_WORKERS
@@ -80,6 +83,8 @@ func main() {
 		err = cmdVMStats(args)
 	case "bench":
 		err = cmdBench(args)
+	case "serve":
+		err = cmdServe(args)
 	case "asm":
 		err = cmdAsm(args)
 	default:
@@ -93,7 +98,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|serve|asm> [flags]`)
 }
 
 func usageExit() {

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"veal/internal/serve"
+	"veal/internal/vm"
+)
+
+// cmdServe runs the long-lived multi-tenant VM server: tenants submit
+// baseline-ISA programs and run them over HTTP while one process-global
+// content-addressed store shares every translation across them (see
+// internal/serve). The listening address is printed once the socket is
+// bound — pass -addr 127.0.0.1:0 to let the kernel pick a free port
+// (scripts and tests parse that line).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	policy := fs.String("policy", "hybrid", "translation policy: dynamic|height|hybrid")
+	workers := fs.Int("workers", 2, "background translator workers per tenant (0 = stall on translate)")
+	cache := fs.Int("cache", 16, "per-tenant code cache entries")
+	cacheBytes := fs.Int64("cache-bytes", 0, "per-tenant code cache byte budget (0 = entry cap only)")
+	storeBudget := fs.Int64("store-budget", 0, "global translation-store byte budget (0 = default 256 MiB)")
+	tenantQuota := fs.Int64("tenant-quota", 0, "per-tenant store quota in bytes (0 = unlimited)")
+	queue := fs.Int("queue", 8, "per-tenant admission queue depth (excess requests get 429)")
+	verifyFlag := fs.Bool("verify", false, "independently re-verify every installed translation")
+	spec := fs.Bool("spec", false, "enable speculative while-loop support")
+	faultSeed := fs.Uint64("fault-seed", 0, "run every tenant under the chaos fault plan (degradation drills)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := serve.Config{
+		TranslateWorkers:   *workers,
+		SpeculationSupport: *spec,
+		Verify:             *verifyFlag,
+		FaultSeed:          *faultSeed,
+		CodeCacheEntries:   *cache,
+		CodeCacheBytes:     *cacheBytes,
+		StoreBudgetBytes:   *storeBudget,
+		TenantQuotaBytes:   *tenantQuota,
+		QueueDepth:         *queue,
+	}
+	switch *policy {
+	case "dynamic":
+		cfg.Policy = vm.FullyDynamic
+	case "height":
+		cfg.Policy = vm.HeightPriority
+	case "hybrid":
+		cfg.Policy = vm.Hybrid
+	default:
+		return fmt.Errorf("serve: unknown policy %q", *policy)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	srv := serve.New(cfg)
+	hs := &http.Server{Handler: srv.Handler()}
+
+	// The parseable bind line, then a human summary.
+	fmt.Printf("veal serve: listening on http://%s\n", ln.Addr())
+	fmt.Printf("veal serve: policy=%s workers=%d queue=%d store-budget=%d tenant-quota=%d\n",
+		*policy, *workers, *queue, srv.Store().Budget(), *tenantQuota)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "veal serve: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(ctx)
+	}
+}

@@ -76,12 +76,18 @@ func (k transKey) shard() uint32 {
 // contend. 16 shards is ample for the pool widths the harness uses.
 const transShards = 16
 
-// transCache memoizes Translate results across sweep evaluations. It is
-// safe for concurrent use: each key's entry is created under its shard
-// lock and filled exactly once (sync.Once) outside it, so concurrent
-// misses on the same design point share one translation instead of
-// recomputing it, and misses on different points never serialize on the
-// translation itself.
+// transCache memoizes the per-site *derived* model values across sweep
+// evaluations — the small exp.Translation (trip-dependent invocation
+// estimate, stream disambiguation verdict, typed rejection), including
+// negative outcomes for structurally declined sites. The heavyweight
+// pipeline artifacts behind them live in the process-global
+// content-addressed store (see sharedStore in model.go), which dedups
+// across sites and harnesses; this layer keeps repeat probes of one
+// design point from even reaching the store. It is safe for concurrent
+// use: each key's entry is created under its shard lock and filled
+// exactly once (sync.Once) outside it, so concurrent misses on the same
+// design point share one computation, and misses on different points
+// never serialize on the computation itself.
 type transCache struct {
 	shards [transShards]transShard
 }

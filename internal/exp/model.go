@@ -20,10 +20,24 @@ import (
 	"veal/internal/par"
 	"veal/internal/scalar"
 	"veal/internal/translate"
+	"veal/internal/tstore"
 	"veal/internal/vm"
 	"veal/internal/vmcost"
 	"veal/internal/workloads"
 )
+
+// sharedStore is the process-global content-addressed translation store
+// the harness's pipeline runs go through (the same tstore the serving
+// layer uses): two sites with byte-identical loop content — the same
+// kernel lowered for different experiments, or the same design point
+// probed by different sweeps — share one pipeline run instead of one per
+// site. The per-site transCache on top memoizes the *derived* model
+// values (AccelPerInvoc is trip-dependent, stream disambiguation binds
+// representative operands), which are small; the store holds the big
+// translate.Results under a byte budget so an unbounded sweep cannot
+// retain every artifact it ever produced — an evicted entry just
+// re-translates, which is all the harness did before the store existed.
+var sharedStore = tstore.New(tstore.Config{BudgetBytes: 128 << 20})
 
 // acyclicCPI is the cycles-per-instruction of non-loop code on each issue
 // width: acyclic code has modest ILP, so wider machines gain
@@ -198,10 +212,17 @@ func (sm *SiteModel) Translate(la *arch.LA, policy vm.Policy, raw bool) *Transla
 // translate pipeline for the policy directly, so only immutable state
 // (the binary, the region, the LA under test) is shared between workers.
 func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
+	key := keyFor(la, policy, raw, spec)
 	if code, declined := translate.CodeForRegion(sm.Site.Kind, spec); declined {
-		return &Translation{Reason: sm.Site.Kind.String(), Code: code}
+		// Negative-result caching, mirroring the jit path's PreReject: a
+		// structurally unsupported site is answered from the cache instead
+		// of being re-derived (and re-allocated) on every probe. Before the
+		// caches were unified this path bypassed the cache entirely.
+		return sm.cache.load(key, func() *Translation {
+			return &Translation{Reason: sm.Site.Kind.String(), Code: code}
+		})
 	}
-	return sm.cache.load(keyFor(la, policy, raw, spec), func() *Translation {
+	return sm.cache.load(key, func() *Translation {
 		return sm.translate(la, policy, raw, spec)
 	})
 }
@@ -224,12 +245,18 @@ func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *T
 			}
 		}
 	}
-	tr, err := translate.For(policy).Run(translate.Request{
-		Prog:        binary.Program,
-		Region:      region,
-		LA:          la,
-		Speculation: spec,
-	})
+	// The pipeline run itself goes through the global content-addressed
+	// store: single-flight across concurrent sweep workers AND shared
+	// across sites/harnesses with identical loop content.
+	tr, err := sharedStore.Load("exp", tstore.KeyFor(binary.Program, region, la, policy, spec),
+		func() (*translate.Result, error) {
+			return translate.For(policy).Run(translate.Request{
+				Prog:        binary.Program,
+				Region:      region,
+				LA:          la,
+				Speculation: spec,
+			})
+		})
 	if err != nil {
 		// Work stays zero on rejections: the model charges translation
 		// cycles only for loops the system actually accelerates.

@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/translate"
+	"veal/internal/vm"
+)
+
+// TestDeclinedSiteNegativeCached pins the unified negative-caching
+// behavior: a structurally unsupported site (a kind the translator
+// always declines) is cached like any other outcome — repeat probes
+// return the same entry instead of re-deriving and re-allocating the
+// rejection, matching the jit path's PreReject semantics.
+func TestDeclinedSiteNegativeCached(t *testing.T) {
+	_, all := testModels(t)
+	var sm *SiteModel
+	for _, bm := range all {
+		for _, s := range bm.Sites {
+			if _, declined := translate.CodeForRegion(s.Site.Kind, false); declined {
+				sm = s
+				break
+			}
+		}
+		if sm != nil {
+			break
+		}
+	}
+	if sm == nil {
+		t.Fatal("no structurally declined site in the eval suite")
+	}
+
+	// A fresh design point (testModels shares site models across the test
+	// binary, so common configurations may already be cached).
+	la := arch.Proposed()
+	la.MemLatency += 23
+	before := sm.cache.len()
+	first := sm.Translate(la, vm.Hybrid, false)
+	if first.OK {
+		t.Fatalf("declined site translated OK (kind %v)", sm.Site.Kind)
+	}
+	wantCode, _ := translate.CodeForRegion(sm.Site.Kind, false)
+	if first.Code != wantCode {
+		t.Errorf("Code = %v, want %v", first.Code, wantCode)
+	}
+	again := sm.Translate(la, vm.Hybrid, false)
+	if again != first {
+		t.Error("declined result not served from the cache (new allocation per probe)")
+	}
+	if got := sm.cache.len(); got != before+1 {
+		t.Errorf("cache grew by %d entries, want 1", got-before)
+	}
+}
+
+// TestCrossSiteSharedStoreDedup: two SiteModels built independently from
+// the same kernel produce byte-identical loop content, so their pipeline
+// runs resolve to one entry in the process-global store — the sharing
+// the per-site caches could never provide.
+func TestCrossSiteSharedStoreDedup(t *testing.T) {
+	_, all := testModels(t)
+	var site *SiteModel
+	for _, bm := range all {
+		for _, s := range bm.Sites {
+			if s.Site.Kind == cfg.KindSchedulable {
+				site = s
+				break
+			}
+		}
+		if site != nil {
+			break
+		}
+	}
+	if site == nil {
+		t.Fatal("no schedulable site")
+	}
+
+	cpus := []*arch.CPU{arch.ARM11()}
+	sm1, err := buildSite(site.Site, cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2, err := buildSite(site.Site, cpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh design point no other test probes, so the store delta below
+	// is attributable to exactly these two calls.
+	la := arch.Proposed()
+	la.MemLatency += 17
+	la.Name = "dedup-probe"
+
+	before := sharedStore.Metrics().Translations.Load()
+	t1 := sm1.TranslateWith(la, vm.FullyDynamic, false, false)
+	t2 := sm2.TranslateWith(la, vm.FullyDynamic, false, false)
+	delta := sharedStore.Metrics().Translations.Load() - before
+
+	if !t1.OK || !t2.OK {
+		t.Fatalf("translations rejected: %q / %q", t1.Reason, t2.Reason)
+	}
+	if delta != 1 {
+		t.Errorf("two sites x one kernel ran %d pipeline translations, want 1", delta)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Errorf("shared-store translations diverged: %+v != %+v", t1, t2)
+	}
+}

@@ -12,11 +12,21 @@ type lru[K comparable, V any] struct {
 	ll      *list.List // front = next victim, back = most recently used
 	items   map[K]*list.Element
 	onEvict func(K, V) // called for capacity evictions, not for reset
+
+	// Optional byte accounting (setBudget): entries are weighed by sizeOf
+	// at insert and the cache additionally sheds LRU victims while over
+	// budget — keeping at least the most recent entry, so one translation
+	// larger than the whole budget still executes. budget == 0 keeps the
+	// historical entry-count-only behavior.
+	budget int64
+	bytes  int64
+	sizeOf func(V) int64
 }
 
 type lruEntry[K comparable, V any] struct {
-	key K
-	val V
+	key  K
+	val  V
+	size int64
 }
 
 func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
@@ -28,6 +38,15 @@ func newLRU[K comparable, V any](capacity int, onEvict func(K, V)) *lru[K, V] {
 	}
 }
 
+// setBudget enables byte-denominated capacity on top of the entry cap.
+func (c *lru[K, V]) setBudget(budget int64, sizeOf func(V) int64) {
+	c.budget, c.sizeOf = budget, sizeOf
+}
+
+// bytesUsed reports the charged size of the resident entries (0 unless a
+// budget/sizeOf pair was configured).
+func (c *lru[K, V]) bytesUsed() int64 { return c.bytes }
+
 func (c *lru[K, V]) get(k K) (V, bool) {
 	if el, ok := c.items[k]; ok {
 		c.ll.MoveToBack(el)
@@ -38,21 +57,35 @@ func (c *lru[K, V]) get(k K) (V, bool) {
 }
 
 func (c *lru[K, V]) put(k K, v V) {
+	var size int64
+	if c.sizeOf != nil {
+		size = c.sizeOf(v)
+	}
 	if el, ok := c.items[k]; ok {
-		el.Value.(*lruEntry[K, V]).val = v
+		e := el.Value.(*lruEntry[K, V])
+		c.bytes += size - e.size
+		e.val, e.size = v, size
 		c.ll.MoveToBack(el)
+		c.shedOverBudget()
 		return
 	}
 	if len(c.items) >= c.cap {
-		victim := c.ll.Front()
-		ve := victim.Value.(*lruEntry[K, V])
-		c.ll.Remove(victim)
-		delete(c.items, ve.key)
-		if c.onEvict != nil {
-			c.onEvict(ve.key, ve.val)
-		}
+		c.evictOldest()
 	}
-	c.items[k] = c.ll.PushBack(&lruEntry[K, V]{key: k, val: v})
+	c.items[k] = c.ll.PushBack(&lruEntry[K, V]{key: k, val: v, size: size})
+	c.bytes += size
+	c.shedOverBudget()
+}
+
+// shedOverBudget evicts victims until the byte budget holds, always
+// sparing the most recently used entry.
+func (c *lru[K, V]) shedOverBudget() {
+	if c.budget <= 0 {
+		return
+	}
+	for c.bytes > c.budget && c.ll.Len() > 1 {
+		c.evictOldest()
+	}
 }
 
 // remove deletes an entry without running the eviction callback (the
@@ -63,8 +96,10 @@ func (c *lru[K, V]) remove(k K) bool {
 	if !ok {
 		return false
 	}
+	e := el.Value.(*lruEntry[K, V])
 	c.ll.Remove(el)
-	delete(c.items, el.Value.(*lruEntry[K, V]).key)
+	delete(c.items, e.key)
+	c.bytes -= e.size
 	return true
 }
 
@@ -79,6 +114,7 @@ func (c *lru[K, V]) evictOldest() bool {
 	ve := victim.Value.(*lruEntry[K, V])
 	c.ll.Remove(victim)
 	delete(c.items, ve.key)
+	c.bytes -= ve.size
 	if c.onEvict != nil {
 		c.onEvict(ve.key, ve.val)
 	}
@@ -109,4 +145,5 @@ func (c *lru[K, V]) values() []V {
 func (c *lru[K, V]) reset() {
 	c.ll.Init()
 	c.items = make(map[K]*list.Element, c.cap)
+	c.bytes = 0
 }

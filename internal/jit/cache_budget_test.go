@@ -1,0 +1,71 @@
+package jit
+
+import "testing"
+
+// TestLRUByteBudget pins the byte-denominated capacity layered onto the
+// entry-count LRU: victims shed in recency order until the budget
+// holds, the most recent entry always survives (even alone over
+// budget), and replacement accounting stays exact.
+func TestLRUByteBudget(t *testing.T) {
+	var victims []int
+	c := newLRU[int, int64](16, func(k int, _ int64) { victims = append(victims, k) })
+	c.setBudget(100, func(v int64) int64 { return v })
+
+	c.put(1, 40)
+	c.put(2, 40)
+	if c.bytesUsed() != 80 || len(victims) != 0 {
+		t.Fatalf("bytes=%d victims=%v, want 80 and none", c.bytesUsed(), victims)
+	}
+	c.put(3, 40) // 120 > 100: shed key 1
+	if c.bytesUsed() != 80 {
+		t.Errorf("bytes=%d after shed, want 80", c.bytesUsed())
+	}
+	if len(victims) != 1 || victims[0] != 1 {
+		t.Errorf("victims=%v, want [1]", victims)
+	}
+
+	// A single entry larger than the whole budget still installs.
+	c.put(4, 500)
+	if _, ok := c.get(4); !ok {
+		t.Error("over-budget entry was not retained")
+	}
+	if c.ll.Len() != 1 {
+		t.Errorf("%d entries retained alongside a budget-consuming one, want 1", c.ll.Len())
+	}
+	if c.bytesUsed() != 500 {
+		t.Errorf("bytes=%d, want 500", c.bytesUsed())
+	}
+
+	// Replacing a value re-weighs it.
+	c.put(4, 60)
+	if c.bytesUsed() != 60 {
+		t.Errorf("bytes=%d after replace, want 60", c.bytesUsed())
+	}
+
+	// remove and reset keep the ledger exact.
+	c.put(5, 30)
+	c.remove(4)
+	if c.bytesUsed() != 30 {
+		t.Errorf("bytes=%d after remove, want 30", c.bytesUsed())
+	}
+	c.reset()
+	if c.bytesUsed() != 0 {
+		t.Errorf("bytes=%d after reset, want 0", c.bytesUsed())
+	}
+}
+
+// TestLRUWithoutBudgetUnchanged: the historical entry-count behavior is
+// untouched when no budget is configured.
+func TestLRUWithoutBudgetUnchanged(t *testing.T) {
+	var victims []int
+	c := newLRU[int, int](2, func(k int, _ int) { victims = append(victims, k) })
+	c.put(1, 1)
+	c.put(2, 2)
+	c.put(3, 3)
+	if len(victims) != 1 || victims[0] != 1 {
+		t.Errorf("victims=%v, want [1]", victims)
+	}
+	if c.bytesUsed() != 0 {
+		t.Errorf("bytesUsed=%d without a budget, want 0", c.bytesUsed())
+	}
+}

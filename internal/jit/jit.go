@@ -327,6 +327,23 @@ func New[K comparable, V any](cfg Config, keyName func(K) string) *Pipeline[K, V
 	return p
 }
 
+// SetCacheBudget adds a byte-denominated bound to the code cache on top
+// of the entry-count cap: sizeOf estimates each translation's resident
+// bytes (e.g. translate.Result.SizeBytes) and eviction sheds LRU
+// victims until the budget holds, always keeping the most recent entry.
+// The entry-count CacheSize cap stays in force — the paper's 16-entry
+// cache models control-store slots; the byte budget models the storage
+// behind them. Call before the first Request.
+func (p *Pipeline[K, V]) SetCacheBudget(budget int64, sizeOf func(V) int64) {
+	if budget > 0 && sizeOf != nil {
+		p.cache.setBudget(budget, sizeOf)
+	}
+}
+
+// CacheBytes reports the estimated resident bytes of the code cache
+// (0 unless a byte budget was configured).
+func (p *Pipeline[K, V]) CacheBytes() int64 { return p.cache.bytesUsed() }
+
 // Metrics returns the pipeline's counter sink.
 func (p *Pipeline[K, V]) Metrics() *Metrics { return p.metrics }
 

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"veal/internal/vm"
+)
+
+// BenchmarkServeThroughput measures end-to-end serving throughput:
+// concurrent tenants hammering one warm kernel through the full HTTP
+// path (admission, JSON, batched lockstep execution, NDJSON results).
+// Every tenant resolves its translation from the shared store, so the
+// steady state holds exactly one translation no matter how many tenants
+// run. programs/sec counts guest program instances (lanes) served per
+// wall-clock second — the serving analogue of the batch engine's
+// metric, parsed by scripts/benchcmp and gated by scripts/bench_gate.sh.
+func BenchmarkServeThroughput(b *testing.B) {
+	srv := New(Config{Policy: vm.Hybrid})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const (
+		tenants = 4
+		lanes   = 8
+	)
+	_, _, sub := lowered(b, "bench-kernel")
+	ids := make([]string, tenants)
+	for i := range ids {
+		ids[i] = submit(b, ts.Client(), ts.URL, fmt.Sprintf("t%d", i), sub).ID
+	}
+	lns := make([]Lane, lanes)
+	for i := range lns {
+		lns[i] = laneFor(uint64(1 + i))
+	}
+	// Warm the store and every tenant's code cache.
+	for i := 0; i < tenants; i++ {
+		run(b, ts.Client(), ts.URL, fmt.Sprintf("t%d", i), ids[i], lns...)
+	}
+
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := (b.N + tenants - 1) / tenants
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			for j := 0; j < per; j++ {
+				run(b, ts.Client(), ts.URL, name, ids[i], lns...)
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(tenants*per*lanes)/elapsed, "programs/sec")
+	}
+	if got := srv.Store().Metrics().Translations.Load(); got != 1 {
+		b.Fatalf("steady state holds %d translations, want 1", got)
+	}
+}

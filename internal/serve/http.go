@@ -1,0 +1,374 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/scalar"
+)
+
+// The API. Tenants identify themselves with the X-Veal-Tenant header
+// (or ?tenant=); the empty name is a valid shared-anonymous tenant.
+//
+//	POST   /v1/programs        submit a program (asm text or binary
+//	                           container), hash-consed by content
+//	GET    /v1/programs        list resident programs
+//	POST   /v1/run             run a program: 1 lane = serial Run, many
+//	                           lanes = lockstep vm.RunBatch; results
+//	                           stream back as NDJSON, one line per lane,
+//	                           then a trailer
+//	DELETE /v1/tenants/{name}  drop a tenant and release its store refs
+//	GET    /vmstats            per-tenant jit pipeline report (text)
+//	GET    /metrics            Prometheus-style counters
+//	GET    /healthz            liveness
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/programs", s.count(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/programs", s.count(s.handlePrograms))
+	s.mux.HandleFunc("POST /v1/run", s.count(s.handleRun))
+	s.mux.HandleFunc("DELETE /v1/tenants/{name}", s.count(s.handleDropTenant))
+	s.mux.HandleFunc("GET /vmstats", s.count(s.handleVMStats))
+	s.mux.HandleFunc("GET /metrics", s.count(s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+func (s *Server) count(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		h(w, r)
+	}
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Veal-Tenant"); t != "" {
+		return t
+	}
+	return r.URL.Query().Get("tenant")
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// SubmitRequest uploads a program: exactly one of Asm (the textual
+// assembly of isa.Format) or Binary (the container format of
+// isa.Encode, base64 in JSON) must be set. The calling-convention
+// metadata is advisory: TripReg defaults to register 1 (the lowering
+// convention), ParamRegs/LiveOutRegs enable running by parameter name
+// and reading results back by live-out name.
+type SubmitRequest struct {
+	Name        string           `json:"name,omitempty"`
+	Asm         string           `json:"asm,omitempty"`
+	Binary      []byte           `json:"binary,omitempty"`
+	TripReg     *uint8           `json:"trip_reg,omitempty"`
+	ParamRegs   map[string]uint8 `json:"param_regs,omitempty"`
+	LiveOutRegs map[string]uint8 `json:"liveout_regs,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission. Shared reports that the
+// image was already resident (submitted by this or another tenant):
+// the server hash-conses programs by content, name excluded.
+type SubmitResponse struct {
+	ID     string `json:"id"`
+	Shared bool   `json:"shared"`
+	Insts  int    `json:"insts"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenantFor(tenantOf(r))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var p *isa.Program
+	switch {
+	case req.Asm != "" && req.Binary != nil:
+		httpError(w, http.StatusBadRequest, "give asm or binary, not both")
+		return
+	case req.Asm != "":
+		p, err = isa.ParseAsm(req.Asm)
+	case req.Binary != nil:
+		p, err = isa.Decode(req.Binary)
+	default:
+		httpError(w, http.StatusBadRequest, "no program: asm or binary required")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "program did not parse: %v", err)
+		return
+	}
+	if req.Name != "" {
+		p.Name = req.Name
+	}
+	meta := &program{tripReg: 1, paramRegs: req.ParamRegs, liveOutRegs: req.LiveOutRegs}
+	if req.TripReg != nil {
+		meta.tripReg = *req.TripReg
+	}
+	prog, shared, err := s.register(t, p, meta)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "program did not encode: %v", err)
+		return
+	}
+	t.submits.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(SubmitResponse{ID: prog.id, Shared: shared, Insts: prog.insts})
+}
+
+// ProgramInfo is one resident program in the GET /v1/programs listing.
+type ProgramInfo struct {
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Insts      int    `json:"insts"`
+	Submitters int    `json:"submitters"`
+}
+
+func (s *Server) handlePrograms(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]ProgramInfo, 0, len(s.programs))
+	for _, p := range s.programs {
+		out = append(out, ProgramInfo{ID: p.id, Name: p.prog.Name, Insts: p.insts, Submitters: len(p.submitters)})
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// MemSegment seeds (or reads back) a contiguous span of guest memory.
+type MemSegment struct {
+	Base  int64    `json:"base"`
+	Words []uint64 `json:"words"`
+}
+
+// ReadRange names a span of guest memory to return after the run.
+type ReadRange struct {
+	Base int64 `json:"base"`
+	N    int   `json:"n"`
+}
+
+// Lane is one guest instance of a run: its trip count, parameter
+// bindings (by name, via the submitted param_regs metadata, and/or by
+// raw register index), initial memory, and the spans to read back.
+type Lane struct {
+	Trip   int64             `json:"trip"`
+	Params map[string]uint64 `json:"params,omitempty"`
+	Regs   map[string]uint64 `json:"regs,omitempty"`
+	Mem    []MemSegment      `json:"mem,omitempty"`
+	Read   []ReadRange       `json:"read,omitempty"`
+}
+
+// RunRequest executes a resident program. One lane runs serially; many
+// lanes run in lockstep through vm.RunBatch — one decode per lane
+// group, one translation and one schedule walk for the whole batch —
+// with results bit-identical to serial runs.
+type RunRequest struct {
+	Program string `json:"program"`
+	Lanes   []Lane `json:"lanes"`
+}
+
+// LaneResult is one lane's outcome (one NDJSON line in the response).
+type LaneResult struct {
+	Lane              int               `json:"lane"`
+	Cycles            int64             `json:"cycles"`
+	ScalarCycles      int64             `json:"scalar_cycles"`
+	AccelCycles       int64             `json:"accel_cycles"`
+	TranslationCycles int64             `json:"translation_cycles"`
+	Launches          int64             `json:"launches"`
+	LiveOuts          map[string]uint64 `json:"live_outs,omitempty"`
+	Mem               [][]uint64        `json:"mem,omitempty"`
+}
+
+// RunTrailer closes the NDJSON stream with whole-request accounting.
+type RunTrailer struct {
+	Done    bool   `json:"done"`
+	Lanes   int    `json:"lanes"`
+	Batched bool   `json:"batched"`
+	Cycles  int64  `json:"cycles"`
+	Decoded int64  `json:"decoded_insts,omitempty"`
+	Applied int64  `json:"applied_insts,omitempty"`
+	Splits  int64  `json:"splits,omitempty"`
+	Err     string `json:"error,omitempty"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	t, err := s.tenantFor(tenantOf(r))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	prog, ok := s.programByID(req.Program)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no program %q (submit it first)", req.Program)
+		return
+	}
+	if len(req.Lanes) == 0 {
+		httpError(w, http.StatusBadRequest, "no lanes")
+		return
+	}
+	seeds, mems, err := prepareLanes(prog, req.Lanes)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission control: a bounded number of run requests per tenant may
+	// be in flight or waiting; beyond that the tenant is told to back
+	// off rather than queued without bound.
+	select {
+	case t.slots <- struct{}{}:
+		defer func() { <-t.slots }()
+	default:
+		t.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "tenant %q queue full (%d in flight)", t.name, cap(t.slots))
+		return
+	}
+	s.admissionLoad.Add(1)
+	defer s.admissionLoad.Add(-1)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	fail := func(err error) {
+		t.runErrors.Add(1)
+		enc.Encode(RunTrailer{Lanes: len(req.Lanes), Err: err.Error()})
+	}
+
+	s.runsTotal.Add(1)
+	s.lanesTotal.Add(int64(len(req.Lanes)))
+	t.runs.Add(1)
+	t.lanes.Add(int64(len(req.Lanes)))
+
+	if len(req.Lanes) == 1 {
+		res, m, err := t.vm.Run(prog.prog, mems[0], seeds[0], s.cfg.MaxInsts)
+		if err != nil {
+			fail(err)
+			return
+		}
+		regs := m.Regs
+		enc.Encode(laneResult(0, &req.Lanes[0], prog, res.Cycles, res.ScalarCycles,
+			res.AccelCycles, res.TranslationCycles, res.Launches, &regs, mems[0]))
+		enc.Encode(RunTrailer{Done: true, Lanes: 1, Cycles: res.Cycles})
+		flush()
+		return
+	}
+
+	s.batchedRuns.Add(1)
+	br, bm, err := t.vm.RunBatch(prog.prog, mems, seeds, s.cfg.MaxInsts)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i, lr := range br.Lanes {
+		regs := bm.LaneRegs(i)
+		enc.Encode(laneResult(i, &req.Lanes[i], prog, lr.Cycles, lr.ScalarCycles,
+			lr.AccelCycles, lr.TranslationCycles, lr.Launches, &regs, mems[i]))
+		flush()
+	}
+	enc.Encode(RunTrailer{
+		Done: true, Lanes: len(req.Lanes), Batched: true,
+		Cycles:  br.Total.Cycles,
+		Decoded: br.Total.DecodedInsts,
+		Applied: br.Total.LaneInsts,
+		Splits:  br.Total.DivergenceSplits,
+	})
+	flush()
+}
+
+// prepareLanes validates the request against the program's metadata and
+// builds each lane's memory and register seed.
+func prepareLanes(prog *program, lanes []Lane) ([]func(*scalar.Machine), []*ir.PagedMemory, error) {
+	seeds := make([]func(*scalar.Machine), len(lanes))
+	mems := make([]*ir.PagedMemory, len(lanes))
+	for i := range lanes {
+		ln := &lanes[i]
+		if ln.Trip < 0 {
+			return nil, nil, fmt.Errorf("lane %d: negative trip", i)
+		}
+		regs := make(map[uint8]uint64, len(ln.Params)+len(ln.Regs))
+		for name, v := range ln.Params {
+			reg, ok := prog.paramRegs[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("lane %d: program has no parameter %q", i, name)
+			}
+			regs[reg] = v
+		}
+		for rs, v := range ln.Regs {
+			var reg int
+			if _, err := fmt.Sscanf(rs, "%d", &reg); err != nil || reg < 0 || reg >= isa.NumRegs {
+				return nil, nil, fmt.Errorf("lane %d: bad register %q", i, rs)
+			}
+			regs[uint8(reg)] = v
+		}
+		mem := ir.NewPagedMemory()
+		for _, seg := range ln.Mem {
+			mem.WriteWords(seg.Base, seg.Words)
+		}
+		mems[i] = mem
+		trip := ln.Trip
+		seeds[i] = func(m *scalar.Machine) {
+			m.Regs[prog.tripReg] = uint64(trip)
+			for reg, v := range regs {
+				m.Regs[reg] = v
+			}
+		}
+	}
+	return seeds, mems, nil
+}
+
+// laneResult assembles one lane's response line, resolving live-outs by
+// name and reading back the requested memory spans.
+func laneResult(i int, ln *Lane, prog *program, cycles, scalarCycles, accel, trans, launches int64,
+	regs *[isa.NumRegs]uint64, mem *ir.PagedMemory) LaneResult {
+	lr := LaneResult{
+		Lane: i, Cycles: cycles, ScalarCycles: scalarCycles,
+		AccelCycles: accel, TranslationCycles: trans, Launches: launches,
+	}
+	if len(prog.liveOutRegs) > 0 {
+		lr.LiveOuts = make(map[string]uint64, len(prog.liveOutRegs))
+		for name, reg := range prog.liveOutRegs {
+			lr.LiveOuts[name] = regs[reg]
+		}
+	}
+	for _, rr := range ln.Read {
+		n := rr.N
+		if n < 0 {
+			n = 0
+		}
+		lr.Mem = append(lr.Mem, mem.ReadWords(rr.Base, n))
+	}
+	return lr
+}
+
+func (s *Server) handleDropTenant(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimSpace(r.PathValue("name"))
+	if !s.dropTenant(name) {
+		httpError(w, http.StatusNotFound, "no tenant %q", name)
+		return
+	}
+	fmt.Fprintln(w, "dropped")
+}

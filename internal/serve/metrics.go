@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// handleMetrics renders the Prometheus text exposition: the shared
+// translation store's counters (the cross-tenant sharing story — two
+// tenants, one kernel, `veal_store_translations_total 1`), server-level
+// admission counters, and per-tenant serving and jit-pipeline counters.
+// Store counters are atomics and scrape lock-free; per-tenant jit
+// counters are read under the tenant's run mutex (runs drain the
+// pipeline before returning, so the values are quiescent snapshots).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	m := s.store.Metrics()
+	counter("veal_store_translations_total", "pipeline runs executed by the shared store", m.Translations.Load())
+	counter("veal_store_hits_total", "loads answered by a resident translation", m.Hits.Load())
+	counter("veal_store_negative_hits_total", "loads answered by a cached rejection", m.NegativeHits.Load())
+	counter("veal_store_misses_total", "loads that led a compute", m.Misses.Load())
+	counter("veal_store_flight_waits_total", "loads that joined another tenant's in-flight translation", m.FlightWaits.Load())
+	counter("veal_store_rejections_total", "computes that ended in rejection", m.Rejections.Load())
+	counter("veal_store_evictions_total", "entries evicted by the global byte budget", m.Evictions.Load())
+	counter("veal_store_quota_evictions_total", "tenant references shed by per-tenant quotas", m.QuotaEvictions.Load())
+	gauge("veal_store_bytes", "estimated resident bytes of translations", m.Bytes())
+	gauge("veal_store_entries", "resident store entries (positive and negative)", m.Entries())
+	gauge("veal_store_budget_bytes", "configured global byte budget", s.store.Budget())
+
+	counter("veal_http_requests_total", "API requests received", s.requests.Load())
+	counter("veal_runs_total", "run requests served", s.runsTotal.Load())
+	counter("veal_lanes_total", "guest instances executed", s.lanesTotal.Load())
+	counter("veal_batched_runs_total", "run requests served through the lockstep batch engine", s.batchedRuns.Load())
+	gauge("veal_admitted_runs", "run requests currently admitted (in flight or queued)", s.admissionLoad.Load())
+
+	s.mu.Lock()
+	gauge("veal_programs", "resident hash-consed programs", int64(len(s.programs)))
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	row := func(name, tenant string, v int64) {
+		fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, tenant, v)
+	}
+	for _, t := range tenants {
+		row("veal_tenant_runs_total", t.name, t.runs.Load())
+		row("veal_tenant_lanes_total", t.name, t.lanes.Load())
+		row("veal_tenant_admission_rejects_total", t.name, t.rejected.Load())
+		row("veal_tenant_run_errors_total", t.name, t.runErrors.Load())
+		row("veal_tenant_submits_total", t.name, t.submits.Load())
+		used, quota := s.store.TenantUsage(t.name)
+		row("veal_tenant_store_bytes", t.name, used)
+		row("veal_tenant_store_quota_bytes", t.name, quota)
+
+		t.mu.Lock()
+		jm := t.vm.Metrics()
+		row("veal_tenant_jit_installed_total", t.name, jm.Installed)
+		row("veal_tenant_jit_rejected_total", t.name, jm.Rejected)
+		row("veal_tenant_jit_cache_hits_total", t.name, jm.CacheHits)
+		row("veal_tenant_jit_cache_misses_total", t.name, jm.CacheMisses)
+		row("veal_tenant_jit_cache_evictions_total", t.name, jm.Evictions)
+		row("veal_tenant_jit_quarantined_total", t.name, jm.Quarantined)
+		row("veal_tenant_scalar_fallbacks_total", t.name, t.vm.Stats.ScalarFallback)
+		row("veal_tenant_verify_failures_total", t.name, t.vm.Stats.VerifyFailures)
+		row("veal_tenant_code_cache_bytes", t.name, t.vm.CacheBytes())
+		t.mu.Unlock()
+	}
+	w.Write([]byte(b.String()))
+}
+
+// handleVMStats renders the human-readable serving report: the store's
+// occupancy and per-tenant usage, then each tenant's jit pipeline
+// report (the same jit.Metrics rendering `veal vmstats` prints) and
+// per-loop lifecycle states.
+func (s *Server) handleVMStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+
+	m := s.store.Metrics()
+	fmt.Fprintf(&b, "translation store: %d entries, %d/%d bytes\n",
+		m.Entries(), m.Bytes(), s.store.Budget())
+	fmt.Fprintf(&b, "  translations=%d hits=%d negative-hits=%d flight-waits=%d evictions=%d quota-evictions=%d\n",
+		m.Translations.Load(), m.Hits.Load(), m.NegativeHits.Load(),
+		m.FlightWaits.Load(), m.Evictions.Load(), m.QuotaEvictions.Load())
+	for _, row := range s.store.Tenants() {
+		quota := "unlimited"
+		if row.Quota > 0 {
+			quota = fmt.Sprintf("%d", row.Quota)
+		}
+		fmt.Fprintf(&b, "  tenant %-16q %8d bytes / %s quota, %d refs\n",
+			row.Tenant, row.Used, quota, row.Refs)
+	}
+
+	s.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].name < tenants[j].name })
+
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "\ntenant %q: runs=%d lanes=%d admission-rejects=%d\n",
+			t.name, t.runs.Load(), t.lanes.Load(), t.rejected.Load())
+		t.mu.Lock()
+		b.WriteString(t.vm.Metrics().Format())
+		states := t.vm.LoopStates()
+		t.mu.Unlock()
+		if len(states) > 0 {
+			b.WriteString("loop states:\n")
+			for _, st := range states {
+				line := fmt.Sprintf("  %-16s %-11s invocations=%d installs=%d", st.Name, st.State, st.Invocations, st.Installs)
+				if st.Reason != "" {
+					line += " reason=" + st.Reason
+				}
+				b.WriteString(line + "\n")
+			}
+		}
+	}
+	w.Write([]byte(b.String()))
+}

@@ -1,0 +1,280 @@
+// Package serve is the multi-tenant VM server: many tenants submit
+// baseline-ISA programs over HTTP and run them against VM-managed
+// systems that all share one process-global content-addressed
+// translation store (internal/tstore). The premise of the paper — one
+// modulo-scheduled translation serves every future invocation of a loop
+// — stops mattering at the process boundary unless something owns the
+// cross-tenant sharing; this package is that something. N tenants
+// running the same kernel translate it exactly once: the first run pays
+// the translation (or overlaps it on background workers), everyone
+// else warm-starts from the store.
+//
+// Isolation model:
+//
+//   - Each tenant owns a private vm.VM (its own scalar core, code
+//     cache, hot-loop monitor, retry budgets and quarantine state), so
+//     one tenant's verification failures or chaos-injected faults
+//     degrade that tenant to scalar execution without poisoning the
+//     artifacts other tenants resolve from the store.
+//   - Program images are hash-consed: submission returns a content
+//     address (program name excluded), so identical kernels uploaded by
+//     different tenants collapse to one image and, downstream, one
+//     translation-store entry.
+//   - Admission control is per tenant: a bounded slot queue sized by
+//     Config.QueueDepth; requests beyond it are refused with 429 and a
+//     Retry-After hint rather than queued without bound.
+//   - Capacity is two-axis, both served by the store: a per-tenant byte
+//     quota over referenced translations and a global byte budget over
+//     resident ones.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"regexp"
+	"sync"
+	"sync/atomic"
+
+	"veal/internal/arch"
+	"veal/internal/faultinject"
+	"veal/internal/isa"
+	"veal/internal/tstore"
+	"veal/internal/vm"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// LA/CPU/Policy shape every tenant's system (defaults: the proposed
+	// accelerator, the ARM11-class core, Hybrid translation).
+	LA     *arch.LA
+	CPU    *arch.CPU
+	Policy vm.Policy
+
+	// TranslateWorkers is each tenant VM's background translator pool
+	// (0 = stall-on-translate, the paper's accounting).
+	TranslateWorkers int
+	// SpeculationSupport enables while-shaped loops (see vm.Config).
+	SpeculationSupport bool
+	// Verify re-validates every installed translation with the
+	// independent legality checker; failures quarantine the site for
+	// that tenant only.
+	Verify bool
+	// FaultSeed, when nonzero, runs every tenant VM under the
+	// deterministic chaos fault plan (degradation drills). Injected
+	// attempts never touch the shared store.
+	FaultSeed uint64
+
+	// CodeCacheEntries / CodeCacheBytes bound each tenant VM's private
+	// dispatch cache (defaults: 16 entries, no byte bound).
+	CodeCacheEntries int
+	CodeCacheBytes   int64
+
+	// StoreBudgetBytes is the global translation-store budget
+	// (0 = tstore.DefaultBudgetBytes); TenantQuotaBytes the default
+	// per-tenant quota over referenced entries (0 = unlimited).
+	StoreBudgetBytes int64
+	TenantQuotaBytes int64
+
+	// QueueDepth bounds each tenant's admission queue: at most this many
+	// run requests in flight or waiting per tenant; excess requests get
+	// 429 (default 8).
+	QueueDepth int
+
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxInsts caps retired instructions per lane per run request
+	// (default 500M, the CLI's bound).
+	MaxInsts int64
+}
+
+func (c *Config) fill() {
+	if c.LA == nil {
+		c.LA = arch.Proposed()
+	}
+	if c.CPU == nil {
+		c.CPU = arch.ARM11()
+	}
+	if c.CodeCacheEntries <= 0 {
+		c.CodeCacheEntries = 16
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInsts <= 0 {
+		c.MaxInsts = 500_000_000
+	}
+}
+
+// program is one hash-consed image plus its calling convention. The
+// metadata travels with the image (first submitter wins): it names
+// parameters and live-outs, it does not affect translation identity.
+type program struct {
+	id    string
+	prog  *isa.Program
+	insts int
+
+	tripReg     uint8
+	paramRegs   map[string]uint8
+	liveOutRegs map[string]uint8
+
+	submitters map[string]struct{} // tenants that submitted it (info only)
+}
+
+// tenant is one tenant's serving state. mu serializes every use of the
+// VM (vm.VM is not safe for concurrent Run calls; Run drains the
+// background pipeline before returning, so under mu the metrics are
+// quiescent too). slots is the bounded admission queue.
+type tenant struct {
+	name  string
+	slots chan struct{}
+
+	mu sync.Mutex
+	vm *vm.VM
+
+	runs      atomic.Int64 // run requests served
+	lanes     atomic.Int64 // guest instances executed
+	rejected  atomic.Int64 // admission rejections (429)
+	runErrors atomic.Int64 // run requests that failed mid-execution
+	submits   atomic.Int64 // program submissions
+}
+
+// Server is the multi-tenant VM server. Create with New, mount via
+// Handler (all methods are safe for concurrent use).
+type Server struct {
+	cfg   Config
+	store *tstore.Store
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	programs map[string]*program
+
+	requests      atomic.Int64
+	runsTotal     atomic.Int64
+	lanesTotal    atomic.Int64
+	batchedRuns   atomic.Int64
+	admissionLoad atomic.Int64 // run requests admitted (in flight or queued)
+}
+
+// New builds a Server with its own translation store.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg: cfg,
+		store: tstore.New(tstore.Config{
+			BudgetBytes:      cfg.StoreBudgetBytes,
+			TenantQuotaBytes: cfg.TenantQuotaBytes,
+		}),
+		tenants:  make(map[string]*tenant),
+		programs: make(map[string]*program),
+	}
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Store exposes the shared translation store (tests and embedders).
+func (s *Server) Store() *tstore.Store { return s.store }
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+var tenantName = regexp.MustCompile(`^[A-Za-z0-9._-]{0,64}$`)
+
+// tenantFor returns (creating on first use) the named tenant's state.
+func (s *Server) tenantFor(name string) (*tenant, error) {
+	if !tenantName.MatchString(name) {
+		return nil, fmt.Errorf("bad tenant name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t, nil
+	}
+	cfg := vm.Config{
+		LA:                 s.cfg.LA,
+		CPU:                s.cfg.CPU,
+		Policy:             s.cfg.Policy,
+		CodeCacheSize:      s.cfg.CodeCacheEntries,
+		CodeCacheBytes:     s.cfg.CodeCacheBytes,
+		TranslateWorkers:   s.cfg.TranslateWorkers,
+		SpeculationSupport: s.cfg.SpeculationSupport,
+		Verify:             s.cfg.Verify,
+		Store:              s.store,
+		Tenant:             name,
+	}
+	if s.cfg.FaultSeed != 0 {
+		cfg.Faults = faultinject.Chaos(s.cfg.FaultSeed)
+		cfg.Verify = true // forced on under chaos, as the CLI does
+	}
+	t := &tenant{
+		name:  name,
+		slots: make(chan struct{}, s.cfg.QueueDepth),
+		vm:    vm.New(cfg),
+	}
+	s.tenants[name] = t
+	return t, nil
+}
+
+// dropTenant removes a tenant: its store references are released (the
+// entries stay for other tenants until the budget reclaims them) and its
+// VM is discarded. In-flight requests finish against the old VM.
+func (s *Server) dropTenant(name string) bool {
+	s.mu.Lock()
+	_, ok := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if ok {
+		s.store.DropTenant(name)
+	}
+	return ok
+}
+
+// programID is the content address of an image: a hash of the canonical
+// encoding with the name stripped, so two tenants uploading one kernel
+// under different names share one program (and, downstream, one
+// translation-store entry).
+func programID(p *isa.Program) (string, error) {
+	anon := *p
+	anon.Name = ""
+	data, err := isa.Encode(&anon)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// register hash-conses a submitted program. Returns the canonical
+// program and whether it was already resident.
+func (s *Server) register(t *tenant, p *isa.Program, meta *program) (*program, bool, error) {
+	id, err := programID(p)
+	if err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if got, ok := s.programs[id]; ok {
+		got.submitters[t.name] = struct{}{}
+		return got, true, nil
+	}
+	meta.id = id
+	meta.prog = p
+	meta.insts = len(p.Code)
+	meta.submitters = map[string]struct{}{t.name: {}}
+	s.programs[id] = meta
+	return meta, false, nil
+}
+
+// programByID resolves a content address.
+func (s *Server) programByID(id string) (*program, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.programs[id]
+	return p, ok
+}

@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+)
+
+// testKernel is a saxpy-with-reduction kernel: streams in, a stored
+// stream out, and a named live-out, so tests can check architectural
+// results on all three surfaces.
+func testKernel(name string) *ir.Loop {
+	b := ir.NewBuilder(name)
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	v := b.Add(b.Mul(a, x), y)
+	b.StoreStream("out", 1, v)
+	acc := b.Add(v, v) // second arg rewired to the recurrence
+	b.SetArg(acc, 1, b.Recur(acc, 1, "acc0"))
+	b.LiveOut("sum", acc)
+	return b.MustBuild()
+}
+
+// lowered compiles the kernel and derives the submit metadata.
+func lowered(t testing.TB, name string) (*lower.Result, *ir.Loop, SubmitRequest) {
+	t.Helper()
+	loop := testKernel(name)
+	res, err := lower.Lower(loop, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	paramRegs := make(map[string]uint8, len(res.ParamRegs))
+	for i, reg := range res.ParamRegs {
+		paramRegs[loop.ParamNames[i]] = reg
+	}
+	liveouts := make(map[string]uint8, len(res.LiveOutRegs))
+	for n, reg := range res.LiveOutRegs {
+		liveouts[n] = reg
+	}
+	trip := res.TripReg
+	return res, loop, SubmitRequest{
+		Name:        name,
+		Asm:         isa.Format(res.Program),
+		TripReg:     &trip,
+		ParamRegs:   paramRegs,
+		LiveOutRegs: liveouts,
+	}
+}
+
+const (
+	xBase   = 4096
+	yBase   = 8192
+	outBase = 12288
+	trip    = 64
+)
+
+func laneFor(seed uint64) Lane {
+	xs := make([]uint64, trip)
+	ys := make([]uint64, trip)
+	for i := range xs {
+		xs[i] = seed + uint64(i)
+		ys[i] = 3*seed + uint64(i*i)
+	}
+	return Lane{
+		Trip: trip,
+		Params: map[string]uint64{
+			"x": xBase, "y": yBase, "out": outBase,
+			"a": 7, "acc0": seed,
+		},
+		Mem: []MemSegment{
+			{Base: xBase, Words: xs},
+			{Base: yBase, Words: ys},
+		},
+		Read: []ReadRange{{Base: outBase, N: trip}},
+	}
+}
+
+// referenceRun executes one lane on a plain storeless VM and returns
+// what serve must reproduce bit-identically.
+func referenceRun(t testing.TB, res *lower.Result, loop *ir.Loop, ln Lane) (*vm.RunResult, uint64, []uint64) {
+	t.Helper()
+	v := vm.New(vm.DefaultConfig())
+	mem := ir.NewPagedMemory()
+	for _, seg := range ln.Mem {
+		mem.WriteWords(seg.Base, seg.Words)
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(ln.Trip)
+		for i, reg := range res.ParamRegs {
+			m.Regs[reg] = ln.Params[loop.ParamNames[i]]
+		}
+	}
+	rr, m, err := v.Run(res.Program, mem, seed, 500_000_000)
+	if err != nil {
+		t.Fatalf("reference Run: %v", err)
+	}
+	return rr, m.Regs[res.LiveOutRegs["sum"]], mem.ReadWords(outBase, trip)
+}
+
+func postJSON(t testing.TB, client *http.Client, url, tenant string, body any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Veal-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func submit(t testing.TB, client *http.Client, base, tenant string, sr SubmitRequest) SubmitResponse {
+	t.Helper()
+	resp := postJSON(t, client, base+"/v1/programs", tenant, sr)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var out SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// run posts a run request and decodes the NDJSON stream.
+func run(t testing.TB, client *http.Client, base, tenant, progID string, lanes ...Lane) ([]LaneResult, RunTrailer) {
+	t.Helper()
+	resp := postJSON(t, client, base+"/v1/run", tenant, RunRequest{Program: progID, Lanes: lanes})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("run: status %d: %s", resp.StatusCode, body)
+	}
+	var out []LaneResult
+	var trailer RunTrailer
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Done *bool `json:"done"`
+			Err  string
+		}
+		var lr LaneResult
+		if err := json.Unmarshal(line, &probe); err == nil && probe.Done != nil {
+			if err := json.Unmarshal(line, &trailer); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err := json.Unmarshal(line, &lr); err != nil {
+			t.Fatalf("bad line %s: %v", line, err)
+		}
+		out = append(out, lr)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Err != "" {
+		t.Fatalf("run failed server-side: %s", trailer.Err)
+	}
+	if !trailer.Done {
+		t.Fatal("stream ended without a done trailer")
+	}
+	return out, trailer
+}
+
+func metric(t testing.TB, client *http.Client, base, name string) int64 {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not in /metrics:\n%s", name, body)
+	}
+	v, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestTwoTenantsOneTranslation is the acceptance path: two tenants
+// concurrently submit independently lowered copies of one kernel and
+// run them; the shared store translates exactly once (visible in
+// /metrics) and both tenants' results are bit-identical to a storeless
+// serial vm.Run.
+func TestTwoTenantsOneTranslation(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resA, loopA, subA := lowered(t, "kernel-tenant-a")
+	_, _, subB := lowered(t, "kernel-tenant-b")
+	ln := laneFor(5)
+	wantRun, wantSum, wantOut := referenceRun(t, resA, loopA, ln)
+	if wantRun.Launches == 0 {
+		t.Fatal("reference run never launched the accelerator; test kernel is not schedulable")
+	}
+
+	type outcome struct {
+		lr      LaneResult
+		sub     SubmitResponse
+		trailer RunTrailer
+	}
+	results := make(map[string]*outcome)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, tenant := range []string{"a", "b"} {
+		sub := subA
+		if tenant == "b" {
+			sub = subB
+		}
+		wg.Add(1)
+		go func(tenant string, sub SubmitRequest) {
+			defer wg.Done()
+			sr := submit(t, ts.Client(), ts.URL, tenant, sub)
+			lrs, trailer := run(t, ts.Client(), ts.URL, tenant, sr.ID, ln)
+			mu.Lock()
+			results[tenant] = &outcome{lr: lrs[0], sub: sr, trailer: trailer}
+			mu.Unlock()
+		}(tenant, sub)
+	}
+	wg.Wait()
+
+	if got := metric(t, ts.Client(), ts.URL, "veal_store_translations_total"); got != 1 {
+		t.Errorf("veal_store_translations_total = %d, want exactly 1 for 2 tenants x 1 kernel", got)
+	}
+	if results["a"].sub.ID != results["b"].sub.ID {
+		t.Errorf("hash-consing failed: program ids %q vs %q for one kernel",
+			results["a"].sub.ID, results["b"].sub.ID)
+	}
+	for tenant, oc := range results {
+		if got := oc.lr.LiveOuts["sum"]; got != wantSum {
+			t.Errorf("tenant %s: sum = %d, want %d", tenant, got, wantSum)
+		}
+		if len(oc.lr.Mem) != 1 || len(oc.lr.Mem[0]) != trip {
+			t.Fatalf("tenant %s: mem readback shape %v", tenant, oc.lr.Mem)
+		}
+		for i, w := range wantOut {
+			if oc.lr.Mem[0][i] != w {
+				t.Errorf("tenant %s: out[%d] = %d, want %d", tenant, i, oc.lr.Mem[0][i], w)
+				break
+			}
+		}
+		if oc.lr.AccelCycles != wantRun.AccelCycles {
+			t.Errorf("tenant %s: accel cycles %d, want %d", tenant, oc.lr.AccelCycles, wantRun.AccelCycles)
+		}
+		if oc.lr.Launches != wantRun.Launches {
+			t.Errorf("tenant %s: launches %d, want %d", tenant, oc.lr.Launches, wantRun.Launches)
+		}
+	}
+	// Exactly one tenant paid the translation; the other warm-started
+	// from the store for free.
+	paidA := results["a"].lr.TranslationCycles
+	paidB := results["b"].lr.TranslationCycles
+	if (paidA == 0) == (paidB == 0) {
+		t.Errorf("translation charge split a=%d b=%d, want exactly one payer", paidA, paidB)
+	}
+	if paid := max(paidA, paidB); paid != wantRun.TranslationCycles {
+		t.Errorf("paying tenant charged %d translation cycles, reference charged %d",
+			paid, wantRun.TranslationCycles)
+	}
+}
+
+// TestBatchedRunMatchesSerial: a multi-lane run goes through the
+// lockstep batch engine (one translation, one schedule walk) and each
+// lane's results are bit-identical to serial reference runs.
+func TestBatchedRunMatchesSerial(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, loop, sub := lowered(t, "batched")
+	sr := submit(t, ts.Client(), ts.URL, "batcher", sub)
+
+	const lanes = 8
+	lns := make([]Lane, lanes)
+	for i := range lns {
+		lns[i] = laneFor(uint64(100 + 17*i))
+	}
+	lrs, trailer := run(t, ts.Client(), ts.URL, "batcher", sr.ID, lns...)
+	if !trailer.Batched {
+		t.Error("multi-lane run was not batched")
+	}
+	if len(lrs) != lanes {
+		t.Fatalf("got %d lane results, want %d", len(lrs), lanes)
+	}
+	if trailer.Decoded == 0 || trailer.Applied <= trailer.Decoded {
+		t.Errorf("no decode amortization: decoded=%d applied=%d", trailer.Decoded, trailer.Applied)
+	}
+	for i := range lns {
+		_, wantSum, wantOut := referenceRun(t, res, loop, lns[i])
+		if got := lrs[i].LiveOuts["sum"]; got != wantSum {
+			t.Errorf("lane %d: sum = %d, want %d", i, got, wantSum)
+		}
+		for j, w := range wantOut {
+			if lrs[i].Mem[0][j] != w {
+				t.Errorf("lane %d: out[%d] = %d, want %d", i, j, lrs[i].Mem[0][j], w)
+				break
+			}
+		}
+	}
+	if got := srv.Store().Metrics().Translations.Load(); got != 1 {
+		t.Errorf("batched run translated %d times, want 1", got)
+	}
+}
+
+// TestAdmissionControl: a tenant whose bounded queue is full gets 429 +
+// Retry-After instead of unbounded queuing; other tenants are
+// unaffected.
+func TestAdmissionControl(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid, QueueDepth: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, _, sub := lowered(t, "adm")
+	sr := submit(t, ts.Client(), ts.URL, "busy", sub)
+
+	// Fill the tenant's admission slots directly: deterministic, no
+	// reliance on a slow request staying in flight.
+	busy, err := srv.tenantFor("busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy.slots <- struct{}{}
+	busy.slots <- struct{}{}
+
+	resp := postJSON(t, ts.Client(), ts.URL+"/v1/run", "busy",
+		RunRequest{Program: sr.ID, Lanes: []Lane{laneFor(1)}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	// Another tenant still runs.
+	if _, trailer := run(t, ts.Client(), ts.URL, "idle", sr.ID, laneFor(2)); !trailer.Done {
+		t.Error("unaffected tenant could not run")
+	}
+	// And the busy tenant recovers once slots free up.
+	<-busy.slots
+	<-busy.slots
+	if _, trailer := run(t, ts.Client(), ts.URL, "busy", sr.ID, laneFor(3)); !trailer.Done {
+		t.Error("tenant did not recover after backpressure")
+	}
+	if got := metric(t, ts.Client(), ts.URL, `veal_tenant_admission_rejects_total{tenant="busy"}`); got != 1 {
+		t.Errorf("admission rejects = %d, want 1", got)
+	}
+}
+
+// TestChaosTenantDegradesGracefully: a server running every tenant
+// under the deterministic chaos fault plan still produces results
+// bit-identical to a fault-free reference — injected faults quarantine
+// and retry tenant-locally and never reach the shared store.
+func TestChaosTenantDegradesGracefully(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid, FaultSeed: 0xC0FFEE, TranslateWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, loop, sub := lowered(t, "chaos")
+	sr := submit(t, ts.Client(), ts.URL, "chaotic", sub)
+	ln := laneFor(9)
+	_, wantSum, wantOut := referenceRun(t, res, loop, ln)
+
+	for round := 0; round < 4; round++ {
+		lrs, _ := run(t, ts.Client(), ts.URL, "chaotic", sr.ID, ln)
+		if got := lrs[0].LiveOuts["sum"]; got != wantSum {
+			t.Fatalf("round %d: sum = %d, want %d (chaos corrupted results)", round, got, wantSum)
+		}
+		for i, w := range wantOut {
+			if lrs[0].Mem[0][i] != w {
+				t.Fatalf("round %d: out[%d] = %d, want %d", round, i, lrs[0].Mem[0][i], w)
+			}
+		}
+	}
+	// The store holds only verified artifacts: anything it contains must
+	// serve a clean tenant correctly.
+	lrs, _ := run(t, ts.Client(), ts.URL, "clean", sr.ID, ln)
+	if got := lrs[0].LiveOuts["sum"]; got != wantSum {
+		t.Errorf("clean tenant read a poisoned store entry: sum = %d, want %d", got, wantSum)
+	}
+}
+
+// TestProgramHashConsing: resubmitting one kernel under other names and
+// tenants reports Shared and keeps one resident image.
+func TestProgramHashConsing(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, _, sub1 := lowered(t, "first-name")
+	_, _, sub2 := lowered(t, "second-name")
+	a := submit(t, ts.Client(), ts.URL, "a", sub1)
+	if a.Shared {
+		t.Error("first submission reported Shared")
+	}
+	b := submit(t, ts.Client(), ts.URL, "b", sub2)
+	if !b.Shared {
+		t.Error("identical kernel under another name not hash-consed")
+	}
+	if a.ID != b.ID {
+		t.Errorf("ids differ: %q vs %q", a.ID, b.ID)
+	}
+	if got := metric(t, ts.Client(), ts.URL, "veal_programs"); got != 1 {
+		t.Errorf("veal_programs = %d, want 1", got)
+	}
+
+	// A semantically different kernel must not collide.
+	loop3 := func() *ir.Loop {
+		b := ir.NewBuilder("third")
+		x := b.LoadStream("x", 1)
+		y := b.LoadStream("y", 1)
+		a := b.Param("a")
+		b.StoreStream("out", 1, b.Add(b.Mul(a, x), b.Add(y, b.Const(1))))
+		return b.MustBuild()
+	}()
+	res3, err := lower.Lower(loop3, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := submit(t, ts.Client(), ts.URL, "a", SubmitRequest{Name: "third", Asm: isa.Format(res3.Program)})
+	if c.Shared || c.ID == a.ID {
+		t.Error("semantically different kernel collided with the first")
+	}
+}
+
+// TestDropTenantReleasesStoreRefs: DELETE /v1/tenants/{name} releases
+// the tenant's store references.
+func TestDropTenantReleasesStoreRefs(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	_, _, sub := lowered(t, "dropme")
+	sr := submit(t, ts.Client(), ts.URL, "gone", sub)
+	run(t, ts.Client(), ts.URL, "gone", sr.ID, laneFor(4))
+	if used, _ := srv.Store().TenantUsage("gone"); used == 0 {
+		t.Fatal("tenant charged nothing after a run")
+	}
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/tenants/gone", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drop: status %d", resp.StatusCode)
+	}
+	if used, _ := srv.Store().TenantUsage("gone"); used != 0 {
+		t.Errorf("dropped tenant still charged %d bytes", used)
+	}
+
+	// The translation stays resident for everyone else.
+	before := srv.Store().Metrics().Translations.Load()
+	run(t, ts.Client(), ts.URL, "other", sr.ID, laneFor(4))
+	if got := srv.Store().Metrics().Translations.Load(); got != before {
+		t.Errorf("translation was lost with the tenant: %d -> %d", before, got)
+	}
+}
+
+// TestConcurrentTenantsRace drives many tenants through submit/run/
+// scrape cycles concurrently; the race detector owns pass/fail, the
+// asserts pin that every tenant got correct results and the kernel
+// translated exactly once.
+func TestConcurrentTenantsRace(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid, TranslateWorkers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, loop, sub := lowered(t, "churn")
+	ln := laneFor(11)
+	_, wantSum, _ := referenceRun(t, res, loop, ln)
+
+	const tenants = 6
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", i)
+			sr := submit(t, ts.Client(), ts.URL, name, sub)
+			for round := 0; round < 3; round++ {
+				lrs, _ := run(t, ts.Client(), ts.URL, name, sr.ID, ln)
+				if got := lrs[0].LiveOuts["sum"]; got != wantSum {
+					t.Errorf("tenant %s round %d: sum = %d, want %d", name, round, got, wantSum)
+				}
+				if round == 1 {
+					resp, err := ts.Client().Get(ts.URL + "/vmstats")
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := srv.Store().Metrics().Translations.Load(); got != 1 {
+		t.Errorf("%d tenants x 1 kernel translated %d times, want 1", tenants, got)
+	}
+}

@@ -1,0 +1,89 @@
+package translate
+
+import (
+	"unsafe"
+
+	"veal/internal/ir"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+)
+
+// SizeBytes estimates the resident heap footprint of a translation in
+// bytes: struct shells plus the backing arrays of every slice a Result
+// retains (the extracted loop, the dependence graph and its CSR views,
+// the schedule, the pass log). It is a capacity estimate, not an exact
+// allocator measurement — its job is byte-denominated cache accounting
+// (the tstore global budget and per-tenant quotas, and the VM code
+// cache's byte bound), where what matters is that the estimate is
+// deterministic, monotone in loop size, and identical for identical
+// translations. Entry-count-only capacity treats a 4-node saxpy loop and
+// a 60-unit idct loop as equal occupants; this is the fix.
+func (r *Result) SizeBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	const ptr = int64(unsafe.Sizeof(uintptr(0)))
+	intSz := unsafe.Sizeof(int(0))
+
+	n := int64(unsafe.Sizeof(*r))
+	n += sliceBytes(len(r.Passes), unsafe.Sizeof(PassStat{}))
+	for i := range r.Groups {
+		n += sliceBytes(len(r.Groups[i]), intSz)
+	}
+	n += sliceBytes(len(r.Groups), unsafe.Sizeof([]int(nil)))
+
+	if e := r.Ext; e != nil {
+		n += int64(unsafe.Sizeof(*e))
+		n += sliceBytes(len(e.Params), unsafe.Sizeof(loopx.ParamSpec{}))
+		n += sliceBytes(len(e.NodeSrc), intSz)
+		n += sliceBytes(len(e.AffineFinals), unsafe.Sizeof(loopx.AffineFinal{}))
+		for i := range e.Groups {
+			n += sliceBytes(len(e.Groups[i]), intSz)
+		}
+		n += sliceBytes(len(e.Groups), unsafe.Sizeof([]int(nil)))
+		if l := e.Loop; l != nil {
+			n += int64(unsafe.Sizeof(*l)) + int64(len(l.Name))
+			n += sliceBytes(len(l.Streams), unsafe.Sizeof(ir.Stream{}))
+			n += sliceBytes(len(l.ParamNames), unsafe.Sizeof(""))
+			for _, lo := range l.LiveOuts {
+				n += int64(len(lo.Name)) + sliceBytes(len(lo.Init), intSz)
+			}
+			n += sliceBytes(len(l.LiveOuts), unsafe.Sizeof(ir.LiveOut{}))
+			for _, nd := range l.Nodes {
+				if nd == nil {
+					continue
+				}
+				n += int64(unsafe.Sizeof(*nd)) + ptr
+				n += sliceBytes(len(nd.Args), unsafe.Sizeof(ir.Operand{}))
+				n += sliceBytes(len(nd.Init), intSz)
+			}
+		}
+	}
+
+	if g := r.Graph; g != nil {
+		n += int64(unsafe.Sizeof(*g))
+		for i := range g.Units {
+			n += sliceBytes(len(g.Units[i].Nodes), intSz)
+		}
+		n += sliceBytes(len(g.Units), unsafe.Sizeof(modsched.Unit{}))
+		n += sliceBytes(len(g.Edges), unsafe.Sizeof(modsched.Edge{}))
+		// CSR successor/predecessor views: one index entry per edge per
+		// direction plus a header per unit per direction.
+		n += 2 * sliceBytes(len(g.Edges), intSz)
+		n += 2 * sliceBytes(len(g.Units), unsafe.Sizeof([]int(nil)))
+		if g.Loop != nil {
+			n += sliceBytes(len(g.Loop.Nodes), intSz) // unitOf
+		}
+	}
+
+	if sc := r.Schedule; sc != nil {
+		n += int64(unsafe.Sizeof(*sc))
+		n += sliceBytes(len(sc.Time), intSz)
+		n += sliceBytes(len(sc.FU), intSz)
+	}
+	return n
+}
+
+func sliceBytes(n int, elem uintptr) int64 {
+	return int64(n) * int64(elem)
+}

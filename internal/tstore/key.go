@@ -1,0 +1,202 @@
+// Package tstore is the global content-addressed translation store: one
+// modulo-scheduled translation per distinct loop, shared by every tenant
+// of the process. It unifies what used to be two private caches — the
+// per-VM JIT code cache's translation artifacts (internal/jit) and the
+// DSE harness's per-site single-flight memo (internal/exp) — behind one
+// store keyed by a content hash of (canonicalized loop body × arch
+// params × policy), so N tenants running the same kernel translate it
+// exactly once.
+//
+// The store is safe for concurrent use by many tenants: lookups are
+// answered under one mutex, translations run outside it with
+// single-flight deduplication (concurrent misses on one key share one
+// pipeline run), rejections are negative-cached, and capacity is managed
+// on two axes — a per-tenant byte quota over the entries a tenant
+// references (shed by dropping that tenant's least-recently-used
+// references) and a global byte budget over resident entries (shed by
+// evicting, unreferenced entries first).
+package tstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/translate"
+)
+
+// Key is the content address of one translation: a cryptographic hash of
+// everything the translation pipeline reads, so equal keys imply
+// bit-identical pipeline results and any semantic difference changes the
+// key. Program and accelerator *names* are deliberately excluded — two
+// tenants uploading the same kernel under different names, or two sweep
+// points renaming the same configuration, must resolve to one entry.
+type Key [sha256.Size]byte
+
+// String renders a short prefix for logs and metrics labels.
+func (k Key) String() string { return hex.EncodeToString(k[:8]) }
+
+// Hex renders the full key.
+func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
+
+// KeyFor derives the content address of translating region within p on
+// accelerator la under the given policy and speculation capability.
+//
+// The canonical form hashes exactly the pipeline's input surface (see
+// internal/translate and internal/loopx):
+//
+//   - the region's shape (head, back pc, kind) and its instructions
+//     verbatim — head and back pc are included because extraction bakes
+//     absolute pcs into the result (ExitTarget, LinkRegFinal), so a
+//     structurally identical loop at a different offset is a different
+//     translation artifact;
+//   - each CCA function a body Brl references (start pc and code);
+//   - the loop annotation at the head (Hybrid reads its priorities);
+//   - the program-wide constant-register summary: extraction treats a
+//     register written exactly once anywhere in the image (by MovI) as a
+//     known constant, so a definition *outside* the loop is a semantic
+//     input to the translation of the loop;
+//   - the program length (the constant scan charges one work unit per
+//     image instruction, so metered Work depends on it);
+//   - every architectural parameter the pipeline reads (all of arch.LA
+//     except Name and BusLatency — the bus cost prices invocations, not
+//     translations), the policy, and the speculation flag.
+func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Policy, speculation bool) Key {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+
+	// Region shape and body.
+	i64(int64(len(p.Code)))
+	i64(int64(region.Head))
+	i64(int64(region.BackPC))
+	i64(int64(region.Kind))
+	for pc := region.Head; pc <= region.BackPC && pc < len(p.Code); pc++ {
+		hashInst(h, &buf, p.Code[pc])
+	}
+
+	// CCA functions the body calls, in first-call order.
+	for pc := region.Head; pc <= region.BackPC && pc < len(p.Code); pc++ {
+		in := p.Code[pc]
+		if in.Op != isa.Brl {
+			continue
+		}
+		fn, ok := p.CCAFuncAt(int(in.Imm))
+		if !ok {
+			i64(-1) // Brl to a non-CCA target: shape marker
+			continue
+		}
+		i64(int64(fn.Start))
+		i64(int64(fn.Len))
+		for fpc := fn.Start; fpc < fn.Start+fn.Len && fpc < len(p.Code); fpc++ {
+			hashInst(h, &buf, p.Code[fpc])
+		}
+	}
+
+	// Advisory annotations at the head (static priorities).
+	if anno, ok := p.AnnoAt(region.Head); ok {
+		i64(int64(len(anno.Priorities)))
+		for _, pr := range anno.Priorities {
+			i64(int64(pr))
+		}
+	} else {
+		i64(-1)
+	}
+
+	// Program-wide constant registers (single MovI definition anywhere in
+	// the image): the only way code outside the region reaches the
+	// pipeline's dataflow, so it is part of the loop's content.
+	hashConstRegs(h, &buf, p)
+
+	// Architecture, policy, capabilities.
+	i64(int64(la.IntUnits))
+	i64(int64(la.FPUnits))
+	i64(int64(la.CCAs))
+	i64(int64(la.CCA.Rows))
+	i64(int64(la.CCA.Inputs))
+	i64(int64(la.CCA.Outputs))
+	i64(int64(la.CCA.MaxOps))
+	i64(int64(la.CCA.Latency))
+	i64(int64(la.IntRegs))
+	i64(int64(la.FPRegs))
+	i64(int64(la.LoadStreams))
+	i64(int64(la.StoreStreams))
+	i64(int64(la.LoadAGs))
+	i64(int64(la.StoreAGs))
+	i64(int64(la.MaxII))
+	i64(int64(la.MemLatency))
+	i64(int64(la.FIFODepth))
+	i64(int64(policy))
+	if speculation {
+		u64(1)
+	} else {
+		u64(0)
+	}
+
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// hashInst feeds one instruction's full encoding into the hash.
+func hashInst(h hash.Hash, buf *[8]byte, in isa.Inst) {
+	buf[0] = byte(in.Op)
+	buf[1] = in.Dst
+	buf[2] = in.Src1
+	buf[3] = in.Src2
+	buf[4] = in.Src3
+	buf[5], buf[6], buf[7] = 0, 0, 0
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(in.Imm))
+	h.Write(buf[:])
+}
+
+// hashConstRegs reproduces loopx's program-wide constant scan: for each
+// register, whether the image defines it exactly once via MovI, and with
+// what value.
+func hashConstRegs(h hash.Hash, buf *[8]byte, p *isa.Program) {
+	var defs [isa.NumRegs]int
+	var movi [isa.NumRegs]bool
+	var val [isa.NumRegs]int64
+	for _, in := range p.Code {
+		dst, writes := destOf(in)
+		if !writes {
+			continue
+		}
+		defs[dst]++
+		if in.Op == isa.MovI {
+			movi[dst] = true
+			val[dst] = in.Imm
+		}
+	}
+	for reg := 0; reg < isa.NumRegs; reg++ {
+		if defs[reg] == 1 && movi[reg] {
+			h.Write([]byte{1})
+			binary.LittleEndian.PutUint64(buf[:], uint64(val[reg]))
+			h.Write(buf[:])
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+}
+
+// destOf mirrors loopx's register-write classification (stores, branches,
+// nop/halt/ret write nothing; Brl writes the link register).
+func destOf(in isa.Inst) (uint8, bool) {
+	switch in.Op {
+	case isa.Store, isa.Nop, isa.Halt, isa.Br, isa.BEQ, isa.BNE, isa.BLT,
+		isa.BLE, isa.BGT, isa.BGE, isa.Ret:
+		return 0, false
+	case isa.Brl:
+		return isa.LinkReg, true
+	}
+	return in.Dst, true
+}

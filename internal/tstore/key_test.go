@@ -1,0 +1,202 @@
+package tstore
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/translate"
+)
+
+// lowerFir builds and lowers the 3-tap FIR kernel used across the VM
+// tests, returning the program and its (single) schedulable region.
+func lowerFir(t *testing.T, annotate bool) (*isa.Program, cfg.Region) {
+	t.Helper()
+	b := ir.NewBuilder("fir")
+	acc := b.Const(0)
+	for k := 0; k < 3; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: annotate})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	regions := cfg.FindInnerLoops(res.Program, nil)
+	for _, r := range regions {
+		if r.Kind == cfg.KindSchedulable {
+			return res.Program, r
+		}
+	}
+	t.Fatalf("no schedulable region in lowered fir program")
+	return nil, cfg.Region{}
+}
+
+// cloneProgram deep-copies a program so a test mutation cannot alias the
+// original.
+func cloneProgram(p *isa.Program) *isa.Program {
+	q := &isa.Program{Name: p.Name}
+	q.Code = append([]isa.Inst(nil), p.Code...)
+	q.CCAFuncs = append([]isa.CCAFunc(nil), p.CCAFuncs...)
+	for _, a := range p.LoopAnnos {
+		a.Priorities = append([]int32(nil), a.Priorities...)
+		q.LoopAnnos = append(q.LoopAnnos, a)
+	}
+	return q
+}
+
+// TestKeyHashConsing: two structurally identical programs lowered
+// independently from the same kernel — different pointers, different
+// names — must resolve to the same key (one store entry for N tenants),
+// and neither the program name nor the accelerator name may leak into
+// the identity.
+func TestKeyHashConsing(t *testing.T) {
+	p1, r1 := lowerFir(t, true)
+	p2, r2 := lowerFir(t, true)
+	if p1 == p2 {
+		t.Fatal("want two distinct program images")
+	}
+	p2.Name = "tenant-b-upload"
+
+	la := arch.Proposed()
+	k1 := KeyFor(p1, r1, la, translate.Hybrid, false)
+	k2 := KeyFor(p2, r2, la, translate.Hybrid, false)
+	if k1 != k2 {
+		t.Errorf("identical kernels from different programs produced different keys:\n%s\n%s", k1.Hex(), k2.Hex())
+	}
+
+	renamed := *la
+	renamed.Name = "proposed-but-renamed"
+	if KeyFor(p1, r1, &renamed, translate.Hybrid, false) != k1 {
+		t.Error("LA.Name changed the key; names must not be part of translation identity")
+	}
+}
+
+// TestKeyDistinguishesSemantics: every input the translation pipeline
+// can observe must change the key when it changes.
+func TestKeyDistinguishesSemantics(t *testing.T) {
+	p, r := lowerFir(t, true)
+	la := arch.Proposed()
+	base := KeyFor(p, r, la, translate.Hybrid, false)
+
+	diff := func(name string, k Key) {
+		t.Helper()
+		if k == base {
+			t.Errorf("%s: key unchanged", name)
+		}
+	}
+
+	// Body instruction content.
+	mut := cloneProgram(p)
+	mut.Code[r.Head].Imm ^= 1
+	diff("body imm flipped", KeyFor(mut, r, la, translate.Hybrid, false))
+
+	mut = cloneProgram(p)
+	mut.Code[r.Head].Dst ^= 1
+	diff("body dst register flipped", KeyFor(mut, r, la, translate.Hybrid, false))
+
+	// Region placement: extraction bakes absolute pcs into the result.
+	diff("region shifted", KeyFor(p, cfg.Region{Head: r.Head + 1, BackPC: r.BackPC, Kind: r.Kind}, la, translate.Hybrid, false))
+	diff("region kind changed", KeyFor(p, cfg.Region{Head: r.Head, BackPC: r.BackPC, Kind: cfg.KindSpeculation}, la, translate.Hybrid, false))
+
+	// A constant register defined once outside the loop is a semantic
+	// input (loopx's program-wide constant scan folds it into the body).
+	mut = cloneProgram(p)
+	found := false
+	for pc, in := range mut.Code {
+		if (pc < r.Head || pc > r.BackPC) && in.Op == isa.MovI && singleDef(mut, in.Dst) {
+			mut.Code[pc].Imm += 9
+			found = true
+			break
+		}
+	}
+	if found {
+		diff("out-of-loop constant changed", KeyFor(mut, r, la, translate.Hybrid, false))
+	}
+
+	// Program length feeds the metered constant-scan work.
+	mut = cloneProgram(p)
+	mut.Code = append(mut.Code, isa.Inst{Op: isa.Nop})
+	diff("program grown", KeyFor(mut, r, la, translate.Hybrid, false))
+
+	// Annotation priorities at the head (Hybrid's static order).
+	mut = cloneProgram(p)
+	annoMutated := false
+	for i := range mut.LoopAnnos {
+		if mut.LoopAnnos[i].HeadPC == r.Head && len(mut.LoopAnnos[i].Priorities) > 0 {
+			mut.LoopAnnos[i].Priorities[0]++
+			annoMutated = true
+		}
+	}
+	if !annoMutated {
+		t.Fatal("expected a loop annotation at the region head (lowered with Annotate)")
+	}
+	diff("annotation priorities changed", KeyFor(mut, r, la, translate.Hybrid, false))
+
+	// Policy and capability bits.
+	diff("policy changed", KeyFor(p, r, la, translate.FullyDynamic, false))
+	diff("speculation flag changed", KeyFor(p, r, la, translate.Hybrid, true))
+
+	// Every hashed architectural parameter.
+	archMut := []struct {
+		name string
+		mut  func(*arch.LA)
+	}{
+		{"IntUnits", func(a *arch.LA) { a.IntUnits++ }},
+		{"FPUnits", func(a *arch.LA) { a.FPUnits++ }},
+		{"CCAs", func(a *arch.LA) { a.CCAs++ }},
+		{"CCA.Rows", func(a *arch.LA) { a.CCA.Rows++ }},
+		{"CCA.Inputs", func(a *arch.LA) { a.CCA.Inputs++ }},
+		{"CCA.Outputs", func(a *arch.LA) { a.CCA.Outputs++ }},
+		{"CCA.MaxOps", func(a *arch.LA) { a.CCA.MaxOps++ }},
+		{"CCA.Latency", func(a *arch.LA) { a.CCA.Latency++ }},
+		{"IntRegs", func(a *arch.LA) { a.IntRegs++ }},
+		{"FPRegs", func(a *arch.LA) { a.FPRegs++ }},
+		{"LoadStreams", func(a *arch.LA) { a.LoadStreams++ }},
+		{"StoreStreams", func(a *arch.LA) { a.StoreStreams++ }},
+		{"LoadAGs", func(a *arch.LA) { a.LoadAGs++ }},
+		{"StoreAGs", func(a *arch.LA) { a.StoreAGs++ }},
+		{"MaxII", func(a *arch.LA) { a.MaxII++ }},
+		{"MemLatency", func(a *arch.LA) { a.MemLatency++ }},
+		{"FIFODepth", func(a *arch.LA) { a.FIFODepth++ }},
+	}
+	for _, am := range archMut {
+		cp := *la
+		am.mut(&cp)
+		diff("arch "+am.name, KeyFor(p, r, &cp, translate.Hybrid, false))
+	}
+}
+
+func singleDef(p *isa.Program, reg uint8) bool {
+	n := 0
+	for _, in := range p.Code {
+		if dst, w := destOf(in); w && dst == reg {
+			n++
+		}
+	}
+	return n == 1
+}
+
+// TestKeyStable pins that key derivation is a pure function: repeated
+// derivations of the same inputs agree (the store's correctness rests on
+// this, not on pointer identity).
+func TestKeyStable(t *testing.T) {
+	p, r := lowerFir(t, true)
+	la := arch.Proposed()
+	k := KeyFor(p, r, la, translate.FullyDynamic, false)
+	for i := 0; i < 3; i++ {
+		if KeyFor(p, r, la, translate.FullyDynamic, false) != k {
+			t.Fatal("KeyFor is not deterministic")
+		}
+	}
+	if k.Hex() == "" || k.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}

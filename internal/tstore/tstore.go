@@ -1,0 +1,379 @@
+package tstore
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"veal/internal/translate"
+)
+
+// DefaultBudgetBytes is the global byte budget applied when Config leaves
+// it unset: generous for a serving process, small enough that a runaway
+// sweep cannot hold every translation it ever produced.
+const DefaultBudgetBytes int64 = 256 << 20
+
+// negativeEntryBytes is the charged size of a negative (rejection)
+// entry. Rejections carry only a typed error, but giving them nonzero
+// weight keeps a tenant from pinning unbounded negative state.
+const negativeEntryBytes int64 = 512
+
+// Config sizes a Store.
+type Config struct {
+	// BudgetBytes bounds the estimated bytes of resident translations
+	// across all tenants. Zero or negative selects DefaultBudgetBytes.
+	BudgetBytes int64
+	// TenantQuotaBytes is the default per-tenant quota over the entries a
+	// tenant references; SetTenantQuota overrides per tenant. Zero or
+	// negative means unlimited (only the global budget applies).
+	TenantQuotaBytes int64
+}
+
+// Metrics counts store traffic. All fields are atomics: they are bumped
+// from every tenant's serving goroutines and scraped lock-free by
+// /metrics.
+type Metrics struct {
+	Translations   atomic.Int64 // pipeline runs that actually executed
+	Hits           atomic.Int64 // loads answered by a resident translation
+	NegativeHits   atomic.Int64 // loads answered by a cached rejection
+	Misses         atomic.Int64 // loads that led a compute
+	FlightWaits    atomic.Int64 // loads that joined another tenant's in-flight compute
+	Rejections     atomic.Int64 // computes that ended in rejection
+	Evictions      atomic.Int64 // entries evicted by the global budget
+	QuotaEvictions atomic.Int64 // references shed by per-tenant quotas
+
+	bytes   atomic.Int64
+	entries atomic.Int64
+}
+
+// Bytes is the current estimated resident size.
+func (m *Metrics) Bytes() int64 { return m.bytes.Load() }
+
+// Entries is the current resident entry count (positive + negative).
+func (m *Metrics) Entries() int64 { return m.entries.Load() }
+
+// entry is one content-addressed translation (or cached rejection).
+type entry struct {
+	key  Key
+	size int64
+
+	// Exactly one of res/err is meaningful once resolved. A nil res with
+	// a nil err never occurs: computes that return (nil, nil) are treated
+	// as rejections by the caller's contract.
+	res *translate.Result
+	err error
+
+	pending bool          // compute in flight; res/err not yet valid
+	ready   chan struct{} // closed when the compute resolves
+
+	refs map[string]struct{} // tenants currently charged for this entry
+	elem *list.Element       // position in Store.lru (nil while pending)
+}
+
+type tenantState struct {
+	name  string
+	quota int64
+	used  int64
+	order *list.List // of *entry; front = least recently touched
+	elems map[*entry]*list.Element
+}
+
+// Store is the global content-addressed translation store. One Store is
+// shared by every VM (and exp site model) in the process; all methods
+// are safe for concurrent use.
+type Store struct {
+	budget       int64
+	defaultQuota int64
+	metrics      Metrics
+
+	mu      sync.Mutex
+	entries map[Key]*entry
+	lru     *list.List // of *entry; front = least recently used
+	tenants map[string]*tenantState
+}
+
+// New builds a Store.
+func New(cfg Config) *Store {
+	if cfg.BudgetBytes <= 0 {
+		cfg.BudgetBytes = DefaultBudgetBytes
+	}
+	return &Store{
+		budget:       cfg.BudgetBytes,
+		defaultQuota: cfg.TenantQuotaBytes,
+		entries:      make(map[Key]*entry),
+		lru:          list.New(),
+		tenants:      make(map[string]*tenantState),
+	}
+}
+
+// Metrics exposes the store's counters for scraping.
+func (s *Store) Metrics() *Metrics { return &s.metrics }
+
+// Budget reports the configured global byte budget.
+func (s *Store) Budget() int64 { return s.budget }
+
+// Load returns the translation for key, computing it at most once across
+// all concurrent callers. tenant is charged for the entry under its
+// quota. A rejection returned by compute is negative-cached and replayed
+// to later callers; callers that need retry semantics (the jit pipeline's
+// decaying retry budget) layer them on top, per tenant, so one tenant's
+// backoff never delays another's lookup.
+//
+// compute runs outside the store lock. It must be a pure function of the
+// key — the content hash guarantees this when the key was derived with
+// KeyFor and the compute closes over exactly the hashed inputs.
+func (s *Store) Load(tenant string, key Key, compute func() (*translate.Result, error)) (*translate.Result, error) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		if !e.pending {
+			s.touch(tenant, e)
+			res, err := e.res, e.err
+			s.mu.Unlock()
+			s.countHit(err)
+			return res, err
+		}
+		ready := e.ready
+		s.mu.Unlock()
+		s.metrics.FlightWaits.Add(1)
+		<-ready
+		s.mu.Lock()
+		// The leader published res/err before closing ready. The entry
+		// may already have been evicted; charge the tenant only if it is
+		// still resident.
+		if cur, live := s.entries[key]; live && cur == e {
+			s.touch(tenant, e)
+		}
+		res, err := e.res, e.err
+		s.mu.Unlock()
+		s.countHit(err)
+		return res, err
+	}
+
+	// Leader: register a pending entry and translate outside the lock.
+	e := &entry{
+		key:     key,
+		pending: true,
+		ready:   make(chan struct{}),
+		refs:    make(map[string]struct{}),
+	}
+	s.entries[key] = e
+	s.mu.Unlock()
+
+	s.metrics.Misses.Add(1)
+	res, err := compute()
+	s.metrics.Translations.Add(1)
+	if err != nil {
+		s.metrics.Rejections.Add(1)
+	}
+
+	s.mu.Lock()
+	e.res, e.err = res, err
+	e.size = negativeEntryBytes
+	if err == nil && res != nil {
+		e.size = res.SizeBytes()
+	}
+	e.pending = false
+	if s.entries[key] == e { // not flushed while in flight
+		e.elem = s.lru.PushBack(e)
+		s.metrics.entries.Add(1)
+		s.metrics.bytes.Add(e.size)
+		s.touch(tenant, e)
+		s.enforceBudget(e)
+	}
+	s.mu.Unlock()
+	close(e.ready)
+	return res, err
+}
+
+// Peek reports whether key is resident (resolved) without touching LRU
+// state or charging any tenant.
+func (s *Store) Peek(key Key) (*translate.Result, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.pending {
+		return nil, nil, false
+	}
+	return e.res, e.err, true
+}
+
+// SetTenantQuota sets tenant's byte quota (0 or negative = unlimited)
+// and immediately sheds references if the tenant is now over it.
+func (s *Store) SetTenantQuota(tenant string, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.tenant(tenant)
+	t.quota = bytes
+	s.shedQuota(t, nil)
+}
+
+// TenantUsage reports tenant's charged bytes and quota (0 = unlimited).
+func (s *Store) TenantUsage(tenant string) (used, quota int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenant]
+	if !ok {
+		return 0, s.defaultQuota
+	}
+	return t.used, t.quota
+}
+
+// TenantUsageRow is one tenant's charge against the store.
+type TenantUsageRow struct {
+	Tenant string
+	Used   int64
+	Quota  int64
+	Refs   int
+}
+
+// Tenants snapshots every tenant's usage, sorted by name.
+func (s *Store) Tenants() []TenantUsageRow {
+	s.mu.Lock()
+	rows := make([]TenantUsageRow, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		rows = append(rows, TenantUsageRow{
+			Tenant: t.name, Used: t.used, Quota: t.quota, Refs: t.order.Len(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Tenant < rows[j].Tenant })
+	return rows
+}
+
+// DropTenant releases every reference tenant holds. Entries the tenant
+// referenced stay resident (other tenants may share them) until the
+// global budget reclaims them.
+func (s *Store) DropTenant(tenant string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[tenant]
+	if !ok {
+		return
+	}
+	for e := range t.elems {
+		delete(e.refs, tenant)
+	}
+	delete(s.tenants, tenant)
+}
+
+// Len is the resident entry count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lru.Len()
+}
+
+// countHit bumps the hit counter matching the cached outcome.
+func (s *Store) countHit(err error) {
+	if err != nil {
+		s.metrics.NegativeHits.Add(1)
+	} else {
+		s.metrics.Hits.Add(1)
+	}
+}
+
+// tenant returns (creating if needed) the state for name. Caller holds mu.
+func (s *Store) tenant(name string) *tenantState {
+	t, ok := s.tenants[name]
+	if !ok {
+		t = &tenantState{
+			name:  name,
+			quota: s.defaultQuota,
+			order: list.New(),
+			elems: make(map[*entry]*list.Element),
+		}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// touch marks e as most-recently-used globally and for tenant, charging
+// the tenant on first reference and shedding its oldest references while
+// over quota. Caller holds mu; e is resolved and resident.
+func (s *Store) touch(tenant string, e *entry) {
+	if e.elem != nil {
+		s.lru.MoveToBack(e.elem)
+	}
+	t := s.tenant(tenant)
+	if el, ok := t.elems[e]; ok {
+		t.order.MoveToBack(el)
+		return
+	}
+	t.elems[e] = t.order.PushBack(e)
+	e.refs[t.name] = struct{}{}
+	t.used += e.size
+	s.shedQuota(t, e)
+}
+
+// shedQuota drops t's least-recently-used references until t is within
+// quota. keep (the reference just taken) is never shed — the working-set
+// item must win over stale ones even when it alone exceeds the quota.
+// Shedding a reference does not evict the entry: another tenant may hold
+// it, and otherwise the global budget collects it in LRU order.
+func (s *Store) shedQuota(t *tenantState, keep *entry) {
+	if t.quota <= 0 {
+		return
+	}
+	for t.used > t.quota && t.order.Len() > 0 {
+		oldest := t.order.Front().Value.(*entry)
+		if oldest == keep {
+			break
+		}
+		s.dropRef(t, oldest)
+		s.metrics.QuotaEvictions.Add(1)
+	}
+}
+
+// dropRef removes t's reference to e. Caller holds mu.
+func (s *Store) dropRef(t *tenantState, e *entry) {
+	el, ok := t.elems[e]
+	if !ok {
+		return
+	}
+	t.order.Remove(el)
+	delete(t.elems, e)
+	delete(e.refs, t.name)
+	t.used -= e.size
+}
+
+// enforceBudget evicts entries until the store fits the global budget,
+// sparing keep (the entry just inserted). Unreferenced entries go first,
+// oldest first; if every other entry is referenced, the global LRU
+// victim goes regardless — the budget is a hard bound on resident bytes,
+// and a tenant that loses a referenced entry simply re-faults it through
+// Load. Caller holds mu.
+func (s *Store) enforceBudget(keep *entry) {
+	for s.metrics.bytes.Load() > s.budget && s.lru.Len() > 1 {
+		var victim *entry
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			if e := el.Value.(*entry); e != keep && len(e.refs) == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			victim = s.lru.Front().Value.(*entry)
+			if victim == keep {
+				victim = s.lru.Front().Next().Value.(*entry)
+			}
+		}
+		s.evict(victim)
+	}
+}
+
+// evict removes e entirely: every tenant reference, the global LRU slot,
+// and the map entry. Caller holds mu; e is resolved and resident.
+func (s *Store) evict(e *entry) {
+	for name := range e.refs {
+		if t, ok := s.tenants[name]; ok {
+			s.dropRef(t, e)
+		}
+	}
+	s.lru.Remove(e.elem)
+	e.elem = nil
+	delete(s.entries, e.key)
+	s.metrics.entries.Add(-1)
+	s.metrics.bytes.Add(-e.size)
+	s.metrics.Evictions.Add(1)
+}

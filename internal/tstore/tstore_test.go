@@ -1,0 +1,283 @@
+package tstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/translate"
+)
+
+// fakeKey builds a distinct key without deriving it from a program.
+func fakeKey(i int) Key {
+	var k Key
+	k[0] = byte(i)
+	k[1] = byte(i >> 8)
+	return k
+}
+
+// fakeResult is a minimal resolvable translation; all fakes share one
+// deterministic size, which quota tests exploit.
+func fakeResult() *translate.Result { return &translate.Result{} }
+
+var fakeSize = fakeResult().SizeBytes()
+
+func TestLoadSingleFlight(t *testing.T) {
+	s := New(Config{})
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 16
+	results := make([]*translate.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := s.Load(fmt.Sprintf("tenant-%d", i%4), fakeKey(1), func() (*translate.Result, error) {
+				<-release // hold every other caller in flight
+				computes.Add(1)
+				return fakeResult(), nil
+			})
+			if err != nil {
+				t.Errorf("Load: %v", err)
+			}
+			results[i] = res
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Errorf("compute ran %d times, want 1", got)
+	}
+	if got := s.Metrics().Translations.Load(); got != 1 {
+		t.Errorf("Translations = %d, want 1", got)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different *Result than caller 0", i)
+		}
+	}
+	if hits := s.Metrics().Hits.Load() + s.Metrics().FlightWaits.Load(); hits != callers-1 {
+		t.Errorf("hits+flight-waits = %d, want %d", hits, callers-1)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	s := New(Config{})
+	reject := errors.New("reject: cca_too_wide")
+	var computes atomic.Int64
+
+	for i := 0; i < 5; i++ {
+		_, err := s.Load("a", fakeKey(2), func() (*translate.Result, error) {
+			computes.Add(1)
+			return nil, reject
+		})
+		if !errors.Is(err, reject) {
+			t.Fatalf("Load %d: err = %v, want the cached rejection", i, err)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("rejection recomputed %d times, want 1 (negative caching)", got)
+	}
+	if got := s.Metrics().NegativeHits.Load(); got != 4 {
+		t.Errorf("NegativeHits = %d, want 4", got)
+	}
+	if got := s.Metrics().Rejections.Load(); got != 1 {
+		t.Errorf("Rejections = %d, want 1", got)
+	}
+}
+
+// TestTenantQuotaShedsOldestRefs: a tenant over its byte quota loses its
+// least-recently-used references — but the entries stay resident for
+// other tenants while the global budget allows.
+func TestTenantQuotaShedsOldestRefs(t *testing.T) {
+	s := New(Config{TenantQuotaBytes: 2 * fakeSize})
+	load := func(tenant string, i int) {
+		t.Helper()
+		if _, err := s.Load(tenant, fakeKey(i), func() (*translate.Result, error) {
+			return fakeResult(), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	load("a", 1)
+	load("a", 2)
+	load("a", 3) // over quota: the ref on key 1 must go
+
+	used, quota := s.TenantUsage("a")
+	if used > quota {
+		t.Errorf("tenant a used %d > quota %d after shedding", used, quota)
+	}
+	if got := s.Metrics().QuotaEvictions.Load(); got != 1 {
+		t.Errorf("QuotaEvictions = %d, want 1", got)
+	}
+	if s.Len() != 3 {
+		t.Errorf("store has %d entries, want 3 (quota shed must not evict shared state)", s.Len())
+	}
+	if _, _, ok := s.Peek(fakeKey(1)); !ok {
+		t.Error("entry 1 evicted by a tenant quota; only the global budget may evict")
+	}
+
+	// A second tenant re-referencing the shed entry is a hit, not a
+	// recompute.
+	before := s.Metrics().Translations.Load()
+	load("b", 1)
+	if got := s.Metrics().Translations.Load(); got != before {
+		t.Errorf("re-referencing a resident entry retranslated (%d -> %d)", before, got)
+	}
+}
+
+// TestBudgetEvictionFairness: when the global budget forces eviction,
+// unreferenced entries (shed by a churning tenant's quota) go first, so
+// a within-quota tenant's working set survives another tenant's churn
+// whenever budget >= sum of quotas.
+func TestBudgetEvictionFairness(t *testing.T) {
+	s := New(Config{BudgetBytes: 4 * fakeSize, TenantQuotaBytes: 2 * fakeSize})
+	load := func(tenant string, i int) {
+		t.Helper()
+		if _, err := s.Load(tenant, fakeKey(i), func() (*translate.Result, error) {
+			return fakeResult(), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tenant a establishes a working set within quota.
+	load("a", 1)
+	load("a", 2)
+	// Tenant b churns through four distinct loops.
+	for i := 3; i <= 6; i++ {
+		load("b", i)
+	}
+
+	for i := 1; i <= 2; i++ {
+		if _, _, ok := s.Peek(fakeKey(i)); !ok {
+			t.Errorf("tenant a's entry %d was evicted by tenant b's churn", i)
+		}
+	}
+	if got := s.Metrics().Bytes(); got > 4*fakeSize {
+		t.Errorf("resident bytes %d exceed budget %d", got, 4*fakeSize)
+	}
+	if evicted := s.Metrics().Evictions.Load(); evicted == 0 {
+		t.Error("churn past the budget produced no evictions")
+	}
+	// a's set still answers from cache.
+	before := s.Metrics().Translations.Load()
+	load("a", 1)
+	load("a", 2)
+	if got := s.Metrics().Translations.Load(); got != before {
+		t.Errorf("tenant a's working set retranslated after churn (%d -> %d)", before, got)
+	}
+}
+
+// TestDropTenantReleasesRefs: dropping a tenant leaves entries resident
+// but unreferenced, so the budget reclaims them before anyone else's.
+func TestDropTenantReleasesRefs(t *testing.T) {
+	s := New(Config{BudgetBytes: 3 * fakeSize})
+	for i := 1; i <= 2; i++ {
+		s.Load("gone", fakeKey(i), func() (*translate.Result, error) { return fakeResult(), nil })
+	}
+	s.DropTenant("gone")
+	s.Load("alive", fakeKey(3), func() (*translate.Result, error) { return fakeResult(), nil })
+	s.Load("alive", fakeKey(4), func() (*translate.Result, error) { return fakeResult(), nil })
+
+	if _, _, ok := s.Peek(fakeKey(1)); ok {
+		t.Error("dropped tenant's oldest entry survived past the budget")
+	}
+	if _, _, ok := s.Peek(fakeKey(4)); !ok {
+		t.Error("live tenant's entry was evicted while unreferenced entries existed")
+	}
+	if used, _ := s.TenantUsage("gone"); used != 0 {
+		t.Errorf("dropped tenant still charged %d bytes", used)
+	}
+}
+
+// TestConcurrentTenantChurn drives many tenants over a small budget and
+// key space concurrently; the race detector owns the pass/fail here, the
+// asserts pin the invariants that must hold after the dust settles.
+func TestConcurrentTenantChurn(t *testing.T) {
+	s := New(Config{BudgetBytes: 6 * fakeSize, TenantQuotaBytes: 3 * fakeSize})
+	const (
+		tenants = 8
+		rounds  = 200
+		keys    = 24
+	)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenants; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			name := fmt.Sprintf("t%d", tn)
+			for i := 0; i < rounds; i++ {
+				k := (i*7 + tn*3) % keys
+				if _, err := s.Load(name, fakeKey(k), func() (*translate.Result, error) {
+					if k%5 == 4 {
+						return nil, errors.New("reject")
+					}
+					return fakeResult(), nil
+				}); err != nil && k%5 != 4 {
+					t.Errorf("tenant %s key %d: %v", name, k, err)
+				}
+				if i%50 == 0 {
+					s.Tenants()
+					s.Metrics().Bytes()
+				}
+			}
+		}(tn)
+	}
+	wg.Wait()
+
+	if got := s.Metrics().Bytes(); got > 6*fakeSize {
+		t.Errorf("resident bytes %d exceed budget %d after churn", got, 6*fakeSize)
+	}
+	for _, row := range s.Tenants() {
+		// A tenant may exceed quota only via the single-entry exception:
+		// the most recent reference is never shed, even when it alone is
+		// larger than the quota.
+		if row.Quota > 0 && row.Used > row.Quota && row.Refs > 1 {
+			t.Errorf("tenant %s used %d > quota %d across %d refs", row.Tenant, row.Used, row.Quota, row.Refs)
+		}
+	}
+	total := s.Metrics().Hits.Load() + s.Metrics().NegativeHits.Load() +
+		s.Metrics().Misses.Load() + s.Metrics().FlightWaits.Load()
+	if want := int64(tenants * rounds); total != want {
+		t.Errorf("metrics account for %d loads, want %d", total, want)
+	}
+}
+
+// TestStoreDedupsRealTranslations wires the real pipeline through the
+// store: two tenants, two independently lowered copies of one kernel,
+// one translation.
+func TestStoreDedupsRealTranslations(t *testing.T) {
+	p1, r1 := lowerFir(t, true)
+	p2, r2 := lowerFir(t, true)
+	p2.Name = "other-tenant"
+	la := arch.Proposed()
+
+	s := New(Config{})
+	resA, errA := s.Load("a", KeyFor(p1, r1, la, translate.Hybrid, false), func() (*translate.Result, error) {
+		return translate.For(translate.Hybrid).Run(translate.Request{Prog: p1, Region: r1, LA: la})
+	})
+	resB, errB := s.Load("b", KeyFor(p2, r2, la, translate.Hybrid, false), func() (*translate.Result, error) {
+		return translate.For(translate.Hybrid).Run(translate.Request{Prog: p2, Region: r2, LA: la})
+	})
+	if errA != nil || errB != nil {
+		t.Fatalf("translate: %v / %v", errA, errB)
+	}
+	if resA != resB {
+		t.Fatal("two tenants with one kernel got two translations")
+	}
+	if got := s.Metrics().Translations.Load(); got != 1 {
+		t.Errorf("Translations = %d, want exactly 1", got)
+	}
+	if resA.SizeBytes() <= 0 {
+		t.Error("real translation has non-positive size estimate")
+	}
+	if s.Metrics().Bytes() != resA.SizeBytes() {
+		t.Errorf("store bytes %d != entry size %d", s.Metrics().Bytes(), resA.SizeBytes())
+	}
+}

@@ -196,11 +196,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	now := maxScalar + total.AccelCycles + total.StalledTranslationCycles
 
 	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
-		t, err := v.translateWith(p, region, v.inj.Injection(name, attempt))
-		if err != nil {
-			return nil, 0, err
-		}
-		return t, t.WorkTotal(), nil
+		return v.translateCharged(p, region, v.inj.Injection(name, attempt))
 	})
 
 	fallback := func(lns []int) {

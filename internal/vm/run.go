@@ -182,11 +182,7 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 	// accelerator and stall cycles already charged to the run.
 	now := m.Stats().Cycles + res.AccelCycles + res.StalledTranslationCycles
 	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
-		t, err := v.translateWith(p, region, v.inj.Injection(name, attempt))
-		if err != nil {
-			return nil, 0, err
-		}
-		return t, t.WorkTotal(), nil
+		return v.translateCharged(p, region, v.inj.Injection(name, attempt))
 	})
 
 	var t *Translation

@@ -1,0 +1,180 @@
+package vm
+
+import (
+	"testing"
+
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/jit"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/tstore"
+)
+
+func schedulableRegion(t *testing.T, p *isa.Program) cfg.Region {
+	t.Helper()
+	for _, r := range cfg.FindInnerLoops(p, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			return r
+		}
+	}
+	t.Fatal("no schedulable region")
+	return cfg.Region{}
+}
+
+// saxpyProgram lowers a second, distinct kernel for cache-pressure
+// tests.
+func saxpyProgram(t *testing.T) *lower.Result {
+	t.Helper()
+	b := ir.NewBuilder("saxpy")
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	b.StoreStream("out", 1, b.Add(b.Mul(a, x), y))
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	return res
+}
+
+// TestSharedStoreDedupsAcrossVMs: two VMs (tenants) running
+// independently lowered copies of the same kernel through one shared
+// store translate it exactly once, and both produce results bit-
+// identical to a storeless VM.
+func TestSharedStoreDedupsAcrossVMs(t *testing.T) {
+	store := tstore.New(tstore.Config{})
+
+	resA, _ := firProgram(t, true)
+	resB, _ := firProgram(t, true)
+	resB.Program.Name = "tenant-b"
+
+	// Reference: no store.
+	refVM := New(DefaultConfig())
+	refRes, refM, err := refVM.Run(resA.Program, firMem(), firSeed(resA, 64), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgA := DefaultConfig()
+	cfgA.Store, cfgA.Tenant = store, "a"
+	vmA := New(cfgA)
+	runA, mA, err := vmA.Run(resA.Program, firMem(), firSeed(resA, 64), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := DefaultConfig()
+	cfgB.Store, cfgB.Tenant = store, "b"
+	vmB := New(cfgB)
+	runB, mB, err := vmB.Run(resB.Program, firMem(), firSeed(resB, 64), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := store.Metrics().Translations.Load(); got != 1 {
+		t.Errorf("shared store ran %d translations for 2 tenants x 1 kernel, want 1", got)
+	}
+	if mA.Regs != refM.Regs || mB.Regs != refM.Regs {
+		t.Error("store-backed run diverged architecturally from storeless run")
+	}
+	if runA.AccelCycles != refRes.AccelCycles || runB.AccelCycles != refRes.AccelCycles {
+		t.Errorf("accel cycles diverged: ref=%d a=%d b=%d",
+			refRes.AccelCycles, runA.AccelCycles, runB.AccelCycles)
+	}
+	// Tenant a paid the translation; tenant b warm-started from the store.
+	if runA.TranslationCycles == 0 {
+		t.Error("first tenant charged no translation cycles")
+	}
+	if runB.TranslationCycles != 0 {
+		t.Errorf("second tenant charged %d translation cycles for a store hit, want 0",
+			runB.TranslationCycles)
+	}
+}
+
+// TestSharedStoreNegativeCaching: a kernel the pipeline rejects (an
+// accelerator with no integer units cannot map fir) is rejected once in
+// the store; the second tenant reads the cached rejection.
+func TestSharedStoreNegativeCaching(t *testing.T) {
+	store := tstore.New(tstore.Config{})
+	res, _ := firProgram(t, true)
+
+	base := DefaultConfig()
+	la := *base.LA
+	la.IntUnits = 0
+	base.LA = &la
+	base.Store = store
+
+	cfgA := base
+	cfgA.Tenant = "a"
+	vmA := New(cfgA)
+	if _, _, err := vmA.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	cfgB := base
+	cfgB.Tenant = "b"
+	vmB := New(cfgB)
+	if _, _, err := vmB.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m := store.Metrics()
+	if got := m.Translations.Load(); got != 1 {
+		t.Errorf("rejection recomputed: %d translations, want 1", got)
+	}
+	if m.NegativeHits.Load() == 0 {
+		t.Error("second tenant did not hit the negative cache")
+	}
+	if vmA.Stats.AccelLaunches != 0 || vmB.Stats.AccelLaunches != 0 {
+		t.Error("rejected loop still launched on the accelerator")
+	}
+}
+
+// TestCodeCacheByteBudget: a byte budget with room for one translation
+// but not two forces an eviction between two distinct kernels, while
+// the entry-count cap alone (16) never would — and execution stays
+// correct throughout.
+func TestCodeCacheByteBudget(t *testing.T) {
+	fir, _ := firProgram(t, true)
+	one, err := New(DefaultConfig()).Translate(fir.Program, schedulableRegion(t, fir.Program))
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := one.SizeBytes()
+	if size <= 0 {
+		t.Fatalf("SizeBytes = %d, want > 0", size)
+	}
+
+	metrics := &jit.Metrics{}
+	cfg := DefaultConfig()
+	cfg.CodeCacheBytes = size + size/2
+	cfg.Metrics = metrics
+	v := New(cfg)
+
+	if _, _, err := v.Run(fir.Program, firMem(), firSeed(fir, 64), 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	saxpy := saxpyProgram(t)
+	sres, _, err := v.Run(saxpy.Program, firMem(), func(m *scalar.Machine) {
+		m.Regs[saxpy.TripReg] = 32
+		params := []uint64{100, 200, 7, 8000}
+		for i, r := range saxpy.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+	}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Launches == 0 {
+		t.Error("saxpy never launched under the byte budget")
+	}
+	if metrics.Evictions == 0 {
+		t.Error("no eviction under a byte budget sized for one translation")
+	}
+	if got := v.pipe.CacheBytes(); got <= 0 || got > cfg.CodeCacheBytes {
+		t.Errorf("CacheBytes = %d, want in (0, %d]", got, cfg.CodeCacheBytes)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"veal/internal/isa"
 	"veal/internal/jit"
 	"veal/internal/translate"
+	"veal/internal/tstore"
 	"veal/internal/verify"
 	"veal/internal/vmcost"
 )
@@ -75,6 +76,27 @@ type Config struct {
 	// CodeCacheSize is the number of translated loops retained (LRU);
 	// the paper uses 16 (~48KB of control storage).
 	CodeCacheSize int
+	// CodeCacheBytes, when > 0, additionally bounds the code cache by
+	// the estimated resident bytes of the retained translations
+	// (Translation.SizeBytes): entry count alone treats a 4-node saxpy
+	// loop and a 60-unit idct loop as equal occupants of the control
+	// store. Eviction sheds LRU entries until the budget holds, always
+	// keeping the most recent translation.
+	CodeCacheBytes int64
+
+	// Store, when non-nil, routes fresh translations through the
+	// process-global content-addressed translation store
+	// (internal/tstore): identical loops translated by any VM sharing
+	// the store resolve to one entry, so N tenants running the same
+	// kernel translate it once. The per-VM code cache stays the dispatch
+	// fast path; the store is the fallback that turns a cold miss into a
+	// free warm start. A store hit charges zero translation work (the
+	// artifact already exists). Fault-injected attempts bypass the store
+	// so a chaos tenant can never poison shared state.
+	Store *tstore.Store
+	// Tenant names this VM to the store for per-tenant quota accounting
+	// ("" is a valid shared-anonymous tenant).
+	Tenant string
 
 	// SpeculationSupport enables accelerating while-shaped loops (a single
 	// side exit before the back branch) by speculative chunked execution:
@@ -225,6 +247,7 @@ func New(cfg Config) *VM {
 		jcfg.Faults = inj
 	}
 	pipe := jit.New[cacheKey, *Translation](jcfg, keyName)
+	pipe.SetCacheBudget(cfg.CodeCacheBytes, (*Translation).SizeBytes)
 	slots := cfg.TranslateWorkers
 	if slots < 1 {
 		slots = 1
@@ -246,6 +269,10 @@ func keyName(k cacheKey) string {
 
 // Metrics exposes the JIT pipeline's counters and histograms.
 func (v *VM) Metrics() *jit.Metrics { return v.pipe.Metrics() }
+
+// CacheBytes reports the estimated resident bytes of the private code
+// cache (0 unless Config.CodeCacheBytes set a budget).
+func (v *VM) CacheBytes() int64 { return v.pipe.CacheBytes() }
 
 // LoopStates snapshots the per-loop lifecycle table (monitor order).
 func (v *VM) LoopStates() []jit.LoopInfo { return v.pipe.Snapshot() }
@@ -273,6 +300,45 @@ func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) 
 // translateWith is Translate with an optional per-attempt fault; the
 // JIT dispatch path threads the injector's decision through here.
 func (v *VM) translateWith(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, error) {
+	t, _, err := v.translateCharged(p, region, inj)
+	return t, err
+}
+
+// translateCharged is the dispatch path's translator: it returns the
+// translation plus the virtual work to charge for it. Without a shared
+// store every translation is fresh and costs its full pipeline work.
+// With one, a resident entry is a warm start that costs nothing — the
+// cross-tenant amortization VEAL's one-translation-serves-all premise
+// promises — and only an actual pipeline run is charged. Fault-injected
+// attempts never touch the store: corruption and forced rejections are
+// tenant-local by construction.
+func (v *VM) translateCharged(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, int64, error) {
+	if v.Cfg.Store != nil && inj == nil {
+		key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, v.Cfg.SpeculationSupport)
+		computed := false
+		t, err := v.Cfg.Store.Load(v.Cfg.Tenant, key, func() (*translate.Result, error) {
+			computed = true
+			return v.runPipeline(p, region, nil)
+		})
+		switch {
+		case err != nil:
+			return nil, 0, err
+		case computed:
+			return t, t.WorkTotal(), nil
+		default:
+			return t, 0, nil
+		}
+	}
+	t, err := v.runPipeline(p, region, inj)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, t.WorkTotal(), nil
+}
+
+// runPipeline runs the policy's pass pipeline once, with a borrowed
+// scratch arena.
+func (v *VM) runPipeline(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, error) {
 	sc := v.acquireScratch()
 	defer v.releaseScratch(sc)
 	res, err := translate.For(v.Cfg.Policy).Run(translate.Request{

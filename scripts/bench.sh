@@ -24,6 +24,8 @@ GOMAXPROCS=2 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|Benchma
 	-benchmem -count 1 "$@" . | tee -a "$raw"
 go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT)' \
 	-benchmem -count 1 "$@" ./internal/vm ./internal/jit | tee -a "$raw"
+go test -run '^$' -bench '^BenchmarkServeThroughput' \
+	-benchmem -count 1 "$@" ./internal/serve | tee -a "$raw"
 
 if [ -n "$prev" ]; then
 	go run ./scripts/benchcmp -prev "$prev" -o "$out" <"$raw"

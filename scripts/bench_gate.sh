@@ -29,4 +29,8 @@ go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' 
 # allocation discipline and guest-insts/sec host throughput.
 go test -run '^$' -bench '^BenchmarkVMBatch' \
 	-benchmem -count 3 ./internal/vm >>"$raw"
+# End-to-end serving throughput: the HTTP + shared-store path, gated on
+# programs/sec alongside ns/op.
+go test -run '^$' -bench '^BenchmarkServeThroughput' \
+	-benchmem -count 3 ./internal/serve >>"$raw"
 go run ./scripts/benchcmp -prev "$baseline" -gate <"$raw"

@@ -273,6 +273,12 @@ func main() {
 						"%s: guest-insts/sec dropped %.1f%% (limit %.0f%%)", r.label(), drop, *maxNs))
 				}
 			}
+			if p.ProgramsPerSec > 0 && r.ProgramsPerSec > 0 {
+				if drop := 100 * (p.ProgramsPerSec - r.ProgramsPerSec) / p.ProgramsPerSec; drop > *maxNs {
+					failures = append(failures, fmt.Sprintf(
+						"%s: programs/sec dropped %.1f%% (limit %.0f%%)", r.label(), drop, *maxNs))
+				}
+			}
 		}
 	}
 	if len(failures) > 0 {

@@ -38,6 +38,15 @@ echo "== golden-site verification (race) =="
 # with the scheduler, so this is a true cross-check).
 go test -race -run TestGoldenSitesVerify ./internal/exp
 
+echo "== serve smoke =="
+# Multi-tenant serving contract, end to end over the wire: start the
+# real `veal serve` binary, submit one kernel as two tenants, run both,
+# and assert via /metrics that the shared content-addressed store
+# translated exactly once.
+go build -o /tmp/veal-ci ./cmd/veal
+go run ./scripts/servesmoke -veal /tmp/veal-ci
+rm -f /tmp/veal-ci
+
 echo "== fuzz smoke =="
 # Short coverage-guided runs of each fuzz target; beyond the checked-in
 # seed corpora this shakes out fresh panics on every CI run.

@@ -1,0 +1,208 @@
+// Command servesmoke is the CI smoke test for `veal serve`: it starts
+// the real server binary, submits one kernel as two different tenants
+// (independently compiled, different names), runs both, and asserts via
+// /metrics that the shared content-addressed store translated exactly
+// once — the multi-tenant sharing contract, exercised end to end over
+// the wire. scripts/ci.sh drives it with the freshly built binary.
+//
+// Usage: go run ./scripts/servesmoke -veal /path/to/veal
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"time"
+
+	"veal"
+
+	"flag"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "servesmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// kernel compiles the shared test kernel; each call lowers a fresh copy
+// so the two tenants submit genuinely distinct images of one loop.
+func kernel(name string) (*veal.Binary, string) {
+	b := veal.NewLoop(name)
+	x := b.LoadStream("x", 1)
+	y := b.LoadStream("y", 1)
+	a := b.Param("a")
+	b.StoreStream("out", 1, b.Add(b.Mul(a, x), y))
+	loop := b.MustBuild()
+	bin, err := veal.Compile(loop, veal.CompileOptions{})
+	if err != nil {
+		fatalf("compile: %v", err)
+	}
+	return bin, veal.FormatProgram(bin.Program)
+}
+
+func postJSON(base, path, tenant string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest("POST", base+path, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Veal-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+	}
+	if out != nil {
+		// /v1/run streams NDJSON; decode the last line (the trailer) or
+		// the whole body for plain JSON responses.
+		lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+		return json.Unmarshal(lines[len(lines)-1], out)
+	}
+	return nil
+}
+
+func main() {
+	vealBin := flag.String("veal", "", "path to the built veal binary")
+	flag.Parse()
+	if *vealBin == "" {
+		fatalf("-veal path required")
+	}
+
+	cmd := exec.Command(*vealBin, "serve", "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		fatalf("pipe: %v", err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		fatalf("start %s: %v", *vealBin, err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The bind line is printed once the socket is live.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	bindLine := regexp.MustCompile(`listening on (http://\S+)`)
+	deadline := time.After(30 * time.Second)
+	found := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			if m := bindLine.FindStringSubmatch(sc.Text()); m != nil {
+				found <- m[1]
+				break
+			}
+		}
+	}()
+	select {
+	case base = <-found:
+	case <-deadline:
+		fatalf("server never printed its bind line")
+	}
+
+	type submitResp struct {
+		ID     string `json:"id"`
+		Shared bool   `json:"shared"`
+	}
+	type trailer struct {
+		Done bool   `json:"done"`
+		Err  string `json:"error"`
+	}
+
+	// Two tenants, one kernel (different program names), concurrently.
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for _, tenant := range []string{"alpha", "beta"} {
+		wg.Add(1)
+		go func(tenant string) {
+			defer wg.Done()
+			bin, asm := kernel("kernel-of-" + tenant)
+			var sub submitResp
+			paramRegs := map[string]uint8{}
+			for i, reg := range bin.ParamRegs {
+				paramRegs[bin.ParamNames[i]] = reg
+			}
+			if err := postJSON(base, "/v1/programs", tenant, map[string]any{
+				"name": "kernel-of-" + tenant, "asm": asm,
+				"trip_reg": bin.TripReg, "param_regs": paramRegs,
+			}, &sub); err != nil {
+				errs <- err
+				return
+			}
+			var tr trailer
+			if err := postJSON(base, "/v1/run", tenant, map[string]any{
+				"program": sub.ID,
+				"lanes": []map[string]any{{
+					"trip":   64,
+					"params": map[string]uint64{"x": 4096, "y": 8192, "out": 12288, "a": 7},
+					"mem": []map[string]any{
+						{"base": 4096, "words": seq(64, 1)},
+						{"base": 8192, "words": seq(64, 3)},
+					},
+				}},
+			}, &tr); err != nil {
+				errs <- err
+				return
+			}
+			if !tr.Done || tr.Err != "" {
+				errs <- fmt.Errorf("tenant %s: run did not complete: %+v", tenant, tr)
+			}
+		}(tenant)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// The sharing contract, observed over the wire.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m := regexp.MustCompile(`(?m)^veal_store_translations_total (\d+)$`).FindSubmatch(body)
+	if m == nil {
+		fatalf("veal_store_translations_total missing from /metrics:\n%s", body)
+	}
+	if got := string(m[1]); got != "1" {
+		fatalf("2 tenants x 1 kernel produced %s translations, want exactly 1", got)
+	}
+	for _, tenant := range []string{"alpha", "beta"} {
+		if !strings.Contains(string(body), fmt.Sprintf("veal_tenant_runs_total{tenant=%q} 1", tenant)) {
+			fatalf("tenant %s runs not reported in /metrics", tenant)
+		}
+	}
+	fmt.Println("servesmoke: OK — 2 tenants, 1 kernel, 1 shared translation")
+}
+
+func seq(n int, mul uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = mul * uint64(i+1)
+	}
+	return out
+}
