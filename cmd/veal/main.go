@@ -14,6 +14,10 @@
 //	                        or -overlap for the stall-vs-overlap table
 //	veal bench [-batch B]   host-throughput sweep: batched lockstep
 //	                        execution vs serial runs (guest-insts/sec)
+//	veal tiering            tiered-translation experiment: tier-1
+//	                        first-cut cost vs schedule quality vs
+//	                        cold-start stall, and the re-tune payback
+//	                        point per kernel and policy
 //	veal serve [-addr A]    multi-tenant VM server: submit and run
 //	                        programs over HTTP against a shared
 //	                        content-addressed translation store
@@ -83,6 +87,8 @@ func main() {
 		err = cmdVMStats(args)
 	case "bench":
 		err = cmdBench(args)
+	case "tiering":
+		err = cmdTiering(args)
 	case "serve":
 		err = cmdServe(args)
 	case "asm":
@@ -98,7 +104,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|serve|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|tiering|serve|asm> [flags]`)
 }
 
 func usageExit() {
@@ -317,9 +323,11 @@ func findKernel(name string) (*ir.Loop, error) {
 // lifecycle counters, histograms, per-loop states, and (with -trace) a
 // JSONL event log including per-pass translation events. -phases adds
 // the per-phase translation work histograms (the runtime Figure 8);
-// -overlap instead prints the stall-vs-overlap experiment across the DSE
-// design points; -rejects instead prints rejection counts by typed
-// reason code across the workload suite.
+// -tiered runs under tiered translation and -tiers narrows the report to
+// the tiered-translation section; -overlap instead prints the
+// stall-vs-overlap experiment across the DSE design points; -rejects
+// instead prints rejection counts by typed reason code across the
+// workload suite.
 func cmdVMStats(args []string) error {
 	fs := flag.NewFlagSet("vmstats", flag.ExitOnError)
 	kernel := fs.String("kernel", "saxpy", "workload kernel to run (see `veal inspect` for names)")
@@ -337,6 +345,8 @@ func cmdVMStats(args []string) error {
 	faultSeed := fs.Uint64("fault-seed", 0, "run under the deterministic chaos fault plan with this seed (0 = off)")
 	faults := fs.Bool("faults", false, "print the fault-injection and graceful-degradation report")
 	batch := fs.Int("batch", 0, "run this many guests in lockstep per run via RunBatch (0 = serial)")
+	tiered := fs.Bool("tiered", false, "tiered translation: install a tier-1 first cut, re-tune to tier-2 in the background")
+	tiers := fs.Bool("tiers", false, "print only the tiered-translation section of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -381,6 +391,7 @@ func cmdVMStats(args []string) error {
 	cfg.CodeCacheSize = *cache
 	cfg.HotThreshold = *threshold
 	cfg.Verify = *verifyFlag
+	cfg.Tiered = *tiered
 	if *faultSeed != 0 {
 		cfg.Faults = faultinject.Chaos(*faultSeed)
 	}
@@ -400,8 +411,8 @@ func cmdVMStats(args []string) error {
 			m.Regs[r] = bind.Params[i]
 		}
 	}
-	fmt.Printf("%s: trip=%d workers=%d cache=%d threshold=%d batch=%d\n\n",
-		loop.Name, *trip, *workers, *cache, *threshold, *batch)
+	fmt.Printf("%s: trip=%d workers=%d cache=%d threshold=%d batch=%d tiered=%v\n\n",
+		loop.Name, *trip, *workers, *cache, *threshold, *batch, *tiered)
 	for run := 0; run < *repeat; run++ {
 		var r *vm.RunResult
 		if *batch > 0 {
@@ -430,7 +441,11 @@ func cmdVMStats(args []string) error {
 			r.TranslationCycles, r.StalledTranslationCycles, r.HiddenTranslationCycles, r.Launches)
 	}
 
-	fmt.Printf("\n%s", v.Metrics().Format())
+	if *tiers {
+		fmt.Printf("\n%s", v.Metrics().FormatTiers())
+	} else {
+		fmt.Printf("\n%s", v.Metrics().Format())
+	}
 	if *phases {
 		fmt.Printf("\n%s", v.Metrics().FormatPhases())
 	}
@@ -506,6 +521,36 @@ func cmdBench(args []string) error {
 		return exp.WriteThroughputCSV(os.Stdout, rows)
 	}
 	fmt.Print(exp.FormatThroughput(rows))
+	return nil
+}
+
+// cmdTiering runs the tiered-translation experiment: per kernel and
+// policy, the tier-1 first cut's production cost and schedule quality
+// against the full tier-2 chain's, the cold-start stall each cuts on a
+// fresh stall-on-translate VM, and how many accelerated invocations the
+// background re-tune needs to pay for itself.
+func cmdTiering(args []string) error {
+	fs := flag.NewFlagSet("tiering", flag.ExitOnError)
+	kernels := fs.String("kernel", "", "comma-separated kernel names (default: every unique suite kernel)")
+	trip := fs.Int64("trip", 256, "iterations per loop invocation")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := exp.TieringOptions{Trip: *trip}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			opt.Kernels = append(opt.Kernels, strings.TrimSpace(k))
+		}
+	}
+	rows, err := exp.Tiering(opt)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return exp.WriteTieringCSV(os.Stdout, rows)
+	}
+	fmt.Print(exp.FormatTiering(rows))
 	return nil
 }
 

@@ -31,6 +31,8 @@ func cmdServe(args []string) error {
 	storeBudget := fs.Int64("store-budget", 0, "global translation-store byte budget (0 = default 256 MiB)")
 	tenantQuota := fs.Int64("tenant-quota", 0, "per-tenant store quota in bytes (0 = unlimited)")
 	queue := fs.Int("queue", 8, "per-tenant admission queue depth (excess requests get 429)")
+	tiered := fs.Bool("tiered", false, "tiered translation: tier-1 first cuts install fast, background re-tunes hot-swap tier-2")
+	retune := fs.Int64("retune", 0, "tier-1 hits before a background re-tune queues (0 = default 1; needs -tiered)")
 	verifyFlag := fs.Bool("verify", false, "independently re-verify every installed translation")
 	spec := fs.Bool("spec", false, "enable speculative while-loop support")
 	faultSeed := fs.Uint64("fault-seed", 0, "run every tenant under the chaos fault plan (degradation drills)")
@@ -40,6 +42,8 @@ func cmdServe(args []string) error {
 
 	cfg := serve.Config{
 		TranslateWorkers:   *workers,
+		Tiered:             *tiered,
+		RetuneThreshold:    *retune,
 		SpeculationSupport: *spec,
 		Verify:             *verifyFlag,
 		FaultSeed:          *faultSeed,
@@ -69,8 +73,8 @@ func cmdServe(args []string) error {
 
 	// The parseable bind line, then a human summary.
 	fmt.Printf("veal serve: listening on http://%s\n", ln.Addr())
-	fmt.Printf("veal serve: policy=%s workers=%d queue=%d store-budget=%d tenant-quota=%d\n",
-		*policy, *workers, *queue, srv.Store().Budget(), *tenantQuota)
+	fmt.Printf("veal serve: policy=%s workers=%d tiered=%v queue=%d store-budget=%d tenant-quota=%d\n",
+		*policy, *workers, *tiered, *queue, srv.Store().Budget(), *tenantQuota)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"veal/internal/arch"
+	"veal/internal/translate"
 	"veal/internal/vm"
 )
 
@@ -20,10 +21,11 @@ type transKey struct {
 	maxII, memLatency, fifoDepth int
 	cca                          arch.CCAConfig
 	policy                       vm.Policy
+	tier                         translate.Tier
 	raw, spec                    bool
 }
 
-func keyFor(la *arch.LA, policy vm.Policy, raw, spec bool) transKey {
+func keyFor(la *arch.LA, policy vm.Policy, tier translate.Tier, raw, spec bool) transKey {
 	return transKey{
 		intUnits: la.IntUnits, fpUnits: la.FPUnits, ccas: la.CCAs,
 		intRegs: la.IntRegs, fpRegs: la.FPRegs,
@@ -31,7 +33,7 @@ func keyFor(la *arch.LA, policy vm.Policy, raw, spec bool) transKey {
 		loadAGs: la.LoadAGs, storeAGs: la.StoreAGs,
 		maxII: la.MaxII, memLatency: la.MemLatency, fifoDepth: la.FIFODepth,
 		cca:    la.CCA,
-		policy: policy, raw: raw, spec: spec,
+		policy: policy, tier: tier, raw: raw, spec: spec,
 	}
 }
 
@@ -60,6 +62,7 @@ func (k transKey) shard() uint32 {
 	mix(k.cca.MaxOps)
 	mix(k.cca.Latency)
 	mix(int(k.policy))
+	mix(int(k.tier))
 	b := 0
 	if k.raw {
 		b |= 1

@@ -9,6 +9,7 @@ import (
 
 	"veal/internal/arch"
 	"veal/internal/cfg"
+	"veal/internal/translate"
 	"veal/internal/vm"
 )
 
@@ -35,7 +36,7 @@ func schedulableSite(t *testing.T) *SiteModel {
 // the translation pipeline reads lands in the cache key — a missed field
 // would silently serve one design point's translation for another.
 func TestTransKeyDistinguishesFields(t *testing.T) {
-	base := keyFor(arch.Proposed(), vm.NoPenalty, false, false)
+	base := keyFor(arch.Proposed(), vm.NoPenalty, translate.TierDefault, false, false)
 	muts := []struct {
 		name string
 		f    func(*arch.LA)
@@ -61,24 +62,24 @@ func TestTransKeyDistinguishesFields(t *testing.T) {
 	for _, m := range muts {
 		la := arch.Proposed()
 		m.f(la)
-		if keyFor(la, vm.NoPenalty, false, false) == base {
+		if keyFor(la, vm.NoPenalty, translate.TierDefault, false, false) == base {
 			t.Errorf("changing %s does not change the cache key", m.name)
 		}
 	}
-	if keyFor(arch.Proposed(), vm.Hybrid, false, false) == base {
+	if keyFor(arch.Proposed(), vm.Hybrid, translate.TierDefault, false, false) == base {
 		t.Error("policy does not change the cache key")
 	}
-	if keyFor(arch.Proposed(), vm.NoPenalty, true, false) == base {
+	if keyFor(arch.Proposed(), vm.NoPenalty, translate.TierDefault, true, false) == base {
 		t.Error("raw flag does not change the cache key")
 	}
-	if keyFor(arch.Proposed(), vm.NoPenalty, false, true) == base {
+	if keyFor(arch.Proposed(), vm.NoPenalty, translate.TierDefault, false, true) == base {
 		t.Error("spec flag does not change the cache key")
 	}
 	// Name is presentation only: sweep points rename the same config and
 	// must share a cache entry.
 	named := arch.Proposed()
 	named.Name = "renamed-sweep-point"
-	if keyFor(named, vm.NoPenalty, false, false) != base {
+	if keyFor(named, vm.NoPenalty, translate.TierDefault, false, false) != base {
 		t.Error("LA.Name leaks into the cache key")
 	}
 }
@@ -88,7 +89,7 @@ func TestTransKeyDistinguishesFields(t *testing.T) {
 func TestTransCacheSingleFlight(t *testing.T) {
 	var c transCache
 	var computes atomic.Int32
-	k := keyFor(arch.Proposed(), vm.Hybrid, false, false)
+	k := keyFor(arch.Proposed(), vm.Hybrid, translate.TierDefault, false, false)
 	const goroutines = 32
 	results := make([]*Translation, goroutines)
 	var wg sync.WaitGroup
@@ -127,7 +128,7 @@ func TestTransCacheConcurrentMixedKeys(t *testing.T) {
 		la := arch.Infinite()
 		la.IntUnits = i + 1
 		la.MaxII = 2*i + 1
-		keys[i] = keyFor(la, vm.FullyDynamic, false, false)
+		keys[i] = keyFor(la, vm.FullyDynamic, translate.TierDefault, false, false)
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, 256)
@@ -164,7 +165,7 @@ func TestCachedMatchesUncached(t *testing.T) {
 	sm := schedulableSite(t)
 	for _, policy := range []vm.Policy{vm.NoPenalty, vm.FullyDynamic, vm.HeightPriority, vm.Hybrid} {
 		cached := sm.TranslateWith(arch.Proposed(), policy, false, false)
-		direct := sm.translate(arch.Proposed(), policy, false, false)
+		direct := sm.translate(arch.Proposed(), policy, translate.TierDefault, false, false)
 		if !reflect.DeepEqual(cached, direct) {
 			t.Errorf("policy %v: cached %+v != direct %+v", policy, cached, direct)
 		}
@@ -192,7 +193,7 @@ func TestTranslateWithConcurrent(t *testing.T) {
 	var wants []want
 	for _, la := range las {
 		for _, p := range []vm.Policy{vm.NoPenalty, vm.Hybrid} {
-			wants = append(wants, want{la, p, sm.translate(la, p, false, false)})
+			wants = append(wants, want{la, p, sm.translate(la, p, translate.TierDefault, false, false)})
 		}
 	}
 	var wg sync.WaitGroup

@@ -212,7 +212,15 @@ func (sm *SiteModel) Translate(la *arch.LA, policy vm.Policy, raw bool) *Transla
 // translate pipeline for the policy directly, so only immutable state
 // (the binary, the region, the LA under test) is shared between workers.
 func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
-	key := keyFor(la, policy, raw, spec)
+	return sm.TranslateTier(la, policy, translate.TierDefault, raw, spec)
+}
+
+// TranslateTier additionally selects the translation tier: Tier1 runs the
+// fast first-cut chain (no CCA search, height-priority order), Tier2 (or
+// TierDefault) the full chain. The tiering experiment sweeps both to price
+// the first-cut/re-tune cycle.
+func (sm *SiteModel) TranslateTier(la *arch.LA, policy vm.Policy, tier translate.Tier, raw, spec bool) *Translation {
+	key := keyFor(la, policy, tier, raw, spec)
 	if code, declined := translate.CodeForRegion(sm.Site.Kind, spec); declined {
 		// Negative-result caching, mirroring the jit path's PreReject: a
 		// structurally unsupported site is answered from the cache instead
@@ -223,11 +231,11 @@ func (sm *SiteModel) TranslateWith(la *arch.LA, policy vm.Policy, raw, spec bool
 		})
 	}
 	return sm.cache.load(key, func() *Translation {
-		return sm.translate(la, policy, raw, spec)
+		return sm.translate(la, policy, tier, raw, spec)
 	})
 }
 
-func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *Translation {
+func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, tier translate.Tier, raw, spec bool) *Translation {
 	binary := sm.Binary
 	region := sm.Region
 	if raw {
@@ -248,13 +256,14 @@ func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, raw, spec bool) *T
 	// The pipeline run itself goes through the global content-addressed
 	// store: single-flight across concurrent sweep workers AND shared
 	// across sites/harnesses with identical loop content.
-	tr, err := sharedStore.Load("exp", tstore.KeyFor(binary.Program, region, la, policy, spec),
+	tr, err := sharedStore.Load("exp", tstore.KeyFor(binary.Program, region, la, policy, tier, spec),
 		func() (*translate.Result, error) {
-			return translate.For(policy).Run(translate.Request{
+			return translate.Build(policy, tier).Run(translate.Request{
 				Prog:        binary.Program,
 				Region:      region,
 				LA:          la,
 				Speculation: spec,
+				Tier:        tier,
 			})
 		})
 	if err != nil {

@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"veal/internal/accel"
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/par"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+// TieringOptions configures the tiered-translation experiment: for every
+// workload kernel and policy it prices both sides of the tier-1↔tier-2
+// cycle — how much cheaper the first cut is to produce, how much worse
+// the schedule it installs is, how far tiering cuts the cold-start stall
+// on a real VM run, and how many accelerated invocations the re-tune
+// needs to pay for itself.
+type TieringOptions struct {
+	// Kernels are workload kernel names; empty selects every unique
+	// kernel in the suite that lowers.
+	Kernels []string
+	// Policies to evaluate; empty selects FullyDynamic and Hybrid (the
+	// two policies the tiered VM dispatches).
+	Policies []vm.Policy
+	// Trip is the iteration count per loop invocation (default 256).
+	Trip int64
+	// LA is the accelerator design (default the proposed design).
+	LA *arch.LA
+}
+
+// TieringRow is one kernel × policy measurement.
+type TieringRow struct {
+	Kernel string
+	Policy vm.Policy
+	// T1OK/T2OK report whether each tier's chain scheduled the kernel
+	// (tier-1 can reject where tier-2 succeeds: no CCA compression).
+	T1OK, T2OK bool
+	// T1Work/T2Work are the metered translation cycles per tier, and
+	// T1II/T2II the initiation intervals of the produced schedules.
+	T1Work, T2Work int64
+	T1II, T2II     int
+	// T1Invoc/T2Invoc are accelerator cycles for one invocation at Trip.
+	T1Invoc, T2Invoc int64
+	// StallBase/StallTiered are the translation cycles stalling the
+	// scalar core before the first accelerated invocation on a fresh VM,
+	// untiered vs tiered; StallSpeedup is their ratio.
+	StallBase, StallTiered int64
+	StallSpeedup           float64
+	// PaybackInvocs is how many accelerated invocations the tier-2
+	// schedule needs before its per-invocation savings repay the re-tune
+	// work (+Inf when the first cut is already as good).
+	PaybackInvocs float64
+}
+
+// tieringKernel pairs a lowered kernel with deterministic operands.
+type tieringKernel struct {
+	name string
+	l    *ir.Loop
+	res  *lower.Result
+	bind *ir.Bindings
+	mem  *ir.PagedMemory
+}
+
+// tieringKernels resolves the kernel set: named ones, or every unique
+// suite kernel that lowers.
+func tieringKernels(names []string, trip int64) ([]tieringKernel, error) {
+	if len(names) > 0 {
+		ks, err := resolveKernels(names, trip)
+		if err != nil {
+			return nil, fmt.Errorf("tiering: %w", err)
+		}
+		out := make([]tieringKernel, len(ks))
+		for i, k := range ks {
+			l := (*ir.Loop)(nil)
+			for _, bench := range workloads.All() {
+				for _, site := range bench.Sites {
+					if built := site.Kernel.Build(); built.Name == k.name {
+						l = built
+					}
+				}
+			}
+			out[i] = tieringKernel{name: k.name, l: l, res: k.res, bind: k.bind, mem: k.mem}
+		}
+		return out, nil
+	}
+	seen := map[string]bool{}
+	var out []tieringKernel
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			l := site.Kernel.Build()
+			if seen[l.Name] {
+				continue
+			}
+			seen[l.Name] = true
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				continue
+			}
+			bind, mem := workloads.Prepare(l, trip, 1)
+			out = append(out, tieringKernel{name: l.Name, l: l, res: res, bind: bind, mem: mem})
+		}
+	}
+	return out, nil
+}
+
+// Tiering runs the experiment on the par worker pool; each cell's VMs
+// and pipeline runs are private, so results are deterministic.
+func Tiering(opt TieringOptions) ([]TieringRow, error) {
+	if len(opt.Policies) == 0 {
+		opt.Policies = []vm.Policy{vm.FullyDynamic, vm.Hybrid}
+	}
+	if opt.Trip <= 0 {
+		opt.Trip = 256
+	}
+	if opt.LA == nil {
+		opt.LA = arch.Proposed()
+	}
+	kernels, err := tieringKernels(opt.Kernels, opt.Trip)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		k      tieringKernel
+		policy vm.Policy
+	}
+	cells := make([]cell, 0, len(kernels)*len(opt.Policies))
+	for _, k := range kernels {
+		for _, pol := range opt.Policies {
+			cells = append(cells, cell{k, pol})
+		}
+	}
+
+	return par.MapErr(len(cells), func(i int) (TieringRow, error) {
+		c := cells[i]
+		row := TieringRow{Kernel: c.k.name, Policy: c.policy}
+
+		// Price each tier's chain directly.
+		region, ok := scheduleRegion(c.k.res)
+		if !ok {
+			return row, nil
+		}
+		for _, tier := range []translate.Tier{translate.Tier1, translate.Tier2} {
+			tr, err := translate.Build(c.policy, tier).Run(translate.Request{
+				Prog: c.k.res.Program, Region: region, LA: opt.LA, Tier: tier,
+			})
+			if err != nil {
+				continue
+			}
+			work := int64(0)
+			for _, w := range tr.Work {
+				work += w
+			}
+			invoc := accel.EstimateInvocation(opt.LA, tr.Ext.Loop, tr.Schedule, opt.Trip)
+			if tier == translate.Tier1 {
+				row.T1OK, row.T1Work, row.T1II, row.T1Invoc = true, work, tr.Schedule.II, invoc
+			} else {
+				row.T2OK, row.T2Work, row.T2II, row.T2Invoc = true, work, tr.Schedule.II, invoc
+			}
+		}
+
+		// Cold-start stall on a real VM, untiered vs tiered.
+		for _, tiered := range []bool{false, true} {
+			r, err := runTieringKernel(c.k, opt.LA, c.policy, tiered)
+			if err != nil {
+				return row, err
+			}
+			if r.FirstAccelAt < 0 {
+				continue
+			}
+			if tiered {
+				row.StallTiered = r.FirstAccelStall
+			} else {
+				row.StallBase = r.FirstAccelStall
+			}
+		}
+		if row.StallTiered > 0 {
+			row.StallSpeedup = float64(row.StallBase) / float64(row.StallTiered)
+		}
+
+		// Payback: invocations until the tier-2 schedule's savings cover
+		// the background re-tune work.
+		if row.T1OK && row.T2OK {
+			saved := row.T1Invoc - row.T2Invoc
+			if saved > 0 {
+				row.PaybackInvocs = math.Ceil(float64(row.T2Work) / float64(saved))
+			} else {
+				row.PaybackInvocs = math.Inf(1)
+			}
+		}
+		return row, nil
+	})
+}
+
+// scheduleRegion finds the lowered program's schedulable inner loop.
+func scheduleRegion(res *lower.Result) (cfg.Region, bool) {
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			return r, true
+		}
+	}
+	return cfg.Region{}, false
+}
+
+// runTieringKernel executes one kernel under a fresh stall-on-translate
+// VM (workers = 0: the paper's accounting, where every translation cycle
+// is visible as stall).
+func runTieringKernel(k tieringKernel, la *arch.LA, policy vm.Policy, tiered bool) (*vm.RunResult, error) {
+	v := vm.New(vm.Config{
+		LA: la, CPU: arch.ARM11(), Policy: policy,
+		CodeCacheSize: 16,
+		Tiered:        tiered,
+	})
+	seed := func(m *scalar.Machine) {
+		m.Regs[k.res.TripReg] = uint64(k.bind.Trip)
+		for i, r := range k.res.ParamRegs {
+			m.Regs[r] = k.bind.Params[i]
+		}
+	}
+	res, _, err := v.Run(k.res.Program, k.mem.Clone(), seed, 500_000_000)
+	if err != nil {
+		return nil, fmt.Errorf("tiering: %s on %s/%v: %w", k.name, la.Name, policy, err)
+	}
+	return res, nil
+}
+
+// FormatTiering renders the experiment as an aligned table.
+func FormatTiering(rows []TieringRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tiered translation: first-cut cost vs schedule quality vs cold start\n")
+	fmt.Fprintf(&b, "%-14s %-22s %9s %9s %5s %5s %9s %9s %11s %8s %9s\n",
+		"kernel", "policy", "t1 work", "t2 work", "t1 II", "t2 II",
+		"t1 invoc", "t2 invoc", "stall cut", "speedup", "payback")
+	for _, r := range rows {
+		if !r.T1OK && !r.T2OK {
+			fmt.Fprintf(&b, "%-14s %-22s %s\n", r.Kernel, r.Policy, "rejected by both tiers")
+			continue
+		}
+		payback := "-"
+		if r.T1OK && r.T2OK {
+			if math.IsInf(r.PaybackInvocs, 1) {
+				payback = "never"
+			} else {
+				payback = fmt.Sprintf("%.0f", r.PaybackInvocs)
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %-22s %9d %9d %5d %5d %9d %9d %5d→%-5d %7.1fx %9s\n",
+			r.Kernel, r.Policy, r.T1Work, r.T2Work, r.T1II, r.T2II,
+			r.T1Invoc, r.T2Invoc, r.StallBase, r.StallTiered, r.StallSpeedup, payback)
+	}
+	return b.String()
+}
+
+// WriteTieringCSV emits the rows as CSV.
+func WriteTieringCSV(w io.Writer, rows []TieringRow) error {
+	if _, err := fmt.Fprintln(w, "kernel,policy,t1_ok,t2_ok,t1_work,t2_work,t1_ii,t2_ii,t1_invoc,t2_invoc,stall_base,stall_tiered,stall_speedup,payback_invocs"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		payback := ""
+		if r.T1OK && r.T2OK && !math.IsInf(r.PaybackInvocs, 1) {
+			payback = fmt.Sprintf("%.0f", r.PaybackInvocs)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%v,%v,%d,%d,%d,%d,%d,%d,%d,%d,%s,%s\n",
+			r.Kernel, r.Policy, r.T1OK, r.T2OK, r.T1Work, r.T2Work, r.T1II, r.T2II,
+			r.T1Invoc, r.T2Invoc, r.StallBase, r.StallTiered, f(r.StallSpeedup), payback); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"veal/internal/vm"
+)
+
+// TestTieringExperiment: the tier-1 chain must be substantially cheaper
+// than tier-2 under FullyDynamic (that is the whole point of the first
+// cut), never produce a better schedule than the full chain, and the
+// tiered VM must cut the measured cold-start stall.
+func TestTieringExperiment(t *testing.T) {
+	rows, err := Tiering(TieringOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var fdT1, fdT2, base, tiered int64
+	bothOK := 0
+	for _, r := range rows {
+		if r.T1OK && r.T2OK {
+			bothOK++
+			if r.T2II > r.T1II {
+				t.Errorf("%s/%v: tier-2 II %d worse than tier-1 II %d; the full chain must not regress",
+					r.Kernel, r.Policy, r.T2II, r.T1II)
+			}
+			if r.PaybackInvocs == 0 {
+				t.Errorf("%s/%v: zero payback with both tiers scheduled", r.Kernel, r.Policy)
+			}
+		}
+		if r.Policy == vm.FullyDynamic {
+			fdT1 += r.T1Work
+			fdT2 += r.T2Work
+		}
+		base += r.StallBase
+		tiered += r.StallTiered
+	}
+	if bothOK == 0 {
+		t.Fatal("no kernel scheduled under both tiers")
+	}
+	if fdT1 == 0 || fdT2 == 0 {
+		t.Fatalf("FullyDynamic work not measured: t1=%d t2=%d", fdT1, fdT2)
+	}
+	if ratio := float64(fdT2) / float64(fdT1); ratio < 3 {
+		t.Errorf("FullyDynamic tier-1 only %.2fx cheaper than tier-2 (t1 %d, t2 %d); want >= 3x", ratio, fdT1, fdT2)
+	}
+	if base == 0 || tiered == 0 || base <= tiered {
+		t.Errorf("tiering did not cut cold-start stall: untiered %d, tiered %d", base, tiered)
+	}
+}
+
+// TestTieringDeterministic: two evaluations on the concurrent worker
+// pool produce identical rows.
+func TestTieringDeterministic(t *testing.T) {
+	opt := TieringOptions{Kernels: []string{"saxpy", "dotprod"}}
+	a, err := Tiering(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tiering(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("tiering rows diverge across runs:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestTieringRender: the table and CSV render every row, including
+// infinite-payback and rejection cases, without panicking.
+func TestTieringRender(t *testing.T) {
+	rows := []TieringRow{
+		{Kernel: "a", Policy: vm.FullyDynamic, T1OK: true, T2OK: true,
+			T1Work: 10, T2Work: 100, T1II: 4, T2II: 2, T1Invoc: 40, T2Invoc: 20,
+			StallBase: 300, StallTiered: 30, StallSpeedup: 10, PaybackInvocs: 5},
+		{Kernel: "b", Policy: vm.Hybrid, T1OK: true, T2OK: true, PaybackInvocs: math.Inf(1)},
+		{Kernel: "c", Policy: vm.Hybrid},
+	}
+	out := FormatTiering(rows)
+	for _, want := range []string{"payback", "never", "rejected by both tiers"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	var csv bytes.Buffer
+	if err := WriteTieringCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 4 {
+		t.Errorf("CSV has %d lines, want header + 3 rows", got)
+	}
+}

@@ -99,7 +99,7 @@ func (p *Pipeline[K, V]) Quarantine(key K, now int64, err error) bool {
 	if e == nil {
 		e = p.admit(key)
 	}
-	if e.state == Queued || e.state == Translating {
+	if e.state == Queued || e.state == Translating || e.state == Retranslating {
 		return false
 	}
 	if p.cache.remove(key) {

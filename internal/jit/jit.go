@@ -63,9 +63,22 @@ const (
 	Installed
 	// Rejected: translation failed; the failure is negative-cached.
 	Rejected
+	// InstalledT1: a tier-1 first-cut translation is published; the site
+	// serves accelerated invocations and is eligible for background
+	// re-tuning (tiered protocol only; see RequestTiered).
+	InstalledT1
+	// Retranslating: a tier-2 re-tune is in flight while the published
+	// tier-1 translation keeps serving invocations.
+	Retranslating
+	// InstalledT2: the full tier-2 translation is published — hot-swapped
+	// over the tier-1 first cut, or installed directly.
+	InstalledT2
 )
 
-var stateNames = [...]string{"cold", "profiling", "queued", "translating", "installed", "rejected"}
+var stateNames = [...]string{
+	"cold", "profiling", "queued", "translating", "installed", "rejected",
+	"installed-t1", "retranslating", "installed-t2",
+}
 
 // String names the state.
 func (s State) String() string {
@@ -113,6 +126,10 @@ type Config struct {
 	// crashes, added latency, eviction storms) into translation attempts;
 	// see Faulter. Production configurations leave it nil.
 	Faults Faulter
+	// RetuneThreshold is the number of accelerated tier-1 invocations a
+	// site must serve before its tier-2 re-tune is queued (default 1:
+	// re-tune as soon as the first cut proves useful).
+	RetuneThreshold int64
 	// RetryBase and RetryCap shape the negative-result retry budget: a
 	// rejected loop becomes eligible for retranslation after
 	// RetryBase << (failures-1) virtual cycles, capped at RetryCap (the
@@ -186,6 +203,13 @@ type Poll[V any] struct {
 	// Retranslation reports that this attempt replaces a translation
 	// the code cache evicted.
 	Retranslation bool
+	// Tier is the tier of Value under the tiered protocol (1 or 2); 0 on
+	// untiered polls and outcomes that carry no value.
+	Tier int
+	// Upgraded reports that this event hot-swapped a tier-2 re-tune over
+	// a serving tier-1 translation (OutcomeInstalled with Fresh set; the
+	// caller should re-verify exactly as for a first install).
+	Upgraded bool
 }
 
 // Drained is one in-flight translation completed by Drain.
@@ -227,6 +251,16 @@ type entry[K comparable, V any] struct {
 	permanent bool  // structurally rejected; never retried
 	fault     Fault // injected fault riding the in-flight attempt
 
+	// Tiered-protocol state (RequestTiered).
+	tiered        bool             // driven through the tiered protocol
+	t2            TranslateFunc[V] // full-tier translator for the re-tune
+	retuning      bool             // the in-flight job is a tier-2 re-tune
+	pendingRetune bool             // waiting in the re-tune queue
+	retuneFailed  bool             // a re-tune failed; keep serving tier-1
+	t1At          int64            // virtual cycle the tier-1 install landed
+	hotness       int64            // accelerated invocations served at tier-1
+	retuneIdx     int64            // FIFO tie-break for the re-tune queue
+
 	elem *list.Element // position in the monitor clock ring
 	ref  bool          // second-chance bit
 }
@@ -252,6 +286,14 @@ type Pipeline[K comparable, V any] struct {
 	inflight int
 	sem      chan struct{}
 	wg       sync.WaitGroup
+
+	// Re-tuning queue: tier-1 sites awaiting a background worker slot for
+	// their tier-2 translation, drained hottest-first (see pumpRetunes).
+	retuneQ   []*entry[K, V]
+	retuneSeq int64
+	// tierClass classifies a published value's tier for the tiered
+	// protocol (SetTierOf); nil treats every install as tier-2.
+	tierClass func(V) int
 
 	now int64 // virtual time of the current Request/Drain, for traces
 
@@ -372,7 +414,7 @@ func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) P
 		}
 		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: e.err}
 
-	case Installed:
+	case Installed, InstalledT1, InstalledT2:
 		if v, ok := p.cache.get(key); ok {
 			p.metrics.CacheHits++
 			return Poll[V]{Outcome: OutcomeHit, Value: v}
@@ -384,7 +426,7 @@ func (p *Pipeline[K, V]) Request(key K, now int64, translate TranslateFunc[V]) P
 		pr.Retranslation = true
 		return pr
 
-	case Queued, Translating:
+	case Queued, Translating, Retranslating:
 		p.resolve(e)
 		if e.doneAt <= now {
 			return p.finish(e, now)
@@ -443,7 +485,7 @@ func (p *Pipeline[K, V]) start(e *entry[K, V], now int64, translate TranslateFun
 		p.metrics.StalledCycles += work
 		p.install(e, v, work)
 		p.evictStorm(f)
-		return Poll[V]{Outcome: OutcomeInstalled, Value: v, Work: work, Stalled: work, Sync: true, Fresh: true}
+		return Poll[V]{Outcome: OutcomeInstalled, Value: v, Work: work, Stalled: work, Sync: true, Fresh: true, Tier: p.tierFor(e)}
 	}
 
 	e.state = Queued
@@ -549,9 +591,33 @@ func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
 	if j.err == ErrWorkerCrash {
 		p.metrics.WorkerCrashes++
 	}
+	if e.retuning {
+		// A tier-2 re-tune concluded. Failure keeps the serving tier-1
+		// translation installed — the site degrades to first-cut quality,
+		// never to scalar; success hot-swaps at this invocation boundary.
+		if j.err != nil {
+			p.failUpgrade(e, now, j.err)
+			p.evictStorm(f)
+			p.pumpRetunes(now)
+			if v, ok := p.cache.get(e.key); ok {
+				p.metrics.CacheHits++
+				return Poll[V]{Outcome: OutcomeHit, Value: v, Tier: 1}
+			}
+			p.metrics.PendingPolls++
+			return Poll[V]{Outcome: OutcomePending}
+		}
+		p.metrics.HiddenCycles += j.work
+		p.metrics.QueuedTime.Observe(e.startAt - e.enqueuedAt)
+		p.metrics.TranslateTime.Observe(e.doneAt - e.startAt)
+		p.upgrade(e, j.val, j.work)
+		p.evictStorm(f)
+		p.pumpRetunes(now)
+		return Poll[V]{Outcome: OutcomeInstalled, Value: j.val, Work: j.work, Hidden: j.work, Fresh: true, Upgraded: true, Tier: 2}
+	}
 	if j.err != nil {
 		p.rejectEntry(e, now, j.err)
 		p.evictStorm(f)
+		p.pumpRetunes(now)
 		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: j.err, Fresh: true}
 	}
 	p.metrics.HiddenCycles += j.work
@@ -559,7 +625,8 @@ func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
 	p.metrics.TranslateTime.Observe(e.doneAt - e.startAt)
 	p.install(e, j.val, j.work)
 	p.evictStorm(f)
-	return Poll[V]{Outcome: OutcomeInstalled, Value: j.val, Work: j.work, Hidden: j.work, Fresh: true}
+	p.pumpRetunes(now)
+	return Poll[V]{Outcome: OutcomeInstalled, Value: j.val, Work: j.work, Hidden: j.work, Fresh: true, Tier: p.tierFor(e)}
 }
 
 // install publishes a completed translation: the cache insert and the
@@ -568,6 +635,19 @@ func (p *Pipeline[K, V]) finish(e *entry[K, V], now int64) Poll[V] {
 func (p *Pipeline[K, V]) install(e *entry[K, V], v V, work int64) {
 	p.cache.put(e.key, v)
 	e.state = Installed
+	if e.tiered {
+		if p.tierOf(v) == 1 {
+			e.state = InstalledT1
+			e.t1At = e.doneAt
+			e.hotness = 0
+			p.metrics.InstalledT1++
+		} else {
+			// A first attempt that came back at tier-2 (store hit, or the
+			// tier-1 chain escalated) needs no re-tune.
+			e.state = InstalledT2
+			p.metrics.InstalledT2++
+		}
+	}
 	e.installs++
 	e.failures = 0
 	e.retryAt = 0
@@ -669,6 +749,7 @@ func (p *Pipeline[K, V]) Flush() {
 		p.workers[i].free = 0
 	}
 	p.inflight = 0
+	p.retuneQ = nil
 	p.cache.reset()
 	p.loops = make(map[K]*entry[K, V])
 	p.ring.Init()
@@ -703,7 +784,7 @@ func (p *Pipeline[K, V]) sweep() {
 		}
 		e := p.hand.Value.(*entry[K, V])
 		next := p.hand.Next()
-		if e.state == Queued || e.state == Translating {
+		if e.state == Queued || e.state == Translating || e.state == Retranslating || e.pendingRetune {
 			p.hand = next
 			continue
 		}

@@ -100,6 +100,21 @@ type Metrics struct {
 	PreRejected    int64 // loops rejected by region kind before translation
 	Retranslations int64 // re-queued after their translation was evicted
 
+	// Tiered translation (RequestTiered). InstalledT1/InstalledT2 split
+	// Installed by the tier of the published result; Upgrades counts
+	// tier-1→tier-2 hot-swaps, UpgradeFailures re-tunes that failed and
+	// left the tier-1 translation serving. TierStoreHits counts tier-1
+	// requests short-circuited by a tier-2 translation already in the
+	// shared store (the fleet-wide re-tuning bypass); it is incremented
+	// with atomic ops because the store probe runs inside translation
+	// closures on background goroutines.
+	InstalledT1     int64
+	InstalledT2     int64
+	Upgrades        int64
+	UpgradeFailures int64
+	RetunesQueued   int64
+	TierStoreHits   int64
+
 	// Code cache.
 	CacheHits   int64
 	CacheMisses int64
@@ -126,6 +141,11 @@ type Metrics struct {
 	InstallLatency Histogram // enqueue -> install, virtual cycles
 	QueuedTime     Histogram // time waiting for a translator worker
 	TranslateTime  Histogram // time on the translator worker
+	// SwapLatency is tier-1 install → tier-2 hot-swap per upgraded site;
+	// TimeToFirstAccel is run start → first accelerated invocation per
+	// run that launched at all (observed by the VM).
+	SwapLatency      Histogram
+	TimeToFirstAccel Histogram
 
 	// ScratchReuses counts translations that ran on a recycled translator
 	// scratch arena instead of a freshly allocated one (the VM's
@@ -182,7 +202,10 @@ func (m *Metrics) ObservePhaseWork(work [vmcost.NumPhases]int64, rejected bool) 
 	}
 }
 
-// Format renders the metrics as an aligned report.
+// Format renders the metrics as an aligned report. Every section renders
+// unconditionally — a counter that happens to be zero prints as zero
+// rather than vanishing, so dashboards and diffs see a stable shape
+// regardless of what a particular run exercised.
 func (m *Metrics) Format() string {
 	var b strings.Builder
 	row := func(name string, v int64) { fmt.Fprintf(&b, "  %-22s %12d\n", name, v) }
@@ -205,35 +228,50 @@ func (m *Metrics) Format() string {
 	row("hidden cycles", m.HiddenCycles)
 	row("scratch reuses", atomic.LoadInt64(&m.ScratchReuses))
 	row("rejected work", m.RejectedWork)
-	if m.BatchRuns > 0 {
-		b.WriteString("batched execution:\n")
-		row("batch runs", m.BatchRuns)
-		row("lanes executed", m.BatchLanes)
-		row("divergence splits", m.BatchSplits)
-		row("group re-merges", m.BatchMerges)
-		row("decoded insts", m.BatchDecodedInsts)
-		row("lane insts", m.BatchLaneInsts)
-		row("batched launches", m.BatchLaunches)
-		if m.BatchDecodedInsts > 0 {
-			fmt.Fprintf(&b, "  %-22s %12.2f\n", "decode amortization",
-				float64(m.BatchLaneInsts)/float64(m.BatchDecodedInsts))
-		}
+	b.WriteString(m.FormatTiers())
+	b.WriteString("batched execution:\n")
+	row("batch runs", m.BatchRuns)
+	row("lanes executed", m.BatchLanes)
+	row("divergence splits", m.BatchSplits)
+	row("group re-merges", m.BatchMerges)
+	row("decoded insts", m.BatchDecodedInsts)
+	row("lane insts", m.BatchLaneInsts)
+	row("batched launches", m.BatchLaunches)
+	if m.BatchDecodedInsts > 0 {
+		fmt.Fprintf(&b, "  %-22s %12.2f\n", "decode amortization",
+			float64(m.BatchLaneInsts)/float64(m.BatchDecodedInsts))
 	}
-	if m.WorkerCrashes+m.InjectedLatency+m.InjectedEvictions+
-		m.Quarantined+m.QuarantineRetries+m.Revoked > 0 {
-		b.WriteString("fault injection:\n")
-		row("worker crashes", m.WorkerCrashes)
-		row("injected latency", m.InjectedLatency)
-		row("injected evictions", m.InjectedEvictions)
-		row("quarantined", m.Quarantined)
-		row("quarantine retries", m.QuarantineRetries)
-		row("revoked", m.Revoked)
-	}
+	b.WriteString("fault injection:\n")
+	row("worker crashes", m.WorkerCrashes)
+	row("injected latency", m.InjectedLatency)
+	row("injected evictions", m.InjectedEvictions)
+	row("quarantined", m.Quarantined)
+	row("quarantine retries", m.QuarantineRetries)
+	row("revoked", m.Revoked)
 	b.WriteString("jit histograms (virtual cycles):\n")
 	fmt.Fprintf(&b, "  %-22s %s\n", "queue depth", m.QueueDepth.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "install latency", m.InstallLatency.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "time queued", m.QueuedTime.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "time translating", m.TranslateTime.String())
+	return b.String()
+}
+
+// FormatTiers renders the tiered-translation section (also embedded in
+// Format): per-tier installs, upgrade outcomes, and the swap-latency and
+// time-to-first-accel histograms. Like the rest of Format, zero-valued
+// counters render as zero.
+func (m *Metrics) FormatTiers() string {
+	var b strings.Builder
+	row := func(name string, v int64) { fmt.Fprintf(&b, "  %-22s %12d\n", name, v) }
+	b.WriteString("tiered translation:\n")
+	row("tier-1 installs", m.InstalledT1)
+	row("tier-2 installs", m.InstalledT2)
+	row("upgrades", m.Upgrades)
+	row("upgrade failures", m.UpgradeFailures)
+	row("retunes queued", m.RetunesQueued)
+	row("tier-2 store hits", atomic.LoadInt64(&m.TierStoreHits))
+	fmt.Fprintf(&b, "  %-22s %s\n", "swap latency", m.SwapLatency.String())
+	fmt.Fprintf(&b, "  %-22s %s\n", "time to first accel", m.TimeToFirstAccel.String())
 	return b.String()
 }
 

@@ -1,0 +1,326 @@
+package jit
+
+// Tiered translation: the fast-install / background-re-tune protocol.
+//
+// RequestTiered drives a site through the tiered lifecycle instead of
+// Request's single-shot one. A cold site translates with the cheap
+// tier-1 chain and installs as InstalledT1 — accelerated invocations
+// begin after a fraction of the full translation's work. Every tier-1
+// hit accumulates hotness; once a site crosses Config.RetuneThreshold it
+// joins the re-tune queue, and background capacity drains that queue
+// hottest-site-first, running the full tier-2 translator while the
+// tier-1 translation keeps serving (Retranslating). When the re-tune's
+// virtual completion passes, the tier-2 result is published by an
+// in-place cache swap at the *poll* — an invocation boundary — so a
+// launch observes either the old translation or the new one in its
+// entirety, never a mix. A failed re-tune (rejection or crash) leaves
+// the tier-1 translation installed: the site degrades to first-cut
+// quality, never back to scalar.
+//
+// The caller treats an upgrade exactly like a first install: the Poll
+// has OutcomeInstalled, Fresh and Upgraded set, and the VM re-runs
+// independent verification before trusting it, quarantining on failure
+// just as PR 5 does for first installs.
+//
+// With Workers == 0 there is no background capacity, so the re-tune runs
+// synchronously at the hit that crossed the threshold and its whole cost
+// is charged as stalled cycles — the same degradation Request has for
+// first translations. Time-to-first-accel is unaffected (the tier-1
+// install already happened); only steady-state accounting pays.
+
+// SetTierOf installs the tier classifier the tiered protocol uses to
+// decide whether a published translation is a first cut (return 1) or a
+// full result (anything else). It lives on the Pipeline rather than
+// Config because it is generic over V. Call before the first
+// RequestTiered; nil (the default) classifies every install as tier-2,
+// so RequestTiered never re-tunes.
+func (p *Pipeline[K, V]) SetTierOf(f func(V) int) { p.tierClass = f }
+
+// retuneThreshold normalizes the configured threshold.
+func (p *Pipeline[K, V]) retuneThreshold() int64 {
+	if p.cfg.RetuneThreshold <= 0 {
+		return 1
+	}
+	return p.cfg.RetuneThreshold
+}
+
+// tierOf classifies a published value's tier (1 or 2).
+func (p *Pipeline[K, V]) tierOf(v V) int {
+	if p.tierClass == nil {
+		return 2
+	}
+	if p.tierClass(v) == 1 {
+		return 1
+	}
+	return 2
+}
+
+// tierFor reports the tier an entry's installed state represents for
+// Poll stamping (0 for untiered entries).
+func (p *Pipeline[K, V]) tierFor(e *entry[K, V]) int {
+	switch e.state {
+	case InstalledT1:
+		return 1
+	case InstalledT2:
+		return 2
+	}
+	return 0
+}
+
+// RequestTiered advances the tiered lifecycle of key at virtual time
+// now. t1 is the fast first-cut translator, t2 the full one; both obey
+// the TranslateFunc contract. Outcomes mirror Request's, with Poll.Tier
+// naming the tier of any returned value and Poll.Upgraded marking
+// hot-swap installs.
+func (p *Pipeline[K, V]) RequestTiered(key K, now int64, t1, t2 TranslateFunc[V]) Poll[V] {
+	p.setNow(now)
+	e := p.loops[key]
+	if e == nil {
+		e = p.admit(key)
+	}
+	e.ref = true
+	e.tiered = true
+	e.t2 = t2
+	switch e.state {
+	case Rejected:
+		if !e.permanent && t1 != nil && p.abs(now) >= e.retryAt {
+			p.metrics.QuarantineRetries++
+			p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "retry", Reason: e.reason})
+			e.reason, e.err = "", nil
+			p.metrics.CacheMisses++
+			return p.start(e, now, t1)
+		}
+		return Poll[V]{Outcome: OutcomeRejected, Reason: e.reason, Err: e.err}
+
+	case Installed, InstalledT2:
+		if v, ok := p.cache.get(key); ok {
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: v, Tier: 2}
+		}
+		// Evicted since install: the site already earned full quality, so
+		// retranslate straight at tier-2.
+		p.metrics.CacheMisses++
+		p.metrics.Retranslations++
+		pr := p.start(e, now, t2)
+		pr.Retranslation = true
+		return pr
+
+	case InstalledT1:
+		v, ok := p.cache.get(key)
+		if !ok {
+			// The first cut was evicted: run it again (eviction says the
+			// site went cold, so it re-earns its re-tune via fresh hotness).
+			p.metrics.CacheMisses++
+			p.metrics.Retranslations++
+			pr := p.start(e, now, t1)
+			pr.Retranslation = true
+			return pr
+		}
+		e.hotness++
+		if up, done := p.maybeRetune(e, now); done {
+			return up
+		}
+		p.metrics.CacheHits++
+		return Poll[V]{Outcome: OutcomeHit, Value: v, Tier: 1}
+
+	case Retranslating:
+		p.resolve(e)
+		if e.doneAt <= now {
+			return p.finish(e, now)
+		}
+		// The re-tune is still in flight; the tier-1 translation keeps
+		// serving — replacement only ever lands between launches.
+		if v, ok := p.cache.get(key); ok {
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: v, Tier: 1}
+		}
+		p.metrics.PendingPolls++
+		return Poll[V]{Outcome: OutcomePending}
+
+	case Queued, Translating:
+		p.resolve(e)
+		if e.doneAt <= now {
+			return p.finish(e, now)
+		}
+		if e.state == Queued && e.startAt <= now {
+			e.state = Translating
+			p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "state", State: "translating"})
+		}
+		p.metrics.PendingPolls++
+		return Poll[V]{Outcome: OutcomePending}
+
+	default: // Cold, Profiling
+		e.invocations++
+		if e.invocations < int64(p.cfg.HotThreshold) {
+			e.state = Profiling
+			return Poll[V]{Outcome: OutcomeCold}
+		}
+		if v, ok := p.cache.get(key); ok {
+			// The monitor entry was swept while its translation stayed
+			// cached; reattach at the cached value's tier.
+			if p.tierOf(v) == 1 {
+				e.state = InstalledT1
+				e.t1At = now
+				e.hotness = 0
+			} else {
+				e.state = InstalledT2
+			}
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: v, Tier: p.tierFor(e)}
+		}
+		p.metrics.CacheMisses++
+		return p.start(e, now, t1)
+	}
+}
+
+// maybeRetune queues (or, with no background pool, runs) the tier-2
+// re-tune for a hot tier-1 site. The bool reports that the poll was
+// consumed by a synchronous upgrade and the first Poll is its result.
+func (p *Pipeline[K, V]) maybeRetune(e *entry[K, V], now int64) (Poll[V], bool) {
+	if e.retuneFailed || e.pendingRetune || e.t2 == nil || e.hotness < p.retuneThreshold() {
+		return Poll[V]{}, false
+	}
+	if p.cfg.Workers <= 0 {
+		return p.syncUpgrade(e, now), true
+	}
+	e.pendingRetune = true
+	e.retuneIdx = p.retuneSeq
+	p.retuneSeq++
+	p.retuneQ = append(p.retuneQ, e)
+	p.metrics.RetunesQueued++
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "retune-queue"})
+	p.pumpRetunes(now)
+	return Poll[V]{}, false
+}
+
+// syncUpgrade runs the tier-2 translator synchronously at this poll
+// (Workers == 0): the stall-on-translate degradation, applied to the
+// re-tune instead of the first install.
+func (p *Pipeline[K, V]) syncUpgrade(e *entry[K, V], now int64) Poll[V] {
+	e.attempts++
+	f := p.faultFor(e)
+	p.metrics.SyncTranslations++
+	v, work, err := e.t2(e.attempts)
+	work += f.Latency
+	p.metrics.InjectedLatency += f.Latency
+	if f.Crash && err == nil {
+		var zero V
+		v, err = zero, ErrWorkerCrash
+	}
+	if err == ErrWorkerCrash {
+		p.metrics.WorkerCrashes++
+	}
+	if err != nil {
+		p.failUpgrade(e, now, err)
+		p.evictStorm(f)
+		if cv, ok := p.cache.get(e.key); ok {
+			p.metrics.CacheHits++
+			return Poll[V]{Outcome: OutcomeHit, Value: cv, Tier: 1}
+		}
+		p.metrics.PendingPolls++
+		return Poll[V]{Outcome: OutcomePending}
+	}
+	e.enqueuedAt, e.startAt, e.doneAt = now, now, now+work
+	p.metrics.StalledCycles += work
+	p.upgrade(e, v, work)
+	p.evictStorm(f)
+	return Poll[V]{Outcome: OutcomeInstalled, Value: v, Work: work, Stalled: work, Sync: true, Fresh: true, Upgraded: true, Tier: 2}
+}
+
+// pumpRetunes launches queued re-tunes while background queue capacity
+// is available, hottest site first (ties: queue admission order). Called
+// whenever capacity may have appeared — a slot freed in finish, or a new
+// site joined the queue.
+func (p *Pipeline[K, V]) pumpRetunes(now int64) {
+	for len(p.retuneQ) > 0 && p.cfg.Workers > 0 && p.inflight < p.cfg.QueueDepth {
+		best := 0
+		for i := 1; i < len(p.retuneQ); i++ {
+			a, b := p.retuneQ[i], p.retuneQ[best]
+			if a.hotness > b.hotness || (a.hotness == b.hotness && a.retuneIdx < b.retuneIdx) {
+				best = i
+			}
+		}
+		e := p.retuneQ[best]
+		p.retuneQ = append(p.retuneQ[:best], p.retuneQ[best+1:]...)
+		e.pendingRetune = false
+		if e.state != InstalledT1 || e.retuneFailed || e.t2 == nil {
+			// The site moved on while queued (evicted and requeued,
+			// quarantined, …); drop the stale request.
+			continue
+		}
+		p.startRetune(e, now)
+	}
+}
+
+// startRetune hands a tier-1 site's tier-2 translation to the background
+// pool. Mirrors start's async branch, but the site stays installed — the
+// cached tier-1 value keeps serving until the upgrade lands.
+func (p *Pipeline[K, V]) startRetune(e *entry[K, V], now int64) {
+	e.attempts++
+	f := p.faultFor(e)
+	e.state = Retranslating
+	e.retuning = true
+	e.enqueuedAt = now
+	e.resolved = false
+	e.fault = f
+	e.worker = p.pickWorker()
+	j := &job[V]{done: make(chan struct{})}
+	e.j = j
+	w := &p.workers[e.worker]
+	w.queue = append(w.queue, e)
+	p.inflight++
+	if int64(p.inflight) > p.metrics.InFlightPeak {
+		p.metrics.InFlightPeak = int64(p.inflight)
+	}
+	p.metrics.Enqueued++
+	p.metrics.QueueDepth.Observe(int64(p.inflight))
+	p.wg.Add(1)
+	attempt := e.attempts
+	t2 := e.t2
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		j.val, j.work, j.err = t2(attempt)
+		j.work += f.Latency
+		if f.Crash && j.err == nil {
+			var zero V
+			j.val, j.err = zero, ErrWorkerCrash
+		}
+		close(j.done)
+	}()
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "retune", State: "retranslating"})
+}
+
+// upgrade publishes a completed tier-2 re-tune over the serving tier-1
+// translation: the cache swap (in place — bytes re-accounted, recency
+// refreshed) and the state flip happen at one virtual instant, so a
+// launch sees the old translation or the new one, never a mix.
+func (p *Pipeline[K, V]) upgrade(e *entry[K, V], v V, work int64) {
+	e.retuning = false
+	p.cache.put(e.key, v)
+	e.state = InstalledT2
+	e.installs++
+	e.failures = 0
+	e.retryAt = 0
+	p.metrics.Installed++
+	p.metrics.InstalledT2++
+	p.metrics.Upgrades++
+	p.metrics.SwapLatency.Observe(e.doneAt - e.t1At)
+	p.metrics.InstallLatency.Observe(e.doneAt - e.enqueuedAt)
+	p.trace.emit(Event{
+		T: p.now, Loop: p.keyName(e.key), Event: "upgrade",
+		Work: work, Latency: e.doneAt - e.t1At,
+	})
+}
+
+// failUpgrade concludes a failed re-tune: the tier-1 translation stays
+// installed and the site is marked so it is not re-queued — first-cut
+// quality forever beats an install/quarantine flap.
+func (p *Pipeline[K, V]) failUpgrade(e *entry[K, V], now int64, err error) {
+	e.retuning = false
+	e.retuneFailed = true
+	e.state = InstalledT1
+	p.metrics.UpgradeFailures++
+	p.trace.emit(Event{T: now, Loop: p.keyName(e.key), Event: "upgrade-fail", Reason: err.Error()})
+}

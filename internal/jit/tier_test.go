@@ -1,0 +1,249 @@
+package jit
+
+import (
+	"strings"
+	"testing"
+)
+
+// tieredPipeline builds a pipeline whose tier classifier treats values
+// prefixed "t1" as first cuts.
+func tieredPipeline(cfg Config) *Pipeline[int, string] {
+	p := New[int, string](cfg, nil)
+	p.SetTierOf(func(v string) int {
+		if strings.HasPrefix(v, "t1") {
+			return 1
+		}
+		return 2
+	})
+	return p
+}
+
+// TestTieredSyncLifecycle walks the full tier state machine with no
+// workers: installedT1 on the hot threshold, tier-1 hits accumulating
+// hotness, a synchronous upgrade at the re-tune threshold (stalling,
+// exactly like a stall-on-translate install), then tier-2 hits.
+func TestTieredSyncLifecycle(t *testing.T) {
+	p := tieredPipeline(Config{Workers: 0, HotThreshold: 1, CacheSize: 4, RetuneThreshold: 2})
+	t1 := constTranslate("t1-code", 10)
+	t2 := constTranslate("t2-code", 100)
+
+	pr := p.RequestTiered(1, 0, t1, t2)
+	if pr.Outcome != OutcomeInstalled || !pr.Sync || pr.Tier != 1 || pr.Stalled != 10 || pr.Value != "t1-code" {
+		t.Fatalf("first cut: %+v, want sync tier-1 install with 10 stalled cycles", pr)
+	}
+	pr = p.RequestTiered(1, 20, t1, t2)
+	if pr.Outcome != OutcomeHit || pr.Tier != 1 || pr.Value != "t1-code" {
+		t.Fatalf("warm tier-1 hit: %+v", pr)
+	}
+	pr = p.RequestTiered(1, 40, t1, t2)
+	if pr.Outcome != OutcomeInstalled || !pr.Sync || !pr.Upgraded || pr.Tier != 2 ||
+		pr.Stalled != 100 || pr.Value != "t2-code" {
+		t.Fatalf("sync upgrade: %+v, want stalled tier-2 hot-swap", pr)
+	}
+	pr = p.RequestTiered(1, 60, t1, t2)
+	if pr.Outcome != OutcomeHit || pr.Tier != 2 || pr.Value != "t2-code" {
+		t.Fatalf("post-upgrade hit: %+v", pr)
+	}
+
+	m := p.Metrics()
+	if m.InstalledT1 != 1 || m.InstalledT2 != 1 || m.Upgrades != 1 || m.UpgradeFailures != 0 {
+		t.Fatalf("tier metrics: t1=%d t2=%d upgrades=%d failures=%d",
+			m.InstalledT1, m.InstalledT2, m.Upgrades, m.UpgradeFailures)
+	}
+	if m.Installed != 2 || m.SyncTranslations != 2 || m.StalledCycles != 110 {
+		t.Fatalf("base metrics unchanged contract: %+v", m)
+	}
+	// The first cut was ready at 10 (install at 0 + 10 stalled cycles);
+	// the sync upgrade triggered at 40 lands after its own 100-cycle
+	// stall, at 140.
+	if m.SwapLatency.Count != 1 || m.SwapLatency.Sum != 130 {
+		t.Fatalf("swap latency: %+v, want one observation of 130", m.SwapLatency)
+	}
+}
+
+// TestTieredAsyncRetune: with a background worker the re-tune is queued
+// by hotness and the tier-1 translation keeps serving while it is in
+// flight; the upgrade lands at its virtual completion time as a hidden
+// (never stalled) install.
+func TestTieredAsyncRetune(t *testing.T) {
+	p := tieredPipeline(Config{Workers: 1, HotThreshold: 1, CacheSize: 4})
+	p.BeginRun()
+	t1 := constTranslate("t1-code", 10)
+	t2 := constTranslate("t2-code", 100)
+
+	if pr := p.RequestTiered(1, 0, t1, t2); pr.Outcome != OutcomeQueued {
+		t.Fatalf("enqueue: %+v", pr)
+	}
+	pr := p.RequestTiered(1, 10, t1, t2)
+	if pr.Outcome != OutcomeInstalled || pr.Tier != 1 || pr.Hidden != 10 {
+		t.Fatalf("tier-1 install: %+v", pr)
+	}
+	// First tier-1 hit reaches the default threshold: the re-tune is
+	// queued and started, and the hit still serves from tier-1.
+	pr = p.RequestTiered(1, 20, t1, t2)
+	if pr.Outcome != OutcomeHit || pr.Tier != 1 {
+		t.Fatalf("hit while queueing re-tune: %+v", pr)
+	}
+	if m := p.Metrics(); m.RetunesQueued != 1 {
+		t.Fatalf("retunes queued = %d", m.RetunesQueued)
+	}
+	// Re-tune completes at 20+100=120; polls before keep serving tier-1.
+	pr = p.RequestTiered(1, 60, t1, t2)
+	if pr.Outcome != OutcomeHit || pr.Tier != 1 {
+		t.Fatalf("hit during re-tune: %+v", pr)
+	}
+	pr = p.RequestTiered(1, 120, t1, t2)
+	if pr.Outcome != OutcomeInstalled || !pr.Upgraded || pr.Tier != 2 ||
+		pr.Hidden != 100 || pr.Stalled != 0 || pr.Value != "t2-code" {
+		t.Fatalf("upgrade at completion: %+v, want hidden tier-2 hot-swap", pr)
+	}
+	pr = p.RequestTiered(1, 130, t1, t2)
+	if pr.Outcome != OutcomeHit || pr.Tier != 2 {
+		t.Fatalf("post-swap hit: %+v", pr)
+	}
+	m := p.Metrics()
+	if m.Upgrades != 1 || m.StalledCycles != 0 {
+		t.Fatalf("async upgrade must never stall: %+v", m)
+	}
+	// Swap latency is measured from the tier-1 install (t=10) to the
+	// swap (t=120).
+	if m.SwapLatency.Count != 1 || m.SwapLatency.Sum != 110 {
+		t.Fatalf("swap latency: %+v", m.SwapLatency)
+	}
+}
+
+// TestTieredUpgradeFailureKeepsT1: a failed re-tune degrades to the
+// serving first cut — the site stays installedT1 permanently (no retry
+// churn), and the tier-1 translation keeps answering hits.
+func TestTieredUpgradeFailureKeepsT1(t *testing.T) {
+	p := tieredPipeline(Config{Workers: 0, HotThreshold: 1, CacheSize: 4})
+	t1 := constTranslate("t1-code", 10)
+	bad := failTranslate("retune rejected")
+
+	if pr := p.RequestTiered(1, 0, t1, bad); pr.Outcome != OutcomeInstalled || pr.Tier != 1 {
+		t.Fatalf("first cut: %+v", pr)
+	}
+	// The hit that crosses the threshold attempts the sync upgrade, which
+	// fails; the poll still serves tier-1.
+	pr := p.RequestTiered(1, 20, t1, bad)
+	if pr.Outcome != OutcomeHit || pr.Tier != 1 || pr.Value != "t1-code" {
+		t.Fatalf("hit across failed upgrade: %+v", pr)
+	}
+	calls := 0
+	counting := func(int64) (string, int64, error) { calls++; return "t2-code", 100, nil }
+	for now := int64(40); now <= 100; now += 20 {
+		if pr := p.RequestTiered(1, now, t1, counting); pr.Outcome != OutcomeHit || pr.Tier != 1 {
+			t.Fatalf("poll at %d: %+v", now, pr)
+		}
+	}
+	if calls != 0 {
+		t.Fatalf("failed re-tune retried %d times; degradation must be permanent", calls)
+	}
+	m := p.Metrics()
+	if m.UpgradeFailures != 1 || m.Upgrades != 0 {
+		t.Fatalf("metrics: failures=%d upgrades=%d", m.UpgradeFailures, m.Upgrades)
+	}
+	for _, info := range p.Snapshot() {
+		if info.State != InstalledT1 {
+			t.Fatalf("state after failed upgrade: %v, want InstalledT1", info.State)
+		}
+	}
+}
+
+// TestTieredEvictedT1Retranslates: an installedT1 site whose code was
+// evicted re-runs the tier-1 translator on the next request (a fresh
+// first cut re-earns its re-tune through new hotness).
+func TestTieredEvictedT1Retranslates(t *testing.T) {
+	p := tieredPipeline(Config{Workers: 0, HotThreshold: 1, CacheSize: 1, RetuneThreshold: 100})
+	t1a := constTranslate("t1-a", 10)
+	t1b := constTranslate("t1-b", 10)
+	t2 := constTranslate("t2-x", 100)
+
+	if pr := p.RequestTiered(1, 0, t1a, t2); pr.Outcome != OutcomeInstalled || pr.Tier != 1 {
+		t.Fatalf("install a: %+v", pr)
+	}
+	// Installing b in the 1-entry cache evicts a.
+	if pr := p.RequestTiered(2, 10, t1b, t2); pr.Outcome != OutcomeInstalled || pr.Tier != 1 {
+		t.Fatalf("install b: %+v", pr)
+	}
+	pr := p.RequestTiered(1, 20, t1a, t2)
+	if pr.Outcome != OutcomeInstalled || !pr.Sync || pr.Tier != 1 || pr.Value != "t1-a" {
+		t.Fatalf("evicted tier-1 site should retranslate its first cut: %+v", pr)
+	}
+	if m := p.Metrics(); m.Retranslations == 0 {
+		t.Fatalf("eviction-driven retranslation not counted: %+v", m)
+	}
+}
+
+// TestTieredRetuneQueueHottestFirst: when the worker pool is saturated,
+// queued re-tunes drain hottest-site-first.
+func TestTieredRetuneQueueHottestFirst(t *testing.T) {
+	p := tieredPipeline(Config{Workers: 1, QueueDepth: 1, HotThreshold: 1, CacheSize: 8})
+	p.BeginRun()
+	t2 := constTranslate("t2-x", 50)
+
+	// Install tier-1 code for sites 1 and 2 serially (the depth-1 queue
+	// holds one job at a time).
+	if pr := p.RequestTiered(1, 0, constTranslate("t1-1", 5), t2); pr.Outcome != OutcomeQueued {
+		t.Fatalf("site 1 enqueue: %+v", pr)
+	}
+	if pr := p.RequestTiered(1, 5, constTranslate("t1-1", 5), t2); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("site 1 install: %+v", pr)
+	}
+	if pr := p.RequestTiered(2, 6, constTranslate("t1-2", 5), t2); pr.Outcome != OutcomeQueued {
+		t.Fatalf("site 2 enqueue: %+v", pr)
+	}
+	if pr := p.RequestTiered(2, 11, constTranslate("t1-2", 5), t2); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("site 2 install: %+v", pr)
+	}
+	// Saturate the queue with a cold third site so re-tunes must wait.
+	if pr := p.RequestTiered(3, 12, constTranslate("t1-3", 200), t2); pr.Outcome != OutcomeQueued {
+		t.Fatalf("site 3 enqueue: %+v", pr)
+	}
+	// Site 1 gets one hit; site 2 gets three — site 2 is hotter.
+	if pr := p.RequestTiered(1, 13, nil, t2); pr.Outcome != OutcomeHit {
+		t.Fatalf("site 1 hit: %+v", pr)
+	}
+	for now := int64(14); now <= 16; now++ {
+		if pr := p.RequestTiered(2, now, nil, t2); pr.Outcome != OutcomeHit {
+			t.Fatalf("site 2 hit at %d: %+v", now, pr)
+		}
+	}
+	if m := p.Metrics(); m.RetunesQueued != 2 {
+		t.Fatalf("retunes queued = %d, want 2 (worker saturated)", m.RetunesQueued)
+	}
+	// Site 3's translation completes at 212, freeing the worker; the
+	// pump must start site 2 (hotness 3) before site 1 (hotness 1).
+	if pr := p.RequestTiered(3, 212, nil, t2); pr.Outcome != OutcomeInstalled {
+		t.Fatalf("site 3 install: %+v", pr)
+	}
+	states := map[string]State{}
+	for _, info := range p.Snapshot() {
+		states[info.Name] = info.State
+	}
+	if states["2"] != Retranslating {
+		t.Fatalf("hotter site 2 not re-tuning first: states %v", states)
+	}
+	if states["1"] != InstalledT1 {
+		t.Fatalf("cooler site 1 should still be waiting: states %v", states)
+	}
+}
+
+// TestTieredNilClassifier: without a tier classifier every install is
+// final (tier 2) — RequestTiered degenerates to the untiered protocol
+// and never queues a re-tune.
+func TestTieredNilClassifier(t *testing.T) {
+	p := New[int, string](Config{Workers: 0, HotThreshold: 1, CacheSize: 4}, nil)
+	t1 := constTranslate("t1-code", 10)
+	t2 := constTranslate("t2-code", 100)
+	if pr := p.RequestTiered(1, 0, t1, t2); pr.Outcome != OutcomeInstalled || pr.Tier != 2 {
+		t.Fatalf("install: %+v, want tier-2 classification", pr)
+	}
+	if pr := p.RequestTiered(1, 10, t1, t2); pr.Outcome != OutcomeHit || pr.Tier != 2 {
+		t.Fatalf("hit: %+v", pr)
+	}
+	m := p.Metrics()
+	if m.InstalledT1 != 0 || m.RetunesQueued != 0 || m.Upgrades != 0 {
+		t.Fatalf("nil classifier must not tier: %+v", m)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // handleMetrics renders the Prometheus text exposition: the shared
@@ -73,6 +74,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("veal_tenant_jit_cache_misses_total", t.name, jm.CacheMisses)
 		row("veal_tenant_jit_cache_evictions_total", t.name, jm.Evictions)
 		row("veal_tenant_jit_quarantined_total", t.name, jm.Quarantined)
+		row("veal_tenant_jit_installed_t1_total", t.name, jm.InstalledT1)
+		row("veal_tenant_jit_installed_t2_total", t.name, jm.InstalledT2)
+		row("veal_tenant_jit_upgrades_total", t.name, jm.Upgrades)
+		row("veal_tenant_jit_upgrade_failures_total", t.name, jm.UpgradeFailures)
+		row("veal_tenant_jit_retunes_queued_total", t.name, jm.RetunesQueued)
+		row("veal_tenant_jit_tier_store_hits_total", t.name, atomic.LoadInt64(&jm.TierStoreHits))
+		row("veal_tenant_jit_swap_latency_cycles_sum", t.name, jm.SwapLatency.Sum)
+		row("veal_tenant_jit_swap_latency_count", t.name, jm.SwapLatency.Count)
+		row("veal_tenant_time_to_first_accel_cycles_sum", t.name, jm.TimeToFirstAccel.Sum)
+		row("veal_tenant_time_to_first_accel_count", t.name, jm.TimeToFirstAccel.Count)
 		row("veal_tenant_scalar_fallbacks_total", t.name, t.vm.Stats.ScalarFallback)
 		row("veal_tenant_verify_failures_total", t.name, t.vm.Stats.VerifyFailures)
 		row("veal_tenant_code_cache_bytes", t.name, t.vm.CacheBytes())

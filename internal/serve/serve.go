@@ -55,6 +55,14 @@ type Config struct {
 	// TranslateWorkers is each tenant VM's background translator pool
 	// (0 = stall-on-translate, the paper's accounting).
 	TranslateWorkers int
+	// Tiered enables tiered translation per tenant VM: fast tier-1 first
+	// cuts install immediately, background re-tunes hot-swap the full
+	// tier-2 translation, and a tier-2 entry in the shared store
+	// short-circuits the cycle fleet-wide.
+	Tiered bool
+	// RetuneThreshold is the tier-1 hit count before a re-tune queues
+	// (0 = the jit default of 1).
+	RetuneThreshold int64
 	// SpeculationSupport enables while-shaped loops (see vm.Config).
 	SpeculationSupport bool
 	// Verify re-validates every installed translation with the
@@ -203,6 +211,8 @@ func (s *Server) tenantFor(name string) (*tenant, error) {
 		CodeCacheSize:      s.cfg.CodeCacheEntries,
 		CodeCacheBytes:     s.cfg.CodeCacheBytes,
 		TranslateWorkers:   s.cfg.TranslateWorkers,
+		Tiered:             s.cfg.Tiered,
+		RetuneThreshold:    s.cfg.RetuneThreshold,
 		SpeculationSupport: s.cfg.SpeculationSupport,
 		Verify:             s.cfg.Verify,
 		Store:              s.store,

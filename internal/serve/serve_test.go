@@ -493,6 +493,72 @@ func TestDropTenantReleasesStoreRefs(t *testing.T) {
 	}
 }
 
+// TestTieredServeUpgradesAndScrapes: a tiered server installs a tier-1
+// first cut on the cold run, hot-swaps the tier-2 re-tune at the next
+// poll, serves bit-identical architectural results throughout, exposes
+// the per-tier counters on /metrics, and lets a tenant that arrives
+// after the upgrade short-circuit straight to the stored tier-2 entry.
+func TestTieredServeUpgradesAndScrapes(t *testing.T) {
+	srv := New(Config{Policy: vm.Hybrid, Tiered: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, loop, sub := lowered(t, "tiered")
+	sr := submit(t, ts.Client(), ts.URL, "tt", sub)
+	ln := laneFor(21)
+	_, wantSum, wantOut := referenceRun(t, res, loop, ln)
+
+	for round := 0; round < 3; round++ {
+		lrs, _ := run(t, ts.Client(), ts.URL, "tt", sr.ID, ln)
+		if got := lrs[0].LiveOuts["sum"]; got != wantSum {
+			t.Fatalf("round %d: sum = %d, want %d", round, got, wantSum)
+		}
+		for i, w := range wantOut {
+			if lrs[0].Mem[0][i] != w {
+				t.Fatalf("round %d: out[%d] = %d, want %d", round, i, lrs[0].Mem[0][i], w)
+			}
+		}
+	}
+
+	get := func(name, tenant string) int64 {
+		return metric(t, ts.Client(), ts.URL, name+`{tenant="`+tenant+`"}`)
+	}
+	if got := get("veal_tenant_jit_installed_t1_total", "tt"); got != 1 {
+		t.Errorf("installed_t1 = %d, want 1", got)
+	}
+	if got := get("veal_tenant_jit_upgrades_total", "tt"); got != 1 {
+		t.Errorf("upgrades = %d, want 1", got)
+	}
+	if got := get("veal_tenant_jit_upgrade_failures_total", "tt"); got != 0 {
+		t.Errorf("upgrade_failures = %d, want 0", got)
+	}
+	if got := get("veal_tenant_jit_swap_latency_count", "tt"); got != 1 {
+		t.Errorf("swap_latency_count = %d, want 1", got)
+	}
+	if got := get("veal_tenant_time_to_first_accel_count", "tt"); got != 3 {
+		t.Errorf("time_to_first_accel_count = %d, want one sample per run", got)
+	}
+	if got := srv.Store().Len(); got != 2 {
+		t.Errorf("store holds %d entries, want the tier-1 and tier-2 translations", got)
+	}
+
+	// A tenant arriving after the upgrade finds the tier-2 entry in the
+	// shared store and never pays for a first cut of its own.
+	lrs, _ := run(t, ts.Client(), ts.URL, "warm", sr.ID, ln)
+	if got := lrs[0].LiveOuts["sum"]; got != wantSum {
+		t.Errorf("warm tenant: sum = %d, want %d", got, wantSum)
+	}
+	if got := get("veal_tenant_jit_tier_store_hits_total", "warm"); got != 1 {
+		t.Errorf("warm tenant tier_store_hits = %d, want 1", got)
+	}
+	if got := get("veal_tenant_jit_installed_t1_total", "warm"); got != 0 {
+		t.Errorf("warm tenant installed a tier-1 first cut (%d) despite the stored tier-2 entry", got)
+	}
+	if got := get("veal_tenant_jit_installed_t2_total", "warm"); got != 1 {
+		t.Errorf("warm tenant installed_t2 = %d, want 1", got)
+	}
+}
+
 // TestConcurrentTenantsRace drives many tenants through submit/run/
 // scrape cycles concurrently; the race detector owns pass/fail, the
 // asserts pin that every tenant got correct results and the kernel

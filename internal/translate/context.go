@@ -19,6 +19,7 @@ type Context struct {
 	Region      cfg.Region
 	LA          *arch.LA
 	Policy      Policy
+	Tier        Tier
 	Speculation bool
 
 	// Meter receives the per-phase work charges. It is nil under the
@@ -59,6 +60,9 @@ type Context struct {
 
 // Result is a loop successfully translated onto the accelerator.
 type Result struct {
+	// Tier records which chain produced the result (Tier1 first-cut or
+	// Tier2 full); the re-tuning queue and the store key both depend on it.
+	Tier     Tier
 	Ext      *loopx.Extraction
 	Groups   [][]int
 	Graph    *modsched.Graph

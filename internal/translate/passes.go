@@ -124,10 +124,15 @@ func (priorityPass) Phase() vmcost.Phase { return vmcost.PhasePriority }
 func (priorityPass) Run(ctx *Context) *Reject {
 	ctx.OrderKind = modsched.OrderSwing
 	var staticOrder []int
-	switch ctx.Policy {
-	case HeightPriority:
+	switch {
+	case ctx.Tier == Tier1:
+		// Tier-1 always schedules with the cheap height order regardless
+		// of policy — the point of the first cut is a schedule in a few
+		// iterations, not the best one.
 		ctx.OrderKind = modsched.OrderHeight
-	case Hybrid:
+	case ctx.Policy == HeightPriority:
+		ctx.OrderKind = modsched.OrderHeight
+	case ctx.Policy == Hybrid:
 		if anno, ok := ctx.Prog.AnnoAt(ctx.Region.Head); ok {
 			staticOrder = staticUnitOrder(ctx.Scratch, ctx.Graph, ctx.Ext, anno, ctx.Region)
 			ctx.OrderKind = modsched.OrderStatic

@@ -67,12 +67,47 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
+// Tier selects how much of the pipeline a translation runs. Tier-1 is
+// the fast first-cut chain: no CCA subgraph search (units execute on
+// plain FUs) and the cheap height-based scheduling priority, so a cold
+// site installs within a few loop iterations. Tier-2 is the full chain
+// the policy describes — CCA mapping/validation and the policy's own
+// priority scheme. The zero value means "the pipeline's own tier", so
+// existing callers that never set a tier keep their exact behavior.
+type Tier int
+
+const (
+	// TierDefault leaves the tier choice to the pipeline Run is called
+	// on (Build(p, t).Run keeps t; For(p) is tier-2).
+	TierDefault Tier = iota
+	// Tier1 is the fast first-cut translation.
+	Tier1
+	// Tier2 is the full translation chain.
+	Tier2
+
+	numTiers
+)
+
+// String names the tier for traces and metrics.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier-1"
+	case Tier2:
+		return "tier-2"
+	}
+	return "tier-default"
+}
+
 // Request is one translation: a loop region of a program image, the
 // accelerator to target, and the runtime capabilities in effect.
 type Request struct {
 	Prog   *isa.Program
 	Region cfg.Region
 	LA     *arch.LA
+	// Tier selects the first-cut (Tier1) or full (Tier2) chain; the zero
+	// value runs the tier of the pipeline Run was called on.
+	Tier Tier
 	// Speculation permits while-shaped (side-exit) regions, translated
 	// with the speculative extraction (the extension beyond the paper's
 	// design point).
@@ -119,27 +154,36 @@ type Observer interface {
 	PassExit(stat PassStat)
 }
 
-// Pipeline is an immutable, concurrency-safe pass chain for one policy.
+// Pipeline is an immutable, concurrency-safe pass chain for one policy
+// at one tier.
 type Pipeline struct {
 	policy Policy
+	tier   Tier
 	passes []Pass
 }
 
-// pipelines holds the four policy configurations, assembled once. The
+// pipelines holds every policy×tier configuration, assembled once. The
+// tier-2 chains are the four policy configurations as before: the
 // dynamic policies differ only in the CCA pass (greedy mapping vs static
 // validation) and the priority scheme; NoPenalty runs the best-quality
 // chain with a nil meter (quality of the full pipeline, none of the
-// cost).
-var pipelines = func() [NumPolicies]*Pipeline {
-	var ps [NumPolicies]*Pipeline
+// cost). The tier-1 chains drop the CCA pass entirely — every unit
+// schedules on a plain FU — and the priority pass forces the cheap
+// height order, so a first-cut schedule installs for a fraction of the
+// full translation's work. NoPenalty and Hybrid have nothing for tier-1
+// to skip that matters (NoPenalty is meterless, Hybrid's CCA groups come
+// free from annotations), but they still get distinct tier-1 chains so
+// tier semantics stay uniform across policies.
+var pipelines = func() [NumPolicies][numTiers]*Pipeline {
+	var ps [NumPolicies][numTiers]*Pipeline
 	for pol := Policy(0); pol < NumPolicies; pol++ {
-		chain := []Pass{extractPass{}}
+		full := []Pass{extractPass{}}
 		if pol == Hybrid {
-			chain = append(chain, ccaValidatePass{})
+			full = append(full, ccaValidatePass{})
 		} else {
-			chain = append(chain, ccaMapPass{})
+			full = append(full, ccaMapPass{})
 		}
-		chain = append(chain,
+		full = append(full,
 			graphPass{},
 			legalityPass{},
 			miiPass{},
@@ -147,22 +191,48 @@ var pipelines = func() [NumPolicies]*Pipeline {
 			schedulePass{},
 			regAssignPass{},
 		)
-		ps[pol] = &Pipeline{policy: pol, passes: chain}
+		t2 := &Pipeline{policy: pol, tier: Tier2, passes: full}
+		ps[pol][Tier2] = t2
+		ps[pol][TierDefault] = t2
+
+		fast := []Pass{
+			extractPass{},
+			graphPass{},
+			legalityPass{},
+			miiPass{},
+			priorityPass{},
+			schedulePass{},
+			regAssignPass{},
+		}
+		ps[pol][Tier1] = &Pipeline{policy: pol, tier: Tier1, passes: fast}
 	}
 	return ps
 }()
 
-// For returns the shared pipeline for a policy. The returned Pipeline is
-// immutable; Run may be called concurrently from any goroutine.
-func For(p Policy) *Pipeline {
+// For returns the shared full (tier-2) pipeline for a policy. The
+// returned Pipeline is immutable; Run may be called concurrently from
+// any goroutine.
+func For(p Policy) *Pipeline { return Build(p, Tier2) }
+
+// Build returns the shared pipeline for a policy at a tier. It is the
+// one pipeline-construction path every client (vm dispatch, jit workers,
+// exp models) goes through; TierDefault and out-of-range values resolve
+// to the full tier-2 chain.
+func Build(p Policy, t Tier) *Pipeline {
 	if p < 0 || p >= NumPolicies {
 		p = FullyDynamic
 	}
-	return pipelines[p]
+	if t < TierDefault || t >= numTiers {
+		t = Tier2
+	}
+	return pipelines[p][t]
 }
 
 // Policy reports the policy the pipeline was assembled from.
 func (pl *Pipeline) Policy() Policy { return pl.policy }
+
+// Tier reports the tier the pipeline was assembled for.
+func (pl *Pipeline) Tier() Tier { return pl.tier }
 
 // Passes lists the pass names in execution order (for docs and
 // observability surfaces).
@@ -179,6 +249,9 @@ func (pl *Pipeline) Passes() []string {
 // failure the error is a *Reject with the work charged up to the failing
 // pass. Run never mutates the request's program or region.
 func (pl *Pipeline) Run(req Request) (*Result, error) {
+	if req.Tier != TierDefault && req.Tier != pl.tier {
+		return Build(pl.policy, req.Tier).Run(req)
+	}
 	sc := req.Scratch
 	if sc == nil {
 		sc = GetScratch()
@@ -191,6 +264,7 @@ func (pl *Pipeline) Run(req Request) (*Result, error) {
 		Region:      req.Region,
 		LA:          req.LA,
 		Policy:      pl.policy,
+		Tier:        pl.tier,
 		Speculation: req.Speculation,
 		Scratch:     sc,
 	}
@@ -235,6 +309,7 @@ func (pl *Pipeline) Run(req Request) (*Result, error) {
 		}
 	}
 	res := &Result{
+		Tier:     pl.tier,
 		Ext:      ctx.Ext,
 		Groups:   ctx.Groups,
 		Graph:    ctx.Graph,

@@ -44,7 +44,12 @@ func (k Key) String() string { return hex.EncodeToString(k[:8]) }
 func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 
 // KeyFor derives the content address of translating region within p on
-// accelerator la under the given policy and speculation capability.
+// accelerator la under the given policy, tier and speculation capability.
+// The tier is part of the key because tier-1 and tier-2 results for the
+// same region are different artifacts (different pass chain, different
+// schedule) and must coexist in the store; a tier-2 hit is also the
+// fleet-wide re-tuning short-circuit, so it has to be addressable
+// independently of the tier-1 entry.
 //
 // The canonical form hashes exactly the pipeline's input surface (see
 // internal/translate and internal/loopx):
@@ -65,7 +70,7 @@ func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 //   - every architectural parameter the pipeline reads (all of arch.LA
 //     except Name and BusLatency — the bus cost prices invocations, not
 //     translations), the policy, and the speculation flag.
-func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Policy, speculation bool) Key {
+func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Policy, tier translate.Tier, speculation bool) Key {
 	h := sha256.New()
 	var buf [8]byte
 	u64 := func(v uint64) {
@@ -135,6 +140,10 @@ func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Pol
 	i64(int64(la.MemLatency))
 	i64(int64(la.FIFODepth))
 	i64(int64(policy))
+	if tier == translate.TierDefault {
+		tier = translate.Tier2
+	}
+	i64(int64(tier))
 	if speculation {
 		u64(1)
 	} else {

@@ -1,0 +1,129 @@
+package tstore
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/translate"
+)
+
+// TestTierCoexistenceAndQuota: the tier-1 first cut and the tier-2
+// re-tune of one region are distinct store entries (the key carries the
+// tier), a tenant that upgraded to tier-2 keeps its tier-1 reference
+// charged — the upgrade must not orphan it — and when the tenant's quota
+// forces shedding, the least recently touched reference (the tier-1
+// entry) goes first while the entry itself stays resident for other
+// tenants.
+func TestTierCoexistenceAndQuota(t *testing.T) {
+	prog, region := lowerFir(t, false)
+	la := arch.Proposed()
+	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false)
+	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false)
+	if k1 == k2 {
+		t.Fatal("tier-1 and tier-2 keys collide; tiers cannot coexist")
+	}
+
+	run := func(tier translate.Tier) (*translate.Result, error) {
+		return translate.Build(translate.FullyDynamic, tier).Run(translate.Request{
+			Prog: prog, Region: region, LA: la, Tier: tier,
+		})
+	}
+
+	s := New(Config{})
+	r1, err := s.Load("vm0", k1, func() (*translate.Result, error) { return run(translate.Tier1) })
+	if err != nil {
+		t.Fatalf("tier-1 load: %v", err)
+	}
+	r2, err := s.Load("vm0", k2, func() (*translate.Result, error) { return run(translate.Tier2) })
+	if err != nil {
+		t.Fatalf("tier-2 load: %v", err)
+	}
+	if r1.Tier != translate.Tier1 || r2.Tier != translate.Tier2 {
+		t.Fatalf("result tiers: %v and %v", r1.Tier, r2.Tier)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store has %d entries, want tier-1 and tier-2 coexisting", s.Len())
+	}
+
+	// The upgrade: the tenant serves tier-2 from now on, but its tier-1
+	// reference stays charged until quota or teardown releases it.
+	if _, err := s.Load("vm0", k2, nil); err != nil {
+		t.Fatalf("tier-2 re-touch: %v", err)
+	}
+	used, _ := s.TenantUsage("vm0")
+	if want := r1.SizeBytes() + r2.SizeBytes(); used != want {
+		t.Fatalf("tenant charged %d bytes, want %d (tier-1 ref must not be orphaned by the upgrade)", used, want)
+	}
+	rows := s.Tenants()
+	if len(rows) != 1 || rows[0].Refs != 2 {
+		t.Fatalf("tenant rows %+v, want one tenant holding both tier refs", rows)
+	}
+
+	// Quota pressure sheds the least recently touched reference — the
+	// tier-1 entry the tenant no longer serves from — and only the
+	// reference: the entry stays resident for other tenants.
+	s.SetTenantQuota("vm0", r2.SizeBytes())
+	used, quota := s.TenantUsage("vm0")
+	if used > quota {
+		t.Fatalf("tenant used %d > quota %d after shedding", used, quota)
+	}
+	if used != r2.SizeBytes() {
+		t.Fatalf("quota shed the wrong reference: used %d, want the tier-2 size %d", used, r2.SizeBytes())
+	}
+	if s.Len() != 2 {
+		t.Fatalf("quota shed evicted an entry (len %d); only the global budget may evict", s.Len())
+	}
+	before := s.Metrics().Translations.Load()
+	if _, err := s.Load("vm1", k1, func() (*translate.Result, error) { return run(translate.Tier1) }); err != nil {
+		t.Fatalf("second tenant tier-1 load: %v", err)
+	}
+	if got := s.Metrics().Translations.Load(); got != before {
+		t.Fatalf("resident tier-1 entry retranslated for a second tenant (%d -> %d)", before, got)
+	}
+}
+
+// TestTierBudgetEvictionIndependence: when the global budget reclaims
+// the unreferenced tier-1 entry after an upgrade, the tier-2 entry the
+// fleet serves from is untouched.
+func TestTierBudgetEvictionIndependence(t *testing.T) {
+	prog, region := lowerFir(t, false)
+	la := arch.Proposed()
+	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false)
+	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false)
+	run := func(tier translate.Tier) (*translate.Result, error) {
+		return translate.Build(translate.FullyDynamic, tier).Run(translate.Request{
+			Prog: prog, Region: region, LA: la, Tier: tier,
+		})
+	}
+	// Size the budget to exactly the two tiers, so any further load must
+	// evict.
+	r1, err := run(translate.Tier1)
+	if err != nil {
+		t.Fatalf("tier-1 translate: %v", err)
+	}
+	r2, err := run(translate.Tier2)
+	if err != nil {
+		t.Fatalf("tier-2 translate: %v", err)
+	}
+	s := New(Config{BudgetBytes: r1.SizeBytes() + r2.SizeBytes(), TenantQuotaBytes: r2.SizeBytes()})
+
+	if _, err := s.Load("vm0", k1, func() (*translate.Result, error) { return run(translate.Tier1) }); err != nil {
+		t.Fatal(err)
+	}
+	// The tier-2 upgrade pushes the tenant over its quota: the tier-1
+	// reference is shed, leaving that entry unreferenced.
+	if _, err := s.Load("vm0", k2, func() (*translate.Result, error) { return run(translate.Tier2) }); err != nil {
+		t.Fatal(err)
+	}
+	// A third entry overflows the budget; the unreferenced tier-1 entry
+	// must be reclaimed first, never the serving tier-2 entry.
+	if _, err := s.Load("vm1", fakeKey(99), func() (*translate.Result, error) { return fakeResult(), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Peek(k1); ok {
+		t.Error("unreferenced tier-1 entry survived a budget overflow")
+	}
+	if _, _, ok := s.Peek(k2); !ok {
+		t.Error("budget eviction reclaimed the serving tier-2 entry")
+	}
+}

@@ -66,9 +66,9 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 		}
 	}
 
-	res := &BatchResult{Total: RunResult{Lanes: lanes}, Lanes: make([]*RunResult, lanes)}
+	res := &BatchResult{Total: RunResult{Lanes: lanes, FirstAccelAt: -1}, Lanes: make([]*RunResult, lanes)}
 	for lane := range res.Lanes {
-		res.Lanes[lane] = &RunResult{Lanes: 1}
+		res.Lanes[lane] = &RunResult{Lanes: 1, FirstAccelAt: -1}
 	}
 
 	v.pipe.BeginRun()
@@ -159,6 +159,9 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 		}
 	}
 	total.Cycles = total.ScalarCycles + total.AccelCycles + total.StalledTranslationCycles
+	if total.FirstAccelAt >= 0 {
+		v.pipe.Metrics().TimeToFirstAccel.Observe(total.FirstAccelAt)
+	}
 
 	mt := v.pipe.Metrics()
 	mt.BatchRuns++
@@ -183,7 +186,6 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int) error {
 	total := &res.Total
 	key := cacheKey{p, region.Head}
-	name := keyName(key)
 	// Virtual time of this group arrival: the batch clock is the slowest
 	// lane's scalar time plus the amortized accelerator and stall cycles
 	// already charged — monotonic because per-lane cycles only grow.
@@ -195,9 +197,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	}
 	now := maxScalar + total.AccelCycles + total.StalledTranslationCycles
 
-	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
-		return v.translateCharged(p, region, v.inj.Injection(name, attempt))
-	})
+	pr := v.jitPoll(key, now, p, region)
 
 	fallback := func(lns []int) {
 		for _, lane := range lns {
@@ -231,7 +231,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 		v.Stats.CacheHits++
 		t = pr.Value
 	case jit.OutcomeInstalled:
-		if pr.Sync {
+		if pr.Sync && !pr.Upgraded {
 			v.Stats.CacheMisses++
 		}
 		v.Stats.Translations++
@@ -250,7 +250,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	if t.Ext.Loop.HasExit() {
 		// While-shaped loops speculate per lane: chunked execution against
 		// buffered memory is inherently per-lane state machinery.
-		return v.dispatchBatchSpeculative(t, region, b, lanes, res, skipHead, skipBack)
+		return v.dispatchBatchSpeculative(t, region, b, lanes, res, skipHead, skipBack, now)
 	}
 
 	// Collect the lanes this translation can actually launch.
@@ -283,11 +283,13 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	}
 	v.Stats.AccelLaunches++
 	total.Launches++
+	noteFirstAccel(total, now)
 	v.pipe.Metrics().BatchLaunches++
 	var slowest int64
 	for i, lane := range accLanes {
 		lr := res.Lanes[lane]
 		lr.Launches++
+		noteFirstAccel(lr, now)
 		lr.AccelCycles += out[i].Cycles
 		if out[i].Cycles > slowest {
 			slowest = out[i].Cycles
@@ -306,7 +308,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 // dispatchBatchSpeculative runs the chunked-speculation path for each
 // eligible lane of a while-shaped loop by materializing the lane as a
 // serial machine; the translation lookup was still shared by the group.
-func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int) error {
+func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int, now int64) error {
 	total := &res.Total
 	moved := make([]int, 1)
 	for _, lane := range lanes {
@@ -323,7 +325,7 @@ func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scal
 		}
 		lr := res.Lanes[lane]
 		before := lr.AccelCycles
-		handled, err := v.dispatchSpeculative(t, region, m, lr, bind)
+		handled, err := v.dispatchSpeculative(t, region, m, lr, bind, now)
 		if err != nil {
 			return err
 		}
@@ -334,6 +336,7 @@ func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scal
 			continue
 		}
 		total.Launches++
+		noteFirstAccel(total, now)
 		b.SetLaneRegs(lane, &m.Regs)
 		moved[0] = lane
 		b.Jump(moved, region.Head, m.PC)

@@ -104,7 +104,14 @@ func chaosConfig() Config {
 // the fault-free scalar reference.
 func runChaosSoak(t *testing.T, progs []chaosProg, epochs int) *VM {
 	t.Helper()
-	v := New(chaosConfig())
+	return runChaosSoakCfg(t, chaosConfig(), progs, epochs)
+}
+
+// runChaosSoakCfg is runChaosSoak under an explicit VM configuration
+// (the tiered soak flips Cfg.Tiered on the same hostile fault plan).
+func runChaosSoakCfg(t *testing.T, cfg Config, progs []chaosProg, epochs int) *VM {
+	t.Helper()
+	v := New(cfg)
 	for epoch := 0; epoch < epochs; epoch++ {
 		for pi := range progs {
 			pg := &progs[pi]
@@ -169,6 +176,39 @@ func TestChaosSoak(t *testing.T) {
 	}
 	if v.Stats.AccelLaunches == 0 {
 		t.Error("chaos soak never launched the accelerator")
+	}
+}
+
+// TestChaosSoakTiered runs the graceful-degradation soak with tiered
+// translation on: first-cut installs, background re-tunes and hot-swaps
+// all race the injected crashes, corruptions and eviction storms, and
+// every epoch must still commit bit-identical to the fault-free scalar
+// reference. A failed re-tune degrades to the serving tier-1 first cut,
+// never to silence: sites keep installing translations through the soak.
+func TestChaosSoakTiered(t *testing.T) {
+	progs := buildChaosProgs(t, 6)
+	cfg := chaosConfig()
+	cfg.Tiered = true
+	v := runChaosSoakCfg(t, cfg, progs, 8)
+
+	m := v.Metrics()
+	if m.InstalledT1 == 0 {
+		t.Error("tiered soak never installed a tier-1 first cut")
+	}
+	if m.Upgrades == 0 {
+		t.Error("tiered soak never hot-swapped a tier-2 upgrade")
+	}
+	if m.Quarantined == 0 {
+		t.Error("no corrupted install was quarantined under tiering")
+	}
+	if v.Stats.AccelLaunches == 0 {
+		t.Error("tiered chaos soak never launched the accelerator")
+	}
+	for _, info := range v.LoopStates() {
+		if info.Installs == 0 {
+			t.Errorf("site %s never installed a translation under tiered soak (state %v, reason %q)",
+				info.Name, info.State, info.Reason)
+		}
 	}
 }
 

@@ -53,6 +53,24 @@ type RunResult struct {
 	DivergenceSplits int64
 	DecodedInsts     int64
 	LaneInsts        int64
+
+	// FirstAccelAt is the virtual time of the run's first accelerated
+	// invocation (-1 when the run never launched the accelerator), and
+	// FirstAccelStall the translation cycles that stalled the scalar core
+	// before that point — the cold-start cost tiered translation attacks.
+	FirstAccelAt    int64
+	FirstAccelStall int64
+}
+
+// noteFirstAccel records the result's first accelerator takeover; the
+// run-level histogram observation happens once, at the end of
+// Run/RunBatch, from the primary result.
+func noteFirstAccel(res *RunResult, now int64) {
+	if res.FirstAccelAt >= 0 {
+		return
+	}
+	res.FirstAccelAt = now
+	res.FirstAccelStall = res.StalledTranslationCycles
 }
 
 // scanRegions identifies the program's innermost loops once per image and
@@ -91,7 +109,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	if seed != nil {
 		seed(m)
 	}
-	res := &RunResult{}
+	res := &RunResult{FirstAccelAt: -1}
 
 	// Each run restarts virtual time; the safety-net drain joins any
 	// background translation goroutines on error paths (it is idempotent,
@@ -164,6 +182,9 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	}
 
 	res.Cycles = res.ScalarCycles + res.AccelCycles + res.StalledTranslationCycles
+	if res.FirstAccelAt >= 0 {
+		v.pipe.Metrics().TimeToFirstAccel.Observe(res.FirstAccelAt)
+	}
 	res.Lanes = 1
 	res.DecodedInsts = m.Stats().Insts
 	res.LaneInsts = m.Stats().Insts
@@ -177,13 +198,10 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 // a single iteration and poll again.
 func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, bool, error) {
 	key := cacheKey{p, region.Head}
-	name := keyName(key)
 	// Virtual time of this head arrival: scalar cycles retired plus
 	// accelerator and stall cycles already charged to the run.
 	now := m.Stats().Cycles + res.AccelCycles + res.StalledTranslationCycles
-	pr := v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
-		return v.translateCharged(p, region, v.inj.Injection(name, attempt))
-	})
+	pr := v.jitPoll(key, now, p, region)
 
 	var t *Translation
 	switch pr.Outcome {
@@ -210,9 +228,11 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 		v.Stats.CacheHits++
 		t = pr.Value
 	case jit.OutcomeInstalled:
-		if pr.Sync {
+		if pr.Sync && !pr.Upgraded {
 			// The request missed the cache and translated on the spot;
-			// async installs counted their miss at enqueue time.
+			// async installs counted their miss at enqueue time. A sync
+			// tier-2 upgrade served the hit from cache first, so it is not
+			// a miss.
 			v.Stats.CacheMisses++
 		}
 		v.Stats.Translations++
@@ -240,7 +260,7 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 	}
 
 	if t.Ext.Loop.HasExit() {
-		handled, err := v.dispatchSpeculative(t, region, m, res, bind)
+		handled, err := v.dispatchSpeculative(t, region, m, res, bind, now)
 		return handled, false, err
 	}
 
@@ -250,6 +270,7 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 	}
 	v.Stats.AccelLaunches++
 	res.Launches++
+	noteFirstAccel(res, now)
 	res.AccelCycles += out.Cycles
 
 	// Restore architectural state and resume after the loop. When the
@@ -267,7 +288,7 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 // condition is recorded; the committed prefix is then retired against real
 // memory and architectural registers advance exactly as if the scalar core
 // had run those iterations.
-func (v *VM) dispatchSpeculative(t *Translation, region cfg.Region, m *scalar.Machine, res *RunResult, bind *ir.Bindings) (bool, error) {
+func (v *VM) dispatchSpeculative(t *Translation, region cfg.Region, m *scalar.Machine, res *RunResult, bind *ir.Bindings, now int64) (bool, error) {
 	paged, ok := m.Mem.(*ir.PagedMemory)
 	if !ok {
 		return false, nil // speculation needs snapshot-able memory
@@ -323,6 +344,7 @@ func (v *VM) dispatchSpeculative(t *Translation, region cfg.Region, m *scalar.Ma
 		if exitIter >= 0 {
 			v.Stats.AccelLaunches++
 			res.Launches++
+			noteFirstAccel(res, now)
 			m.Regs = curRegs
 			m.PC = t.Ext.ExitTarget
 			return true, nil
@@ -335,6 +357,7 @@ func (v *VM) dispatchSpeculative(t *Translation, region cfg.Region, m *scalar.Ma
 	// Counted bound exhausted without the exit firing.
 	v.Stats.AccelLaunches++
 	res.Launches++
+	noteFirstAccel(res, now)
 	m.Regs = curRegs
 	m.PC = region.BackPC + 1
 	return true, nil

@@ -1,0 +1,381 @@
+package vm
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+	"veal/internal/tstore"
+	"veal/internal/workloads"
+)
+
+// tierSuiteKernels enumerates the unique workload kernels that lower
+// successfully, with a bounded per-test trip.
+type tierKernel struct {
+	name string
+	res  *lower.Result
+	l    *ir.Loop
+	trip int64
+}
+
+func tierSuite(t testing.TB) []tierKernel {
+	t.Helper()
+	seen := map[string]bool{}
+	var out []tierKernel
+	for _, bench := range workloads.MediaFP() {
+		for _, site := range bench.Sites {
+			if seen[site.Kernel.Name] {
+				continue
+			}
+			seen[site.Kernel.Name] = true
+			l := site.Kernel.Build()
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				continue
+			}
+			trip := site.Trip
+			if trip > 48 {
+				trip = 48
+			}
+			if trip < 2 {
+				trip = 2
+			}
+			out = append(out, tierKernel{site.Kernel.Name, res, l, trip})
+		}
+	}
+	return out
+}
+
+// TestTieredDifferentialSuite is the tentpole differential test for
+// tiered translation: across the full workload suite and both the
+// FullyDynamic and Hybrid policies, a tiered VM (tier-1 first cut,
+// background or synchronous re-tune, hot-swap to tier-2) must commit
+// architectural state bit-identical to an untiered reference — for
+// serial Run, for a second Run on the same VM after the hot-swap
+// completed, and for RunBatch. Tiers change when code runs, never what
+// it computes.
+func TestTieredDifferentialSuite(t *testing.T) {
+	const lanes = 3
+	upgrades := map[Policy]int64{}
+	t1installs := map[Policy]int64{}
+	for _, k := range tierSuite(t) {
+		for _, pol := range []Policy{FullyDynamic, Hybrid} {
+			vcfg := DefaultConfig()
+			vcfg.Policy = pol
+			vcfg.SpeculationSupport = true
+
+			// Untiered reference run.
+			bind, mem := workloads.Prepare(k.l, k.trip, 5)
+			seed := batchLaneSeed(k.res, bind.Params, k.trip)
+			refVM := New(vcfg)
+			refMem := mem.Clone()
+			_, refM, err := refVM.Run(k.res.Program, refMem, seed, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s/%v untiered: %v", k.name, pol, err)
+			}
+
+			check := func(mode string, gotMem *ir.PagedMemory, regs [isa.NumRegs]uint64) {
+				t.Helper()
+				if regs != refM.Regs {
+					t.Fatalf("%s/%v %s: registers diverge from untiered reference\n got %v\nwant %v",
+						k.name, pol, mode, regs, refM.Regs)
+				}
+				if !gotMem.Equal(refMem) {
+					t.Fatalf("%s/%v %s: memory diverges from untiered reference", k.name, pol, mode)
+				}
+			}
+
+			for _, workers := range []int{0, 2} {
+				tcfg := vcfg
+				tcfg.Tiered = true
+				tcfg.TranslateWorkers = workers
+				tv := New(tcfg)
+				tm := mem.Clone()
+				_, m1, err := tv.Run(k.res.Program, tm, seed, 50_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v tiered workers=%d: %v", k.name, pol, workers, err)
+				}
+				check("tiered", tm, m1.Regs)
+
+				// Post-hot-swap: a second run on the same VM serves whatever
+				// tier the site upgraded to.
+				tm2 := mem.Clone()
+				_, m2, err := tv.Run(k.res.Program, tm2, seed, 50_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v post-swap workers=%d: %v", k.name, pol, workers, err)
+				}
+				check("post-swap", tm2, m2.Regs)
+
+				mt := tv.Metrics()
+				upgrades[pol] += mt.Upgrades
+				t1installs[pol] += mt.InstalledT1
+				if mt.UpgradeFailures > 0 {
+					t.Errorf("%s/%v workers=%d: %d re-tunes failed", k.name, pol, workers, mt.UpgradeFailures)
+				}
+			}
+
+			// Batched lockstep execution under tiering: per-lane state must
+			// match per-lane untiered serial runs.
+			tcfg := vcfg
+			tcfg.Tiered = true
+			mems := make([]*ir.PagedMemory, lanes)
+			seeds := make([]func(*scalar.Machine), lanes)
+			refMs := make([]*scalar.Machine, lanes)
+			refMems := make([]*ir.PagedMemory, lanes)
+			trips := [lanes]int64{k.trip, 1, k.trip/2 + 1}
+			for lane := 0; lane < lanes; lane++ {
+				lb, lm := workloads.Prepare(k.l, trips[lane], int64(13*lane+5))
+				mems[lane] = lm
+				seeds[lane] = batchLaneSeed(k.res, lb.Params, trips[lane])
+				sv := New(vcfg)
+				srm := lm.Clone()
+				_, sm, err := sv.Run(k.res.Program, srm, seeds[lane], 50_000_000)
+				if err != nil {
+					t.Fatalf("%s/%v lane %d serial ref: %v", k.name, pol, lane, err)
+				}
+				refMs[lane], refMems[lane] = sm, srm
+			}
+			bv := New(tcfg)
+			batchMems := make([]*ir.PagedMemory, lanes)
+			for lane := range mems {
+				batchMems[lane] = mems[lane].Clone()
+			}
+			_, bm, err := bv.RunBatch(k.res.Program, batchMems, seeds, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s/%v tiered RunBatch: %v", k.name, pol, err)
+			}
+			for lane := 0; lane < lanes; lane++ {
+				got := bm.Lane(lane)
+				if got.Regs != refMs[lane].Regs {
+					t.Fatalf("%s/%v tiered batch lane %d: registers diverge", k.name, pol, lane)
+				}
+				if !batchMems[lane].Equal(refMems[lane]) {
+					t.Fatalf("%s/%v tiered batch lane %d: memory diverges", k.name, pol, lane)
+				}
+			}
+			upgrades[pol] += bv.Metrics().Upgrades
+		}
+	}
+	for _, pol := range []Policy{FullyDynamic, Hybrid} {
+		if t1installs[pol] == 0 {
+			t.Errorf("policy %v: tiering never installed a tier-1 first cut", pol)
+		}
+		if upgrades[pol] == 0 {
+			t.Errorf("policy %v: tiering never hot-swapped a tier-2 upgrade", pol)
+		}
+	}
+}
+
+// TestTieredColdStartStall quantifies the tentpole's point: across the
+// workload suite under the FullyDynamic policy (the expensive chain:
+// CCA subgraph search plus Swing priority), the translation cycles that
+// stall the scalar core before the first accelerated invocation must
+// drop by at least 3x when tiering is on — the first cut installs fast
+// and the full-quality schedule arrives later, off the critical path of
+// cold start.
+func TestTieredColdStartStall(t *testing.T) {
+	var base, tiered int64
+	for _, k := range tierSuite(t) {
+		bind, mem := workloads.Prepare(k.l, k.trip, 5)
+		seed := batchLaneSeed(k.res, bind.Params, k.trip)
+		for _, on := range []bool{false, true} {
+			vcfg := DefaultConfig()
+			vcfg.Policy = FullyDynamic
+			vcfg.SpeculationSupport = true
+			vcfg.Tiered = on
+			v := New(vcfg)
+			r, _, err := v.Run(k.res.Program, mem.Clone(), seed, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s tiered=%v: %v", k.name, on, err)
+			}
+			if r.FirstAccelAt < 0 {
+				continue
+			}
+			if on {
+				tiered += r.FirstAccelStall
+			} else {
+				base += r.FirstAccelStall
+			}
+		}
+	}
+	if base == 0 || tiered == 0 {
+		t.Fatalf("suite produced no cold-start stalls (base %d, tiered %d)", base, tiered)
+	}
+	if ratio := float64(base) / float64(tiered); ratio < 3 {
+		t.Errorf("tiering reduced cold-start stall only %.2fx (untiered %d cycles, tiered %d); want >= 3x",
+			ratio, base, tiered)
+	}
+}
+
+// TestTieredStoreShortCircuit: when the shared content-addressed store
+// already holds the site's finished tier-2 translation (another tenant
+// re-tuned it), a tiered VM starts directly at tier 2 — no first cut, no
+// re-tune queued, fleet-wide.
+func TestTieredStoreShortCircuit(t *testing.T) {
+	res, _ := firProgram(t, true)
+	store := tstore.New(tstore.Config{})
+
+	warm := DefaultConfig()
+	warm.Policy = FullyDynamic
+	warm.Store = store
+	warm.Tenant = "warm"
+	wv := New(warm)
+	if _, _, err := wv.Run(res.Program, firMem(), firSeed(res, 64), 50_000_000); err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+
+	cold := warm
+	cold.Tiered = true
+	cold.Tenant = "cold"
+	cv := New(cold)
+	if _, _, err := cv.Run(res.Program, firMem(), firSeed(res, 64), 50_000_000); err != nil {
+		t.Fatalf("cold tiered run: %v", err)
+	}
+	m := cv.Metrics()
+	if atomic.LoadInt64(&m.TierStoreHits) == 0 {
+		t.Errorf("tier-2 store short-circuit never hit")
+	}
+	if m.InstalledT1 != 0 || m.Upgrades != 0 || m.RetunesQueued != 0 {
+		t.Errorf("store hit should skip the first-cut/re-tune cycle: t1=%d upgrades=%d queued=%d",
+			m.InstalledT1, m.Upgrades, m.RetunesQueued)
+	}
+	if m.InstalledT2 == 0 {
+		t.Errorf("store-served site did not classify as tier-2")
+	}
+}
+
+// TestTieredEscalation: a site whose tier-1 chain rejects (the first cut
+// has no CCA compression, so resource MII can exceed the accelerator's
+// MaxII) escalates to tier-2 within the same attempt — installing the
+// full-quality translation directly, charged for the failed first cut
+// plus the tier-2 run, with no re-tune left to do.
+func TestTieredEscalation(t *testing.T) {
+	// A wide arithmetic kernel: many CCA-eligible ALU ops (adds and
+	// bitwise logic, no multiplies) that subgraph mapping compresses
+	// below MaxII but whose uncompressed resource MII is over budget on a
+	// deliberately narrow accelerator.
+	b := ir.NewBuilder("wide")
+	x := b.LoadStream("x", 1)
+	v := x
+	for k := 0; k < 16; k++ {
+		v = b.Add(v, b.Const(int64(k+3)))
+		v = b.Xor(v, b.Const(int64(k*7+1)))
+	}
+	b.StoreStream("out", 1, v)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+
+	vcfg := DefaultConfig()
+	vcfg.Policy = FullyDynamic
+	la := *vcfg.LA
+	la.IntUnits = 1
+	la.MaxII = 12
+	vcfg.LA = &la
+
+	t1 := translate.Build(vcfg.Policy, translate.Tier1)
+	t2 := translate.Build(vcfg.Policy, translate.Tier2)
+	region := regionForHead(t, res.Program)
+	if _, err := t1.Run(translate.Request{Prog: res.Program, Region: region, LA: vcfg.LA, Tier: translate.Tier1}); err == nil {
+		t.Skip("tier-1 chain unexpectedly schedules the wide kernel; escalation not exercised")
+	}
+	if _, err := t2.Run(translate.Request{Prog: res.Program, Region: region, LA: vcfg.LA, Tier: translate.Tier2}); err != nil {
+		t.Skipf("tier-2 chain also rejects (%v); escalation not exercised", err)
+	}
+
+	bind, mem := workloads.Prepare(l, 32, 5)
+	seed := batchLaneSeed(res, bind.Params, 32)
+
+	ref := New(vcfg)
+	refMem := mem.Clone()
+	_, refM, err := ref.Run(res.Program, refMem, seed, 50_000_000)
+	if err != nil {
+		t.Fatalf("untiered: %v", err)
+	}
+
+	tcfg := vcfg
+	tcfg.Tiered = true
+	tv := New(tcfg)
+	tMem := mem.Clone()
+	r, tm, err := tv.Run(res.Program, tMem, seed, 50_000_000)
+	if err != nil {
+		t.Fatalf("tiered: %v", err)
+	}
+	if tm.Regs != refM.Regs || !tMem.Equal(refMem) {
+		t.Fatalf("escalated run diverges from untiered reference")
+	}
+	m := tv.Metrics()
+	if m.InstalledT2 == 0 || m.InstalledT1 != 0 {
+		t.Errorf("escalation should install tier-2 directly: t1=%d t2=%d", m.InstalledT1, m.InstalledT2)
+	}
+	if m.Upgrades != 0 || m.RetunesQueued != 0 {
+		t.Errorf("escalated install must not queue a re-tune: upgrades=%d queued=%d", m.Upgrades, m.RetunesQueued)
+	}
+	if r.Launches == 0 {
+		t.Errorf("escalated site never launched")
+	}
+}
+
+// benchTimeToFirstAccel measures the cold-start stall tiering targets:
+// fresh VM per program under the FullyDynamic policy (the expensive
+// chain), reporting the mean translation cycles that stalled the scalar
+// core before the first accelerated invocation. The Baseline/Tiered pair
+// feeds scripts/benchcmp's >= 3x tiering gate.
+func benchTimeToFirstAccel(b *testing.B, tiered bool) {
+	kernels := tierSuite(b)
+	type prepped struct {
+		k    tierKernel
+		mem  *ir.PagedMemory
+		seed func(*scalar.Machine)
+	}
+	preps := make([]prepped, 0, len(kernels))
+	for _, k := range kernels {
+		bind, mem := workloads.Prepare(k.l, k.trip, 5)
+		preps = append(preps, prepped{k, mem, batchLaneSeed(k.res, bind.Params, k.trip)})
+	}
+	b.ResetTimer()
+	var stall, runs int64
+	for i := 0; i < b.N; i++ {
+		for _, p := range preps {
+			vcfg := DefaultConfig()
+			vcfg.Policy = FullyDynamic
+			vcfg.SpeculationSupport = true
+			vcfg.Tiered = tiered
+			v := New(vcfg)
+			r, _, err := v.Run(p.k.res.Program, p.mem.Clone(), p.seed, 50_000_000)
+			if err != nil {
+				b.Fatalf("%s: %v", p.k.name, err)
+			}
+			if r.FirstAccelAt >= 0 {
+				stall += r.FirstAccelStall
+				runs++
+			}
+		}
+	}
+	if runs == 0 {
+		b.Fatal("no program reached an accelerated invocation")
+	}
+	b.ReportMetric(float64(stall)/float64(runs), "stall-cycles/first-accel")
+}
+
+func BenchmarkTimeToFirstAccelBaseline(b *testing.B) { benchTimeToFirstAccel(b, false) }
+func BenchmarkTimeToFirstAccelTiered(b *testing.B)   { benchTimeToFirstAccel(b, true) }
+
+// regionForHead finds the program's single schedulable inner loop.
+func regionForHead(t *testing.T, p *isa.Program) cfg.Region {
+	t.Helper()
+	for _, r := range cfg.FindInnerLoops(p, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			return r
+		}
+	}
+	t.Fatal("no schedulable region")
+	return cfg.Region{}
+}

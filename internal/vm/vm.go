@@ -27,6 +27,7 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -116,6 +117,18 @@ type Config struct {
 	// paper's evaluation; higher values trade early scalar iterations for
 	// never translating cold loops.
 	HotThreshold int
+
+	// Tiered enables tiered translation: a cold site installs the cheap
+	// tier-1 first cut (height-priority schedule, no CCA search) within a
+	// few iterations, then a background re-tune produces the full tier-2
+	// translation and hot-swaps it at an invocation boundary after
+	// passing independent verification (quarantine on failure, exactly as
+	// for first installs). Off by default: untiered dispatch behavior is
+	// unchanged.
+	Tiered bool
+	// RetuneThreshold is the number of accelerated tier-1 invocations a
+	// site serves before its tier-2 re-tune is queued (default 1).
+	RetuneThreshold int64
 
 	// TranslateWorkers is the number of background translator workers in
 	// the JIT pipeline. 0 (the default) keeps translation synchronous:
@@ -233,21 +246,23 @@ func New(cfg Config) *VM {
 		verifyOn = true
 	}
 	jcfg := jit.Config{
-		Workers:      cfg.TranslateWorkers,
-		QueueDepth:   cfg.TranslateQueue,
-		CacheSize:    cfg.CodeCacheSize,
-		HotThreshold: cfg.HotThreshold,
-		MonitorCap:   cfg.MonitorCap,
-		Metrics:      cfg.Metrics,
-		Trace:        cfg.Trace,
-		RetryBase:    cfg.RetryBase,
-		RetryCap:     cfg.RetryCap,
+		Workers:         cfg.TranslateWorkers,
+		QueueDepth:      cfg.TranslateQueue,
+		CacheSize:       cfg.CodeCacheSize,
+		HotThreshold:    cfg.HotThreshold,
+		MonitorCap:      cfg.MonitorCap,
+		Metrics:         cfg.Metrics,
+		Trace:           cfg.Trace,
+		RetryBase:       cfg.RetryBase,
+		RetryCap:        cfg.RetryCap,
+		RetuneThreshold: cfg.RetuneThreshold,
 	}
 	if inj != nil {
 		jcfg.Faults = inj
 	}
 	pipe := jit.New[cacheKey, *Translation](jcfg, keyName)
 	pipe.SetCacheBudget(cfg.CodeCacheBytes, (*Translation).SizeBytes)
+	pipe.SetTierOf(tierOfTranslation)
 	slots := cfg.TranslateWorkers
 	if slots < 1 {
 		slots = 1
@@ -257,6 +272,17 @@ func New(cfg Config) *VM {
 		scratches: make(chan *translate.Scratch, slots),
 		inj:       inj, verify: verifyOn,
 	}
+}
+
+// tierOfTranslation classifies a published translation for the jit
+// pipeline's tiered protocol: a result the tier-1 chain produced is a
+// first cut awaiting re-tune; everything else (tier-2, or a tier-1
+// request that escalated or hit the store at tier-2) is final.
+func tierOfTranslation(t *Translation) int {
+	if t != nil && t.Tier == translate.Tier1 {
+		return 1
+	}
+	return 2
 }
 
 // keyName names a loop for traces and snapshots.
@@ -300,7 +326,7 @@ func (v *VM) Translate(p *isa.Program, region cfg.Region) (*Translation, error) 
 // translateWith is Translate with an optional per-attempt fault; the
 // JIT dispatch path threads the injector's decision through here.
 func (v *VM) translateWith(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, error) {
-	t, _, err := v.translateCharged(p, region, inj)
+	t, _, err := v.translateCharged(p, region, translate.TierDefault, inj)
 	return t, err
 }
 
@@ -312,13 +338,25 @@ func (v *VM) translateWith(p *isa.Program, region cfg.Region, inj *translate.Inj
 // promises — and only an actual pipeline run is charged. Fault-injected
 // attempts never touch the store: corruption and forced rejections are
 // tenant-local by construction.
-func (v *VM) translateCharged(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, int64, error) {
+//
+// A tier-1 request first peeks the store for the site's finished tier-2
+// translation: a hit short-circuits the whole first-cut/re-tune cycle
+// fleet-wide — the tenant starts at tier 2 for free and never queues a
+// re-tune.
+func (v *VM) translateCharged(p *isa.Program, region cfg.Region, tier translate.Tier, inj *translate.Injection) (*Translation, int64, error) {
 	if v.Cfg.Store != nil && inj == nil {
-		key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, v.Cfg.SpeculationSupport)
+		if tier == translate.Tier1 {
+			t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport)
+			if t, err, ok := v.Cfg.Store.Peek(t2key); ok && err == nil && t != nil {
+				atomic.AddInt64(&v.pipe.Metrics().TierStoreHits, 1)
+				return t, 0, nil
+			}
+		}
+		key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, tier, v.Cfg.SpeculationSupport)
 		computed := false
 		t, err := v.Cfg.Store.Load(v.Cfg.Tenant, key, func() (*translate.Result, error) {
 			computed = true
-			return v.runPipeline(p, region, nil)
+			return v.runPipeline(p, region, tier, nil)
 		})
 		switch {
 		case err != nil:
@@ -329,7 +367,7 @@ func (v *VM) translateCharged(p *isa.Program, region cfg.Region, inj *translate.
 			return t, 0, nil
 		}
 	}
-	t, err := v.runPipeline(p, region, inj)
+	t, err := v.runPipeline(p, region, tier, inj)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -338,14 +376,15 @@ func (v *VM) translateCharged(p *isa.Program, region cfg.Region, inj *translate.
 
 // runPipeline runs the policy's pass pipeline once, with a borrowed
 // scratch arena.
-func (v *VM) runPipeline(p *isa.Program, region cfg.Region, inj *translate.Injection) (*Translation, error) {
+func (v *VM) runPipeline(p *isa.Program, region cfg.Region, tier translate.Tier, inj *translate.Injection) (*Translation, error) {
 	sc := v.acquireScratch()
 	defer v.releaseScratch(sc)
-	res, err := translate.For(v.Cfg.Policy).Run(translate.Request{
+	res, err := translate.Build(v.Cfg.Policy, tier).Run(translate.Request{
 		Prog:        p,
 		Region:      region,
 		LA:          v.Cfg.LA,
 		Speculation: v.Cfg.SpeculationSupport,
+		Tier:        tier,
 		Scratch:     sc,
 		Inject:      inj,
 	})
@@ -353,6 +392,54 @@ func (v *VM) runPipeline(p *isa.Program, region cfg.Region, inj *translate.Injec
 		return nil, err
 	}
 	return res, nil
+}
+
+// jitPoll is the dispatch loop's single entry into the JIT pipeline.
+// Untiered it is a plain Request at the default (tier-2) pipeline. With
+// Cfg.Tiered the site goes through the tiered protocol: the tier-1
+// closure produces the fast first cut — escalating to tier-2 within the
+// same attempt when the first-cut chain rejects a region the full chain
+// can map (the reject's metered work is still charged) — and the tier-2
+// closure serves background re-tunes.
+func (v *VM) jitPoll(key cacheKey, now int64, p *isa.Program, region cfg.Region) jit.Poll[*Translation] {
+	name := keyName(key)
+	if !v.Cfg.Tiered {
+		return v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
+			return v.translateCharged(p, region, translate.TierDefault, v.inj.Injection(name, attempt))
+		})
+	}
+	t1 := func(attempt int64) (*Translation, int64, error) {
+		inj := v.inj.Injection(name, attempt)
+		t, work, err := v.translateCharged(p, region, translate.Tier1, inj)
+		if err == nil {
+			return t, work, nil
+		}
+		rejWork := rejectWork(err)
+		t2, w2, err2 := v.translateCharged(p, region, translate.Tier2, inj)
+		if err2 != nil {
+			return nil, 0, err2
+		}
+		return t2, rejWork + w2, nil
+	}
+	t2 := func(attempt int64) (*Translation, int64, error) {
+		return v.translateCharged(p, region, translate.Tier2, v.inj.Injection(name, attempt))
+	}
+	return v.pipe.RequestTiered(key, now, t1, t2)
+}
+
+// rejectWork recovers the virtual cycles a rejected attempt metered
+// before giving up, so a tier-1 reject that escalates to tier-2 still
+// pays for the failed first cut.
+func rejectWork(err error) int64 {
+	var rej *translate.Reject
+	if !errors.As(err, &rej) {
+		return 0
+	}
+	var total int64
+	for _, w := range rej.Work {
+		total += w
+	}
+	return total
 }
 
 // verifyInstall re-validates a freshly installed translation with the

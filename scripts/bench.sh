@@ -5,7 +5,10 @@
 # comparison against the most recent earlier snapshot. The VM pass
 # includes the batched lockstep pair (BenchmarkVMBatch1/64), whose
 # guest-insts/sec and programs/sec throughput metrics are captured in
-# the snapshot alongside ns/op. The root-package
+# the snapshot alongside ns/op, and the tiered-translation pair
+# (BenchmarkTimeToFirstAccelBaseline/Tiered), whose deterministic
+# stall-cycles/first-accel metric the gate holds to a 3x cold-start
+# improvement. The root-package
 # figure benches run twice: once at the inherited GOMAXPROCS and once at
 # GOMAXPROCS=2, so the snapshot also captures the parallel evaluation
 # path (benchcmp keys results by name and width).
@@ -22,7 +25,7 @@ go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' 
 	-benchmem -count 1 "$@" . | tee "$raw"
 GOMAXPROCS=2 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 1 "$@" . | tee -a "$raw"
-go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT)' \
+go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT|BenchmarkTimeToFirstAccel)' \
 	-benchmem -count 1 "$@" ./internal/vm ./internal/jit | tee -a "$raw"
 go test -run '^$' -bench '^BenchmarkServeThroughput' \
 	-benchmem -count 1 "$@" ./internal/serve | tee -a "$raw"

@@ -26,8 +26,11 @@ trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 3 . >"$raw"
 # The batched-execution hot path: the serial/lockstep pair gates both
-# allocation discipline and guest-insts/sec host throughput.
-go test -run '^$' -bench '^BenchmarkVMBatch' \
+# allocation discipline and guest-insts/sec host throughput. The
+# tiered-translation pair rides along: its stall-cycles/first-accel
+# metric is virtual time (deterministic), gated against any increase and
+# against the 3x baseline/tiered cold-start bar.
+go test -run '^$' -bench '^(BenchmarkVMBatch|BenchmarkTimeToFirstAccel)' \
 	-benchmem -count 3 ./internal/vm >>"$raw"
 # End-to-end serving throughput: the HTTP + shared-store path, gated on
 # programs/sec alongside ns/op.

@@ -33,6 +33,12 @@ type Result struct {
 	// via b.ReportMetric; zero when a benchmark does not emit them.
 	GuestInstsPerSec float64 `json:"guest_insts_per_sec,omitempty"`
 	ProgramsPerSec   float64 `json:"programs_per_sec,omitempty"`
+	// StallCyclesFirstAccel is the cold-start metric the
+	// BenchmarkTimeToFirstAccel pair reports: virtual cycles the scalar
+	// core stalled before the first accelerated invocation, per run.
+	// Lower is better, and the quantity is deterministic (virtual time),
+	// so the gate tolerates no increase at all.
+	StallCyclesFirstAccel float64 `json:"stall_cycles_first_accel,omitempty"`
 }
 
 // key identifies a result across snapshots: same benchmark, same width.
@@ -72,6 +78,7 @@ var (
 	allocsOp   = regexp.MustCompile(`\s(\d+) allocs/op`)
 	guestRate  = regexp.MustCompile(`\s([\d.e+]+) guest-insts/sec`)
 	programSec = regexp.MustCompile(`\s([\d.e+]+) programs/sec`)
+	stallCyc   = regexp.MustCompile(`\s([\d.e+]+) stall-cycles/first-accel`)
 )
 
 func parse(r *bufio.Scanner) ([]Result, error) {
@@ -100,6 +107,9 @@ func parse(r *bufio.Scanner) ([]Result, error) {
 		}
 		if p := programSec.FindStringSubmatch(line); p != nil {
 			res.ProgramsPerSec, _ = strconv.ParseFloat(p[1], 64)
+		}
+		if s := stallCyc.FindStringSubmatch(line); s != nil {
+			res.StallCyclesFirstAccel, _ = strconv.ParseFloat(s[1], 64)
 		}
 		out = append(out, res)
 	}
@@ -140,6 +150,12 @@ func aggregate(in []Result) []Result {
 		if r.ProgramsPerSec > out[i].ProgramsPerSec {
 			out[i].ProgramsPerSec = r.ProgramsPerSec
 		}
+		// Stall cycles: lower is better (and deterministic), so keep the
+		// minimum of the nonzero samples.
+		if r.StallCyclesFirstAccel > 0 &&
+			(out[i].StallCyclesFirstAccel == 0 || r.StallCyclesFirstAccel < out[i].StallCyclesFirstAccel) {
+			out[i].StallCyclesFirstAccel = r.StallCyclesFirstAccel
+		}
 	}
 	return out
 }
@@ -170,12 +186,39 @@ func human(ns float64) string {
 	}
 }
 
+// gateTierRatio checks the tiered-translation acceptance bar: when the
+// current run holds both halves of the TimeToFirstAccel pair, the
+// baseline's cold-start stall must be at least minRatio times the tiered
+// VM's. The check is intra-run (both numbers come from this invocation),
+// so it needs no baseline snapshot.
+func gateTierRatio(results []Result, minRatio float64) []string {
+	var base, tiered float64
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkTimeToFirstAccelBaseline":
+			base = r.StallCyclesFirstAccel
+		case "BenchmarkTimeToFirstAccelTiered":
+			tiered = r.StallCyclesFirstAccel
+		}
+	}
+	if base == 0 || tiered == 0 {
+		return nil
+	}
+	if ratio := base / tiered; ratio < minRatio {
+		return []string{fmt.Sprintf(
+			"tiered cold start only %.2fx better than baseline (%.0f vs %.0f stall-cycles/first-accel, need %.1fx)",
+			ratio, base, tiered, minRatio)}
+	}
+	return nil
+}
+
 func main() {
 	prevPath := flag.String("prev", "", "previous BENCH_*.json to compare against")
 	outPath := flag.String("o", "", "write the parsed snapshot to this JSON file")
 	gate := flag.Bool("gate", false, "fail when a benchmark regresses past the thresholds vs -prev")
 	maxNs := flag.Float64("max-ns-regress", 25, "gate: max tolerated ns/op regression, percent")
 	maxAllocs := flag.Float64("max-allocs-regress", 10, "gate: max tolerated allocs/op regression, percent")
+	minTierSpeedup := flag.Float64("min-tier-speedup", 3, "gate: min Baseline/Tiered stall-cycle ratio for the TimeToFirstAccel pair")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -210,13 +253,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchcmp: -gate requires -prev")
 			os.Exit(1)
 		}
-		fmt.Printf("%-36s %12s %10s %8s %14s\n", "benchmark", "ns/op", "B/op", "allocs", "guest-insts/s")
+		fmt.Printf("%-36s %12s %10s %8s %18s\n", "benchmark", "ns/op", "B/op", "allocs", "metric")
 		for _, r := range results {
 			rate := "-"
 			if r.GuestInstsPerSec > 0 {
 				rate = humanRate(r.GuestInstsPerSec)
 			}
-			fmt.Printf("%-36s %12s %10d %8d %14s\n",
+			if r.StallCyclesFirstAccel > 0 {
+				rate = fmt.Sprintf("%.0f stall-cyc", r.StallCyclesFirstAccel)
+			}
+			fmt.Printf("%-36s %12s %10d %8d %18s\n",
 				r.label(), human(r.NsPerOp), r.BPerOp, r.AllocsPerOp, rate)
 		}
 		return
@@ -279,7 +325,17 @@ func main() {
 						"%s: programs/sec dropped %.1f%% (limit %.0f%%)", r.label(), drop, *maxNs))
 				}
 			}
+			// Cold-start stall is virtual time: any increase is a real
+			// regression, not host noise.
+			if p.StallCyclesFirstAccel > 0 && r.StallCyclesFirstAccel > p.StallCyclesFirstAccel {
+				failures = append(failures, fmt.Sprintf(
+					"%s: stall-cycles/first-accel rose %.0f -> %.0f",
+					r.label(), p.StallCyclesFirstAccel, r.StallCyclesFirstAccel))
+			}
 		}
+	}
+	if *gate {
+		failures = append(failures, gateTierRatio(results, *minTierSpeedup)...)
 	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: GATE FAILED")

@@ -29,8 +29,9 @@ echo "== batched lockstep execution (race) =="
 # The batched engine shares one translation and one schedule walk across
 # lanes while the JIT pipeline may be translating on background workers;
 # the divergence property test and the batched chaos soak must hold
-# under the race detector.
-go test -race -run 'Batch' ./internal/scalar ./internal/accel ./internal/vm
+# under the race detector. The tiered chaos soak rides along: tier-1
+# installs, background re-tunes, and hot-swaps under injected faults.
+go test -race -run 'Batch|ChaosSoakTiered' ./internal/scalar ./internal/accel ./internal/vm
 
 echo "== golden-site verification (race) =="
 # Every accepted golden-site translation must pass the independent
