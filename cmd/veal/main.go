@@ -21,6 +21,13 @@
 //	veal serve [-addr A]    multi-tenant VM server: submit and run
 //	                        programs over HTTP against a shared
 //	                        content-addressed translation store
+//	veal record [-o DIR]    profile-guided annotation: profile plain
+//	                        kernels under a dynamic VM and re-emit hot
+//	                        ones with the Figure 9 annotations so they
+//	                        translate Hybrid-fast on a cold cache
+//	veal replay             warm-start comparison: cold vs
+//	                        snapshot-warmed vs recorded-annotated,
+//	                        against the tier-2 steady-state floor
 //
 // The global -j N flag (before the subcommand) caps the evaluation
 // worker pool; -j 1 forces serial evaluation. The VEAL_WORKERS
@@ -91,6 +98,10 @@ func main() {
 		err = cmdTiering(args)
 	case "serve":
 		err = cmdServe(args)
+	case "record":
+		err = cmdRecord(args)
+	case "replay":
+		err = cmdReplay(args)
 	case "asm":
 		err = cmdAsm(args)
 	default:
@@ -104,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|tiering|serve|asm> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: veal [-j N] <breakdown|dse|overhead|tradeoff|area|run|inspect|speculation|vmstats|bench|tiering|serve|record|replay|asm> [flags]`)
 }
 
 func usageExit() {

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"veal/internal/exp"
+	"veal/internal/isa"
+)
+
+// cmdRecord is the profile-guided annotation recorder: it deploys each
+// kernel as a plain (un-annotated) binary, profiles it under a
+// fully-dynamic VM to capture per-site hotness and the tier-2 CCA
+// mapping and priority order the dynamic translator discovered, and
+// re-emits hot kernels with the Figure 9 annotations the Hybrid policy
+// reads — so the recorded binary translates Hybrid-fast on any VM with
+// a completely cold cache. With -o the annotated binaries are written
+// as .bin containers next to the report.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	kernels := fs.String("kernel", "", "comma-separated kernel names (default: every unique suite kernel)")
+	trip := fs.Int64("trip", 256, "iterations per profiling invocation")
+	repeat := fs.Int("repeat", 3, "profiling runs per kernel (hotness accumulates across them)")
+	threshold := fs.Int64("threshold", 1, "minimum recorded invocations before a kernel earns annotations")
+	outDir := fs.String("o", "", "write each annotated binary to this directory as <kernel>.bin")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := exp.RecordOptions{Trip: *trip, Repeat: *repeat, HotThreshold: *threshold}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			opt.Kernels = append(opt.Kernels, strings.TrimSpace(k))
+		}
+	}
+	rows, err := exp.Record(opt)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		if err := exp.WriteRecordCSV(os.Stdout, rows); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(exp.FormatRecord(rows))
+	}
+	if *outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for _, r := range rows {
+		if r.Annotated == nil {
+			continue
+		}
+		img, err := isa.Encode(r.Annotated.Program)
+		if err != nil {
+			return fmt.Errorf("record: encoding %s: %w", r.Kernel, err)
+		}
+		dst := filepath.Join(*outDir, r.Kernel+".bin")
+		if err := os.WriteFile(dst, img, 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("record: wrote %d annotated binaries to %s\n", written, *outDir)
+	return nil
+}
+
+// cmdReplay measures the three deploy stories the snapshot and recorder
+// work enables, per kernel: a cold VM paying the full dynamic
+// translation, a VM warm-started from a translation snapshot, and a
+// `veal record`-annotated binary on a cold cache — against the tier-2
+// steady-state floor.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	kernels := fs.String("kernel", "", "comma-separated kernel names (default: every unique suite kernel)")
+	trip := fs.Int64("trip", 65536, "iterations per invocation")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := exp.WarmStartOptions{Trip: *trip}
+	if *kernels != "" {
+		for _, k := range strings.Split(*kernels, ",") {
+			opt.Kernels = append(opt.Kernels, strings.TrimSpace(k))
+		}
+	}
+	rows, err := exp.WarmStart(opt)
+	if err != nil {
+		return err
+	}
+	if *csvOut {
+		return exp.WriteWarmStartCSV(os.Stdout, rows)
+	}
+	fmt.Print(exp.FormatWarmStart(rows))
+	return nil
+}

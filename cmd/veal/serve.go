@@ -36,6 +36,8 @@ func cmdServe(args []string) error {
 	verifyFlag := fs.Bool("verify", false, "independently re-verify every installed translation")
 	spec := fs.Bool("spec", false, "enable speculative while-loop support")
 	faultSeed := fs.Uint64("fault-seed", 0, "run every tenant under the chaos fault plan (degradation drills)")
+	snapshot := fs.String("snapshot", "", "translation snapshot path: warm the store from it at boot, save to it on shutdown")
+	snapInterval := fs.Duration("snapshot-interval", 0, "also save the snapshot periodically at this interval (0 = shutdown only; needs -snapshot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +54,7 @@ func cmdServe(args []string) error {
 		StoreBudgetBytes:   *storeBudget,
 		TenantQuotaBytes:   *tenantQuota,
 		QueueDepth:         *queue,
+		SnapshotPath:       *snapshot,
 	}
 	switch *policy {
 	case "dynamic":
@@ -75,6 +78,38 @@ func cmdServe(args []string) error {
 	fmt.Printf("veal serve: listening on http://%s\n", ln.Addr())
 	fmt.Printf("veal serve: policy=%s workers=%d tiered=%v queue=%d store-budget=%d tenant-quota=%d\n",
 		*policy, *workers, *tiered, *queue, srv.Store().Budget(), *tenantQuota)
+	if *snapshot != "" {
+		m := srv.Store().Metrics()
+		fmt.Printf("veal serve: snapshot=%s loaded=%d rejected=%d\n",
+			*snapshot, m.SnapshotLoaded.Load(), m.SnapshotRejects.Load())
+	}
+
+	saveSnapshot := func(when string) {
+		if *snapshot == "" {
+			return
+		}
+		if n, err := srv.SaveSnapshot(); err != nil {
+			fmt.Fprintf(os.Stderr, "veal serve: snapshot save (%s): %v\n", when, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "veal serve: snapshot save (%s): %d translations\n", when, n)
+		}
+	}
+	if *snapshot != "" && *snapInterval > 0 {
+		tick := time.NewTicker(*snapInterval)
+		defer tick.Stop()
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-tick.C:
+					saveSnapshot("periodic")
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
@@ -87,6 +122,8 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "veal serve: %v, draining\n", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		return hs.Shutdown(ctx)
+		err := hs.Shutdown(ctx)
+		saveSnapshot("shutdown")
+		return err
 	}
 }

@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/par"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+)
+
+// RecordOptions configures the profile-guided annotation recorder: each
+// kernel is deployed as a plain (un-annotated) binary, profiled under a
+// fully-dynamic VM to capture per-site hotness and the tier-2 CCA
+// mapping the dynamic translator discovered, and — when hot — re-emitted
+// with the Figure 9 annotations (outlined CCA functions + the static
+// priority table), the format the Hybrid policy consumes. The recorded
+// binary then translates Hybrid-fast on any VM with a cold cache.
+type RecordOptions struct {
+	// Kernels are workload kernel names; empty selects every unique
+	// suite kernel whose plain lowering succeeds.
+	Kernels []string
+	// Trip is the iteration count per profiling invocation (default 256).
+	Trip int64
+	// Repeat is the number of profiling runs per kernel (default 3); the
+	// recorded hotness is the VM's invocation count across them.
+	Repeat int
+	// HotThreshold is the minimum recorded invocations before a kernel
+	// earns annotations (default 1; cold kernels stay un-annotated).
+	HotThreshold int64
+	// LA is the accelerator the recorded annotations target (default the
+	// proposed design).
+	LA *arch.LA
+}
+
+// RecordRow is one kernel's profile and annotation outcome.
+type RecordRow struct {
+	Kernel string
+	// Invocations is the profiled per-site hotness (VM loop-monitor
+	// invocation count across the profiling runs).
+	Invocations int64
+	// Hot reports whether the hotness cleared HotThreshold.
+	Hot bool
+	// DynOK reports whether the fully-dynamic tier-2 chain translated the
+	// plain binary; Reason carries the rejection otherwise.
+	DynOK  bool
+	Reason string
+	// DynWork/DynII describe the recorded dynamic translation: the
+	// metered work and the initiation interval of the schedule whose CCA
+	// mapping and priority order the annotations preserve.
+	DynWork int64
+	DynII   int
+	// Groups is the number of CCA subgraphs the dynamic mapper found.
+	Groups int
+	// HybOK/HybWork/HybII describe the recorded binary translated under
+	// Hybrid with a cold cache — the deploy-time payoff.
+	HybOK   bool
+	HybWork int64
+	HybII   int
+	// GroupsMatch reports that the annotated binary's CCA grouping agrees
+	// with the recorded dynamic mapping (same group count and sizes).
+	GroupsMatch bool
+	// Annotated is the recorded binary (nil when the kernel was cold or
+	// annotation failed); cmd/veal encodes it to disk.
+	Annotated *lower.Result
+}
+
+// recordKernels resolves the kernel set as plain (un-annotated) binaries.
+func recordKernels(names []string, trip int64, la *arch.LA) ([]tieringKernel, error) {
+	lowerPlain := func(l *ir.Loop) (*lower.Result, error) {
+		return lower.Lower(l, lower.Options{LA: la})
+	}
+	if len(names) > 0 {
+		loops := map[string]*ir.Loop{}
+		var available []string
+		for _, bench := range workloads.All() {
+			for _, site := range bench.Sites {
+				l := site.Kernel.Build()
+				if _, ok := loops[l.Name]; !ok {
+					loops[l.Name] = l
+					available = append(available, l.Name)
+				}
+			}
+		}
+		sort.Strings(available)
+		out := make([]tieringKernel, 0, len(names))
+		for _, name := range names {
+			l, ok := loops[name]
+			if !ok {
+				return nil, fmt.Errorf("record: unknown kernel %q; available: %s",
+					name, strings.Join(available, ", "))
+			}
+			res, err := lowerPlain(l)
+			if err != nil {
+				return nil, fmt.Errorf("record: lowering %s: %w", name, err)
+			}
+			bind, mem := workloads.Prepare(l, trip, 1)
+			out = append(out, tieringKernel{name: name, l: l, res: res, bind: bind, mem: mem})
+		}
+		return out, nil
+	}
+	seen := map[string]bool{}
+	var out []tieringKernel
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			l := site.Kernel.Build()
+			if seen[l.Name] {
+				continue
+			}
+			seen[l.Name] = true
+			res, err := lowerPlain(l)
+			if err != nil {
+				continue
+			}
+			bind, mem := workloads.Prepare(l, trip, 1)
+			out = append(out, tieringKernel{name: l.Name, l: l, res: res, bind: bind, mem: mem})
+		}
+	}
+	return out, nil
+}
+
+// Record profiles each kernel and produces its annotated binary. Rows
+// come back in kernel order; cells run on the par worker pool.
+func Record(opt RecordOptions) ([]RecordRow, error) {
+	if opt.Trip <= 0 {
+		opt.Trip = 256
+	}
+	if opt.Repeat <= 0 {
+		opt.Repeat = 3
+	}
+	if opt.HotThreshold <= 0 {
+		opt.HotThreshold = 1
+	}
+	if opt.LA == nil {
+		opt.LA = arch.Proposed()
+	}
+	kernels, err := recordKernels(opt.Kernels, opt.Trip, opt.LA)
+	if err != nil {
+		return nil, err
+	}
+
+	return par.MapErr(len(kernels), func(i int) (RecordRow, error) {
+		k := kernels[i]
+		row := RecordRow{Kernel: k.name}
+
+		// Profile: the plain deploy under an observe-only VM — the hot
+		// threshold sits above reach so no site ever installs and the
+		// loop monitor counts every invocation (the recorded hotness).
+		// The tier-2 translation is captured separately below, so
+		// profiling pays no translation stall.
+		v := vm.New(vm.Config{
+			LA: opt.LA, CPU: arch.ARM11(), Policy: vm.FullyDynamic,
+			CodeCacheSize: 16, SpeculationSupport: true,
+			HotThreshold: 1 << 30,
+		})
+		seed := func(m *scalar.Machine) {
+			m.Regs[k.res.TripReg] = uint64(k.bind.Trip)
+			for i, r := range k.res.ParamRegs {
+				m.Regs[r] = k.bind.Params[i]
+			}
+		}
+		for run := 0; run < opt.Repeat; run++ {
+			if _, _, err := v.Run(k.res.Program, k.mem.Clone(), seed, 500_000_000); err != nil {
+				return row, fmt.Errorf("record: profiling %s: %w", k.name, err)
+			}
+		}
+		for _, st := range v.LoopStates() {
+			row.Invocations += st.Invocations
+		}
+		row.Hot = row.Invocations >= opt.HotThreshold
+
+		// The recorded translation: the tier-2 CCA mapping and schedule
+		// the dynamic translator discovered for the plain binary.
+		region, ok := scheduleRegion(k.res)
+		if !ok {
+			row.Reason = "no schedulable region"
+			return row, nil
+		}
+		dyn, err := translate.For(translate.FullyDynamic).Run(translate.Request{
+			Prog: k.res.Program, Region: region, LA: opt.LA, Speculation: true,
+		})
+		if err != nil {
+			row.Reason = err.Error()
+			return row, nil
+		}
+		row.DynOK = true
+		row.DynWork = dyn.WorkTotal()
+		row.DynII = dyn.Schedule.II
+		row.Groups = len(dyn.Groups)
+
+		if !row.Hot {
+			return row, nil
+		}
+
+		// Emit the profile back into the binary: re-lower with the
+		// Figure 9 annotations against the recorded accelerator, then
+		// cross-check that the Hybrid chain reading them reproduces the
+		// recorded CCA mapping.
+		anno, err := lower.Lower(k.l, lower.Options{Annotate: true, LA: opt.LA})
+		if err != nil {
+			row.Reason = fmt.Sprintf("annotate: %v", err)
+			return row, nil
+		}
+		annoRegion, ok := scheduleRegion(anno)
+		if !ok {
+			row.Reason = "annotated binary lost its schedulable region"
+			return row, nil
+		}
+		hyb, err := translate.For(translate.Hybrid).Run(translate.Request{
+			Prog: anno.Program, Region: annoRegion, LA: opt.LA, Speculation: true,
+		})
+		if err != nil {
+			row.Reason = fmt.Sprintf("hybrid translation of recorded binary: %v", err)
+			return row, nil
+		}
+		row.HybOK = true
+		row.HybWork = hyb.WorkTotal()
+		row.HybII = hyb.Schedule.II
+		row.GroupsMatch = groupShapesEqual(dyn.Groups, hyb.Groups)
+		row.Annotated = anno
+		return row, nil
+	})
+}
+
+// groupShapesEqual compares two CCA group mappings by count and sorted
+// group sizes (node numbering can differ between the plain and annotated
+// lowerings of one loop; the grouping shape is what the CCA consumes).
+func groupShapesEqual(a, b [][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa, sb := make([]int, len(a)), make([]int, len(b))
+	for i := range a {
+		sa[i] = len(a[i])
+	}
+	for i := range b {
+		sb[i] = len(b[i])
+	}
+	sort.Ints(sa)
+	sort.Ints(sb)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatRecord renders the recorder report.
+func FormatRecord(rows []RecordRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Profile-guided annotation: plain deploy profiled, hot kernels re-emitted with Figure 9 annotations\n")
+	fmt.Fprintf(&b, "%-14s %8s %4s %9s %9s %6s %6s %7s %6s  %s\n",
+		"kernel", "invocs", "hot", "dyn work", "hyb work", "dyn II", "hyb II", "groups", "match", "status")
+	for _, r := range rows {
+		status := "annotated"
+		switch {
+		case !r.DynOK:
+			status = "skipped: " + r.Reason
+		case !r.Hot:
+			status = "cold, left un-annotated"
+		case !r.HybOK:
+			status = "failed: " + r.Reason
+		}
+		match := "-"
+		if r.HybOK {
+			match = fmt.Sprintf("%v", r.GroupsMatch)
+		}
+		fmt.Fprintf(&b, "%-14s %8d %4v %9d %9d %6d %6d %7d %6s  %s\n",
+			r.Kernel, r.Invocations, r.Hot, r.DynWork, r.HybWork,
+			r.DynII, r.HybII, r.Groups, match, status)
+	}
+	return b.String()
+}
+
+// WriteRecordCSV emits the rows as CSV.
+func WriteRecordCSV(w io.Writer, rows []RecordRow) error {
+	if _, err := fmt.Fprintln(w, "kernel,invocations,hot,dyn_ok,dyn_work,dyn_ii,groups,hyb_ok,hyb_work,hyb_ii,groups_match,reason"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%d,%v,%v,%d,%d,%d,%v,%d,%d,%v,%s\n",
+			r.Kernel, r.Invocations, r.Hot, r.DynOK, r.DynWork, r.DynII,
+			r.Groups, r.HybOK, r.HybWork, r.HybII, r.GroupsMatch,
+			strings.ReplaceAll(r.Reason, ",", ";")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"veal/internal/arch"
+	"veal/internal/lower"
+	"veal/internal/par"
+	"veal/internal/scalar"
+	"veal/internal/tstore"
+	"veal/internal/vm"
+)
+
+// WarmStartOptions configures the warm-start experiment: per kernel it
+// prices the three deploy stories against each other — a cold VM paying
+// the full dynamic translation, a VM warm-started from a translation
+// snapshot (zero translation work), and a `veal record`-annotated binary
+// on a cold cache (Hybrid-fast translation). The last column is the
+// tier-2 steady state (an already-warm code cache), the floor all three
+// converge to.
+type WarmStartOptions struct {
+	// Kernels are workload kernel names; empty selects every unique
+	// suite kernel whose plain lowering succeeds.
+	Kernels []string
+	// Trip is the iteration count per invocation (default 65536 — long
+	// enough that translation stall reads directly as a percentage of a
+	// single invocation).
+	Trip int64
+	// LA is the accelerator design (default the proposed design).
+	LA *arch.LA
+}
+
+// WarmStartRow is one kernel measurement. All cycle counts are one full
+// v.Run (scalar prologue + translation stall + accelerated loop).
+type WarmStartRow struct {
+	Kernel string
+	// OK is false when the kernel never accelerated (Reason says why);
+	// the cycle columns are then meaningless.
+	OK     bool
+	Reason string
+	// Cold: plain binary, fresh fully-dynamic VM, empty store.
+	ColdCycles, ColdStall int64
+	// Warm: same binary, fresh VM, store warm-started from the cold
+	// run's snapshot. WarmStall is zero when every translation was
+	// recovered.
+	WarmCycles, WarmStall int64
+	// Recorded: the `veal record` annotated binary under Hybrid with a
+	// cold cache.
+	RecCycles, RecStall int64
+	// SteadyCycles is the recorded binary's second run — tier-2 steady
+	// state, no translation anywhere.
+	SteadyCycles int64
+	// RecOverheadPct is how far the recorded cold-cache run sits above
+	// steady state, in percent (the acceptance bar is 5%).
+	RecOverheadPct float64
+}
+
+// WarmStart runs the experiment on the par worker pool. Each cell's VMs,
+// stores, and snapshot file are private, so results are deterministic.
+func WarmStart(opt WarmStartOptions) ([]WarmStartRow, error) {
+	if opt.Trip <= 0 {
+		opt.Trip = 65536
+	}
+	if opt.LA == nil {
+		opt.LA = arch.Proposed()
+	}
+	kernels, err := recordKernels(opt.Kernels, opt.Trip, opt.LA)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "veal-warmstart-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	return par.MapErr(len(kernels), func(i int) (WarmStartRow, error) {
+		k := kernels[i]
+		row := WarmStartRow{Kernel: k.name}
+		seed := func(res *lower.Result) func(*scalar.Machine) {
+			return func(m *scalar.Machine) {
+				m.Regs[res.TripReg] = uint64(k.bind.Trip)
+				for i, r := range res.ParamRegs {
+					m.Regs[r] = k.bind.Params[i]
+				}
+			}
+		}
+		newVM := func(pol vm.Policy, store *tstore.Store) *vm.VM {
+			return vm.New(vm.Config{
+				LA: opt.LA, CPU: arch.ARM11(), Policy: pol,
+				CodeCacheSize: 16, SpeculationSupport: true,
+				Store: store,
+			})
+		}
+
+		// Cold: the plain deploy pays the full dynamic translation.
+		snap := filepath.Join(dir, fmt.Sprintf("%s.snap", k.name))
+		coldStore := tstore.New(tstore.Config{})
+		v := newVM(vm.FullyDynamic, coldStore)
+		r, _, err := v.Run(k.res.Program, k.mem.Clone(), seed(k.res), 500_000_000)
+		if err != nil {
+			return row, fmt.Errorf("warmstart: cold %s: %w", k.name, err)
+		}
+		if r.FirstAccelAt < 0 {
+			row.Reason = "never accelerated"
+			for reason := range v.Stats.Rejections {
+				row.Reason = "rejected: " + reason
+				break
+			}
+			return row, nil
+		}
+		row.ColdCycles, row.ColdStall = r.Cycles, r.FirstAccelStall
+		if _, err := coldStore.Save(snap); err != nil {
+			return row, fmt.Errorf("warmstart: snapshot %s: %w", k.name, err)
+		}
+
+		// Warm: a fresh VM whose store was warm-started from the snapshot.
+		warmStore := tstore.New(tstore.Config{})
+		if _, _, err := warmStore.Warm(snap, opt.LA); err != nil {
+			return row, fmt.Errorf("warmstart: warm %s: %w", k.name, err)
+		}
+		v = newVM(vm.FullyDynamic, warmStore)
+		r, _, err = v.Run(k.res.Program, k.mem.Clone(), seed(k.res), 500_000_000)
+		if err != nil {
+			return row, fmt.Errorf("warmstart: warm run %s: %w", k.name, err)
+		}
+		row.WarmCycles, row.WarmStall = r.Cycles, r.FirstAccelStall
+
+		// Recorded: the annotated binary, Hybrid policy, cold cache —
+		// then a second run for the steady-state floor.
+		anno, err := lower.Lower(k.l, lower.Options{Annotate: true, LA: opt.LA})
+		if err != nil {
+			row.Reason = fmt.Sprintf("annotate: %v", err)
+			return row, nil
+		}
+		v = newVM(vm.Hybrid, nil)
+		r, _, err = v.Run(anno.Program, k.mem.Clone(), seed(anno), 500_000_000)
+		if err != nil {
+			return row, fmt.Errorf("warmstart: recorded %s: %w", k.name, err)
+		}
+		if r.FirstAccelAt < 0 {
+			row.Reason = "recorded binary never accelerated"
+			return row, nil
+		}
+		row.RecCycles, row.RecStall = r.Cycles, r.FirstAccelStall
+		r, _, err = v.Run(anno.Program, k.mem.Clone(), seed(anno), 500_000_000)
+		if err != nil {
+			return row, fmt.Errorf("warmstart: steady %s: %w", k.name, err)
+		}
+		row.SteadyCycles = r.Cycles
+		if row.SteadyCycles > 0 {
+			row.RecOverheadPct = 100 * float64(row.RecCycles-row.SteadyCycles) / float64(row.SteadyCycles)
+		}
+		row.OK = true
+		return row, nil
+	})
+}
+
+// FormatWarmStart renders the experiment as an aligned table.
+func FormatWarmStart(rows []WarmStartRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Warm start: cold vs snapshot-warmed vs recorded-annotated (trip per invocation, full-run cycles)\n")
+	fmt.Fprintf(&b, "%-14s %11s %10s %11s %10s %11s %10s %11s %9s\n",
+		"kernel", "cold cyc", "cold stl", "warm cyc", "warm stl",
+		"rec cyc", "rec stl", "steady cyc", "rec ovhd")
+	for _, r := range rows {
+		if !r.OK {
+			fmt.Fprintf(&b, "%-14s %s\n", r.Kernel, r.Reason)
+			continue
+		}
+		fmt.Fprintf(&b, "%-14s %11d %10d %11d %10d %11d %10d %11d %8.2f%%\n",
+			r.Kernel, r.ColdCycles, r.ColdStall, r.WarmCycles, r.WarmStall,
+			r.RecCycles, r.RecStall, r.SteadyCycles, r.RecOverheadPct)
+	}
+	return b.String()
+}
+
+// WriteWarmStartCSV emits the rows as CSV.
+func WriteWarmStartCSV(w io.Writer, rows []WarmStartRow) error {
+	if _, err := fmt.Fprintln(w, "kernel,ok,cold_cycles,cold_stall,warm_cycles,warm_stall,rec_cycles,rec_stall,steady_cycles,rec_overhead_pct,reason"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%v,%d,%d,%d,%d,%d,%d,%d,%s,%s\n",
+			r.Kernel, r.OK, r.ColdCycles, r.ColdStall, r.WarmCycles, r.WarmStall,
+			r.RecCycles, r.RecStall, r.SteadyCycles, f(r.RecOverheadPct),
+			strings.ReplaceAll(r.Reason, ",", ";")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWarmStartSuite pins the two deploy-time acceptance bars over the
+// whole kernel suite: a snapshot-warmed VM does (essentially) zero
+// translation work — first-accel stall at least 10x below the cold
+// deploy — and a `veal record`-annotated binary on a completely cold
+// cache lands within 5% of the tier-2 steady-state cycle count.
+func TestWarmStartSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite warm-start comparison is slow")
+	}
+	rows, err := WarmStart(WarmStartOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accelerated := 0
+	for _, r := range rows {
+		if !r.OK {
+			t.Logf("%s: %s", r.Kernel, r.Reason)
+			continue
+		}
+		accelerated++
+		if r.ColdStall <= 0 {
+			t.Errorf("%s: cold run reported no translation stall", r.Kernel)
+		}
+		if r.WarmStall*10 > r.ColdStall {
+			t.Errorf("%s: warm stall %d not 10x below cold stall %d",
+				r.Kernel, r.WarmStall, r.ColdStall)
+		}
+		if r.RecOverheadPct > 5 {
+			t.Errorf("%s: recorded cold-cache run %.2f%% above tier-2 steady state (limit 5%%)",
+				r.Kernel, r.RecOverheadPct)
+		}
+	}
+	if accelerated < 20 {
+		t.Fatalf("only %d suite kernels accelerated; the comparison lost its coverage", accelerated)
+	}
+}
+
+// TestRecordAnnotatesHotKernels checks the recorder contract on a few
+// kernels with known-rich CCA structure: a hot kernel comes back with an
+// annotated binary whose Hybrid translation is cheaper than the recorded
+// dynamic one and reproduces the recorded CCA grouping.
+func TestRecordAnnotatesHotKernels(t *testing.T) {
+	rows, err := Record(RecordOptions{
+		Kernels: []string{"saxpy", "idct-row", "adpcm-encode", "fir8"},
+		Repeat:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.Invocations != 3 {
+			t.Errorf("%s: profiled invocations = %d, want 3 (one per run)", r.Kernel, r.Invocations)
+		}
+		if !r.Hot || !r.DynOK || !r.HybOK {
+			t.Fatalf("%s: hot=%v dynOK=%v hybOK=%v reason=%q", r.Kernel, r.Hot, r.DynOK, r.HybOK, r.Reason)
+		}
+		if r.Annotated == nil {
+			t.Fatalf("%s: hot kernel has no annotated binary", r.Kernel)
+		}
+		if len(r.Annotated.Program.LoopAnnos) == 0 {
+			t.Errorf("%s: annotated binary carries no priority table", r.Kernel)
+		}
+		if !r.GroupsMatch {
+			t.Errorf("%s: annotated CCA grouping diverges from the recorded mapping", r.Kernel)
+		}
+		if r.HybWork >= r.DynWork {
+			t.Errorf("%s: hybrid translation (%d work) not cheaper than dynamic (%d)",
+				r.Kernel, r.HybWork, r.DynWork)
+		}
+		if r.HybII != r.DynII {
+			t.Errorf("%s: annotated schedule II %d != recorded II %d", r.Kernel, r.HybII, r.DynII)
+		}
+	}
+}
+
+// TestRecordColdKernelStaysPlain: below the hotness threshold nothing is
+// annotated — the recorder only rewrites binaries the profile justifies.
+func TestRecordColdKernelStaysPlain(t *testing.T) {
+	rows, err := Record(RecordOptions{
+		Kernels: []string{"saxpy"}, Repeat: 2, HotThreshold: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Hot || r.Annotated != nil {
+		t.Fatalf("cold kernel annotated anyway: hot=%v", r.Hot)
+	}
+	if !r.DynOK {
+		t.Fatalf("recorded translation missing: %s", r.Reason)
+	}
+	if !strings.Contains(FormatRecord(rows), "left un-annotated") {
+		t.Error("report does not mark the cold kernel as un-annotated")
+	}
+}

@@ -115,6 +115,14 @@ type Metrics struct {
 	RetunesQueued   int64
 	TierStoreHits   int64
 
+	// Warm start (snapshot persistence). WarmHits counts sites whose
+	// translation was installed straight from a snapshot-loaded store
+	// entry, skipping the queue; SnapshotLoadRejects counts snapshot
+	// entries dropped at load time (corruption, version skew, or a
+	// verify.Translation failure).
+	WarmHits            int64
+	SnapshotLoadRejects int64
+
 	// Code cache.
 	CacheHits   int64
 	CacheMisses int64
@@ -270,6 +278,8 @@ func (m *Metrics) FormatTiers() string {
 	row("upgrade failures", m.UpgradeFailures)
 	row("retunes queued", m.RetunesQueued)
 	row("tier-2 store hits", atomic.LoadInt64(&m.TierStoreHits))
+	row("warm installs", m.WarmHits)
+	row("snapshot load rejects", m.SnapshotLoadRejects)
 	fmt.Fprintf(&b, "  %-22s %s\n", "swap latency", m.SwapLatency.String())
 	fmt.Fprintf(&b, "  %-22s %s\n", "time to first accel", m.TimeToFirstAccel.String())
 	return b.String()

@@ -1,0 +1,43 @@
+package jit
+
+// InstallWarm publishes a snapshot-recovered translation for key at
+// virtual time now, skipping the queue entirely: no worker slot, no
+// translation work, no install latency. It succeeds only while the site
+// has not progressed past profiling (Cold, Profiling, or unseen) — once
+// a translation is queued, in flight, installed, or rejected, the normal
+// lifecycle owns the site and the warm value is dropped.
+//
+// A tier-1 value enters the tiered protocol exactly as a live tier-1
+// install would: hotness resets to zero and the re-tune stays armed, so
+// a snapshot holding only first cuts still earns its tier-2 upgrade
+// after RetuneThreshold hits (RequestTiered supplies the t2 translator
+// on every poll). A tier-2 value lands as InstalledT2 and is final.
+func (p *Pipeline[K, V]) InstallWarm(key K, now int64, v V) bool {
+	p.setNow(now)
+	e := p.loops[key]
+	if e == nil {
+		e = p.admit(key)
+	}
+	switch e.state {
+	case Cold, Profiling:
+	default:
+		return false
+	}
+	e.ref = true
+	p.cache.put(key, v)
+	if p.tierOf(v) == 1 {
+		e.state = InstalledT1
+		e.t1At = now
+		e.hotness = 0
+		p.metrics.InstalledT1++
+	} else {
+		e.state = InstalledT2
+		p.metrics.InstalledT2++
+	}
+	e.installs++
+	e.failures = 0
+	e.retryAt = 0
+	p.metrics.WarmHits++
+	p.trace.emit(Event{T: now, Loop: p.keyName(key), Event: "warm-install"})
+	return true
+}

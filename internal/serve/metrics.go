@@ -34,6 +34,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("veal_store_rejections_total", "computes that ended in rejection", m.Rejections.Load())
 	counter("veal_store_evictions_total", "entries evicted by the global byte budget", m.Evictions.Load())
 	counter("veal_store_quota_evictions_total", "tenant references shed by per-tenant quotas", m.QuotaEvictions.Load())
+	counter("veal_store_snapshot_loaded_total", "translations installed from warm-start snapshots", m.SnapshotLoaded.Load())
+	counter("veal_store_snapshot_rejects_total", "snapshot entries dropped at load (corrupt, stale, or failed verification)", m.SnapshotRejects.Load())
+	counter("veal_store_snapshot_saves_total", "snapshots persisted to disk", m.SnapshotSaves.Load())
 	gauge("veal_store_bytes", "estimated resident bytes of translations", m.Bytes())
 	gauge("veal_store_entries", "resident store entries (positive and negative)", m.Entries())
 	gauge("veal_store_budget_bytes", "configured global byte budget", s.store.Budget())
@@ -80,6 +83,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		row("veal_tenant_jit_upgrade_failures_total", t.name, jm.UpgradeFailures)
 		row("veal_tenant_jit_retunes_queued_total", t.name, jm.RetunesQueued)
 		row("veal_tenant_jit_tier_store_hits_total", t.name, atomic.LoadInt64(&jm.TierStoreHits))
+		row("veal_tenant_jit_warm_hits_total", t.name, jm.WarmHits)
+		row("veal_tenant_jit_snapshot_load_rejects_total", t.name, jm.SnapshotLoadRejects)
 		row("veal_tenant_jit_swap_latency_cycles_sum", t.name, jm.SwapLatency.Sum)
 		row("veal_tenant_jit_swap_latency_count", t.name, jm.SwapLatency.Count)
 		row("veal_tenant_time_to_first_accel_cycles_sum", t.name, jm.TimeToFirstAccel.Sum)

@@ -90,6 +90,14 @@ type Config struct {
 	// 429 (default 8).
 	QueueDepth int
 
+	// SnapshotPath, when set, warm-starts the shared store from a
+	// translation snapshot at startup (missing file = cold start; every
+	// recovered entry is re-verified before it becomes servable) and is
+	// where Server.SaveSnapshot persists the store. Periodic saving is
+	// the embedder's job (the CLI runs a ticker); the server only knows
+	// the path.
+	SnapshotPath string
+
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxInsts caps retired instructions per lane per run request
@@ -181,9 +189,26 @@ func New(cfg Config) *Server {
 		tenants:  make(map[string]*tenant),
 		programs: make(map[string]*program),
 	}
+	if cfg.SnapshotPath != "" {
+		// Warm failures are not fatal: a corrupt or stale snapshot
+		// degrades to a cold start, never a dead server. Rejected
+		// entries are already counted by the store's own metrics.
+		s.store.Warm(cfg.SnapshotPath, cfg.LA)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
+}
+
+// SaveSnapshot persists the shared store to Config.SnapshotPath (no-op
+// without one). Safe to call concurrently with serving: the store
+// snapshots resolved entries under its own lock and writes atomically
+// (temp file + fsync + rename).
+func (s *Server) SaveSnapshot() (int, error) {
+	if s.cfg.SnapshotPath == "" {
+		return 0, nil
+	}
+	return s.store.Save(s.cfg.SnapshotPath)
 }
 
 // Store exposes the shared translation store (tests and embedders).

@@ -1,0 +1,554 @@
+package translate
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopx"
+	"veal/internal/modsched"
+	"veal/internal/vmcost"
+)
+
+// CodecVersion is the snapshot wire-format version of the Result
+// encoding. Bump it on any schema change: decoders reject payloads whose
+// version byte differs, which is exactly how stale on-disk snapshots
+// invalidate themselves after an upgrade.
+const CodecVersion = 1
+
+// maxDecodeElems bounds every length prefix the decoder honors. Real
+// loops have tens of nodes; a corrupt length field must fail fast rather
+// than drive a multi-gigabyte allocation.
+const maxDecodeElems = 1 << 20
+
+// EncodeBinary serializes the Result into the versioned deterministic
+// wire format. The encoding is a pure function of the Result's retained
+// fields: identical translations produce byte-identical payloads
+// (little-endian fixed-width scalars, fields in declaration order, no
+// maps). The dependence Graph is deliberately NOT serialized — its
+// adjacency structure is private and fully determined by (Loop, Groups,
+// CCA config), so DecodeResult rebuilds it with modsched.BuildGraph.
+func (r *Result) EncodeBinary() ([]byte, error) {
+	if r == nil || r.Ext == nil || r.Ext.Loop == nil || r.Schedule == nil {
+		return nil, fmt.Errorf("translate: encode of incomplete result")
+	}
+	e := &coder{buf: make([]byte, 0, r.SizeBytes())}
+	e.u8(CodecVersion)
+	e.u8(uint8(r.Tier))
+
+	// Extraction.
+	x := r.Ext
+	e.i64(int64(x.Region.Head))
+	e.i64(int64(x.Region.BackPC))
+	e.u8(uint8(x.Region.Kind))
+	e.count(len(x.Params))
+	for _, p := range x.Params {
+		e.u8(p.Reg)
+		e.i64(p.Offset)
+	}
+	e.u8(x.Trip.IndReg)
+	e.u8(x.Trip.BoundReg)
+	e.i64(x.Trip.Step)
+	e.u8(uint8(x.Trip.Branch))
+	e.groups(x.Groups)
+	e.ints(x.NodeSrc)
+	e.count(len(x.AffineFinals))
+	for _, af := range x.AffineFinals {
+		e.u8(af.Reg)
+		e.i64(af.Step)
+	}
+	e.i64(x.LinkRegFinal)
+	e.i64(int64(x.ExitTarget))
+	e.i64(int64(x.IntArchRegs))
+	e.i64(int64(x.FPArchRegs))
+
+	// Loop.
+	l := x.Loop
+	e.str(l.Name)
+	e.i64(int64(l.NumParams))
+	e.count(len(l.ParamNames))
+	for _, s := range l.ParamNames {
+		e.str(s)
+	}
+	e.count(len(l.Streams))
+	for _, s := range l.Streams {
+		e.u8(uint8(s.Kind))
+		e.i64(int64(s.BaseParam))
+		e.i64(s.Offset)
+		e.i64(s.Stride)
+	}
+	e.count(len(l.LiveOuts))
+	for _, lo := range l.LiveOuts {
+		e.str(lo.Name)
+		e.i64(int64(lo.Node))
+		e.i64(int64(lo.Dist))
+		e.ints(lo.Init)
+	}
+	e.i64(int64(l.Exit))
+	e.count(len(l.Nodes))
+	for i, nd := range l.Nodes {
+		if nd == nil || nd.ID != i {
+			return nil, fmt.Errorf("translate: encode: loop node %d malformed", i)
+		}
+		e.i64(int64(nd.Op))
+		e.count(len(nd.Args))
+		for _, a := range nd.Args {
+			e.i64(int64(a.Node))
+			e.i64(int64(a.Dist))
+		}
+		e.u64(nd.Imm)
+		e.i64(int64(nd.Param))
+		e.i64(int64(nd.Stream))
+		e.ints(nd.Init)
+	}
+
+	// Result-level products.
+	e.groups(r.Groups)
+	e.i64(int64(r.Schedule.II))
+	e.i64(int64(r.Schedule.SC))
+	e.ints(r.Schedule.Time)
+	e.ints(r.Schedule.FU)
+	e.i64(int64(r.Regs.Int))
+	e.i64(int64(r.Regs.Float))
+	e.count(len(r.Work))
+	for _, w := range r.Work {
+		e.i64(w)
+	}
+	e.count(len(r.Passes))
+	for _, p := range r.Passes {
+		e.str(p.Name)
+		e.i64(int64(p.Phase))
+		e.i64(p.Work)
+		if p.Rejected {
+			e.u8(1)
+		} else {
+			e.u8(0)
+		}
+	}
+	return e.buf, nil
+}
+
+// DecodeResult parses a payload produced by EncodeBinary and rebuilds
+// the dependence graph for the given accelerator. It validates structure
+// (version byte, length bounds, truncation) but NOT semantics — callers
+// loading untrusted or on-disk data must run verify.Translation on the
+// returned Result before serving it.
+func DecodeResult(data []byte, la *arch.LA) (*Result, error) {
+	if la == nil {
+		return nil, fmt.Errorf("translate: decode needs an accelerator config")
+	}
+	d := &coder{buf: data}
+	v, err := d.ru8()
+	if err != nil {
+		return nil, err
+	}
+	if v != CodecVersion {
+		return nil, fmt.Errorf("translate: snapshot codec version %d, want %d", v, CodecVersion)
+	}
+	tier, err := d.ru8()
+	if err != nil {
+		return nil, err
+	}
+	if Tier(tier) != Tier1 && Tier(tier) != Tier2 {
+		return nil, fmt.Errorf("translate: decode: bad tier %d", tier)
+	}
+
+	x := &loopx.Extraction{}
+	head, err := d.ri64()
+	backPC, err2 := d.ri64()
+	kind, err3 := d.ru8()
+	if err = firstErr(err, err2, err3); err != nil {
+		return nil, err
+	}
+	x.Region = cfg.Region{Head: int(head), BackPC: int(backPC), Kind: cfg.RegionKind(kind)}
+	np, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	x.Params = make([]loopx.ParamSpec, np)
+	for i := range x.Params {
+		reg, err := d.ru8()
+		off, err2 := d.ri64()
+		if err = firstErr(err, err2); err != nil {
+			return nil, err
+		}
+		x.Params[i] = loopx.ParamSpec{Reg: reg, Offset: off}
+	}
+	indReg, err := d.ru8()
+	boundReg, err2 := d.ru8()
+	step, err3 := d.ri64()
+	branch, err4 := d.ru8()
+	if err = firstErr(err, err2, err3, err4); err != nil {
+		return nil, err
+	}
+	x.Trip = loopx.TripSpec{IndReg: indReg, BoundReg: boundReg, Step: step, Branch: isa.Opcode(branch)}
+	if x.Groups, err = d.rgroups(); err != nil {
+		return nil, err
+	}
+	if x.NodeSrc, err = d.rints(); err != nil {
+		return nil, err
+	}
+	naf, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	x.AffineFinals = make([]loopx.AffineFinal, naf)
+	for i := range x.AffineFinals {
+		reg, err := d.ru8()
+		st, err2 := d.ri64()
+		if err = firstErr(err, err2); err != nil {
+			return nil, err
+		}
+		x.AffineFinals[i] = loopx.AffineFinal{Reg: reg, Step: st}
+	}
+	lrf, err := d.ri64()
+	exitTarget, err2 := d.ri64()
+	intRegs, err3 := d.ri64()
+	fpRegs, err4 := d.ri64()
+	if err = firstErr(err, err2, err3, err4); err != nil {
+		return nil, err
+	}
+	x.LinkRegFinal = lrf
+	x.ExitTarget = int(exitTarget)
+	x.IntArchRegs = int(intRegs)
+	x.FPArchRegs = int(fpRegs)
+
+	l := &ir.Loop{}
+	if l.Name, err = d.rstr(); err != nil {
+		return nil, err
+	}
+	numParams, err := d.ri64()
+	if err != nil {
+		return nil, err
+	}
+	l.NumParams = int(numParams)
+	npn, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if npn > 0 {
+		l.ParamNames = make([]string, npn)
+		for i := range l.ParamNames {
+			if l.ParamNames[i], err = d.rstr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nstreams, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if nstreams > 0 {
+		l.Streams = make([]ir.Stream, nstreams)
+		for i := range l.Streams {
+			k, err := d.ru8()
+			bp, err2 := d.ri64()
+			off, err3 := d.ri64()
+			stride, err4 := d.ri64()
+			if err = firstErr(err, err2, err3, err4); err != nil {
+				return nil, err
+			}
+			l.Streams[i] = ir.Stream{Kind: ir.StreamKind(k), BaseParam: int(bp), Offset: off, Stride: stride}
+		}
+	}
+	nlo, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if nlo > 0 {
+		l.LiveOuts = make([]ir.LiveOut, nlo)
+		for i := range l.LiveOuts {
+			lo := ir.LiveOut{}
+			if lo.Name, err = d.rstr(); err != nil {
+				return nil, err
+			}
+			node, err := d.ri64()
+			dist, err2 := d.ri64()
+			if err = firstErr(err, err2); err != nil {
+				return nil, err
+			}
+			lo.Node = int(node)
+			lo.Dist = int(dist)
+			if lo.Init, err = d.rints(); err != nil {
+				return nil, err
+			}
+			l.LiveOuts[i] = lo
+		}
+	}
+	exit, err := d.ri64()
+	if err != nil {
+		return nil, err
+	}
+	l.Exit = int(exit)
+	nnodes, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	l.Nodes = make([]*ir.Node, nnodes)
+	for i := range l.Nodes {
+		nd := &ir.Node{ID: i}
+		op, err := d.ri64()
+		if err != nil {
+			return nil, err
+		}
+		nd.Op = ir.Op(op)
+		nargs, err := d.rcount()
+		if err != nil {
+			return nil, err
+		}
+		if nargs > 0 {
+			nd.Args = make([]ir.Operand, nargs)
+			for j := range nd.Args {
+				an, err := d.ri64()
+				ad, err2 := d.ri64()
+				if err = firstErr(err, err2); err != nil {
+					return nil, err
+				}
+				nd.Args[j] = ir.Operand{Node: int(an), Dist: int(ad)}
+			}
+		}
+		imm, err := d.ru64()
+		param, err2 := d.ri64()
+		stream, err3 := d.ri64()
+		if err = firstErr(err, err2, err3); err != nil {
+			return nil, err
+		}
+		nd.Imm = imm
+		nd.Param = int(param)
+		nd.Stream = int(stream)
+		if nd.Init, err = d.rints(); err != nil {
+			return nil, err
+		}
+		l.Nodes[i] = nd
+	}
+	x.Loop = l
+
+	r := &Result{Tier: Tier(tier), Ext: x}
+	if r.Groups, err = d.rgroups(); err != nil {
+		return nil, err
+	}
+	sched := &modsched.Schedule{}
+	ii, err := d.ri64()
+	sc, err2 := d.ri64()
+	if err = firstErr(err, err2); err != nil {
+		return nil, err
+	}
+	sched.II = int(ii)
+	sched.SC = int(sc)
+	if sched.Time, err = d.rints(); err != nil {
+		return nil, err
+	}
+	if sched.FU, err = d.rints(); err != nil {
+		return nil, err
+	}
+	ri, err := d.ri64()
+	rf, err2 := d.ri64()
+	if err = firstErr(err, err2); err != nil {
+		return nil, err
+	}
+	r.Regs = modsched.RegisterNeeds{Int: int(ri), Float: int(rf)}
+	nwork, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if nwork != int(vmcost.NumPhases) {
+		return nil, fmt.Errorf("translate: decode: %d work phases, want %d", nwork, vmcost.NumPhases)
+	}
+	for i := 0; i < nwork; i++ {
+		if r.Work[i], err = d.ri64(); err != nil {
+			return nil, err
+		}
+	}
+	npass, err := d.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if npass > 0 {
+		r.Passes = make([]PassStat, npass)
+		for i := range r.Passes {
+			p := PassStat{}
+			if p.Name, err = d.rstr(); err != nil {
+				return nil, err
+			}
+			phase, err := d.ri64()
+			work, err2 := d.ri64()
+			rej, err3 := d.ru8()
+			if err = firstErr(err, err2, err3); err != nil {
+				return nil, err
+			}
+			p.Phase = vmcost.Phase(phase)
+			p.Work = work
+			p.Rejected = rej != 0
+			r.Passes[i] = p
+		}
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("translate: decode: %d trailing bytes", len(d.buf)-d.off)
+	}
+
+	// Rebuild the dependence graph deterministically from the decoded
+	// loop: BuildGraph is a pure function of (loop, groups, CCA config),
+	// so the reconstruction matches what the original pipeline produced
+	// and the Schedule's per-unit Time/FU arrays line up.
+	g, err := modsched.BuildGraph(l, r.Groups, la.CCA, nil)
+	if err != nil {
+		return nil, fmt.Errorf("translate: decode: graph rebuild: %w", err)
+	}
+	if len(sched.Time) != len(g.Units) || len(sched.FU) != len(g.Units) {
+		return nil, fmt.Errorf("translate: decode: schedule covers %d units, graph has %d",
+			len(sched.Time), len(g.Units))
+	}
+	sched.Graph = g
+	r.Graph = g
+	r.Schedule = sched
+	return r, nil
+}
+
+// coder is a little-endian append/consume cursor shared by the encode
+// and decode paths.
+type coder struct {
+	buf []byte
+	off int
+}
+
+func (c *coder) u8(v uint8)   { c.buf = append(c.buf, v) }
+func (c *coder) u64(v uint64) { c.buf = binary.LittleEndian.AppendUint64(c.buf, v) }
+func (c *coder) i64(v int64)  { c.u64(uint64(v)) }
+func (c *coder) u32(v uint32) { c.buf = binary.LittleEndian.AppendUint32(c.buf, v) }
+
+func (c *coder) count(n int) {
+	c.u32(uint32(n))
+}
+
+func (c *coder) str(s string) {
+	c.count(len(s))
+	c.buf = append(c.buf, s...)
+}
+
+func (c *coder) ints(v []int) {
+	c.count(len(v))
+	for _, x := range v {
+		c.i64(int64(x))
+	}
+}
+
+func (c *coder) groups(g [][]int) {
+	c.count(len(g))
+	for _, grp := range g {
+		c.ints(grp)
+	}
+}
+
+var errTruncated = fmt.Errorf("translate: decode: truncated payload")
+
+func (c *coder) need(n int) error {
+	if n < 0 || len(c.buf)-c.off < n {
+		return errTruncated
+	}
+	return nil
+}
+
+func (c *coder) ru8() (uint8, error) {
+	if err := c.need(1); err != nil {
+		return 0, err
+	}
+	v := c.buf[c.off]
+	c.off++
+	return v, nil
+}
+
+func (c *coder) ru64() (uint64, error) {
+	if err := c.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *coder) ri64() (int64, error) {
+	v, err := c.ru64()
+	return int64(v), err
+}
+
+func (c *coder) rcount() (int, error) {
+	if err := c.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	if v > maxDecodeElems {
+		return 0, fmt.Errorf("translate: decode: length %d exceeds bound", v)
+	}
+	return int(v), nil
+}
+
+func (c *coder) rstr() (string, error) {
+	n, err := c.rcount()
+	if err != nil {
+		return "", err
+	}
+	if err := c.need(n); err != nil {
+		return "", err
+	}
+	s := string(c.buf[c.off : c.off+n])
+	c.off += n
+	return s, nil
+}
+
+func (c *coder) rints() ([]int, error) {
+	n, err := c.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	// Each element is 8 bytes; reject lengths the remaining buffer cannot
+	// hold before allocating.
+	if err := c.need(n * 8); err != nil {
+		return nil, err
+	}
+	v := make([]int, n)
+	for i := range v {
+		x, err := c.ri64()
+		if err != nil {
+			return nil, err
+		}
+		if x > math.MaxInt32 || x < math.MinInt32 {
+			return nil, fmt.Errorf("translate: decode: int %d out of range", x)
+		}
+		v[i] = int(x)
+	}
+	return v, nil
+}
+
+func (c *coder) rgroups() ([][]int, error) {
+	n, err := c.rcount()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	g := make([][]int, n)
+	for i := range g {
+		if g[i], err = c.rints(); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

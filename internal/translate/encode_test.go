@@ -1,0 +1,127 @@
+package translate_test
+
+import (
+	"bytes"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/lower"
+	"veal/internal/translate"
+	"veal/internal/verify"
+	"veal/internal/workloads"
+)
+
+// codecRequests enumerates one translation request per unique workload
+// kernel that lowers with annotations — the shape space the codec must
+// preserve: plain arithmetic, recurrences, live-outs, and CCA groups.
+func codecRequests(t testing.TB) map[string]translate.Request {
+	t.Helper()
+	la := arch.Proposed()
+	out := map[string]translate.Request{}
+	for _, bench := range workloads.All() {
+		for _, site := range bench.Sites {
+			if _, seen := out[site.Kernel.Name]; seen {
+				continue
+			}
+			l := site.Kernel.Build()
+			res, err := lower.Lower(l, lower.Options{Annotate: true})
+			if err != nil {
+				continue
+			}
+			for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+				if r.Head == res.Head && r.Kind == cfg.KindSchedulable {
+					out[site.Kernel.Name] = translate.Request{Prog: res.Program, Region: r, LA: la}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no schedulable kernels in workload suite")
+	}
+	return out
+}
+
+func TestEncodeRoundTripBitIdentical(t *testing.T) {
+	covered := 0
+	for name, req := range codecRequests(t) {
+		for _, tier := range []translate.Tier{translate.Tier1, translate.Tier2} {
+			for _, pol := range []translate.Policy{translate.FullyDynamic, translate.Hybrid} {
+				req.Tier = tier
+				res, err := translate.Build(pol, tier).Run(req)
+				if err != nil {
+					continue // not every kernel schedules under every policy
+				}
+				covered++
+				enc, err := res.EncodeBinary()
+				if err != nil {
+					t.Fatalf("%s/%v/%v: encode: %v", name, pol, tier, err)
+				}
+				dec, err := translate.DecodeResult(enc, req.LA)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: decode: %v", name, pol, tier, err)
+				}
+				enc2, err := dec.EncodeBinary()
+				if err != nil {
+					t.Fatalf("%s/%v/%v: re-encode: %v", name, pol, tier, err)
+				}
+				if !bytes.Equal(enc, enc2) {
+					t.Fatalf("%s/%v/%v: round trip not bit-identical (%d vs %d bytes)",
+						name, pol, tier, len(enc), len(enc2))
+				}
+				// The rebuilt graph + schedule must clear the independent
+				// verifier — the trust boundary snapshot loads rely on.
+				if err := verify.Translation(req.LA, dec); err != nil {
+					t.Fatalf("%s/%v/%v: decoded result fails verify: %v", name, pol, tier, err)
+				}
+				if dec.Tier != res.Tier || dec.Schedule.II != res.Schedule.II ||
+					dec.Schedule.SC != res.Schedule.SC || dec.Regs != res.Regs {
+					t.Fatalf("%s/%v/%v: decoded scalars diverge", name, pol, tier)
+				}
+				if dec.WorkTotal() != res.WorkTotal() {
+					t.Fatalf("%s/%v/%v: work breakdown diverges", name, pol, tier)
+				}
+				if dec.SizeBytes() != res.SizeBytes() {
+					t.Fatalf("%s/%v/%v: SizeBytes diverges: %d vs %d",
+						name, pol, tier, dec.SizeBytes(), res.SizeBytes())
+				}
+			}
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no kernel translated under any policy/tier")
+	}
+}
+
+func TestDecodeRejectsBadPayloads(t *testing.T) {
+	var req translate.Request
+	for _, r := range codecRequests(t) {
+		req = r
+		break
+	}
+	res, err := translate.For(translate.FullyDynamic).Run(req)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	enc, err := res.EncodeBinary()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	if _, err := translate.DecodeResult(nil, req.LA); err == nil {
+		t.Error("empty payload decoded")
+	}
+	bad := append([]byte(nil), enc...)
+	bad[0] = translate.CodecVersion + 1
+	if _, err := translate.DecodeResult(bad, req.LA); err == nil {
+		t.Error("wrong version decoded")
+	}
+	for _, cut := range []int{1, 2, len(enc) / 2, len(enc) - 1} {
+		if _, err := translate.DecodeResult(enc[:cut], req.LA); err == nil {
+			t.Errorf("truncation at %d decoded", cut)
+		}
+	}
+	if _, err := translate.DecodeResult(append(append([]byte(nil), enc...), 0xFF), req.LA); err == nil {
+		t.Error("trailing garbage decoded")
+	}
+}

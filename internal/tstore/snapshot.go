@@ -1,0 +1,248 @@
+// Snapshot persistence: the content-addressed store serializes its
+// resident positive translations to disk and re-validates them on load,
+// so a restarted or freshly deployed VM starts warm instead of re-paying
+// the full dynamic translation cost.
+//
+// The file format is deliberately dumb and self-framing:
+//
+//	magic "VEALSNAP" | version u8 | entry...
+//	entry: key [32]byte | tier u8 | len u32 | payload | crc32(payload) u32
+//
+// where payload is translate.Result's versioned deterministic encoding.
+// Each entry carries its own CRC so a single flipped bit drops exactly
+// that entry; a truncated tail loads the valid prefix; a wrong magic or
+// version loads nothing. Every surviving payload still has to clear
+// verify.Translation — the independent legality checker built for
+// exactly this trust boundary — before it becomes servable, so a
+// corrupted-but-CRC-valid schedule falls through to fresh translation
+// rather than executing.
+package tstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"veal/internal/arch"
+	"veal/internal/translate"
+	"veal/internal/verify"
+)
+
+// snapMagic identifies a veal translation snapshot.
+const snapMagic = "VEALSNAP"
+
+// SnapshotVersion is the container format version. The payload codec
+// carries its own version byte (translate.CodecVersion); bumping either
+// invalidates old snapshots, which simply cold-start.
+const SnapshotVersion = 1
+
+const snapHeaderLen = len(snapMagic) + 1
+
+// KeySize is the byte length of a content-addressed store key.
+const KeySize = len(Key{})
+
+// maxSnapshotEntryBytes bounds a single entry's payload. Real encoded
+// translations are a few KiB; a corrupt length field must not drive a
+// gigabyte allocation.
+const maxSnapshotEntryBytes = 16 << 20
+
+// Save atomically writes every resident positive translation to path:
+// the entries are collected under the lock, encoded outside it (Results
+// are immutable once published), written to a temp file in the target
+// directory, fsynced, and renamed into place — a crash mid-save leaves
+// either the old snapshot or the new one, never a torn file. Entries are
+// sorted by key, so identical store contents produce byte-identical
+// snapshots. It returns the number of entries written.
+func (s *Store) Save(path string) (int, error) {
+	type item struct {
+		key  Key
+		tier translate.Tier
+		res  *translate.Result
+	}
+	s.mu.Lock()
+	items := make([]item, 0, len(s.entries))
+	for k, e := range s.entries {
+		if e.pending || e.err != nil || e.res == nil {
+			continue
+		}
+		items = append(items, item{key: k, tier: e.res.Tier, res: e.res})
+	}
+	s.mu.Unlock()
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].key, items[j].key
+		for n := range a {
+			if a[n] != b[n] {
+				return a[n] < b[n]
+			}
+		}
+		return false
+	})
+
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, snapMagic...)
+	buf = append(buf, SnapshotVersion)
+	written := 0
+	for _, it := range items {
+		payload, err := it.res.EncodeBinary()
+		if err != nil {
+			// An unencodable result (incomplete product) is not worth
+			// failing the whole snapshot over; skip it.
+			continue
+		}
+		buf = append(buf, it.key[:]...)
+		buf = append(buf, uint8(it.tier))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = append(buf, payload...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+		written++
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".veal-snap-*")
+	if err != nil {
+		return 0, fmt.Errorf("tstore: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) (int, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("tstore: snapshot: %w", err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("tstore: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("tstore: snapshot: %w", err)
+	}
+	s.metrics.SnapshotSaves.Add(1)
+	return written, nil
+}
+
+// Warm loads a snapshot written by Save, re-validating every entry with
+// verify.Translation against la before it becomes servable. Invalid
+// entries — truncated, bit-flipped, wrong codec version, or failing the
+// legality verifier — are dropped and counted in rejected; the valid
+// prefix still loads. A missing file is a normal cold start (0, 0, nil).
+// Warm never replaces an already-resident entry and never crashes on
+// hostile input: the worst corrupt snapshot yields an empty store and a
+// functional VM that simply translates from scratch.
+func (s *Store) Warm(path string, la *arch.LA) (loaded, rejected int, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, fmt.Errorf("tstore: warm: %w", err)
+	}
+	loaded, rejected, err = s.warmBytes(data, la)
+	if err != nil {
+		err = fmt.Errorf("tstore: warm %s: %w", path, err)
+	}
+	return loaded, rejected, err
+}
+
+// warmBytes is Warm on an in-memory image (shared with the fuzz target).
+func (s *Store) warmBytes(data []byte, la *arch.LA) (loaded, rejected int, err error) {
+	defer func() {
+		s.metrics.SnapshotLoaded.Add(int64(loaded))
+		s.metrics.SnapshotRejects.Add(int64(rejected))
+	}()
+	if len(data) < snapHeaderLen || string(data[:len(snapMagic)]) != snapMagic {
+		return 0, 1, fmt.Errorf("not a veal snapshot")
+	}
+	if v := data[len(snapMagic)]; v != SnapshotVersion {
+		return 0, 1, fmt.Errorf("snapshot version %d, want %d", v, SnapshotVersion)
+	}
+	off := snapHeaderLen
+	for off < len(data) {
+		// Frame: key + tier + len + payload + crc. A truncated frame ends
+		// the load with the valid prefix installed.
+		if len(data)-off < KeySize+1+4 {
+			rejected++
+			break
+		}
+		var key Key
+		copy(key[:], data[off:off+KeySize])
+		off += KeySize
+		tier := translate.Tier(data[off])
+		off++
+		plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		off += 4
+		if plen > maxSnapshotEntryBytes || len(data)-off < plen+4 {
+			rejected++
+			break
+		}
+		payload := data[off : off+plen]
+		off += plen
+		sum := binary.LittleEndian.Uint32(data[off : off+4])
+		off += 4
+		if crc32.ChecksumIEEE(payload) != sum {
+			rejected++
+			continue
+		}
+		res, derr := translate.DecodeResult(payload, la)
+		if derr != nil || res.Tier != tier {
+			rejected++
+			continue
+		}
+		if verr := verify.Translation(la, res); verr != nil {
+			rejected++
+			continue
+		}
+		if s.install(key, res) {
+			loaded++
+		}
+	}
+	return loaded, rejected, nil
+}
+
+// install publishes a snapshot-validated translation as a resolved,
+// warm-marked entry with no tenant references. It reports false when the
+// key is already resident (live translation or earlier snapshot entry
+// wins — they are content-addressed, so the bytes are equivalent).
+func (s *Store) install(key Key, res *translate.Result) bool {
+	e := &entry{
+		key:  key,
+		size: res.SizeBytes(),
+		res:  res,
+		refs: make(map[string]struct{}),
+		warm: true,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[key]; exists {
+		return false
+	}
+	s.entries[key] = e
+	e.elem = s.lru.PushBack(e)
+	s.metrics.entries.Add(1)
+	s.metrics.bytes.Add(e.size)
+	s.enforceBudget(e)
+	return true
+}
+
+// PeekWarm reports whether key is servable from snapshot-loaded state,
+// without touching LRU order or charging a tenant. Only entries Warm
+// installed (and the budget has not since evicted) qualify — live
+// translations go through Load/Peek as before, so the jit's zero-queue
+// warm-install path cannot be triggered by ordinary cache traffic.
+func (s *Store) PeekWarm(key Key) (*translate.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok || e.pending || !e.warm || e.err != nil {
+		return nil, false
+	}
+	return e.res, true
+}

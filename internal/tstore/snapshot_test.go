@@ -1,0 +1,369 @@
+package tstore
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/translate"
+)
+
+// snapFir lowers the shared fir kernel for snapshot tests (lowerFir
+// wants a *testing.T; the fuzz seed builder only has a testing.TB).
+func snapFir(t testing.TB) (*isa.Program, cfg.Region) {
+	t.Helper()
+	b := ir.NewBuilder("fir")
+	acc := b.Const(0)
+	for k := 0; k < 3; k++ {
+		x := b.LoadStream("x"+string(rune('0'+k)), 1)
+		c := b.Param("c" + string(rune('0'+k)))
+		acc = b.Add(acc, b.Mul(x, c))
+	}
+	b.StoreStream("out", 1, acc)
+	b.LiveOut("acc", acc)
+	l := b.MustBuild()
+	res, err := lower.Lower(l, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("Lower: %v", err)
+	}
+	for _, r := range cfg.FindInnerLoops(res.Program, nil) {
+		if r.Kind == cfg.KindSchedulable {
+			return res.Program, r
+		}
+	}
+	t.Fatal("no schedulable region in lowered fir program")
+	return nil, cfg.Region{}
+}
+
+// populate loads three real translations (distinct policy×tier keys)
+// into s and returns their keys in load order.
+func populate(t testing.TB, s *Store) []Key {
+	t.Helper()
+	p, r := snapFir(t)
+	la := arch.Proposed()
+	var keys []Key
+	for _, pt := range []struct {
+		pol  translate.Policy
+		tier translate.Tier
+	}{
+		{translate.Hybrid, translate.Tier2},
+		{translate.Hybrid, translate.Tier1},
+		{translate.FullyDynamic, translate.Tier2},
+	} {
+		pt := pt
+		key := KeyFor(p, r, la, pt.pol, pt.tier, false)
+		_, err := s.Load("a", key, func() (*translate.Result, error) {
+			return translate.Build(pt.pol, pt.tier).Run(translate.Request{
+				Prog: p, Region: r, LA: la, Tier: pt.tier,
+			})
+		})
+		if err != nil {
+			t.Fatalf("translate %v/%v: %v", pt.pol, pt.tier, err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+func snapPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "veal.snap")
+}
+
+func TestSnapshotSaveWarmRoundTrip(t *testing.T) {
+	la := arch.Proposed()
+	s := New(Config{})
+	keys := populate(t, s)
+	path := snapPath(t)
+	n, err := s.Save(path)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if n != len(keys) {
+		t.Fatalf("Save wrote %d entries, want %d", n, len(keys))
+	}
+
+	// A fresh store warms from the file; no translation runs.
+	w := New(Config{})
+	loaded, rejected, err := w.Warm(path, la)
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if loaded != n || rejected != 0 {
+		t.Fatalf("Warm = (%d, %d), want (%d, 0)", loaded, rejected, n)
+	}
+	if got := w.Metrics().SnapshotLoaded.Load(); got != int64(n) {
+		t.Errorf("SnapshotLoaded = %d, want %d", got, n)
+	}
+	for i, k := range keys {
+		res, ok := w.PeekWarm(k)
+		if !ok || res == nil {
+			t.Fatalf("key %d not servable after warm", i)
+		}
+		// A Load on a warmed key must answer from the snapshot without
+		// invoking the compute.
+		got, err := w.Load("b", k, func() (*translate.Result, error) {
+			t.Fatalf("key %d: warm store ran a translation", i)
+			return nil, nil
+		})
+		if err != nil || got != res {
+			t.Fatalf("key %d: Load after warm = (%v, %v)", i, got, err)
+		}
+	}
+	if got := w.Metrics().Translations.Load(); got != 0 {
+		t.Errorf("warm store performed %d translations, want 0", got)
+	}
+
+	// Determinism: saving the warmed store reproduces the file.
+	path2 := snapPath(t)
+	if _, err := w.Save(path2); err != nil {
+		t.Fatalf("re-Save: %v", err)
+	}
+	a, _ := os.ReadFile(path)
+	b, _ := os.ReadFile(path2)
+	if string(a) != string(b) {
+		t.Error("snapshot of identical contents is not byte-identical")
+	}
+}
+
+func TestSnapshotNegativeEntriesNotSaved(t *testing.T) {
+	s := New(Config{})
+	populate(t, s)
+	if _, err := s.Load("a", fakeKey(99), func() (*translate.Result, error) {
+		return nil, os.ErrInvalid // stand-in rejection
+	}); err == nil {
+		t.Fatal("rejection not propagated")
+	}
+	path := snapPath(t)
+	n, err := s.Save(path)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("Save wrote %d entries, want 3 (negative entry must not persist)", n)
+	}
+}
+
+func TestWarmDoesNotReplaceResident(t *testing.T) {
+	la := arch.Proposed()
+	s := New(Config{})
+	keys := populate(t, s)
+	path := snapPath(t)
+	if _, err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	resident, _, _ := s.Peek(keys[0])
+	loaded, rejected, err := s.Warm(path, la)
+	if err != nil {
+		t.Fatalf("Warm: %v", err)
+	}
+	if loaded != 0 || rejected != 0 {
+		t.Errorf("Warm over resident store = (%d, %d), want (0, 0)", loaded, rejected)
+	}
+	after, _, _ := s.Peek(keys[0])
+	if after != resident {
+		t.Error("Warm replaced a resident entry")
+	}
+	if _, ok := s.PeekWarm(keys[0]); ok {
+		t.Error("live translation answered PeekWarm")
+	}
+}
+
+func TestWarmMissingFileIsColdStart(t *testing.T) {
+	s := New(Config{})
+	loaded, rejected, err := s.Warm(filepath.Join(t.TempDir(), "absent.snap"), arch.Proposed())
+	if loaded != 0 || rejected != 0 || err != nil {
+		t.Fatalf("Warm(missing) = (%d, %d, %v), want (0, 0, nil)", loaded, rejected, err)
+	}
+}
+
+// TestSnapshotCorruptionResilience pins the trust boundary: hostile
+// snapshot bytes load zero entries or only the valid prefix, count
+// rejects, and never crash.
+func TestSnapshotCorruptionResilience(t *testing.T) {
+	la := arch.Proposed()
+	s := New(Config{})
+	populate(t, s)
+	path := snapPath(t)
+	n, err := s.Save(path)
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	// Locate the first entry's payload start so the bit-flip lands in
+	// encoded translation bytes, not framing.
+	firstPayload := snapHeaderLen + KeySize + 1 + 4
+
+	mutate := func(f func([]byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name        string
+		data        []byte
+		wantLoaded  int
+		wantRejects int
+		wantErr     bool
+	}{
+		{"empty", nil, 0, 1, true},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] ^= 0xFF; return b }), 0, 1, true},
+		{"bad version", mutate(func(b []byte) []byte { b[len(snapMagic)] = SnapshotVersion + 1; return b }), 0, 1, true},
+		{"header only", good[:snapHeaderLen], 0, 0, false},
+		{"truncated mid-entry", good[:snapHeaderLen+KeySize+3], 0, 1, false},
+		{"truncated tail keeps prefix", good[:len(good)-7], n - 1, 1, false},
+		{"payload bit-flip drops one entry", mutate(func(b []byte) []byte {
+			b[firstPayload+8] ^= 0x01
+			return b
+		}), n - 1, 1, false},
+		{"crc bit-flip drops one entry", mutate(func(b []byte) []byte {
+			// CRC trails the first payload; recover its offset from the
+			// length field.
+			plen := int(binary.LittleEndian.Uint32(b[snapHeaderLen+KeySize+1:]))
+			b[firstPayload+plen] ^= 0x80
+			return b
+		}), n - 1, 1, false},
+		{"oversized length field", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[snapHeaderLen+KeySize+1:], 1<<31)
+			return b
+		}), 0, 1, false},
+		{"tier byte mismatch", mutate(func(b []byte) []byte {
+			b[snapHeaderLen+KeySize] ^= 0x03
+			return b
+		}), n - 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := New(Config{})
+			loaded, rejected, err := w.warmBytes(tc.data, la)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if loaded != tc.wantLoaded || rejected != tc.wantRejects {
+				t.Fatalf("warm = (%d, %d), want (%d, %d)", loaded, rejected, tc.wantLoaded, tc.wantRejects)
+			}
+			if got := w.Metrics().SnapshotRejects.Load(); got != int64(tc.wantRejects) {
+				t.Errorf("SnapshotRejects = %d, want %d", got, tc.wantRejects)
+			}
+			// The store stays functional: a fresh translation still loads.
+			p, r := snapFir(t)
+			if _, err := w.Load("a", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false), func() (*translate.Result, error) {
+				return translate.For(translate.Hybrid).Run(translate.Request{Prog: p, Region: r, LA: la})
+			}); err != nil {
+				t.Fatalf("store broken after corrupt warm: %v", err)
+			}
+		})
+	}
+}
+
+// TestSnapshotSaveUnderChaos is the race soak: concurrent saves, loads,
+// warms, and quota churn over one store while another store repeatedly
+// warms from whatever file version is current.
+func TestSnapshotSaveUnderChaos(t *testing.T) {
+	la := arch.Proposed()
+	p, r := snapFir(t)
+	path := filepath.Join(t.TempDir(), "chaos.snap")
+
+	s := New(Config{TenantQuotaBytes: 1 << 16})
+	populate(t, s)
+	if _, err := s.Save(path); err != nil {
+		t.Fatalf("seed Save: %v", err)
+	}
+
+	const iters = 40
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := s.Save(path); err != nil {
+				t.Errorf("Save: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			key := KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false)
+			if _, err := s.Load("chaos", key, func() (*translate.Result, error) {
+				return translate.For(translate.Hybrid).Run(translate.Request{Prog: p, Region: r, LA: la})
+			}); err != nil {
+				t.Errorf("Load: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			w := New(Config{})
+			if _, _, err := w.Warm(path, la); err != nil {
+				t.Errorf("Warm: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			s.SetTenantQuota("a", int64(1024*(i%8+1)))
+			s.DropTenant("chaos")
+		}
+	}()
+	wg.Wait()
+
+	// The final file is a complete, loadable snapshot (atomic rename —
+	// never a torn write).
+	w := New(Config{})
+	loaded, rejected, err := w.Warm(path, la)
+	if err != nil || rejected != 0 || loaded == 0 {
+		t.Fatalf("post-chaos Warm = (%d, %d, %v)", loaded, rejected, err)
+	}
+}
+
+// FuzzSnapshotDecode throws arbitrary bytes at the warm path: any input
+// must either load verified entries or reject cleanly — never panic.
+func FuzzSnapshotDecode(f *testing.F) {
+	la := arch.Proposed()
+	s := New(Config{})
+	populate(f, s)
+	dir, err := os.MkdirTemp("", "vealsnap")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "seed.snap")
+	if _, err := s.Save(path); err != nil {
+		f.Fatalf("Save: %v", err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte(snapMagic))
+	f.Add(append([]byte(snapMagic), SnapshotVersion))
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := New(Config{})
+		loaded, rejected, _ := w.warmBytes(data, la)
+		if loaded < 0 || rejected < 0 {
+			t.Fatal("negative counts")
+		}
+		if int64(loaded) != w.Metrics().Entries() {
+			t.Fatalf("loaded %d but %d resident", loaded, w.Metrics().Entries())
+		}
+	})
+}

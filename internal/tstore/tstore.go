@@ -43,6 +43,10 @@ type Metrics struct {
 	Evictions      atomic.Int64 // entries evicted by the global budget
 	QuotaEvictions atomic.Int64 // references shed by per-tenant quotas
 
+	SnapshotLoaded  atomic.Int64 // entries installed by Warm
+	SnapshotRejects atomic.Int64 // snapshot entries dropped by validation
+	SnapshotSaves   atomic.Int64 // successful Save calls
+
 	bytes   atomic.Int64
 	entries atomic.Int64
 }
@@ -69,6 +73,11 @@ type entry struct {
 
 	refs map[string]struct{} // tenants currently charged for this entry
 	elem *list.Element       // position in Store.lru (nil while pending)
+
+	// warm marks an entry installed from a disk snapshot rather than a
+	// live translation; PeekWarm serves only these, so the zero-cost
+	// install path stays scoped to snapshot-backed state.
+	warm bool
 }
 
 type tenantState struct {

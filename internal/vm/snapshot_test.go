@@ -1,0 +1,328 @@
+package vm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/scalar"
+	"veal/internal/translate"
+	"veal/internal/tstore"
+	"veal/internal/workloads"
+)
+
+// primeSnapshot runs the fir kernel through a store-backed VM and
+// persists the store, returning the snapshot path and the reference
+// run's machine/memory for differential checks.
+func primeSnapshot(t *testing.T, pol Policy) (string, *scalar.Machine, *ir.PagedMemory) {
+	t.Helper()
+	res, _ := firProgram(t, true)
+	store := tstore.New(tstore.Config{})
+	cfg := DefaultConfig()
+	cfg.Policy = pol
+	cfg.Store = store
+	cfg.Tenant = "prime"
+	v := New(cfg)
+	mem := firMem()
+	_, m, err := v.Run(res.Program, mem, firSeed(res, 64), 10_000_000)
+	if err != nil {
+		t.Fatalf("prime run: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "veal.snap")
+	if n, err := store.Save(path); err != nil || n == 0 {
+		t.Fatalf("Save = (%d, %v)", n, err)
+	}
+	return path, m, mem
+}
+
+// TestWarmStartZeroTranslationWork is the acceptance pin: a VM restarted
+// against a snapshot performs no translation work at all — the store
+// runs zero pipeline executions, the site installs through the warm
+// path, and the first accelerated invocation has zero translation stall
+// — while producing bit-identical architectural state.
+func TestWarmStartZeroTranslationWork(t *testing.T) {
+	path, refM, refMem := primeSnapshot(t, FullyDynamic)
+	res, _ := firProgram(t, true)
+
+	cfg := DefaultConfig()
+	cfg.Policy = FullyDynamic
+	cfg.SnapshotPath = path
+	v := New(cfg)
+	if v.Cfg.Store == nil {
+		t.Fatal("SnapshotPath did not create a private store")
+	}
+	mem := firMem()
+	r, m, err := v.Run(res.Program, mem, firSeed(res, 64), 10_000_000)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if m.Regs != refM.Regs || !mem.Equal(refMem) {
+		t.Fatal("warm run diverges from cold reference")
+	}
+	if r.Launches == 0 {
+		t.Fatal("warm run never launched the accelerator")
+	}
+	if r.FirstAccelStall != 0 {
+		t.Errorf("warm first launch stalled %d cycles, want 0", r.FirstAccelStall)
+	}
+	if got := v.Cfg.Store.Metrics().Translations.Load(); got != 0 {
+		t.Errorf("warm store ran %d translations, want 0", got)
+	}
+	if r.TranslationCycles != 0 {
+		t.Errorf("warm run charged %d translation cycles, want 0", r.TranslationCycles)
+	}
+	jm := v.Metrics()
+	if jm.WarmHits == 0 {
+		t.Error("no warm install recorded")
+	}
+	if jm.SnapshotLoadRejects != 0 {
+		t.Errorf("clean snapshot counted %d load rejects", jm.SnapshotLoadRejects)
+	}
+}
+
+// TestWarmStartVerifyOn runs the warm path with independent verification
+// enabled: the snapshot entries must clear the checker and install.
+func TestWarmStartVerifyOn(t *testing.T) {
+	path, _, _ := primeSnapshot(t, FullyDynamic)
+	res, _ := firProgram(t, true)
+	cfg := DefaultConfig()
+	cfg.Policy = FullyDynamic
+	cfg.SnapshotPath = path
+	cfg.Verify = true
+	v := New(cfg)
+	r, _, err := v.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if r.Launches == 0 || v.Stats.VerifyPasses == 0 {
+		t.Fatalf("verified warm install did not happen: launches=%d passes=%d",
+			r.Launches, v.Stats.VerifyPasses)
+	}
+	if v.Metrics().WarmHits == 0 {
+		t.Error("no warm install recorded under verification")
+	}
+}
+
+// TestWarmStartCorruptSnapshot: a VM pointed at garbage must come up
+// cold but fully functional, counting the rejects.
+func TestWarmStartCorruptSnapshot(t *testing.T) {
+	path, _, _ := primeSnapshot(t, FullyDynamic)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, _ := firProgram(t, true)
+	cfg := DefaultConfig()
+	cfg.Policy = FullyDynamic
+	cfg.SnapshotPath = path
+	v := New(cfg)
+	if v.Metrics().SnapshotLoadRejects == 0 {
+		t.Error("corrupt snapshot loaded without rejects")
+	}
+	r, _, err := v.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000)
+	if err != nil {
+		t.Fatalf("run after corrupt snapshot: %v", err)
+	}
+	if r.Launches == 0 {
+		t.Error("VM not functional after corrupt snapshot")
+	}
+}
+
+// TestWarmStartTier1Retunes pins the warm-start × tiering interaction:
+// a snapshot holding only tier-1 first cuts warm-installs at tier-1,
+// and the site still earns its tier-2 re-tune after RetuneThreshold
+// accelerated invocations — the warm path must not mark sites
+// permanently tier-1.
+func TestWarmStartTier1Retunes(t *testing.T) {
+	res, _ := firProgram(t, true)
+	la := DefaultConfig().LA
+	region := schedulableRegion(t, res.Program)
+
+	// Build a snapshot holding ONLY the tier-1 first cut.
+	store := tstore.New(tstore.Config{})
+	t1key := tstore.KeyFor(res.Program, region, la, FullyDynamic, translate.Tier1, false)
+	if _, err := store.Load("prime", t1key, func() (*translate.Result, error) {
+		return translate.Build(FullyDynamic, translate.Tier1).Run(translate.Request{
+			Prog: res.Program, Region: region, LA: la, Tier: translate.Tier1,
+		})
+	}); err != nil {
+		t.Fatalf("tier-1 translate: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "t1only.snap")
+	if n, err := store.Save(path); err != nil || n != 1 {
+		t.Fatalf("Save = (%d, %v), want 1 entry", n, err)
+	}
+
+	cfg := DefaultConfig()
+	cfg.Policy = FullyDynamic
+	cfg.SnapshotPath = path
+	cfg.Tiered = true
+	cfg.RetuneThreshold = 2
+	v := New(cfg)
+
+	// Each Run is one accelerated invocation of the site; the warm
+	// tier-1 install serves the early ones, then the re-tune fires.
+	for i := 0; i < 4; i++ {
+		r, _, err := v.Run(res.Program, firMem(), firSeed(res, 64), 10_000_000)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if r.Launches == 0 {
+			t.Fatalf("run %d never launched", i)
+		}
+		if i == 0 && r.FirstAccelStall != 0 {
+			t.Errorf("warm tier-1 install stalled %d cycles", r.FirstAccelStall)
+		}
+	}
+	m := v.Metrics()
+	if m.WarmHits == 0 {
+		t.Fatal("tier-1 snapshot entry never warm-installed")
+	}
+	if m.InstalledT1 == 0 {
+		t.Error("warm install did not classify as tier-1")
+	}
+	if m.Upgrades == 0 {
+		t.Errorf("warm tier-1 site never re-tuned to tier-2 (retunes queued %d)", m.RetunesQueued)
+	}
+}
+
+// warmBenchKernel is one suite kernel that accelerates cleanly under
+// the FullyDynamic policy, plus its prepared inputs.
+type warmBenchKernel struct {
+	k    tierKernel
+	mem  *ir.PagedMemory
+	seed func(*scalar.Machine)
+}
+
+// warmBenchSuite primes a snapshot over every suite kernel that
+// launches without rejections and returns those kernels plus the
+// snapshot path. Cold and warm benchmarks share this set, so the
+// stall-cycle comparison is like-for-like.
+func warmBenchSuite(tb testing.TB, dir string) ([]warmBenchKernel, string) {
+	tb.Helper()
+	store := tstore.New(tstore.Config{})
+	var keep []warmBenchKernel
+	for _, k := range tierSuite(tb) {
+		bind, mem := workloads.Prepare(k.l, k.trip, 5)
+		seed := batchLaneSeed(k.res, bind.Params, k.trip)
+		vcfg := DefaultConfig()
+		vcfg.Policy = FullyDynamic
+		vcfg.SpeculationSupport = true
+		vcfg.Store = store
+		vcfg.Tenant = "prime"
+		v := New(vcfg)
+		r, _, err := v.Run(k.res.Program, mem.Clone(), seed, 50_000_000)
+		if err != nil || r.FirstAccelAt < 0 || len(v.Stats.Rejections) != 0 {
+			continue // kernel does not accelerate cleanly; skip in both benches
+		}
+		keep = append(keep, warmBenchKernel{k, mem, seed})
+	}
+	if len(keep) == 0 {
+		tb.Fatal("no kernel accelerates under FullyDynamic")
+	}
+	path := filepath.Join(dir, "bench.snap")
+	if _, err := store.Save(path); err != nil {
+		tb.Fatalf("Save: %v", err)
+	}
+	return keep, path
+}
+
+// benchWarmStart measures the first-accel translation stall across the
+// suite: cold (fresh storeless VM per program, every translation on the
+// critical path) vs snapshot-warmed (fresh VM per program over a store
+// re-warmed from disk each iteration — the restart scenario). The pair
+// feeds scripts/benchcmp's warm-start gate: the warmed VM must do zero
+// store translation work and stall at least 10x less than cold.
+func benchWarmStart(b *testing.B, warmed bool) {
+	kernels, path := warmBenchSuite(b, b.TempDir())
+	la := DefaultConfig().LA
+	b.ResetTimer()
+	var stall, runs int64
+	for i := 0; i < b.N; i++ {
+		var store *tstore.Store
+		if warmed {
+			store = tstore.New(tstore.Config{})
+			if loaded, rejected, err := store.Warm(path, la); err != nil || rejected != 0 || loaded == 0 {
+				b.Fatalf("Warm = (%d, %d, %v)", loaded, rejected, err)
+			}
+		}
+		for _, p := range kernels {
+			vcfg := DefaultConfig()
+			vcfg.Policy = FullyDynamic
+			vcfg.SpeculationSupport = true
+			vcfg.Store = store
+			v := New(vcfg)
+			r, _, err := v.Run(p.k.res.Program, p.mem.Clone(), p.seed, 50_000_000)
+			if err != nil {
+				b.Fatalf("%s: %v", p.k.name, err)
+			}
+			if r.FirstAccelAt >= 0 {
+				stall += r.FirstAccelStall
+				runs++
+			}
+		}
+		if warmed {
+			if got := store.Metrics().Translations.Load(); got != 0 {
+				b.Fatalf("snapshot-warmed iteration ran %d translations, want 0", got)
+			}
+		}
+	}
+	if runs == 0 {
+		b.Fatal("no program reached an accelerated invocation")
+	}
+	b.ReportMetric(float64(stall)/float64(runs), "stall-cycles/first-accel")
+}
+
+func BenchmarkWarmStartCold(b *testing.B) { benchWarmStart(b, false) }
+func BenchmarkWarmStartWarm(b *testing.B) { benchWarmStart(b, true) }
+
+// TestWarmStartSuiteStallRatio enforces the >= 10x acceptance bar as a
+// plain test, so it holds even where the bench gate is skipped.
+func TestWarmStartSuiteStallRatio(t *testing.T) {
+	kernels, path := warmBenchSuite(t, t.TempDir())
+	la := DefaultConfig().LA
+	var cold, warm int64
+	for _, warmed := range []bool{false, true} {
+		var store *tstore.Store
+		if warmed {
+			store = tstore.New(tstore.Config{})
+			if _, rejected, err := store.Warm(path, la); err != nil || rejected != 0 {
+				t.Fatalf("Warm: rejected=%d err=%v", rejected, err)
+			}
+		}
+		for _, p := range kernels {
+			vcfg := DefaultConfig()
+			vcfg.Policy = FullyDynamic
+			vcfg.SpeculationSupport = true
+			vcfg.Store = store
+			v := New(vcfg)
+			r, _, err := v.Run(p.k.res.Program, p.mem.Clone(), p.seed, 50_000_000)
+			if err != nil {
+				t.Fatalf("%s: %v", p.k.name, err)
+			}
+			if r.FirstAccelAt < 0 {
+				continue
+			}
+			if warmed {
+				warm += r.FirstAccelStall
+			} else {
+				cold += r.FirstAccelStall
+			}
+		}
+		if warmed && store.Metrics().Translations.Load() != 0 {
+			t.Errorf("warmed suite ran %d translations, want 0", store.Metrics().Translations.Load())
+		}
+	}
+	if cold == 0 {
+		t.Fatal("cold suite produced no translation stall")
+	}
+	if warm*10 > cold {
+		t.Errorf("snapshot warm start stall %d not >= 10x below cold %d", warm, cold)
+	}
+}

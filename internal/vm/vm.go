@@ -99,6 +99,16 @@ type Config struct {
 	// ("" is a valid shared-anonymous tenant).
 	Tenant string
 
+	// SnapshotPath, when set, warm-starts the VM from a translation
+	// snapshot on disk (tstore.Store.Save format): entries are loaded and
+	// re-validated with internal/verify at construction, and sites whose
+	// translation is resident install straight from the snapshot —
+	// skipping the translation queue and charging zero translation work.
+	// A missing file is a normal cold start; a corrupt one loads its
+	// valid prefix and counts jit.Metrics.SnapshotLoadRejects. When Store
+	// is nil a private store is created to hold the loaded entries.
+	SnapshotPath string
+
 	// SpeculationSupport enables accelerating while-shaped loops (a single
 	// side exit before the back branch) by speculative chunked execution:
 	// the accelerator runs SpecChunk iterations at a time with stores
@@ -220,6 +230,11 @@ type VM struct {
 	// translator goroutines never block on it.
 	scratches chan *translate.Scratch
 
+	// warmProbed records sites already checked against snapshot-loaded
+	// store state, so the (SHA-256) key derivation for the warm probe
+	// runs once per site, not once per poll.
+	warmProbed map[cacheKey]bool
+
 	// inj draws deterministic fault decisions (nil when Config.Faults is
 	// absent or disabled); verify gates the independent re-validation of
 	// installed translations.
@@ -263,14 +278,24 @@ func New(cfg Config) *VM {
 	pipe := jit.New[cacheKey, *Translation](jcfg, keyName)
 	pipe.SetCacheBudget(cfg.CodeCacheBytes, (*Translation).SizeBytes)
 	pipe.SetTierOf(tierOfTranslation)
+	if cfg.SnapshotPath != "" {
+		if cfg.Store == nil {
+			cfg.Store = tstore.New(tstore.Config{})
+		}
+		// A bad snapshot must never take the VM down: rejects are counted
+		// and the affected sites simply translate from scratch.
+		_, rejected, _ := cfg.Store.Warm(cfg.SnapshotPath, cfg.LA)
+		pipe.Metrics().SnapshotLoadRejects += int64(rejected)
+	}
 	slots := cfg.TranslateWorkers
 	if slots < 1 {
 		slots = 1
 	}
 	return &VM{
 		Cfg: cfg, pipe: pipe,
-		scratches: make(chan *translate.Scratch, slots),
-		inj:       inj, verify: verifyOn,
+		scratches:  make(chan *translate.Scratch, slots),
+		warmProbed: make(map[cacheKey]bool),
+		inj:        inj, verify: verifyOn,
 	}
 }
 
@@ -310,7 +335,23 @@ func (v *VM) Cached() []*Translation { return v.pipe.Cached() }
 // Flush empties the code cache, the negative-result cache and the
 // hot-loop monitor. Call it after changing accelerator or policy
 // configuration so stale translations and rejections are re-derived.
-func (v *VM) Flush() { v.pipe.Flush() }
+// Warm probes re-arm: snapshot keys embed the policy and accelerator,
+// so a re-probe after a config change can only match entries that are
+// still semantically valid.
+func (v *VM) Flush() {
+	v.pipe.Flush()
+	v.warmProbed = make(map[cacheKey]bool)
+}
+
+// SaveSnapshot persists the VM's translation store to Config.SnapshotPath
+// (atomic temp-file + rename). It reports the entries written; without a
+// store or a configured path it is a no-op.
+func (v *VM) SaveSnapshot() (int, error) {
+	if v.Cfg.Store == nil || v.Cfg.SnapshotPath == "" {
+		return 0, nil
+	}
+	return v.Cfg.Store.Save(v.Cfg.SnapshotPath)
+}
 
 // Pipeline returns the shared translate pipeline for the VM's policy.
 func (v *VM) Pipeline() *translate.Pipeline { return translate.For(v.Cfg.Policy) }
@@ -402,6 +443,12 @@ func (v *VM) runPipeline(p *isa.Program, region cfg.Region, tier translate.Tier,
 // can map (the reject's metered work is still charged) — and the tier-2
 // closure serves background re-tunes.
 func (v *VM) jitPoll(key cacheKey, now int64, p *isa.Program, region cfg.Region) jit.Poll[*Translation] {
+	if v.Cfg.Store != nil && !v.warmProbed[key] {
+		v.warmProbed[key] = true
+		if v.Cfg.Store.Metrics().SnapshotLoaded.Load() > 0 {
+			v.warmInstall(key, now, p, region)
+		}
+	}
 	name := keyName(key)
 	if !v.Cfg.Tiered {
 		return v.pipe.Request(key, now, func(attempt int64) (*Translation, int64, error) {
@@ -425,6 +472,43 @@ func (v *VM) jitPoll(key cacheKey, now int64, p *isa.Program, region cfg.Region)
 		return v.translateCharged(p, region, translate.Tier2, v.inj.Injection(name, attempt))
 	}
 	return v.pipe.RequestTiered(key, now, t1, t2)
+}
+
+// warmInstall tries to serve a first-seen site straight from
+// snapshot-loaded store state: the finished tier-2 translation wins;
+// under tiered translation a snapshot-resident tier-1 first cut is
+// installed as tier-1 (its re-tune stays armed — the warm start must
+// not pin a site at first-cut quality). Only snapshot-backed entries
+// (Store.PeekWarm) qualify, so live store traffic keeps its normal
+// charge-and-queue accounting.
+func (v *VM) warmInstall(key cacheKey, now int64, p *isa.Program, region cfg.Region) bool {
+	t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport)
+	if t, ok := v.Cfg.Store.PeekWarm(t2key); ok && v.installWarm(key, now, t) {
+		return true
+	}
+	if v.Cfg.Tiered {
+		t1key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier1, v.Cfg.SpeculationSupport)
+		if t, ok := v.Cfg.Store.PeekWarm(t1key); ok && v.installWarm(key, now, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// installWarm re-verifies (when Config.Verify is on) and publishes a
+// snapshot translation through the jit warm path. A verification
+// failure just declines the warm install — the site falls through to a
+// fresh translation, which verifies on its own install as usual.
+func (v *VM) installWarm(key cacheKey, now int64, t *Translation) bool {
+	if v.verify {
+		if err := verify.Translation(v.Cfg.LA, t); err != nil {
+			v.Stats.VerifyFailures++
+			v.pipe.Metrics().SnapshotLoadRejects++
+			return false
+		}
+		v.Stats.VerifyPasses++
+	}
+	return v.pipe.InstallWarm(key, now, t)
 }
 
 // rejectWork recovers the virtual cycles a rejected attempt metered

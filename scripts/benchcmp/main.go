@@ -212,6 +212,41 @@ func gateTierRatio(results []Result, minRatio float64) []string {
 	return nil
 }
 
+// gateWarmRatio checks the snapshot warm-start acceptance bar: when the
+// current run holds both halves of the WarmStart pair, the cold VM's
+// first-accel stall must be at least minRatio times the snapshot-warmed
+// VM's. A warmed stall of exactly zero — every translation recovered
+// from the snapshot, so the first accelerated invocation never waits —
+// is the expected steady state and passes outright. Like the tier gate,
+// the check is intra-run and needs no baseline snapshot.
+func gateWarmRatio(results []Result, minRatio float64) []string {
+	var cold, warm float64
+	var haveCold, haveWarm bool
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkWarmStartCold":
+			cold, haveCold = r.StallCyclesFirstAccel, true
+		case "BenchmarkWarmStartWarm":
+			warm, haveWarm = r.StallCyclesFirstAccel, true
+		}
+	}
+	if !haveCold || !haveWarm {
+		return nil
+	}
+	if cold == 0 {
+		return []string{"warm-start gate: cold run reported zero first-accel stall (benchmark broken?)"}
+	}
+	if warm == 0 {
+		return nil // zero stall warm: the ideal, trivially past any ratio
+	}
+	if ratio := cold / warm; ratio < minRatio {
+		return []string{fmt.Sprintf(
+			"snapshot warm start only %.2fx better than cold (%.0f vs %.0f stall-cycles/first-accel, need %.1fx)",
+			ratio, cold, warm, minRatio)}
+	}
+	return nil
+}
+
 func main() {
 	prevPath := flag.String("prev", "", "previous BENCH_*.json to compare against")
 	outPath := flag.String("o", "", "write the parsed snapshot to this JSON file")
@@ -219,6 +254,7 @@ func main() {
 	maxNs := flag.Float64("max-ns-regress", 25, "gate: max tolerated ns/op regression, percent")
 	maxAllocs := flag.Float64("max-allocs-regress", 10, "gate: max tolerated allocs/op regression, percent")
 	minTierSpeedup := flag.Float64("min-tier-speedup", 3, "gate: min Baseline/Tiered stall-cycle ratio for the TimeToFirstAccel pair")
+	minWarmSpeedup := flag.Float64("min-warm-speedup", 10, "gate: min Cold/Warm stall-cycle ratio for the WarmStart pair")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -336,6 +372,7 @@ func main() {
 	}
 	if *gate {
 		failures = append(failures, gateTierRatio(results, *minTierSpeedup)...)
+		failures = append(failures, gateWarmRatio(results, *minWarmSpeedup)...)
 	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: GATE FAILED")

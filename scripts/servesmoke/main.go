@@ -3,7 +3,10 @@
 // (independently compiled, different names), runs both, and asserts via
 // /metrics that the shared content-addressed store translated exactly
 // once — the multi-tenant sharing contract, exercised end to end over
-// the wire. scripts/ci.sh drives it with the freshly built binary.
+// the wire. It then drains the server (SIGTERM persists the translation
+// snapshot), restarts it against the same snapshot, re-runs the kernel,
+// and asserts the warm boot did zero translation work. scripts/ci.sh
+// drives it with the freshly built binary.
 //
 // Usage: go run ./scripts/servesmoke -veal /path/to/veal
 package main
@@ -17,9 +20,11 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"veal"
@@ -79,29 +84,26 @@ func postJSON(base, path, tenant string, body any, out any) error {
 	return nil
 }
 
-func main() {
-	vealBin := flag.String("veal", "", "path to the built veal binary")
-	flag.Parse()
-	if *vealBin == "" {
-		fatalf("-veal path required")
-	}
+// server is one running `veal serve` process plus its parsed base URL.
+type server struct {
+	cmd  *exec.Cmd
+	base string
+}
 
-	cmd := exec.Command(*vealBin, "serve", "-addr", "127.0.0.1:0")
+// startServer launches the binary and waits for the parseable bind line.
+func startServer(vealBin string, extraArgs ...string) *server {
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(vealBin, args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		fatalf("pipe: %v", err)
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		fatalf("start %s: %v", *vealBin, err)
+		fatalf("start %s: %v", vealBin, err)
 	}
-	defer func() {
-		cmd.Process.Kill()
-		cmd.Wait()
-	}()
 
 	// The bind line is printed once the socket is live.
-	var base string
 	sc := bufio.NewScanner(stdout)
 	bindLine := regexp.MustCompile(`listening on (http://\S+)`)
 	deadline := time.After(30 * time.Second)
@@ -115,88 +117,177 @@ func main() {
 		}
 	}()
 	select {
-	case base = <-found:
+	case base := <-found:
+		return &server{cmd: cmd, base: base}
 	case <-deadline:
+		cmd.Process.Kill()
+		cmd.Wait()
 		fatalf("server never printed its bind line")
+		return nil
 	}
+}
 
-	type submitResp struct {
-		ID     string `json:"id"`
-		Shared bool   `json:"shared"`
+// drain sends SIGTERM (the graceful path — it persists the snapshot)
+// and waits for exit.
+func (s *server) drain() {
+	s.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { s.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		s.cmd.Process.Kill()
+		fatalf("server did not exit within 30s of SIGTERM")
 	}
-	type trailer struct {
-		Done bool   `json:"done"`
-		Err  string `json:"error"`
-	}
+}
 
-	// Two tenants, one kernel (different program names), concurrently.
-	var wg sync.WaitGroup
-	errs := make(chan error, 2)
-	for _, tenant := range []string{"alpha", "beta"} {
-		wg.Add(1)
-		go func(tenant string) {
-			defer wg.Done()
-			bin, asm := kernel("kernel-of-" + tenant)
-			var sub submitResp
-			paramRegs := map[string]uint8{}
-			for i, reg := range bin.ParamRegs {
-				paramRegs[bin.ParamNames[i]] = reg
-			}
-			if err := postJSON(base, "/v1/programs", tenant, map[string]any{
-				"name": "kernel-of-" + tenant, "asm": asm,
-				"trip_reg": bin.TripReg, "param_regs": paramRegs,
-			}, &sub); err != nil {
-				errs <- err
-				return
-			}
-			var tr trailer
-			if err := postJSON(base, "/v1/run", tenant, map[string]any{
-				"program": sub.ID,
-				"lanes": []map[string]any{{
-					"trip":   64,
-					"params": map[string]uint64{"x": 4096, "y": 8192, "out": 12288, "a": 7},
-					"mem": []map[string]any{
-						{"base": 4096, "words": seq(64, 1)},
-						{"base": 8192, "words": seq(64, 3)},
-					},
-				}},
-			}, &tr); err != nil {
-				errs <- err
-				return
-			}
-			if !tr.Done || tr.Err != "" {
-				errs <- fmt.Errorf("tenant %s: run did not complete: %+v", tenant, tr)
-			}
-		}(tenant)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
-			fatalf("%v", err)
-		}
-	}
+func (s *server) kill() {
+	s.cmd.Process.Kill()
+	s.cmd.Wait()
+}
 
-	// The sharing contract, observed over the wire.
+type submitResp struct {
+	ID     string `json:"id"`
+	Shared bool   `json:"shared"`
+}
+type trailer struct {
+	Done bool   `json:"done"`
+	Err  string `json:"error"`
+}
+
+// submitAndRun uploads the tenant's copy of the kernel and runs one
+// 64-trip lane.
+func submitAndRun(base, tenant string) error {
+	bin, asm := kernel("kernel-of-" + tenant)
+	var sub submitResp
+	paramRegs := map[string]uint8{}
+	for i, reg := range bin.ParamRegs {
+		paramRegs[bin.ParamNames[i]] = reg
+	}
+	if err := postJSON(base, "/v1/programs", tenant, map[string]any{
+		"name": "kernel-of-" + tenant, "asm": asm,
+		"trip_reg": bin.TripReg, "param_regs": paramRegs,
+	}, &sub); err != nil {
+		return err
+	}
+	var tr trailer
+	if err := postJSON(base, "/v1/run", tenant, map[string]any{
+		"program": sub.ID,
+		"lanes": []map[string]any{{
+			"trip":   64,
+			"params": map[string]uint64{"x": 4096, "y": 8192, "out": 12288, "a": 7},
+			"mem": []map[string]any{
+				{"base": 4096, "words": seq(64, 1)},
+				{"base": 8192, "words": seq(64, 3)},
+			},
+		}},
+	}, &tr); err != nil {
+		return err
+	}
+	if !tr.Done || tr.Err != "" {
+		return fmt.Errorf("tenant %s: run did not complete: %+v", tenant, tr)
+	}
+	return nil
+}
+
+// metric extracts the named un-labelled counter from a /metrics body.
+func metric(body []byte, name string) string {
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindSubmatch(body)
+	if m == nil {
+		fatalf("%s missing from /metrics:\n%s", name, body)
+	}
+	return string(m[1])
+}
+
+func scrape(base string) []byte {
 	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		fatalf("metrics: %v", err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	m := regexp.MustCompile(`(?m)^veal_store_translations_total (\d+)$`).FindSubmatch(body)
-	if m == nil {
-		fatalf("veal_store_translations_total missing from /metrics:\n%s", body)
+	return body
+}
+
+func main() {
+	vealBin := flag.String("veal", "", "path to the built veal binary")
+	flag.Parse()
+	if *vealBin == "" {
+		fatalf("-veal path required")
 	}
-	if got := string(m[1]); got != "1" {
-		fatalf("2 tenants x 1 kernel produced %s translations, want exactly 1", got)
+
+	snapDir, err := os.MkdirTemp("", "servesmoke-snap-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
 	}
-	for _, tenant := range []string{"alpha", "beta"} {
-		if !strings.Contains(string(body), fmt.Sprintf("veal_tenant_runs_total{tenant=%q} 1", tenant)) {
-			fatalf("tenant %s runs not reported in /metrics", tenant)
+	defer os.RemoveAll(snapDir)
+	snapPath := filepath.Join(snapDir, "store.snap")
+
+	// Phase 1: cold server, two tenants, one kernel — the sharing
+	// contract, then a graceful drain that persists the snapshot.
+	srv := startServer(*vealBin, "-snapshot", snapPath)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				srv.kill()
+				panic(r)
+			}
+		}()
+		var wg sync.WaitGroup
+		errs := make(chan error, 2)
+		for _, tenant := range []string{"alpha", "beta"} {
+			wg.Add(1)
+			go func(tenant string) {
+				defer wg.Done()
+				errs <- submitAndRun(srv.base, tenant)
+			}(tenant)
 		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				srv.kill()
+				fatalf("%v", err)
+			}
+		}
+
+		body := scrape(srv.base)
+		if got := metric(body, "veal_store_translations_total"); got != "1" {
+			srv.kill()
+			fatalf("2 tenants x 1 kernel produced %s translations, want exactly 1", got)
+		}
+		for _, tenant := range []string{"alpha", "beta"} {
+			if !strings.Contains(string(body), fmt.Sprintf("veal_tenant_runs_total{tenant=%q} 1", tenant)) {
+				srv.kill()
+				fatalf("tenant %s runs not reported in /metrics", tenant)
+			}
+		}
+	}()
+	srv.drain()
+	if _, err := os.Stat(snapPath); err != nil {
+		fatalf("graceful shutdown did not persist the snapshot: %v", err)
 	}
 	fmt.Println("servesmoke: OK — 2 tenants, 1 kernel, 1 shared translation")
+
+	// Phase 2: restart against the same snapshot. The warm boot must
+	// recover the translation (snapshot_loaded > 0, zero rejects) and
+	// serve the same kernel with zero translation work.
+	srv = startServer(*vealBin, "-snapshot", snapPath)
+	defer srv.kill()
+	if err := submitAndRun(srv.base, "gamma"); err != nil {
+		fatalf("warm restart: %v", err)
+	}
+	body := scrape(srv.base)
+	if got := metric(body, "veal_store_snapshot_loaded_total"); got == "0" {
+		fatalf("warm boot recovered no snapshot entries:\n%s", body)
+	}
+	if got := metric(body, "veal_store_snapshot_rejects_total"); got != "0" {
+		fatalf("warm boot rejected %s snapshot entries, want 0", got)
+	}
+	if got := metric(body, "veal_store_translations_total"); got != "0" {
+		fatalf("warm boot ran %s translations, want 0", got)
+	}
+	fmt.Println("servesmoke: OK — warm restart served from snapshot, 0 translations")
 }
 
 func seq(n int, mul uint64) []uint64 {
