@@ -13,7 +13,10 @@
 //	                        under the VM and report lifecycle metrics,
 //	                        or -overlap for the stall-vs-overlap table
 //	veal bench [-batch B]   host-throughput sweep: batched lockstep
-//	                        execution vs serial runs (guest-insts/sec)
+//	                        execution vs serial runs (guest-insts/sec);
+//	                        -nests instead compares scalar vs
+//	                        innermost-only vs nest-resident cycles over
+//	                        the nest kernel suite
 //	veal tiering            tiered-translation experiment: tier-1
 //	                        first-cut cost vs schedule quality vs
 //	                        cold-start stall, and the re-tune payback
@@ -497,9 +500,21 @@ func cmdBench(args []string) error {
 	trip := fs.Int64("trip", 32, "iterations per loop invocation")
 	policy := fs.String("policy", "hybrid", "translation policy: dynamic|height|hybrid")
 	repeats := fs.Int("repeats", 10, "repetitions per point (fastest wins)")
+	nests := fs.Bool("nests", false, "run the nested-loop residency comparison instead")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned text")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nests {
+		rep, err := exp.Nests()
+		if err != nil {
+			return err
+		}
+		if *csvOut {
+			return exp.WriteNestsCSV(os.Stdout, rep.Rows)
+		}
+		fmt.Print(exp.FormatNests(rep))
+		return nil
 	}
 	opt := exp.ThroughputOptions{Trip: *trip, Repeats: *repeats}
 	for _, b := range strings.Split(*batches, ",") {

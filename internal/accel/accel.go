@@ -25,8 +25,11 @@ import (
 type Result struct {
 	// Cycles is the end-to-end cost including bus setup and drain.
 	Cycles int64
-	// ComputeCycles is the pipeline portion only.
+	// ComputeCycles is the pipeline portion only; SetupCycles and
+	// DrainCycles split out the bus cost on either side of it.
 	ComputeCycles int64
+	SetupCycles   int64
+	DrainCycles   int64
 	// LiveOuts holds the scalar results by name.
 	LiveOuts map[string]uint64
 }
@@ -44,6 +47,38 @@ func SetupCycles(la *arch.LA, l *ir.Loop, s *modsched.Schedule) int64 {
 // DrainCycles models reading the scalar live-outs back over the bus.
 func DrainCycles(la *arch.LA, l *ir.Loop) int64 {
 	return int64(la.BusLatency) + int64(len(l.LiveOuts))
+}
+
+// ResidentSetupCycles is the re-invocation setup cost when the
+// accelerator is already configured for this loop (a resident nest
+// launch): the control descriptors, stream programming and the bus
+// round-trip are sunk, so only the re-seeded parameters plus a one-word
+// go command cross over.
+func ResidentSetupCycles(l *ir.Loop) int64 {
+	return int64(l.NumParams) + 1
+}
+
+// ResidentDrainCycles is the matching re-invocation drain: the scalar
+// live-outs plus a one-word done/status read, without paying the full bus
+// latency again.
+func ResidentDrainCycles(l *ir.Loop) int64 {
+	return int64(len(l.LiveOuts)) + 1
+}
+
+// Residentize rewrites a result's bus accounting to the resident
+// re-invocation cost. Functional state is untouched: residency is purely
+// a cost-model statement that this launch reused the previous launch's
+// bus configuration.
+func (r *Result) Residentize(l *ir.Loop) {
+	r.SetupCycles = ResidentSetupCycles(l)
+	r.DrainCycles = ResidentDrainCycles(l)
+	r.Cycles = r.SetupCycles + r.ComputeCycles + r.DrainCycles
+}
+
+// EstimateResidentInvocation is the analytic total for one resident
+// re-invocation, the counterpart of EstimateInvocation.
+func EstimateResidentInvocation(la *arch.LA, l *ir.Loop, s *modsched.Schedule, trip int64) int64 {
+	return ResidentSetupCycles(l) + PipelineCycles(la, s, trip) + ResidentDrainCycles(l)
 }
 
 // PipelineCycles is the analytic software-pipeline length for a trip
@@ -127,12 +162,16 @@ func executeTraced(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, mem ir.Mem
 		trace = make([]uint64, b.Trip)
 	}
 
-	res := &Result{LiveOuts: make(map[string]uint64, len(l.LiveOuts))}
+	res := &Result{
+		LiveOuts:    make(map[string]uint64, len(l.LiveOuts)),
+		SetupCycles: SetupCycles(la, l, s),
+		DrainCycles: DrainCycles(la, l),
+	}
 	if b.Trip == 0 {
 		for _, lo := range l.LiveOuts {
 			res.LiveOuts[lo.Name] = liveOutFallback(l, lo, b, lo.Dist)
 		}
-		res.Cycles = SetupCycles(la, l, s) + DrainCycles(la, l)
+		res.Cycles = res.SetupCycles + res.DrainCycles
 		return res, trace, nil
 	}
 
@@ -248,7 +287,7 @@ func executeTraced(la *arch.LA, s *modsched.Schedule, b *ir.Bindings, mem ir.Mem
 	}
 
 	res.ComputeCycles = PipelineCycles(la, s, b.Trip)
-	res.Cycles = SetupCycles(la, l, s) + res.ComputeCycles + DrainCycles(la, l)
+	res.Cycles = res.SetupCycles + res.ComputeCycles + res.DrainCycles
 	return res, trace, nil
 }
 

@@ -74,7 +74,11 @@ func ExecuteBatch(la *arch.LA, s *modsched.Schedule, binds []*ir.Bindings, mems 
 	drain := DrainCycles(la, l)
 	maxTrip := int64(0)
 	for lane, b := range binds {
-		results[lane] = &Result{LiveOuts: make(map[string]uint64, len(l.LiveOuts))}
+		results[lane] = &Result{
+			LiveOuts:    make(map[string]uint64, len(l.LiveOuts)),
+			SetupCycles: setup,
+			DrainCycles: drain,
+		}
 		if b.Trip > maxTrip {
 			maxTrip = b.Trip
 		}

@@ -1,0 +1,65 @@
+package cfg
+
+import (
+	"veal/internal/isa"
+	"veal/internal/vmcost"
+)
+
+// NestRegion is a two-deep loop nest candidate: an outer backward branch
+// whose body contains exactly one innermost loop region and no other back
+// edge. The outer body (everything in [OuterHead, OuterBackPC] outside the
+// inner region) re-executes once per outer iteration — the rebinding code
+// whose affinity loopx.ExtractNest analyzes.
+type NestRegion struct {
+	Inner       Region
+	OuterHead   int
+	OuterBackPC int
+}
+
+// OuterBody returns the instruction count of the outer region including
+// its back branch.
+func (n NestRegion) OuterBody() int { return n.OuterBackPC - n.OuterHead + 1 }
+
+// FindNests scans a program for two-deep nest candidates: each backward
+// conditional branch that strictly contains exactly one schedulable
+// innermost region and no other backward branch pairs with that region.
+// Deeper structural and dataflow checks (outer induction, parameter
+// rebinding affinity) live in loopx.ExtractNest; like FindInnerLoops this
+// is a linear scan cheap enough to run inside the VM.
+func FindNests(p *isa.Program, m *vmcost.Meter) []NestRegion {
+	inners := FindInnerLoops(p, m)
+	m.Begin(vmcost.PhaseLoopID)
+	var nests []NestRegion
+	for pc, in := range p.Code {
+		m.Charge(2)
+		if !in.Op.IsCondBranch() || int(in.Imm) >= pc {
+			continue
+		}
+		head := int(in.Imm)
+		var within []Region
+		for _, r := range inners {
+			if r.Head > head && r.BackPC < pc {
+				within = append(within, r)
+			}
+		}
+		if len(within) != 1 || within[0].Kind == KindSubroutine || within[0].Kind == KindIrregular {
+			continue
+		}
+		// Any backward branch in the outer body other than the inner
+		// region's own back edge makes the nest irregular (a sibling or
+		// triply-nested loop).
+		ok := true
+		for qc := head; qc < pc; qc++ {
+			m.Charge(1)
+			b := p.Code[qc]
+			if qc != within[0].BackPC && b.Op.IsCondBranch() && int(b.Imm) <= qc && int(b.Imm) >= head {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			nests = append(nests, NestRegion{Inner: within[0], OuterHead: head, OuterBackPC: pc})
+		}
+	}
+	return nests
+}

@@ -38,7 +38,7 @@ func goldenPath(t *testing.T) string {
 
 func captureGolden(t *testing.T) []goldenEntry {
 	t.Helper()
-	models, err := Models(workloads.All())
+	models, err := Models(append(workloads.All(), workloads.NestBenchmarks()...))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -256,7 +256,7 @@ func (sm *SiteModel) translate(la *arch.LA, policy vm.Policy, tier translate.Tie
 	// The pipeline run itself goes through the global content-addressed
 	// store: single-flight across concurrent sweep workers AND shared
 	// across sites/harnesses with identical loop content.
-	tr, err := sharedStore.Load("exp", tstore.KeyFor(binary.Program, region, la, policy, tier, spec),
+	tr, err := sharedStore.Load("exp", tstore.KeyFor(binary.Program, region, la, policy, tier, spec, 0),
 		func() (*translate.Result, error) {
 			return translate.Build(policy, tier).Run(translate.Request{
 				Prog:        binary.Program,

@@ -1,0 +1,230 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"veal/internal/ir"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/vm"
+	"veal/internal/workloads"
+	"veal/internal/xform"
+)
+
+// NestRow is one nest kernel's three-way cycle comparison under the VM:
+// pure scalar execution, innermost-only acceleration (the full bus
+// setup/drain protocol on every outer iteration), and nest-resident
+// acceleration (configure once, re-seed parameters across outer
+// iterations). All three commit identical architectural state — the
+// differential suite in internal/vm pins that — so the rows isolate the
+// cycle cost of the invocation protocol.
+type NestRow struct {
+	Kernel           string
+	ScalarCycles     int64
+	InnerCycles      int64 // total cycles, innermost-only acceleration
+	ResidentCycles   int64 // total cycles, nest-resident acceleration
+	Launches         int64 // accelerator launches in the resident run
+	ResidentLaunches int64 // launches granted residency (re-seed, no reconfigure)
+	FullBus          int64 // setup+drain cycles per launch, full protocol
+	ResidentBus      int64 // setup+drain cycles per launch, resident steady state
+}
+
+// NestPitch captures the motivating reject: the hand-assembled
+// runtime-pitch stencil binary steps its pointers by a register, so the
+// extractor cannot form streams and the site stays scalar. The
+// interchanged column-major nest — the "…:interchange" row — is the
+// manufactured binary that does map.
+type NestPitch struct {
+	Launches int64
+	Reason   string
+}
+
+// NestReport is the `veal bench -nests` result.
+type NestReport struct {
+	Rows  []NestRow
+	Pitch NestPitch
+}
+
+// runNestVM executes a lowered nest under one VM configuration with
+// synchronous translation (deterministic cycle totals).
+func runNestVM(res *lower.NestResult, n *ir.Nest, binds *ir.Bindings, mem *ir.PagedMemory, mut func(*vm.Config)) (*vm.RunResult, error) {
+	cfg := vm.DefaultConfig()
+	cfg.TranslateWorkers = 0
+	if mut != nil {
+		mut(&cfg)
+	}
+	seed := func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(n.InnerTrip)
+		m.Regs[res.OuterTripReg] = uint64(n.OuterTrip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = binds.Params[i]
+		}
+	}
+	r, _, err := vm.New(cfg).Run(res.Program, mem.Clone(), seed, 500_000_000)
+	return r, err
+}
+
+// nestRow lowers one nest and measures it scalar-only, innermost-only and
+// resident.
+func nestRow(name string, n *ir.Nest, seed int64) (NestRow, error) {
+	row := NestRow{Kernel: name}
+	res, err := lower.LowerNest(n, lower.Options{Annotate: true})
+	if err != nil {
+		return row, fmt.Errorf("%s: %w", name, err)
+	}
+	binds, mem := workloads.PrepareNest(n, seed)
+
+	scalarRes, err := runNestVM(res, n, binds, mem, func(c *vm.Config) { c.HotThreshold = 1 << 30 })
+	if err != nil {
+		return row, fmt.Errorf("%s scalar: %w", name, err)
+	}
+	inner, err := runNestVM(res, n, binds, mem, func(c *vm.Config) { c.NestResident = false })
+	if err != nil {
+		return row, fmt.Errorf("%s innermost: %w", name, err)
+	}
+	resid, err := runNestVM(res, n, binds, mem, nil)
+	if err != nil {
+		return row, fmt.Errorf("%s resident: %w", name, err)
+	}
+
+	row.ScalarCycles = scalarRes.Cycles
+	row.InnerCycles = inner.Cycles
+	row.ResidentCycles = resid.Cycles
+	row.Launches = resid.Launches
+	row.ResidentLaunches = resid.ResidentLaunches
+	if inner.Launches > 0 {
+		row.FullBus = (inner.SetupCycles + inner.DrainCycles) / inner.Launches
+	}
+	if resid.ResidentLaunches > 0 {
+		// Per-launch bus cost in the steady resident state: exclude the
+		// first launch, which pays the full protocol to take the bus.
+		full := int64(0)
+		if row.FullBus > 0 {
+			full = row.FullBus
+		}
+		row.ResidentBus = (resid.SetupCycles + resid.DrainCycles - full) / resid.ResidentLaunches
+	}
+	return row, nil
+}
+
+// nestPitch runs the runtime-pitch stencil binary under the default VM
+// and reports that it never launches, with the extractor's typed reason.
+func nestPitch() (NestPitch, error) {
+	n := workloads.Stencil2DColMajor()
+	binds, mem := workloads.PrepareNest(n, 23)
+	param := func(name string) uint64 {
+		for i, pn := range n.Inner.ParamNames {
+			if pn == name {
+				return binds.Params[i]
+			}
+		}
+		return 0
+	}
+	cfg := vm.DefaultConfig()
+	cfg.TranslateWorkers = 0
+	v := vm.New(cfg)
+	seed := func(m *scalar.Machine) {
+		m.Regs[1] = uint64(n.InnerTrip)
+		m.Regs[4] = param("img")
+		m.Regs[5] = param("out")
+		m.Regs[6] = 64 // the pitch, a runtime register value
+		m.Regs[7] = uint64(n.OuterTrip)
+		m.Regs[9] = param("c0")
+		m.Regs[10] = param("c1")
+	}
+	r, _, err := v.Run(workloads.Stencil2DRuntimePitch(), mem.Clone(), seed, 500_000_000)
+	if err != nil {
+		return NestPitch{}, fmt.Errorf("runtime-pitch: %w", err)
+	}
+	pitch := NestPitch{Launches: r.Launches}
+	for _, s := range v.LoopStates() {
+		if s.Reason != "" {
+			pitch.Reason = s.Reason
+		}
+	}
+	return pitch, nil
+}
+
+// Nests runs the nested-loop residency comparison: every nest kernel
+// three ways, plus the interchange-manufactured column-major walk, plus
+// the runtime-pitch reject demonstration.
+func Nests() (*NestReport, error) {
+	rep := &NestReport{}
+	for i, k := range workloads.NestKernels() {
+		row, err := nestRow(k.Name, k.Build(), int64(401+i))
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	// The manufactured accept: interchanging the column-major stencil
+	// yields the row-major walk with constant inner strides.
+	ichg, err := xform.Interchange(workloads.Stencil2DColMajor())
+	if err != nil {
+		return nil, fmt.Errorf("interchange stencil-2d-colmajor: %w", err)
+	}
+	row, err := nestRow("stencil-2d-colmajor:interchange", ichg, 441)
+	if err != nil {
+		return nil, err
+	}
+	rep.Rows = append(rep.Rows, row)
+
+	rep.Pitch, err = nestPitch()
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// FormatNests renders the residency comparison as an aligned table.
+func FormatNests(rep *NestReport) string {
+	var b strings.Builder
+	b.WriteString("nested-loop residency (VM cycles, synchronous translation):\n")
+	fmt.Fprintf(&b, "  %-32s %10s %10s %10s %8s %9s %9s %8s %8s\n",
+		"kernel", "scalar", "innermost", "resident", "speedup", "launches", "resident", "bus/full", "bus/res")
+	for _, r := range rep.Rows {
+		speedup := 0.0
+		if r.ResidentCycles > 0 {
+			speedup = float64(r.ScalarCycles) / float64(r.ResidentCycles)
+		}
+		fmt.Fprintf(&b, "  %-32s %10d %10d %10d %7.2fx %9d %9d %8d %8d\n",
+			r.Kernel, r.ScalarCycles, r.InnerCycles, r.ResidentCycles, speedup,
+			r.Launches, r.ResidentLaunches, r.FullBus, r.ResidentBus)
+	}
+	fmt.Fprintf(&b, "\n  runtime-pitch stencil binary: %d launches (stays scalar)", rep.Pitch.Launches)
+	if rep.Pitch.Reason != "" {
+		fmt.Fprintf(&b, " — %s", rep.Pitch.Reason)
+	}
+	b.WriteString("\n  interchange manufactures the accelerable walk: stencil-2d-colmajor:interchange\n")
+	return b.String()
+}
+
+// WriteNestsCSV emits one record per nest row.
+func WriteNestsCSV(w io.Writer, rows []NestRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "scalar_cycles", "innermost_cycles", "resident_cycles",
+		"launches", "resident_launches", "bus_per_launch_full", "bus_per_launch_resident"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Kernel,
+			strconv.FormatInt(r.ScalarCycles, 10),
+			strconv.FormatInt(r.InnerCycles, 10),
+			strconv.FormatInt(r.ResidentCycles, 10),
+			strconv.FormatInt(r.Launches, 10),
+			strconv.FormatInt(r.ResidentLaunches, 10),
+			strconv.FormatInt(r.FullBus, 10),
+			strconv.FormatInt(r.ResidentBus, 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

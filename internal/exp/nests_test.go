@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"veal/internal/workloads"
+)
+
+// TestNests pins the residency experiment's shape and its headline
+// claims: every nest kernel accelerates, residency grants all but the
+// first launch, the steady-state bus cost beats the full protocol by at
+// least 2x, and the runtime-pitch binary stays scalar with a typed
+// reason while its interchanged twin accelerates.
+func TestNests(t *testing.T) {
+	rep, err := Nests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(workloads.NestKernels()) + 1 // + the interchange row
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), wantRows)
+	}
+	for _, r := range rep.Rows {
+		if r.ScalarCycles <= 0 {
+			t.Errorf("%s: scalar cycles %d", r.Kernel, r.ScalarCycles)
+		}
+		if r.Launches == 0 {
+			t.Errorf("%s: never launched the accelerator", r.Kernel)
+			continue
+		}
+		if r.ResidentLaunches != r.Launches-1 {
+			t.Errorf("%s: %d launches but %d resident, want %d",
+				r.Kernel, r.Launches, r.ResidentLaunches, r.Launches-1)
+		}
+		if r.ResidentCycles >= r.InnerCycles {
+			t.Errorf("%s: resident cycles %d not below innermost-only %d",
+				r.Kernel, r.ResidentCycles, r.InnerCycles)
+		}
+		if r.ResidentBus*2 > r.FullBus {
+			t.Errorf("%s: resident bus %d/launch vs full %d/launch — less than 2x saving",
+				r.Kernel, r.ResidentBus, r.FullBus)
+		}
+	}
+	if rep.Pitch.Launches != 0 {
+		t.Errorf("runtime-pitch binary launched %d times, want 0", rep.Pitch.Launches)
+	}
+	if rep.Pitch.Reason == "" {
+		t.Error("runtime-pitch reject carries no reason")
+	}
+
+	out := FormatNests(rep)
+	if !strings.Contains(out, "stencil-2d-colmajor:interchange") || !strings.Contains(out, "stays scalar") {
+		t.Errorf("FormatNests missing expected sections:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := WriteNestsCSV(&buf, rep.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != wantRows+1 {
+		t.Errorf("CSV has %d lines, want %d", lines, wantRows+1)
+	}
+}

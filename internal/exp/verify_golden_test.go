@@ -11,20 +11,20 @@ import (
 )
 
 // TestGoldenSitesVerify runs the independent legality checker over the
-// exact site x policy matrix the golden differential test pins (285
-// entries): every translation the pipeline accepts must pass
+// exact site x policy matrix the golden differential test pins (297
+// entries, including the nest suite's inner loops): every translation the pipeline accepts must pass
 // verify.Translation, and the accept count — after the same launch-time
 // alias filtering the site model applies — must equal the golden file's
 // OK count, so the verifier is exercised by every schedule the golden
 // file certifies.
 func TestGoldenSitesVerify(t *testing.T) {
-	models, err := Models(workloads.All())
+	models, err := Models(append(workloads.All(), workloads.NestBenchmarks()...))
 	if err != nil {
 		t.Fatal(err)
 	}
 	la := arch.Proposed()
 	policies := []vm.Policy{vm.FullyDynamic, vm.HeightPriority, vm.Hybrid}
-	const wantTotal, wantOK = 285, 248
+	const wantTotal, wantOK = 297, 260
 	total, okLikeGolden, verified := 0, 0, 0
 	for _, bm := range models {
 		for _, sm := range bm.Sites {

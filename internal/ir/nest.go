@@ -1,0 +1,100 @@
+package ir
+
+import "fmt"
+
+// Nest is a two-deep loop nest: an inner dataflow Loop re-invoked once per
+// outer iteration with rebased parameters. Outer iteration k runs Inner
+// with params[p] + k*OuterStride[p] for every parameter p — the
+// "invariant outer-carried address" shape of media nests, where each outer
+// iteration advances the block pointers by a constant and everything else
+// about the inner loop is unchanged. The nest's scalar live-outs are the
+// inner loop's live-outs as of the final outer iteration, matching what a
+// scalar core's registers hold after the whole nest retires.
+//
+// Unlike Loop, a Nest carries its trip counts: the transform legality
+// checks (xform.Interchange, xform.UnrollAndJam) are exact bounded solves
+// over the iteration rectangle, so the shape is only meaningful with
+// concrete bounds. Runtime bindings may still override them at execution.
+type Nest struct {
+	Name  string
+	Inner *Loop
+
+	// OuterStride is the per-outer-iteration step of each inner parameter
+	// (len == Inner.NumParams). A zero entry is an outer-invariant
+	// parameter; a non-zero entry advances per outer iteration (a block
+	// pointer, a rebased recurrence seed).
+	OuterStride []int64
+
+	// InnerTrip and OuterTrip are the nest's iteration-rectangle bounds.
+	InnerTrip int64
+	OuterTrip int64
+}
+
+// Validate checks the nest's structural invariants on top of the inner
+// loop's own.
+func (n *Nest) Validate() error {
+	if n.Inner == nil {
+		return fmt.Errorf("nest %q: nil inner loop", n.Name)
+	}
+	if err := n.Inner.Validate(); err != nil {
+		return fmt.Errorf("nest %q: %w", n.Name, err)
+	}
+	if len(n.OuterStride) != n.Inner.NumParams {
+		return fmt.Errorf("nest %q: %d outer strides for %d params",
+			n.Name, len(n.OuterStride), n.Inner.NumParams)
+	}
+	if n.InnerTrip < 0 || n.OuterTrip < 0 {
+		return fmt.Errorf("nest %q: negative trip (%d x %d)", n.Name, n.OuterTrip, n.InnerTrip)
+	}
+	return nil
+}
+
+// ParamsAt returns the inner loop's parameter values for outer iteration k.
+func (n *Nest) ParamsAt(base []uint64, k int64) []uint64 {
+	out := make([]uint64, len(base))
+	for i, v := range base {
+		out[i] = uint64(int64(v) + k*n.OuterStride[i])
+	}
+	return out
+}
+
+// Clone returns a deep copy of the nest.
+func (n *Nest) Clone() *Nest {
+	return &Nest{
+		Name:        n.Name,
+		Inner:       n.Inner.Clone(),
+		OuterStride: append([]int64(nil), n.OuterStride...),
+		InnerTrip:   n.InnerTrip,
+		OuterTrip:   n.OuterTrip,
+	}
+}
+
+// ExecuteNest runs the nest sequentially against the reference loop
+// executor — the semantics every transformed or accelerated variant must
+// reproduce. It returns the final outer iteration's Result (live-outs and
+// iteration count of that inner invocation); memory side effects from all
+// outer iterations land in mem. A zero outer trip executes nothing and
+// reports the inner loop's trip-zero live-out fallbacks at the base
+// parameters, mirroring what the scalar core's registers would hold.
+func ExecuteNest(n *Nest, params []uint64, mem Memory) (*Result, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if len(params) != n.Inner.NumParams {
+		return nil, fmt.Errorf("nest %q: %d param values for %d params",
+			n.Name, len(params), n.Inner.NumParams)
+	}
+	if n.OuterTrip == 0 {
+		return Execute(n.Inner, &Bindings{Params: append([]uint64(nil), params...), Trip: 0}, mem)
+	}
+	var last *Result
+	for k := int64(0); k < n.OuterTrip; k++ {
+		b := &Bindings{Params: n.ParamsAt(params, k), Trip: n.InnerTrip}
+		res, err := Execute(n.Inner, b, mem)
+		if err != nil {
+			return nil, fmt.Errorf("nest %q: outer iteration %d: %w", n.Name, k, err)
+		}
+		last = res
+	}
+	return last, nil
+}

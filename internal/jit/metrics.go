@@ -186,6 +186,17 @@ type Metrics struct {
 	BatchLaneInsts    int64
 	BatchLaunches     int64
 
+	// Nest residency (vm.Config.NestResident). ResidentLaunches counts
+	// accelerator invocations that reused the previous launch's bus
+	// configuration (same translation, recognized nest inner, consecutive
+	// outer iterations) and paid only parameter re-seeding;
+	// BusSetupCycles/BusDrainCycles accumulate the actual setup and drain
+	// cycles charged across all launches, so the resident saving is
+	// directly visible against a resident-disabled run.
+	ResidentLaunches int64
+	BusSetupCycles   int64
+	BusDrainCycles   int64
+
 	// Fault injection and graceful degradation (internal/faultinject).
 	// All are deterministic under the virtual-time model: injected faults
 	// are functions of (loop, attempt) only.
@@ -249,6 +260,10 @@ func (m *Metrics) Format() string {
 		fmt.Fprintf(&b, "  %-22s %12.2f\n", "decode amortization",
 			float64(m.BatchLaneInsts)/float64(m.BatchDecodedInsts))
 	}
+	b.WriteString("nest residency:\n")
+	row("resident launches", m.ResidentLaunches)
+	row("bus setup cycles", m.BusSetupCycles)
+	row("bus drain cycles", m.BusDrainCycles)
 	b.WriteString("fault injection:\n")
 	row("worker crashes", m.WorkerCrashes)
 	row("injected latency", m.InjectedLatency)

@@ -1,0 +1,287 @@
+package loopx
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+
+	"veal/internal/cfg"
+	"veal/internal/isa"
+	"veal/internal/vmcost"
+)
+
+// NestRejectReason enumerates why a structural nest candidate failed the
+// dataflow checks — the typed rejection surface of nest extraction,
+// mirroring translate's reject codes without importing translate (loopx
+// sits below it).
+type NestRejectReason string
+
+const (
+	// NestRejectInner: the inner region itself failed extraction.
+	NestRejectInner NestRejectReason = "inner"
+	// NestRejectControl: the outer back branch has no recognizable
+	// induction pattern.
+	NestRejectControl NestRejectReason = "control"
+	// NestRejectBody: the outer body contains control flow or operations
+	// the rebinding analysis does not model (calls, halts, side exits).
+	NestRejectBody NestRejectReason = "body"
+	// NestRejectRebind: an inner-loop parameter register is not an affine
+	// function of the previous launch's registers across outer iterations.
+	NestRejectRebind NestRejectReason = "rebind"
+)
+
+// NestReject is a typed nest-extraction failure.
+type NestReject struct {
+	Reason NestRejectReason
+	Detail error
+}
+
+func (e *NestReject) Error() string {
+	return fmt.Sprintf("loopx: nest %s: %v", e.Reason, e.Detail)
+}
+
+func (e *NestReject) Unwrap() error { return e.Detail }
+
+// AsNestReject extracts the typed rejection from an error.
+func AsNestReject(err error) (*NestReject, bool) {
+	r, ok := err.(*NestReject)
+	return r, ok
+}
+
+func nestReject(reason NestRejectReason, format string, args ...any) *NestReject {
+	return &NestReject{Reason: reason, Detail: fmt.Errorf(format, args...)}
+}
+
+// RegDelta describes how one register evolves across consecutive inner
+// launches: its value at the next launch is register Base's value at the
+// previous launch's exit, plus Offset. Base -1 means the value is the
+// constant Offset regardless of prior state. Exit values are the resident
+// accelerator's own interface — parameters it was seeded, live-outs it
+// committed, affine finals it computed — so a delta over them proves the
+// next launch is derivable without structural reconfiguration.
+type RegDelta struct {
+	Reg    uint8
+	Base   int
+	Offset int64
+}
+
+// NestExtraction is a fully analyzed nest: the inner loop's extraction,
+// the outer trip formula, and the per-launch register rebinding deltas
+// proving the outer body only steps the inner loop's live-ins affinely —
+// the precondition for keeping the accelerator resident across outer
+// iterations (parameters re-seed over the bus; no structural change).
+type NestExtraction struct {
+	Inner     *Extraction
+	Region    cfg.NestRegion
+	OuterTrip TripSpec
+	// Deltas aligns with Inner.Params: Deltas[i] rebinding for the
+	// register feeding parameter i. IndDelta/BoundDelta cover the inner
+	// trip registers.
+	Deltas     []RegDelta
+	IndDelta   RegDelta
+	BoundDelta RegDelta
+	// ShapeHash digests the nest's rebinding structure (outer trip
+	// formula, deltas, inner interface shape); it joins the translation
+	// content hash so nest-resident sites key separately in the store.
+	ShapeHash uint64
+}
+
+// nest symbolic values for the rebinding walk, all relative to register
+// state at the previous launch's exit.
+const (
+	nestAffine = iota // register base at previous launch exit + c
+	nestConst
+	nestUnknown
+)
+
+type nestVal struct {
+	kind int
+	base uint8
+	c    int64
+}
+
+// ExtractNest analyzes a structural nest candidate: it extracts the inner
+// region, then symbolically walks the outer body (inner exit → outer back
+// branch → inner preamble) proving every register the inner launch reads
+// is an affine function of the previous launch's registers. Failure is a
+// typed *NestReject.
+func ExtractNest(p *isa.Program, nr cfg.NestRegion, m *vmcost.Meter) (*NestExtraction, error) {
+	var inner *Extraction
+	var err error
+	switch nr.Inner.Kind {
+	case cfg.KindSchedulable:
+		inner, err = Extract(p, nr.Inner, m)
+	case cfg.KindSpeculation:
+		inner, err = ExtractSpeculative(p, nr.Inner, m)
+	default:
+		err = fmt.Errorf("inner region at %d is %v", nr.Inner.Head, nr.Inner.Kind)
+	}
+	if err != nil {
+		return nil, &NestReject{Reason: NestRejectInner, Detail: err}
+	}
+
+	m.Begin(vmcost.PhaseLoopID)
+	// Initial state at inner-region exit, in terms of exit-time register
+	// values: registers the region never writes pass through, and written
+	// registers are opaque unless the launch interface recovers their exit
+	// value — scalar live-outs the accelerator commits, affine address
+	// finals it computes, the link register of hybrid CCA calls.
+	var st [isa.NumRegs]nestVal
+	for r := range st {
+		st[r] = nestVal{kind: nestAffine, base: uint8(r)}
+	}
+	for pc := nr.Inner.Head; pc <= nr.Inner.BackPC; pc++ {
+		m.Charge(1)
+		if dst, writes := destOf(p.Code[pc]); writes {
+			st[dst] = nestVal{kind: nestUnknown}
+		}
+	}
+	for _, af := range inner.AffineFinals {
+		st[af.Reg] = nestVal{kind: nestAffine, base: af.Reg}
+	}
+	for _, lo := range inner.Loop.LiveOuts {
+		if reg, err := strconv.Atoi(lo.Name[1:]); err == nil && reg >= 0 && reg < isa.NumRegs {
+			st[reg] = nestVal{kind: nestAffine, base: uint8(reg)}
+		}
+	}
+	if inner.LinkRegFinal >= 0 {
+		st[isa.LinkReg] = nestVal{kind: nestConst, c: inner.LinkRegFinal}
+	}
+
+	// Walk the outer tail then the re-executed preamble.
+	var pcs []int
+	for pc := nr.Inner.BackPC + 1; pc < nr.OuterBackPC; pc++ {
+		pcs = append(pcs, pc)
+	}
+	for pc := nr.OuterHead; pc < nr.Inner.Head; pc++ {
+		pcs = append(pcs, pc)
+	}
+	for _, pc := range pcs {
+		m.Charge(3)
+		in := p.Code[pc]
+		switch in.Op {
+		case isa.Nop, isa.Store:
+		case isa.MovI:
+			st[in.Dst] = nestVal{kind: nestConst, c: in.Imm}
+		case isa.Mov:
+			st[in.Dst] = st[in.Src1]
+		case isa.AddI:
+			v := st[in.Src1]
+			if v.kind != nestUnknown {
+				v.c += in.Imm
+			}
+			st[in.Dst] = v
+		case isa.MulI:
+			v := st[in.Src1]
+			if v.kind == nestConst {
+				v.c *= in.Imm
+			} else {
+				v = nestVal{kind: nestUnknown}
+			}
+			st[in.Dst] = v
+		case isa.Brl, isa.Ret, isa.Halt, isa.Br:
+			return nil, nestReject(NestRejectBody, "outer body control flow %v at %d", in.Op, pc)
+		default:
+			if in.Op.IsCondBranch() {
+				tgt := int(in.Imm)
+				if tgt <= pc || tgt > nr.OuterBackPC+1 {
+					return nil, nestReject(NestRejectBody, "outer body branch at %d escapes the nest", pc)
+				}
+				continue // zero-trip guard: analyze the fallthrough path
+			}
+			if dst, writes := destOf(in); writes {
+				st[dst] = nestVal{kind: nestUnknown}
+			}
+		}
+	}
+
+	// Outer induction: the back branch compares a register stepping by a
+	// launch-invariant constant against an unchanged bound.
+	back := p.Code[nr.OuterBackPC]
+	m.Charge(8)
+	var outer TripSpec
+	found := false
+	for _, c := range []struct {
+		ind, bound uint8
+		op         isa.Opcode
+	}{
+		{back.Src1, back.Src2, back.Op},
+		{back.Src2, back.Src1, swapCmp(back.Op)},
+	} {
+		iv, bv := st[c.ind], st[c.bound]
+		if iv.kind != nestAffine || iv.base != c.ind || iv.c == 0 {
+			continue
+		}
+		if bv.kind != nestAffine || bv.base != c.bound || bv.c != 0 {
+			continue
+		}
+		okSign := false
+		switch c.op {
+		case isa.BLT, isa.BLE:
+			okSign = iv.c > 0
+		case isa.BGT, isa.BGE:
+			okSign = iv.c < 0
+		case isa.BNE:
+			okSign = true
+		}
+		if okSign {
+			outer = TripSpec{IndReg: c.ind, BoundReg: c.bound, Step: iv.c, Branch: c.op}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, nestReject(NestRejectControl, "no outer induction pattern at back branch %v", back)
+	}
+
+	delta := func(reg uint8) (RegDelta, error) {
+		v := st[reg]
+		switch v.kind {
+		case nestConst:
+			return RegDelta{Reg: reg, Base: -1, Offset: v.c}, nil
+		case nestAffine:
+			return RegDelta{Reg: reg, Base: int(v.base), Offset: v.c}, nil
+		}
+		return RegDelta{}, nestReject(NestRejectRebind,
+			"register r%d is not affine across outer iterations", reg)
+	}
+	ext := &NestExtraction{Inner: inner, Region: nr, OuterTrip: outer}
+	for _, ps := range inner.Params {
+		d, err := delta(ps.Reg)
+		if err != nil {
+			return nil, err
+		}
+		ext.Deltas = append(ext.Deltas, d)
+	}
+	if ext.IndDelta, err = delta(inner.Trip.IndReg); err != nil {
+		return nil, err
+	}
+	if ext.BoundDelta, err = delta(inner.Trip.BoundReg); err != nil {
+		return nil, err
+	}
+	ext.ShapeHash = ext.shapeHash()
+	return ext, nil
+}
+
+// shapeHash digests the rebinding structure.
+func (e *NestExtraction) shapeHash() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	w(int64(e.OuterTrip.IndReg))
+	w(int64(e.OuterTrip.BoundReg))
+	w(e.OuterTrip.Step)
+	w(int64(e.OuterTrip.Branch))
+	w(int64(e.Region.Inner.Head - e.Region.OuterHead))
+	w(int64(e.Region.OuterBackPC - e.Region.Inner.BackPC))
+	for _, d := range append(append([]RegDelta(nil), e.Deltas...), e.IndDelta, e.BoundDelta) {
+		w(int64(d.Reg))
+		w(int64(d.Base))
+		w(d.Offset)
+	}
+	return h.Sum64()
+}

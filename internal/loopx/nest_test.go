@@ -1,0 +1,240 @@
+package loopx
+
+import (
+	"math/rand"
+	"testing"
+
+	"veal/internal/cfg"
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/loopgen"
+	"veal/internal/lower"
+	"veal/internal/workloads"
+)
+
+// lowerNestKernel lowers a nest kernel and locates its nest region.
+func lowerNestKernel(t *testing.T, n *ir.Nest) (*lower.NestResult, cfg.NestRegion) {
+	t.Helper()
+	res, err := lower.LowerNest(n, lower.Options{})
+	if err != nil {
+		t.Fatalf("LowerNest: %v", err)
+	}
+	nests := cfg.FindNests(res.Program, nil)
+	if len(nests) != 1 {
+		t.Fatalf("FindNests found %d nests, want 1\n%s", len(nests), res.Program.Disassemble())
+	}
+	nr := nests[0]
+	if nr.OuterHead != res.OuterHead || nr.OuterBackPC != res.OuterBackPC ||
+		nr.Inner.Head != res.Head || nr.Inner.BackPC != res.BackPC {
+		t.Fatalf("nest region %+v does not match lowered layout (outer [%d,%d], inner [%d,%d])",
+			nr, res.OuterHead, res.OuterBackPC, res.Head, res.BackPC)
+	}
+	return res, nr
+}
+
+// TestExtractNestKernels drives every nest kernel through the full static
+// path — lower, structural nest discovery, dataflow nest extraction — and
+// checks the recovered rebinding deltas are exactly the nest's outer
+// strides.
+func TestExtractNestKernels(t *testing.T) {
+	hashes := map[uint64]string{}
+	for _, k := range workloads.NestKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			n := k.Build()
+			res, nr := lowerNestKernel(t, n)
+			ext, err := ExtractNest(res.Program, nr, nil)
+			if err != nil {
+				t.Fatalf("ExtractNest: %v", err)
+			}
+			ot := ext.OuterTrip
+			if ot.IndReg != res.OuterIndReg || ot.BoundReg != res.OuterTripReg ||
+				ot.Step != 1 || ot.Branch != isa.BLT {
+				t.Errorf("outer trip %+v, want ind r%d bound r%d step 1 blt",
+					ot, res.OuterIndReg, res.OuterTripReg)
+			}
+			if len(ext.Deltas) != len(ext.Inner.Params) {
+				t.Fatalf("%d deltas for %d params", len(ext.Deltas), len(ext.Inner.Params))
+			}
+			// Every rebinding that resolves against an original parameter
+			// register must step by exactly that parameter's outer stride:
+			// the dataflow analysis recovered the nest's OuterStride vector
+			// from the binary alone.
+			strideOf := map[int]int64{}
+			for pi, stride := range n.OuterStride {
+				strideOf[int(res.ParamRegs[pi])] = stride
+			}
+			matched := 0
+			for i, d := range ext.Deltas {
+				if d.Reg != ext.Inner.Params[i].Reg {
+					t.Fatalf("delta %d covers r%d, want r%d", i, d.Reg, ext.Inner.Params[i].Reg)
+				}
+				stride, ok := strideOf[d.Base]
+				if !ok {
+					continue
+				}
+				if d.Offset != stride {
+					t.Errorf("param %d (r%d ← r%d) steps by %d, want %d",
+						i, d.Reg, d.Base, d.Offset, stride)
+				}
+				matched++
+			}
+			if matched == 0 {
+				t.Error("no rebinding delta traces back to a parameter register")
+			}
+			if ext.IndDelta.Base != -1 || ext.IndDelta.Offset != 0 {
+				t.Errorf("induction delta %+v, want constant 0", ext.IndDelta)
+			}
+			if ext.ShapeHash == 0 {
+				t.Error("zero shape hash")
+			}
+			if prev, dup := hashes[ext.ShapeHash]; dup {
+				t.Errorf("shape hash collides with %s", prev)
+			}
+			hashes[ext.ShapeHash] = k.Name
+		})
+	}
+}
+
+// TestExtractNestRuntimePitch: the hand-assembled column-major stencil
+// steps its pointers by a register-held pitch, so the nest is structurally
+// discovered but the inner extraction rejects (non-affine address) — the
+// site whose schedulable body must be manufactured by interchange.
+func TestExtractNestRuntimePitch(t *testing.T) {
+	p := workloads.Stencil2DRuntimePitch()
+	nests := cfg.FindNests(p, nil)
+	if len(nests) != 1 {
+		t.Fatalf("FindNests found %d nests, want 1", len(nests))
+	}
+	_, err := ExtractNest(p, nests[0], nil)
+	rej, ok := AsNestReject(err)
+	if !ok {
+		t.Fatalf("ExtractNest error %v, want a typed NestReject", err)
+	}
+	if rej.Reason != NestRejectInner {
+		t.Errorf("reject reason %q, want %q", rej.Reason, NestRejectInner)
+	}
+}
+
+// TestExtractNestRejectReasons pins each outer-body failure mode to its
+// typed reason by corrupting one instruction of a known-good nest binary.
+func TestExtractNestRejectReasons(t *testing.T) {
+	build := func(t *testing.T) (*lower.NestResult, cfg.NestRegion) {
+		return lowerNestKernel(t, workloads.Stencil2D())
+	}
+	t.Run("body", func(t *testing.T) {
+		res, nr := build(t)
+		// First outer-tail instruction (a parameter step) becomes a halt.
+		res.Program.Code[res.BackPC+1] = isa.Inst{Op: isa.Halt}
+		_, err := ExtractNest(res.Program, nr, nil)
+		if rej, ok := AsNestReject(err); !ok || rej.Reason != NestRejectBody {
+			t.Fatalf("err %v, want body reject", err)
+		}
+	})
+	t.Run("control", func(t *testing.T) {
+		res, nr := build(t)
+		// The outer induction increment becomes a non-affine self-add.
+		ind := res.OuterIndReg
+		res.Program.Code[res.OuterBackPC-1] = isa.Inst{Op: isa.Add, Dst: ind, Src1: ind, Src2: ind}
+		_, err := ExtractNest(res.Program, nr, nil)
+		if rej, ok := AsNestReject(err); !ok || rej.Reason != NestRejectControl {
+			t.Fatalf("err %v, want control reject", err)
+		}
+	})
+	t.Run("rebind", func(t *testing.T) {
+		res, nr := build(t)
+		// A parameter step becomes data-dependent: the next launch's base
+		// is no longer an affine function of the previous launch.
+		step := res.Program.Code[res.BackPC+1]
+		res.Program.Code[res.BackPC+1] = isa.Inst{Op: isa.Add, Dst: step.Dst, Src1: step.Dst, Src2: step.Dst}
+		_, err := ExtractNest(res.Program, nr, nil)
+		if rej, ok := AsNestReject(err); !ok || rej.Reason != NestRejectRebind {
+			t.Fatalf("err %v, want rebind reject", err)
+		}
+	})
+}
+
+// FuzzNestExtract throws mutated nest binaries at the nest extractor: a
+// random generated loop is wrapped in a random outer stride vector,
+// lowered as a nest, one instruction field is perturbed, and every
+// structural nest candidate of any still-valid program is extracted.
+// Extraction may reject — that is its job — but must never panic, and any
+// accepted extraction must carry a valid inner loop and aligned deltas.
+func FuzzNestExtract(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint8(0), int64(0))
+	f.Add(uint64(7), uint8(3), uint8(1), int64(5))
+	f.Add(uint64(42), uint8(9), uint8(2), int64(-1))
+	f.Add(uint64(99), uint8(40), uint8(5), int64(64))
+	f.Add(uint64(1234567), uint8(200), uint8(4), int64(1<<40))
+	f.Fuzz(func(t *testing.T, seed uint64, mutPos, mutField uint8, mutVal int64) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		gen := loopgen.Default()
+		gen.Ops = 2 + int(seed%12)
+		gen.LoadStreams = int(seed % 4)
+		gen.StoreStreams = int((seed >> 2) % 3)
+		gen.RecurProb = float64(seed%5) * 0.2
+		gen.FloatFrac = float64((seed>>3)%3) * 0.25
+		l := loopgen.Generate(rng, gen)
+		if l.NumParams > 24 {
+			t.Skip("register budget")
+		}
+		n := &ir.Nest{
+			Name:        l.Name + "-nest",
+			Inner:       l,
+			OuterStride: make([]int64, l.NumParams),
+			InnerTrip:   1 + int64(seed%8),
+			OuterTrip:   1 + int64((seed>>4)%8),
+		}
+		for i := range n.OuterStride {
+			n.OuterStride[i] = int64(seed>>(i%32))%7 - 3
+		}
+		res, err := lower.LowerNest(n, lower.Options{Annotate: seed%2 == 0})
+		if err != nil {
+			t.Skip("compiler rejection")
+		}
+		p := res.Program
+
+		if len(p.Code) > 0 {
+			in := &p.Code[int(mutPos)%len(p.Code)]
+			switch mutField % 6 {
+			case 0:
+				in.Op = isa.Opcode(uint8(mutVal))
+			case 1:
+				in.Dst = uint8(mutVal) % isa.NumRegs
+			case 2:
+				in.Src1 = uint8(mutVal) % isa.NumRegs
+			case 3:
+				in.Src2 = uint8(mutVal) % isa.NumRegs
+			case 4:
+				in.Src3 = uint8(mutVal) % isa.NumRegs
+			case 5:
+				in.Imm = mutVal
+			}
+		}
+		if p.Validate() != nil {
+			t.Skip("mutation produced an invalid program")
+		}
+
+		for _, nr := range cfg.FindNests(p, nil) {
+			ext, xerr := ExtractNest(p, nr, nil)
+			if xerr != nil {
+				if _, ok := AsNestReject(xerr); !ok {
+					t.Fatalf("seed %d: untyped nest rejection: %v", seed, xerr)
+				}
+				continue
+			}
+			if ext == nil || ext.Inner == nil || ext.Inner.Loop == nil {
+				t.Fatalf("seed %d: accepted nest with nil inner", seed)
+			}
+			if verr := ext.Inner.Loop.Validate(); verr != nil {
+				t.Fatalf("seed %d: accepted nest carries invalid loop: %v", seed, verr)
+			}
+			if len(ext.Deltas) != len(ext.Inner.Params) {
+				t.Fatalf("seed %d: %d deltas for %d params", seed, len(ext.Deltas), len(ext.Inner.Params))
+			}
+			if ext.ShapeHash == 0 {
+				t.Fatalf("seed %d: zero shape hash", seed)
+			}
+		}
+	})
+}

@@ -1,0 +1,148 @@
+package lower
+
+import (
+	"fmt"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// NestResult is a lowered loop nest: the inner loop's program wrapped in a
+// counting outer loop that re-seeds the stepped parameter registers each
+// iteration. The inner loop's calling convention is unchanged (seed
+// TripReg and ParamRegs); the caller additionally seeds OuterTripReg with
+// the outer iteration count.
+type NestResult struct {
+	Program *isa.Program
+	// Head and BackPC delimit the inner loop region.
+	Head   int
+	BackPC int
+	// OuterHead is the first instruction re-executed each outer iteration
+	// (the inner preamble); OuterBackPC is the outer back branch.
+	OuterHead   int
+	OuterBackPC int
+
+	ParamRegs []uint8
+	// TripReg bounds the inner loop, OuterTripReg the outer.
+	TripReg      uint8
+	OuterIndReg  uint8
+	OuterTripReg uint8
+	LiveOutRegs  map[string]uint8
+}
+
+// LowerNest compiles a nest: the inner loop is lowered as usual, then
+// wrapped in an outer counting loop whose body is the whole inner program
+// (preamble included — re-running it each iteration is exactly the
+// per-iteration parameter rebinding: the induction resets, address
+// registers re-derive from the stepped parameters, recurrence shadows
+// re-seed) followed by one constant add per stepped parameter. The inner
+// region keeps its shape, so the dynamic pipeline extracts and translates
+// it exactly as it would standalone; only the outer wrapper is new.
+func LowerNest(n *ir.Nest, opt Options) (*NestResult, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	res, err := Lower(n.Inner, opt)
+	if err != nil {
+		return nil, err
+	}
+	p := res.Program
+	haltPC := -1
+	for pc, in := range p.Code {
+		if in.Op == isa.Halt {
+			haltPC = pc
+			break
+		}
+	}
+	if haltPC < 0 {
+		return nil, fmt.Errorf("lower: inner program %q has no halt", p.Name)
+	}
+	var maxReg uint8
+	for _, in := range p.Code {
+		for _, r := range [4]uint8{in.Dst, in.Src1, in.Src2, in.Src3} {
+			if r > maxReg {
+				maxReg = r
+			}
+		}
+	}
+	outerInd, outerTrip := maxReg+1, maxReg+2
+	if int(outerTrip) >= isa.LinkReg {
+		return nil, fmt.Errorf("lower: nest %q exceeds the register budget", n.Name)
+	}
+
+	// Layout: [movi outer=0; guard] [inner code <<2] [param steps; outer
+	// inc; outer back branch] [halt] [CCA functions].
+	const shift = 2
+	var steps []isa.Inst
+	for pi, v := range n.OuterStride {
+		if v != 0 {
+			r := res.ParamRegs[pi]
+			steps = append(steps, isa.Inst{Op: isa.AddI, Dst: r, Src1: r, Imm: v})
+		}
+	}
+	stepsStart := shift + haltPC
+	outerBackPC := stepsStart + len(steps) + 1
+	haltNew := outerBackPC + 1
+	ccaDelta := haltNew + 1 - (haltPC + 1)
+	remap := func(t int64) int64 {
+		switch {
+		case int(t) < haltPC:
+			return t + shift
+		case int(t) == haltPC:
+			return int64(stepsStart)
+		default:
+			return t + int64(ccaDelta)
+		}
+	}
+	hasTarget := func(op isa.Opcode) bool {
+		return op == isa.Br || op == isa.Brl || op.IsCondBranch()
+	}
+
+	code := make([]isa.Inst, 0, len(p.Code)+shift+len(steps)+3)
+	code = append(code,
+		isa.Inst{Op: isa.MovI, Dst: outerInd, Imm: 0},
+		isa.Inst{Op: isa.BGE, Src1: outerInd, Src2: outerTrip, Imm: int64(haltNew)})
+	for _, in := range p.Code[:haltPC] {
+		if hasTarget(in.Op) {
+			in.Imm = remap(in.Imm)
+		}
+		code = append(code, in)
+	}
+	code = append(code, steps...)
+	code = append(code,
+		isa.Inst{Op: isa.AddI, Dst: outerInd, Src1: outerInd, Imm: 1},
+		isa.Inst{Op: isa.BLT, Src1: outerInd, Src2: outerTrip, Imm: int64(shift)},
+		isa.Inst{Op: isa.Halt})
+	for _, in := range p.Code[haltPC+1:] {
+		if hasTarget(in.Op) {
+			in.Imm = remap(in.Imm)
+		}
+		code = append(code, in)
+	}
+
+	np := &isa.Program{Name: p.Name + "-nest", Code: code}
+	for _, f := range p.CCAFuncs {
+		np.CCAFuncs = append(np.CCAFuncs, isa.CCAFunc{Start: f.Start + ccaDelta, Len: f.Len})
+	}
+	for _, a := range p.LoopAnnos {
+		np.LoopAnnos = append(np.LoopAnnos, isa.LoopAnno{
+			HeadPC:     a.HeadPC + shift,
+			Priorities: append([]int32(nil), a.Priorities...),
+		})
+	}
+	if err := np.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: nest produced invalid program: %w", err)
+	}
+	return &NestResult{
+		Program:      np,
+		Head:         res.Head + shift,
+		BackPC:       haltPC - 1 + shift,
+		OuterHead:    shift,
+		OuterBackPC:  outerBackPC,
+		ParamRegs:    res.ParamRegs,
+		TripReg:      res.TripReg,
+		OuterIndReg:  outerInd,
+		OuterTripReg: outerTrip,
+		LiveOutRegs:  res.LiveOutRegs,
+	}, nil
+}

@@ -1,0 +1,153 @@
+package lower
+
+import (
+	"testing"
+
+	"veal/internal/arch"
+	"veal/internal/ir"
+	"veal/internal/scalar"
+	"veal/internal/workloads"
+)
+
+// runLoweredNest executes a lowered nest program on the scalar core.
+func runLoweredNest(t testing.TB, res *NestResult, params []uint64, innerTrip, outerTrip int64, mem *ir.PagedMemory) *scalar.Machine {
+	t.Helper()
+	m := scalar.New(arch.ARM11(), mem)
+	m.Regs[res.TripReg] = uint64(innerTrip)
+	m.Regs[res.OuterTripReg] = uint64(outerTrip)
+	for i, r := range res.ParamRegs {
+		m.Regs[r] = params[i]
+	}
+	if err := m.Run(res.Program, 10_000_000); err != nil {
+		t.Fatalf("Run: %v\n%s", err, res.Program.Disassemble())
+	}
+	return m
+}
+
+// TestLowerNestMatchesReference proves each nest kernel's lowered binary
+// reproduces ir.ExecuteNest exactly: every memory word and every scalar
+// live-out register.
+func TestLowerNestMatchesReference(t *testing.T) {
+	for i, k := range workloads.NestKernels() {
+		k := k
+		seed := int64(41 + i)
+		t.Run(k.Name, func(t *testing.T) {
+			n := k.Build()
+			binds, mem := workloads.PrepareNest(n, seed)
+			ref := mem.Clone()
+			want, err := ir.ExecuteNest(n, binds.Params, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := LowerNest(n, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := runLoweredNest(t, res, binds.Params, n.InnerTrip, n.OuterTrip, mem.Clone())
+			if !m.Mem.(*ir.PagedMemory).Equal(ref) {
+				t.Fatal("lowered nest memory diverges from reference")
+			}
+			for name, reg := range res.LiveOutRegs {
+				if got := m.Regs[reg]; got != want.LiveOuts[name] {
+					t.Errorf("live-out %s = %#x, want %#x", name, got, want.LiveOuts[name])
+				}
+			}
+		})
+	}
+}
+
+// TestLowerNestZeroTrips checks both degenerate bounds: a zero outer trip
+// runs nothing, and a zero inner trip still steps the outer loop without
+// touching memory.
+func TestLowerNestZeroTrips(t *testing.T) {
+	n := workloads.Stencil2D()
+	binds, mem := workloads.PrepareNest(n, 7)
+	res, err := LowerNest(n, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name         string
+		inner, outer int64
+	}{
+		{"zero-outer", n.InnerTrip, 0},
+		{"zero-inner", 0, n.OuterTrip},
+		{"zero-both", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m := runLoweredNest(t, res, binds.Params, tc.inner, tc.outer, mem.Clone())
+			if !m.Mem.(*ir.PagedMemory).Equal(mem) {
+				t.Fatal("degenerate nest wrote memory")
+			}
+		})
+	}
+}
+
+// TestLowerNestAnnotated checks the outer wrapper composes with the hybrid
+// static metadata: CCA functions and loop annotations survive the shift
+// and the program still matches the reference.
+func TestLowerNestAnnotated(t *testing.T) {
+	n := workloads.IDCT2D()
+	binds, mem := workloads.PrepareNest(n, 13)
+	ref := mem.Clone()
+	want, err := ir.ExecuteNest(n, binds.Params, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LowerNest(n, Options{Annotate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Program.AnnoAt(res.Head); !ok {
+		t.Errorf("loop annotation did not follow the inner head to pc %d", res.Head)
+	}
+	m := runLoweredNest(t, res, binds.Params, n.InnerTrip, n.OuterTrip, mem.Clone())
+	if !m.Mem.(*ir.PagedMemory).Equal(ref) {
+		t.Fatal("annotated nest memory diverges from reference")
+	}
+	for name, reg := range res.LiveOutRegs {
+		if got := m.Regs[reg]; got != want.LiveOuts[name] {
+			t.Errorf("live-out %s = %#x, want %#x", name, got, want.LiveOuts[name])
+		}
+	}
+}
+
+// TestRuntimePitchBinaryMatchesColMajorNest ties the hand-assembled
+// runtime-pitch stencil binary to the IR nest it encodes: with the pitch
+// register holding the nest's compile-time pitch, the binary commits the
+// same memory image. This is the binary the extractor rejects (register
+// stride) while the IR nest — after interchange — translates.
+func TestRuntimePitchBinaryMatchesColMajorNest(t *testing.T) {
+	n := workloads.Stencil2DColMajor()
+	binds, mem := workloads.PrepareNest(n, 23)
+	ref := mem.Clone()
+	if _, err := ir.ExecuteNest(n, binds.Params, ref); err != nil {
+		t.Fatal(err)
+	}
+
+	p := workloads.Stencil2DRuntimePitch()
+	m := scalar.New(arch.ARM11(), mem.Clone())
+	inner := n.Inner
+	get := func(name string) uint64 {
+		for i, pn := range inner.ParamNames {
+			if pn == name {
+				return binds.Params[i]
+			}
+		}
+		t.Fatalf("no param %q", name)
+		return 0
+	}
+	m.Regs[1] = uint64(n.InnerTrip) // rTrip
+	m.Regs[4] = get("img")
+	m.Regs[5] = get("out")
+	m.Regs[6] = 64 // rPitch: the image pitch, a runtime value
+	m.Regs[7] = uint64(n.OuterTrip)
+	m.Regs[9] = get("c0")
+	m.Regs[10] = get("c1")
+	if err := m.Run(p, 10_000_000); err != nil {
+		t.Fatalf("Run: %v\n%s", err, p.Disassemble())
+	}
+	if !m.Mem.(*ir.PagedMemory).Equal(ref) {
+		t.Fatal("runtime-pitch binary diverges from the col-major nest reference")
+	}
+}

@@ -48,6 +48,20 @@ const (
 	// CodeInjected: the rejection was forced by a fault-injection plan
 	// (internal/faultinject); never produced by real translation.
 	CodeInjected
+	// CodeNestShape: a loop nest's structure cannot be transformed or
+	// extracted (per-stream strides diverge across a shared base, a
+	// stepped parameter is read as a scalar, an outer body writes state
+	// the rebinding model cannot express).
+	CodeNestShape
+	// CodeNestDependence: a nest transform would reorder iterations across
+	// a dependence — a loop-carried recurrence, a delayed live-out, or a
+	// possible memory collision between a store stream and another stream
+	// within the iteration rectangle.
+	CodeNestDependence
+	// CodeNestTrip: the nest's trip counts do not fit the transform (an
+	// unroll-and-jam factor that does not divide the outer trip, or a
+	// degenerate rectangle).
+	CodeNestTrip
 
 	// NumCodes is the number of rejection codes.
 	NumCodes
@@ -56,7 +70,7 @@ const (
 var codeNames = [NumCodes]string{
 	"region-kind", "needs-speculation", "extract", "graph", "resources",
 	"max-ii", "static-order", "unschedulable", "registers", "alias",
-	"raw-binary", "injected",
+	"raw-binary", "injected", "nest-shape", "nest-dependence", "nest-trip",
 }
 
 // String returns the code's stable kebab-case name.

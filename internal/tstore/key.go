@@ -69,8 +69,12 @@ func (k Key) Hex() string { return hex.EncodeToString(k[:]) }
 //     image instruction, so metered Work depends on it);
 //   - every architectural parameter the pipeline reads (all of arch.LA
 //     except Name and BusLatency — the bus cost prices invocations, not
-//     translations), the policy, and the speculation flag.
-func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Policy, tier translate.Tier, speculation bool) Key {
+//     translations), the policy, and the speculation flag;
+//   - nestShape, the loopx nest-extraction shape hash when the region is
+//     the inner loop of a recognized nest (0 otherwise). Resident-mode
+//     launches depend on the outer rebinding structure, so the same inner
+//     body inside a different nest shape is a distinct store entry.
+func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Policy, tier translate.Tier, speculation bool, nestShape uint64) Key {
 	h := sha256.New()
 	var buf [8]byte
 	u64 := func(v uint64) {
@@ -149,6 +153,7 @@ func KeyFor(p *isa.Program, region cfg.Region, la *arch.LA, policy translate.Pol
 	} else {
 		u64(0)
 	}
+	u64(nestShape)
 
 	var k Key
 	h.Sum(k[:0])

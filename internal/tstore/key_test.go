@@ -66,15 +66,15 @@ func TestKeyHashConsing(t *testing.T) {
 	p2.Name = "tenant-b-upload"
 
 	la := arch.Proposed()
-	k1 := KeyFor(p1, r1, la, translate.Hybrid, translate.Tier2, false)
-	k2 := KeyFor(p2, r2, la, translate.Hybrid, translate.Tier2, false)
+	k1 := KeyFor(p1, r1, la, translate.Hybrid, translate.Tier2, false, 0)
+	k2 := KeyFor(p2, r2, la, translate.Hybrid, translate.Tier2, false, 0)
 	if k1 != k2 {
 		t.Errorf("identical kernels from different programs produced different keys:\n%s\n%s", k1.Hex(), k2.Hex())
 	}
 
 	renamed := *la
 	renamed.Name = "proposed-but-renamed"
-	if KeyFor(p1, r1, &renamed, translate.Hybrid, translate.Tier2, false) != k1 {
+	if KeyFor(p1, r1, &renamed, translate.Hybrid, translate.Tier2, false, 0) != k1 {
 		t.Error("LA.Name changed the key; names must not be part of translation identity")
 	}
 }
@@ -84,7 +84,7 @@ func TestKeyHashConsing(t *testing.T) {
 func TestKeyDistinguishesSemantics(t *testing.T) {
 	p, r := lowerFir(t, true)
 	la := arch.Proposed()
-	base := KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false)
+	base := KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false, 0)
 
 	diff := func(name string, k Key) {
 		t.Helper()
@@ -96,15 +96,15 @@ func TestKeyDistinguishesSemantics(t *testing.T) {
 	// Body instruction content.
 	mut := cloneProgram(p)
 	mut.Code[r.Head].Imm ^= 1
-	diff("body imm flipped", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false))
+	diff("body imm flipped", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false, 0))
 
 	mut = cloneProgram(p)
 	mut.Code[r.Head].Dst ^= 1
-	diff("body dst register flipped", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false))
+	diff("body dst register flipped", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false, 0))
 
 	// Region placement: extraction bakes absolute pcs into the result.
-	diff("region shifted", KeyFor(p, cfg.Region{Head: r.Head + 1, BackPC: r.BackPC, Kind: r.Kind}, la, translate.Hybrid, translate.Tier2, false))
-	diff("region kind changed", KeyFor(p, cfg.Region{Head: r.Head, BackPC: r.BackPC, Kind: cfg.KindSpeculation}, la, translate.Hybrid, translate.Tier2, false))
+	diff("region shifted", KeyFor(p, cfg.Region{Head: r.Head + 1, BackPC: r.BackPC, Kind: r.Kind}, la, translate.Hybrid, translate.Tier2, false, 0))
+	diff("region kind changed", KeyFor(p, cfg.Region{Head: r.Head, BackPC: r.BackPC, Kind: cfg.KindSpeculation}, la, translate.Hybrid, translate.Tier2, false, 0))
 
 	// A constant register defined once outside the loop is a semantic
 	// input (loopx's program-wide constant scan folds it into the body).
@@ -118,13 +118,13 @@ func TestKeyDistinguishesSemantics(t *testing.T) {
 		}
 	}
 	if found {
-		diff("out-of-loop constant changed", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false))
+		diff("out-of-loop constant changed", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false, 0))
 	}
 
 	// Program length feeds the metered constant-scan work.
 	mut = cloneProgram(p)
 	mut.Code = append(mut.Code, isa.Inst{Op: isa.Nop})
-	diff("program grown", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false))
+	diff("program grown", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false, 0))
 
 	// Annotation priorities at the head (Hybrid's static order).
 	mut = cloneProgram(p)
@@ -138,14 +138,15 @@ func TestKeyDistinguishesSemantics(t *testing.T) {
 	if !annoMutated {
 		t.Fatal("expected a loop annotation at the region head (lowered with Annotate)")
 	}
-	diff("annotation priorities changed", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false))
+	diff("annotation priorities changed", KeyFor(mut, r, la, translate.Hybrid, translate.Tier2, false, 0))
 
 	// Policy, tier and capability bits. TierDefault normalizes to Tier2
 	// so pre-tier callers and explicit tier-2 callers share entries.
-	diff("policy changed", KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false))
-	diff("tier changed", KeyFor(p, r, la, translate.Hybrid, translate.Tier1, false))
-	diff("speculation flag changed", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, true))
-	if KeyFor(p, r, la, translate.Hybrid, translate.TierDefault, false) != base {
+	diff("policy changed", KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false, 0))
+	diff("tier changed", KeyFor(p, r, la, translate.Hybrid, translate.Tier1, false, 0))
+	diff("speculation flag changed", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, true, 0))
+	diff("nest shape changed", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false, 42))
+	if KeyFor(p, r, la, translate.Hybrid, translate.TierDefault, false, 0) != base {
 		t.Errorf("TierDefault key differs from Tier2 key")
 	}
 
@@ -175,7 +176,7 @@ func TestKeyDistinguishesSemantics(t *testing.T) {
 	for _, am := range archMut {
 		cp := *la
 		am.mut(&cp)
-		diff("arch "+am.name, KeyFor(p, r, &cp, translate.Hybrid, translate.Tier2, false))
+		diff("arch "+am.name, KeyFor(p, r, &cp, translate.Hybrid, translate.Tier2, false, 0))
 	}
 }
 
@@ -195,9 +196,9 @@ func singleDef(p *isa.Program, reg uint8) bool {
 func TestKeyStable(t *testing.T) {
 	p, r := lowerFir(t, true)
 	la := arch.Proposed()
-	k := KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false)
+	k := KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false, 0)
 	for i := 0; i < 3; i++ {
-		if KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false) != k {
+		if KeyFor(p, r, la, translate.FullyDynamic, translate.Tier2, false, 0) != k {
 			t.Fatal("KeyFor is not deterministic")
 		}
 	}

@@ -58,7 +58,7 @@ func populate(t testing.TB, s *Store) []Key {
 		{translate.FullyDynamic, translate.Tier2},
 	} {
 		pt := pt
-		key := KeyFor(p, r, la, pt.pol, pt.tier, false)
+		key := KeyFor(p, r, la, pt.pol, pt.tier, false, 0)
 		_, err := s.Load("a", key, func() (*translate.Result, error) {
 			return translate.Build(pt.pol, pt.tier).Run(translate.Request{
 				Prog: p, Region: r, LA: la, Tier: pt.tier,
@@ -255,7 +255,7 @@ func TestSnapshotCorruptionResilience(t *testing.T) {
 			}
 			// The store stays functional: a fresh translation still loads.
 			p, r := snapFir(t)
-			if _, err := w.Load("a", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false), func() (*translate.Result, error) {
+			if _, err := w.Load("a", KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false, 0), func() (*translate.Result, error) {
 				return translate.For(translate.Hybrid).Run(translate.Request{Prog: p, Region: r, LA: la})
 			}); err != nil {
 				t.Fatalf("store broken after corrupt warm: %v", err)
@@ -293,7 +293,7 @@ func TestSnapshotSaveUnderChaos(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < iters; i++ {
-			key := KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false)
+			key := KeyFor(p, r, la, translate.Hybrid, translate.Tier2, false, 0)
 			if _, err := s.Load("chaos", key, func() (*translate.Result, error) {
 				return translate.For(translate.Hybrid).Run(translate.Request{Prog: p, Region: r, LA: la})
 			}); err != nil {

@@ -17,8 +17,8 @@ import (
 func TestTierCoexistenceAndQuota(t *testing.T) {
 	prog, region := lowerFir(t, false)
 	la := arch.Proposed()
-	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false)
-	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false)
+	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false, 0)
+	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false, 0)
 	if k1 == k2 {
 		t.Fatal("tier-1 and tier-2 keys collide; tiers cannot coexist")
 	}
@@ -88,8 +88,8 @@ func TestTierCoexistenceAndQuota(t *testing.T) {
 func TestTierBudgetEvictionIndependence(t *testing.T) {
 	prog, region := lowerFir(t, false)
 	la := arch.Proposed()
-	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false)
-	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false)
+	k1 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier1, false, 0)
+	k2 := KeyFor(prog, region, la, translate.FullyDynamic, translate.Tier2, false, 0)
 	run := func(tier translate.Tier) (*translate.Result, error) {
 		return translate.Build(translate.FullyDynamic, tier).Run(translate.Request{
 			Prog: prog, Region: region, LA: la, Tier: tier,

@@ -259,10 +259,10 @@ func TestStoreDedupsRealTranslations(t *testing.T) {
 	la := arch.Proposed()
 
 	s := New(Config{})
-	resA, errA := s.Load("a", KeyFor(p1, r1, la, translate.Hybrid, translate.Tier2, false), func() (*translate.Result, error) {
+	resA, errA := s.Load("a", KeyFor(p1, r1, la, translate.Hybrid, translate.Tier2, false, 0), func() (*translate.Result, error) {
 		return translate.For(translate.Hybrid).Run(translate.Request{Prog: p1, Region: r1, LA: la})
 	})
-	resB, errB := s.Load("b", KeyFor(p2, r2, la, translate.Hybrid, translate.Tier2, false), func() (*translate.Result, error) {
+	resB, errB := s.Load("b", KeyFor(p2, r2, la, translate.Hybrid, translate.Tier2, false, 0), func() (*translate.Result, error) {
 		return translate.For(translate.Hybrid).Run(translate.Request{Prog: p2, Region: r2, LA: la})
 	})
 	if errA != nil || errB != nil {

@@ -139,6 +139,39 @@ func buildUnits(l *ir.Loop, groups [][]int, cca arch.CCAConfig) ([]unit, []int, 
 	return units, unitOf, nil
 }
 
+// Dep is one dataflow dependence of a loop, re-derived from first
+// principles (the operand edges and live-out reads, never a dependence
+// graph built by the translation engine). To is -1 for a live-out read —
+// a consumer outside the loop body observing From's value Dist iterations
+// before the last.
+type Dep struct {
+	From, To int
+	Dist     int
+}
+
+// Dependences enumerates every dataflow dependence of the loop: each
+// operand edge (producer → consumer, with its carried distance) and each
+// live-out read (To = -1). This is the primitive the schedule check walks,
+// and the legality oracle nest transforms (xform.Interchange,
+// xform.UnrollAndJam) consult when deciding whether reordering iterations
+// is safe: any dependence with Dist > 0 couples consecutive iterations of
+// the loop and survives only order-preserving transforms.
+func Dependences(l *ir.Loop) []Dep {
+	var deps []Dep
+	for _, n := range l.Nodes {
+		for _, a := range n.Args {
+			if a.Node < 0 {
+				continue
+			}
+			deps = append(deps, Dep{From: a.Node, To: n.ID, Dist: a.Dist})
+		}
+	}
+	for _, lo := range l.LiveOuts {
+		deps = append(deps, Dep{From: lo.Node, To: -1, Dist: lo.Dist})
+	}
+	return deps
+}
+
 // Schedule checks a modulo schedule against the loop it claims to
 // implement: II within the control store, every unit placed at a
 // non-negative time within SC stages, every dependence separated by at
@@ -182,27 +215,22 @@ func Schedule(la *arch.LA, l *ir.Loop, groups [][]int, s *modsched.Schedule) err
 	}
 	// Dependences, re-derived from the loop's operand edges (not the
 	// graph's edge list, which is part of what is being checked).
-	for _, n := range l.Nodes {
-		to := unitOf[n.ID]
-		if to < 0 {
+	for _, d := range Dependences(l) {
+		if d.To < 0 {
+			continue // live-out reads impose no intra-schedule separation
+		}
+		to := unitOf[d.To]
+		from := unitOf[d.From]
+		if to < 0 || from < 0 || from == to {
+			// Self-recurrences and edges internal to a CCA group are
+			// resolved inside the unit (the accelerator forwards the
+			// prior iteration's value through the register file), so
+			// they impose no cross-unit separation.
 			continue
 		}
-		for _, a := range n.Args {
-			if a.Node < 0 {
-				continue
-			}
-			from := unitOf[a.Node]
-			if from < 0 || from == to {
-				// Self-recurrences and edges internal to a CCA group are
-				// resolved inside the unit (the accelerator forwards the
-				// prior iteration's value through the register file), so
-				// they impose no cross-unit separation.
-				continue
-			}
-			if s.Time[to] < s.Time[from]+units[from].latency-s.II*a.Dist {
-				return fmt.Errorf("verify: dependence n%d(u%d)→n%d(u%d) violated: %d < %d+%d-%d*%d",
-					a.Node, from, n.ID, to, s.Time[to], s.Time[from], units[from].latency, s.II, a.Dist)
-			}
+		if s.Time[to] < s.Time[from]+units[from].latency-s.II*d.Dist {
+			return fmt.Errorf("verify: dependence n%d(u%d)→n%d(u%d) violated: %d < %d+%d-%d*%d",
+				d.From, from, d.To, to, s.Time[to], s.Time[from], units[from].latency, s.II, d.Dist)
 		}
 	}
 	// Reservation table: per (class, kernel row), occupancy within the

@@ -82,6 +82,9 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 	for lane := range skipHead {
 		skipHead[lane], skipBack[lane] = -1, -1
 	}
+	// Per-lane nest residency: each lane models its own accelerator, so
+	// per-lane accounting stays bit-identical to a serial Run of the lane.
+	resident := make([]residency, lanes)
 	eligible := make([]int, 0, lanes)
 
 	for {
@@ -105,7 +108,7 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 				}
 			}
 			if len(eligible) > 0 {
-				if err := v.dispatchBatch(p, region, b, eligible, res, skipHead, skipBack); err != nil {
+				if err := v.dispatchBatch(p, region, b, eligible, res, skipHead, skipBack, resident); err != nil {
 					return nil, nil, err
 				}
 			}
@@ -183,7 +186,7 @@ func (v *VM) RunBatch(p *isa.Program, mems []*ir.PagedMemory, seeds []func(*scal
 // whole group; lanes whose invocation the VM declines fall back to the
 // scalar core (their head suppression is set), and accelerated lanes are
 // moved past the back branch with their exit state applied.
-func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int) error {
+func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int, resident []residency) error {
 	total := &res.Total
 	key := cacheKey{p, region.Head}
 	// Virtual time of this group arrival: the batch clock is the slowest
@@ -250,7 +253,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	if t.Ext.Loop.HasExit() {
 		// While-shaped loops speculate per lane: chunked execution against
 		// buffered memory is inherently per-lane state machinery.
-		return v.dispatchBatchSpeculative(t, region, b, lanes, res, skipHead, skipBack, now)
+		return v.dispatchBatchSpeculative(t, region, b, lanes, res, skipHead, skipBack, resident, now)
 	}
 
 	// Collect the lanes this translation can actually launch.
@@ -285,14 +288,30 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	total.Launches++
 	noteFirstAccel(total, now)
 	v.pipe.Metrics().BatchLaunches++
-	var slowest int64
+	mt := v.pipe.Metrics()
+	nestSite := v.Cfg.NestResident && v.nestShape[key] != 0
+	var slowest, slowestSetup, slowestDrain int64
 	for i, lane := range accLanes {
 		lr := res.Lanes[lane]
+		// Residency is per lane — exactly what this lane's serial Run
+		// would have granted — so per-lane cycle accounting stays
+		// bit-identical to serial execution.
+		if nestSite && resident[lane].key == key && resident[lane].t == t {
+			out[i].Residentize(t.Ext.Loop)
+			lr.ResidentLaunches++
+			total.ResidentLaunches++
+			mt.ResidentLaunches++
+		}
+		resident[lane] = residency{key: key, t: t}
 		lr.Launches++
 		noteFirstAccel(lr, now)
 		lr.AccelCycles += out[i].Cycles
+		lr.SetupCycles += out[i].SetupCycles
+		lr.DrainCycles += out[i].DrainCycles
 		if out[i].Cycles > slowest {
 			slowest = out[i].Cycles
+			slowestSetup = out[i].SetupCycles
+			slowestDrain = out[i].DrainCycles
 		}
 		regs := b.LaneRegs(lane)
 		applyExit(t.Ext, binds[i], out[i], &regs)
@@ -301,6 +320,10 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 	// The batched launch's amortized cost: one setup/drain and the
 	// deepest lane's pipeline.
 	total.AccelCycles += slowest
+	total.SetupCycles += slowestSetup
+	total.DrainCycles += slowestDrain
+	mt.BusSetupCycles += slowestSetup
+	mt.BusDrainCycles += slowestDrain
 	b.Jump(accLanes, region.Head, region.BackPC+1)
 	return nil
 }
@@ -308,7 +331,7 @@ func (v *VM) dispatchBatch(p *isa.Program, region cfg.Region, b *scalar.BatchMac
 // dispatchBatchSpeculative runs the chunked-speculation path for each
 // eligible lane of a while-shaped loop by materializing the lane as a
 // serial machine; the translation lookup was still shared by the group.
-func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int, now int64) error {
+func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scalar.BatchMachine, lanes []int, res *BatchResult, skipHead, skipBack []int, resident []residency, now int64) error {
 	total := &res.Total
 	moved := make([]int, 1)
 	for _, lane := range lanes {
@@ -328,6 +351,10 @@ func (v *VM) dispatchBatchSpeculative(t *Translation, region cfg.Region, b *scal
 		handled, err := v.dispatchSpeculative(t, region, m, lr, bind, now)
 		if err != nil {
 			return err
+		}
+		if lr.AccelCycles != before {
+			// A speculative chunk reconfigured this lane's accelerator.
+			resident[lane] = residency{}
 		}
 		total.AccelCycles += lr.AccelCycles - before
 		if !handled {

@@ -290,7 +290,7 @@ func TestBatchChaosSoak(t *testing.T) {
 				mems[lane] = pg.mem.Clone()
 				seeds[lane] = pg.seed
 			}
-			_, bm, err := v.RunBatch(pg.res.Program, mems, seeds, 50_000_000)
+			_, bm, err := v.RunBatch(pg.prog, mems, seeds, 50_000_000)
 			if err != nil {
 				t.Fatalf("epoch %d prog %d: %v", epoch, pi, err)
 			}

@@ -6,6 +6,7 @@ import (
 	"veal/internal/ir"
 	"veal/internal/lower"
 	"veal/internal/scalar"
+	"veal/internal/workloads"
 )
 
 // BenchmarkVMRunSync measures a whole-program VM run with synchronous
@@ -99,6 +100,38 @@ func BenchmarkVMBatch64(b *testing.B) {
 		}
 	}
 	reportBatchThroughput(b, guestPerLane)
+}
+
+// The nest-residency pair: the same 2-deep stencil nest with the
+// accelerator re-configured per outer iteration (full bus protocol)
+// versus held resident (parameter re-seed only). Both report
+// bus-cycles/outer — setup+drain virtual cycles per accelerator launch,
+// a deterministic quantity — which the bench gate holds to a 2x
+// resident improvement (see scripts/benchcmp).
+func BenchmarkNestInnermost(b *testing.B) { benchNest(b, false) }
+func BenchmarkNestResident(b *testing.B)  { benchNest(b, true) }
+
+func benchNest(b *testing.B, resident bool) {
+	n := workloads.Stencil2D()
+	binds, mem := workloads.PrepareNest(n, 7)
+	res := lowerNest(b, n)
+	seed := nestSeed(res, binds.Params, n.InnerTrip, n.OuterTrip)
+	var bus, launches int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.NestResident = resident
+		v := New(cfg)
+		r, _, err := v.Run(res.Program, mem.Clone(), seed, 50_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bus += r.SetupCycles + r.DrainCycles
+		launches += r.Launches
+	}
+	if launches > 0 {
+		b.ReportMetric(float64(bus)/float64(launches), "bus-cycles/outer")
+	}
 }
 
 // BenchmarkVMSteadyState measures runs that hit the code cache on every

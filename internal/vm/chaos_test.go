@@ -12,12 +12,13 @@ import (
 	"veal/internal/lower"
 	"veal/internal/scalar"
 	"veal/internal/translate"
+	"veal/internal/workloads"
 )
 
-// chaosProg is one randomly generated benchmark with its scalar-core
-// reference results (computed once, fault-free).
+// chaosProg is one benchmark with its scalar-core reference results
+// (computed once, fault-free).
 type chaosProg struct {
-	res     *lower.Result
+	prog    *isa.Program
 	mem     *ir.PagedMemory
 	seed    func(*scalar.Machine)
 	refMem  *ir.PagedMemory
@@ -78,7 +79,7 @@ func buildChaosProgs(t *testing.T, count int) []chaosProg {
 			continue
 		}
 		progs = append(progs, chaosProg{
-			res: res, mem: mem, seed: seed,
+			prog: res.Program, mem: mem, seed: seed,
 			refMem:  ref.Mem.(*ir.PagedMemory),
 			refRegs: ref.Regs,
 		})
@@ -116,13 +117,13 @@ func runChaosSoakCfg(t *testing.T, cfg Config, progs []chaosProg, epochs int) *V
 		for pi := range progs {
 			pg := &progs[pi]
 			mem := pg.mem.Clone()
-			_, m, err := v.Run(pg.res.Program, mem, pg.seed, 50_000_000)
+			_, m, err := v.Run(pg.prog, mem, pg.seed, 50_000_000)
 			if err != nil {
 				t.Fatalf("epoch %d prog %d: %v", epoch, pi, err)
 			}
 			if !mem.Equal(pg.refMem) {
 				t.Fatalf("epoch %d prog %d: memory diverges from fault-free reference\n%s",
-					epoch, pi, pg.res.Program.Disassemble())
+					epoch, pi, pg.prog.Disassemble())
 			}
 			for reg := 0; reg < isa.NumRegs; reg++ {
 				if m.Regs[reg] != pg.refRegs[reg] {
@@ -207,6 +208,62 @@ func TestChaosSoakTiered(t *testing.T) {
 	for _, info := range v.LoopStates() {
 		if info.Installs == 0 {
 			t.Errorf("site %s never installed a translation under tiered soak (state %v, reason %q)",
+				info.Name, info.State, info.Reason)
+		}
+	}
+}
+
+// buildChaosNestProgs pairs every nest kernel with its fault-free
+// scalar-core reference.
+func buildChaosNestProgs(t *testing.T) []chaosProg {
+	t.Helper()
+	var progs []chaosProg
+	for ki, k := range workloads.NestKernels() {
+		n := k.Build()
+		binds, mem := workloads.PrepareNest(n, int64(701+ki))
+		res := lowerNest(t, n)
+		seed := nestSeed(res, binds.Params, n.InnerTrip, n.OuterTrip)
+		ref := scalar.New(DefaultConfig().CPU, mem.Clone())
+		seed(ref)
+		if err := ref.Run(res.Program, 50_000_000); err != nil {
+			t.Fatalf("%s scalar reference: %v", k.Name, err)
+		}
+		progs = append(progs, chaosProg{
+			prog: res.Program, mem: mem, seed: seed,
+			refMem:  ref.Mem.(*ir.PagedMemory),
+			refRegs: ref.Regs,
+		})
+	}
+	return progs
+}
+
+// TestChaosSoakNests soaks the resident-accelerator nests under the
+// hostile fault plan. Residency must never trade correctness for bus
+// cycles: a quarantine, revocation or eviction between outer iterations
+// silently drops the next launch back to the scalar core or to a fresh
+// full-protocol configuration, and every epoch still commits
+// bit-identical to the fault-free reference. The soak must both grant
+// residency and revoke installs, so the two mechanisms demonstrably
+// collide.
+func TestChaosSoakNests(t *testing.T) {
+	progs := buildChaosNestProgs(t)
+	v := runChaosSoak(t, progs, 8)
+
+	m := v.Metrics()
+	if m.ResidentLaunches == 0 {
+		t.Error("nest soak never granted a resident launch under faults")
+	}
+	if m.Quarantined == 0 || m.Revoked == 0 {
+		t.Errorf("fault plan never forced a quarantine/revocation: quarantined=%d revoked=%d",
+			m.Quarantined, m.Revoked)
+	}
+	if v.Stats.AccelLaunches == 0 {
+		t.Error("nest soak never launched the accelerator")
+	}
+	// No nest site permanently lost to an injected fault.
+	for _, info := range v.LoopStates() {
+		if info.Installs == 0 {
+			t.Errorf("nest site %s never installed a translation (state %v, reason %q)",
 				info.Name, info.State, info.Reason)
 		}
 	}

@@ -1,0 +1,231 @@
+package vm
+
+import (
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/isa"
+	"veal/internal/lower"
+	"veal/internal/scalar"
+	"veal/internal/workloads"
+)
+
+// nestModes enumerates the three executions the differential suite pits
+// against each other: pure scalar (the VM never translates), innermost
+// acceleration with the full bus protocol per launch, and nest-resident
+// acceleration. Architectural commits must be bit-identical across all
+// three; only the cycle accounting may differ.
+var nestModes = []struct {
+	name   string
+	config func() Config
+}{
+	{"scalar-only", func() Config {
+		cfg := DefaultConfig()
+		cfg.HotThreshold = 1 << 30
+		return cfg
+	}},
+	{"innermost-only", func() Config {
+		cfg := DefaultConfig()
+		cfg.NestResident = false
+		return cfg
+	}},
+	{"resident", DefaultConfig},
+}
+
+// nestSeed seeds a lowered nest's trip, outer-trip and parameter
+// registers.
+func nestSeed(res *lower.NestResult, params []uint64, innerTrip, outerTrip int64) func(*scalar.Machine) {
+	return func(m *scalar.Machine) {
+		m.Regs[res.TripReg] = uint64(innerTrip)
+		m.Regs[res.OuterTripReg] = uint64(outerTrip)
+		for i, r := range res.ParamRegs {
+			m.Regs[r] = params[i]
+		}
+	}
+}
+
+func lowerNest(t testing.TB, n *ir.Nest) *lower.NestResult {
+	t.Helper()
+	res, err := lower.LowerNest(n, lower.Options{Annotate: true})
+	if err != nil {
+		t.Fatalf("LowerNest: %v", err)
+	}
+	return res
+}
+
+// TestNestDifferential is the nest-shaped differential suite: every nest
+// kernel, run scalar-only, innermost-only and resident, with synchronous
+// and background translation, commits bit-identical memory and registers
+// (compareVMToScalar checks the full architectural state against a pure
+// scalar run). On top of the functional identity it pins the residency
+// accounting: the resident run re-seeds instead of re-configuring on
+// every outer iteration after the first, and its per-launch bus cost is
+// at least 2x below the full protocol.
+func TestNestDifferential(t *testing.T) {
+	for ki, k := range workloads.NestKernels() {
+		k := k
+		seed := int64(301 + ki)
+		t.Run(k.Name, func(t *testing.T) {
+			n := k.Build()
+			binds, mem := workloads.PrepareNest(n, seed)
+			res := lowerNest(t, n)
+			seedFn := nestSeed(res, binds.Params, n.InnerTrip, n.OuterTrip)
+
+			for _, workers := range []int{0, 2} {
+				results := map[string]*RunResult{}
+				for _, mode := range nestModes {
+					cfg := mode.config()
+					cfg.TranslateWorkers = workers
+					results[mode.name] = compareVMToScalar(t, cfg, res.Program, mem, seedFn)
+				}
+
+				scalarRes := results["scalar-only"]
+				inner := results["innermost-only"]
+				resid := results["resident"]
+				if scalarRes.Launches != 0 || scalarRes.ResidentLaunches != 0 {
+					t.Fatalf("workers=%d: scalar-only mode launched the accelerator", workers)
+				}
+				if inner.ResidentLaunches != 0 {
+					t.Errorf("workers=%d: innermost-only mode granted %d resident launches",
+						workers, inner.ResidentLaunches)
+				}
+				if workers == 0 {
+					// Synchronous translation installs at the first inner head
+					// arrival, so every outer iteration launches and every
+					// launch after the first is resident.
+					if inner.Launches != n.OuterTrip {
+						t.Errorf("innermost-only launched %d times, want %d", inner.Launches, n.OuterTrip)
+					}
+					if resid.Launches != n.OuterTrip || resid.ResidentLaunches != n.OuterTrip-1 {
+						t.Errorf("resident mode: %d launches / %d resident, want %d / %d",
+							resid.Launches, resid.ResidentLaunches, n.OuterTrip, n.OuterTrip-1)
+					}
+				} else if resid.Launches > 1 && resid.ResidentLaunches != resid.Launches-1 {
+					// Background translation may hand the first iterations to
+					// the scalar core, but once installed every consecutive
+					// re-launch must be resident.
+					t.Errorf("workers=%d: %d launches but %d resident", workers,
+						resid.Launches, resid.ResidentLaunches)
+				}
+				if resid.Launches > 0 && inner.Launches > 0 {
+					// Per-launch bus cost: resident re-seeding must beat the
+					// full setup/drain protocol by at least 2x (the
+					// amortization the resident accelerator exists for).
+					fullBus := (inner.SetupCycles + inner.DrainCycles) / inner.Launches
+					residBus := (resid.SetupCycles + resid.DrainCycles) / resid.Launches
+					if residBus*2 > fullBus {
+						t.Errorf("workers=%d: resident bus cost %d/launch vs full %d/launch — less than 2x saving",
+							workers, residBus, fullBus)
+					}
+				}
+				if resid.AccelCycles >= inner.AccelCycles && resid.Launches == inner.Launches && resid.Launches > 0 {
+					t.Errorf("workers=%d: resident AccelCycles %d not below innermost-only %d",
+						workers, resid.AccelCycles, inner.AccelCycles)
+				}
+			}
+		})
+	}
+}
+
+// TestNestResidencyLostAcrossSites: interleaving a different accelerated
+// loop between two nest launches reconfigures the bus, so the next nest
+// launch pays full setup again. The nest program is run twice back to
+// back within one VM — residency must not leak across Run calls either
+// (each run models a fresh takeover of the accelerator).
+func TestNestResidencyAcrossRuns(t *testing.T) {
+	n := workloads.Stencil2D()
+	binds, mem := workloads.PrepareNest(n, 91)
+	res := lowerNest(t, n)
+	seedFn := nestSeed(res, binds.Params, n.InnerTrip, n.OuterTrip)
+
+	cfg := DefaultConfig()
+	v := New(cfg)
+	for run := 0; run < 2; run++ {
+		r, _, err := v.Run(res.Program, mem.Clone(), seedFn, 50_000_000)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if r.Launches != n.OuterTrip || r.ResidentLaunches != n.OuterTrip-1 {
+			t.Fatalf("run %d: %d launches / %d resident, want %d / %d",
+				run, r.Launches, r.ResidentLaunches, n.OuterTrip, n.OuterTrip-1)
+		}
+	}
+}
+
+// TestNestRunBatchMatchesRun: the per-lane accounting of a batched nest
+// run — including the residency grants — is bit-identical to serial runs
+// of each lane, and the committed state matches lane by lane.
+func TestNestRunBatchMatchesRun(t *testing.T) {
+	const lanes = 2
+	for ki, k := range workloads.NestKernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			n := k.Build()
+			res := lowerNest(t, n)
+
+			laneMems := make([]*ir.PagedMemory, lanes)
+			seeds := make([]func(*scalar.Machine), lanes)
+			for lane := 0; lane < lanes; lane++ {
+				b, mem := workloads.PrepareNest(n, int64(601+7*ki+lane))
+				laneMems[lane] = mem
+				seeds[lane] = nestSeed(res, b.Params, n.InnerTrip, n.OuterTrip)
+			}
+
+			for _, workers := range []int{0, 2} {
+				// Serial references: one fresh VM per lane.
+				serial := make([]*RunResult, lanes)
+				serialM := make([]*scalar.Machine, lanes)
+				for lane := 0; lane < lanes; lane++ {
+					cfg := DefaultConfig()
+					cfg.TranslateWorkers = workers
+					sr, m, err := New(cfg).Run(res.Program, laneMems[lane].Clone(), seeds[lane], 50_000_000)
+					if err != nil {
+						t.Fatalf("serial lane %d: %v", lane, err)
+					}
+					serial[lane] = sr
+					serialM[lane] = m
+				}
+
+				cfg := DefaultConfig()
+				cfg.TranslateWorkers = workers
+				batchMems := make([]*ir.PagedMemory, lanes)
+				for lane := range batchMems {
+					batchMems[lane] = laneMems[lane].Clone()
+				}
+				br, b, err := New(cfg).RunBatch(res.Program, batchMems, seeds, 50_000_000)
+				if err != nil {
+					t.Fatalf("RunBatch: %v", err)
+				}
+
+				for lane := 0; lane < lanes; lane++ {
+					if !batchMems[lane].Equal(serialM[lane].Mem.(*ir.PagedMemory)) {
+						t.Fatalf("workers=%d lane %d: batched memory diverges from serial", workers, lane)
+					}
+					regs := b.LaneRegs(lane)
+					for r := 0; r < isa.NumRegs; r++ {
+						if regs[r] != serialM[lane].Regs[r] {
+							t.Fatalf("workers=%d lane %d: r%d = %#x batched, %#x serial",
+								workers, lane, r, regs[r], serialM[lane].Regs[r])
+						}
+					}
+					lr := br.Lanes[lane]
+					sr := serial[lane]
+					if lr.Launches != sr.Launches || lr.ResidentLaunches != sr.ResidentLaunches {
+						t.Errorf("workers=%d lane %d: %d launches / %d resident batched, %d / %d serial",
+							workers, lane, lr.Launches, lr.ResidentLaunches, sr.Launches, sr.ResidentLaunches)
+					}
+					if workers == 0 {
+						// Synchronous translation: per-lane timing matches a
+						// serial run bit for bit.
+						if lr.ScalarCycles != sr.ScalarCycles || lr.AccelCycles != sr.AccelCycles ||
+							lr.SetupCycles != sr.SetupCycles || lr.DrainCycles != sr.DrainCycles {
+							t.Errorf("lane %d: cycles (scalar %d accel %d setup %d drain %d) batched vs (%d %d %d %d) serial",
+								lane, lr.ScalarCycles, lr.AccelCycles, lr.SetupCycles, lr.DrainCycles,
+								sr.ScalarCycles, sr.AccelCycles, sr.SetupCycles, sr.DrainCycles)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,15 @@ type RunResult struct {
 	DecodedInsts     int64
 	LaneInsts        int64
 
+	// Nest residency accounting (Config.NestResident). SetupCycles and
+	// DrainCycles split the bus portion out of AccelCycles — what each
+	// launch paid on either side of its pipeline — and ResidentLaunches
+	// counts invocations that reused the previous launch's configuration,
+	// paying only parameter re-seeding instead of the full bus protocol.
+	SetupCycles      int64
+	DrainCycles      int64
+	ResidentLaunches int64
+
 	// FirstAccelAt is the virtual time of the run's first accelerated
 	// invocation (-1 when the run never launched the accelerator), and
 	// FirstAccelStall the translation cycles that stalled the scalar core
@@ -90,7 +99,35 @@ func (v *VM) scanRegions(p *isa.Program) map[int]cfg.Region {
 			v.Stats.RejectCodes[code]++
 		}
 	}
+	if v.Cfg.NestResident {
+		// Nest recognition: an inner loop whose enclosing outer body
+		// rebinds its live-ins affinely may stay resident on the
+		// accelerator across outer iterations. Only schedulable inners
+		// qualify — the speculative path reconfigures per chunk.
+		for _, nr := range cfg.FindNests(p, nil) {
+			if nr.Inner.Kind != cfg.KindSchedulable {
+				continue
+			}
+			if _, ok := regionAt[nr.Inner.Head]; !ok {
+				continue
+			}
+			if ext, err := loopx.ExtractNest(p, nr, nil); err == nil {
+				v.nestShape[cacheKey{p, nr.Inner.Head}] = ext.ShapeHash
+			}
+		}
+	}
 	return regionAt
+}
+
+// residency tracks which translation currently owns the accelerator's
+// bus configuration: the last translation actually launched. A follow-up
+// launch of the same translation at a recognized nest inner is granted
+// the resident (re-seed only) invocation cost; any other launch replaces
+// the configuration. Scalar fallbacks leave it untouched — the
+// accelerator stays configured while the core runs elsewhere.
+type residency struct {
+	key cacheKey
+	t   *Translation
 }
 
 // Run executes the program to completion on the VM-managed system: scalar
@@ -125,6 +162,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 	// accelerator can take over mid-invocation the moment the
 	// translation installs.
 	skipHead, skipBack := -1, -1
+	var resident residency
 
 	for !m.Halted {
 		if m.Stats().Insts >= maxInsts {
@@ -141,7 +179,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 			// Rejected loops go through dispatch too: the negative cache
 			// answers cheaply, and a loop whose retry budget has reopened
 			// gets its retranslation started here.
-			handled, spin, err := v.dispatch(p, region, m, res)
+			handled, spin, err := v.dispatch(p, region, m, res, &resident)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -196,7 +234,7 @@ func (v *VM) Run(p *isa.Program, mem *ir.PagedMemory, seed func(*scalar.Machine)
 // scalar core; spin=true additionally tells Run not to suppress the
 // loop head — a translation is in flight, so the scalar core should run
 // a single iteration and poll again.
-func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult) (bool, bool, error) {
+func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res *RunResult, resident *residency) (bool, bool, error) {
 	key := cacheKey{p, region.Head}
 	// Virtual time of this head arrival: scalar cycles retired plus
 	// accelerator and stall cycles already charged to the run.
@@ -260,7 +298,13 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 	}
 
 	if t.Ext.Loop.HasExit() {
+		before := res.AccelCycles
 		handled, err := v.dispatchSpeculative(t, region, m, res, bind, now)
+		if res.AccelCycles != before {
+			// A speculative chunk ran: the accelerator was reconfigured,
+			// so any nest residency is lost.
+			*resident = residency{}
+		}
 		return handled, false, err
 	}
 
@@ -268,10 +312,20 @@ func (v *VM) dispatch(p *isa.Program, region cfg.Region, m *scalar.Machine, res 
 	if err != nil {
 		return false, false, fmt.Errorf("vm: accelerator execution: %w", err)
 	}
+	if v.Cfg.NestResident && resident.key == key && resident.t == t && v.nestShape[key] != 0 {
+		out.Residentize(t.Ext.Loop)
+		res.ResidentLaunches++
+		v.pipe.Metrics().ResidentLaunches++
+	}
+	*resident = residency{key: key, t: t}
 	v.Stats.AccelLaunches++
 	res.Launches++
 	noteFirstAccel(res, now)
 	res.AccelCycles += out.Cycles
+	res.SetupCycles += out.SetupCycles
+	res.DrainCycles += out.DrainCycles
+	v.pipe.Metrics().BusSetupCycles += out.SetupCycles
+	v.pipe.Metrics().BusDrainCycles += out.DrainCycles
 
 	// Restore architectural state and resume after the loop. When the
 	// install landed mid-invocation (spin mode), Bindings computed the

@@ -146,7 +146,7 @@ func TestWarmStartTier1Retunes(t *testing.T) {
 
 	// Build a snapshot holding ONLY the tier-1 first cut.
 	store := tstore.New(tstore.Config{})
-	t1key := tstore.KeyFor(res.Program, region, la, FullyDynamic, translate.Tier1, false)
+	t1key := tstore.KeyFor(res.Program, region, la, FullyDynamic, translate.Tier1, false, 0)
 	if _, err := store.Load("prime", t1key, func() (*translate.Result, error) {
 		return translate.Build(FullyDynamic, translate.Tier1).Run(translate.Request{
 			Prog: res.Program, Region: region, LA: la, Tier: translate.Tier1,

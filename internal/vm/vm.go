@@ -121,6 +121,16 @@ type Config struct {
 	// DefaultSpecChunk).
 	SpecChunk int
 
+	// NestResident keeps the accelerator configured across the outer
+	// iterations of a recognized loop nest: when the same translation is
+	// re-dispatched at a nest's inner loop with no other accelerator
+	// launch in between, the invocation skips the full bus setup/drain
+	// (control descriptors, stream programming, bus round-trip) and pays
+	// only parameter re-seeding plus a go/done word. Nest recognition is
+	// static (cfg.FindNests + loopx.ExtractNest at scan time) and purely
+	// a cost-model refinement — architectural results are unchanged.
+	NestResident bool
+
 	// HotThreshold is the number of times a loop must be invoked before
 	// the VM translates it (the profiling phase of a co-designed VM's
 	// monitor). The default 1 translates on first encounter, matching the
@@ -188,7 +198,8 @@ type Config struct {
 // DefaultConfig is the paper's evaluation system: ARM11-class core,
 // proposed LA, hybrid policy, 16-entry code cache.
 func DefaultConfig() Config {
-	return Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: Hybrid, CodeCacheSize: 16}
+	return Config{LA: arch.Proposed(), CPU: arch.ARM11(), Policy: Hybrid, CodeCacheSize: 16,
+		NestResident: true}
 }
 
 // Translation is a loop successfully mapped onto the accelerator — the
@@ -234,6 +245,13 @@ type VM struct {
 	// store state, so the (SHA-256) key derivation for the warm probe
 	// runs once per site, not once per poll.
 	warmProbed map[cacheKey]bool
+
+	// nestShape maps a site to its loopx nest-extraction shape hash when
+	// the site is the inner loop of a recognized nest (Config.
+	// NestResident). Populated by scanRegions before any dispatch — and
+	// therefore before any background translation goroutine is spawned —
+	// so translator closures may read it without synchronization.
+	nestShape map[cacheKey]uint64
 
 	// inj draws deterministic fault decisions (nil when Config.Faults is
 	// absent or disabled); verify gates the independent re-validation of
@@ -295,6 +313,7 @@ func New(cfg Config) *VM {
 		Cfg: cfg, pipe: pipe,
 		scratches:  make(chan *translate.Scratch, slots),
 		warmProbed: make(map[cacheKey]bool),
+		nestShape:  make(map[cacheKey]uint64),
 		inj:        inj, verify: verifyOn,
 	}
 }
@@ -341,6 +360,13 @@ func (v *VM) Cached() []*Translation { return v.pipe.Cached() }
 func (v *VM) Flush() {
 	v.pipe.Flush()
 	v.warmProbed = make(map[cacheKey]bool)
+	v.nestShape = make(map[cacheKey]uint64)
+}
+
+// nestShapeOf returns the nest shape hash keyed into translations of
+// region (0 when the region is not a recognized nest inner).
+func (v *VM) nestShapeOf(p *isa.Program, region cfg.Region) uint64 {
+	return v.nestShape[cacheKey{p, region.Head}]
 }
 
 // SaveSnapshot persists the VM's translation store to Config.SnapshotPath
@@ -387,13 +413,13 @@ func (v *VM) translateWith(p *isa.Program, region cfg.Region, inj *translate.Inj
 func (v *VM) translateCharged(p *isa.Program, region cfg.Region, tier translate.Tier, inj *translate.Injection) (*Translation, int64, error) {
 	if v.Cfg.Store != nil && inj == nil {
 		if tier == translate.Tier1 {
-			t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport)
+			t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport, v.nestShapeOf(p, region))
 			if t, err, ok := v.Cfg.Store.Peek(t2key); ok && err == nil && t != nil {
 				atomic.AddInt64(&v.pipe.Metrics().TierStoreHits, 1)
 				return t, 0, nil
 			}
 		}
-		key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, tier, v.Cfg.SpeculationSupport)
+		key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, tier, v.Cfg.SpeculationSupport, v.nestShapeOf(p, region))
 		computed := false
 		t, err := v.Cfg.Store.Load(v.Cfg.Tenant, key, func() (*translate.Result, error) {
 			computed = true
@@ -482,12 +508,12 @@ func (v *VM) jitPoll(key cacheKey, now int64, p *isa.Program, region cfg.Region)
 // (Store.PeekWarm) qualify, so live store traffic keeps its normal
 // charge-and-queue accounting.
 func (v *VM) warmInstall(key cacheKey, now int64, p *isa.Program, region cfg.Region) bool {
-	t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport)
+	t2key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier2, v.Cfg.SpeculationSupport, v.nestShapeOf(p, region))
 	if t, ok := v.Cfg.Store.PeekWarm(t2key); ok && v.installWarm(key, now, t) {
 		return true
 	}
 	if v.Cfg.Tiered {
-		t1key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier1, v.Cfg.SpeculationSupport)
+		t1key := tstore.KeyFor(p, region, v.Cfg.LA, v.Cfg.Policy, translate.Tier1, v.Cfg.SpeculationSupport, v.nestShapeOf(p, region))
 		if t, ok := v.Cfg.Store.PeekWarm(t1key); ok && v.installWarm(key, now, t) {
 			return true
 		}

@@ -50,6 +50,59 @@ func Prepare(l *ir.Loop, trip int64, seed int64) (*ir.Bindings, *ir.PagedMemory)
 	return &ir.Bindings{Params: params, Trip: trip}, mem
 }
 
+// PrepareNest builds deterministic bindings and a seeded memory for one
+// execution of a whole nest. Parameters are drawn exactly like Prepare;
+// memory is seeded over the full iteration rectangle — every address any
+// (outer, inner) iteration touches, with the outer strides applied to the
+// stream bases — so the nest never reads an unmapped word.
+func PrepareNest(n *ir.Nest, seed int64) (*ir.Bindings, *ir.PagedMemory) {
+	l := n.Inner
+	rng := rand.New(rand.NewSource(seed))
+	params := make([]uint64, l.NumParams)
+	fpParam := floatParams(l)
+	for i := range params {
+		if fpParam[i] {
+			params[i] = math.Float64bits(0.25 + float64(rng.Intn(31))/8)
+		} else {
+			params[i] = uint64(rng.Intn(13) + 1)
+		}
+	}
+	for i, s := range l.Streams {
+		params[s.BaseParam] = uint64(i+1) << 22
+	}
+
+	mem := ir.NewPagedMemory()
+	seedStream := func(s ir.Stream, store bool) {
+		fp := !store && loadIsFloat(l, s)
+		for k := int64(0); k < n.OuterTrip; k++ {
+			kp := n.ParamsAt(params, k)
+			for i := int64(0); i < n.InnerTrip; i++ {
+				addr := s.AddrAt(kp, i)
+				if store {
+					mem.Store(addr, 0)
+				} else if fp {
+					mem.Store(addr, math.Float64bits(float64(rng.Intn(255))/16-8))
+				} else {
+					mem.Store(addr, uint64(rng.Intn(1<<12)))
+				}
+			}
+		}
+	}
+	for _, s := range l.Streams {
+		if s.Kind == ir.LoadStream {
+			seedStream(s, false)
+		}
+	}
+	// Output pages last so overlapping in-place regions start zeroed the
+	// same way for every executor.
+	for _, s := range l.Streams {
+		if s.Kind != ir.LoadStream {
+			seedStream(s, true)
+		}
+	}
+	return &ir.Bindings{Params: params, Trip: n.InnerTrip}, mem
+}
+
 func abs(v int64) int64 {
 	if v < 0 {
 		return -v

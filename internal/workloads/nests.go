@@ -1,0 +1,224 @@
+package workloads
+
+import (
+	"veal/internal/ir"
+	"veal/internal/isa"
+)
+
+// NestKernel is a named two-deep nest generator.
+type NestKernel struct {
+	Name  string
+	Build func() *ir.Nest
+}
+
+// nestOf wraps an inner loop with named outer strides and concrete trips.
+func nestOf(name string, l *ir.Loop, strides map[string]int64, innerTrip, outerTrip int64) *ir.Nest {
+	os := make([]int64, l.NumParams)
+	for pname, v := range strides {
+		idx := -1
+		for i, n := range l.ParamNames {
+			if n == pname {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			panic("workloads: nest " + name + " steps unknown parameter " + pname)
+		}
+		os[idx] = v
+	}
+	return &ir.Nest{Name: name, Inner: l, OuterStride: os, InnerTrip: innerTrip, OuterTrip: outerTrip}
+}
+
+// IDCT2DInner is one row pass of the 8x8 inverse DCT with all eight block
+// columns addressed as offsets of a single block base (stride 8 walks the
+// rows), the way mpeg2's idct really addresses the block.
+func IDCT2DInner() *ir.Loop {
+	b := ir.NewBuilder("idct2d-inner")
+	var x [8]ir.Value
+	for j := range x {
+		x[j] = b.LoadStreamAt("blk", int64(j), 8)
+	}
+	w := func(i int) ir.Value { return b.Param([]string{"w0", "w1", "w2", "w3", "w4", "w5"}[i]) }
+	sh := b.Const(11)
+	t0 := b.Add(b.Shl(x[0], sh), b.Const(128))
+	t1 := b.Shl(x[4], sh)
+	e0 := b.Add(t0, t1)
+	e1 := b.Sub(t0, t1)
+	m2 := b.Mul(x[2], w(0))
+	m6 := b.Mul(x[6], w(1))
+	e2 := b.Add(m2, m6)
+	e3 := b.Sub(m2, m6)
+	o0 := b.Add(b.Mul(x[1], w(2)), b.Mul(x[7], w(3)))
+	o1 := b.Sub(b.Mul(x[5], w(4)), b.Mul(x[3], w(5)))
+	s0 := b.Add(e0, e2)
+	s1 := b.Add(e1, e3)
+	b.StoreStreamAt("out", 0, 8, b.ShrA(b.Add(s0, o0), b.Const(8)))
+	b.StoreStreamAt("out", 1, 8, b.ShrA(b.Add(s1, o1), b.Const(8)))
+	b.StoreStreamAt("out", 2, 8, b.ShrA(b.Sub(s1, o1), b.Const(8)))
+	b.StoreStreamAt("out", 3, 8, b.ShrA(b.Sub(s0, o0), b.Const(8)))
+	return b.MustBuild()
+}
+
+// IDCT2D is the full idct pass over a sequence of 8x8 blocks: the inner
+// loop covers one block's rows; each outer iteration advances both block
+// pointers by 64 words to the next block. The weights are outer-invariant
+// — the canonical resident-accelerator shape.
+func IDCT2D() *ir.Nest {
+	return nestOf("idct-2d", IDCT2DInner(), map[string]int64{"blk": 64, "out": 64}, 8, 24)
+}
+
+// stencil2DInner builds a 5-point integer stencil body over a row-major
+// image of pitch 64: the stride selects the walk direction (1 = along a
+// row, 64 = down a column), the offsets always name the four neighbours.
+func stencil2DInner(name string, stride int64) *ir.Loop {
+	b := ir.NewBuilder(name)
+	at := func(off int64) ir.Value { return b.LoadStreamAt("img", off, stride) }
+	n, s, w, e, c := at(-64), at(64), at(-1), at(1), at(0)
+	c0 := b.Param("c0")
+	c1 := b.Param("c1")
+	v := b.Add(b.Mul(c, c0), b.Mul(b.Add(b.Add(n, s), b.Add(w, e)), c1))
+	b.StoreStream("out", stride, b.ShrA(v, b.Const(4)))
+	return b.MustBuild()
+}
+
+// Stencil2D is the row-major orientation: the inner loop walks along a row
+// at stride 1, the outer loop steps both pointers down by the pitch.
+func Stencil2D() *ir.Nest {
+	return nestOf("stencil-2d", stencil2DInner("stencil2d-inner", 1),
+		map[string]int64{"img": 64, "out": 64}, 60, 16)
+}
+
+// Stencil2DColMajor is the natural column-major orientation of the same
+// stencil: the inner loop walks down a column at the image pitch, the
+// outer loop steps one word to the next column. xform.Interchange turns it
+// into the row-major form — the nest whose inner body is manufactured
+// rather than found. (The column count stays below the pitch so the
+// iteration rectangle never revisits an address, keeping the interchange
+// legal.)
+func Stencil2DColMajor() *ir.Nest {
+	return nestOf("stencil-2d-colmajor", stencil2DInner("stencil2d-colmajor-inner", 64),
+		map[string]int64{"img": 1, "out": 1}, 16, 32)
+}
+
+// MatmulTiledInner is the jammed row update of a tiled matrix multiply
+// (ikj order, 8x8 tiles): c[j] += a[k]*b[k][j], with a[k] broadcast
+// through a stride-0 load stream and the c row accumulated in place — the
+// read-modify-write idiom launch-time disambiguation recognizes.
+func MatmulTiledInner() *ir.Loop {
+	b := ir.NewBuilder("matmul-tiled-inner")
+	av := b.LoadStreamAt("a", 0, 0)
+	bv := b.LoadStream("b", 1)
+	cv := b.LoadStreamAt("c", 0, 1)
+	b.StoreStream("c", 1, b.FAdd(cv, b.FMul(av, bv)))
+	return b.MustBuild()
+}
+
+// MatmulTiled accumulates one 8x8 tile product: each outer iteration k
+// advances the broadcast pointer one element and the B pointer one row;
+// the C row pointer is outer-invariant (in-place accumulation).
+func MatmulTiled() *ir.Nest {
+	return nestOf("matmul-tiled", MatmulTiledInner(), map[string]int64{"a": 1, "b": 8}, 8, 8)
+}
+
+// NestKernels returns the nest suite.
+func NestKernels() []NestKernel {
+	return []NestKernel{
+		{Name: "idct-2d", Build: IDCT2D},
+		{Name: "stencil-2d", Build: Stencil2D},
+		{Name: "stencil-2d-colmajor", Build: Stencil2DColMajor},
+		{Name: "matmul-tiled", Build: MatmulTiled},
+	}
+}
+
+// NestKernelByName finds a nest kernel.
+func NestKernelByName(name string) (NestKernel, bool) {
+	for _, k := range NestKernels() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return NestKernel{}, false
+}
+
+// NestBenchmarks exposes the nest kernels' inner loops as loop sites so
+// site-granular tooling (the translation golden, Figure-style coverage
+// tables) sees them alongside the innermost suite.
+func NestBenchmarks() []*Benchmark {
+	return []*Benchmark{
+		{
+			Name: "nest-suite", Suite: MediaBench,
+			Sites: []LoopSite{
+				sched("idct2d-inner", IDCT2DInner, 8, 24),
+				sched("stencil2d-inner", func() *ir.Loop { return stencil2DInner("stencil2d-inner", 1) }, 60, 16),
+				sched("stencil2d-colmajor-inner", func() *ir.Loop { return stencil2DInner("stencil2d-colmajor-inner", 64) }, 16, 32),
+				sched("matmul-tiled-inner", MatmulTiledInner, 8, 8),
+			},
+			AcyclicInsts: 40_000,
+		},
+	}
+}
+
+// Stencil2DRuntimePitch hand-assembles the column-major stencil the way a
+// binary compiled for a runtime-sized image really looks: the inner loop
+// steps its pointers by a PITCH held in a register, so the address
+// registers are not affine in the extractor's sense and translation
+// rejects the site (extract: non-affine address). This is the natural
+// binary whose schedulable inner body must be manufactured — the
+// interchanged nest (constant strides) is what actually maps. Register
+// convention: r1 inner trip, r4 img base, r5 out base, r6 pitch, r7 outer
+// trip.
+func Stencil2DRuntimePitch() *isa.Program {
+	a := isa.NewAsm("stencil2d-runtime-pitch")
+	const (
+		rTrip  = 1
+		rInd   = 2
+		rImg   = 4
+		rOut   = 5
+		rPitch = 6
+		rOTrip = 7
+		rOInd  = 8
+		rC0    = 9
+		rC1    = 10
+		rA     = 11 // inner img cursor
+		rB     = 12 // inner out cursor
+		rT0    = 13
+		rT1    = 14
+		rT2    = 15
+		rSh    = 16
+	)
+	a.MovI(rOInd, 0)
+	a.MovI(rSh, 4)
+	a.Label("outer")
+	a.Mov(rA, rImg)
+	a.Mov(rB, rOut)
+	a.MovI(rInd, 0)
+	a.Branch(isa.BGE, rInd, rTrip, "next")
+	a.Label("inner")
+	a.Load(rT0, rA, 0)
+	a.Op3(isa.Mul, rT0, rT0, rC0)
+	a.Load(rT1, rA, -1)
+	a.Load(rT2, rA, 1)
+	a.Op3(isa.Add, rT1, rT1, rT2)
+	a.Load(rT2, rA, -64)
+	a.Op3(isa.Add, rT1, rT1, rT2)
+	a.Load(rT2, rA, 64)
+	a.Op3(isa.Add, rT1, rT1, rT2)
+	a.Op3(isa.Mul, rT1, rT1, rC1)
+	a.Op3(isa.Add, rT0, rT0, rT1)
+	a.Op3(isa.ShrA, rT0, rT0, rSh)
+	a.Store(rT0, rB, 0)
+	// The pointers advance by the runtime pitch: not a constant self-add,
+	// so the extractor cannot form streams.
+	a.Op3(isa.Add, rA, rA, rPitch)
+	a.Op3(isa.Add, rB, rB, rPitch)
+	a.AddI(rInd, rInd, 1)
+	a.Branch(isa.BLT, rInd, rTrip, "inner")
+	a.Label("next")
+	a.AddI(rImg, rImg, 1)
+	a.AddI(rOut, rOut, 1)
+	a.AddI(rOInd, rOInd, 1)
+	a.Branch(isa.BLT, rOInd, rOTrip, "outer")
+	a.Halt()
+	return a.MustBuild()
+}

@@ -1,0 +1,394 @@
+package xform
+
+// Nest transforms: loop interchange and unroll-and-jam over ir.Nest — the
+// static transformations that *manufacture* a schedulable (or profitable)
+// inner body when the natural one rejects or underuses the accelerator.
+// Both are legality-checked from first principles: dependences are
+// recomputed by internal/verify's Dependences (never trusted from a
+// translation artifact), and memory ordering is an exact bounded collision
+// solve over the nest's iteration rectangle. Streams on distinct base
+// parameters are assumed disjoint — the same contract the VM's launch-time
+// StreamsDisjoint check enforces before any accelerated execution.
+//
+// Rejections are typed *translate.Reject values (CodeNestShape,
+// CodeNestDependence, CodeNestTrip) so property suites and experiment
+// tables can enumerate why a nest kept its natural form.
+
+import (
+	"fmt"
+
+	"veal/internal/ir"
+	"veal/internal/translate"
+	"veal/internal/verify"
+	"veal/internal/vmcost"
+)
+
+// rectBound caps the exact collision solves; rectangles beyond it reject
+// conservatively rather than burn unbounded transform time.
+const rectBound = 1 << 16
+
+func nestReject(code translate.Code, pass, format string, args ...any) *translate.Reject {
+	return &translate.Reject{
+		Code:   code,
+		Phase:  vmcost.PhaseLoopID,
+		Pass:   pass,
+		Detail: fmt.Errorf(format, args...),
+	}
+}
+
+// Interchange swaps the nest's two loops: the transformed nest iterates
+// the old outer index innermost, turning outer-carried address steps into
+// inner stream strides and vice versa. This is how a schedulable inner
+// body is manufactured when the natural orientation's address pattern
+// defeats extraction (a column-major walk whose inner stride is a runtime
+// pitch becomes, interchanged, a constant-stride row walk).
+//
+// Legality, from first principles:
+//
+//   - no loop-carried dependence (operand or live-out distance > 0): a
+//     recurrence accumulated over the inner index would, interchanged, be
+//     re-seeded per new-outer iteration — different semantics
+//     (CodeNestDependence);
+//   - no side exit and no induction-variable data use: both bind the body
+//     to the inner index's identity (CodeNestShape);
+//   - every parameter's role must survive the swap: streams sharing a base
+//     must agree on one inner stride, a stream base may not double as a
+//     scalar or recurrence-seed input, and a scalar-read parameter may not
+//     carry an outer stride (its value would have to vary per new-inner
+//     iteration, which OpParam cannot express) (CodeNestShape);
+//   - no two same-base accesses, at least one a store, may touch one
+//     address from two different iteration points of the rectangle: the
+//     interchange reorders those points (CodeNestDependence).
+func Interchange(n *ir.Nest) (*ir.Nest, error) {
+	const pass = "interchange"
+	if err := n.Validate(); err != nil {
+		return nil, nestReject(translate.CodeNestShape, pass, "invalid nest: %w", err)
+	}
+	if n.InnerTrip < 1 || n.OuterTrip < 1 {
+		return nil, nestReject(translate.CodeNestTrip, pass,
+			"degenerate rectangle %dx%d", n.OuterTrip, n.InnerTrip)
+	}
+	inner := n.Inner
+	if inner.HasExit() {
+		return nil, nestReject(translate.CodeNestShape, pass, "inner loop has a side exit")
+	}
+	for _, d := range verify.Dependences(inner) {
+		if d.Dist > 0 {
+			if d.To < 0 {
+				return nil, nestReject(translate.CodeNestDependence, pass,
+					"live-out of n%d delayed %d iterations", d.From, d.Dist)
+			}
+			return nil, nestReject(translate.CodeNestDependence, pass,
+				"loop-carried dependence n%d→n%d at distance %d", d.From, d.To, d.Dist)
+		}
+	}
+
+	scalarRead := make([]bool, inner.NumParams)
+	initRead := make([]bool, inner.NumParams)
+	for _, nd := range inner.Nodes {
+		if nd.Op == ir.OpParam {
+			scalarRead[nd.Param] = true
+		}
+		if nd.Op == ir.OpIndVar {
+			return nil, nestReject(translate.CodeNestShape, pass,
+				"body reads the induction variable (n%d)", nd.ID)
+		}
+		for _, p := range nd.Init {
+			initRead[p] = true
+		}
+	}
+	for _, lo := range inner.LiveOuts {
+		for _, p := range lo.Init {
+			initRead[p] = true
+		}
+	}
+	baseStride := make(map[int]int64, len(inner.Streams))
+	for si, st := range inner.Streams {
+		if s0, ok := baseStride[st.BaseParam]; ok {
+			if s0 != st.Stride {
+				return nil, nestReject(translate.CodeNestShape, pass,
+					"streams on base p%d disagree on stride (%d vs %d at s%d)",
+					st.BaseParam, s0, st.Stride, si)
+			}
+			continue
+		}
+		baseStride[st.BaseParam] = st.Stride
+	}
+	for p := 0; p < inner.NumParams; p++ {
+		_, isBase := baseStride[p]
+		if isBase && (scalarRead[p] || initRead[p]) {
+			return nil, nestReject(translate.CodeNestShape, pass,
+				"stream base p%d is also read as a scalar", p)
+		}
+		if !isBase && scalarRead[p] && n.OuterStride[p] != 0 {
+			return nil, nestReject(translate.CodeNestShape, pass,
+				"scalar parameter p%d carries outer stride %d", p, n.OuterStride[p])
+		}
+	}
+
+	// Memory ordering: same-base stream pairs (store involved) must not
+	// revisit an address from two distinct points of the rectangle.
+	if n.InnerTrip > rectBound || n.OuterTrip > rectBound {
+		return nil, nestReject(translate.CodeNestDependence, pass,
+			"rectangle %dx%d exceeds the exact-solve bound", n.OuterTrip, n.InnerTrip)
+	}
+	for i, s := range inner.Streams {
+		for j, t := range inner.Streams {
+			if s.Kind != ir.StoreStream && t.Kind != ir.StoreStream {
+				continue
+			}
+			if s.BaseParam != t.BaseParam || (j < i && t.Kind == s.Kind) {
+				continue // distinct bases are disjoint; unordered pairs once
+			}
+			S := baseStride[s.BaseParam]
+			V := n.OuterStride[s.BaseParam]
+			if rectCollides(S, V, t.Offset-s.Offset, n.InnerTrip, n.OuterTrip) {
+				return nil, nestReject(translate.CodeNestDependence, pass,
+					"streams s%d and s%d revisit an address across iterations (stride %d, outer %d)",
+					i, j, S, V)
+			}
+		}
+	}
+
+	out := n.Clone()
+	out.Name = n.Name + "-interchange"
+	out.Inner.Name = inner.Name + "-interchange"
+	out.InnerTrip, out.OuterTrip = n.OuterTrip, n.InnerTrip
+	for i := range out.Inner.Streams {
+		base := out.Inner.Streams[i].BaseParam
+		out.Inner.Streams[i].Stride = n.OuterStride[base]
+	}
+	for base, s := range baseStride {
+		out.OuterStride[base] = s
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nestReject(translate.CodeNestShape, pass, "interchange produced invalid nest: %w", err)
+	}
+	return out, nil
+}
+
+// rectCollides reports whether di*S + dk*V == dO has a solution with
+// |di| < innerTrip, |dk| < outerTrip, (di, dk) != (0, 0) — i.e. two
+// distinct points of the iteration rectangle touch one address.
+func rectCollides(S, V, dO, innerTrip, outerTrip int64) bool {
+	for dk := -(outerTrip - 1); dk <= outerTrip-1; dk++ {
+		r := dO - dk*V
+		if S == 0 {
+			if r == 0 && (dk != 0 || innerTrip > 1) {
+				return true
+			}
+			continue
+		}
+		if r%S != 0 {
+			continue
+		}
+		di := r / S
+		if di > -innerTrip && di < innerTrip && !(di == 0 && dk == 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// crossCopyCollides reports whether i1*Ss - i2*St == rhs has a solution
+// with i1, i2 in [0, innerTrip) — i.e. an access of one unrolled copy
+// (stride Ss) and an access of another (stride St, rhs holding the offset
+// and copy-distance delta) touch one address within the jammed body.
+func crossCopyCollides(Ss, St, rhs, innerTrip int64) bool {
+	if Ss == 0 && St == 0 {
+		return rhs == 0
+	}
+	if Ss == 0 {
+		if rhs%St != 0 {
+			return false
+		}
+		i2 := -rhs / St
+		return i2 >= 0 && i2 < innerTrip
+	}
+	for i1 := int64(0); i1 < innerTrip; i1++ {
+		v := i1*Ss - rhs
+		if St == 0 {
+			if v == 0 {
+				return true
+			}
+			continue
+		}
+		if v%St == 0 {
+			if i2 := v / St; i2 >= 0 && i2 < innerTrip {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnrollAndJam unrolls the outer loop by factor and jams the copies into
+// one inner body: copy j re-reads every stream at Offset + j*OuterStride
+// and every stepped scalar parameter through a synthesized add, so one
+// accelerated invocation covers factor outer iterations. Recurrences stay
+// legal — each copy carries its own chain over the inner index — but
+// their seeds must be outer-invariant, since every copy re-seeds from the
+// same parameter vector (CodeNestShape otherwise). The factor must divide
+// the outer trip (CodeNestTrip), and no store of one copy may collide
+// with another copy's accesses inside the rectangle (CodeNestDependence).
+func UnrollAndJam(n *ir.Nest, factor int) (*ir.Nest, error) {
+	const pass = "unroll-and-jam"
+	if err := n.Validate(); err != nil {
+		return nil, nestReject(translate.CodeNestShape, pass, "invalid nest: %w", err)
+	}
+	if factor < 2 {
+		return nil, nestReject(translate.CodeNestTrip, pass, "factor %d < 2", factor)
+	}
+	if n.InnerTrip < 1 || n.OuterTrip < 1 {
+		return nil, nestReject(translate.CodeNestTrip, pass,
+			"degenerate rectangle %dx%d", n.OuterTrip, n.InnerTrip)
+	}
+	if n.OuterTrip%int64(factor) != 0 {
+		return nil, nestReject(translate.CodeNestTrip, pass,
+			"factor %d does not divide outer trip %d", factor, n.OuterTrip)
+	}
+	inner := n.Inner
+	if inner.HasExit() {
+		return nil, nestReject(translate.CodeNestShape, pass, "inner loop has a side exit")
+	}
+
+	// Recurrence seeds (and any live-out fallback the trip count can
+	// reach) must be outer-invariant: copies j > 0 would need params
+	// rebased by j*stride, which Init indices cannot express.
+	carried := make([]bool, len(inner.Nodes))
+	for _, d := range verify.Dependences(inner) {
+		if d.Dist > 0 && d.To >= 0 {
+			carried[d.From] = true
+		}
+	}
+	for _, nd := range inner.Nodes {
+		if !carried[nd.ID] {
+			continue
+		}
+		for _, p := range nd.Init {
+			if n.OuterStride[p] != 0 {
+				return nil, nestReject(translate.CodeNestShape, pass,
+					"recurrence seed p%d of n%d carries outer stride %d", p, nd.ID, n.OuterStride[p])
+			}
+		}
+	}
+	for _, lo := range inner.LiveOuts {
+		if int64(lo.Dist) < n.InnerTrip {
+			continue // fallback unreachable at this trip count
+		}
+		for _, p := range append(append([]int(nil), lo.Init...), inner.Nodes[lo.Node].Init...) {
+			if n.OuterStride[p] != 0 {
+				return nil, nestReject(translate.CodeNestShape, pass,
+					"live-out %q fallback seed p%d carries outer stride %d", lo.Name, p, n.OuterStride[p])
+			}
+		}
+	}
+
+	// Cross-copy memory ordering: a store in copy j must not touch an
+	// address any stream of copy j+dj reaches within the rectangle.
+	if n.InnerTrip > rectBound {
+		return nil, nestReject(translate.CodeNestDependence, pass,
+			"inner trip %d exceeds the exact-solve bound", n.InnerTrip)
+	}
+	for i, s := range inner.Streams {
+		for j, t := range inner.Streams {
+			if s.Kind != ir.StoreStream && t.Kind != ir.StoreStream {
+				continue
+			}
+			if s.BaseParam != t.BaseParam {
+				continue
+			}
+			V := n.OuterStride[s.BaseParam]
+			for dj := int64(1); dj < int64(factor); dj++ {
+				for _, rhs := range []int64{t.Offset - s.Offset + dj*V, t.Offset - s.Offset - dj*V} {
+					if crossCopyCollides(s.Stride, t.Stride, rhs, n.InnerTrip) {
+						return nil, nestReject(translate.CodeNestDependence, pass,
+							"streams s%d and s%d collide %d outer iterations apart", i, j, dj)
+					}
+				}
+			}
+		}
+	}
+
+	// Build the jammed body: factor verbatim copies, copy j's streams
+	// rebased by j*OuterStride and its stepped scalar params read through
+	// a synthesized add.
+	jam := &ir.Loop{
+		Name:       fmt.Sprintf("%s-uj%d", inner.Name, factor),
+		NumParams:  inner.NumParams,
+		ParamNames: append([]string(nil), inner.ParamNames...),
+	}
+	streamMap := make([][]int, factor)
+	nodeMap := make([][]int, factor)
+	for c := 0; c < factor; c++ {
+		streamMap[c] = make([]int, len(inner.Streams))
+		for si, st := range inner.Streams {
+			ns := st
+			ns.Offset += int64(c) * n.OuterStride[st.BaseParam]
+			streamMap[c][si] = len(jam.Streams)
+			jam.Streams = append(jam.Streams, ns)
+		}
+		nodeMap[c] = make([]int, len(inner.Nodes))
+		for _, nd := range inner.Nodes {
+			id := len(jam.Nodes)
+			nn := &ir.Node{ID: id, Op: nd.Op, Imm: nd.Imm, Param: nd.Param,
+				Init: append([]int(nil), nd.Init...)}
+			if nd.Op == ir.OpLoad || nd.Op == ir.OpStore {
+				nn.Stream = streamMap[c][nd.Stream]
+			}
+			jam.Nodes = append(jam.Nodes, nn)
+			nodeMap[c][nd.ID] = id
+		}
+		// Stepped scalar parameters: copy c reads params[p] + c*stride.
+		for _, nd := range inner.Nodes {
+			if nd.Op != ir.OpParam || c == 0 || n.OuterStride[nd.Param] == 0 {
+				continue
+			}
+			cst := &ir.Node{ID: len(jam.Nodes), Op: ir.OpConst,
+				Imm: uint64(int64(c) * n.OuterStride[nd.Param])}
+			jam.Nodes = append(jam.Nodes, cst)
+			add := &ir.Node{ID: len(jam.Nodes), Op: ir.OpAdd,
+				Args: []ir.Operand{{Node: nodeMap[c][nd.ID]}, {Node: cst.ID}},
+				Init: append([]int(nil), nd.Init...)}
+			jam.Nodes = append(jam.Nodes, add)
+			nodeMap[c][nd.ID] = add.ID
+		}
+		// Wire operand edges within the copy (loop-carried distances stay
+		// within the copy's own chain).
+		for _, nd := range inner.Nodes {
+			nn := jam.Nodes[nodeMap[c][nd.ID]]
+			if nn.Op != nd.Op {
+				// nodeMap points at the rebasing add; the original param
+				// node has no args to wire.
+				continue
+			}
+			if len(nd.Args) > 0 && nn.Args == nil {
+				nn.Args = make([]ir.Operand, len(nd.Args))
+				for ai, a := range nd.Args {
+					nn.Args[ai] = ir.Operand{Node: nodeMap[c][a.Node], Dist: a.Dist}
+				}
+			}
+		}
+	}
+	for _, lo := range inner.LiveOuts {
+		nlo := lo
+		nlo.Node = nodeMap[factor-1][lo.Node]
+		nlo.Init = append([]int(nil), lo.Init...)
+		jam.LiveOuts = append(jam.LiveOuts, nlo)
+	}
+
+	out := &ir.Nest{
+		Name:        fmt.Sprintf("%s-uj%d", n.Name, factor),
+		Inner:       jam,
+		OuterStride: make([]int64, inner.NumParams),
+		InnerTrip:   n.InnerTrip,
+		OuterTrip:   n.OuterTrip / int64(factor),
+	}
+	for p, v := range n.OuterStride {
+		out.OuterStride[p] = v * int64(factor)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nestReject(translate.CodeNestShape, pass, "unroll-and-jam produced invalid nest: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package xform
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"veal/internal/ir"
+	"veal/internal/loopgen"
+	"veal/internal/translate"
+	"veal/internal/verify"
+	"veal/internal/workloads"
+)
+
+// execNest runs a nest against a fresh clone of mem and returns the
+// committed memory.
+func execNest(t *testing.T, n *ir.Nest, params []uint64, mem *ir.PagedMemory) *ir.PagedMemory {
+	t.Helper()
+	m := mem.Clone()
+	if _, err := ir.ExecuteNest(n, params, m); err != nil {
+		t.Fatalf("ExecuteNest(%s): %v", n.Name, err)
+	}
+	return m
+}
+
+// rejectCode fails the test unless err is a typed nest rejection with the
+// expected code.
+func rejectCode(t *testing.T, err error, want translate.Code) {
+	t.Helper()
+	rej, ok := translate.AsReject(err)
+	if !ok {
+		t.Fatalf("error %v is not a typed *translate.Reject", err)
+	}
+	if rej.Code != want {
+		t.Fatalf("reject code %v, want %v (%v)", rej.Code, want, err)
+	}
+}
+
+// TestInterchangeStencilColMajor: interchanging the column-major stencil
+// manufactures the row-major walk — constant stride 1 inner streams, pitch
+// in the outer stride — and commits exactly the same memory image.
+func TestInterchangeStencilColMajor(t *testing.T) {
+	n := workloads.Stencil2DColMajor()
+	out, err := Interchange(n)
+	if err != nil {
+		t.Fatalf("Interchange: %v", err)
+	}
+	if out.InnerTrip != n.OuterTrip || out.OuterTrip != n.InnerTrip {
+		t.Errorf("trips %dx%d, want %dx%d", out.OuterTrip, out.InnerTrip, n.InnerTrip, n.OuterTrip)
+	}
+	for i, st := range out.Inner.Streams {
+		if st.Stride != 1 {
+			t.Errorf("stream %d stride %d after interchange, want 1", i, st.Stride)
+		}
+	}
+	for p, name := range out.Inner.ParamNames {
+		if name == "img" || name == "out" {
+			if out.OuterStride[p] != 64 {
+				t.Errorf("outer stride of %s = %d, want the pitch 64", name, out.OuterStride[p])
+			}
+		}
+	}
+	binds, mem := workloads.PrepareNest(n, 11)
+	got := execNest(t, out, binds.Params, mem)
+	want := execNest(t, n, binds.Params, mem)
+	if !got.Equal(want) {
+		t.Fatal("interchanged nest commits different memory")
+	}
+}
+
+// TestInterchangeRejectsMatmulTiled: the in-place C-row accumulation
+// revisits every C address once per outer iteration, so reordering the
+// rectangle is illegal.
+func TestInterchangeRejectsMatmulTiled(t *testing.T) {
+	_, err := Interchange(workloads.MatmulTiled())
+	rejectCode(t, err, translate.CodeNestDependence)
+}
+
+// TestUnrollAndJamStencil: jamming two outer rows of the row-major stencil
+// doubles the stream set, halves the outer trip, doubles the outer strides
+// and commits identical memory.
+func TestUnrollAndJamStencil(t *testing.T) {
+	n := workloads.Stencil2D()
+	out, err := UnrollAndJam(n, 2)
+	if err != nil {
+		t.Fatalf("UnrollAndJam: %v", err)
+	}
+	if out.OuterTrip != n.OuterTrip/2 || out.InnerTrip != n.InnerTrip {
+		t.Errorf("trips %dx%d, want %dx%d", out.OuterTrip, out.InnerTrip, n.OuterTrip/2, n.InnerTrip)
+	}
+	if len(out.Inner.Streams) != 2*len(n.Inner.Streams) {
+		t.Errorf("%d streams after jam, want %d", len(out.Inner.Streams), 2*len(n.Inner.Streams))
+	}
+	for p := range n.OuterStride {
+		if out.OuterStride[p] != 2*n.OuterStride[p] {
+			t.Errorf("outer stride of p%d = %d, want %d", p, out.OuterStride[p], 2*n.OuterStride[p])
+		}
+	}
+	binds, mem := workloads.PrepareNest(n, 17)
+	got := execNest(t, out, binds.Params, mem)
+	want := execNest(t, n, binds.Params, mem)
+	if !got.Equal(want) {
+		t.Fatal("unroll-and-jammed nest commits different memory")
+	}
+}
+
+// TestUnrollAndJamRejects pins the typed rejections: a factor that does
+// not divide the outer trip, and cross-copy stores onto one address (the
+// in-place C row is written by every copy).
+func TestUnrollAndJamRejects(t *testing.T) {
+	_, err := UnrollAndJam(workloads.Stencil2D(), 3)
+	rejectCode(t, err, translate.CodeNestTrip)
+	_, err = UnrollAndJam(workloads.MatmulTiled(), 2)
+	rejectCode(t, err, translate.CodeNestDependence)
+}
+
+// nestCodes is the closed set of rejection codes the nest transforms may
+// produce.
+var nestCodes = map[translate.Code]bool{
+	translate.CodeNestShape:      true,
+	translate.CodeNestDependence: true,
+	translate.CodeNestTrip:       true,
+}
+
+// randomNest wraps a generated loop in a random outer stride vector.
+func randomNest(seed int64) *ir.Nest {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := loopgen.Default()
+	cfg.Ops = 2 + rng.Intn(10)
+	cfg.LoadStreams = rng.Intn(4)
+	cfg.StoreStreams = rng.Intn(3)
+	cfg.RecurProb = float64(rng.Intn(3)) * 0.3
+	cfg.FloatFrac = float64(rng.Intn(3)) * 0.25
+	l := loopgen.Generate(rng, cfg)
+	strides := []int64{0, 0, 0, 1, 8, 64, -1}
+	n := &ir.Nest{
+		Name:        fmt.Sprintf("%s-prop%d", l.Name, seed),
+		Inner:       l,
+		OuterStride: make([]int64, l.NumParams),
+		InnerTrip:   int64(1 + rng.Intn(8)),
+		OuterTrip:   int64(2 * (1 + rng.Intn(4))), // even, so factor 2 divides
+	}
+	for i := range n.OuterStride {
+		n.OuterStride[i] = strides[rng.Intn(len(strides))]
+	}
+	return n
+}
+
+// checkNestTransform applies one transform to a random nest. An accepted
+// transform must produce a valid nest, must not have smuggled a carried
+// dependence past an interchange, and must commit bit-identical memory to
+// the original (the ground-truth legality oracle). A rejection must be a
+// typed nest reject. Returns a description of any violation.
+func checkNestTransform(seed int64, name string, apply func(*ir.Nest) (*ir.Nest, error)) error {
+	n := randomNest(seed)
+	out, err := apply(n)
+	if err != nil {
+		rej, ok := translate.AsReject(err)
+		if !ok {
+			return fmt.Errorf("%s: untyped rejection: %v", name, err)
+		}
+		if !nestCodes[rej.Code] {
+			return fmt.Errorf("%s: rejection code %v outside the nest set: %v", name, rej.Code, err)
+		}
+		return nil
+	}
+	if verr := out.Validate(); verr != nil {
+		return fmt.Errorf("%s: accepted nest invalid: %v", name, verr)
+	}
+	if name == "interchange" {
+		// Re-verify the precondition on the output with recomputed
+		// dependences: interchange must never manufacture a carried chain.
+		for _, d := range verify.Dependences(out.Inner) {
+			if d.Dist > 0 {
+				return fmt.Errorf("%s: output carries dependence n%d→n%d dist %d", name, d.From, d.To, d.Dist)
+			}
+		}
+	}
+	binds, mem := workloads.PrepareNest(n, seed)
+	want := mem.Clone()
+	if _, err := ir.ExecuteNest(n, binds.Params, want); err != nil {
+		return fmt.Errorf("%s: reference nest: %v", name, err)
+	}
+	got := mem.Clone()
+	if _, err := ir.ExecuteNest(out, binds.Params, got); err != nil {
+		return fmt.Errorf("%s: transformed nest: %v", name, err)
+	}
+	if !got.Equal(want) {
+		return fmt.Errorf("%s: accepted transform commits different memory", name)
+	}
+	return nil
+}
+
+// TestNestTransformProperties drives 400 random two-deep nests through
+// both transforms. On failure it shrinks to the smallest failing seed so
+// the counterexample is as regular as possible.
+func TestNestTransformProperties(t *testing.T) {
+	const trials = 400
+	transforms := []struct {
+		name  string
+		apply func(*ir.Nest) (*ir.Nest, error)
+	}{
+		{"interchange", Interchange},
+		{"unroll-and-jam", func(n *ir.Nest) (*ir.Nest, error) { return UnrollAndJam(n, 2) }},
+	}
+	for _, tr := range transforms {
+		tr := tr
+		t.Run(tr.name, func(t *testing.T) {
+			accepted := 0
+			for seed := int64(0); seed < trials; seed++ {
+				if err := checkNestTransform(seed, tr.name, tr.apply); err != nil {
+					// Shrink: report the smallest failing seed.
+					for s := int64(0); s < seed; s++ {
+						if serr := checkNestTransform(s, tr.name, tr.apply); serr != nil {
+							seed, err = s, serr
+							break
+						}
+					}
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if n := randomNest(seed); n != nil {
+					if _, err := tr.apply(n); err == nil {
+						accepted++
+					}
+				}
+			}
+			if accepted == 0 {
+				t.Fatalf("%s accepted none of %d random nests — the property only exercised rejects", tr.name, trials)
+			}
+			t.Logf("%s accepted %d/%d random nests", tr.name, accepted, trials)
+		})
+	}
+}

@@ -8,8 +8,10 @@
 # the snapshot alongside ns/op, and the tiered-translation pair
 # (BenchmarkTimeToFirstAccelBaseline/Tiered), whose deterministic
 # stall-cycles/first-accel metric the gate holds to a 3x cold-start
-# improvement, and the snapshot warm-start pair
-# (BenchmarkWarmStartCold/Warm), gated at 10x. The root-package
+# improvement, the snapshot warm-start pair
+# (BenchmarkWarmStartCold/Warm), gated at 10x, and the nest-residency
+# pair (BenchmarkNestInnermost/Resident), whose bus-cycles/outer metric
+# is gated at a 2x resident improvement. The root-package
 # figure benches run twice: once at the inherited GOMAXPROCS and once at
 # GOMAXPROCS=2, so the snapshot also captures the parallel evaluation
 # path (benchcmp keys results by name and width).
@@ -26,7 +28,7 @@ go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' 
 	-benchmem -count 1 "$@" . | tee "$raw"
 GOMAXPROCS=2 go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' \
 	-benchmem -count 1 "$@" . | tee -a "$raw"
-go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT|BenchmarkTimeToFirstAccel|BenchmarkWarmStart)' \
+go test -run '^$' -bench '^(BenchmarkVM|BenchmarkJIT|BenchmarkTimeToFirstAccel|BenchmarkWarmStart|BenchmarkNest)' \
 	-benchmem -count 1 "$@" ./internal/vm ./internal/jit | tee -a "$raw"
 go test -run '^$' -bench '^BenchmarkServeThroughput' \
 	-benchmem -count 1 "$@" ./internal/serve | tee -a "$raw"

@@ -32,8 +32,10 @@ go test -run '^$' -bench '^(BenchmarkFig|BenchmarkTranslate|BenchmarkProposed)' 
 # against the 3x baseline/tiered cold-start bar. The snapshot
 # warm-start pair is held to a 10x cold/warm stall ratio (the warmed VM
 # normally reports exactly zero — every translation recovered from the
-# snapshot — which passes outright).
-go test -run '^$' -bench '^(BenchmarkVMBatch|BenchmarkTimeToFirstAccel|BenchmarkWarmStart)' \
+# snapshot — which passes outright). The nest-residency pair gates
+# bus-cycles/outer: resident re-seeding must stay at least 2x cheaper
+# than the full per-launch setup/drain protocol.
+go test -run '^$' -bench '^(BenchmarkVMBatch|BenchmarkTimeToFirstAccel|BenchmarkWarmStart|BenchmarkNest)' \
 	-benchmem -count 3 ./internal/vm >>"$raw"
 # End-to-end serving throughput: the HTTP + shared-store path, gated on
 # programs/sec alongside ns/op.

@@ -39,6 +39,11 @@ type Result struct {
 	// Lower is better, and the quantity is deterministic (virtual time),
 	// so the gate tolerates no increase at all.
 	StallCyclesFirstAccel float64 `json:"stall_cycles_first_accel,omitempty"`
+	// BusCyclesPerOuter is the nest-residency metric the BenchmarkNest
+	// pair reports: setup+drain virtual cycles per accelerator launch
+	// across a 2-deep nest's outer iterations. Deterministic and
+	// lower-is-better, like the stall metric.
+	BusCyclesPerOuter float64 `json:"bus_cycles_per_outer,omitempty"`
 }
 
 // key identifies a result across snapshots: same benchmark, same width.
@@ -79,6 +84,7 @@ var (
 	guestRate  = regexp.MustCompile(`\s([\d.e+]+) guest-insts/sec`)
 	programSec = regexp.MustCompile(`\s([\d.e+]+) programs/sec`)
 	stallCyc   = regexp.MustCompile(`\s([\d.e+]+) stall-cycles/first-accel`)
+	busOuter   = regexp.MustCompile(`\s([\d.e+]+) bus-cycles/outer`)
 )
 
 func parse(r *bufio.Scanner) ([]Result, error) {
@@ -110,6 +116,9 @@ func parse(r *bufio.Scanner) ([]Result, error) {
 		}
 		if s := stallCyc.FindStringSubmatch(line); s != nil {
 			res.StallCyclesFirstAccel, _ = strconv.ParseFloat(s[1], 64)
+		}
+		if n := busOuter.FindStringSubmatch(line); n != nil {
+			res.BusCyclesPerOuter, _ = strconv.ParseFloat(n[1], 64)
 		}
 		out = append(out, res)
 	}
@@ -155,6 +164,11 @@ func aggregate(in []Result) []Result {
 		if r.StallCyclesFirstAccel > 0 &&
 			(out[i].StallCyclesFirstAccel == 0 || r.StallCyclesFirstAccel < out[i].StallCyclesFirstAccel) {
 			out[i].StallCyclesFirstAccel = r.StallCyclesFirstAccel
+		}
+		// Bus cycles per outer iteration: deterministic, lower is better.
+		if r.BusCyclesPerOuter > 0 &&
+			(out[i].BusCyclesPerOuter == 0 || r.BusCyclesPerOuter < out[i].BusCyclesPerOuter) {
+			out[i].BusCyclesPerOuter = r.BusCyclesPerOuter
 		}
 	}
 	return out
@@ -247,6 +261,32 @@ func gateWarmRatio(results []Result, minRatio float64) []string {
 	return nil
 }
 
+// gateNestRatio checks the nest-residency acceptance bar: when the
+// current run holds both halves of the BenchmarkNest pair, the
+// innermost-only bus cost per outer iteration (full setup/drain protocol
+// on every launch) must be at least minRatio times the resident VM's
+// (parameter re-seed only). Intra-run like the tier and warm gates.
+func gateNestRatio(results []Result, minRatio float64) []string {
+	var full, resident float64
+	for _, r := range results {
+		switch r.Name {
+		case "BenchmarkNestInnermost":
+			full = r.BusCyclesPerOuter
+		case "BenchmarkNestResident":
+			resident = r.BusCyclesPerOuter
+		}
+	}
+	if full == 0 || resident == 0 {
+		return nil
+	}
+	if ratio := full / resident; ratio < minRatio {
+		return []string{fmt.Sprintf(
+			"nest residency only %.2fx cheaper than full bus protocol (%.1f vs %.1f bus-cycles/outer, need %.1fx)",
+			ratio, full, resident, minRatio)}
+	}
+	return nil
+}
+
 func main() {
 	prevPath := flag.String("prev", "", "previous BENCH_*.json to compare against")
 	outPath := flag.String("o", "", "write the parsed snapshot to this JSON file")
@@ -255,6 +295,7 @@ func main() {
 	maxAllocs := flag.Float64("max-allocs-regress", 10, "gate: max tolerated allocs/op regression, percent")
 	minTierSpeedup := flag.Float64("min-tier-speedup", 3, "gate: min Baseline/Tiered stall-cycle ratio for the TimeToFirstAccel pair")
 	minWarmSpeedup := flag.Float64("min-warm-speedup", 10, "gate: min Cold/Warm stall-cycle ratio for the WarmStart pair")
+	minNestSpeedup := flag.Float64("min-nest-speedup", 2, "gate: min Innermost/Resident bus-cycle ratio for the Nest pair")
 	flag.Parse()
 
 	results, err := parse(bufio.NewScanner(os.Stdin))
@@ -297,6 +338,9 @@ func main() {
 			}
 			if r.StallCyclesFirstAccel > 0 {
 				rate = fmt.Sprintf("%.0f stall-cyc", r.StallCyclesFirstAccel)
+			}
+			if r.BusCyclesPerOuter > 0 {
+				rate = fmt.Sprintf("%.1f bus-cyc/outer", r.BusCyclesPerOuter)
 			}
 			fmt.Printf("%-36s %12s %10d %8d %18s\n",
 				r.label(), human(r.NsPerOp), r.BPerOp, r.AllocsPerOp, rate)
@@ -368,11 +412,18 @@ func main() {
 					"%s: stall-cycles/first-accel rose %.0f -> %.0f",
 					r.label(), p.StallCyclesFirstAccel, r.StallCyclesFirstAccel))
 			}
+			// So is the per-launch bus cost across nest iterations.
+			if p.BusCyclesPerOuter > 0 && r.BusCyclesPerOuter > p.BusCyclesPerOuter {
+				failures = append(failures, fmt.Sprintf(
+					"%s: bus-cycles/outer rose %.1f -> %.1f",
+					r.label(), p.BusCyclesPerOuter, r.BusCyclesPerOuter))
+			}
 		}
 	}
 	if *gate {
 		failures = append(failures, gateTierRatio(results, *minTierSpeedup)...)
 		failures = append(failures, gateWarmRatio(results, *minWarmSpeedup)...)
+		failures = append(failures, gateNestRatio(results, *minNestSpeedup)...)
 	}
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: GATE FAILED")

@@ -56,6 +56,7 @@ if [ "${FUZZ_SMOKE:-1}" = "1" ]; then
     FUZZTIME="${FUZZTIME:-30s}"
     go test -fuzz FuzzDecode -fuzztime "$FUZZTIME" ./internal/isa
     go test -fuzz FuzzLoopExtract -fuzztime "$FUZZTIME" ./internal/loopx
+    go test -fuzz FuzzNestExtract -fuzztime "$FUZZTIME" ./internal/loopx
     go test -fuzz FuzzTranslate -fuzztime "$FUZZTIME" ./internal/translate
 else
     echo "skipped (FUZZ_SMOKE=0)"
